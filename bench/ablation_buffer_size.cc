@@ -1,0 +1,87 @@
+// Ablation A1 — RS-tree sample-buffer size: the paper says S(u) sizes are
+// "properly calculated"; this bench sweeps the buffer size and measures the
+// cost per online sample. Too small a buffer degenerates toward RandomPath
+// (a descent per draw); too large wastes refill work on queries that stop
+// early.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace storm {
+namespace {
+
+struct SharedData {
+  std::vector<RTree<3>::Entry> entries;
+  Rect3 query{Point3(-112.0, 28.0, -1.0), Point3(-88.0, 46.0, 1.0)};
+
+  static const SharedData& Get() {
+    static const auto* data = [] {
+      auto* d = new SharedData();
+      OsmOptions options;
+      options.num_points = bench::EnvSize("STORM_BENCH_N", 200'000);
+      OsmLikeGenerator gen(options);
+      d->entries = OsmLikeGenerator::ToEntries(gen.Generate(), nullptr);
+      return d;
+    }();
+    return *data;
+  }
+};
+
+void BM_RsTreeDrawSample(benchmark::State& state) {
+  const SharedData& data = SharedData::Get();
+  RsTreeOptions options;
+  options.buffer_size = static_cast<size_t>(state.range(0));
+  RsTree<3> rs(data.entries, options, 42);
+  auto sampler = rs.NewSampler(Rng(43));
+  Status st = sampler->Begin(data.query, SamplingMode::kWithReplacement);
+  if (!st.ok()) {
+    state.SkipWithError(st.ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto e = sampler->Next();
+    benchmark::DoNotOptimize(e);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_RsTreeDrawSample)
+    ->Arg(2)
+    ->Arg(8)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024);
+
+// Cold-start comparison: cost of the FIRST 64 samples including lazy
+// buffer fills (large buffers pay more up front).
+void BM_RsTreeColdStart(benchmark::State& state) {
+  const SharedData& data = SharedData::Get();
+  RsTreeOptions options;
+  options.buffer_size = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    RsTree<3> rs(data.entries, options, 42);
+    auto sampler = rs.NewSampler(Rng(43));
+    state.ResumeTiming();
+    Status st = sampler->Begin(data.query, SamplingMode::kWithReplacement);
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+    for (int i = 0; i < 64; ++i) {
+      auto e = sampler->Next();
+      benchmark::DoNotOptimize(e);
+    }
+  }
+}
+
+// Fixed low iteration count: each iteration rebuilds the index, which is
+// far more expensive than the measured region.
+BENCHMARK(BM_RsTreeColdStart)->Arg(8)->Arg(64)->Arg(1024)->Iterations(20);
+
+}  // namespace
+}  // namespace storm
+
+BENCHMARK_MAIN();

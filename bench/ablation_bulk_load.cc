@@ -1,0 +1,75 @@
+// Ablation A7 — bulk-loading method: build time, packing quality (node
+// count), and range-query cost of STR vs Hilbert bulk loading vs one-by-one
+// Guttman inserts. The RS-tree uses Hilbert loading (§3.1) for its
+// clustering/locality; this quantifies what that choice buys.
+
+#include "bench_util.h"
+
+namespace storm {
+namespace {
+
+void Run() {
+  using bench::EnvSize;
+  const uint64_t n = EnvSize("STORM_BENCH_N", 200'000);
+  OsmOptions gen_options;
+  gen_options.num_points = n;
+  OsmLikeGenerator gen(gen_options);
+  auto entries = OsmLikeGenerator::ToEntries(gen.Generate(), nullptr);
+
+  bench::PrintHeader("Ablation A7 — R-tree bulk loading method",
+                     "N=" + std::to_string(n) +
+                         "  query cost = mean node visits over 200 random "
+                         "1-degree window queries");
+
+  Rng rng(42);
+  std::vector<Rect3> queries;
+  for (int i = 0; i < 200; ++i) {
+    double x = rng.UniformDouble(gen_options.lon_min, gen_options.lon_max - 1);
+    double y = rng.UniformDouble(gen_options.lat_min, gen_options.lat_max - 1);
+    queries.push_back(Rect3(Point3(x, y, -1), Point3(x + 1, y + 1, 1)));
+  }
+
+  auto evaluate = [&](const char* label, auto build) {
+    Stopwatch watch;
+    RTree<3> tree = build();
+    double build_ms = watch.ElapsedMillis();
+    tree.ResetTouchCount();
+    uint64_t hits = 0;
+    for (const Rect3& q : queries) {
+      hits += tree.RangeCount(q);
+    }
+    double visits =
+        static_cast<double>(tree.nodes_touched()) / queries.size();
+    std::printf("%10s %14.1f %12llu %10d %18.1f\n", label, build_ms,
+                static_cast<unsigned long long>(tree.NodeCount()),
+                tree.Height(), visits);
+    return hits;
+  };
+
+  std::printf("%10s %14s %12s %10s %18s\n", "method", "build (ms)", "nodes",
+              "height", "visits / query");
+  uint64_t a = evaluate("STR", [&] { return RTree<3>::BulkLoadStr(entries, {}); });
+  uint64_t b = evaluate("Hilbert",
+                        [&] { return RTree<3>::BulkLoadHilbert(entries, {}); });
+  uint64_t c = evaluate("Insert", [&] {
+    RTree<3> tree;
+    for (const auto& e : entries) tree.Insert(e.point, e.id);
+    return tree;
+  });
+  if (a != b || b != c) {
+    std::printf("WARNING: query results differ between builds!\n");
+  }
+  std::printf(
+      "\nExpected: bulk loading is ~10-50x faster to build and packs ~40%%\n"
+      "fewer nodes than repeated inserts; STR and Hilbert trees answer\n"
+      "window queries with comparable node visits, both beating the\n"
+      "insert-built tree.\n\n");
+}
+
+}  // namespace
+}  // namespace storm
+
+int main() {
+  storm::Run();
+  return 0;
+}

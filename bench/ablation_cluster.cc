@@ -1,0 +1,65 @@
+// Ablation A6 — distributed execution: sampling throughput of the merged
+// coordinator stream as the shard count grows, plus the locality advantage
+// of Hilbert-range partitioning (how many shards a localized query
+// touches). Also validates the merge: the coordinator's exact cardinality
+// must equal a single-index count.
+
+#include "bench_util.h"
+
+namespace storm {
+namespace {
+
+void Run() {
+  using bench::EnvSize;
+  const uint64_t n = EnvSize("STORM_BENCH_N", 200'000);
+  OsmOptions options;
+  options.num_points = n;
+  OsmLikeGenerator gen(options);
+  auto entries = OsmLikeGenerator::ToEntries(gen.Generate(), nullptr);
+  Rect3 wide(Point3(-112.0, 28.0, -1.0), Point3(-88.0, 46.0, 1.0));
+  Rect3 local(Point3(-101.0, 35.0, -1.0), Point3(-99.0, 37.0, 1.0));
+  RsTree<3> single(entries, {}, 42);
+  uint64_t truth = single.tree().RangeCount(wide);
+  constexpr uint64_t kSamples = 50'000;
+
+  bench::PrintHeader("Ablation A6 — cluster scaling and partition locality",
+                     "N=" + std::to_string(n) + "  wide-query q=" +
+                         std::to_string(truth) + "  k=" +
+                         std::to_string(kSamples));
+
+  std::printf("%8s %14s | %16s %14s | %16s %14s\n", "shards", "partitioning",
+              "samples/sec", "count ok", "shards touched", "(local query)");
+  for (int shards : {1, 2, 4, 8}) {
+    for (Partitioning p : {Partitioning::kHash, Partitioning::kHilbertRange}) {
+      Cluster cluster(entries, shards, p, {}, 42);
+      auto sampler = cluster.NewSampler(Rng(43));
+      Status st = sampler->Begin(wide, SamplingMode::kWithReplacement);
+      if (!st.ok()) continue;
+      Stopwatch watch;
+      uint64_t drawn = 0;
+      for (; drawn < kSamples; ++drawn) {
+        if (!sampler->Next().has_value()) break;
+      }
+      double secs = watch.ElapsedSeconds();
+      bool count_ok = cluster.Count(wide) == truth &&
+                      sampler->Cardinality().lower == truth;
+      std::printf("%8d %14s | %16.0f %14s | %16d %14s\n", shards,
+                  p == Partitioning::kHash ? "hash" : "hilbert",
+                  static_cast<double>(drawn) / secs, count_ok ? "yes" : "NO",
+                  cluster.ShardsTouched(local), "");
+    }
+  }
+  std::printf(
+      "\nExpected: merged throughput stays flat in-process (the merge adds\n"
+      "one weighted choice per draw); distributed counts always match; the\n"
+      "Hilbert-range layout touches far fewer shards on localized queries\n"
+      "(the reason §3.1 uses a distributed Hilbert R-tree).\n\n");
+}
+
+}  // namespace
+}  // namespace storm
+
+int main() {
+  storm::Run();
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Ablation A3 — simulated I/O cost per sample: the paper's key systems
+// argument (§3.1) is that RandomPath costs Ω(1) random page reads per
+// sample on disk-resident trees, while LS-tree range scans cost O(k/B) and
+// RS-tree buffered pops mostly hit the hot node page. This bench routes all
+// index node accesses through a small LRU buffer pool over the simulated
+// disk and reports page faults per sample.
+
+#include "bench_util.h"
+
+namespace storm {
+namespace {
+
+struct IoRow {
+  const char* method;
+  double faults_per_sample;
+  double logical_per_sample;
+};
+
+void Run() {
+  using bench::EnvSize;
+  const uint64_t n = EnvSize("STORM_BENCH_N", 200'000);
+  OsmOptions options;
+  options.num_points = n;
+  OsmLikeGenerator gen(options);
+  auto entries = OsmLikeGenerator::ToEntries(gen.Generate(), nullptr);
+  Rect3 q(Point3(-112.0, 28.0, -1.0), Point3(-88.0, 46.0, 1.0));
+  constexpr uint64_t kSamples = 20'000;
+
+  bench::PrintHeader(
+      "Ablation A3 — simulated page faults per online sample",
+      "N=" + std::to_string(n) + "  k=" + std::to_string(kSamples) +
+          "  pool=64 pages (every node access goes through the pool)");
+
+  std::vector<IoRow> rows;
+
+  auto measure = [&](const char* name, auto&& make_index_and_sampler) {
+    BlockManager disk(4096);
+    BufferPool pool(&disk, 64);
+    auto [index_holder, sampler, mode] = make_index_and_sampler(&pool);
+    (void)index_holder;
+    Status st = sampler->Begin(q, mode);
+    if (!st.ok()) {
+      std::printf("%s: begin failed: %s\n", name, st.ToString().c_str());
+      return;
+    }
+    // Warm up the pool with a few draws, then measure steady state.
+    for (int i = 0; i < 512; ++i) (void)sampler->Next();
+    IoStats before = disk.stats();
+    for (uint64_t i = 0; i < kSamples; ++i) {
+      if (!sampler->Next().has_value()) break;
+    }
+    IoStats delta = disk.stats() - before;
+    rows.push_back(
+        {name, static_cast<double>(delta.pool_misses) / kSamples,
+         static_cast<double>(delta.logical_reads) / kSamples});
+  };
+
+  struct RandomPathHolder {
+    std::unique_ptr<RsTree<3>> rs;
+  };
+
+  // Fanout 16 gives realistic tree heights at laptop N so the per-level
+  // page-access patterns are visible.
+  constexpr int kFanout = 16;
+
+  measure("RandomPath", [&](BufferPool* pool) {
+    RsTreeOptions o;
+    o.rtree.pool = pool;
+    o.rtree.max_entries = kFanout;
+    auto rs = std::make_unique<RsTree<3>>(entries, o, 42);
+    auto sampler =
+        std::make_unique<RandomPathSampler<3>>(&rs->tree(), Rng(43));
+    return std::tuple<std::shared_ptr<void>, std::unique_ptr<SpatialSampler<3>>,
+                      SamplingMode>(std::move(rs), std::move(sampler),
+                                    SamplingMode::kWithReplacement);
+  });
+
+  measure("RS-tree", [&](BufferPool* pool) {
+    RsTreeOptions o;
+    o.rtree.pool = pool;
+    o.rtree.max_entries = kFanout;
+    o.buffer_size = 256;  // several block-loads of pre-drawn samples
+    auto rs = std::make_unique<RsTree<3>>(entries, o, 42);
+    auto sampler = rs->NewSampler(Rng(43));
+    return std::tuple<std::shared_ptr<void>, std::unique_ptr<SpatialSampler<3>>,
+                      SamplingMode>(std::move(rs), std::move(sampler),
+                                    SamplingMode::kWithReplacement);
+  });
+
+  measure("LS-tree", [&](BufferPool* pool) {
+    LsTreeOptions o;
+    o.rtree.pool = pool;
+    o.rtree.max_entries = kFanout;
+    auto ls = std::make_unique<LsTree<3>>(entries, o, 42);
+    auto sampler = ls->NewSampler(Rng(43));
+    return std::tuple<std::shared_ptr<void>, std::unique_ptr<SpatialSampler<3>>,
+                      SamplingMode>(std::move(ls), std::move(sampler),
+                                    SamplingMode::kWithoutReplacement);
+  });
+
+  std::printf("%12s %22s %22s\n", "method", "page faults / sample",
+              "node visits / sample");
+  for (const IoRow& row : rows) {
+    std::printf("%12s %22.4f %22.4f\n", row.method, row.faults_per_sample,
+                row.logical_per_sample);
+  }
+  std::printf(
+      "\nShape check vs paper: RandomPath faults on ~every sample (random\n"
+      "root-to-leaf walks thrash the pool); RS-tree amortizes via node\n"
+      "buffers; LS-tree's sequential level scans fault ~1/B of the time.\n\n");
+}
+
+}  // namespace
+}  // namespace storm
+
+int main() {
+  storm::Run();
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Ablation A5 — optimizer quality: across the selectivity spectrum, time
+// every strategy for a fixed sample budget and check whether the
+// optimizer's rule-based choice matches (or is close to) the empirical
+// winner.
+
+#include <string>
+
+#include "bench_util.h"
+
+namespace storm {
+namespace {
+
+void Run() {
+  using bench::EnvSize;
+  const uint64_t n = EnvSize("STORM_BENCH_N", 200'000);
+  OsmOptions gen_options;
+  gen_options.num_points = n;
+  OsmLikeGenerator gen(gen_options);
+  std::vector<OsmPoint> points = gen.Generate();
+  std::vector<Value> docs;
+  docs.reserve(points.size());
+  for (const auto& p : points) docs.push_back(OsmLikeGenerator::ToDocument(p));
+  Result<Table> table = Table::Create("osm", docs);
+  if (!table.ok()) {
+    std::printf("table build failed: %s\n", table.status().ToString().c_str());
+    return;
+  }
+  QueryOptimizer optimizer;
+  constexpr uint64_t kBudget = 1024;
+
+  bench::PrintHeader(
+      "Ablation A5 — optimizer choice vs empirical best (k=1024 samples)",
+      "N=" + std::to_string(n) + "  times in ms; '-' = strategy failed");
+
+  struct QueryCase {
+    const char* label;
+    Rect3 q;
+  };
+  const QueryCase cases[] = {
+      {"whole data (sel~100%)",
+       Rect3(Point3(-130, 20, -1), Point3(-60, 55, 1))},
+      {"half (sel~50%)", Rect3(Point3(-112, 28, -1), Point3(-88, 46, 1))},
+      {"regional (sel~5%)", Rect3(Point3(-105, 33, -1), Point3(-97, 40, 1))},
+      {"city (sel~0.3%)", Rect3(Point3(-101, 35, -1), Point3(-99, 37, 1))},
+      {"block (sel~0.01%)",
+       Rect3(Point3(-100.2, 35.8, -1), Point3(-99.8, 36.2, 1))},
+      {"empty", Rect3(Point3(10, 10, -1), Point3(20, 20, 1))},
+  };
+  const SamplerStrategy strategies[] = {
+      SamplerStrategy::kQueryFirst, SamplerStrategy::kSampleFirst,
+      SamplerStrategy::kRandomPath, SamplerStrategy::kLsTree,
+      SamplerStrategy::kRsTree};
+
+  std::printf("%-24s | %10s %10s %10s %10s %10s | %-12s %-12s\n", "query",
+              "QueryFirst", "SampleFst", "RandPath", "LS-tree", "RS-tree",
+              "chosen", "best");
+  for (const QueryCase& qc : cases) {
+    double best_ms = -1;
+    std::string best_name = "-";
+    double times[5];
+    for (int s = 0; s < 5; ++s) {
+      auto sampler = table->NewSampler(strategies[s], 42);
+      if (!sampler.ok()) {
+        times[s] = -1;
+        continue;
+      }
+      uint64_t q_count = table->base_tree().RangeCount(qc.q);
+      uint64_t k = std::min(kBudget, q_count);
+      SamplingMode mode = strategies[s] == SamplerStrategy::kLsTree
+                              ? SamplingMode::kWithoutReplacement
+                              : SamplingMode::kWithReplacement;
+      if (k == 0) {
+        // Time proving emptiness: Begin + one failed Next. SampleFirst
+        // burns its full attempt budget here — that is the point.
+        Stopwatch watch;
+        Status st = (*sampler)->Begin(qc.q, mode);
+        (void)(*sampler)->Next();
+        times[s] = st.ok() ? watch.ElapsedMillis() : -1;
+      } else {
+        times[s] = bench::TimeKSamples(**sampler, qc.q, k, mode);
+      }
+      if (times[s] >= 0 && (best_ms < 0 || times[s] < best_ms)) {
+        best_ms = times[s];
+        best_name = SamplerStrategyToString(strategies[s]);
+      }
+    }
+    OptimizerDecision decision = optimizer.Choose(*table, qc.q, kBudget);
+    std::printf("%-24s |", qc.label);
+    for (double t : times) {
+      if (t < 0) {
+        std::printf(" %10s", "-");
+      } else {
+        std::printf(" %10.3f", t);
+      }
+    }
+    std::printf(" | %-12s %-12s\n",
+                std::string(SamplerStrategyToString(decision.strategy)).c_str(),
+                best_name.c_str());
+  }
+  std::printf(
+      "\nExpected: the chosen strategy is the empirical winner (or within\n"
+      "small-constant range of it) across the spectrum; SampleFirst only\n"
+      "wins at very high selectivity, QueryFirst at tiny q or empty.\n\n");
+}
+
+}  // namespace
+}  // namespace storm
+
+int main() {
+  storm::Run();
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Ablation A4 — update cost with index maintenance (§3.1: "supporting
+// ad-hoc updates is easy, as long as we properly update the associated
+// samples"): insert/erase throughput of the plain R-tree, the RS-tree
+// (buffer invalidation is lazy, so updates cost ~an R-tree update), and the
+// LS-tree (a record belongs to ~1/(1-ratio) level trees in expectation).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace storm {
+namespace {
+
+std::vector<RTree<3>::Entry> BaseEntries() {
+  static const auto* entries = [] {
+    OsmOptions options;
+    options.num_points = bench::EnvSize("STORM_BENCH_N", 100'000);
+    OsmLikeGenerator gen(options);
+    return new std::vector<RTree<3>::Entry>(
+        OsmLikeGenerator::ToEntries(gen.Generate(), nullptr));
+  }();
+  return *entries;
+}
+
+Point3 RandomPoint(Rng* rng) {
+  return Point3(rng->UniformDouble(-125, -66), rng->UniformDouble(24, 49), 0.0);
+}
+
+void BM_RTreeInsert(benchmark::State& state) {
+  RTree<3> tree = RTree<3>::BulkLoadHilbert(BaseEntries(), {});
+  Rng rng(42);
+  RecordId next = 10'000'000;
+  for (auto _ : state) {
+    tree.Insert(RandomPoint(&rng), next++);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RTreeInsert);
+
+void BM_RsTreeInsert(benchmark::State& state) {
+  RsTree<3> rs(BaseEntries(), {}, 42);
+  Rng rng(42);
+  RecordId next = 10'000'000;
+  for (auto _ : state) {
+    rs.Insert(RandomPoint(&rng), next++);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RsTreeInsert);
+
+void BM_LsTreeInsert(benchmark::State& state) {
+  LsTree<3> ls(BaseEntries(), {}, 42);
+  Rng rng(42);
+  RecordId next = 10'000'000;
+  for (auto _ : state) {
+    ls.Insert(RandomPoint(&rng), next++);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LsTreeInsert);
+
+void BM_RsTreeErase(benchmark::State& state) {
+  auto entries = BaseEntries();
+  RsTree<3> rs(entries, {}, 42);
+  size_t cursor = 0;
+  for (auto _ : state) {
+    if (cursor >= entries.size()) {
+      state.PauseTiming();
+      rs = RsTree<3>(entries, {}, 42);
+      cursor = 0;
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(
+        rs.Erase(entries[cursor].point, entries[cursor].id));
+    ++cursor;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RsTreeErase);
+
+void BM_LsTreeErase(benchmark::State& state) {
+  auto entries = BaseEntries();
+  LsTree<3> ls(entries, {}, 42);
+  size_t cursor = 0;
+  for (auto _ : state) {
+    if (cursor >= entries.size()) {
+      state.PauseTiming();
+      ls = LsTree<3>(entries, {}, 42);
+      cursor = 0;
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(
+        ls.Erase(entries[cursor].point, entries[cursor].id));
+    ++cursor;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LsTreeErase);
+
+// Post-update sampling latency: how quickly the RS-tree recovers after a
+// burst of inserts invalidated buffers along the paths.
+void BM_RsTreeSampleAfterUpdateBurst(benchmark::State& state) {
+  RsTree<3> rs(BaseEntries(), {}, 42);
+  Rect3 q(Point3(-112.0, 28.0, -1.0), Point3(-88.0, 46.0, 1.0));
+  Rng rng(43);
+  RecordId next = 20'000'000;
+  auto sampler = rs.NewSampler(Rng(44));
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (int i = 0; i < 100; ++i) rs.Insert(RandomPoint(&rng), next++);
+    Status st = sampler->Begin(q, SamplingMode::kWithReplacement);
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+    state.ResumeTiming();
+    for (int i = 0; i < 256; ++i) {
+      auto e = sampler->Next();
+      benchmark::DoNotOptimize(e);
+    }
+  }
+}
+BENCHMARK(BM_RsTreeSampleAfterUpdateBurst);
+
+}  // namespace
+}  // namespace storm
+
+BENCHMARK_MAIN();

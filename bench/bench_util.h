@@ -1,0 +1,53 @@
+// Shared helpers for the STORM benchmark harnesses.
+//
+// Every figure bench prints a self-describing table to stdout so the series
+// can be compared against the corresponding figure of the paper. Data sizes
+// default to laptop scale and are overridable through environment
+// variables:
+//   STORM_BENCH_N       number of points for the Fig 3 experiments
+//   STORM_BENCH_TWEETS  number of tweets for the Fig 5/6 experiments
+
+#ifndef STORM_BENCH_BENCH_UTIL_H_
+#define STORM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "storm/storm.h"
+
+namespace storm::bench {
+
+inline uint64_t EnvSize(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(v, &end, 10);
+  return (end != nullptr && *end == '\0' && parsed > 0) ? parsed : fallback;
+}
+
+inline void PrintHeader(const char* figure, const std::string& config) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", figure);
+  std::printf("%s\n", config.c_str());
+  std::printf("==============================================================\n");
+}
+
+/// Times Begin() plus k draws (the user-visible latency of "give me k
+/// online samples"); returns elapsed ms, or -1 if the sampler cannot
+/// produce them.
+template <int D>
+double TimeKSamples(SpatialSampler<D>& sampler, const Rect<D>& q, uint64_t k,
+                    SamplingMode mode) {
+  Stopwatch watch;
+  Status st = sampler.Begin(q, mode);
+  if (!st.ok()) return -1.0;
+  for (uint64_t i = 0; i < k; ++i) {
+    if (!sampler.Next().has_value()) return -1.0;
+  }
+  return watch.ElapsedMillis();
+}
+
+}  // namespace storm::bench
+
+#endif  // STORM_BENCH_BENCH_UTIL_H_

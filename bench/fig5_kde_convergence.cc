@@ -1,0 +1,96 @@
+// Figure 5: interactive online KDE — the demo shows density maps over
+// tweets whose quality visibly improves with query time, at a city zoom
+// ("SLC") and a national zoom ("USA").
+//
+// Reproduction: synthetic tweets, two nested query windows, and two
+// quantitative quality curves per window as samples accumulate — the mean
+// CI half-width of the density map (the knob the demo visualizes) and the
+// relative L1 distance to the exact density map.
+
+#include <cmath>
+
+#include "bench_util.h"
+
+namespace storm {
+namespace {
+
+void RunWindow(const char* label, const RsTree<3>& rs,
+               const std::vector<RTree<3>::Entry>& entries, const Rect3& q,
+               const Rect2& region) {
+  KdeOptions options;
+  options.grid_width = 48;
+  options.grid_height = 48;
+  std::vector<double> exact =
+      OnlineKde<3>::ExactDensity(entries, q, region, options);
+  double exact_mass = 0;
+  for (double d : exact) exact_mass += d;
+
+  auto sampler = rs.NewSampler(Rng(31));
+  OnlineKde<3> kde(sampler.get(), region, options);
+  Status st = kde.Begin(q);
+  if (!st.ok()) {
+    std::printf("window %s failed: %s\n", label, st.ToString().c_str());
+    return;
+  }
+  std::printf("--- window: %s (q=%llu)\n", label,
+              static_cast<unsigned long long>(rs.tree().RangeCount(q)));
+  std::printf("%10s %12s %16s %14s\n", "samples", "time (ms)",
+              "mean CI width", "rel L1 error");
+  Stopwatch watch;
+  for (uint64_t target : {64u, 256u, 1024u, 4096u, 16384u}) {
+    while (kde.samples() < target) {
+      if (kde.Step(std::min<uint64_t>(64, target - kde.samples())) == 0) break;
+    }
+    std::vector<double> map = kde.DensityMap();
+    double l1 = 0;
+    for (size_t i = 0; i < map.size(); ++i) l1 += std::fabs(map[i] - exact[i]);
+    std::printf("%10llu %12.2f %16.5f %14.4f\n",
+                static_cast<unsigned long long>(kde.samples()),
+                watch.ElapsedMillis(), kde.MeanHalfWidth(),
+                exact_mass > 0 ? l1 / exact_mass : 0.0);
+    if (kde.Exhausted()) break;
+  }
+}
+
+void Run() {
+  using bench::EnvSize;
+  const uint64_t n = EnvSize("STORM_BENCH_TWEETS", 200'000);
+  TweetOptions options;
+  options.num_tweets = n;
+  TweetGenerator gen(options);
+  std::vector<Tweet> tweets = gen.Generate();
+  auto entries = TweetGenerator::ToEntries(tweets);
+  RsTree<3> rs(entries, {}, 51);
+
+  bench::PrintHeader(
+      "Fig 5 — online KDE convergence (city zoom vs national zoom)",
+      "tweets=" + std::to_string(n) +
+      "  (demo: SLC -> USA zoom-out over live twitter data)");
+
+  // "SLC": a dense city window; the generator guarantees a city near the
+  // event region's center, so zoom there.
+  Rect2 city(Point2(-85.4, 32.9), Point2(-83.4, 34.6));
+  Rect3 city_q(Point3(city.lo()[0], city.lo()[1], options.t_min),
+               Point3(city.hi()[0], city.hi()[1], options.t_max));
+  RunWindow("city zoom (SLC analogue)", rs, entries, city_q, city);
+
+  // "USA": the whole bounding box.
+  Rect2 usa(Point2(options.lon_min, options.lat_min),
+            Point2(options.lon_max, options.lat_max));
+  Rect3 usa_q(Point3(usa.lo()[0], usa.lo()[1], options.t_min),
+              Point3(usa.hi()[0], usa.hi()[1], options.t_max));
+  RunWindow("national zoom (USA analogue)", rs, entries, usa_q, usa);
+
+  std::printf(
+      "\nShape check vs paper: both quality metrics improve monotonically\n"
+      "with samples/time; the dense city window converges with fewer\n"
+      "samples than the national window.\n\n");
+}
+
+}  // namespace
+}  // namespace storm
+
+int main() {
+  storm::Run();
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Figure 6(b): online short-text understanding — the demo zooms into
+// downtown Atlanta during the Feb 10-13 2014 snowstorm and watches the
+// event vocabulary (snow, ice, outage, ...) dominate the sampled tweets.
+//
+// Reproduction metrics, as samples accumulate: precision@10 of the online
+// top-terms list against the exact top-10 of the window, and whether the
+// headline event terms have surfaced.
+
+#include "bench_util.h"
+
+namespace storm {
+namespace {
+
+void Run() {
+  using bench::EnvSize;
+  const uint64_t n = EnvSize("STORM_BENCH_TWEETS", 200'000);
+  TweetOptions options;
+  options.num_tweets = n;
+  TweetGenerator gen(options);
+  std::vector<Tweet> tweets = gen.Generate();
+  auto entries = TweetGenerator::ToEntries(tweets);
+  RsTree<3> rs(entries, {}, 71);
+
+  Rect3 q(Point3(options.event_region.lo()[0], options.event_region.lo()[1],
+                 options.event_t_min),
+          Point3(options.event_region.hi()[0], options.event_region.hi()[1],
+                 options.event_t_max));
+
+  // Exact top terms of the window.
+  TermCounter exact_counter;
+  for (const auto& e : entries) {
+    if (q.Contains(e.point)) {
+      exact_counter.AddDocument(Tokenize(tweets[e.id].text));
+    }
+  }
+  auto exact_top = exact_counter.TopTerms(10);
+
+  bench::PrintHeader(
+      "Fig 6(b) — online short-text understanding (Atlanta snowstorm window)",
+      "tweets=" + std::to_string(n) + "  window docs=" +
+          std::to_string(exact_counter.documents()));
+
+  std::printf("exact top-10:");
+  for (const auto& t : exact_top) std::printf(" %s", t.term.c_str());
+  std::printf("\n\n");
+
+  auto sampler = rs.NewSampler(Rng(73));
+  OnlineTermFrequency<3> freq(sampler.get(), [&tweets](RecordId id) {
+    return std::string_view(tweets[id].text);
+  });
+  Status st = freq.Begin(q);
+  if (!st.ok()) {
+    std::printf("begin failed: %s\n", st.ToString().c_str());
+    return;
+  }
+  std::printf("%10s %12s %14s   %s\n", "docs", "time (ms)", "precision@10",
+              "online top-5");
+  Stopwatch watch;
+  for (uint64_t target : {16u, 64u, 256u, 1024u, 4096u}) {
+    while (freq.documents() < target) {
+      if (freq.Step(64) == 0) break;
+    }
+    auto top = freq.TopTerms(10);
+    std::string preview;
+    for (size_t i = 0; i < top.size() && i < 5; ++i) {
+      preview += top[i].term + " ";
+    }
+    std::printf("%10llu %12.2f %14.2f   %s\n",
+                static_cast<unsigned long long>(freq.documents()),
+                watch.ElapsedMillis(), TopTermPrecision(top, exact_top, 10),
+                preview.c_str());
+    if (freq.Exhausted()) break;
+  }
+  std::printf(
+      "\nShape check vs paper: the event vocabulary (snow/ice/outage/...)\n"
+      "dominates the window after a few hundred sampled tweets and the\n"
+      "top-term list stabilizes (precision@10 -> 1).\n\n");
+}
+
+}  // namespace
+}  // namespace storm
+
+int main() {
+  storm::Run();
+  return 0;
+}

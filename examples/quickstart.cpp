@@ -1,0 +1,76 @@
+// Quickstart: register a data set with STORM, run an online aggregate, and
+// watch the confidence interval tighten as spatial online samples arrive.
+//
+//   cmake --build build && ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "storm/storm.h"
+
+int main() {
+  using namespace storm;
+
+  // 1. Generate (or load) documents. Any JSON-shaped source works; here we
+  //    use the bundled OSM-like generator.
+  OsmOptions gen_options;
+  gen_options.num_points = 100'000;
+  OsmLikeGenerator gen(gen_options);
+  std::vector<Value> docs;
+  for (const OsmPoint& p : gen.Generate()) {
+    docs.push_back(OsmLikeGenerator::ToDocument(p));
+  }
+
+  // 2. Register the documents as a table. The data connector discovers the
+  //    schema and the (lon, lat) spatial binding automatically, and the
+  //    ST-indexing module builds the RS-tree and LS-tree.
+  Session session;
+  Status st = session.CreateTable("osm", docs);
+  if (!st.ok()) {
+    std::fprintf(stderr, "create table: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // 3. Run an online aggregate in the STORM query language. The progress
+  //    callback fires once per sample batch — that is the online part: the
+  //    estimate is usable from the first milliseconds.
+  std::printf("online AVG(altitude) over a mountain-west window:\n");
+  std::vector<ConfidenceInterval> history;
+  auto result = session.Execute(
+      "SELECT AVG(altitude) FROM osm REGION(-114, 35, -104, 45) "
+      "ERROR 0.5% CONFIDENCE 95%",
+      [&history](const QueryProgress& p) {
+        if (p.samples % 256 == 0 && p.samples > 0) {
+          history.push_back(p.ci);
+        }
+        if (p.samples % 512 == 0 && p.samples > 0) {
+          std::printf("  k=%6llu  t=%7.2fms  estimate=%s\n",
+                      static_cast<unsigned long long>(p.samples), p.elapsed_ms,
+                      p.ci.ToString().c_str());
+        }
+        return true;  // keep going until the ERROR target is met
+      });
+  if (!result.ok()) {
+    std::fprintf(stderr, "query: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  if (!history.empty()) {
+    std::printf("confidence interval narrowing around the estimate:\n%s",
+                RenderConvergence(history, 56).c_str());
+  }
+  std::printf("final: %s\n", result->ci.ToString().c_str());
+  std::printf("strategy: %s (%s)\n", result->strategy.c_str(),
+              result->decision.reason.c_str());
+  std::printf("samples: %llu in %.2f ms\n",
+              static_cast<unsigned long long>(result->samples),
+              result->elapsed_ms);
+
+  // 4. The exact answer, for comparison (QueryFirst reports everything).
+  auto exact = session.Execute(
+      "SELECT AVG(altitude) FROM osm REGION(-114, 35, -104, 45) "
+      "USING QUERYFIRST SAMPLES 1000000000");
+  if (exact.ok()) {
+    std::printf("exact: %.4f (online estimate was %.4f)\n",
+                exact->ci.estimate, result->ci.estimate);
+  }
+  return 0;
+}

@@ -1,0 +1,178 @@
+// storm_shell: an interactive console analogue of the STORM demo UI
+// (Figure 4). Loads the synthetic demo data sets (tweets, weather,
+// electricity), then reads queries in the STORM query language from stdin
+// and streams online estimates while each query runs.
+//
+//   ./build/examples/storm_shell
+//   storm> SELECT AVG(temperature) FROM mesowest REGION(-120,30,-90,45)
+//          TIME('2014-02-01','2014-03-01') ERROR 2%
+//   storm> SELECT TOPTERMS(10, text) FROM tweets
+//          REGION(-84.6,33.5,-84.1,34.0) TIME('2014-02-10','2014-02-13')
+//   storm> \tables
+//   storm> \quit
+//
+// Non-interactive use: pipe queries in, one per line.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "storm/storm.h"
+
+namespace {
+
+using namespace storm;
+
+void PrintResult(const QueryResult& result) {
+  if (result.explain_only) {
+    std::printf("  plan: %s (%s)\n", result.strategy.c_str(),
+                result.decision.reason.c_str());
+    std::printf("  estimated q=%.0f  selectivity=%.4f%%\n",
+                result.decision.estimated_cardinality,
+                result.decision.estimated_selectivity * 100);
+    return;
+  }
+  switch (result.task) {
+    case QueryTask::kAggregate:
+      if (result.groups.empty()) {
+        std::printf("  = %s\n", result.ci.ToString().c_str());
+      } else {
+        for (const GroupRow& g : result.groups) {
+          std::printf("  %8lld  %s  (group size ~%.0f)\n",
+                      static_cast<long long>(g.key), g.ci.ToString().c_str(),
+                      g.group_size.estimate);
+        }
+      }
+      break;
+    case QueryTask::kQuantile:
+      std::printf("  = %s  [%.4f, %.4f]\n", result.ci.ToString().c_str(),
+                  result.ci_lower, result.ci_upper);
+      break;
+    case QueryTask::kKde:
+      std::printf("  density map %dx%d, max cell CI half-width %.5f\n",
+                  result.kde_width, result.kde_height,
+                  result.kde_max_half_width);
+      std::printf("%s", RenderHeatmap(result.kde_map, result.kde_width,
+                                      result.kde_height)
+                            .c_str());
+      break;
+    case QueryTask::kTopTerms:
+      for (const TermEstimate& t : result.terms) {
+        std::printf("  %-16s %5.1f%% ± %.1f%%\n", t.term.c_str(),
+                    t.frequency.estimate * 100, t.frequency.half_width * 100);
+      }
+      break;
+    case QueryTask::kCluster:
+      for (size_t c = 0; c < result.centers.size(); ++c) {
+        std::printf("  center %zu: %s\n", c, result.centers[c].ToString().c_str());
+      }
+      std::printf("  inertia: %.2f\n", result.inertia);
+      break;
+    case QueryTask::kTrajectory:
+      std::printf("  %zu fixes:", result.trajectory.size());
+      for (size_t i = 0; i < result.trajectory.size(); i += std::max<size_t>(
+               1, result.trajectory.size() / 8)) {
+        std::printf(" (%.2f, %.2f)", result.trajectory[i].position[0],
+                    result.trajectory[i].position[1]);
+      }
+      std::printf("\n");
+      break;
+  }
+  std::printf("  [%llu samples, %.1f ms, %s%s%s]\n",
+              static_cast<unsigned long long>(result.samples),
+              result.elapsed_ms, result.strategy.c_str(),
+              result.exhausted ? ", exact" : "",
+              result.cancelled ? ", cancelled" : "");
+}
+
+}  // namespace
+
+int main() {
+  Session session;
+
+  std::printf("loading demo data sets...\n");
+  {
+    TweetOptions o;
+    o.num_tweets = 100'000;
+    TweetGenerator gen(o);
+    std::vector<Value> docs;
+    for (const Tweet& t : gen.Generate()) docs.push_back(TweetGenerator::ToDocument(t));
+    (void)session.CreateTable("tweets", docs);
+  }
+  {
+    WeatherOptions o;
+    o.num_stations = 400;
+    o.readings_per_station = 96;
+    WeatherGenerator gen(o);
+    auto stations = gen.GenerateStations();
+    std::vector<Value> docs;
+    for (const WeatherReading& r : gen.GenerateReadings(stations)) {
+      docs.push_back(WeatherGenerator::ToDocument(r));
+    }
+    (void)session.CreateTable("mesowest", docs);
+  }
+  {
+    ElectricityOptions o;
+    o.num_units = 1000;
+    o.readings_per_unit = 60;
+    ElectricityGenerator gen(o);
+    std::vector<Value> docs;
+    for (const ElectricityReading& r : gen.Generate()) {
+      docs.push_back(ElectricityGenerator::ToDocument(r));
+    }
+    (void)session.CreateTable("electricity", docs);
+  }
+  std::printf("tables:");
+  for (const std::string& name : session.TableNames()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\ntype a STORM query, \\tables, \\help or \\quit\n");
+
+  std::string line;
+  while (true) {
+    std::printf("storm> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty()) continue;
+    if (line == "\\quit" || line == "\\q") break;
+    if (line == "\\tables") {
+      for (const std::string& name : session.TableNames()) {
+        auto table = session.GetTable(name);
+        if (table.ok()) {
+          std::printf("  %-12s %8llu records  schema %s\n", name.c_str(),
+                      static_cast<unsigned long long>((*table)->size()),
+                      (*table)->schema().ToString().c_str());
+        }
+      }
+      continue;
+    }
+    if (line == "\\help") {
+      std::printf(
+          "  [EXPLAIN] SELECT AVG|SUM|COUNT|MIN|MAX|VARIANCE|STDDEV(attr|*)\n"
+          "  SELECT MEDIAN(attr) | QUANTILE(p, attr) FROM t\n"
+          "  SELECT KDE(w, h) | TOPTERMS(m, field) | CLUSTER(k)\n"
+          "       | TRAJECTORY(field, id) FROM t\n"
+          "  clauses: REGION(x1,y1,x2,y2) TIME('from','to')\n"
+          "           GROUP BY field | GROUP BY CELL(nx, ny)\n"
+          "           CONFIDENCE 95%% ERROR 2%% WITHIN 500 MS SAMPLES n\n"
+          "           USING RSTREE|LSTREE|RANDOMPATH|QUERYFIRST|SAMPLEFIRST\n");
+      continue;
+    }
+    uint64_t last_reported = 0;
+    auto result = session.Execute(line, [&](const QueryProgress& p) {
+      if (p.samples >= last_reported + 2048) {
+        std::printf("  ... k=%llu  %s\n",
+                    static_cast<unsigned long long>(p.samples),
+                    p.ci.ToString().c_str());
+        last_reported = p.samples;
+      }
+      return true;
+    });
+    if (!result.ok()) {
+      std::printf("  error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    PrintResult(*result);
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Fig 5 demo scenario: online population-density estimation (KDE) over
+// geotagged tweets, rendered as ASCII density maps that visibly sharpen as
+// online samples accumulate — first at a city zoom, then zoomed out to the
+// whole country, like the SLC -> USA walkthrough in the paper.
+
+#include <cstdio>
+#include <string>
+
+#include "storm/storm.h"
+
+namespace {
+
+void RunZoom(storm::Session& session, const char* label,
+             const std::string& region_clause) {
+  using namespace storm;
+  std::printf("\n=== %s ===\n", label);
+  for (uint64_t samples : {200u, 5000u}) {
+    auto result = session.Execute("SELECT KDE(56, 18) FROM tweets " +
+                                  region_clause + " SAMPLES " +
+                                  std::to_string(samples));
+    if (!result.ok()) {
+      std::fprintf(stderr, "kde failed: %s\n",
+                   result.status().ToString().c_str());
+      return;
+    }
+    std::printf("after %llu samples (%.1f ms, max cell CI half-width %.4f):\n",
+                static_cast<unsigned long long>(result->samples),
+                result->elapsed_ms, result->kde_max_half_width);
+    std::printf("%s", RenderHeatmap(result->kde_map, result->kde_width,
+                                    result->kde_height)
+                          .c_str());
+    // Also export the refined map as an image (the non-terminal view).
+    if (samples > 1000) {
+      std::string pgm = std::string("/tmp/storm_kde_") +
+                        (label[0] == 'c' ? "city" : "usa") + ".pgm";
+      if (WritePgm(pgm, result->kde_map, result->kde_width, result->kde_height)
+              .ok()) {
+        std::printf("  (density image written to %s)\n", pgm.c_str());
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace storm;
+
+  TweetOptions options;
+  options.num_tweets = 150'000;
+  TweetGenerator gen(options);
+  std::vector<Value> docs;
+  for (const Tweet& t : gen.Generate()) {
+    docs.push_back(TweetGenerator::ToDocument(t));
+  }
+  Session session;
+  Status st = session.CreateTable("tweets", docs);
+  if (!st.ok()) {
+    std::fprintf(stderr, "create table: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("indexed %zu tweets\n", docs.size());
+
+  RunZoom(session, "city zoom (around Atlanta)",
+          "REGION(-86.6, 32.0, -82.1, 35.5)");
+  RunZoom(session, "national zoom (zoomed out)",
+          "REGION(-125, 24, -66, 49)");
+
+  std::printf(
+      "\nThe density map's hot spots stay put while the noise floor\n"
+      "cleans up with more samples — the online-refinement effect the\n"
+      "demo shows on the live map.\n");
+  return 0;
+}

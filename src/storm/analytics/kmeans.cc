@@ -1,0 +1,152 @@
+#include "storm/analytics/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace storm {
+
+namespace {
+
+std::vector<Point2> SeedPlusPlus(const std::vector<Point2>& points, int k, Rng* rng) {
+  std::vector<Point2> centers;
+  centers.reserve(static_cast<size_t>(k));
+  centers.push_back(points[static_cast<size_t>(rng->Uniform(points.size()))]);
+  std::vector<double> dist_sq(points.size(),
+                              std::numeric_limits<double>::infinity());
+  while (centers.size() < static_cast<size_t>(k)) {
+    double total = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      dist_sq[i] = std::min(dist_sq[i], points[i].DistanceSquared(centers.back()));
+      total += dist_sq[i];
+    }
+    if (total <= 0.0) {
+      // All points coincide with centers; duplicate one.
+      centers.push_back(centers.back());
+      continue;
+    }
+    double target = rng->UniformDouble() * total;
+    double acc = 0.0;
+    size_t chosen = points.size() - 1;
+    for (size_t i = 0; i < points.size(); ++i) {
+      acc += dist_sq[i];
+      if (target < acc) {
+        chosen = i;
+        break;
+      }
+    }
+    centers.push_back(points[chosen]);
+  }
+  return centers;
+}
+
+}  // namespace
+
+KMeansResult KMeansCluster(const std::vector<Point2>& points,
+                           const KMeansOptions& options, Rng* rng,
+                           const std::vector<Point2>& warm_start) {
+  KMeansResult result;
+  if (points.empty() || options.k <= 0) return result;
+  int k = std::min<int>(options.k, static_cast<int>(points.size()));
+  result.centers = (!warm_start.empty() &&
+                    warm_start.size() == static_cast<size_t>(k))
+                       ? warm_start
+                       : SeedPlusPlus(points, k, rng);
+  result.assignment.assign(points.size(), 0);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assign.
+    for (size_t i = 0; i < points.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int best_c = 0;
+      for (int c = 0; c < k; ++c) {
+        double d = points[i].DistanceSquared(result.centers[static_cast<size_t>(c)]);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      result.assignment[i] = best_c;
+    }
+    // Update.
+    std::vector<double> sx(static_cast<size_t>(k), 0.0);
+    std::vector<double> sy(static_cast<size_t>(k), 0.0);
+    std::vector<uint64_t> cnt(static_cast<size_t>(k), 0);
+    for (size_t i = 0; i < points.size(); ++i) {
+      size_t c = static_cast<size_t>(result.assignment[i]);
+      sx[c] += points[i][0];
+      sy[c] += points[i][1];
+      ++cnt[c];
+    }
+    double max_move_sq = 0.0;
+    for (int c = 0; c < k; ++c) {
+      size_t ci = static_cast<size_t>(c);
+      if (cnt[ci] == 0) continue;  // empty cluster keeps its center
+      Point2 next(sx[ci] / static_cast<double>(cnt[ci]),
+                  sy[ci] / static_cast<double>(cnt[ci]));
+      max_move_sq = std::max(max_move_sq, next.DistanceSquared(result.centers[ci]));
+      result.centers[ci] = next;
+    }
+    if (max_move_sq <= options.tolerance) break;
+  }
+  // Final inertia.
+  result.inertia = 0.0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    result.inertia += points[i].DistanceSquared(
+        result.centers[static_cast<size_t>(result.assignment[i])]);
+  }
+  return result;
+}
+
+template <int D>
+OnlineKMeans<D>::OnlineKMeans(SpatialSampler<D>* sampler, KMeansOptions options,
+                              Rng rng)
+    : sampler_(sampler), options_(options), rng_(rng) {}
+
+template <int D>
+Status OnlineKMeans<D>::Begin(const Rect<D>& query) {
+  points_.clear();
+  result_ = KMeansResult();
+  drift_ = 0.0;
+  exhausted_ = false;
+  Status st = sampler_->Begin(query, SamplingMode::kWithoutReplacement);
+  if (st.IsNotSupported()) {
+    st = sampler_->Begin(query, SamplingMode::kWithReplacement);
+  }
+  STORM_RETURN_NOT_OK(st);
+  began_ = true;
+  return Status::OK();
+}
+
+template <int D>
+uint64_t OnlineKMeans<D>::Step(uint64_t batch) {
+  if (!began_ || exhausted_) return 0;
+  uint64_t drawn = 0;
+  for (uint64_t i = 0; i < batch; ++i) {
+    std::optional<Entry> e = sampler_->Next();
+    if (!e.has_value()) {
+      exhausted_ = sampler_->IsExhausted();
+      break;
+    }
+    points_.push_back(Point2(e->point[0], e->point[1]));
+    ++drawn;
+  }
+  if (drawn > 0 && points_.size() >= static_cast<size_t>(options_.k)) {
+    std::vector<Point2> prev = result_.centers;
+    result_ = KMeansCluster(points_, options_, &rng_, prev);
+    drift_ = 0.0;
+    if (prev.size() == result_.centers.size()) {
+      for (size_t c = 0; c < prev.size(); ++c) {
+        drift_ = std::max(drift_, prev[c].Distance(result_.centers[c]));
+      }
+    } else {
+      drift_ = std::numeric_limits<double>::infinity();
+    }
+  }
+  return drawn;
+}
+
+template class OnlineKMeans<2>;
+template class OnlineKMeans<3>;
+
+}  // namespace storm

@@ -1,0 +1,79 @@
+// Online spatial clustering on samples (§3.2: "clustering ... can also be
+// performed on a sample of points; the clustering quality improves as the
+// sample size increases").
+//
+// KMeansCluster is a standalone k-means++ / Lloyd implementation over 2-D
+// points; OnlineKMeans drives a spatial sampler and re-clusters
+// periodically, warm-starting from the previous centers so the solution is
+// stable as samples accumulate.
+
+#ifndef STORM_ANALYTICS_KMEANS_H_
+#define STORM_ANALYTICS_KMEANS_H_
+
+#include <vector>
+
+#include "storm/sampling/sampler.h"
+#include "storm/util/rng.h"
+
+namespace storm {
+
+struct KMeansOptions {
+  int k = 8;
+  int max_iterations = 50;
+  /// Stop when no center moves more than this (squared distance).
+  double tolerance = 1e-9;
+};
+
+struct KMeansResult {
+  std::vector<Point2> centers;
+  std::vector<int> assignment;  ///< cluster index per input point
+  double inertia = 0.0;         ///< sum of squared distances to centers
+  int iterations = 0;
+};
+
+/// k-means++ seeding followed by Lloyd's algorithm. When `warm_start` is
+/// non-empty it is used as the initial centers instead of seeding.
+KMeansResult KMeansCluster(const std::vector<Point2>& points,
+                           const KMeansOptions& options, Rng* rng,
+                           const std::vector<Point2>& warm_start = {});
+
+/// Online clustering over the first two dimensions of sampled entries.
+template <int D>
+class OnlineKMeans {
+ public:
+  using Entry = typename RTree<D>::Entry;
+
+  OnlineKMeans(SpatialSampler<D>* sampler, KMeansOptions options, Rng rng);
+
+  Status Begin(const Rect<D>& query);
+
+  /// Draws up to `batch` samples and re-clusters; returns samples drawn.
+  uint64_t Step(uint64_t batch = 256);
+
+  /// Latest clustering over all samples so far.
+  const KMeansResult& Current() const { return result_; }
+
+  /// Max center movement (distance) in the last re-clustering: the online
+  /// convergence indicator.
+  double LastCenterDrift() const { return drift_; }
+
+  uint64_t samples() const { return points_.size(); }
+  bool Exhausted() const { return exhausted_; }
+
+ private:
+  SpatialSampler<D>* sampler_;
+  KMeansOptions options_;
+  Rng rng_;
+  std::vector<Point2> points_;
+  KMeansResult result_;
+  double drift_ = 0.0;
+  bool began_ = false;
+  bool exhausted_ = false;
+};
+
+extern template class OnlineKMeans<2>;
+extern template class OnlineKMeans<3>;
+
+}  // namespace storm
+
+#endif  // STORM_ANALYTICS_KMEANS_H_

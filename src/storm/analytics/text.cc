@@ -1,0 +1,139 @@
+#include "storm/analytics/text.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <unordered_set>
+
+#include "storm/util/stats.h"
+
+namespace storm {
+
+namespace {
+const std::unordered_set<std::string_view>& StopwordSet() {
+  static const auto* kStopwords = new std::unordered_set<std::string_view>{
+      "a",    "an",   "and",  "are",  "as",   "at",   "be",   "but",  "by",
+      "for",  "from", "has",  "have", "he",   "her",  "his",  "i",    "in",
+      "is",   "it",   "its",  "just", "me",   "my",   "no",   "not",  "of",
+      "on",   "or",   "our",  "she",  "so",   "that", "the",  "their",
+      "them", "they", "this", "to",   "was",  "we",   "were", "will", "with",
+      "you",  "your", "im",   "u",    "rt",   "am",   "do",   "dont", "what",
+      "when", "up",   "out",  "all",  "get",  "got",  "now",  "here", "there",
+  };
+  return *kStopwords;
+}
+}  // namespace
+
+bool IsStopword(std::string_view token) { return StopwordSet().contains(token); }
+
+std::vector<std::string> Tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char ch : text) {
+    unsigned char c = static_cast<unsigned char>(ch);
+    if (std::isalnum(c) || ch == '#' || ch == '@' || ch == '\'') {
+      if (ch != '\'') current.push_back(static_cast<char>(std::tolower(c)));
+    } else if (!current.empty()) {
+      if (current.size() > 1 && !IsStopword(current)) {
+        tokens.push_back(current);
+      }
+      current.clear();
+    }
+  }
+  if (current.size() > 1 && !IsStopword(current)) tokens.push_back(current);
+  return tokens;
+}
+
+void TermCounter::AddDocument(const std::vector<std::string>& tokens) {
+  ++documents_;
+  std::unordered_set<std::string_view> seen;
+  for (const std::string& t : tokens) {
+    if (seen.insert(t).second) {
+      ++counts_[t];
+    }
+  }
+}
+
+std::vector<TermEstimate> TermCounter::TopTerms(size_t m) const {
+  std::vector<TermEstimate> all;
+  all.reserve(counts_.size());
+  double n = static_cast<double>(documents_);
+  for (const auto& [term, count] : counts_) {
+    TermEstimate e;
+    e.term = term;
+    e.count = count;
+    e.frequency.confidence = confidence_;
+    e.frequency.samples = documents_;
+    double p = n > 0 ? static_cast<double>(count) / n : 0.0;
+    e.frequency.estimate = p;
+    e.frequency.half_width =
+        n >= 2 ? ZCritical(confidence_) * std::sqrt(p * (1 - p) / n)
+               : std::numeric_limits<double>::infinity();
+    all.push_back(std::move(e));
+  }
+  std::sort(all.begin(), all.end(), [](const TermEstimate& a, const TermEstimate& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.term < b.term;
+  });
+  if (all.size() > m) all.resize(m);
+  return all;
+}
+
+void TermCounter::Clear() {
+  documents_ = 0;
+  counts_.clear();
+}
+
+double TopTermPrecision(const std::vector<TermEstimate>& estimated,
+                        const std::vector<TermEstimate>& exact, size_t m) {
+  if (m == 0) return 1.0;
+  std::unordered_set<std::string_view> truth;
+  for (size_t i = 0; i < exact.size() && i < m; ++i) {
+    truth.insert(exact[i].term);
+  }
+  if (truth.empty()) return 1.0;
+  size_t hit = 0;
+  for (size_t i = 0; i < estimated.size() && i < m; ++i) {
+    if (truth.contains(estimated[i].term)) ++hit;
+  }
+  return static_cast<double>(hit) / static_cast<double>(truth.size());
+}
+
+template <int D>
+OnlineTermFrequency<D>::OnlineTermFrequency(SpatialSampler<D>* sampler,
+                                            TextFn text_of, double confidence)
+    : sampler_(sampler), text_of_(std::move(text_of)), counter_(confidence) {}
+
+template <int D>
+Status OnlineTermFrequency<D>::Begin(const Rect<D>& query) {
+  counter_.Clear();
+  exhausted_ = false;
+  Status st = sampler_->Begin(query, SamplingMode::kWithoutReplacement);
+  if (st.IsNotSupported()) {
+    st = sampler_->Begin(query, SamplingMode::kWithReplacement);
+  }
+  STORM_RETURN_NOT_OK(st);
+  began_ = true;
+  return Status::OK();
+}
+
+template <int D>
+uint64_t OnlineTermFrequency<D>::Step(uint64_t batch) {
+  if (!began_ || exhausted_) return 0;
+  uint64_t drawn = 0;
+  for (uint64_t i = 0; i < batch; ++i) {
+    std::optional<Entry> e = sampler_->Next();
+    if (!e.has_value()) {
+      exhausted_ = sampler_->IsExhausted();
+      break;
+    }
+    counter_.AddDocument(Tokenize(text_of_(e->id)));
+    ++drawn;
+  }
+  return drawn;
+}
+
+template class OnlineTermFrequency<2>;
+template class OnlineTermFrequency<3>;
+
+}  // namespace storm

@@ -1,0 +1,98 @@
+// Online short-text understanding (Fig 6b): estimate the dominant terms in
+// the documents of a spatio-temporal window from an online sample of those
+// documents.
+//
+// Each term's document frequency (fraction of qualifying documents
+// containing it) is a population proportion, so the sample proportion is
+// unbiased with a binomial confidence interval — the top-m list stabilizes
+// online exactly like a scalar aggregate.
+
+#ifndef STORM_ANALYTICS_TEXT_H_
+#define STORM_ANALYTICS_TEXT_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "storm/estimator/confidence.h"
+#include "storm/sampling/sampler.h"
+
+namespace storm {
+
+/// Lower-cases, strips punctuation, splits on whitespace, and drops
+/// stopwords and single-character tokens.
+std::vector<std::string> Tokenize(std::string_view text);
+
+/// True for the built-in English stopword list ("the", "a", "and", …).
+bool IsStopword(std::string_view token);
+
+/// A term with its estimated document frequency.
+struct TermEstimate {
+  std::string term;
+  /// Documents (among samples) containing the term.
+  uint64_t count = 0;
+  /// Estimated document frequency with binomial CI.
+  ConfidenceInterval frequency;
+};
+
+/// Streaming document-frequency counter.
+class TermCounter {
+ public:
+  explicit TermCounter(double confidence = 0.95) : confidence_(confidence) {}
+
+  /// Counts each distinct token of one document once.
+  void AddDocument(const std::vector<std::string>& tokens);
+
+  uint64_t documents() const { return documents_; }
+
+  /// The m most frequent terms, most frequent first.
+  std::vector<TermEstimate> TopTerms(size_t m) const;
+
+  void Clear();
+
+ private:
+  double confidence_;
+  uint64_t documents_ = 0;
+  std::unordered_map<std::string, uint64_t> counts_;
+};
+
+/// Fraction of the exact top-m terms recovered by the estimate (the
+/// convergence metric for the Fig 6(b) experiment).
+double TopTermPrecision(const std::vector<TermEstimate>& estimated,
+                        const std::vector<TermEstimate>& exact, size_t m);
+
+/// Drives a sampler and looks up each sampled record's text via `text_of`.
+template <int D>
+class OnlineTermFrequency {
+ public:
+  using Entry = typename RTree<D>::Entry;
+  using TextFn = std::function<std::string_view(RecordId)>;
+
+  OnlineTermFrequency(SpatialSampler<D>* sampler, TextFn text_of,
+                      double confidence = 0.95);
+
+  Status Begin(const Rect<D>& query);
+
+  /// Draws up to `batch` documents; returns the number drawn.
+  uint64_t Step(uint64_t batch = 64);
+
+  std::vector<TermEstimate> TopTerms(size_t m) const { return counter_.TopTerms(m); }
+  uint64_t documents() const { return counter_.documents(); }
+  bool Exhausted() const { return exhausted_; }
+
+ private:
+  SpatialSampler<D>* sampler_;
+  TextFn text_of_;
+  TermCounter counter_;
+  bool began_ = false;
+  bool exhausted_ = false;
+};
+
+extern template class OnlineTermFrequency<2>;
+extern template class OnlineTermFrequency<3>;
+
+}  // namespace storm
+
+#endif  // STORM_ANALYTICS_TEXT_H_

@@ -1,0 +1,105 @@
+#include "storm/analytics/trajectory.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace storm {
+
+void TrajectoryBuilder::Add(double t, const Point2& position) {
+  if (!fixes_.empty() && t < fixes_.back().t) sorted_ = false;
+  fixes_.push_back(TimedPoint{t, position});
+}
+
+void TrajectoryBuilder::EnsureSorted() const {
+  if (sorted_) return;
+  std::sort(fixes_.begin(), fixes_.end(),
+            [](const TimedPoint& a, const TimedPoint& b) { return a.t < b.t; });
+  sorted_ = true;
+}
+
+const std::vector<TimedPoint>& TrajectoryBuilder::Polyline() const {
+  EnsureSorted();
+  return fixes_;
+}
+
+Point2 TrajectoryBuilder::PositionAt(double t) const {
+  assert(!fixes_.empty());
+  EnsureSorted();
+  if (t <= fixes_.front().t) return fixes_.front().position;
+  if (t >= fixes_.back().t) return fixes_.back().position;
+  auto it = std::lower_bound(
+      fixes_.begin(), fixes_.end(), t,
+      [](const TimedPoint& f, double time) { return f.t < time; });
+  const TimedPoint& hi = *it;
+  const TimedPoint& lo = *(it - 1);
+  double span = hi.t - lo.t;
+  double w = span > 0 ? (t - lo.t) / span : 0.0;
+  return Point2(lo.position[0] + w * (hi.position[0] - lo.position[0]),
+                lo.position[1] + w * (hi.position[1] - lo.position[1]));
+}
+
+double TrajectoryBuilder::Length() const {
+  EnsureSorted();
+  double len = 0.0;
+  for (size_t i = 1; i < fixes_.size(); ++i) {
+    len += fixes_[i - 1].position.Distance(fixes_[i].position);
+  }
+  return len;
+}
+
+double TrajectoryError(const TrajectoryBuilder& approx,
+                       const TrajectoryBuilder& truth, int probes) {
+  if (approx.empty() || truth.empty() || probes <= 0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double t0 = std::min(approx.Polyline().front().t, truth.Polyline().front().t);
+  double t1 = std::max(approx.Polyline().back().t, truth.Polyline().back().t);
+  double total = 0.0;
+  for (int i = 0; i < probes; ++i) {
+    double t = probes == 1
+                   ? t0
+                   : t0 + (t1 - t0) * static_cast<double>(i) / (probes - 1);
+    total += approx.PositionAt(t).Distance(truth.PositionAt(t));
+  }
+  return total / probes;
+}
+
+template <int D>
+OnlineTrajectory<D>::OnlineTrajectory(SpatialSampler<D>* sampler, FilterFn filter)
+    : sampler_(sampler), filter_(std::move(filter)) {}
+
+template <int D>
+Status OnlineTrajectory<D>::Begin(const Rect<D>& query) {
+  builder_.Clear();
+  drawn_ = 0;
+  exhausted_ = false;
+  Status st = sampler_->Begin(query, SamplingMode::kWithoutReplacement);
+  if (st.IsNotSupported()) {
+    st = sampler_->Begin(query, SamplingMode::kWithReplacement);
+  }
+  STORM_RETURN_NOT_OK(st);
+  began_ = true;
+  return Status::OK();
+}
+
+template <int D>
+uint64_t OnlineTrajectory<D>::Step(uint64_t batch) {
+  if (!began_ || exhausted_) return 0;
+  uint64_t added = 0;
+  for (uint64_t i = 0; i < batch; ++i) {
+    std::optional<Entry> e = sampler_->Next();
+    if (!e.has_value()) {
+      exhausted_ = sampler_->IsExhausted();
+      break;
+    }
+    ++drawn_;
+    if (filter_ && !filter_(*e)) continue;
+    builder_.Add(e->point[2], Point2(e->point[0], e->point[1]));
+    ++added;
+  }
+  return added;
+}
+
+template class OnlineTrajectory<3>;
+
+}  // namespace storm

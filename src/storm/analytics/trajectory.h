@@ -1,0 +1,90 @@
+// Online approximate trajectory reconstruction (Fig 6a): rebuild a moving
+// object's path from online samples of its timestamped positions. The
+// approximation is the piecewise-linear curve through the time-sorted
+// samples; it converges to the true path as more samples arrive.
+
+#ifndef STORM_ANALYTICS_TRAJECTORY_H_
+#define STORM_ANALYTICS_TRAJECTORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storm/sampling/sampler.h"
+
+namespace storm {
+
+/// A position fix at a point in time.
+struct TimedPoint {
+  double t = 0.0;
+  Point2 position;
+};
+
+/// Accumulates fixes and interpolates a polyline through them.
+class TrajectoryBuilder {
+ public:
+  void Add(double t, const Point2& position);
+
+  /// Fixes sorted by time.
+  const std::vector<TimedPoint>& Polyline() const;
+
+  /// Linearly interpolated position at time t (clamped to the fix range).
+  /// Requires at least one fix.
+  Point2 PositionAt(double t) const;
+
+  size_t size() const { return fixes_.size(); }
+  bool empty() const { return fixes_.empty(); }
+  void Clear() { fixes_.clear(); sorted_ = true; }
+
+  /// Total length of the polyline.
+  double Length() const;
+
+ private:
+  void EnsureSorted() const;
+
+  mutable std::vector<TimedPoint> fixes_;
+  mutable bool sorted_ = true;
+};
+
+/// Mean distance between two trajectories probed at `probes` evenly spaced
+/// times across the union of their spans; the convergence metric for the
+/// Fig 6(a) experiment.
+double TrajectoryError(const TrajectoryBuilder& approx,
+                       const TrajectoryBuilder& truth, int probes = 100);
+
+/// Drives a sampler over a (x, y, t) index restricted to one object's
+/// records and feeds the builder. The per-object restriction is the
+/// caller's: pass a filter that keeps only the object's record ids.
+template <int D>
+class OnlineTrajectory {
+ public:
+  using Entry = typename RTree<D>::Entry;
+  using FilterFn = std::function<bool(const Entry&)>;
+
+  static_assert(D == 3, "trajectories need (x, y, t) entries");
+
+  OnlineTrajectory(SpatialSampler<D>* sampler, FilterFn filter);
+
+  Status Begin(const Rect<D>& query);
+
+  /// Draws up to `batch` samples; entries failing the filter are skipped
+  /// (they cost a draw but add no fix). Returns fixes added.
+  uint64_t Step(uint64_t batch = 64);
+
+  const TrajectoryBuilder& Current() const { return builder_; }
+  bool Exhausted() const { return exhausted_; }
+  uint64_t samples_drawn() const { return drawn_; }
+
+ private:
+  SpatialSampler<D>* sampler_;
+  FilterFn filter_;
+  TrajectoryBuilder builder_;
+  uint64_t drawn_ = 0;
+  bool began_ = false;
+  bool exhausted_ = false;
+};
+
+extern template class OnlineTrajectory<3>;
+
+}  // namespace storm
+
+#endif  // STORM_ANALYTICS_TRAJECTORY_H_

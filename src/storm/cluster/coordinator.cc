@@ -1,0 +1,180 @@
+#include "storm/cluster/coordinator.h"
+
+#include <algorithm>
+
+namespace storm {
+
+Cluster::Cluster(std::vector<Entry> entries, int num_shards,
+                 Partitioning partitioning, RsTreeOptions options, uint64_t seed)
+    : partitioning_(partitioning) {
+  assert(num_shards >= 1);
+  std::vector<std::vector<Entry>> parts(static_cast<size_t>(num_shards));
+  if (partitioning_ == Partitioning::kHilbertRange && !entries.empty()) {
+    Rect3 bounds;
+    for (const Entry& e : entries) bounds.Expand(e.point);
+    mapper_ = std::make_unique<HilbertMapper<3>>(bounds);
+    std::vector<std::pair<uint64_t, size_t>> keyed(entries.size());
+    for (size_t i = 0; i < entries.size(); ++i) {
+      keyed[i] = {mapper_->Index(entries[i].point), i};
+    }
+    std::sort(keyed.begin(), keyed.end());
+    // Equal-size contiguous runs of the Hilbert order. The split keys are
+    // recorded first and every entry is then routed through RouteOf, so
+    // boundary ties place identically at build time and on later updates.
+    size_t per = (keyed.size() + num_shards - 1) / static_cast<size_t>(num_shards);
+    for (size_t s = 0; s + 1 < static_cast<size_t>(num_shards); ++s) {
+      size_t boundary = (s + 1) * per - 1;
+      range_splits_.push_back(boundary < keyed.size() ? keyed[boundary].first
+                                                      : ~uint64_t{0});
+    }
+    for (const auto& [key, idx] : keyed) {
+      auto it = std::upper_bound(range_splits_.begin(), range_splits_.end(), key);
+      parts[static_cast<size_t>(it - range_splits_.begin())].push_back(
+          entries[idx]);
+    }
+  } else {
+    for (const Entry& e : entries) {
+      uint64_t h = e.id * 0x9e3779b97f4a7c15ULL;
+      parts[h % static_cast<uint64_t>(num_shards)].push_back(e);
+    }
+  }
+  shards_.reserve(static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(
+        s, std::move(parts[static_cast<size_t>(s)]), options, seed));
+  }
+}
+
+uint64_t Cluster::size() const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) total += s->size();
+  return total;
+}
+
+int Cluster::RouteOf(const Point3& p, RecordId id) const {
+  if (partitioning_ == Partitioning::kHilbertRange && mapper_ != nullptr) {
+    uint64_t key = mapper_->Index(p);
+    auto it = std::upper_bound(range_splits_.begin(), range_splits_.end(), key);
+    return static_cast<int>(it - range_splits_.begin());
+  }
+  uint64_t h = id * 0x9e3779b97f4a7c15ULL;
+  return static_cast<int>(h % shards_.size());
+}
+
+void Cluster::Insert(const Point3& p, RecordId id) {
+  shards_[static_cast<size_t>(RouteOf(p, id))]->Insert(p, id);
+}
+
+bool Cluster::Erase(const Point3& p, RecordId id) {
+  return shards_[static_cast<size_t>(RouteOf(p, id))]->Erase(p, id);
+}
+
+uint64_t Cluster::Count(const Rect3& query) const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) total += s->Count(query);
+  return total;
+}
+
+int Cluster::ShardsTouched(const Rect3& query) const {
+  int touched = 0;
+  for (const auto& s : shards_) {
+    if (query.Intersects(s->index().tree().bounds())) ++touched;
+  }
+  return touched;
+}
+
+namespace {
+
+class DistributedSampler final : public SpatialSampler<3> {
+ public:
+  using Entry = RTree<3>::Entry;
+
+  DistributedSampler(const Cluster* cluster, Rng rng)
+      : cluster_(cluster), rng_(rng) {
+    for (int s = 0; s < cluster_->num_shards(); ++s) {
+      locals_.push_back(cluster_->shard(s).NewSampler(rng_.Fork(s)));
+    }
+  }
+
+  Status Begin(const Rect3& query, SamplingMode mode) override {
+    mode_ = mode;
+    weights_.assign(locals_.size(), 0.0);
+    drawn_.assign(locals_.size(), 0);
+    total_ = 0;
+    // Plan round-trip: exact per-shard counts.
+    for (size_t s = 0; s < locals_.size(); ++s) {
+      uint64_t q = cluster_->shard(static_cast<int>(s)).Count(query);
+      weights_[s] = static_cast<double>(q);
+      total_ += q;
+      STORM_RETURN_NOT_OK(locals_[s]->Begin(query, mode));
+    }
+    began_ = true;
+    return Status::OK();
+  }
+
+  std::optional<Entry> Next() override {
+    if (!began_ || total_ == 0) return std::nullopt;
+    // Retry over shards: a shard whose without-replacement stream exhausts
+    // has its weight dropped. In without-replacement mode the weight is the
+    // shard's *remaining* count, so the merged prefix stays a uniform
+    // without-replacement sample of the whole cluster.
+    while (true) {
+      double sum = 0.0;
+      for (double w : weights_) sum += w;
+      if (sum <= 0.0) return std::nullopt;
+      size_t s = rng_.Discrete(weights_);
+      std::optional<Entry> e = locals_[s]->Next();
+      if (e.has_value()) {
+        if (mode_ == SamplingMode::kWithoutReplacement) {
+          ++drawn_[s];
+          weights_[s] = std::max(0.0, weights_[s] - 1.0);
+        }
+        return e;
+      }
+      if (locals_[s]->IsExhausted()) {
+        weights_[s] = 0.0;
+        continue;
+      }
+      return std::nullopt;  // shard failure (e.g. SampleFirst give-up)
+    }
+  }
+
+  CardinalityEstimate Cardinality() const override {
+    CardinalityEstimate c;
+    if (began_) {
+      c.lower = c.upper = total_;
+      c.exact = true;
+      c.estimate = static_cast<double>(total_);
+    }
+    return c;
+  }
+
+  bool IsExhausted() const override {
+    if (!began_) return false;
+    if (total_ == 0) return true;
+    for (size_t s = 0; s < locals_.size(); ++s) {
+      if (weights_[s] > 0.0 && !locals_[s]->IsExhausted()) return false;
+    }
+    return true;
+  }
+
+  std::string_view name() const override { return "Distributed-RS"; }
+
+ private:
+  const Cluster* cluster_;
+  Rng rng_;
+  SamplingMode mode_ = SamplingMode::kWithReplacement;
+  std::vector<std::unique_ptr<SpatialSampler<3>>> locals_;
+  std::vector<double> weights_;
+  std::vector<uint64_t> drawn_;
+  uint64_t total_ = 0;
+  bool began_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<SpatialSampler<3>> Cluster::NewSampler(Rng rng) const {
+  return std::make_unique<DistributedSampler>(this, rng);
+}
+
+}  // namespace storm

@@ -1,0 +1,69 @@
+// Cluster: the simulated distributed STORM deployment — a partitioner that
+// routes records to shards and a coordinator whose DistributedSampler
+// merges per-shard online samples into one uniform stream.
+//
+// Merging is exact, not heuristic: at Begin the coordinator asks every
+// shard for its exact in-query count q_i (a cheap range-count "plan"
+// round-trip); Next() then picks shard i with probability q_i / Σq_j and
+// forwards the draw. Because partitions are disjoint, a qualifying record
+// on shard i is returned with probability (q_i/q)·(1/q_i) = 1/q — uniform
+// over the whole cluster.
+
+#ifndef STORM_CLUSTER_COORDINATOR_H_
+#define STORM_CLUSTER_COORDINATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "storm/cluster/shard.h"
+#include "storm/geo/hilbert.h"
+
+namespace storm {
+
+/// How records are routed to shards.
+enum class Partitioning {
+  /// Record-id hash: spatially uniform load, queries touch all shards.
+  kHash,
+  /// Contiguous ranges of the Hilbert order: spatial locality, queries
+  /// touch few shards (the distributed Hilbert R-tree layout of §3.1).
+  kHilbertRange,
+};
+
+class Cluster {
+ public:
+  using Entry = RTree<3>::Entry;
+
+  Cluster(std::vector<Entry> entries, int num_shards, Partitioning partitioning,
+          RsTreeOptions options, uint64_t seed);
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  const Shard& shard(int i) const { return *shards_[static_cast<size_t>(i)]; }
+  uint64_t size() const;
+
+  /// Which shard a record routes to.
+  int RouteOf(const Point3& p, RecordId id) const;
+
+  /// Cluster-wide updates, routed by the partitioner.
+  void Insert(const Point3& p, RecordId id);
+  bool Erase(const Point3& p, RecordId id);
+
+  /// A uniform sampler over the union of all shards.
+  std::unique_ptr<SpatialSampler<3>> NewSampler(Rng rng) const;
+
+  /// Exact distributed range count (fans out to all shards).
+  uint64_t Count(const Rect3& query) const;
+
+  /// Shards whose partition intersects the query (locality diagnostic for
+  /// the partitioning ablation).
+  int ShardsTouched(const Rect3& query) const;
+
+ private:
+  Partitioning partitioning_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<HilbertMapper<3>> mapper_;      // kHilbertRange only
+  std::vector<uint64_t> range_splits_;            // kHilbertRange boundaries
+};
+
+}  // namespace storm
+
+#endif  // STORM_CLUSTER_COORDINATOR_H_

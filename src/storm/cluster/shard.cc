@@ -1,0 +1,23 @@
+#include "storm/cluster/shard.h"
+
+namespace storm {
+
+Shard::Shard(int shard_id, std::vector<Entry> entries, RsTreeOptions options,
+             uint64_t seed)
+    : id_(shard_id),
+      index_(std::make_unique<RsTree<3>>(std::move(entries), options,
+                                         seed ^ static_cast<uint64_t>(shard_id))) {}
+
+uint64_t Shard::Count(const Rect3& query) const {
+  return index_->tree().RangeCount(query);
+}
+
+std::unique_ptr<SpatialSampler<3>> Shard::NewSampler(Rng rng) const {
+  return index_->NewSampler(rng);
+}
+
+void Shard::Insert(const Point3& p, RecordId id) { index_->Insert(p, id); }
+
+bool Shard::Erase(const Point3& p, RecordId id) { return index_->Erase(p, id); }
+
+}  // namespace storm

@@ -1,0 +1,46 @@
+// Shard: one node of the simulated STORM cluster. The published system ran
+// distributed Hilbert R-trees over a MongoDB/DFS cluster; here each shard
+// owns a disjoint partition of the entries and an RS-tree over it, and the
+// coordinator (coordinator.h) merges per-shard online samples.
+
+#ifndef STORM_CLUSTER_SHARD_H_
+#define STORM_CLUSTER_SHARD_H_
+
+#include <memory>
+#include <vector>
+
+#include "storm/sampling/rs_tree.h"
+
+namespace storm {
+
+class Shard {
+ public:
+  using Entry = RTree<3>::Entry;
+
+  Shard(int shard_id, std::vector<Entry> entries, RsTreeOptions options,
+        uint64_t seed);
+
+  int id() const { return id_; }
+  uint64_t size() const { return index_->size(); }
+  const RsTree<3>& index() const { return *index_; }
+
+  /// Exact number of this shard's entries inside the query (the per-shard
+  /// "plan" step the coordinator runs at query start).
+  uint64_t Count(const Rect3& query) const;
+
+  /// A sampler over this shard's partition.
+  std::unique_ptr<SpatialSampler<3>> NewSampler(Rng rng) const;
+
+  /// Local updates (entries migrating between shards is out of scope; the
+  /// partitioner routes each record to a fixed shard).
+  void Insert(const Point3& p, RecordId id);
+  bool Erase(const Point3& p, RecordId id);
+
+ private:
+  int id_;
+  std::unique_ptr<RsTree<3>> index_;
+};
+
+}  // namespace storm
+
+#endif  // STORM_CLUSTER_SHARD_H_

@@ -1,0 +1,183 @@
+#include "storm/connector/csv.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace storm {
+
+namespace {
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Types one CSV cell.
+Value CellToValue(const std::string& cell, const CsvOptions& options) {
+  if (cell.empty()) return Value::Null();
+  if (options.parse_bools) {
+    if (EqualsIgnoreCase(cell, "true")) return Value::Bool(true);
+    if (EqualsIgnoreCase(cell, "false")) return Value::Bool(false);
+  }
+  // Integer?
+  {
+    int64_t iv = 0;
+    auto [p, ec] = std::from_chars(cell.data(), cell.data() + cell.size(), iv);
+    if (ec == std::errc() && p == cell.data() + cell.size()) {
+      return Value::Int(iv);
+    }
+  }
+  // Double?
+  {
+    double dv = 0.0;
+    auto [p, ec] = std::from_chars(cell.data(), cell.data() + cell.size(), dv);
+    if (ec == std::errc() && p == cell.data() + cell.size()) {
+      return Value::Double(dv);
+    }
+  }
+  return Value::String(cell);
+}
+
+}  // namespace
+
+std::vector<std::string> SplitCsvLine(std::string_view line, char delimiter) {
+  std::vector<std::string> cells;
+  std::string current;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"' && current.empty()) {
+      quoted = true;
+    } else if (c == delimiter) {
+      cells.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  cells.push_back(std::move(current));
+  return cells;
+}
+
+Result<std::vector<Value>> ParseCsvString(std::string_view data,
+                                          const CsvOptions& options) {
+  // Split into logical rows, respecting newlines inside quoted fields.
+  std::vector<std::string> rows;
+  std::string current;
+  bool quoted = false;
+  for (char c : data) {
+    if (c == '"') quoted = !quoted;
+    if ((c == '\n' || c == '\r') && !quoted) {
+      if (!current.empty()) rows.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) rows.push_back(std::move(current));
+  if (quoted) return Status::Corruption("unterminated quote in CSV input");
+
+  std::vector<Value> docs;
+  if (rows.empty()) return docs;
+  std::vector<std::string> columns;
+  size_t first_data_row = 0;
+  if (options.has_header) {
+    columns = SplitCsvLine(rows[0], options.delimiter);
+    first_data_row = 1;
+  } else {
+    size_t width = SplitCsvLine(rows[0], options.delimiter).size();
+    for (size_t i = 0; i < width; ++i) columns.push_back("c" + std::to_string(i));
+  }
+  for (size_t r = first_data_row; r < rows.size(); ++r) {
+    std::vector<std::string> cells = SplitCsvLine(rows[r], options.delimiter);
+    if (cells.size() != columns.size()) {
+      return Status::Corruption("row " + std::to_string(r + 1) + " has " +
+                                std::to_string(cells.size()) + " cells, expected " +
+                                std::to_string(columns.size()));
+    }
+    Value doc = Value::MakeObject();
+    for (size_t c = 0; c < cells.size(); ++c) {
+      doc.Set(columns[c], CellToValue(cells[c], options));
+    }
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+Result<std::vector<Value>> ParseCsvFile(const std::string& path,
+                                        const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseCsvString(buffer.str(), options);
+}
+
+std::string WriteCsvString(const std::vector<Value>& docs,
+                           const CsvOptions& options) {
+  // Column order: first-seen order across documents.
+  std::vector<std::string> columns;
+  std::set<std::string, std::less<>> seen;
+  for (const Value& doc : docs) {
+    if (!doc.is_object()) continue;
+    for (const auto& [k, v] : doc.AsObject()) {
+      if (seen.insert(k).second) columns.push_back(k);
+    }
+  }
+  auto quote = [&](const std::string& cell) {
+    bool needs = cell.find(options.delimiter) != std::string::npos ||
+                 cell.find('"') != std::string::npos ||
+                 cell.find('\n') != std::string::npos;
+    if (!needs) return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+      if (c == '"') out += "\"\"";
+      else out.push_back(c);
+    }
+    out += "\"";
+    return out;
+  };
+  std::string out;
+  for (size_t c = 0; c < columns.size(); ++c) {
+    if (c) out.push_back(options.delimiter);
+    out += quote(columns[c]);
+  }
+  out.push_back('\n');
+  for (const Value& doc : docs) {
+    for (size_t c = 0; c < columns.size(); ++c) {
+      if (c) out.push_back(options.delimiter);
+      const Value* v = doc.Find(columns[c]);
+      if (v == nullptr || v->is_null()) continue;
+      if (v->is_string()) {
+        out += quote(v->AsString());
+      } else {
+        out += quote(v->ToJson());
+      }
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace storm

@@ -1,0 +1,49 @@
+// CSV/TSV data parser for the data connector (the "excel spreadsheet /
+// text file" sources of the demo). RFC-4180 quoting, configurable
+// delimiter, per-column type inference (int → double → string), header or
+// synthesized column names. Rows become JSON documents ("free data module"
+// conversion).
+
+#ifndef STORM_CONNECTOR_CSV_H_
+#define STORM_CONNECTOR_CSV_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storm/storage/value.h"
+#include "storm/util/result.h"
+
+namespace storm {
+
+struct CsvOptions {
+  char delimiter = ',';
+  /// First row holds column names; otherwise columns are named c0, c1, ….
+  bool has_header = true;
+  /// Parse "true"/"false" (case-insensitive) as booleans.
+  bool parse_bools = true;
+};
+
+/// Splits one CSV record (handles quotes; the record must already be one
+/// logical row — use ParseCsvString for multi-line quoted fields).
+std::vector<std::string> SplitCsvLine(std::string_view line, char delimiter);
+
+/// Parses a whole CSV buffer into one JSON document per row. Values are
+/// typed by cell content (int64, double, bool, string; empty cell → null).
+Result<std::vector<Value>> ParseCsvString(std::string_view data,
+                                          const CsvOptions& options = {});
+
+/// Reads and parses a CSV file.
+Result<std::vector<Value>> ParseCsvFile(const std::string& path,
+                                        const CsvOptions& options = {});
+
+/// Serializes documents to CSV using the union of their top-level scalar
+/// fields as columns (arrays/objects are JSON-encoded into the cell) — the
+/// reverse direction of the free data module.
+std::string WriteCsvString(const std::vector<Value>& docs,
+                           const CsvOptions& options = {});
+
+}  // namespace storm
+
+#endif  // STORM_CONNECTOR_CSV_H_

@@ -1,0 +1,53 @@
+#include "storm/connector/free_data.h"
+
+namespace storm {
+
+namespace {
+
+void FlattenInto(const std::string& prefix, const Value& v, Value* out) {
+  if (v.is_object()) {
+    for (const auto& [k, child] : v.AsObject()) {
+      FlattenInto(prefix.empty() ? k : prefix + "." + k, child, out);
+    }
+    return;
+  }
+  out->Set(prefix, v);
+}
+
+}  // namespace
+
+Value FlattenDocument(const Value& doc) {
+  if (!doc.is_object()) return doc;
+  Value out = Value::MakeObject();
+  FlattenInto("", doc, &out);
+  return out;
+}
+
+Value UnflattenDocument(const Value& flat) {
+  if (!flat.is_object()) return flat;
+  Value out = Value::MakeObject();
+  for (const auto& [key, v] : flat.AsObject()) {
+    Value* node = &out;
+    std::string_view path = key;
+    while (true) {
+      size_t dot = path.find('.');
+      if (dot == std::string_view::npos) break;
+      std::string head(path.substr(0, dot));
+      path.remove_prefix(dot + 1);
+      Value* child = const_cast<Value*>(node->Find(head));
+      if (child == nullptr || !child->is_object()) {
+        node->Set(head, Value::MakeObject());
+        child = const_cast<Value*>(node->Find(head));
+      }
+      node = child;
+    }
+    // Leaf: do not clobber an existing object with a scalar.
+    const Value* existing = node->Find(path);
+    if (existing == nullptr || !existing->is_object()) {
+      node->Set(std::string(path), v);
+    }
+  }
+  return out;
+}
+
+}  // namespace storm

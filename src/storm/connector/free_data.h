@@ -1,0 +1,26 @@
+// Free data module (§3.2): conversions between record formats and the
+// JSON document model used by the storage engine. CSV↔JSON lives in
+// csv.h; here are the structural conversions — flattening nested documents
+// to dotted-key rows (for columnar/tabular sinks) and back.
+
+#ifndef STORM_CONNECTOR_FREE_DATA_H_
+#define STORM_CONNECTOR_FREE_DATA_H_
+
+#include "storm/storage/value.h"
+
+namespace storm {
+
+/// Flattens nested objects into a single-level object with dotted keys:
+/// {"user":{"geo":{"lat":1}}} → {"user.geo.lat":1}. Arrays are kept as
+/// values (JSON-encoded when the sink is tabular). Non-object input is
+/// returned unchanged.
+Value FlattenDocument(const Value& doc);
+
+/// Inverse of FlattenDocument: dotted keys become nested objects. Keys
+/// that conflict (a prefix is both a scalar and an object) favor the
+/// object; the scalar is dropped.
+Value UnflattenDocument(const Value& flat);
+
+}  // namespace storm
+
+#endif  // STORM_CONNECTOR_FREE_DATA_H_

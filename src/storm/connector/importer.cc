@@ -1,0 +1,86 @@
+#include "storm/connector/importer.h"
+
+#include "storm/util/time.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace storm {
+
+namespace {
+
+// Extracts a coordinate as double; strings are parsed as timestamps for the
+// time axis and as plain numbers otherwise.
+std::optional<double> CoordOf(const Value& doc, const std::string& field,
+                              bool is_time) {
+  const Value* v = doc.FindPath(field);
+  if (v == nullptr || v->is_null()) return std::nullopt;
+  if (v->is_number()) return v->AsDouble();
+  if (v->is_string()) {
+    if (is_time) return ParseTimestamp(v->AsString());
+    double out = 0.0;
+    const std::string& s = v->AsString();
+    auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+    if (ec == std::errc() && p == s.data() + s.size()) return out;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+Result<ImportResult> Importer::ImportDocuments(const std::vector<Value>& docs,
+                                               const ImportOptions& options) {
+  ImportResult result;
+  SchemaDiscovery discovery;
+  for (const Value& doc : docs) discovery.Observe(doc);
+  result.schema = discovery.Discover();
+  if (options.binding.HasSpace()) {
+    result.binding = options.binding;
+  } else {
+    std::optional<SpatioTemporalBinding> guessed =
+        SchemaDiscovery::GuessBinding(result.schema);
+    if (!guessed.has_value()) {
+      return Status::InvalidArgument(
+          "cannot discover spatial fields; pass an explicit binding");
+    }
+    result.binding = *guessed;
+  }
+  result.entries.reserve(docs.size());
+  for (size_t i = 0; i < docs.size(); ++i) {
+    const Value& doc = docs[i];
+    std::optional<double> x = CoordOf(doc, result.binding.x_field, false);
+    std::optional<double> y = CoordOf(doc, result.binding.y_field, false);
+    std::optional<double> t =
+        result.binding.HasTime()
+            ? CoordOf(doc, result.binding.t_field, true)
+            : std::optional<double>(0.0);
+    if (!x.has_value() || !y.has_value() || !t.has_value()) {
+      if (!options.skip_bad_documents) {
+        return Status::InvalidArgument("document " + std::to_string(i) +
+                                       " is missing coordinates");
+      }
+      ++result.skipped;
+      continue;
+    }
+    RecordId id;
+    if (store_ != nullptr) {
+      Result<RecordId> appended = store_->Append(doc);
+      if (!appended.ok()) {
+        if (options.skip_bad_documents) {
+          ++result.skipped;
+          continue;
+        }
+        return appended.status();
+      }
+      id = *appended;
+    } else {
+      id = static_cast<RecordId>(i);
+    }
+    result.entries.push_back({Point3(*x, *y, *t), id});
+    ++result.imported;
+  }
+  return result;
+}
+
+}  // namespace storm

@@ -1,0 +1,58 @@
+// Importer: the top of the data connector. Takes parsed documents from any
+// source (CSV, JSON-lines, …), discovers their schema, binds the (x, y, t)
+// coordinates, optionally persists them into a RecordStore, and emits the
+// (point, record-id) entries the ST-indexing module builds indexes from.
+//
+// The two modes of the demo — "import into the STORM storage engine" and
+// "index in place without importing" — map to passing a RecordStore or not.
+
+#ifndef STORM_CONNECTOR_IMPORTER_H_
+#define STORM_CONNECTOR_IMPORTER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storm/connector/schema_discovery.h"
+#include "storm/rtree/rtree.h"
+#include "storm/storage/record_store.h"
+#include "storm/util/time.h"
+
+namespace storm {
+
+struct ImportOptions {
+  /// Explicit coordinate binding; leave fields empty for auto-discovery.
+  SpatioTemporalBinding binding;
+  /// Documents whose coordinates are missing/non-numeric are skipped
+  /// (counted) instead of failing the import.
+  bool skip_bad_documents = true;
+};
+
+struct ImportResult {
+  Schema schema;
+  SpatioTemporalBinding binding;
+  uint64_t imported = 0;
+  uint64_t skipped = 0;
+  /// One (x, y, t) entry per imported document; t = 0 for purely spatial
+  /// sources. Entry ids are RecordStore ids (import mode) or document
+  /// positions (index-in-place mode).
+  std::vector<RTree<3>::Entry> entries;
+};
+
+class Importer {
+ public:
+  /// `store` may be null: index-in-place mode (entry ids are positions in
+  /// the caller's document vector, which the caller keeps).
+  explicit Importer(RecordStore* store = nullptr) : store_(store) {}
+
+  /// Imports/links a batch of documents.
+  Result<ImportResult> ImportDocuments(const std::vector<Value>& docs,
+                                       const ImportOptions& options = {});
+
+ private:
+  RecordStore* store_;
+};
+
+}  // namespace storm
+
+#endif  // STORM_CONNECTOR_IMPORTER_H_

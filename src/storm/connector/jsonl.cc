@@ -1,0 +1,51 @@
+#include "storm/connector/jsonl.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace storm {
+
+Result<std::vector<Value>> ParseJsonlString(std::string_view data) {
+  std::vector<Value> docs;
+  size_t line_no = 0;
+  size_t pos = 0;
+  while (pos <= data.size()) {
+    size_t nl = data.find('\n', pos);
+    std::string_view line = data.substr(
+        pos, nl == std::string_view::npos ? std::string_view::npos : nl - pos);
+    ++line_no;
+    pos = nl == std::string_view::npos ? data.size() + 1 : nl + 1;
+    // Trim \r and surrounding spaces.
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.remove_suffix(1);
+    }
+    while (!line.empty() && line.front() == ' ') line.remove_prefix(1);
+    if (line.empty()) continue;
+    Result<Value> v = Value::Parse(line);
+    if (!v.ok()) {
+      return Status::Corruption("line " + std::to_string(line_no) + ": " +
+                                v.status().message());
+    }
+    docs.push_back(std::move(v).ValueOrDie());
+  }
+  return docs;
+}
+
+Result<std::vector<Value>> ParseJsonlFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseJsonlString(buffer.str());
+}
+
+std::string WriteJsonlString(const std::vector<Value>& docs) {
+  std::string out;
+  for (const Value& doc : docs) {
+    out += doc.ToJson();
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace storm

@@ -1,0 +1,28 @@
+// JSON-lines data parser for the data connector (the MongoDB/Cassandra-
+// style document sources). One JSON document per line; blank lines are
+// skipped; parse errors carry line numbers.
+
+#ifndef STORM_CONNECTOR_JSONL_H_
+#define STORM_CONNECTOR_JSONL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storm/storage/value.h"
+#include "storm/util/result.h"
+
+namespace storm {
+
+/// Parses a JSON-lines buffer.
+Result<std::vector<Value>> ParseJsonlString(std::string_view data);
+
+/// Reads and parses a JSON-lines file.
+Result<std::vector<Value>> ParseJsonlFile(const std::string& path);
+
+/// Serializes documents one-per-line.
+std::string WriteJsonlString(const std::vector<Value>& docs);
+
+}  // namespace storm
+
+#endif  // STORM_CONNECTOR_JSONL_H_

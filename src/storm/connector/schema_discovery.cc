@@ -1,0 +1,210 @@
+#include "storm/connector/schema_discovery.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "storm/util/time.h"
+
+namespace storm {
+
+std::string_view FieldTypeToString(FieldType t) {
+  switch (t) {
+    case FieldType::kNull:
+      return "null";
+    case FieldType::kBool:
+      return "bool";
+    case FieldType::kInt:
+      return "int";
+    case FieldType::kDouble:
+      return "double";
+    case FieldType::kString:
+      return "string";
+    case FieldType::kArray:
+      return "array";
+    case FieldType::kObject:
+      return "object";
+  }
+  return "?";
+}
+
+const FieldInfo* Schema::Find(std::string_view name) const {
+  for (const FieldInfo& f : fields) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "schema{" + std::to_string(documents) + " docs";
+  for (const FieldInfo& f : fields) {
+    out += "; ";
+    out += f.name;
+    out += ":";
+    out += FieldTypeToString(f.type);
+    if (f.nullable) out += "?";
+  }
+  out += "}";
+  return out;
+}
+
+namespace {
+
+FieldType TypeOf(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return FieldType::kNull;
+    case ValueType::kBool:
+      return FieldType::kBool;
+    case ValueType::kInt:
+      return FieldType::kInt;
+    case ValueType::kDouble:
+      return FieldType::kDouble;
+    case ValueType::kString:
+      return FieldType::kString;
+    case ValueType::kArray:
+      return FieldType::kArray;
+    case ValueType::kObject:
+      return FieldType::kObject;
+  }
+  return FieldType::kNull;
+}
+
+// Lattice merge: null is the bottom; int widens to double; everything else
+// conflicting collapses to string.
+FieldType MergeTypes(FieldType a, FieldType b) {
+  if (a == b) return a;
+  if (a == FieldType::kNull) return b;
+  if (b == FieldType::kNull) return a;
+  if ((a == FieldType::kInt && b == FieldType::kDouble) ||
+      (a == FieldType::kDouble && b == FieldType::kInt)) {
+    return FieldType::kDouble;
+  }
+  return FieldType::kString;
+}
+
+}  // namespace
+
+void SchemaDiscovery::ObservePath(const std::string& path, const Value& v) {
+  if (v.is_object()) {
+    for (const auto& [k, child] : v.AsObject()) {
+      ObservePath(path.empty() ? k : path + "." + k, child);
+    }
+    return;
+  }
+  FieldInfo* info = nullptr;
+  for (FieldInfo& f : fields_) {
+    if (f.name == path) {
+      info = &f;
+      break;
+    }
+  }
+  if (info == nullptr) {
+    fields_.push_back(FieldInfo{});
+    info = &fields_.back();
+    info->name = path;
+    if (documents_ > 0) info->nullable = true;  // missing from earlier docs
+  }
+  FieldType t = TypeOf(v);
+  if (t == FieldType::kNull) info->nullable = true;
+  info->type = MergeTypes(info->type, t);
+  if (v.is_number()) {
+    double d = v.AsDouble();
+    if (info->numeric_present == 0) {
+      info->min = info->max = d;
+    } else {
+      info->min = std::min(info->min, d);
+      info->max = std::max(info->max, d);
+    }
+    ++info->numeric_present;
+  } else if (v.is_string() && ParseTimestamp(v.AsString()).has_value()) {
+    ++info->time_parsed;
+  }
+  ++info->present;
+}
+
+void SchemaDiscovery::Observe(const Value& doc) {
+  ObservePath("", doc);
+  ++documents_;
+}
+
+Schema SchemaDiscovery::Discover() const {
+  Schema s;
+  s.documents = documents_;
+  s.fields = fields_;
+  for (FieldInfo& f : s.fields) {
+    if (f.present < documents_) f.nullable = true;
+  }
+  return s;
+}
+
+namespace {
+
+std::string Lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+// Last path segment, lowercased: "user.Lat" -> "lat".
+std::string Tail(std::string_view path) {
+  size_t dot = path.rfind('.');
+  return Lower(dot == std::string_view::npos ? path : path.substr(dot + 1));
+}
+
+// Spatial candidate: carried at least one numeric value (dirty sources may
+// merge to kString but still be mostly numbers).
+bool IsNumeric(const FieldInfo& f) { return f.numeric_present > 0; }
+
+// Temporal candidate: numeric, or a string column whose values parse as
+// timestamps.
+bool IsTemporal(const FieldInfo& f) {
+  return f.numeric_present > 0 || (f.present > 0 && f.time_parsed == f.present);
+}
+
+const FieldInfo* FindByNames(const Schema& schema,
+                             const std::vector<std::string>& names,
+                             bool temporal = false) {
+  for (const std::string& want : names) {
+    for (const FieldInfo& f : schema.fields) {
+      if ((temporal ? IsTemporal(f) : IsNumeric(f)) && Tail(f.name) == want) {
+        return &f;
+      }
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::optional<SpatioTemporalBinding> SchemaDiscovery::GuessBinding(
+    const Schema& schema) {
+  SpatioTemporalBinding b;
+  const FieldInfo* x = FindByNames(
+      schema, {"lon", "lng", "longitude", "long", "x", "easting"});
+  const FieldInfo* y =
+      FindByNames(schema, {"lat", "latitude", "y", "northing"});
+  if (x == nullptr || y == nullptr) {
+    // Fall back: the first two numeric fields.
+    std::vector<const FieldInfo*> numeric;
+    for (const FieldInfo& f : schema.fields) {
+      if (IsNumeric(f)) numeric.push_back(&f);
+    }
+    if (numeric.size() < 2) return std::nullopt;
+    x = numeric[0];
+    y = numeric[1];
+  }
+  // Sanity: geographic names must be in geographic range.
+  if (Tail(y->name).starts_with("lat") && (y->min < -90.5 || y->max > 90.5)) {
+    return std::nullopt;
+  }
+  b.x_field = x->name;
+  b.y_field = y->name;
+  const FieldInfo* t = FindByNames(
+      schema, {"t", "time", "timestamp", "ts", "date", "datetime", "epoch"},
+      /*temporal=*/true);
+  if (t != nullptr && t != x && t != y) b.t_field = t->name;
+  return b;
+}
+
+}  // namespace storm

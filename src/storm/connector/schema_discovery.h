@@ -1,0 +1,85 @@
+// Schema discovery for the data connector (§3.2).
+//
+// Foreign sources (CSV, JSON-lines, spreadsheets, …) arrive as streams of
+// documents with no declared schema. SchemaDiscovery observes documents,
+// merges per-field types up a small lattice (null < bool < int < double <
+// string), and guesses which fields carry the spatial and temporal
+// coordinates so imported data can be indexed without configuration.
+
+#ifndef STORM_CONNECTOR_SCHEMA_DISCOVERY_H_
+#define STORM_CONNECTOR_SCHEMA_DISCOVERY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storm/storage/value.h"
+
+namespace storm {
+
+/// Flattened field type after lattice merging.
+enum class FieldType { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+std::string_view FieldTypeToString(FieldType t);
+
+/// Per-field statistics gathered during discovery.
+struct FieldInfo {
+  std::string name;  ///< dotted path for nested fields, e.g. "user.lat"
+  FieldType type = FieldType::kNull;
+  uint64_t present = 0;  ///< documents containing the field
+  bool nullable = false; ///< absent or null in at least one document
+  /// Occurrences that were numeric (a string-typed field may still carry
+  /// mostly numbers when sources are dirty).
+  uint64_t numeric_present = 0;
+  /// String occurrences that parsed as timestamps ("2014-02-10 06:00:00").
+  uint64_t time_parsed = 0;
+  /// Range of observed numeric values (valid when numeric_present > 0).
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// A discovered schema.
+struct Schema {
+  std::vector<FieldInfo> fields;
+  uint64_t documents = 0;
+
+  const FieldInfo* Find(std::string_view name) const;
+  std::string ToString() const;
+};
+
+/// Which document fields hold the (x, y, t) coordinates.
+struct SpatioTemporalBinding {
+  std::string x_field;
+  std::string y_field;
+  std::string t_field;  ///< empty for purely spatial data
+
+  bool HasSpace() const { return !x_field.empty() && !y_field.empty(); }
+  bool HasTime() const { return !t_field.empty(); }
+};
+
+/// Streaming schema discoverer.
+class SchemaDiscovery {
+ public:
+  /// Folds one document into the running schema (nested objects are
+  /// flattened to dotted paths; arrays are typed as kArray).
+  void Observe(const Value& doc);
+
+  /// The schema over everything observed so far.
+  Schema Discover() const;
+
+  /// Guesses the spatio-temporal binding from field names (lat/lon/x/y/
+  /// time/timestamp/...) and numeric ranges (latitude ∈ [-90, 90], …).
+  /// Returns nullopt when no plausible spatial pair exists.
+  static std::optional<SpatioTemporalBinding> GuessBinding(const Schema& schema);
+
+ private:
+  void ObservePath(const std::string& path, const Value& v);
+
+  std::vector<FieldInfo> fields_;  // insertion-ordered
+  uint64_t documents_ = 0;
+};
+
+}  // namespace storm
+
+#endif  // STORM_CONNECTOR_SCHEMA_DISCOVERY_H_

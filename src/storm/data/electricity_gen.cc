@@ -1,0 +1,83 @@
+#include "storm/data/electricity_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace storm {
+
+ElectricityGenerator::ElectricityGenerator(ElectricityOptions options)
+    : options_(options), rng_(options.seed) {}
+
+std::vector<ElectricityReading> ElectricityGenerator::Generate() {
+  struct Unit {
+    double lon, lat, base;
+  };
+  // Density core (Manhattan-ish, upper-left of the box) plus dispersed
+  // boroughs.
+  double core_lon = options_.lon_min + 0.3 * (options_.lon_max - options_.lon_min);
+  double core_lat = options_.lat_min + 0.65 * (options_.lat_max - options_.lat_min);
+  std::vector<Unit> units;
+  units.reserve(static_cast<size_t>(options_.num_units));
+  for (int u = 0; u < options_.num_units; ++u) {
+    Unit unit;
+    if (rng_.Bernoulli(0.45)) {
+      unit.lon = std::clamp(rng_.Normal(core_lon, 0.03), options_.lon_min,
+                            options_.lon_max);
+      unit.lat = std::clamp(rng_.Normal(core_lat, 0.04), options_.lat_min,
+                            options_.lat_max);
+    } else {
+      unit.lon = rng_.UniformDouble(options_.lon_min, options_.lon_max);
+      unit.lat = rng_.UniformDouble(options_.lat_min, options_.lat_max);
+    }
+    // Usage rises toward the core: ~1100 kWh downtown, ~850 at the edges.
+    double dist = std::hypot(unit.lon - core_lon, unit.lat - core_lat);
+    unit.base = 1100.0 - 900.0 * dist + rng_.Normal(0.0, 60.0);
+    units.push_back(unit);
+  }
+  std::vector<ElectricityReading> out;
+  out.reserve(units.size() * static_cast<size_t>(options_.readings_per_unit));
+  double span = options_.t_max - options_.t_min;
+  uint64_t id = 0;
+  for (int r = 0; r < options_.readings_per_unit; ++r) {
+    double t = options_.t_min +
+               span * (static_cast<double>(r) + 0.5) / options_.readings_per_unit;
+    // Winter heating tapers off across Q1.
+    double seasonal = 120.0 * (1.0 - (t - options_.t_min) / span);
+    for (size_t u = 0; u < units.size(); ++u) {
+      ElectricityReading reading;
+      reading.id = id++;
+      reading.unit_id = static_cast<int64_t>(u);
+      reading.lon = units[u].lon;
+      reading.lat = units[u].lat;
+      reading.t = t + rng_.UniformDouble(-span * 0.003, span * 0.003);
+      reading.usage =
+          std::max(0.0, units[u].base + seasonal + rng_.Normal(0.0, 90.0));
+      out.push_back(reading);
+    }
+  }
+  return out;
+}
+
+Value ElectricityGenerator::ToDocument(const ElectricityReading& r) {
+  Value doc = Value::MakeObject();
+  doc.Set("id", Value::Int(static_cast<int64_t>(r.id)));
+  doc.Set("unit", Value::Int(r.unit_id));
+  doc.Set("lon", Value::Double(r.lon));
+  doc.Set("lat", Value::Double(r.lat));
+  doc.Set("timestamp", Value::Double(r.t));
+  doc.Set("usage", Value::Double(r.usage));
+  return doc;
+}
+
+std::vector<RTree<3>::Entry> ElectricityGenerator::ToEntries(
+    const std::vector<ElectricityReading>& readings) {
+  std::vector<RTree<3>::Entry> entries;
+  entries.reserve(readings.size());
+  for (size_t i = 0; i < readings.size(); ++i) {
+    entries.push_back(
+        {Point3(readings[i].lon, readings[i].lat, readings[i].t), i});
+  }
+  return entries;
+}
+
+}  // namespace storm

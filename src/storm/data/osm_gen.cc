@@ -1,0 +1,79 @@
+#include "storm/data/osm_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace storm {
+
+OsmLikeGenerator::OsmLikeGenerator(OsmOptions options)
+    : options_(options), rng_(options.seed) {}
+
+std::vector<OsmPoint> OsmLikeGenerator::Generate() {
+  struct Cluster {
+    double lon, lat, sigma, weight;
+  };
+  std::vector<Cluster> clusters;
+  clusters.reserve(static_cast<size_t>(options_.num_clusters));
+  std::vector<double> weights;
+  for (int c = 0; c < options_.num_clusters; ++c) {
+    Cluster cl;
+    cl.lon = rng_.UniformDouble(options_.lon_min, options_.lon_max);
+    cl.lat = rng_.UniformDouble(options_.lat_min, options_.lat_max);
+    // City sizes follow a rough power law.
+    cl.weight = std::pow(rng_.UniformDouble(0.05, 1.0), 2.0);
+    cl.sigma = options_.cluster_sigma * rng_.UniformDouble(0.2, 1.2);
+    clusters.push_back(cl);
+    weights.push_back(cl.weight);
+  }
+  // Smooth terrain model: a few broad sine ridges + latitude gradient.
+  auto terrain = [&](double lon, double lat) {
+    double a = 800.0 * std::sin(lon * 0.12) * std::cos(lat * 0.21);
+    double b = 600.0 * std::sin(lon * 0.05 + 1.3) * std::sin(lat * 0.09 + 0.4);
+    double c = 30.0 * (lat - options_.lat_min);
+    return 1500.0 + a + b + c;
+  };
+  std::vector<OsmPoint> out;
+  out.reserve(options_.num_points);
+  for (uint64_t i = 0; i < options_.num_points; ++i) {
+    OsmPoint p;
+    p.id = i;
+    if (rng_.Bernoulli(options_.background_fraction)) {
+      p.lon = rng_.UniformDouble(options_.lon_min, options_.lon_max);
+      p.lat = rng_.UniformDouble(options_.lat_min, options_.lat_max);
+    } else {
+      const Cluster& cl = clusters[rng_.Discrete(weights)];
+      p.lon = std::clamp(rng_.Normal(cl.lon, cl.sigma), options_.lon_min,
+                         options_.lon_max);
+      p.lat = std::clamp(rng_.Normal(cl.lat, cl.sigma), options_.lat_min,
+                         options_.lat_max);
+    }
+    p.altitude = terrain(p.lon, p.lat) + rng_.Normal(0.0, 40.0);
+    out.push_back(p);
+  }
+  return out;
+}
+
+Value OsmLikeGenerator::ToDocument(const OsmPoint& p) {
+  Value doc = Value::MakeObject();
+  doc.Set("id", Value::Int(static_cast<int64_t>(p.id)));
+  doc.Set("lon", Value::Double(p.lon));
+  doc.Set("lat", Value::Double(p.lat));
+  doc.Set("altitude", Value::Double(p.altitude));
+  return doc;
+}
+
+std::vector<RTree<3>::Entry> OsmLikeGenerator::ToEntries(
+    const std::vector<OsmPoint>& pts, std::vector<double>* altitude_out) {
+  std::vector<RTree<3>::Entry> entries;
+  entries.reserve(pts.size());
+  if (altitude_out != nullptr) {
+    altitude_out->assign(pts.size(), 0.0);
+  }
+  for (size_t i = 0; i < pts.size(); ++i) {
+    entries.push_back({Point3(pts[i].lon, pts[i].lat, 0.0), pts[i].id});
+    if (altitude_out != nullptr) (*altitude_out)[pts[i].id] = pts[i].altitude;
+  }
+  return entries;
+}
+
+}  // namespace storm

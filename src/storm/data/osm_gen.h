@@ -1,0 +1,66 @@
+// OsmLikeGenerator: the OpenStreetMap substitute for the Fig 3 experiments.
+//
+// The paper's evaluation ran a fixed range query with q = 10⁹ over the full
+// OSM planet dump. The properties that matter for the sampler benchmarks
+// are (a) heavy spatial skew — points clump into cities along a Gaussian
+// mixture — and (b) a smooth numeric attribute ("altitude") correlated with
+// position, so avg(altitude) over a window has non-trivial variance. Both
+// are reproduced synthetically at laptop scale; the benches sweep the same
+// k/q ratios as Fig 3(a).
+
+#ifndef STORM_DATA_OSM_GEN_H_
+#define STORM_DATA_OSM_GEN_H_
+
+#include <vector>
+
+#include "storm/rtree/rtree.h"
+#include "storm/storage/value.h"
+#include "storm/util/rng.h"
+
+namespace storm {
+
+/// One generated OSM-like node.
+struct OsmPoint {
+  double lon = 0.0;
+  double lat = 0.0;
+  double altitude = 0.0;
+  uint64_t id = 0;
+};
+
+struct OsmOptions {
+  uint64_t num_points = 100'000;
+  int num_clusters = 64;
+  /// Fraction of points drawn uniformly over the bbox instead of from a
+  /// cluster (rural background noise).
+  double background_fraction = 0.1;
+  /// Cluster spread in degrees.
+  double cluster_sigma = 0.8;
+  /// World window (default: continental US-ish).
+  double lon_min = -125.0, lon_max = -66.0;
+  double lat_min = 24.0, lat_max = 49.0;
+  uint64_t seed = 2015;
+};
+
+class OsmLikeGenerator {
+ public:
+  explicit OsmLikeGenerator(OsmOptions options = {});
+
+  /// Generates all points (fast path for index benchmarks).
+  std::vector<OsmPoint> Generate();
+
+  /// JSON document form for the connector/session path.
+  static Value ToDocument(const OsmPoint& p);
+
+  /// (x=lon, y=lat, t=0) index entries with ids = positions; `altitude_out`
+  /// (optional) receives the per-id attribute column.
+  static std::vector<RTree<3>::Entry> ToEntries(const std::vector<OsmPoint>& pts,
+                                                std::vector<double>* altitude_out);
+
+ private:
+  OsmOptions options_;
+  Rng rng_;
+};
+
+}  // namespace storm
+
+#endif  // STORM_DATA_OSM_GEN_H_

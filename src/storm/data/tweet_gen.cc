@@ -1,0 +1,166 @@
+#include "storm/data/tweet_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace storm {
+
+namespace {
+
+const char* const kNormalWords[] = {
+    "coffee",  "morning", "work",     "game",    "love",   "food",   "music",
+    "friday",  "weekend", "traffic",  "movie",   "pizza",  "sunset", "running",
+    "school",  "party",   "birthday", "beach",   "dog",    "cat",    "raining",
+    "sunny",   "happy",   "tired",    "gym",     "lunch",  "dinner", "shopping",
+    "concert", "football",
+};
+
+const char* const kEventWords[] = {
+    "snow",    "ice",      "outage",  "shit",   "hell",     "why",
+    "stuck",   "freezing", "storm",   "closed", "power",    "cold",
+    "blizzard", "roads",   "crazy",   "hours",  "stranded", "help",
+};
+
+}  // namespace
+
+TweetGenerator::TweetGenerator(TweetOptions options)
+    : options_(options), rng_(options.seed) {}
+
+std::string TweetGenerator::MakeText(bool in_event) {
+  std::string text;
+  int words = static_cast<int>(rng_.UniformInt(4, 10));
+  for (int w = 0; w < words; ++w) {
+    if (!text.empty()) text.push_back(' ');
+    if (in_event && rng_.Bernoulli(0.6)) {
+      text += kEventWords[rng_.Uniform(std::size(kEventWords))];
+    } else {
+      text += kNormalWords[rng_.Uniform(std::size(kNormalWords))];
+    }
+  }
+  return text;
+}
+
+std::vector<Tweet> TweetGenerator::Generate() {
+  struct City {
+    double lon, lat, weight;
+  };
+  std::vector<City> cities;
+  std::vector<double> city_weights;
+  for (int c = 0; c < options_.num_cities; ++c) {
+    City city;
+    city.lon = rng_.UniformDouble(options_.lon_min, options_.lon_max);
+    city.lat = rng_.UniformDouble(options_.lat_min, options_.lat_max);
+    city.weight = std::pow(rng_.UniformDouble(0.1, 1.0), 2.0);
+    cities.push_back(city);
+    city_weights.push_back(city.weight);
+  }
+  if (options_.enable_event) {
+    // Guarantee a city inside the event region so the anomaly has data.
+    City atlanta;
+    atlanta.lon = options_.event_region.Center()[0];
+    atlanta.lat = options_.event_region.Center()[1];
+    atlanta.weight = 1.0;
+    cities.push_back(atlanta);
+    city_weights.push_back(atlanta.weight);
+  }
+  struct UserState {
+    double home_lon, home_lat;  // current waypoint
+    double target_lon, target_lat;
+    double progress = 1.0;  // 1 => pick a new waypoint
+  };
+  std::vector<UserState> users(static_cast<size_t>(options_.num_users));
+  for (UserState& u : users) {
+    const City& c = cities[rng_.Discrete(city_weights)];
+    u.home_lon = u.target_lon = std::clamp(rng_.Normal(c.lon, 0.3),
+                                           options_.lon_min, options_.lon_max);
+    u.home_lat = u.target_lat = std::clamp(rng_.Normal(c.lat, 0.3),
+                                           options_.lat_min, options_.lat_max);
+  }
+  std::vector<Tweet> out;
+  out.reserve(options_.num_tweets);
+  // Timestamps advance with generation order so each user's random-waypoint
+  // movement is coherent in time (trajectories are reconstructible).
+  double span = options_.t_max - options_.t_min;
+  double step = span / static_cast<double>(options_.num_tweets);
+  for (uint64_t i = 0; i < options_.num_tweets; ++i) {
+    Tweet t;
+    t.id = i;
+    if (options_.enable_event && rng_.Bernoulli(options_.event_boost)) {
+      // Storm-surge tweet: a local user posting from inside the event
+      // window (volume spikes during the event, as on real twitter).
+      t.user = options_.num_users + rng_.UniformInt(0, 49);
+      t.lon = rng_.UniformDouble(options_.event_region.lo()[0],
+                                 options_.event_region.hi()[0]);
+      t.lat = rng_.UniformDouble(options_.event_region.lo()[1],
+                                 options_.event_region.hi()[1]);
+      t.t = rng_.UniformDouble(options_.event_t_min, options_.event_t_max);
+      t.text = MakeText(/*in_event=*/true);
+      out.push_back(std::move(t));
+      continue;
+    }
+    t.user = rng_.UniformInt(0, options_.num_users - 1);
+    UserState& u = users[static_cast<size_t>(t.user)];
+    // Random-waypoint: drift from home toward target; pick a new target on
+    // arrival (~5% of tweets).
+    if (u.progress >= 1.0) {
+      u.home_lon = u.target_lon;
+      u.home_lat = u.target_lat;
+      if (rng_.Bernoulli(0.9)) {
+        // Local errand: a waypoint near the current position.
+        u.target_lon = std::clamp(rng_.Normal(u.home_lon, 0.4),
+                                  options_.lon_min, options_.lon_max);
+        u.target_lat = std::clamp(rng_.Normal(u.home_lat, 0.4),
+                                  options_.lat_min, options_.lat_max);
+      } else {
+        // Occasional long trip to another city.
+        const City& c = cities[rng_.Discrete(city_weights)];
+        u.target_lon = std::clamp(rng_.Normal(c.lon, 0.3), options_.lon_min,
+                                  options_.lon_max);
+        u.target_lat = std::clamp(rng_.Normal(c.lat, 0.3), options_.lat_min,
+                                  options_.lat_max);
+      }
+      u.progress = 0.0;
+    }
+    u.progress += rng_.UniformDouble(0.0, 0.1);
+    double frac = std::min(u.progress, 1.0);
+    double lon = u.home_lon + frac * (u.target_lon - u.home_lon);
+    double lat = u.home_lat + frac * (u.target_lat - u.home_lat);
+    t.lon = std::clamp(lon + rng_.Normal(0.0, options_.roam_sigma),
+                       options_.lon_min, options_.lon_max);
+    t.lat = std::clamp(lat + rng_.Normal(0.0, options_.roam_sigma),
+                       options_.lat_min, options_.lat_max);
+    t.t = options_.t_min + step * (static_cast<double>(i) +
+                                   rng_.UniformDouble(0.0, 1.0));
+    bool in_event =
+        options_.enable_event &&
+        options_.event_region.Contains(Point2(t.lon, t.lat)) &&
+        t.t >= options_.event_t_min && t.t <= options_.event_t_max;
+    t.text = MakeText(in_event);
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+Value TweetGenerator::ToDocument(const Tweet& t) {
+  Value doc = Value::MakeObject();
+  doc.Set("id", Value::Int(static_cast<int64_t>(t.id)));
+  doc.Set("user", Value::Int(t.user));
+  doc.Set("lon", Value::Double(t.lon));
+  doc.Set("lat", Value::Double(t.lat));
+  doc.Set("timestamp", Value::Double(t.t));
+  doc.Set("text", Value::String(t.text));
+  return doc;
+}
+
+std::vector<RTree<3>::Entry> TweetGenerator::ToEntries(
+    const std::vector<Tweet>& tweets) {
+  std::vector<RTree<3>::Entry> entries;
+  entries.reserve(tweets.size());
+  for (size_t i = 0; i < tweets.size(); ++i) {
+    entries.push_back(
+        {Point3(tweets[i].lon, tweets[i].lat, tweets[i].t), i});
+  }
+  return entries;
+}
+
+}  // namespace storm

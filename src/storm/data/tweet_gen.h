@@ -1,0 +1,80 @@
+// TweetGenerator: the Twitter-feed substitute for the KDE / trajectory /
+// short-text demos (Figs 5 and 6).
+//
+// Users live in cities, move by a random-waypoint model (so each user's
+// tweets trace a reconstructible trajectory), and tweet short texts from a
+// topic mixture. A configurable "event window" (default: the Atlanta
+// snowstorm of Feb 10-13, 2014) makes tweets inside a space-time box use an
+// event vocabulary (snow, ice, outage, …) so the Fig 6(b) experiment has a
+// deterministic anomaly to find.
+
+#ifndef STORM_DATA_TWEET_GEN_H_
+#define STORM_DATA_TWEET_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "storm/geo/rect.h"
+#include "storm/rtree/rtree.h"
+#include "storm/storage/value.h"
+#include "storm/util/rng.h"
+
+namespace storm {
+
+struct Tweet {
+  uint64_t id = 0;
+  int64_t user = 0;
+  double lon = 0.0;
+  double lat = 0.0;
+  double t = 0.0;  ///< epoch seconds
+  std::string text;
+};
+
+struct TweetOptions {
+  uint64_t num_tweets = 50'000;
+  int num_users = 500;
+  int num_cities = 12;
+  /// Time span of the feed (defaults to 2013-07-01 .. 2014-07-01).
+  double t_min = 1372636800.0;
+  double t_max = 1404172800.0;
+  /// Bounding box (continental US).
+  double lon_min = -125.0, lon_max = -66.0;
+  double lat_min = 24.0, lat_max = 49.0;
+  /// How far a user roams around the current waypoint (degrees).
+  double roam_sigma = 0.05;
+  /// Event window (Atlanta snowstorm): tweets inside use event vocabulary.
+  bool enable_event = true;
+  /// Fraction of the feed generated *inside* the event window (tweet volume
+  /// spikes during the storm); these come from dedicated local user ids
+  /// above num_users so regular users' trajectories stay coherent.
+  double event_boost = 0.01;
+  Rect2 event_region = Rect2(Point2(-84.6, 33.5), Point2(-84.1, 34.0));
+  double event_t_min = 1392012000.0;  ///< 2014-02-10 06:00 UTC
+  double event_t_max = 1392292800.0;  ///< 2014-02-13 12:00 UTC
+  uint64_t seed = 1402;
+};
+
+class TweetGenerator {
+ public:
+  explicit TweetGenerator(TweetOptions options = {});
+
+  /// Generates the feed sorted by timestamp.
+  std::vector<Tweet> Generate();
+
+  static Value ToDocument(const Tweet& t);
+
+  /// (x=lon, y=lat, t) entries with ids = positions in `tweets`.
+  static std::vector<RTree<3>::Entry> ToEntries(const std::vector<Tweet>& tweets);
+
+  const TweetOptions& options() const { return options_; }
+
+ private:
+  std::string MakeText(bool in_event);
+
+  TweetOptions options_;
+  Rng rng_;
+};
+
+}  // namespace storm
+
+#endif  // STORM_DATA_TWEET_GEN_H_

@@ -1,0 +1,100 @@
+#include "storm/data/weather_gen.h"
+
+#include <cmath>
+
+namespace storm {
+
+WeatherGenerator::WeatherGenerator(WeatherOptions options)
+    : options_(options), rng_(options.seed) {}
+
+std::vector<WeatherStation> WeatherGenerator::GenerateStations() {
+  std::vector<WeatherStation> stations;
+  stations.reserve(static_cast<size_t>(options_.num_stations));
+  int grid = static_cast<int>(std::ceil(std::sqrt(options_.num_stations)));
+  double dlon = (options_.lon_max - options_.lon_min) / grid;
+  double dlat = (options_.lat_max - options_.lat_min) / grid;
+  for (int i = 0; i < options_.num_stations; ++i) {
+    WeatherStation s;
+    s.station_id = i;
+    int gx = i % grid;
+    int gy = i / grid;
+    s.lon = options_.lon_min + (gx + 0.5) * dlon + rng_.Normal(0.0, dlon * 0.25);
+    s.lat = options_.lat_min + (gy + 0.5) * dlat + rng_.Normal(0.0, dlat * 0.25);
+    s.elevation = std::max(0.0, 1200.0 + 900.0 * std::sin(s.lon * 0.11) *
+                                             std::cos(s.lat * 0.19) +
+                                    rng_.Normal(0.0, 150.0));
+    stations.push_back(s);
+  }
+  return stations;
+}
+
+double WeatherGenerator::TrueTemperature(double lon, double lat,
+                                         double elevation, double t) {
+  (void)lon;
+  // Latitude gradient: ~0.8 °C per degree; lapse rate 6.5 °C/km; seasonal
+  // cycle peaking Jul 15; diurnal cycle peaking 14:00 UTC (crude).
+  double base = 35.0 - 0.8 * lat;
+  double lapse = -6.5 * elevation / 1000.0;
+  double day_of_year = std::fmod(t / 86400.0, 365.25);
+  double seasonal = 12.0 * std::cos(2.0 * M_PI * (day_of_year - 196.0) / 365.25);
+  double hour = std::fmod(t / 3600.0, 24.0);
+  double diurnal = 5.0 * std::cos(2.0 * M_PI * (hour - 14.0) / 24.0);
+  return base + lapse + seasonal + diurnal;
+}
+
+std::vector<WeatherReading> WeatherGenerator::GenerateReadings(
+    const std::vector<WeatherStation>& stations) {
+  std::vector<WeatherReading> out;
+  out.reserve(stations.size() *
+              static_cast<size_t>(options_.readings_per_station));
+  double span = options_.t_max - options_.t_min;
+  uint64_t id = 0;
+  for (int r = 0; r < options_.readings_per_station; ++r) {
+    double t = options_.t_min +
+               span * (static_cast<double>(r) + 0.5) /
+                   options_.readings_per_station;
+    for (const WeatherStation& s : stations) {
+      WeatherReading reading;
+      reading.id = id++;
+      reading.station_id = s.station_id;
+      reading.lon = s.lon;
+      reading.lat = s.lat;
+      reading.t = t + rng_.UniformDouble(-span * 0.002, span * 0.002);
+      reading.temperature =
+          TrueTemperature(s.lon, s.lat, s.elevation, reading.t) +
+          rng_.Normal(0.0, 1.5);
+      reading.humidity =
+          std::clamp(55.0 + 25.0 * std::sin(s.lon * 0.3) + rng_.Normal(0.0, 10.0),
+                     2.0, 100.0);
+      reading.wind = std::max(0.0, rng_.Exponential(0.25));
+      out.push_back(reading);
+    }
+  }
+  return out;
+}
+
+Value WeatherGenerator::ToDocument(const WeatherReading& r) {
+  Value doc = Value::MakeObject();
+  doc.Set("id", Value::Int(static_cast<int64_t>(r.id)));
+  doc.Set("station", Value::Int(r.station_id));
+  doc.Set("lon", Value::Double(r.lon));
+  doc.Set("lat", Value::Double(r.lat));
+  doc.Set("timestamp", Value::Double(r.t));
+  doc.Set("temperature", Value::Double(r.temperature));
+  doc.Set("humidity", Value::Double(r.humidity));
+  doc.Set("wind", Value::Double(r.wind));
+  return doc;
+}
+
+std::vector<RTree<3>::Entry> WeatherGenerator::ToEntries(
+    const std::vector<WeatherReading>& readings) {
+  std::vector<RTree<3>::Entry> entries;
+  entries.reserve(readings.size());
+  for (size_t i = 0; i < readings.size(); ++i) {
+    entries.push_back(
+        {Point3(readings[i].lon, readings[i].lat, readings[i].t), i});
+  }
+  return entries;
+}
+
+}  // namespace storm

@@ -1,0 +1,73 @@
+// WeatherGenerator: the MesoWest measurement-network substitute. ~N
+// stations on a jittered grid, each producing periodic readings whose
+// temperature combines a latitude gradient, an altitude-like station bias,
+// seasonal and diurnal cycles, and noise — so spatio-temporal AVG/GROUP BY
+// queries over windows have realistic structure.
+
+#ifndef STORM_DATA_WEATHER_GEN_H_
+#define STORM_DATA_WEATHER_GEN_H_
+
+#include <vector>
+
+#include "storm/rtree/rtree.h"
+#include "storm/storage/value.h"
+#include "storm/util/rng.h"
+
+namespace storm {
+
+struct WeatherStation {
+  int64_t station_id = 0;
+  double lon = 0.0;
+  double lat = 0.0;
+  double elevation = 0.0;
+};
+
+struct WeatherReading {
+  uint64_t id = 0;
+  int64_t station_id = 0;
+  double lon = 0.0;
+  double lat = 0.0;
+  double t = 0.0;           ///< epoch seconds
+  double temperature = 0.0; ///< °C
+  double humidity = 0.0;    ///< %
+  double wind = 0.0;        ///< m/s
+};
+
+struct WeatherOptions {
+  int num_stations = 400;
+  /// Readings per station, evenly spaced over the time span.
+  int readings_per_station = 96;
+  double t_min = 1388534400.0;  ///< 2014-01-01
+  double t_max = 1396310400.0;  ///< 2014-04-01
+  double lon_min = -125.0, lon_max = -66.0;
+  double lat_min = 24.0, lat_max = 49.0;
+  uint64_t seed = 4000;
+};
+
+class WeatherGenerator {
+ public:
+  explicit WeatherGenerator(WeatherOptions options = {});
+
+  std::vector<WeatherStation> GenerateStations();
+
+  /// Readings for the given stations (id = index in the output).
+  std::vector<WeatherReading> GenerateReadings(
+      const std::vector<WeatherStation>& stations);
+
+  static Value ToDocument(const WeatherReading& r);
+  static std::vector<RTree<3>::Entry> ToEntries(
+      const std::vector<WeatherReading>& readings);
+
+  /// The deterministic mean temperature at a place and time (ground truth
+  /// for accuracy tests).
+  static double TrueTemperature(double lon, double lat, double elevation,
+                                double t);
+
+ private:
+  WeatherOptions options_;
+  Rng rng_;
+};
+
+}  // namespace storm
+
+#endif  // STORM_DATA_WEATHER_GEN_H_

@@ -1,0 +1,168 @@
+#include "storm/estimator/aggregate.h"
+
+#include <cmath>
+
+namespace storm {
+
+std::string_view AggregateKindToString(AggregateKind kind) {
+  switch (kind) {
+    case AggregateKind::kAvg:
+      return "AVG";
+    case AggregateKind::kSum:
+      return "SUM";
+    case AggregateKind::kCount:
+      return "COUNT";
+    case AggregateKind::kVariance:
+      return "VARIANCE";
+    case AggregateKind::kStddev:
+      return "STDDEV";
+    case AggregateKind::kMin:
+      return "MIN";
+    case AggregateKind::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+template <int D>
+OnlineAggregator<D>::OnlineAggregator(SpatialSampler<D>* sampler,
+                                      AttributeFn<D> attr, AggregateKind kind,
+                                      double confidence)
+    : sampler_(sampler),
+      attr_(std::move(attr)),
+      kind_(kind),
+      confidence_(confidence) {}
+
+template <int D>
+Status OnlineAggregator<D>::Begin(const Rect<D>& query) {
+  stat_.Reset();
+  exhausted_ = false;
+  mode_ = SamplingMode::kWithoutReplacement;
+  Status st = sampler_->Begin(query, mode_);
+  if (st.IsNotSupported()) {
+    mode_ = SamplingMode::kWithReplacement;
+    st = sampler_->Begin(query, mode_);
+  }
+  STORM_RETURN_NOT_OK(st);
+  began_ = true;
+  watch_.Restart();
+  return Status::OK();
+}
+
+template <int D>
+uint64_t OnlineAggregator<D>::Step(uint64_t batch) {
+  if (!began_ || exhausted_) return 0;
+  uint64_t drawn = 0;
+  for (uint64_t i = 0; i < batch; ++i) {
+    std::optional<Entry> e = sampler_->Next();
+    if (!e.has_value()) {
+      exhausted_ = sampler_->IsExhausted();
+      break;
+    }
+    double x = 1.0;
+    if (kind_ != AggregateKind::kCount) {
+      x = attr_(*e);
+      if (std::isnan(x)) {
+        // SQL semantics: records with a NULL/missing attribute are not part
+        // of the aggregated population. The draw still counts as work.
+        ++drawn;
+        continue;
+      }
+    }
+    stat_.Push(x);
+    ++drawn;
+  }
+  return drawn;
+}
+
+template <int D>
+ConfidenceInterval OnlineAggregator<D>::RunUntil(const StoppingRule& rule,
+                                                 uint64_t batch) {
+  while (true) {
+    uint64_t drawn = Step(batch);
+    ConfidenceInterval ci = Current();
+    if (rule.ShouldStop(ci, watch_.ElapsedMillis())) return ci;
+    if (drawn == 0) return ci;  // exhausted or sampler gave up
+  }
+}
+
+template <int D>
+ConfidenceInterval OnlineAggregator<D>::Current() const {
+  CardinalityEstimate card = sampler_->Cardinality();
+  bool wor = mode_ == SamplingMode::kWithoutReplacement;
+  uint64_t q_exact = card.exact ? card.lower : 0;
+  ConfidenceInterval ci;
+  switch (kind_) {
+    case AggregateKind::kAvg:
+      ci = MeanConfidence(stat_, confidence_, q_exact, wor);
+      break;
+    case AggregateKind::kSum:
+      ci = SumConfidenceBounded(stat_, confidence_, card.lower, card.upper,
+                                card.estimate, wor);
+      break;
+    case AggregateKind::kCount: {
+      ci.confidence = confidence_;
+      ci.samples = stat_.count();
+      ci.estimate = card.estimate;
+      if (card.exact) {
+        ci.half_width = 0.0;
+        ci.exact = true;
+      } else {
+        ci.half_width =
+            (static_cast<double>(card.upper) - static_cast<double>(card.lower)) /
+            2.0;
+        // Bounds are hard, not statistical: clamp the midpoint estimate.
+        ci.estimate = (static_cast<double>(card.upper) +
+                       static_cast<double>(card.lower)) /
+                      2.0;
+      }
+      break;
+    }
+    case AggregateKind::kVariance:
+    case AggregateKind::kStddev: {
+      ci.confidence = confidence_;
+      ci.samples = stat_.count();
+      double var = stat_.variance();
+      ci.estimate = kind_ == AggregateKind::kVariance ? var : std::sqrt(var);
+      // Large-sample CI for the variance assuming near-normal data:
+      // Var(s²) ≈ 2σ⁴ / (k-1).
+      if (stat_.count() >= 2) {
+        double se_var =
+            var * std::sqrt(2.0 / static_cast<double>(stat_.count() - 1));
+        double hw_var = ZCritical(confidence_) * se_var;
+        if (kind_ == AggregateKind::kVariance) {
+          ci.half_width = hw_var;
+        } else {
+          double sd = std::sqrt(var);
+          ci.half_width = sd > 0 ? hw_var / (2.0 * sd) : 0.0;
+        }
+      } else {
+        ci.half_width = std::numeric_limits<double>::infinity();
+      }
+      break;
+    }
+    case AggregateKind::kMin:
+    case AggregateKind::kMax: {
+      ci.confidence = confidence_;
+      ci.samples = stat_.count();
+      ci.estimate = kind_ == AggregateKind::kMin ? stat_.min() : stat_.max();
+      ci.half_width = std::numeric_limits<double>::infinity();  // no guarantee
+      break;
+    }
+  }
+  if (exhausted_ && mode_ == SamplingMode::kWithoutReplacement) {
+    ci.exact = true;
+    ci.half_width = 0.0;
+  }
+  return ci;
+}
+
+template <int D>
+bool OnlineAggregator<D>::Exhausted() const {
+  return exhausted_;
+}
+
+template class OnlineAggregator<2>;
+template class OnlineAggregator<3>;
+
+}  // namespace storm

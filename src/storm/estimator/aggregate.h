@@ -1,0 +1,94 @@
+// OnlineAggregator: the bridge from spatial online samples to online
+// spatio-temporal aggregates (§3.2 "feature module").
+//
+// An aggregator owns nothing: it drives a SpatialSampler the caller set up
+// over an index, looks attribute values up through a caller-provided
+// accessor, and maintains a running unbiased estimate with a confidence
+// interval that tightens as samples arrive. The caller pumps Step() in a
+// loop (typically interleaved with UI updates) and reads Current() at any
+// time — that is what makes the query "online".
+
+#ifndef STORM_ESTIMATOR_AGGREGATE_H_
+#define STORM_ESTIMATOR_AGGREGATE_H_
+
+#include <functional>
+#include <limits>
+
+#include "storm/estimator/confidence.h"
+#include "storm/estimator/stopping.h"
+#include "storm/sampling/sampler.h"
+#include "storm/util/stats.h"
+#include "storm/util/stopwatch.h"
+
+namespace storm {
+
+/// Supported aggregate functions.
+enum class AggregateKind {
+  kAvg,
+  kSum,
+  kCount,
+  kVariance,
+  kStddev,
+  kMin,  ///< no CI: sample extrema are biased; reported best-effort
+  kMax,  ///< no CI: sample extrema are biased; reported best-effort
+};
+
+std::string_view AggregateKindToString(AggregateKind kind);
+
+/// Pulls an attribute value out of a sampled entry. Typically binds a
+/// RecordStore lookup by entry.id, or an in-memory column.
+template <int D>
+using AttributeFn = std::function<double(const typename RTree<D>::Entry&)>;
+
+template <int D>
+class OnlineAggregator {
+ public:
+  using Entry = typename RTree<D>::Entry;
+
+  /// `sampler` must outlive the aggregator. `attr` may be empty for kCount.
+  OnlineAggregator(SpatialSampler<D>* sampler, AttributeFn<D> attr,
+                   AggregateKind kind, double confidence = 0.95);
+
+  /// Starts the online query. Prefers without-replacement sampling (lower
+  /// variance, exact exhaustion) and falls back to with-replacement when
+  /// the sampler does not support it — except LS-tree-style samplers where
+  /// it is the other way round.
+  Status Begin(const Rect<D>& query);
+
+  /// Draws up to `batch` more samples (stops early on exhaustion).
+  /// Returns the number actually drawn.
+  uint64_t Step(uint64_t batch = 64);
+
+  /// Runs Step() until the stopping rule fires or the stream is exhausted;
+  /// returns the final estimate.
+  ConfidenceInterval RunUntil(const StoppingRule& rule, uint64_t batch = 64);
+
+  /// The current online estimate with its CI.
+  ConfidenceInterval Current() const;
+
+  /// True when no further samples can improve the estimate.
+  bool Exhausted() const;
+
+  uint64_t samples_drawn() const { return stat_.count(); }
+  double elapsed_millis() const { return watch_.ElapsedMillis(); }
+  const RunningStat& stat() const { return stat_; }
+  SamplingMode mode() const { return mode_; }
+
+ private:
+  SpatialSampler<D>* sampler_;
+  AttributeFn<D> attr_;
+  AggregateKind kind_;
+  double confidence_;
+  SamplingMode mode_ = SamplingMode::kWithoutReplacement;
+  RunningStat stat_;
+  Stopwatch watch_;
+  bool began_ = false;
+  bool exhausted_ = false;
+};
+
+extern template class OnlineAggregator<2>;
+extern template class OnlineAggregator<3>;
+
+}  // namespace storm
+
+#endif  // STORM_ESTIMATOR_AGGREGATE_H_

@@ -1,0 +1,109 @@
+#include "storm/estimator/confidence.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace storm {
+
+double ConfidenceInterval::RelativeError() const {
+  if (estimate == 0.0) {
+    return half_width == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return half_width / std::fabs(estimate);
+}
+
+std::string ConfidenceInterval::ToString() const {
+  std::ostringstream os;
+  os << estimate << " ± " << half_width << " ("
+     << static_cast<int>(confidence * 100 + 0.5) << "% conf, k=" << samples;
+  if (exact) os << ", exact";
+  os << ")";
+  return os.str();
+}
+
+ConfidenceInterval MeanConfidence(const RunningStat& stat, double confidence,
+                                  uint64_t population_size,
+                                  bool without_replacement) {
+  ConfidenceInterval ci;
+  ci.confidence = confidence;
+  ci.samples = stat.count();
+  ci.estimate = stat.mean();
+  if (stat.count() < 2) {
+    ci.half_width = std::numeric_limits<double>::infinity();
+    return ci;
+  }
+  double se = stat.standard_error();
+  if (without_replacement && population_size > 1) {
+    double q = static_cast<double>(population_size);
+    double k = static_cast<double>(stat.count());
+    if (k >= q) {
+      ci.half_width = 0.0;
+      ci.exact = true;
+      return ci;
+    }
+    se *= std::sqrt((q - k) / (q - 1.0));
+  }
+  ci.half_width = ZCritical(confidence) * se;
+  return ci;
+}
+
+ConfidenceInterval SumConfidenceBounded(const RunningStat& stat,
+                                        double confidence,
+                                        uint64_t cardinality_lower,
+                                        uint64_t cardinality_upper,
+                                        double cardinality_estimate,
+                                        bool without_replacement) {
+  if (cardinality_lower == cardinality_upper) {
+    return SumConfidence(stat, confidence, cardinality_estimate,
+                         /*cardinality_exact=*/true, without_replacement);
+  }
+  if (cardinality_upper == ~uint64_t{0}) {
+    return SumConfidence(stat, confidence, cardinality_estimate,
+                         /*cardinality_exact=*/false, without_replacement);
+  }
+  ConfidenceInterval mean_ci = MeanConfidence(stat, confidence, 0, false);
+  // Union over q in [lo, hi] of q * [mean - hw, mean + hw]; since q >= 0
+  // the extremes come from the bound corners.
+  double lo_q = static_cast<double>(cardinality_lower);
+  double hi_q = static_cast<double>(cardinality_upper);
+  double a = mean_ci.estimate - mean_ci.half_width;
+  double b = mean_ci.estimate + mean_ci.half_width;
+  double lo = std::min(std::min(lo_q * a, lo_q * b),
+                       std::min(hi_q * a, hi_q * b));
+  double hi = std::max(std::max(lo_q * a, lo_q * b),
+                       std::max(hi_q * a, hi_q * b));
+  ConfidenceInterval ci;
+  ci.confidence = confidence;
+  ci.samples = stat.count();
+  ci.estimate = cardinality_estimate * mean_ci.estimate;
+  ci.half_width = std::max(hi - ci.estimate, ci.estimate - lo);
+  return ci;
+}
+
+ConfidenceInterval SumConfidence(const RunningStat& stat, double confidence,
+                                 double cardinality_estimate,
+                                 bool cardinality_exact,
+                                 bool without_replacement) {
+  uint64_t q = cardinality_exact
+                   ? static_cast<uint64_t>(cardinality_estimate + 0.5)
+                   : 0;
+  ConfidenceInterval mean_ci =
+      MeanConfidence(stat, confidence, q, without_replacement);
+  ConfidenceInterval ci;
+  ci.confidence = confidence;
+  ci.samples = stat.count();
+  ci.estimate = cardinality_estimate * mean_ci.estimate;
+  ci.half_width = cardinality_estimate * mean_ci.half_width;
+  ci.exact = mean_ci.exact && cardinality_exact;
+  if (!cardinality_exact) {
+    // Crude inflation: treat the cardinality estimate as ±50% until the
+    // sampler resolves it; callers that need tight sums should use an index
+    // that reports exact cardinalities (RandomPath/QueryFirst do; RS-tree
+    // converges; LS-tree at level 0).
+    ci.half_width += 0.5 * cardinality_estimate * std::fabs(mean_ci.estimate);
+  }
+  return ci;
+}
+
+}  // namespace storm

@@ -1,0 +1,72 @@
+// Confidence intervals for online estimates (the statistics of §3.2).
+//
+// By the CLT the sample mean X̄ of k spatial online samples approaches
+// Normal(μ, σ²/k); estimating σ from the sample gives the standard
+// large-sample CI used by classic online aggregation (Hellerstein et al.
+// 1997, Haas 1997). In without-replacement mode with known population size
+// q, the finite population correction (q-k)/(q-1) applies and the interval
+// collapses to zero width as k → q.
+
+#ifndef STORM_ESTIMATOR_CONFIDENCE_H_
+#define STORM_ESTIMATOR_CONFIDENCE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "storm/util/stats.h"
+
+namespace storm {
+
+/// A symmetric large-sample confidence interval around an estimate.
+struct ConfidenceInterval {
+  double estimate = 0.0;
+  /// Half-width of the interval: the true value lies in
+  /// [estimate - half_width, estimate + half_width] with probability
+  /// `confidence` (asymptotically).
+  double half_width = 0.0;
+  double confidence = 0.95;
+  uint64_t samples = 0;
+  /// True when the estimate is exact (population exhausted), so
+  /// half_width == 0 deterministically rather than statistically.
+  bool exact = false;
+
+  double lower() const { return estimate - half_width; }
+  double upper() const { return estimate + half_width; }
+
+  /// half_width / |estimate|; infinity when the estimate is 0.
+  double RelativeError() const;
+
+  std::string ToString() const;
+};
+
+/// CI for the population *mean* from a sample accumulator.
+/// `population_size` is q when known exactly (enables the FPC in
+/// without-replacement mode); pass 0 when unknown or sampling with
+/// replacement.
+ConfidenceInterval MeanConfidence(const RunningStat& stat, double confidence,
+                                  uint64_t population_size = 0,
+                                  bool without_replacement = false);
+
+/// CI for the population *sum* q·μ. Requires a cardinality estimate q̂ for
+/// the scale-up; when `cardinality_exact` is false the returned interval
+/// additionally inflates by the cardinality uncertainty and is flagged
+/// non-exact.
+ConfidenceInterval SumConfidence(const RunningStat& stat, double confidence,
+                                 double cardinality_estimate,
+                                 bool cardinality_exact,
+                                 bool without_replacement = false);
+
+/// Sharper SUM interval when the sampler reports hard cardinality bounds
+/// (RS-tree frontiers do): the interval is the union of q·(μ ± hw) over
+/// q ∈ [lower, upper]. Falls back to the crude ±50% inflation when the
+/// upper bound is the unbounded sentinel.
+ConfidenceInterval SumConfidenceBounded(const RunningStat& stat,
+                                        double confidence,
+                                        uint64_t cardinality_lower,
+                                        uint64_t cardinality_upper,
+                                        double cardinality_estimate,
+                                        bool without_replacement = false);
+
+}  // namespace storm
+
+#endif  // STORM_ESTIMATOR_CONFIDENCE_H_

@@ -1,0 +1,117 @@
+#include "storm/estimator/group_by.h"
+
+#include <cmath>
+
+namespace storm {
+
+template <int D>
+GroupByAggregator<D>::GroupByAggregator(SpatialSampler<D>* sampler, KeyFn key,
+                                        AttributeFn<D> attr, AggregateKind kind,
+                                        double confidence)
+    : sampler_(sampler),
+      key_(std::move(key)),
+      attr_(std::move(attr)),
+      kind_(kind),
+      confidence_(confidence) {
+  assert(kind_ == AggregateKind::kAvg || kind_ == AggregateKind::kSum ||
+         kind_ == AggregateKind::kCount);
+}
+
+template <int D>
+Status GroupByAggregator<D>::Begin(const Rect<D>& query) {
+  groups_.clear();
+  total_samples_ = 0;
+  exhausted_ = false;
+  mode_ = SamplingMode::kWithoutReplacement;
+  Status st = sampler_->Begin(query, mode_);
+  if (st.IsNotSupported()) {
+    mode_ = SamplingMode::kWithReplacement;
+    st = sampler_->Begin(query, mode_);
+  }
+  STORM_RETURN_NOT_OK(st);
+  began_ = true;
+  return Status::OK();
+}
+
+template <int D>
+uint64_t GroupByAggregator<D>::Step(uint64_t batch) {
+  if (!began_ || exhausted_) return 0;
+  uint64_t drawn = 0;
+  for (uint64_t i = 0; i < batch; ++i) {
+    std::optional<Entry> e = sampler_->Next();
+    if (!e.has_value()) {
+      exhausted_ = sampler_->IsExhausted();
+      break;
+    }
+    double x = kind_ == AggregateKind::kCount ? 1.0 : attr_(*e);
+    groups_[key_(*e)].Push(x);
+    ++total_samples_;
+    ++drawn;
+  }
+  return drawn;
+}
+
+template <int D>
+std::vector<typename GroupByAggregator<D>::GroupEstimate>
+GroupByAggregator<D>::Current() const {
+  std::vector<GroupEstimate> out;
+  out.reserve(groups_.size());
+  CardinalityEstimate card = sampler_->Cardinality();
+  double k = static_cast<double>(total_samples_);
+  for (const auto& [key, stat] : groups_) {
+    GroupEstimate g;
+    g.key = key;
+    g.samples = stat.count();
+    // Group size estimate: q̂ · (k_g / k), binomial proportion CI.
+    double p = k > 0 ? static_cast<double>(stat.count()) / k : 0.0;
+    g.group_size.confidence = confidence_;
+    g.group_size.samples = stat.count();
+    g.group_size.estimate = card.estimate * p;
+    if (k >= 2 && p > 0.0) {
+      double se_p = std::sqrt(p * (1 - p) / k);
+      g.group_size.half_width = ZCritical(confidence_) * card.estimate * se_p;
+      if (!card.exact) {
+        g.group_size.half_width +=
+            0.5 * g.group_size.estimate;  // cardinality slack, as SumConfidence
+      }
+    } else {
+      g.group_size.half_width = std::numeric_limits<double>::infinity();
+    }
+    if (exhausted_ && mode_ == SamplingMode::kWithoutReplacement) {
+      g.group_size.half_width = 0.0;
+      g.group_size.exact = true;
+      g.group_size.estimate = static_cast<double>(stat.count());
+    }
+    switch (kind_) {
+      case AggregateKind::kAvg:
+        // Within-group mean: the group's samples are a uniform sample of
+        // the group's qualifying records.
+        g.ci = MeanConfidence(stat, confidence_, 0, false);
+        break;
+      case AggregateKind::kSum:
+        g.ci = SumConfidence(stat, confidence_, g.group_size.estimate,
+                             g.group_size.exact, false);
+        break;
+      case AggregateKind::kCount:
+        g.ci = g.group_size;
+        break;
+      default:
+        break;
+    }
+    if (exhausted_ && mode_ == SamplingMode::kWithoutReplacement) {
+      g.ci.exact = true;
+      if (kind_ == AggregateKind::kAvg) g.ci.half_width = 0.0;
+      if (kind_ == AggregateKind::kSum) {
+        g.ci.estimate = stat.sum();
+        g.ci.half_width = 0.0;
+      }
+    }
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+template class GroupByAggregator<2>;
+template class GroupByAggregator<3>;
+
+}  // namespace storm

@@ -1,0 +1,70 @@
+// Online GROUP BY estimates from spatial online samples.
+//
+// Groups are discovered as samples arrive (a group with no samples yet is
+// simply unknown — the classic online group-by caveat from Xu et al. 2008);
+// per-group aggregates get per-group confidence intervals, and per-group
+// cardinalities are estimated from the sample proportions with binomial
+// CIs.
+
+#ifndef STORM_ESTIMATOR_GROUP_BY_H_
+#define STORM_ESTIMATOR_GROUP_BY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "storm/estimator/aggregate.h"
+
+namespace storm {
+
+template <int D>
+class GroupByAggregator {
+ public:
+  using Entry = typename RTree<D>::Entry;
+  /// Maps a sampled entry to its group key (e.g. station id, hour of day).
+  using KeyFn = std::function<int64_t(const Entry&)>;
+
+  struct GroupEstimate {
+    int64_t key = 0;
+    /// The group aggregate (AVG/SUM/COUNT per `kind`).
+    ConfidenceInterval ci;
+    /// Estimated number of qualifying records in this group.
+    ConfidenceInterval group_size;
+    uint64_t samples = 0;
+  };
+
+  /// Supports kAvg, kSum and kCount. `attr` may be empty for kCount.
+  GroupByAggregator(SpatialSampler<D>* sampler, KeyFn key, AttributeFn<D> attr,
+                    AggregateKind kind, double confidence = 0.95);
+
+  Status Begin(const Rect<D>& query);
+
+  /// Draws up to `batch` samples; returns the number drawn.
+  uint64_t Step(uint64_t batch = 64);
+
+  /// Snapshot of all discovered groups, ordered by key.
+  std::vector<GroupEstimate> Current() const;
+
+  uint64_t total_samples() const { return total_samples_; }
+  bool Exhausted() const { return exhausted_; }
+
+ private:
+  SpatialSampler<D>* sampler_;
+  KeyFn key_;
+  AttributeFn<D> attr_;
+  AggregateKind kind_;
+  double confidence_;
+  SamplingMode mode_ = SamplingMode::kWithoutReplacement;
+  std::map<int64_t, RunningStat> groups_;
+  uint64_t total_samples_ = 0;
+  bool began_ = false;
+  bool exhausted_ = false;
+};
+
+extern template class GroupByAggregator<2>;
+extern template class GroupByAggregator<3>;
+
+}  // namespace storm
+
+#endif  // STORM_ESTIMATOR_GROUP_BY_H_

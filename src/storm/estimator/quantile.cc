@@ -1,0 +1,128 @@
+#include "storm/estimator/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace storm {
+
+template <int D>
+OnlineQuantile<D>::OnlineQuantile(SpatialSampler<D>* sampler,
+                                  QuantileAttributeFn<D> attr, double phi,
+                                  double confidence)
+    : sampler_(sampler),
+      attr_(std::move(attr)),
+      phi_(phi),
+      confidence_(confidence) {
+  assert(phi_ > 0.0 && phi_ < 1.0);
+}
+
+template <int D>
+Status OnlineQuantile<D>::Begin(const Rect<D>& query) {
+  values_.clear();
+  sorted_ = true;
+  exhausted_ = false;
+  Status st = sampler_->Begin(query, SamplingMode::kWithoutReplacement);
+  if (st.IsNotSupported()) {
+    st = sampler_->Begin(query, SamplingMode::kWithReplacement);
+  }
+  STORM_RETURN_NOT_OK(st);
+  began_ = true;
+  watch_.Restart();
+  return Status::OK();
+}
+
+template <int D>
+uint64_t OnlineQuantile<D>::Step(uint64_t batch) {
+  if (!began_ || exhausted_) return 0;
+  uint64_t drawn = 0;
+  for (uint64_t i = 0; i < batch; ++i) {
+    std::optional<Entry> e = sampler_->Next();
+    if (!e.has_value()) {
+      exhausted_ = sampler_->IsExhausted();
+      break;
+    }
+    double x = attr_(*e);
+    ++drawn;
+    if (std::isnan(x)) continue;
+    values_.push_back(x);
+    sorted_ = false;
+  }
+  return drawn;
+}
+
+template <int D>
+void OnlineQuantile<D>::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+template <int D>
+double OnlineQuantile<D>::ci_lower() const {
+  EnsureSorted();
+  if (values_.empty()) return -std::numeric_limits<double>::infinity();
+  double k = static_cast<double>(values_.size());
+  double z = ZCritical(confidence_);
+  double lo_rank = k * phi_ - z * std::sqrt(k * phi_ * (1 - phi_));
+  auto idx = static_cast<int64_t>(std::floor(lo_rank));
+  if (idx < 0) return -std::numeric_limits<double>::infinity();
+  return values_[static_cast<size_t>(idx)];
+}
+
+template <int D>
+double OnlineQuantile<D>::ci_upper() const {
+  EnsureSorted();
+  if (values_.empty()) return std::numeric_limits<double>::infinity();
+  double k = static_cast<double>(values_.size());
+  double z = ZCritical(confidence_);
+  double hi_rank = k * phi_ + z * std::sqrt(k * phi_ * (1 - phi_));
+  auto idx = static_cast<int64_t>(std::ceil(hi_rank));
+  if (idx >= static_cast<int64_t>(values_.size())) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return values_[static_cast<size_t>(idx)];
+}
+
+template <int D>
+ConfidenceInterval OnlineQuantile<D>::Current() const {
+  ConfidenceInterval ci;
+  ci.confidence = confidence_;
+  ci.samples = values_.size();
+  if (values_.empty()) {
+    ci.half_width = std::numeric_limits<double>::infinity();
+    return ci;
+  }
+  EnsureSorted();
+  size_t rank = static_cast<size_t>(
+      std::min<double>(static_cast<double>(values_.size()) - 1,
+                       std::floor(phi_ * static_cast<double>(values_.size()))));
+  ci.estimate = values_[rank];
+  double lo = ci_lower(), hi = ci_upper();
+  if (std::isinf(lo) || std::isinf(hi)) {
+    ci.half_width = std::numeric_limits<double>::infinity();
+  } else {
+    ci.half_width = std::max(ci.estimate - lo, hi - ci.estimate);
+  }
+  if (exhausted_) {
+    ci.exact = true;
+    ci.half_width = 0.0;
+  }
+  return ci;
+}
+
+template <int D>
+ConfidenceInterval OnlineQuantile<D>::RunUntil(const StoppingRule& rule,
+                                               uint64_t batch) {
+  while (true) {
+    uint64_t drawn = Step(batch);
+    ConfidenceInterval ci = Current();
+    if (rule.ShouldStop(ci, watch_.ElapsedMillis())) return ci;
+    if (drawn == 0) return ci;
+  }
+}
+
+template class OnlineQuantile<2>;
+template class OnlineQuantile<3>;
+
+}  // namespace storm

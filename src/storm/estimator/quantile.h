@@ -1,0 +1,76 @@
+// Online quantile estimation from spatial online samples.
+//
+// An extension of the paper's estimator family beyond SUM/AVG: the
+// population quantile Q(φ) is estimated by the sample quantile, with a
+// distribution-free confidence interval from order statistics — the
+// interval [X(l), X(u)] covers Q(φ) with the target probability where l, u
+// are binomial quantile bounds around φ·k (no normality assumption on the
+// data; only the binomial-to-normal approximation for k ≳ 30).
+
+#ifndef STORM_ESTIMATOR_QUANTILE_H_
+#define STORM_ESTIMATOR_QUANTILE_H_
+
+#include <vector>
+
+#include "storm/estimator/confidence.h"
+#include "storm/estimator/stopping.h"
+#include "storm/sampling/sampler.h"
+#include "storm/util/stopwatch.h"
+
+namespace storm {
+
+template <int D>
+using QuantileAttributeFn = std::function<double(const typename RTree<D>::Entry&)>;
+
+/// Online estimator for one quantile φ ∈ (0, 1) of an attribute.
+template <int D>
+class OnlineQuantile {
+ public:
+  using Entry = typename RTree<D>::Entry;
+
+  /// `phi` is the quantile (0.5 = median). NaN attribute values are
+  /// excluded from the population (SQL NULL semantics).
+  OnlineQuantile(SpatialSampler<D>* sampler, QuantileAttributeFn<D> attr,
+                 double phi, double confidence = 0.95);
+
+  Status Begin(const Rect<D>& query);
+
+  /// Draws up to `batch` samples; returns the number drawn.
+  uint64_t Step(uint64_t batch = 64);
+
+  /// Current estimate: `estimate` is the sample quantile; the interval
+  /// [lower(), upper()] is the order-statistic CI (asymmetric in general,
+  /// reported via half_width = max distance for StoppingRule compatibility,
+  /// with the exact bounds in ci_lower/ci_upper).
+  ConfidenceInterval Current() const;
+
+  /// Exact asymmetric CI bounds.
+  double ci_lower() const;
+  double ci_upper() const;
+
+  ConfidenceInterval RunUntil(const StoppingRule& rule, uint64_t batch = 64);
+
+  uint64_t samples() const { return values_.size(); }
+  bool Exhausted() const { return exhausted_; }
+  double elapsed_millis() const { return watch_.ElapsedMillis(); }
+
+ private:
+  void EnsureSorted() const;
+
+  SpatialSampler<D>* sampler_;
+  QuantileAttributeFn<D> attr_;
+  double phi_;
+  double confidence_;
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = true;
+  Stopwatch watch_;
+  bool began_ = false;
+  bool exhausted_ = false;
+};
+
+extern template class OnlineQuantile<2>;
+extern template class OnlineQuantile<3>;
+
+}  // namespace storm
+
+#endif  // STORM_ESTIMATOR_QUANTILE_H_

@@ -1,0 +1,71 @@
+// Stopping rules for online queries (§1): user-satisfied termination is the
+// caller's Ctrl-C; these rules implement the other two modes — a
+// query-specific quality requirement, and "best effort" time budgets.
+
+#ifndef STORM_ESTIMATOR_STOPPING_H_
+#define STORM_ESTIMATOR_STOPPING_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "storm/estimator/confidence.h"
+
+namespace storm {
+
+/// Declarative stopping condition; any satisfied clause stops the query.
+/// Default: never stop (pure online mode, caller decides).
+struct StoppingRule {
+  /// Stop when the CI half-width drops to this absolute value.
+  double target_half_width = 0.0;
+  /// Stop when half_width / |estimate| drops to this value.
+  double target_relative_error = 0.0;
+  /// Stop after this many samples.
+  uint64_t max_samples = 0;
+  /// Stop after this much wall-clock time.
+  double max_millis = 0.0;
+
+  static StoppingRule RelativeError(double rel) {
+    StoppingRule r;
+    r.target_relative_error = rel;
+    return r;
+  }
+  static StoppingRule HalfWidth(double hw) {
+    StoppingRule r;
+    r.target_half_width = hw;
+    return r;
+  }
+  static StoppingRule TimeBudgetMillis(double ms) {
+    StoppingRule r;
+    r.max_millis = ms;
+    return r;
+  }
+  static StoppingRule Samples(uint64_t k) {
+    StoppingRule r;
+    r.max_samples = k;
+    return r;
+  }
+
+  /// True when the query should stop. Quality clauses require at least a
+  /// handful of samples so a lucky tiny variance cannot stop a query after
+  /// two draws.
+  bool ShouldStop(const ConfidenceInterval& ci, double elapsed_millis) const {
+    if (ci.exact) return true;
+    if (max_samples > 0 && ci.samples >= max_samples) return true;
+    if (max_millis > 0.0 && elapsed_millis >= max_millis) return true;
+    constexpr uint64_t kMinSamples = 30;
+    if (ci.samples >= kMinSamples) {
+      if (target_half_width > 0.0 && ci.half_width <= target_half_width) {
+        return true;
+      }
+      if (target_relative_error > 0.0 &&
+          ci.RelativeError() <= target_relative_error) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace storm
+
+#endif  // STORM_ESTIMATOR_STOPPING_H_

@@ -1,0 +1,87 @@
+#include "storm/geo/hilbert.h"
+
+#include <cassert>
+
+namespace storm {
+
+namespace {
+
+// Skilling's AxesToTranspose: in-place conversion of grid coordinates to the
+// Hilbert "transpose" representation.
+void AxesToTranspose(uint32_t* x, int dim, int bits) {
+  uint32_t m = uint32_t{1} << (bits - 1);
+  // Inverse undo.
+  for (uint32_t q = m; q > 1; q >>= 1) {
+    uint32_t p = q - 1;
+    for (int i = 0; i < dim; ++i) {
+      if (x[i] & q) {
+        x[0] ^= p;
+      } else {
+        uint32_t t = (x[0] ^ x[i]) & p;
+        x[0] ^= t;
+        x[i] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (int i = 1; i < dim; ++i) x[i] ^= x[i - 1];
+  uint32_t t = 0;
+  for (uint32_t q = m; q > 1; q >>= 1) {
+    if (x[dim - 1] & q) t ^= q - 1;
+  }
+  for (int i = 0; i < dim; ++i) x[i] ^= t;
+}
+
+// Skilling's TransposeToAxes: inverse of the above.
+void TransposeToAxes(uint32_t* x, int dim, int bits) {
+  uint32_t n = uint32_t{2} << (bits - 1);
+  // Gray decode by H ^ (H/2).
+  uint32_t t = x[dim - 1] >> 1;
+  for (int i = dim - 1; i > 0; --i) x[i] ^= x[i - 1];
+  x[0] ^= t;
+  // Undo excess work.
+  for (uint32_t q = 2; q != n; q <<= 1) {
+    uint32_t p = q - 1;
+    for (int i = dim - 1; i >= 0; --i) {
+      if (x[i] & q) {
+        x[0] ^= p;
+      } else {
+        uint32_t tt = (x[0] ^ x[i]) & p;
+        x[0] ^= tt;
+        x[i] ^= tt;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+uint64_t HilbertIndexFromGrid(uint32_t* coords, int dim, int bits) {
+  assert(dim >= 1 && bits >= 1 && dim * bits <= 63);
+  AxesToTranspose(coords, dim, bits);
+  // Interleave: bit (bits-1-b) of coords[i] -> index bit position counted
+  // from the most significant downwards, dimension 0 first within each
+  // bit-plane.
+  uint64_t index = 0;
+  for (int b = bits - 1; b >= 0; --b) {
+    for (int i = 0; i < dim; ++i) {
+      index = (index << 1) | ((coords[i] >> b) & 1u);
+    }
+  }
+  return index;
+}
+
+void HilbertGridFromIndex(uint64_t index, uint32_t* coords, int dim, int bits) {
+  assert(dim >= 1 && bits >= 1 && dim * bits <= 63);
+  for (int i = 0; i < dim; ++i) coords[i] = 0;
+  int pos = dim * bits;
+  for (int b = bits - 1; b >= 0; --b) {
+    for (int i = 0; i < dim; ++i) {
+      --pos;
+      coords[i] |= static_cast<uint32_t>((index >> pos) & 1u) << b;
+    }
+  }
+  TransposeToAxes(coords, dim, bits);
+}
+
+}  // namespace storm

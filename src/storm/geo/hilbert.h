@@ -1,0 +1,75 @@
+// Hilbert space-filling curve for arbitrary dimension, used to order points
+// when bulk-loading the Hilbert R-tree underlying the RS-tree (§3.1 of the
+// paper).
+//
+// The integer-grid transform is John Skilling's transpose algorithm
+// ("Programming the Hilbert curve", AIP Conf. Proc. 707, 2004); the
+// transpose is then bit-interleaved into a single index. The number of bits
+// per dimension is chosen so that the full index fits in 64 bits
+// (bits * dim <= 63).
+
+#ifndef STORM_GEO_HILBERT_H_
+#define STORM_GEO_HILBERT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storm/geo/point.h"
+#include "storm/geo/rect.h"
+
+namespace storm {
+
+/// Maximum bits per dimension so the Hilbert index of a d-dim point fits in
+/// an unsigned 64-bit integer.
+constexpr int HilbertBitsForDim(int dim) { return 63 / dim; }
+
+/// Transforms grid coordinates (each < 2^bits) into their Hilbert index.
+/// `coords` has `dim` entries and is clobbered. Requires dim*bits <= 63.
+uint64_t HilbertIndexFromGrid(uint32_t* coords, int dim, int bits);
+
+/// Inverse of HilbertIndexFromGrid: writes the grid coordinates of the
+/// index'th point on the curve into `coords`.
+void HilbertGridFromIndex(uint64_t index, uint32_t* coords, int dim, int bits);
+
+/// Maps continuous points inside a fixed bounding box onto the Hilbert curve.
+///
+/// The mapper quantizes each coordinate to a 2^bits grid over the box; points
+/// outside the box are clamped. Distinct nearby points may share an index,
+/// which is fine for the R-tree ordering use case.
+template <int D>
+class HilbertMapper {
+ public:
+  /// `bounds` must be non-empty; `bits` defaults to the maximum that fits.
+  explicit HilbertMapper(const Rect<D>& bounds, int bits = HilbertBitsForDim(D))
+      : bounds_(bounds), bits_(bits) {
+    double cells = static_cast<double>(uint64_t{1} << bits_);
+    for (int i = 0; i < D; ++i) {
+      double span = bounds.hi()[i] - bounds.lo()[i];
+      scale_[i] = span > 0 ? cells / span : 0.0;
+    }
+  }
+
+  int bits() const { return bits_; }
+
+  /// Hilbert index of p within the bounding box.
+  uint64_t Index(const Point<D>& p) const {
+    uint32_t grid[D];
+    uint32_t max_cell = static_cast<uint32_t>((uint64_t{1} << bits_) - 1);
+    for (int i = 0; i < D; ++i) {
+      double offset = (p[i] - bounds_.lo()[i]) * scale_[i];
+      if (offset < 0) offset = 0;
+      uint64_t cell = static_cast<uint64_t>(offset);
+      grid[i] = static_cast<uint32_t>(cell > max_cell ? max_cell : cell);
+    }
+    return HilbertIndexFromGrid(grid, D, bits_);
+  }
+
+ private:
+  Rect<D> bounds_;
+  int bits_;
+  double scale_[D];
+};
+
+}  // namespace storm
+
+#endif  // STORM_GEO_HILBERT_H_

@@ -1,0 +1,74 @@
+// D-dimensional points. STORM treats time as one more coordinate, so a
+// spatio-temporal record is simply a Point<3> = (x, y, t) and a
+// spatio-temporal range is a Rect<3>.
+
+#ifndef STORM_GEO_POINT_H_
+#define STORM_GEO_POINT_H_
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace storm {
+
+/// A point in D-dimensional Euclidean space.
+template <int D>
+struct Point {
+  static_assert(D >= 1, "dimension must be positive");
+  static constexpr int kDim = D;
+
+  std::array<double, D> coords{};
+
+  Point() = default;
+
+  /// Variadic constructor: Point<2>(x, y), Point<3>(x, y, t).
+  template <typename... Args,
+            typename = std::enable_if_t<sizeof...(Args) == static_cast<size_t>(D)>>
+  explicit Point(Args... args) : coords{{static_cast<double>(args)...}} {}
+
+  double operator[](int i) const { return coords[static_cast<size_t>(i)]; }
+  double& operator[](int i) { return coords[static_cast<size_t>(i)]; }
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.coords == b.coords;
+  }
+
+  /// Squared Euclidean distance to another point.
+  double DistanceSquared(const Point& other) const {
+    double acc = 0.0;
+    for (int i = 0; i < D; ++i) {
+      double d = coords[static_cast<size_t>(i)] - other.coords[static_cast<size_t>(i)];
+      acc += d * d;
+    }
+    return acc;
+  }
+
+  /// Euclidean distance to another point.
+  double Distance(const Point& other) const { return std::sqrt(DistanceSquared(other)); }
+
+  std::string ToString() const {
+    std::ostringstream os;
+    os << '(';
+    for (int i = 0; i < D; ++i) {
+      if (i) os << ", ";
+      os << coords[static_cast<size_t>(i)];
+    }
+    os << ')';
+    return os.str();
+  }
+};
+
+template <int D>
+std::ostream& operator<<(std::ostream& os, const Point<D>& p) {
+  return os << p.ToString();
+}
+
+using Point2 = Point<2>;
+using Point3 = Point<3>;
+
+}  // namespace storm
+
+#endif  // STORM_GEO_POINT_H_

@@ -1,0 +1,208 @@
+// Axis-aligned D-dimensional rectangles (MBRs and range queries).
+
+#ifndef STORM_GEO_RECT_H_
+#define STORM_GEO_RECT_H_
+
+#include <algorithm>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "storm/geo/point.h"
+
+namespace storm {
+
+/// A closed axis-aligned box [lo, hi] in D dimensions.
+///
+/// The default-constructed Rect is *empty*: it contains no point, has zero
+/// area, and expanding it by a point/rect yields that point/rect. This makes
+/// it the identity for Expand(), which is how MBRs are accumulated.
+template <int D>
+class Rect {
+ public:
+  static constexpr int kDim = D;
+
+  /// Constructs the empty rectangle.
+  Rect() {
+    for (int i = 0; i < D; ++i) {
+      lo_[i] = std::numeric_limits<double>::infinity();
+      hi_[i] = -std::numeric_limits<double>::infinity();
+    }
+  }
+
+  /// Constructs [lo, hi]; callers must ensure lo[i] <= hi[i] per dimension
+  /// (use FromCorners to normalize arbitrary corners).
+  Rect(const Point<D>& lo, const Point<D>& hi) : lo_(lo), hi_(hi) {}
+
+  /// Degenerate rectangle covering exactly one point.
+  explicit Rect(const Point<D>& p) : lo_(p), hi_(p) {}
+
+  /// Builds the rectangle spanned by two arbitrary corners.
+  static Rect FromCorners(const Point<D>& a, const Point<D>& b) {
+    Point<D> lo, hi;
+    for (int i = 0; i < D; ++i) {
+      lo[i] = std::min(a[i], b[i]);
+      hi[i] = std::max(a[i], b[i]);
+    }
+    return Rect(lo, hi);
+  }
+
+  /// The rectangle covering all of R^D.
+  static Rect Everything() {
+    Point<D> lo, hi;
+    for (int i = 0; i < D; ++i) {
+      lo[i] = -std::numeric_limits<double>::infinity();
+      hi[i] = std::numeric_limits<double>::infinity();
+    }
+    return Rect(lo, hi);
+  }
+
+  const Point<D>& lo() const { return lo_; }
+  const Point<D>& hi() const { return hi_; }
+
+  /// True iff the rectangle contains no point.
+  bool IsEmpty() const {
+    for (int i = 0; i < D; ++i) {
+      if (lo_[i] > hi_[i]) return true;
+    }
+    return false;
+  }
+
+  /// True iff p lies inside (closed bounds).
+  bool Contains(const Point<D>& p) const {
+    for (int i = 0; i < D; ++i) {
+      if (p[i] < lo_[i] || p[i] > hi_[i]) return false;
+    }
+    return true;
+  }
+
+  /// True iff `other` lies entirely inside this rectangle. The empty
+  /// rectangle is contained in everything.
+  bool Contains(const Rect& other) const {
+    if (other.IsEmpty()) return true;
+    if (IsEmpty()) return false;
+    for (int i = 0; i < D; ++i) {
+      if (other.lo_[i] < lo_[i] || other.hi_[i] > hi_[i]) return false;
+    }
+    return true;
+  }
+
+  /// True iff the two rectangles share at least one point.
+  bool Intersects(const Rect& other) const {
+    if (IsEmpty() || other.IsEmpty()) return false;
+    for (int i = 0; i < D; ++i) {
+      if (other.hi_[i] < lo_[i] || other.lo_[i] > hi_[i]) return false;
+    }
+    return true;
+  }
+
+  /// Grows this rectangle to cover p.
+  void Expand(const Point<D>& p) {
+    for (int i = 0; i < D; ++i) {
+      lo_[i] = std::min(lo_[i], p[i]);
+      hi_[i] = std::max(hi_[i], p[i]);
+    }
+  }
+
+  /// Grows this rectangle to cover `other`.
+  void Expand(const Rect& other) {
+    if (other.IsEmpty()) return;
+    for (int i = 0; i < D; ++i) {
+      lo_[i] = std::min(lo_[i], other.lo_[i]);
+      hi_[i] = std::max(hi_[i], other.hi_[i]);
+    }
+  }
+
+  /// Smallest rectangle covering both arguments.
+  static Rect Union(const Rect& a, const Rect& b) {
+    Rect r = a;
+    r.Expand(b);
+    return r;
+  }
+
+  /// Intersection; may be empty.
+  static Rect Intersection(const Rect& a, const Rect& b) {
+    if (a.IsEmpty() || b.IsEmpty()) return Rect();
+    Point<D> lo, hi;
+    for (int i = 0; i < D; ++i) {
+      lo[i] = std::max(a.lo_[i], b.lo_[i]);
+      hi[i] = std::min(a.hi_[i], b.hi_[i]);
+    }
+    for (int i = 0; i < D; ++i) {
+      if (lo[i] > hi[i]) return Rect();
+    }
+    return Rect(lo, hi);
+  }
+
+  /// Product of side lengths (hyper-volume); 0 for empty or degenerate.
+  double Area() const {
+    if (IsEmpty()) return 0.0;
+    double a = 1.0;
+    for (int i = 0; i < D; ++i) a *= hi_[i] - lo_[i];
+    return a;
+  }
+
+  /// Sum of side lengths; the R*-tree margin heuristic.
+  double Margin() const {
+    if (IsEmpty()) return 0.0;
+    double m = 0.0;
+    for (int i = 0; i < D; ++i) m += hi_[i] - lo_[i];
+    return m;
+  }
+
+  /// Area increase needed to also cover `other`; the Guttman insert
+  /// heuristic.
+  double Enlargement(const Rect& other) const {
+    return Union(*this, other).Area() - Area();
+  }
+
+  /// Center point; must not be empty.
+  Point<D> Center() const {
+    Point<D> c;
+    for (int i = 0; i < D; ++i) c[i] = (lo_[i] + hi_[i]) / 2.0;
+    return c;
+  }
+
+  /// Squared distance from p to the nearest point of the rectangle (0 when
+  /// inside).
+  double DistanceSquared(const Point<D>& p) const {
+    double acc = 0.0;
+    for (int i = 0; i < D; ++i) {
+      double d = 0.0;
+      if (p[i] < lo_[i]) {
+        d = lo_[i] - p[i];
+      } else if (p[i] > hi_[i]) {
+        d = p[i] - hi_[i];
+      }
+      acc += d * d;
+    }
+    return acc;
+  }
+
+  friend bool operator==(const Rect& a, const Rect& b) {
+    if (a.IsEmpty() && b.IsEmpty()) return true;
+    return a.lo_ == b.lo_ && a.hi_ == b.hi_;
+  }
+
+  std::string ToString() const {
+    std::ostringstream os;
+    os << '[' << lo_.ToString() << " .. " << hi_.ToString() << ']';
+    return os.str();
+  }
+
+ private:
+  Point<D> lo_;
+  Point<D> hi_;
+};
+
+template <int D>
+std::ostream& operator<<(std::ostream& os, const Rect<D>& r) {
+  return os << r.ToString();
+}
+
+using Rect2 = Rect<2>;
+using Rect3 = Rect<3>;
+
+}  // namespace storm
+
+#endif  // STORM_GEO_RECT_H_

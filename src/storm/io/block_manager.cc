@@ -1,0 +1,69 @@
+#include "storm/io/block_manager.h"
+
+#include <cstring>
+
+namespace storm {
+
+std::string IoStats::ToString() const {
+  std::string s;
+  s += "physical_reads=" + std::to_string(physical_reads);
+  s += " physical_writes=" + std::to_string(physical_writes);
+  s += " logical_reads=" + std::to_string(logical_reads);
+  s += " pool_hits=" + std::to_string(pool_hits);
+  s += " pool_misses=" + std::to_string(pool_misses);
+  s += " evictions=" + std::to_string(evictions);
+  s += " pages_allocated=" + std::to_string(pages_allocated);
+  return s;
+}
+
+BlockManager::BlockManager(size_t page_size) : page_size_(page_size) {}
+
+PageId BlockManager::Allocate() {
+  ++stats_.pages_allocated;
+  if (!free_list_.empty()) {
+    PageId id = free_list_.back();
+    free_list_.pop_back();
+    std::memset(pages_[id].get(), 0, page_size_);
+    live_[id] = true;
+    return id;
+  }
+  PageId id = pages_.size();
+  auto page = std::make_unique<std::byte[]>(page_size_);
+  std::memset(page.get(), 0, page_size_);
+  pages_.push_back(std::move(page));
+  live_.push_back(true);
+  return id;
+}
+
+Status BlockManager::Free(PageId id) {
+  if (!IsLive(id)) {
+    return Status::InvalidArgument("free of non-live page " + std::to_string(id));
+  }
+  live_[id] = false;
+  free_list_.push_back(id);
+  return Status::OK();
+}
+
+Status BlockManager::Read(PageId id, std::byte* out) {
+  if (!IsLive(id)) {
+    return Status::IOError("read of non-live page " + std::to_string(id));
+  }
+  ++stats_.physical_reads;
+  std::memcpy(out, pages_[id].get(), page_size_);
+  return Status::OK();
+}
+
+Status BlockManager::Write(PageId id, const std::byte* data) {
+  if (!IsLive(id)) {
+    return Status::IOError("write of non-live page " + std::to_string(id));
+  }
+  ++stats_.physical_writes;
+  std::memcpy(pages_[id].get(), data, page_size_);
+  return Status::OK();
+}
+
+bool BlockManager::IsLive(PageId id) const {
+  return id < pages_.size() && live_[id];
+}
+
+}  // namespace storm

@@ -1,0 +1,69 @@
+// BlockManager: a page-granular simulated disk.
+//
+// STORM's published system stored data and distributed R-trees on a DFS; we
+// substitute an in-memory array of fixed-size pages with explicit
+// read/write/allocate operations and counters. Everything above (buffer
+// pool, record store, R-tree node storage) behaves as if talking to a disk.
+
+#ifndef STORM_IO_BLOCK_MANAGER_H_
+#define STORM_IO_BLOCK_MANAGER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "storm/io/io_stats.h"
+#include "storm/util/status.h"
+
+namespace storm {
+
+/// Identifier of a disk page. Page ids are dense and never reused within a
+/// BlockManager's lifetime unless freed pages are recycled.
+using PageId = uint64_t;
+constexpr PageId kInvalidPage = ~PageId{0};
+
+/// A simulated disk of fixed-size pages.
+///
+/// Not thread-safe; STORM shards wrap one BlockManager each.
+class BlockManager {
+ public:
+  /// Creates a disk with the given page size in bytes (default 4 KiB).
+  explicit BlockManager(size_t page_size = 4096);
+
+  size_t page_size() const { return page_size_; }
+
+  /// Number of live (allocated, not freed) pages.
+  size_t num_pages() const { return pages_.size() - free_list_.size(); }
+
+  /// Allocates a zeroed page and returns its id. Freed pages are recycled.
+  PageId Allocate();
+
+  /// Returns a page to the free list. Double-free is a checked error.
+  Status Free(PageId id);
+
+  /// Copies the page contents into `out` (page_size bytes). Counts one
+  /// physical read.
+  Status Read(PageId id, std::byte* out);
+
+  /// Overwrites the page with `data` (page_size bytes). Counts one physical
+  /// write.
+  Status Write(PageId id, const std::byte* data);
+
+  /// True iff the id refers to a live page.
+  bool IsLive(PageId id) const;
+
+  const IoStats& stats() const { return stats_; }
+  IoStats* mutable_stats() { return &stats_; }
+
+ private:
+  size_t page_size_;
+  std::vector<std::unique_ptr<std::byte[]>> pages_;
+  std::vector<bool> live_;
+  std::vector<PageId> free_list_;
+  IoStats stats_;
+};
+
+}  // namespace storm
+
+#endif  // STORM_IO_BLOCK_MANAGER_H_

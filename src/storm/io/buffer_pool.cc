@@ -1,0 +1,105 @@
+#include "storm/io/buffer_pool.h"
+
+#include <cassert>
+
+namespace storm {
+
+BufferPool::BufferPool(BlockManager* disk, size_t capacity_pages)
+    : disk_(disk), capacity_(capacity_pages) {
+  assert(disk_ != nullptr);
+  assert(capacity_ >= 1);
+}
+
+BufferPool::~BufferPool() {
+  // Best-effort write-back; errors are ignored in the destructor.
+  Status st = Flush();
+  (void)st;
+}
+
+Result<std::byte*> BufferPool::Pin(PageId id) {
+  IoStats* stats = disk_->mutable_stats();
+  ++stats->logical_reads;
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    ++stats->pool_hits;
+    Frame& f = it->second;
+    if (f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    ++f.pin_count;
+    return f.data.get();
+  }
+  ++stats->pool_misses;
+  if (frames_.size() >= capacity_) {
+    STORM_RETURN_NOT_OK(EvictOne());
+  }
+  Frame f;
+  f.data = std::make_unique<std::byte[]>(disk_->page_size());
+  STORM_RETURN_NOT_OK(disk_->Read(id, f.data.get()));
+  f.pin_count = 1;
+  auto [ins, ok] = frames_.emplace(id, std::move(f));
+  (void)ok;
+  return ins->second.data.get();
+}
+
+Status BufferPool::Unpin(PageId id, bool dirty) {
+  auto it = frames_.find(id);
+  if (it == frames_.end()) {
+    return Status::InvalidArgument("unpin of uncached page " + std::to_string(id));
+  }
+  Frame& f = it->second;
+  if (f.pin_count <= 0) {
+    return Status::FailedPrecondition("unpin of unpinned page " + std::to_string(id));
+  }
+  f.dirty = f.dirty || dirty;
+  if (--f.pin_count == 0) {
+    lru_.push_back(id);
+    f.lru_pos = std::prev(lru_.end());
+    f.in_lru = true;
+  }
+  return Status::OK();
+}
+
+Status BufferPool::Flush() {
+  for (auto& [id, f] : frames_) {
+    if (f.dirty) {
+      STORM_RETURN_NOT_OK(disk_->Write(id, f.data.get()));
+      f.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::Evict(PageId id) {
+  auto it = frames_.find(id);
+  if (it == frames_.end()) return Status::OK();
+  Frame& f = it->second;
+  if (f.pin_count > 0) {
+    return Status::FailedPrecondition("evict of pinned page " + std::to_string(id));
+  }
+  if (f.in_lru) lru_.erase(f.lru_pos);
+  // Do not write back: Evict() is used for freed pages.
+  frames_.erase(it);
+  return Status::OK();
+}
+
+Status BufferPool::EvictOne() {
+  if (lru_.empty()) {
+    return Status::ResourceExhausted("all buffer pool frames are pinned");
+  }
+  PageId victim = lru_.front();
+  lru_.pop_front();
+  auto it = frames_.find(victim);
+  assert(it != frames_.end());
+  Frame& f = it->second;
+  assert(f.pin_count == 0);
+  if (f.dirty) {
+    STORM_RETURN_NOT_OK(disk_->Write(victim, f.data.get()));
+  }
+  ++disk_->mutable_stats()->evictions;
+  frames_.erase(it);
+  return Status::OK();
+}
+
+}  // namespace storm

@@ -1,0 +1,81 @@
+// BufferPool: LRU page cache over a BlockManager.
+//
+// Index structures and the record store never touch the BlockManager
+// directly; they Pin() pages through the pool so that cache behaviour (and
+// therefore simulated I/O cost) matches a disk-resident system.
+
+#ifndef STORM_IO_BUFFER_POOL_H_
+#define STORM_IO_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "storm/io/block_manager.h"
+#include "storm/util/result.h"
+
+namespace storm {
+
+/// An LRU buffer pool with pin counting.
+///
+/// Frames with a positive pin count are never evicted. Dirty frames are
+/// written back on eviction and on Flush(). Not thread-safe.
+class BufferPool {
+ public:
+  /// `capacity_pages` is the number of frames; must be >= 1.
+  BufferPool(BlockManager* disk, size_t capacity_pages);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins the page and returns its frame data (page_size bytes, mutable).
+  /// Fails with ResourceExhausted when every frame is pinned.
+  Result<std::byte*> Pin(PageId id);
+
+  /// Releases one pin; `dirty` marks the frame for write-back.
+  Status Unpin(PageId id, bool dirty);
+
+  /// Convenience read-modify cycle: pin, let `fn` inspect/modify, unpin.
+  template <typename Fn>
+  Status WithPage(PageId id, bool dirty, Fn&& fn) {
+    Result<std::byte*> frame = Pin(id);
+    if (!frame.ok()) return frame.status();
+    fn(*frame);
+    return Unpin(id, dirty);
+  }
+
+  /// Writes back all dirty frames (keeps them cached).
+  Status Flush();
+
+  /// Drops a page from the pool (e.g. after BlockManager::Free); the page
+  /// must not be pinned.
+  Status Evict(PageId id);
+
+  size_t capacity() const { return capacity_; }
+  size_t cached_pages() const { return frames_.size(); }
+  BlockManager* disk() const { return disk_; }
+  const IoStats& stats() const { return disk_->stats(); }
+
+ private:
+  struct Frame {
+    std::unique_ptr<std::byte[]> data;
+    int pin_count = 0;
+    bool dirty = false;
+    std::list<PageId>::iterator lru_pos;  // valid iff pin_count == 0
+    bool in_lru = false;
+  };
+
+  Status EvictOne();
+
+  BlockManager* disk_;
+  size_t capacity_;
+  std::unordered_map<PageId, Frame> frames_;
+  std::list<PageId> lru_;  // front = least recently used
+};
+
+}  // namespace storm
+
+#endif  // STORM_IO_BUFFER_POOL_H_

@@ -1,0 +1,45 @@
+// Counters for the simulated disk substrate.
+//
+// The paper's efficiency argument for LS-tree/RS-tree over RandomPath is an
+// I/O-count argument (Ω(k) random page reads vs O(k/B) mostly-sequential
+// ones). On a laptop we reproduce the *counts* by routing every index/page
+// access through a buffer pool and counting faults.
+
+#ifndef STORM_IO_IO_STATS_H_
+#define STORM_IO_IO_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace storm {
+
+/// Access counters maintained by BlockManager and BufferPool.
+struct IoStats {
+  uint64_t physical_reads = 0;   ///< pages fetched from the simulated disk
+  uint64_t physical_writes = 0;  ///< pages written back to the simulated disk
+  uint64_t logical_reads = 0;    ///< pin requests served (hit or miss)
+  uint64_t pool_hits = 0;        ///< pins served from the buffer pool
+  uint64_t pool_misses = 0;      ///< pins that faulted
+  uint64_t evictions = 0;        ///< frames evicted to make room
+  uint64_t pages_allocated = 0;  ///< total pages ever allocated
+
+  void Reset() { *this = IoStats(); }
+
+  IoStats operator-(const IoStats& other) const {
+    IoStats d;
+    d.physical_reads = physical_reads - other.physical_reads;
+    d.physical_writes = physical_writes - other.physical_writes;
+    d.logical_reads = logical_reads - other.logical_reads;
+    d.pool_hits = pool_hits - other.pool_hits;
+    d.pool_misses = pool_misses - other.pool_misses;
+    d.evictions = evictions - other.evictions;
+    d.pages_allocated = pages_allocated - other.pages_allocated;
+    return d;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace storm
+
+#endif  // STORM_IO_IO_STATS_H_

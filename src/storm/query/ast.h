@@ -1,0 +1,131 @@
+// AST for STORM's keyword-based query language (§3.2).
+//
+// The language covers the demo's built-in analytics:
+//
+//   SELECT AVG(temperature) FROM weather
+//     REGION(-112.2, 40.4, -111.7, 40.9)
+//     TIME('2014-01-05', '2014-03-05')
+//     GROUP BY station
+//     CONFIDENCE 95% ERROR 2% WITHIN 1500 MS SAMPLES 10000
+//     USING RSTREE
+//
+//   SELECT COUNT(*) FROM tweets REGION(...) TIME(...)
+//   SELECT KDE(64, 64) FROM tweets REGION(...)
+//   SELECT TOPTERMS(10, text) FROM tweets REGION(...) TIME(...)
+//   SELECT CLUSTER(8) FROM tweets REGION(...)
+//   SELECT TRAJECTORY(user, 42) FROM tweets TIME(...)
+//
+// REGION/TIME clauses define the spatio-temporal range; CONFIDENCE/ERROR/
+// WITHIN/SAMPLES set the stopping rule; USING overrides the optimizer.
+
+#ifndef STORM_QUERY_AST_H_
+#define STORM_QUERY_AST_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "storm/estimator/aggregate.h"
+#include "storm/geo/rect.h"
+
+namespace storm {
+
+/// Sampling strategy selector (USING clause / optimizer output).
+enum class SamplerStrategy {
+  kAuto,
+  kQueryFirst,
+  kSampleFirst,
+  kRandomPath,
+  kLsTree,
+  kRsTree,
+  /// Merged sampling over the table's shards; only valid for tables built
+  /// with TableConfig::num_shards > 1.
+  kDistributed,
+};
+
+std::string_view SamplerStrategyToString(SamplerStrategy s);
+
+/// Analytical task selected by the SELECT head.
+enum class QueryTask {
+  kAggregate,   ///< AVG/SUM/COUNT/... over an attribute
+  kQuantile,    ///< MEDIAN(attr) / QUANTILE(phi, attr)
+  kKde,         ///< density map
+  kTopTerms,    ///< short-text term frequencies
+  kCluster,     ///< k-means centers
+  kTrajectory,  ///< per-object path reconstruction
+};
+
+std::string_view QueryTaskToString(QueryTask t);
+
+/// Parsed query.
+struct QueryAst {
+  QueryTask task = QueryTask::kAggregate;
+  std::string table;
+
+  // kAggregate
+  AggregateKind aggregate = AggregateKind::kAvg;
+  std::string attribute;  ///< "*" for COUNT(*)
+  std::string group_by;   ///< empty when not grouped
+  /// GROUP BY CELL(nx, ny): group by spatial grid cell over the query
+  /// region (choropleth-style aggregates). Overrides `group_by`. Group keys
+  /// are cell_y * nx + cell_x.
+  int cell_grid_x = 0;
+  int cell_grid_y = 0;
+  bool GroupByCell() const { return cell_grid_x > 0 && cell_grid_y > 0; }
+
+  // kQuantile
+  double quantile_phi = 0.5;
+
+  // kKde
+  int kde_width = 64;
+  int kde_height = 64;
+
+  // kTopTerms
+  uint64_t top_m = 10;
+  std::string text_field = "text";
+
+  // kCluster
+  int cluster_k = 8;
+
+  // kTrajectory
+  std::string object_field;  ///< e.g. "user"
+  int64_t object_id = 0;
+
+  // Range.
+  std::optional<Rect2> region;
+  std::optional<std::pair<double, double>> time_range;  ///< epoch seconds
+
+  // Stopping rule.
+  double confidence = 0.95;
+  double target_relative_error = 0.0;
+  double target_half_width = 0.0;
+  double time_budget_ms = 0.0;
+  uint64_t sample_limit = 0;
+
+  SamplerStrategy method = SamplerStrategy::kAuto;
+
+  /// EXPLAIN prefix: plan only (optimizer decision + selectivity estimate),
+  /// draw no samples.
+  bool explain = false;
+
+  /// The 3-d query box (x, y, t); unbounded axes where clauses are absent.
+  Rect3 QueryBox() const {
+    Rect3 everything = Rect3::Everything();
+    Point3 lo = everything.lo(), hi = everything.hi();
+    if (region.has_value()) {
+      lo[0] = region->lo()[0];
+      lo[1] = region->lo()[1];
+      hi[0] = region->hi()[0];
+      hi[1] = region->hi()[1];
+    }
+    if (time_range.has_value()) {
+      lo[2] = time_range->first;
+      hi[2] = time_range->second;
+    }
+    return Rect3(lo, hi);
+  }
+};
+
+}  // namespace storm
+
+#endif  // STORM_QUERY_AST_H_

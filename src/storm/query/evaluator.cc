@@ -1,0 +1,473 @@
+#include "storm/query/evaluator.h"
+
+#include <cmath>
+
+#include "storm/sampling/failover.h"
+
+namespace storm {
+
+namespace {
+constexpr uint64_t kBatch = 64;
+/// Backstop for queries with no stopping clause on a sampler that cannot
+/// exhaust (with-replacement modes): bounded, documented, generous.
+constexpr uint64_t kDefaultSampleCap = 100'000;
+}  // namespace
+
+Result<std::unique_ptr<SpatialSampler<3>>> QueryEvaluator::MakeSampler(
+    const QueryAst& ast, QueryResult* result) const {
+  SamplerStrategy strategy = ast.method;
+  result->decision =
+      optimizer_.Choose(*table_, ast.QueryBox(), ast.sample_limit);
+  if (strategy == SamplerStrategy::kAuto) {
+    strategy = result->decision.strategy;
+  } else {
+    result->decision.strategy = strategy;
+    result->decision.reason = "USING hint";
+  }
+  result->strategy = SamplerStrategyToString(strategy);
+  uint64_t seed = table_->rs_tree().size() * 0x9e37 + 17;
+  // SampleFirst can stall on mis-estimated selective queries (it gives up
+  // after its attempt budget); arm a mid-query switch to the RS-tree so the
+  // online stream keeps flowing (§3.3 "switch strategy mid-query").
+  if (strategy == SamplerStrategy::kSampleFirst &&
+      ast.method == SamplerStrategy::kAuto) {
+    STORM_ASSIGN_OR_RETURN(std::unique_ptr<SpatialSampler<3>> primary,
+                           table_->NewSampler(strategy, seed));
+    STORM_ASSIGN_OR_RETURN(std::unique_ptr<SpatialSampler<3>> fallback,
+                           table_->NewSampler(SamplerStrategy::kRsTree,
+                                              seed + 1));
+    return std::unique_ptr<SpatialSampler<3>>(
+        std::make_unique<FailoverSampler<3>>(std::move(primary),
+                                             std::move(fallback)));
+  }
+  return table_->NewSampler(strategy, seed);
+}
+
+namespace {
+// Unknown attributes would silently aggregate over nothing (every lookup
+// NaN); fail fast with the field name instead.
+Status CheckAttribute(const Table& table, const std::string& field) {
+  if (table.schema().Find(field) == nullptr) {
+    return Status::NotFound("table '" + table.name() + "' has no field '" +
+                            field + "'");
+  }
+  return Status::OK();
+}
+}  // namespace
+
+StoppingRule QueryEvaluator::RuleFor(const QueryAst& ast) const {
+  StoppingRule rule;
+  rule.target_relative_error = ast.target_relative_error;
+  rule.target_half_width = ast.target_half_width;
+  rule.max_millis = ast.time_budget_ms;
+  rule.max_samples = ast.sample_limit;
+  if (rule.target_relative_error == 0 && rule.target_half_width == 0 &&
+      rule.max_millis == 0 && rule.max_samples == 0) {
+    rule.max_samples = kDefaultSampleCap;
+  }
+  return rule;
+}
+
+Result<QueryResult> QueryEvaluator::Execute(const QueryAst& ast,
+                                            const ProgressFn& progress) {
+  if (ast.explain) {
+    QueryResult result;
+    result.task = ast.task;
+    result.explain_only = true;
+    result.decision =
+        optimizer_.Choose(*table_, ast.QueryBox(), ast.sample_limit);
+    if (ast.method != SamplerStrategy::kAuto) {
+      result.decision.strategy = ast.method;
+      result.decision.reason = "USING hint";
+    }
+    result.strategy = SamplerStrategyToString(result.decision.strategy);
+    return result;
+  }
+  switch (ast.task) {
+    case QueryTask::kAggregate:
+      return (ast.group_by.empty() && !ast.GroupByCell())
+                 ? RunAggregate(ast, progress)
+                 : RunGroupBy(ast, progress);
+    case QueryTask::kQuantile:
+      return RunQuantile(ast, progress);
+    case QueryTask::kKde:
+      return RunKde(ast, progress);
+    case QueryTask::kTopTerms:
+      return RunTopTerms(ast, progress);
+    case QueryTask::kCluster:
+      return RunCluster(ast, progress);
+    case QueryTask::kTrajectory:
+      return RunTrajectory(ast, progress);
+  }
+  return Status::InvalidArgument("unknown query task");
+}
+
+Result<QueryResult> QueryEvaluator::RunAggregate(const QueryAst& ast,
+                                                 const ProgressFn& progress) {
+  QueryResult result;
+  result.task = ast.task;
+  STORM_ASSIGN_OR_RETURN(std::unique_ptr<SpatialSampler<3>> sampler,
+                         MakeSampler(ast, &result));
+  AttributeFn<3> attr;
+  if (ast.aggregate != AggregateKind::kCount) {
+    STORM_RETURN_NOT_OK(CheckAttribute(*table_, ast.attribute));
+    STORM_ASSIGN_OR_RETURN(const std::vector<double>* column,
+                           table_->NumericColumn(ast.attribute));
+    attr = [column](const RTree<3>::Entry& e) {
+      return e.id < column->size() ? (*column)[e.id]
+                                   : std::numeric_limits<double>::quiet_NaN();
+    };
+  }
+  OnlineAggregator<3> agg(sampler.get(), std::move(attr), ast.aggregate,
+                          ast.confidence);
+  STORM_RETURN_NOT_OK(agg.Begin(ast.QueryBox()));
+  StoppingRule rule = RuleFor(ast);
+  while (true) {
+    uint64_t drawn = agg.Step(kBatch);
+    ConfidenceInterval ci = agg.Current();
+    if (progress) {
+      QueryProgress p;
+      p.samples = agg.samples_drawn();
+      p.elapsed_ms = agg.elapsed_millis();
+      p.ci = ci;
+      if (!progress(p)) {
+        result.cancelled = true;
+        break;
+      }
+    }
+    if (rule.ShouldStop(ci, agg.elapsed_millis()) || drawn == 0) break;
+  }
+  result.ci = agg.Current();
+  result.samples = agg.samples_drawn();
+  result.elapsed_ms = agg.elapsed_millis();
+  result.exhausted = agg.Exhausted();
+  return result;
+}
+
+Result<QueryResult> QueryEvaluator::RunQuantile(const QueryAst& ast,
+                                                const ProgressFn& progress) {
+  QueryResult result;
+  result.task = ast.task;
+  STORM_ASSIGN_OR_RETURN(std::unique_ptr<SpatialSampler<3>> sampler,
+                         MakeSampler(ast, &result));
+  STORM_RETURN_NOT_OK(CheckAttribute(*table_, ast.attribute));
+  STORM_ASSIGN_OR_RETURN(const std::vector<double>* column,
+                         table_->NumericColumn(ast.attribute));
+  QuantileAttributeFn<3> attr = [column](const RTree<3>::Entry& e) {
+    return e.id < column->size() ? (*column)[e.id]
+                                 : std::numeric_limits<double>::quiet_NaN();
+  };
+  OnlineQuantile<3> quantile(sampler.get(), std::move(attr), ast.quantile_phi,
+                             ast.confidence);
+  STORM_RETURN_NOT_OK(quantile.Begin(ast.QueryBox()));
+  StoppingRule rule = RuleFor(ast);
+  while (true) {
+    uint64_t drawn = quantile.Step(kBatch);
+    ConfidenceInterval ci = quantile.Current();
+    if (progress) {
+      QueryProgress p;
+      p.samples = quantile.samples();
+      p.elapsed_ms = quantile.elapsed_millis();
+      p.ci = ci;
+      if (!progress(p)) {
+        result.cancelled = true;
+        break;
+      }
+    }
+    if (rule.ShouldStop(ci, quantile.elapsed_millis()) || drawn == 0) break;
+  }
+  result.ci = quantile.Current();
+  result.ci_lower = quantile.ci_lower();
+  result.ci_upper = quantile.ci_upper();
+  result.samples = quantile.samples();
+  result.elapsed_ms = quantile.elapsed_millis();
+  result.exhausted = quantile.Exhausted();
+  return result;
+}
+
+Result<QueryResult> QueryEvaluator::RunGroupBy(const QueryAst& ast,
+                                               const ProgressFn& progress) {
+  QueryResult result;
+  result.task = ast.task;
+  STORM_ASSIGN_OR_RETURN(std::unique_ptr<SpatialSampler<3>> sampler,
+                         MakeSampler(ast, &result));
+  AttributeFn<3> attr;
+  if (ast.aggregate != AggregateKind::kCount) {
+    STORM_RETURN_NOT_OK(CheckAttribute(*table_, ast.attribute));
+    STORM_ASSIGN_OR_RETURN(const std::vector<double>* column,
+                           table_->NumericColumn(ast.attribute));
+    attr = [column](const RTree<3>::Entry& e) {
+      return e.id < column->size() ? (*column)[e.id]
+                                   : std::numeric_limits<double>::quiet_NaN();
+    };
+  }
+  GroupByAggregator<3>::KeyFn key_fn;
+  if (ast.GroupByCell()) {
+    // Spatial grid key over the query's x/y footprint (or the data bounds
+    // when the query is unbounded): key = cell_y * nx + cell_x.
+    Rect3 box = ast.QueryBox();
+    Rect3 bounds = table_->bounds();
+    double x0 = std::isfinite(box.lo()[0]) ? box.lo()[0] : bounds.lo()[0];
+    double x1 = std::isfinite(box.hi()[0]) ? box.hi()[0] : bounds.hi()[0];
+    double y0 = std::isfinite(box.lo()[1]) ? box.lo()[1] : bounds.lo()[1];
+    double y1 = std::isfinite(box.hi()[1]) ? box.hi()[1] : bounds.hi()[1];
+    int nx = ast.cell_grid_x, ny = ast.cell_grid_y;
+    key_fn = [x0, x1, y0, y1, nx, ny](const RTree<3>::Entry& e) -> int64_t {
+      auto cell = [](double v, double lo, double hi, int n) {
+        if (hi <= lo) return 0;
+        int c = static_cast<int>((v - lo) / (hi - lo) * n);
+        return std::clamp(c, 0, n - 1);
+      };
+      return static_cast<int64_t>(cell(e.point[1], y0, y1, ny)) * nx +
+             cell(e.point[0], x0, x1, nx);
+    };
+  } else {
+    STORM_RETURN_NOT_OK(CheckAttribute(*table_, ast.group_by));
+    STORM_ASSIGN_OR_RETURN(const std::vector<double>* key_column,
+                           table_->NumericColumn(ast.group_by));
+    key_fn = [key_column](const RTree<3>::Entry& e) -> int64_t {
+      double k = e.id < key_column->size()
+                     ? (*key_column)[e.id]
+                     : std::numeric_limits<double>::quiet_NaN();
+      return std::isnan(k) ? std::numeric_limits<int64_t>::min()
+                           : static_cast<int64_t>(std::llround(k));
+    };
+  }
+  GroupByAggregator<3> agg(sampler.get(), key_fn, std::move(attr), ast.aggregate,
+                           ast.confidence);
+  STORM_RETURN_NOT_OK(agg.Begin(ast.QueryBox()));
+  StoppingRule rule = RuleFor(ast);
+  Stopwatch watch;
+  while (true) {
+    uint64_t drawn = agg.Step(kBatch);
+    // Group-by stopping uses the widest per-group CI.
+    ConfidenceInterval worst;
+    worst.samples = agg.total_samples();
+    double worst_hw = 0.0;
+    for (const auto& g : agg.Current()) {
+      if (g.ci.half_width > worst_hw) {
+        worst_hw = g.ci.half_width;
+        worst = g.ci;
+        worst.samples = agg.total_samples();
+      }
+    }
+    if (progress) {
+      QueryProgress p;
+      p.samples = agg.total_samples();
+      p.elapsed_ms = watch.ElapsedMillis();
+      p.ci = worst;
+      if (!progress(p)) {
+        result.cancelled = true;
+        break;
+      }
+    }
+    if (rule.ShouldStop(worst, watch.ElapsedMillis()) || drawn == 0) break;
+  }
+  for (const auto& g : agg.Current()) {
+    // The NaN-key group holds records lacking the group attribute.
+    if (g.key == std::numeric_limits<int64_t>::min()) continue;
+    result.groups.push_back(GroupRow{g.key, g.ci, g.group_size, g.samples});
+  }
+  result.samples = agg.total_samples();
+  result.elapsed_ms = watch.ElapsedMillis();
+  result.exhausted = agg.Exhausted();
+  return result;
+}
+
+Result<QueryResult> QueryEvaluator::RunKde(const QueryAst& ast,
+                                           const ProgressFn& progress) {
+  QueryResult result;
+  result.task = ast.task;
+  STORM_ASSIGN_OR_RETURN(std::unique_ptr<SpatialSampler<3>> sampler,
+                         MakeSampler(ast, &result));
+  Rect2 region;
+  if (ast.region.has_value()) {
+    region = *ast.region;
+  } else {
+    Rect3 b = table_->bounds();
+    region = Rect2(Point2(b.lo()[0], b.lo()[1]), Point2(b.hi()[0], b.hi()[1]));
+  }
+  KdeOptions options;
+  options.grid_width = ast.kde_width;
+  options.grid_height = ast.kde_height;
+  options.confidence = ast.confidence;
+  OnlineKde<3> kde(sampler.get(), region, options);
+  STORM_RETURN_NOT_OK(kde.Begin(ast.QueryBox()));
+  StoppingRule rule = RuleFor(ast);
+  Stopwatch watch;
+  while (true) {
+    uint64_t drawn = kde.Step(kBatch);
+    ConfidenceInterval quality;
+    quality.samples = kde.samples();
+    quality.confidence = ast.confidence;
+    quality.half_width = kde.MaxHalfWidth();
+    // Anchor for ERROR% targets: the map's mean density, so "ERROR 5%"
+    // means the worst cell's CI is within 5% of the average density level.
+    if (kde.samples() > 0) {
+      std::vector<double> map = kde.DensityMap();
+      double mean = 0;
+      for (double d : map) mean += d;
+      quality.estimate = map.empty() ? 0.0 : mean / static_cast<double>(map.size());
+    }
+    quality.exact = kde.Exhausted();
+    if (progress) {
+      QueryProgress p;
+      p.samples = kde.samples();
+      p.elapsed_ms = watch.ElapsedMillis();
+      p.ci = quality;
+      if (!progress(p)) {
+        result.cancelled = true;
+        break;
+      }
+    }
+    if (rule.ShouldStop(quality, watch.ElapsedMillis()) || drawn == 0) break;
+  }
+  result.kde_map = kde.DensityMap();
+  result.kde_width = ast.kde_width;
+  result.kde_height = ast.kde_height;
+  result.kde_max_half_width = kde.MaxHalfWidth();
+  result.samples = kde.samples();
+  result.elapsed_ms = watch.ElapsedMillis();
+  result.exhausted = kde.Exhausted();
+  return result;
+}
+
+Result<QueryResult> QueryEvaluator::RunTopTerms(const QueryAst& ast,
+                                                const ProgressFn& progress) {
+  QueryResult result;
+  result.task = ast.task;
+  STORM_ASSIGN_OR_RETURN(std::unique_ptr<SpatialSampler<3>> sampler,
+                         MakeSampler(ast, &result));
+  // Document text goes through the record store page by page: the sampled
+  // id is fetched and tokenized on demand.
+  const Table* table = table_;
+  std::string field = ast.text_field;
+  // Cache the fetched strings per query: sampled ids may repeat.
+  auto cache = std::make_shared<std::unordered_map<RecordId, std::string>>();
+  auto text_of = [table, field, cache](RecordId id) -> std::string_view {
+    auto it = cache->find(id);
+    if (it == cache->end()) {
+      Result<std::string> text = table->TextOf(id, field);
+      it = cache->emplace(id, text.ok() ? *text : std::string()).first;
+    }
+    return it->second;
+  };
+  OnlineTermFrequency<3> freq(sampler.get(), text_of, ast.confidence);
+  STORM_RETURN_NOT_OK(freq.Begin(ast.QueryBox()));
+  StoppingRule rule = RuleFor(ast);
+  Stopwatch watch;
+  while (true) {
+    uint64_t drawn = freq.Step(kBatch);
+    ConfidenceInterval quality;
+    quality.samples = freq.documents();
+    std::vector<TermEstimate> top = freq.TopTerms(1);
+    if (!top.empty()) quality = top[0].frequency;
+    quality.exact = freq.Exhausted();
+    if (progress) {
+      QueryProgress p;
+      p.samples = freq.documents();
+      p.elapsed_ms = watch.ElapsedMillis();
+      p.ci = quality;
+      if (!progress(p)) {
+        result.cancelled = true;
+        break;
+      }
+    }
+    if (rule.ShouldStop(quality, watch.ElapsedMillis()) || drawn == 0) break;
+  }
+  result.terms = freq.TopTerms(ast.top_m);
+  result.samples = freq.documents();
+  result.elapsed_ms = watch.ElapsedMillis();
+  result.exhausted = freq.Exhausted();
+  return result;
+}
+
+Result<QueryResult> QueryEvaluator::RunCluster(const QueryAst& ast,
+                                               const ProgressFn& progress) {
+  QueryResult result;
+  result.task = ast.task;
+  STORM_ASSIGN_OR_RETURN(std::unique_ptr<SpatialSampler<3>> sampler,
+                         MakeSampler(ast, &result));
+  KMeansOptions options;
+  options.k = ast.cluster_k;
+  OnlineKMeans<3> km(sampler.get(), options, Rng(table_->rs_tree().size() + 7));
+  STORM_RETURN_NOT_OK(km.Begin(ast.QueryBox()));
+  StoppingRule rule = RuleFor(ast);
+  Stopwatch watch;
+  while (true) {
+    uint64_t drawn = km.Step(256);
+    ConfidenceInterval quality;
+    quality.samples = km.samples();
+    quality.estimate = km.Current().inertia;
+    quality.half_width = km.LastCenterDrift();
+    quality.exact = km.Exhausted();
+    if (progress) {
+      QueryProgress p;
+      p.samples = km.samples();
+      p.elapsed_ms = watch.ElapsedMillis();
+      p.ci = quality;
+      if (!progress(p)) {
+        result.cancelled = true;
+        break;
+      }
+    }
+    if (rule.ShouldStop(quality, watch.ElapsedMillis()) || drawn == 0) break;
+  }
+  result.centers = km.Current().centers;
+  result.inertia = km.Current().inertia;
+  result.samples = km.samples();
+  result.elapsed_ms = watch.ElapsedMillis();
+  result.exhausted = km.Exhausted();
+  return result;
+}
+
+Result<QueryResult> QueryEvaluator::RunTrajectory(const QueryAst& ast,
+                                                  const ProgressFn& progress) {
+  QueryResult result;
+  result.task = ast.task;
+  STORM_ASSIGN_OR_RETURN(std::unique_ptr<SpatialSampler<3>> sampler,
+                         MakeSampler(ast, &result));
+  STORM_RETURN_NOT_OK(CheckAttribute(*table_, ast.object_field));
+  STORM_ASSIGN_OR_RETURN(const std::vector<double>* object_column,
+                         table_->NumericColumn(ast.object_field));
+  int64_t want = ast.object_id;
+  auto filter = [object_column, want](const RTree<3>::Entry& e) {
+    if (e.id >= object_column->size()) return false;
+    double v = (*object_column)[e.id];
+    return !std::isnan(v) && static_cast<int64_t>(std::llround(v)) == want;
+  };
+  OnlineTrajectory<3> traj(sampler.get(), filter);
+  STORM_RETURN_NOT_OK(traj.Begin(ast.QueryBox()));
+  StoppingRule rule = RuleFor(ast);
+  Stopwatch watch;
+  while (true) {
+    uint64_t added = traj.Step(kBatch);
+    ConfidenceInterval quality;
+    quality.samples = traj.samples_drawn();
+    quality.estimate = static_cast<double>(traj.Current().size());
+    quality.half_width = std::numeric_limits<double>::infinity();
+    quality.exact = traj.Exhausted();
+    if (progress) {
+      QueryProgress p;
+      p.samples = traj.samples_drawn();
+      p.elapsed_ms = watch.ElapsedMillis();
+      p.ci = quality;
+      if (!progress(p)) {
+        result.cancelled = true;
+        break;
+      }
+    }
+    if (rule.ShouldStop(quality, watch.ElapsedMillis()) ||
+        (added == 0 && traj.Exhausted())) {
+      break;
+    }
+    if (added == 0 && quality.samples >= kDefaultSampleCap) break;
+  }
+  result.trajectory = traj.Current().Polyline();
+  result.samples = traj.samples_drawn();
+  result.elapsed_ms = watch.ElapsedMillis();
+  result.exhausted = traj.Exhausted();
+  return result;
+}
+
+}  // namespace storm

@@ -1,0 +1,111 @@
+// QueryEvaluator: executes a parsed query online against one table.
+//
+// Execution is a pump loop: draw a batch of spatial online samples, update
+// the task's estimator, report progress. The progress callback may return
+// false at any time — that is the "user changed the query condition
+// mid-flight" path from §1 — and the evaluator returns the best estimate so
+// far, flagged as cancelled.
+
+#ifndef STORM_QUERY_EVALUATOR_H_
+#define STORM_QUERY_EVALUATOR_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "storm/analytics/kde.h"
+#include "storm/analytics/kmeans.h"
+#include "storm/analytics/text.h"
+#include "storm/analytics/trajectory.h"
+#include "storm/estimator/group_by.h"
+#include "storm/estimator/quantile.h"
+#include "storm/query/optimizer.h"
+
+namespace storm {
+
+/// One per-group output row.
+struct GroupRow {
+  int64_t key = 0;
+  ConfidenceInterval ci;
+  ConfidenceInterval group_size;
+  uint64_t samples = 0;
+};
+
+/// The (possibly approximate) result of a query.
+struct QueryResult {
+  QueryTask task = QueryTask::kAggregate;
+  OptimizerDecision decision;
+  std::string strategy;  ///< sampler actually used
+
+  // kAggregate / kQuantile
+  ConfidenceInterval ci;
+  std::vector<GroupRow> groups;
+  /// Asymmetric CI bounds for quantile queries.
+  double ci_lower = 0.0;
+  double ci_upper = 0.0;
+
+  // kKde
+  std::vector<double> kde_map;  ///< row-major kde_width × kde_height
+  int kde_width = 0;
+  int kde_height = 0;
+  double kde_max_half_width = 0.0;
+
+  // kTopTerms
+  std::vector<TermEstimate> terms;
+
+  // kCluster
+  std::vector<Point2> centers;
+  double inertia = 0.0;
+
+  // kTrajectory
+  std::vector<TimedPoint> trajectory;
+
+  uint64_t samples = 0;
+  double elapsed_ms = 0.0;
+  bool exhausted = false;     ///< the answer is exact
+  bool cancelled = false;     ///< progress callback stopped the query
+  bool explain_only = false;  ///< EXPLAIN: `decision` is the whole answer
+};
+
+/// Lightweight per-batch progress snapshot.
+struct QueryProgress {
+  uint64_t samples = 0;
+  double elapsed_ms = 0.0;
+  /// Meaning depends on the task: aggregate CI; max cell CI (KDE);
+  /// top-1 term frequency CI (TOPTERMS); center drift (CLUSTER);
+  /// fixes collected (TRAJECTORY, as estimate).
+  ConfidenceInterval ci;
+};
+
+/// Return false to cancel the running query.
+using ProgressFn = std::function<bool(const QueryProgress&)>;
+
+class QueryEvaluator {
+ public:
+  explicit QueryEvaluator(const Table* table,
+                          QueryOptimizer optimizer = QueryOptimizer())
+      : table_(table), optimizer_(std::move(optimizer)) {}
+
+  /// Runs the query to its stopping rule (or exhaustion / cancellation).
+  Result<QueryResult> Execute(const QueryAst& ast, const ProgressFn& progress = {});
+
+ private:
+  Result<std::unique_ptr<SpatialSampler<3>>> MakeSampler(const QueryAst& ast,
+                                                         QueryResult* result) const;
+  StoppingRule RuleFor(const QueryAst& ast) const;
+
+  Result<QueryResult> RunAggregate(const QueryAst& ast, const ProgressFn& fn);
+  Result<QueryResult> RunQuantile(const QueryAst& ast, const ProgressFn& fn);
+  Result<QueryResult> RunGroupBy(const QueryAst& ast, const ProgressFn& fn);
+  Result<QueryResult> RunKde(const QueryAst& ast, const ProgressFn& fn);
+  Result<QueryResult> RunTopTerms(const QueryAst& ast, const ProgressFn& fn);
+  Result<QueryResult> RunCluster(const QueryAst& ast, const ProgressFn& fn);
+  Result<QueryResult> RunTrajectory(const QueryAst& ast, const ProgressFn& fn);
+
+  const Table* table_;
+  QueryOptimizer optimizer_;
+};
+
+}  // namespace storm
+
+#endif  // STORM_QUERY_EVALUATOR_H_

@@ -1,0 +1,97 @@
+#include "storm/query/lexer.h"
+
+#include <cctype>
+#include <charconv>
+
+namespace storm {
+
+Result<std::vector<Token>> TokenizeQuery(std::string_view query) {
+  std::vector<Token> tokens;
+  size_t pos = 0;
+  auto fail = [&](const std::string& msg) {
+    return Status::InvalidArgument(msg + " at offset " + std::to_string(pos));
+  };
+  while (pos < query.size()) {
+    char c = query[pos];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+      continue;
+    }
+    Token tok;
+    tok.offset = pos;
+    if (c == '(') {
+      tok.type = TokenType::kLParen;
+      tok.text = "(";
+      ++pos;
+    } else if (c == ')') {
+      tok.type = TokenType::kRParen;
+      tok.text = ")";
+      ++pos;
+    } else if (c == ',') {
+      tok.type = TokenType::kComma;
+      tok.text = ",";
+      ++pos;
+    } else if (c == '*') {
+      tok.type = TokenType::kStar;
+      tok.text = "*";
+      ++pos;
+    } else if (c == '%') {
+      tok.type = TokenType::kPercent;
+      tok.text = "%";
+      ++pos;
+    } else if (c == '\'') {
+      tok.type = TokenType::kString;
+      ++pos;
+      while (pos < query.size() && query[pos] != '\'') {
+        tok.literal.push_back(query[pos]);
+        ++pos;
+      }
+      if (pos >= query.size()) return fail("unterminated string literal");
+      ++pos;  // closing quote
+      tok.text = tok.literal;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+               c == '+' || c == '.') {
+      size_t start = pos;
+      if (c == '-' || c == '+') ++pos;
+      while (pos < query.size() &&
+             (std::isdigit(static_cast<unsigned char>(query[pos])) ||
+              query[pos] == '.' || query[pos] == 'e' || query[pos] == 'E' ||
+              ((query[pos] == '-' || query[pos] == '+') &&
+               (query[pos - 1] == 'e' || query[pos - 1] == 'E')))) {
+        ++pos;
+      }
+      std::string_view text = query.substr(start, pos - start);
+      double v = 0.0;
+      auto [p, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
+      if (ec != std::errc() || p != text.data() + text.size()) {
+        return fail("invalid number '" + std::string(text) + "'");
+      }
+      tok.type = TokenType::kNumber;
+      tok.text = std::string(text);
+      tok.number = v;
+    } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos;
+      while (pos < query.size() &&
+             (std::isalnum(static_cast<unsigned char>(query[pos])) ||
+              query[pos] == '_' || query[pos] == '.')) {
+        ++pos;
+      }
+      tok.type = TokenType::kIdentifier;
+      tok.literal = std::string(query.substr(start, pos - start));
+      tok.text = tok.literal;
+      for (char& ch : tok.text) {
+        ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      }
+    } else {
+      return fail(std::string("unexpected character '") + c + "'");
+    }
+    tokens.push_back(std::move(tok));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = query.size();
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace storm

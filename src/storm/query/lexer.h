@@ -1,0 +1,45 @@
+// Tokenizer for the STORM query language.
+
+#ifndef STORM_QUERY_LEXER_H_
+#define STORM_QUERY_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storm/util/result.h"
+
+namespace storm {
+
+enum class TokenType {
+  kIdentifier,  ///< bare word (keywords are identifiers; parser decides)
+  kNumber,
+  kString,   ///< '...'-quoted
+  kLParen,
+  kRParen,
+  kComma,
+  kStar,
+  kPercent,
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;     ///< raw text (identifiers upper-cased for matching)
+  std::string literal;  ///< original spelling (string contents, identifier case)
+  double number = 0.0;
+  size_t offset = 0;  ///< byte offset in the input, for error messages
+
+  bool Is(TokenType t) const { return type == t; }
+  /// Case-insensitive keyword match against an UPPERCASE name.
+  bool IsKeyword(std::string_view upper) const {
+    return type == TokenType::kIdentifier && text == upper;
+  }
+};
+
+/// Tokenizes a query; fails on unterminated strings or stray characters.
+Result<std::vector<Token>> TokenizeQuery(std::string_view query);
+
+}  // namespace storm
+
+#endif  // STORM_QUERY_LEXER_H_

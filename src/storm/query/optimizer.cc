@@ -1,0 +1,85 @@
+#include "storm/query/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace storm {
+
+double QueryOptimizer::EstimateCardinality(const Table& table,
+                                           const Rect3& query) const {
+  uint64_t n = table.size();
+  if (n == 0) return 0.0;
+  const LsTree<3>* ls = table.ls_tree();
+  if (ls != nullptr && ls->num_levels() > 1) {
+    // Count matches in the (small) top level and scale by the inverse
+    // sampling rate. Cost: a range count over ~min_level_size entries.
+    int top = ls->num_levels() - 1;
+    uint64_t matches = ls->tree(top).RangeCount(query);
+    double rate = std::pow(0.5, top);  // level_ratio is 1/2 by default
+    // Recover the actual ratio from the level sizes to stay correct for
+    // non-default configurations.
+    if (ls->tree(0).size() > 0 && ls->tree(top).size() > 0) {
+      double implied = std::pow(
+          static_cast<double>(ls->tree(top).size()) /
+              static_cast<double>(ls->tree(0).size()),
+          1.0 / top);
+      if (implied > 0 && implied < 1) rate = std::pow(implied, top);
+    }
+    return static_cast<double>(matches) / rate;
+  }
+  // Geometric fallback: volume fraction of the query inside the data MBR,
+  // axis-wise, assuming (wrongly but cheaply) uniform data.
+  Rect3 bounds = table.bounds();
+  if (bounds.IsEmpty()) return 0.0;
+  Rect3 clipped = Rect3::Intersection(query, bounds);
+  if (clipped.IsEmpty()) return 0.0;
+  double frac = 1.0;
+  for (int d = 0; d < 3; ++d) {
+    double span = bounds.hi()[d] - bounds.lo()[d];
+    if (span <= 0) continue;
+    frac *= (clipped.hi()[d] - clipped.lo()[d]) / span;
+  }
+  return frac * static_cast<double>(n);
+}
+
+OptimizerDecision QueryOptimizer::Choose(const Table& table, const Rect3& query,
+                                         uint64_t expected_k) const {
+  OptimizerDecision d;
+  uint64_t n = table.size();
+  d.estimated_cardinality = EstimateCardinality(table, query);
+  d.estimated_selectivity =
+      n > 0 ? d.estimated_cardinality / static_cast<double>(n) : 0.0;
+  uint64_t k = expected_k > 0 ? expected_k : model_.default_expected_k;
+
+  if (n == 0) {
+    d.strategy = SamplerStrategy::kQueryFirst;
+    d.reason = "empty table";
+    return d;
+  }
+  if (d.estimated_cardinality < 1.0) {
+    d.strategy = SamplerStrategy::kQueryFirst;
+    d.reason = "estimated empty result; QueryFirst proves emptiness cheaply";
+    return d;
+  }
+  if (static_cast<double>(k) >=
+      model_.query_first_min_fraction * d.estimated_cardinality) {
+    d.strategy = SamplerStrategy::kQueryFirst;
+    d.reason = "expected k consumes most of the result; report once";
+    return d;
+  }
+  if (d.estimated_selectivity >= model_.sample_first_min_selectivity) {
+    d.strategy = SamplerStrategy::kSampleFirst;
+    d.reason = "query covers a large fraction of P; rejection is cheap";
+    return d;
+  }
+  if (n <= model_.memory_resident_entries) {
+    d.strategy = SamplerStrategy::kRandomPath;
+    d.reason = "small memory-resident table; random walks are cache-friendly";
+    return d;
+  }
+  d.strategy = SamplerStrategy::kRsTree;
+  d.reason = "default: buffered sampling amortizes index descents";
+  return d;
+}
+
+}  // namespace storm

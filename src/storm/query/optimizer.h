@@ -1,0 +1,73 @@
+// QueryOptimizer: decides which sampling strategy the sampler module should
+// use for a given query (§3.2 "a set of basic query optimization rules").
+//
+// The decision follows the cost analysis of §3.1:
+//   SampleFirst  costs O(k·N/q)      — only viable when q/N is large;
+//   QueryFirst   costs O(r(N) + q)   — best when the caller will consume a
+//                                      constant fraction of P∩Q anyway, or
+//                                      when q is tiny;
+//   RandomPath   costs O(r(N) + k·log N) CPU but Ω(k) random page reads —
+//                                      fine for memory-resident tables;
+//   RS-tree      amortizes the walks via buffers — the default;
+//   LS-tree      best for scan-friendly storage — chosen when configured.
+//
+// Selectivity is estimated for free from the LS-tree's top level (a range
+// count over a few hundred entries) or, lacking one, from the RS-tree's
+// root canonical bounds.
+
+#ifndef STORM_QUERY_OPTIMIZER_H_
+#define STORM_QUERY_OPTIMIZER_H_
+
+#include <string>
+
+#include "storm/query/table.h"
+
+namespace storm {
+
+struct OptimizerDecision {
+  SamplerStrategy strategy = SamplerStrategy::kRsTree;
+  /// Estimated q (|P ∩ Q|).
+  double estimated_cardinality = 0.0;
+  /// Estimated q / N.
+  double estimated_selectivity = 0.0;
+  /// Human-readable rule trace.
+  std::string reason;
+};
+
+/// Tunable rule thresholds, calibrated by bench/ablation_optimizer.
+struct OptimizerCostModel {
+  /// SampleFirst wins above this selectivity.
+  double sample_first_min_selectivity = 0.25;
+  /// QueryFirst wins when expected k exceeds this fraction of q̂.
+  double query_first_min_fraction = 0.5;
+  /// Tables at most this large are treated as memory-resident, where
+  /// RandomPath's random access is harmless.
+  uint64_t memory_resident_entries = 8192;
+  /// Expected sample budget when the query does not say (k is unknown by
+  /// definition; this is only a planning prior).
+  uint64_t default_expected_k = 1024;
+};
+
+class QueryOptimizer {
+ public:
+  explicit QueryOptimizer(OptimizerCostModel model = {}) : model_(model) {}
+
+  /// Picks a strategy for the query box. `expected_k` of 0 uses the model
+  /// prior. Honors nothing about ast.method — callers short-circuit
+  /// explicit USING hints themselves.
+  OptimizerDecision Choose(const Table& table, const Rect3& query,
+                           uint64_t expected_k = 0) const;
+
+  /// Cheap cardinality estimate (never touches more than the LS top level
+  /// or the R-tree root region).
+  double EstimateCardinality(const Table& table, const Rect3& query) const;
+
+  const OptimizerCostModel& model() const { return model_; }
+
+ private:
+  OptimizerCostModel model_;
+};
+
+}  // namespace storm
+
+#endif  // STORM_QUERY_OPTIMIZER_H_

@@ -1,0 +1,347 @@
+#include "storm/query/parser.h"
+
+#include "storm/connector/importer.h"
+#include "storm/query/lexer.h"
+
+namespace storm {
+
+std::string_view SamplerStrategyToString(SamplerStrategy s) {
+  switch (s) {
+    case SamplerStrategy::kAuto:
+      return "AUTO";
+    case SamplerStrategy::kQueryFirst:
+      return "QUERYFIRST";
+    case SamplerStrategy::kSampleFirst:
+      return "SAMPLEFIRST";
+    case SamplerStrategy::kRandomPath:
+      return "RANDOMPATH";
+    case SamplerStrategy::kLsTree:
+      return "LSTREE";
+    case SamplerStrategy::kRsTree:
+      return "RSTREE";
+    case SamplerStrategy::kDistributed:
+      return "DISTRIBUTED";
+  }
+  return "?";
+}
+
+std::string_view QueryTaskToString(QueryTask t) {
+  switch (t) {
+    case QueryTask::kAggregate:
+      return "aggregate";
+    case QueryTask::kQuantile:
+      return "quantile";
+    case QueryTask::kKde:
+      return "kde";
+    case QueryTask::kTopTerms:
+      return "topterms";
+    case QueryTask::kCluster:
+      return "cluster";
+    case QueryTask::kTrajectory:
+      return "trajectory";
+  }
+  return "?";
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<QueryAst> Parse() {
+    QueryAst ast;
+    if (Cur().IsKeyword("EXPLAIN")) {
+      ast.explain = true;
+      Advance();
+    }
+    STORM_RETURN_NOT_OK(Expect("SELECT"));
+    STORM_RETURN_NOT_OK(ParseHead(&ast));
+    STORM_RETURN_NOT_OK(Expect("FROM"));
+    if (!Cur().Is(TokenType::kIdentifier)) return Fail("expected table name");
+    ast.table = Cur().literal;
+    Advance();
+    STORM_RETURN_NOT_OK(ParseClauses(&ast));
+    if (!Cur().Is(TokenType::kEnd)) return Fail("unexpected trailing input");
+    return ast;
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+
+  Status Fail(const std::string& msg) const {
+    return Status::InvalidArgument(msg + " near offset " +
+                                   std::to_string(Cur().offset));
+  }
+
+  Status Expect(std::string_view keyword) {
+    if (!Cur().IsKeyword(keyword)) {
+      return Fail("expected " + std::string(keyword));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status ExpectToken(TokenType t, const char* what) {
+    if (!Cur().Is(t)) return Fail(std::string("expected ") + what);
+    Advance();
+    return Status::OK();
+  }
+
+  Result<double> ExpectNumber() {
+    if (!Cur().Is(TokenType::kNumber)) return Status(Fail("expected number"));
+    double v = Cur().number;
+    Advance();
+    return v;
+  }
+
+  Result<std::string> ExpectIdentifier() {
+    if (!Cur().Is(TokenType::kIdentifier)) {
+      return Status(Fail("expected identifier"));
+    }
+    std::string v = Cur().literal;
+    Advance();
+    return v;
+  }
+
+  Status ParseHead(QueryAst* ast) {
+    static const std::pair<std::string_view, AggregateKind> kAggs[] = {
+        {"AVG", AggregateKind::kAvg},           {"MEAN", AggregateKind::kAvg},
+        {"SUM", AggregateKind::kSum},           {"COUNT", AggregateKind::kCount},
+        {"VARIANCE", AggregateKind::kVariance}, {"VAR", AggregateKind::kVariance},
+        {"STDDEV", AggregateKind::kStddev},     {"MIN", AggregateKind::kMin},
+        {"MAX", AggregateKind::kMax},
+    };
+    for (const auto& [kw, kind] : kAggs) {
+      if (Cur().IsKeyword(kw)) {
+        Advance();
+        ast->task = QueryTask::kAggregate;
+        ast->aggregate = kind;
+        STORM_RETURN_NOT_OK(ExpectToken(TokenType::kLParen, "'('"));
+        if (Cur().Is(TokenType::kStar)) {
+          if (kind != AggregateKind::kCount) {
+            return Fail("'*' is only valid in COUNT(*)");
+          }
+          ast->attribute = "*";
+          Advance();
+        } else {
+          STORM_ASSIGN_OR_RETURN(ast->attribute, ExpectIdentifier());
+        }
+        return ExpectToken(TokenType::kRParen, "')'");
+      }
+    }
+    if (Cur().IsKeyword("MEDIAN")) {
+      Advance();
+      ast->task = QueryTask::kQuantile;
+      ast->quantile_phi = 0.5;
+      STORM_RETURN_NOT_OK(ExpectToken(TokenType::kLParen, "'('"));
+      STORM_ASSIGN_OR_RETURN(ast->attribute, ExpectIdentifier());
+      return ExpectToken(TokenType::kRParen, "')'");
+    }
+    if (Cur().IsKeyword("QUANTILE")) {
+      Advance();
+      ast->task = QueryTask::kQuantile;
+      STORM_RETURN_NOT_OK(ExpectToken(TokenType::kLParen, "'('"));
+      STORM_ASSIGN_OR_RETURN(double phi, ExpectNumber());
+      if (Cur().Is(TokenType::kPercent)) {
+        Advance();
+        phi /= 100.0;
+      }
+      if (phi <= 0.0 || phi >= 1.0) {
+        return Fail("QUANTILE level must be in (0, 1)");
+      }
+      ast->quantile_phi = phi;
+      STORM_RETURN_NOT_OK(ExpectToken(TokenType::kComma, "','"));
+      STORM_ASSIGN_OR_RETURN(ast->attribute, ExpectIdentifier());
+      return ExpectToken(TokenType::kRParen, "')'");
+    }
+    if (Cur().IsKeyword("KDE")) {
+      Advance();
+      ast->task = QueryTask::kKde;
+      if (Cur().Is(TokenType::kLParen)) {
+        Advance();
+        STORM_ASSIGN_OR_RETURN(double w, ExpectNumber());
+        STORM_RETURN_NOT_OK(ExpectToken(TokenType::kComma, "','"));
+        STORM_ASSIGN_OR_RETURN(double h, ExpectNumber());
+        ast->kde_width = static_cast<int>(w);
+        ast->kde_height = static_cast<int>(h);
+        STORM_RETURN_NOT_OK(ExpectToken(TokenType::kRParen, "')'"));
+        if (ast->kde_width < 1 || ast->kde_height < 1) {
+          return Fail("KDE grid must be positive");
+        }
+      }
+      return Status::OK();
+    }
+    if (Cur().IsKeyword("TOPTERMS")) {
+      Advance();
+      ast->task = QueryTask::kTopTerms;
+      STORM_RETURN_NOT_OK(ExpectToken(TokenType::kLParen, "'('"));
+      STORM_ASSIGN_OR_RETURN(double m, ExpectNumber());
+      if (m < 1) return Fail("TOPTERMS count must be positive");
+      ast->top_m = static_cast<uint64_t>(m);
+      if (Cur().Is(TokenType::kComma)) {
+        Advance();
+        STORM_ASSIGN_OR_RETURN(ast->text_field, ExpectIdentifier());
+      }
+      return ExpectToken(TokenType::kRParen, "')'");
+    }
+    if (Cur().IsKeyword("CLUSTER")) {
+      Advance();
+      ast->task = QueryTask::kCluster;
+      STORM_RETURN_NOT_OK(ExpectToken(TokenType::kLParen, "'('"));
+      STORM_ASSIGN_OR_RETURN(double k, ExpectNumber());
+      if (k < 1) return Fail("CLUSTER k must be positive");
+      ast->cluster_k = static_cast<int>(k);
+      return ExpectToken(TokenType::kRParen, "')'");
+    }
+    if (Cur().IsKeyword("TRAJECTORY")) {
+      Advance();
+      ast->task = QueryTask::kTrajectory;
+      STORM_RETURN_NOT_OK(ExpectToken(TokenType::kLParen, "'('"));
+      STORM_ASSIGN_OR_RETURN(ast->object_field, ExpectIdentifier());
+      STORM_RETURN_NOT_OK(ExpectToken(TokenType::kComma, "','"));
+      STORM_ASSIGN_OR_RETURN(double id, ExpectNumber());
+      ast->object_id = static_cast<int64_t>(id);
+      return ExpectToken(TokenType::kRParen, "')'");
+    }
+    return Fail("expected an aggregate or analytical function");
+  }
+
+  // A time bound: number (epoch) or 'timestamp string'.
+  Result<double> ParseTimeBound() {
+    if (Cur().Is(TokenType::kNumber)) {
+      double v = Cur().number;
+      Advance();
+      return v;
+    }
+    if (Cur().Is(TokenType::kString)) {
+      std::optional<double> t = ParseTimestamp(Cur().literal);
+      if (!t.has_value()) {
+        return Status(Fail("invalid timestamp '" + Cur().literal + "'"));
+      }
+      Advance();
+      return *t;
+    }
+    return Status(Fail("expected a time bound (number or 'YYYY-MM-DD...')"));
+  }
+
+  Status ParseClauses(QueryAst* ast) {
+    while (true) {
+      if (Cur().IsKeyword("REGION")) {
+        Advance();
+        STORM_RETURN_NOT_OK(ExpectToken(TokenType::kLParen, "'('"));
+        double c[4];
+        for (int i = 0; i < 4; ++i) {
+          if (i) STORM_RETURN_NOT_OK(ExpectToken(TokenType::kComma, "','"));
+          STORM_ASSIGN_OR_RETURN(c[i], ExpectNumber());
+        }
+        STORM_RETURN_NOT_OK(ExpectToken(TokenType::kRParen, "')'"));
+        ast->region = Rect2::FromCorners(Point2(c[0], c[1]), Point2(c[2], c[3]));
+      } else if (Cur().IsKeyword("TIME")) {
+        Advance();
+        STORM_RETURN_NOT_OK(ExpectToken(TokenType::kLParen, "'('"));
+        STORM_ASSIGN_OR_RETURN(double t0, ParseTimeBound());
+        STORM_RETURN_NOT_OK(ExpectToken(TokenType::kComma, "','"));
+        STORM_ASSIGN_OR_RETURN(double t1, ParseTimeBound());
+        STORM_RETURN_NOT_OK(ExpectToken(TokenType::kRParen, "')'"));
+        if (t1 < t0) std::swap(t0, t1);
+        ast->time_range = {t0, t1};
+      } else if (Cur().IsKeyword("GROUP")) {
+        Advance();
+        STORM_RETURN_NOT_OK(Expect("BY"));
+        if (ast->task != QueryTask::kAggregate) {
+          return Fail("GROUP BY is only valid for aggregates");
+        }
+        if (Cur().IsKeyword("CELL")) {
+          Advance();
+          STORM_RETURN_NOT_OK(ExpectToken(TokenType::kLParen, "'('"));
+          STORM_ASSIGN_OR_RETURN(double nx, ExpectNumber());
+          STORM_RETURN_NOT_OK(ExpectToken(TokenType::kComma, "','"));
+          STORM_ASSIGN_OR_RETURN(double ny, ExpectNumber());
+          STORM_RETURN_NOT_OK(ExpectToken(TokenType::kRParen, "')'"));
+          if (nx < 1 || ny < 1 || nx * ny > 1'000'000) {
+            return Fail("CELL grid must be positive and at most 1e6 cells");
+          }
+          ast->cell_grid_x = static_cast<int>(nx);
+          ast->cell_grid_y = static_cast<int>(ny);
+        } else {
+          STORM_ASSIGN_OR_RETURN(ast->group_by, ExpectIdentifier());
+        }
+      } else if (Cur().IsKeyword("CONFIDENCE")) {
+        Advance();
+        STORM_ASSIGN_OR_RETURN(double v, ExpectNumber());
+        if (Cur().Is(TokenType::kPercent)) {
+          Advance();
+          v /= 100.0;
+        }
+        if (v <= 0.0 || v >= 1.0) return Fail("CONFIDENCE must be in (0,1)");
+        ast->confidence = v;
+      } else if (Cur().IsKeyword("ERROR")) {
+        Advance();
+        STORM_ASSIGN_OR_RETURN(double v, ExpectNumber());
+        if (Cur().Is(TokenType::kPercent)) {
+          Advance();
+          ast->target_relative_error = v / 100.0;
+        } else {
+          ast->target_half_width = v;
+        }
+      } else if (Cur().IsKeyword("WITHIN")) {
+        Advance();
+        STORM_ASSIGN_OR_RETURN(double v, ExpectNumber());
+        double scale = 1.0;
+        if (Cur().IsKeyword("MS") || Cur().IsKeyword("MILLISECONDS")) {
+          Advance();
+        } else if (Cur().IsKeyword("S") || Cur().IsKeyword("SECONDS") ||
+                   Cur().IsKeyword("SEC")) {
+          scale = 1000.0;
+          Advance();
+        }
+        if (v <= 0) return Fail("WITHIN budget must be positive");
+        ast->time_budget_ms = v * scale;
+      } else if (Cur().IsKeyword("SAMPLES")) {
+        Advance();
+        STORM_ASSIGN_OR_RETURN(double v, ExpectNumber());
+        if (v < 1) return Fail("SAMPLES limit must be positive");
+        ast->sample_limit = static_cast<uint64_t>(v);
+      } else if (Cur().IsKeyword("USING")) {
+        Advance();
+        if (Cur().IsKeyword("RSTREE")) {
+          ast->method = SamplerStrategy::kRsTree;
+        } else if (Cur().IsKeyword("LSTREE")) {
+          ast->method = SamplerStrategy::kLsTree;
+        } else if (Cur().IsKeyword("RANDOMPATH")) {
+          ast->method = SamplerStrategy::kRandomPath;
+        } else if (Cur().IsKeyword("QUERYFIRST") ||
+                   Cur().IsKeyword("RANGEREPORT")) {
+          ast->method = SamplerStrategy::kQueryFirst;
+        } else if (Cur().IsKeyword("SAMPLEFIRST")) {
+          ast->method = SamplerStrategy::kSampleFirst;
+        } else if (Cur().IsKeyword("DISTRIBUTED")) {
+          ast->method = SamplerStrategy::kDistributed;
+        } else if (Cur().IsKeyword("AUTO")) {
+          ast->method = SamplerStrategy::kAuto;
+        } else {
+          return Fail("unknown method in USING clause");
+        }
+        Advance();
+      } else {
+        return Status::OK();
+      }
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<QueryAst> ParseQuery(std::string_view query) {
+  STORM_ASSIGN_OR_RETURN(std::vector<Token> tokens, TokenizeQuery(query));
+  return Parser(std::move(tokens)).Parse();
+}
+
+}  // namespace storm

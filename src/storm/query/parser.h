@@ -1,0 +1,19 @@
+// Recursive-descent parser for the STORM query language (grammar in
+// ast.h).
+
+#ifndef STORM_QUERY_PARSER_H_
+#define STORM_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "storm/query/ast.h"
+#include "storm/util/result.h"
+
+namespace storm {
+
+/// Parses one query string into an AST.
+Result<QueryAst> ParseQuery(std::string_view query);
+
+}  // namespace storm
+
+#endif  // STORM_QUERY_PARSER_H_

@@ -1,0 +1,101 @@
+#include "storm/query/session.h"
+
+#include <fstream>
+
+namespace storm {
+
+Status Session::CreateTable(const std::string& name,
+                            const std::vector<Value>& docs,
+                            const ImportOptions& import_options,
+                            const TableConfig& config) {
+  if (tables_.contains(name)) {
+    return Status::AlreadyExists("table '" + name + "'");
+  }
+  STORM_ASSIGN_OR_RETURN(Table table,
+                         Table::Create(name, docs, import_options, config));
+  auto owned = std::make_unique<Table>(std::move(table));
+  updaters_[name] = std::make_unique<UpdateManager>(owned.get());
+  tables_[name] = std::move(owned);
+  return Status::OK();
+}
+
+Status Session::ImportFile(const std::string& name, const std::string& path,
+                           const ImportOptions& import_options,
+                           const TableConfig& config) {
+  auto ends_with = [&](std::string_view suffix) {
+    return path.size() >= suffix.size() &&
+           path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+  };
+  Result<std::vector<Value>> docs = Status::NotSupported("unknown extension");
+  if (ends_with(".csv")) {
+    docs = ParseCsvFile(path);
+  } else if (ends_with(".tsv")) {
+    CsvOptions options;
+    options.delimiter = '\t';
+    docs = ParseCsvFile(path, options);
+  } else if (ends_with(".jsonl") || ends_with(".ndjson")) {
+    docs = ParseJsonlFile(path);
+  } else {
+    return Status::NotSupported(
+        "cannot infer format of '" + path +
+        "' (supported: .csv, .tsv, .jsonl, .ndjson)");
+  }
+  if (!docs.ok()) return docs.status();
+  return CreateTable(name, *docs, import_options, config);
+}
+
+Status Session::SaveTable(const std::string& name, const std::string& path) {
+  STORM_ASSIGN_OR_RETURN(Table * table, GetTable(name));
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path);
+  Status scan = table->store().Scan([&](RecordId, const Value& doc) {
+    out << doc.ToJson() << '\n';
+    return out.good();
+  });
+  STORM_RETURN_NOT_OK(scan);
+  out.flush();
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+Status Session::DropTable(const std::string& name) {
+  if (tables_.erase(name) == 0) {
+    return Status::NotFound("table '" + name + "'");
+  }
+  updaters_.erase(name);
+  return Status::OK();
+}
+
+Result<Table*> Session::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("table '" + name + "'");
+  return it->second.get();
+}
+
+std::vector<std::string> Session::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+Result<QueryResult> Session::Execute(const std::string& query,
+                                     const ProgressFn& progress) {
+  STORM_ASSIGN_OR_RETURN(QueryAst ast, ParseQuery(query));
+  return ExecuteAst(ast, progress);
+}
+
+Result<QueryResult> Session::ExecuteAst(const QueryAst& ast,
+                                        const ProgressFn& progress) {
+  STORM_ASSIGN_OR_RETURN(Table * table, GetTable(ast.table));
+  QueryEvaluator evaluator(table, optimizer_);
+  return evaluator.Execute(ast, progress);
+}
+
+Result<UpdateManager*> Session::Updates(const std::string& table) {
+  auto it = updaters_.find(table);
+  if (it == updaters_.end()) return Status::NotFound("table '" + table + "'");
+  return it->second.get();
+}
+
+}  // namespace storm

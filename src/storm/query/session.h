@@ -1,0 +1,68 @@
+// Session: STORM's top-level user-facing API — a catalog of tables, data
+// import through the connector, query execution, and updates. This is what
+// the query interface of Figure 1 talks to.
+
+#ifndef STORM_QUERY_SESSION_H_
+#define STORM_QUERY_SESSION_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storm/connector/csv.h"
+#include "storm/connector/jsonl.h"
+#include "storm/query/evaluator.h"
+#include "storm/query/parser.h"
+#include "storm/query/update_manager.h"
+
+namespace storm {
+
+class Session {
+ public:
+  /// Registers documents as a table (import + index build).
+  Status CreateTable(const std::string& name, const std::vector<Value>& docs,
+                     const ImportOptions& import_options = {},
+                     const TableConfig& config = {});
+
+  /// Imports a file by extension (.csv/.tsv/.jsonl/.ndjson) and registers
+  /// it as a table — the "data import" component of the demo.
+  Status ImportFile(const std::string& name, const std::string& path,
+                    const ImportOptions& import_options = {},
+                    const TableConfig& config = {});
+
+  /// Exports a table's live documents as JSON-lines; round-trips through
+  /// ImportFile (the storage engine's snapshot format is its interchange
+  /// format — indexes are rebuilt on load).
+  Status SaveTable(const std::string& name, const std::string& path);
+
+  /// Drops a table.
+  Status DropTable(const std::string& name);
+
+  bool HasTable(const std::string& name) const { return tables_.contains(name); }
+  Result<Table*> GetTable(const std::string& name);
+  std::vector<std::string> TableNames() const;
+
+  /// Parses and runs a query in the STORM query language. The progress
+  /// callback runs once per sample batch and may cancel.
+  Result<QueryResult> Execute(const std::string& query,
+                              const ProgressFn& progress = {});
+
+  /// Runs an already-parsed query.
+  Result<QueryResult> ExecuteAst(const QueryAst& ast,
+                                 const ProgressFn& progress = {});
+
+  /// Update entry point for a table.
+  Result<UpdateManager*> Updates(const std::string& table);
+
+  QueryOptimizer* optimizer() { return &optimizer_; }
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::map<std::string, std::unique_ptr<UpdateManager>> updaters_;
+  QueryOptimizer optimizer_;
+};
+
+}  // namespace storm
+
+#endif  // STORM_QUERY_SESSION_H_

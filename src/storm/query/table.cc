@@ -1,0 +1,183 @@
+#include "storm/query/table.h"
+
+#include <cmath>
+
+#include "storm/sampling/query_first.h"
+#include "storm/sampling/random_path.h"
+#include "storm/sampling/sample_first.h"
+
+namespace storm {
+
+Result<Table> Table::Create(std::string name, const std::vector<Value>& docs,
+                            const ImportOptions& import_options,
+                            TableConfig config) {
+  Table t;
+  t.name_ = std::move(name);
+  t.config_ = config;
+  t.store_ = std::make_unique<RecordStore>(config.store);
+  Importer importer(t.store_.get());
+  STORM_ASSIGN_OR_RETURN(ImportResult imported,
+                         importer.ImportDocuments(docs, import_options));
+  t.schema_ = std::move(imported.schema);
+  t.binding_ = std::move(imported.binding);
+  t.entries_ = std::move(imported.entries);
+  for (size_t i = 0; i < t.entries_.size(); ++i) {
+    t.entry_pos_[t.entries_[i].id] = i;
+  }
+  t.rs_ = std::make_unique<RsTree<3>>(t.entries_, config.rs, config.seed);
+  if (config.build_ls_tree) {
+    t.ls_ = std::make_unique<LsTree<3>>(t.entries_, config.ls, config.seed ^ 0x15);
+  }
+  if (config.num_shards > 1) {
+    t.cluster_ = std::make_unique<Cluster>(t.entries_, config.num_shards,
+                                           config.partitioning, config.rs,
+                                           config.seed ^ 0x51);
+  }
+  return t;
+}
+
+Result<std::unique_ptr<SpatialSampler<3>>> Table::NewSampler(
+    SamplerStrategy strategy, uint64_t seed) const {
+  Rng rng(seed ^ (0x9e3779b97f4a7c15ULL * ++sampler_seq_));
+  switch (strategy) {
+    case SamplerStrategy::kQueryFirst:
+      return std::unique_ptr<SpatialSampler<3>>(
+          std::make_unique<QueryFirstSampler<3>>(&rs_->tree(), rng));
+    case SamplerStrategy::kSampleFirst:
+      return std::unique_ptr<SpatialSampler<3>>(
+          std::make_unique<SampleFirstSampler<3>>(&entries_, rng));
+    case SamplerStrategy::kRandomPath:
+      return std::unique_ptr<SpatialSampler<3>>(
+          std::make_unique<RandomPathSampler<3>>(&rs_->tree(), rng));
+    case SamplerStrategy::kLsTree:
+      if (ls_ == nullptr) {
+        return Status::FailedPrecondition("table '" + name_ +
+                                          "' was built without an LS-tree");
+      }
+      return ls_->NewSampler(rng);
+    case SamplerStrategy::kRsTree:
+      return rs_->NewSampler(rng);
+    case SamplerStrategy::kDistributed:
+      if (cluster_ == nullptr) {
+        return Status::FailedPrecondition(
+            "table '" + name_ +
+            "' is not sharded (set TableConfig::num_shards > 1)");
+      }
+      return cluster_->NewSampler(rng);
+    case SamplerStrategy::kAuto:
+      break;
+  }
+  return Status::InvalidArgument(
+      "kAuto must be resolved by the optimizer before NewSampler");
+}
+
+Result<const std::vector<double>*> Table::NumericColumn(
+    const std::string& field) const {
+  auto it = columns_.find(field);
+  if (it != columns_.end()) return const_cast<const std::vector<double>*>(it->second.get());
+  auto column = std::make_unique<std::vector<double>>(
+      store_->next_id(), std::numeric_limits<double>::quiet_NaN());
+  Status st = store_->Scan([&](RecordId id, const Value& doc) {
+    const Value* v = doc.FindPath(field);
+    if (v != nullptr && v->is_number()) {
+      (*column)[id] = v->AsDouble();
+    }
+    return true;
+  });
+  STORM_RETURN_NOT_OK(st);
+  const std::vector<double>* raw = column.get();
+  columns_.emplace(field, std::move(column));
+  return raw;
+}
+
+Result<std::string> Table::TextOf(RecordId id, const std::string& field) const {
+  STORM_ASSIGN_OR_RETURN(Value doc, store_->Get(id));
+  const Value* v = doc.FindPath(field);
+  if (v == nullptr) {
+    return Status::NotFound("field '" + field + "' in record " +
+                            std::to_string(id));
+  }
+  if (v->is_string()) return v->AsString();
+  return v->ToJson();
+}
+
+Result<double> Table::NumberOf(RecordId id, const std::string& field) const {
+  STORM_ASSIGN_OR_RETURN(Value doc, store_->Get(id));
+  const Value* v = doc.FindPath(field);
+  if (v == nullptr || !v->is_number()) {
+    return Status::NotFound("numeric field '" + field + "' in record " +
+                            std::to_string(id));
+  }
+  return v->AsDouble();
+}
+
+Result<Point3> Table::ExtractPoint(const Value& doc) const {
+  auto coord = [&](const std::string& field, bool is_time) -> Result<double> {
+    const Value* v = doc.FindPath(field);
+    if (v == nullptr) return Status::InvalidArgument("missing field " + field);
+    if (v->is_number()) return v->AsDouble();
+    if (v->is_string() && is_time) {
+      std::optional<double> t = ParseTimestamp(v->AsString());
+      if (t.has_value()) return *t;
+    }
+    return Status::InvalidArgument("non-numeric coordinate field " + field);
+  };
+  STORM_ASSIGN_OR_RETURN(double x, coord(binding_.x_field, false));
+  STORM_ASSIGN_OR_RETURN(double y, coord(binding_.y_field, false));
+  double t = 0.0;
+  if (binding_.HasTime()) {
+    STORM_ASSIGN_OR_RETURN(t, coord(binding_.t_field, true));
+  }
+  return Point3(x, y, t);
+}
+
+Result<RecordId> Table::Insert(const Value& doc) {
+  STORM_ASSIGN_OR_RETURN(Point3 p, ExtractPoint(doc));
+  STORM_ASSIGN_OR_RETURN(RecordId id, store_->Append(doc));
+  entries_.push_back({p, id});
+  entry_pos_[id] = entries_.size() - 1;
+  rs_->Insert(p, id);
+  if (ls_ != nullptr) ls_->Insert(p, id);
+  if (cluster_ != nullptr) cluster_->Insert(p, id);
+  // Extend materialized columns.
+  for (auto& [field, column] : columns_) {
+    column->resize(store_->next_id(), std::numeric_limits<double>::quiet_NaN());
+    const Value* v = doc.FindPath(field);
+    if (v != nullptr && v->is_number()) {
+      (*column)[id] = v->AsDouble();
+    }
+  }
+  return id;
+}
+
+Status Table::Delete(RecordId id) {
+  auto it = entry_pos_.find(id);
+  if (it == entry_pos_.end()) {
+    return Status::NotFound("record " + std::to_string(id));
+  }
+  size_t pos = it->second;
+  Point3 p = entries_[pos].point;
+  STORM_RETURN_NOT_OK(store_->Delete(id));
+  // Swap-remove from the raw entry table.
+  entries_[pos] = entries_.back();
+  entries_.pop_back();
+  if (pos < entries_.size()) entry_pos_[entries_[pos].id] = pos;
+  entry_pos_.erase(it);
+  if (!rs_->Erase(p, id)) {
+    return Status::Corruption("RS-tree lost record " + std::to_string(id));
+  }
+  if (ls_ != nullptr && !ls_->Erase(p, id)) {
+    return Status::Corruption("LS-tree lost record " + std::to_string(id));
+  }
+  if (cluster_ != nullptr && !cluster_->Erase(p, id)) {
+    return Status::Corruption("cluster lost record " + std::to_string(id));
+  }
+  for (auto& [field, column] : columns_) {
+    if (id < column->size()) {
+      (*column)[id] = std::numeric_limits<double>::quiet_NaN();
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace storm

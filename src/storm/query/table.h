@@ -1,0 +1,107 @@
+// Table: a named spatio-temporal data set registered with STORM — the
+// record store holding its documents, the (x, y, t) entries extracted by
+// the data connector, and the ST-indexing structures (a Hilbert R-tree/
+// RS-tree, and optionally an LS-tree) the sampler module draws from.
+
+#ifndef STORM_QUERY_TABLE_H_
+#define STORM_QUERY_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storm/cluster/coordinator.h"
+#include "storm/connector/importer.h"
+#include "storm/query/ast.h"
+#include "storm/sampling/ls_tree.h"
+#include "storm/sampling/rs_tree.h"
+#include "storm/storage/record_store.h"
+
+namespace storm {
+
+struct TableConfig {
+  RsTreeOptions rs;
+  LsTreeOptions ls;
+  /// Build the LS-tree next to the RS-tree (costs ~2x space).
+  bool build_ls_tree = true;
+  /// When > 1, additionally partition the table over this many simulated
+  /// shards (enables USING DISTRIBUTED).
+  int num_shards = 1;
+  Partitioning partitioning = Partitioning::kHilbertRange;
+  /// Seed for index randomness and sampler forks.
+  uint64_t seed = 0x5707'11ed;
+  RecordStoreOptions store;
+};
+
+/// A registered data set. Movable, not copyable.
+class Table {
+ public:
+  using Entry = RTree<3>::Entry;
+
+  /// Imports documents through the data connector and builds the indexes.
+  static Result<Table> Create(std::string name, const std::vector<Value>& docs,
+                              const ImportOptions& import_options = {},
+                              TableConfig config = {});
+
+  Table(Table&&) = default;
+  Table& operator=(Table&&) = default;
+
+  const std::string& name() const { return name_; }
+  uint64_t size() const { return rs_->size(); }
+  Rect3 bounds() const { return rs_->tree().bounds(); }
+  const Schema& schema() const { return schema_; }
+  const SpatioTemporalBinding& binding() const { return binding_; }
+  const RecordStore& store() const { return *store_; }
+  const std::vector<Entry>& entries() const { return entries_; }
+  const RsTree<3>& rs_tree() const { return *rs_; }
+  const LsTree<3>* ls_tree() const { return ls_.get(); }
+  /// Non-null when the table was built with num_shards > 1.
+  const Cluster* cluster() const { return cluster_.get(); }
+  /// The base Hilbert R-tree (shared by RandomPath/QueryFirst samplers).
+  const RTree<3>& base_tree() const { return rs_->tree(); }
+
+  /// Creates a sampler implementing the given strategy. kAuto is resolved
+  /// by the QueryOptimizer, not here (passing it is an error).
+  Result<std::unique_ptr<SpatialSampler<3>>> NewSampler(SamplerStrategy strategy,
+                                                        uint64_t seed) const;
+
+  /// Lazily materialized numeric column, indexed by record id (NaN for
+  /// missing/non-numeric/deleted). The pointer stays valid across updates.
+  Result<const std::vector<double>*> NumericColumn(const std::string& field) const;
+
+  /// Field accessors that go through the record store (no cache).
+  Result<std::string> TextOf(RecordId id, const std::string& field) const;
+  Result<double> NumberOf(RecordId id, const std::string& field) const;
+
+  /// Inserts one document: appends to the store, extracts coordinates, and
+  /// maintains every index and materialized column (the update-manager
+  /// path).
+  Result<RecordId> Insert(const Value& doc);
+
+  /// Deletes a record from the store and all indexes.
+  Status Delete(RecordId id);
+
+ private:
+  Table() = default;
+
+  Result<Point3> ExtractPoint(const Value& doc) const;
+
+  std::string name_;
+  Schema schema_;
+  SpatioTemporalBinding binding_;
+  TableConfig config_;
+  std::unique_ptr<RecordStore> store_;
+  std::vector<Entry> entries_;
+  std::unordered_map<RecordId, size_t> entry_pos_;
+  std::unique_ptr<RsTree<3>> rs_;
+  std::unique_ptr<LsTree<3>> ls_;
+  std::unique_ptr<Cluster> cluster_;
+  mutable std::unordered_map<std::string, std::unique_ptr<std::vector<double>>>
+      columns_;
+  mutable uint64_t sampler_seq_ = 0;
+};
+
+}  // namespace storm
+
+#endif  // STORM_QUERY_TABLE_H_

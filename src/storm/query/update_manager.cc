@@ -1,0 +1,34 @@
+#include "storm/query/update_manager.h"
+
+namespace storm {
+
+Result<RecordId> UpdateManager::Insert(const Value& doc) {
+  Result<RecordId> id = table_->Insert(doc);
+  if (id.ok()) ++inserts_;
+  return id;
+}
+
+Result<std::vector<RecordId>> UpdateManager::InsertBatch(
+    const std::vector<Value>& docs) {
+  std::vector<RecordId> ids;
+  ids.reserve(docs.size());
+  for (const Value& doc : docs) {
+    Result<RecordId> id = table_->Insert(doc);
+    if (!id.ok()) {
+      return Status(id.status().code(),
+                    "after " + std::to_string(ids.size()) + " inserts: " +
+                        id.status().message());
+    }
+    ids.push_back(*id);
+    ++inserts_;
+  }
+  return ids;
+}
+
+Status UpdateManager::Delete(RecordId id) {
+  Status st = table_->Delete(id);
+  if (st.ok()) ++deletes_;
+  return st;
+}
+
+}  // namespace storm

@@ -1,0 +1,44 @@
+// UpdateManager: applies ad-hoc data updates to a registered table so that
+// "a correct set of online spatio-temporal samples can always be returned
+// with respect to the latest records" (§2, updates demo).
+//
+// The heavy lifting lives in Table::Insert/Delete (store append/tombstone,
+// R-tree maintenance, LS-tree level trees, RS-tree buffer invalidation);
+// the manager adds batching and bookkeeping.
+
+#ifndef STORM_QUERY_UPDATE_MANAGER_H_
+#define STORM_QUERY_UPDATE_MANAGER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storm/query/table.h"
+
+namespace storm {
+
+class UpdateManager {
+ public:
+  explicit UpdateManager(Table* table) : table_(table) {}
+
+  /// Inserts one document into the table and all its indexes.
+  Result<RecordId> Insert(const Value& doc);
+
+  /// Inserts many documents; stops at the first failure, returning how many
+  /// were applied in the error message.
+  Result<std::vector<RecordId>> InsertBatch(const std::vector<Value>& docs);
+
+  /// Deletes a record everywhere.
+  Status Delete(RecordId id);
+
+  uint64_t inserts_applied() const { return inserts_; }
+  uint64_t deletes_applied() const { return deletes_; }
+
+ private:
+  Table* table_;
+  uint64_t inserts_ = 0;
+  uint64_t deletes_ = 0;
+};
+
+}  // namespace storm
+
+#endif  // STORM_QUERY_UPDATE_MANAGER_H_

@@ -1,0 +1,691 @@
+#include "storm/rtree/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "storm/util/logging.h"
+
+namespace storm {
+
+namespace {
+
+// Rect of a leaf entry or of a child node, so the split algorithm can be
+// shared between the two node kinds.
+template <int D>
+Rect<D> ItemRect(const typename RTree<D>::Entry& e) {
+  return Rect<D>(e.point);
+}
+template <int D>
+Rect<D> ItemRect(const std::unique_ptr<typename RTree<D>::Node>& c) {
+  return c->mbr;
+}
+
+// Guttman's quadratic split over a vector of items. Moves items out of
+// `all` into two groups; returns the index lists.
+template <int D, typename Item>
+void QuadraticSplit(std::vector<Item>* all, int min_entries,
+                    std::vector<Item>* group_a, std::vector<Item>* group_b) {
+  const size_t n = all->size();
+  assert(n >= 2);
+  // Pick the two seeds wasting the most area if paired.
+  size_t seed_a = 0, seed_b = 1;
+  double worst = -1.0;
+  for (size_t i = 0; i < n; ++i) {
+    Rect<D> ri = ItemRect<D>((*all)[i]);
+    for (size_t j = i + 1; j < n; ++j) {
+      Rect<D> rj = ItemRect<D>((*all)[j]);
+      double waste = Rect<D>::Union(ri, rj).Area() - ri.Area() - rj.Area();
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+  std::vector<bool> assigned(n, false);
+  Rect<D> mbr_a = ItemRect<D>((*all)[seed_a]);
+  Rect<D> mbr_b = ItemRect<D>((*all)[seed_b]);
+  group_a->push_back(std::move((*all)[seed_a]));
+  group_b->push_back(std::move((*all)[seed_b]));
+  assigned[seed_a] = assigned[seed_b] = true;
+  size_t remaining = n - 2;
+  while (remaining > 0) {
+    // Force-assign when one group must take everything left to reach the
+    // minimum.
+    if (group_a->size() + remaining == static_cast<size_t>(min_entries)) {
+      for (size_t i = 0; i < n; ++i) {
+        if (!assigned[i]) {
+          mbr_a.Expand(ItemRect<D>((*all)[i]));
+          group_a->push_back(std::move((*all)[i]));
+          assigned[i] = true;
+        }
+      }
+      break;
+    }
+    if (group_b->size() + remaining == static_cast<size_t>(min_entries)) {
+      for (size_t i = 0; i < n; ++i) {
+        if (!assigned[i]) {
+          mbr_b.Expand(ItemRect<D>((*all)[i]));
+          group_b->push_back(std::move((*all)[i]));
+          assigned[i] = true;
+        }
+      }
+      break;
+    }
+    // Pick the unassigned item with the strongest group preference.
+    size_t best = n;
+    double best_diff = -1.0;
+    double best_da = 0.0, best_db = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (assigned[i]) continue;
+      Rect<D> r = ItemRect<D>((*all)[i]);
+      double da = mbr_a.Enlargement(r);
+      double db = mbr_b.Enlargement(r);
+      double diff = std::abs(da - db);
+      if (diff > best_diff) {
+        best_diff = diff;
+        best = i;
+        best_da = da;
+        best_db = db;
+      }
+    }
+    assert(best < n);
+    bool to_a;
+    if (best_da != best_db) {
+      to_a = best_da < best_db;
+    } else if (mbr_a.Area() != mbr_b.Area()) {
+      to_a = mbr_a.Area() < mbr_b.Area();
+    } else {
+      to_a = group_a->size() <= group_b->size();
+    }
+    Rect<D> r = ItemRect<D>((*all)[best]);
+    if (to_a) {
+      mbr_a.Expand(r);
+      group_a->push_back(std::move((*all)[best]));
+    } else {
+      mbr_b.Expand(r);
+      group_b->push_back(std::move((*all)[best]));
+    }
+    assigned[best] = true;
+    --remaining;
+  }
+  all->clear();
+}
+
+}  // namespace
+
+template <int D>
+RTree<D>::RTree(RTreeOptions options) : options_(options) {
+  assert(options_.max_entries >= 4);
+  assert(options_.EffectiveMin() >= 1);
+  assert(options_.EffectiveMin() <= options_.max_entries / 2);
+}
+
+template <int D>
+RTree<D>::~RTree() {
+  if (root_) ReleaseNodePages(root_.get());
+}
+
+template <int D>
+RTree<D>::RTree(RTree&& other) noexcept
+    : options_(other.options_),
+      root_(std::move(other.root_)),
+      next_node_id_(other.next_node_id_),
+      nodes_touched_(other.nodes_touched_.load()) {}
+
+template <int D>
+RTree<D>& RTree<D>::operator=(RTree&& other) noexcept {
+  if (this != &other) {
+    if (root_) ReleaseNodePages(root_.get());
+    options_ = other.options_;
+    root_ = std::move(other.root_);
+    next_node_id_ = other.next_node_id_;
+    nodes_touched_.store(other.nodes_touched_.load());
+  }
+  return *this;
+}
+
+template <int D>
+std::unique_ptr<typename RTree<D>::Node> RTree<D>::NewNode(bool is_leaf) {
+  auto n = std::make_unique<Node>();
+  n->is_leaf = is_leaf;
+  n->node_id = next_node_id_++;
+  if (options_.pool != nullptr) {
+    n->page = options_.pool->disk()->Allocate();
+  }
+  return n;
+}
+
+template <int D>
+void RTree<D>::ReleaseNodePages(Node* n) {
+  if (options_.pool != nullptr && n->page != kInvalidPage) {
+    (void)options_.pool->Evict(n->page);
+    (void)options_.pool->disk()->Free(n->page);
+    n->page = kInvalidPage;
+  }
+  for (auto& c : n->children) ReleaseNodePages(c.get());
+}
+
+template <int D>
+void RTree<D>::TouchNode(const Node* n) const {
+  nodes_touched_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.pool != nullptr && n->page != kInvalidPage) {
+    Result<std::byte*> frame = options_.pool->Pin(n->page);
+    if (frame.ok()) {
+      (void)options_.pool->Unpin(n->page, /*dirty=*/false);
+    }
+  }
+}
+
+template <int D>
+int RTree<D>::Height() const {
+  int h = 0;
+  for (const Node* n = root_.get(); n != nullptr;
+       n = n->is_leaf ? nullptr : n->children.front().get()) {
+    ++h;
+  }
+  return h;
+}
+
+template <int D>
+uint64_t RTree<D>::NodeCount() const {
+  if (!root_) return 0;
+  uint64_t total = 0;
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    ++total;
+    for (const auto& c : n->children) stack.push_back(c.get());
+  }
+  return total;
+}
+
+template <int D>
+void RTree<D>::RecomputeLocal(Node* n) {
+  ++n->version;
+  n->mbr = Rect<D>();
+  if (n->is_leaf) {
+    n->count = n->entries.size();
+    for (const Entry& e : n->entries) n->mbr.Expand(e.point);
+  } else {
+    n->count = 0;
+    for (const auto& c : n->children) {
+      n->mbr.Expand(c->mbr);
+      n->count += c->count;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Insert
+// ---------------------------------------------------------------------------
+
+template <int D>
+typename RTree<D>::Node* RTree<D>::ChooseLeaf(Node* n, const Point<D>& p) const {
+  TouchNode(n);
+  while (!n->is_leaf) {
+    Node* best = nullptr;
+    double best_enlarge = 0.0, best_area = 0.0;
+    for (const auto& c : n->children) {
+      double enlarge = c->mbr.Enlargement(Rect<D>(p));
+      double area = c->mbr.Area();
+      if (best == nullptr || enlarge < best_enlarge ||
+          (enlarge == best_enlarge && area < best_area)) {
+        best = c.get();
+        best_enlarge = enlarge;
+        best_area = area;
+      }
+    }
+    n = best;
+    TouchNode(n);
+  }
+  return n;
+}
+
+template <int D>
+std::unique_ptr<typename RTree<D>::Node> RTree<D>::SplitNode(Node* n) {
+  auto sibling = NewNode(n->is_leaf);
+  int min_entries = options_.EffectiveMin();
+  if (n->is_leaf) {
+    std::vector<Entry> a, b;
+    QuadraticSplit<D>(&n->entries, min_entries, &a, &b);
+    n->entries = std::move(a);
+    sibling->entries = std::move(b);
+  } else {
+    std::vector<std::unique_ptr<Node>> a, b;
+    QuadraticSplit<D>(&n->children, min_entries, &a, &b);
+    n->children = std::move(a);
+    sibling->children = std::move(b);
+    for (auto& c : n->children) c->parent = n;
+    for (auto& c : sibling->children) c->parent = sibling.get();
+  }
+  RecomputeLocal(n);
+  RecomputeLocal(sibling.get());
+  return sibling;
+}
+
+template <int D>
+void RTree<D>::HandleOverflow(Node* n) {
+  while (n != nullptr &&
+         ((n->is_leaf && n->entries.size() > static_cast<size_t>(options_.max_entries)) ||
+          (!n->is_leaf &&
+           n->children.size() > static_cast<size_t>(options_.max_entries)))) {
+    std::unique_ptr<Node> sibling = SplitNode(n);
+    if (n->parent == nullptr) {
+      // Grow a new root above n and sibling.
+      auto new_root = NewNode(/*is_leaf=*/false);
+      Node* new_root_raw = new_root.get();
+      sibling->parent = new_root_raw;
+      std::unique_ptr<Node> old_root = std::move(root_);
+      old_root->parent = new_root_raw;
+      new_root->children.push_back(std::move(old_root));
+      new_root->children.push_back(std::move(sibling));
+      RecomputeLocal(new_root_raw);
+      root_ = std::move(new_root);
+      return;
+    }
+    Node* parent = n->parent;
+    sibling->parent = parent;
+    parent->children.push_back(std::move(sibling));
+    n = parent;
+  }
+}
+
+template <int D>
+void RTree<D>::Insert(const Point<D>& point, RecordId id) {
+  if (!root_) {
+    root_ = NewNode(/*is_leaf=*/true);
+  }
+  Node* leaf = ChooseLeaf(root_.get(), point);
+  leaf->entries.push_back(Entry{point, id});
+  // Update MBRs and counts along the root path before any split: splits
+  // redistribute within a subtree and do not change ancestor aggregates.
+  for (Node* a = leaf; a != nullptr; a = a->parent) {
+    a->mbr.Expand(point);
+    ++a->count;
+    ++a->version;
+  }
+  HandleOverflow(leaf);
+}
+
+// ---------------------------------------------------------------------------
+// Erase
+// ---------------------------------------------------------------------------
+
+template <int D>
+typename RTree<D>::Node* RTree<D>::FindLeaf(Node* n, const Point<D>& p,
+                                            RecordId id) const {
+  TouchNode(n);
+  if (n->is_leaf) {
+    for (const Entry& e : n->entries) {
+      if (e.id == id && e.point == p) return n;
+    }
+    return nullptr;
+  }
+  for (const auto& c : n->children) {
+    if (c->mbr.Contains(p)) {
+      Node* found = FindLeaf(c.get(), p, id);
+      if (found != nullptr) return found;
+    }
+  }
+  return nullptr;
+}
+
+template <int D>
+void RTree<D>::CollectEntries(Node* n, std::vector<Entry>* out) const {
+  if (n->is_leaf) {
+    out->insert(out->end(), n->entries.begin(), n->entries.end());
+    return;
+  }
+  for (const auto& c : n->children) CollectEntries(c.get(), out);
+}
+
+template <int D>
+void RTree<D>::CondenseTree(Node* leaf, std::vector<Entry>* orphans) {
+  Node* n = leaf;
+  while (n->parent != nullptr) {
+    Node* parent = n->parent;
+    size_t fill = n->is_leaf ? n->entries.size() : n->children.size();
+    if (fill < static_cast<size_t>(options_.EffectiveMin())) {
+      // Detach n from parent, salvage its entries for reinsertion.
+      CollectEntries(n, orphans);
+      ReleaseNodePages(n);
+      auto it = std::find_if(parent->children.begin(), parent->children.end(),
+                             [n](const std::unique_ptr<Node>& c) { return c.get() == n; });
+      assert(it != parent->children.end());
+      parent->children.erase(it);
+    }
+    RecomputeLocal(parent);
+    n = parent;
+  }
+  // Shrink the root: an internal root with a single child is replaced by
+  // that child; an empty root leaf resets the tree.
+  while (root_ && !root_->is_leaf && root_->children.size() == 1) {
+    std::unique_ptr<Node> child = std::move(root_->children.front());
+    root_->children.clear();
+    ReleaseNodePages(root_.get());
+    child->parent = nullptr;
+    root_ = std::move(child);
+  }
+  if (root_ && root_->is_leaf && root_->entries.empty()) {
+    ReleaseNodePages(root_.get());
+    root_.reset();
+  }
+}
+
+template <int D>
+bool RTree<D>::Erase(const Point<D>& point, RecordId id) {
+  if (!root_) return false;
+  Node* leaf = FindLeaf(root_.get(), point, id);
+  if (leaf == nullptr) return false;
+  auto it = std::find_if(leaf->entries.begin(), leaf->entries.end(),
+                         [&](const Entry& e) { return e.id == id && e.point == point; });
+  assert(it != leaf->entries.end());
+  leaf->entries.erase(it);
+  RecomputeLocal(leaf);
+  std::vector<Entry> orphans;
+  CondenseTree(leaf, &orphans);
+  for (const Entry& e : orphans) Insert(e.point, e.id);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------------
+
+template <int D>
+void RTree<D>::RangeQueryRec(const Node* n, const Rect<D>& q,
+                             const std::function<void(const Entry&)>& fn) const {
+  TouchNode(n);
+  if (n->is_leaf) {
+    for (const Entry& e : n->entries) {
+      if (q.Contains(e.point)) fn(e);
+    }
+    return;
+  }
+  for (const auto& c : n->children) {
+    if (q.Intersects(c->mbr)) RangeQueryRec(c.get(), q, fn);
+  }
+}
+
+template <int D>
+void RTree<D>::RangeQuery(const Rect<D>& q,
+                          const std::function<void(const Entry&)>& fn) const {
+  if (root_) RangeQueryRec(root_.get(), q, fn);
+}
+
+template <int D>
+std::vector<typename RTree<D>::Entry> RTree<D>::RangeReport(const Rect<D>& q) const {
+  std::vector<Entry> out;
+  RangeQuery(q, [&out](const Entry& e) { out.push_back(e); });
+  return out;
+}
+
+template <int D>
+uint64_t RTree<D>::RangeCountRec(const Node* n, const Rect<D>& q) const {
+  TouchNode(n);
+  if (q.Contains(n->mbr)) return n->count;
+  if (n->is_leaf) {
+    uint64_t c = 0;
+    for (const Entry& e : n->entries) {
+      if (q.Contains(e.point)) ++c;
+    }
+    return c;
+  }
+  uint64_t c = 0;
+  for (const auto& child : n->children) {
+    if (q.Intersects(child->mbr)) c += RangeCountRec(child.get(), q);
+  }
+  return c;
+}
+
+template <int D>
+uint64_t RTree<D>::RangeCount(const Rect<D>& q) const {
+  return root_ ? RangeCountRec(root_.get(), q) : 0;
+}
+
+template <int D>
+void RTree<D>::CanonicalRec(const Node* n, const Rect<D>& q, Canonical* out) const {
+  TouchNode(n);
+  if (q.Contains(n->mbr)) {
+    out->covered.push_back(n);
+    out->count += n->count;
+    return;
+  }
+  if (n->is_leaf) {
+    for (const Entry& e : n->entries) {
+      if (q.Contains(e.point)) {
+        out->residual.push_back(e);
+        ++out->count;
+      }
+    }
+    return;
+  }
+  for (const auto& c : n->children) {
+    if (q.Intersects(c->mbr)) CanonicalRec(c.get(), q, out);
+  }
+}
+
+template <int D>
+typename RTree<D>::Canonical RTree<D>::CanonicalSet(const Rect<D>& q) const {
+  Canonical out;
+  if (root_) CanonicalRec(root_.get(), q, &out);
+  return out;
+}
+
+template <int D>
+typename RTree<D>::Entry RTree<D>::SampleSubtree(const Node* u, Rng* rng) const {
+  assert(u != nullptr && u->count > 0);
+  const Node* n = u;
+  TouchNode(n);
+  while (!n->is_leaf) {
+    uint64_t target = rng->Uniform(n->count);
+    uint64_t acc = 0;
+    const Node* chosen = nullptr;
+    for (const auto& c : n->children) {
+      acc += c->count;
+      if (target < acc) {
+        chosen = c.get();
+        break;
+      }
+    }
+    assert(chosen != nullptr);
+    n = chosen;
+    TouchNode(n);
+  }
+  return n->entries[static_cast<size_t>(rng->Uniform(n->entries.size()))];
+}
+
+// ---------------------------------------------------------------------------
+// Bulk loading
+// ---------------------------------------------------------------------------
+
+namespace rtree_internal {
+
+// Group sizes for packing n items with the given capacity: full groups of
+// `cap`, except that an underfull tail (< min) borrows from the previous
+// group so every non-root node satisfies the minimum-fill invariant.
+inline std::vector<size_t> PackGroupSizes(size_t n, size_t cap, size_t min) {
+  std::vector<size_t> sizes;
+  if (n == 0) return sizes;
+  size_t full = n / cap;
+  size_t rem = n % cap;
+  for (size_t i = 0; i < full; ++i) sizes.push_back(cap);
+  if (rem > 0) {
+    if (rem < min && !sizes.empty()) {
+      size_t pool = sizes.back() + rem;
+      sizes.back() = pool - pool / 2;
+      sizes.push_back(pool / 2);
+    } else {
+      sizes.push_back(rem);
+    }
+  }
+  return sizes;
+}
+
+}  // namespace rtree_internal
+
+template <int D>
+RTree<D> RTree<D>::Pack(std::vector<Entry> sorted, RTreeOptions options) {
+  RTree tree(options);
+  if (sorted.empty()) return tree;
+  const size_t cap = static_cast<size_t>(options.max_entries);
+  const size_t min = static_cast<size_t>(options.EffectiveMin());
+  // Build the leaf level.
+  std::vector<std::unique_ptr<Node>> level;
+  level.reserve(sorted.size() / cap + 1);
+  size_t pos = 0;
+  for (size_t size : rtree_internal::PackGroupSizes(sorted.size(), cap, min)) {
+    auto leaf = tree.NewNode(/*is_leaf=*/true);
+    leaf->entries.assign(sorted.begin() + static_cast<ptrdiff_t>(pos),
+                         sorted.begin() + static_cast<ptrdiff_t>(pos + size));
+    pos += size;
+    RecomputeLocal(leaf.get());
+    level.push_back(std::move(leaf));
+  }
+  // Pack upward until a single root remains.
+  while (level.size() > 1) {
+    std::vector<std::unique_ptr<Node>> next;
+    next.reserve(level.size() / cap + 1);
+    size_t at = 0;
+    for (size_t size : rtree_internal::PackGroupSizes(level.size(), cap, min)) {
+      auto inner = tree.NewNode(/*is_leaf=*/false);
+      for (size_t j = at; j < at + size; ++j) {
+        level[j]->parent = inner.get();
+        inner->children.push_back(std::move(level[j]));
+      }
+      at += size;
+      RecomputeLocal(inner.get());
+      next.push_back(std::move(inner));
+    }
+    level = std::move(next);
+  }
+  tree.root_ = std::move(level.front());
+  return tree;
+}
+
+template <int D>
+void RTree<D>::StrSort(typename std::vector<Entry>::iterator begin,
+                       typename std::vector<Entry>::iterator end, int dim,
+                       int leaf_capacity) {
+  const auto n = static_cast<size_t>(end - begin);
+  if (n <= static_cast<size_t>(leaf_capacity) || dim >= D) return;
+  std::sort(begin, end, [dim](const Entry& a, const Entry& b) {
+    return a.point[dim] < b.point[dim];
+  });
+  // Number of leaves and vertical slabs per the STR recipe.
+  double leaves = std::ceil(static_cast<double>(n) / leaf_capacity);
+  auto slabs = static_cast<size_t>(
+      std::ceil(std::pow(leaves, 1.0 / static_cast<double>(D - dim))));
+  if (slabs == 0) slabs = 1;
+  size_t slab_size = (n + slabs - 1) / slabs;
+  if (slab_size == 0) slab_size = 1;
+  for (size_t i = 0; i < n; i += slab_size) {
+    auto slab_end = begin + static_cast<ptrdiff_t>(std::min(i + slab_size, n));
+    StrSort(begin + static_cast<ptrdiff_t>(i), slab_end, dim + 1, leaf_capacity);
+  }
+}
+
+template <int D>
+RTree<D> RTree<D>::BulkLoadStr(std::vector<Entry> entries, RTreeOptions options) {
+  StrSort(entries.begin(), entries.end(), 0, options.max_entries);
+  return Pack(std::move(entries), options);
+}
+
+template <int D>
+RTree<D> RTree<D>::BulkLoadHilbert(std::vector<Entry> entries, RTreeOptions options) {
+  if (!entries.empty()) {
+    Rect<D> bounds;
+    for (const Entry& e : entries) bounds.Expand(e.point);
+    HilbertMapper<D> mapper(bounds);
+    std::vector<std::pair<uint64_t, size_t>> keyed(entries.size());
+    for (size_t i = 0; i < entries.size(); ++i) {
+      keyed[i] = {mapper.Index(entries[i].point), i};
+    }
+    std::sort(keyed.begin(), keyed.end());
+    std::vector<Entry> sorted;
+    sorted.reserve(entries.size());
+    for (const auto& [key, idx] : keyed) sorted.push_back(entries[idx]);
+    entries = std::move(sorted);
+  }
+  return Pack(std::move(entries), options);
+}
+
+// ---------------------------------------------------------------------------
+// Invariant checking
+// ---------------------------------------------------------------------------
+
+template <int D>
+bool RTree<D>::CheckRec(const Node* n, int depth, int leaf_depth) const {
+  if (n->is_leaf) {
+    if (depth != leaf_depth) {
+      STORM_LOG(Error) << "leaf at depth " << depth << ", expected " << leaf_depth;
+      return false;
+    }
+    if (n->count != n->entries.size()) {
+      STORM_LOG(Error) << "leaf count " << n->count << " != entries "
+                       << n->entries.size();
+      return false;
+    }
+    for (const Entry& e : n->entries) {
+      if (!n->mbr.Contains(e.point)) {
+        STORM_LOG(Error) << "leaf mbr misses point " << e.point.ToString();
+        return false;
+      }
+    }
+    if (n->parent != nullptr &&
+        n->entries.size() < static_cast<size_t>(options_.EffectiveMin())) {
+      STORM_LOG(Error) << "leaf underflow: " << n->entries.size();
+      return false;
+    }
+    return true;
+  }
+  if (n->children.size() < 2 && n->parent == nullptr) {
+    STORM_LOG(Error) << "internal root with " << n->children.size() << " children";
+    return false;
+  }
+  uint64_t count = 0;
+  Rect<D> mbr;
+  for (const auto& c : n->children) {
+    if (c->parent != n) {
+      STORM_LOG(Error) << "broken parent pointer";
+      return false;
+    }
+    if (!n->mbr.Contains(c->mbr)) {
+      STORM_LOG(Error) << "child mbr escapes parent";
+      return false;
+    }
+    count += c->count;
+    mbr.Expand(c->mbr);
+    if (!CheckRec(c.get(), depth + 1, leaf_depth)) return false;
+  }
+  if (count != n->count) {
+    STORM_LOG(Error) << "internal count " << n->count << " != sum " << count;
+    return false;
+  }
+  if (!(mbr == n->mbr)) {
+    STORM_LOG(Error) << "internal mbr not tight";
+    return false;
+  }
+  if (n->children.size() > static_cast<size_t>(options_.max_entries)) {
+    STORM_LOG(Error) << "internal overflow: " << n->children.size();
+    return false;
+  }
+  return true;
+}
+
+template <int D>
+bool RTree<D>::CheckInvariants() const {
+  if (!root_) return true;
+  if (root_->parent != nullptr) {
+    STORM_LOG(Error) << "root has a parent";
+    return false;
+  }
+  return CheckRec(root_.get(), 1, Height());
+}
+
+template class RTree<2>;
+template class RTree<3>;
+
+}  // namespace storm

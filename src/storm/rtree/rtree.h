@@ -1,0 +1,204 @@
+// R-tree over D-dimensional points with aggregate subtree counts.
+//
+// This is the index substrate for every sampling strategy in the paper:
+//  * subtree counts |P(u)| enable Olken-style weighted random descents
+//    (RandomPath, §3.1) and the RS-tree's lazy weighted exploration;
+//  * canonical-set computation (the maximal nodes fully covered by a query,
+//    plus residual entries of partially covered leaves) underlies both
+//    RS-tree sampling and exact range counting;
+//  * STR and Hilbert bulk loading build packed trees, the latter giving the
+//    Hilbert R-tree the RS-tree is based on;
+//  * inserts (Guttman quadratic split) and deletes (condense + reinsert)
+//    support the update manager.
+//
+// When constructed with a BufferPool, every node visit pins the node's
+// simulated disk page, so buffer-pool statistics reflect the I/O pattern a
+// disk-resident tree would have. Each node occupies exactly one page, which
+// matches the convention that the fanout B is chosen to fill a block.
+
+#ifndef STORM_RTREE_RTREE_H_
+#define STORM_RTREE_RTREE_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "storm/geo/hilbert.h"
+#include "storm/geo/point.h"
+#include "storm/geo/rect.h"
+#include "storm/io/buffer_pool.h"
+#include "storm/util/rng.h"
+#include "storm/util/types.h"
+
+namespace storm {
+
+/// Tuning knobs for an RTree.
+struct RTreeOptions {
+  /// Maximum entries per node (the paper's block fanout B).
+  int max_entries = 64;
+  /// Minimum entries per node after deletion; defaults to 40% of max.
+  int min_entries = 0;
+  /// Optional simulated-disk pool; one page is allocated per node and
+  /// pinned on every visit.
+  BufferPool* pool = nullptr;
+
+  int EffectiveMin() const {
+    return min_entries > 0 ? min_entries : (max_entries * 2) / 5;
+  }
+};
+
+/// An R-tree storing (point, record-id) entries.
+template <int D>
+class RTree {
+ public:
+  /// A leaf entry: the indexed point and the record it identifies.
+  struct Entry {
+    Point<D> point;
+    RecordId id = kInvalidRecordId;
+  };
+
+  /// Tree node. Exposed read-only so samplers (RandomPath, RS-tree) can
+  /// walk the structure; mutation goes through RTree methods only.
+  struct Node {
+    bool is_leaf = true;
+    Rect<D> mbr;
+    uint64_t count = 0;  ///< number of points in this subtree
+    /// Bumped whenever the subtree's content changes; lets the RS-tree
+    /// detect stale sample buffers cheaply.
+    uint64_t version = 0;
+    /// Unique within the owning tree's lifetime (never reused even when a
+    /// freed node's address is); guards external per-node caches against
+    /// address reuse.
+    uint64_t node_id = 0;
+    Node* parent = nullptr;
+    PageId page = kInvalidPage;
+    std::vector<Entry> entries;                   ///< leaf payload
+    std::vector<std::unique_ptr<Node>> children;  ///< internal payload
+  };
+
+  explicit RTree(RTreeOptions options = {});
+  ~RTree();
+
+  RTree(RTree&& other) noexcept;
+  RTree& operator=(RTree&& other) noexcept;
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+
+  /// Builds a packed tree with Sort-Tile-Recursive bulk loading.
+  static RTree BulkLoadStr(std::vector<Entry> entries, RTreeOptions options = {});
+
+  /// Builds a packed Hilbert R-tree: entries sorted by Hilbert index of
+  /// their point within the data bounding box, then packed bottom-up.
+  static RTree BulkLoadHilbert(std::vector<Entry> entries, RTreeOptions options = {});
+
+  /// Inserts one entry (Guttman, quadratic split).
+  void Insert(const Point<D>& point, RecordId id);
+
+  /// Removes the entry with the given point and id; returns false when not
+  /// present.
+  bool Erase(const Point<D>& point, RecordId id);
+
+  /// Number of stored entries.
+  uint64_t size() const { return root_ ? root_->count : 0; }
+  bool empty() const { return size() == 0; }
+
+  /// MBR of the whole data set (empty rect when empty).
+  Rect<D> bounds() const { return root_ ? root_->mbr : Rect<D>(); }
+
+  const Node* root() const { return root_.get(); }
+  const RTreeOptions& options() const { return options_; }
+
+  /// Height of the tree (0 when empty, 1 for a lone leaf).
+  int Height() const;
+
+  /// Invokes `fn` for every entry whose point lies in `q`.
+  void RangeQuery(const Rect<D>& q, const std::function<void(const Entry&)>& fn) const;
+
+  /// Collects all entries in `q`.
+  std::vector<Entry> RangeReport(const Rect<D>& q) const;
+
+  /// Exact number of entries in `q`, using subtree counts for covered nodes.
+  uint64_t RangeCount(const Rect<D>& q) const;
+
+  /// The canonical decomposition of a range query.
+  struct Canonical {
+    /// Maximal nodes whose MBR (and hence every point) is inside q.
+    std::vector<const Node*> covered;
+    /// Entries of partially covered leaves that individually fall in q.
+    std::vector<Entry> residual;
+    /// Total number of entries in q (sum of covered counts + residual).
+    uint64_t count = 0;
+  };
+
+  /// Computes the canonical set R_Q (§3.1, Table 1).
+  Canonical CanonicalSet(const Rect<D>& q) const;
+
+  /// Draws one uniform random entry from the subtree rooted at `u` by a
+  /// count-weighted random descent. `u` must be non-null with count > 0.
+  Entry SampleSubtree(const Node* u, Rng* rng) const;
+
+  /// Records a simulated-disk visit of `n`; called internally by every
+  /// traversal and available to external walkers (samplers).
+  void TouchNode(const Node* n) const;
+
+  /// Number of node visits since construction (independent of the pool).
+  /// Thread-safe: concurrent read-only queries may share a tree (as long
+  /// as no BufferPool is attached and no updates run concurrently).
+  uint64_t nodes_touched() const {
+    return nodes_touched_.load(std::memory_order_relaxed);
+  }
+  void ResetTouchCount() const {
+    nodes_touched_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Total number of nodes (for space accounting / tests).
+  uint64_t NodeCount() const;
+
+  /// Validates structural invariants (MBR containment, counts, fanout
+  /// bounds, parent pointers); returns false and logs on violation. Used by
+  /// tests and debug assertions.
+  bool CheckInvariants() const;
+
+ private:
+  std::unique_ptr<Node> NewNode(bool is_leaf);
+  void ReleaseNodePages(Node* n);
+
+  Node* ChooseLeaf(Node* n, const Point<D>& p) const;
+  std::unique_ptr<Node> SplitNode(Node* n);
+  void HandleOverflow(Node* n);
+  Node* FindLeaf(Node* n, const Point<D>& p, RecordId id) const;
+  void CondenseTree(Node* leaf, std::vector<Entry>* orphans);
+  void CollectEntries(Node* n, std::vector<Entry>* out) const;
+
+  static void RecomputeLocal(Node* n);
+
+  static RTree Pack(std::vector<Entry> sorted, RTreeOptions options);
+  static void StrSort(typename std::vector<Entry>::iterator begin,
+                      typename std::vector<Entry>::iterator end, int dim,
+                      int leaf_capacity);
+
+  void RangeQueryRec(const Node* n, const Rect<D>& q,
+                     const std::function<void(const Entry&)>& fn) const;
+  uint64_t RangeCountRec(const Node* n, const Rect<D>& q) const;
+  void CanonicalRec(const Node* n, const Rect<D>& q, Canonical* out) const;
+  bool CheckRec(const Node* n, int depth, int leaf_depth) const;
+
+  RTreeOptions options_;
+  std::unique_ptr<Node> root_;
+  uint64_t next_node_id_ = 1;
+  mutable std::atomic<uint64_t> nodes_touched_{0};
+};
+
+extern template class RTree<2>;
+extern template class RTree<3>;
+
+using RTree2 = RTree<2>;
+using RTree3 = RTree<3>;
+
+}  // namespace storm
+
+#endif  // STORM_RTREE_RTREE_H_

@@ -1,0 +1,87 @@
+// FailoverSampler: lets the query evaluator switch sampling strategy
+// mid-query (§3.3 of DESIGN.md). If the primary sampler stalls — returns no
+// sample while not provably exhausted, e.g. SampleFirst burning its attempt
+// budget on a selective query the optimizer mis-estimated — the stream
+// switches permanently to the fallback strategy and keeps going.
+//
+// With-replacement streams stay exactly uniform across the switch (every
+// draw is an independent uniform sample under either sampler). In
+// without-replacement mode the fallback cannot know which records the
+// primary already reported, so the merged stream may repeat a record;
+// Begin() therefore rejects kWithoutReplacement when the primary could
+// stall (callers use failover for with-replacement exploration queries).
+
+#ifndef STORM_SAMPLING_FAILOVER_H_
+#define STORM_SAMPLING_FAILOVER_H_
+
+#include <memory>
+#include <utility>
+
+#include "storm/sampling/sampler.h"
+
+namespace storm {
+
+template <int D>
+class FailoverSampler : public SpatialSampler<D> {
+ public:
+  using Entry = typename RTree<D>::Entry;
+
+  FailoverSampler(std::unique_ptr<SpatialSampler<D>> primary,
+                  std::unique_ptr<SpatialSampler<D>> fallback)
+      : primary_(std::move(primary)), fallback_(std::move(fallback)) {}
+
+  Status Begin(const Rect<D>& query,
+               SamplingMode mode = SamplingMode::kWithReplacement) override {
+    if (mode == SamplingMode::kWithoutReplacement) {
+      return Status::NotSupported(
+          "failover cannot keep without-replacement streams duplicate-free "
+          "across a switch");
+    }
+    query_ = query;
+    mode_ = mode;
+    using_fallback_ = false;
+    switched_ = false;
+    return primary_->Begin(query, mode);
+  }
+
+  std::optional<Entry> Next() override {
+    if (!using_fallback_) {
+      std::optional<Entry> e = primary_->Next();
+      if (e.has_value()) return e;
+      if (primary_->IsExhausted()) return std::nullopt;
+      // Primary stalled without exhausting: switch.
+      Status st = fallback_->Begin(query_, mode_);
+      if (!st.ok()) return std::nullopt;
+      using_fallback_ = true;
+      switched_ = true;
+    }
+    return fallback_->Next();
+  }
+
+  CardinalityEstimate Cardinality() const override {
+    return using_fallback_ ? fallback_->Cardinality() : primary_->Cardinality();
+  }
+
+  bool IsExhausted() const override {
+    return using_fallback_ ? fallback_->IsExhausted() : primary_->IsExhausted();
+  }
+
+  std::string_view name() const override {
+    return using_fallback_ ? fallback_->name() : primary_->name();
+  }
+
+  /// True once the stream has switched to the fallback strategy.
+  bool switched() const { return switched_; }
+
+ private:
+  std::unique_ptr<SpatialSampler<D>> primary_;
+  std::unique_ptr<SpatialSampler<D>> fallback_;
+  Rect<D> query_;
+  SamplingMode mode_ = SamplingMode::kWithReplacement;
+  bool using_fallback_ = false;
+  bool switched_ = false;
+};
+
+}  // namespace storm
+
+#endif  // STORM_SAMPLING_FAILOVER_H_

@@ -1,0 +1,215 @@
+#include "storm/sampling/ls_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace storm {
+
+namespace {
+
+// Salted record-id hash mapped to (0, 1]; drives level membership.
+double HashToUnit(RecordId id, uint64_t seed) {
+  uint64_t state = id ^ (seed * 0x9e3779b97f4a7c15ULL);
+  uint64_t h = SplitMix64(state);
+  // (h + 1) / 2^64 lies in (0, 1].
+  return (static_cast<double>(h >> 11) + 1.0) * 0x1.0p-53;
+}
+
+// Highest level the record belongs to: P(level >= i) = ratio^i.
+int HashLevel(RecordId id, uint64_t seed, double ratio) {
+  double u = HashToUnit(id, seed);
+  if (u >= 1.0) return 0;
+  double lvl = std::log(u) / std::log(ratio);
+  // Guard against absurd levels from tiny hashes.
+  return static_cast<int>(std::min(lvl, 62.0));
+}
+
+}  // namespace
+
+template <int D>
+LsTree<D>::LsTree(std::vector<Entry> entries, LsTreeOptions options, uint64_t seed)
+    : options_(options), seed_(seed) {
+  assert(options_.level_ratio > 0.0 && options_.level_ratio < 1.0);
+  // Number of levels: expected size of level i is N * ratio^i; stop before
+  // it drops below min_level_size (always at least one level).
+  size_t n = entries.size();
+  int levels = 1;
+  double expected = static_cast<double>(n) * options_.level_ratio;
+  while (expected >= static_cast<double>(options_.min_level_size) && levels < 40) {
+    ++levels;
+    expected *= options_.level_ratio;
+  }
+  std::vector<std::vector<Entry>> per_level(static_cast<size_t>(levels));
+  per_level[0] = std::move(entries);
+  for (const Entry& e : per_level[0]) {
+    int lvl = std::min(HashLevel(e.id, seed_, options_.level_ratio), levels - 1);
+    for (int i = 1; i <= lvl; ++i) {
+      per_level[static_cast<size_t>(i)].push_back(e);
+    }
+  }
+  trees_.reserve(static_cast<size_t>(levels));
+  for (auto& level_entries : per_level) {
+    trees_.push_back(RTree<D>::BulkLoadStr(std::move(level_entries), options_.rtree));
+  }
+}
+
+template <int D>
+int LsTree<D>::LevelOf(RecordId id) const {
+  return std::min(HashLevel(id, seed_, options_.level_ratio), num_levels() - 1);
+}
+
+template <int D>
+void LsTree<D>::Insert(const Point<D>& point, RecordId id) {
+  // Grow a new (empty) top level when level 0 outgrew the schedule; newly
+  // inserted high-level records will populate it.
+  double expected_top = static_cast<double>(trees_[0].size());
+  for (int i = 1; i < num_levels(); ++i) expected_top *= options_.level_ratio;
+  if (expected_top * options_.level_ratio >=
+          static_cast<double>(options_.min_level_size) &&
+      num_levels() < 40) {
+    trees_.push_back(RTree<D>(options_.rtree));
+  }
+  int lvl = LevelOf(id);
+  for (int i = 0; i <= lvl; ++i) {
+    trees_[static_cast<size_t>(i)].Insert(point, id);
+  }
+}
+
+template <int D>
+bool LsTree<D>::Erase(const Point<D>& point, RecordId id) {
+  int lvl = LevelOf(id);
+  bool found = trees_[0].Erase(point, id);
+  if (!found) return false;
+  for (int i = 1; i <= lvl; ++i) {
+    trees_[static_cast<size_t>(i)].Erase(point, id);
+  }
+  return true;
+}
+
+template <int D>
+uint64_t LsTree<D>::nodes_touched() const {
+  uint64_t total = 0;
+  for (const auto& t : trees_) total += t.nodes_touched();
+  return total;
+}
+
+template <int D>
+void LsTree<D>::ResetTouchCount() const {
+  for (const auto& t : trees_) t.ResetTouchCount();
+}
+
+template <int D>
+uint64_t LsTree<D>::TotalEntries() const {
+  uint64_t total = 0;
+  for (const auto& t : trees_) total += t.size();
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Sampler
+// ---------------------------------------------------------------------------
+
+namespace {
+
+template <int D>
+class LsTreeSampler final : public SpatialSampler<D> {
+ public:
+  using Entry = typename RTree<D>::Entry;
+
+  LsTreeSampler(const LsTree<D>* index, Rng rng, double level_ratio)
+      : index_(index), rng_(rng), level_ratio_(level_ratio) {}
+
+  Status Begin(const Rect<D>& query, SamplingMode mode) override {
+    if (mode == SamplingMode::kWithReplacement) {
+      return Status::NotSupported(
+          "LS-tree sampling is without-replacement; wrap with an estimator "
+          "that applies the finite population correction");
+    }
+    query_ = query;
+    reported_.clear();
+    buffer_.clear();
+    cursor_ = 0;
+    level_ = index_->num_levels();  // first LoadNextLevel() moves to top level
+    level_matches_ = 0;
+    began_ = true;
+    return Status::OK();
+  }
+
+  std::optional<Entry> Next() override {
+    if (!began_) return std::nullopt;
+    while (cursor_ >= buffer_.size()) {
+      if (level_ == 0) return std::nullopt;  // level 0 consumed: exhausted
+      LoadNextLevel();
+    }
+    const Entry& e = buffer_[cursor_++];
+    reported_.insert(e.id);
+    return e;
+  }
+
+  CardinalityEstimate Cardinality() const override {
+    CardinalityEstimate c;
+    if (!began_ || level_ >= index_->num_levels()) return c;
+    c.lower = reported_.size();
+    c.exact = (level_ == 0);
+    if (c.exact) {
+      // Level 0 reports P ∩ Q exactly: buffer_ holds every remaining match
+      // and reported_ the rest.
+      c.lower = c.upper = buffer_.size() + reported_set_size_at_level0_;
+      c.estimate = static_cast<double>(c.lower);
+      return c;
+    }
+    // Scale the level-i match count by the inverse sampling rate.
+    double rate = std::pow(level_ratio_, level_);
+    c.estimate = static_cast<double>(level_matches_) / rate;
+    c.upper = index_->size();
+    return c;
+  }
+
+  bool IsExhausted() const override {
+    return began_ && level_ == 0 && cursor_ >= buffer_.size();
+  }
+
+  std::string_view name() const override { return "LS-tree"; }
+
+ private:
+  void LoadNextLevel() {
+    --level_;
+    std::vector<Entry> matches =
+        index_->tree(level_).RangeReport(query_);
+    level_matches_ = matches.size();
+    if (level_ == 0) reported_set_size_at_level0_ = reported_.size();
+    // Drop records already reported from higher levels (P_{i+1} ⊆ P_i).
+    buffer_.clear();
+    buffer_.reserve(matches.size());
+    for (const Entry& e : matches) {
+      if (!reported_.contains(e.id)) buffer_.push_back(e);
+    }
+    cursor_ = 0;
+    rng_.Shuffle(buffer_);
+  }
+
+  const LsTree<D>* index_;
+  Rng rng_;
+  double level_ratio_;
+  Rect<D> query_;
+  std::unordered_set<RecordId> reported_;
+  std::vector<Entry> buffer_;
+  size_t cursor_ = 0;
+  int level_ = 0;
+  size_t level_matches_ = 0;
+  size_t reported_set_size_at_level0_ = 0;
+  bool began_ = false;
+};
+
+}  // namespace
+
+template <int D>
+std::unique_ptr<SpatialSampler<D>> LsTree<D>::NewSampler(Rng rng) const {
+  return std::make_unique<LsTreeSampler<D>>(this, rng, options_.level_ratio);
+}
+
+template class LsTree<2>;
+template class LsTree<3>;
+
+}  // namespace storm

@@ -1,0 +1,89 @@
+// LS-tree: the "level sampling" index of §3.1.
+//
+// P_0 = P, and P_{i+1} is an independent coin-flip sample of P_i with rate
+// 1/2 (configurable), stopping when the level is small; one R-tree T_i per
+// level, total space O(N) because the sizes form a geometric series.
+//
+// A query runs ordinary range reports on T_ℓ, T_{ℓ-1}, …: the matches at
+// level i form a probability-(1/2^i) coin-flip sample of P ∩ Q; they are
+// randomly permuted and emitted one by one, deduplicated against lower
+// levels (P_{i+1} ⊆ P_i), until the user stops or level 0 exhausts the
+// query exactly. Each level is a *sequential* range scan, so a disk-resident
+// LS-tree costs O(k/B) page faults for k samples instead of RandomPath's
+// Ω(k).
+//
+// Membership of a record in level i is decided by a salted hash of its
+// record id, not by a stored coin: levels are reproducible, inserts and
+// deletes touch exactly the trees the record belongs to, and no per-record
+// level map is needed.
+
+#ifndef STORM_SAMPLING_LS_TREE_H_
+#define STORM_SAMPLING_LS_TREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "storm/sampling/sampler.h"
+#include "storm/util/rng.h"
+
+namespace storm {
+
+/// Tuning knobs for an LsTree.
+struct LsTreeOptions {
+  /// Sampling rate between consecutive levels (paper: 1/2).
+  double level_ratio = 0.5;
+  /// Stop adding levels when the expected top-level size drops below this.
+  size_t min_level_size = 256;
+  /// Passed through to every per-level R-tree.
+  RTreeOptions rtree;
+};
+
+template <int D>
+class LsTree {
+ public:
+  using Entry = typename RTree<D>::Entry;
+
+  /// Builds all levels by bulk loading. `seed` salts the level hash, so two
+  /// LS-trees with different seeds promote different records.
+  LsTree(std::vector<Entry> entries, LsTreeOptions options, uint64_t seed);
+
+  /// Inserts a record into every level it hashes into (grows a new top
+  /// level when level 0 has outgrown the configured ratio schedule).
+  void Insert(const Point<D>& point, RecordId id);
+
+  /// Removes the record from every level; false when absent.
+  bool Erase(const Point<D>& point, RecordId id);
+
+  uint64_t size() const { return trees_.empty() ? 0 : trees_[0].size(); }
+  int num_levels() const { return static_cast<int>(trees_.size()); }
+  const RTree<D>& tree(int level) const { return trees_[static_cast<size_t>(level)]; }
+
+  /// The level this record belongs up to (it is present in trees 0..level).
+  int LevelOf(RecordId id) const;
+
+  /// Total node visits across all levels (I/O accounting for benchmarks).
+  uint64_t nodes_touched() const;
+  void ResetTouchCount() const;
+
+  /// Creates a sampler over this index; the index must outlive it.
+  /// LS-tree sampling is inherently without-replacement (Begin rejects
+  /// kWithReplacement with NotSupported).
+  std::unique_ptr<SpatialSampler<D>> NewSampler(Rng rng) const;
+
+  /// Sum of entries over all levels (space accounting; expected ~2N).
+  uint64_t TotalEntries() const;
+
+ private:
+  friend class LsTreeSamplerImpl;
+
+  LsTreeOptions options_;
+  uint64_t seed_;
+  std::vector<RTree<D>> trees_;
+};
+
+extern template class LsTree<2>;
+extern template class LsTree<3>;
+
+}  // namespace storm
+
+#endif  // STORM_SAMPLING_LS_TREE_H_

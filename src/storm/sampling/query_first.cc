@@ -1,0 +1,50 @@
+#include "storm/sampling/query_first.h"
+
+namespace storm {
+
+template <int D>
+QueryFirstSampler<D>::QueryFirstSampler(const RTree<D>* tree, Rng rng)
+    : tree_(tree), rng_(rng) {}
+
+template <int D>
+Status QueryFirstSampler<D>::Begin(const Rect<D>& query, SamplingMode mode) {
+  mode_ = mode;
+  matches_ = tree_->RangeReport(query);
+  rng_.Shuffle(matches_);
+  cursor_ = 0;
+  began_ = true;
+  return Status::OK();
+}
+
+template <int D>
+std::optional<typename QueryFirstSampler<D>::Entry> QueryFirstSampler<D>::Next() {
+  if (!began_ || matches_.empty()) return std::nullopt;
+  if (mode_ == SamplingMode::kWithReplacement) {
+    return matches_[static_cast<size_t>(rng_.Uniform(matches_.size()))];
+  }
+  if (cursor_ >= matches_.size()) return std::nullopt;
+  return matches_[cursor_++];
+}
+
+template <int D>
+CardinalityEstimate QueryFirstSampler<D>::Cardinality() const {
+  CardinalityEstimate c;
+  if (began_) {
+    c.lower = c.upper = matches_.size();
+    c.exact = true;
+    c.estimate = static_cast<double>(matches_.size());
+  }
+  return c;
+}
+
+template <int D>
+bool QueryFirstSampler<D>::IsExhausted() const {
+  if (!began_) return false;
+  if (matches_.empty()) return true;
+  return mode_ == SamplingMode::kWithoutReplacement && cursor_ >= matches_.size();
+}
+
+template class QueryFirstSampler<2>;
+template class QueryFirstSampler<3>;
+
+}  // namespace storm

@@ -1,0 +1,47 @@
+// QueryFirst (a.k.a. RangeReport in Fig 3a): run the full range-reporting
+// query once, shuffle the result, then emit samples for free.
+//
+// Cost O(r(N) + q) for the first sample, O(1) afterwards. This is both the
+// "wait for the exact answer" baseline and the best strategy when the
+// caller is going to consume a constant fraction of P ∩ Q anyway.
+
+#ifndef STORM_SAMPLING_QUERY_FIRST_H_
+#define STORM_SAMPLING_QUERY_FIRST_H_
+
+#include <vector>
+
+#include "storm/sampling/sampler.h"
+#include "storm/util/rng.h"
+
+namespace storm {
+
+template <int D>
+class QueryFirstSampler : public SpatialSampler<D> {
+ public:
+  using Entry = typename RTree<D>::Entry;
+
+  /// The tree must outlive the sampler.
+  QueryFirstSampler(const RTree<D>* tree, Rng rng);
+
+  Status Begin(const Rect<D>& query,
+               SamplingMode mode = SamplingMode::kWithReplacement) override;
+  std::optional<Entry> Next() override;
+  CardinalityEstimate Cardinality() const override;
+  bool IsExhausted() const override;
+  std::string_view name() const override { return "QueryFirst"; }
+
+ private:
+  const RTree<D>* tree_;
+  Rng rng_;
+  SamplingMode mode_ = SamplingMode::kWithReplacement;
+  std::vector<Entry> matches_;
+  size_t cursor_ = 0;
+  bool began_ = false;
+};
+
+extern template class QueryFirstSampler<2>;
+extern template class QueryFirstSampler<3>;
+
+}  // namespace storm
+
+#endif  // STORM_SAMPLING_QUERY_FIRST_H_

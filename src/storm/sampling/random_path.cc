@@ -1,0 +1,71 @@
+#include "storm/sampling/random_path.h"
+
+namespace storm {
+
+template <int D>
+RandomPathSampler<D>::RandomPathSampler(const RTree<D>* tree, Rng rng)
+    : tree_(tree), rng_(rng) {}
+
+template <int D>
+Status RandomPathSampler<D>::Begin(const Rect<D>& query, SamplingMode mode) {
+  mode_ = mode;
+  canonical_ = tree_->CanonicalSet(query);
+  weights_.clear();
+  weights_.reserve(canonical_.covered.size() + 1);
+  for (const auto* node : canonical_.covered) {
+    weights_.push_back(static_cast<double>(node->count));
+  }
+  weights_.push_back(static_cast<double>(canonical_.residual.size()));
+  reported_.clear();
+  began_ = true;
+  return Status::OK();
+}
+
+template <int D>
+std::optional<typename RandomPathSampler<D>::Entry> RandomPathSampler<D>::Next() {
+  if (!began_ || canonical_.count == 0) return std::nullopt;
+  if (mode_ == SamplingMode::kWithoutReplacement &&
+      reported_.size() >= canonical_.count) {
+    return std::nullopt;
+  }
+  // Rejection on duplicates keeps without-replacement draws uniform; the
+  // loop terminates because at least one unreported record remains.
+  while (true) {
+    size_t slot = rng_.Discrete(weights_);
+    Entry e;
+    if (slot < canonical_.covered.size()) {
+      e = tree_->SampleSubtree(canonical_.covered[slot], &rng_);
+    } else {
+      e = canonical_.residual[static_cast<size_t>(
+          rng_.Uniform(canonical_.residual.size()))];
+    }
+    if (mode_ == SamplingMode::kWithoutReplacement) {
+      if (!reported_.insert(e.id).second) continue;
+    }
+    return e;
+  }
+}
+
+template <int D>
+CardinalityEstimate RandomPathSampler<D>::Cardinality() const {
+  CardinalityEstimate c;
+  if (began_) {
+    c.lower = c.upper = canonical_.count;
+    c.exact = true;
+    c.estimate = static_cast<double>(canonical_.count);
+  }
+  return c;
+}
+
+template <int D>
+bool RandomPathSampler<D>::IsExhausted() const {
+  if (!began_) return false;
+  if (canonical_.count == 0) return true;
+  return mode_ == SamplingMode::kWithoutReplacement &&
+         reported_.size() >= canonical_.count;
+}
+
+template class RandomPathSampler<2>;
+template class RandomPathSampler<3>;
+
+}  // namespace storm

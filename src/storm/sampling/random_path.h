@@ -1,0 +1,52 @@
+// RandomPath: Olken-style sampling by weighted root-to-leaf random walks.
+//
+// Begin() computes the canonical decomposition R_Q of the query once (cost
+// O(r(N)), like a range-count). Next() then draws a covered subtree with
+// probability |P(u)| / q (or a residual entry with probability 1/q) and
+// walks a random path down that subtree using the stored subtree counts, so
+// each sample costs O(log N) node visits — and, crucially, each visit is a
+// *random* page: on disk-resident data the walks cost Ω(1) page faults per
+// sample, which is exactly the weakness the LS-/RS-trees fix (§3.1).
+
+#ifndef STORM_SAMPLING_RANDOM_PATH_H_
+#define STORM_SAMPLING_RANDOM_PATH_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "storm/sampling/sampler.h"
+#include "storm/util/rng.h"
+
+namespace storm {
+
+template <int D>
+class RandomPathSampler : public SpatialSampler<D> {
+ public:
+  using Entry = typename RTree<D>::Entry;
+
+  /// The tree must outlive the sampler.
+  RandomPathSampler(const RTree<D>* tree, Rng rng);
+
+  Status Begin(const Rect<D>& query,
+               SamplingMode mode = SamplingMode::kWithReplacement) override;
+  std::optional<Entry> Next() override;
+  CardinalityEstimate Cardinality() const override;
+  bool IsExhausted() const override;
+  std::string_view name() const override { return "RandomPath"; }
+
+ private:
+  const RTree<D>* tree_;
+  Rng rng_;
+  SamplingMode mode_ = SamplingMode::kWithReplacement;
+  typename RTree<D>::Canonical canonical_;
+  std::vector<double> weights_;  // covered-node counts, then one slot for residuals
+  std::unordered_set<RecordId> reported_;
+  bool began_ = false;
+};
+
+extern template class RandomPathSampler<2>;
+extern template class RandomPathSampler<3>;
+
+}  // namespace storm
+
+#endif  // STORM_SAMPLING_RANDOM_PATH_H_

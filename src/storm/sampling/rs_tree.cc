@@ -1,0 +1,253 @@
+#include "storm/sampling/rs_tree.h"
+
+#include <unordered_set>
+
+#include "storm/util/weighted_set.h"
+
+namespace storm {
+
+template <int D>
+RsTree<D>::RsTree(std::vector<Entry> entries, RsTreeOptions options, uint64_t seed)
+    : options_(options),
+      tree_(RTree<D>::BulkLoadHilbert(std::move(entries), options.rtree)),
+      rng_(seed) {
+  if (options_.prefill && tree_.root() != nullptr) {
+    PrefillRec(tree_.root());
+  }
+}
+
+template <int D>
+void RsTree<D>::PrefillRec(const Node* u) {
+  Buffer& buf = buffers_[u];
+  FillBuffer(u, &buf);
+  for (const auto& c : u->children) PrefillRec(c.get());
+}
+
+template <int D>
+void RsTree<D>::FillBuffer(const Node* u, Buffer* buf) const {
+  buf->node_id = u->node_id;
+  buf->version = u->version;
+  buf->samples.clear();
+  if (u->count == 0) return;
+  size_t want = options_.EffectiveBufferSize();
+  buf->samples.reserve(want);
+  for (size_t i = 0; i < want; ++i) {
+    buf->samples.push_back(tree_.SampleSubtree(u, &rng_));
+  }
+}
+
+template <int D>
+typename RsTree<D>::Entry RsTree<D>::DrawFromNode(const Node* u) const {
+  // A buffered pop costs one node touch (the buffer lives with u's page);
+  // refills pay local random descents inside T(u).
+  tree_.TouchNode(u);
+  std::lock_guard<std::mutex> lock(*buffers_mutex_);
+  Buffer& buf = buffers_[u];
+  if (buf.node_id != u->node_id || buf.version != u->version ||
+      buf.samples.empty()) {
+    FillBuffer(u, &buf);
+  }
+  Entry e = buf.samples.back();
+  buf.samples.pop_back();
+  return e;
+}
+
+template <int D>
+void RsTree<D>::Insert(const Point<D>& point, RecordId id) {
+  tree_.Insert(point, id);
+  // Stale buffers self-invalidate via the version check in DrawFromNode.
+}
+
+template <int D>
+bool RsTree<D>::Erase(const Point<D>& point, RecordId id) {
+  bool erased = tree_.Erase(point, id);
+  if (erased) {
+    // Drop buffers whose node died (address reuse is caught by node_id, but
+    // unbounded growth of dead keys is not); cheap periodic sweep.
+    if (++erases_since_sweep_ >= 1024) {
+      erases_since_sweep_ = 0;
+      SweepDeadBuffers();
+    }
+  }
+  return erased;
+}
+
+template <int D>
+void RsTree<D>::SweepDeadBuffers() const {
+  std::lock_guard<std::mutex> lock(*buffers_mutex_);
+  std::unordered_set<const Node*> live;
+  std::vector<const Node*> stack;
+  if (tree_.root() != nullptr) stack.push_back(tree_.root());
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    live.insert(n);
+    for (const auto& c : n->children) stack.push_back(c.get());
+  }
+  for (auto it = buffers_.begin(); it != buffers_.end();) {
+    if (!live.contains(it->first)) {
+      it = buffers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sampler
+// ---------------------------------------------------------------------------
+
+namespace {
+
+template <int D>
+class RsTreeSampler final : public SpatialSampler<D> {
+ public:
+  using Entry = typename RTree<D>::Entry;
+  using Node = typename RTree<D>::Node;
+
+  RsTreeSampler(const RsTree<D>* index, Rng rng) : index_(index), rng_(rng) {}
+
+  Status Begin(const Rect<D>& query, SamplingMode mode) override {
+    query_ = query;
+    mode_ = mode;
+    slots_.clear();
+    weights_ = WeightedSet();
+    residual_.clear();
+    reported_.clear();
+    covered_count_ = 0;
+    partial_count_ = 0;
+    began_ = true;
+    residual_slot_ = weights_.Add(0.0);
+    const Node* root = index_->tree().root();
+    if (root != nullptr && query.Intersects(root->mbr)) {
+      AddNode(root);
+    }
+    return Status::OK();
+  }
+
+  std::optional<Entry> Next() override {
+    if (!began_) return std::nullopt;
+    while (true) {
+      if (weights_.total() <= 0.0) return std::nullopt;  // frontier empty
+      if (mode_ == SamplingMode::kWithoutReplacement &&
+          reported_.size() >= UpperBound()) {
+        return std::nullopt;  // provably exhausted
+      }
+      size_t slot = weights_.Sample(&rng_);
+      if (slot == residual_slot_) {
+        const Entry& e =
+            residual_[static_cast<size_t>(rng_.Uniform(residual_.size()))];
+        if (Accept(e)) return e;
+        continue;
+      }
+      const Node* u = slots_[slot].node;
+      Entry e = index_->DrawFromNode(u);
+      if (slots_[slot].covered) {
+        if (Accept(e)) return e;
+        continue;
+      }
+      // Partially covered: acceptance/rejection against Q; rejection (or a
+      // duplicate) triggers lazy expansion of exactly this node.
+      if (query_.Contains(e.point) && Accept(e)) return e;
+      Expand(slot);
+    }
+  }
+
+  CardinalityEstimate Cardinality() const override {
+    CardinalityEstimate c;
+    if (!began_) return c;
+    c.lower = covered_count_ + residual_.size();
+    c.upper = UpperBound();
+    c.exact = (partial_count_ == 0);
+    // Midpoint heuristic until the frontier resolves.
+    c.estimate = c.exact ? static_cast<double>(c.lower)
+                         : (static_cast<double>(c.lower) +
+                            static_cast<double>(c.upper)) /
+                               2.0;
+    return c;
+  }
+
+  bool IsExhausted() const override {
+    if (!began_) return false;
+    if (weights_.total() <= 0.0) return true;
+    return mode_ == SamplingMode::kWithoutReplacement &&
+           reported_.size() >= UpperBound();
+  }
+
+  std::string_view name() const override { return "RS-tree"; }
+
+ private:
+  struct Slot {
+    const Node* node = nullptr;
+    bool covered = false;
+  };
+
+  uint64_t UpperBound() const { return upper_bound_; }
+
+  bool Accept(const Entry& e) {
+    if (mode_ == SamplingMode::kWithoutReplacement) {
+      return reported_.insert(e.id).second;
+    }
+    return true;
+  }
+
+  void AddNode(const Node* u) {
+    bool covered = query_.Contains(u->mbr);
+    size_t slot = weights_.Add(static_cast<double>(u->count));
+    if (slot >= slots_.size()) slots_.resize(slot + 1);
+    slots_[slot] = Slot{u, covered};
+    if (covered) {
+      covered_count_ += u->count;
+    } else {
+      ++partial_count_;
+      partial_weight_ += u->count;
+    }
+    upper_bound_ = covered_count_ + partial_weight_ + residual_.size();
+  }
+
+  void Expand(size_t slot) {
+    const Node* u = slots_[slot].node;
+    weights_.Update(slot, 0.0);
+    slots_[slot].node = nullptr;
+    --partial_count_;
+    partial_weight_ -= u->count;
+    if (u->is_leaf) {
+      for (const Entry& e : u->entries) {
+        if (query_.Contains(e.point)) residual_.push_back(e);
+      }
+      weights_.Update(residual_slot_, static_cast<double>(residual_.size()));
+    } else {
+      for (const auto& c : u->children) {
+        if (query_.Intersects(c->mbr)) AddNode(c.get());
+      }
+    }
+    upper_bound_ = covered_count_ + partial_weight_ + residual_.size();
+  }
+
+  const RsTree<D>* index_;
+  Rng rng_;
+  Rect<D> query_;
+  SamplingMode mode_ = SamplingMode::kWithReplacement;
+  WeightedSet weights_;
+  std::vector<Slot> slots_;  // indexed by weight slot; residual_slot_ unused
+  size_t residual_slot_ = 0;
+  std::vector<Entry> residual_;
+  std::unordered_set<RecordId> reported_;
+  uint64_t covered_count_ = 0;
+  uint64_t partial_weight_ = 0;
+  size_t partial_count_ = 0;
+  uint64_t upper_bound_ = 0;
+  bool began_ = false;
+};
+
+}  // namespace
+
+template <int D>
+std::unique_ptr<SpatialSampler<D>> RsTree<D>::NewSampler(Rng rng) const {
+  return std::make_unique<RsTreeSampler<D>>(this, rng);
+}
+
+template class RsTree<2>;
+template class RsTree<3>;
+
+}  // namespace storm

@@ -1,0 +1,112 @@
+// RS-tree: a single Hilbert R-tree augmented with per-node sample buffers
+// (§3.1). The three ideas from the paper:
+//
+//  * Sample buffering — each node u carries a buffer S(u) of pre-drawn
+//    uniform samples of P(u); popping a buffered sample touches only u's
+//    page. Buffers are (re)filled by count-weighted random descents inside
+//    T(u), so the amortized refill cost is one *local* walk per sample —
+//    much cheaper and much more cache/buffer-pool friendly than RandomPath's
+//    full-height walks.
+//  * Lazy exploration — a query keeps a frontier of disjoint subtrees
+//    covering all qualifying points, weighted by the stored counts |P(u)|;
+//    nodes are only opened (replaced by their intersecting children) when
+//    sampling actually lands in them, so small mostly-outside subtrees of
+//    the canonical decomposition are never paid for.
+//  * Acceptance/rejection — a frontier node is drawn with probability
+//    |P(u)| / W; a buffered sample falling outside Q is rejected (and
+//    triggers expansion of that node). Every qualifying point is drawn with
+//    probability exactly 1/W per round, so accepted samples are uniform on
+//    P ∩ Q.
+//
+// Updates go through Insert/Erase, which delegate to the R-tree and rely on
+// per-node version counters to lazily invalidate stale buffers.
+
+#ifndef STORM_SAMPLING_RS_TREE_H_
+#define STORM_SAMPLING_RS_TREE_H_
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "storm/sampling/sampler.h"
+#include "storm/util/rng.h"
+
+namespace storm {
+
+/// Tuning knobs for an RsTree.
+struct RsTreeOptions {
+  /// Underlying Hilbert R-tree options.
+  RTreeOptions rtree;
+  /// Samples kept per node buffer; 0 means rtree.max_entries (one block).
+  size_t buffer_size = 0;
+  /// Fill every node's buffer at build time instead of lazily on first use.
+  bool prefill = false;
+
+  size_t EffectiveBufferSize() const {
+    return buffer_size > 0 ? buffer_size
+                           : static_cast<size_t>(rtree.max_entries);
+  }
+};
+
+template <int D>
+class RsTree {
+ public:
+  using Entry = typename RTree<D>::Entry;
+  using Node = typename RTree<D>::Node;
+
+  /// Bulk loads a Hilbert R-tree over the entries.
+  RsTree(std::vector<Entry> entries, RsTreeOptions options, uint64_t seed);
+
+  void Insert(const Point<D>& point, RecordId id);
+  bool Erase(const Point<D>& point, RecordId id);
+
+  uint64_t size() const { return tree_.size(); }
+  const RTree<D>& tree() const { return tree_; }
+
+  /// Creates a sampler over this index; the index must outlive it.
+  /// Supports both sampling modes.
+  std::unique_ptr<SpatialSampler<D>> NewSampler(Rng rng) const;
+
+  /// Pops one uniform sample of P(u) from u's buffer, refilling (and
+  /// revalidating) the buffer as needed. Exposed for the sampler and for
+  /// white-box tests.
+  ///
+  /// Thread-safe against other DrawFromNode calls (the shared buffer map is
+  /// mutex-guarded), so multiple queries may sample one RS-tree
+  /// concurrently — provided no updates run at the same time and the
+  /// underlying R-tree has no BufferPool attached.
+  Entry DrawFromNode(const Node* u) const;
+
+  /// Number of buffered nodes (space accounting / tests).
+  size_t buffered_nodes() const { return buffers_.size(); }
+
+  uint64_t nodes_touched() const { return tree_.nodes_touched(); }
+  void ResetTouchCount() const { tree_.ResetTouchCount(); }
+
+ private:
+  struct Buffer {
+    uint64_t node_id = 0;  ///< guards against node address reuse
+    uint64_t version = 0;  ///< node version the samples were drawn at
+    std::vector<Entry> samples;
+  };
+
+  void FillBuffer(const Node* u, Buffer* buf) const;
+  void PrefillRec(const Node* u);
+  void SweepDeadBuffers() const;
+
+  RsTreeOptions options_;
+  RTree<D> tree_;
+  // unique_ptr keeps the index movable (std::mutex is not).
+  std::unique_ptr<std::mutex> buffers_mutex_ = std::make_unique<std::mutex>();
+  mutable Rng rng_;  // drives buffer refills; guarded by buffers_mutex_
+  mutable std::unordered_map<const Node*, Buffer> buffers_;
+  mutable uint64_t erases_since_sweep_ = 0;
+};
+
+extern template class RsTree<2>;
+extern template class RsTree<3>;
+
+}  // namespace storm
+
+#endif  // STORM_SAMPLING_RS_TREE_H_

@@ -1,0 +1,76 @@
+#include "storm/sampling/sample_first.h"
+
+#include <algorithm>
+
+namespace storm {
+
+template <int D>
+SampleFirstSampler<D>::SampleFirstSampler(const std::vector<Entry>* data, Rng rng,
+                                          uint64_t max_attempts_per_sample)
+    : data_(data), rng_(rng), max_attempts_(max_attempts_per_sample) {}
+
+template <int D>
+Status SampleFirstSampler<D>::Begin(const Rect<D>& query, SamplingMode mode) {
+  query_ = query;
+  mode_ = mode;
+  reported_.clear();
+  attempts_ = 0;
+  hits_ = 0;
+  gave_up_ = false;
+  began_ = true;
+  return Status::OK();
+}
+
+template <int D>
+uint64_t SampleFirstSampler<D>::AttemptBudget() const {
+  if (max_attempts_ > 0) return max_attempts_;
+  uint64_t n = data_->size();
+  // With observed acceptance rate hits/attempts, 64 expected waiting times
+  // make a spurious give-up vanishingly unlikely; before any hit, assume the
+  // worst reasonable selectivity of 1/N.
+  uint64_t per_hit = hits_ > 0 ? std::max<uint64_t>(1, attempts_ / hits_) : n;
+  return std::max<uint64_t>(1024, 64 * per_hit);
+}
+
+template <int D>
+std::optional<typename SampleFirstSampler<D>::Entry> SampleFirstSampler<D>::Next() {
+  if (!began_ || data_->empty()) return std::nullopt;
+  const uint64_t budget = AttemptBudget();
+  for (uint64_t tries = 0; tries < budget; ++tries) {
+    ++attempts_;
+    const Entry& cand = (*data_)[static_cast<size_t>(rng_.Uniform(data_->size()))];
+    if (!query_.Contains(cand.point)) continue;
+    if (mode_ == SamplingMode::kWithoutReplacement) {
+      if (!reported_.insert(cand.id).second) continue;
+    }
+    ++hits_;
+    return cand;
+  }
+  gave_up_ = true;
+  return std::nullopt;
+}
+
+template <int D>
+CardinalityEstimate SampleFirstSampler<D>::Cardinality() const {
+  CardinalityEstimate c;
+  c.lower = hits_ > 0 ? reported_.size() : 0;
+  if (mode_ == SamplingMode::kWithReplacement) c.lower = hits_ > 0 ? 1 : 0;
+  c.upper = data_->size();
+  c.exact = false;
+  if (attempts_ > 0) {
+    c.estimate = static_cast<double>(data_->size()) * static_cast<double>(hits_) /
+                 static_cast<double>(attempts_);
+  }
+  return c;
+}
+
+template <int D>
+bool SampleFirstSampler<D>::IsExhausted() const {
+  // SampleFirst can never prove exhaustion; it only gives up.
+  return began_ && data_->empty();
+}
+
+template class SampleFirstSampler<2>;
+template class SampleFirstSampler<3>;
+
+}  // namespace storm

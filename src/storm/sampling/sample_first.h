@@ -1,0 +1,65 @@
+// SampleFirst: pick a uniform point of P, keep it if it falls inside Q.
+//
+// Expected O(N/q) work per sample; excellent when the query covers a large
+// constant fraction of the data, catastrophic otherwise, and non-terminating
+// when q == 0 — so every Next() call is bounded by an attempt budget and the
+// sampler reports failure instead of spinning forever.
+
+#ifndef STORM_SAMPLING_SAMPLE_FIRST_H_
+#define STORM_SAMPLING_SAMPLE_FIRST_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "storm/sampling/sampler.h"
+#include "storm/util/rng.h"
+
+namespace storm {
+
+template <int D>
+class SampleFirstSampler : public SpatialSampler<D> {
+ public:
+  using Entry = typename RTree<D>::Entry;
+
+  /// `data` is the raw point table (the record order is irrelevant); must
+  /// outlive the sampler. `max_attempts_per_sample` bounds one Next() call;
+  /// 0 picks a default of max(1024, 64·ceil(N / max(successes,1))) adapted
+  /// from observed acceptance.
+  SampleFirstSampler(const std::vector<Entry>* data, Rng rng,
+                     uint64_t max_attempts_per_sample = 0);
+
+  Status Begin(const Rect<D>& query,
+               SamplingMode mode = SamplingMode::kWithReplacement) override;
+  std::optional<Entry> Next() override;
+  CardinalityEstimate Cardinality() const override;
+  bool IsExhausted() const override;
+  std::string_view name() const override { return "SampleFirst"; }
+
+  /// True when the last Next() call gave up after exhausting its attempt
+  /// budget (distinct from a clean without-replacement exhaustion).
+  bool GaveUp() const { return gave_up_; }
+
+  uint64_t total_attempts() const { return attempts_; }
+  uint64_t total_hits() const { return hits_; }
+
+ private:
+  uint64_t AttemptBudget() const;
+
+  const std::vector<Entry>* data_;
+  Rng rng_;
+  uint64_t max_attempts_;
+  Rect<D> query_;
+  SamplingMode mode_ = SamplingMode::kWithReplacement;
+  std::unordered_set<RecordId> reported_;
+  uint64_t attempts_ = 0;
+  uint64_t hits_ = 0;
+  bool gave_up_ = false;
+  bool began_ = false;
+};
+
+extern template class SampleFirstSampler<2>;
+extern template class SampleFirstSampler<3>;
+
+}  // namespace storm
+
+#endif  // STORM_SAMPLING_SAMPLE_FIRST_H_

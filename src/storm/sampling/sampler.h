@@ -1,0 +1,77 @@
+// SpatialSampler: the interface behind Definition 1 of the paper.
+//
+// Given a range query Q over an indexed point set P, a sampler returns
+// independent uniform random samples from P ∩ Q, one at a time, until the
+// caller stops asking. The number of samples k is never known in advance —
+// callers (the online estimators) simply keep calling Next() until their
+// stopping rule fires.
+
+#ifndef STORM_SAMPLING_SAMPLER_H_
+#define STORM_SAMPLING_SAMPLER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "storm/geo/rect.h"
+#include "storm/rtree/rtree.h"
+#include "storm/util/status.h"
+
+namespace storm {
+
+/// Whether repeated samples may return the same record.
+enum class SamplingMode {
+  /// Independent draws; the same record can appear multiple times.
+  kWithReplacement,
+  /// Every returned record is distinct; the stream is exhausted after
+  /// |P ∩ Q| samples.
+  kWithoutReplacement,
+};
+
+/// What the sampler currently knows about q = |P ∩ Q|.
+///
+/// QueryFirst knows q exactly after Begin; LS-tree refines an estimate as it
+/// descends levels; RS-tree narrows [lower, upper] as the frontier expands.
+struct CardinalityEstimate {
+  uint64_t lower = 0;
+  uint64_t upper = ~uint64_t{0};
+  /// True when lower == upper == q exactly.
+  bool exact = false;
+  /// Best point estimate (may be between the bounds, e.g. LS-tree's
+  /// level-scaled estimate).
+  double estimate = 0.0;
+};
+
+/// Abstract spatial online sampler (Definition 1).
+///
+/// Usage: Begin(Q) once, then Next() repeatedly. Next() returns nullopt when
+/// the stream is exhausted (without-replacement mode ran out of qualifying
+/// records, or the strategy gave up — see IsExhausted/IsFailed).
+template <int D>
+class SpatialSampler {
+ public:
+  using Entry = typename RTree<D>::Entry;
+
+  virtual ~SpatialSampler() = default;
+
+  /// Starts a new online query; resets all per-query state.
+  virtual Status Begin(const Rect<D>& query,
+                       SamplingMode mode = SamplingMode::kWithReplacement) = 0;
+
+  /// Draws the next online sample.
+  virtual std::optional<Entry> Next() = 0;
+
+  /// Current knowledge of q = |P ∩ Q|.
+  virtual CardinalityEstimate Cardinality() const = 0;
+
+  /// True when every qualifying record has been returned (only possible in
+  /// without-replacement mode, or when q == 0).
+  virtual bool IsExhausted() const = 0;
+
+  /// Strategy name for logs, the optimizer and benchmarks.
+  virtual std::string_view name() const = 0;
+};
+
+}  // namespace storm
+
+#endif  // STORM_SAMPLING_SAMPLER_H_

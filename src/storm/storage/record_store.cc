@@ -1,0 +1,79 @@
+#include "storm/storage/record_store.h"
+
+#include <cstring>
+
+namespace storm {
+
+RecordStore::RecordStore(RecordStoreOptions options)
+    : options_(options),
+      disk_(std::make_unique<BlockManager>(options.page_size)),
+      pool_(std::make_unique<BufferPool>(disk_.get(), options.pool_pages)) {}
+
+Result<RecordId> RecordStore::Append(const Value& doc) {
+  std::string payload = doc.ToJson();
+  if (payload.size() > options_.page_size) {
+    return Status::InvalidArgument(
+        "document (" + std::to_string(payload.size()) +
+        " bytes) exceeds page size " + std::to_string(options_.page_size));
+  }
+  if (current_page_ == kInvalidPage ||
+      current_offset_ + payload.size() > options_.page_size) {
+    current_page_ = disk_->Allocate();
+    current_offset_ = 0;
+  }
+  Location loc;
+  loc.page = current_page_;
+  loc.offset = static_cast<uint32_t>(current_offset_);
+  loc.length = static_cast<uint32_t>(payload.size());
+  loc.live = true;
+  STORM_RETURN_NOT_OK(pool_->WithPage(current_page_, /*dirty=*/true,
+                                      [&](std::byte* frame) {
+                                        std::memcpy(frame + loc.offset,
+                                                    payload.data(),
+                                                    payload.size());
+                                      }));
+  current_offset_ += payload.size();
+  directory_.push_back(loc);
+  ++live_records_;
+  return static_cast<RecordId>(directory_.size() - 1);
+}
+
+Result<Value> RecordStore::Get(RecordId id) const {
+  if (id >= directory_.size() || !directory_[id].live) {
+    return Status::NotFound("record " + std::to_string(id));
+  }
+  const Location& loc = directory_[id];
+  std::string payload(loc.length, '\0');
+  STORM_RETURN_NOT_OK(pool_->WithPage(loc.page, /*dirty=*/false,
+                                      [&](std::byte* frame) {
+                                        std::memcpy(payload.data(),
+                                                    frame + loc.offset,
+                                                    loc.length);
+                                      }));
+  return Value::Parse(payload);
+}
+
+Status RecordStore::Delete(RecordId id) {
+  if (id >= directory_.size() || !directory_[id].live) {
+    return Status::NotFound("record " + std::to_string(id));
+  }
+  directory_[id].live = false;
+  --live_records_;
+  return Status::OK();
+}
+
+bool RecordStore::Exists(RecordId id) const {
+  return id < directory_.size() && directory_[id].live;
+}
+
+Status RecordStore::Scan(const std::function<bool(RecordId, const Value&)>& fn) const {
+  for (RecordId id = 0; id < directory_.size(); ++id) {
+    if (!directory_[id].live) continue;
+    Result<Value> doc = Get(id);
+    if (!doc.ok()) return doc.status();
+    if (!fn(id, *doc)) break;
+  }
+  return Status::OK();
+}
+
+}  // namespace storm

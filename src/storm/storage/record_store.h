@@ -1,0 +1,83 @@
+// RecordStore: STORM's storage engine — a paged, JSON-document record store
+// (the single-node stand-in for the distributed MongoDB installation of the
+// published system).
+//
+// Documents are serialized as compact JSON and appended into fixed-size
+// pages behind a buffer pool, so reads/writes produce realistic simulated
+// I/O. Record ids are dense and stable; deletes are tombstones (space
+// reclamation is out of scope for the reproduction and documented as such).
+
+#ifndef STORM_STORAGE_RECORD_STORE_H_
+#define STORM_STORAGE_RECORD_STORE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "storm/io/buffer_pool.h"
+#include "storm/storage/value.h"
+#include "storm/util/types.h"
+
+namespace storm {
+
+struct RecordStoreOptions {
+  size_t page_size = 4096;
+  /// Buffer pool frames for the store's own pages.
+  size_t pool_pages = 1024;
+};
+
+class RecordStore {
+ public:
+  explicit RecordStore(RecordStoreOptions options = {});
+
+  RecordStore(const RecordStore&) = delete;
+  RecordStore& operator=(const RecordStore&) = delete;
+  RecordStore(RecordStore&&) = default;
+  RecordStore& operator=(RecordStore&&) = default;
+
+  /// Appends a document; returns its record id. Fails when the serialized
+  /// document exceeds one page.
+  Result<RecordId> Append(const Value& doc);
+
+  /// Fetches and parses a document. NotFound for deleted/never-assigned
+  /// ids.
+  Result<Value> Get(RecordId id) const;
+
+  /// Tombstones a record. NotFound when absent.
+  Status Delete(RecordId id);
+
+  bool Exists(RecordId id) const;
+
+  /// Number of live records.
+  uint64_t size() const { return live_records_; }
+
+  /// Largest assigned id + 1 (ids are dense from 0, including tombstones).
+  uint64_t next_id() const { return directory_.size(); }
+
+  /// Visits every live record in id order. Returning false from `fn` stops
+  /// the scan.
+  Status Scan(const std::function<bool(RecordId, const Value&)>& fn) const;
+
+  const IoStats& io_stats() const { return disk_->stats(); }
+  BufferPool* pool() { return pool_.get(); }
+
+ private:
+  struct Location {
+    PageId page = kInvalidPage;
+    uint32_t offset = 0;
+    uint32_t length = 0;
+    bool live = false;
+  };
+
+  RecordStoreOptions options_;
+  std::unique_ptr<BlockManager> disk_;
+  std::unique_ptr<BufferPool> pool_;
+  std::vector<Location> directory_;
+  PageId current_page_ = kInvalidPage;
+  size_t current_offset_ = 0;
+  uint64_t live_records_ = 0;
+};
+
+}  // namespace storm
+
+#endif  // STORM_STORAGE_RECORD_STORE_H_

@@ -1,0 +1,482 @@
+#include "storm/storage/value.h"
+
+// GCC 12's -Wmaybe-uninitialized false-positives on std::variant moves in
+// optimized builds (PR 105593 and friends); the code it flags is the plain
+// `return obj;` of a fully-initialized Value.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+#include <cassert>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace storm {
+
+std::string_view ValueTypeToString(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+    case ValueType::kArray:
+      return "array";
+    case ValueType::kObject:
+      return "object";
+  }
+  return "?";
+}
+
+ValueType Value::type() const {
+  return static_cast<ValueType>(repr_.index());
+}
+
+bool Value::AsBool() const {
+  assert(is_bool());
+  return std::get<bool>(repr_);
+}
+
+int64_t Value::AsInt() const {
+  assert(is_int());
+  return std::get<int64_t>(repr_);
+}
+
+double Value::AsDouble() const {
+  if (is_int()) return static_cast<double>(std::get<int64_t>(repr_));
+  assert(is_double());
+  return std::get<double>(repr_);
+}
+
+const std::string& Value::AsString() const {
+  assert(is_string());
+  return std::get<std::string>(repr_);
+}
+
+const Value::Array& Value::AsArray() const {
+  assert(is_array());
+  return std::get<Array>(repr_);
+}
+
+Value::Array& Value::AsArray() {
+  assert(is_array());
+  return std::get<Array>(repr_);
+}
+
+const Value::Object& Value::AsObject() const {
+  assert(is_object());
+  return std::get<Object>(repr_);
+}
+
+Value::Object& Value::AsObject() {
+  assert(is_object());
+  return std::get<Object>(repr_);
+}
+
+const Value* Value::Find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  const Object& obj = std::get<Object>(repr_);
+  auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+const Value* Value::FindPath(std::string_view dotted_path) const {
+  const Value* cur = this;
+  while (!dotted_path.empty()) {
+    size_t dot = dotted_path.find('.');
+    std::string_view head =
+        dot == std::string_view::npos ? dotted_path : dotted_path.substr(0, dot);
+    cur = cur->Find(head);
+    if (cur == nullptr) return nullptr;
+    if (dot == std::string_view::npos) break;
+    dotted_path.remove_prefix(dot + 1);
+  }
+  return cur;
+}
+
+void Value::Set(std::string key, Value v) {
+  if (is_null()) repr_ = Object{};
+  assert(is_object());
+  std::get<Object>(repr_).insert_or_assign(std::move(key), std::move(v));
+}
+
+void Value::Append(Value v) {
+  if (is_null()) repr_ = Array{};
+  assert(is_array());
+  std::get<Array>(repr_).push_back(std::move(v));
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void EscapeTo(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\b':
+        *out += "\\b";
+        break;
+      case '\f':
+        *out += "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          *out += buf;
+        } else {
+          out->push_back(ch);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void SerializeTo(const Value& v, std::string* out);
+
+void SerializeArray(const Value::Array& a, std::string* out) {
+  out->push_back('[');
+  bool first = true;
+  for (const Value& e : a) {
+    if (!first) out->push_back(',');
+    first = false;
+    SerializeTo(e, out);
+  }
+  out->push_back(']');
+}
+
+void SerializeObject(const Value::Object& o, std::string* out) {
+  out->push_back('{');
+  bool first = true;
+  for (const auto& [k, e] : o) {
+    if (!first) out->push_back(',');
+    first = false;
+    EscapeTo(k, out);
+    out->push_back(':');
+    SerializeTo(e, out);
+  }
+  out->push_back('}');
+}
+
+void SerializeTo(const Value& v, std::string* out) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      *out += "null";
+      break;
+    case ValueType::kBool:
+      *out += v.AsBool() ? "true" : "false";
+      break;
+    case ValueType::kInt:
+      *out += std::to_string(v.AsInt());
+      break;
+    case ValueType::kDouble: {
+      double d = v.AsDouble();
+      if (std::isnan(d) || std::isinf(d)) {
+        *out += "null";  // JSON has no NaN/Inf
+        break;
+      }
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", d);
+      *out += buf;
+      // Keep the double/int distinction across round trips: an integral
+      // double must not reparse as an integer.
+      if (std::strpbrk(buf, ".eEnN") == nullptr) *out += ".0";
+      break;
+    }
+    case ValueType::kString:
+      EscapeTo(v.AsString(), out);
+      break;
+    case ValueType::kArray:
+      SerializeArray(v.AsArray(), out);
+      break;
+    case ValueType::kObject:
+      SerializeObject(v.AsObject(), out);
+      break;
+  }
+}
+
+}  // namespace
+
+std::string Value::ToJson() const {
+  std::string out;
+  SerializeTo(*this, &out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view input) : in_(input) {}
+
+  Result<Value> ParseDocument() {
+    SkipWs();
+    Result<Value> v = ParseValue();
+    if (!v.ok()) return v;
+    SkipWs();
+    if (pos_ != in_.size()) {
+      return Fail("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  Status Fail(std::string msg) {
+    return Status::Corruption(msg + " at offset " + std::to_string(pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < in_.size() &&
+           (in_[pos_] == ' ' || in_[pos_] == '\t' || in_[pos_] == '\n' ||
+            in_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < in_.size() && in_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view lit) {
+    if (in_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<Value> ParseValue() {
+    if (depth_ > kMaxDepth) return Fail("nesting too deep");
+    if (pos_ >= in_.size()) return Fail("unexpected end of input");
+    char c = in_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"': {
+        Result<std::string> s = ParseString();
+        if (!s.ok()) return s.status();
+        return Value::String(std::move(s).ValueOrDie());
+      }
+      case 't':
+        if (ConsumeLiteral("true")) return Value::Bool(true);
+        return Fail("invalid literal");
+      case 'f':
+        if (ConsumeLiteral("false")) return Value::Bool(false);
+        return Fail("invalid literal");
+      case 'n':
+        if (ConsumeLiteral("null")) return Value::Null();
+        return Fail("invalid literal");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<Value> ParseObject() {
+    ++depth_;
+    Consume('{');
+    Value obj = Value::MakeObject();
+    SkipWs();
+    if (Consume('}')) {
+      --depth_;
+      return obj;
+    }
+    while (true) {
+      SkipWs();
+      if (pos_ >= in_.size() || in_[pos_] != '"') return Fail("expected key string");
+      Result<std::string> key = ParseString();
+      if (!key.ok()) return key.status();
+      SkipWs();
+      if (!Consume(':')) return Fail("expected ':'");
+      SkipWs();
+      Result<Value> v = ParseValue();
+      if (!v.ok()) return v;
+      obj.Set(std::move(key).ValueOrDie(), std::move(v).ValueOrDie());
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume('}')) break;
+      return Fail("expected ',' or '}'");
+    }
+    --depth_;
+    return obj;
+  }
+
+  Result<Value> ParseArray() {
+    ++depth_;
+    Consume('[');
+    Value arr = Value::MakeArray();
+    SkipWs();
+    if (Consume(']')) {
+      --depth_;
+      return arr;
+    }
+    while (true) {
+      SkipWs();
+      Result<Value> v = ParseValue();
+      if (!v.ok()) return v;
+      arr.Append(std::move(v).ValueOrDie());
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume(']')) break;
+      return Fail("expected ',' or ']'");
+    }
+    --depth_;
+    return arr;
+  }
+
+  Result<std::string> ParseString() {
+    Consume('"');
+    std::string out;
+    while (pos_ < in_.size()) {
+      char c = in_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= in_.size()) break;
+      char esc = in_[pos_++];
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'u': {
+          if (pos_ + 4 > in_.size()) return Fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = in_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Fail("invalid \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are passed
+          // through as two 3-byte sequences; adequate for the demo data).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Fail("invalid escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  Result<Value> ParseNumber() {
+    size_t start = pos_;
+    if (pos_ < in_.size() && (in_[pos_] == '-' || in_[pos_] == '+')) ++pos_;
+    bool is_double = false;
+    while (pos_ < in_.size()) {
+      char c = in_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') {
+        // '-'/'+' only valid after exponent, but we let from_chars decide.
+        is_double = is_double || c == '.' || c == 'e' || c == 'E';
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    std::string_view text = in_.substr(start, pos_ - start);
+    if (text.empty()) return Fail("expected a value");
+    if (!is_double) {
+      int64_t iv = 0;
+      auto [p, ec] = std::from_chars(text.data(), text.data() + text.size(), iv);
+      if (ec == std::errc() && p == text.data() + text.size()) {
+        return Value::Int(iv);
+      }
+      // Fall through to double on overflow.
+    }
+    double dv = 0.0;
+    auto [p, ec] = std::from_chars(text.data(), text.data() + text.size(), dv);
+    if (ec != std::errc() || p != text.data() + text.size()) {
+      return Fail("invalid number");
+    }
+    return Value::Double(dv);
+  }
+
+  static constexpr int kMaxDepth = 256;
+  std::string_view in_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Result<Value> Value::Parse(std::string_view json) {
+  return JsonParser(json).ParseDocument();
+}
+
+}  // namespace storm

@@ -1,0 +1,99 @@
+// Value: the JSON-like document model of STORM's storage engine.
+//
+// The published system stored records as JSON documents in MongoDB; this
+// reproduction keeps the document model (null/bool/int/double/string/array/
+// object) with a full JSON parser and serializer, so the data connector can
+// ingest arbitrary JSON-lines sources and the record store has a stable
+// wire format.
+
+#ifndef STORM_STORAGE_VALUE_H_
+#define STORM_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "storm/util/result.h"
+
+namespace storm {
+
+/// Discriminator for Value.
+enum class ValueType { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+std::string_view ValueTypeToString(ValueType t);
+
+/// An immutable-ish JSON value. Cheap to move; copies are deep.
+class Value {
+ public:
+  using Array = std::vector<Value>;
+  /// Ordered map keeps serialization deterministic.
+  using Object = std::map<std::string, Value, std::less<>>;
+
+  /// Constructs null.
+  Value() : repr_(std::monostate{}) {}
+  Value(std::nullptr_t) : Value() {}  // NOLINT(runtime/explicit)
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) { return Value(Repr(b)); }
+  static Value Int(int64_t v) { return Value(Repr(v)); }
+  static Value Double(double v) { return Value(Repr(v)); }
+  static Value String(std::string s) { return Value(Repr(std::move(s))); }
+  static Value MakeArray(Array a = {}) { return Value(Repr(std::move(a))); }
+  static Value MakeObject(Object o = {}) { return Value(Repr(std::move(o))); }
+
+  ValueType type() const;
+  bool is_null() const { return type() == ValueType::kNull; }
+  bool is_bool() const { return type() == ValueType::kBool; }
+  bool is_int() const { return type() == ValueType::kInt; }
+  bool is_double() const { return type() == ValueType::kDouble; }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return type() == ValueType::kString; }
+  bool is_array() const { return type() == ValueType::kArray; }
+  bool is_object() const { return type() == ValueType::kObject; }
+
+  /// Typed accessors; calling the wrong one is a checked error (assert).
+  bool AsBool() const;
+  int64_t AsInt() const;
+  /// Numeric widening: valid for kInt and kDouble.
+  double AsDouble() const;
+  const std::string& AsString() const;
+  const Array& AsArray() const;
+  Array& AsArray();
+  const Object& AsObject() const;
+  Object& AsObject();
+
+  /// Object field lookup; returns nullptr when absent or not an object.
+  const Value* Find(std::string_view key) const;
+
+  /// Dotted-path lookup: Find("user.location.lat").
+  const Value* FindPath(std::string_view dotted_path) const;
+
+  /// Object field write (creates the object repr when null).
+  void Set(std::string key, Value v);
+
+  /// Array append (creates the array repr when null).
+  void Append(Value v);
+
+  /// Compact JSON serialization.
+  std::string ToJson() const;
+
+  /// Parses one JSON document (rejects trailing garbage).
+  static Result<Value> Parse(std::string_view json);
+
+  friend bool operator==(const Value& a, const Value& b) { return a.repr_ == b.repr_; }
+
+ private:
+  using Repr = std::variant<std::monostate, bool, int64_t, double, std::string,
+                            Array, Object>;
+  explicit Value(Repr r) : repr_(std::move(r)) {}
+
+  Repr repr_;
+};
+
+}  // namespace storm
+
+#endif  // STORM_STORAGE_VALUE_H_

@@ -1,0 +1,65 @@
+// Umbrella header: the STORM public API.
+//
+// Layered bottom-up:
+//   util/      — Status/Result, deterministic RNG, streaming statistics
+//   geo/       — points, rectangles, Hilbert curve
+//   io/        — simulated disk (block manager + LRU buffer pool)
+//   rtree/     — counted R-tree with STR/Hilbert bulk load and updates
+//   sampling/  — Definition 1: QueryFirst, SampleFirst, RandomPath,
+//                LS-tree, RS-tree
+//   estimator/ — online aggregates with confidence intervals
+//   analytics/ — KDE, clustering, trajectories, short-text
+//   storage/   — JSON documents and the paged record store
+//   connector/ — schema discovery, CSV/JSONL, importer
+//   query/     — query language, optimizer, evaluator, session, updates
+//   cluster/   — sharded execution with a merging coordinator
+//   data/      — synthetic workload generators for the paper's data sets
+
+#ifndef STORM_STORM_H_
+#define STORM_STORM_H_
+
+#include "storm/analytics/kde.h"
+#include "storm/analytics/kmeans.h"
+#include "storm/analytics/text.h"
+#include "storm/analytics/trajectory.h"
+#include "storm/cluster/coordinator.h"
+#include "storm/cluster/shard.h"
+#include "storm/connector/csv.h"
+#include "storm/connector/free_data.h"
+#include "storm/connector/importer.h"
+#include "storm/connector/jsonl.h"
+#include "storm/connector/schema_discovery.h"
+#include "storm/data/electricity_gen.h"
+#include "storm/data/osm_gen.h"
+#include "storm/data/tweet_gen.h"
+#include "storm/data/weather_gen.h"
+#include "storm/estimator/aggregate.h"
+#include "storm/estimator/confidence.h"
+#include "storm/estimator/group_by.h"
+#include "storm/estimator/quantile.h"
+#include "storm/estimator/stopping.h"
+#include "storm/geo/hilbert.h"
+#include "storm/geo/point.h"
+#include "storm/geo/rect.h"
+#include "storm/io/block_manager.h"
+#include "storm/io/buffer_pool.h"
+#include "storm/query/session.h"
+#include "storm/rtree/rtree.h"
+#include "storm/sampling/failover.h"
+#include "storm/sampling/ls_tree.h"
+#include "storm/sampling/query_first.h"
+#include "storm/sampling/random_path.h"
+#include "storm/sampling/rs_tree.h"
+#include "storm/sampling/sample_first.h"
+#include "storm/storage/record_store.h"
+#include "storm/storage/value.h"
+#include "storm/util/logging.h"
+#include "storm/util/reservoir.h"
+#include "storm/util/time.h"
+#include "storm/util/weighted_set.h"
+#include "storm/viz/render.h"
+#include "storm/util/rng.h"
+#include "storm/util/stats.h"
+#include "storm/util/stopwatch.h"
+
+#endif  // STORM_STORM_H_

@@ -1,0 +1,46 @@
+#include "storm/util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+namespace storm {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+
+namespace internal {
+
+void EmitLog(LogLevel level, const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), Basename(file), line,
+               msg.c_str());
+}
+
+}  // namespace internal
+
+}  // namespace storm

@@ -1,0 +1,51 @@
+// Minimal leveled logging. STORM is a library, so logging defaults to WARN
+// and writes to stderr; applications can raise the level for debugging.
+
+#ifndef STORM_UTIL_LOGGING_H_
+#define STORM_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace storm {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level that will be emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+void EmitLog(LogLevel level, const char* file, int line, const std::string& msg);
+
+/// Builds one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { EmitLog(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define STORM_LOG(level)                                               \
+  if (::storm::GetLogLevel() <= ::storm::LogLevel::k##level)           \
+  ::storm::internal::LogMessage(::storm::LogLevel::k##level, __FILE__, \
+                                __LINE__)
+
+}  // namespace storm
+
+#endif  // STORM_UTIL_LOGGING_H_

@@ -1,0 +1,119 @@
+// Reservoir sampling: maintain a uniform k-subset of a stream of unknown
+// length (Vitter's Algorithm R), plus a weighted variant (Efraimidis-
+// Spirakis A-Res via exponential keys). Used by applications that want a
+// bounded uniform summary of the online sample stream itself — e.g. keep
+// 1000 representative points of however many samples the user let the
+// query draw — and by the test-suite as a reference sampler.
+
+#ifndef STORM_UTIL_RESERVOIR_H_
+#define STORM_UTIL_RESERVOIR_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "storm/util/rng.h"
+
+namespace storm {
+
+/// Uniform fixed-size reservoir over a stream (Algorithm R).
+template <typename T>
+class ReservoirSampler {
+ public:
+  /// `capacity` is k, the reservoir size; must be >= 1.
+  ReservoirSampler(size_t capacity, Rng rng) : capacity_(capacity), rng_(rng) {
+    assert(capacity_ >= 1);
+    sample_.reserve(capacity_);
+  }
+
+  /// Offers one stream element.
+  void Add(T value) {
+    ++seen_;
+    if (sample_.size() < capacity_) {
+      sample_.push_back(std::move(value));
+      return;
+    }
+    uint64_t j = rng_.Uniform(seen_);
+    if (j < capacity_) {
+      sample_[static_cast<size_t>(j)] = std::move(value);
+    }
+  }
+
+  /// The current reservoir: a uniform min(k, seen)-subset of the stream.
+  const std::vector<T>& sample() const { return sample_; }
+  uint64_t seen() const { return seen_; }
+  size_t capacity() const { return capacity_; }
+
+  void Clear() {
+    sample_.clear();
+    seen_ = 0;
+  }
+
+ private:
+  size_t capacity_;
+  Rng rng_;
+  std::vector<T> sample_;
+  uint64_t seen_ = 0;
+};
+
+/// Weighted reservoir (A-Res): each element is kept with probability
+/// proportional to its weight among all stream elements. Keys are
+/// u^(1/w) ~ keep the k largest; implemented with a min-heap of keys.
+template <typename T>
+class WeightedReservoirSampler {
+ public:
+  WeightedReservoirSampler(size_t capacity, Rng rng)
+      : capacity_(capacity), rng_(rng) {
+    assert(capacity_ >= 1);
+  }
+
+  /// Offers one element with weight > 0 (non-positive weights are skipped).
+  void Add(T value, double weight) {
+    ++seen_;
+    if (weight <= 0.0) return;
+    double u = rng_.UniformDouble();
+    if (u <= 0.0) u = 1e-300;
+    double key = std::pow(u, 1.0 / weight);
+    if (heap_.size() < capacity_) {
+      heap_.push(Keyed{key, std::move(value)});
+      return;
+    }
+    if (key > heap_.top().key) {
+      heap_.pop();
+      heap_.push(Keyed{key, std::move(value)});
+    }
+  }
+
+  /// The current weighted sample (unordered).
+  std::vector<T> Sample() const {
+    std::vector<T> out;
+    out.reserve(heap_.size());
+    auto copy = heap_;
+    while (!copy.empty()) {
+      out.push_back(copy.top().value);
+      copy.pop();
+    }
+    return out;
+  }
+
+  uint64_t seen() const { return seen_; }
+  size_t size() const { return heap_.size(); }
+
+ private:
+  struct Keyed {
+    double key;
+    T value;
+    bool operator>(const Keyed& other) const { return key > other.key; }
+  };
+
+  size_t capacity_;
+  Rng rng_;
+  std::priority_queue<Keyed, std::vector<Keyed>, std::greater<>> heap_;
+  uint64_t seen_ = 0;
+};
+
+}  // namespace storm
+
+#endif  // STORM_UTIL_RESERVOIR_H_

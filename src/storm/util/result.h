@@ -1,0 +1,82 @@
+// Result<T>: value-or-Status, the Arrow idiom for fallible value-returning
+// functions.
+
+#ifndef STORM_UTIL_RESULT_H_
+#define STORM_UTIL_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "storm/util/status.h"
+
+namespace storm {
+
+/// Holds either a value of type T or a non-OK Status describing why the
+/// value could not be produced.
+///
+/// Typical use:
+/// ```
+/// Result<RTree> r = RTree::BulkLoad(points);
+/// if (!r.ok()) return r.status();
+/// RTree tree = std::move(r).ValueOrDie();
+/// ```
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit on purpose, mirroring Arrow).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status. Passing an OK status is a programming
+  /// error and is normalized to kUnknown.
+  Result(Status st) : repr_(std::move(st)) {  // NOLINT(runtime/explicit)
+    auto& s = std::get<Status>(repr_);
+    if (s.ok()) s = Status::Unknown("Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status, or OK when a value is present.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// The contained value; must only be called when ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+/// Propagates the error of a Result expression, otherwise assigns its value.
+#define STORM_ASSIGN_OR_RETURN(lhs, expr)                \
+  STORM_ASSIGN_OR_RETURN_IMPL_(                          \
+      STORM_CONCAT_(_storm_result_, __COUNTER__), lhs, expr)
+
+#define STORM_CONCAT_INNER_(a, b) a##b
+#define STORM_CONCAT_(a, b) STORM_CONCAT_INNER_(a, b)
+#define STORM_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).ValueOrDie()
+
+}  // namespace storm
+
+#endif  // STORM_UTIL_RESULT_H_

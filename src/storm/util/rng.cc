@@ -1,0 +1,131 @@
+#include "storm/util/rng.h"
+
+#include <cmath>
+
+namespace storm {
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+constexpr unsigned __int128 kPcgMultiplier =
+    (static_cast<unsigned __int128>(2549297995355413924ULL) << 64) |
+    4865540595714422341ULL;
+
+uint64_t RotateRight(uint64_t v, unsigned rot) {
+  return (v >> rot) | (v << ((-rot) & 63u));
+}
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  uint64_t a = SplitMix64(sm);
+  uint64_t b = SplitMix64(sm);
+  uint64_t c = SplitMix64(sm);
+  uint64_t d = SplitMix64(sm);
+  state_ = (static_cast<unsigned __int128>(a) << 64) | b;
+  inc_ = ((static_cast<unsigned __int128>(c) << 64) | d) | 1u;  // must be odd
+  // Warm up so that nearby seeds diverge immediately.
+  Next64();
+  Next64();
+}
+
+uint64_t Rng::Next64() {
+  state_ = state_ * kPcgMultiplier + inc_;
+  uint64_t xored = static_cast<uint64_t>(state_ >> 64) ^ static_cast<uint64_t>(state_);
+  unsigned rot = static_cast<unsigned>(state_ >> 122);
+  return RotateRight(xored, rot);
+}
+
+uint64_t Rng::Uniform(uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's method: multiply-shift with rejection of the biased region.
+  unsigned __int128 m = static_cast<unsigned __int128>(Next64()) * bound;
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      m = static_cast<unsigned __int128>(Next64()) * bound;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next64());  // full 64-bit range
+  return static_cast<int64_t>(static_cast<uint64_t>(lo) + Uniform(span));
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(Next64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+double Rng::Normal() {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u1, u2;
+  do {
+    u1 = UniformDouble();
+  } while (u1 <= 1e-300);
+  u2 = UniformDouble();
+  double radius = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  spare_normal_ = radius * std::sin(theta);
+  has_spare_normal_ = true;
+  return radius * std::cos(theta);
+}
+
+double Rng::Exponential(double lambda) {
+  assert(lambda > 0);
+  double u;
+  do {
+    u = UniformDouble();
+  } while (u <= 1e-300);
+  return -std::log(u) / lambda;
+}
+
+size_t Rng::Discrete(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+  }
+  assert(total > 0.0);
+  double target = UniformDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) return i;
+  }
+  // Floating-point slack: return the last positive-weight index.
+  for (size_t i = weights.size(); i > 0; --i) {
+    if (weights[i - 1] > 0.0) return i - 1;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::Fork(uint64_t salt) {
+  uint64_t mix = Next64() ^ (salt * 0x9e3779b97f4a7c15ULL + 0x7f4a7c159e3779b9ULL);
+  return Rng(mix);
+}
+
+}  // namespace storm

@@ -1,0 +1,95 @@
+// Deterministic pseudo-random number generation for samplers, generators and
+// tests.
+//
+// STORM's correctness guarantees are statistical, so every randomized
+// component takes an explicit Rng (never a global) and every experiment is
+// reproducible from a seed. The generator is PCG64 (O'Neill 2014): fast,
+// 128-bit state, excellent statistical quality, and trivially seedable from
+// a 64-bit value via SplitMix64.
+
+#ifndef STORM_UTIL_RNG_H_
+#define STORM_UTIL_RNG_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace storm {
+
+/// SplitMix64 step; used for seed expansion and cheap hashing.
+uint64_t SplitMix64(uint64_t& state);
+
+/// PCG64 (XSL-RR 128/64) pseudo-random generator.
+///
+/// Satisfies the UniformRandomBitGenerator concept so it can also be used
+/// with <random> distributions, though the member helpers below are
+/// preferred (they avoid libstdc++/libc++ distribution discrepancies and
+/// keep results identical across platforms).
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the generator deterministically from a single 64-bit value.
+  explicit Rng(uint64_t seed = 0xdefa017'5707'11edULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~uint64_t{0}; }
+
+  /// Next raw 64 random bits.
+  uint64_t Next64();
+  uint64_t operator()() { return Next64(); }
+
+  /// Uniform integer in [0, bound). bound must be > 0. Uses Lemire's
+  /// nearly-divisionless rejection method, so the result is exactly uniform.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1) with 53 bits of entropy.
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Standard normal deviate (Box-Muller, cached spare).
+  double Normal();
+
+  /// Normal deviate with the given mean and standard deviation.
+  double Normal(double mean, double stddev) { return mean + stddev * Normal(); }
+
+  /// Exponential deviate with the given rate lambda (> 0).
+  double Exponential(double lambda);
+
+  /// Samples an index in [0, weights.size()) with probability proportional
+  /// to weights[i]. Weights must be non-negative with a positive sum.
+  size_t Discrete(const std::vector<double>& weights);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Uniform(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child generator; deterministic in (this, salt).
+  Rng Fork(uint64_t salt);
+
+ private:
+  unsigned __int128 state_;
+  unsigned __int128 inc_;
+  double spare_normal_ = 0.0;
+  bool has_spare_normal_ = false;
+};
+
+}  // namespace storm
+
+#endif  // STORM_UTIL_RNG_H_

@@ -1,0 +1,115 @@
+#include "storm/util/stats.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace storm {
+
+void RunningStat::Push(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++n_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStat::Merge(const RunningStat& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  double delta = other.mean_ - mean_;
+  uint64_t total = n_ + other.n_;
+  double nf = static_cast<double>(n_);
+  double mf = static_cast<double>(other.n_);
+  double tf = static_cast<double>(total);
+  m2_ += other.m2_ + delta * delta * nf * mf / tf;
+  mean_ += delta * mf / tf;
+  n_ = total;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+double RunningStat::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double RunningStat::standard_error() const {
+  if (n_ < 2) return 0.0;
+  return std::sqrt(variance() / static_cast<double>(n_));
+}
+
+void RunningStat::Reset() { *this = RunningStat(); }
+
+double NormalQuantile(double p) {
+  assert(p > 0.0 && p < 1.0);
+  // Acklam's algorithm.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  const double phigh = 1 - plow;
+  double q, r;
+  if (p < plow) {
+    q = std::sqrt(-2 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  if (p > phigh) {
+    q = std::sqrt(-2 * std::log(1 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  q = p - 0.5;
+  r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
+}
+
+double NormalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+double ZCritical(double confidence) {
+  assert(confidence > 0.0 && confidence < 1.0);
+  return NormalQuantile(0.5 + confidence / 2.0);
+}
+
+double ChiSquareUniform(const uint64_t* observed, size_t bins, uint64_t total) {
+  assert(bins > 0);
+  double expected = static_cast<double>(total) / static_cast<double>(bins);
+  if (expected <= 0) return 0.0;
+  double stat = 0.0;
+  for (size_t i = 0; i < bins; ++i) {
+    double diff = static_cast<double>(observed[i]) - expected;
+    stat += diff * diff / expected;
+  }
+  return stat;
+}
+
+double ChiSquareCritical(size_t dof, double alpha) {
+  assert(dof > 0);
+  assert(alpha > 0.0 && alpha < 1.0);
+  // Wilson-Hilferty: X ~ chi2(k) => (X/k)^(1/3) approx Normal(1-2/(9k), 2/(9k)).
+  double k = static_cast<double>(dof);
+  double z = NormalQuantile(1.0 - alpha);
+  double t = 1.0 - 2.0 / (9.0 * k) + z * std::sqrt(2.0 / (9.0 * k));
+  return k * t * t * t;
+}
+
+}  // namespace storm

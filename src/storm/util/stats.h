@@ -1,0 +1,78 @@
+// Streaming statistics shared by the online estimators.
+
+#ifndef STORM_UTIL_STATS_H_
+#define STORM_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace storm {
+
+/// Numerically stable streaming mean/variance (Welford's algorithm).
+///
+/// This is the statistical core of online aggregation: each spatial online
+/// sample's attribute value is Push()ed, and the running mean, sample
+/// variance, and standard error are available at any time.
+class RunningStat {
+ public:
+  /// Adds one observation.
+  void Push(double x);
+
+  /// Merges another accumulator (parallel/Chan et al. update); used by the
+  /// cluster coordinator to combine per-shard statistics.
+  void Merge(const RunningStat& other);
+
+  /// Number of observations so far.
+  uint64_t count() const { return n_; }
+
+  /// Sample mean; 0 when empty.
+  double mean() const { return n_ ? mean_ : 0.0; }
+
+  /// Unbiased sample variance (n-1 denominator); 0 for n < 2.
+  double variance() const;
+
+  /// sqrt(variance()).
+  double stddev() const;
+
+  /// Standard error of the mean, sqrt(variance / n); 0 for n < 2.
+  double standard_error() const;
+
+  /// Sum of all observations.
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  void Reset();
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Inverse CDF of the standard normal distribution (Acklam's rational
+/// approximation, |error| < 1.2e-9). p must be in (0, 1).
+double NormalQuantile(double p);
+
+/// Standard normal CDF.
+double NormalCdf(double x);
+
+/// Two-sided z critical value for the given confidence level in (0,1),
+/// e.g. 0.95 -> 1.959964.
+double ZCritical(double confidence);
+
+/// Chi-square test statistic for observed counts against uniform expected
+/// counts; used by the sampling-uniformity property tests.
+double ChiSquareUniform(const uint64_t* observed, size_t bins, uint64_t total);
+
+/// Upper critical value of the chi-square distribution with `dof` degrees of
+/// freedom at the given upper-tail probability alpha (Wilson-Hilferty normal
+/// approximation; adequate for dof >= 5 as used in tests).
+double ChiSquareCritical(size_t dof, double alpha);
+
+}  // namespace storm
+
+#endif  // STORM_UTIL_STATS_H_

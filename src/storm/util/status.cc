@@ -1,0 +1,45 @@
+#include "storm/util/status.h"
+
+namespace storm {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid argument";
+    case StatusCode::kNotFound:
+      return "not found";
+    case StatusCode::kAlreadyExists:
+      return "already exists";
+    case StatusCode::kOutOfRange:
+      return "out of range";
+    case StatusCode::kFailedPrecondition:
+      return "failed precondition";
+    case StatusCode::kResourceExhausted:
+      return "resource exhausted";
+    case StatusCode::kCorruption:
+      return "corruption";
+    case StatusCode::kIOError:
+      return "io error";
+    case StatusCode::kNotSupported:
+      return "not supported";
+    case StatusCode::kAborted:
+      return "aborted";
+    case StatusCode::kUnknown:
+      return "unknown";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code_));
+  if (!msg_.empty()) {
+    out += ": ";
+    out += msg_;
+  }
+  return out;
+}
+
+}  // namespace storm

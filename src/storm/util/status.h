@@ -1,0 +1,118 @@
+// Status: lightweight error propagation for fallible STORM APIs.
+//
+// Follows the RocksDB/Arrow idiom: functions that can fail return a Status
+// (or a Result<T>, see result.h) instead of throwing. Exceptions are never
+// thrown across module boundaries.
+
+#ifndef STORM_UTIL_STATUS_H_
+#define STORM_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace storm {
+
+/// Machine-readable error category carried by a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kCorruption,
+  kIOError,
+  kNotSupported,
+  kAborted,
+  kUnknown,
+};
+
+/// Returns the canonical lowercase name of a status code, e.g. "not found".
+std::string_view StatusCodeToString(StatusCode code);
+
+/// The result of an operation that can fail but returns no value.
+///
+/// An OK status carries no allocation; error statuses carry a code and a
+/// human-readable message. Statuses are cheap to move and copy.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Unknown(std::string msg) {
+    return Status(StatusCode::kUnknown, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.msg_ == b.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK status to the caller.
+#define STORM_RETURN_NOT_OK(expr)              \
+  do {                                         \
+    ::storm::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (false)
+
+}  // namespace storm
+
+#endif  // STORM_UTIL_STATUS_H_

@@ -1,0 +1,36 @@
+// Monotonic wall-clock timing for the online evaluators and benchmarks.
+
+#ifndef STORM_UTIL_STOPWATCH_H_
+#define STORM_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace storm {
+
+/// A restartable monotonic stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time in nanoseconds since construction or last Restart().
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  double ElapsedMicros() const { return static_cast<double>(ElapsedNanos()) / 1e3; }
+  double ElapsedMillis() const { return static_cast<double>(ElapsedNanos()) / 1e6; }
+  double ElapsedSeconds() const { return static_cast<double>(ElapsedNanos()) / 1e9; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace storm
+
+#endif  // STORM_UTIL_STOPWATCH_H_

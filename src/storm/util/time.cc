@@ -1,0 +1,114 @@
+#include "storm/util/time.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace storm {
+
+namespace {
+
+// Days from 1970-01-01 to year-month-day (proleptic Gregorian); Howard
+// Hinnant's algorithm.
+int64_t DaysFromCivil(int64_t y, unsigned m, unsigned d) {
+  y -= m <= 2;
+  int64_t era = (y >= 0 ? y : y - 399) / 400;
+  unsigned yoe = static_cast<unsigned>(y - era * 400);
+  unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int64_t* y, unsigned* m, unsigned* d) {
+  z += 719468;
+  int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  unsigned doe = static_cast<unsigned>(z - era * 146097);
+  unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  int64_t yy = static_cast<int64_t>(yoe) + era * 400;
+  unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  unsigned mp = (5 * doy + 2) / 153;
+  *d = doy - (153 * mp + 2) / 5 + 1;
+  *m = mp + (mp < 10 ? 3 : -9);
+  *y = yy + (*m <= 2);
+}
+
+bool ParseUint(std::string_view s, unsigned* out) {
+  unsigned v = 0;
+  auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || p != s.data() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+std::optional<double> ParseTimestamp(std::string_view text) {
+  while (!text.empty() && text.front() == ' ') text.remove_prefix(1);
+  while (!text.empty() && text.back() == ' ') text.remove_suffix(1);
+  if (text.empty()) return std::nullopt;
+  if (!text.empty() && (text.back() == 'Z' || text.back() == 'z')) {
+    text.remove_suffix(1);
+  }
+  // Date part: YYYY-MM-DD.
+  if (text.size() >= 10 && text[4] == '-' && text[7] == '-') {
+    unsigned year = 0, month = 0, day = 0;
+    if (!ParseUint(text.substr(0, 4), &year) ||
+        !ParseUint(text.substr(5, 2), &month) ||
+        !ParseUint(text.substr(8, 2), &day)) {
+      return std::nullopt;
+    }
+    if (month < 1 || month > 12 || day < 1 || day > 31) return std::nullopt;
+    double epoch =
+        static_cast<double>(DaysFromCivil(year, month, day)) * 86400.0;
+    if (text.size() == 10) return epoch;
+    // Time part: [ T]HH:MM:SS[.fff]
+    if (text.size() < 19 || (text[10] != ' ' && text[10] != 'T') ||
+        text[13] != ':' || text[16] != ':') {
+      return std::nullopt;
+    }
+    unsigned hh = 0, mm = 0, ss = 0;
+    if (!ParseUint(text.substr(11, 2), &hh) ||
+        !ParseUint(text.substr(14, 2), &mm) ||
+        !ParseUint(text.substr(17, 2), &ss)) {
+      return std::nullopt;
+    }
+    if (hh > 23 || mm > 59 || ss > 60) return std::nullopt;
+    epoch += hh * 3600.0 + mm * 60.0 + ss;
+    if (text.size() > 19 && text[19] == '.') {
+      double frac = 0.0;
+      auto fs = text.substr(20);
+      double scale = 0.1;
+      for (char c : fs) {
+        if (c < '0' || c > '9') return std::nullopt;
+        frac += (c - '0') * scale;
+        scale /= 10.0;
+      }
+      epoch += frac;
+    } else if (text.size() > 19) {
+      return std::nullopt;
+    }
+    return epoch;
+  }
+  // Plain number (epoch seconds).
+  double v = 0.0;
+  auto [p, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
+  if (ec == std::errc() && p == text.data() + text.size()) return v;
+  return std::nullopt;
+}
+
+std::string FormatTimestamp(double epoch_seconds) {
+  int64_t total = static_cast<int64_t>(std::floor(epoch_seconds));
+  int64_t days = total >= 0 ? total / 86400 : (total - 86399) / 86400;
+  int64_t rem = total - days * 86400;
+  int64_t y;
+  unsigned m, d;
+  CivilFromDays(days, &y, &m, &d);
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%04lld-%02u-%02u %02d:%02d:%02d",
+                static_cast<long long>(y), m, d, static_cast<int>(rem / 3600),
+                static_cast<int>((rem / 60) % 60), static_cast<int>(rem % 60));
+  return buf;
+}
+
+
+}  // namespace storm

@@ -1,0 +1,23 @@
+// Timestamp parsing/formatting shared by the connector, the query language
+// and schema discovery. Epochs are seconds since 1970-01-01 UTC (proleptic
+// Gregorian, no leap seconds).
+
+#ifndef STORM_UTIL_TIME_H_
+#define STORM_UTIL_TIME_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace storm {
+
+/// Parses "YYYY-MM-DD[ T]HH:MM:SS[.fff][Z]", "YYYY-MM-DD", or a plain
+/// numeric epoch into seconds since the Unix epoch.
+std::optional<double> ParseTimestamp(std::string_view text);
+
+/// Formats an epoch (seconds) back to "YYYY-MM-DD HH:MM:SS" UTC.
+std::string FormatTimestamp(double epoch_seconds);
+
+}  // namespace storm
+
+#endif  // STORM_UTIL_TIME_H_

@@ -1,0 +1,19 @@
+// Shared vocabulary types.
+
+#ifndef STORM_UTIL_TYPES_H_
+#define STORM_UTIL_TYPES_H_
+
+#include <cstdint>
+
+namespace storm {
+
+/// Stable identifier of a stored record (document). Assigned by the record
+/// store at import time and carried through indexes, samplers and
+/// estimators.
+using RecordId = uint64_t;
+
+constexpr RecordId kInvalidRecordId = ~RecordId{0};
+
+}  // namespace storm
+
+#endif  // STORM_UTIL_TYPES_H_

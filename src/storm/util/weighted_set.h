@@ -1,0 +1,98 @@
+// Dynamic weighted sampling via a Fenwick (binary indexed) tree.
+//
+// The RS-tree frontier needs to (a) draw a slot with probability
+// proportional to its weight, (b) change a slot's weight (expansion sets a
+// node's weight to 0 and adds its children), both in O(log n). A Fenwick
+// tree over the weights does exactly that.
+
+#ifndef STORM_UTIL_WEIGHTED_SET_H_
+#define STORM_UTIL_WEIGHTED_SET_H_
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "storm/util/rng.h"
+
+namespace storm {
+
+/// A growable multiset of non-negative weights supporting O(log n) weighted
+/// draws and weight updates. Slots are dense indices assigned by Add().
+class WeightedSet {
+ public:
+  /// Adds a slot with the given weight; returns its index.
+  size_t Add(double weight) {
+    assert(weight >= 0.0);
+    weights_.push_back(weight);
+    tree_.push_back(0.0);
+    size_t i = weights_.size();  // 1-based position in the Fenwick array
+    // Rebuild the new tail cell from its covered range, then propagate.
+    double sum = weight;
+    size_t lsb = i & (~i + 1);
+    for (size_t j = i - 1; j > i - lsb; j -= (j & (~j + 1))) {
+      sum += tree_[j - 1];
+    }
+    tree_[i - 1] = sum;
+    total_ += weight;
+    return i - 1;
+  }
+
+  /// Sets the weight of slot `idx`.
+  void Update(size_t idx, double weight) {
+    assert(idx < weights_.size());
+    assert(weight >= 0.0);
+    double delta = weight - weights_[idx];
+    weights_[idx] = weight;
+    total_ += delta;
+    for (size_t i = idx + 1; i <= tree_.size(); i += (i & (~i + 1))) {
+      tree_[i - 1] += delta;
+    }
+  }
+
+  double WeightOf(size_t idx) const { return weights_[idx]; }
+  double total() const { return total_ > 0 ? total_ : 0.0; }
+  size_t size() const { return weights_.size(); }
+
+  /// Draws a slot with probability weight/total. total() must be > 0.
+  size_t Sample(Rng* rng) const {
+    assert(total() > 0.0);
+    double target = rng->UniformDouble() * total();
+    // Descend the implicit Fenwick hierarchy.
+    size_t pos = 0;
+    size_t mask = HighestPowerOfTwo(tree_.size());
+    while (mask > 0) {
+      size_t next = pos + mask;
+      if (next <= tree_.size() && tree_[next - 1] < target) {
+        target -= tree_[next - 1];
+        pos = next;
+      }
+      mask >>= 1;
+    }
+    // `pos` is now the count of prefix slots whose cumulative weight is
+    // below target; the sampled slot is pos (0-based). Guard against
+    // floating-point overshoot and zero-weight slots.
+    while (pos < weights_.size() && weights_[pos] <= 0.0) ++pos;
+    if (pos >= weights_.size()) {
+      for (pos = weights_.size(); pos > 0 && weights_[pos - 1] <= 0.0; --pos) {
+      }
+      assert(pos > 0);
+      --pos;
+    }
+    return pos;
+  }
+
+ private:
+  static size_t HighestPowerOfTwo(size_t n) {
+    size_t p = 1;
+    while (p * 2 <= n) p *= 2;
+    return n == 0 ? 0 : p;
+  }
+
+  std::vector<double> weights_;
+  std::vector<double> tree_;  // Fenwick partial sums, 1-based semantics
+  double total_ = 0.0;
+};
+
+}  // namespace storm
+
+#endif  // STORM_UTIL_WEIGHTED_SET_H_

@@ -1,0 +1,150 @@
+#include "storm/viz/render.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace storm {
+
+namespace {
+constexpr char kRamp[] = " .:-=+*#%@";
+constexpr int kRampLevels = 10;
+
+int RampIndex(double v, double max_v) {
+  if (max_v <= 0 || v <= 0) return 0;
+  return std::min(kRampLevels - 1, static_cast<int>(v / max_v * kRampLevels));
+}
+}  // namespace
+
+std::string RenderHeatmap(const std::vector<double>& grid, int width,
+                          int height) {
+  assert(grid.size() == static_cast<size_t>(width) * static_cast<size_t>(height));
+  double max_v = 0;
+  for (double v : grid) max_v = std::max(max_v, v);
+  std::string out;
+  out.reserve(static_cast<size_t>((width + 3) * height));
+  for (int y = height - 1; y >= 0; --y) {
+    out.push_back('|');
+    for (int x = 0; x < width; ++x) {
+      out.push_back(
+          kRamp[RampIndex(grid[static_cast<size_t>(y) * width + x], max_v)]);
+    }
+    out += "|\n";
+  }
+  return out;
+}
+
+std::string RenderSparkline(const std::vector<double>& series) {
+  static const char* kBlocks[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  if (series.empty()) return "";
+  double lo = series[0], hi = series[0];
+  for (double v : series) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  std::string out;
+  for (double v : series) {
+    int idx = hi > lo ? std::min(7, static_cast<int>((v - lo) / (hi - lo) * 8))
+                      : 0;
+    out += kBlocks[idx];
+  }
+  return out;
+}
+
+std::string RenderConvergence(const std::vector<ConfidenceInterval>& history,
+                              int chart_width) {
+  if (history.empty()) return "";
+  // Scale: union of all finite interval bounds.
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const ConfidenceInterval& ci : history) {
+    if (std::isfinite(ci.half_width)) {
+      lo = std::min(lo, ci.lower());
+      hi = std::max(hi, ci.upper());
+    } else {
+      lo = std::min(lo, ci.estimate);
+      hi = std::max(hi, ci.estimate);
+    }
+  }
+  if (!std::isfinite(lo) || !std::isfinite(hi) || hi <= lo) {
+    lo = history.back().estimate - 1;
+    hi = history.back().estimate + 1;
+  }
+  auto col = [&](double v) {
+    double f = (v - lo) / (hi - lo);
+    return std::clamp(static_cast<int>(f * (chart_width - 1)), 0,
+                      chart_width - 1);
+  };
+  std::string out;
+  for (const ConfidenceInterval& ci : history) {
+    std::string line(static_cast<size_t>(chart_width), ' ');
+    if (std::isfinite(ci.half_width)) {
+      int a = col(ci.lower()), b = col(ci.upper());
+      for (int i = a; i <= b; ++i) line[static_cast<size_t>(i)] = '-';
+    }
+    line[static_cast<size_t>(col(ci.estimate))] = '*';
+    char meta[64];
+    std::snprintf(meta, sizeof(meta), "  k=%-8llu",
+                  static_cast<unsigned long long>(ci.samples));
+    out += "[" + line + "]" + meta + "\n";
+  }
+  return out;
+}
+
+std::string RenderTrajectory(const std::vector<TimedPoint>& polyline,
+                             const Rect2& bounds, int width, int height) {
+  std::vector<std::string> rows(static_cast<size_t>(height),
+                                std::string(static_cast<size_t>(width), ' '));
+  double dx = bounds.hi()[0] - bounds.lo()[0];
+  double dy = bounds.hi()[1] - bounds.lo()[1];
+  for (size_t i = 0; i < polyline.size(); ++i) {
+    const Point2& p = polyline[i].position;
+    if (!bounds.Contains(p)) continue;
+    int x = dx > 0 ? std::min(width - 1, static_cast<int>((p[0] - bounds.lo()[0]) /
+                                                          dx * width))
+                   : 0;
+    int y = dy > 0 ? std::min(height - 1, static_cast<int>((p[1] - bounds.lo()[1]) /
+                                                           dy * height))
+                   : 0;
+    // Label by time order: 1..9 then '#'.
+    size_t order = polyline.size() > 1 ? i * 9 / (polyline.size() - 1) : 0;
+    char mark = order < 9 ? static_cast<char>('1' + order) : '#';
+    rows[static_cast<size_t>(y)][static_cast<size_t>(x)] = mark;
+  }
+  std::string out;
+  for (int y = height - 1; y >= 0; --y) {
+    out.push_back('|');
+    out += rows[static_cast<size_t>(y)];
+    out += "|\n";
+  }
+  return out;
+}
+
+Status WritePgm(const std::string& path, const std::vector<double>& grid,
+                int width, int height) {
+  if (grid.size() != static_cast<size_t>(width) * static_cast<size_t>(height)) {
+    return Status::InvalidArgument("grid size does not match dimensions");
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path);
+  double max_v = 0;
+  for (double v : grid) max_v = std::max(max_v, v);
+  out << "P5\n" << width << " " << height << "\n255\n";
+  for (int y = height - 1; y >= 0; --y) {  // image row 0 = north
+    for (int x = 0; x < width; ++x) {
+      double v = grid[static_cast<size_t>(y) * width + x];
+      unsigned char pixel =
+          max_v > 0 ? static_cast<unsigned char>(
+                          std::clamp(v / max_v * 255.0, 0.0, 255.0))
+                    : 0;
+      out.put(static_cast<char>(pixel));
+    }
+  }
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace storm

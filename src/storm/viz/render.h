@@ -1,0 +1,46 @@
+// Visualizer module (§3.2): basic visualization tools for online estimator
+// output — terminal heatmaps for KDE density maps, sparklines for
+// converging estimates, trajectory plots, and PGM image export for use
+// outside the terminal.
+
+#ifndef STORM_VIZ_RENDER_H_
+#define STORM_VIZ_RENDER_H_
+
+#include <string>
+#include <vector>
+
+#include "storm/analytics/trajectory.h"
+#include "storm/estimator/confidence.h"
+#include "storm/geo/rect.h"
+#include "storm/util/status.h"
+
+namespace storm {
+
+/// Renders a row-major grid (y growing north/up) as an ASCII heat map,
+/// one character per cell, normalized to the max cell.
+std::string RenderHeatmap(const std::vector<double>& grid, int width,
+                          int height);
+
+/// Renders the history of an estimate as a one-line unicode sparkline
+/// (▁▂▃▄▅▆▇█), normalized to the min/max of the series.
+std::string RenderSparkline(const std::vector<double>& series);
+
+/// Renders a series of (estimate, half_width) checkpoints as a fixed-width
+/// text chart with the interval band, newest last.
+std::string RenderConvergence(const std::vector<ConfidenceInterval>& history,
+                              int chart_width = 60);
+
+/// Plots a trajectory's fixes onto a width×height character grid covering
+/// `bounds`; fixes are drawn with '1'..'9','#' in time order and connected
+/// corners are left to the eye (terminal resolution).
+std::string RenderTrajectory(const std::vector<TimedPoint>& polyline,
+                             const Rect2& bounds, int width, int height);
+
+/// Writes a grid as a binary 8-bit PGM image (max-normalized; row 0 at the
+/// top of the image = northmost row of the grid).
+Status WritePgm(const std::string& path, const std::vector<double>& grid,
+                int width, int height);
+
+}  // namespace storm
+
+#endif  // STORM_VIZ_RENDER_H_

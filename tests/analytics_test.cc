@@ -1,0 +1,450 @@
+// Tests for the analytics module: online KDE, k-means clustering,
+// trajectory reconstruction, and short-text term frequencies.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "storm/analytics/kde.h"
+#include "storm/analytics/kmeans.h"
+#include "storm/analytics/text.h"
+#include "storm/analytics/trajectory.h"
+#include "storm/sampling/rs_tree.h"
+
+namespace storm {
+namespace {
+
+using Entry = RTree<2>::Entry;
+
+// ---------------------------------------------------------------------------
+// Kernels & KDE
+// ---------------------------------------------------------------------------
+
+TEST(KernelTest, Shapes) {
+  EXPECT_DOUBLE_EQ(KernelValue(KernelType::kUniform, 0.5, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(KernelValue(KernelType::kUniform, 1.5, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(KernelValue(KernelType::kEpanechnikov, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(KernelValue(KernelType::kEpanechnikov, 0.5, 1.0), 0.75);
+  EXPECT_DOUBLE_EQ(KernelValue(KernelType::kEpanechnikov, 1.0, 1.0), 0.0);
+  EXPECT_NEAR(KernelValue(KernelType::kGaussian, 0.0, 1.0), 1.0, 1e-12);
+  EXPECT_NEAR(KernelValue(KernelType::kGaussian, 1.0, 1.0), std::exp(-0.5), 1e-12);
+  // Degenerate bandwidth.
+  EXPECT_EQ(KernelValue(KernelType::kGaussian, 1.0, 0.0), 0.0);
+}
+
+class KdeEnv {
+ public:
+  static KdeEnv& Get() {
+    static auto* env = new KdeEnv();
+    return *env;
+  }
+
+  const std::vector<Entry>& data() const { return data_; }
+  const RsTree<2>& rs() const { return *rs_; }
+
+ private:
+  KdeEnv() {
+    Rng rng(401);
+    // One hot spot at (30,30), a weaker one at (70,60).
+    for (RecordId i = 0; i < 20000; ++i) {
+      double x, y;
+      if (rng.Bernoulli(0.6)) {
+        x = rng.Normal(30, 4);
+        y = rng.Normal(30, 4);
+      } else if (rng.Bernoulli(0.5)) {
+        x = rng.Normal(70, 5);
+        y = rng.Normal(60, 5);
+      } else {
+        x = rng.UniformDouble(0, 100);
+        y = rng.UniformDouble(0, 100);
+      }
+      data_.push_back({Point2(x, y), i});
+    }
+    rs_ = std::make_unique<RsTree<2>>(data_, RsTreeOptions{}, 403);
+  }
+
+  std::vector<Entry> data_;
+  std::unique_ptr<RsTree<2>> rs_;
+};
+
+class KernelSweepTest : public ::testing::TestWithParam<KernelType> {};
+
+TEST_P(KernelSweepTest, MonotoneNonNegativeAndSupported) {
+  KernelType k = GetParam();
+  double prev = KernelValue(k, 0.0, 2.0);
+  EXPECT_GT(prev, 0.0);
+  for (double d = 0.1; d <= 8.0; d += 0.1) {
+    double v = KernelValue(k, d, 2.0);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, prev + 1e-12) << "not non-increasing at d=" << d;
+    prev = v;
+  }
+  // Compact-support kernels vanish past the bandwidth.
+  if (k != KernelType::kGaussian) {
+    EXPECT_EQ(KernelValue(k, 2.0001, 2.0), 0.0);
+  }
+}
+
+TEST_P(KernelSweepTest, OnlineKdeConvergesForEveryKernel) {
+  KdeEnv& env = KdeEnv::Get();
+  Rect2 region(Point2(0, 0), Point2(100, 100));
+  KdeOptions options;
+  options.grid_width = 16;
+  options.grid_height = 16;
+  options.kernel = GetParam();
+  std::vector<double> exact = OnlineKde<2>::ExactDensity(
+      env.data(), Rect2::Everything(), region, options);
+  auto sampler = env.rs().NewSampler(Rng(461));
+  OnlineKde<2> kde(sampler.get(), region, options);
+  ASSERT_TRUE(kde.Begin(Rect2::Everything()).ok());
+  kde.Step(5000);
+  auto map = kde.DensityMap();
+  double err = 0, mass = 0;
+  for (size_t i = 0; i < map.size(); ++i) {
+    err += std::fabs(map[i] - exact[i]);
+    mass += exact[i];
+  }
+  ASSERT_GT(mass, 0);
+  EXPECT_LT(err / mass, 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, KernelSweepTest,
+                         ::testing::Values(KernelType::kGaussian,
+                                           KernelType::kEpanechnikov,
+                                           KernelType::kUniform),
+                         [](const ::testing::TestParamInfo<KernelType>& info) {
+                           switch (info.param) {
+                             case KernelType::kGaussian:
+                               return "Gaussian";
+                             case KernelType::kEpanechnikov:
+                               return "Epanechnikov";
+                             default:
+                               return "Uniform";
+                           }
+                         });
+
+TEST(KdeTest, OnlineConvergesToExact) {
+  KdeEnv& env = KdeEnv::Get();
+  Rect2 region(Point2(0, 0), Point2(100, 100));
+  Rect2 query(Point2(0, 0), Point2(100, 100));
+  KdeOptions options;
+  options.grid_width = 32;
+  options.grid_height = 32;
+  std::vector<double> exact =
+      OnlineKde<2>::ExactDensity(env.data(), query, region, options);
+  auto sampler = env.rs().NewSampler(Rng(405));
+  OnlineKde<2> kde(sampler.get(), region, options);
+  ASSERT_TRUE(kde.Begin(query).ok());
+  kde.Step(4000);
+  std::vector<double> approx = kde.DensityMap();
+  ASSERT_EQ(approx.size(), exact.size());
+  // Relative L1 error of the map should be small after 4000 samples.
+  double err = 0, mass = 0;
+  for (size_t i = 0; i < exact.size(); ++i) {
+    err += std::fabs(approx[i] - exact[i]);
+    mass += exact[i];
+  }
+  ASSERT_GT(mass, 0);
+  EXPECT_LT(err / mass, 0.15);
+}
+
+TEST(KdeTest, HalfWidthShrinksWithSamples) {
+  KdeEnv& env = KdeEnv::Get();
+  Rect2 region(Point2(0, 0), Point2(100, 100));
+  auto sampler = env.rs().NewSampler(Rng(407));
+  KdeOptions options;
+  options.grid_width = 16;
+  options.grid_height = 16;
+  OnlineKde<2> kde(sampler.get(), region, options);
+  ASSERT_TRUE(kde.Begin(Rect2::Everything()).ok());
+  kde.Step(200);
+  double hw_200 = kde.MeanHalfWidth();
+  kde.Step(3000);
+  double hw_3200 = kde.MeanHalfWidth();
+  EXPECT_LT(hw_3200, hw_200 * 0.5);
+}
+
+TEST(KdeTest, HotspotIsDensest) {
+  KdeEnv& env = KdeEnv::Get();
+  Rect2 region(Point2(0, 0), Point2(100, 100));
+  auto sampler = env.rs().NewSampler(Rng(409));
+  KdeOptions options;
+  options.grid_width = 20;
+  options.grid_height = 20;
+  OnlineKde<2> kde(sampler.get(), region, options);
+  ASSERT_TRUE(kde.Begin(Rect2::Everything()).ok());
+  kde.Step(5000);
+  auto map = kde.DensityMap();
+  size_t argmax = 0;
+  for (size_t i = 0; i < map.size(); ++i) {
+    if (map[i] > map[argmax]) argmax = i;
+  }
+  int cx = static_cast<int>(argmax % 20), cy = static_cast<int>(argmax / 20);
+  // Hot spot (30,30) lives in cell (6,6) of a 20x20 grid over [0,100]².
+  EXPECT_NEAR(cx, 6, 1);
+  EXPECT_NEAR(cy, 6, 1);
+}
+
+TEST(KdeTest, TopCellsFindHotspots) {
+  KdeEnv& env = KdeEnv::Get();
+  Rect2 region(Point2(0, 0), Point2(100, 100));
+  auto sampler = env.rs().NewSampler(Rng(463));
+  KdeOptions options;
+  options.grid_width = 20;
+  options.grid_height = 20;
+  OnlineKde<2> kde(sampler.get(), region, options);
+  ASSERT_TRUE(kde.Begin(Rect2::Everything()).ok());
+  kde.Step(5000);
+  auto top = kde.TopCells(5);
+  ASSERT_EQ(top.size(), 5u);
+  // Sorted descending by density.
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].density.estimate, top[i].density.estimate);
+  }
+  // The top cell is near the (30,30) hot spot → cell (6,6).
+  EXPECT_NEAR(top[0].x, 6, 1);
+  EXPECT_NEAR(top[0].y, 6, 1);
+  // Truncation works.
+  EXPECT_EQ(kde.TopCells(2).size(), 2u);
+}
+
+TEST(KdeTest, ExhaustionMarksCellsExact) {
+  KdeEnv& env = KdeEnv::Get();
+  Rect2 region(Point2(0, 0), Point2(100, 100));
+  Rect2 tiny(Point2(0, 90), Point2(8, 100));
+  auto sampler = env.rs().NewSampler(Rng(411));
+  KdeOptions options;
+  options.grid_width = 8;
+  options.grid_height = 8;
+  OnlineKde<2> kde(sampler.get(), region, options);
+  ASSERT_TRUE(kde.Begin(tiny).ok());
+  while (kde.Step(512) > 0) {
+  }
+  EXPECT_TRUE(kde.Exhausted());
+  EXPECT_TRUE(kde.Cell(0, 0).exact);
+  EXPECT_EQ(kde.MaxHalfWidth(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// k-means
+// ---------------------------------------------------------------------------
+
+TEST(KMeansTest, RecoversSeparatedClusters) {
+  Rng rng(421);
+  std::vector<Point2> pts;
+  std::vector<Point2> centers = {Point2(10, 10), Point2(50, 10), Point2(30, 50)};
+  for (int i = 0; i < 1500; ++i) {
+    const Point2& c = centers[static_cast<size_t>(i % 3)];
+    pts.push_back(Point2(rng.Normal(c[0], 1.2), rng.Normal(c[1], 1.2)));
+  }
+  KMeansOptions options;
+  options.k = 3;
+  KMeansResult result = KMeansCluster(pts, options, &rng);
+  ASSERT_EQ(result.centers.size(), 3u);
+  for (const Point2& truth : centers) {
+    double best = 1e18;
+    for (const Point2& found : result.centers) {
+      best = std::min(best, truth.Distance(found));
+    }
+    EXPECT_LT(best, 1.0) << "cluster near " << truth.ToString() << " missed";
+  }
+  EXPECT_LT(result.inertia / pts.size(), 4.0);  // ~2·sigma²
+}
+
+TEST(KMeansTest, HandlesDegenerateInputs) {
+  Rng rng(423);
+  KMeansOptions options;
+  options.k = 4;
+  EXPECT_TRUE(KMeansCluster({}, options, &rng).centers.empty());
+  // Fewer points than k.
+  std::vector<Point2> two = {Point2(0, 0), Point2(1, 1)};
+  KMeansResult r = KMeansCluster(two, options, &rng);
+  EXPECT_EQ(r.centers.size(), 2u);
+  // All identical points.
+  std::vector<Point2> same(50, Point2(3, 3));
+  options.k = 3;
+  r = KMeansCluster(same, options, &rng);
+  EXPECT_EQ(r.inertia, 0.0);
+}
+
+TEST(KMeansTest, WarmStartIsStable) {
+  Rng rng(425);
+  std::vector<Point2> pts;
+  for (int i = 0; i < 600; ++i) {
+    pts.push_back(Point2(rng.Normal(i % 2 ? 10 : 40, 1), rng.Normal(20, 1)));
+  }
+  KMeansOptions options;
+  options.k = 2;
+  KMeansResult first = KMeansCluster(pts, options, &rng);
+  KMeansResult again = KMeansCluster(pts, options, &rng, first.centers);
+  // Warm start from the converged solution should terminate immediately.
+  EXPECT_LE(again.iterations, 2);
+}
+
+TEST(OnlineKMeansTest, DriftShrinksWithSamples) {
+  KdeEnv& env = KdeEnv::Get();
+  auto sampler = env.rs().NewSampler(Rng(427));
+  KMeansOptions options;
+  options.k = 2;
+  OnlineKMeans<2> km(sampler.get(), options, Rng(429));
+  ASSERT_TRUE(km.Begin(Rect2::Everything()).ok());
+  km.Step(256);
+  km.Step(256);
+  km.Step(4096);
+  double late_drift = km.LastCenterDrift();
+  EXPECT_LT(late_drift, 3.0);
+  EXPECT_EQ(km.Current().centers.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Trajectory
+// ---------------------------------------------------------------------------
+
+TEST(TrajectoryBuilderTest, SortsAndInterpolates) {
+  TrajectoryBuilder b;
+  b.Add(10.0, Point2(10, 0));
+  b.Add(0.0, Point2(0, 0));   // out of order on purpose
+  b.Add(5.0, Point2(5, 0));
+  ASSERT_EQ(b.Polyline().size(), 3u);
+  EXPECT_EQ(b.Polyline().front().t, 0.0);
+  EXPECT_EQ(b.PositionAt(2.5), Point2(2.5, 0));
+  EXPECT_EQ(b.PositionAt(7.5), Point2(7.5, 0));
+  // Clamped outside the span.
+  EXPECT_EQ(b.PositionAt(-5), Point2(0, 0));
+  EXPECT_EQ(b.PositionAt(99), Point2(10, 0));
+  EXPECT_DOUBLE_EQ(b.Length(), 10.0);
+}
+
+TEST(TrajectoryBuilderTest, DuplicateTimestamps) {
+  TrajectoryBuilder b;
+  b.Add(1.0, Point2(0, 0));
+  b.Add(1.0, Point2(2, 0));
+  EXPECT_NO_FATAL_FAILURE(b.PositionAt(1.0));
+}
+
+TEST(TrajectoryErrorTest, IdenticalIsZeroAndRefinementImproves) {
+  Rng rng(431);
+  TrajectoryBuilder truth;
+  for (int i = 0; i <= 100; ++i) {
+    double t = i;
+    truth.Add(t, Point2(std::sin(t * 0.1) * 10, t * 0.5));
+  }
+  EXPECT_NEAR(TrajectoryError(truth, truth), 0.0, 1e-12);
+  // Sparse subsample has more error than a dense one.
+  TrajectoryBuilder sparse, dense;
+  for (int i = 0; i <= 100; i += 25) {
+    sparse.Add(i, truth.PositionAt(i));
+  }
+  for (int i = 0; i <= 100; i += 5) {
+    dense.Add(i, truth.PositionAt(i));
+  }
+  double sparse_err = TrajectoryError(sparse, truth);
+  double dense_err = TrajectoryError(dense, truth);
+  EXPECT_LT(dense_err, sparse_err);
+  EXPECT_LT(dense_err, 0.2);
+}
+
+TEST(OnlineTrajectoryTest, ReconstructsMovingObject) {
+  // One object moving on a line among noise objects; (x, y, t) index.
+  Rng rng(433);
+  std::vector<RTree<3>::Entry> data;
+  std::vector<int64_t> owner;
+  for (RecordId i = 0; i < 8000; ++i) {
+    int64_t user = static_cast<int64_t>(i % 40);
+    double t = static_cast<double>(i) / 8000.0 * 1000.0;
+    double x, y;
+    if (user == 7) {
+      x = t * 0.1;  // target: straight line
+      y = 2 * t * 0.1;
+    } else {
+      x = rng.UniformDouble(0, 100);
+      y = rng.UniformDouble(0, 200);
+    }
+    data.push_back({Point3(x, y, t), i});
+    owner.push_back(user);
+  }
+  RsTree<3> rs(data, {}, 435);
+  auto sampler = rs.NewSampler(Rng(437));
+  OnlineTrajectory<3> traj(sampler.get(), [&owner](const RTree<3>::Entry& e) {
+    return owner[e.id] == 7;
+  });
+  ASSERT_TRUE(traj.Begin(Rect3::Everything()).ok());
+  while (!traj.Exhausted() && traj.samples_drawn() < 8000) {
+    traj.Step(512);
+  }
+  ASSERT_GE(traj.Current().size(), 50u);
+  // Every fix lies on the line y = 2x.
+  for (const TimedPoint& f : traj.Current().Polyline()) {
+    EXPECT_NEAR(f.position[1], 2 * f.position[0], 1e-9);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Short text
+// ---------------------------------------------------------------------------
+
+TEST(TokenizeTest, LowercasesStripsAndDropsStopwords) {
+  auto tokens = Tokenize("The SNOW is Falling, and the ICE: outage!!");
+  std::vector<std::string> expected = {"snow", "falling", "ice", "outage"};
+  EXPECT_EQ(tokens, expected);
+}
+
+TEST(TokenizeTest, KeepsHashtagsAndMentions) {
+  auto tokens = Tokenize("#snowday with @nws crew");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "#snowday");
+  EXPECT_EQ(tokens[1], "@nws");
+  EXPECT_EQ(tokens[2], "crew");
+}
+
+TEST(TokenizeTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("... !!! ???").empty());
+  EXPECT_TRUE(Tokenize("a I").empty());  // single chars and stopwords
+}
+
+TEST(TermCounterTest, DocumentFrequencyNotTermFrequency) {
+  TermCounter c;
+  c.AddDocument(Tokenize("snow snow snow"));
+  c.AddDocument(Tokenize("sunny day"));
+  auto top = c.TopTerms(10);
+  ASSERT_FALSE(top.empty());
+  // "snow" appears in 1 of 2 documents despite 3 occurrences.
+  for (const auto& t : top) {
+    if (t.term == "snow") {
+      EXPECT_EQ(t.count, 1u);
+      EXPECT_NEAR(t.frequency.estimate, 0.5, 1e-12);
+    }
+  }
+}
+
+TEST(TermCounterTest, TopTermsOrderedAndTruncated) {
+  TermCounter c;
+  for (int i = 0; i < 10; ++i) c.AddDocument({"alpha", "beta"});
+  for (int i = 0; i < 5; ++i) c.AddDocument({"beta", "gamma"});
+  auto top = c.TopTerms(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].term, "beta");   // 15 docs
+  EXPECT_EQ(top[1].term, "alpha");  // 10 docs
+}
+
+TEST(TopTermPrecisionTest, Computation) {
+  auto mk = [](std::vector<std::string> terms) {
+    std::vector<TermEstimate> v;
+    for (auto& t : terms) {
+      TermEstimate e;
+      e.term = t;
+      v.push_back(e);
+    }
+    return v;
+  };
+  EXPECT_DOUBLE_EQ(
+      TopTermPrecision(mk({"a", "b", "c"}), mk({"a", "b", "c"}), 3), 1.0);
+  EXPECT_DOUBLE_EQ(
+      TopTermPrecision(mk({"a", "x", "y"}), mk({"a", "b", "c"}), 3), 1.0 / 3);
+  EXPECT_DOUBLE_EQ(TopTermPrecision(mk({}), mk({"a"}), 1), 0.0);
+  EXPECT_DOUBLE_EQ(TopTermPrecision(mk({"a"}), mk({}), 3), 1.0);
+}
+
+}  // namespace
+}  // namespace storm

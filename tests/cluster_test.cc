@@ -1,0 +1,185 @@
+// Tests for the simulated cluster: partitioning, routing consistency,
+// distributed counts, merged-sampler uniformity and exhaustion, and the
+// locality benefit of Hilbert-range partitioning.
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "storm/cluster/coordinator.h"
+#include "storm/util/stats.h"
+
+namespace storm {
+namespace {
+
+using Entry = RTree<3>::Entry;
+
+std::vector<Entry> MakeData(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Entry> data;
+  data.reserve(n);
+  for (RecordId i = 0; i < n; ++i) {
+    data.push_back({Point3(rng.UniformDouble(0, 100), rng.UniformDouble(0, 100),
+                           rng.UniformDouble(0, 1000)),
+                    i});
+  }
+  return data;
+}
+
+class ClusterPartitioningTest : public ::testing::TestWithParam<Partitioning> {};
+
+TEST_P(ClusterPartitioningTest, PartitionIsCompleteAndDisjoint) {
+  auto data = MakeData(5000, 601);
+  Cluster cluster(data, 4, GetParam(), {}, 603);
+  EXPECT_EQ(cluster.num_shards(), 4);
+  uint64_t total = 0;
+  for (int s = 0; s < 4; ++s) total += cluster.shard(s).size();
+  EXPECT_EQ(total, data.size());
+  // Disjoint: drain every shard and union ids.
+  std::unordered_set<RecordId> seen;
+  for (int s = 0; s < 4; ++s) {
+    auto sampler = cluster.shard(s).NewSampler(Rng(605));
+    ASSERT_TRUE(
+        sampler->Begin(Rect3::Everything(), SamplingMode::kWithoutReplacement)
+            .ok());
+    while (auto e = sampler->Next()) {
+      EXPECT_TRUE(seen.insert(e->id).second) << "record on two shards";
+    }
+  }
+  EXPECT_EQ(seen.size(), data.size());
+}
+
+TEST_P(ClusterPartitioningTest, DistributedCountMatchesBruteForce) {
+  auto data = MakeData(5000, 607);
+  Cluster cluster(data, 5, GetParam(), {}, 609);
+  Rect3 q(Point3(20, 20, 100), Point3(70, 80, 900));
+  uint64_t truth = 0;
+  for (const Entry& e : data) {
+    if (q.Contains(e.point)) ++truth;
+  }
+  EXPECT_EQ(cluster.Count(q), truth);
+}
+
+TEST_P(ClusterPartitioningTest, MergedSamplerIsUniform) {
+  auto data = MakeData(3000, 611);
+  Cluster cluster(data, 4, GetParam(), {}, 613);
+  Rect3 q(Point3(10, 10, 0), Point3(60, 60, 1000));
+  std::vector<RecordId> population;
+  for (const Entry& e : data) {
+    if (q.Contains(e.point)) population.push_back(e.id);
+  }
+  ASSERT_GT(population.size(), 300u);
+  std::unordered_map<RecordId, size_t> slot;
+  for (size_t i = 0; i < population.size(); ++i) slot[population[i]] = i;
+  auto sampler = cluster.NewSampler(Rng(615));
+  ASSERT_TRUE(sampler->Begin(q, SamplingMode::kWithReplacement).ok());
+  std::vector<uint64_t> counts(population.size(), 0);
+  uint64_t draws = population.size() * 20;
+  for (uint64_t i = 0; i < draws; ++i) {
+    auto e = sampler->Next();
+    ASSERT_TRUE(e.has_value());
+    auto it = slot.find(e->id);
+    ASSERT_NE(it, slot.end());
+    ++counts[it->second];
+  }
+  double stat = ChiSquareUniform(counts.data(), counts.size(), draws);
+  EXPECT_LT(stat, ChiSquareCritical(counts.size() - 1, 1e-4));
+}
+
+TEST_P(ClusterPartitioningTest, WithoutReplacementDrainsExactly) {
+  auto data = MakeData(2000, 617);
+  Cluster cluster(data, 3, GetParam(), {}, 619);
+  Rect3 q(Point3(0, 0, 0), Point3(50, 100, 1000));
+  std::unordered_set<RecordId> expected;
+  for (const Entry& e : data) {
+    if (q.Contains(e.point)) expected.insert(e.id);
+  }
+  auto sampler = cluster.NewSampler(Rng(621));
+  ASSERT_TRUE(sampler->Begin(q, SamplingMode::kWithoutReplacement).ok());
+  std::unordered_set<RecordId> seen;
+  while (auto e = sampler->Next()) {
+    EXPECT_TRUE(seen.insert(e->id).second);
+  }
+  EXPECT_TRUE(sampler->IsExhausted());
+  EXPECT_EQ(seen, expected);
+  CardinalityEstimate c = sampler->Cardinality();
+  EXPECT_TRUE(c.exact);
+  EXPECT_EQ(c.lower, expected.size());
+}
+
+TEST_P(ClusterPartitioningTest, UpdatesRouteConsistently) {
+  auto data = MakeData(2000, 623);
+  Cluster cluster(data, 4, GetParam(), {}, 625);
+  Rng rng(627);
+  // Insert new records, then erase them again: erase must find them.
+  std::vector<Entry> extra;
+  for (RecordId i = 5000; i < 5200; ++i) {
+    Entry e{Point3(rng.UniformDouble(0, 100), rng.UniformDouble(0, 100),
+                   rng.UniformDouble(0, 1000)),
+            i};
+    cluster.Insert(e.point, e.id);
+    extra.push_back(e);
+  }
+  EXPECT_EQ(cluster.size(), 2200u);
+  for (const Entry& e : extra) {
+    EXPECT_TRUE(cluster.Erase(e.point, e.id)) << e.id;
+  }
+  EXPECT_EQ(cluster.size(), 2000u);
+  // Existing records must also be erasable (routing matches construction).
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(cluster.Erase(data[static_cast<size_t>(i)].point,
+                              data[static_cast<size_t>(i)].id))
+        << i;
+  }
+}
+
+TEST_P(ClusterPartitioningTest, EmptyQueryExhaustsImmediately) {
+  auto data = MakeData(500, 629);
+  Cluster cluster(data, 2, GetParam(), {}, 631);
+  auto sampler = cluster.NewSampler(Rng(633));
+  Rect3 nowhere(Point3(500, 500, 0), Point3(600, 600, 1));
+  ASSERT_TRUE(sampler->Begin(nowhere, SamplingMode::kWithReplacement).ok());
+  EXPECT_FALSE(sampler->Next().has_value());
+  EXPECT_TRUE(sampler->IsExhausted());
+}
+
+INSTANTIATE_TEST_SUITE_P(Partitionings, ClusterPartitioningTest,
+                         ::testing::Values(Partitioning::kHash,
+                                           Partitioning::kHilbertRange),
+                         [](const ::testing::TestParamInfo<Partitioning>& info) {
+                           return info.param == Partitioning::kHash
+                                      ? "Hash"
+                                      : "HilbertRange";
+                         });
+
+TEST(ClusterLocalityTest, HilbertRangeTouchesFewerShardsThanHash) {
+  auto data = MakeData(20000, 635);
+  Cluster hash(data, 8, Partitioning::kHash, {}, 637);
+  Cluster hilbert(data, 8, Partitioning::kHilbertRange, {}, 639);
+  // Small localized queries.
+  Rng rng(641);
+  int hash_touched = 0, hilbert_touched = 0;
+  for (int i = 0; i < 30; ++i) {
+    double x = rng.UniformDouble(0, 90), y = rng.UniformDouble(0, 90);
+    Rect3 q(Point3(x, y, 0), Point3(x + 5, y + 5, 1000));
+    hash_touched += hash.ShardsTouched(q);
+    hilbert_touched += hilbert.ShardsTouched(q);
+  }
+  // Hash spreads every region over all shards; Hilbert keeps locality.
+  EXPECT_EQ(hash_touched, 30 * 8);
+  EXPECT_LT(hilbert_touched, hash_touched);
+}
+
+TEST(ClusterTest, SingleShardDegeneratesGracefully) {
+  auto data = MakeData(1000, 643);
+  Cluster cluster(data, 1, Partitioning::kHilbertRange, {}, 645);
+  EXPECT_EQ(cluster.num_shards(), 1);
+  EXPECT_EQ(cluster.size(), 1000u);
+  auto sampler = cluster.NewSampler(Rng(647));
+  ASSERT_TRUE(
+      sampler->Begin(Rect3::Everything(), SamplingMode::kWithReplacement).ok());
+  EXPECT_TRUE(sampler->Next().has_value());
+}
+
+}  // namespace
+}  // namespace storm

@@ -1,0 +1,381 @@
+// Tests for the data connector: CSV/TSV parsing, JSON-lines, schema
+// discovery (type lattice, binding guess), timestamps, and the importer.
+
+#include <gtest/gtest.h>
+
+#include "storm/connector/csv.h"
+#include "storm/connector/free_data.h"
+#include "storm/connector/importer.h"
+#include "storm/connector/jsonl.h"
+#include "storm/connector/schema_discovery.h"
+
+namespace storm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// CSV
+// ---------------------------------------------------------------------------
+
+TEST(CsvTest, BasicTypedParsing) {
+  auto docs = ParseCsvString("name,age,score,active\nalice,30,9.5,true\nbob,25,8,false\n");
+  ASSERT_TRUE(docs.ok());
+  ASSERT_EQ(docs->size(), 2u);
+  const Value& alice = (*docs)[0];
+  EXPECT_EQ(alice.Find("name")->AsString(), "alice");
+  EXPECT_EQ(alice.Find("age")->AsInt(), 30);
+  EXPECT_DOUBLE_EQ(alice.Find("score")->AsDouble(), 9.5);
+  EXPECT_TRUE(alice.Find("active")->AsBool());
+  EXPECT_FALSE((*docs)[1].Find("active")->AsBool());
+}
+
+TEST(CsvTest, QuotedFieldsAndEscapedQuotes) {
+  auto docs = ParseCsvString(
+      "a,b\n\"hello, world\",\"say \"\"hi\"\"\"\n");
+  ASSERT_TRUE(docs.ok());
+  EXPECT_EQ((*docs)[0].Find("a")->AsString(), "hello, world");
+  EXPECT_EQ((*docs)[0].Find("b")->AsString(), "say \"hi\"");
+}
+
+TEST(CsvTest, NewlineInsideQuotes) {
+  auto docs = ParseCsvString("a,b\n\"line1\nline2\",2\n");
+  ASSERT_TRUE(docs.ok());
+  ASSERT_EQ(docs->size(), 1u);
+  EXPECT_EQ((*docs)[0].Find("a")->AsString(), "line1\nline2");
+}
+
+TEST(CsvTest, EmptyCellsBecomeNull) {
+  auto docs = ParseCsvString("a,b,c\n1,,3\n");
+  ASSERT_TRUE(docs.ok());
+  EXPECT_TRUE((*docs)[0].Find("b")->is_null());
+}
+
+TEST(CsvTest, NoHeaderSynthesizesColumns) {
+  CsvOptions options;
+  options.has_header = false;
+  auto docs = ParseCsvString("1,2\n3,4\n", options);
+  ASSERT_TRUE(docs.ok());
+  ASSERT_EQ(docs->size(), 2u);
+  EXPECT_EQ((*docs)[1].Find("c0")->AsInt(), 3);
+  EXPECT_EQ((*docs)[1].Find("c1")->AsInt(), 4);
+}
+
+TEST(CsvTest, TabDelimiter) {
+  CsvOptions options;
+  options.delimiter = '\t';
+  auto docs = ParseCsvString("x\ty\n1\t2\n", options);
+  ASSERT_TRUE(docs.ok());
+  EXPECT_EQ((*docs)[0].Find("y")->AsInt(), 2);
+}
+
+TEST(CsvTest, RaggedRowFails) {
+  auto docs = ParseCsvString("a,b\n1,2,3\n");
+  EXPECT_FALSE(docs.ok());
+  EXPECT_EQ(docs.status().code(), StatusCode::kCorruption);
+}
+
+TEST(CsvTest, UnterminatedQuoteFails) {
+  EXPECT_FALSE(ParseCsvString("a\n\"oops\n").ok());
+}
+
+TEST(CsvTest, CrLfHandled) {
+  auto docs = ParseCsvString("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(docs.ok());
+  ASSERT_EQ(docs->size(), 1u);
+  EXPECT_EQ((*docs)[0].Find("b")->AsInt(), 2);
+}
+
+TEST(CsvTest, WriteReadRoundTrip) {
+  std::vector<Value> docs;
+  Value a = Value::MakeObject();
+  a.Set("name", Value::String("has,comma"));
+  a.Set("n", Value::Int(1));
+  docs.push_back(a);
+  Value b = Value::MakeObject();
+  b.Set("name", Value::String("plain"));
+  b.Set("n", Value::Int(2));
+  docs.push_back(b);
+  std::string csv = WriteCsvString(docs);
+  auto back = ParseCsvString(csv);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), 2u);
+  EXPECT_EQ((*back)[0].Find("name")->AsString(), "has,comma");
+  EXPECT_EQ((*back)[1].Find("n")->AsInt(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// JSONL
+// ---------------------------------------------------------------------------
+
+TEST(JsonlTest, ParsesLinesSkipsBlanks) {
+  auto docs = ParseJsonlString("{\"a\":1}\n\n  \n{\"a\":2}\r\n{\"a\":3}");
+  ASSERT_TRUE(docs.ok());
+  ASSERT_EQ(docs->size(), 3u);
+  EXPECT_EQ((*docs)[2].Find("a")->AsInt(), 3);
+}
+
+TEST(JsonlTest, ErrorCarriesLineNumber) {
+  auto docs = ParseJsonlString("{\"a\":1}\n{broken\n");
+  ASSERT_FALSE(docs.ok());
+  EXPECT_NE(docs.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(JsonlTest, WriteRoundTrip) {
+  std::vector<Value> docs;
+  for (int i = 0; i < 5; ++i) {
+    Value v = Value::MakeObject();
+    v.Set("i", Value::Int(i));
+    docs.push_back(v);
+  }
+  auto back = ParseJsonlString(WriteJsonlString(docs));
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), 5u);
+  EXPECT_EQ((*back)[4].Find("i")->AsInt(), 4);
+}
+
+// ---------------------------------------------------------------------------
+// Schema discovery
+// ---------------------------------------------------------------------------
+
+TEST(SchemaDiscoveryTest, TypeLattice) {
+  SchemaDiscovery d;
+  d.Observe(*Value::Parse("{\"a\":1,\"b\":true,\"c\":\"x\"}"));
+  d.Observe(*Value::Parse("{\"a\":2.5,\"b\":false,\"c\":\"y\"}"));
+  d.Observe(*Value::Parse("{\"a\":null,\"b\":1,\"d\":3}"));
+  Schema s = d.Discover();
+  EXPECT_EQ(s.documents, 3u);
+  EXPECT_EQ(s.Find("a")->type, FieldType::kDouble);  // int ∪ double
+  EXPECT_TRUE(s.Find("a")->nullable);                // saw null
+  EXPECT_EQ(s.Find("b")->type, FieldType::kString);  // bool ∪ int collapses
+  EXPECT_EQ(s.Find("c")->type, FieldType::kString);
+  EXPECT_TRUE(s.Find("c")->nullable);  // missing from doc 3
+  EXPECT_TRUE(s.Find("d")->nullable);  // missing from docs 1-2
+  EXPECT_EQ(s.Find("nope"), nullptr);
+}
+
+TEST(SchemaDiscoveryTest, NestedFieldsFlattened) {
+  SchemaDiscovery d;
+  d.Observe(*Value::Parse("{\"user\":{\"geo\":{\"lat\":40.7,\"lon\":-74.0}}}"));
+  Schema s = d.Discover();
+  ASSERT_NE(s.Find("user.geo.lat"), nullptr);
+  EXPECT_EQ(s.Find("user.geo.lat")->type, FieldType::kDouble);
+}
+
+TEST(SchemaDiscoveryTest, NumericRanges) {
+  SchemaDiscovery d;
+  d.Observe(*Value::Parse("{\"v\":10}"));
+  d.Observe(*Value::Parse("{\"v\":-3}"));
+  d.Observe(*Value::Parse("{\"v\":7}"));
+  Schema s = d.Discover();
+  EXPECT_DOUBLE_EQ(s.Find("v")->min, -3);
+  EXPECT_DOUBLE_EQ(s.Find("v")->max, 10);
+}
+
+TEST(SchemaDiscoveryTest, GuessBindingByName) {
+  SchemaDiscovery d;
+  d.Observe(*Value::Parse(
+      "{\"lat\":40.7,\"lon\":-74.0,\"timestamp\":1392076800,\"v\":1}"));
+  auto binding = SchemaDiscovery::GuessBinding(d.Discover());
+  ASSERT_TRUE(binding.has_value());
+  EXPECT_EQ(binding->x_field, "lon");
+  EXPECT_EQ(binding->y_field, "lat");
+  EXPECT_EQ(binding->t_field, "timestamp");
+}
+
+TEST(SchemaDiscoveryTest, GuessBindingNested) {
+  SchemaDiscovery d;
+  d.Observe(*Value::Parse("{\"geo\":{\"latitude\":33.7,\"longitude\":-84.4}}"));
+  auto binding = SchemaDiscovery::GuessBinding(d.Discover());
+  ASSERT_TRUE(binding.has_value());
+  EXPECT_EQ(binding->x_field, "geo.longitude");
+  EXPECT_EQ(binding->y_field, "geo.latitude");
+  EXPECT_FALSE(binding->HasTime());
+}
+
+TEST(SchemaDiscoveryTest, FallbackToFirstNumericPair) {
+  SchemaDiscovery d;
+  d.Observe(*Value::Parse("{\"px\":3.0,\"py\":4.0,\"label\":\"a\"}"));
+  auto binding = SchemaDiscovery::GuessBinding(d.Discover());
+  ASSERT_TRUE(binding.has_value());
+  EXPECT_EQ(binding->x_field, "px");
+  EXPECT_EQ(binding->y_field, "py");
+}
+
+TEST(SchemaDiscoveryTest, NoNumericFieldsNoBinding) {
+  SchemaDiscovery d;
+  d.Observe(*Value::Parse("{\"a\":\"x\",\"b\":\"y\"}"));
+  EXPECT_FALSE(SchemaDiscovery::GuessBinding(d.Discover()).has_value());
+}
+
+TEST(SchemaDiscoveryTest, RejectsOutOfRangeLatitude) {
+  SchemaDiscovery d;
+  d.Observe(*Value::Parse("{\"lat\":4000.0,\"lon\":-74.0}"));
+  EXPECT_FALSE(SchemaDiscovery::GuessBinding(d.Discover()).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Free data module
+// ---------------------------------------------------------------------------
+
+TEST(FreeDataTest, FlattenAndUnflattenRoundTrip) {
+  Value doc = *Value::Parse(
+      "{\"user\":{\"geo\":{\"lat\":1.5,\"lon\":-2.5},\"name\":\"a\"},"
+      "\"id\":7,\"tags\":[1,2]}");
+  Value flat = FlattenDocument(doc);
+  ASSERT_TRUE(flat.is_object());
+  ASSERT_NE(flat.Find("user.geo.lat"), nullptr);
+  EXPECT_DOUBLE_EQ(flat.Find("user.geo.lat")->AsDouble(), 1.5);
+  EXPECT_NE(flat.Find("id"), nullptr);
+  EXPECT_NE(flat.Find("tags"), nullptr);  // arrays stay values
+  EXPECT_EQ(flat.Find("user"), nullptr);  // nesting removed
+  Value back = UnflattenDocument(flat);
+  EXPECT_EQ(back, doc);
+}
+
+TEST(FreeDataTest, NonObjectPassthrough) {
+  EXPECT_EQ(FlattenDocument(Value::Int(5)), Value::Int(5));
+  EXPECT_EQ(UnflattenDocument(Value::String("x")), Value::String("x"));
+}
+
+TEST(FreeDataTest, ConflictingKeysFavorObjects) {
+  Value flat = Value::MakeObject();
+  flat.Set("a", Value::Int(1));        // scalar "a"
+  flat.Set("a.b", Value::Int(2));      // also an object "a"
+  Value nested = UnflattenDocument(flat);
+  const Value* a = nested.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_object());
+  EXPECT_EQ(a->Find("b")->AsInt(), 2);
+}
+
+TEST(FreeDataTest, FlattenedCsvExportRoundTrip) {
+  // The practical pipeline: nested JSONL → flatten → CSV → parse → values.
+  auto docs = ParseJsonlString(
+      "{\"geo\":{\"lat\":40.0,\"lon\":-74.0},\"v\":1}\n"
+      "{\"geo\":{\"lat\":41.0,\"lon\":-73.0},\"v\":2}\n");
+  ASSERT_TRUE(docs.ok());
+  std::vector<Value> flat;
+  for (const Value& d : *docs) flat.push_back(FlattenDocument(d));
+  std::string csv = WriteCsvString(flat);
+  auto rows = ParseCsvString(csv);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_DOUBLE_EQ((*rows)[1].Find("geo.lat")->AsDouble(), 41.0);
+}
+
+// ---------------------------------------------------------------------------
+// Timestamps
+// ---------------------------------------------------------------------------
+
+TEST(TimestampTest, ParsesKnownDates) {
+  EXPECT_EQ(ParseTimestamp("1970-01-01"), 0.0);
+  EXPECT_EQ(ParseTimestamp("1970-01-02"), 86400.0);
+  EXPECT_EQ(ParseTimestamp("2014-02-10"), 1391990400.0);
+  EXPECT_EQ(ParseTimestamp("2014-02-10 06:00:00"), 1392012000.0);
+  EXPECT_EQ(ParseTimestamp("2014-02-10T06:00:00Z"), 1392012000.0);
+  EXPECT_EQ(ParseTimestamp("2014-02-10T06:00:00.500"), 1392012000.5);
+  EXPECT_EQ(ParseTimestamp("1392012000"), 1392012000.0);
+  EXPECT_EQ(ParseTimestamp(" 2014-02-10 "), 1391990400.0);
+}
+
+TEST(TimestampTest, RejectsBadInput) {
+  EXPECT_FALSE(ParseTimestamp("").has_value());
+  EXPECT_FALSE(ParseTimestamp("not a date").has_value());
+  EXPECT_FALSE(ParseTimestamp("2014-13-40").has_value());
+  EXPECT_FALSE(ParseTimestamp("2014-02-10 25:00:00").has_value());
+  EXPECT_FALSE(ParseTimestamp("2014-02-10Txx:00:00").has_value());
+}
+
+TEST(TimestampTest, FormatRoundTrip) {
+  for (double epoch : {0.0, 1392012000.0, 1700000000.0}) {
+    std::string text = FormatTimestamp(epoch);
+    auto back = ParseTimestamp(text);
+    ASSERT_TRUE(back.has_value()) << text;
+    EXPECT_EQ(*back, epoch) << text;
+  }
+  EXPECT_EQ(FormatTimestamp(1392012000.0), "2014-02-10 06:00:00");
+}
+
+// ---------------------------------------------------------------------------
+// Importer
+// ---------------------------------------------------------------------------
+
+TEST(ImporterTest, ImportsIntoStoreWithAutoBinding) {
+  auto docs = ParseJsonlString(
+      "{\"lat\":40.0,\"lon\":-74.0,\"timestamp\":\"2014-01-05\",\"v\":1}\n"
+      "{\"lat\":41.0,\"lon\":-73.0,\"timestamp\":\"2014-01-06\",\"v\":2}\n");
+  ASSERT_TRUE(docs.ok());
+  RecordStore store;
+  Importer importer(&store);
+  auto result = importer.ImportDocuments(*docs);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->imported, 2u);
+  EXPECT_EQ(result->skipped, 0u);
+  ASSERT_EQ(result->entries.size(), 2u);
+  EXPECT_DOUBLE_EQ(result->entries[0].point[0], -74.0);
+  EXPECT_DOUBLE_EQ(result->entries[0].point[1], 40.0);
+  EXPECT_EQ(result->entries[0].point[2], *ParseTimestamp("2014-01-05"));
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(ImporterTest, IndexInPlaceUsesPositions) {
+  auto docs = ParseJsonlString(
+      "{\"x\":1.0,\"y\":2.0}\n{\"x\":3.0,\"y\":4.0}\n");
+  ASSERT_TRUE(docs.ok());
+  Importer importer(nullptr);
+  auto result = importer.ImportDocuments(*docs);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->entries[1].id, 1u);
+  EXPECT_FALSE(result->binding.HasTime());
+  EXPECT_EQ(result->entries[1].point[2], 0.0);  // no time axis
+}
+
+TEST(ImporterTest, SkipsBadDocumentsWhenAsked) {
+  auto docs = ParseJsonlString(
+      "{\"lat\":40.0,\"lon\":-74.0}\n"
+      "{\"lat\":\"oops\",\"lon\":-74.0}\n"
+      "{\"lon\":-73.0}\n");
+  ASSERT_TRUE(docs.ok());
+  Importer importer(nullptr);
+  auto result = importer.ImportDocuments(*docs);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->imported, 1u);
+  EXPECT_EQ(result->skipped, 2u);
+  // Strict mode fails instead.
+  ImportOptions strict;
+  strict.skip_bad_documents = false;
+  EXPECT_FALSE(importer.ImportDocuments(*docs, strict).ok());
+}
+
+TEST(ImporterTest, ExplicitBindingOverridesGuess) {
+  auto docs = ParseJsonlString("{\"a\":1.0,\"b\":2.0,\"lat\":40.0,\"lon\":-74.0}\n");
+  ASSERT_TRUE(docs.ok());
+  ImportOptions options;
+  options.binding.x_field = "a";
+  options.binding.y_field = "b";
+  Importer importer(nullptr);
+  auto result = importer.ImportDocuments(*docs, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->entries[0].point[0], 1.0);
+  EXPECT_DOUBLE_EQ(result->entries[0].point[1], 2.0);
+}
+
+TEST(ImporterTest, StringTimestampsParsed) {
+  auto docs = ParseJsonlString(
+      "{\"lat\":1.0,\"lon\":2.0,\"time\":\"2014-02-10T12:30:00\"}\n");
+  ASSERT_TRUE(docs.ok());
+  Importer importer(nullptr);
+  auto result = importer.ImportDocuments(*docs);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->binding.HasTime());
+  EXPECT_EQ(result->entries[0].point[2], *ParseTimestamp("2014-02-10 12:30:00"));
+}
+
+TEST(ImporterTest, UndiscoverableSchemaFails) {
+  auto docs = ParseJsonlString("{\"name\":\"x\"}\n");
+  ASSERT_TRUE(docs.ok());
+  Importer importer(nullptr);
+  EXPECT_TRUE(importer.ImportDocuments(*docs).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace storm

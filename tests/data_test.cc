@@ -1,0 +1,302 @@
+// Tests for the synthetic workload generators: determinism, domain bounds,
+// document conversion, and the structural properties the experiments rely
+// on (clustering skew, event windows, trajectory coherence, temperature
+// ground truth).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "storm/data/electricity_gen.h"
+#include "storm/data/osm_gen.h"
+#include "storm/data/tweet_gen.h"
+#include "storm/data/weather_gen.h"
+#include "storm/util/stats.h"
+
+namespace storm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// OSM-like points
+// ---------------------------------------------------------------------------
+
+TEST(OsmGenTest, DeterministicForSeed) {
+  OsmOptions options;
+  options.num_points = 1000;
+  auto a = OsmLikeGenerator(options).Generate();
+  auto b = OsmLikeGenerator(options).Generate();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].lon, b[i].lon);
+    ASSERT_EQ(a[i].altitude, b[i].altitude);
+  }
+  options.seed = 999;
+  auto c = OsmLikeGenerator(options).Generate();
+  EXPECT_NE(a[0].lon, c[0].lon);
+}
+
+TEST(OsmGenTest, PointsInsideBounds) {
+  OsmOptions options;
+  options.num_points = 5000;
+  for (const OsmPoint& p : OsmLikeGenerator(options).Generate()) {
+    ASSERT_GE(p.lon, options.lon_min);
+    ASSERT_LE(p.lon, options.lon_max);
+    ASSERT_GE(p.lat, options.lat_min);
+    ASSERT_LE(p.lat, options.lat_max);
+  }
+}
+
+TEST(OsmGenTest, SpatiallySkewed) {
+  // The generator must produce heavy clustering: the densest 5% of a grid
+  // should hold far more than 5% of the mass.
+  OsmOptions options;
+  options.num_points = 20000;
+  auto points = OsmLikeGenerator(options).Generate();
+  constexpr int kGrid = 20;
+  std::vector<uint64_t> cells(kGrid * kGrid, 0);
+  for (const OsmPoint& p : points) {
+    int x = std::min(kGrid - 1, static_cast<int>((p.lon - options.lon_min) /
+                                                 (options.lon_max - options.lon_min) *
+                                                 kGrid));
+    int y = std::min(kGrid - 1, static_cast<int>((p.lat - options.lat_min) /
+                                                 (options.lat_max - options.lat_min) *
+                                                 kGrid));
+    ++cells[static_cast<size_t>(y) * kGrid + x];
+  }
+  std::sort(cells.begin(), cells.end(), std::greater<>());
+  uint64_t top5pct = 0;
+  for (size_t i = 0; i < cells.size() / 20; ++i) top5pct += cells[i];
+  EXPECT_GT(static_cast<double>(top5pct) / points.size(), 0.20);
+}
+
+TEST(OsmGenTest, AltitudeCorrelatesWithPosition) {
+  // Terrain is smooth: nearby points have similar altitude (far below the
+  // global spread).
+  OsmOptions options;
+  options.num_points = 5000;
+  auto points = OsmLikeGenerator(options).Generate();
+  RunningStat global, local;
+  for (size_t i = 1; i < points.size(); ++i) {
+    global.Push(points[i].altitude);
+  }
+  Rng rng(1);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const OsmPoint& a = points[rng.Uniform(points.size())];
+    // Find a nearby partner.
+    for (size_t j = 0; j < points.size(); ++j) {
+      const OsmPoint& b = points[j];
+      if (&a != &b && std::fabs(a.lon - b.lon) < 0.2 &&
+          std::fabs(a.lat - b.lat) < 0.2) {
+        local.Push(std::fabs(a.altitude - b.altitude));
+        break;
+      }
+    }
+  }
+  ASSERT_GT(local.count(), 100u);
+  EXPECT_LT(local.mean(), global.stddev());
+}
+
+TEST(OsmGenTest, DocumentConversion) {
+  OsmPoint p;
+  p.id = 42;
+  p.lon = -100.5;
+  p.lat = 40.25;
+  p.altitude = 1234.5;
+  Value doc = OsmLikeGenerator::ToDocument(p);
+  EXPECT_EQ(doc.Find("id")->AsInt(), 42);
+  EXPECT_DOUBLE_EQ(doc.Find("lon")->AsDouble(), -100.5);
+  EXPECT_DOUBLE_EQ(doc.Find("altitude")->AsDouble(), 1234.5);
+}
+
+TEST(OsmGenTest, EntriesCarryAltitudeColumn) {
+  OsmOptions options;
+  options.num_points = 100;
+  auto points = OsmLikeGenerator(options).Generate();
+  std::vector<double> altitude;
+  auto entries = OsmLikeGenerator::ToEntries(points, &altitude);
+  ASSERT_EQ(entries.size(), 100u);
+  ASSERT_EQ(altitude.size(), 100u);
+  for (const auto& e : entries) {
+    EXPECT_EQ(altitude[e.id], points[e.id].altitude);
+    EXPECT_EQ(e.point[2], 0.0);  // purely spatial
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tweets
+// ---------------------------------------------------------------------------
+
+TEST(TweetGenTest, TimestampsMonotoneWithinSpan) {
+  TweetOptions options;
+  options.num_tweets = 5000;
+  options.enable_event = false;
+  auto tweets = TweetGenerator(options).Generate();
+  for (size_t i = 1; i < tweets.size(); ++i) {
+    ASSERT_LE(tweets[i - 1].t, tweets[i].t);
+  }
+  EXPECT_GE(tweets.front().t, options.t_min);
+  EXPECT_LE(tweets.back().t, options.t_max);
+}
+
+TEST(TweetGenTest, EventWindowUsesEventVocabulary) {
+  TweetOptions options;
+  options.num_tweets = 50000;
+  auto tweets = TweetGenerator(options).Generate();
+  uint64_t in_event = 0, event_docs_with_snowish = 0;
+  uint64_t outside_with_snowish = 0, outside = 0;
+  auto has_event_word = [](const std::string& text) {
+    return text.find("snow") != std::string::npos ||
+           text.find("outage") != std::string::npos ||
+           text.find("blizzard") != std::string::npos;
+  };
+  for (const Tweet& t : tweets) {
+    bool inside = options.event_region.Contains(Point2(t.lon, t.lat)) &&
+                  t.t >= options.event_t_min && t.t <= options.event_t_max;
+    if (inside) {
+      ++in_event;
+      event_docs_with_snowish += has_event_word(t.text);
+    } else {
+      ++outside;
+      outside_with_snowish += has_event_word(t.text);
+    }
+  }
+  ASSERT_GT(in_event, 100u);  // the boost guarantees volume
+  double inside_rate = static_cast<double>(event_docs_with_snowish) / in_event;
+  double outside_rate = static_cast<double>(outside_with_snowish) / outside;
+  // ~52% of event tweets mention one of the three probe words (0.6 word
+  // rate over 3/18 of the vocabulary, 4-10 words); use a safe margin.
+  EXPECT_GT(inside_rate, 0.35);
+  EXPECT_LT(outside_rate, 0.01);
+}
+
+TEST(TweetGenTest, RegularUserTrajectoriesAreCoherent) {
+  // Consecutive tweets of the same (regular) user are close in space most
+  // of the time — the property trajectory reconstruction relies on.
+  TweetOptions options;
+  options.num_tweets = 30000;
+  options.num_users = 50;
+  options.enable_event = false;
+  auto tweets = TweetGenerator(options).Generate();
+  RunningStat hop;
+  std::vector<int64_t> last_seen(50, -1);
+  std::vector<Point2> last_pos(50);
+  for (const Tweet& t : tweets) {
+    size_t u = static_cast<size_t>(t.user);
+    Point2 pos(t.lon, t.lat);
+    if (last_seen[u] >= 0) hop.Push(last_pos[u].Distance(pos));
+    last_seen[u] = static_cast<int64_t>(t.id);
+    last_pos[u] = pos;
+  }
+  // Median-ish: mean hop should be far below the ~30-degree scale of
+  // cross-country jumps.
+  EXPECT_LT(hop.mean(), 3.0);
+}
+
+TEST(TweetGenTest, DocumentConversionRoundTrips) {
+  TweetOptions options;
+  options.num_tweets = 10;
+  auto tweets = TweetGenerator(options).Generate();
+  Value doc = TweetGenerator::ToDocument(tweets[3]);
+  EXPECT_EQ(doc.Find("user")->AsInt(), tweets[3].user);
+  EXPECT_EQ(doc.Find("text")->AsString(), tweets[3].text);
+  auto entries = TweetGenerator::ToEntries(tweets);
+  EXPECT_EQ(entries[3].point[2], tweets[3].t);
+}
+
+// ---------------------------------------------------------------------------
+// Weather
+// ---------------------------------------------------------------------------
+
+TEST(WeatherGenTest, StationsCoverTheGrid) {
+  WeatherOptions options;
+  options.num_stations = 100;
+  auto stations = WeatherGenerator(options).GenerateStations();
+  ASSERT_EQ(stations.size(), 100u);
+  // All four quadrants of the bbox are populated.
+  int quadrants[4] = {};
+  double mid_lon = (options.lon_min + options.lon_max) / 2;
+  double mid_lat = (options.lat_min + options.lat_max) / 2;
+  for (const WeatherStation& s : stations) {
+    ++quadrants[(s.lon > mid_lon ? 1 : 0) + (s.lat > mid_lat ? 2 : 0)];
+  }
+  for (int q : quadrants) EXPECT_GT(q, 5);
+}
+
+TEST(WeatherGenTest, ReadingsFollowGroundTruth) {
+  WeatherOptions options;
+  options.num_stations = 50;
+  options.readings_per_station = 20;
+  WeatherGenerator gen(options);
+  auto stations = gen.GenerateStations();
+  auto readings = gen.GenerateReadings(stations);
+  ASSERT_EQ(readings.size(), 1000u);
+  RunningStat residual;
+  for (const WeatherReading& r : readings) {
+    const WeatherStation& s = stations[static_cast<size_t>(r.station_id)];
+    double expected =
+        WeatherGenerator::TrueTemperature(s.lon, s.lat, s.elevation, r.t);
+    residual.Push(r.temperature - expected);
+  }
+  EXPECT_NEAR(residual.mean(), 0.0, 0.3);
+  EXPECT_NEAR(residual.stddev(), 1.5, 0.4);
+}
+
+TEST(WeatherGenTest, ColderNorthAndHigher) {
+  // Latitude gradient: northern stations are colder on average.
+  WeatherOptions options;
+  options.num_stations = 200;
+  options.readings_per_station = 10;
+  WeatherGenerator gen(options);
+  auto stations = gen.GenerateStations();
+  auto readings = gen.GenerateReadings(stations);
+  RunningStat north, south;
+  for (const WeatherReading& r : readings) {
+    (r.lat > 40 ? north : south).Push(r.temperature);
+  }
+  EXPECT_LT(north.mean(), south.mean());
+}
+
+// ---------------------------------------------------------------------------
+// Electricity
+// ---------------------------------------------------------------------------
+
+TEST(ElectricityGenTest, UsageHigherInTheCore) {
+  ElectricityOptions options;
+  options.num_units = 800;
+  options.readings_per_unit = 10;
+  auto readings = ElectricityGenerator(options).Generate();
+  double core_lon = options.lon_min + 0.3 * (options.lon_max - options.lon_min);
+  double core_lat = options.lat_min + 0.65 * (options.lat_max - options.lat_min);
+  RunningStat core, edge;
+  for (const ElectricityReading& r : readings) {
+    double dist = std::hypot(r.lon - core_lon, r.lat - core_lat);
+    (dist < 0.05 ? core : edge).Push(r.usage);
+  }
+  ASSERT_GT(core.count(), 50u);
+  EXPECT_GT(core.mean(), edge.mean());
+}
+
+TEST(ElectricityGenTest, WinterHeatingTapersOff) {
+  ElectricityOptions options;
+  options.num_units = 300;
+  options.readings_per_unit = 60;
+  auto readings = ElectricityGenerator(options).Generate();
+  double mid = (options.t_min + options.t_max) / 2;
+  RunningStat early, late;
+  for (const ElectricityReading& r : readings) {
+    (r.t < mid ? early : late).Push(r.usage);
+  }
+  EXPECT_GT(early.mean(), late.mean());
+}
+
+TEST(ElectricityGenTest, NonNegativeUsage) {
+  ElectricityOptions options;
+  options.num_units = 200;
+  options.readings_per_unit = 20;
+  for (const ElectricityReading& r : ElectricityGenerator(options).Generate()) {
+    ASSERT_GE(r.usage, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace storm

@@ -1,0 +1,472 @@
+// Tests for the estimator module: confidence intervals (including the FPC
+// and CI coverage), the online aggregator for every aggregate kind, group
+// by, and stopping rules.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "storm/estimator/aggregate.h"
+#include "storm/estimator/group_by.h"
+#include "storm/estimator/quantile.h"
+#include "storm/estimator/stopping.h"
+#include "storm/sampling/rs_tree.h"
+#include "storm/util/rng.h"
+
+namespace storm {
+namespace {
+
+using Entry = RTree<2>::Entry;
+
+// A small world with a known attribute: value(id) = id % 100, so the
+// population mean over all N records is 49.5 exactly when N % 100 == 0.
+class EstimatorEnv {
+ public:
+  static EstimatorEnv& Get() {
+    static auto* env = new EstimatorEnv();
+    return *env;
+  }
+
+  const std::vector<Entry>& data() const { return data_; }
+  const RsTree<2>& rs() const { return *rs_; }
+
+  double ValueOf(RecordId id) const { return static_cast<double>(id % 100); }
+
+  AttributeFn<2> Attr() const {
+    return [this](const Entry& e) { return ValueOf(e.id); };
+  }
+
+  double TrueMean(const Rect2& q) const {
+    double sum = 0;
+    uint64_t n = 0;
+    for (const Entry& e : data_) {
+      if (q.Contains(e.point)) {
+        sum += ValueOf(e.id);
+        ++n;
+      }
+    }
+    return n ? sum / static_cast<double>(n) : 0.0;
+  }
+
+  double TrueSum(const Rect2& q) const {
+    double sum = 0;
+    for (const Entry& e : data_) {
+      if (q.Contains(e.point)) sum += ValueOf(e.id);
+    }
+    return sum;
+  }
+
+  uint64_t TrueCount(const Rect2& q) const {
+    uint64_t n = 0;
+    for (const Entry& e : data_) {
+      if (q.Contains(e.point)) ++n;
+    }
+    return n;
+  }
+
+ private:
+  EstimatorEnv() {
+    Rng rng(301);
+    for (RecordId i = 0; i < 10000; ++i) {
+      data_.push_back(
+          {Point2(rng.UniformDouble(0, 100), rng.UniformDouble(0, 100)), i});
+    }
+    rs_ = std::make_unique<RsTree<2>>(data_, RsTreeOptions{}, 303);
+  }
+
+  std::vector<Entry> data_;
+  std::unique_ptr<RsTree<2>> rs_;
+};
+
+const Rect2 kQ(Point2(20, 20), Point2(80, 80));
+
+// ---------------------------------------------------------------------------
+// ConfidenceInterval plumbing
+// ---------------------------------------------------------------------------
+
+TEST(ConfidenceTest, MeanConfidenceShrinksWithK) {
+  Rng rng(305);
+  RunningStat s;
+  double prev = std::numeric_limits<double>::infinity();
+  for (int k = 0; k < 10000; ++k) {
+    s.Push(rng.Normal(10, 3));
+    if ((k + 1) % 2000 == 0) {
+      double hw = MeanConfidence(s, 0.95).half_width;
+      EXPECT_LT(hw, prev);
+      prev = hw;
+    }
+  }
+  // With k=10000, sigma=3: hw ≈ 1.96 * 3/100 ≈ 0.0588.
+  EXPECT_NEAR(prev, 1.96 * 3.0 / 100.0, 0.01);
+}
+
+TEST(ConfidenceTest, TooFewSamplesGiveInfiniteWidth) {
+  RunningStat s;
+  EXPECT_TRUE(std::isinf(MeanConfidence(s, 0.95).half_width));
+  s.Push(1.0);
+  EXPECT_TRUE(std::isinf(MeanConfidence(s, 0.95).half_width));
+}
+
+TEST(ConfidenceTest, FpcCollapsesAtFullPopulation) {
+  RunningStat s;
+  Rng rng(307);
+  for (int i = 0; i < 500; ++i) s.Push(rng.Normal(0, 1));
+  ConfidenceInterval partial = MeanConfidence(s, 0.95, 1000, true);
+  ConfidenceInterval no_fpc = MeanConfidence(s, 0.95, 0, false);
+  EXPECT_LT(partial.half_width, no_fpc.half_width);  // FPC tightens
+  ConfidenceInterval full = MeanConfidence(s, 0.95, 500, true);
+  EXPECT_EQ(full.half_width, 0.0);
+  EXPECT_TRUE(full.exact);
+}
+
+TEST(ConfidenceTest, RelativeError) {
+  ConfidenceInterval ci;
+  ci.estimate = 100;
+  ci.half_width = 5;
+  EXPECT_DOUBLE_EQ(ci.RelativeError(), 0.05);
+  ci.estimate = 0;
+  EXPECT_TRUE(std::isinf(ci.RelativeError()));
+  ci.half_width = 0;
+  EXPECT_EQ(ci.RelativeError(), 0.0);
+}
+
+TEST(ConfidenceTest, CoverageIsApproximatelyNominal) {
+  // Draw 400 independent mean estimates of a known population and check
+  // the 95% CI covers the truth ~95% of the time (accept 90-99%).
+  Rng rng(309);
+  std::vector<double> population(5000);
+  double mu = 0;
+  for (double& x : population) {
+    x = rng.Exponential(0.2);  // skewed on purpose
+    mu += x;
+  }
+  mu /= static_cast<double>(population.size());
+  int covered = 0;
+  constexpr int kTrials = 400;
+  for (int t = 0; t < kTrials; ++t) {
+    RunningStat s;
+    for (int k = 0; k < 200; ++k) {
+      s.Push(population[rng.Uniform(population.size())]);
+    }
+    ConfidenceInterval ci = MeanConfidence(s, 0.95);
+    if (mu >= ci.lower() && mu <= ci.upper()) ++covered;
+  }
+  double rate = covered / static_cast<double>(kTrials);
+  EXPECT_GE(rate, 0.90);
+  EXPECT_LE(rate, 0.99);
+}
+
+TEST(ConfidenceTest, SumConfidenceScalesByCardinality) {
+  RunningStat s;
+  Rng rng(311);
+  for (int i = 0; i < 1000; ++i) s.Push(rng.Normal(50, 10));
+  ConfidenceInterval mean_ci = MeanConfidence(s, 0.95);
+  ConfidenceInterval sum_ci = SumConfidence(s, 0.95, 10000.0, true);
+  EXPECT_NEAR(sum_ci.estimate, 10000.0 * mean_ci.estimate, 1e-6);
+  EXPECT_NEAR(sum_ci.half_width, 10000.0 * mean_ci.half_width, 1e-6);
+  // Inexact cardinality inflates the interval.
+  ConfidenceInterval fuzzy = SumConfidence(s, 0.95, 10000.0, false);
+  EXPECT_GT(fuzzy.half_width, sum_ci.half_width * 10);
+}
+
+TEST(ConfidenceTest, SumConfidenceBoundedTightensWithBounds) {
+  RunningStat s;
+  Rng rng(312);
+  for (int i = 0; i < 1000; ++i) s.Push(rng.Normal(50, 10));
+  // Hard bounds [9000, 11000] around q̂=10000 beat the ±50% inflation.
+  ConfidenceInterval crude = SumConfidence(s, 0.95, 10000.0, false);
+  ConfidenceInterval bounded =
+      SumConfidenceBounded(s, 0.95, 9000, 11000, 10000.0);
+  EXPECT_LT(bounded.half_width, crude.half_width);
+  // True sum for any q in the bounds stays inside the interval.
+  for (uint64_t q : {9000u, 10000u, 11000u}) {
+    double plausible = static_cast<double>(q) * s.mean();
+    EXPECT_GE(plausible, bounded.lower() - 1e-6);
+    EXPECT_LE(plausible, bounded.upper() + 1e-6);
+  }
+  // Exact bounds collapse to the plain exact-cardinality interval.
+  ConfidenceInterval exact = SumConfidenceBounded(s, 0.95, 10000, 10000, 10000.0);
+  ConfidenceInterval reference = SumConfidence(s, 0.95, 10000.0, true);
+  EXPECT_DOUBLE_EQ(exact.half_width, reference.half_width);
+  // Sentinel upper bound falls back to the crude inflation.
+  ConfidenceInterval unbounded =
+      SumConfidenceBounded(s, 0.95, 100, ~uint64_t{0}, 10000.0);
+  EXPECT_DOUBLE_EQ(unbounded.half_width, crude.half_width);
+}
+
+// ---------------------------------------------------------------------------
+// OnlineAggregator
+// ---------------------------------------------------------------------------
+
+TEST(OnlineAggregatorTest, AvgConvergesToTruth) {
+  EstimatorEnv& env = EstimatorEnv::Get();
+  auto sampler = env.rs().NewSampler(Rng(313));
+  OnlineAggregator<2> agg(sampler.get(), env.Attr(), AggregateKind::kAvg);
+  ASSERT_TRUE(agg.Begin(kQ).ok());
+  ConfidenceInterval ci = agg.RunUntil(StoppingRule::Samples(3000));
+  double truth = env.TrueMean(kQ);
+  EXPECT_NEAR(ci.estimate, truth, 3 * ci.half_width + 1e-9);
+  EXPECT_LT(ci.half_width, 2.0);
+}
+
+TEST(OnlineAggregatorTest, AvgExactOnExhaustion) {
+  EstimatorEnv& env = EstimatorEnv::Get();
+  Rect2 small(Point2(0, 0), Point2(15, 15));
+  auto sampler = env.rs().NewSampler(Rng(317));
+  OnlineAggregator<2> agg(sampler.get(), env.Attr(), AggregateKind::kAvg);
+  ASSERT_TRUE(agg.Begin(small).ok());
+  ConfidenceInterval ci = agg.RunUntil(StoppingRule{});  // run to exhaustion
+  EXPECT_TRUE(ci.exact);
+  EXPECT_EQ(ci.half_width, 0.0);
+  EXPECT_NEAR(ci.estimate, env.TrueMean(small), 1e-9);
+}
+
+TEST(OnlineAggregatorTest, SumConvergesToTruth) {
+  EstimatorEnv& env = EstimatorEnv::Get();
+  auto sampler = env.rs().NewSampler(Rng(319));
+  OnlineAggregator<2> agg(sampler.get(), env.Attr(), AggregateKind::kSum);
+  ASSERT_TRUE(agg.Begin(kQ).ok());
+  ConfidenceInterval ci = agg.RunUntil(StoppingRule::Samples(5000));
+  double truth = env.TrueSum(kQ);
+  EXPECT_NEAR(ci.estimate, truth, 0.1 * truth);
+}
+
+TEST(OnlineAggregatorTest, CountUsesCardinality) {
+  EstimatorEnv& env = EstimatorEnv::Get();
+  auto sampler = env.rs().NewSampler(Rng(323));
+  OnlineAggregator<2> agg(sampler.get(), nullptr, AggregateKind::kCount);
+  ASSERT_TRUE(agg.Begin(kQ).ok());
+  agg.Step(2000);
+  ConfidenceInterval ci = agg.Current();
+  double truth = static_cast<double>(env.TrueCount(kQ));
+  EXPECT_GE(truth, ci.estimate - ci.half_width - 1);
+  EXPECT_LE(truth, ci.estimate + ci.half_width + 1);
+}
+
+TEST(OnlineAggregatorTest, VarianceAndStddev) {
+  EstimatorEnv& env = EstimatorEnv::Get();
+  auto sampler = env.rs().NewSampler(Rng(327));
+  OnlineAggregator<2> agg(sampler.get(), env.Attr(), AggregateKind::kVariance);
+  ASSERT_TRUE(agg.Begin(kQ).ok());
+  agg.Step(5000);
+  // Uniform over {0..99}: variance ≈ (100²-1)/12 ≈ 833.25.
+  EXPECT_NEAR(agg.Current().estimate, 833.25, 80.0);
+  auto sampler2 = env.rs().NewSampler(Rng(329));
+  OnlineAggregator<2> agg2(sampler2.get(), env.Attr(), AggregateKind::kStddev);
+  ASSERT_TRUE(agg2.Begin(kQ).ok());
+  agg2.Step(5000);
+  EXPECT_NEAR(agg2.Current().estimate, std::sqrt(833.25), 2.0);
+}
+
+TEST(OnlineAggregatorTest, MinMaxBestEffort) {
+  EstimatorEnv& env = EstimatorEnv::Get();
+  auto sampler = env.rs().NewSampler(Rng(331));
+  OnlineAggregator<2> agg(sampler.get(), env.Attr(), AggregateKind::kMax);
+  ASSERT_TRUE(agg.Begin(kQ).ok());
+  agg.Step(3000);
+  EXPECT_GE(agg.Current().estimate, 95.0);  // should have seen a 99-ish value
+  EXPECT_LE(agg.Current().estimate, 99.0);
+}
+
+TEST(OnlineAggregatorTest, NanAttributesAreSkipped) {
+  EstimatorEnv& env = EstimatorEnv::Get();
+  auto sampler = env.rs().NewSampler(Rng(333));
+  // Records with odd ids have no attribute (NaN): the mean over evens only.
+  AttributeFn<2> attr = [&env](const Entry& e) {
+    if (e.id % 2 == 1) return std::numeric_limits<double>::quiet_NaN();
+    return env.ValueOf(e.id);
+  };
+  OnlineAggregator<2> agg(sampler.get(), attr, AggregateKind::kAvg);
+  ASSERT_TRUE(agg.Begin(kQ).ok());
+  agg.Step(4000);
+  // Even ids: values 0,2,...,98 → mean 49.
+  EXPECT_NEAR(agg.Current().estimate, 49.0, 3.0);
+  EXPECT_LT(agg.samples_drawn(), 4000u);  // NaNs were not pushed
+}
+
+TEST(OnlineAggregatorTest, EmptyQueryExhaustsImmediately) {
+  EstimatorEnv& env = EstimatorEnv::Get();
+  auto sampler = env.rs().NewSampler(Rng(337));
+  OnlineAggregator<2> agg(sampler.get(), env.Attr(), AggregateKind::kAvg);
+  ASSERT_TRUE(agg.Begin(Rect2(Point2(500, 500), Point2(600, 600))).ok());
+  EXPECT_EQ(agg.Step(100), 0u);
+  EXPECT_TRUE(agg.Exhausted());
+}
+
+// ---------------------------------------------------------------------------
+// OnlineQuantile
+// ---------------------------------------------------------------------------
+
+TEST(OnlineQuantileTest, MedianConvergesWithCoveringInterval) {
+  EstimatorEnv& env = EstimatorEnv::Get();
+  auto sampler = env.rs().NewSampler(Rng(351));
+  OnlineQuantile<2> median(sampler.get(), env.Attr(), 0.5);
+  ASSERT_TRUE(median.Begin(kQ).ok());
+  median.Step(2000);
+  // Values are ~uniform over {0..99}: the true median is ~49-50.
+  ConfidenceInterval ci = median.Current();
+  EXPECT_NEAR(ci.estimate, 49.5, 5.0);
+  EXPECT_LE(median.ci_lower(), 50.0);
+  EXPECT_GE(median.ci_upper(), 49.0);
+  EXPECT_LT(median.ci_upper() - median.ci_lower(), 10.0);
+}
+
+TEST(OnlineQuantileTest, TailQuantile) {
+  EstimatorEnv& env = EstimatorEnv::Get();
+  auto sampler = env.rs().NewSampler(Rng(353));
+  OnlineQuantile<2> p90(sampler.get(), env.Attr(), 0.9);
+  ASSERT_TRUE(p90.Begin(kQ).ok());
+  p90.Step(4000);
+  EXPECT_NEAR(p90.Current().estimate, 89.5, 4.0);
+}
+
+TEST(OnlineQuantileTest, IntervalShrinksWithSamples) {
+  EstimatorEnv& env = EstimatorEnv::Get();
+  auto sampler = env.rs().NewSampler(Rng(357));
+  OnlineQuantile<2> median(sampler.get(), env.Attr(), 0.5);
+  ASSERT_TRUE(median.Begin(kQ).ok());
+  median.Step(100);
+  double early = median.ci_upper() - median.ci_lower();
+  median.Step(3000);
+  double late = median.ci_upper() - median.ci_lower();
+  EXPECT_LT(late, early);
+}
+
+TEST(OnlineQuantileTest, FewSamplesGiveUnboundedInterval) {
+  EstimatorEnv& env = EstimatorEnv::Get();
+  auto sampler = env.rs().NewSampler(Rng(359));
+  OnlineQuantile<2> q(sampler.get(), env.Attr(), 0.5);
+  ASSERT_TRUE(q.Begin(kQ).ok());
+  q.Step(3);
+  EXPECT_TRUE(std::isinf(q.Current().half_width));
+}
+
+TEST(OnlineQuantileTest, ExhaustionIsExact) {
+  EstimatorEnv& env = EstimatorEnv::Get();
+  Rect2 small(Point2(0, 0), Point2(12, 12));
+  auto sampler = env.rs().NewSampler(Rng(361));
+  OnlineQuantile<2> median(sampler.get(), env.Attr(), 0.5);
+  ASSERT_TRUE(median.Begin(small).ok());
+  ConfidenceInterval ci = median.RunUntil(StoppingRule{});
+  EXPECT_TRUE(ci.exact);
+  // Cross-check against the brute-force median of the window.
+  std::vector<double> vals;
+  for (const auto& e : env.data()) {
+    if (small.Contains(e.point)) vals.push_back(env.ValueOf(e.id));
+  }
+  std::sort(vals.begin(), vals.end());
+  ASSERT_FALSE(vals.empty());
+  EXPECT_EQ(ci.estimate, vals[vals.size() / 2]);
+}
+
+// ---------------------------------------------------------------------------
+// Stopping rules
+// ---------------------------------------------------------------------------
+
+TEST(StoppingRuleTest, SampleLimit) {
+  StoppingRule rule = StoppingRule::Samples(100);
+  ConfidenceInterval ci;
+  ci.samples = 99;
+  EXPECT_FALSE(rule.ShouldStop(ci, 0));
+  ci.samples = 100;
+  EXPECT_TRUE(rule.ShouldStop(ci, 0));
+}
+
+TEST(StoppingRuleTest, TimeBudget) {
+  StoppingRule rule = StoppingRule::TimeBudgetMillis(50);
+  ConfidenceInterval ci;
+  EXPECT_FALSE(rule.ShouldStop(ci, 49));
+  EXPECT_TRUE(rule.ShouldStop(ci, 50));
+}
+
+TEST(StoppingRuleTest, QualityTargetsNeedMinimumSamples) {
+  StoppingRule rule = StoppingRule::RelativeError(0.10);
+  ConfidenceInterval ci;
+  ci.estimate = 100;
+  ci.half_width = 1;  // 1% — would qualify
+  ci.samples = 5;     // but too few samples
+  EXPECT_FALSE(rule.ShouldStop(ci, 0));
+  ci.samples = 30;
+  EXPECT_TRUE(rule.ShouldStop(ci, 0));
+}
+
+TEST(StoppingRuleTest, ExactAlwaysStops) {
+  StoppingRule rule;  // no clauses
+  ConfidenceInterval ci;
+  ci.exact = true;
+  EXPECT_TRUE(rule.ShouldStop(ci, 0));
+}
+
+TEST(StoppingRuleTest, HalfWidthTarget) {
+  StoppingRule rule = StoppingRule::HalfWidth(2.0);
+  ConfidenceInterval ci;
+  ci.samples = 100;
+  ci.half_width = 2.5;
+  EXPECT_FALSE(rule.ShouldStop(ci, 0));
+  ci.half_width = 1.9;
+  EXPECT_TRUE(rule.ShouldStop(ci, 0));
+}
+
+// ---------------------------------------------------------------------------
+// GroupByAggregator
+// ---------------------------------------------------------------------------
+
+TEST(GroupByTest, PerGroupMeansConverge) {
+  EstimatorEnv& env = EstimatorEnv::Get();
+  auto sampler = env.rs().NewSampler(Rng(341));
+  // Group by id % 4; the per-group truth is the brute-force mean over the
+  // qualifying records of that group.
+  auto key = [](const Entry& e) { return static_cast<int64_t>(e.id % 4); };
+  double sums[4] = {};
+  uint64_t ns[4] = {};
+  for (const Entry& e : env.data()) {
+    if (kQ.Contains(e.point)) {
+      sums[e.id % 4] += env.ValueOf(e.id);
+      ++ns[e.id % 4];
+    }
+  }
+  GroupByAggregator<2> agg(sampler.get(), key, env.Attr(), AggregateKind::kAvg);
+  ASSERT_TRUE(agg.Begin(kQ).ok());
+  agg.Step(6000);
+  auto groups = agg.Current();
+  ASSERT_EQ(groups.size(), 4u);
+  for (const auto& g : groups) {
+    ASSERT_GE(g.key, 0);
+    ASSERT_LT(g.key, 4);
+    double truth = sums[g.key] / static_cast<double>(ns[g.key]);
+    EXPECT_NEAR(g.ci.estimate, truth, 3 * g.ci.half_width + 1e-9)
+        << "group " << g.key;
+  }
+}
+
+TEST(GroupByTest, GroupSizesProportional) {
+  EstimatorEnv& env = EstimatorEnv::Get();
+  auto sampler = env.rs().NewSampler(Rng(343));
+  auto key = [](const Entry& e) { return static_cast<int64_t>(e.id % 5); };
+  GroupByAggregator<2> agg(sampler.get(), key, nullptr, AggregateKind::kCount);
+  ASSERT_TRUE(agg.Begin(kQ).ok());
+  agg.Step(5000);
+  double q = static_cast<double>(env.TrueCount(kQ));
+  for (const auto& g : agg.Current()) {
+    EXPECT_NEAR(g.group_size.estimate, q / 5.0, q / 5.0 * 0.25) << g.key;
+  }
+}
+
+TEST(GroupByTest, ExhaustionGivesExactGroups) {
+  EstimatorEnv& env = EstimatorEnv::Get();
+  Rect2 small(Point2(0, 0), Point2(12, 12));
+  auto sampler = env.rs().NewSampler(Rng(347));
+  auto key = [](const Entry& e) { return static_cast<int64_t>(e.id % 2); };
+  GroupByAggregator<2> agg(sampler.get(), key, env.Attr(), AggregateKind::kAvg);
+  ASSERT_TRUE(agg.Begin(small).ok());
+  while (agg.Step(512) > 0) {
+  }
+  ASSERT_TRUE(agg.Exhausted());
+  for (const auto& g : agg.Current()) {
+    EXPECT_TRUE(g.ci.exact);
+    EXPECT_EQ(g.ci.half_width, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace storm

@@ -1,0 +1,317 @@
+// End-to-end integration tests replaying the paper's demo scenarios:
+// the §1 interactive-exploration story (query, watch the CI tighten, change
+// the query mid-flight), the data-import component, the updates component,
+// and cross-index agreement between strategies on the same question.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include "storm/data/electricity_gen.h"
+#include "storm/data/tweet_gen.h"
+#include "storm/data/weather_gen.h"
+#include "storm/query/session.h"
+
+namespace storm {
+namespace {
+
+TEST(IntegrationTest, InteractiveExplorationStory) {
+  // The §1 NYC electricity example: start a query, get an online estimate
+  // with a CI, decide we're happy, cancel, and issue a different query —
+  // without waiting for the first to finish.
+  ElectricityOptions options;
+  options.num_units = 400;
+  options.readings_per_unit = 60;
+  ElectricityGenerator gen(options);
+  auto readings = gen.Generate();
+  std::vector<Value> docs;
+  for (const auto& r : readings) docs.push_back(ElectricityGenerator::ToDocument(r));
+  Session session;
+  ASSERT_TRUE(session.CreateTable("elec", docs).ok());
+
+  // Query 1: area A, Jan 5 - Mar 5. Stop as soon as relative error < 2%.
+  bool cancelled_early = false;
+  auto q1 = session.Execute(
+      "SELECT AVG(usage) FROM elec REGION(-74.02, 40.70, -73.93, 40.80) "
+      "TIME('2014-01-05', '2014-03-05') USING RSTREE",
+      [&](const QueryProgress& p) {
+        if (p.samples >= 30 && p.ci.RelativeError() < 0.02) {
+          cancelled_early = true;
+          return false;  // user satisfied; moves on
+        }
+        return true;
+      });
+  ASSERT_TRUE(q1.ok()) << q1.status();
+  EXPECT_TRUE(cancelled_early);
+  EXPECT_TRUE(q1->cancelled);
+  EXPECT_GT(q1->ci.estimate, 0.0);
+
+  // Query 2 immediately after: different area and time range.
+  auto q2 = session.Execute(
+      "SELECT AVG(usage) FROM elec REGION(-74.05, 40.55, -73.70, 40.92) "
+      "TIME('2014-01-15', '2014-03-12') ERROR 1.5% CONFIDENCE 95%");
+  ASSERT_TRUE(q2.ok()) << q2.status();
+  EXPECT_LE(q2->ci.RelativeError(), 0.016);
+
+  // Sanity: both estimates are in the plausible usage band.
+  EXPECT_GT(q1->ci.estimate, 500.0);
+  EXPECT_LT(q1->ci.estimate, 1500.0);
+  EXPECT_GT(q2->ci.estimate, 500.0);
+  EXPECT_LT(q2->ci.estimate, 1500.0);
+}
+
+TEST(IntegrationTest, StrategiesAgreeOnTheSameQuestion) {
+  WeatherOptions options;
+  options.num_stations = 150;
+  options.readings_per_station = 48;
+  WeatherGenerator gen(options);
+  auto stations = gen.GenerateStations();
+  auto readings = gen.GenerateReadings(stations);
+  std::vector<Value> docs;
+  for (const auto& r : readings) docs.push_back(WeatherGenerator::ToDocument(r));
+  Session session;
+  ASSERT_TRUE(session.CreateTable("weather", docs).ok());
+
+  double exact = 0.0;
+  std::vector<double> estimates;
+  for (const char* method :
+       {"QUERYFIRST", "SAMPLEFIRST", "RANDOMPATH", "LSTREE", "RSTREE"}) {
+    auto r = session.Execute(
+        std::string("SELECT AVG(temperature) FROM weather "
+                    "REGION(-110, 30, -80, 45) TIME('2014-02-01', "
+                    "'2014-03-01') SAMPLES 4000 USING ") +
+        method);
+    ASSERT_TRUE(r.ok()) << method << ": " << r.status();
+    estimates.push_back(r->ci.estimate);
+    if (std::string(method) == "QUERYFIRST") exact = r->ci.estimate;
+  }
+  for (size_t i = 0; i < estimates.size(); ++i) {
+    EXPECT_NEAR(estimates[i], exact, 1.5) << "strategy " << i;
+  }
+}
+
+TEST(IntegrationTest, FileImportPipeline) {
+  // Write a CSV and a JSONL file, import both through Session::ImportFile,
+  // and query them — the demo's "data import" component.
+  std::string csv_path = ::testing::TempDir() + "/storm_import_test.csv";
+  {
+    std::ofstream out(csv_path);
+    out << "lat,lon,timestamp,reading\n";
+    for (int i = 0; i < 200; ++i) {
+      out << (40.0 + i * 0.001) << "," << (-74.0 + i * 0.001)
+          << ",2014-01-" << (1 + i % 28 < 10 ? "0" : "") << (1 + i % 28)
+          << "," << (100 + i) << "\n";
+    }
+  }
+  Session session;
+  ASSERT_TRUE(session.ImportFile("csvdata", csv_path).ok());
+  auto count = session.Execute("SELECT COUNT(*) FROM csvdata USING QUERYFIRST");
+  ASSERT_TRUE(count.ok()) << count.status();
+  EXPECT_DOUBLE_EQ(count->ci.estimate, 200.0);
+
+  std::string jsonl_path = ::testing::TempDir() + "/storm_import_test.jsonl";
+  {
+    std::ofstream out(jsonl_path);
+    for (int i = 0; i < 100; ++i) {
+      out << "{\"lat\":" << (33.0 + i * 0.01) << ",\"lon\":" << (-84.0)
+          << ",\"v\":" << i << "}\n";
+    }
+  }
+  ASSERT_TRUE(session.ImportFile("jsondata", jsonl_path).ok());
+  auto avg = session.Execute(
+      "SELECT AVG(v) FROM jsondata USING QUERYFIRST SAMPLES 100000");
+  ASSERT_TRUE(avg.ok());
+  EXPECT_TRUE(avg->ci.exact);
+  EXPECT_DOUBLE_EQ(avg->ci.estimate, 49.5);
+
+  // Unknown extension is a clean error.
+  EXPECT_TRUE(session.ImportFile("x", "/tmp/file.xyz").IsNotSupported());
+  // Missing file is a clean error.
+  EXPECT_TRUE(session.ImportFile("y", "/nonexistent/z.csv").IsIOError());
+  std::remove(csv_path.c_str());
+  std::remove(jsonl_path.c_str());
+}
+
+TEST(IntegrationTest, LiveUpdatesNarrowTimeWindow) {
+  // The demo's "updates" component: append fresh tweets, then query a time
+  // range that narrows to the most recent history and see only them.
+  TweetOptions options;
+  options.num_tweets = 3000;
+  options.num_users = 40;
+  options.t_min = 1000000.0;
+  options.t_max = 2000000.0;
+  options.enable_event = false;
+  TweetGenerator gen(options);
+  auto tweets = gen.Generate();
+  std::vector<Value> docs;
+  for (const auto& t : tweets) docs.push_back(TweetGenerator::ToDocument(t));
+  Session session;
+  ASSERT_TRUE(session.CreateTable("tweets", docs).ok());
+
+  auto updater = session.Updates("tweets");
+  ASSERT_TRUE(updater.ok());
+  Rng rng(701);
+  for (int i = 0; i < 250; ++i) {
+    Value doc = Value::MakeObject();
+    doc.Set("id", Value::Int(100000 + i));
+    doc.Set("user", Value::Int(rng.UniformInt(0, 39)));
+    doc.Set("lon", Value::Double(rng.UniformDouble(-100, -80)));
+    doc.Set("lat", Value::Double(rng.UniformDouble(30, 45)));
+    doc.Set("timestamp", Value::Double(3000000.0 + i));  // strictly newer
+    doc.Set("text", Value::String("fresh tweet"));
+    ASSERT_TRUE((*updater)->Insert(doc).ok());
+  }
+  auto recent = session.Execute(
+      "SELECT COUNT(*) FROM tweets TIME(2999999, 4000000) USING QUERYFIRST");
+  ASSERT_TRUE(recent.ok());
+  EXPECT_DOUBLE_EQ(recent->ci.estimate, 250.0);
+  auto all = session.Execute("SELECT COUNT(*) FROM tweets USING QUERYFIRST");
+  ASSERT_TRUE(all.ok());
+  EXPECT_DOUBLE_EQ(all->ci.estimate, 3250.0);
+}
+
+TEST(IntegrationTest, CustomizedAnalyticsViaDirectSamplerAccess) {
+  // The demo's "customized analytics": build a bespoke online estimator
+  // against the sampler API directly (here: fraction of tweets in the
+  // top-right quadrant, a custom proportion estimator).
+  TweetOptions options;
+  options.num_tweets = 5000;
+  options.enable_event = false;
+  TweetGenerator gen(options);
+  auto tweets = gen.Generate();
+  auto entries = TweetGenerator::ToEntries(tweets);
+  RsTree<3> rs(entries, {}, 703);
+
+  uint64_t truth_hits = 0;
+  for (const auto& t : tweets) {
+    if (t.lon > -95.0 && t.lat > 37.0) ++truth_hits;
+  }
+  double truth = static_cast<double>(truth_hits) / tweets.size();
+
+  auto sampler = rs.NewSampler(Rng(705));
+  ASSERT_TRUE(
+      sampler->Begin(Rect3::Everything(), SamplingMode::kWithoutReplacement).ok());
+  uint64_t k = 0, hits = 0;
+  for (; k < 2000; ++k) {
+    auto e = sampler->Next();
+    ASSERT_TRUE(e.has_value());
+    if (e->point[0] > -95.0 && e->point[1] > 37.0) ++hits;
+  }
+  double estimate = static_cast<double>(hits) / static_cast<double>(k);
+  double se = std::sqrt(estimate * (1 - estimate) / static_cast<double>(k));
+  EXPECT_NEAR(estimate, truth, 4 * se + 0.01);
+}
+
+TEST(IntegrationTest, ConcurrentQueriesOnOneTable) {
+  // Interactive analytics means several queries in flight over the same
+  // index. Read-only concurrent sampling is supported (RS-tree buffers are
+  // lock-guarded, touch counters atomic) — run 4 threads of mixed queries
+  // and check every result independently.
+  Rng rng(721);
+  std::vector<Value> docs;
+  for (int i = 0; i < 20000; ++i) {
+    Value doc = Value::MakeObject();
+    doc.Set("x", Value::Double(rng.UniformDouble(0, 100)));
+    doc.Set("y", Value::Double(rng.UniformDouble(0, 100)));
+    doc.Set("v", Value::Double(static_cast<double>(i % 100)));
+    docs.push_back(doc);
+  }
+  Session session;
+  ASSERT_TRUE(session.CreateTable("t", docs).ok());
+  // Materialize the column before the threads race (NumericColumn's lazy
+  // build is the one non-const path).
+  auto warmup = session.Execute("SELECT AVG(v) FROM t SAMPLES 10");
+  ASSERT_TRUE(warmup.ok());
+
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  std::vector<Status> status(kThreads, Status::OK());
+  std::vector<double> estimates(kThreads, 0.0);
+  for (int th = 0; th < kThreads; ++th) {
+    threads.emplace_back([&, th] {
+      std::string query =
+          "SELECT AVG(v) FROM t REGION(" + std::to_string(10 + th * 5) +
+          ", 10, 90, 90) SAMPLES 3000 USING RSTREE";
+      auto result = session.Execute(query);
+      if (!result.ok()) {
+        status[static_cast<size_t>(th)] = result.status();
+        return;
+      }
+      estimates[static_cast<size_t>(th)] = result->ci.estimate;
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int th = 0; th < kThreads; ++th) {
+    ASSERT_TRUE(status[static_cast<size_t>(th)].ok()) << th;
+    // v is uniform over {0..99} everywhere: every estimate near 49.5.
+    EXPECT_NEAR(estimates[static_cast<size_t>(th)], 49.5, 4.0) << th;
+  }
+}
+
+TEST(IntegrationTest, SaveAndReloadTableRoundTrips) {
+  // Save a table (with updates applied), reload it in a fresh session, and
+  // verify query results survive: the snapshot format is JSON-lines, so
+  // indexes rebuild on load.
+  Rng rng(711);
+  std::vector<Value> docs;
+  for (int i = 0; i < 800; ++i) {
+    Value doc = Value::MakeObject();
+    doc.Set("lon", Value::Double(rng.UniformDouble(-10, 10)));
+    doc.Set("lat", Value::Double(rng.UniformDouble(-10, 10)));
+    doc.Set("v", Value::Double(static_cast<double>(i % 7)));
+    docs.push_back(doc);
+  }
+  Session original;
+  ASSERT_TRUE(original.CreateTable("t", docs).ok());
+  auto updater = original.Updates("t");
+  ASSERT_TRUE(updater.ok());
+  ASSERT_TRUE((*updater)->Delete(5).ok());
+  ASSERT_TRUE((*updater)->Delete(6).ok());
+  std::string path = ::testing::TempDir() + "/storm_snapshot_test.jsonl";
+  ASSERT_TRUE(original.SaveTable("t", path).ok());
+
+  Session restored;
+  ASSERT_TRUE(restored.ImportFile("t", path).ok());
+  auto before = original.Execute("SELECT COUNT(*) FROM t USING QUERYFIRST");
+  auto after = restored.Execute("SELECT COUNT(*) FROM t USING QUERYFIRST");
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(after.ok());
+  EXPECT_DOUBLE_EQ(before->ci.estimate, 798.0);
+  EXPECT_DOUBLE_EQ(after->ci.estimate, before->ci.estimate);
+  auto avg_before = original.Execute(
+      "SELECT AVG(v) FROM t REGION(-5,-5,5,5) USING QUERYFIRST SAMPLES 100000");
+  auto avg_after = restored.Execute(
+      "SELECT AVG(v) FROM t REGION(-5,-5,5,5) USING QUERYFIRST SAMPLES 100000");
+  ASSERT_TRUE(avg_before.ok());
+  ASSERT_TRUE(avg_after.ok());
+  EXPECT_DOUBLE_EQ(avg_before->ci.estimate, avg_after->ci.estimate);
+  // Errors are clean.
+  EXPECT_TRUE(original.SaveTable("ghost", path).IsNotFound());
+  EXPECT_TRUE(original.SaveTable("t", "/nonexistent/dir/x.jsonl").IsIOError());
+  std::remove(path.c_str());
+}
+
+TEST(IntegrationTest, BestEffortModeReturnsWithinBudget) {
+  ElectricityOptions options;
+  options.num_units = 200;
+  options.readings_per_unit = 30;
+  ElectricityGenerator gen(options);
+  auto readings = gen.Generate();
+  std::vector<Value> docs;
+  for (const auto& r : readings) docs.push_back(ElectricityGenerator::ToDocument(r));
+  Session session;
+  ASSERT_TRUE(session.CreateTable("elec", docs).ok());
+  Stopwatch watch;
+  auto result = session.Execute(
+      "SELECT AVG(usage) FROM elec WITHIN 50 MS USING RSTREE");
+  ASSERT_TRUE(result.ok());
+  // Generous bound: the loop only checks the clock once per batch.
+  EXPECT_LT(watch.ElapsedMillis(), 2000.0);
+  EXPECT_GT(result->samples, 0u);
+}
+
+}  // namespace
+}  // namespace storm

@@ -1,0 +1,511 @@
+// Unit and property tests for the R-tree substrate: structural invariants
+// under bulk loading, inserts and deletes; query correctness against brute
+// force; canonical-set properties; subtree sampling uniformity; simulated
+// I/O accounting.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "storm/rtree/rtree.h"
+#include "storm/util/rng.h"
+#include "storm/util/stats.h"
+
+namespace storm {
+namespace {
+
+using Entry2 = RTree<2>::Entry;
+
+std::vector<Entry2> RandomEntries(size_t n, uint64_t seed, double lo = 0,
+                                  double hi = 100) {
+  Rng rng(seed);
+  std::vector<Entry2> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(
+        {Point2(rng.UniformDouble(lo, hi), rng.UniformDouble(lo, hi)), i});
+  }
+  return out;
+}
+
+std::vector<RecordId> BruteForce(const std::vector<Entry2>& data, const Rect2& q) {
+  std::vector<RecordId> ids;
+  for (const Entry2& e : data) {
+    if (q.Contains(e.point)) ids.push_back(e.id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<RecordId> TreeReport(const RTree<2>& tree, const Rect2& q) {
+  std::vector<RecordId> ids;
+  for (const auto& e : tree.RangeReport(q)) ids.push_back(e.id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TEST(RTreeTest, EmptyTree) {
+  RTree<2> tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.Height(), 0);
+  EXPECT_TRUE(tree.bounds().IsEmpty());
+  EXPECT_TRUE(tree.RangeReport(Rect2::Everything()).empty());
+  EXPECT_EQ(tree.RangeCount(Rect2::Everything()), 0u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(RTreeTest, SingleInsert) {
+  RTree<2> tree;
+  tree.Insert(Point2(1, 2), 7);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.Height(), 1);
+  auto hits = tree.RangeReport(Rect2(Point2(0, 0), Point2(3, 3)));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 7u);
+  EXPECT_TRUE(tree.RangeReport(Rect2(Point2(5, 5), Point2(6, 6))).empty());
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(RTreeTest, InsertManyKeepsInvariants) {
+  RTreeOptions options;
+  options.max_entries = 8;
+  RTree<2> tree(options);
+  auto data = RandomEntries(3000, 101);
+  for (const Entry2& e : data) tree.Insert(e.point, e.id);
+  EXPECT_EQ(tree.size(), data.size());
+  ASSERT_TRUE(tree.CheckInvariants());
+  EXPECT_GT(tree.Height(), 2);
+}
+
+TEST(RTreeTest, DuplicatePointsSupported) {
+  RTree<2> tree;
+  for (RecordId i = 0; i < 100; ++i) tree.Insert(Point2(5, 5), i);
+  EXPECT_EQ(tree.size(), 100u);
+  EXPECT_EQ(tree.RangeCount(Rect2(Point2(5, 5), Point2(5, 5))), 100u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+// Build-method × fanout parameterized correctness sweep.
+struct BuildParam {
+  enum Method { kInsert, kStr, kHilbert } method;
+  int fanout;
+};
+
+class RTreeBuildTest : public ::testing::TestWithParam<BuildParam> {
+ protected:
+  RTree<2> Build(const std::vector<Entry2>& data) {
+    RTreeOptions options;
+    options.max_entries = GetParam().fanout;
+    switch (GetParam().method) {
+      case BuildParam::kStr:
+        return RTree<2>::BulkLoadStr(data, options);
+      case BuildParam::kHilbert:
+        return RTree<2>::BulkLoadHilbert(data, options);
+      case BuildParam::kInsert: {
+        RTree<2> tree(options);
+        for (const Entry2& e : data) tree.Insert(e.point, e.id);
+        return tree;
+      }
+    }
+    return RTree<2>(options);
+  }
+};
+
+TEST_P(RTreeBuildTest, MatchesBruteForceOnRandomQueries) {
+  auto data = RandomEntries(2500, 103);
+  RTree<2> tree = Build(data);
+  ASSERT_TRUE(tree.CheckInvariants());
+  EXPECT_EQ(tree.size(), data.size());
+  Rng rng(105);
+  for (int i = 0; i < 40; ++i) {
+    Rect2 q = Rect2::FromCorners(
+        Point2(rng.UniformDouble(0, 100), rng.UniformDouble(0, 100)),
+        Point2(rng.UniformDouble(0, 100), rng.UniformDouble(0, 100)));
+    EXPECT_EQ(TreeReport(tree, q), BruteForce(data, q)) << "query " << i;
+    EXPECT_EQ(tree.RangeCount(q), BruteForce(data, q).size());
+  }
+}
+
+TEST_P(RTreeBuildTest, CanonicalSetIsExactPartition) {
+  auto data = RandomEntries(2000, 107);
+  RTree<2> tree = Build(data);
+  Rng rng(109);
+  for (int i = 0; i < 20; ++i) {
+    Rect2 q = Rect2::FromCorners(
+        Point2(rng.UniformDouble(0, 100), rng.UniformDouble(0, 100)),
+        Point2(rng.UniformDouble(0, 100), rng.UniformDouble(0, 100)));
+    auto canonical = tree.CanonicalSet(q);
+    // Covered nodes are fully inside and pairwise non-nested.
+    uint64_t covered_total = 0;
+    for (const auto* node : canonical.covered) {
+      EXPECT_TRUE(q.Contains(node->mbr));
+      covered_total += node->count;
+    }
+    for (const auto& e : canonical.residual) {
+      EXPECT_TRUE(q.Contains(e.point));
+    }
+    EXPECT_EQ(canonical.count, covered_total + canonical.residual.size());
+    EXPECT_EQ(canonical.count, BruteForce(data, q).size());
+  }
+}
+
+TEST_P(RTreeBuildTest, SampleSubtreeIsUniformOverRoot) {
+  auto data = RandomEntries(512, 111);
+  RTree<2> tree = Build(data);
+  ASSERT_NE(tree.root(), nullptr);
+  Rng rng(113);
+  std::vector<uint64_t> counts(data.size(), 0);
+  constexpr uint64_t kDraws = 100000;
+  for (uint64_t i = 0; i < kDraws; ++i) {
+    ++counts[tree.SampleSubtree(tree.root(), &rng).id];
+  }
+  double stat = ChiSquareUniform(counts.data(), counts.size(), kDraws);
+  EXPECT_LT(stat, ChiSquareCritical(counts.size() - 1, 1e-4));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Builds, RTreeBuildTest,
+    ::testing::Values(BuildParam{BuildParam::kInsert, 8},
+                      BuildParam{BuildParam::kInsert, 64},
+                      BuildParam{BuildParam::kStr, 8},
+                      BuildParam{BuildParam::kStr, 64},
+                      BuildParam{BuildParam::kHilbert, 8},
+                      BuildParam{BuildParam::kHilbert, 64}),
+    [](const ::testing::TestParamInfo<BuildParam>& info) {
+      const char* m = info.param.method == BuildParam::kInsert    ? "Insert"
+                      : info.param.method == BuildParam::kStr     ? "Str"
+                                                                  : "Hilbert";
+      return std::string(m) + "Fanout" + std::to_string(info.param.fanout);
+    });
+
+TEST(RTreeTest, BulkLoadPacksTightly) {
+  auto data = RandomEntries(4096, 115);
+  RTreeOptions options;
+  options.max_entries = 64;
+  RTree<2> tree = RTree<2>::BulkLoadStr(data, options);
+  // 4096/64 = 64 leaves + 1 root = 65 nodes; allow a little slack.
+  EXPECT_LE(tree.NodeCount(), 70u);
+  EXPECT_EQ(tree.Height(), 2);
+}
+
+TEST(RTreeTest, EraseRemovesAndKeepsInvariants) {
+  RTreeOptions options;
+  options.max_entries = 8;
+  auto data = RandomEntries(1200, 117);
+  RTree<2> tree = RTree<2>::BulkLoadStr(data, options);
+  Rng rng(119);
+  std::vector<Entry2> shuffled = data;
+  rng.Shuffle(shuffled);
+  // Erase half, verifying queries against brute force on the remainder.
+  size_t half = shuffled.size() / 2;
+  std::unordered_set<RecordId> erased;
+  for (size_t i = 0; i < half; ++i) {
+    ASSERT_TRUE(tree.Erase(shuffled[i].point, shuffled[i].id)) << i;
+    erased.insert(shuffled[i].id);
+  }
+  EXPECT_EQ(tree.size(), data.size() - half);
+  ASSERT_TRUE(tree.CheckInvariants());
+  std::vector<Entry2> rest;
+  for (const Entry2& e : data) {
+    if (!erased.contains(e.id)) rest.push_back(e);
+  }
+  Rect2 q(Point2(20, 20), Point2(70, 70));
+  EXPECT_EQ(TreeReport(tree, q), BruteForce(rest, q));
+}
+
+TEST(RTreeTest, EraseMissingReturnsFalse) {
+  RTree<2> tree;
+  tree.Insert(Point2(1, 1), 5);
+  EXPECT_FALSE(tree.Erase(Point2(1, 1), 6));  // wrong id
+  EXPECT_FALSE(tree.Erase(Point2(2, 2), 5));  // wrong point
+  EXPECT_TRUE(tree.Erase(Point2(1, 1), 5));
+  EXPECT_FALSE(tree.Erase(Point2(1, 1), 5));  // already gone
+  EXPECT_TRUE(tree.empty());
+}
+
+TEST(RTreeTest, EraseEverythingThenReuse) {
+  RTreeOptions options;
+  options.max_entries = 4;
+  RTree<2> tree(options);
+  auto data = RandomEntries(300, 121);
+  for (const Entry2& e : data) tree.Insert(e.point, e.id);
+  for (const Entry2& e : data) ASSERT_TRUE(tree.Erase(e.point, e.id));
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.CheckInvariants());
+  tree.Insert(Point2(0, 0), 999);
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(RTreeTest, MixedInsertEraseChurn) {
+  RTreeOptions options;
+  options.max_entries = 6;
+  RTree<2> tree(options);
+  Rng rng(123);
+  std::vector<Entry2> live;
+  RecordId next_id = 0;
+  for (int step = 0; step < 4000; ++step) {
+    if (live.empty() || rng.Bernoulli(0.6)) {
+      Entry2 e{Point2(rng.UniformDouble(0, 50), rng.UniformDouble(0, 50)),
+               next_id++};
+      tree.Insert(e.point, e.id);
+      live.push_back(e);
+    } else {
+      size_t victim = static_cast<size_t>(rng.Uniform(live.size()));
+      ASSERT_TRUE(tree.Erase(live[victim].point, live[victim].id));
+      live[victim] = live.back();
+      live.pop_back();
+    }
+  }
+  EXPECT_EQ(tree.size(), live.size());
+  ASSERT_TRUE(tree.CheckInvariants());
+  Rect2 q(Point2(10, 10), Point2(35, 35));
+  EXPECT_EQ(TreeReport(tree, q), BruteForce(live, q));
+}
+
+TEST(RTreeTest, CountsMaintainedUnderUpdates) {
+  RTreeOptions options;
+  options.max_entries = 5;
+  RTree<2> tree(options);
+  auto data = RandomEntries(500, 125);
+  for (const Entry2& e : data) {
+    tree.Insert(e.point, e.id);
+    ASSERT_EQ(tree.root()->count, tree.size());
+  }
+  for (size_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(tree.Erase(data[i].point, data[i].id));
+  }
+  EXPECT_EQ(tree.size(), 300u);
+  ASSERT_TRUE(tree.CheckInvariants());
+}
+
+TEST(RTreeTest, RangeCountUsesAggregatesNotLeafScans) {
+  auto data = RandomEntries(4096, 127);
+  RTreeOptions options;
+  options.max_entries = 16;
+  RTree<2> tree = RTree<2>::BulkLoadStr(data, options);
+  tree.ResetTouchCount();
+  uint64_t count = tree.RangeCount(Rect2::Everything());
+  EXPECT_EQ(count, data.size());
+  // Everything is covered by the root: one node visit suffices.
+  EXPECT_EQ(tree.nodes_touched(), 1u);
+}
+
+TEST(RTreeTest, SimulatedIoThroughBufferPool) {
+  BlockManager disk(4096);
+  BufferPool pool(&disk, 16);
+  RTreeOptions options;
+  options.max_entries = 16;
+  options.pool = &pool;
+  auto data = RandomEntries(2000, 129);
+  RTree<2> tree = RTree<2>::BulkLoadStr(data, options);
+  uint64_t pages = disk.stats().pages_allocated;
+  EXPECT_EQ(pages, tree.NodeCount());
+  IoStats before = disk.stats();
+  tree.RangeReport(Rect2(Point2(0, 0), Point2(30, 30)));
+  IoStats delta = disk.stats() - before;
+  EXPECT_GT(delta.logical_reads, 0u);
+}
+
+TEST(RTreeTest, PagesFreedOnDestruction) {
+  BlockManager disk(4096);
+  BufferPool pool(&disk, 16);
+  RTreeOptions options;
+  options.pool = &pool;
+  {
+    RTree<2> tree = RTree<2>::BulkLoadStr(RandomEntries(500, 131), options);
+    EXPECT_GT(disk.num_pages(), 0u);
+  }
+  EXPECT_EQ(disk.num_pages(), 0u);
+}
+
+TEST(RTreeTest, MoveSemantics) {
+  auto data = RandomEntries(500, 133);
+  RTree<2> a = RTree<2>::BulkLoadStr(data, {});
+  RTree<2> b = std::move(a);
+  EXPECT_EQ(b.size(), 500u);
+  ASSERT_TRUE(b.CheckInvariants());
+  RTree<2> c;
+  c = std::move(b);
+  EXPECT_EQ(c.size(), 500u);
+  Rect2 q(Point2(0, 0), Point2(50, 50));
+  EXPECT_EQ(TreeReport(c, q), BruteForce(data, q));
+}
+
+TEST(RTree3Test, ThreeDimensionalQueries) {
+  Rng rng(135);
+  std::vector<RTree<3>::Entry> data;
+  for (RecordId i = 0; i < 1000; ++i) {
+    data.push_back({Point3(rng.UniformDouble(0, 10), rng.UniformDouble(0, 10),
+                           rng.UniformDouble(0, 1000)),
+                    i});
+  }
+  RTree<3> tree = RTree<3>::BulkLoadHilbert(data, {});
+  ASSERT_TRUE(tree.CheckInvariants());
+  Rect3 q(Point3(2, 2, 100), Point3(8, 8, 600));
+  uint64_t expected = 0;
+  for (const auto& e : data) {
+    if (q.Contains(e.point)) ++expected;
+  }
+  EXPECT_EQ(tree.RangeCount(q), expected);
+  for (const auto& e : tree.RangeReport(q)) {
+    EXPECT_TRUE(q.Contains(e.point));
+  }
+}
+
+// Fuzz sweep: pathological data shapes × small fanouts, driven through a
+// random insert/erase/query schedule and checked against a brute-force
+// mirror at every step boundary.
+struct FuzzParam {
+  enum Shape { kUniform, kClustered, kCollinear, kDuplicates, kGridded } shape;
+  int fanout;
+};
+
+const char* FuzzShapeName(FuzzParam::Shape shape) {
+  switch (shape) {
+    case FuzzParam::kUniform:
+      return "Uniform";
+    case FuzzParam::kClustered:
+      return "Clustered";
+    case FuzzParam::kCollinear:
+      return "Collinear";
+    case FuzzParam::kDuplicates:
+      return "Duplicates";
+    case FuzzParam::kGridded:
+      return "Gridded";
+  }
+  return "?";
+}
+
+class RTreeFuzzTest : public ::testing::TestWithParam<FuzzParam> {
+ protected:
+  Point2 MakePoint(Rng* rng) {
+    switch (GetParam().shape) {
+      case FuzzParam::kUniform:
+        return Point2(rng->UniformDouble(0, 100), rng->UniformDouble(0, 100));
+      case FuzzParam::kClustered: {
+        double cx = (rng->Uniform(4)) * 25.0 + 10;
+        double cy = (rng->Uniform(4)) * 25.0 + 10;
+        return Point2(rng->Normal(cx, 0.5), rng->Normal(cy, 0.5));
+      }
+      case FuzzParam::kCollinear: {
+        double t = rng->UniformDouble(0, 100);
+        return Point2(t, t * 0.5 + 3);
+      }
+      case FuzzParam::kDuplicates: {
+        // Only 16 distinct locations.
+        double x = static_cast<double>(rng->Uniform(4)) * 10;
+        double y = static_cast<double>(rng->Uniform(4)) * 10;
+        return Point2(x, y);
+      }
+      case FuzzParam::kGridded:
+        return Point2(static_cast<double>(rng->Uniform(32)),
+                      static_cast<double>(rng->Uniform(32)));
+    }
+    return Point2(0, 0);
+  }
+};
+
+TEST_P(RTreeFuzzTest, RandomScheduleMatchesBruteForce) {
+  RTreeOptions options;
+  options.max_entries = GetParam().fanout;
+  RTree<2> tree(options);
+  std::vector<Entry2> live;
+  Rng rng(777 + static_cast<uint64_t>(GetParam().fanout));
+  RecordId next_id = 0;
+  for (int round = 0; round < 12; ++round) {
+    for (int step = 0; step < 250; ++step) {
+      if (live.empty() || rng.Bernoulli(0.65)) {
+        Entry2 e{MakePoint(&rng), next_id++};
+        tree.Insert(e.point, e.id);
+        live.push_back(e);
+      } else {
+        size_t victim = static_cast<size_t>(rng.Uniform(live.size()));
+        ASSERT_TRUE(tree.Erase(live[victim].point, live[victim].id));
+        live[victim] = live.back();
+        live.pop_back();
+      }
+    }
+    ASSERT_TRUE(tree.CheckInvariants()) << "round " << round;
+    ASSERT_EQ(tree.size(), live.size());
+    for (int qi = 0; qi < 5; ++qi) {
+      Rect2 q = Rect2::FromCorners(
+          Point2(rng.UniformDouble(-5, 105), rng.UniformDouble(-5, 105)),
+          Point2(rng.UniformDouble(-5, 105), rng.UniformDouble(-5, 105)));
+      ASSERT_EQ(TreeReport(tree, q), BruteForce(live, q))
+          << "round " << round << " query " << qi;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RTreeFuzzTest,
+    ::testing::Values(FuzzParam{FuzzParam::kUniform, 4},
+                      FuzzParam{FuzzParam::kUniform, 32},
+                      FuzzParam{FuzzParam::kClustered, 4},
+                      FuzzParam{FuzzParam::kClustered, 16},
+                      FuzzParam{FuzzParam::kCollinear, 4},
+                      FuzzParam{FuzzParam::kCollinear, 16},
+                      FuzzParam{FuzzParam::kDuplicates, 4},
+                      FuzzParam{FuzzParam::kDuplicates, 16},
+                      FuzzParam{FuzzParam::kGridded, 8}),
+    [](const ::testing::TestParamInfo<FuzzParam>& info) {
+      return std::string(FuzzShapeName(info.param.shape)) + "Fanout" +
+             std::to_string(info.param.fanout);
+    });
+
+TEST(RTree3Test, ChurnWithTimeAxis) {
+  // Spatio-temporal churn: inserts arrive in time order (the streaming
+  // ingest pattern), deletes expire the oldest records, and windows over
+  // (x, y, t) must stay exact throughout.
+  RTreeOptions options;
+  options.max_entries = 8;
+  RTree<3> tree(options);
+  Rng rng(991);
+  std::vector<RTree<3>::Entry> live;
+  RecordId next_id = 0;
+  double now = 0.0;
+  for (int round = 0; round < 8; ++round) {
+    for (int i = 0; i < 300; ++i) {
+      now += rng.Exponential(1.0);
+      RTree<3>::Entry e{Point3(rng.UniformDouble(0, 10),
+                               rng.UniformDouble(0, 10), now),
+                        next_id++};
+      tree.Insert(e.point, e.id);
+      live.push_back(e);
+    }
+    // Expire the oldest ~100 records.
+    std::sort(live.begin(), live.end(),
+              [](const auto& a, const auto& b) { return a.point[2] < b.point[2]; });
+    for (int i = 0; i < 100 && !live.empty(); ++i) {
+      ASSERT_TRUE(tree.Erase(live.front().point, live.front().id));
+      live.erase(live.begin());
+    }
+    ASSERT_TRUE(tree.CheckInvariants()) << "round " << round;
+    // A "recent history" window and a spatial window, vs brute force.
+    Rect3 recent(Point3(0, 0, now - 100), Point3(10, 10, now + 1));
+    Rect3 spatial(Point3(2, 2, 0), Point3(7, 7, now + 1));
+    for (const Rect3& q : {recent, spatial}) {
+      uint64_t expected = 0;
+      for (const auto& e : live) {
+        if (q.Contains(e.point)) ++expected;
+      }
+      ASSERT_EQ(tree.RangeCount(q), expected) << "round " << round;
+    }
+  }
+}
+
+TEST(RTreeTest, NodeVersionBumpsOnMutation) {
+  RTree<2> tree;
+  tree.Insert(Point2(1, 1), 1);
+  uint64_t v0 = tree.root()->version;
+  tree.Insert(Point2(2, 2), 2);
+  EXPECT_GT(tree.root()->version, v0);
+  uint64_t v1 = tree.root()->version;
+  ASSERT_TRUE(tree.Erase(Point2(1, 1), 1));
+  EXPECT_GT(tree.root()->version, v1);
+}
+
+}  // namespace
+}  // namespace storm

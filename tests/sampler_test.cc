@@ -1,0 +1,592 @@
+// Tests for the sampler module (Definition 1): each strategy must return
+// uniform samples from P ∩ Q, report cardinality knowledge honestly, handle
+// empty queries, and (where supported) exhaust exactly in
+// without-replacement mode. The uniformity sweep is the paper's core
+// correctness claim, so it runs as a chi-square goodness-of-fit test per
+// strategy via TEST_P.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "storm/estimator/confidence.h"
+#include "storm/sampling/failover.h"
+#include "storm/sampling/ls_tree.h"
+#include "storm/sampling/query_first.h"
+#include "storm/sampling/random_path.h"
+#include "storm/sampling/rs_tree.h"
+#include "storm/sampling/sample_first.h"
+#include "storm/util/stats.h"
+
+namespace storm {
+namespace {
+
+using Entry = RTree<2>::Entry;
+
+// Shared fixture data: one clustered data set, all indexes built once.
+class SamplerEnv {
+ public:
+  static const SamplerEnv& Get() {
+    static const SamplerEnv* env = new SamplerEnv();
+    return *env;
+  }
+
+  const std::vector<Entry>& data() const { return data_; }
+  const RTree<2>& tree() const { return rs_->tree(); }
+  const RsTree<2>& rs() const { return *rs_; }
+  const LsTree<2>& ls() const { return *ls_; }
+
+  std::vector<RecordId> InQuery(const Rect2& q) const {
+    std::vector<RecordId> ids;
+    for (const Entry& e : data_) {
+      if (q.Contains(e.point)) ids.push_back(e.id);
+    }
+    return ids;
+  }
+
+ private:
+  SamplerEnv() {
+    Rng rng(201);
+    data_.reserve(20000);
+    for (RecordId i = 0; i < 20000; ++i) {
+      // Two dense clusters plus uniform background: stresses canonical
+      // sets with very unequal subtree sizes.
+      double x, y;
+      if (rng.Bernoulli(0.4)) {
+        x = rng.Normal(25, 3);
+        y = rng.Normal(25, 3);
+      } else if (rng.Bernoulli(0.5)) {
+        x = rng.Normal(75, 6);
+        y = rng.Normal(60, 6);
+      } else {
+        x = rng.UniformDouble(0, 100);
+        y = rng.UniformDouble(0, 100);
+      }
+      data_.push_back({Point2(x, y), i});
+    }
+    RsTreeOptions rs_options;
+    rs_options.rtree.max_entries = 32;
+    rs_ = std::make_unique<RsTree<2>>(data_, rs_options, 77);
+    LsTreeOptions ls_options;
+    ls_options.rtree.max_entries = 32;
+    ls_ = std::make_unique<LsTree<2>>(data_, ls_options, 78);
+  }
+
+  std::vector<Entry> data_;
+  std::unique_ptr<RsTree<2>> rs_;
+  std::unique_ptr<LsTree<2>> ls_;
+};
+
+enum class Strategy { kQueryFirst, kSampleFirst, kRandomPath, kLsTree, kRsTree };
+
+std::string StrategyName(Strategy s) {
+  switch (s) {
+    case Strategy::kQueryFirst:
+      return "QueryFirst";
+    case Strategy::kSampleFirst:
+      return "SampleFirst";
+    case Strategy::kRandomPath:
+      return "RandomPath";
+    case Strategy::kLsTree:
+      return "LsTree";
+    case Strategy::kRsTree:
+      return "RsTree";
+  }
+  return "?";
+}
+
+std::unique_ptr<SpatialSampler<2>> MakeSampler(Strategy s, uint64_t seed) {
+  const SamplerEnv& env = SamplerEnv::Get();
+  switch (s) {
+    case Strategy::kQueryFirst:
+      return std::make_unique<QueryFirstSampler<2>>(&env.tree(), Rng(seed));
+    case Strategy::kSampleFirst:
+      return std::make_unique<SampleFirstSampler<2>>(&env.data(), Rng(seed));
+    case Strategy::kRandomPath:
+      return std::make_unique<RandomPathSampler<2>>(&env.tree(), Rng(seed));
+    case Strategy::kLsTree:
+      return env.ls().NewSampler(Rng(seed));
+    case Strategy::kRsTree:
+      return env.rs().NewSampler(Rng(seed));
+  }
+  return nullptr;
+}
+
+// Queries chosen to exercise different coverage patterns.
+const Rect2 kClusterQuery(Point2(20, 20), Point2(30, 30));   // dense cluster
+const Rect2 kWideQuery(Point2(10, 10), Point2(90, 90));      // most of P
+const Rect2 kSparseQuery(Point2(0, 80), Point2(15, 100));    // background only
+const Rect2 kEmptyQuery(Point2(200, 200), Point2(210, 210)); // nothing
+
+class SamplerStrategyTest : public ::testing::TestWithParam<Strategy> {};
+
+TEST_P(SamplerStrategyTest, SamplesLieInsideQuery) {
+  auto sampler = MakeSampler(GetParam(), 11);
+  ASSERT_TRUE(sampler->Begin(kClusterQuery, SamplingMode::kWithReplacement).ok() ||
+              GetParam() == Strategy::kLsTree);
+  if (GetParam() == Strategy::kLsTree) {
+    ASSERT_TRUE(sampler->Begin(kClusterQuery, SamplingMode::kWithoutReplacement).ok());
+  }
+  for (int i = 0; i < 500; ++i) {
+    auto e = sampler->Next();
+    ASSERT_TRUE(e.has_value());
+    EXPECT_TRUE(kClusterQuery.Contains(e->point));
+  }
+}
+
+TEST_P(SamplerStrategyTest, EmptyQueryTerminates) {
+  auto sampler = MakeSampler(GetParam(), 13);
+  SamplingMode mode = GetParam() == Strategy::kLsTree
+                          ? SamplingMode::kWithoutReplacement
+                          : SamplingMode::kWithReplacement;
+  ASSERT_TRUE(sampler->Begin(kEmptyQuery, mode).ok());
+  // Must return nullopt (possibly after a bounded number of attempts for
+  // SampleFirst), never hang.
+  EXPECT_FALSE(sampler->Next().has_value());
+}
+
+TEST_P(SamplerStrategyTest, UniformityChiSquare) {
+  // Draw with replacement from the cluster query and compare the hit
+  // distribution over qualifying records against uniform.
+  //
+  // LS-tree is excluded here: its level membership is fixed per index (the
+  // coin flips happen at build time, exactly as in the paper), so samples
+  // are only uniform over the randomness of index construction — covered by
+  // LsTreeTest.UniformAcrossIndexBuilds below.
+  if (GetParam() == Strategy::kLsTree) {
+    GTEST_SKIP() << "per-index randomness; see UniformAcrossIndexBuilds";
+  }
+  const SamplerEnv& env = SamplerEnv::Get();
+  std::vector<RecordId> population = env.InQuery(kClusterQuery);
+  ASSERT_GT(population.size(), 500u);
+  std::unordered_map<RecordId, size_t> slot;
+  for (size_t i = 0; i < population.size(); ++i) slot[population[i]] = i;
+
+  auto sampler = MakeSampler(GetParam(), 17);
+  SamplingMode mode = GetParam() == Strategy::kLsTree
+                          ? SamplingMode::kWithoutReplacement
+                          : SamplingMode::kWithReplacement;
+  ASSERT_TRUE(sampler->Begin(kClusterQuery, mode).ok());
+
+  std::vector<uint64_t> counts(population.size(), 0);
+  uint64_t draws = 0;
+  if (mode == SamplingMode::kWithReplacement) {
+    draws = population.size() * 20;
+    for (uint64_t i = 0; i < draws; ++i) {
+      auto e = sampler->Next();
+      ASSERT_TRUE(e.has_value());
+      auto it = slot.find(e->id);
+      ASSERT_NE(it, slot.end()) << "sample outside population";
+      ++counts[it->second];
+    }
+    double stat = ChiSquareUniform(counts.data(), counts.size(), draws);
+    EXPECT_LT(stat, ChiSquareCritical(counts.size() - 1, 1e-4))
+        << StrategyName(GetParam());
+  } else {
+    // Without replacement: repeated restarts; test uniformity of the first
+    // 32 draws of each run (prefixes of a uniform WoR sample are uniform).
+    constexpr int kRuns = 400;
+    constexpr int kPrefix = 32;
+    for (int run = 0; run < kRuns; ++run) {
+      auto s = MakeSampler(GetParam(), 1000 + static_cast<uint64_t>(run));
+      ASSERT_TRUE(s->Begin(kClusterQuery, mode).ok());
+      for (int i = 0; i < kPrefix; ++i) {
+        auto e = s->Next();
+        ASSERT_TRUE(e.has_value());
+        auto it = slot.find(e->id);
+        ASSERT_NE(it, slot.end());
+        ++counts[it->second];
+        ++draws;
+      }
+    }
+    double stat = ChiSquareUniform(counts.data(), counts.size(), draws);
+    EXPECT_LT(stat, ChiSquareCritical(counts.size() - 1, 1e-4))
+        << StrategyName(GetParam());
+  }
+}
+
+TEST_P(SamplerStrategyTest, WithoutReplacementNoDuplicatesAndExhausts) {
+  if (GetParam() == Strategy::kSampleFirst) {
+    GTEST_SKIP() << "SampleFirst cannot prove exhaustion";
+  }
+  const SamplerEnv& env = SamplerEnv::Get();
+  std::vector<RecordId> population = env.InQuery(kSparseQuery);
+  ASSERT_GT(population.size(), 0u);
+  auto sampler = MakeSampler(GetParam(), 19);
+  ASSERT_TRUE(sampler->Begin(kSparseQuery, SamplingMode::kWithoutReplacement).ok());
+  std::unordered_set<RecordId> seen;
+  while (true) {
+    auto e = sampler->Next();
+    if (!e.has_value()) break;
+    EXPECT_TRUE(seen.insert(e->id).second) << "duplicate id " << e->id;
+  }
+  EXPECT_TRUE(sampler->IsExhausted());
+  std::unordered_set<RecordId> expected(population.begin(), population.end());
+  EXPECT_EQ(seen, expected);
+}
+
+TEST_P(SamplerStrategyTest, CardinalityConvergesToTruth) {
+  const SamplerEnv& env = SamplerEnv::Get();
+  uint64_t truth = env.InQuery(kWideQuery).size();
+  auto sampler = MakeSampler(GetParam(), 23);
+  SamplingMode mode = GetParam() == Strategy::kLsTree
+                          ? SamplingMode::kWithoutReplacement
+                          : SamplingMode::kWithReplacement;
+  ASSERT_TRUE(sampler->Begin(kWideQuery, mode).ok());
+  for (int i = 0; i < 3000; ++i) {
+    if (!sampler->Next().has_value()) break;
+  }
+  CardinalityEstimate c = sampler->Cardinality();
+  if (c.exact) {
+    EXPECT_EQ(c.lower, truth);
+    EXPECT_EQ(c.upper, truth);
+  } else {
+    EXPECT_LE(c.lower, truth);
+    EXPECT_GE(c.upper, truth);
+    if (c.estimate > 0) {
+      EXPECT_NEAR(c.estimate, static_cast<double>(truth),
+                  0.35 * static_cast<double>(truth))
+          << StrategyName(GetParam());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, SamplerStrategyTest,
+                         ::testing::Values(Strategy::kQueryFirst,
+                                           Strategy::kSampleFirst,
+                                           Strategy::kRandomPath,
+                                           Strategy::kLsTree, Strategy::kRsTree),
+                         [](const ::testing::TestParamInfo<Strategy>& info) {
+                           return StrategyName(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Strategy-specific behaviour
+// ---------------------------------------------------------------------------
+
+TEST(QueryFirstTest, CardinalityExactImmediately) {
+  const SamplerEnv& env = SamplerEnv::Get();
+  QueryFirstSampler<2> s(&env.tree(), Rng(31));
+  ASSERT_TRUE(s.Begin(kClusterQuery, SamplingMode::kWithReplacement).ok());
+  CardinalityEstimate c = s.Cardinality();
+  EXPECT_TRUE(c.exact);
+  EXPECT_EQ(c.lower, env.InQuery(kClusterQuery).size());
+}
+
+TEST(SampleFirstTest, GivesUpOnEmptyQueryInsteadOfHanging) {
+  const SamplerEnv& env = SamplerEnv::Get();
+  SampleFirstSampler<2> s(&env.data(), Rng(37), /*max_attempts_per_sample=*/5000);
+  ASSERT_TRUE(s.Begin(kEmptyQuery, SamplingMode::kWithReplacement).ok());
+  EXPECT_FALSE(s.Next().has_value());
+  EXPECT_TRUE(s.GaveUp());
+  EXPECT_EQ(s.total_attempts(), 5000u);
+}
+
+TEST(SampleFirstTest, CardinalityEstimateFromAcceptance) {
+  const SamplerEnv& env = SamplerEnv::Get();
+  SampleFirstSampler<2> s(&env.data(), Rng(41));
+  ASSERT_TRUE(s.Begin(kWideQuery, SamplingMode::kWithReplacement).ok());
+  for (int i = 0; i < 2000; ++i) ASSERT_TRUE(s.Next().has_value());
+  double truth = static_cast<double>(env.InQuery(kWideQuery).size());
+  EXPECT_NEAR(s.Cardinality().estimate, truth, truth * 0.1);
+}
+
+TEST(LsTreeTest, UniformAcrossIndexBuilds) {
+  // An LS-tree's coin flips are baked in at build time; uniformity of the
+  // first k reported samples holds over the randomness of index
+  // construction. Build many small LS-trees with different seeds and test
+  // the pooled hit distribution.
+  Rng rng(881);
+  std::vector<Entry> data;
+  for (RecordId i = 0; i < 600; ++i) {
+    data.push_back(
+        {Point2(rng.UniformDouble(0, 10), rng.UniformDouble(0, 10)), i});
+  }
+  Rect2 q(Point2(2, 2), Point2(8, 8));
+  std::vector<RecordId> population;
+  for (const Entry& e : data) {
+    if (q.Contains(e.point)) population.push_back(e.id);
+  }
+  std::unordered_map<RecordId, size_t> slot;
+  for (size_t i = 0; i < population.size(); ++i) slot[population[i]] = i;
+  std::vector<uint64_t> counts(population.size(), 0);
+  uint64_t draws = 0;
+  constexpr int kBuilds = 500;
+  constexpr int kPrefix = 16;
+  LsTreeOptions options;
+  options.min_level_size = 64;
+  for (int b = 0; b < kBuilds; ++b) {
+    LsTree<2> ls(data, options, 1000 + static_cast<uint64_t>(b));
+    auto s = ls.NewSampler(Rng(2000 + static_cast<uint64_t>(b)));
+    ASSERT_TRUE(s->Begin(q, SamplingMode::kWithoutReplacement).ok());
+    for (int i = 0; i < kPrefix; ++i) {
+      auto e = s->Next();
+      ASSERT_TRUE(e.has_value());
+      auto it = slot.find(e->id);
+      ASSERT_NE(it, slot.end());
+      ++counts[it->second];
+      ++draws;
+    }
+  }
+  double stat = ChiSquareUniform(counts.data(), counts.size(), draws);
+  EXPECT_LT(stat, ChiSquareCritical(counts.size() - 1, 1e-4));
+}
+
+TEST(LsTreeTest, RejectsWithReplacement) {
+  const SamplerEnv& env = SamplerEnv::Get();
+  auto s = env.ls().NewSampler(Rng(43));
+  EXPECT_TRUE(s->Begin(kClusterQuery, SamplingMode::kWithReplacement)
+                  .IsNotSupported());
+}
+
+TEST(LsTreeTest, LevelsFormGeometricSeries) {
+  const SamplerEnv& env = SamplerEnv::Get();
+  const LsTree<2>& ls = env.ls();
+  ASSERT_GE(ls.num_levels(), 3);
+  EXPECT_EQ(ls.tree(0).size(), env.data().size());
+  for (int i = 1; i < ls.num_levels(); ++i) {
+    double expected = static_cast<double>(ls.tree(i - 1).size()) * 0.5;
+    EXPECT_NEAR(static_cast<double>(ls.tree(i).size()), expected,
+                5 * std::sqrt(expected) + 10)
+        << "level " << i;
+  }
+  // Total space stays linear (expected 2N for ratio 1/2).
+  EXPECT_LT(ls.TotalEntries(), env.data().size() * 3);
+}
+
+TEST(LsTreeTest, LevelMembershipIsNested) {
+  const SamplerEnv& env = SamplerEnv::Get();
+  const LsTree<2>& ls = env.ls();
+  // Every record in level i+1 must be in level i (P_{i+1} ⊆ P_i).
+  for (int i = 1; i < ls.num_levels(); ++i) {
+    auto upper = ls.tree(i).RangeReport(Rect2::Everything());
+    std::unordered_set<RecordId> lower_ids;
+    for (const auto& e : ls.tree(i - 1).RangeReport(Rect2::Everything())) {
+      lower_ids.insert(e.id);
+    }
+    for (const auto& e : upper) {
+      ASSERT_TRUE(lower_ids.contains(e.id)) << "level " << i;
+    }
+  }
+}
+
+TEST(LsTreeTest, UpdatesMaintainLevels) {
+  std::vector<Entry> data;
+  Rng rng(211);
+  for (RecordId i = 0; i < 5000; ++i) {
+    data.push_back({Point2(rng.UniformDouble(0, 10), rng.UniformDouble(0, 10)), i});
+  }
+  LsTree<2> ls(data, {}, 91);
+  // Insert new records.
+  for (RecordId i = 5000; i < 6000; ++i) {
+    ls.Insert(Point2(rng.UniformDouble(0, 10), rng.UniformDouble(0, 10)), i);
+  }
+  EXPECT_EQ(ls.size(), 6000u);
+  // Delete some original ones.
+  for (RecordId i = 0; i < 500; ++i) {
+    ASSERT_TRUE(ls.Erase(data[i].point, data[i].id));
+  }
+  EXPECT_EQ(ls.size(), 5500u);
+  // A full without-replacement drain returns exactly the live set.
+  auto s = ls.NewSampler(Rng(93));
+  ASSERT_TRUE(s->Begin(Rect2::Everything(), SamplingMode::kWithoutReplacement).ok());
+  std::unordered_set<RecordId> seen;
+  while (auto e = s->Next()) seen.insert(e->id);
+  EXPECT_EQ(seen.size(), 5500u);
+  EXPECT_FALSE(seen.contains(42u));     // deleted
+  EXPECT_TRUE(seen.contains(5500u));    // inserted
+}
+
+TEST(RsTreeTest, BuffersRefillLazily) {
+  const SamplerEnv& env = SamplerEnv::Get();
+  // Fresh RS-tree so buffered_nodes starts at zero.
+  RsTree<2> rs(env.data(), {}, 55);
+  EXPECT_EQ(rs.buffered_nodes(), 0u);
+  auto s = rs.NewSampler(Rng(57));
+  ASSERT_TRUE(s->Begin(kClusterQuery, SamplingMode::kWithReplacement).ok());
+  for (int i = 0; i < 200; ++i) ASSERT_TRUE(s->Next().has_value());
+  EXPECT_GT(rs.buffered_nodes(), 0u);
+}
+
+TEST(RsTreeTest, PrefillBuildsAllBuffers) {
+  std::vector<Entry> data;
+  Rng rng(221);
+  for (RecordId i = 0; i < 2000; ++i) {
+    data.push_back({Point2(rng.UniformDouble(0, 10), rng.UniformDouble(0, 10)), i});
+  }
+  RsTreeOptions options;
+  options.prefill = true;
+  RsTree<2> rs(data, options, 59);
+  EXPECT_EQ(rs.buffered_nodes(), rs.tree().NodeCount());
+}
+
+TEST(RsTreeTest, UpdatesInvalidateBuffers) {
+  std::vector<Entry> data;
+  Rng rng(223);
+  for (RecordId i = 0; i < 3000; ++i) {
+    data.push_back({Point2(rng.UniformDouble(0, 10), rng.UniformDouble(0, 10)), i});
+  }
+  RsTree<2> rs(data, {}, 61);
+  Rect2 q(Point2(2, 2), Point2(8, 8));
+  // Warm the buffers.
+  auto s = rs.NewSampler(Rng(63));
+  ASSERT_TRUE(s->Begin(q, SamplingMode::kWithReplacement).ok());
+  for (int i = 0; i < 500; ++i) ASSERT_TRUE(s->Next().has_value());
+  // Insert a batch of new points concentrated in the query.
+  for (RecordId i = 3000; i < 3400; ++i) {
+    rs.Insert(Point2(rng.UniformDouble(4, 6), rng.UniformDouble(4, 6)), i);
+  }
+  // New points must show up in fresh samples at roughly their share.
+  auto s2 = rs.NewSampler(Rng(65));
+  ASSERT_TRUE(s2->Begin(q, SamplingMode::kWithReplacement).ok());
+  uint64_t fresh = 0, total = 5000;
+  for (uint64_t i = 0; i < total; ++i) {
+    auto e = s2->Next();
+    ASSERT_TRUE(e.has_value());
+    if (e->id >= 3000) ++fresh;
+  }
+  uint64_t q_count = rs.tree().RangeCount(q);
+  double expected = 400.0 / static_cast<double>(q_count);
+  EXPECT_NEAR(fresh / static_cast<double>(total), expected, expected * 0.3);
+  // Deleted points must never be sampled again.
+  for (RecordId i = 0; i < 100; ++i) {
+    ASSERT_TRUE(rs.Erase(data[i].point, data[i].id));
+  }
+  auto s3 = rs.NewSampler(Rng(67));
+  ASSERT_TRUE(s3->Begin(Rect2::Everything(), SamplingMode::kWithReplacement).ok());
+  for (int i = 0; i < 5000; ++i) {
+    auto e = s3->Next();
+    ASSERT_TRUE(e.has_value());
+    EXPECT_GE(e->id, 100u) << "sampled a deleted record";
+  }
+}
+
+TEST(RsTreeTest, WithoutReplacementUpperBoundStopsStream) {
+  std::vector<Entry> data;
+  Rng rng(227);
+  for (RecordId i = 0; i < 1000; ++i) {
+    data.push_back({Point2(rng.UniformDouble(0, 10), rng.UniformDouble(0, 10)), i});
+  }
+  RsTree<2> rs(data, {}, 71);
+  auto s = rs.NewSampler(Rng(73));
+  ASSERT_TRUE(s->Begin(Rect2::Everything(), SamplingMode::kWithoutReplacement).ok());
+  std::unordered_set<RecordId> seen;
+  while (auto e = s->Next()) seen.insert(e->id);
+  EXPECT_EQ(seen.size(), 1000u);
+  EXPECT_TRUE(s->IsExhausted());
+}
+
+// Statistical end-to-end check per strategy: a 95% CI built on that
+// strategy's samples must cover the true mean ~95% of the time.
+TEST_P(SamplerStrategyTest, ConfidenceIntervalCoverage) {
+  const SamplerEnv& env = SamplerEnv::Get();
+  // Attribute: a deterministic value per record with real variance.
+  auto value_of = [](RecordId id) {
+    uint64_t s = id;
+    return static_cast<double>(SplitMix64(s) % 1000);
+  };
+  double truth = 0;
+  uint64_t q_count = 0;
+  for (const Entry& e : env.data()) {
+    if (kWideQuery.Contains(e.point)) {
+      truth += value_of(e.id);
+      ++q_count;
+    }
+  }
+  truth /= static_cast<double>(q_count);
+  constexpr int kTrials = 150;
+  constexpr int kSamplesPerTrial = 150;
+  int covered = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    auto sampler = MakeSampler(GetParam(), 5000 + static_cast<uint64_t>(trial));
+    SamplingMode mode = GetParam() == Strategy::kLsTree
+                            ? SamplingMode::kWithoutReplacement
+                            : SamplingMode::kWithReplacement;
+    ASSERT_TRUE(sampler->Begin(kWideQuery, mode).ok());
+    RunningStat stat;
+    for (int i = 0; i < kSamplesPerTrial; ++i) {
+      auto e = sampler->Next();
+      ASSERT_TRUE(e.has_value());
+      stat.Push(value_of(e->id));
+    }
+    ConfidenceInterval ci = MeanConfidence(stat, 0.95);
+    if (truth >= ci.lower() && truth <= ci.upper()) ++covered;
+  }
+  double rate = covered / static_cast<double>(kTrials);
+  // LS-tree trials share one index, so coverage fluctuates more; accept a
+  // wide band around the nominal 95%.
+  EXPECT_GE(rate, GetParam() == Strategy::kLsTree ? 0.82 : 0.87)
+      << StrategyName(GetParam());
+  EXPECT_LE(rate, 1.0);
+}
+
+TEST(FailoverTest, SwitchesWhenPrimaryStalls) {
+  const SamplerEnv& env = SamplerEnv::Get();
+  // SampleFirst with a tiny attempt budget stalls on the sparse query;
+  // the failover must hand the stream to the RS-tree and keep producing.
+  auto primary = std::make_unique<SampleFirstSampler<2>>(&env.data(), Rng(81),
+                                                         /*max_attempts=*/8);
+  auto fallback = env.rs().NewSampler(Rng(83));
+  FailoverSampler<2> sampler(std::move(primary), std::move(fallback));
+  ASSERT_TRUE(sampler.Begin(kSparseQuery, SamplingMode::kWithReplacement).ok());
+  int produced = 0;
+  for (int i = 0; i < 200; ++i) {
+    auto e = sampler.Next();
+    if (!e.has_value()) break;
+    EXPECT_TRUE(kSparseQuery.Contains(e->point));
+    ++produced;
+  }
+  EXPECT_EQ(produced, 200);
+  EXPECT_TRUE(sampler.switched());
+  EXPECT_EQ(sampler.name(), "RS-tree");
+}
+
+TEST(FailoverTest, StaysOnPrimaryWhenHealthy) {
+  const SamplerEnv& env = SamplerEnv::Get();
+  auto primary = std::make_unique<SampleFirstSampler<2>>(&env.data(), Rng(85));
+  auto fallback = env.rs().NewSampler(Rng(87));
+  FailoverSampler<2> sampler(std::move(primary), std::move(fallback));
+  ASSERT_TRUE(sampler.Begin(kWideQuery, SamplingMode::kWithReplacement).ok());
+  for (int i = 0; i < 500; ++i) ASSERT_TRUE(sampler.Next().has_value());
+  EXPECT_FALSE(sampler.switched());
+  EXPECT_EQ(sampler.name(), "SampleFirst");
+}
+
+TEST(FailoverTest, ExhaustedPrimaryEndsStream) {
+  const SamplerEnv& env = SamplerEnv::Get();
+  // QueryFirst on an empty query exhausts cleanly; no switch should occur.
+  auto primary = std::make_unique<QueryFirstSampler<2>>(&env.tree(), Rng(89));
+  auto fallback = env.rs().NewSampler(Rng(91));
+  FailoverSampler<2> sampler(std::move(primary), std::move(fallback));
+  ASSERT_TRUE(sampler.Begin(kEmptyQuery, SamplingMode::kWithReplacement).ok());
+  EXPECT_FALSE(sampler.Next().has_value());
+  EXPECT_FALSE(sampler.switched());
+  EXPECT_TRUE(sampler.IsExhausted());
+}
+
+TEST(FailoverTest, RejectsWithoutReplacement) {
+  const SamplerEnv& env = SamplerEnv::Get();
+  auto primary = std::make_unique<SampleFirstSampler<2>>(&env.data(), Rng(93));
+  auto fallback = env.rs().NewSampler(Rng(95));
+  FailoverSampler<2> sampler(std::move(primary), std::move(fallback));
+  EXPECT_TRUE(sampler.Begin(kWideQuery, SamplingMode::kWithoutReplacement)
+                  .IsNotSupported());
+}
+
+TEST(RandomPathTest, TouchCountGrowsLinearlyWithK) {
+  const SamplerEnv& env = SamplerEnv::Get();
+  RandomPathSampler<2> s(&env.tree(), Rng(75));
+  ASSERT_TRUE(s.Begin(kWideQuery, SamplingMode::kWithReplacement).ok());
+  env.tree().ResetTouchCount();
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(s.Next().has_value());
+  uint64_t touches_100 = env.tree().nodes_touched();
+  for (int i = 0; i < 900; ++i) ASSERT_TRUE(s.Next().has_value());
+  uint64_t touches_1000 = env.tree().nodes_touched();
+  // Ω(k) node visits: 10x the samples should cost ~10x the visits.
+  EXPECT_GT(touches_1000, 5 * touches_100);
+}
+
+}  // namespace
+}  // namespace storm

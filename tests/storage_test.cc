@@ -1,0 +1,351 @@
+// Tests for the storage engine: the JSON Value document model (parser,
+// serializer, accessors) and the paged RecordStore.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "storm/storage/record_store.h"
+#include "storm/storage/value.h"
+#include "storm/util/rng.h"
+
+namespace storm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Value basics
+// ---------------------------------------------------------------------------
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_TRUE(Value::Bool(true).AsBool());
+  EXPECT_EQ(Value::Int(-7).AsInt(), -7);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_DOUBLE_EQ(Value::Int(3).AsDouble(), 3.0);  // numeric widening
+  EXPECT_EQ(Value::String("hi").AsString(), "hi");
+  EXPECT_TRUE(Value::Int(1).is_number());
+  EXPECT_TRUE(Value::Double(1).is_number());
+  EXPECT_FALSE(Value::String("1").is_number());
+}
+
+TEST(ValueTest, ObjectSetFindAndPath) {
+  Value doc = Value::MakeObject();
+  doc.Set("name", Value::String("storm"));
+  Value user = Value::MakeObject();
+  user.Set("lat", Value::Double(40.76));
+  user.Set("lon", Value::Double(-111.89));
+  doc.Set("user", std::move(user));
+  ASSERT_NE(doc.Find("name"), nullptr);
+  EXPECT_EQ(doc.Find("name")->AsString(), "storm");
+  EXPECT_EQ(doc.Find("missing"), nullptr);
+  ASSERT_NE(doc.FindPath("user.lat"), nullptr);
+  EXPECT_DOUBLE_EQ(doc.FindPath("user.lat")->AsDouble(), 40.76);
+  EXPECT_EQ(doc.FindPath("user.zip"), nullptr);
+  EXPECT_EQ(doc.FindPath("user.lat.deeper"), nullptr);
+}
+
+TEST(ValueTest, ArrayAppend) {
+  Value arr = Value::MakeArray();
+  arr.Append(Value::Int(1));
+  arr.Append(Value::String("two"));
+  ASSERT_EQ(arr.AsArray().size(), 2u);
+  EXPECT_EQ(arr.AsArray()[1].AsString(), "two");
+}
+
+TEST(ValueTest, SetOnNullCreatesObject) {
+  Value v;
+  v.Set("k", Value::Int(1));
+  EXPECT_TRUE(v.is_object());
+  EXPECT_EQ(v.Find("k")->AsInt(), 1);
+}
+
+TEST(ValueTest, Equality) {
+  EXPECT_EQ(Value::Int(3), Value::Int(3));
+  EXPECT_FALSE(Value::Int(3) == Value::Double(3.0));  // type-sensitive
+  Value a = Value::MakeObject();
+  a.Set("x", Value::Int(1));
+  Value b = Value::MakeObject();
+  b.Set("x", Value::Int(1));
+  EXPECT_EQ(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// JSON serialization / parsing
+// ---------------------------------------------------------------------------
+
+struct JsonCase {
+  const char* name;
+  const char* json;
+};
+
+class JsonRoundTripTest : public ::testing::TestWithParam<JsonCase> {};
+
+TEST_P(JsonRoundTripTest, ParseSerializeParseIsStable) {
+  Result<Value> first = Value::Parse(GetParam().json);
+  ASSERT_TRUE(first.ok()) << first.status();
+  std::string serialized = first->ToJson();
+  Result<Value> second = Value::Parse(serialized);
+  ASSERT_TRUE(second.ok()) << second.status() << " for " << serialized;
+  EXPECT_EQ(*first, *second);
+  EXPECT_EQ(serialized, second->ToJson());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Docs, JsonRoundTripTest,
+    ::testing::Values(
+        JsonCase{"Null", "null"}, JsonCase{"True", "true"},
+        JsonCase{"False", "false"}, JsonCase{"Zero", "0"},
+        JsonCase{"NegInt", "-42"}, JsonCase{"BigInt", "9007199254740993"},
+        JsonCase{"Double", "3.14159"}, JsonCase{"Exp", "1.5e-8"},
+        JsonCase{"NegExp", "-2E+3"}, JsonCase{"EmptyString", "\"\""},
+        JsonCase{"String", "\"hello world\""},
+        JsonCase{"Escapes", "\"a\\\"b\\\\c\\nd\\te\""},
+        JsonCase{"Unicode", "\"caf\\u00e9 \\u2603\""},
+        JsonCase{"EmptyArray", "[]"}, JsonCase{"EmptyObject", "{}"},
+        JsonCase{"Array", "[1,2.5,\"x\",null,true]"},
+        JsonCase{"Nested", "{\"a\":{\"b\":[{\"c\":1}]},\"d\":[[1],[2]]}"},
+        JsonCase{"Tweet",
+                 "{\"id\":12,\"user\":7,\"lon\":-84.39,\"lat\":33.75,"
+                 "\"timestamp\":1392076800,\"text\":\"snow day\"}"}),
+    [](const ::testing::TestParamInfo<JsonCase>& info) {
+      return info.param.name;
+    });
+
+struct BadJsonCase {
+  const char* name;
+  const char* json;
+};
+
+class JsonErrorTest : public ::testing::TestWithParam<BadJsonCase> {};
+
+TEST_P(JsonErrorTest, RejectsMalformedInput) {
+  Result<Value> r = Value::Parse(GetParam().json);
+  EXPECT_FALSE(r.ok()) << "accepted: " << GetParam().json;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Bad, JsonErrorTest,
+    ::testing::Values(BadJsonCase{"Empty", ""}, BadJsonCase{"Garbage", "@!#"},
+                      BadJsonCase{"Trailing", "1 2"},
+                      BadJsonCase{"UnclosedObject", "{\"a\":1"},
+                      BadJsonCase{"UnclosedArray", "[1,2"},
+                      BadJsonCase{"UnclosedString", "\"abc"},
+                      BadJsonCase{"MissingColon", "{\"a\" 1}"},
+                      BadJsonCase{"BareKey", "{a:1}"},
+                      BadJsonCase{"TrailingComma", "[1,2,]"},
+                      BadJsonCase{"BadEscape", "\"\\q\""},
+                      BadJsonCase{"BadUnicode", "\"\\u12g4\""},
+                      BadJsonCase{"BadLiteral", "tru"},
+                      BadJsonCase{"BadNumber", "1.2.3"}),
+    [](const ::testing::TestParamInfo<BadJsonCase>& info) {
+      return info.param.name;
+    });
+
+TEST(JsonTest, DeepNestingIsBounded) {
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  EXPECT_FALSE(Value::Parse(deep).ok());
+}
+
+TEST(JsonTest, IntegerOverflowFallsBackToDouble) {
+  Result<Value> v = Value::Parse("99999999999999999999999999");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_double());
+}
+
+TEST(JsonTest, NanSerializesAsNull) {
+  Value v = Value::Double(std::nan(""));
+  EXPECT_EQ(v.ToJson(), "null");
+}
+
+TEST(JsonTest, ControlCharactersEscaped) {
+  std::string raw = "a";
+  raw.push_back('\x01');
+  raw += "b";
+  Value v = Value::String(raw);
+  EXPECT_EQ(v.ToJson(), "\"a\\u0001b\"");
+  Result<Value> back = Value::Parse(v.ToJson());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->AsString(), raw);
+}
+
+// Property test: random documents survive serialize/parse round trips.
+namespace {
+
+Value RandomValue(Rng* rng, int depth) {
+  int kind = static_cast<int>(rng->Uniform(depth >= 3 ? 5 : 7));
+  switch (kind) {
+    case 0:
+      return Value::Null();
+    case 1:
+      return Value::Bool(rng->Bernoulli(0.5));
+    case 2:
+      return Value::Int(rng->UniformInt(-1'000'000'000, 1'000'000'000));
+    case 3: {
+      double d = rng->Normal(0, 1e6);
+      return Value::Double(d);
+    }
+    case 4: {
+      std::string s;
+      uint64_t len = rng->Uniform(20);
+      for (uint64_t i = 0; i < len; ++i) {
+        s.push_back(static_cast<char>(rng->UniformInt(32, 126)));
+      }
+      return Value::String(std::move(s));
+    }
+    case 5: {
+      Value arr = Value::MakeArray();
+      uint64_t len = rng->Uniform(5);
+      for (uint64_t i = 0; i < len; ++i) {
+        arr.Append(RandomValue(rng, depth + 1));
+      }
+      return arr;
+    }
+    default: {
+      Value obj = Value::MakeObject();
+      uint64_t len = rng->Uniform(5);
+      for (uint64_t i = 0; i < len; ++i) {
+        obj.Set("k" + std::to_string(i), RandomValue(rng, depth + 1));
+      }
+      return obj;
+    }
+  }
+}
+
+}  // namespace
+
+TEST(JsonPropertyTest, RandomDocumentsRoundTrip) {
+  Rng rng(808);
+  for (int i = 0; i < 300; ++i) {
+    Value doc = RandomValue(&rng, 0);
+    std::string json = doc.ToJson();
+    Result<Value> back = Value::Parse(json);
+    ASSERT_TRUE(back.ok()) << json << ": " << back.status();
+    ASSERT_EQ(doc, *back) << json;
+    // Second trip is byte-stable (canonical form).
+    ASSERT_EQ(back->ToJson(), json);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RecordStore
+// ---------------------------------------------------------------------------
+
+Value Doc(int64_t id, const std::string& text) {
+  Value v = Value::MakeObject();
+  v.Set("id", Value::Int(id));
+  v.Set("text", Value::String(text));
+  return v;
+}
+
+TEST(RecordStoreTest, AppendGetRoundTrip) {
+  RecordStore store;
+  Result<RecordId> id = store.Append(Doc(1, "hello"));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 0u);
+  Result<Value> doc = store.Get(*id);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Find("text")->AsString(), "hello");
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(RecordStoreTest, IdsAreDense) {
+  RecordStore store;
+  for (int i = 0; i < 100; ++i) {
+    Result<RecordId> id = store.Append(Doc(i, "x"));
+    ASSERT_TRUE(id.ok());
+    EXPECT_EQ(*id, static_cast<RecordId>(i));
+  }
+  EXPECT_EQ(store.next_id(), 100u);
+}
+
+TEST(RecordStoreTest, SpillsAcrossPages) {
+  RecordStoreOptions options;
+  options.page_size = 256;
+  RecordStore store(options);
+  std::string big(100, 'x');
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(store.Append(Doc(i, big)).ok());
+  }
+  EXPECT_GT(store.io_stats().pages_allocated, 10u);
+  for (RecordId i = 0; i < 50; ++i) {
+    Result<Value> doc = store.Get(i);
+    ASSERT_TRUE(doc.ok()) << i;
+    EXPECT_EQ(doc->Find("id")->AsInt(), static_cast<int64_t>(i));
+  }
+}
+
+TEST(RecordStoreTest, OversizedDocumentRejected) {
+  RecordStoreOptions options;
+  options.page_size = 128;
+  RecordStore store(options);
+  EXPECT_TRUE(store.Append(Doc(1, std::string(500, 'y'))).status()
+                  .IsInvalidArgument());
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(RecordStoreTest, DeleteTombstones) {
+  RecordStore store;
+  ASSERT_TRUE(store.Append(Doc(0, "a")).ok());
+  ASSERT_TRUE(store.Append(Doc(1, "b")).ok());
+  ASSERT_TRUE(store.Delete(0).ok());
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_FALSE(store.Exists(0));
+  EXPECT_TRUE(store.Exists(1));
+  EXPECT_TRUE(store.Get(0).status().IsNotFound());
+  EXPECT_TRUE(store.Delete(0).IsNotFound());   // double delete
+  EXPECT_TRUE(store.Delete(99).IsNotFound());  // never existed
+}
+
+TEST(RecordStoreTest, ScanSkipsTombstonesAndStops) {
+  RecordStore store;
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(store.Append(Doc(i, "d")).ok());
+  ASSERT_TRUE(store.Delete(3).ok());
+  ASSERT_TRUE(store.Delete(7).ok());
+  std::vector<RecordId> seen;
+  ASSERT_TRUE(store.Scan([&](RecordId id, const Value&) {
+                     seen.push_back(id);
+                     return true;
+                   }).ok());
+  EXPECT_EQ(seen, (std::vector<RecordId>{0, 1, 2, 4, 5, 6, 8, 9}));
+  // Early stop.
+  seen.clear();
+  ASSERT_TRUE(store.Scan([&](RecordId id, const Value&) {
+                     seen.push_back(id);
+                     return seen.size() < 3;
+                   }).ok());
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(RecordStoreTest, GoesThroughBufferPool) {
+  RecordStoreOptions options;
+  options.page_size = 512;
+  options.pool_pages = 2;  // tiny pool to force eviction traffic
+  RecordStore store(options);
+  std::string payload(200, 'z');
+  for (int i = 0; i < 40; ++i) ASSERT_TRUE(store.Append(Doc(i, payload)).ok());
+  IoStats before = store.io_stats();
+  // Read in a pattern that cannot fit in 2 frames.
+  for (int round = 0; round < 3; ++round) {
+    for (RecordId i = 0; i < 40; i += 7) {
+      ASSERT_TRUE(store.Get(i).ok());
+    }
+  }
+  IoStats delta = store.io_stats() - before;
+  EXPECT_GT(delta.pool_misses, 0u);
+  EXPECT_GT(delta.evictions, 0u);
+}
+
+TEST(RecordStoreTest, UnicodeDocumentsSurviveStorage) {
+  RecordStore store;
+  Value doc = Value::MakeObject();
+  doc.Set("text", Value::String("snöstorm ❄ Atlanta"));
+  Result<RecordId> id = store.Append(doc);
+  ASSERT_TRUE(id.ok());
+  Result<Value> back = store.Get(*id);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->Find("text")->AsString(), "snöstorm ❄ Atlanta");
+}
+
+}  // namespace
+}  // namespace storm

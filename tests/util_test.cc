@@ -1,0 +1,505 @@
+// Unit tests for storm/util: Status/Result, the PCG64 RNG, streaming
+// statistics, and the Fenwick-backed WeightedSet.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "storm/util/logging.h"
+#include "storm/util/reservoir.h"
+#include "storm/util/result.h"
+#include "storm/util/rng.h"
+#include "storm/util/stats.h"
+#include "storm/util/status.h"
+#include "storm/util/stopwatch.h"
+#include "storm/util/time.h"
+#include "storm/util/weighted_set.h"
+
+namespace storm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status / Result
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::NotFound("record 42");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(st.message(), "record 42");
+  EXPECT_EQ(st.ToString(), "not found: record 42");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::IOError("x"), Status::IOError("x"));
+  EXPECT_FALSE(Status::IOError("x") == Status::IOError("y"));
+  EXPECT_FALSE(Status::IOError("x") == Status::Corruption("x"));
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kUnknown); ++c) {
+    EXPECT_FALSE(StatusCodeToString(static_cast<StatusCode>(c)).empty());
+  }
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto inner = []() { return Status::Aborted("boom"); };
+  auto outer = [&]() -> Status {
+    STORM_RETURN_NOT_OK(inner());
+    return Status::OK();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kAborted);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::InvalidArgument("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(ResultTest, OkStatusIsNormalizedToError) {
+  Result<int> r = Status::OK();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnknown);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string s = std::move(r).ValueOrDie();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto maybe = [](bool ok) -> Result<int> {
+    if (ok) return 7;
+    return Status::NotFound("x");
+  };
+  auto use = [&](bool ok) -> Result<int> {
+    STORM_ASSIGN_OR_RETURN(int v, maybe(ok));
+    return v + 1;
+  };
+  EXPECT_EQ(*use(true), 8);
+  EXPECT_TRUE(use(false).status().IsNotFound());
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next64() == b.Next64()) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformIsUniformChiSquare) {
+  Rng rng(99);
+  constexpr size_t kBins = 20;
+  constexpr uint64_t kDraws = 100000;
+  uint64_t bins[kBins] = {};
+  for (uint64_t i = 0; i < kDraws; ++i) ++bins[rng.Uniform(kBins)];
+  double stat = ChiSquareUniform(bins, kBins, kDraws);
+  // 19 dof, alpha = 1e-3 → ~43.8; generous to avoid flakes.
+  EXPECT_LT(stat, ChiSquareCritical(kBins - 1, 1e-3));
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.UniformDouble();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(11);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    hit_lo |= v == -3;
+    hit_hi |= v == 3;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(17);
+  RunningStat s;
+  for (int i = 0; i < 50000; ++i) s.Push(rng.Normal());
+  EXPECT_NEAR(s.mean(), 0.0, 0.03);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.03);
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(19);
+  RunningStat s;
+  for (int i = 0; i < 50000; ++i) s.Push(rng.Exponential(2.0));
+  EXPECT_NEAR(s.mean(), 0.5, 0.02);
+}
+
+TEST(RngTest, DiscreteFollowsWeights) {
+  Rng rng(23);
+  std::vector<double> w = {1.0, 3.0, 0.0, 6.0};
+  uint64_t counts[4] = {};
+  for (int i = 0; i < 50000; ++i) ++counts[rng.Discrete(w)];
+  EXPECT_EQ(counts[2], 0u);
+  EXPECT_NEAR(counts[0] / 50000.0, 0.1, 0.015);
+  EXPECT_NEAR(counts[1] / 50000.0, 0.3, 0.02);
+  EXPECT_NEAR(counts[3] / 50000.0, 0.6, 0.02);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(29);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  rng.Shuffle(v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[static_cast<size_t>(i)], i);
+}
+
+TEST(RngTest, ShuffleUniformFirstElement) {
+  // Position of element 0 after shuffling should be uniform.
+  constexpr size_t kN = 8;
+  uint64_t where[kN] = {};
+  Rng rng(31);
+  for (int trial = 0; trial < 40000; ++trial) {
+    std::vector<int> v(kN);
+    std::iota(v.begin(), v.end(), 0);
+    rng.Shuffle(v);
+    for (size_t i = 0; i < kN; ++i) {
+      if (v[i] == 0) ++where[i];
+    }
+  }
+  double stat = ChiSquareUniform(where, kN, 40000);
+  EXPECT_LT(stat, ChiSquareCritical(kN - 1, 1e-3));
+}
+
+TEST(RngTest, ForkIndependent) {
+  Rng parent(37);
+  Rng c1 = parent.Fork(1);
+  Rng c2 = parent.Fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (c1.Next64() == c2.Next64()) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
+// ---------------------------------------------------------------------------
+// RunningStat & friends
+// ---------------------------------------------------------------------------
+
+TEST(RunningStatTest, MatchesDirectComputation) {
+  std::vector<double> xs = {1.5, -2.0, 3.25, 0.0, 10.0, -7.5, 2.0};
+  RunningStat s;
+  for (double x : xs) s.Push(x);
+  double mean = std::accumulate(xs.begin(), xs.end(), 0.0) / xs.size();
+  double var = 0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= (xs.size() - 1);
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_NEAR(s.mean(), mean, 1e-12);
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+  EXPECT_NEAR(s.sum(), mean * static_cast<double>(xs.size()), 1e-9);
+  EXPECT_EQ(s.min(), -7.5);
+  EXPECT_EQ(s.max(), 10.0);
+}
+
+TEST(RunningStatTest, EmptyAndSingle) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  s.Push(5.0);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.standard_error(), 0.0);
+}
+
+TEST(RunningStatTest, MergeEqualsConcatenation) {
+  Rng rng(41);
+  RunningStat all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.Normal(3.0, 2.0);
+    all.Push(x);
+    (i % 3 == 0 ? a : b).Push(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatTest, MergeWithEmpty) {
+  RunningStat a, b;
+  a.Push(1.0);
+  a.Push(2.0);
+  RunningStat a_copy = a;
+  a.Merge(b);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_NEAR(a.mean(), a_copy.mean(), 1e-12);
+  b.Merge(a);  // adopt
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_NEAR(b.mean(), 1.5, 1e-12);
+}
+
+TEST(StatsTest, NormalQuantileKnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(NormalQuantile(0.995), 2.575829, 1e-5);
+  EXPECT_NEAR(NormalQuantile(0.025), -1.959964, 1e-5);
+}
+
+TEST(StatsTest, NormalQuantileInvertsCdf) {
+  for (double p : {0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99}) {
+    EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-7) << "p=" << p;
+  }
+}
+
+TEST(StatsTest, ZCritical) {
+  EXPECT_NEAR(ZCritical(0.95), 1.959964, 1e-5);
+  EXPECT_NEAR(ZCritical(0.99), 2.575829, 1e-5);
+  EXPECT_NEAR(ZCritical(0.68268949), 1.0, 1e-4);
+}
+
+TEST(StatsTest, ChiSquareCriticalSane) {
+  // Known value: chi2(10, 0.05) ≈ 18.31 (Wilson-Hilferty is ~1% accurate).
+  EXPECT_NEAR(ChiSquareCritical(10, 0.05), 18.31, 0.5);
+  EXPECT_NEAR(ChiSquareCritical(19, 0.001), 43.82, 1.2);
+}
+
+// ---------------------------------------------------------------------------
+// WeightedSet
+// ---------------------------------------------------------------------------
+
+TEST(WeightedSetTest, AddAndTotal) {
+  WeightedSet ws;
+  EXPECT_EQ(ws.Add(2.0), 0u);
+  EXPECT_EQ(ws.Add(3.0), 1u);
+  EXPECT_EQ(ws.Add(0.0), 2u);
+  EXPECT_DOUBLE_EQ(ws.total(), 5.0);
+  EXPECT_DOUBLE_EQ(ws.WeightOf(1), 3.0);
+}
+
+TEST(WeightedSetTest, UpdateAdjustsTotal) {
+  WeightedSet ws;
+  ws.Add(1.0);
+  ws.Add(4.0);
+  ws.Update(0, 0.0);
+  EXPECT_DOUBLE_EQ(ws.total(), 4.0);
+  ws.Update(0, 2.5);
+  EXPECT_DOUBLE_EQ(ws.total(), 6.5);
+}
+
+TEST(WeightedSetTest, SampleFollowsWeights) {
+  WeightedSet ws;
+  ws.Add(1.0);
+  ws.Add(0.0);
+  ws.Add(3.0);
+  ws.Add(6.0);
+  Rng rng(43);
+  uint64_t counts[4] = {};
+  for (int i = 0; i < 50000; ++i) ++counts[ws.Sample(&rng)];
+  EXPECT_EQ(counts[1], 0u);
+  EXPECT_NEAR(counts[0] / 50000.0, 0.1, 0.015);
+  EXPECT_NEAR(counts[2] / 50000.0, 0.3, 0.02);
+  EXPECT_NEAR(counts[3] / 50000.0, 0.6, 0.02);
+}
+
+TEST(WeightedSetTest, SampleAfterUpdates) {
+  WeightedSet ws;
+  for (int i = 0; i < 16; ++i) ws.Add(1.0);
+  for (int i = 0; i < 16; ++i) {
+    if (i != 5 && i != 11) ws.Update(static_cast<size_t>(i), 0.0);
+  }
+  Rng rng(47);
+  uint64_t five = 0, eleven = 0;
+  for (int i = 0; i < 10000; ++i) {
+    size_t s = ws.Sample(&rng);
+    ASSERT_TRUE(s == 5 || s == 11) << s;
+    (s == 5 ? five : eleven)++;
+  }
+  EXPECT_NEAR(five / 10000.0, 0.5, 0.03);
+  EXPECT_NEAR(eleven / 10000.0, 0.5, 0.03);
+}
+
+TEST(WeightedSetTest, GrowsWhileSampling) {
+  WeightedSet ws;
+  Rng rng(53);
+  ws.Add(1.0);
+  for (int i = 0; i < 100; ++i) {
+    ws.Add(1.0);
+    size_t s = ws.Sample(&rng);
+    ASSERT_LE(s, static_cast<size_t>(i + 1));
+  }
+  EXPECT_DOUBLE_EQ(ws.total(), 101.0);
+}
+
+// ---------------------------------------------------------------------------
+// Reservoir sampling
+// ---------------------------------------------------------------------------
+
+TEST(ReservoirTest, KeepsAllWhenStreamSmallerThanCapacity) {
+  ReservoirSampler<int> r(10, Rng(101));
+  for (int i = 0; i < 5; ++i) r.Add(i);
+  EXPECT_EQ(r.sample().size(), 5u);
+  EXPECT_EQ(r.seen(), 5u);
+}
+
+TEST(ReservoirTest, UniformOverStream) {
+  constexpr int kStream = 50;
+  constexpr size_t kCap = 10;
+  constexpr int kTrials = 20000;
+  uint64_t hits[kStream] = {};
+  Rng seed_rng(103);
+  for (int t = 0; t < kTrials; ++t) {
+    ReservoirSampler<int> r(kCap, Rng(seed_rng.Next64()));
+    for (int i = 0; i < kStream; ++i) r.Add(i);
+    for (int v : r.sample()) ++hits[v];
+  }
+  // Each element should appear with probability kCap/kStream = 0.2.
+  double stat = ChiSquareUniform(hits, kStream, kTrials * kCap);
+  EXPECT_LT(stat, ChiSquareCritical(kStream - 1, 1e-4));
+}
+
+TEST(ReservoirTest, ClearResets) {
+  ReservoirSampler<int> r(3, Rng(105));
+  for (int i = 0; i < 10; ++i) r.Add(i);
+  r.Clear();
+  EXPECT_TRUE(r.sample().empty());
+  EXPECT_EQ(r.seen(), 0u);
+}
+
+TEST(WeightedReservoirTest, FavorsHeavyElements) {
+  // Element 0 has weight 9, elements 1..9 weight 1 each; a size-1 reservoir
+  // should pick element 0 about half the time.
+  constexpr int kTrials = 20000;
+  int zero_picked = 0;
+  Rng seed_rng(107);
+  for (int t = 0; t < kTrials; ++t) {
+    WeightedReservoirSampler<int> r(1, Rng(seed_rng.Next64()));
+    for (int i = 0; i < 10; ++i) r.Add(i, i == 0 ? 9.0 : 1.0);
+    auto sample = r.Sample();
+    ASSERT_EQ(sample.size(), 1u);
+    zero_picked += sample[0] == 0;
+  }
+  EXPECT_NEAR(zero_picked / static_cast<double>(kTrials), 0.5, 0.03);
+}
+
+TEST(WeightedReservoirTest, SkipsNonPositiveWeights) {
+  WeightedReservoirSampler<int> r(5, Rng(109));
+  r.Add(1, 0.0);
+  r.Add(2, -3.0);
+  r.Add(3, 1.0);
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_EQ(r.Sample()[0], 3);
+}
+
+// ---------------------------------------------------------------------------
+// Time parsing (canonical home is util/time.h; connector tests exercise the
+// formats, these cover the shared contract)
+// ---------------------------------------------------------------------------
+
+TEST(TimeTest, EpochZeroRoundTrip) {
+  EXPECT_EQ(FormatTimestamp(0.0), "1970-01-01 00:00:00");
+  EXPECT_EQ(ParseTimestamp("1970-01-01 00:00:00"), 0.0);
+}
+
+TEST(TimeTest, NegativeEpochsFormat) {
+  // Pre-1970 dates (proleptic handling).
+  std::string s = FormatTimestamp(-86400.0);
+  EXPECT_EQ(s, "1969-12-31 00:00:00");
+  EXPECT_EQ(ParseTimestamp(s), -86400.0);
+}
+
+TEST(TimeTest, LeapYearHandling) {
+  auto feb29 = ParseTimestamp("2016-02-29");
+  ASSERT_TRUE(feb29.has_value());
+  auto mar01 = ParseTimestamp("2016-03-01");
+  ASSERT_TRUE(mar01.has_value());
+  EXPECT_EQ(*mar01 - *feb29, 86400.0);
+}
+
+// ---------------------------------------------------------------------------
+// Logging & stopwatch
+// ---------------------------------------------------------------------------
+
+TEST(LoggingTest, LevelGateIsRespected) {
+  LogLevel prev = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  // The macro's condition must be false below the gate (we can't capture
+  // stderr portably here; the gate itself is the contract).
+  EXPECT_FALSE(GetLogLevel() <= LogLevel::kDebug);
+  EXPECT_TRUE(GetLogLevel() <= LogLevel::kError);
+  SetLogLevel(LogLevel::kOff);
+  EXPECT_FALSE(GetLogLevel() <= LogLevel::kError);
+  SetLogLevel(prev);
+}
+
+TEST(StopwatchTest, MonotoneAndRestartable) {
+  Stopwatch watch;
+  int64_t a = watch.ElapsedNanos();
+  int64_t b = watch.ElapsedNanos();
+  EXPECT_GE(b, a);
+  EXPECT_GE(a, 0);
+  watch.Restart();
+  EXPECT_LT(watch.ElapsedSeconds(), 1.0);
+  // Unit consistency: one reading expressed three ways.
+  int64_t nanos = watch.ElapsedNanos();
+  EXPECT_GE(static_cast<double>(nanos) / 1e6, 0.0);
+  EXPECT_GE(watch.ElapsedMillis() * 1000.0, 0.0);
+}
+
+}  // namespace
+}  // namespace storm

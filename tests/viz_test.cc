@@ -1,0 +1,129 @@
+// Tests for the visualizer module: heatmaps, sparklines, convergence
+// charts, trajectory plots and PGM export.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "storm/viz/render.h"
+
+namespace storm {
+namespace {
+
+TEST(HeatmapTest, NormalizesAndOrientsNorthUp) {
+  // 2x2 grid, row-major with y=1 the north row.
+  std::vector<double> grid = {0.0, 1.0,   // south row: y=0
+                              10.0, 5.0}; // north row: y=1
+  std::string out = RenderHeatmap(grid, 2, 2);
+  // North row first; max cell (10.0) gets the hottest ramp char '@'.
+  // Ramp " .:-=+*#%@": 10.0 -> '@' (max), 5.0 -> '+' (idx 5), 1.0 -> '.'
+  // (idx 1), 0 -> ' '.
+  ASSERT_EQ(out, "|@+|\n| .|\n") << out;
+}
+
+TEST(HeatmapTest, AllZeroGrid) {
+  std::vector<double> grid(9, 0.0);
+  std::string out = RenderHeatmap(grid, 3, 3);
+  EXPECT_EQ(out, "|   |\n|   |\n|   |\n");
+}
+
+TEST(SparklineTest, MonotoneSeries) {
+  std::string spark = RenderSparkline({1, 2, 3, 4, 5, 6, 7, 8});
+  EXPECT_EQ(spark, "▁▂▃▄▅▆▇█");
+  EXPECT_EQ(RenderSparkline({}), "");
+  // Constant series renders the lowest block throughout.
+  EXPECT_EQ(RenderSparkline({5, 5, 5}), "▁▁▁");
+}
+
+TEST(ConvergenceTest, BandNarrowsAroundEstimate) {
+  std::vector<ConfidenceInterval> history;
+  for (int k = 1; k <= 4; ++k) {
+    ConfidenceInterval ci;
+    ci.estimate = 50;
+    ci.half_width = 40.0 / k;
+    ci.samples = static_cast<uint64_t>(k * 100);
+    history.push_back(ci);
+  }
+  std::string chart = RenderConvergence(history, 41);
+  // Four lines, each with a '*' and a '-' band; later bands are narrower.
+  std::vector<size_t> widths;
+  size_t pos = 0;
+  for (int line = 0; line < 4; ++line) {
+    size_t end = chart.find('\n', pos);
+    ASSERT_NE(end, std::string::npos);
+    std::string row = chart.substr(pos, end - pos);
+    EXPECT_NE(row.find('*'), std::string::npos);
+    widths.push_back(static_cast<size_t>(
+        std::count(row.begin(), row.end(), '-')));
+    pos = end + 1;
+  }
+  EXPECT_GT(widths[0], widths[1]);
+  EXPECT_GT(widths[1], widths[3]);
+}
+
+TEST(ConvergenceTest, InfiniteWidthRendersEstimateOnly) {
+  ConfidenceInterval ci;
+  ci.estimate = 10;
+  ci.half_width = std::numeric_limits<double>::infinity();
+  std::string chart = RenderConvergence({ci}, 20);
+  EXPECT_NE(chart.find('*'), std::string::npos);
+  EXPECT_EQ(chart.find('-'), std::string::npos);
+}
+
+TEST(TrajectoryRenderTest, MarksInTimeOrder) {
+  std::vector<TimedPoint> path;
+  for (int i = 0; i < 10; ++i) {
+    path.push_back(TimedPoint{static_cast<double>(i),
+                              Point2(static_cast<double>(i), 0.0)});
+  }
+  Rect2 bounds(Point2(0, -1), Point2(10, 1));
+  std::string out = RenderTrajectory(path, bounds, 20, 3);
+  // First fix labeled '1', last labeled '#' (wraps past '9').
+  EXPECT_NE(out.find('1'), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  // '1' appears left of '#'.
+  size_t row_start = out.rfind('\n', out.find('1'));
+  (void)row_start;
+  EXPECT_LT(out.find('1') % 22, out.find('#') % 22);
+}
+
+TEST(TrajectoryRenderTest, OutOfBoundsFixesSkipped) {
+  std::vector<TimedPoint> path = {TimedPoint{0, Point2(100, 100)}};
+  Rect2 bounds(Point2(0, 0), Point2(1, 1));
+  std::string out = RenderTrajectory(path, bounds, 5, 2);
+  EXPECT_EQ(out.find('1'), std::string::npos);
+}
+
+TEST(PgmTest, WritesValidHeaderAndPayload) {
+  std::string path = ::testing::TempDir() + "/storm_viz_test.pgm";
+  std::vector<double> grid = {0, 0.5, 1.0, 0.25};
+  ASSERT_TRUE(WritePgm(path, grid, 2, 2).ok());
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::string magic, dims;
+  std::getline(in, magic);
+  EXPECT_EQ(magic, "P5");
+  int w, h, maxval;
+  in >> w >> h >> maxval;
+  EXPECT_EQ(w, 2);
+  EXPECT_EQ(h, 2);
+  EXPECT_EQ(maxval, 255);
+  in.get();  // the single whitespace after the header
+  unsigned char px[4];
+  in.read(reinterpret_cast<char*>(px), 4);
+  ASSERT_TRUE(in.good());
+  // Image row 0 is the north grid row (1.0, 0.25).
+  EXPECT_EQ(px[0], 255);
+  EXPECT_EQ(px[1], 63);
+  EXPECT_EQ(px[2], 0);
+  EXPECT_EQ(px[3], 127);
+  std::remove(path.c_str());
+}
+
+TEST(PgmTest, RejectsBadDimensions) {
+  EXPECT_TRUE(WritePgm("/tmp/x.pgm", {1.0, 2.0}, 3, 3).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace storm

@@ -1,0 +1,126 @@
+// storm_query: one-shot command-line client — import a CSV/TSV/JSONL file
+// and run a STORM query against it, streaming online estimates to stderr
+// and printing the final answer to stdout.
+//
+//   storm_query data.csv "SELECT AVG(temp_c) FROM data REGION(-115,37,-105,43) ERROR 2%"
+//   storm_query tweets.jsonl "SELECT TOPTERMS(10, text) FROM data" --quiet
+//
+// The table is always registered as "data". Exit code 0 on success, 1 on
+// any error. `--quiet` suppresses the progress stream; `--explain` prints
+// the plan instead of running (equivalent to an EXPLAIN prefix).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "storm/storm.h"
+
+namespace {
+
+using namespace storm;
+
+int Fail(const Status& st, const char* what) {
+  std::fprintf(stderr, "storm_query: %s: %s\n", what, st.ToString().c_str());
+  return 1;
+}
+
+void PrintFinal(const QueryResult& result) {
+  if (result.explain_only) {
+    std::printf("plan: %s (%s)\nestimated_cardinality: %.0f\n",
+                result.strategy.c_str(), result.decision.reason.c_str(),
+                result.decision.estimated_cardinality);
+    return;
+  }
+  switch (result.task) {
+    case QueryTask::kAggregate:
+      if (result.groups.empty()) {
+        std::printf("%s\n", result.ci.ToString().c_str());
+      } else {
+        for (const GroupRow& g : result.groups) {
+          std::printf("%lld\t%s\n", static_cast<long long>(g.key),
+                      g.ci.ToString().c_str());
+        }
+      }
+      break;
+    case QueryTask::kQuantile:
+      std::printf("%s  interval [%g, %g]\n", result.ci.ToString().c_str(),
+                  result.ci_lower, result.ci_upper);
+      break;
+    case QueryTask::kKde:
+      std::printf("%s", RenderHeatmap(result.kde_map, result.kde_width,
+                                      result.kde_height)
+                            .c_str());
+      break;
+    case QueryTask::kTopTerms:
+      for (const TermEstimate& t : result.terms) {
+        std::printf("%s\t%.4f ± %.4f\n", t.term.c_str(), t.frequency.estimate,
+                    t.frequency.half_width);
+      }
+      break;
+    case QueryTask::kCluster:
+      for (const Point2& c : result.centers) {
+        std::printf("%g\t%g\n", c[0], c[1]);
+      }
+      break;
+    case QueryTask::kTrajectory:
+      for (const TimedPoint& f : result.trajectory) {
+        std::printf("%g\t%g\t%g\n", f.t, f.position[0], f.position[1]);
+      }
+      break;
+  }
+  std::fprintf(stderr, "[%llu samples, %.1f ms, %s%s]\n",
+               static_cast<unsigned long long>(result.samples),
+               result.elapsed_ms, result.strategy.c_str(),
+               result.exhausted ? ", exact" : "");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: storm_query <file.csv|.tsv|.jsonl> \"QUERY\" "
+                 "[--quiet] [--explain]\n"
+                 "The table name in the query is always 'data'.\n");
+    return 1;
+  }
+  std::string path = argv[1];
+  std::string query = argv[2];
+  bool quiet = false;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else if (std::strcmp(argv[i], "--explain") == 0) {
+      query = "EXPLAIN " + query;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 1;
+    }
+  }
+
+  Session session;
+  Stopwatch load_watch;
+  Status st = session.ImportFile("data", path);
+  if (!st.ok()) return Fail(st, path.c_str());
+  auto table = session.GetTable("data");
+  if (table.ok() && !quiet) {
+    std::fprintf(stderr, "loaded %llu records in %.0f ms (%s)\n",
+                 static_cast<unsigned long long>((*table)->size()),
+                 load_watch.ElapsedMillis(),
+                 (*table)->schema().ToString().c_str());
+  }
+
+  uint64_t last = 0;
+  auto result = session.Execute(query, [&](const QueryProgress& p) {
+    if (!quiet && p.samples >= last + 1024) {
+      std::fprintf(stderr, "... k=%llu %s\n",
+                   static_cast<unsigned long long>(p.samples),
+                   p.ci.ToString().c_str());
+      last = p.samples;
+    }
+    return true;
+  });
+  if (!result.ok()) return Fail(result.status(), "query");
+  PrintFinal(*result);
+  return 0;
+}
