@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_level_ratio.dir/ablation_level_ratio.cc.o"
+  "CMakeFiles/ablation_level_ratio.dir/ablation_level_ratio.cc.o.d"
+  "ablation_level_ratio"
+  "ablation_level_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_level_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

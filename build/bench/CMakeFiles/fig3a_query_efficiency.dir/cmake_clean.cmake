@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3a_query_efficiency.dir/fig3a_query_efficiency.cc.o"
+  "CMakeFiles/fig3a_query_efficiency.dir/fig3a_query_efficiency.cc.o.d"
+  "fig3a_query_efficiency"
+  "fig3a_query_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_query_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

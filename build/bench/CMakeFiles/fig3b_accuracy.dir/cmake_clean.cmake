@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3b_accuracy.dir/fig3b_accuracy.cc.o"
+  "CMakeFiles/fig3b_accuracy.dir/fig3b_accuracy.cc.o.d"
+  "fig3b_accuracy"
+  "fig3b_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

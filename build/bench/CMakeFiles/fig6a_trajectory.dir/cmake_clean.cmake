@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6a_trajectory.dir/fig6a_trajectory.cc.o"
+  "CMakeFiles/fig6a_trajectory.dir/fig6a_trajectory.cc.o.d"
+  "fig6a_trajectory"
+  "fig6a_trajectory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_trajectory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6b_short_text.dir/fig6b_short_text.cc.o"
+  "CMakeFiles/fig6b_short_text.dir/fig6b_short_text.cc.o.d"
+  "fig6b_short_text"
+  "fig6b_short_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_short_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

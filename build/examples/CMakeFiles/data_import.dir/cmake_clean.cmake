@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_import.dir/data_import.cpp.o"
+  "CMakeFiles/data_import.dir/data_import.cpp.o.d"
+  "data_import"
+  "data_import.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_import.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/electricity_nyc.dir/electricity_nyc.cpp.o"
+  "CMakeFiles/electricity_nyc.dir/electricity_nyc.cpp.o.d"
+  "electricity_nyc"
+  "electricity_nyc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/electricity_nyc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/short_text.dir/short_text.cpp.o"
+  "CMakeFiles/short_text.dir/short_text.cpp.o.d"
+  "short_text"
+  "short_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/short_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

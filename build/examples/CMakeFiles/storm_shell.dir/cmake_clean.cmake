@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storm_shell.dir/storm_shell.cpp.o"
+  "CMakeFiles/storm_shell.dir/storm_shell.cpp.o.d"
+  "storm_shell"
+  "storm_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storm_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trajectory.dir/trajectory.cpp.o"
+  "CMakeFiles/trajectory.dir/trajectory.cpp.o.d"
+  "trajectory"
+  "trajectory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trajectory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

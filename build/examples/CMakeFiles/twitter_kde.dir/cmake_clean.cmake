@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twitter_kde.dir/twitter_kde.cpp.o"
+  "CMakeFiles/twitter_kde.dir/twitter_kde.cpp.o.d"
+  "twitter_kde"
+  "twitter_kde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twitter_kde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storm/analytics/kde.cc" "src/CMakeFiles/storm.dir/storm/analytics/kde.cc.o" "gcc" "src/CMakeFiles/storm.dir/storm/analytics/kde.cc.o.d"
+  "/root/repo/src/storm/analytics/kmeans.cc" "src/CMakeFiles/storm.dir/storm/analytics/kmeans.cc.o" "gcc" "src/CMakeFiles/storm.dir/storm/analytics/kmeans.cc.o.d"
+  "/root/repo/src/storm/analytics/text.cc" "src/CMakeFiles/storm.dir/storm/analytics/text.cc.o" "gcc" "src/CMakeFiles/storm.dir/storm/analytics/text.cc.o.d"
+  "/root/repo/src/storm/analytics/trajectory.cc" "src/CMakeFiles/storm.dir/storm/analytics/trajectory.cc.o" "gcc" "src/CMakeFiles/storm.dir/storm/analytics/trajectory.cc.o.d"
+  "/root/repo/src/storm/cluster/coordinator.cc" "src/CMakeFiles/storm.dir/storm/cluster/coordinator.cc.o" "gcc" "src/CMakeFiles/storm.dir/storm/cluster/coordinator.cc.o.d"
+  "/root/repo/src/storm/cluster/shard.cc" "src/CMakeFiles/storm.dir/storm/cluster/shard.cc.o" "gcc" "src/CMakeFiles/storm.dir/storm/cluster/shard.cc.o.d"
+  "/root/repo/src/storm/connector/csv.cc" "src/CMakeFiles/storm.dir/storm/connector/csv.cc.o" "gcc" "src/CMakeFiles/storm.dir/storm/connector/csv.cc.o.d"
+  "/root/repo/src/storm/connector/free_data.cc" "src/CMakeFiles/storm.dir/storm/connector/free_data.cc.o" "gcc" "src/CMakeFiles/storm.dir/storm/connector/free_data.cc.o.d"
+  "/root/repo/src/storm/connector/importer.cc" "src/CMakeFiles/storm.dir/storm/connector/importer.cc.o" "gcc" "src/CMakeFiles/storm.dir/storm/connector/importer.cc.o.d"
+  "/root/repo/src/storm/connector/jsonl.cc" "src/CMakeFiles/storm.dir/storm/connector/jsonl.cc.o" "gcc" "src/CMakeFiles/storm.dir/storm/connector/jsonl.cc.o.d"
+  "/root/repo/src/storm/connector/schema_discovery.cc" "src/CMakeFiles/storm.dir/storm/connector/schema_discovery.cc.o" "gcc" "src/CMakeFiles/storm.dir/storm/connector/schema_discovery.cc.o.d"
+  "/root/repo/src/storm/data/electricity_gen.cc" "src/CMakeFiles/storm.dir/storm/data/electricity_gen.cc.o" "gcc" "src/CMakeFiles/storm.dir/storm/data/electricity_gen.cc.o.d"
+  "/root/repo/src/storm/data/osm_gen.cc" "src/CMakeFiles/storm.dir/storm/data/osm_gen.cc.o" "gcc" "src/CMakeFiles/storm.dir/storm/data/osm_gen.cc.o.d"
+  "/root/repo/src/storm/data/tweet_gen.cc" "src/CMakeFiles/storm.dir/storm/data/tweet_gen.cc.o" "gcc" "src/CMakeFiles/storm.dir/storm/data/tweet_gen.cc.o.d"
+  "/root/repo/src/storm/data/weather_gen.cc" "src/CMakeFiles/storm.dir/storm/data/weather_gen.cc.o" "gcc" "src/CMakeFiles/storm.dir/storm/data/weather_gen.cc.o.d"
+  "/root/repo/src/storm/estimator/aggregate.cc" "src/CMakeFiles/storm.dir/storm/estimator/aggregate.cc.o" "gcc" "src/CMakeFiles/storm.dir/storm/estimator/aggregate.cc.o.d"
+  "/root/repo/src/storm/estimator/confidence.cc" "src/CMakeFiles/storm.dir/storm/estimator/confidence.cc.o" "gcc" "src/CMakeFiles/storm.dir/storm/estimator/confidence.cc.o.d"
+  "/root/repo/src/storm/estimator/group_by.cc" "src/CMakeFiles/storm.dir/storm/estimator/group_by.cc.o" "gcc" "src/CMakeFiles/storm.dir/storm/estimator/group_by.cc.o.d"
+  "/root/repo/src/storm/estimator/quantile.cc" "src/CMakeFiles/storm.dir/storm/estimator/quantile.cc.o" "gcc" "src/CMakeFiles/storm.dir/storm/estimator/quantile.cc.o.d"
+  "/root/repo/src/storm/geo/hilbert.cc" "src/CMakeFiles/storm.dir/storm/geo/hilbert.cc.o" "gcc" "src/CMakeFiles/storm.dir/storm/geo/hilbert.cc.o.d"
+  "/root/repo/src/storm/io/block_manager.cc" "src/CMakeFiles/storm.dir/storm/io/block_manager.cc.o" "gcc" "src/CMakeFiles/storm.dir/storm/io/block_manager.cc.o.d"
+  "/root/repo/src/storm/io/buffer_pool.cc" "src/CMakeFiles/storm.dir/storm/io/buffer_pool.cc.o" "gcc" "src/CMakeFiles/storm.dir/storm/io/buffer_pool.cc.o.d"
+  "/root/repo/src/storm/query/evaluator.cc" "src/CMakeFiles/storm.dir/storm/query/evaluator.cc.o" "gcc" "src/CMakeFiles/storm.dir/storm/query/evaluator.cc.o.d"
+  "/root/repo/src/storm/query/lexer.cc" "src/CMakeFiles/storm.dir/storm/query/lexer.cc.o" "gcc" "src/CMakeFiles/storm.dir/storm/query/lexer.cc.o.d"
+  "/root/repo/src/storm/query/optimizer.cc" "src/CMakeFiles/storm.dir/storm/query/optimizer.cc.o" "gcc" "src/CMakeFiles/storm.dir/storm/query/optimizer.cc.o.d"
+  "/root/repo/src/storm/query/parser.cc" "src/CMakeFiles/storm.dir/storm/query/parser.cc.o" "gcc" "src/CMakeFiles/storm.dir/storm/query/parser.cc.o.d"
+  "/root/repo/src/storm/query/session.cc" "src/CMakeFiles/storm.dir/storm/query/session.cc.o" "gcc" "src/CMakeFiles/storm.dir/storm/query/session.cc.o.d"
+  "/root/repo/src/storm/query/table.cc" "src/CMakeFiles/storm.dir/storm/query/table.cc.o" "gcc" "src/CMakeFiles/storm.dir/storm/query/table.cc.o.d"
+  "/root/repo/src/storm/query/update_manager.cc" "src/CMakeFiles/storm.dir/storm/query/update_manager.cc.o" "gcc" "src/CMakeFiles/storm.dir/storm/query/update_manager.cc.o.d"
+  "/root/repo/src/storm/rtree/rtree.cc" "src/CMakeFiles/storm.dir/storm/rtree/rtree.cc.o" "gcc" "src/CMakeFiles/storm.dir/storm/rtree/rtree.cc.o.d"
+  "/root/repo/src/storm/sampling/ls_tree.cc" "src/CMakeFiles/storm.dir/storm/sampling/ls_tree.cc.o" "gcc" "src/CMakeFiles/storm.dir/storm/sampling/ls_tree.cc.o.d"
+  "/root/repo/src/storm/sampling/query_first.cc" "src/CMakeFiles/storm.dir/storm/sampling/query_first.cc.o" "gcc" "src/CMakeFiles/storm.dir/storm/sampling/query_first.cc.o.d"
+  "/root/repo/src/storm/sampling/random_path.cc" "src/CMakeFiles/storm.dir/storm/sampling/random_path.cc.o" "gcc" "src/CMakeFiles/storm.dir/storm/sampling/random_path.cc.o.d"
+  "/root/repo/src/storm/sampling/rs_tree.cc" "src/CMakeFiles/storm.dir/storm/sampling/rs_tree.cc.o" "gcc" "src/CMakeFiles/storm.dir/storm/sampling/rs_tree.cc.o.d"
+  "/root/repo/src/storm/sampling/sample_first.cc" "src/CMakeFiles/storm.dir/storm/sampling/sample_first.cc.o" "gcc" "src/CMakeFiles/storm.dir/storm/sampling/sample_first.cc.o.d"
+  "/root/repo/src/storm/storage/record_store.cc" "src/CMakeFiles/storm.dir/storm/storage/record_store.cc.o" "gcc" "src/CMakeFiles/storm.dir/storm/storage/record_store.cc.o.d"
+  "/root/repo/src/storm/storage/value.cc" "src/CMakeFiles/storm.dir/storm/storage/value.cc.o" "gcc" "src/CMakeFiles/storm.dir/storm/storage/value.cc.o.d"
+  "/root/repo/src/storm/util/logging.cc" "src/CMakeFiles/storm.dir/storm/util/logging.cc.o" "gcc" "src/CMakeFiles/storm.dir/storm/util/logging.cc.o.d"
+  "/root/repo/src/storm/util/rng.cc" "src/CMakeFiles/storm.dir/storm/util/rng.cc.o" "gcc" "src/CMakeFiles/storm.dir/storm/util/rng.cc.o.d"
+  "/root/repo/src/storm/util/stats.cc" "src/CMakeFiles/storm.dir/storm/util/stats.cc.o" "gcc" "src/CMakeFiles/storm.dir/storm/util/stats.cc.o.d"
+  "/root/repo/src/storm/util/status.cc" "src/CMakeFiles/storm.dir/storm/util/status.cc.o" "gcc" "src/CMakeFiles/storm.dir/storm/util/status.cc.o.d"
+  "/root/repo/src/storm/util/time.cc" "src/CMakeFiles/storm.dir/storm/util/time.cc.o" "gcc" "src/CMakeFiles/storm.dir/storm/util/time.cc.o.d"
+  "/root/repo/src/storm/viz/render.cc" "src/CMakeFiles/storm.dir/storm/viz/render.cc.o" "gcc" "src/CMakeFiles/storm.dir/storm/viz/render.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storm_analytics_test.dir/analytics_test.cc.o"
+  "CMakeFiles/storm_analytics_test.dir/analytics_test.cc.o.d"
+  "storm_analytics_test"
+  "storm_analytics_test.pdb"
+  "storm_analytics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storm_analytics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storm_cluster_test.dir/cluster_test.cc.o"
+  "CMakeFiles/storm_cluster_test.dir/cluster_test.cc.o.d"
+  "storm_cluster_test"
+  "storm_cluster_test.pdb"
+  "storm_cluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storm_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

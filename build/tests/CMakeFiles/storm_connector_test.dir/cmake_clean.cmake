@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storm_connector_test.dir/connector_test.cc.o"
+  "CMakeFiles/storm_connector_test.dir/connector_test.cc.o.d"
+  "storm_connector_test"
+  "storm_connector_test.pdb"
+  "storm_connector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storm_connector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

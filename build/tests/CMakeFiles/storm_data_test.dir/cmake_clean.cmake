@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storm_data_test.dir/data_test.cc.o"
+  "CMakeFiles/storm_data_test.dir/data_test.cc.o.d"
+  "storm_data_test"
+  "storm_data_test.pdb"
+  "storm_data_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storm_data_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

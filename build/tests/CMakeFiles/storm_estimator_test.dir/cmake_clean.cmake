@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storm_estimator_test.dir/estimator_test.cc.o"
+  "CMakeFiles/storm_estimator_test.dir/estimator_test.cc.o.d"
+  "storm_estimator_test"
+  "storm_estimator_test.pdb"
+  "storm_estimator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storm_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

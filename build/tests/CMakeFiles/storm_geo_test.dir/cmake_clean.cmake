@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storm_geo_test.dir/geo_test.cc.o"
+  "CMakeFiles/storm_geo_test.dir/geo_test.cc.o.d"
+  "storm_geo_test"
+  "storm_geo_test.pdb"
+  "storm_geo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storm_geo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

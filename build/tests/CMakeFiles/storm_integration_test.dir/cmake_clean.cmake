@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storm_integration_test.dir/integration_test.cc.o"
+  "CMakeFiles/storm_integration_test.dir/integration_test.cc.o.d"
+  "storm_integration_test"
+  "storm_integration_test.pdb"
+  "storm_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storm_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

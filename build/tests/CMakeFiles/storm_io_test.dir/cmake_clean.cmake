@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storm_io_test.dir/io_test.cc.o"
+  "CMakeFiles/storm_io_test.dir/io_test.cc.o.d"
+  "storm_io_test"
+  "storm_io_test.pdb"
+  "storm_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storm_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

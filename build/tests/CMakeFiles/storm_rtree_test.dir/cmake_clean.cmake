@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storm_rtree_test.dir/rtree_test.cc.o"
+  "CMakeFiles/storm_rtree_test.dir/rtree_test.cc.o.d"
+  "storm_rtree_test"
+  "storm_rtree_test.pdb"
+  "storm_rtree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storm_rtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storm_sampler_test.dir/sampler_test.cc.o"
+  "CMakeFiles/storm_sampler_test.dir/sampler_test.cc.o.d"
+  "storm_sampler_test"
+  "storm_sampler_test.pdb"
+  "storm_sampler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storm_sampler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

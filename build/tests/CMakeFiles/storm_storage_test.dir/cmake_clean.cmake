@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storm_storage_test.dir/storage_test.cc.o"
+  "CMakeFiles/storm_storage_test.dir/storage_test.cc.o.d"
+  "storm_storage_test"
+  "storm_storage_test.pdb"
+  "storm_storage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storm_storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storm_util_test.dir/util_test.cc.o"
+  "CMakeFiles/storm_util_test.dir/util_test.cc.o.d"
+  "storm_util_test"
+  "storm_util_test.pdb"
+  "storm_util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storm_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storm_viz_test.dir/viz_test.cc.o"
+  "CMakeFiles/storm_viz_test.dir/viz_test.cc.o.d"
+  "storm_viz_test"
+  "storm_viz_test.pdb"
+  "storm_viz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storm_viz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/storm_util_test[1]_include.cmake")
+include("/root/repo/build/tests/storm_geo_test[1]_include.cmake")
+include("/root/repo/build/tests/storm_io_test[1]_include.cmake")
+include("/root/repo/build/tests/storm_rtree_test[1]_include.cmake")
+include("/root/repo/build/tests/storm_sampler_test[1]_include.cmake")
+include("/root/repo/build/tests/storm_estimator_test[1]_include.cmake")
+include("/root/repo/build/tests/storm_analytics_test[1]_include.cmake")
+include("/root/repo/build/tests/storm_storage_test[1]_include.cmake")
+include("/root/repo/build/tests/storm_connector_test[1]_include.cmake")
+include("/root/repo/build/tests/storm_query_test[1]_include.cmake")
+include("/root/repo/build/tests/storm_cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/storm_viz_test[1]_include.cmake")
+include("/root/repo/build/tests/storm_data_test[1]_include.cmake")
+include("/root/repo/build/tests/storm_integration_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storm_query.dir/storm_query.cpp.o"
+  "CMakeFiles/storm_query.dir/storm_query.cpp.o.d"
+  "storm_query"
+  "storm_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storm_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
