@@ -33,13 +33,13 @@ void Run() {
     Stopwatch watch;
     RTree<3> tree = build();
     double build_ms = watch.ElapsedMillis();
-    tree.ResetTouchCount();
+    const uint64_t touched_before = tree.nodes_touched();
     uint64_t hits = 0;
     for (const Rect3& q : queries) {
       hits += tree.RangeCount(q);
     }
-    double visits =
-        static_cast<double>(tree.nodes_touched()) / queries.size();
+    double visits = static_cast<double>(tree.nodes_touched() - touched_before) /
+                    queries.size();
     std::printf("%10s %14.1f %12llu %10d %18.1f\n", label, build_ms,
                 static_cast<unsigned long long>(tree.NodeCount()),
                 tree.Height(), visits);

@@ -126,9 +126,10 @@ int main() {
   for (const std::string& name : session.TableNames()) {
     std::printf(" %s", name.c_str());
   }
-  std::printf("\ntype a STORM query, \\tables, \\help or \\quit\n");
+  std::printf("\ntype a STORM query, \\tables, \\metrics, \\profile, \\help or \\quit\n");
 
   std::string line;
+  std::shared_ptr<QueryProfile> last_profile;
   while (true) {
     std::printf("storm> ");
     std::fflush(stdout);
@@ -155,7 +156,21 @@ int main() {
           "  clauses: REGION(x1,y1,x2,y2) TIME('from','to')\n"
           "           GROUP BY field | GROUP BY CELL(nx, ny)\n"
           "           CONFIDENCE 95%% ERROR 2%% WITHIN 500 MS SAMPLES n\n"
-          "           USING RSTREE|LSTREE|RANDOMPATH|QUERYFIRST|SAMPLEFIRST\n");
+          "           USING RSTREE|LSTREE|RANDOMPATH|QUERYFIRST|SAMPLEFIRST\n"
+          "  \\metrics  process-wide counters (Prometheus text format)\n"
+          "  \\profile  span/IO/convergence trace of the last query\n");
+      continue;
+    }
+    if (line == "\\metrics") {
+      std::printf("%s", MetricsRegistry::Default().ExposePrometheus().c_str());
+      continue;
+    }
+    if (line == "\\profile") {
+      if (last_profile == nullptr) {
+        std::printf("  no query profiled yet\n");
+      } else {
+        std::printf("%s", last_profile->ToString().c_str());
+      }
       continue;
     }
     uint64_t last_reported = 0;
@@ -172,6 +187,7 @@ int main() {
       std::printf("  error: %s\n", result.status().ToString().c_str());
       continue;
     }
+    last_profile = result->profile;
     PrintResult(*result);
   }
   return 0;

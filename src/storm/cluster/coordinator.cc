@@ -1,6 +1,9 @@
 #include "storm/cluster/coordinator.h"
 
 #include <algorithm>
+#include <chrono>
+
+#include "storm/obs/metrics.h"
 
 namespace storm {
 
@@ -91,8 +94,19 @@ class DistributedSampler final : public SpatialSampler<3> {
 
   DistributedSampler(const Cluster* cluster, Rng rng)
       : cluster_(cluster), rng_(rng) {
+    MetricsRegistry& reg = MetricsRegistry::Default();
+    plan_ms_ = reg.GetHistogram("storm_cluster_fanout_plan_ms",
+                                "Latency of the per-shard count plan round",
+                                MetricsRegistry::LatencyBucketsMs());
+    shards_touched_ = reg.GetGauge(
+        "storm_cluster_shards_touched",
+        "Shards with a non-empty partition for the last distributed query");
     for (int s = 0; s < cluster_->num_shards(); ++s) {
       locals_.push_back(cluster_->shard(s).NewSampler(rng_.Fork(s)));
+      shard_draws_.push_back(
+          reg.GetCounter("storm_cluster_shard_draws_total",
+                         "Samples drawn from each shard by the coordinator",
+                         {{"shard", std::to_string(s)}}));
     }
   }
 
@@ -102,12 +116,20 @@ class DistributedSampler final : public SpatialSampler<3> {
     drawn_.assign(locals_.size(), 0);
     total_ = 0;
     // Plan round-trip: exact per-shard counts.
+    auto plan_start = std::chrono::steady_clock::now();
     for (size_t s = 0; s < locals_.size(); ++s) {
       uint64_t q = cluster_->shard(static_cast<int>(s)).Count(query);
       weights_[s] = static_cast<double>(q);
       total_ += q;
       STORM_RETURN_NOT_OK(locals_[s]->Begin(query, mode));
     }
+    plan_ms_->Observe(
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - plan_start)
+            .count());
+    int touched = 0;
+    for (double w : weights_) touched += (w > 0.0) ? 1 : 0;
+    shards_touched_->Set(touched);
     began_ = true;
     return Status::OK();
   }
@@ -129,6 +151,7 @@ class DistributedSampler final : public SpatialSampler<3> {
           ++drawn_[s];
           weights_[s] = std::max(0.0, weights_[s] - 1.0);
         }
+        shard_draws_[s]->Increment();
         return e;
       }
       if (locals_[s]->IsExhausted()) {
@@ -167,6 +190,9 @@ class DistributedSampler final : public SpatialSampler<3> {
   std::vector<std::unique_ptr<SpatialSampler<3>>> locals_;
   std::vector<double> weights_;
   std::vector<uint64_t> drawn_;
+  std::vector<Counter*> shard_draws_;
+  Histogram* plan_ms_ = nullptr;
+  Gauge* shards_touched_ = nullptr;
   uint64_t total_ = 0;
   bool began_ = false;
 };

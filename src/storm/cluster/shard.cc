@@ -1,14 +1,21 @@
 #include "storm/cluster/shard.h"
 
+#include "storm/obs/metrics.h"
+
 namespace storm {
 
 Shard::Shard(int shard_id, std::vector<Entry> entries, RsTreeOptions options,
              uint64_t seed)
     : id_(shard_id),
       index_(std::make_unique<RsTree<3>>(std::move(entries), options,
-                                         seed ^ static_cast<uint64_t>(shard_id))) {}
+                                         seed ^ static_cast<uint64_t>(shard_id))),
+      count_ops_metric_(MetricsRegistry::Default().GetCounter(
+          "storm_cluster_shard_count_ops_total",
+          "Plan-round range counts served per shard",
+          {{"shard", std::to_string(shard_id)}})) {}
 
 uint64_t Shard::Count(const Rect3& query) const {
+  count_ops_metric_->Increment();
   return index_->tree().RangeCount(query);
 }
 

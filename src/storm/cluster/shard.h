@@ -39,6 +39,7 @@ class Shard {
  private:
   int id_;
   std::unique_ptr<RsTree<3>> index_;
+  class Counter* count_ops_metric_;  // plan-round counts served by this shard
 };
 
 }  // namespace storm

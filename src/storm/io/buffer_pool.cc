@@ -2,12 +2,21 @@
 
 #include <cassert>
 
+#include "storm/obs/metrics.h"
+
 namespace storm {
 
 BufferPool::BufferPool(BlockManager* disk, size_t capacity_pages)
     : disk_(disk), capacity_(capacity_pages) {
   assert(disk_ != nullptr);
   assert(capacity_ >= 1);
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  hits_metric_ = registry.GetCounter("storm_bufferpool_hits_total",
+                                     "Pin requests served from the pool");
+  misses_metric_ = registry.GetCounter("storm_bufferpool_misses_total",
+                                       "Pin requests that faulted to disk");
+  evictions_metric_ = registry.GetCounter("storm_bufferpool_evictions_total",
+                                          "Frames evicted to make room");
 }
 
 BufferPool::~BufferPool() {
@@ -22,6 +31,7 @@ Result<std::byte*> BufferPool::Pin(PageId id) {
   auto it = frames_.find(id);
   if (it != frames_.end()) {
     ++stats->pool_hits;
+    hits_metric_->Increment();
     Frame& f = it->second;
     if (f.in_lru) {
       lru_.erase(f.lru_pos);
@@ -31,6 +41,7 @@ Result<std::byte*> BufferPool::Pin(PageId id) {
     return f.data.get();
   }
   ++stats->pool_misses;
+  misses_metric_->Increment();
   if (frames_.size() >= capacity_) {
     STORM_RETURN_NOT_OK(EvictOne());
   }
@@ -98,6 +109,7 @@ Status BufferPool::EvictOne() {
     STORM_RETURN_NOT_OK(disk_->Write(victim, f.data.get()));
   }
   ++disk_->mutable_stats()->evictions;
+  evictions_metric_->Increment();
   frames_.erase(it);
   return Status::OK();
 }

@@ -74,6 +74,11 @@ class BufferPool {
   size_t capacity_;
   std::unordered_map<PageId, Frame> frames_;
   std::list<PageId> lru_;  // front = least recently used
+  // Process-wide pool metrics (all pools aggregate into the same family);
+  // resolved once at construction so Pin() pays one relaxed add per event.
+  class Counter* hits_metric_;
+  class Counter* misses_metric_;
+  class Counter* evictions_metric_;
 };
 
 }  // namespace storm

@@ -25,6 +25,15 @@ struct IoStats {
 
   void Reset() { *this = IoStats(); }
 
+  /// Fraction of pin requests served from the buffer pool; 0 when no
+  /// logical reads have happened yet.
+  double hit_rate() const {
+    return logical_reads == 0
+               ? 0.0
+               : static_cast<double>(pool_hits) /
+                     static_cast<double>(logical_reads);
+  }
+
   IoStats operator-(const IoStats& other) const {
     IoStats d;
     d.physical_reads = physical_reads - other.physical_reads;
@@ -35,6 +44,23 @@ struct IoStats {
     d.evictions = evictions - other.evictions;
     d.pages_allocated = pages_allocated - other.pages_allocated;
     return d;
+  }
+
+  IoStats& operator+=(const IoStats& other) {
+    physical_reads += other.physical_reads;
+    physical_writes += other.physical_writes;
+    logical_reads += other.logical_reads;
+    pool_hits += other.pool_hits;
+    pool_misses += other.pool_misses;
+    evictions += other.evictions;
+    pages_allocated += other.pages_allocated;
+    return *this;
+  }
+
+  IoStats operator+(const IoStats& other) const {
+    IoStats s = *this;
+    s += other;
+    return s;
   }
 
   std::string ToString() const;

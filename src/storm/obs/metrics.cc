@@ -1,0 +1,308 @@
+#include "storm/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "storm/util/logging.h"
+
+namespace storm {
+
+namespace {
+
+// Formats a double the way Prometheus clients expect: integral values
+// without a trailing ".000000", non-integral values with full precision.
+std::string FormatNumber(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (std::isnan(v)) return "NaN";
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    std::ostringstream out;
+    out << static_cast<long long>(v);
+    return out.str();
+  }
+  std::ostringstream out;
+  out << v;
+  return out.str();
+}
+
+void EscapeJsonTo(std::string_view s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+std::string SerializeLabels(const MetricLabels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k;
+    out += "=\"";
+    out += v;
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+// Label block for one histogram bucket: existing labels plus le="...".
+std::string BucketLabels(const MetricLabels& labels, const std::string& le) {
+  MetricLabels with_le = labels;
+  with_le["le"] = le;
+  return SerializeLabels(with_le);
+}
+
+const char* KindName(int kind) {
+  switch (kind) {
+    case 0:
+      return "counter";
+    case 1:
+      return "gauge";
+    case 2:
+      return "histogram";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+void Histogram::Observe(double v) {
+  size_t i = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> out(bounds_.size() + 1);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+MetricsRegistry::Family* MetricsRegistry::FamilyFor(const std::string& name,
+                                                    Kind kind,
+                                                    const std::string& help) {
+  auto it = families_.find(name);
+  if (it == families_.end()) {
+    Family family;
+    family.kind = kind;
+    family.help = help;
+    it = families_.emplace(name, std::move(family)).first;
+  } else if (it->second.kind != kind) {
+    STORM_LOG(Error) << "metric '" << name << "' already registered as "
+                     << KindName(static_cast<int>(it->second.kind))
+                     << ", requested as " << KindName(static_cast<int>(kind));
+    return nullptr;
+  }
+  if (it->second.help.empty() && !help.empty()) it->second.help = help;
+  return &it->second;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help,
+                                     const MetricLabels& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family* family = FamilyFor(name, Kind::kCounter, help);
+  if (family == nullptr) {
+    orphan_counters_.push_back(std::make_unique<Counter>());
+    return orphan_counters_.back().get();
+  }
+  Instrument& inst = family->instruments[SerializeLabels(labels)];
+  if (inst.counter == nullptr) {
+    inst.labels = labels;
+    inst.counter = std::make_unique<Counter>();
+  }
+  return inst.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help,
+                                 const MetricLabels& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family* family = FamilyFor(name, Kind::kGauge, help);
+  if (family == nullptr) {
+    orphan_gauges_.push_back(std::make_unique<Gauge>());
+    return orphan_gauges_.back().get();
+  }
+  Instrument& inst = family->instruments[SerializeLabels(labels)];
+  if (inst.gauge == nullptr) {
+    inst.labels = labels;
+    inst.gauge = std::make_unique<Gauge>();
+  }
+  return inst.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         std::vector<double> bounds,
+                                         const MetricLabels& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family* family = FamilyFor(name, Kind::kHistogram, help);
+  if (family == nullptr) {
+    orphan_histograms_.push_back(std::make_unique<Histogram>(std::move(bounds)));
+    return orphan_histograms_.back().get();
+  }
+  Instrument& inst = family->instruments[SerializeLabels(labels)];
+  if (inst.histogram == nullptr) {
+    inst.labels = labels;
+    inst.histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return inst.histogram.get();
+}
+
+std::string MetricsRegistry::ExposePrometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, family] : families_) {
+    if (!family.help.empty()) {
+      out += "# HELP " + name + " " + family.help + "\n";
+    }
+    out += "# TYPE " + name + " ";
+    out += KindName(static_cast<int>(family.kind));
+    out += "\n";
+    for (const auto& [key, inst] : family.instruments) {
+      switch (family.kind) {
+        case Kind::kCounter:
+          out += name + key + " " + std::to_string(inst.counter->Value()) + "\n";
+          break;
+        case Kind::kGauge:
+          out += name + key + " " + FormatNumber(inst.gauge->Value()) + "\n";
+          break;
+        case Kind::kHistogram: {
+          const Histogram& h = *inst.histogram;
+          std::vector<uint64_t> buckets = h.BucketCounts();
+          uint64_t cumulative = 0;
+          for (size_t i = 0; i < h.bounds().size(); ++i) {
+            cumulative += buckets[i];
+            out += name + "_bucket" +
+                   BucketLabels(inst.labels, FormatNumber(h.bounds()[i])) +
+                   " " + std::to_string(cumulative) + "\n";
+          }
+          cumulative += buckets.back();
+          out += name + "_bucket" + BucketLabels(inst.labels, "+Inf") + " " +
+                 std::to_string(cumulative) + "\n";
+          out += name + "_sum" + key + " " + FormatNumber(h.sum()) + "\n";
+          out += name + "_count" + key + " " + std::to_string(h.count()) + "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ExposeJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"metrics\":[";
+  bool first = true;
+  for (const auto& [name, family] : families_) {
+    for (const auto& [key, inst] : family.instruments) {
+      if (!first) out += ",";
+      first = false;
+      out += "{\"name\":\"";
+      EscapeJsonTo(name, &out);
+      out += "\",\"type\":\"";
+      out += KindName(static_cast<int>(family.kind));
+      out += "\",\"labels\":{";
+      bool first_label = true;
+      for (const auto& [k, v] : inst.labels) {
+        if (!first_label) out += ",";
+        first_label = false;
+        out += "\"";
+        EscapeJsonTo(k, &out);
+        out += "\":\"";
+        EscapeJsonTo(v, &out);
+        out += "\"";
+      }
+      out += "}";
+      switch (family.kind) {
+        case Kind::kCounter:
+          out += ",\"value\":" + std::to_string(inst.counter->Value());
+          break;
+        case Kind::kGauge:
+          out += ",\"value\":" + FormatNumber(inst.gauge->Value());
+          break;
+        case Kind::kHistogram: {
+          const Histogram& h = *inst.histogram;
+          out += ",\"count\":" + std::to_string(h.count());
+          out += ",\"sum\":" + FormatNumber(h.sum());
+          out += ",\"buckets\":[";
+          std::vector<uint64_t> buckets = h.BucketCounts();
+          for (size_t i = 0; i < buckets.size(); ++i) {
+            if (i > 0) out += ",";
+            std::string le = i < h.bounds().size()
+                                 ? FormatNumber(h.bounds()[i])
+                                 : std::string("\"+Inf\"");
+            out += "[" + le + "," + std::to_string(buckets[i]) + "]";
+          }
+          out += "]";
+          break;
+        }
+      }
+      out += "}";
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+std::vector<double> MetricsRegistry::LatencyBucketsMs() {
+  return {0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500,
+          1000, 2500, 5000, 10000, 30000};
+}
+
+SamplerCounters GetSamplerCounters(std::string_view sampler) {
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  MetricLabels labels{{"sampler", std::string(sampler)}};
+  SamplerCounters counters;
+  counters.begins = registry.GetCounter(
+      "storm_sampler_begins_total", "Online queries started, by strategy",
+      labels);
+  counters.draws = registry.GetCounter(
+      "storm_sampler_draws_total",
+      "Accepted online samples returned by Next(), by strategy", labels);
+  return counters;
+}
+
+}  // namespace storm

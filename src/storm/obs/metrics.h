@@ -1,0 +1,147 @@
+// MetricsRegistry: named counters, gauges, and fixed-bucket histograms for
+// the serving-side observability layer.
+//
+// The hot path is lock-free: instruments are plain atomics, and call sites
+// resolve an instrument pointer once (per query / per component) and then
+// increment through it from inside Next()/Pin() loops. Registration and
+// exposition take a registry mutex; both are off the hot path.
+//
+// Exposition formats: Prometheus text (ExposePrometheus) for scraping and a
+// JSON document (ExposeJson) for programmatic clients. Metric names follow
+// the convention documented in docs/OBSERVABILITY.md:
+// storm_<component>_<what>[_total|_ms].
+
+#ifndef STORM_OBS_METRICS_H_
+#define STORM_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace storm {
+
+/// A monotonically increasing counter. Thread-safe, lock-free.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A gauge: a value that can go up and down. Thread-safe, lock-free.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double d) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + d,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// A fixed-bucket histogram (Prometheus-style: buckets are upper bounds,
+/// with an implicit +Inf bucket). Thread-safe, lock-free observes.
+class Histogram {
+ public:
+  /// `bounds` must be strictly increasing; the +Inf bucket is implicit.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; size bounds().size() + 1, the last
+  /// entry being the +Inf bucket.
+  std::vector<uint64_t> BucketCounts() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Label set attached to one instrument of a metric family. Ordered so the
+/// serialized form (and hence the exposition output) is deterministic.
+using MetricLabels = std::map<std::string, std::string>;
+
+class MetricsRegistry {
+ public:
+  /// Each Get* registers the (name, labels) instrument on first use and
+  /// returns the same pointer afterwards. Pointers stay valid for the
+  /// registry's lifetime. Asking for an existing name with a different
+  /// instrument type logs an error and returns a detached instrument that
+  /// is never exported (so call sites need no error handling).
+  Counter* GetCounter(const std::string& name, const std::string& help = "",
+                      const MetricLabels& labels = {});
+  Gauge* GetGauge(const std::string& name, const std::string& help = "",
+                  const MetricLabels& labels = {});
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          std::vector<double> bounds,
+                          const MetricLabels& labels = {});
+
+  /// Prometheus text exposition format, families sorted by name.
+  std::string ExposePrometheus() const;
+
+  /// JSON exposition: {"metrics": [{name, type, labels, ...}, ...]}.
+  std::string ExposeJson() const;
+
+  /// The process-wide registry used by all built-in instrumentation.
+  static MetricsRegistry& Default();
+
+  /// Default latency buckets (milliseconds), sub-ms to tens of seconds.
+  static std::vector<double> LatencyBucketsMs();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Instrument {
+    MetricLabels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  struct Family {
+    Kind kind = Kind::kCounter;
+    std::string help;
+    std::map<std::string, Instrument> instruments;  // key: serialized labels
+  };
+
+  Family* FamilyFor(const std::string& name, Kind kind,
+                    const std::string& help);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Family> families_;
+  // Instruments handed out on type mismatch; owned but never exported.
+  std::vector<std::unique_ptr<Counter>> orphan_counters_;
+  std::vector<std::unique_ptr<Gauge>> orphan_gauges_;
+  std::vector<std::unique_ptr<Histogram>> orphan_histograms_;
+};
+
+/// Per-strategy sampler instruments, resolved once per Begin() so Next()
+/// only pays one relaxed atomic add per accepted draw.
+struct SamplerCounters {
+  Counter* begins = nullptr;
+  Counter* draws = nullptr;
+};
+SamplerCounters GetSamplerCounters(std::string_view sampler);
+
+}  // namespace storm
+
+#endif  // STORM_OBS_METRICS_H_

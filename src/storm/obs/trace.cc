@@ -1,0 +1,215 @@
+#include "storm/obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace storm {
+
+namespace {
+
+void EscapeJsonTo(std::string_view s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4f", v);
+  return buf;
+}
+
+}  // namespace
+
+void QueryProfile::ScopedSpan::End() {
+  if (profile_ != nullptr) {
+    profile_->EndSpan(index_);
+    profile_ = nullptr;
+  }
+}
+
+void QueryProfile::ScopedSpan::SetSamples(uint64_t samples) {
+  if (profile_ != nullptr) profile_->spans_[index_].samples = samples;
+}
+
+void QueryProfile::ScopedSpan::SetNote(std::string note) {
+  if (profile_ != nullptr) profile_->spans_[index_].note = std::move(note);
+}
+
+QueryProfile::QueryProfile() {
+  TraceSpan root;
+  root.name = "query";
+  spans_.push_back(std::move(root));
+  start_io_.push_back(IoStats());
+  span_open_.push_back(true);
+  open_stack_.push_back(0);
+}
+
+QueryProfile::ScopedSpan QueryProfile::Span(std::string name) {
+  TraceSpan span;
+  span.name = std::move(name);
+  span.depth = static_cast<int>(open_stack_.size());
+  span.start_ms = watch_.ElapsedMillis();
+  size_t index = spans_.size();
+  spans_.push_back(std::move(span));
+  start_io_.push_back(CurrentIo());
+  span_open_.push_back(true);
+  open_stack_.push_back(index);
+  return ScopedSpan(this, index);
+}
+
+void QueryProfile::EndSpan(size_t index) {
+  if (index >= spans_.size() || !span_open_[index]) return;
+  TraceSpan& span = spans_[index];
+  span.wall_ms = watch_.ElapsedMillis() - span.start_ms;
+  span.io = CurrentIo() - start_io_[index];
+  span_open_[index] = false;
+  open_stack_.erase(std::remove(open_stack_.begin(), open_stack_.end(), index),
+                    open_stack_.end());
+}
+
+void QueryProfile::Finish() {
+  // Root's sample count defaults to the deepest loop's count.
+  if (spans_[0].samples == 0) {
+    for (const TraceSpan& s : spans_) {
+      spans_[0].samples = std::max(spans_[0].samples, s.samples);
+    }
+  }
+  while (!open_stack_.empty()) EndSpan(open_stack_.back());
+}
+
+void QueryProfile::AddConvergencePoint(double elapsed_ms, uint64_t samples,
+                                       double estimate, double half_width,
+                                       double cardinality_estimate) {
+  if (points_seen_++ % point_stride_ != 0) return;
+  points_.push_back(ConvergencePoint{elapsed_ms, samples, estimate, half_width,
+                                     cardinality_estimate});
+  if (points_.size() >= kMaxConvergencePoints) {
+    // Keep every other point; future points arrive at double the stride.
+    size_t w = 0;
+    for (size_t r = 0; r < points_.size(); r += 2) points_[w++] = points_[r];
+    points_.resize(w);
+    point_stride_ *= 2;
+  }
+}
+
+const TraceSpan* QueryProfile::Find(std::string_view name) const {
+  for (const TraceSpan& s : spans_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::string QueryProfile::ToJson() const {
+  std::string out = "{\"query\":\"";
+  EscapeJsonTo(query, &out);
+  out += "\",\"table\":\"";
+  EscapeJsonTo(table, &out);
+  out += "\",\"task\":\"";
+  EscapeJsonTo(task, &out);
+  out += "\",\"sampler\":\"";
+  EscapeJsonTo(sampler, &out);
+  out += "\",\"total_ms\":" + Num(total_ms());
+  out += ",\"total_samples\":" + std::to_string(total_samples());
+  out += ",\"spans\":[";
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    const TraceSpan& s = spans_[i];
+    if (i > 0) out += ",";
+    out += "{\"name\":\"";
+    EscapeJsonTo(s.name, &out);
+    out += "\",\"depth\":" + std::to_string(s.depth);
+    out += ",\"start_ms\":" + Num(s.start_ms);
+    out += ",\"wall_ms\":" + Num(s.wall_ms);
+    out += ",\"samples\":" + std::to_string(s.samples);
+    out += ",\"io\":{";
+    out += "\"logical_reads\":" + std::to_string(s.io.logical_reads);
+    out += ",\"physical_reads\":" + std::to_string(s.io.physical_reads);
+    out += ",\"physical_writes\":" + std::to_string(s.io.physical_writes);
+    out += ",\"pool_hits\":" + std::to_string(s.io.pool_hits);
+    out += ",\"pool_misses\":" + std::to_string(s.io.pool_misses);
+    out += ",\"evictions\":" + std::to_string(s.io.evictions);
+    out += "}";
+    if (!s.note.empty()) {
+      out += ",\"note\":\"";
+      EscapeJsonTo(s.note, &out);
+      out += "\"";
+    }
+    out += "}";
+  }
+  out += "],\"convergence\":[";
+  for (size_t i = 0; i < points_.size(); ++i) {
+    const ConvergencePoint& p = points_[i];
+    if (i > 0) out += ",";
+    out += "[" + Num(p.ms) + "," + std::to_string(p.samples) + "," +
+           Num(p.estimate) + "," + Num(p.half_width) + "," +
+           Num(p.cardinality_estimate) + "]";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string QueryProfile::ToString() const {
+  std::string out;
+  char line[256];
+  out += "query profile";
+  if (!query.empty()) out += ": " + query;
+  out += "\n";
+  std::snprintf(line, sizeof(line), "  table=%s task=%s sampler=%s\n",
+                table.empty() ? "?" : table.c_str(),
+                task.empty() ? "?" : task.c_str(),
+                sampler.empty() ? "?" : sampler.c_str());
+  out += line;
+  std::snprintf(line, sizeof(line), "  %-28s %10s %10s %9s %9s %9s\n", "span",
+                "wall ms", "samples", "log_rd", "hits", "misses");
+  out += line;
+  for (const TraceSpan& s : spans_) {
+    std::string name(static_cast<size_t>(s.depth) * 2, ' ');
+    name += s.name;
+    std::snprintf(line, sizeof(line),
+                  "  %-28s %10.2f %10llu %9llu %9llu %9llu", name.c_str(),
+                  s.wall_ms, static_cast<unsigned long long>(s.samples),
+                  static_cast<unsigned long long>(s.io.logical_reads),
+                  static_cast<unsigned long long>(s.io.pool_hits),
+                  static_cast<unsigned long long>(s.io.pool_misses));
+    out += line;
+    if (!s.note.empty()) out += "  [" + s.note + "]";
+    out += "\n";
+  }
+  if (!points_.empty()) {
+    const ConvergencePoint& first = points_.front();
+    const ConvergencePoint& last = points_.back();
+    std::snprintf(line, sizeof(line),
+                  "  convergence: %zu points, CI half-width %.4g -> %.4g over "
+                  "%.1f ms (q-estimate %.0f)\n",
+                  points_.size(), first.half_width, last.half_width, last.ms,
+                  last.cardinality_estimate);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace storm

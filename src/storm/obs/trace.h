@@ -1,0 +1,153 @@
+// Query tracing: per-query profiles built from a tree of timed spans.
+//
+// Session::Execute opens a root span and the evaluator opens child spans per
+// phase (parse, optimize, prepare, sample_loop). Each span captures wall
+// time, sample count, and the IoStats delta of the table's simulated disk
+// while the span was open; the sample loop additionally appends a
+// convergence trajectory (estimate, CI half-width, and cardinality estimate
+// over time) so a client can render the tightening interval of Figure 1.
+//
+// Profiles are single-query, single-thread objects: the query path builds
+// one while it runs and hands it to the caller inside QueryResult.
+
+#ifndef STORM_OBS_TRACE_H_
+#define STORM_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storm/io/io_stats.h"
+#include "storm/util/stopwatch.h"
+
+namespace storm {
+
+/// One closed (or still-open) phase of a query.
+struct TraceSpan {
+  std::string name;
+  int depth = 0;         ///< nesting level; 0 is the root "query" span
+  double start_ms = 0.0;  ///< offset from profile creation
+  double wall_ms = 0.0;
+  uint64_t samples = 0;  ///< samples drawn during the span (0 if n/a)
+  IoStats io;            ///< simulated-disk delta while the span was open
+  std::string note;      ///< free-form detail (sampler choice, reason, ...)
+};
+
+/// One point of the estimate trajectory recorded by the sample loop.
+struct ConvergencePoint {
+  double ms = 0.0;
+  uint64_t samples = 0;
+  double estimate = 0.0;
+  double half_width = 0.0;
+  double cardinality_estimate = 0.0;
+};
+
+class QueryProfile {
+ public:
+  /// RAII handle for an open span. End() (or destruction) stamps wall time
+  /// and the IoStats delta. Move-only; a default-constructed handle is
+  /// inert, which lets call sites run unconditionally with a null profile.
+  class ScopedSpan {
+   public:
+    ScopedSpan() = default;
+    ScopedSpan(ScopedSpan&& other) noexcept { *this = std::move(other); }
+    ScopedSpan& operator=(ScopedSpan&& other) noexcept {
+      End();
+      profile_ = other.profile_;
+      index_ = other.index_;
+      other.profile_ = nullptr;
+      return *this;
+    }
+    ScopedSpan(const ScopedSpan&) = delete;
+    ScopedSpan& operator=(const ScopedSpan&) = delete;
+    ~ScopedSpan() { End(); }
+
+    void End();
+    void SetSamples(uint64_t samples);
+    void SetNote(std::string note);
+
+   private:
+    friend class QueryProfile;
+    ScopedSpan(QueryProfile* profile, size_t index)
+        : profile_(profile), index_(index) {}
+    QueryProfile* profile_ = nullptr;
+    size_t index_ = 0;
+  };
+
+  /// Creation opens the root "query" span.
+  QueryProfile();
+
+  /// Points the profile at a live IoStats (typically the table's record
+  /// store) so spans can snapshot deltas. May stay unset; deltas are then
+  /// all zero. The source must outlive every open span.
+  void SetIoSource(const IoStats* source) { io_source_ = source; }
+
+  /// Opens a child span under the innermost open span.
+  ScopedSpan Span(std::string name);
+
+  /// Closes every span still open (the root included). Idempotent; called
+  /// by Session before handing the profile out.
+  void Finish();
+
+  /// Appends to the convergence trajectory; decimates by power-of-two
+  /// strides once `kMaxConvergencePoints` is reached, so profiles of
+  /// long-running queries stay bounded.
+  void AddConvergencePoint(double elapsed_ms, uint64_t samples,
+                           double estimate, double half_width,
+                           double cardinality_estimate);
+
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+  const std::vector<ConvergencePoint>& convergence() const { return points_; }
+
+  /// First span with this name, or nullptr.
+  const TraceSpan* Find(std::string_view name) const;
+
+  double total_ms() const { return spans_.empty() ? 0.0 : spans_[0].wall_ms; }
+  IoStats total_io() const { return spans_.empty() ? IoStats() : spans_[0].io; }
+  /// Sample count of the root span (the evaluator propagates the loop's
+  /// count upward when it finishes).
+  uint64_t total_samples() const {
+    return spans_.empty() ? 0 : spans_[0].samples;
+  }
+
+  /// Compact JSON document (spans + convergence + metadata).
+  std::string ToJson() const;
+
+  /// Human-readable profile for the shell's \profile command.
+  std::string ToString() const;
+
+  // Query metadata, filled in by the session/evaluator as it becomes known.
+  std::string query;
+  std::string table;
+  std::string task;
+  std::string sampler;
+
+  static constexpr size_t kMaxConvergencePoints = 512;
+
+ private:
+  IoStats CurrentIo() const {
+    return io_source_ != nullptr ? *io_source_ : IoStats();
+  }
+  void EndSpan(size_t index);
+
+  Stopwatch watch_;
+  const IoStats* io_source_ = nullptr;
+  std::vector<TraceSpan> spans_;
+  std::vector<IoStats> start_io_;   // parallel to spans_
+  std::vector<bool> span_open_;     // parallel to spans_
+  std::vector<size_t> open_stack_;  // indices of open spans, root first
+  std::vector<ConvergencePoint> points_;
+  uint64_t points_seen_ = 0;
+  uint64_t point_stride_ = 1;
+};
+
+/// A span on `profile`, or an inert handle when `profile` is null.
+inline QueryProfile::ScopedSpan ProfileSpan(QueryProfile* profile,
+                                            const char* name) {
+  return profile != nullptr ? profile->Span(name) : QueryProfile::ScopedSpan();
+}
+
+}  // namespace storm
+
+#endif  // STORM_OBS_TRACE_H_

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "storm/obs/metrics.h"
 #include "storm/sampling/failover.h"
 
 namespace storm {
@@ -15,6 +16,7 @@ constexpr uint64_t kDefaultSampleCap = 100'000;
 
 Result<std::unique_ptr<SpatialSampler<3>>> QueryEvaluator::MakeSampler(
     const QueryAst& ast, QueryResult* result) const {
+  QueryProfile::ScopedSpan span = ProfileSpan(profile_, "optimize");
   SamplerStrategy strategy = ast.method;
   result->decision =
       optimizer_.Choose(*table_, ast.QueryBox(), ast.sample_limit);
@@ -25,6 +27,8 @@ Result<std::unique_ptr<SpatialSampler<3>>> QueryEvaluator::MakeSampler(
     result->decision.reason = "USING hint";
   }
   result->strategy = SamplerStrategyToString(strategy);
+  if (profile_ != nullptr) profile_->sampler = result->strategy;
+  span.SetNote(result->strategy + ": " + result->decision.reason);
   uint64_t seed = table_->rs_tree().size() * 0x9e37 + 17;
   // SampleFirst can stall on mis-estimated selective queries (it gives up
   // after its attempt budget); arm a mid-query switch to the RS-tree so the
@@ -70,6 +74,9 @@ StoppingRule QueryEvaluator::RuleFor(const QueryAst& ast) const {
 
 Result<QueryResult> QueryEvaluator::Execute(const QueryAst& ast,
                                             const ProgressFn& progress) {
+  if (profile_ != nullptr) {
+    profile_->task = std::string(QueryTaskToString(ast.task));
+  }
   if (ast.explain) {
     QueryResult result;
     result.task = ast.task;
@@ -83,29 +90,60 @@ Result<QueryResult> QueryEvaluator::Execute(const QueryAst& ast,
     result.strategy = SamplerStrategyToString(result.decision.strategy);
     return result;
   }
+  Result<QueryResult> result = Status::InvalidArgument("unknown query task");
   switch (ast.task) {
     case QueryTask::kAggregate:
-      return (ast.group_by.empty() && !ast.GroupByCell())
-                 ? RunAggregate(ast, progress)
-                 : RunGroupBy(ast, progress);
+      result = (ast.group_by.empty() && !ast.GroupByCell())
+                   ? RunAggregate(ast, progress)
+                   : RunGroupBy(ast, progress);
+      break;
     case QueryTask::kQuantile:
-      return RunQuantile(ast, progress);
+      result = RunQuantile(ast, progress);
+      break;
     case QueryTask::kKde:
-      return RunKde(ast, progress);
+      result = RunKde(ast, progress);
+      break;
     case QueryTask::kTopTerms:
-      return RunTopTerms(ast, progress);
+      result = RunTopTerms(ast, progress);
+      break;
     case QueryTask::kCluster:
-      return RunCluster(ast, progress);
+      result = RunCluster(ast, progress);
+      break;
     case QueryTask::kTrajectory:
-      return RunTrajectory(ast, progress);
+      result = RunTrajectory(ast, progress);
+      break;
   }
-  return Status::InvalidArgument("unknown query task");
+  MetricsRegistry& reg = MetricsRegistry::Default();
+  MetricLabels task_label{{"task", std::string(QueryTaskToString(ast.task))}};
+  if (result.ok()) {
+    reg.GetCounter("storm_queries_total", "Queries executed, by task",
+                   task_label)
+        ->Increment();
+    if (result->cancelled) {
+      reg.GetCounter("storm_queries_cancelled_total",
+                     "Queries stopped by the progress callback", task_label)
+          ->Increment();
+    }
+    reg.GetHistogram("storm_query_duration_ms", "End-to-end query wall time",
+                     MetricsRegistry::LatencyBucketsMs())
+        ->Observe(result->elapsed_ms);
+    reg.GetHistogram("storm_query_samples",
+                     "Online samples drawn per query",
+                     {1, 10, 100, 1000, 10000, 100000, 1000000})
+        ->Observe(static_cast<double>(result->samples));
+  } else {
+    reg.GetCounter("storm_queries_failed_total", "Queries that returned an error",
+                   task_label)
+        ->Increment();
+  }
+  return result;
 }
 
 Result<QueryResult> QueryEvaluator::RunAggregate(const QueryAst& ast,
                                                  const ProgressFn& progress) {
   QueryResult result;
   result.task = ast.task;
+  QueryProfile::ScopedSpan prepare = ProfileSpan(profile_, "prepare");
   STORM_ASSIGN_OR_RETURN(std::unique_ptr<SpatialSampler<3>> sampler,
                          MakeSampler(ast, &result));
   AttributeFn<3> attr;
@@ -121,10 +159,17 @@ Result<QueryResult> QueryEvaluator::RunAggregate(const QueryAst& ast,
   OnlineAggregator<3> agg(sampler.get(), std::move(attr), ast.aggregate,
                           ast.confidence);
   STORM_RETURN_NOT_OK(agg.Begin(ast.QueryBox()));
+  prepare.End();
   StoppingRule rule = RuleFor(ast);
+  QueryProfile::ScopedSpan loop = ProfileSpan(profile_, "sample_loop");
   while (true) {
     uint64_t drawn = agg.Step(kBatch);
     ConfidenceInterval ci = agg.Current();
+    if (profile_ != nullptr) {
+      profile_->AddConvergencePoint(agg.elapsed_millis(), agg.samples_drawn(),
+                                    ci.estimate, ci.half_width,
+                                    sampler->Cardinality().estimate);
+    }
     if (progress) {
       QueryProgress p;
       p.samples = agg.samples_drawn();
@@ -137,6 +182,8 @@ Result<QueryResult> QueryEvaluator::RunAggregate(const QueryAst& ast,
     }
     if (rule.ShouldStop(ci, agg.elapsed_millis()) || drawn == 0) break;
   }
+  loop.SetSamples(agg.samples_drawn());
+  loop.End();
   result.ci = agg.Current();
   result.samples = agg.samples_drawn();
   result.elapsed_ms = agg.elapsed_millis();
@@ -148,6 +195,7 @@ Result<QueryResult> QueryEvaluator::RunQuantile(const QueryAst& ast,
                                                 const ProgressFn& progress) {
   QueryResult result;
   result.task = ast.task;
+  QueryProfile::ScopedSpan prepare = ProfileSpan(profile_, "prepare");
   STORM_ASSIGN_OR_RETURN(std::unique_ptr<SpatialSampler<3>> sampler,
                          MakeSampler(ast, &result));
   STORM_RETURN_NOT_OK(CheckAttribute(*table_, ast.attribute));
@@ -160,10 +208,18 @@ Result<QueryResult> QueryEvaluator::RunQuantile(const QueryAst& ast,
   OnlineQuantile<3> quantile(sampler.get(), std::move(attr), ast.quantile_phi,
                              ast.confidence);
   STORM_RETURN_NOT_OK(quantile.Begin(ast.QueryBox()));
+  prepare.End();
   StoppingRule rule = RuleFor(ast);
+  QueryProfile::ScopedSpan loop = ProfileSpan(profile_, "sample_loop");
   while (true) {
     uint64_t drawn = quantile.Step(kBatch);
     ConfidenceInterval ci = quantile.Current();
+    if (profile_ != nullptr) {
+      profile_->AddConvergencePoint(quantile.elapsed_millis(),
+                                    quantile.samples(), ci.estimate,
+                                    ci.half_width,
+                                    sampler->Cardinality().estimate);
+    }
     if (progress) {
       QueryProgress p;
       p.samples = quantile.samples();
@@ -176,6 +232,8 @@ Result<QueryResult> QueryEvaluator::RunQuantile(const QueryAst& ast,
     }
     if (rule.ShouldStop(ci, quantile.elapsed_millis()) || drawn == 0) break;
   }
+  loop.SetSamples(quantile.samples());
+  loop.End();
   result.ci = quantile.Current();
   result.ci_lower = quantile.ci_lower();
   result.ci_upper = quantile.ci_upper();
@@ -189,6 +247,7 @@ Result<QueryResult> QueryEvaluator::RunGroupBy(const QueryAst& ast,
                                                const ProgressFn& progress) {
   QueryResult result;
   result.task = ast.task;
+  QueryProfile::ScopedSpan prepare = ProfileSpan(profile_, "prepare");
   STORM_ASSIGN_OR_RETURN(std::unique_ptr<SpatialSampler<3>> sampler,
                          MakeSampler(ast, &result));
   AttributeFn<3> attr;
@@ -236,8 +295,10 @@ Result<QueryResult> QueryEvaluator::RunGroupBy(const QueryAst& ast,
   GroupByAggregator<3> agg(sampler.get(), key_fn, std::move(attr), ast.aggregate,
                            ast.confidence);
   STORM_RETURN_NOT_OK(agg.Begin(ast.QueryBox()));
+  prepare.End();
   StoppingRule rule = RuleFor(ast);
   Stopwatch watch;
+  QueryProfile::ScopedSpan loop = ProfileSpan(profile_, "sample_loop");
   while (true) {
     uint64_t drawn = agg.Step(kBatch);
     // Group-by stopping uses the widest per-group CI.
@@ -251,6 +312,11 @@ Result<QueryResult> QueryEvaluator::RunGroupBy(const QueryAst& ast,
         worst.samples = agg.total_samples();
       }
     }
+    if (profile_ != nullptr) {
+      profile_->AddConvergencePoint(watch.ElapsedMillis(), agg.total_samples(),
+                                    worst.estimate, worst.half_width,
+                                    sampler->Cardinality().estimate);
+    }
     if (progress) {
       QueryProgress p;
       p.samples = agg.total_samples();
@@ -263,6 +329,8 @@ Result<QueryResult> QueryEvaluator::RunGroupBy(const QueryAst& ast,
     }
     if (rule.ShouldStop(worst, watch.ElapsedMillis()) || drawn == 0) break;
   }
+  loop.SetSamples(agg.total_samples());
+  loop.End();
   for (const auto& g : agg.Current()) {
     // The NaN-key group holds records lacking the group attribute.
     if (g.key == std::numeric_limits<int64_t>::min()) continue;
@@ -278,6 +346,7 @@ Result<QueryResult> QueryEvaluator::RunKde(const QueryAst& ast,
                                            const ProgressFn& progress) {
   QueryResult result;
   result.task = ast.task;
+  QueryProfile::ScopedSpan prepare = ProfileSpan(profile_, "prepare");
   STORM_ASSIGN_OR_RETURN(std::unique_ptr<SpatialSampler<3>> sampler,
                          MakeSampler(ast, &result));
   Rect2 region;
@@ -293,8 +362,10 @@ Result<QueryResult> QueryEvaluator::RunKde(const QueryAst& ast,
   options.confidence = ast.confidence;
   OnlineKde<3> kde(sampler.get(), region, options);
   STORM_RETURN_NOT_OK(kde.Begin(ast.QueryBox()));
+  prepare.End();
   StoppingRule rule = RuleFor(ast);
   Stopwatch watch;
+  QueryProfile::ScopedSpan loop = ProfileSpan(profile_, "sample_loop");
   while (true) {
     uint64_t drawn = kde.Step(kBatch);
     ConfidenceInterval quality;
@@ -310,6 +381,11 @@ Result<QueryResult> QueryEvaluator::RunKde(const QueryAst& ast,
       quality.estimate = map.empty() ? 0.0 : mean / static_cast<double>(map.size());
     }
     quality.exact = kde.Exhausted();
+    if (profile_ != nullptr) {
+      profile_->AddConvergencePoint(watch.ElapsedMillis(), kde.samples(),
+                                    quality.estimate, quality.half_width,
+                                    sampler->Cardinality().estimate);
+    }
     if (progress) {
       QueryProgress p;
       p.samples = kde.samples();
@@ -322,6 +398,8 @@ Result<QueryResult> QueryEvaluator::RunKde(const QueryAst& ast,
     }
     if (rule.ShouldStop(quality, watch.ElapsedMillis()) || drawn == 0) break;
   }
+  loop.SetSamples(kde.samples());
+  loop.End();
   result.kde_map = kde.DensityMap();
   result.kde_width = ast.kde_width;
   result.kde_height = ast.kde_height;
@@ -336,6 +414,7 @@ Result<QueryResult> QueryEvaluator::RunTopTerms(const QueryAst& ast,
                                                 const ProgressFn& progress) {
   QueryResult result;
   result.task = ast.task;
+  QueryProfile::ScopedSpan prepare = ProfileSpan(profile_, "prepare");
   STORM_ASSIGN_OR_RETURN(std::unique_ptr<SpatialSampler<3>> sampler,
                          MakeSampler(ast, &result));
   // Document text goes through the record store page by page: the sampled
@@ -354,8 +433,10 @@ Result<QueryResult> QueryEvaluator::RunTopTerms(const QueryAst& ast,
   };
   OnlineTermFrequency<3> freq(sampler.get(), text_of, ast.confidence);
   STORM_RETURN_NOT_OK(freq.Begin(ast.QueryBox()));
+  prepare.End();
   StoppingRule rule = RuleFor(ast);
   Stopwatch watch;
+  QueryProfile::ScopedSpan loop = ProfileSpan(profile_, "sample_loop");
   while (true) {
     uint64_t drawn = freq.Step(kBatch);
     ConfidenceInterval quality;
@@ -363,6 +444,11 @@ Result<QueryResult> QueryEvaluator::RunTopTerms(const QueryAst& ast,
     std::vector<TermEstimate> top = freq.TopTerms(1);
     if (!top.empty()) quality = top[0].frequency;
     quality.exact = freq.Exhausted();
+    if (profile_ != nullptr) {
+      profile_->AddConvergencePoint(watch.ElapsedMillis(), freq.documents(),
+                                    quality.estimate, quality.half_width,
+                                    sampler->Cardinality().estimate);
+    }
     if (progress) {
       QueryProgress p;
       p.samples = freq.documents();
@@ -375,6 +461,8 @@ Result<QueryResult> QueryEvaluator::RunTopTerms(const QueryAst& ast,
     }
     if (rule.ShouldStop(quality, watch.ElapsedMillis()) || drawn == 0) break;
   }
+  loop.SetSamples(freq.documents());
+  loop.End();
   result.terms = freq.TopTerms(ast.top_m);
   result.samples = freq.documents();
   result.elapsed_ms = watch.ElapsedMillis();
@@ -386,14 +474,17 @@ Result<QueryResult> QueryEvaluator::RunCluster(const QueryAst& ast,
                                                const ProgressFn& progress) {
   QueryResult result;
   result.task = ast.task;
+  QueryProfile::ScopedSpan prepare = ProfileSpan(profile_, "prepare");
   STORM_ASSIGN_OR_RETURN(std::unique_ptr<SpatialSampler<3>> sampler,
                          MakeSampler(ast, &result));
   KMeansOptions options;
   options.k = ast.cluster_k;
   OnlineKMeans<3> km(sampler.get(), options, Rng(table_->rs_tree().size() + 7));
   STORM_RETURN_NOT_OK(km.Begin(ast.QueryBox()));
+  prepare.End();
   StoppingRule rule = RuleFor(ast);
   Stopwatch watch;
+  QueryProfile::ScopedSpan loop = ProfileSpan(profile_, "sample_loop");
   while (true) {
     uint64_t drawn = km.Step(256);
     ConfidenceInterval quality;
@@ -401,6 +492,11 @@ Result<QueryResult> QueryEvaluator::RunCluster(const QueryAst& ast,
     quality.estimate = km.Current().inertia;
     quality.half_width = km.LastCenterDrift();
     quality.exact = km.Exhausted();
+    if (profile_ != nullptr) {
+      profile_->AddConvergencePoint(watch.ElapsedMillis(), km.samples(),
+                                    quality.estimate, quality.half_width,
+                                    sampler->Cardinality().estimate);
+    }
     if (progress) {
       QueryProgress p;
       p.samples = km.samples();
@@ -413,6 +509,8 @@ Result<QueryResult> QueryEvaluator::RunCluster(const QueryAst& ast,
     }
     if (rule.ShouldStop(quality, watch.ElapsedMillis()) || drawn == 0) break;
   }
+  loop.SetSamples(km.samples());
+  loop.End();
   result.centers = km.Current().centers;
   result.inertia = km.Current().inertia;
   result.samples = km.samples();
@@ -425,6 +523,7 @@ Result<QueryResult> QueryEvaluator::RunTrajectory(const QueryAst& ast,
                                                   const ProgressFn& progress) {
   QueryResult result;
   result.task = ast.task;
+  QueryProfile::ScopedSpan prepare = ProfileSpan(profile_, "prepare");
   STORM_ASSIGN_OR_RETURN(std::unique_ptr<SpatialSampler<3>> sampler,
                          MakeSampler(ast, &result));
   STORM_RETURN_NOT_OK(CheckAttribute(*table_, ast.object_field));
@@ -438,8 +537,10 @@ Result<QueryResult> QueryEvaluator::RunTrajectory(const QueryAst& ast,
   };
   OnlineTrajectory<3> traj(sampler.get(), filter);
   STORM_RETURN_NOT_OK(traj.Begin(ast.QueryBox()));
+  prepare.End();
   StoppingRule rule = RuleFor(ast);
   Stopwatch watch;
+  QueryProfile::ScopedSpan loop = ProfileSpan(profile_, "sample_loop");
   while (true) {
     uint64_t added = traj.Step(kBatch);
     ConfidenceInterval quality;
@@ -447,6 +548,11 @@ Result<QueryResult> QueryEvaluator::RunTrajectory(const QueryAst& ast,
     quality.estimate = static_cast<double>(traj.Current().size());
     quality.half_width = std::numeric_limits<double>::infinity();
     quality.exact = traj.Exhausted();
+    if (profile_ != nullptr) {
+      profile_->AddConvergencePoint(watch.ElapsedMillis(), traj.samples_drawn(),
+                                    quality.estimate, quality.half_width,
+                                    sampler->Cardinality().estimate);
+    }
     if (progress) {
       QueryProgress p;
       p.samples = traj.samples_drawn();
@@ -463,6 +569,8 @@ Result<QueryResult> QueryEvaluator::RunTrajectory(const QueryAst& ast,
     }
     if (added == 0 && quality.samples >= kDefaultSampleCap) break;
   }
+  loop.SetSamples(traj.samples_drawn());
+  loop.End();
   result.trajectory = traj.Current().Polyline();
   result.samples = traj.samples_drawn();
   result.elapsed_ms = watch.ElapsedMillis();

@@ -10,6 +10,7 @@
 #define STORM_QUERY_EVALUATOR_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,7 @@
 #include "storm/analytics/trajectory.h"
 #include "storm/estimator/group_by.h"
 #include "storm/estimator/quantile.h"
+#include "storm/obs/trace.h"
 #include "storm/query/optimizer.h"
 
 namespace storm {
@@ -65,6 +67,11 @@ struct QueryResult {
   bool exhausted = false;     ///< the answer is exact
   bool cancelled = false;     ///< progress callback stopped the query
   bool explain_only = false;  ///< EXPLAIN: `decision` is the whole answer
+
+  /// Per-query trace (spans, IO deltas, convergence trajectory). Set by
+  /// Session::Execute / ExecuteAst; null when the evaluator is used directly
+  /// without a profile.
+  std::shared_ptr<QueryProfile> profile;
 };
 
 /// Lightweight per-batch progress snapshot.
@@ -89,6 +96,10 @@ class QueryEvaluator {
   /// Runs the query to its stopping rule (or exhaustion / cancellation).
   Result<QueryResult> Execute(const QueryAst& ast, const ProgressFn& progress = {});
 
+  /// Attaches a profile that execution phases record spans and convergence
+  /// points into. The profile must outlive Execute. Optional.
+  void set_profile(QueryProfile* profile) { profile_ = profile; }
+
  private:
   Result<std::unique_ptr<SpatialSampler<3>>> MakeSampler(const QueryAst& ast,
                                                          QueryResult* result) const;
@@ -104,6 +115,7 @@ class QueryEvaluator {
 
   const Table* table_;
   QueryOptimizer optimizer_;
+  QueryProfile* profile_ = nullptr;
 };
 
 }  // namespace storm

@@ -81,15 +81,35 @@ std::vector<std::string> Session::TableNames() const {
 
 Result<QueryResult> Session::Execute(const std::string& query,
                                      const ProgressFn& progress) {
-  STORM_ASSIGN_OR_RETURN(QueryAst ast, ParseQuery(query));
-  return ExecuteAst(ast, progress);
+  auto profile = std::make_shared<QueryProfile>();
+  profile->query = query;
+  QueryProfile::ScopedSpan parse = profile->Span("parse");
+  Result<QueryAst> ast = ParseQuery(query);
+  parse.End();
+  if (!ast.ok()) return ast.status();
+  return ExecuteAst(*ast, progress, std::move(profile));
 }
 
 Result<QueryResult> Session::ExecuteAst(const QueryAst& ast,
                                         const ProgressFn& progress) {
+  return ExecuteAst(ast, progress, std::make_shared<QueryProfile>());
+}
+
+Result<QueryResult> Session::ExecuteAst(const QueryAst& ast,
+                                        const ProgressFn& progress,
+                                        std::shared_ptr<QueryProfile> profile) {
   STORM_ASSIGN_OR_RETURN(Table * table, GetTable(ast.table));
+  profile->table = table->name();
+  // Spans opened from here on snapshot the table's simulated-disk counters.
+  profile->SetIoSource(&table->store().io_stats());
   QueryEvaluator evaluator(table, optimizer_);
-  return evaluator.Execute(ast, progress);
+  evaluator.set_profile(profile.get());
+  QueryProfile::ScopedSpan exec = profile->Span("execute");
+  Result<QueryResult> result = evaluator.Execute(ast, progress);
+  exec.End();
+  profile->Finish();
+  if (result.ok()) result->profile = std::move(profile);
+  return result;
 }
 
 Result<UpdateManager*> Session::Updates(const std::string& table) {

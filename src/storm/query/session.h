@@ -52,6 +52,11 @@ class Session {
   Result<QueryResult> ExecuteAst(const QueryAst& ast,
                                  const ProgressFn& progress = {});
 
+  /// Runs an already-parsed query, recording into a caller-provided profile
+  /// (Execute uses this to include the parse span).
+  Result<QueryResult> ExecuteAst(const QueryAst& ast, const ProgressFn& progress,
+                                 std::shared_ptr<QueryProfile> profile);
+
   /// Update entry point for a table.
   Result<UpdateManager*> Updates(const std::string& table);
 

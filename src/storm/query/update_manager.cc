@@ -1,33 +1,82 @@
 #include "storm/query/update_manager.h"
 
+#include <chrono>
+
+#include "storm/obs/metrics.h"
+
 namespace storm {
+
+namespace {
+
+struct UpdateMetrics {
+  Counter* inserts;
+  Counter* deletes;
+  Histogram* batch_ms;
+  Gauge* pending_depth;
+};
+
+const UpdateMetrics& Metrics() {
+  static const UpdateMetrics m = [] {
+    MetricsRegistry& reg = MetricsRegistry::Default();
+    UpdateMetrics u;
+    u.inserts = reg.GetCounter("storm_update_inserts_total",
+                               "Documents inserted through UpdateManager");
+    u.deletes = reg.GetCounter("storm_update_deletes_total",
+                               "Records deleted through UpdateManager");
+    u.batch_ms = reg.GetHistogram("storm_update_batch_ms",
+                                  "Wall time to apply one insert batch",
+                                  MetricsRegistry::LatencyBucketsMs());
+    u.pending_depth = reg.GetGauge(
+        "storm_update_pending_batch_depth",
+        "Documents of the in-flight insert batch not yet applied");
+    return u;
+  }();
+  return m;
+}
+
+}  // namespace
 
 Result<RecordId> UpdateManager::Insert(const Value& doc) {
   Result<RecordId> id = table_->Insert(doc);
-  if (id.ok()) ++inserts_;
+  if (id.ok()) {
+    ++inserts_;
+    Metrics().inserts->Increment();
+  }
   return id;
 }
 
 Result<std::vector<RecordId>> UpdateManager::InsertBatch(
     const std::vector<Value>& docs) {
+  const UpdateMetrics& m = Metrics();
+  auto start = std::chrono::steady_clock::now();
+  m.pending_depth->Set(static_cast<double>(docs.size()));
   std::vector<RecordId> ids;
   ids.reserve(docs.size());
   for (const Value& doc : docs) {
     Result<RecordId> id = table_->Insert(doc);
     if (!id.ok()) {
+      m.pending_depth->Set(0.0);
       return Status(id.status().code(),
                     "after " + std::to_string(ids.size()) + " inserts: " +
                         id.status().message());
     }
     ids.push_back(*id);
     ++inserts_;
+    m.inserts->Increment();
+    m.pending_depth->Set(static_cast<double>(docs.size() - ids.size()));
   }
+  m.batch_ms->Observe(std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count());
   return ids;
 }
 
 Status UpdateManager::Delete(RecordId id) {
   Status st = table_->Delete(id);
-  if (st.ok()) ++deletes_;
+  if (st.ok()) {
+    ++deletes_;
+    Metrics().deletes->Increment();
+  }
   return st;
 }
 

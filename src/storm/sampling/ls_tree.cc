@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "storm/obs/metrics.h"
+
 namespace storm {
 
 namespace {
@@ -133,6 +135,8 @@ class LsTreeSampler final : public SpatialSampler<D> {
     level_ = index_->num_levels();  // first LoadNextLevel() moves to top level
     level_matches_ = 0;
     began_ = true;
+    metrics_ = GetSamplerCounters(this->name());
+    metrics_.begins->Increment();
     return Status::OK();
   }
 
@@ -144,6 +148,7 @@ class LsTreeSampler final : public SpatialSampler<D> {
     }
     const Entry& e = buffer_[cursor_++];
     reported_.insert(e.id);
+    metrics_.draws->Increment();
     return e;
   }
 
@@ -200,6 +205,7 @@ class LsTreeSampler final : public SpatialSampler<D> {
   size_t level_matches_ = 0;
   size_t reported_set_size_at_level0_ = 0;
   bool began_ = false;
+  SamplerCounters metrics_;
 };
 
 }  // namespace

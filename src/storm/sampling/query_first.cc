@@ -13,6 +13,8 @@ Status QueryFirstSampler<D>::Begin(const Rect<D>& query, SamplingMode mode) {
   rng_.Shuffle(matches_);
   cursor_ = 0;
   began_ = true;
+  metrics_ = GetSamplerCounters(this->name());
+  metrics_.begins->Increment();
   return Status::OK();
 }
 
@@ -20,9 +22,11 @@ template <int D>
 std::optional<typename QueryFirstSampler<D>::Entry> QueryFirstSampler<D>::Next() {
   if (!began_ || matches_.empty()) return std::nullopt;
   if (mode_ == SamplingMode::kWithReplacement) {
+    metrics_.draws->Increment();
     return matches_[static_cast<size_t>(rng_.Uniform(matches_.size()))];
   }
   if (cursor_ >= matches_.size()) return std::nullopt;
+  metrics_.draws->Increment();
   return matches_[cursor_++];
 }
 

@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "storm/obs/metrics.h"
 #include "storm/sampling/sampler.h"
 #include "storm/util/rng.h"
 
@@ -37,6 +38,7 @@ class QueryFirstSampler : public SpatialSampler<D> {
   std::vector<Entry> matches_;
   size_t cursor_ = 0;
   bool began_ = false;
+  SamplerCounters metrics_;
 };
 
 extern template class QueryFirstSampler<2>;

@@ -18,6 +18,8 @@ Status RandomPathSampler<D>::Begin(const Rect<D>& query, SamplingMode mode) {
   weights_.push_back(static_cast<double>(canonical_.residual.size()));
   reported_.clear();
   began_ = true;
+  metrics_ = GetSamplerCounters(this->name());
+  metrics_.begins->Increment();
   return Status::OK();
 }
 
@@ -42,6 +44,7 @@ std::optional<typename RandomPathSampler<D>::Entry> RandomPathSampler<D>::Next()
     if (mode_ == SamplingMode::kWithoutReplacement) {
       if (!reported_.insert(e.id).second) continue;
     }
+    metrics_.draws->Increment();
     return e;
   }
 }

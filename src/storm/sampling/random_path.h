@@ -14,6 +14,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "storm/obs/metrics.h"
 #include "storm/sampling/sampler.h"
 #include "storm/util/rng.h"
 
@@ -42,6 +43,7 @@ class RandomPathSampler : public SpatialSampler<D> {
   std::vector<double> weights_;  // covered-node counts, then one slot for residuals
   std::unordered_set<RecordId> reported_;
   bool began_ = false;
+  SamplerCounters metrics_;
 };
 
 extern template class RandomPathSampler<2>;

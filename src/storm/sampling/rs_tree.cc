@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "storm/obs/metrics.h"
 #include "storm/util/weighted_set.h"
 
 namespace storm {
@@ -117,6 +118,8 @@ class RsTreeSampler final : public SpatialSampler<D> {
     covered_count_ = 0;
     partial_count_ = 0;
     began_ = true;
+    metrics_ = GetSamplerCounters(this->name());
+    metrics_.begins->Increment();
     residual_slot_ = weights_.Add(0.0);
     const Node* root = index_->tree().root();
     if (root != nullptr && query.Intersects(root->mbr)) {
@@ -137,18 +140,27 @@ class RsTreeSampler final : public SpatialSampler<D> {
       if (slot == residual_slot_) {
         const Entry& e =
             residual_[static_cast<size_t>(rng_.Uniform(residual_.size()))];
-        if (Accept(e)) return e;
+        if (Accept(e)) {
+          metrics_.draws->Increment();
+          return e;
+        }
         continue;
       }
       const Node* u = slots_[slot].node;
       Entry e = index_->DrawFromNode(u);
       if (slots_[slot].covered) {
-        if (Accept(e)) return e;
+        if (Accept(e)) {
+          metrics_.draws->Increment();
+          return e;
+        }
         continue;
       }
       // Partially covered: acceptance/rejection against Q; rejection (or a
       // duplicate) triggers lazy expansion of exactly this node.
-      if (query_.Contains(e.point) && Accept(e)) return e;
+      if (query_.Contains(e.point) && Accept(e)) {
+        metrics_.draws->Increment();
+        return e;
+      }
       Expand(slot);
     }
   }
@@ -238,6 +250,7 @@ class RsTreeSampler final : public SpatialSampler<D> {
   size_t partial_count_ = 0;
   uint64_t upper_bound_ = 0;
   bool began_ = false;
+  SamplerCounters metrics_;
 };
 
 }  // namespace

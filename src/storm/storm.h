@@ -4,6 +4,7 @@
 //   util/      — Status/Result, deterministic RNG, streaming statistics
 //   geo/       — points, rectangles, Hilbert curve
 //   io/        — simulated disk (block manager + LRU buffer pool)
+//   obs/       — metrics registry and per-query trace profiles
 //   rtree/     — counted R-tree with STR/Hilbert bulk load and updates
 //   sampling/  — Definition 1: QueryFirst, SampleFirst, RandomPath,
 //                LS-tree, RS-tree
@@ -43,6 +44,8 @@
 #include "storm/geo/rect.h"
 #include "storm/io/block_manager.h"
 #include "storm/io/buffer_pool.h"
+#include "storm/obs/metrics.h"
+#include "storm/obs/trace.h"
 #include "storm/query/session.h"
 #include "storm/rtree/rtree.h"
 #include "storm/sampling/failover.h"

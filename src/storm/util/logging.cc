@@ -1,13 +1,43 @@
 #include "storm/util/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
+#include <mutex>
 
 namespace storm {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+// Guards the sink and serializes emission so concurrent log lines never
+// interleave.
+std::mutex& SinkMutex() {
+  static std::mutex* m = new std::mutex();
+  return *m;
+}
+
+LogSink& Sink() {
+  static LogSink* sink = new LogSink();
+  return *sink;
+}
+
+// "2026-08-06T12:34:56.789Z" (UTC, millisecond precision).
+std::string Iso8601Now() {
+  using namespace std::chrono;
+  auto now = system_clock::now();
+  std::time_t secs = system_clock::to_time_t(now);
+  auto ms = duration_cast<milliseconds>(now.time_since_epoch()).count() % 1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char buf[80];  // worst-case snprintf bound for the tm field ranges
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(ms));
+  return buf;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -34,11 +64,33 @@ const char* Basename(const char* path) {
 void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  Sink() = std::move(sink);
+}
+
 namespace internal {
 
 void EmitLog(LogLevel level, const char* file, int line, const std::string& msg) {
-  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), Basename(file), line,
-               msg.c_str());
+  // Build the whole line first so the default path is one fwrite — lines
+  // from concurrent threads never interleave on stderr.
+  std::string formatted = Iso8601Now();
+  formatted += " [";
+  formatted += LevelName(level);
+  formatted += " ";
+  formatted += Basename(file);
+  formatted += ":";
+  formatted += std::to_string(line);
+  formatted += "] ";
+  formatted += msg;
+  formatted += "\n";
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  const LogSink& sink = Sink();
+  if (sink) {
+    sink(level, std::string_view(formatted.data(), formatted.size() - 1));
+  } else {
+    std::fwrite(formatted.data(), 1, formatted.size(), stderr);
+  }
 }
 
 }  // namespace internal

@@ -4,8 +4,10 @@
 #ifndef STORM_UTIL_LOGGING_H_
 #define STORM_UTIL_LOGGING_H_
 
+#include <functional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace storm {
 
@@ -14,6 +16,14 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 /// Sets the global minimum level that will be emitted.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Receives each formatted log line (without the trailing newline).
+using LogSink = std::function<void(LogLevel, std::string_view)>;
+
+/// Replaces the default stderr writer; pass an empty function to restore
+/// it. Tests and the shell use this to capture log output. The sink runs
+/// under the logging mutex, so it must not log itself.
+void SetLogSink(LogSink sink);
 
 namespace internal {
 

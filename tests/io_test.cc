@@ -241,5 +241,48 @@ TEST(IoStatsTest, DiffAndToString) {
   EXPECT_NE(d.ToString().find("physical_reads=7"), std::string::npos);
 }
 
+TEST(IoStatsTest, SumIsFieldWise) {
+  IoStats a, b;
+  a.physical_reads = 10;
+  a.logical_reads = 12;
+  a.pool_hits = 5;
+  b.physical_reads = 3;
+  b.logical_reads = 4;
+  b.evictions = 2;
+  IoStats s = a + b;
+  EXPECT_EQ(s.physical_reads, 13u);
+  EXPECT_EQ(s.logical_reads, 16u);
+  EXPECT_EQ(s.pool_hits, 5u);
+  EXPECT_EQ(s.evictions, 2u);
+  s += a;
+  EXPECT_EQ(s.physical_reads, 23u);
+  // Snapshot-diff round trip: (a + b) - b == a.
+  IoStats back = (a + b) - b;
+  EXPECT_EQ(back.physical_reads, a.physical_reads);
+  EXPECT_EQ(back.logical_reads, a.logical_reads);
+  EXPECT_EQ(back.pool_hits, a.pool_hits);
+}
+
+TEST(IoStatsTest, HitRate) {
+  IoStats s;
+  EXPECT_EQ(s.hit_rate(), 0.0);  // no reads yet: defined as zero
+  s.logical_reads = 8;
+  s.pool_hits = 6;
+  s.pool_misses = 2;
+  EXPECT_DOUBLE_EQ(s.hit_rate(), 0.75);
+}
+
+TEST(IoStatsTest, HitRateThroughBufferPool) {
+  BlockManager disk(32);
+  BufferPool pool(&disk, 4);
+  PageId p = disk.Allocate();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(pool.Pin(p).ok());
+    ASSERT_TRUE(pool.Unpin(p, false).ok());
+  }
+  // 1 miss then 3 hits.
+  EXPECT_DOUBLE_EQ(disk.stats().hit_rate(), 0.75);
+}
+
 }  // namespace
 }  // namespace storm

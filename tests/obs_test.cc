@@ -1,0 +1,297 @@
+// Unit and integration tests for the observability layer: MetricsRegistry
+// instruments and exposition, QueryProfile span traces, and the wiring of
+// both through Session::Execute.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "storm/obs/metrics.h"
+#include "storm/obs/trace.h"
+#include "storm/query/session.h"
+#include "storm/util/logging.h"
+#include "storm/util/rng.h"
+
+namespace storm {
+namespace {
+
+TEST(CounterTest, IncrementAndValue) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  EXPECT_EQ(g.Value(), 0.0);
+  g.Set(2.5);
+  EXPECT_EQ(g.Value(), 2.5);
+  g.Add(-1.0);
+  EXPECT_EQ(g.Value(), 1.5);
+}
+
+TEST(HistogramTest, BucketPlacementCountAndSum) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.Observe(0.5);    // <= 1
+  h.Observe(1.0);    // boundary is inclusive (le semantics)
+  h.Observe(5.0);    // <= 10
+  h.Observe(1000.0); // +Inf
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1006.5);
+  std::vector<uint64_t> buckets = h.BucketCounts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 0u);
+  EXPECT_EQ(buckets[3], 1u);
+}
+
+TEST(MetricsRegistryTest, SameNameAndLabelsReturnsSameInstrument) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("c", "help", {{"k", "1"}});
+  Counter* b = reg.GetCounter("c", "", {{"k", "1"}});
+  Counter* other = reg.GetCounter("c", "", {{"k", "2"}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, other);
+  a->Increment();
+  EXPECT_EQ(b->Value(), 1u);
+  EXPECT_EQ(other->Value(), 0u);
+}
+
+TEST(MetricsRegistryTest, TypeMismatchReturnsDetachedInstrument) {
+  MetricsRegistry reg;
+  // Swallow the expected error log while keeping it observable.
+  std::string logged;
+  SetLogSink([&](LogLevel, std::string_view line) { logged.assign(line); });
+  reg.GetCounter("m", "")->Increment();
+  Gauge* orphan = reg.GetGauge("m", "");
+  SetLogSink({});
+  ASSERT_NE(orphan, nullptr);
+  orphan->Set(77.0);  // usable, but never exported
+  std::string out = reg.ExposePrometheus();
+  EXPECT_NE(out.find("m 1\n"), std::string::npos);
+  EXPECT_EQ(out.find("77"), std::string::npos);
+  EXPECT_NE(logged.find("already registered"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsSumExactly) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("storm_test_concurrent_total", "");
+  Histogram* h = reg.GetHistogram("storm_test_concurrent_ms", "", {10.0});
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        c->Increment();
+        h->Observe(1.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c->Value(), kThreads * kPerThread);
+  EXPECT_EQ(h->count(), kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(h->sum(), static_cast<double>(kThreads * kPerThread));
+}
+
+TEST(MetricsRegistryTest, PrometheusExposition) {
+  MetricsRegistry reg;
+  reg.GetCounter("storm_test_total", "help text", {{"kind", "a"}})->Increment(3);
+  reg.GetGauge("storm_test_gauge", "g")->Set(2.5);
+  Histogram* h = reg.GetHistogram("storm_test_ms", "h", {1.0, 10.0});
+  h->Observe(0.5);
+  h->Observe(5.0);
+  h->Observe(100.0);
+  EXPECT_EQ(reg.ExposePrometheus(),
+            "# HELP storm_test_gauge g\n"
+            "# TYPE storm_test_gauge gauge\n"
+            "storm_test_gauge 2.5\n"
+            "# HELP storm_test_ms h\n"
+            "# TYPE storm_test_ms histogram\n"
+            "storm_test_ms_bucket{le=\"1\"} 1\n"
+            "storm_test_ms_bucket{le=\"10\"} 2\n"
+            "storm_test_ms_bucket{le=\"+Inf\"} 3\n"
+            "storm_test_ms_sum 105.5\n"
+            "storm_test_ms_count 3\n"
+            "# HELP storm_test_total help text\n"
+            "# TYPE storm_test_total counter\n"
+            "storm_test_total{kind=\"a\"} 3\n");
+}
+
+TEST(MetricsRegistryTest, JsonExposition) {
+  MetricsRegistry reg;
+  reg.GetCounter("c", "", {{"k", "v"}})->Increment();
+  Histogram* h = reg.GetHistogram("hist", "", {1.0});
+  h->Observe(0.5);
+  EXPECT_EQ(reg.ExposeJson(),
+            "{\"metrics\":["
+            "{\"name\":\"c\",\"type\":\"counter\",\"labels\":{\"k\":\"v\"},"
+            "\"value\":1},"
+            "{\"name\":\"hist\",\"type\":\"histogram\",\"labels\":{},"
+            "\"count\":1,\"sum\":0.5,\"buckets\":[[1,1],[\"+Inf\",0]]}"
+            "]}");
+}
+
+TEST(QueryProfileTest, SpansNestAndStampIoDeltas) {
+  IoStats io;
+  QueryProfile profile;
+  profile.SetIoSource(&io);
+  {
+    QueryProfile::ScopedSpan outer = profile.Span("outer");
+    io.logical_reads += 10;
+    {
+      QueryProfile::ScopedSpan inner = profile.Span("inner");
+      inner.SetSamples(5);
+      inner.SetNote("detail");
+      io.logical_reads += 7;
+    }
+  }
+  profile.Finish();
+  const TraceSpan* root = profile.Find("query");
+  const TraceSpan* outer = profile.Find("outer");
+  const TraceSpan* inner = profile.Find("inner");
+  ASSERT_NE(root, nullptr);
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(root->depth, 0);
+  EXPECT_EQ(outer->depth, 1);
+  EXPECT_EQ(inner->depth, 2);
+  EXPECT_EQ(outer->io.logical_reads, 17u);
+  EXPECT_EQ(inner->io.logical_reads, 7u);
+  EXPECT_EQ(inner->samples, 5u);
+  EXPECT_EQ(inner->note, "detail");
+  // Finish propagates the deepest sample count to the root.
+  EXPECT_EQ(profile.total_samples(), 5u);
+  EXPECT_EQ(profile.Find("missing"), nullptr);
+}
+
+TEST(QueryProfileTest, InertSpanIsSafe) {
+  QueryProfile::ScopedSpan inert = ProfileSpan(nullptr, "nothing");
+  inert.SetSamples(3);
+  inert.SetNote("ignored");
+  inert.End();  // no crash, no effect
+}
+
+TEST(QueryProfileTest, ConvergenceDecimationStaysBounded) {
+  QueryProfile profile;
+  for (int i = 0; i < 100'000; ++i) {
+    profile.AddConvergencePoint(i, static_cast<uint64_t>(i), 1.0, 1.0 / (i + 1),
+                                100.0);
+  }
+  const auto& points = profile.convergence();
+  ASSERT_LE(points.size(), QueryProfile::kMaxConvergencePoints);
+  ASSERT_GE(points.size(), 2u);
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LT(points[i - 1].samples, points[i].samples);
+  }
+  // The trajectory still starts at the beginning.
+  EXPECT_EQ(points.front().samples, 0u);
+}
+
+TEST(QueryProfileTest, JsonAndStringRenderMetadata) {
+  QueryProfile profile;
+  profile.query = "SELECT COUNT(*) FROM \"t\"";
+  profile.table = "t";
+  profile.task = "aggregate";
+  profile.sampler = "RSTREE";
+  { QueryProfile::ScopedSpan s = profile.Span("phase"); }
+  profile.AddConvergencePoint(1.0, 64, 10.0, 2.0, 100.0);
+  profile.Finish();
+  std::string json = profile.ToJson();
+  EXPECT_NE(json.find("\"query\":\"SELECT COUNT(*) FROM \\\"t\\\"\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"spans\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"phase\""), std::string::npos);
+  EXPECT_NE(json.find("\"convergence\":[[" ), std::string::npos);
+  std::string text = profile.ToString();
+  EXPECT_NE(text.find("query profile"), std::string::npos);
+  EXPECT_NE(text.find("phase"), std::string::npos);
+  EXPECT_NE(text.find("convergence: 1 points"), std::string::npos);
+}
+
+TEST(ObsIntegrationTest, SessionExecuteBuildsProfile) {
+  Rng rng(4242);
+  std::vector<Value> docs;
+  for (int i = 0; i < 5000; ++i) {
+    Value doc = Value::MakeObject();
+    doc.Set("x", Value::Double(rng.UniformDouble(0, 100)));
+    doc.Set("y", Value::Double(rng.UniformDouble(0, 100)));
+    doc.Set("v", Value::Double(static_cast<double>(i % 100)));
+    docs.push_back(doc);
+  }
+  Session session;
+  ASSERT_TRUE(session.CreateTable("t", docs).ok());
+  auto result = session.Execute(
+      "SELECT AVG(v) FROM t REGION(10, 10, 90, 90) SAMPLES 2000 USING RSTREE");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_NE(result->profile, nullptr);
+  const QueryProfile& profile = *result->profile;
+
+  // Every phase of the query path shows up as a span.
+  for (const char* name :
+       {"query", "parse", "execute", "optimize", "prepare", "sample_loop"}) {
+    EXPECT_NE(profile.Find(name), nullptr) << name;
+  }
+  // The sample loop's count matches the result, and propagates to the root.
+  ASSERT_GT(result->samples, 0u);
+  EXPECT_EQ(profile.Find("sample_loop")->samples, result->samples);
+  EXPECT_EQ(profile.total_samples(), result->samples);
+  // The first query on a fresh table pulls pages through the record store
+  // (lazy column build), so the root span's IO delta is non-zero and at
+  // least as large as any child's.
+  EXPECT_GT(profile.total_io().logical_reads, 0u);
+  EXPECT_GE(profile.total_io().logical_reads,
+            profile.Find("prepare")->io.logical_reads);
+  EXPECT_EQ(profile.total_io().logical_reads,
+            profile.total_io().pool_hits + profile.total_io().pool_misses);
+  EXPECT_GT(profile.total_ms(), 0.0);
+  // Convergence trajectory recorded; samples monotone, half-widths finite.
+  ASSERT_FALSE(profile.convergence().empty());
+  EXPECT_LE(profile.convergence().back().samples, result->samples);
+  // Metadata filled by session + evaluator.
+  EXPECT_EQ(profile.table, "t");
+  EXPECT_EQ(profile.task, "aggregate");
+  EXPECT_EQ(profile.sampler, "RSTREE");
+  EXPECT_FALSE(profile.query.empty());
+
+  // The default registry picked up sampler + query instruments.
+  std::string prom = MetricsRegistry::Default().ExposePrometheus();
+  EXPECT_NE(prom.find("storm_sampler_begins_total{sampler=\"RS-tree\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("storm_sampler_draws_total{sampler=\"RS-tree\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("storm_queries_total{task=\"aggregate\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("storm_query_duration_ms_bucket"), std::string::npos);
+  EXPECT_NE(prom.find("storm_bufferpool_hits_total"), std::string::npos);
+}
+
+TEST(ObsIntegrationTest, ProfileJsonRoundsTripThroughExecute) {
+  Rng rng(7);
+  std::vector<Value> docs;
+  for (int i = 0; i < 1000; ++i) {
+    Value doc = Value::MakeObject();
+    doc.Set("x", Value::Double(rng.UniformDouble(0, 10)));
+    doc.Set("y", Value::Double(rng.UniformDouble(0, 10)));
+    doc.Set("v", Value::Double(1.0));
+    docs.push_back(doc);
+  }
+  Session session;
+  ASSERT_TRUE(session.CreateTable("p", docs).ok());
+  auto result = session.Execute("SELECT COUNT(*) FROM p SAMPLES 500");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_NE(result->profile, nullptr);
+  std::string json = result->profile->ToJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"table\":\"p\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"sample_loop\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace storm

@@ -6,6 +6,8 @@
 #include <cmath>
 #include <map>
 #include <numeric>
+#include <utility>
+#include <vector>
 
 #include "storm/util/logging.h"
 #include "storm/util/reservoir.h"
@@ -499,6 +501,30 @@ TEST(StopwatchTest, MonotoneAndRestartable) {
   int64_t nanos = watch.ElapsedNanos();
   EXPECT_GE(static_cast<double>(nanos) / 1e6, 0.0);
   EXPECT_GE(watch.ElapsedMillis() * 1000.0, 0.0);
+}
+
+TEST(LoggingTest, SinkReceivesFormattedLines) {
+  LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  SetLogSink([&](LogLevel level, std::string_view line) {
+    captured.emplace_back(level, std::string(line));
+  });
+  STORM_LOG(Info) << "hello " << 42;
+  STORM_LOG(Debug) << "filtered out";
+  SetLogSink({});
+  SetLogLevel(before);
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].first, LogLevel::kInfo);
+  const std::string& line = captured[0].second;
+  EXPECT_NE(line.find("hello 42"), std::string::npos);
+  EXPECT_NE(line.find("[INFO util_test.cc:"), std::string::npos);
+  // ISO-8601 UTC timestamp prefix: "YYYY-MM-DDTHH:MM:SS.mmmZ ".
+  ASSERT_GE(line.size(), 25u);
+  EXPECT_EQ(line[4], '-');
+  EXPECT_EQ(line[10], 'T');
+  EXPECT_EQ(line[23], 'Z');
+  EXPECT_EQ(line.back(), '2');  // sink gets the line without the newline
 }
 
 }  // namespace

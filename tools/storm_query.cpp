@@ -7,7 +7,9 @@
 //
 // The table is always registered as "data". Exit code 0 on success, 1 on
 // any error. `--quiet` suppresses the progress stream; `--explain` prints
-// the plan instead of running (equivalent to an EXPLAIN prefix).
+// the plan instead of running (equivalent to an EXPLAIN prefix);
+// `--profile` dumps the query's span/IO/convergence trace as JSON to
+// stdout after the answer.
 
 #include <cstdio>
 #include <cstring>
@@ -80,18 +82,21 @@ int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: storm_query <file.csv|.tsv|.jsonl> \"QUERY\" "
-                 "[--quiet] [--explain]\n"
+                 "[--quiet] [--explain] [--profile]\n"
                  "The table name in the query is always 'data'.\n");
     return 1;
   }
   std::string path = argv[1];
   std::string query = argv[2];
   bool quiet = false;
+  bool profile = false;
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quiet") == 0) {
       quiet = true;
     } else if (std::strcmp(argv[i], "--explain") == 0) {
       query = "EXPLAIN " + query;
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      profile = true;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 1;
@@ -122,5 +127,8 @@ int main(int argc, char** argv) {
   });
   if (!result.ok()) return Fail(result.status(), "query");
   PrintFinal(*result);
+  if (profile && result->profile != nullptr) {
+    std::printf("%s\n", result->profile->ToJson().c_str());
+  }
   return 0;
 }
