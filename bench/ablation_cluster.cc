@@ -41,7 +41,8 @@ void Run() {
         if (!sampler->Next().has_value()) break;
       }
       double secs = watch.ElapsedSeconds();
-      bool count_ok = cluster.Count(wide) == truth &&
+      Result<uint64_t> count = cluster.Count(wide);
+      bool count_ok = count.ok() && *count == truth &&
                       sampler->Cardinality().lower == truth;
       std::printf("%8d %14s | %16.0f %14s | %16d %14s\n", shards,
                   p == Partitioning::kHash ? "hash" : "hilbert",

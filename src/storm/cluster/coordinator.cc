@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "storm/obs/metrics.h"
+#include "storm/util/logging.h"
 
 namespace storm {
 
@@ -72,9 +73,12 @@ bool Cluster::Erase(const Point3& p, RecordId id) {
   return shards_[static_cast<size_t>(RouteOf(p, id))]->Erase(p, id);
 }
 
-uint64_t Cluster::Count(const Rect3& query) const {
+Result<uint64_t> Cluster::Count(const Rect3& query) const {
   uint64_t total = 0;
-  for (const auto& s : shards_) total += s->Count(query);
+  for (const auto& s : shards_) {
+    STORM_ASSIGN_OR_RETURN(uint64_t q, s->Count(query));
+    total += q;
+  }
   return total;
 }
 
@@ -92,8 +96,15 @@ class DistributedSampler final : public SpatialSampler<3> {
  public:
   using Entry = RTree<3>::Entry;
 
-  DistributedSampler(const Cluster* cluster, Rng rng)
-      : cluster_(cluster), rng_(rng) {
+  DistributedSampler(const Cluster* cluster, Rng rng,
+                     DistributedSamplerOptions options)
+      : cluster_(cluster),
+        rng_(rng),
+        // Separate stream for backoff jitter: retries must not perturb the
+        // record-selection sequence, or fault runs would not be comparable
+        // to healthy runs under the same seed.
+        retry_rng_(rng.Fork(0xBACC0FFULL)),
+        options_(options) {
     MetricsRegistry& reg = MetricsRegistry::Default();
     plan_ms_ = reg.GetHistogram("storm_cluster_fanout_plan_ms",
                                 "Latency of the per-shard count plan round",
@@ -101,25 +112,64 @@ class DistributedSampler final : public SpatialSampler<3> {
     shards_touched_ = reg.GetGauge(
         "storm_cluster_shards_touched",
         "Shards with a non-empty partition for the last distributed query");
+    retries_ = reg.GetCounter(
+        "storm_cluster_shard_retries_total",
+        "Shard calls retried after a transient failure");
+    degraded_queries_ = reg.GetCounter(
+        "storm_cluster_degraded_queries_total",
+        "Distributed queries that lost at least one shard");
     for (int s = 0; s < cluster_->num_shards(); ++s) {
       locals_.push_back(cluster_->shard(s).NewSampler(rng_.Fork(s)));
       shard_draws_.push_back(
           reg.GetCounter("storm_cluster_shard_draws_total",
                          "Samples drawn from each shard by the coordinator",
                          {{"shard", std::to_string(s)}}));
+      shard_evictions_.push_back(
+          reg.GetCounter("storm_cluster_shard_evictions_total",
+                         "Times each shard was evicted from a merged stream",
+                         {{"shard", std::to_string(s)}}));
     }
   }
 
   Status Begin(const Rect3& query, SamplingMode mode) override {
     mode_ = mode;
-    weights_.assign(locals_.size(), 0.0);
-    drawn_.assign(locals_.size(), 0);
+    size_t n = locals_.size();
+    weights_.assign(n, 0.0);
+    initial_weights_.assign(n, 0.0);
+    measured_.assign(n, false);
+    evicted_.assign(n, false);
+    drawn_.assign(n, 0);
     total_ = 0;
-    // Plan round-trip: exact per-shard counts.
+    lost_weight_ = 0.0;
+    degraded_ = false;
+    began_ = false;
+    // Plan round-trip: exact per-shard counts, each under retry/backoff and
+    // the per-shard deadline. A shard that cannot answer is marked dead-at-
+    // plan: it never enters the weight vector, so the merged stream is
+    // uniform over the shards that did answer.
     auto plan_start = std::chrono::steady_clock::now();
-    for (size_t s = 0; s < locals_.size(); ++s) {
-      uint64_t q = cluster_->shard(static_cast<int>(s)).Count(query);
+    Status last_failure;
+    for (size_t s = 0; s < n; ++s) {
+      uint64_t q = 0;
+      Status st = RetryWithBackoff(
+          options_.retry, &retry_rng_,
+          [&] {
+            Result<uint64_t> r =
+                cluster_->shard(static_cast<int>(s)).Count(query);
+            if (r.ok()) q = *r;
+            return r.status();
+          },
+          retries_);
+      if (!st.ok()) {
+        STORM_LOG(Warn) << "plan: shard " << s << " unreachable, evicting: "
+                        << st;
+        MarkEvicted(s);
+        last_failure = st;
+        continue;
+      }
+      measured_[s] = true;
       weights_[s] = static_cast<double>(q);
+      initial_weights_[s] = weights_[s];
       total_ += q;
       STORM_RETURN_NOT_OK(locals_[s]->Begin(query, mode));
     }
@@ -127,6 +177,12 @@ class DistributedSampler final : public SpatialSampler<3> {
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - plan_start)
             .count());
+    bool any_measured = false;
+    for (bool m : measured_) any_measured = any_measured || m;
+    if (!any_measured) {
+      return Status::Unavailable("no shard reachable at plan time: " +
+                                 last_failure.ToString());
+    }
     int touched = 0;
     for (double w : weights_) touched += (w > 0.0) ? 1 : 0;
     shards_touched_->Set(touched);
@@ -135,16 +191,29 @@ class DistributedSampler final : public SpatialSampler<3> {
   }
 
   std::optional<Entry> Next() override {
-    if (!began_ || total_ == 0) return std::nullopt;
+    if (!began_) return std::nullopt;
     // Retry over shards: a shard whose without-replacement stream exhausts
     // has its weight dropped. In without-replacement mode the weight is the
     // shard's *remaining* count, so the merged prefix stays a uniform
-    // without-replacement sample of the whole cluster.
+    // without-replacement sample of the whole cluster. A shard that stops
+    // answering (killed, or slowed past the per-shard deadline) is evicted
+    // the same way: its weight leaves the vector, the remaining q_i
+    // renormalize, and the stream stays uniform over the live partition.
     while (true) {
       double sum = 0.0;
       for (double w : weights_) sum += w;
       if (sum <= 0.0) return std::nullopt;
       size_t s = rng_.Discrete(weights_);
+      Status probe = RetryWithBackoff(
+          options_.retry, &retry_rng_,
+          [&] { return cluster_->shard(static_cast<int>(s)).ProbeDraw(); },
+          retries_);
+      if (!probe.ok()) {
+        STORM_LOG(Warn) << "draw: shard " << s << " unreachable, evicting: "
+                        << probe;
+        MarkEvicted(s);
+        continue;
+      }
       std::optional<Entry> e = locals_[s]->Next();
       if (e.has_value()) {
         if (mode_ == SamplingMode::kWithoutReplacement) {
@@ -166,8 +235,13 @@ class DistributedSampler final : public SpatialSampler<3> {
     CardinalityEstimate c;
     if (began_) {
       c.lower = c.upper = total_;
-      c.exact = true;
       c.estimate = static_cast<double>(total_);
+      c.degraded = degraded_;
+      c.coverage = Coverage();
+      // Exact only when the whole cluster answered: a degraded count is
+      // exact over the live partition but not over the population the
+      // query asked about.
+      c.exact = !degraded_;
     }
     return c;
   }
@@ -184,23 +258,77 @@ class DistributedSampler final : public SpatialSampler<3> {
   std::string_view name() const override { return "Distributed-RS"; }
 
  private:
+  void MarkEvicted(size_t s) {
+    if (evicted_[s]) return;
+    evicted_[s] = true;
+    if (measured_[s]) {
+      // Mid-query death. With replacement every one of the shard's q_i
+      // records becomes unreachable; without replacement the ones already
+      // delivered were real, so only the remaining weight is lost.
+      lost_weight_ += (mode_ == SamplingMode::kWithoutReplacement)
+                          ? weights_[s]
+                          : initial_weights_[s];
+    }
+    weights_[s] = 0.0;
+    shard_evictions_[s]->Increment();
+    if (!degraded_) {
+      degraded_ = true;
+      degraded_queries_->Increment();
+    }
+  }
+
+  /// Estimated q_alive / q. Shards dead at plan time never reported a q_i;
+  /// their contribution is estimated by scaling their record count with the
+  /// selectivity observed on the shards that did answer.
+  double Coverage() const {
+    double known = 0.0;
+    uint64_t measured_size = 0, unmeasured_size = 0;
+    for (size_t s = 0; s < measured_.size(); ++s) {
+      if (measured_[s]) {
+        known += initial_weights_[s];
+        measured_size += cluster_->shard(static_cast<int>(s)).size();
+      } else {
+        unmeasured_size += cluster_->shard(static_cast<int>(s)).size();
+      }
+    }
+    double est_unknown = 0.0;
+    if (unmeasured_size > 0 && measured_size > 0) {
+      est_unknown = known * static_cast<double>(unmeasured_size) /
+                    static_cast<double>(measured_size);
+    }
+    double denom = known + est_unknown;
+    if (denom <= 0.0) return degraded_ ? 0.0 : 1.0;
+    return std::max(0.0, (known - lost_weight_) / denom);
+  }
+
   const Cluster* cluster_;
   Rng rng_;
+  Rng retry_rng_;
+  DistributedSamplerOptions options_;
   SamplingMode mode_ = SamplingMode::kWithReplacement;
   std::vector<std::unique_ptr<SpatialSampler<3>>> locals_;
   std::vector<double> weights_;
+  std::vector<double> initial_weights_;  // q_i at plan time
+  std::vector<bool> measured_;           // shard answered the plan round
+  std::vector<bool> evicted_;
   std::vector<uint64_t> drawn_;
   std::vector<Counter*> shard_draws_;
+  std::vector<Counter*> shard_evictions_;
   Histogram* plan_ms_ = nullptr;
   Gauge* shards_touched_ = nullptr;
-  uint64_t total_ = 0;
+  Counter* retries_ = nullptr;
+  Counter* degraded_queries_ = nullptr;
+  uint64_t total_ = 0;        // Σ q_i over shards that answered the plan
+  double lost_weight_ = 0.0;  // weight lost to mid-query evictions
+  bool degraded_ = false;
   bool began_ = false;
 };
 
 }  // namespace
 
-std::unique_ptr<SpatialSampler<3>> Cluster::NewSampler(Rng rng) const {
-  return std::make_unique<DistributedSampler>(this, rng);
+std::unique_ptr<SpatialSampler<3>> Cluster::NewSampler(
+    Rng rng, DistributedSamplerOptions options) const {
+  return std::make_unique<DistributedSampler>(this, rng, options);
 }
 
 }  // namespace storm

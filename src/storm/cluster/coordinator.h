@@ -8,6 +8,13 @@
 // forwards the draw. Because partitions are disjoint, a qualifying record
 // on shard i is returned with probability (q_i/q)·(1/q_i) = 1/q — uniform
 // over the whole cluster.
+//
+// Fault handling: every shard call is wrapped in retry/backoff with a
+// per-shard deadline. A shard that stays unreachable is evicted — its q_i
+// leaves the weight vector, so the merged stream renormalizes and remains
+// exactly uniform over the *live* partition — and the stream is marked
+// degraded with an estimated coverage fraction q_alive/q. Anytime answers
+// over survivors beat no answer at all (docs/ROBUSTNESS.md).
 
 #ifndef STORM_CLUSTER_COORDINATOR_H_
 #define STORM_CLUSTER_COORDINATOR_H_
@@ -17,6 +24,7 @@
 
 #include "storm/cluster/shard.h"
 #include "storm/geo/hilbert.h"
+#include "storm/util/retry.h"
 
 namespace storm {
 
@@ -29,6 +37,14 @@ enum class Partitioning {
   kHilbertRange,
 };
 
+/// Fault-handling knobs for the coordinator's merged sampler.
+struct DistributedSamplerOptions {
+  /// Applied to every shard call (plan-round counts and per-draw probes).
+  /// deadline_ms acts as the per-shard deadline: a shard that cannot answer
+  /// within it — dead, or slowed past the deadline — is treated as failed.
+  RetryPolicy retry;
+};
+
 class Cluster {
  public:
   using Entry = RTree<3>::Entry;
@@ -38,6 +54,8 @@ class Cluster {
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
   const Shard& shard(int i) const { return *shards_[static_cast<size_t>(i)]; }
+  /// Mutable access for fault controls (Kill/Revive/SetLatencyMs).
+  Shard* mutable_shard(int i) { return shards_[static_cast<size_t>(i)].get(); }
   uint64_t size() const;
 
   /// Which shard a record routes to.
@@ -48,10 +66,12 @@ class Cluster {
   bool Erase(const Point3& p, RecordId id);
 
   /// A uniform sampler over the union of all shards.
-  std::unique_ptr<SpatialSampler<3>> NewSampler(Rng rng) const;
+  std::unique_ptr<SpatialSampler<3>> NewSampler(
+      Rng rng, DistributedSamplerOptions options = {}) const;
 
-  /// Exact distributed range count (fans out to all shards).
-  uint64_t Count(const Rect3& query) const;
+  /// Exact distributed range count (fans out to all shards). kUnavailable
+  /// when any shard is down — an exact count cannot be served degraded.
+  Result<uint64_t> Count(const Rect3& query) const;
 
   /// Shards whose partition intersects the query (locality diagnostic for
   /// the partitioning ablation).

@@ -1,6 +1,10 @@
 #include "storm/cluster/shard.h"
 
+#include <chrono>
+#include <thread>
+
 #include "storm/obs/metrics.h"
+#include "storm/util/failpoint.h"
 
 namespace storm {
 
@@ -14,9 +18,28 @@ Shard::Shard(int shard_id, std::vector<Entry> entries, RsTreeOptions options,
           "Plan-round range counts served per shard",
           {{"shard", std::to_string(shard_id)}})) {}
 
-uint64_t Shard::Count(const Rect3& query) const {
+Status Shard::CheckAvailable() const {
+  double delay = latency_ms();
+  if (delay > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(delay));
+  }
+  if (!alive()) {
+    return Status::Unavailable("shard " + std::to_string(id_) + " is down");
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> Shard::Count(const Rect3& query) const {
+  STORM_FAILPOINT(kFailpointShardCount);
+  STORM_RETURN_NOT_OK(CheckAvailable());
   count_ops_metric_->Increment();
   return index_->tree().RangeCount(query);
+}
+
+Status Shard::ProbeDraw() const {
+  STORM_FAILPOINT(kFailpointShardDraw);
+  return CheckAvailable();
 }
 
 std::unique_ptr<SpatialSampler<3>> Shard::NewSampler(Rng rng) const {

@@ -2,16 +2,28 @@
 // distributed Hilbert R-trees over a MongoDB/DFS cluster; here each shard
 // owns a disjoint partition of the entries and an RS-tree over it, and the
 // coordinator (coordinator.h) merges per-shard online samples.
+//
+// Fault model: a shard can be killed (every RPC-shaped call returns
+// kUnavailable until Revive), slowed (every call sleeps an injected
+// latency), or tripped through the "shard.count" / "shard.draw" failpoints.
+// The coordinator reacts with retry/backoff, per-shard deadlines, and
+// degraded-mode eviction — see docs/ROBUSTNESS.md.
 
 #ifndef STORM_CLUSTER_SHARD_H_
 #define STORM_CLUSTER_SHARD_H_
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
 #include "storm/sampling/rs_tree.h"
+#include "storm/util/result.h"
 
 namespace storm {
+
+/// Failpoint sites evaluated on the shard "RPC" boundary.
+inline constexpr std::string_view kFailpointShardCount = "shard.count";
+inline constexpr std::string_view kFailpointShardDraw = "shard.draw";
 
 class Shard {
  public:
@@ -25,8 +37,15 @@ class Shard {
   const RsTree<3>& index() const { return *index_; }
 
   /// Exact number of this shard's entries inside the query (the per-shard
-  /// "plan" step the coordinator runs at query start).
-  uint64_t Count(const Rect3& query) const;
+  /// "plan" step the coordinator runs at query start). kUnavailable when the
+  /// shard is down; also subject to the "shard.count" failpoint and the
+  /// injected latency.
+  Result<uint64_t> Count(const Rect3& query) const;
+
+  /// Models the per-draw RPC to this shard: applies injected latency, the
+  /// "shard.draw" failpoint, and the liveness check. The coordinator calls
+  /// this before forwarding Next() to the shard-local sampler.
+  Status ProbeDraw() const;
 
   /// A sampler over this shard's partition.
   std::unique_ptr<SpatialSampler<3>> NewSampler(Rng rng) const;
@@ -36,9 +55,26 @@ class Shard {
   void Insert(const Point3& p, RecordId id);
   bool Erase(const Point3& p, RecordId id);
 
+  /// Fault controls. Kill/Revive/SetLatencyMs are thread-safe and may be
+  /// called mid-query to model crashes and stragglers.
+  void Kill() { alive_.store(false, std::memory_order_release); }
+  void Revive() { alive_.store(true, std::memory_order_release); }
+  bool alive() const { return alive_.load(std::memory_order_acquire); }
+  void SetLatencyMs(double ms) {
+    latency_ms_.store(ms, std::memory_order_relaxed);
+  }
+  double latency_ms() const {
+    return latency_ms_.load(std::memory_order_relaxed);
+  }
+
  private:
+  /// Sleeps the injected latency and reports liveness.
+  Status CheckAvailable() const;
+
   int id_;
   std::unique_ptr<RsTree<3>> index_;
+  std::atomic<bool> alive_{true};
+  std::atomic<double> latency_ms_{0.0};
   class Counter* count_ops_metric_;  // plan-round counts served by this shard
 };
 

@@ -2,6 +2,10 @@
 
 #include <cstring>
 
+#include "storm/obs/metrics.h"
+#include "storm/util/crc32.h"
+#include "storm/util/failpoint.h"
+
 namespace storm {
 
 std::string IoStats::ToString() const {
@@ -16,7 +20,14 @@ std::string IoStats::ToString() const {
   return s;
 }
 
-BlockManager::BlockManager(size_t page_size) : page_size_(page_size) {}
+BlockManager::BlockManager(size_t page_size)
+    : page_size_(page_size),
+      checksum_failures_metric_(MetricsRegistry::Default().GetCounter(
+          "storm_io_checksum_failures_total",
+          "Page reads whose CRC32 did not match the recorded checksum")) {
+  std::vector<std::byte> zeros(page_size_, std::byte{0});
+  zero_page_crc_ = Crc32(zeros.data(), zeros.size());
+}
 
 PageId BlockManager::Allocate() {
   ++stats_.pages_allocated;
@@ -25,6 +36,7 @@ PageId BlockManager::Allocate() {
     free_list_.pop_back();
     std::memset(pages_[id].get(), 0, page_size_);
     live_[id] = true;
+    crcs_[id] = zero_page_crc_;
     return id;
   }
   PageId id = pages_.size();
@@ -32,6 +44,7 @@ PageId BlockManager::Allocate() {
   std::memset(page.get(), 0, page_size_);
   pages_.push_back(std::move(page));
   live_.push_back(true);
+  crcs_.push_back(zero_page_crc_);
   return id;
 }
 
@@ -48,8 +61,19 @@ Status BlockManager::Read(PageId id, std::byte* out) {
   if (!IsLive(id)) {
     return Status::IOError("read of non-live page " + std::to_string(id));
   }
+  STORM_FAILPOINT(kFailpointBlockRead);
   ++stats_.physical_reads;
   std::memcpy(out, pages_[id].get(), page_size_);
+  // In-flight corruption: the fault flips a bit in the returned buffer (the
+  // stored page is intact), exactly what a bad DMA or torn sector looks like
+  // to the reader. The checksum below must catch it.
+  if (!Failpoints::Default().Evaluate(kFailpointBlockCorrupt).ok()) {
+    out[0] ^= std::byte{0x01};
+  }
+  if (Crc32(out, page_size_) != crcs_[id]) {
+    checksum_failures_metric_->Increment();
+    return Status::Corruption("checksum mismatch on page " + std::to_string(id));
+  }
   return Status::OK();
 }
 
@@ -57,13 +81,27 @@ Status BlockManager::Write(PageId id, const std::byte* data) {
   if (!IsLive(id)) {
     return Status::IOError("write of non-live page " + std::to_string(id));
   }
+  STORM_FAILPOINT(kFailpointBlockWrite);
   ++stats_.physical_writes;
   std::memcpy(pages_[id].get(), data, page_size_);
+  crcs_[id] = Crc32(data, page_size_);
   return Status::OK();
 }
 
 bool BlockManager::IsLive(PageId id) const {
   return id < pages_.size() && live_[id];
+}
+
+Status BlockManager::CorruptPageForTesting(PageId id, size_t byte_offset) {
+  if (!IsLive(id)) {
+    return Status::InvalidArgument("corrupt of non-live page " +
+                                   std::to_string(id));
+  }
+  if (byte_offset >= page_size_) {
+    return Status::OutOfRange("corrupt offset " + std::to_string(byte_offset));
+  }
+  pages_[id][byte_offset] ^= std::byte{0xFF};
+  return Status::OK();
 }
 
 }  // namespace storm

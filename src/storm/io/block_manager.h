@@ -4,6 +4,13 @@
 // substitute an in-memory array of fixed-size pages with explicit
 // read/write/allocate operations and counters. Everything above (buffer
 // pool, record store, R-tree node storage) behaves as if talking to a disk.
+//
+// Robustness: every page carries a CRC32 recorded at write time and verified
+// on every read, so at-rest corruption (bit rot, or a fault injected through
+// the "block_manager.read.corrupt" failpoint) surfaces as
+// Status::Corruption instead of silently returned garbage. Read/Write also
+// evaluate the "block_manager.read" / "block_manager.write" failpoints, so
+// chaos tests can make the disk fail or stall (see docs/ROBUSTNESS.md).
 
 #ifndef STORM_IO_BLOCK_MANAGER_H_
 #define STORM_IO_BLOCK_MANAGER_H_
@@ -22,6 +29,12 @@ namespace storm {
 /// BlockManager's lifetime unless freed pages are recycled.
 using PageId = uint64_t;
 constexpr PageId kInvalidPage = ~PageId{0};
+
+/// Failpoint sites evaluated by the simulated disk.
+inline constexpr std::string_view kFailpointBlockRead = "block_manager.read";
+inline constexpr std::string_view kFailpointBlockWrite = "block_manager.write";
+inline constexpr std::string_view kFailpointBlockCorrupt =
+    "block_manager.read.corrupt";
 
 /// A simulated disk of fixed-size pages.
 ///
@@ -42,16 +55,21 @@ class BlockManager {
   /// Returns a page to the free list. Double-free is a checked error.
   Status Free(PageId id);
 
-  /// Copies the page contents into `out` (page_size bytes). Counts one
-  /// physical read.
+  /// Copies the page contents into `out` (page_size bytes) and verifies its
+  /// checksum; Corruption when the page does not match the CRC recorded at
+  /// write time. Counts one physical read.
   Status Read(PageId id, std::byte* out);
 
-  /// Overwrites the page with `data` (page_size bytes). Counts one physical
-  /// write.
+  /// Overwrites the page with `data` (page_size bytes) and records its
+  /// checksum. Counts one physical write.
   Status Write(PageId id, const std::byte* data);
 
   /// True iff the id refers to a live page.
   bool IsLive(PageId id) const;
+
+  /// Test hook: flips one stored byte without updating the checksum, so the
+  /// next Read reports Corruption (simulated bit rot).
+  Status CorruptPageForTesting(PageId id, size_t byte_offset);
 
   const IoStats& stats() const { return stats_; }
   IoStats* mutable_stats() { return &stats_; }
@@ -60,8 +78,11 @@ class BlockManager {
   size_t page_size_;
   std::vector<std::unique_ptr<std::byte[]>> pages_;
   std::vector<bool> live_;
+  std::vector<uint32_t> crcs_;
   std::vector<PageId> free_list_;
   IoStats stats_;
+  uint32_t zero_page_crc_;
+  class Counter* checksum_failures_metric_;
 };
 
 }  // namespace storm

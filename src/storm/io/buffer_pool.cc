@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "storm/obs/metrics.h"
+#include "storm/util/logging.h"
 
 namespace storm {
 
@@ -20,9 +21,14 @@ BufferPool::BufferPool(BlockManager* disk, size_t capacity_pages)
 }
 
 BufferPool::~BufferPool() {
-  // Best-effort write-back; errors are ignored in the destructor.
+  // Best-effort write-back; a destructor cannot propagate, but a failed
+  // flush means dirty pages were dropped — never lose that silently.
   Status st = Flush();
-  (void)st;
+  if (!st.ok()) {
+    STORM_LOG(Error) << "buffer pool flush failed in destructor, "
+                        "dirty pages lost: "
+                     << st;
+  }
 }
 
 Result<std::byte*> BufferPool::Pin(PageId id) {

@@ -102,6 +102,12 @@ struct QueryAst {
   double time_budget_ms = 0.0;
   uint64_t sample_limit = 0;
 
+  /// DEADLINE clause: hard wall-clock ceiling, distinct from WITHIN. WITHIN
+  /// is a stopping rule (the query ends normally at its budget); a deadline
+  /// marks the result deadline_exceeded so the caller knows the answer was
+  /// cut short rather than converged.
+  double deadline_ms = 0.0;
+
   SamplerStrategy method = SamplerStrategy::kAuto;
 
   /// EXPLAIN prefix: plan only (optimizer decision + selectivity estimate),

@@ -72,8 +72,36 @@ StoppingRule QueryEvaluator::RuleFor(const QueryAst& ast) const {
   return rule;
 }
 
+bool QueryEvaluator::Interrupted(QueryResult* result) const {
+  if (cancel_ != nullptr && cancel_->IsCancelled()) {
+    result->cancelled = true;
+    return true;
+  }
+  if (effective_deadline_ms_ > 0.0 &&
+      query_watch_.ElapsedMillis() >= effective_deadline_ms_) {
+    result->deadline_exceeded = true;
+    return true;
+  }
+  return false;
+}
+
+void QueryEvaluator::AnnotateHealth(const SpatialSampler<3>& sampler,
+                                    QueryResult* result) {
+  CardinalityEstimate c = sampler.Cardinality();
+  result->degraded = c.degraded;
+  result->coverage = c.coverage;
+}
+
 Result<QueryResult> QueryEvaluator::Execute(const QueryAst& ast,
                                             const ProgressFn& progress) {
+  query_watch_.Restart();
+  // The tighter of the Session-level deadline and the query's own DEADLINE
+  // clause wins.
+  effective_deadline_ms_ = deadline_ms_;
+  if (ast.deadline_ms > 0.0 &&
+      (effective_deadline_ms_ <= 0.0 || ast.deadline_ms < effective_deadline_ms_)) {
+    effective_deadline_ms_ = ast.deadline_ms;
+  }
   if (profile_ != nullptr) {
     profile_->task = std::string(QueryTaskToString(ast.task));
   }
@@ -122,6 +150,17 @@ Result<QueryResult> QueryEvaluator::Execute(const QueryAst& ast,
     if (result->cancelled) {
       reg.GetCounter("storm_queries_cancelled_total",
                      "Queries stopped by the progress callback", task_label)
+          ->Increment();
+    }
+    if (result->deadline_exceeded) {
+      reg.GetCounter("storm_queries_deadline_exceeded_total",
+                     "Queries cut short by their hard deadline", task_label)
+          ->Increment();
+    }
+    if (result->degraded) {
+      reg.GetCounter("storm_queries_degraded_total",
+                     "Queries answered over a partial (degraded) population",
+                     task_label)
           ->Increment();
     }
     reg.GetHistogram("storm_query_duration_ms", "End-to-end query wall time",
@@ -180,10 +219,12 @@ Result<QueryResult> QueryEvaluator::RunAggregate(const QueryAst& ast,
         break;
       }
     }
+    if (Interrupted(&result)) break;
     if (rule.ShouldStop(ci, agg.elapsed_millis()) || drawn == 0) break;
   }
   loop.SetSamples(agg.samples_drawn());
   loop.End();
+  AnnotateHealth(*sampler, &result);
   result.ci = agg.Current();
   result.samples = agg.samples_drawn();
   result.elapsed_ms = agg.elapsed_millis();
@@ -230,10 +271,12 @@ Result<QueryResult> QueryEvaluator::RunQuantile(const QueryAst& ast,
         break;
       }
     }
+    if (Interrupted(&result)) break;
     if (rule.ShouldStop(ci, quantile.elapsed_millis()) || drawn == 0) break;
   }
   loop.SetSamples(quantile.samples());
   loop.End();
+  AnnotateHealth(*sampler, &result);
   result.ci = quantile.Current();
   result.ci_lower = quantile.ci_lower();
   result.ci_upper = quantile.ci_upper();
@@ -327,10 +370,12 @@ Result<QueryResult> QueryEvaluator::RunGroupBy(const QueryAst& ast,
         break;
       }
     }
+    if (Interrupted(&result)) break;
     if (rule.ShouldStop(worst, watch.ElapsedMillis()) || drawn == 0) break;
   }
   loop.SetSamples(agg.total_samples());
   loop.End();
+  AnnotateHealth(*sampler, &result);
   for (const auto& g : agg.Current()) {
     // The NaN-key group holds records lacking the group attribute.
     if (g.key == std::numeric_limits<int64_t>::min()) continue;
@@ -396,10 +441,12 @@ Result<QueryResult> QueryEvaluator::RunKde(const QueryAst& ast,
         break;
       }
     }
+    if (Interrupted(&result)) break;
     if (rule.ShouldStop(quality, watch.ElapsedMillis()) || drawn == 0) break;
   }
   loop.SetSamples(kde.samples());
   loop.End();
+  AnnotateHealth(*sampler, &result);
   result.kde_map = kde.DensityMap();
   result.kde_width = ast.kde_width;
   result.kde_height = ast.kde_height;
@@ -459,10 +506,12 @@ Result<QueryResult> QueryEvaluator::RunTopTerms(const QueryAst& ast,
         break;
       }
     }
+    if (Interrupted(&result)) break;
     if (rule.ShouldStop(quality, watch.ElapsedMillis()) || drawn == 0) break;
   }
   loop.SetSamples(freq.documents());
   loop.End();
+  AnnotateHealth(*sampler, &result);
   result.terms = freq.TopTerms(ast.top_m);
   result.samples = freq.documents();
   result.elapsed_ms = watch.ElapsedMillis();
@@ -507,10 +556,12 @@ Result<QueryResult> QueryEvaluator::RunCluster(const QueryAst& ast,
         break;
       }
     }
+    if (Interrupted(&result)) break;
     if (rule.ShouldStop(quality, watch.ElapsedMillis()) || drawn == 0) break;
   }
   loop.SetSamples(km.samples());
   loop.End();
+  AnnotateHealth(*sampler, &result);
   result.centers = km.Current().centers;
   result.inertia = km.Current().inertia;
   result.samples = km.samples();
@@ -563,6 +614,7 @@ Result<QueryResult> QueryEvaluator::RunTrajectory(const QueryAst& ast,
         break;
       }
     }
+    if (Interrupted(&result)) break;
     if (rule.ShouldStop(quality, watch.ElapsedMillis()) ||
         (added == 0 && traj.Exhausted())) {
       break;
@@ -571,6 +623,7 @@ Result<QueryResult> QueryEvaluator::RunTrajectory(const QueryAst& ast,
   }
   loop.SetSamples(traj.samples_drawn());
   loop.End();
+  AnnotateHealth(*sampler, &result);
   result.trajectory = traj.Current().Polyline();
   result.samples = traj.samples_drawn();
   result.elapsed_ms = watch.ElapsedMillis();

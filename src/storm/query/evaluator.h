@@ -22,6 +22,8 @@
 #include "storm/estimator/quantile.h"
 #include "storm/obs/trace.h"
 #include "storm/query/optimizer.h"
+#include "storm/util/cancel.h"
+#include "storm/util/stopwatch.h"
 
 namespace storm {
 
@@ -65,8 +67,17 @@ struct QueryResult {
   uint64_t samples = 0;
   double elapsed_ms = 0.0;
   bool exhausted = false;     ///< the answer is exact
-  bool cancelled = false;     ///< progress callback stopped the query
+  bool cancelled = false;     ///< progress callback or CancelToken stopped it
   bool explain_only = false;  ///< EXPLAIN: `decision` is the whole answer
+
+  /// The query hit its hard deadline: the estimate is the best-so-far at the
+  /// cutoff (kDeadlineExceeded semantics — an anytime answer, not an error).
+  bool deadline_exceeded = false;
+  /// Part of the population was unreachable (dead shards evicted from the
+  /// distributed stream): the estimate is uniform over the live partition
+  /// only, covering an estimated `coverage` fraction of qualifying records.
+  bool degraded = false;
+  double coverage = 1.0;
 
   /// Per-query trace (spans, IO deltas, convergence trajectory). Set by
   /// Session::Execute / ExecuteAst; null when the evaluator is used directly
@@ -100,6 +111,16 @@ class QueryEvaluator {
   /// points into. The profile must outlive Execute. Optional.
   void set_profile(QueryProfile* profile) { profile_ = profile; }
 
+  /// Hard wall-clock ceiling for Execute (0 = none). Combined with the
+  /// query's own DEADLINE clause; the tighter one wins. At the deadline the
+  /// sampling loop stops and the best-so-far result is returned with
+  /// deadline_exceeded set.
+  void set_deadline_ms(double ms) { deadline_ms_ = ms; }
+
+  /// Cooperative cancellation, polled once per sample batch. The token must
+  /// outlive Execute. Optional.
+  void set_cancel_token(const CancelToken* token) { cancel_ = token; }
+
  private:
   Result<std::unique_ptr<SpatialSampler<3>>> MakeSampler(const QueryAst& ast,
                                                          QueryResult* result) const;
@@ -113,9 +134,21 @@ class QueryEvaluator {
   Result<QueryResult> RunCluster(const QueryAst& ast, const ProgressFn& fn);
   Result<QueryResult> RunTrajectory(const QueryAst& ast, const ProgressFn& fn);
 
+  /// Deadline/cancellation poll shared by every sampling loop; true means
+  /// stop now, with the corresponding result flag set.
+  bool Interrupted(QueryResult* result) const;
+
+  /// Copies degraded-mode annotations from the sampler into the result.
+  static void AnnotateHealth(const SpatialSampler<3>& sampler,
+                             QueryResult* result);
+
   const Table* table_;
   QueryOptimizer optimizer_;
   QueryProfile* profile_ = nullptr;
+  double deadline_ms_ = 0.0;           // evaluator-level (Session ExecOptions)
+  double effective_deadline_ms_ = 0.0; // min(evaluator, query DEADLINE clause)
+  const CancelToken* cancel_ = nullptr;
+  Stopwatch query_watch_;              // restarted at each Execute
 };
 
 }  // namespace storm

@@ -301,6 +301,19 @@ class Parser {
         }
         if (v <= 0) return Fail("WITHIN budget must be positive");
         ast->time_budget_ms = v * scale;
+      } else if (Cur().IsKeyword("DEADLINE")) {
+        Advance();
+        STORM_ASSIGN_OR_RETURN(double v, ExpectNumber());
+        double scale = 1.0;
+        if (Cur().IsKeyword("MS") || Cur().IsKeyword("MILLISECONDS")) {
+          Advance();
+        } else if (Cur().IsKeyword("S") || Cur().IsKeyword("SECONDS") ||
+                   Cur().IsKeyword("SEC")) {
+          scale = 1000.0;
+          Advance();
+        }
+        if (v <= 0) return Fail("DEADLINE must be positive");
+        ast->deadline_ms = v * scale;
       } else if (Cur().IsKeyword("SAMPLES")) {
         Advance();
         STORM_ASSIGN_OR_RETURN(double v, ExpectNumber());

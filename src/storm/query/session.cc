@@ -80,30 +80,35 @@ std::vector<std::string> Session::TableNames() const {
 }
 
 Result<QueryResult> Session::Execute(const std::string& query,
-                                     const ProgressFn& progress) {
+                                     const ProgressFn& progress,
+                                     const ExecOptions& options) {
   auto profile = std::make_shared<QueryProfile>();
   profile->query = query;
   QueryProfile::ScopedSpan parse = profile->Span("parse");
   Result<QueryAst> ast = ParseQuery(query);
   parse.End();
   if (!ast.ok()) return ast.status();
-  return ExecuteAst(*ast, progress, std::move(profile));
-}
-
-Result<QueryResult> Session::ExecuteAst(const QueryAst& ast,
-                                        const ProgressFn& progress) {
-  return ExecuteAst(ast, progress, std::make_shared<QueryProfile>());
+  return ExecuteAst(*ast, progress, std::move(profile), options);
 }
 
 Result<QueryResult> Session::ExecuteAst(const QueryAst& ast,
                                         const ProgressFn& progress,
-                                        std::shared_ptr<QueryProfile> profile) {
+                                        const ExecOptions& options) {
+  return ExecuteAst(ast, progress, std::make_shared<QueryProfile>(), options);
+}
+
+Result<QueryResult> Session::ExecuteAst(const QueryAst& ast,
+                                        const ProgressFn& progress,
+                                        std::shared_ptr<QueryProfile> profile,
+                                        const ExecOptions& options) {
   STORM_ASSIGN_OR_RETURN(Table * table, GetTable(ast.table));
   profile->table = table->name();
   // Spans opened from here on snapshot the table's simulated-disk counters.
   profile->SetIoSource(&table->store().io_stats());
   QueryEvaluator evaluator(table, optimizer_);
   evaluator.set_profile(profile.get());
+  evaluator.set_deadline_ms(options.deadline_ms);
+  evaluator.set_cancel_token(options.cancel);
   QueryProfile::ScopedSpan exec = profile->Span("execute");
   Result<QueryResult> result = evaluator.Execute(ast, progress);
   exec.End();

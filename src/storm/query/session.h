@@ -18,6 +18,17 @@
 
 namespace storm {
 
+/// Per-call execution controls (robustness layer).
+struct ExecOptions {
+  /// Hard wall-clock ceiling in ms (0 = none). Queries that hit it return
+  /// the best-so-far estimate with QueryResult::deadline_exceeded set. The
+  /// query's own DEADLINE clause can only tighten this.
+  double deadline_ms = 0.0;
+  /// Cooperative cancellation, polled between sample batches. Must outlive
+  /// the call. Optional.
+  const CancelToken* cancel = nullptr;
+};
+
 class Session {
  public:
   /// Registers documents as a table (import + index build).
@@ -44,18 +55,22 @@ class Session {
   std::vector<std::string> TableNames() const;
 
   /// Parses and runs a query in the STORM query language. The progress
-  /// callback runs once per sample batch and may cancel.
+  /// callback runs once per sample batch and may cancel; `options` adds a
+  /// hard deadline and/or a cancellation token.
   Result<QueryResult> Execute(const std::string& query,
-                              const ProgressFn& progress = {});
+                              const ProgressFn& progress = {},
+                              const ExecOptions& options = {});
 
   /// Runs an already-parsed query.
   Result<QueryResult> ExecuteAst(const QueryAst& ast,
-                                 const ProgressFn& progress = {});
+                                 const ProgressFn& progress = {},
+                                 const ExecOptions& options = {});
 
   /// Runs an already-parsed query, recording into a caller-provided profile
   /// (Execute uses this to include the parse span).
   Result<QueryResult> ExecuteAst(const QueryAst& ast, const ProgressFn& progress,
-                                 std::shared_ptr<QueryProfile> profile);
+                                 std::shared_ptr<QueryProfile> profile,
+                                 const ExecOptions& options = {});
 
   /// Update entry point for a table.
   Result<UpdateManager*> Updates(const std::string& table);

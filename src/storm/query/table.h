@@ -58,6 +58,8 @@ class Table {
   const LsTree<3>* ls_tree() const { return ls_.get(); }
   /// Non-null when the table was built with num_shards > 1.
   const Cluster* cluster() const { return cluster_.get(); }
+  /// Mutable cluster access for fault controls (Kill/Revive/SetLatencyMs).
+  Cluster* mutable_cluster() { return cluster_.get(); }
   /// The base Hilbert R-tree (shared by RandomPath/QueryFirst samplers).
   const RTree<3>& base_tree() const { return rs_->tree(); }
 

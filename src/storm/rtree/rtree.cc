@@ -159,6 +159,9 @@ std::unique_ptr<typename RTree<D>::Node> RTree<D>::NewNode(bool is_leaf) {
 template <int D>
 void RTree<D>::ReleaseNodePages(Node* n) {
   if (options_.pool != nullptr && n->page != kInvalidPage) {
+    // Teardown path: Evict/Free can only fail on pages this tree does not
+    // own (a programming error caught by their own checks), so the statuses
+    // are deliberately dropped rather than propagated out of a destructor.
     (void)options_.pool->Evict(n->page);
     (void)options_.pool->disk()->Free(n->page);
     n->page = kInvalidPage;
@@ -170,6 +173,10 @@ template <int D>
 void RTree<D>::TouchNode(const Node* n) const {
   nodes_touched_.fetch_add(1, std::memory_order_relaxed);
   if (options_.pool != nullptr && n->page != kInvalidPage) {
+    // Advisory IO-cost simulation only: node payloads live in memory, the
+    // pin exists to exercise the cache. A failed pin (pool exhausted, or a
+    // chaos failpoint on the disk) must not fail the traversal; the miss is
+    // still counted in IoStats, which is all this touch is for.
     Result<std::byte*> frame = options_.pool->Pin(n->page);
     if (frame.ok()) {
       (void)options_.pool->Unpin(n->page, /*dirty=*/false);

@@ -17,6 +17,7 @@
 #include <memory>
 #include <utility>
 
+#include "storm/obs/metrics.h"
 #include "storm/sampling/sampler.h"
 
 namespace storm {
@@ -49,11 +50,18 @@ class FailoverSampler : public SpatialSampler<D> {
       std::optional<Entry> e = primary_->Next();
       if (e.has_value()) return e;
       if (primary_->IsExhausted()) return std::nullopt;
-      // Primary stalled without exhausting: switch.
+      // Primary stalled without exhausting: switch. Registry lookup is fine
+      // here — a stream switches at most once per query.
       Status st = fallback_->Begin(query_, mode_);
       if (!st.ok()) return std::nullopt;
       using_fallback_ = true;
       switched_ = true;
+      MetricsRegistry::Default()
+          .GetCounter("storm_failover_switches_total",
+                      "Mid-query sampler strategy switches (primary stalled)",
+                      {{"from", std::string(primary_->name())},
+                       {"to", std::string(fallback_->name())}})
+          ->Increment();
     }
     return fallback_->Next();
   }

@@ -40,6 +40,13 @@ struct CardinalityEstimate {
   /// Best point estimate (may be between the bounds, e.g. LS-tree's
   /// level-scaled estimate).
   double estimate = 0.0;
+  /// True when part of the population became unreachable (a dead shard was
+  /// evicted from a distributed stream): the sample stays uniform, but only
+  /// over the live partition.
+  bool degraded = false;
+  /// Estimated fraction of qualifying records still reachable, q_alive / q.
+  /// 1.0 for healthy single-node samplers.
+  double coverage = 1.0;
 };
 
 /// Abstract spatial online sampler (Definition 1).

@@ -56,8 +56,12 @@
 #include "storm/sampling/sample_first.h"
 #include "storm/storage/record_store.h"
 #include "storm/storage/value.h"
+#include "storm/util/cancel.h"
+#include "storm/util/crc32.h"
+#include "storm/util/failpoint.h"
 #include "storm/util/logging.h"
 #include "storm/util/reservoir.h"
+#include "storm/util/retry.h"
 #include "storm/util/time.h"
 #include "storm/util/weighted_set.h"
 #include "storm/viz/render.h"

@@ -1,0 +1,29 @@
+// CancelToken: cooperative cancellation for online queries.
+//
+// The evaluator's sampling loops poll the token between batches, so a
+// cancelled query returns its best-so-far estimate (flagged cancelled)
+// within one batch of the Cancel() call. Thread-safe: any thread may cancel
+// while the query thread polls.
+
+#ifndef STORM_UTIL_CANCEL_H_
+#define STORM_UTIL_CANCEL_H_
+
+#include <atomic>
+
+namespace storm {
+
+class CancelToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool IsCancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+  void Reset() { cancelled_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace storm
+
+#endif  // STORM_UTIL_CANCEL_H_

@@ -1,0 +1,29 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for page checksums.
+//
+// Software table-driven implementation: the simulated disk verifies every
+// page read against the checksum recorded at write time, so silent
+// corruption (bit rot, injected faults) surfaces as Status::Corruption
+// instead of garbage data.
+
+#ifndef STORM_UTIL_CRC32_H_
+#define STORM_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace storm {
+
+/// CRC-32 of `n` bytes starting at `data`, with the standard init/final
+/// XOR (so Crc32("123456789", 9) == 0xCBF43926).
+uint32_t Crc32(const void* data, size_t n);
+
+/// Incremental form: pass the previous return value as `state` to extend a
+/// checksum over multiple buffers. Start from kCrc32Init and finish with
+/// Crc32Finish.
+constexpr uint32_t kCrc32Init = 0xFFFFFFFFu;
+uint32_t Crc32Update(uint32_t state, const void* data, size_t n);
+inline uint32_t Crc32Finish(uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+}  // namespace storm
+
+#endif  // STORM_UTIL_CRC32_H_

@@ -1,0 +1,126 @@
+// Failpoints: deterministic, seeded fault injection for chaos testing.
+//
+// A failpoint is a named site in production code ("block_manager.read",
+// "shard.count", ...) that a test can arm with a trigger — trip with a
+// probability, every Nth hit, or only after N hits — and a payload: an error
+// Status to return, injected latency, or both. With no site armed the whole
+// subsystem is a single relaxed atomic load, so production paths keep the
+// checks compiled in (the RocksDB/TiKV idiom) at negligible cost.
+//
+// Determinism: probability triggers draw from a per-site Rng seeded by the
+// config, never from a global source, so a fault schedule replays exactly
+// from its seed. Per-site hit/trip counts are exported through
+// MetricsRegistry as storm_failpoint_trips_total{site=...}.
+
+#ifndef STORM_UTIL_FAILPOINT_H_
+#define STORM_UTIL_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "storm/util/rng.h"
+#include "storm/util/status.h"
+
+namespace storm {
+
+/// Trigger + payload for one armed failpoint site.
+///
+/// Trigger (first non-zero field wins, in this order):
+///   - probability > 0: independent Bernoulli(p) per eligible hit;
+///   - every_nth  > 0: trips on hits N, 2N, 3N, ...;
+///   - otherwise: trips on every eligible hit.
+/// `after_n` delays eligibility until that many hits have passed, and
+/// `max_trips` caps the total number of trips (0 = unlimited).
+struct FailpointConfig {
+  double probability = 0.0;
+  uint64_t every_nth = 0;
+  uint64_t after_n = 0;
+  uint64_t max_trips = 0;
+
+  /// Status returned when the site trips. kOk makes the trip inject only
+  /// latency (a "slow" fault rather than an error).
+  StatusCode code = StatusCode::kIOError;
+  std::string message;
+
+  /// Sleep injected on every trip, before the status is returned.
+  double latency_ms = 0.0;
+
+  /// Seed for the probability trigger's private Rng.
+  uint64_t seed = 0x5704A17ULL;
+};
+
+/// The process-wide registry of armed failpoint sites.
+///
+/// Thread-safe: Configure/Disable and Evaluate may race from any thread.
+class Failpoints {
+ public:
+  /// The registry used by all STORM_FAILPOINT sites.
+  static Failpoints& Default();
+
+  /// Arms (or re-arms, resetting counters) a site.
+  void Configure(const std::string& site, FailpointConfig config);
+
+  /// Disarms a site; unknown sites are a no-op.
+  void Disable(const std::string& site);
+
+  /// Disarms every site (test teardown).
+  void DisableAll();
+
+  /// Evaluates a site at its point of use: returns the configured error when
+  /// the site trips (after applying injected latency), OK otherwise. With no
+  /// site armed anywhere this is one relaxed atomic load.
+  Status Evaluate(std::string_view site);
+
+  /// Times the site was evaluated while armed / times it tripped. Counts
+  /// reset when the site is (re)configured.
+  uint64_t hits(const std::string& site) const;
+  uint64_t trips(const std::string& site) const;
+
+  /// Names of currently armed sites, sorted.
+  std::vector<std::string> ArmedSites() const;
+
+ private:
+  struct Site {
+    FailpointConfig config;
+    Rng rng{0};
+    uint64_t hits = 0;
+    uint64_t trips = 0;
+    class Counter* trip_metric = nullptr;
+  };
+
+  std::atomic<size_t> armed_{0};
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Site> sites_;
+};
+
+/// RAII activation: arms the site for the current scope, disarms on exit.
+class ScopedFailpoint {
+ public:
+  ScopedFailpoint(std::string site, FailpointConfig config)
+      : site_(std::move(site)) {
+    Failpoints::Default().Configure(site_, std::move(config));
+  }
+  ~ScopedFailpoint() { Failpoints::Default().Disable(site_); }
+
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+  const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
+/// Evaluates a failpoint site and propagates its error to the caller.
+#define STORM_FAILPOINT(site) \
+  STORM_RETURN_NOT_OK(::storm::Failpoints::Default().Evaluate(site))
+
+}  // namespace storm
+
+#endif  // STORM_UTIL_FAILPOINT_H_

@@ -1,0 +1,116 @@
+// RetryPolicy: bounded retries with exponential backoff + jitter, and an
+// optional per-operation deadline, for transient faults in the simulated
+// distributed substrate (unreachable shards, injected IO errors).
+//
+// Only transient statuses are retried (kUnavailable, kIOError,
+// kResourceExhausted, kAborted); everything else — corruption, invalid
+// arguments — fails immediately. Jitter draws from a caller-provided Rng so
+// fault schedules stay deterministic under a fixed seed.
+
+#ifndef STORM_UTIL_RETRY_H_
+#define STORM_UTIL_RETRY_H_
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "storm/util/rng.h"
+#include "storm/util/status.h"
+#include "storm/util/stopwatch.h"
+
+namespace storm {
+
+/// True for failures worth retrying: the operation might succeed on a later
+/// attempt against the same replica (blip, slow disk, overload).
+inline bool IsTransient(const Status& s) {
+  switch (s.code()) {
+    case StatusCode::kUnavailable:
+    case StatusCode::kIOError:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kAborted:
+      return true;
+    default:
+      return false;
+  }
+}
+
+struct RetryPolicy {
+  /// Total attempts, including the first (1 = no retries).
+  int max_attempts = 3;
+  /// Backoff before retry k (1-based) is base * multiplier^(k-1), capped at
+  /// max_backoff_ms, then jittered.
+  double base_backoff_ms = 0.5;
+  double multiplier = 2.0;
+  double max_backoff_ms = 50.0;
+  /// Fraction of the backoff randomized: sleep in [b*(1-jitter), b].
+  double jitter = 0.5;
+  /// Wall-clock ceiling across all attempts (0 = none). When an attempt
+  /// lands past it the operation fails with kDeadlineExceeded — even a
+  /// *successful* attempt: like an RPC timeout, the caller has already
+  /// stopped waiting, so a late answer is a failed call. Failed attempts
+  /// carry the last underlying error in the message.
+  double deadline_ms = 0.0;
+
+  double BackoffMs(int retry_index, Rng* rng) const {
+    double b = base_backoff_ms;
+    for (int i = 1; i < retry_index; ++i) b *= multiplier;
+    b = std::min(b, max_backoff_ms);
+    if (jitter > 0.0 && rng != nullptr) {
+      b *= 1.0 - jitter * rng->UniformDouble();
+    }
+    return b;
+  }
+};
+
+/// Runs `op` (a callable returning Status) under the policy. Returns the
+/// first OK, the first non-transient error, the last transient error once
+/// attempts are exhausted, or kDeadlineExceeded when the deadline cuts the
+/// attempt sequence short. `on_retry`, when non-null, is invoked once per
+/// retry (a Counter*-compatible callable with Increment()).
+template <typename Op, typename RetryCounter = class Counter>
+Status RetryWithBackoff(const RetryPolicy& policy, Rng* rng, Op&& op,
+                        RetryCounter* on_retry = nullptr) {
+  Stopwatch watch;
+  Status last;
+  int attempts = std::max(1, policy.max_attempts);
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    last = op();
+    bool late = policy.deadline_ms > 0.0 &&
+                watch.ElapsedMillis() >= policy.deadline_ms;
+    if (last.ok()) {
+      if (!late) return last;
+      // Timeout semantics: the answer arrived after the caller stopped
+      // waiting, so the call failed even though the work succeeded. This is
+      // how a straggler shard gets treated as dead by its deadline.
+      return Status::DeadlineExceeded("answer past the " +
+                                      std::to_string(policy.deadline_ms) +
+                                      "ms deadline");
+    }
+    if (!IsTransient(last)) return last;
+    if (late) {
+      return Status::DeadlineExceeded("retry deadline after " +
+                                      std::to_string(attempt) +
+                                      " attempt(s); last: " + last.ToString());
+    }
+    if (attempt == attempts) break;
+    if (on_retry != nullptr) on_retry->Increment();
+    double backoff = policy.BackoffMs(attempt, rng);
+    if (policy.deadline_ms > 0.0) {
+      double remaining = policy.deadline_ms - watch.ElapsedMillis();
+      if (remaining <= 0.0) {
+        return Status::DeadlineExceeded(
+            "retry deadline before backoff; last: " + last.ToString());
+      }
+      backoff = std::min(backoff, remaining);
+    }
+    if (backoff > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(backoff));
+    }
+  }
+  return last;
+}
+
+}  // namespace storm
+
+#endif  // STORM_UTIL_RETRY_H_

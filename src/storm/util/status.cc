@@ -26,6 +26,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "not supported";
     case StatusCode::kAborted:
       return "aborted";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline exceeded";
+    case StatusCode::kUnavailable:
+      return "unavailable";
     case StatusCode::kUnknown:
       return "unknown";
   }

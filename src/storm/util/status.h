@@ -27,6 +27,8 @@ enum class StatusCode {
   kIOError,
   kNotSupported,
   kAborted,
+  kDeadlineExceeded,
+  kUnavailable,
   kUnknown,
 };
 
@@ -76,6 +78,12 @@ class Status {
   static Status Aborted(std::string msg) {
     return Status(StatusCode::kAborted, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
   static Status Unknown(std::string msg) {
     return Status(StatusCode::kUnknown, std::move(msg));
   }
@@ -89,6 +97,11 @@ class Status {
   bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
   bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// "OK" or "<code>: <message>".
   std::string ToString() const;

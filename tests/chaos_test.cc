@@ -1,0 +1,797 @@
+// Chaos tests: seeded fault schedules driven through the failpoint
+// subsystem, proving every robustness path end to end — injected IO faults
+// and checksum corruption, retry/backoff, shard death and eviction with
+// degraded-mode renormalization (uniformity verified by chi-squared), query
+// deadlines, and cooperative cancellation.
+//
+// The schedule seed defaults to 1 and can be overridden with the
+// STORM_CHAOS_SEED environment variable; CI runs three fixed seeds.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "storm/cluster/coordinator.h"
+#include "storm/io/buffer_pool.h"
+#include "storm/obs/metrics.h"
+#include "storm/query/session.h"
+#include "storm/storage/record_store.h"
+#include "storm/util/failpoint.h"
+#include "storm/util/retry.h"
+#include "storm/util/stats.h"
+#include "storm/util/stopwatch.h"
+
+namespace storm {
+namespace {
+
+using Entry = RTree<3>::Entry;
+
+uint64_t ChaosSeed() {
+  const char* env = std::getenv("STORM_CHAOS_SEED");
+  if (env == nullptr || *env == '\0') return 1;
+  return std::strtoull(env, nullptr, 10);
+}
+
+std::vector<Entry> MakeData(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Entry> data;
+  data.reserve(n);
+  for (RecordId i = 0; i < n; ++i) {
+    data.push_back({Point3(rng.UniformDouble(0, 100), rng.UniformDouble(0, 100),
+                           rng.UniformDouble(0, 1000)),
+                    i});
+  }
+  return data;
+}
+
+/// Retry policy tuned for tests: real backoff shape, negligible wall time.
+RetryPolicy FastRetry(int attempts = 2) {
+  RetryPolicy p;
+  p.max_attempts = attempts;
+  p.base_backoff_ms = 0.01;
+  p.max_backoff_ms = 0.05;
+  return p;
+}
+
+/// Every test starts and ends with a disarmed registry; a leaked failpoint
+/// would poison unrelated tests through the process-wide Default() instance.
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Failpoints::Default().DisableAll(); }
+  void TearDown() override { Failpoints::Default().DisableAll(); }
+};
+
+using FailpointTest = ChaosTest;
+using IoChaosTest = ChaosTest;
+using ClusterChaosTest = ChaosTest;
+using QueryChaosTest = ChaosTest;
+using ChaosScheduleTest = ChaosTest;
+
+// ---------------------------------------------------------------------------
+// Failpoint triggers
+// ---------------------------------------------------------------------------
+
+TEST_F(FailpointTest, DisarmedSiteIsTransparent) {
+  EXPECT_TRUE(Failpoints::Default().Evaluate("never.configured").ok());
+  EXPECT_EQ(Failpoints::Default().hits("never.configured"), 0u);
+  EXPECT_TRUE(Failpoints::Default().ArmedSites().empty());
+}
+
+TEST_F(FailpointTest, DefaultConfigTripsEveryHit) {
+  ScopedFailpoint fp("chaos.always", {});
+  for (int i = 0; i < 5; ++i) {
+    Status st = Failpoints::Default().Evaluate("chaos.always");
+    EXPECT_TRUE(st.IsIOError()) << st;
+  }
+  EXPECT_EQ(Failpoints::Default().hits("chaos.always"), 5u);
+  EXPECT_EQ(Failpoints::Default().trips("chaos.always"), 5u);
+}
+
+TEST_F(FailpointTest, EveryNthTripsPeriodically) {
+  FailpointConfig config;
+  config.every_nth = 3;
+  ScopedFailpoint fp("chaos.nth", config);
+  int failures = 0;
+  for (int i = 1; i <= 12; ++i) {
+    bool failed = !Failpoints::Default().Evaluate("chaos.nth").ok();
+    EXPECT_EQ(failed, i % 3 == 0) << "hit " << i;
+    failures += failed ? 1 : 0;
+  }
+  EXPECT_EQ(failures, 4);
+}
+
+TEST_F(FailpointTest, AfterNDelaysEligibility) {
+  FailpointConfig config;
+  config.after_n = 4;
+  ScopedFailpoint fp("chaos.after", config);
+  for (int i = 1; i <= 4; ++i) {
+    EXPECT_TRUE(Failpoints::Default().Evaluate("chaos.after").ok()) << i;
+  }
+  EXPECT_FALSE(Failpoints::Default().Evaluate("chaos.after").ok());
+}
+
+TEST_F(FailpointTest, MaxTripsCapsInjection) {
+  FailpointConfig config;
+  config.max_trips = 2;
+  ScopedFailpoint fp("chaos.capped", config);
+  int failures = 0;
+  for (int i = 0; i < 10; ++i) {
+    failures += Failpoints::Default().Evaluate("chaos.capped").ok() ? 0 : 1;
+  }
+  EXPECT_EQ(failures, 2);
+  EXPECT_EQ(Failpoints::Default().trips("chaos.capped"), 2u);
+  EXPECT_EQ(Failpoints::Default().hits("chaos.capped"), 10u);
+}
+
+TEST_F(FailpointTest, ProbabilityIsDeterministicUnderSeed) {
+  FailpointConfig config;
+  config.probability = 0.3;
+  config.seed = 42;
+  auto run_schedule = [&] {
+    Failpoints::Default().Configure("chaos.prob", config);
+    std::vector<bool> pattern;
+    for (int i = 0; i < 200; ++i) {
+      pattern.push_back(!Failpoints::Default().Evaluate("chaos.prob").ok());
+    }
+    Failpoints::Default().Disable("chaos.prob");
+    return pattern;
+  };
+  std::vector<bool> first = run_schedule();
+  std::vector<bool> second = run_schedule();
+  EXPECT_EQ(first, second);
+  int trips = 0;
+  for (bool t : first) trips += t ? 1 : 0;
+  // Bernoulli(0.3) over 200 draws: expect ~60, accept a generous band.
+  EXPECT_GT(trips, 30);
+  EXPECT_LT(trips, 100);
+}
+
+TEST_F(FailpointTest, ConfiguredCodeAndMessageAreReturned) {
+  FailpointConfig config;
+  config.code = StatusCode::kUnavailable;
+  config.message = "simulated outage";
+  ScopedFailpoint fp("chaos.custom", config);
+  Status st = Failpoints::Default().Evaluate("chaos.custom");
+  EXPECT_TRUE(st.IsUnavailable());
+  EXPECT_EQ(st.message(), "simulated outage");
+}
+
+TEST_F(FailpointTest, LatencyOnlyTripKeepsStatusOk) {
+  FailpointConfig config;
+  config.code = StatusCode::kOk;
+  config.latency_ms = 5.0;
+  ScopedFailpoint fp("chaos.slow", config);
+  Stopwatch watch;
+  EXPECT_TRUE(Failpoints::Default().Evaluate("chaos.slow").ok());
+  EXPECT_GE(watch.ElapsedMillis(), 4.0);
+  EXPECT_EQ(Failpoints::Default().trips("chaos.slow"), 1u);
+}
+
+TEST_F(FailpointTest, ScopedActivationDisarmsOnExit) {
+  {
+    ScopedFailpoint fp("chaos.scoped", {});
+    EXPECT_FALSE(Failpoints::Default().Evaluate("chaos.scoped").ok());
+    EXPECT_EQ(Failpoints::Default().ArmedSites(),
+              std::vector<std::string>{"chaos.scoped"});
+  }
+  EXPECT_TRUE(Failpoints::Default().Evaluate("chaos.scoped").ok());
+  EXPECT_TRUE(Failpoints::Default().ArmedSites().empty());
+}
+
+TEST_F(FailpointTest, TripsAreExportedAsMetrics) {
+  Counter* metric = MetricsRegistry::Default().GetCounter(
+      "storm_failpoint_trips_total", "", {{"site", "chaos.metric"}});
+  uint64_t before = metric->Value();
+  ScopedFailpoint fp("chaos.metric", {});
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(Failpoints::Default().Evaluate("chaos.metric").ok());
+  }
+  EXPECT_EQ(metric->Value(), before + 3);
+}
+
+// ---------------------------------------------------------------------------
+// Retry with backoff
+// ---------------------------------------------------------------------------
+
+TEST_F(ChaosTest, RetryRecoversFromTransientFault) {
+  int calls = 0;
+  Rng rng(7);
+  Status st = RetryWithBackoff(FastRetry(4), &rng, [&] {
+    ++calls;
+    return calls < 3 ? Status::Unavailable("blip") : Status::OK();
+  });
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls, 3);
+}
+
+TEST_F(ChaosTest, RetryFailsFastOnNonTransientError) {
+  int calls = 0;
+  Rng rng(7);
+  Status st = RetryWithBackoff(FastRetry(5), &rng, [&] {
+    ++calls;
+    return Status::Corruption("bit rot");
+  });
+  EXPECT_TRUE(st.IsCorruption());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_F(ChaosTest, RetryReturnsLastErrorWhenExhausted) {
+  int calls = 0;
+  Rng rng(7);
+  Status st = RetryWithBackoff(FastRetry(3), &rng, [&] {
+    ++calls;
+    return Status::IOError("attempt " + std::to_string(calls));
+  });
+  EXPECT_TRUE(st.IsIOError());
+  EXPECT_EQ(st.message(), "attempt 3");
+  EXPECT_EQ(calls, 3);
+}
+
+TEST_F(ChaosTest, RetryHonorsDeadlineAcrossAttempts) {
+  RetryPolicy policy = FastRetry(1000);
+  policy.deadline_ms = 5.0;
+  int calls = 0;
+  Rng rng(7);
+  Status st = RetryWithBackoff(policy, &rng, [&] {
+    ++calls;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    return Status::Unavailable("down");
+  });
+  EXPECT_TRUE(st.IsDeadlineExceeded()) << st;
+  // ~3 attempts fit in 5ms of 2ms calls; far fewer than the attempt budget.
+  EXPECT_LT(calls, 10);
+}
+
+TEST_F(ChaosTest, RetryTreatsLateSuccessAsTimeout) {
+  // RPC timeout semantics: an answer that lands past the deadline fails the
+  // call even though the work succeeded (this is how a straggler shard gets
+  // evicted by its per-shard deadline).
+  RetryPolicy policy = FastRetry(3);
+  policy.deadline_ms = 2.0;
+  Rng rng(7);
+  Status st = RetryWithBackoff(policy, &rng, [&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.IsDeadlineExceeded()) << st;
+}
+
+TEST_F(ChaosTest, BackoffGrowsExponentiallyAndCaps) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 1.0;
+  policy.multiplier = 2.0;
+  policy.max_backoff_ms = 6.0;
+  policy.jitter = 0.0;
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(1, nullptr), 1.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(2, nullptr), 2.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(3, nullptr), 4.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(4, nullptr), 6.0);  // capped
+  policy.jitter = 0.5;
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    double b = policy.BackoffMs(2, &rng);
+    EXPECT_GE(b, 1.0);
+    EXPECT_LE(b, 2.0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// IO chaos: simulated disk faults, corruption, and latency
+// ---------------------------------------------------------------------------
+
+TEST_F(IoChaosTest, ReadFaultPropagatesThroughBufferPool) {
+  BlockManager disk(256);
+  PageId page = disk.Allocate();
+  std::vector<std::byte> buf(disk.page_size(), std::byte{7});
+  ASSERT_TRUE(disk.Write(page, buf.data()).ok());
+  BufferPool pool(&disk, 2);
+  {
+    ScopedFailpoint fp(std::string(kFailpointBlockRead), {});
+    Result<std::byte*> frame = pool.Pin(page);
+    ASSERT_FALSE(frame.ok());
+    EXPECT_TRUE(frame.status().IsIOError()) << frame.status();
+  }
+  // Fault cleared: the same pin succeeds and sees the stored bytes.
+  Result<std::byte*> frame = pool.Pin(page);
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  EXPECT_EQ((*frame)[0], std::byte{7});
+  EXPECT_TRUE(pool.Unpin(page, false).ok());
+}
+
+TEST_F(IoChaosTest, WriteFaultSurfacesOnFlush) {
+  BlockManager disk(256);
+  PageId page = disk.Allocate();
+  BufferPool pool(&disk, 2);
+  ASSERT_TRUE(
+      pool.WithPage(page, true, [](std::byte* p) { p[0] = std::byte{9}; }).ok());
+  {
+    ScopedFailpoint fp(std::string(kFailpointBlockWrite), {});
+    Status st = pool.Flush();
+    EXPECT_TRUE(st.IsIOError()) << st;
+  }
+  // The frame stayed dirty; a healthy flush lands the write.
+  ASSERT_TRUE(pool.Flush().ok());
+  std::vector<std::byte> buf(disk.page_size());
+  ASSERT_TRUE(disk.Read(page, buf.data()).ok());
+  EXPECT_EQ(buf[0], std::byte{9});
+}
+
+TEST_F(IoChaosTest, ChecksumCatchesAtRestCorruption) {
+  BlockManager disk(128);
+  PageId page = disk.Allocate();
+  std::vector<std::byte> buf(disk.page_size());
+  for (size_t i = 0; i < buf.size(); ++i) buf[i] = std::byte{uint8_t(i)};
+  ASSERT_TRUE(disk.Write(page, buf.data()).ok());
+  Counter* failures = MetricsRegistry::Default().GetCounter(
+      "storm_io_checksum_failures_total");
+  uint64_t before = failures->Value();
+  ASSERT_TRUE(disk.CorruptPageForTesting(page, 17).ok());
+  Status st = disk.Read(page, buf.data());
+  EXPECT_TRUE(st.IsCorruption()) << st;
+  EXPECT_EQ(failures->Value(), before + 1);
+  // Rewriting the page records a fresh checksum and clears the damage.
+  ASSERT_TRUE(disk.Write(page, buf.data()).ok());
+  EXPECT_TRUE(disk.Read(page, buf.data()).ok());
+}
+
+TEST_F(IoChaosTest, CorruptFailpointInjectsInFlightBitFlip) {
+  BlockManager disk(128);
+  PageId page = disk.Allocate();
+  std::vector<std::byte> buf(disk.page_size(), std::byte{3});
+  ASSERT_TRUE(disk.Write(page, buf.data()).ok());
+  {
+    ScopedFailpoint fp(std::string(kFailpointBlockCorrupt), {});
+    Status st = disk.Read(page, buf.data());
+    EXPECT_TRUE(st.IsCorruption()) << st;
+  }
+  // The stored page was never touched: the next read is clean.
+  ASSERT_TRUE(disk.Read(page, buf.data()).ok());
+  EXPECT_EQ(buf[0], std::byte{3});
+}
+
+TEST_F(IoChaosTest, RecordStoreSurfacesDiskFaults) {
+  RecordStoreOptions options;
+  options.page_size = 256;
+  options.pool_pages = 2;  // tiny pool: early pages get evicted to "disk"
+  RecordStore store(options);
+  std::vector<RecordId> ids;
+  for (int i = 0; i < 100; ++i) {
+    Value doc = Value::MakeObject();
+    doc.Set("i", Value::Double(i));
+    doc.Set("pad", Value::String("xxxxxxxxxxxxxxxx"));
+    Result<RecordId> id = store.Append(doc);
+    ASSERT_TRUE(id.ok()) << id.status();
+    ids.push_back(*id);
+  }
+  {
+    ScopedFailpoint fp(std::string(kFailpointBlockRead), {});
+    Result<Value> doc = store.Get(ids.front());
+    ASSERT_FALSE(doc.ok());
+    EXPECT_TRUE(doc.status().IsIOError()) << doc.status();
+  }
+  Result<Value> doc = store.Get(ids.front());
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  ASSERT_NE(doc->Find("i"), nullptr);
+  EXPECT_DOUBLE_EQ(doc->Find("i")->AsDouble(), 0.0);
+}
+
+TEST_F(IoChaosTest, InjectedLatencySlowsReadsWithoutFailingThem) {
+  BlockManager disk(128);
+  PageId page = disk.Allocate();
+  std::vector<std::byte> buf(disk.page_size());
+  FailpointConfig slow;
+  slow.code = StatusCode::kOk;
+  slow.latency_ms = 5.0;
+  ScopedFailpoint fp(std::string(kFailpointBlockRead), slow);
+  Stopwatch watch;
+  EXPECT_TRUE(disk.Read(page, buf.data()).ok());
+  EXPECT_GE(watch.ElapsedMillis(), 4.0);
+}
+
+// ---------------------------------------------------------------------------
+// Cluster chaos: shard death, stragglers, and degraded sampling
+// ---------------------------------------------------------------------------
+
+TEST_F(ClusterChaosTest, DeadShardAtPlanTimeDegradesCoverage) {
+  auto data = MakeData(2000, 801);
+  Cluster cluster(data, 4, Partitioning::kHash, {}, 803);
+  cluster.mutable_shard(1)->Kill();
+  DistributedSamplerOptions options;
+  options.retry = FastRetry();
+  auto sampler = cluster.NewSampler(Rng(805), options);
+  ASSERT_TRUE(
+      sampler->Begin(Rect3::Everything(), SamplingMode::kWithReplacement).ok());
+  CardinalityEstimate c = sampler->Cardinality();
+  EXPECT_TRUE(c.degraded);
+  EXPECT_FALSE(c.exact);
+  // Hash partitioning splits ~evenly; losing 1 of 4 shards costs ~1/4.
+  EXPECT_NEAR(c.coverage, 0.75, 0.1);
+  // Every draw comes from a live shard.
+  for (int i = 0; i < 500; ++i) {
+    auto e = sampler->Next();
+    ASSERT_TRUE(e.has_value());
+    EXPECT_NE(cluster.RouteOf(e->point, e->id), 1);
+  }
+}
+
+// The acceptance scenario: kill 1 of 4 shards mid-query. The query must
+// complete, the result must be marked degraded with coverage ~ 3/4, and the
+// post-kill stream must be statistically uniform over the survivors.
+TEST_F(ClusterChaosTest, MidQueryShardDeathKeepsStreamUniformOverSurvivors) {
+  auto data = MakeData(2000, 807);
+  Cluster cluster(data, 4, Partitioning::kHash, {}, 809);
+  Rect3 q(Point3(5, 5, 0), Point3(95, 95, 1000));
+  constexpr int kVictim = 2;
+  std::vector<RecordId> survivors;
+  std::unordered_map<RecordId, size_t> slot;
+  for (const Entry& e : data) {
+    if (q.Contains(e.point) && cluster.RouteOf(e.point, e.id) != kVictim) {
+      slot[e.id] = survivors.size();
+      survivors.push_back(e.id);
+    }
+  }
+  ASSERT_GT(survivors.size(), 500u);
+
+  DistributedSamplerOptions options;
+  options.retry = FastRetry();
+  auto sampler = cluster.NewSampler(Rng(811), options);
+  ASSERT_TRUE(sampler->Begin(q, SamplingMode::kWithReplacement).ok());
+  for (int i = 0; i < 200; ++i) ASSERT_TRUE(sampler->Next().has_value());
+  cluster.mutable_shard(kVictim)->Kill();
+
+  std::vector<uint64_t> counts(survivors.size(), 0);
+  uint64_t draws = survivors.size() * 20;
+  for (uint64_t i = 0; i < draws; ++i) {
+    auto e = sampler->Next();
+    ASSERT_TRUE(e.has_value()) << "stream must keep producing after the kill";
+    EXPECT_NE(cluster.RouteOf(e->point, e->id), kVictim);
+    auto it = slot.find(e->id);
+    ASSERT_NE(it, slot.end());
+    ++counts[it->second];
+  }
+  // Renormalized q_i/q merge: uniform over the live partition.
+  double stat = ChiSquareUniform(counts.data(), counts.size(), draws);
+  EXPECT_LT(stat, ChiSquareCritical(counts.size() - 1, 1e-4));
+
+  CardinalityEstimate c = sampler->Cardinality();
+  EXPECT_TRUE(c.degraded);
+  EXPECT_NEAR(c.coverage, 0.75, 0.1);
+}
+
+// Satellite: a shard that truthfully reports q_i = 0 is not a failure — the
+// stream must stay non-degraded and exactly uniform over qualifying records;
+// a *dead* shard is evicted and the stream renormalizes over live shards.
+TEST_F(ClusterChaosTest, ZeroCountShardIsHealthyDeadShardIsEvicted) {
+  auto data = MakeData(3000, 813);
+  Cluster cluster(data, 4, Partitioning::kHilbertRange, {}, 815);
+  // A localized query: Hilbert-range partitioning keeps it on few shards, so
+  // at least one shard truthfully answers q_i = 0.
+  Rect3 q(Point3(0, 0, 0), Point3(35, 35, 1000));
+  int zero_shards = 0, populated_shard = -1;
+  for (int s = 0; s < 4; ++s) {
+    Result<uint64_t> count = cluster.shard(s).Count(q);
+    ASSERT_TRUE(count.ok());
+    if (*count == 0) {
+      ++zero_shards;
+    } else {
+      populated_shard = s;
+    }
+  }
+  ASSERT_GT(zero_shards, 0) << "query should miss at least one shard";
+  ASSERT_GE(populated_shard, 0);
+
+  auto uniformity = [&](const std::vector<RecordId>& population,
+                        SpatialSampler<3>* sampler) {
+    std::unordered_map<RecordId, size_t> slot;
+    for (size_t i = 0; i < population.size(); ++i) slot[population[i]] = i;
+    std::vector<uint64_t> counts(population.size(), 0);
+    uint64_t draws = population.size() * 20;
+    for (uint64_t i = 0; i < draws; ++i) {
+      auto e = sampler->Next();
+      ASSERT_TRUE(e.has_value());
+      auto it = slot.find(e->id);
+      ASSERT_NE(it, slot.end()) << "draw outside the expected population";
+      ++counts[it->second];
+    }
+    double stat = ChiSquareUniform(counts.data(), counts.size(), draws);
+    EXPECT_LT(stat, ChiSquareCritical(counts.size() - 1, 1e-4));
+  };
+
+  // Healthy cluster: q_i = 0 shards are skipped, not evicted.
+  DistributedSamplerOptions options;
+  options.retry = FastRetry();
+  {
+    std::vector<RecordId> qualifying;
+    for (const Entry& e : data) {
+      if (q.Contains(e.point)) qualifying.push_back(e.id);
+    }
+    ASSERT_GT(qualifying.size(), 100u);
+    auto sampler = cluster.NewSampler(Rng(817), options);
+    ASSERT_TRUE(sampler->Begin(q, SamplingMode::kWithReplacement).ok());
+    uniformity(qualifying, sampler.get());
+    CardinalityEstimate c = sampler->Cardinality();
+    EXPECT_FALSE(c.degraded);
+    EXPECT_DOUBLE_EQ(c.coverage, 1.0);
+    EXPECT_TRUE(c.exact);
+  }
+
+  // Kill a populated shard: degraded, and exactly uniform over live shards.
+  cluster.mutable_shard(populated_shard)->Kill();
+  {
+    std::vector<RecordId> live;
+    for (const Entry& e : data) {
+      if (q.Contains(e.point) &&
+          cluster.RouteOf(e.point, e.id) != populated_shard) {
+        live.push_back(e.id);
+      }
+    }
+    auto sampler = cluster.NewSampler(Rng(819), options);
+    if (live.empty()) {
+      // The whole query region lived on the dead shard; nothing to merge.
+      EXPECT_TRUE(sampler->Begin(q, SamplingMode::kWithReplacement).ok());
+      EXPECT_FALSE(sampler->Next().has_value());
+      return;
+    }
+    ASSERT_TRUE(sampler->Begin(q, SamplingMode::kWithReplacement).ok());
+    uniformity(live, sampler.get());
+    CardinalityEstimate c = sampler->Cardinality();
+    EXPECT_TRUE(c.degraded);
+    EXPECT_LT(c.coverage, 1.0);
+  }
+}
+
+TEST_F(ClusterChaosTest, WithoutReplacementStaysDuplicateFreeUnderEviction) {
+  auto data = MakeData(1500, 821);
+  Cluster cluster(data, 3, Partitioning::kHash, {}, 823);
+  Rect3 q(Point3(0, 0, 0), Point3(80, 100, 1000));
+  constexpr int kVictim = 0;
+  std::unordered_set<RecordId> survivor_records;
+  for (const Entry& e : data) {
+    if (q.Contains(e.point) && cluster.RouteOf(e.point, e.id) != kVictim) {
+      survivor_records.insert(e.id);
+    }
+  }
+  DistributedSamplerOptions options;
+  options.retry = FastRetry();
+  auto sampler = cluster.NewSampler(Rng(825), options);
+  ASSERT_TRUE(sampler->Begin(q, SamplingMode::kWithoutReplacement).ok());
+  std::unordered_set<RecordId> seen;
+  for (int i = 0; i < 100; ++i) {
+    auto e = sampler->Next();
+    ASSERT_TRUE(e.has_value());
+    EXPECT_TRUE(seen.insert(e->id).second) << "duplicate before kill";
+  }
+  cluster.mutable_shard(kVictim)->Kill();
+  while (auto e = sampler->Next()) {
+    EXPECT_TRUE(seen.insert(e->id).second) << "duplicate after kill";
+  }
+  EXPECT_TRUE(sampler->IsExhausted());
+  // Every survivor record was delivered exactly once; records already drawn
+  // from the dead shard before the kill stay valid.
+  for (RecordId id : survivor_records) {
+    EXPECT_TRUE(seen.contains(id)) << "survivor record " << id << " lost";
+  }
+  CardinalityEstimate c = sampler->Cardinality();
+  EXPECT_TRUE(c.degraded);
+  EXPECT_GT(c.coverage, 0.0);
+  EXPECT_LT(c.coverage, 1.0);
+}
+
+TEST_F(ClusterChaosTest, StragglerShardIsEvictedByPerShardDeadline) {
+  auto data = MakeData(1200, 827);
+  Cluster cluster(data, 4, Partitioning::kHash, {}, 829);
+  cluster.mutable_shard(3)->SetLatencyMs(20.0);
+  DistributedSamplerOptions options;
+  options.retry = FastRetry();
+  options.retry.deadline_ms = 3.0;  // per-shard deadline << injected latency
+  auto sampler = cluster.NewSampler(Rng(831), options);
+  ASSERT_TRUE(
+      sampler->Begin(Rect3::Everything(), SamplingMode::kWithReplacement).ok());
+  CardinalityEstimate c = sampler->Cardinality();
+  EXPECT_TRUE(c.degraded);
+  EXPECT_NEAR(c.coverage, 0.75, 0.1);
+  for (int i = 0; i < 200; ++i) {
+    auto e = sampler->Next();
+    ASSERT_TRUE(e.has_value());
+    EXPECT_NE(cluster.RouteOf(e->point, e->id), 3);
+  }
+}
+
+TEST_F(ClusterChaosTest, AllShardsDeadFailsUnavailable) {
+  auto data = MakeData(400, 833);
+  Cluster cluster(data, 2, Partitioning::kHash, {}, 835);
+  cluster.mutable_shard(0)->Kill();
+  cluster.mutable_shard(1)->Kill();
+  DistributedSamplerOptions options;
+  options.retry = FastRetry();
+  auto sampler = cluster.NewSampler(Rng(837), options);
+  Status st = sampler->Begin(Rect3::Everything(), SamplingMode::kWithReplacement);
+  EXPECT_TRUE(st.IsUnavailable()) << st;
+  EXPECT_FALSE(sampler->Next().has_value());
+}
+
+TEST_F(ClusterChaosTest, RetriesRecoverFromTransientShardFaults) {
+  auto data = MakeData(1000, 839);
+  Cluster cluster(data, 4, Partitioning::kHash, {}, 841);
+  // Every second plan-round Count fails once; one retry always recovers, so
+  // the query plans against the full cluster with no degradation.
+  FailpointConfig flaky;
+  flaky.every_nth = 2;
+  flaky.code = StatusCode::kUnavailable;
+  ScopedFailpoint fp(std::string(kFailpointShardCount), flaky);
+  DistributedSamplerOptions options;
+  options.retry = FastRetry(3);
+  auto sampler = cluster.NewSampler(Rng(843), options);
+  ASSERT_TRUE(
+      sampler->Begin(Rect3::Everything(), SamplingMode::kWithReplacement).ok());
+  CardinalityEstimate c = sampler->Cardinality();
+  EXPECT_FALSE(c.degraded);
+  EXPECT_DOUBLE_EQ(c.coverage, 1.0);
+  EXPECT_EQ(c.lower, data.size());
+  // Deterministic schedule: shards 1..3 each tripped once and retried once.
+  EXPECT_EQ(Failpoints::Default().trips(std::string(kFailpointShardCount)), 3u);
+  EXPECT_EQ(Failpoints::Default().hits(std::string(kFailpointShardCount)), 7u);
+}
+
+TEST_F(ClusterChaosTest, RevivedShardServesFollowingQueries) {
+  auto data = MakeData(800, 845);
+  Cluster cluster(data, 2, Partitioning::kHash, {}, 847);
+  cluster.mutable_shard(1)->Kill();
+  DistributedSamplerOptions options;
+  options.retry = FastRetry();
+  {
+    auto sampler = cluster.NewSampler(Rng(849), options);
+    ASSERT_TRUE(
+        sampler->Begin(Rect3::Everything(), SamplingMode::kWithReplacement).ok());
+    EXPECT_TRUE(sampler->Cardinality().degraded);
+  }
+  cluster.mutable_shard(1)->Revive();
+  auto sampler = cluster.NewSampler(Rng(851), options);
+  ASSERT_TRUE(
+      sampler->Begin(Rect3::Everything(), SamplingMode::kWithReplacement).ok());
+  CardinalityEstimate c = sampler->Cardinality();
+  EXPECT_FALSE(c.degraded);
+  EXPECT_EQ(c.lower, data.size());
+}
+
+// ---------------------------------------------------------------------------
+// Query-level chaos: deadlines, cancellation, degraded annotations
+// ---------------------------------------------------------------------------
+
+std::vector<Value> MakeDocs(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Value> docs;
+  docs.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Value doc = Value::MakeObject();
+    doc.Set("x", Value::Double(rng.UniformDouble(0, 100)));
+    doc.Set("y", Value::Double(rng.UniformDouble(0, 100)));
+    doc.Set("v", Value::Double(static_cast<double>(i % 10)));
+    docs.push_back(doc);
+  }
+  return docs;
+}
+
+TEST_F(QueryChaosTest, DeadlineReturnsBestSoFarEstimate) {
+  Session session;
+  ASSERT_TRUE(session.CreateTable("t", MakeDocs(4000, 901)).ok());
+  ExecOptions options;
+  options.deadline_ms = 1e-6;  // expires during the first batch
+  auto result =
+      session.Execute("SELECT AVG(v) FROM t SAMPLES 1000000", {}, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->deadline_exceeded);
+  EXPECT_FALSE(result->cancelled);
+  // Anytime semantics: the cutoff still yields a usable estimate.
+  EXPECT_GT(result->samples, 0u);
+  EXPECT_LT(result->samples, 1000000u);
+  EXPECT_NEAR(result->ci.estimate, 4.5, 2.0);
+}
+
+TEST_F(QueryChaosTest, DeadlineClauseInQueryText) {
+  Session session;
+  ASSERT_TRUE(session.CreateTable("t", MakeDocs(4000, 903)).ok());
+  auto result =
+      session.Execute("SELECT AVG(v) FROM t SAMPLES 1000000 DEADLINE 0.001 MS");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->deadline_exceeded);
+  EXPECT_GT(result->samples, 0u);
+  // A roomy deadline never fires.
+  auto relaxed =
+      session.Execute("SELECT AVG(v) FROM t SAMPLES 500 DEADLINE 30 S");
+  ASSERT_TRUE(relaxed.ok()) << relaxed.status();
+  EXPECT_FALSE(relaxed->deadline_exceeded);
+}
+
+TEST_F(QueryChaosTest, CancelTokenStopsTheQuery) {
+  Session session;
+  ASSERT_TRUE(session.CreateTable("t", MakeDocs(4000, 905)).ok());
+  CancelToken token;
+  token.Cancel();
+  ExecOptions options;
+  options.cancel = &token;
+  auto result =
+      session.Execute("SELECT AVG(v) FROM t SAMPLES 1000000", {}, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->cancelled);
+  EXPECT_FALSE(result->deadline_exceeded);
+  token.Reset();
+  EXPECT_FALSE(token.IsCancelled());
+}
+
+TEST_F(QueryChaosTest, DegradedDistributedQueryAnnotatesResult) {
+  Session session;
+  TableConfig config;
+  config.num_shards = 4;
+  config.partitioning = Partitioning::kHash;
+  ASSERT_TRUE(session.CreateTable("t", MakeDocs(5000, 907), {}, config).ok());
+  Result<Table*> table = session.GetTable("t");
+  ASSERT_TRUE(table.ok());
+  (*table)->mutable_cluster()->mutable_shard(2)->Kill();
+  auto result = session.Execute(
+      "SELECT AVG(v) FROM t SAMPLES 2000 USING DISTRIBUTED");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->degraded);
+  EXPECT_NEAR(result->coverage, 0.75, 0.15);
+  // v is i%10 hashed across shards: the survivor partition still averages
+  // close to the population mean.
+  EXPECT_NEAR(result->ci.estimate, 4.5, 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded fault schedule (STORM_CHAOS_SEED): invariants under random chaos
+// ---------------------------------------------------------------------------
+
+TEST_F(ChaosScheduleTest, RandomScheduleUpholdsInvariants) {
+  const uint64_t seed = ChaosSeed();
+  SCOPED_TRACE("STORM_CHAOS_SEED=" + std::to_string(seed));
+  Rng schedule(seed);
+  auto data = MakeData(3000, 911);
+  Cluster cluster(data, 4, Partitioning::kHash, {}, 913);
+  Rect3 q(Point3(5, 5, 0), Point3(95, 95, 1000));
+
+  FailpointConfig draw_fault;
+  draw_fault.probability = schedule.UniformDouble(0.005, 0.05);
+  draw_fault.code = StatusCode::kUnavailable;
+  draw_fault.seed = seed * 0x9E3779B97F4A7C15ULL + 1;
+  ScopedFailpoint fp(std::string(kFailpointShardDraw), draw_fault);
+
+  const int kill_at = static_cast<int>(schedule.UniformInt(100, 1500));
+  const int victim = static_cast<int>(schedule.UniformInt(0, 3));
+
+  DistributedSamplerOptions options;
+  options.retry = FastRetry(3);
+  auto sampler = cluster.NewSampler(Rng(seed ^ 915), options);
+  ASSERT_TRUE(sampler->Begin(q, SamplingMode::kWithReplacement).ok());
+
+  int draws = 0;
+  bool killed = false;
+  for (int i = 0; i < 3000; ++i) {
+    auto e = sampler->Next();
+    if (!e.has_value()) break;  // every shard lost to the schedule
+    ++draws;
+    EXPECT_TRUE(q.Contains(e->point));
+    if (killed) {
+      EXPECT_NE(cluster.RouteOf(e->point, e->id), victim);
+    }
+    if (i == kill_at) {
+      cluster.mutable_shard(victim)->Kill();
+      killed = true;
+    }
+  }
+  EXPECT_GT(draws, kill_at) << "stream died before the scheduled kill";
+  CardinalityEstimate c = sampler->Cardinality();
+  EXPECT_GE(c.coverage, 0.0);
+  EXPECT_LE(c.coverage, 1.0);
+  if (killed && draws == 3000) {
+    EXPECT_TRUE(c.degraded);
+    EXPECT_LT(c.coverage, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace storm

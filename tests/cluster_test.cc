@@ -57,7 +57,9 @@ TEST_P(ClusterPartitioningTest, DistributedCountMatchesBruteForce) {
   for (const Entry& e : data) {
     if (q.Contains(e.point)) ++truth;
   }
-  EXPECT_EQ(cluster.Count(q), truth);
+  Result<uint64_t> count = cluster.Count(q);
+  ASSERT_TRUE(count.ok()) << count.status();
+  EXPECT_EQ(*count, truth);
 }
 
 TEST_P(ClusterPartitioningTest, MergedSamplerIsUniform) {

@@ -543,6 +543,23 @@ TEST(FailoverTest, SwitchesWhenPrimaryStalls) {
   EXPECT_EQ(sampler.name(), "RS-tree");
 }
 
+TEST(FailoverTest, SwitchIncrementsFailoverMetric) {
+  const SamplerEnv& env = SamplerEnv::Get();
+  Counter* switches = MetricsRegistry::Default().GetCounter(
+      "storm_failover_switches_total", "",
+      {{"from", "SampleFirst"}, {"to", "RS-tree"}});
+  uint64_t before = switches->Value();
+  auto primary = std::make_unique<SampleFirstSampler<2>>(&env.data(), Rng(97),
+                                                         /*max_attempts=*/8);
+  auto fallback = env.rs().NewSampler(Rng(99));
+  FailoverSampler<2> sampler(std::move(primary), std::move(fallback));
+  ASSERT_TRUE(sampler.Begin(kSparseQuery, SamplingMode::kWithReplacement).ok());
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(sampler.Next().has_value());
+  EXPECT_TRUE(sampler.switched());
+  // Exactly one switch per stream, however many draws follow it.
+  EXPECT_EQ(switches->Value(), before + 1);
+}
+
 TEST(FailoverTest, StaysOnPrimaryWhenHealthy) {
   const SamplerEnv& env = SamplerEnv::Get();
   auto primary = std::make_unique<SampleFirstSampler<2>>(&env.data(), Rng(85));

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "storm/util/crc32.h"
 #include "storm/util/logging.h"
 #include "storm/util/reservoir.h"
 #include "storm/util/result.h"
@@ -53,6 +54,24 @@ TEST(StatusTest, AllCodesHaveNames) {
   }
 }
 
+TEST(StatusTest, DeadlineExceededCode) {
+  Status st = Status::DeadlineExceeded("query past 50ms");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(st.IsDeadlineExceeded());
+  EXPECT_FALSE(st.IsUnavailable());
+  EXPECT_EQ(st.ToString(), "deadline exceeded: query past 50ms");
+}
+
+TEST(StatusTest, UnavailableCode) {
+  Status st = Status::Unavailable("shard 3 down");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(st.IsUnavailable());
+  EXPECT_FALSE(st.IsDeadlineExceeded());
+  EXPECT_EQ(st.ToString(), "unavailable: shard 3 down");
+}
+
 TEST(StatusTest, ReturnNotOkMacroPropagates) {
   auto inner = []() { return Status::Aborted("boom"); };
   auto outer = [&]() -> Status {
@@ -60,6 +79,32 @@ TEST(StatusTest, ReturnNotOkMacroPropagates) {
     return Status::OK();
   };
   EXPECT_EQ(outer().code(), StatusCode::kAborted);
+}
+
+// ---------------------------------------------------------------------------
+// CRC32
+// ---------------------------------------------------------------------------
+
+TEST(Crc32Test, StandardCheckValue) {
+  // The canonical CRC-32/IEEE test vector.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+}
+
+TEST(Crc32Test, EmptyAndSensitivity) {
+  EXPECT_EQ(Crc32("", 0), 0u);
+  uint32_t a = Crc32("storm", 5);
+  uint32_t b = Crc32("storn", 5);
+  EXPECT_NE(a, b);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const char* data = "spatio-temporal online sampling";
+  size_t n = 31;
+  uint32_t one_shot = Crc32(data, n);
+  uint32_t state = kCrc32Init;
+  state = Crc32Update(state, data, 10);
+  state = Crc32Update(state, data + 10, n - 10);
+  EXPECT_EQ(Crc32Finish(state), one_shot);
 }
 
 TEST(ResultTest, HoldsValue) {
