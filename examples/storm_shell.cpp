@@ -120,13 +120,19 @@ int main() {
     for (const ElectricityReading& r : gen.Generate()) {
       docs.push_back(ElectricityGenerator::ToDocument(r));
     }
-    (void)session.CreateTable("electricity", docs);
+    // The electricity feed doubles as the durability demo: updates are
+    // WAL-logged, and \checkpoint/\crash/\recover work against it.
+    TableConfig durable;
+    durable.durable = true;
+    (void)session.CreateTable("electricity", docs, {}, durable);
   }
   std::printf("tables:");
   for (const std::string& name : session.TableNames()) {
     std::printf(" %s", name.c_str());
   }
-  std::printf("\ntype a STORM query, \\tables, \\metrics, \\profile, \\help or \\quit\n");
+  std::printf(
+      "\ntype a STORM query, \\tables, \\metrics, \\profile, \\checkpoint,"
+      " \\crash, \\recover, \\help or \\quit\n");
 
   std::string line;
   std::shared_ptr<QueryProfile> last_profile;
@@ -158,7 +164,26 @@ int main() {
           "           CONFIDENCE 95%% ERROR 2%% WITHIN 500 MS SAMPLES n\n"
           "           USING RSTREE|LSTREE|RANDOMPATH|QUERYFIRST|SAMPLEFIRST\n"
           "  \\metrics  process-wide counters (Prometheus text format)\n"
-          "  \\profile  span/IO/convergence trace of the last query\n");
+          "  \\profile  span/IO/convergence trace of the last query\n"
+          "  \\checkpoint <table>  flush + truncate the WAL (durable tables)\n"
+          "  \\crash <table>       simulate power loss (drops unsynced pages)\n"
+          "  \\recover <table>     rebuild from checkpoint + WAL replay\n");
+      continue;
+    }
+    if (line.rfind("\\checkpoint ", 0) == 0) {
+      Status st = session.Checkpoint(line.substr(12));
+      std::printf("  %s\n", st.ok() ? "checkpoint complete" : st.ToString().c_str());
+      continue;
+    }
+    if (line.rfind("\\crash ", 0) == 0) {
+      Status st = session.SimulateCrash(line.substr(7));
+      std::printf("  %s\n", st.ok() ? "crashed (table dropped; \\recover to rebuild)"
+                                    : st.ToString().c_str());
+      continue;
+    }
+    if (line.rfind("\\recover ", 0) == 0) {
+      Status st = session.Recover(line.substr(9));
+      std::printf("  %s\n", st.ok() ? "recovered" : st.ToString().c_str());
       continue;
     }
     if (line == "\\metrics") {

@@ -1,5 +1,6 @@
 #include "storm/io/block_manager.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "storm/obs/metrics.h"
@@ -22,11 +23,31 @@ std::string IoStats::ToString() const {
 
 BlockManager::BlockManager(size_t page_size)
     : page_size_(page_size),
+      crash_rng_(0x70A11C5EEDULL),
       checksum_failures_metric_(MetricsRegistry::Default().GetCounter(
           "storm_io_checksum_failures_total",
-          "Page reads whose CRC32 did not match the recorded checksum")) {
+          "Page reads whose CRC32 did not match the recorded checksum")),
+      crashes_metric_(MetricsRegistry::Default().GetCounter(
+          "storm_disk_crashes_total",
+          "Simulated power-loss events (BlockManager::Crash)")),
+      torn_writes_metric_(MetricsRegistry::Default().GetCounter(
+          "storm_disk_torn_writes_total",
+          "Unflushed pages that persisted only a prefix at crash")) {
   std::vector<std::byte> zeros(page_size_, std::byte{0});
   zero_page_crc_ = Crc32(zeros.data(), zeros.size());
+}
+
+void BlockManager::SaveUndo(PageId id, bool freshly_allocated) {
+  if (undo_.contains(id)) return;
+  Undo u;
+  if (!freshly_allocated) {
+    u.existed = true;
+    u.live = live_[id];
+    u.crc = crcs_[id];
+    u.data = std::make_unique<std::byte[]>(page_size_);
+    std::memcpy(u.data.get(), pages_[id].get(), page_size_);
+  }
+  undo_.emplace(id, std::move(u));
 }
 
 PageId BlockManager::Allocate() {
@@ -34,6 +55,10 @@ PageId BlockManager::Allocate() {
   if (!free_list_.empty()) {
     PageId id = free_list_.back();
     free_list_.pop_back();
+    // The recycled page may still hold durable content (it was freed but the
+    // free never synced, or it was live at the last sync): snapshot before
+    // re-zeroing so a crash restores the pre-recycle image.
+    SaveUndo(id, /*freshly_allocated=*/false);
     std::memset(pages_[id].get(), 0, page_size_);
     live_[id] = true;
     crcs_[id] = zero_page_crc_;
@@ -45,6 +70,7 @@ PageId BlockManager::Allocate() {
   pages_.push_back(std::move(page));
   live_.push_back(true);
   crcs_.push_back(zero_page_crc_);
+  SaveUndo(id, /*freshly_allocated=*/true);
   return id;
 }
 
@@ -52,7 +78,11 @@ Status BlockManager::Free(PageId id) {
   if (!IsLive(id)) {
     return Status::InvalidArgument("free of non-live page " + std::to_string(id));
   }
+  SaveUndo(id, /*freshly_allocated=*/false);
   live_[id] = false;
+  // Invalidate the stored checksum: no read of a recycled frame may ever
+  // verify against the freed page's stale CRC.
+  crcs_[id] = 0;
   free_list_.push_back(id);
   return Status::OK();
 }
@@ -82,6 +112,7 @@ Status BlockManager::Write(PageId id, const std::byte* data) {
     return Status::IOError("write of non-live page " + std::to_string(id));
   }
   STORM_FAILPOINT(kFailpointBlockWrite);
+  SaveUndo(id, /*freshly_allocated=*/false);
   ++stats_.physical_writes;
   std::memcpy(pages_[id].get(), data, page_size_);
   crcs_[id] = Crc32(data, page_size_);
@@ -90,6 +121,55 @@ Status BlockManager::Write(PageId id, const std::byte* data) {
 
 bool BlockManager::IsLive(PageId id) const {
   return id < pages_.size() && live_[id];
+}
+
+Status BlockManager::Sync() {
+  STORM_FAILPOINT(kFailpointBlockSync);
+  undo_.clear();
+  return Status::OK();
+}
+
+Status BlockManager::SyncPage(PageId id) {
+  STORM_FAILPOINT(kFailpointBlockSync);
+  undo_.erase(id);
+  return Status::OK();
+}
+
+void BlockManager::Crash() {
+  crashes_metric_->Increment();
+  for (auto& [id, u] : undo_) {
+    if (!u.existed) {
+      // Allocated since the last sync: the page never made it to the platter.
+      live_[id] = false;
+      std::memset(pages_[id].get(), 0, page_size_);
+      crcs_[id] = 0;
+      continue;
+    }
+    bool torn = u.live && live_[id] &&
+                !Failpoints::Default().Evaluate(kFailpointCrashTorn).ok();
+    if (torn) {
+      // Sector-atomic torn write: a prefix of the in-flight content landed,
+      // the suffix kept the old image. The out-of-band page CRC is
+      // recomputed (each sector is internally consistent); detecting the
+      // tear is the job of record-level framing (WAL CRCs).
+      size_t prefix = static_cast<size_t>(
+          crash_rng_.UniformInt(1, static_cast<int64_t>(page_size_) - 1));
+      std::memcpy(u.data.get(), pages_[id].get(), prefix);
+      torn_writes_metric_->Increment();
+    }
+    std::memcpy(pages_[id].get(), u.data.get(), page_size_);
+    crcs_[id] = torn ? Crc32(u.data.get(), page_size_) : u.crc;
+    live_[id] = u.live;
+  }
+  undo_.clear();
+  // Rebuild the free list from liveness (ascending for determinism); the
+  // rollback above may have resurrected frees and discarded allocations.
+  free_list_.clear();
+  for (PageId id = 0; id < pages_.size(); ++id) {
+    if (!live_[id]) free_list_.push_back(id);
+  }
+  // Recycle in ascending id order (Allocate pops from the back).
+  std::reverse(free_list_.begin(), free_list_.end());
 }
 
 Status BlockManager::CorruptPageForTesting(PageId id, size_t byte_offset) {

@@ -3,7 +3,8 @@
 // STORM's published system stored data and distributed R-trees on a DFS; we
 // substitute an in-memory array of fixed-size pages with explicit
 // read/write/allocate operations and counters. Everything above (buffer
-// pool, record store, R-tree node storage) behaves as if talking to a disk.
+// pool, record store, R-tree node storage, WAL) behaves as if talking to a
+// disk.
 //
 // Robustness: every page carries a CRC32 recorded at write time and verified
 // on every read, so at-rest corruption (bit rot, or a fault injected through
@@ -11,6 +12,15 @@
 // Status::Corruption instead of silently returned garbage. Read/Write also
 // evaluate the "block_manager.read" / "block_manager.write" failpoints, so
 // chaos tests can make the disk fail or stall (see docs/ROBUSTNESS.md).
+//
+// Durability: the disk models a volatile write cache. Write/Allocate/Free
+// take effect immediately for readers but stay *unflushed* until Sync()
+// (whole device, the fsync substitute) or SyncPage() (one page, the
+// fdatasync substitute the WAL uses for group commit). Crash() simulates
+// power loss: every unflushed mutation is rolled back to its last-synced
+// image — except that the "block_manager.crash.torn" failpoint may persist
+// only a seeded prefix of an unflushed page (a torn write), which the WAL's
+// record-level CRC framing must detect. See docs/ROBUSTNESS.md §Durability.
 
 #ifndef STORM_IO_BLOCK_MANAGER_H_
 #define STORM_IO_BLOCK_MANAGER_H_
@@ -18,9 +28,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "storm/io/io_stats.h"
+#include "storm/util/rng.h"
 #include "storm/util/status.h"
 
 namespace storm {
@@ -35,6 +47,12 @@ inline constexpr std::string_view kFailpointBlockRead = "block_manager.read";
 inline constexpr std::string_view kFailpointBlockWrite = "block_manager.write";
 inline constexpr std::string_view kFailpointBlockCorrupt =
     "block_manager.read.corrupt";
+inline constexpr std::string_view kFailpointBlockSync = "block_manager.sync";
+/// Evaluated once per unflushed page during Crash(); a trip tears that page
+/// (persists a seeded prefix of the volatile content over the durable image)
+/// instead of discarding the write entirely.
+inline constexpr std::string_view kFailpointCrashTorn =
+    "block_manager.crash.torn";
 
 /// A simulated disk of fixed-size pages.
 ///
@@ -52,7 +70,9 @@ class BlockManager {
   /// Allocates a zeroed page and returns its id. Freed pages are recycled.
   PageId Allocate();
 
-  /// Returns a page to the free list. Double-free is a checked error.
+  /// Returns a page to the free list and invalidates its stored CRC (a
+  /// recycled frame must never verify against a stale checksum). Double-free
+  /// is a checked error.
   Status Free(PageId id);
 
   /// Copies the page contents into `out` (page_size bytes) and verifies its
@@ -61,11 +81,37 @@ class BlockManager {
   Status Read(PageId id, std::byte* out);
 
   /// Overwrites the page with `data` (page_size bytes) and records its
-  /// checksum. Counts one physical write.
+  /// checksum. Counts one physical write. The write is volatile until the
+  /// page is synced.
   Status Write(PageId id, const std::byte* data);
 
   /// True iff the id refers to a live page.
   bool IsLive(PageId id) const;
+
+  /// Makes every unflushed mutation durable (the fsync substitute).
+  Status Sync();
+
+  /// Makes one page's mutations durable (the per-page fdatasync the WAL
+  /// issues at each group-commit point).
+  Status SyncPage(PageId id);
+
+  /// Simulates power loss: rolls every unflushed page back to its
+  /// last-synced image, un-allocates pages never synced, and resurrects
+  /// unflushed frees. When the "block_manager.crash.torn" failpoint trips
+  /// for an unflushed live page, a seeded prefix of the volatile content is
+  /// persisted instead (the torn-write model: sector-atomic, page-torn; the
+  /// page CRC is recomputed over the torn bytes, so detection is the job of
+  /// record-level framing, exactly as on a real disk).
+  ///
+  /// Any BufferPool over this disk holds stale frames afterwards; callers
+  /// model process death by discarding pools/tables *before* crashing.
+  void Crash();
+
+  /// Pages with mutations not yet made durable.
+  size_t unsynced_pages() const { return undo_.size(); }
+
+  /// Reseeds the torn-write prefix generator (deterministic harnesses).
+  void SeedCrashRng(uint64_t seed) { crash_rng_ = Rng(seed); }
 
   /// Test hook: flips one stored byte without updating the checksum, so the
   /// next Read reports Corruption (simulated bit rot).
@@ -75,14 +121,31 @@ class BlockManager {
   IoStats* mutable_stats() { return &stats_; }
 
  private:
+  /// Durable image of a page recorded the first time it is mutated after a
+  /// sync. `existed == false` marks pages with no durable history (allocated
+  /// since the last sync): a crash discards them entirely.
+  struct Undo {
+    bool existed = false;
+    bool live = false;
+    uint32_t crc = 0;
+    std::unique_ptr<std::byte[]> data;  // valid iff existed
+  };
+
+  /// Records the durable image of `id` unless one exists for this epoch.
+  void SaveUndo(PageId id, bool freshly_allocated);
+
   size_t page_size_;
   std::vector<std::unique_ptr<std::byte[]>> pages_;
   std::vector<bool> live_;
   std::vector<uint32_t> crcs_;
   std::vector<PageId> free_list_;
+  std::unordered_map<PageId, Undo> undo_;
+  Rng crash_rng_;
   IoStats stats_;
   uint32_t zero_page_crc_;
   class Counter* checksum_failures_metric_;
+  class Counter* crashes_metric_;
+  class Counter* torn_writes_metric_;
 };
 
 }  // namespace storm

@@ -123,4 +123,44 @@ Result<UpdateManager*> Session::Updates(const std::string& table) {
   return it->second.get();
 }
 
+Status Session::Checkpoint(const std::string& table) {
+  STORM_ASSIGN_OR_RETURN(Table * t, GetTable(table));
+  return t->Checkpoint();
+}
+
+Status Session::SimulateCrash(const std::string& table) {
+  STORM_ASSIGN_OR_RETURN(Table * t, GetTable(table));
+  std::shared_ptr<BlockManager> disk = t->disk();
+  if (disk == nullptr) {
+    return Status::FailedPrecondition("table '" + table +
+                                      "' is not durable; nothing to crash");
+  }
+  // Process death first, power loss second: the table (and its buffer
+  // pool, whose destructor flushes dirty frames) must be gone before
+  // Crash() rolls back everything unsynced — otherwise the destructor's
+  // writes would survive like a graceful shutdown.
+  tables_.erase(table);
+  updaters_.erase(table);
+  disk->Crash();
+  crashed_disks_[table] = std::move(disk);
+  return Status::OK();
+}
+
+Status Session::Recover(const std::string& table) {
+  auto it = crashed_disks_.find(table);
+  if (it == crashed_disks_.end()) {
+    return Status::NotFound("no crashed disk for table '" + table +
+                            "' (use SimulateCrash first)");
+  }
+  if (tables_.contains(table)) {
+    return Status::AlreadyExists("table '" + table + "'");
+  }
+  STORM_ASSIGN_OR_RETURN(Table recovered, Table::Recover(it->second));
+  auto owned = std::make_unique<Table>(std::move(recovered));
+  updaters_[table] = std::make_unique<UpdateManager>(owned.get());
+  tables_[table] = std::move(owned);
+  crashed_disks_.erase(it);
+  return Status::OK();
+}
+
 }  // namespace storm

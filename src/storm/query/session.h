@@ -75,11 +75,27 @@ class Session {
   /// Update entry point for a table.
   Result<UpdateManager*> Updates(const std::string& table);
 
+  // --- Durability controls (tables created with TableConfig::durable) ---
+
+  /// Checkpoints a durable table (flush + WAL truncation).
+  Status Checkpoint(const std::string& table);
+
+  /// Simulates power loss on a durable table: drops the in-memory table
+  /// (its buffer pool with it), crashes the shared disk (discarding every
+  /// unsynced page), and stashes the disk so Recover() can rebuild from it.
+  Status SimulateCrash(const std::string& table);
+
+  /// Rebuilds a table from its crashed disk (after SimulateCrash) and
+  /// re-registers it under its recovered name.
+  Status Recover(const std::string& table);
+
   QueryOptimizer* optimizer() { return &optimizer_; }
 
  private:
   std::map<std::string, std::unique_ptr<Table>> tables_;
   std::map<std::string, std::unique_ptr<UpdateManager>> updaters_;
+  /// Disks of crashed tables awaiting Recover().
+  std::map<std::string, std::shared_ptr<BlockManager>> crashed_disks_;
   QueryOptimizer optimizer_;
 };
 

@@ -17,6 +17,7 @@
 #include "storm/sampling/ls_tree.h"
 #include "storm/sampling/rs_tree.h"
 #include "storm/storage/record_store.h"
+#include "storm/wal/wal.h"
 
 namespace storm {
 
@@ -32,6 +33,28 @@ struct TableConfig {
   /// Seed for index randomness and sampler forks.
   uint64_t seed = 0x5707'11ed;
   RecordStoreOptions store;
+  /// Crash-safe mode: the table formats its disk with a superblock, logs
+  /// every update to a WAL before applying it, and supports Checkpoint()/
+  /// Recover(). The initial import is made durable by an automatic first
+  /// checkpoint. See docs/ROBUSTNESS.md §Durability.
+  bool durable = false;
+};
+
+/// Outcome of a (possibly partial) batch insert. Unlike a bare Status, this
+/// reports structurally which documents were applied, so callers never have
+/// to parse counts out of error messages.
+struct BatchInsertResult {
+  /// Record ids applied, in input order. On success: one per document. On
+  /// failure: the documents applied before the failure (always empty when
+  /// `atomic` is true).
+  std::vector<RecordId> ids;
+  /// OK, or the first failure.
+  Status status;
+  /// True when the batch was all-or-nothing: either every document was
+  /// applied or none were. Durable tables commit batches through a single
+  /// WAL record, so their batches are atomic even across crashes;
+  /// non-durable tables apply document-by-document and may stop partway.
+  bool atomic = false;
 };
 
 /// A registered data set. Movable, not copyable.
@@ -78,21 +101,66 @@ class Table {
 
   /// Inserts one document: appends to the store, extracts coordinates, and
   /// maintains every index and materialized column (the update-manager
-  /// path).
+  /// path). Durable tables log the insert to the WAL and sync it before
+  /// applying — the insert is never acknowledged un-durably.
   Result<RecordId> Insert(const Value& doc);
 
-  /// Deletes a record from the store and all indexes.
+  /// Deletes a record from the store and all indexes (WAL-logged first on
+  /// durable tables).
   Status Delete(RecordId id);
+
+  /// Inserts a batch. Durable tables validate every document up front,
+  /// commit the whole batch as ONE WAL record with ONE sync (group commit),
+  /// then apply — all-or-nothing, across crashes too. Non-durable tables
+  /// apply sequentially and report how far they got.
+  BatchInsertResult InsertBatch(const std::vector<Value>& docs);
+
+  // --- Durability (config.durable tables only) ---
+
+  bool durable() const { return wal_ != nullptr; }
+
+  /// The shared simulated disk (null for non-durable tables). Tests crash
+  /// it; Session::SimulateCrash stashes it for later Recover.
+  std::shared_ptr<BlockManager> disk() const { return disk_; }
+
+  /// Writes a checkpoint: flushes + syncs all data pages, persists the
+  /// store directory and table metadata, starts a fresh WAL, and atomically
+  /// flips the superblock to the new checkpoint (truncating the old WAL).
+  /// A crash at ANY point leaves either the old or the new checkpoint
+  /// fully intact. FailedPrecondition on non-durable tables.
+  Status Checkpoint();
+
+  /// Rebuilds a table from `disk` after a crash: loads the last complete
+  /// checkpoint, replays the WAL tail (ignoring a torn final record),
+  /// rebuilds the RS-/LS-trees and shards, and writes a fresh checkpoint.
+  /// Idempotent: recovering twice yields the same table.
+  static Result<Table> Recover(std::shared_ptr<BlockManager> disk);
 
  private:
   Table() = default;
 
   Result<Point3> ExtractPoint(const Value& doc) const;
 
+  /// Store append + index/column maintenance, no WAL interaction (shared by
+  /// Insert, InsertBatch, and WAL replay). `json` is the document's
+  /// serialized form, produced once by ValidateInsert and reused for the
+  /// WAL payload and the store append.
+  Result<RecordId> ApplyInsert(const Value& doc, const Point3& p,
+                               std::string_view json);
+
+  /// Pre-WAL validation: coordinates extractable and the serialized form
+  /// fits a page (everything that can fail before the log may not fail
+  /// after it). Leaves the serialized document in `*json` so callers
+  /// serialize exactly once per insert.
+  Result<Point3> ValidateInsert(const Value& doc, std::string* json) const;
+
   std::string name_;
   Schema schema_;
   SpatioTemporalBinding binding_;
   TableConfig config_;
+  std::shared_ptr<BlockManager> disk_;  ///< set iff durable
+  std::unique_ptr<Wal> wal_;            ///< set iff durable
+  PageId checkpoint_page_ = kInvalidPage;
   std::unique_ptr<RecordStore> store_;
   std::vector<Entry> entries_;
   std::unordered_map<RecordId, size_t> entry_pos_;

@@ -45,30 +45,18 @@ Result<RecordId> UpdateManager::Insert(const Value& doc) {
   return id;
 }
 
-Result<std::vector<RecordId>> UpdateManager::InsertBatch(
-    const std::vector<Value>& docs) {
+BatchInsertResult UpdateManager::InsertBatch(const std::vector<Value>& docs) {
   const UpdateMetrics& m = Metrics();
   auto start = std::chrono::steady_clock::now();
   m.pending_depth->Set(static_cast<double>(docs.size()));
-  std::vector<RecordId> ids;
-  ids.reserve(docs.size());
-  for (const Value& doc : docs) {
-    Result<RecordId> id = table_->Insert(doc);
-    if (!id.ok()) {
-      m.pending_depth->Set(0.0);
-      return Status(id.status().code(),
-                    "after " + std::to_string(ids.size()) + " inserts: " +
-                        id.status().message());
-    }
-    ids.push_back(*id);
-    ++inserts_;
-    m.inserts->Increment();
-    m.pending_depth->Set(static_cast<double>(docs.size() - ids.size()));
-  }
+  BatchInsertResult result = table_->InsertBatch(docs);
+  inserts_ += result.ids.size();
+  m.inserts->Increment(result.ids.size());
+  m.pending_depth->Set(0.0);
   m.batch_ms->Observe(std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - start)
                           .count());
-  return ids;
+  return result;
 }
 
 Status UpdateManager::Delete(RecordId id) {

@@ -23,9 +23,18 @@ class UpdateManager {
   /// Inserts one document into the table and all its indexes.
   Result<RecordId> Insert(const Value& doc);
 
-  /// Inserts many documents; stops at the first failure, returning how many
-  /// were applied in the error message.
-  Result<std::vector<RecordId>> InsertBatch(const std::vector<Value>& docs);
+  /// Inserts a batch of documents, reporting the applied ids structurally
+  /// (never just a count buried in an error string).
+  ///
+  /// Semantics depend on the table's durability mode:
+  ///  - Durable tables: pre-WAL validation rejects the whole batch before
+  ///    anything is logged, then the batch commits through a single WAL
+  ///    record + one group-commit sync — all-or-nothing, including across
+  ///    crashes (`result.atomic == true`, `result.ids` empty on failure).
+  ///  - Non-durable tables: documents apply sequentially; on failure
+  ///    `result.ids` holds exactly the documents applied before the stop
+  ///    (`result.atomic == false` for such partial outcomes).
+  BatchInsertResult InsertBatch(const std::vector<Value>& docs);
 
   /// Deletes a record everywhere.
   Status Delete(RecordId id);

@@ -6,11 +6,20 @@ namespace storm {
 
 RecordStore::RecordStore(RecordStoreOptions options)
     : options_(options),
-      disk_(std::make_unique<BlockManager>(options.page_size)),
-      pool_(std::make_unique<BufferPool>(disk_.get(), options.pool_pages)) {}
+      disk_(options.disk != nullptr
+                ? options.disk
+                : std::make_shared<BlockManager>(options.page_size)),
+      pool_(std::make_unique<BufferPool>(disk_.get(), options.pool_pages)) {
+  // A shared disk dictates the page size; keep the options consistent so
+  // Append's fits-in-a-page check matches reality.
+  options_.page_size = disk_->page_size();
+}
 
 Result<RecordId> RecordStore::Append(const Value& doc) {
-  std::string payload = doc.ToJson();
+  return AppendSerialized(doc.ToJson());
+}
+
+Result<RecordId> RecordStore::AppendSerialized(std::string_view payload) {
   if (payload.size() > options_.page_size) {
     return Status::InvalidArgument(
         "document (" + std::to_string(payload.size()) +
@@ -70,9 +79,40 @@ Status RecordStore::Scan(const std::function<bool(RecordId, const Value&)>& fn) 
   for (RecordId id = 0; id < directory_.size(); ++id) {
     if (!directory_[id].live) continue;
     Result<Value> doc = Get(id);
-    if (!doc.ok()) return doc.status();
+    if (!doc.ok()) {
+      // Keep the code (a checksum mismatch must still read as kCorruption)
+      // but name the record the damaged page took down.
+      return Status(doc.status().code(),
+                    "scan failed at record " + std::to_string(id) + ": " +
+                        std::string(doc.status().message()));
+    }
     if (!fn(id, *doc)) break;
   }
+  return Status::OK();
+}
+
+RecordStore::State RecordStore::ExportState() const {
+  State s;
+  s.directory = directory_;
+  s.current_page = current_page_;
+  s.current_offset = current_offset_;
+  s.live_records = live_records_;
+  return s;
+}
+
+Status RecordStore::RestoreState(State state) {
+  for (size_t id = 0; id < state.directory.size(); ++id) {
+    const Location& loc = state.directory[id];
+    if (loc.live && !disk_->IsLive(loc.page)) {
+      return Status::Corruption("restored directory names record " +
+                                std::to_string(id) + " on non-live page " +
+                                std::to_string(loc.page));
+    }
+  }
+  directory_ = std::move(state.directory);
+  current_page_ = state.current_page;
+  current_offset_ = state.current_offset;
+  live_records_ = state.live_records;
   return Status::OK();
 }
 

@@ -6,12 +6,21 @@
 // pages behind a buffer pool, so reads/writes produce realistic simulated
 // I/O. Record ids are dense and stable; deletes are tombstones (space
 // reclamation is out of scope for the reproduction and documented as such).
+//
+// Durability: the store itself keeps no on-disk metadata — the directory
+// (record id -> page location) lives in memory. ExportState/RestoreState
+// round-trip that metadata so the durability layer can persist it inside a
+// checkpoint blob and reopen the store over the same (shared) BlockManager
+// after a crash. Because Append assigns ids densely in call order and the
+// cursor (current page/offset) is part of the state, replaying the same
+// sequence of appends after a restore reproduces the same ids and layout.
 
 #ifndef STORM_STORAGE_RECORD_STORE_H_
 #define STORM_STORAGE_RECORD_STORE_H_
 
 #include <functional>
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "storm/io/buffer_pool.h"
@@ -24,10 +33,30 @@ struct RecordStoreOptions {
   size_t page_size = 4096;
   /// Buffer pool frames for the store's own pages.
   size_t pool_pages = 1024;
+  /// Optional externally owned disk (the durability layer shares one
+  /// BlockManager between the store, the WAL, and checkpoint chains). When
+  /// null the store creates a private disk; page_size must match when set.
+  std::shared_ptr<BlockManager> disk;
 };
 
 class RecordStore {
  public:
+  /// Where one record's serialized bytes live.
+  struct Location {
+    PageId page = kInvalidPage;
+    uint32_t offset = 0;
+    uint32_t length = 0;
+    bool live = false;
+  };
+
+  /// The store's complete in-memory metadata, as persisted in checkpoints.
+  struct State {
+    std::vector<Location> directory;
+    PageId current_page = kInvalidPage;
+    uint64_t current_offset = 0;
+    uint64_t live_records = 0;
+  };
+
   explicit RecordStore(RecordStoreOptions options = {});
 
   RecordStore(const RecordStore&) = delete;
@@ -38,6 +67,11 @@ class RecordStore {
   /// Appends a document; returns its record id. Fails when the serialized
   /// document exceeds one page.
   Result<RecordId> Append(const Value& doc);
+
+  /// Appends an already-serialized document (compact JSON, as produced by
+  /// Value::ToJson). Lets callers that serialized the document once — e.g.
+  /// for a WAL payload — skip re-serializing it here.
+  Result<RecordId> AppendSerialized(std::string_view payload);
 
   /// Fetches and parses a document. NotFound for deleted/never-assigned
   /// ids.
@@ -55,22 +89,28 @@ class RecordStore {
   uint64_t next_id() const { return directory_.size(); }
 
   /// Visits every live record in id order. Returning false from `fn` stops
-  /// the scan.
+  /// the scan. An unreadable record fails the scan with the underlying
+  /// status code (kCorruption for checksum mismatches) and names the
+  /// failing record id in the message, so callers can report exactly which
+  /// record a damaged page took down.
   Status Scan(const std::function<bool(RecordId, const Value&)>& fn) const;
+
+  /// Snapshot of the directory + append cursor (for checkpoints).
+  State ExportState() const;
+
+  /// Replaces the directory + append cursor (recovery). The pages named by
+  /// the state must already exist on this store's disk.
+  Status RestoreState(State state);
 
   const IoStats& io_stats() const { return disk_->stats(); }
   BufferPool* pool() { return pool_.get(); }
+  BlockManager* disk() { return disk_.get(); }
+  /// The disk, shareable with the WAL/checkpoint writers.
+  std::shared_ptr<BlockManager> shared_disk() const { return disk_; }
 
  private:
-  struct Location {
-    PageId page = kInvalidPage;
-    uint32_t offset = 0;
-    uint32_t length = 0;
-    bool live = false;
-  };
-
   RecordStoreOptions options_;
-  std::unique_ptr<BlockManager> disk_;
+  std::shared_ptr<BlockManager> disk_;
   std::unique_ptr<BufferPool> pool_;
   std::vector<Location> directory_;
   PageId current_page_ = kInvalidPage;

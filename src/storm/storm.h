@@ -65,6 +65,9 @@
 #include "storm/util/time.h"
 #include "storm/util/weighted_set.h"
 #include "storm/viz/render.h"
+#include "storm/wal/checkpoint.h"
+#include "storm/wal/superblock.h"
+#include "storm/wal/wal.h"
 #include "storm/util/rng.h"
 #include "storm/util/stats.h"
 #include "storm/util/stopwatch.h"

@@ -1,0 +1,141 @@
+#include "storm/wal/checkpoint.h"
+
+#include <cstring>
+
+#include "storm/util/crc32.h"
+#include "storm/wal/codec.h"
+#include "storm/wal/page_chain.h"
+
+namespace storm {
+
+namespace {
+
+constexpr uint32_t kCheckpointMagic = 0x43'4B'50'54;  // "CKPT"
+constexpr uint32_t kCheckpointVersion = 1;
+
+std::string EncodeBlob(const TableCheckpoint& ckpt) {
+  ByteWriter w;
+  w.PutU32(kCheckpointVersion);
+  w.PutString(ckpt.table_name);
+  w.PutString(ckpt.binding.x_field);
+  w.PutString(ckpt.binding.y_field);
+  w.PutString(ckpt.binding.t_field);
+  w.PutU64(ckpt.seed);
+  w.PutU8(ckpt.build_ls_tree ? 1 : 0);
+  w.PutU32(ckpt.num_shards);
+  w.PutU8(ckpt.partitioning);
+  w.PutU32(ckpt.rs_max_entries);
+  w.PutU32(ckpt.rs_min_entries);
+  w.PutU64(ckpt.rs_buffer_size);
+  w.PutU8(ckpt.rs_prefill ? 1 : 0);
+  w.PutDouble(ckpt.ls_level_ratio);
+  w.PutU64(ckpt.ls_min_level_size);
+  w.PutU32(ckpt.ls_max_entries);
+  w.PutU32(ckpt.ls_min_entries);
+  w.PutU64(ckpt.pool_pages);
+  w.PutU64(ckpt.next_lsn);
+  w.PutU64(ckpt.store.live_records);
+  w.PutU64(ckpt.store.current_page);
+  w.PutU64(ckpt.store.current_offset);
+  w.PutU64(ckpt.store.directory.size());
+  for (const RecordStore::Location& loc : ckpt.store.directory) {
+    w.PutU64(loc.page);
+    w.PutU32(loc.offset);
+    w.PutU32(loc.length);
+    w.PutU8(loc.live ? 1 : 0);
+  }
+  return w.Take();
+}
+
+Result<TableCheckpoint> DecodeBlob(std::string_view blob) {
+  ByteReader r(blob);
+  STORM_ASSIGN_OR_RETURN(uint32_t version, r.GetU32());
+  if (version != kCheckpointVersion) {
+    return Status::Corruption("unsupported checkpoint version " +
+                              std::to_string(version));
+  }
+  TableCheckpoint ckpt;
+  STORM_ASSIGN_OR_RETURN(ckpt.table_name, r.GetString());
+  STORM_ASSIGN_OR_RETURN(ckpt.binding.x_field, r.GetString());
+  STORM_ASSIGN_OR_RETURN(ckpt.binding.y_field, r.GetString());
+  STORM_ASSIGN_OR_RETURN(ckpt.binding.t_field, r.GetString());
+  STORM_ASSIGN_OR_RETURN(ckpt.seed, r.GetU64());
+  STORM_ASSIGN_OR_RETURN(uint8_t build_ls, r.GetU8());
+  ckpt.build_ls_tree = build_ls != 0;
+  STORM_ASSIGN_OR_RETURN(ckpt.num_shards, r.GetU32());
+  STORM_ASSIGN_OR_RETURN(ckpt.partitioning, r.GetU8());
+  STORM_ASSIGN_OR_RETURN(ckpt.rs_max_entries, r.GetU32());
+  STORM_ASSIGN_OR_RETURN(ckpt.rs_min_entries, r.GetU32());
+  STORM_ASSIGN_OR_RETURN(ckpt.rs_buffer_size, r.GetU64());
+  STORM_ASSIGN_OR_RETURN(uint8_t prefill, r.GetU8());
+  ckpt.rs_prefill = prefill != 0;
+  STORM_ASSIGN_OR_RETURN(ckpt.ls_level_ratio, r.GetDouble());
+  STORM_ASSIGN_OR_RETURN(ckpt.ls_min_level_size, r.GetU64());
+  STORM_ASSIGN_OR_RETURN(ckpt.ls_max_entries, r.GetU32());
+  STORM_ASSIGN_OR_RETURN(ckpt.ls_min_entries, r.GetU32());
+  STORM_ASSIGN_OR_RETURN(ckpt.pool_pages, r.GetU64());
+  STORM_ASSIGN_OR_RETURN(ckpt.next_lsn, r.GetU64());
+  STORM_ASSIGN_OR_RETURN(ckpt.store.live_records, r.GetU64());
+  STORM_ASSIGN_OR_RETURN(ckpt.store.current_page, r.GetU64());
+  STORM_ASSIGN_OR_RETURN(ckpt.store.current_offset, r.GetU64());
+  STORM_ASSIGN_OR_RETURN(uint64_t entries, r.GetU64());
+  ckpt.store.directory.reserve(entries);
+  for (uint64_t i = 0; i < entries; ++i) {
+    RecordStore::Location loc;
+    STORM_ASSIGN_OR_RETURN(loc.page, r.GetU64());
+    STORM_ASSIGN_OR_RETURN(loc.offset, r.GetU32());
+    STORM_ASSIGN_OR_RETURN(loc.length, r.GetU32());
+    STORM_ASSIGN_OR_RETURN(uint8_t live, r.GetU8());
+    loc.live = live != 0;
+    ckpt.store.directory.push_back(loc);
+  }
+  if (r.remaining() != 0) {
+    return Status::Corruption("trailing bytes after checkpoint blob");
+  }
+  return ckpt;
+}
+
+}  // namespace
+
+Result<PageId> WriteCheckpoint(BlockManager* disk, const TableCheckpoint& ckpt) {
+  std::string blob = EncodeBlob(ckpt);
+  uint32_t crc = Crc32(blob.data(), blob.size());
+  PageChainWriter writer(disk, kCheckpointMagic);
+  STORM_RETURN_NOT_OK(writer.Open());
+  uint64_t size = blob.size();
+  STORM_RETURN_NOT_OK(writer.Append(&size, sizeof(size)));
+  STORM_RETURN_NOT_OK(writer.Append(blob.data(), blob.size()));
+  STORM_RETURN_NOT_OK(writer.Append(&crc, sizeof(crc)));
+  STORM_RETURN_NOT_OK(writer.SyncAppended());
+  return writer.first_page();
+}
+
+Result<TableCheckpoint> ReadCheckpoint(BlockManager* disk, PageId first_page) {
+  STORM_ASSIGN_OR_RETURN(PageChainContents chain,
+                         ReadPageChain(disk, first_page, kCheckpointMagic));
+  // A checkpoint is fully synced before the superblock references it; a
+  // short chain here is real damage, not a torn tail.
+  if (chain.bytes.size() < sizeof(uint64_t)) {
+    return Status::Corruption("checkpoint chain too short for size frame");
+  }
+  uint64_t size = 0;
+  std::memcpy(&size, chain.bytes.data(), sizeof(size));
+  if (sizeof(uint64_t) + size + sizeof(uint32_t) > chain.bytes.size()) {
+    return Status::Corruption("checkpoint blob truncated (" +
+                              std::to_string(size) + " bytes expected)");
+  }
+  std::string_view blob(chain.bytes.data() + sizeof(uint64_t), size);
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, chain.bytes.data() + sizeof(uint64_t) + size,
+              sizeof(stored_crc));
+  if (Crc32(blob.data(), blob.size()) != stored_crc) {
+    return Status::Corruption("checkpoint blob CRC mismatch");
+  }
+  return DecodeBlob(blob);
+}
+
+Status FreeCheckpointChain(BlockManager* disk, PageId first_page) {
+  return FreePageChain(disk, first_page, kCheckpointMagic);
+}
+
+}  // namespace storm

@@ -1,0 +1,77 @@
+// Checkpoint blobs: a durable snapshot of a table's metadata.
+//
+// A checkpoint persists everything a Table cannot re-derive from the raw
+// pages alone: the record store's directory and append cursor, the
+// coordinate binding, the index-configuration knobs, and the WAL LSN to
+// continue from. Documents themselves are NOT copied — they already live in
+// the record store's pages, which the checkpoint protocol syncs before the
+// blob is written. Recovery reads the blob, restores the store state over
+// the shared disk, re-scans the live documents, and bulk-loads the indexes
+// (rebuilding the RS-/LS-trees is cheap relative to re-importing and keeps
+// the blob small and stable).
+//
+// On disk a checkpoint is a 'CKPT' page chain holding
+//   [u64 blob_size][blob bytes][u32 crc-of-blob]
+// and is immutable once the superblock points at it.
+
+#ifndef STORM_WAL_CHECKPOINT_H_
+#define STORM_WAL_CHECKPOINT_H_
+
+#include <string>
+
+#include "storm/connector/schema_discovery.h"
+#include "storm/storage/record_store.h"
+#include "storm/wal/wal.h"
+
+namespace storm {
+
+/// Failpoint site evaluated at Table::Checkpoint entry ("nothing written
+/// yet") — the partial-checkpoint window lives in Table::Checkpoint itself.
+inline constexpr std::string_view kFailpointCheckpoint = "table.checkpoint";
+/// Evaluated after the blob + fresh WAL are written but before the
+/// superblock flip: a crash here must fall back to the previous checkpoint.
+inline constexpr std::string_view kFailpointCheckpointPartial =
+    "table.checkpoint.partial";
+
+/// Everything a table checkpoint persists. Kept flat (no TableConfig
+/// dependency) so the wal layer stays below the query layer; Table converts
+/// to/from its own config.
+struct TableCheckpoint {
+  std::string table_name;
+  SpatioTemporalBinding binding;
+
+  // Index/config knobs needed to rebuild the table identically.
+  uint64_t seed = 0;
+  bool build_ls_tree = true;
+  uint32_t num_shards = 1;
+  uint8_t partitioning = 0;
+  uint32_t rs_max_entries = 64;
+  uint32_t rs_min_entries = 0;
+  uint64_t rs_buffer_size = 0;
+  bool rs_prefill = false;
+  double ls_level_ratio = 0.5;
+  uint64_t ls_min_level_size = 256;
+  uint32_t ls_max_entries = 64;
+  uint32_t ls_min_entries = 0;
+  uint64_t pool_pages = 1024;
+
+  /// LSN the post-checkpoint WAL continues from.
+  Lsn next_lsn = 1;
+
+  /// Record store directory + append cursor at checkpoint time.
+  RecordStore::State store;
+};
+
+/// Serializes the checkpoint into a fresh 'CKPT' page chain and syncs it.
+/// Returns the chain's first page (to be installed in the superblock).
+Result<PageId> WriteCheckpoint(BlockManager* disk, const TableCheckpoint& ckpt);
+
+/// Reads and validates (size frame + CRC) the checkpoint at `first_page`.
+Result<TableCheckpoint> ReadCheckpoint(BlockManager* disk, PageId first_page);
+
+/// Frees a superseded checkpoint chain.
+Status FreeCheckpointChain(BlockManager* disk, PageId first_page);
+
+}  // namespace storm
+
+#endif  // STORM_WAL_CHECKPOINT_H_

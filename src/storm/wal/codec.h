@@ -1,0 +1,97 @@
+// Little-endian binary codec for the durability layer's on-disk structures
+// (WAL frames, checkpoint blobs, the superblock). Header-only: a byte-vector
+// writer and a bounds-checked cursor reader.
+
+#ifndef STORM_WAL_CODEC_H_
+#define STORM_WAL_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "storm/util/result.h"
+
+namespace storm {
+
+/// Appends fixed-width little-endian integers and length-prefixed strings to
+/// a byte buffer.
+class ByteWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v) { PutFixed(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutFixed(&v, sizeof(v)); }
+  void PutDouble(double v) { PutFixed(&v, sizeof(v)); }
+  void PutString(std::string_view s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    buf_.append(s.data(), s.size());
+  }
+  void PutRaw(const void* data, size_t n) {
+    buf_.append(static_cast<const char*>(data), n);
+  }
+
+  const std::string& data() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  void PutFixed(const void* v, size_t n) {
+    // All supported targets are little-endian; memcpy keeps it UB-free.
+    char tmp[8];
+    std::memcpy(tmp, v, n);
+    buf_.append(tmp, n);
+  }
+
+  std::string buf_;
+};
+
+/// Bounds-checked sequential reader over an encoded buffer. Every getter
+/// returns kCorruption on underrun instead of reading past the end — a
+/// truncated or torn structure must fail loudly, never return garbage.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> GetU8() {
+    STORM_RETURN_NOT_OK(Need(1));
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+  Result<uint32_t> GetU32() { return GetFixed<uint32_t>(); }
+  Result<uint64_t> GetU64() { return GetFixed<uint64_t>(); }
+  Result<double> GetDouble() { return GetFixed<double>(); }
+  Result<std::string> GetString() {
+    STORM_ASSIGN_OR_RETURN(uint32_t n, GetU32());
+    STORM_RETURN_NOT_OK(Need(n));
+    std::string s(data_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  template <typename T>
+  Result<T> GetFixed() {
+    STORM_RETURN_NOT_OK(Need(sizeof(T)));
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  Status Need(size_t n) {
+    if (data_.size() - pos_ < n) {
+      return Status::Corruption("encoded structure truncated at offset " +
+                                std::to_string(pos_));
+    }
+    return Status::OK();
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace storm
+
+#endif  // STORM_WAL_CODEC_H_

@@ -1,0 +1,147 @@
+#include "storm/wal/page_chain.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "storm/wal/codec.h"
+
+namespace storm {
+
+namespace {
+
+void EncodeHeader(std::byte* image, uint32_t magic, PageId next) {
+  uint32_t reserved = 0;
+  std::memcpy(image, &magic, sizeof(magic));
+  std::memcpy(image + 4, &reserved, sizeof(reserved));
+  std::memcpy(image + 8, &next, sizeof(next));
+}
+
+struct PageHeader {
+  uint32_t magic = 0;
+  PageId next = kInvalidPage;
+};
+
+PageHeader DecodeHeader(const std::byte* image) {
+  PageHeader h;
+  std::memcpy(&h.magic, image, sizeof(h.magic));
+  std::memcpy(&h.next, image + 8, sizeof(h.next));
+  return h;
+}
+
+}  // namespace
+
+PageChainWriter::PageChainWriter(BlockManager* disk, uint32_t magic)
+    : disk_(disk), magic_(magic), image_(disk->page_size(), std::byte{0}) {
+  assert(disk_->page_size() > kPageChainHeaderSize);
+}
+
+Status PageChainWriter::Open() {
+  assert(first_page_ == kInvalidPage);
+  first_page_ = current_page_ = disk_->Allocate();
+  pages_.push_back(current_page_);
+  EncodeHeader(image_.data(), magic_, kInvalidPage);
+  offset_ = 0;
+  STORM_RETURN_NOT_OK(WriteCurrent());
+  return Status::OK();
+}
+
+Status PageChainWriter::WriteCurrent() {
+  STORM_RETURN_NOT_OK(disk_->Write(current_page_, image_.data()));
+  if (dirty_.empty() || dirty_.back() != current_page_) {
+    dirty_.push_back(current_page_);
+  }
+  return Status::OK();
+}
+
+Status PageChainWriter::RollToNewPage() {
+  PageId next = disk_->Allocate();
+  // Link the full page to its successor, then start fresh.
+  EncodeHeader(image_.data(), magic_, next);
+  STORM_RETURN_NOT_OK(WriteCurrent());
+  current_page_ = next;
+  pages_.push_back(next);
+  std::fill(image_.begin(), image_.end(), std::byte{0});
+  EncodeHeader(image_.data(), magic_, kInvalidPage);
+  offset_ = 0;
+  return Status::OK();
+}
+
+Status PageChainWriter::Append(const void* data, size_t n) {
+  assert(first_page_ != kInvalidPage && "Open() must be called first");
+  const size_t capacity = disk_->page_size() - kPageChainHeaderSize;
+  const std::byte* src = static_cast<const std::byte*>(data);
+  while (n > 0) {
+    if (offset_ == capacity) {
+      STORM_RETURN_NOT_OK(RollToNewPage());
+    }
+    size_t take = std::min(n, capacity - offset_);
+    std::memcpy(image_.data() + kPageChainHeaderSize + offset_, src, take);
+    offset_ += take;
+    src += take;
+    n -= take;
+    bytes_appended_ += take;
+  }
+  // One page write per call (full pages were written by RollToNewPage):
+  // writing per-chunk would checksum the same page repeatedly for nothing.
+  return WriteCurrent();
+}
+
+Status PageChainWriter::SyncAppended() {
+  for (PageId id : dirty_) {
+    STORM_RETURN_NOT_OK(disk_->SyncPage(id));
+  }
+  dirty_.clear();
+  return Status::OK();
+}
+
+Result<PageChainContents> ReadPageChain(BlockManager* disk, PageId first_page,
+                                        uint32_t magic) {
+  PageChainContents out;
+  std::vector<std::byte> image(disk->page_size());
+  PageId page = first_page;
+  bool first = true;
+  while (page != kInvalidPage) {
+    Status st = disk->Read(page, image.data());
+    if (!st.ok()) {
+      if (st.IsCorruption()) return st;
+      // A linked-but-unreadable page: the link landed durably but the page
+      // itself did not (crash between the two syncs). Torn tail, not an
+      // error — except for the chain head, which must exist.
+      if (first) {
+        return Status::Corruption("chain head page " + std::to_string(page) +
+                                  " unreadable: " + st.message());
+      }
+      out.truncated_tail = true;
+      break;
+    }
+    PageHeader h = DecodeHeader(image.data());
+    if (h.magic != magic) {
+      if (first) {
+        return Status::Corruption("bad chain magic on page " +
+                                  std::to_string(page));
+      }
+      // Same reasoning as above: a recycled/zeroed successor is a torn tail.
+      out.truncated_tail = true;
+      break;
+    }
+    out.pages.push_back(page);
+    out.bytes.append(reinterpret_cast<const char*>(image.data()) +
+                         kPageChainHeaderSize,
+                     disk->page_size() - kPageChainHeaderSize);
+    page = h.next;
+    first = false;
+  }
+  return out;
+}
+
+Status FreePageChain(BlockManager* disk, PageId first_page, uint32_t magic) {
+  if (first_page == kInvalidPage) return Status::OK();
+  Result<PageChainContents> contents = ReadPageChain(disk, first_page, magic);
+  if (!contents.ok()) return contents.status();
+  for (PageId id : contents->pages) {
+    STORM_RETURN_NOT_OK(disk->Free(id));
+  }
+  return Status::OK();
+}
+
+}  // namespace storm

@@ -1,0 +1,92 @@
+// Page chains: a byte stream laid over linked disk pages.
+//
+// Both the WAL and checkpoint blobs need "a file" on the simulated disk, but
+// BlockManager only deals in fixed pages. A chain page is
+//   [magic u32][reserved u32][next PageId u64][payload ...]
+// and the writer links pages as the stream grows. The reader concatenates
+// payloads in order; chain ends at next == kInvalidPage. Content framing
+// (record CRCs, blob CRCs) is the caller's job — the chain itself only
+// guarantees page-level integrity via BlockManager checksums.
+
+#ifndef STORM_WAL_PAGE_CHAIN_H_
+#define STORM_WAL_PAGE_CHAIN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storm/io/block_manager.h"
+#include "storm/util/result.h"
+
+namespace storm {
+
+/// Bytes of the per-page chain header.
+inline constexpr size_t kPageChainHeaderSize = 16;
+
+/// Appends a byte stream over freshly allocated, linked pages. Every Append
+/// writes the touched pages back to the disk (volatile until synced);
+/// SyncAppended() makes the pages written since the last sync durable.
+class PageChainWriter {
+ public:
+  /// `magic` tags every page of this chain (e.g. 'WLOG', 'CKPT').
+  PageChainWriter(BlockManager* disk, uint32_t magic);
+
+  /// Allocates and writes the first page. Must be called once before Append.
+  Status Open();
+
+  Status Append(const void* data, size_t n);
+
+  /// Per-page "fdatasync" of everything appended since the last call — the
+  /// WAL's group-commit primitive.
+  Status SyncAppended();
+
+  PageId first_page() const { return first_page_; }
+  /// Every page of the chain, in order (for truncation bookkeeping).
+  const std::vector<PageId>& pages() const { return pages_; }
+  uint64_t bytes_appended() const { return bytes_appended_; }
+
+ private:
+  Status WriteCurrent();
+  Status RollToNewPage();
+
+  BlockManager* disk_;
+  uint32_t magic_;
+  PageId first_page_ = kInvalidPage;
+  PageId current_page_ = kInvalidPage;
+  std::vector<std::byte> image_;  // current page image (header + payload)
+  size_t offset_ = 0;             // payload bytes used in the current page
+  std::vector<PageId> pages_;
+  std::vector<PageId> dirty_;  // pages written since the last SyncAppended
+  uint64_t bytes_appended_ = 0;
+};
+
+/// Result of walking a chain.
+struct PageChainContents {
+  /// Concatenated payload bytes of every reachable page. The tail is
+  /// zero-padded (pages are zeroed at allocation); stream framing decides
+  /// where content ends.
+  std::string bytes;
+  std::vector<PageId> pages;
+  /// True when the chain ended because a linked page was unreadable (its
+  /// tail was discarded by a crash before the link was durable) rather than
+  /// by a clean next == kInvalidPage. The bytes read up to that point are
+  /// still valid.
+  bool truncated_tail = false;
+};
+
+/// Reads a chain starting at `first_page`, verifying the magic of every
+/// page. Page checksum mismatches propagate as kCorruption; an unreadable
+/// *linked* page (non-live after crash rollback) terminates the walk with
+/// `truncated_tail` instead, because an in-flight chain extension that never
+/// synced is a torn tail, not corruption.
+Result<PageChainContents> ReadPageChain(BlockManager* disk, PageId first_page,
+                                        uint32_t magic);
+
+/// Frees every page of the chain rooted at `first_page`. Unreadable tail
+/// pages stop the walk (they were never durably linked). Best effort:
+/// returns the first error from a live-page free.
+Status FreePageChain(BlockManager* disk, PageId first_page, uint32_t magic);
+
+}  // namespace storm
+
+#endif  // STORM_WAL_PAGE_CHAIN_H_

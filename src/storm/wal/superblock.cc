@@ -1,0 +1,79 @@
+#include "storm/wal/superblock.h"
+
+#include <cstring>
+
+#include "storm/util/crc32.h"
+#include "storm/wal/codec.h"
+
+namespace storm {
+
+namespace {
+
+constexpr uint32_t kSuperblockMagic = 0x53'54'52'4D;  // "STRM"
+constexpr uint32_t kSuperblockVersion = 1;
+constexpr PageId kSuperblockPage = 0;
+constexpr size_t kEncodedSize = 4 + 4 + 8 + 8 + 4;
+
+}  // namespace
+
+Status FormatDisk(BlockManager* disk) {
+  if (disk->num_pages() != 0) {
+    return Status::FailedPrecondition(
+        "durability format requires a fresh disk (" +
+        std::to_string(disk->num_pages()) + " pages already allocated)");
+  }
+  if (disk->page_size() < kEncodedSize) {
+    return Status::InvalidArgument("page size too small for a superblock");
+  }
+  PageId id = disk->Allocate();
+  if (id != kSuperblockPage) {
+    return Status::Unknown("superblock landed on page " + std::to_string(id));
+  }
+  return WriteSuperblock(disk, Superblock{});
+}
+
+Result<Superblock> ReadSuperblock(BlockManager* disk) {
+  if (!disk->IsLive(kSuperblockPage)) {
+    return Status::NotFound("disk has no superblock (never formatted)");
+  }
+  std::vector<std::byte> image(disk->page_size());
+  STORM_RETURN_NOT_OK(disk->Read(kSuperblockPage, image.data()));
+  ByteReader reader(std::string_view(reinterpret_cast<const char*>(image.data()),
+                                     kEncodedSize));
+  STORM_ASSIGN_OR_RETURN(uint32_t magic, reader.GetU32());
+  STORM_ASSIGN_OR_RETURN(uint32_t version, reader.GetU32());
+  if (magic != kSuperblockMagic) {
+    return Status::Corruption("bad superblock magic");
+  }
+  if (version != kSuperblockVersion) {
+    return Status::Corruption("unsupported superblock version " +
+                              std::to_string(version));
+  }
+  Superblock sb;
+  STORM_ASSIGN_OR_RETURN(sb.checkpoint_first, reader.GetU64());
+  STORM_ASSIGN_OR_RETURN(sb.wal_first, reader.GetU64());
+  STORM_ASSIGN_OR_RETURN(uint32_t stored_crc, reader.GetU32());
+  uint32_t computed =
+      Crc32(image.data(), kEncodedSize - sizeof(uint32_t));
+  if (stored_crc != computed) {
+    return Status::Corruption("superblock CRC mismatch");
+  }
+  return sb;
+}
+
+Status WriteSuperblock(BlockManager* disk, const Superblock& sb) {
+  ByteWriter w;
+  w.PutU32(kSuperblockMagic);
+  w.PutU32(kSuperblockVersion);
+  w.PutU64(sb.checkpoint_first);
+  w.PutU64(sb.wal_first);
+  uint32_t crc = Crc32(reinterpret_cast<const std::byte*>(w.data().data()),
+                       w.size());
+  w.PutU32(crc);
+  std::vector<std::byte> image(disk->page_size(), std::byte{0});
+  std::memcpy(image.data(), w.data().data(), w.size());
+  STORM_RETURN_NOT_OK(disk->Write(kSuperblockPage, image.data()));
+  return disk->SyncPage(kSuperblockPage);
+}
+
+}  // namespace storm

@@ -1,0 +1,41 @@
+// Superblock: page 0 of a durable STORM disk — the single root from which
+// recovery finds everything else.
+//
+//   [magic u32][version u32][checkpoint_first u64][wal_first u64][crc u32]
+//
+// The superblock is the atomicity hinge of checkpointing: a checkpoint
+// writes its blob and the fresh WAL chain first, syncs them, and only then
+// rewrites + syncs this one page. A crash at any earlier point leaves the
+// previous superblock (and so the previous checkpoint + WAL) intact.
+
+#ifndef STORM_WAL_SUPERBLOCK_H_
+#define STORM_WAL_SUPERBLOCK_H_
+
+#include "storm/io/block_manager.h"
+#include "storm/util/result.h"
+
+namespace storm {
+
+struct Superblock {
+  /// First page of the latest complete checkpoint chain; kInvalidPage until
+  /// the first checkpoint lands.
+  PageId checkpoint_first = kInvalidPage;
+  /// First page of the live WAL chain; kInvalidPage before the first WAL.
+  PageId wal_first = kInvalidPage;
+};
+
+/// Initializes a fresh disk for durability: allocates page 0 and writes an
+/// empty superblock, synced. Fails unless the disk has no pages yet (the
+/// superblock must be page 0 by convention).
+Status FormatDisk(BlockManager* disk);
+
+/// Reads and validates page 0. kCorruption for a bad magic/CRC; useful both
+/// for recovery and for detecting "this disk was never formatted".
+Result<Superblock> ReadSuperblock(BlockManager* disk);
+
+/// Atomically (single page write + sync) replaces the superblock.
+Status WriteSuperblock(BlockManager* disk, const Superblock& sb);
+
+}  // namespace storm
+
+#endif  // STORM_WAL_SUPERBLOCK_H_

@@ -1,0 +1,125 @@
+// Write-ahead log for STORM tables (docs/ROBUSTNESS.md §Durability).
+//
+// The WAL is a page chain of CRC-framed records:
+//
+//   frame := [len u32][crc u32][type u8][lsn u64][payload: len-9 bytes]
+//
+// `len` counts type + lsn + payload; `crc` covers those same bytes. Frames
+// are packed back to back and may span page boundaries; the zero-filled
+// remainder of the tail page reads as len == 0, the end-of-log mark.
+//
+// LSN rules: LSNs start at 1, increase by exactly 1 per appended record,
+// and survive truncation (a checkpoint stores the next LSN, and the fresh
+// log continues from it), so every update in a table's history has a unique
+// ordinal. Replay verifies the sequence and fails on gaps or reordering.
+//
+// Group commit: Append* writes frames into the (volatile) page cache only;
+// Sync() issues the per-page syncs. A single-record commit is append+sync;
+// UpdateManager's InsertBatch appends ONE kBatchInsert frame for the whole
+// batch and syncs once, which simultaneously amortizes the sync cost and
+// makes the batch atomic under crash: either the frame is durable (replay
+// applies every document) or it is not (replay applies none).
+//
+// Torn tails: a crash can tear the last unsynced page (see
+// BlockManager::Crash), leaving a prefix of the final frame. Replay treats
+// the first frame whose CRC or length fails as the end of the log — those
+// bytes were never acknowledged, so ignoring them is correct, not lossy.
+
+#ifndef STORM_WAL_WAL_H_
+#define STORM_WAL_WAL_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storm/io/block_manager.h"
+#include "storm/util/result.h"
+#include "storm/util/types.h"
+#include "storm/wal/page_chain.h"
+
+namespace storm {
+
+/// Failpoint sites on the append path. "wal.append" is evaluated before any
+/// page is touched (a clean unacknowledged failure); "wal.append.partial"
+/// after the frame bytes are in the page cache but before the caller can
+/// sync (the mid-append crash window of the recovery harness).
+inline constexpr std::string_view kFailpointWalAppend = "wal.append";
+inline constexpr std::string_view kFailpointWalAppendPartial =
+    "wal.append.partial";
+
+using Lsn = uint64_t;
+/// LSNs start at 1; 0 never names a record.
+inline constexpr Lsn kInvalidLsn = 0;
+
+enum class WalRecordType : uint8_t {
+  kInsert = 1,       ///< one document append
+  kBatchInsert = 2,  ///< an atomic batch of document appends
+  kDelete = 3,       ///< one tombstone
+};
+
+/// One decoded WAL record.
+struct WalRecord {
+  WalRecordType type = WalRecordType::kInsert;
+  Lsn lsn = kInvalidLsn;
+  /// Record id assigned to the insert / first id of the batch / deleted id.
+  RecordId first_id = kInvalidRecordId;
+  /// Serialized documents: one for kInsert, n for kBatchInsert, none for
+  /// kDelete.
+  std::vector<std::string> docs;
+};
+
+/// Everything replay learned from a WAL chain.
+struct WalReplay {
+  std::vector<WalRecord> records;
+  /// LSN the reopened log should continue from.
+  Lsn next_lsn = 1;
+  /// True when replay stopped at a torn/incomplete final frame (ignored by
+  /// design) rather than the clean end-of-log mark.
+  bool torn_tail = false;
+};
+
+/// An open, appendable write-ahead log.
+class Wal {
+ public:
+  /// Starts a fresh (empty) log on `disk`, numbering from `next_lsn`. The
+  /// first page is allocated and synced, ready to hang off a superblock.
+  static Result<std::unique_ptr<Wal>> Create(BlockManager* disk, Lsn next_lsn);
+
+  Result<Lsn> AppendInsert(RecordId id, std::string_view doc_json);
+  Result<Lsn> AppendBatchInsert(RecordId first_id,
+                                const std::vector<std::string>& docs);
+  Result<Lsn> AppendDelete(RecordId id);
+
+  /// The group-commit point: makes every frame appended since the last
+  /// Sync durable. An update is acknowledged only after its Sync returns.
+  Status Sync();
+
+  PageId first_page() const { return writer_.first_page(); }
+  Lsn next_lsn() const { return next_lsn_; }
+
+  /// Decodes every complete record of the chain at `first_page`, verifying
+  /// frame CRCs and the LSN sequence. Page-level corruption propagates;
+  /// torn tails are reported, not failed.
+  static Result<WalReplay> Replay(BlockManager* disk, PageId first_page);
+
+  /// Frees a truncated chain's pages (after a checkpoint has superseded it).
+  static Status FreeChain(BlockManager* disk, PageId first_page);
+
+  /// Counters for the metrics registry: appended frames / payload bytes.
+  uint64_t appended_records() const { return appended_records_; }
+  uint64_t appended_bytes() const { return writer_.bytes_appended(); }
+
+ private:
+  Wal(BlockManager* disk, Lsn next_lsn);
+
+  Result<Lsn> AppendFrame(WalRecordType type, std::string_view payload);
+
+  PageChainWriter writer_;
+  Lsn next_lsn_;
+  uint64_t appended_records_ = 0;
+};
+
+}  // namespace storm
+
+#endif  // STORM_WAL_WAL_H_
