@@ -14,14 +14,15 @@ void RunInteractiveQuery(storm::Session& session, const char* label,
                          const std::string& query, double stop_rel_error) {
   std::printf("\n[%s]\n  %s\n", label, query.c_str());
   storm::Stopwatch watch;
-  auto result = session.Execute(query, [&](const storm::QueryProgress& p) {
-    if (p.samples > 0 && p.samples % 256 == 0) {
-      std::printf("  after %6.1f ms: %s\n", p.elapsed_ms,
-                  p.ci.ToString().c_str());
-    }
-    // The "user" walks away as soon as the estimate looks good enough.
-    return !(p.samples >= 64 && p.ci.RelativeError() < stop_rel_error);
-  });
+  auto result = session.Execute(
+      query, storm::ExecOptions().WithProgress([&](const storm::QueryProgress& p) {
+        if (p.samples > 0 && p.samples % 256 == 0) {
+          std::printf("  after %6.1f ms: %s\n", p.elapsed_ms,
+                      p.ci.ToString().c_str());
+        }
+        // The "user" walks away as soon as the estimate looks good enough.
+        return !(p.samples >= 64 && p.ci.RelativeError() < stop_rel_error);
+      }));
   if (!result.ok()) {
     std::fprintf(stderr, "  failed: %s\n", result.status().ToString().c_str());
     return;

@@ -2,10 +2,17 @@
 // watch the confidence interval tighten as spatial online samples arrive.
 //
 //   cmake --build build && ./build/examples/quickstart
+//
+// storm/client.h is the only header an application needs: it brings in
+// storm::Client (table lifecycle + queries + updates) and storm::ExecOptions
+// (every per-call knob). The generator and the terminal renderer below are
+// optional extras for this demo.
 
 #include <cstdio>
 
-#include "storm/storm.h"
+#include "storm/client.h"
+#include "storm/data/osm_gen.h"
+#include "storm/viz/render.h"
 
 int main() {
   using namespace storm;
@@ -23,8 +30,8 @@ int main() {
   // 2. Register the documents as a table. The data connector discovers the
   //    schema and the (lon, lat) spatial binding automatically, and the
   //    ST-indexing module builds the RS-tree and LS-tree.
-  Session session;
-  Status st = session.CreateTable("osm", docs);
+  Client db;
+  Status st = db.CreateTable("osm", docs);
   if (!st.ok()) {
     std::fprintf(stderr, "create table: %s\n", st.ToString().c_str());
     return 1;
@@ -35,10 +42,10 @@ int main() {
   //    estimate is usable from the first milliseconds.
   std::printf("online AVG(altitude) over a mountain-west window:\n");
   std::vector<ConfidenceInterval> history;
-  auto result = session.Execute(
+  auto result = db.Execute(
       "SELECT AVG(altitude) FROM osm REGION(-114, 35, -104, 45) "
       "ERROR 0.5% CONFIDENCE 95%",
-      [&history](const QueryProgress& p) {
+      ExecOptions().WithProgress([&history](const QueryProgress& p) {
         if (p.samples % 256 == 0 && p.samples > 0) {
           history.push_back(p.ci);
         }
@@ -48,7 +55,7 @@ int main() {
                       p.ci.ToString().c_str());
         }
         return true;  // keep going until the ERROR target is met
-      });
+      }));
   if (!result.ok()) {
     std::fprintf(stderr, "query: %s\n", result.status().ToString().c_str());
     return 1;
@@ -64,8 +71,21 @@ int main() {
               static_cast<unsigned long long>(result->samples),
               result->elapsed_ms);
 
-  // 4. The exact answer, for comparison (QueryFirst reports everything).
-  auto exact = session.Execute(
+  // 4. The same aggregate with four parallel sampling workers — each draws
+  //    from its own RNG stream into a private estimator shard, merged into
+  //    one statistically valid interval.
+  auto wide = db.Execute(
+      "SELECT AVG(altitude) FROM osm REGION(-114, 35, -104, 45) "
+      "ERROR 0.5% CONFIDENCE 95% USING RSTREE",
+      ExecOptions().WithParallelism(4));
+  if (wide.ok()) {
+    std::printf("parallel(4): %s after %llu samples\n",
+                wide->ci.ToString().c_str(),
+                static_cast<unsigned long long>(wide->samples));
+  }
+
+  // 5. The exact answer, for comparison (QueryFirst reports everything).
+  auto exact = db.Execute(
       "SELECT AVG(altitude) FROM osm REGION(-114, 35, -104, 45) "
       "USING QUERYFIRST SAMPLES 1000000000");
   if (exact.ok()) {

@@ -199,15 +199,16 @@ int main() {
       continue;
     }
     uint64_t last_reported = 0;
-    auto result = session.Execute(line, [&](const QueryProgress& p) {
-      if (p.samples >= last_reported + 2048) {
-        std::printf("  ... k=%llu  %s\n",
-                    static_cast<unsigned long long>(p.samples),
-                    p.ci.ToString().c_str());
-        last_reported = p.samples;
-      }
-      return true;
-    });
+    auto result = session.Execute(
+        line, ExecOptions().WithProgress([&](const QueryProgress& p) {
+          if (p.samples >= last_reported + 2048) {
+            std::printf("  ... k=%llu  %s\n",
+                        static_cast<unsigned long long>(p.samples),
+                        p.ci.ToString().c_str());
+            last_reported = p.samples;
+          }
+          return true;
+        }));
     if (!result.ok()) {
       std::printf("  error: %s\n", result.status().ToString().c_str());
       continue;

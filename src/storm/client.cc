@@ -1,0 +1,72 @@
+#include "storm/client.h"
+
+namespace storm {
+
+Status Client::CreateTable(const std::string& name,
+                           const std::vector<Value>& docs,
+                           const ImportOptions& import_options,
+                           const TableConfig& config) {
+  return session_.CreateTable(name, docs, import_options, config);
+}
+
+Status Client::ImportFile(const std::string& name, const std::string& path,
+                          const ImportOptions& import_options,
+                          const TableConfig& config) {
+  return session_.ImportFile(name, path, import_options, config);
+}
+
+Status Client::SaveTable(const std::string& name, const std::string& path) {
+  return session_.SaveTable(name, path);
+}
+
+Status Client::DropTable(const std::string& name) {
+  return session_.DropTable(name);
+}
+
+bool Client::HasTable(const std::string& name) const {
+  return session_.HasTable(name);
+}
+
+std::vector<std::string> Client::TableNames() const {
+  return session_.TableNames();
+}
+
+Result<QueryResult> Client::Execute(const std::string& query,
+                                    const ExecOptions& options) {
+  return session_.Execute(query, options);
+}
+
+Result<RecordId> Client::Insert(const std::string& table, const Value& doc) {
+  STORM_ASSIGN_OR_RETURN(UpdateManager * updates, session_.Updates(table));
+  return updates->Insert(doc);
+}
+
+BatchInsertResult Client::InsertBatch(const std::string& table,
+                                      const std::vector<Value>& docs) {
+  Result<UpdateManager*> updates = session_.Updates(table);
+  if (!updates.ok()) {
+    BatchInsertResult failed;
+    failed.status = updates.status();
+    return failed;
+  }
+  return (*updates)->InsertBatch(docs);
+}
+
+Status Client::Delete(const std::string& table, RecordId id) {
+  STORM_ASSIGN_OR_RETURN(UpdateManager * updates, session_.Updates(table));
+  return updates->Delete(id);
+}
+
+Status Client::Checkpoint(const std::string& table) {
+  return session_.Checkpoint(table);
+}
+
+Status Client::SimulateCrash(const std::string& table) {
+  return session_.SimulateCrash(table);
+}
+
+Status Client::Recover(const std::string& table) {
+  return session_.Recover(table);
+}
+
+}  // namespace storm

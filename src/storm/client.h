@@ -1,0 +1,88 @@
+// storm::Client — the one-include entry point for applications.
+//
+//   #include "storm/client.h"
+//
+//   storm::Client db;
+//   db.CreateTable("osm", docs);
+//   auto result = db.Execute("SELECT AVG(x) FROM osm ...",
+//                            storm::ExecOptions().WithParallelism(4));
+//
+// The Client owns a Session (table catalog + query engine) and exposes the
+// operations an application actually needs: table lifecycle, query
+// execution with ExecOptions, updates, and durability controls. Engine
+// internals (index structures, WAL, buffer pool) stay out of this header;
+// power users can reach them through session() or the storm/storm.h
+// umbrella header.
+
+#ifndef STORM_CLIENT_H_
+#define STORM_CLIENT_H_
+
+#include <string>
+#include <vector>
+
+#include "storm/query/exec_options.h"
+#include "storm/query/session.h"
+
+namespace storm {
+
+class Client {
+ public:
+  Client() = default;
+
+  // Clients own a live engine (tables, buffer pools, WAL handles); copying
+  // one is never meaningful.
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // --- Table lifecycle ---
+
+  /// Registers documents as a table (schema discovery + index build).
+  Status CreateTable(const std::string& name, const std::vector<Value>& docs,
+                     const ImportOptions& import_options = {},
+                     const TableConfig& config = {});
+
+  /// Imports a .csv/.tsv/.jsonl/.ndjson file as a table.
+  Status ImportFile(const std::string& name, const std::string& path,
+                    const ImportOptions& import_options = {},
+                    const TableConfig& config = {});
+
+  /// Exports a table's live documents as JSON-lines.
+  Status SaveTable(const std::string& name, const std::string& path);
+
+  Status DropTable(const std::string& name);
+  bool HasTable(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+  // --- Queries ---
+
+  /// Parses and runs a query in the STORM query language; all per-call
+  /// knobs (deadline, cancel, parallelism, progress, profiling) ride in
+  /// `options`.
+  Result<QueryResult> Execute(const std::string& query,
+                              const ExecOptions& options = {});
+
+  // --- Updates ---
+
+  Result<RecordId> Insert(const std::string& table, const Value& doc);
+  BatchInsertResult InsertBatch(const std::string& table,
+                                const std::vector<Value>& docs);
+  Status Delete(const std::string& table, RecordId id);
+
+  // --- Durability (tables created with TableConfig::durable) ---
+
+  Status Checkpoint(const std::string& table);
+  Status SimulateCrash(const std::string& table);
+  Status Recover(const std::string& table);
+
+  /// Escape hatch to the full engine surface (optimizer, raw tables,
+  /// profiles) for callers that outgrow the facade.
+  Session& session() { return session_; }
+  const Session& session() const { return session_; }
+
+ private:
+  Session session_;
+};
+
+}  // namespace storm
+
+#endif  // STORM_CLIENT_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
 
 #include "storm/obs/metrics.h"
 #include "storm/util/logging.h"
@@ -119,7 +120,8 @@ class DistributedSampler final : public SpatialSampler<3> {
         "storm_cluster_degraded_queries_total",
         "Distributed queries that lost at least one shard");
     for (int s = 0; s < cluster_->num_shards(); ++s) {
-      locals_.push_back(cluster_->shard(s).NewSampler(rng_.Fork(s)));
+      locals_.push_back(cluster_->shard(s).NewSampler(
+          rng_.Fork(s), /*shared_buffers=*/!options_.private_buffers));
       shard_draws_.push_back(
           reg.GetCounter("storm_cluster_shard_draws_total",
                          "Samples drawn from each shard by the coordinator",
@@ -147,31 +149,60 @@ class DistributedSampler final : public SpatialSampler<3> {
     // the per-shard deadline. A shard that cannot answer is marked dead-at-
     // plan: it never enters the weight vector, so the merged stream is
     // uniform over the shards that did answer.
+    //
+    // The fan-out is concurrent — one short-lived thread per shard — so a
+    // slow or dying shard costs the plan ONE per-shard deadline instead of
+    // one per slow shard. Each thread gets a pre-forked backoff-jitter RNG
+    // and writes only its own slot; evictions, weights, and metrics are
+    // applied here after the join, so the fault-handling semantics are
+    // exactly the sequential ones.
     auto plan_start = std::chrono::steady_clock::now();
-    Status last_failure;
-    for (size_t s = 0; s < n; ++s) {
+    struct PlanSlot {
+      Status count_status;
+      Status begin_status;
       uint64_t q = 0;
-      Status st = RetryWithBackoff(
-          options_.retry, &retry_rng_,
+    };
+    std::vector<PlanSlot> plan(n);
+    std::vector<Rng> jitter;
+    jitter.reserve(n);
+    for (size_t s = 0; s < n; ++s) jitter.push_back(retry_rng_.Fork(s + 1));
+    auto plan_one = [&](size_t s) {
+      PlanSlot& slot = plan[s];
+      slot.count_status = RetryWithBackoff(
+          options_.retry, &jitter[s],
           [&] {
             Result<uint64_t> r =
                 cluster_->shard(static_cast<int>(s)).Count(query);
-            if (r.ok()) q = *r;
+            if (r.ok()) slot.q = *r;
             return r.status();
           },
           retries_);
-      if (!st.ok()) {
+      if (slot.count_status.ok()) {
+        slot.begin_status = locals_[s]->Begin(query, mode);
+      }
+    };
+    if (n == 1) {
+      plan_one(0);
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(n);
+      for (size_t s = 0; s < n; ++s) threads.emplace_back(plan_one, s);
+      for (std::thread& t : threads) t.join();
+    }
+    Status last_failure;
+    for (size_t s = 0; s < n; ++s) {
+      if (!plan[s].count_status.ok()) {
         STORM_LOG(Warn) << "plan: shard " << s << " unreachable, evicting: "
-                        << st;
+                        << plan[s].count_status;
         MarkEvicted(s);
-        last_failure = st;
+        last_failure = plan[s].count_status;
         continue;
       }
+      STORM_RETURN_NOT_OK(plan[s].begin_status);
       measured_[s] = true;
-      weights_[s] = static_cast<double>(q);
+      weights_[s] = static_cast<double>(plan[s].q);
       initial_weights_[s] = weights_[s];
-      total_ += q;
-      STORM_RETURN_NOT_OK(locals_[s]->Begin(query, mode));
+      total_ += plan[s].q;
     }
     plan_ms_->Observe(
         std::chrono::duration<double, std::milli>(

@@ -43,6 +43,10 @@ struct DistributedSamplerOptions {
   /// deadline_ms acts as the per-shard deadline: a shard that cannot answer
   /// within it — dead, or slowed past the deadline — is treated as failed.
   RetryPolicy retry;
+  /// Give each shard-local RS-tree sampler a private sample-buffer cache
+  /// (see RsTree::NewSampler); set by parallel query workers so their
+  /// merged streams never contend on the shards' shared buffer mutexes.
+  bool private_buffers = false;
 };
 
 class Cluster {

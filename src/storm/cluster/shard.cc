@@ -42,8 +42,9 @@ Status Shard::ProbeDraw() const {
   return CheckAvailable();
 }
 
-std::unique_ptr<SpatialSampler<3>> Shard::NewSampler(Rng rng) const {
-  return index_->NewSampler(rng);
+std::unique_ptr<SpatialSampler<3>> Shard::NewSampler(
+    Rng rng, bool shared_buffers) const {
+  return index_->NewSampler(rng, shared_buffers);
 }
 
 void Shard::Insert(const Point3& p, RecordId id) { index_->Insert(p, id); }

@@ -47,8 +47,10 @@ class Shard {
   /// this before forwarding Next() to the shard-local sampler.
   Status ProbeDraw() const;
 
-  /// A sampler over this shard's partition.
-  std::unique_ptr<SpatialSampler<3>> NewSampler(Rng rng) const;
+  /// A sampler over this shard's partition. `shared_buffers = false` gives
+  /// it a private RS-tree buffer cache (lock-free draws; see RsTree).
+  std::unique_ptr<SpatialSampler<3>> NewSampler(
+      Rng rng, bool shared_buffers = true) const;
 
   /// Local updates (entries migrating between shards is out of scope; the
   /// partitioner routes each record to a fixed shard).

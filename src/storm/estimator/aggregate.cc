@@ -50,6 +50,25 @@ Status OnlineAggregator<D>::Begin(const Rect<D>& query) {
 }
 
 template <int D>
+Status OnlineAggregator<D>::Begin(const Rect<D>& query, SamplingMode mode) {
+  stat_.Reset();
+  exhausted_ = false;
+  mode_ = mode;
+  STORM_RETURN_NOT_OK(sampler_->Begin(query, mode_));
+  began_ = true;
+  watch_.Restart();
+  return Status::OK();
+}
+
+template <int D>
+void OnlineAggregator<D>::Merge(const OnlineAggregator& other) {
+  stat_.Merge(other.stat_);
+  // The merged stream can only be complete when every contributing stream
+  // is; with-replacement shards never set this.
+  exhausted_ = exhausted_ && other.exhausted_;
+}
+
+template <int D>
 uint64_t OnlineAggregator<D>::Step(uint64_t batch) {
   if (!began_ || exhausted_) return 0;
   uint64_t drawn = 0;

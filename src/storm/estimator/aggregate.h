@@ -55,6 +55,13 @@ class OnlineAggregator {
   /// it is the other way round.
   Status Begin(const Rect<D>& query);
 
+  /// Starts the online query in exactly `mode`, no fallback. The parallel
+  /// engine forces kWithReplacement on every worker: independent
+  /// with-replacement streams merge into one unbiased estimator, whereas
+  /// merged without-replacement streams would double-count across workers
+  /// and invalidate the finite-population correction.
+  Status Begin(const Rect<D>& query, SamplingMode mode);
+
   /// Draws up to `batch` more samples (stops early on exhaustion).
   /// Returns the number actually drawn.
   uint64_t Step(uint64_t batch = 64);
@@ -65,6 +72,13 @@ class OnlineAggregator {
 
   /// The current online estimate with its CI.
   ConfidenceInterval Current() const;
+
+  /// Folds another aggregator's sample stream into this one (parallel
+  /// merge of the running moments, Chan et al.). Both sides must estimate
+  /// the same attribute and kind from independent streams over the same
+  /// population; the merged state is exactly what a single aggregator
+  /// would hold after seeing both streams.
+  void Merge(const OnlineAggregator& other);
 
   /// True when no further samples can improve the estimate.
   bool Exhausted() const;

@@ -34,6 +34,26 @@ Status GroupByAggregator<D>::Begin(const Rect<D>& query) {
 }
 
 template <int D>
+Status GroupByAggregator<D>::Begin(const Rect<D>& query, SamplingMode mode) {
+  groups_.clear();
+  total_samples_ = 0;
+  exhausted_ = false;
+  mode_ = mode;
+  STORM_RETURN_NOT_OK(sampler_->Begin(query, mode_));
+  began_ = true;
+  return Status::OK();
+}
+
+template <int D>
+void GroupByAggregator<D>::Merge(const GroupByAggregator& other) {
+  for (const auto& [key, stat] : other.groups_) {
+    groups_[key].Merge(stat);
+  }
+  total_samples_ += other.total_samples_;
+  exhausted_ = exhausted_ && other.exhausted_;
+}
+
+template <int D>
 uint64_t GroupByAggregator<D>::Step(uint64_t batch) {
   if (!began_ || exhausted_) return 0;
   uint64_t drawn = 0;

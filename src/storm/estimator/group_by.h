@@ -40,8 +40,15 @@ class GroupByAggregator {
 
   Status Begin(const Rect<D>& query);
 
+  /// Starts in exactly `mode`, no fallback (see OnlineAggregator::Begin).
+  Status Begin(const Rect<D>& query, SamplingMode mode);
+
   /// Draws up to `batch` samples; returns the number drawn.
   uint64_t Step(uint64_t batch = 64);
+
+  /// Folds another aggregator's per-group running moments into this one
+  /// (parallel merge; groups only one side discovered simply carry over).
+  void Merge(const GroupByAggregator& other);
 
   /// Snapshot of all discovered groups, ordered by key.
   std::vector<GroupEstimate> Current() const;

@@ -21,14 +21,35 @@ Status OnlineQuantile<D>::Begin(const Rect<D>& query) {
   values_.clear();
   sorted_ = true;
   exhausted_ = false;
-  Status st = sampler_->Begin(query, SamplingMode::kWithoutReplacement);
+  mode_ = SamplingMode::kWithoutReplacement;
+  Status st = sampler_->Begin(query, mode_);
   if (st.IsNotSupported()) {
-    st = sampler_->Begin(query, SamplingMode::kWithReplacement);
+    mode_ = SamplingMode::kWithReplacement;
+    st = sampler_->Begin(query, mode_);
   }
   STORM_RETURN_NOT_OK(st);
   began_ = true;
   watch_.Restart();
   return Status::OK();
+}
+
+template <int D>
+Status OnlineQuantile<D>::Begin(const Rect<D>& query, SamplingMode mode) {
+  values_.clear();
+  sorted_ = true;
+  exhausted_ = false;
+  mode_ = mode;
+  STORM_RETURN_NOT_OK(sampler_->Begin(query, mode_));
+  began_ = true;
+  watch_.Restart();
+  return Status::OK();
+}
+
+template <int D>
+void OnlineQuantile<D>::Merge(const OnlineQuantile& other) {
+  values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+  if (!other.values_.empty()) sorted_ = false;
+  exhausted_ = exhausted_ && other.exhausted_;
 }
 
 template <int D>

@@ -35,8 +35,16 @@ class OnlineQuantile {
 
   Status Begin(const Rect<D>& query);
 
+  /// Starts in exactly `mode`, no fallback (see OnlineAggregator::Begin).
+  Status Begin(const Rect<D>& query, SamplingMode mode);
+
   /// Draws up to `batch` samples; returns the number drawn.
   uint64_t Step(uint64_t batch = 64);
+
+  /// Folds another estimator's observed values into this one. Order
+  /// statistics merge exactly by concatenation — the merged CI is the one
+  /// a single estimator would compute over both streams.
+  void Merge(const OnlineQuantile& other);
 
   /// Current estimate: `estimate` is the sample quantile; the interval
   /// [lower(), upper()] is the order-statistic CI (asymmetric in general,
@@ -61,6 +69,7 @@ class OnlineQuantile {
   QuantileAttributeFn<D> attr_;
   double phi_;
   double confidence_;
+  SamplingMode mode_ = SamplingMode::kWithoutReplacement;
   mutable std::vector<double> values_;
   mutable bool sorted_ = true;
   Stopwatch watch_;

@@ -51,7 +51,7 @@ void BlockManager::SaveUndo(PageId id, bool freshly_allocated) {
 }
 
 PageId BlockManager::Allocate() {
-  ++stats_.pages_allocated;
+  IoBump(stats_.pages_allocated);
   if (!free_list_.empty()) {
     PageId id = free_list_.back();
     free_list_.pop_back();
@@ -92,7 +92,7 @@ Status BlockManager::Read(PageId id, std::byte* out) {
     return Status::IOError("read of non-live page " + std::to_string(id));
   }
   STORM_FAILPOINT(kFailpointBlockRead);
-  ++stats_.physical_reads;
+  IoBump(stats_.physical_reads);
   std::memcpy(out, pages_[id].get(), page_size_);
   // In-flight corruption: the fault flips a bit in the returned buffer (the
   // stored page is intact), exactly what a bad DMA or torn sector looks like
@@ -113,7 +113,7 @@ Status BlockManager::Write(PageId id, const std::byte* data) {
   }
   STORM_FAILPOINT(kFailpointBlockWrite);
   SaveUndo(id, /*freshly_allocated=*/false);
-  ++stats_.physical_writes;
+  IoBump(stats_.physical_writes);
   std::memcpy(pages_[id].get(), data, page_size_);
   crcs_[id] = Crc32(data, page_size_);
   return Status::OK();

@@ -117,8 +117,12 @@ class BlockManager {
   /// next Read reports Corruption (simulated bit rot).
   Status CorruptPageForTesting(PageId id, size_t byte_offset);
 
-  const IoStats& stats() const { return stats_; }
-  IoStats* mutable_stats() { return &stats_; }
+  /// Snapshot of the access counters (plain values; see AtomicIoStats).
+  IoStats stats() const { return stats_.Snapshot(); }
+  /// The live atomic counters — bump-able from any thread. Profiles hold a
+  /// pointer to this to snapshot span deltas while other threads run.
+  const AtomicIoStats& live_stats() const { return stats_; }
+  AtomicIoStats* mutable_stats() { return &stats_; }
 
  private:
   /// Durable image of a page recorded the first time it is mutated after a
@@ -141,7 +145,7 @@ class BlockManager {
   std::vector<PageId> free_list_;
   std::unordered_map<PageId, Undo> undo_;
   Rng crash_rng_;
-  IoStats stats_;
+  AtomicIoStats stats_;
   uint32_t zero_page_crc_;
   class Counter* checksum_failures_metric_;
   class Counter* crashes_metric_;

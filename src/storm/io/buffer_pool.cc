@@ -32,11 +32,12 @@ BufferPool::~BufferPool() {
 }
 
 Result<std::byte*> BufferPool::Pin(PageId id) {
-  IoStats* stats = disk_->mutable_stats();
-  ++stats->logical_reads;
+  std::lock_guard<std::mutex> lock(mu_);
+  AtomicIoStats* stats = disk_->mutable_stats();
+  IoBump(stats->logical_reads);
   auto it = frames_.find(id);
   if (it != frames_.end()) {
-    ++stats->pool_hits;
+    IoBump(stats->pool_hits);
     hits_metric_->Increment();
     Frame& f = it->second;
     if (f.in_lru) {
@@ -46,10 +47,10 @@ Result<std::byte*> BufferPool::Pin(PageId id) {
     ++f.pin_count;
     return f.data.get();
   }
-  ++stats->pool_misses;
+  IoBump(stats->pool_misses);
   misses_metric_->Increment();
   if (frames_.size() >= capacity_) {
-    STORM_RETURN_NOT_OK(EvictOne());
+    STORM_RETURN_NOT_OK(EvictOneLocked());
   }
   Frame f;
   f.data = std::make_unique<std::byte[]>(disk_->page_size());
@@ -61,6 +62,7 @@ Result<std::byte*> BufferPool::Pin(PageId id) {
 }
 
 Status BufferPool::Unpin(PageId id, bool dirty) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = frames_.find(id);
   if (it == frames_.end()) {
     return Status::InvalidArgument("unpin of uncached page " + std::to_string(id));
@@ -79,6 +81,7 @@ Status BufferPool::Unpin(PageId id, bool dirty) {
 }
 
 Status BufferPool::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [id, f] : frames_) {
     if (f.dirty) {
       STORM_RETURN_NOT_OK(disk_->Write(id, f.data.get()));
@@ -89,6 +92,7 @@ Status BufferPool::Flush() {
 }
 
 Status BufferPool::Evict(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = frames_.find(id);
   if (it == frames_.end()) return Status::OK();
   Frame& f = it->second;
@@ -101,7 +105,7 @@ Status BufferPool::Evict(PageId id) {
   return Status::OK();
 }
 
-Status BufferPool::EvictOne() {
+Status BufferPool::EvictOneLocked() {
   if (lru_.empty()) {
     return Status::ResourceExhausted("all buffer pool frames are pinned");
   }
@@ -114,7 +118,7 @@ Status BufferPool::EvictOne() {
   if (f.dirty) {
     STORM_RETURN_NOT_OK(disk_->Write(victim, f.data.get()));
   }
-  ++disk_->mutable_stats()->evictions;
+  IoBump(disk_->mutable_stats()->evictions);
   evictions_metric_->Increment();
   frames_.erase(it);
   return Status::OK();

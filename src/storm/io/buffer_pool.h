@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -21,7 +22,12 @@ namespace storm {
 /// An LRU buffer pool with pin counting.
 ///
 /// Frames with a positive pin count are never evicted. Dirty frames are
-/// written back on eviction and on Flush(). Not thread-safe.
+/// written back on eviction and on Flush(). Thread-safe: one internal
+/// mutex serializes frame-table and LRU mutation, so concurrent read
+/// sessions may fault pages through one pool. (The pin/unpin protocol
+/// still hands out raw frame pointers — concurrent *writers* to the same
+/// page need their own coordination, which the Table write latch
+/// provides.)
 class BufferPool {
  public:
   /// `capacity_pages` is the number of frames; must be >= 1.
@@ -55,9 +61,12 @@ class BufferPool {
   Status Evict(PageId id);
 
   size_t capacity() const { return capacity_; }
-  size_t cached_pages() const { return frames_.size(); }
+  size_t cached_pages() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return frames_.size();
+  }
   BlockManager* disk() const { return disk_; }
-  const IoStats& stats() const { return disk_->stats(); }
+  IoStats stats() const { return disk_->stats(); }
 
  private:
   struct Frame {
@@ -68,10 +77,12 @@ class BufferPool {
     bool in_lru = false;
   };
 
-  Status EvictOne();
+  /// Evicts one unpinned frame; caller holds mu_.
+  Status EvictOneLocked();
 
   BlockManager* disk_;
   size_t capacity_;
+  mutable std::mutex mu_;  ///< guards frames_ and lru_
   std::unordered_map<PageId, Frame> frames_;
   std::list<PageId> lru_;  // front = least recently used
   // Process-wide pool metrics (all pools aggregate into the same family);

@@ -8,12 +8,15 @@
 #ifndef STORM_IO_IO_STATS_H_
 #define STORM_IO_IO_STATS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
 namespace storm {
 
-/// Access counters maintained by BlockManager and BufferPool.
+/// A point-in-time snapshot of the access counters (plain values: compare,
+/// subtract, print freely). The live counters are an AtomicIoStats owned by
+/// the BlockManager; this struct is what Snapshot() hands out.
 struct IoStats {
   uint64_t physical_reads = 0;   ///< pages fetched from the simulated disk
   uint64_t physical_writes = 0;  ///< pages written back to the simulated disk
@@ -65,6 +68,47 @@ struct IoStats {
 
   std::string ToString() const;
 };
+
+/// The live counters: relaxed atomics, safe to bump from any thread (N
+/// parallel query workers, a concurrent writer) and to snapshot from
+/// another. Each counter is independently atomic — a snapshot is not a
+/// consistent cut across counters, which is fine for monitoring deltas.
+struct AtomicIoStats {
+  std::atomic<uint64_t> physical_reads{0};
+  std::atomic<uint64_t> physical_writes{0};
+  std::atomic<uint64_t> logical_reads{0};
+  std::atomic<uint64_t> pool_hits{0};
+  std::atomic<uint64_t> pool_misses{0};
+  std::atomic<uint64_t> evictions{0};
+  std::atomic<uint64_t> pages_allocated{0};
+
+  IoStats Snapshot() const {
+    IoStats s;
+    s.physical_reads = physical_reads.load(std::memory_order_relaxed);
+    s.physical_writes = physical_writes.load(std::memory_order_relaxed);
+    s.logical_reads = logical_reads.load(std::memory_order_relaxed);
+    s.pool_hits = pool_hits.load(std::memory_order_relaxed);
+    s.pool_misses = pool_misses.load(std::memory_order_relaxed);
+    s.evictions = evictions.load(std::memory_order_relaxed);
+    s.pages_allocated = pages_allocated.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void Reset() {
+    physical_reads.store(0, std::memory_order_relaxed);
+    physical_writes.store(0, std::memory_order_relaxed);
+    logical_reads.store(0, std::memory_order_relaxed);
+    pool_hits.store(0, std::memory_order_relaxed);
+    pool_misses.store(0, std::memory_order_relaxed);
+    evictions.store(0, std::memory_order_relaxed);
+    pages_allocated.store(0, std::memory_order_relaxed);
+  }
+};
+
+/// One relaxed increment (the idiom every stats path uses).
+inline void IoBump(std::atomic<uint64_t>& counter, uint64_t n = 1) {
+  counter.fetch_add(n, std::memory_order_relaxed);
+}
 
 }  // namespace storm
 

@@ -78,10 +78,12 @@ class QueryProfile {
   /// Creation opens the root "query" span.
   QueryProfile();
 
-  /// Points the profile at a live IoStats (typically the table's record
-  /// store) so spans can snapshot deltas. May stay unset; deltas are then
-  /// all zero. The source must outlive every open span.
-  void SetIoSource(const IoStats* source) { io_source_ = source; }
+  /// Points the profile at the live atomic counters (typically the table's
+  /// record store) so spans can snapshot deltas. May stay unset; deltas are
+  /// then all zero. The source must outlive every open span. Atomic so the
+  /// snapshot is well-defined even while concurrent queries or writers
+  /// bump the same counters.
+  void SetIoSource(const AtomicIoStats* source) { io_source_ = source; }
 
   /// Opens a child span under the innermost open span.
   ScopedSpan Span(std::string name);
@@ -127,12 +129,12 @@ class QueryProfile {
 
  private:
   IoStats CurrentIo() const {
-    return io_source_ != nullptr ? *io_source_ : IoStats();
+    return io_source_ != nullptr ? io_source_->Snapshot() : IoStats();
   }
   void EndSpan(size_t index);
 
   Stopwatch watch_;
-  const IoStats* io_source_ = nullptr;
+  const AtomicIoStats* io_source_ = nullptr;
   std::vector<TraceSpan> spans_;
   std::vector<IoStats> start_io_;   // parallel to spans_
   std::vector<bool> span_open_;     // parallel to spans_

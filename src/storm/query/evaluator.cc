@@ -1,14 +1,23 @@
 #include "storm/query/evaluator.h"
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <mutex>
+#include <thread>
 
 #include "storm/obs/metrics.h"
 #include "storm/sampling/failover.h"
+#include "storm/util/thread_pool.h"
 
 namespace storm {
 
 namespace {
 constexpr uint64_t kBatch = 64;
+/// Per-lock sampling quantum of a parallel worker: long enough to amortize
+/// the worker-shard mutex, short enough that the coordinator's merge never
+/// waits noticeably.
+constexpr uint64_t kParallelBatch = 256;
 /// Backstop for queries with no stopping clause on a sampler that cannot
 /// exhaust (with-replacement modes): bounded, documented, generous.
 constexpr uint64_t kDefaultSampleCap = 100'000;
@@ -57,7 +66,202 @@ Status CheckAttribute(const Table& table, const std::string& field) {
   }
   return Status::OK();
 }
+
+// ---------------------------------------------------------------------------
+// Parallel sampling engine (ExecOptions::parallelism > 1)
+// ---------------------------------------------------------------------------
+//
+// N workers each own a sampler (forked RNG stream, private RS-tree buffers)
+// and a private estimator shard; the coordinating thread periodically locks
+// each shard, merges a snapshot, and drives the usual convergence /
+// progress / stopping machinery against the merged CI. Workers never talk
+// to each other — the only shared state is the per-shard mutex, a stop
+// flag, and a drawn-samples counter.
+//
+// Statistical contract: the engine forces with-replacement sampling. Merged
+// without-replacement streams are NOT a without-replacement sample of the
+// union (each worker only excludes its own draws), so the finite-population
+// correction would understate the variance. With replacement, each worker's
+// draws are iid uniform on P∩Q, the union is too, and the merged shards
+// give exactly the single-stream CI. Samplers that cannot serve
+// with-replacement (the LS-tree) reject Begin with kNotSupported and the
+// query falls back to the sequential loop.
+
+/// What the engine hands back; `shards[0]` holds the final merged state.
+template <typename Est>
+struct ParallelOutcome {
+  bool ran = false;  ///< false: mode unsupported, caller runs sequentially
+  std::vector<std::unique_ptr<SpatialSampler<3>>> samplers;
+  std::vector<std::unique_ptr<Est>> shards;
+};
+
+/// Everything the coordinating loop needs from the evaluator.
+struct ParallelEnv {
+  int workers = 2;
+  StoppingRule rule;
+  QueryProfile* profile = nullptr;
+  const CancelToken* cancel = nullptr;
+  double deadline_ms = 0.0;  ///< effective (ExecOptions ∧ DEADLINE clause)
+  const Stopwatch* watch = nullptr;
+  const ProgressFn* progress = nullptr;
+};
+
+/// Est must provide Begin(box, mode), Step(n) -> drawn, Merge(other), and a
+/// copy constructor. make_sampler(w) builds worker w's sampler;
+/// make_est(sampler) its shard; ci_of(merged) / samples_of(merged) read the
+/// task's CI and sample count (ci_of runs under shard 0's lock because it
+/// may consult shard 0's sampler for cardinality).
+template <typename Est, typename MakeSamplerFn, typename MakeEstFn,
+          typename CiFn, typename SamplesFn>
+Result<ParallelOutcome<Est>> RunParallelEngine(
+    const Rect3& box, const ParallelEnv& env, MakeSamplerFn make_sampler,
+    MakeEstFn make_est, CiFn ci_of, SamplesFn samples_of,
+    QueryResult* result) {
+  ParallelOutcome<Est> out;
+  const int n = env.workers;
+  std::vector<std::unique_ptr<std::mutex>> mus;
+  for (int w = 0; w < n; ++w) {
+    STORM_ASSIGN_OR_RETURN(std::unique_ptr<SpatialSampler<3>> sampler,
+                           make_sampler(w));
+    std::unique_ptr<Est> est = make_est(sampler.get());
+    Status st = est->Begin(box, SamplingMode::kWithReplacement);
+    if (st.IsNotSupported()) return out;  // sequential fallback
+    STORM_RETURN_NOT_OK(st);
+    out.samplers.push_back(std::move(sampler));
+    out.shards.push_back(std::move(est));
+    mus.push_back(std::make_unique<std::mutex>());
+  }
+
+  MetricsRegistry& reg = MetricsRegistry::Default();
+  reg.GetCounter("storm_parallel_queries_total",
+                 "Queries run on the parallel sampling engine")
+      ->Increment();
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> total_drawn{0};
+  std::vector<std::atomic<bool>> done(static_cast<size_t>(n));
+  for (auto& d : done) d.store(false, std::memory_order_relaxed);
+  const uint64_t cap = env.rule.max_samples;  // 0 = uncapped
+
+  ThreadPool& pool = ThreadPool::Shared();
+  std::vector<std::future<void>> futures;
+  futures.reserve(static_cast<size_t>(n));
+  for (int w = 0; w < n; ++w) {
+    Counter* worker_samples = reg.GetCounter(
+        "storm_parallel_worker_samples_total",
+        "Samples drawn by each parallel worker slot",
+        {{"worker", std::to_string(w)}});
+    Est* est = out.shards[static_cast<size_t>(w)].get();
+    std::mutex* mu = mus[static_cast<size_t>(w)].get();
+    auto* done_flag = &done[static_cast<size_t>(w)];
+    futures.push_back(pool.Submit([&stop, &total_drawn, est, mu, done_flag,
+                                   worker_samples, cap] {
+      while (!stop.load(std::memory_order_acquire)) {
+        if (cap != 0 &&
+            total_drawn.load(std::memory_order_relaxed) >= cap) {
+          break;
+        }
+        uint64_t drawn;
+        {
+          std::lock_guard<std::mutex> lock(*mu);
+          drawn = est->Step(kParallelBatch);
+        }
+        if (drawn == 0) break;  // exhausted, or the sampler gave up
+        worker_samples->Increment(drawn);
+        total_drawn.fetch_add(drawn, std::memory_order_relaxed);
+      }
+      done_flag->store(true, std::memory_order_release);
+    }));
+  }
+
+  // Coordinating loop: merge a snapshot of every shard, then run the same
+  // convergence / progress / interruption / stopping checks the sequential
+  // loop runs once per batch.
+  while (true) {
+    bool all_done = true;
+    for (auto& d : done) {
+      all_done = all_done && d.load(std::memory_order_acquire);
+    }
+    ConfidenceInterval ci;
+    uint64_t samples = 0;
+    double cardinality = 0.0;
+    {
+      // ci_of may read shard 0's sampler (cardinality), so the snapshot CI
+      // is computed while shard 0 is locked.
+      std::unique_lock<std::mutex> lock0(*mus[0]);
+      Est merged = *out.shards[0];
+      for (int w = 1; w < n; ++w) {
+        std::lock_guard<std::mutex> lock(*mus[static_cast<size_t>(w)]);
+        merged.Merge(*out.shards[static_cast<size_t>(w)]);
+      }
+      ci = ci_of(merged);
+      samples = samples_of(merged);
+      cardinality = out.samplers[0]->Cardinality().estimate;
+    }
+    if (env.profile != nullptr) {
+      env.profile->AddConvergencePoint(env.watch->ElapsedMillis(), samples,
+                                       ci.estimate, ci.half_width,
+                                       cardinality);
+    }
+    if (env.progress != nullptr && *env.progress) {
+      QueryProgress p;
+      p.samples = samples;
+      p.elapsed_ms = env.watch->ElapsedMillis();
+      p.ci = ci;
+      if (!(*env.progress)(p)) {
+        result->cancelled = true;
+        break;
+      }
+    }
+    if (env.cancel != nullptr && env.cancel->IsCancelled()) {
+      result->cancelled = true;
+      break;
+    }
+    // Anytime semantics match the sequential loop: a deadline cut still
+    // returns at least one batch, so don't honor the deadline until the
+    // workers have produced something to report (the 500us sleep below
+    // yields the CPU to them).
+    if (env.deadline_ms > 0.0 &&
+        env.watch->ElapsedMillis() >= env.deadline_ms &&
+        total_drawn.load(std::memory_order_acquire) > 0) {
+      result->deadline_exceeded = true;
+      break;
+    }
+    if (env.rule.ShouldStop(ci, env.watch->ElapsedMillis())) break;
+    if (all_done) break;
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::future<void>& f : futures) f.wait();
+
+  // Workers are quiescent; fold every shard into shard 0.
+  for (int w = 1; w < n; ++w) {
+    out.shards[0]->Merge(*out.shards[static_cast<size_t>(w)]);
+  }
+  out.ran = true;
+  return out;
+}
 }  // namespace
+
+std::function<Result<std::unique_ptr<SpatialSampler<3>>>(int)>
+QueryEvaluator::WorkerSamplerFactory(const QueryAst& ast,
+                                     const OptimizerDecision& decision) const {
+  SamplerStrategy strategy = decision.strategy;
+  if (strategy == SamplerStrategy::kSampleFirst &&
+      ast.method == SamplerStrategy::kAuto) {
+    // MakeSampler arms a mid-query failover for auto-chosen SampleFirst;
+    // that wrapper is single-stream, so parallel workers go straight to the
+    // always-flowing RS-tree instead.
+    strategy = SamplerStrategy::kRsTree;
+  }
+  uint64_t seed = table_->rs_tree().size() * 0x9e37 + 17;
+  const Table* table = table_;
+  return [table, strategy, seed](int w) {
+    return table->NewSampler(
+        strategy, seed + 0x51ab1ULL * static_cast<uint64_t>(w + 1),
+        /*private_buffers=*/true);
+  };
+}
 
 StoppingRule QueryEvaluator::RuleFor(const QueryAst& ast) const {
   StoppingRule rule;
@@ -93,11 +297,14 @@ void QueryEvaluator::AnnotateHealth(const SpatialSampler<3>& sampler,
 }
 
 Result<QueryResult> QueryEvaluator::Execute(const QueryAst& ast,
-                                            const ProgressFn& progress) {
+                                            const ExecOptions& options) {
   query_watch_.Restart();
-  // The tighter of the Session-level deadline and the query's own DEADLINE
+  const ProgressFn& progress = options.progress;
+  cancel_ = options.cancel;
+  parallelism_ = std::max(1, options.parallelism);
+  // The tighter of the caller's deadline and the query's own DEADLINE
   // clause wins.
-  effective_deadline_ms_ = deadline_ms_;
+  effective_deadline_ms_ = options.deadline_ms;
   if (ast.deadline_ms > 0.0 &&
       (effective_deadline_ms_ <= 0.0 || ast.deadline_ms < effective_deadline_ms_)) {
     effective_deadline_ms_ = ast.deadline_ms;
@@ -195,11 +402,40 @@ Result<QueryResult> QueryEvaluator::RunAggregate(const QueryAst& ast,
                                    : std::numeric_limits<double>::quiet_NaN();
     };
   }
+  StoppingRule rule = RuleFor(ast);
+  if (parallelism_ > 1) {
+    prepare.End();
+    ParallelEnv env{parallelism_,  rule,          profile_, cancel_,
+                    effective_deadline_ms_, &query_watch_, &progress};
+    QueryProfile::ScopedSpan loop = ProfileSpan(profile_, "sample_loop");
+    STORM_ASSIGN_OR_RETURN(
+        auto run,
+        RunParallelEngine<OnlineAggregator<3>>(
+            ast.QueryBox(), env, WorkerSamplerFactory(ast, result.decision),
+            [&](SpatialSampler<3>* s) {
+              return std::make_unique<OnlineAggregator<3>>(
+                  s, attr, ast.aggregate, ast.confidence);
+            },
+            [](const OnlineAggregator<3>& e) { return e.Current(); },
+            [](const OnlineAggregator<3>& e) { return e.samples_drawn(); },
+            &result));
+    if (run.ran) {
+      OnlineAggregator<3>& merged = *run.shards[0];
+      loop.SetSamples(merged.samples_drawn());
+      loop.End();
+      AnnotateHealth(*run.samplers[0], &result);
+      result.ci = merged.Current();
+      result.samples = merged.samples_drawn();
+      result.elapsed_ms = query_watch_.ElapsedMillis();
+      result.exhausted = merged.Exhausted();
+      return result;
+    }
+    // Sampler without with-replacement support: sequential loop below.
+  }
   OnlineAggregator<3> agg(sampler.get(), std::move(attr), ast.aggregate,
                           ast.confidence);
   STORM_RETURN_NOT_OK(agg.Begin(ast.QueryBox()));
   prepare.End();
-  StoppingRule rule = RuleFor(ast);
   QueryProfile::ScopedSpan loop = ProfileSpan(profile_, "sample_loop");
   while (true) {
     uint64_t drawn = agg.Step(kBatch);
@@ -246,11 +482,41 @@ Result<QueryResult> QueryEvaluator::RunQuantile(const QueryAst& ast,
     return e.id < column->size() ? (*column)[e.id]
                                  : std::numeric_limits<double>::quiet_NaN();
   };
+  StoppingRule rule = RuleFor(ast);
+  if (parallelism_ > 1) {
+    prepare.End();
+    ParallelEnv env{parallelism_,  rule,          profile_, cancel_,
+                    effective_deadline_ms_, &query_watch_, &progress};
+    QueryProfile::ScopedSpan loop = ProfileSpan(profile_, "sample_loop");
+    STORM_ASSIGN_OR_RETURN(
+        auto run,
+        RunParallelEngine<OnlineQuantile<3>>(
+            ast.QueryBox(), env, WorkerSamplerFactory(ast, result.decision),
+            [&](SpatialSampler<3>* s) {
+              return std::make_unique<OnlineQuantile<3>>(
+                  s, attr, ast.quantile_phi, ast.confidence);
+            },
+            [](const OnlineQuantile<3>& e) { return e.Current(); },
+            [](const OnlineQuantile<3>& e) { return e.samples(); },
+            &result));
+    if (run.ran) {
+      OnlineQuantile<3>& merged = *run.shards[0];
+      loop.SetSamples(merged.samples());
+      loop.End();
+      AnnotateHealth(*run.samplers[0], &result);
+      result.ci = merged.Current();
+      result.ci_lower = merged.ci_lower();
+      result.ci_upper = merged.ci_upper();
+      result.samples = merged.samples();
+      result.elapsed_ms = query_watch_.ElapsedMillis();
+      result.exhausted = merged.Exhausted();
+      return result;
+    }
+  }
   OnlineQuantile<3> quantile(sampler.get(), std::move(attr), ast.quantile_phi,
                              ast.confidence);
   STORM_RETURN_NOT_OK(quantile.Begin(ast.QueryBox()));
   prepare.End();
-  StoppingRule rule = RuleFor(ast);
   QueryProfile::ScopedSpan loop = ProfileSpan(profile_, "sample_loop");
   while (true) {
     uint64_t drawn = quantile.Step(kBatch);
@@ -335,16 +601,9 @@ Result<QueryResult> QueryEvaluator::RunGroupBy(const QueryAst& ast,
                            : static_cast<int64_t>(std::llround(k));
     };
   }
-  GroupByAggregator<3> agg(sampler.get(), key_fn, std::move(attr), ast.aggregate,
-                           ast.confidence);
-  STORM_RETURN_NOT_OK(agg.Begin(ast.QueryBox()));
-  prepare.End();
   StoppingRule rule = RuleFor(ast);
-  Stopwatch watch;
-  QueryProfile::ScopedSpan loop = ProfileSpan(profile_, "sample_loop");
-  while (true) {
-    uint64_t drawn = agg.Step(kBatch);
-    // Group-by stopping uses the widest per-group CI.
+  // Group-by stopping uses the widest per-group CI.
+  auto worst_group_ci = [](const GroupByAggregator<3>& agg) {
     ConfidenceInterval worst;
     worst.samples = agg.total_samples();
     double worst_hw = 0.0;
@@ -355,6 +614,49 @@ Result<QueryResult> QueryEvaluator::RunGroupBy(const QueryAst& ast,
         worst.samples = agg.total_samples();
       }
     }
+    return worst;
+  };
+  if (parallelism_ > 1) {
+    prepare.End();
+    ParallelEnv env{parallelism_,  rule,          profile_, cancel_,
+                    effective_deadline_ms_, &query_watch_, &progress};
+    QueryProfile::ScopedSpan loop = ProfileSpan(profile_, "sample_loop");
+    STORM_ASSIGN_OR_RETURN(
+        auto run,
+        RunParallelEngine<GroupByAggregator<3>>(
+            ast.QueryBox(), env, WorkerSamplerFactory(ast, result.decision),
+            [&](SpatialSampler<3>* s) {
+              return std::make_unique<GroupByAggregator<3>>(
+                  s, key_fn, attr, ast.aggregate, ast.confidence);
+            },
+            worst_group_ci,
+            [](const GroupByAggregator<3>& e) { return e.total_samples(); },
+            &result));
+    if (run.ran) {
+      GroupByAggregator<3>& merged = *run.shards[0];
+      loop.SetSamples(merged.total_samples());
+      loop.End();
+      AnnotateHealth(*run.samplers[0], &result);
+      for (const auto& g : merged.Current()) {
+        // The NaN-key group holds records lacking the group attribute.
+        if (g.key == std::numeric_limits<int64_t>::min()) continue;
+        result.groups.push_back(GroupRow{g.key, g.ci, g.group_size, g.samples});
+      }
+      result.samples = merged.total_samples();
+      result.elapsed_ms = query_watch_.ElapsedMillis();
+      result.exhausted = merged.Exhausted();
+      return result;
+    }
+  }
+  GroupByAggregator<3> agg(sampler.get(), key_fn, std::move(attr), ast.aggregate,
+                           ast.confidence);
+  STORM_RETURN_NOT_OK(agg.Begin(ast.QueryBox()));
+  prepare.End();
+  Stopwatch watch;
+  QueryProfile::ScopedSpan loop = ProfileSpan(profile_, "sample_loop");
+  while (true) {
+    uint64_t drawn = agg.Step(kBatch);
+    ConfidenceInterval worst = worst_group_ci(agg);
     if (profile_ != nullptr) {
       profile_->AddConvergencePoint(watch.ElapsedMillis(), agg.total_samples(),
                                     worst.estimate, worst.half_width,

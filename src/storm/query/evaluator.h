@@ -21,6 +21,7 @@
 #include "storm/estimator/group_by.h"
 #include "storm/estimator/quantile.h"
 #include "storm/obs/trace.h"
+#include "storm/query/exec_options.h"
 #include "storm/query/optimizer.h"
 #include "storm/util/cancel.h"
 #include "storm/util/stopwatch.h"
@@ -85,18 +86,8 @@ struct QueryResult {
   std::shared_ptr<QueryProfile> profile;
 };
 
-/// Lightweight per-batch progress snapshot.
-struct QueryProgress {
-  uint64_t samples = 0;
-  double elapsed_ms = 0.0;
-  /// Meaning depends on the task: aggregate CI; max cell CI (KDE);
-  /// top-1 term frequency CI (TOPTERMS); center drift (CLUSTER);
-  /// fixes collected (TRAJECTORY, as estimate).
-  ConfidenceInterval ci;
-};
-
-/// Return false to cancel the running query.
-using ProgressFn = std::function<bool(const QueryProgress&)>;
+// QueryProgress / ProgressFn live in storm/query/exec_options.h (included
+// above) alongside the rest of the per-call execution knobs.
 
 class QueryEvaluator {
  public:
@@ -104,27 +95,32 @@ class QueryEvaluator {
                           QueryOptimizer optimizer = QueryOptimizer())
       : table_(table), optimizer_(std::move(optimizer)) {}
 
-  /// Runs the query to its stopping rule (or exhaustion / cancellation).
-  Result<QueryResult> Execute(const QueryAst& ast, const ProgressFn& progress = {});
+  /// Runs the query to its stopping rule (or exhaustion / cancellation /
+  /// deadline), honouring every knob in `options`: deadline (combined with
+  /// the query's own DEADLINE clause, tighter wins), cancel token and
+  /// progress callback (both polled once per batch), and parallelism —
+  /// when > 1, aggregate/quantile/group-by queries run the multi-worker
+  /// sampling engine (per-worker RNG streams + estimator shards, merged
+  /// into one CI; see docs/API.md).
+  Result<QueryResult> Execute(const QueryAst& ast,
+                              const ExecOptions& options = {});
 
   /// Attaches a profile that execution phases record spans and convergence
   /// points into. The profile must outlive Execute. Optional.
   void set_profile(QueryProfile* profile) { profile_ = profile; }
 
-  /// Hard wall-clock ceiling for Execute (0 = none). Combined with the
-  /// query's own DEADLINE clause; the tighter one wins. At the deadline the
-  /// sampling loop stops and the best-so-far result is returned with
-  /// deadline_exceeded set.
-  void set_deadline_ms(double ms) { deadline_ms_ = ms; }
-
-  /// Cooperative cancellation, polled once per sample batch. The token must
-  /// outlive Execute. Optional.
-  void set_cancel_token(const CancelToken* token) { cancel_ = token; }
-
  private:
   Result<std::unique_ptr<SpatialSampler<3>>> MakeSampler(const QueryAst& ast,
                                                          QueryResult* result) const;
   StoppingRule RuleFor(const QueryAst& ast) const;
+
+  /// Per-worker sampler factory for the parallel engine: the resolved
+  /// strategy with private RS-tree buffers and a distinct seed per worker.
+  /// (An auto-chosen SampleFirst degrades to RsTree — the single-stream
+  /// failover wrapper does not parallelize.)
+  std::function<Result<std::unique_ptr<SpatialSampler<3>>>(int)>
+  WorkerSamplerFactory(const QueryAst& ast,
+                       const OptimizerDecision& decision) const;
 
   Result<QueryResult> RunAggregate(const QueryAst& ast, const ProgressFn& fn);
   Result<QueryResult> RunQuantile(const QueryAst& ast, const ProgressFn& fn);
@@ -145,9 +141,9 @@ class QueryEvaluator {
   const Table* table_;
   QueryOptimizer optimizer_;
   QueryProfile* profile_ = nullptr;
-  double deadline_ms_ = 0.0;           // evaluator-level (Session ExecOptions)
-  double effective_deadline_ms_ = 0.0; // min(evaluator, query DEADLINE clause)
+  double effective_deadline_ms_ = 0.0; // min(ExecOptions, query DEADLINE)
   const CancelToken* cancel_ = nullptr;
+  int parallelism_ = 1;                // from ExecOptions, clamped to >= 1
   Stopwatch query_watch_;              // restarted at each Execute
 };
 

@@ -1,0 +1,93 @@
+// ExecOptions: every per-call execution knob in one struct.
+//
+// Earlier releases scattered these over positional parameters (a progress
+// callback argument, a deadline/cancel options struct, setter calls on the
+// evaluator). They are now consolidated here with builder-style setters:
+//
+//   session.Execute("SELECT AVG(speed) FROM taxi ...",
+//                   ExecOptions()
+//                       .WithParallelism(8)
+//                       .WithDeadlineMs(250)
+//                       .WithProgress(render));
+//
+// The deprecated Session::Execute(query, progress, options) overloads
+// forward here and will be removed one release after 0.4 (docs/API.md).
+
+#ifndef STORM_QUERY_EXEC_OPTIONS_H_
+#define STORM_QUERY_EXEC_OPTIONS_H_
+
+#include <functional>
+
+#include "storm/estimator/confidence.h"
+#include "storm/util/cancel.h"
+
+namespace storm {
+
+/// Lightweight per-batch progress snapshot.
+struct QueryProgress {
+  uint64_t samples = 0;
+  double elapsed_ms = 0.0;
+  /// Meaning depends on the task: aggregate CI; max cell CI (KDE);
+  /// top-1 term frequency CI (TOPTERMS); center drift (CLUSTER);
+  /// fixes collected (TRAJECTORY, as estimate).
+  ConfidenceInterval ci;
+};
+
+/// Return false to cancel the running query.
+using ProgressFn = std::function<bool(const QueryProgress&)>;
+
+/// Per-call execution controls for Session::Execute / ExecuteAst.
+struct ExecOptions {
+  /// Worker threads sampling concurrently. 1 (the default) runs the
+  /// classic sequential loop — bit-for-bit deterministic for a fixed
+  /// table. Values > 1 run aggregate/group-by/quantile queries on the
+  /// shared thread pool: each worker owns a forked RNG stream and a
+  /// private estimator shard, merged into one CI (docs/API.md explains
+  /// the determinism caveat). Tasks without a mergeable estimator run
+  /// sequentially regardless.
+  int parallelism = 1;
+
+  /// Hard wall-clock ceiling in ms (0 = none). Queries that hit it return
+  /// the best-so-far estimate with QueryResult::deadline_exceeded set. The
+  /// query's own DEADLINE clause can only tighten this.
+  double deadline_ms = 0.0;
+
+  /// Cooperative cancellation, polled between sample batches. Must outlive
+  /// the call. Optional.
+  const CancelToken* cancel = nullptr;
+
+  /// Runs once per sample batch (from the coordinating thread, never a
+  /// worker); returning false cancels the query.
+  ProgressFn progress;
+
+  /// Collect a per-query trace profile (spans, IO deltas, convergence
+  /// trajectory) into QueryResult::profile. On by default; turn off to
+  /// shave the bookkeeping on hot paths.
+  bool profile = true;
+
+  // Builder-style setters (each returns *this so calls chain).
+  ExecOptions& WithParallelism(int workers) {
+    parallelism = workers;
+    return *this;
+  }
+  ExecOptions& WithDeadlineMs(double ms) {
+    deadline_ms = ms;
+    return *this;
+  }
+  ExecOptions& WithCancel(const CancelToken* token) {
+    cancel = token;
+    return *this;
+  }
+  ExecOptions& WithProgress(ProgressFn fn) {
+    progress = std::move(fn);
+    return *this;
+  }
+  ExecOptions& WithProfile(bool enabled) {
+    profile = enabled;
+    return *this;
+  }
+};
+
+}  // namespace storm
+
+#endif  // STORM_QUERY_EXEC_OPTIONS_H_

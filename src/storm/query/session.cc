@@ -1,6 +1,8 @@
 #include "storm/query/session.h"
 
 #include <fstream>
+#include <mutex>
+#include <shared_mutex>
 
 namespace storm {
 
@@ -80,39 +82,79 @@ std::vector<std::string> Session::TableNames() const {
 }
 
 Result<QueryResult> Session::Execute(const std::string& query,
+                                     const ExecOptions& options) {
+  std::shared_ptr<QueryProfile> profile;
+  if (options.profile) {
+    profile = std::make_shared<QueryProfile>();
+    profile->query = query;
+  }
+  Result<QueryAst> ast = [&]() -> Result<QueryAst> {
+    if (profile == nullptr) return ParseQuery(query);
+    QueryProfile::ScopedSpan parse = profile->Span("parse");
+    Result<QueryAst> parsed = ParseQuery(query);
+    parse.End();
+    return parsed;
+  }();
+  if (!ast.ok()) return ast.status();
+  return ExecuteAstInternal(*ast, std::move(profile), options);
+}
+
+Result<QueryResult> Session::ExecuteAst(const QueryAst& ast,
+                                        const ExecOptions& options) {
+  std::shared_ptr<QueryProfile> profile;
+  if (options.profile) profile = std::make_shared<QueryProfile>();
+  return ExecuteAstInternal(ast, std::move(profile), options);
+}
+
+Result<QueryResult> Session::Execute(const std::string& query,
                                      const ProgressFn& progress,
                                      const ExecOptions& options) {
-  auto profile = std::make_shared<QueryProfile>();
-  profile->query = query;
-  QueryProfile::ScopedSpan parse = profile->Span("parse");
-  Result<QueryAst> ast = ParseQuery(query);
-  parse.End();
-  if (!ast.ok()) return ast.status();
-  return ExecuteAst(*ast, progress, std::move(profile), options);
+  ExecOptions merged = options;
+  merged.progress = progress;
+  return Execute(query, merged);
 }
 
 Result<QueryResult> Session::ExecuteAst(const QueryAst& ast,
                                         const ProgressFn& progress,
                                         const ExecOptions& options) {
-  return ExecuteAst(ast, progress, std::make_shared<QueryProfile>(), options);
+  ExecOptions merged = options;
+  merged.progress = progress;
+  return ExecuteAst(ast, merged);
 }
 
 Result<QueryResult> Session::ExecuteAst(const QueryAst& ast,
                                         const ProgressFn& progress,
                                         std::shared_ptr<QueryProfile> profile,
                                         const ExecOptions& options) {
+  ExecOptions merged = options;
+  merged.progress = progress;
+  if (!merged.profile) profile = nullptr;
+  return ExecuteAstInternal(ast, std::move(profile), merged);
+}
+
+Result<QueryResult> Session::ExecuteAstInternal(
+    const QueryAst& ast, std::shared_ptr<QueryProfile> profile,
+    const ExecOptions& options) {
   STORM_ASSIGN_OR_RETURN(Table * table, GetTable(ast.table));
-  profile->table = table->name();
-  // Spans opened from here on snapshot the table's simulated-disk counters.
-  profile->SetIoSource(&table->store().io_stats());
+  // Hold the table's read latch for the whole evaluation: query threads
+  // share it, UpdateManager writers take it exclusively, so a query never
+  // observes a half-applied insert or delete.
+  std::shared_lock<std::shared_mutex> read_latch = table->ReadLock();
   QueryEvaluator evaluator(table, optimizer_);
-  evaluator.set_profile(profile.get());
-  evaluator.set_deadline_ms(options.deadline_ms);
-  evaluator.set_cancel_token(options.cancel);
-  QueryProfile::ScopedSpan exec = profile->Span("execute");
-  Result<QueryResult> result = evaluator.Execute(ast, progress);
-  exec.End();
-  profile->Finish();
+  if (profile != nullptr) {
+    profile->table = table->name();
+    // Spans opened from here on snapshot the table's simulated-disk counters.
+    profile->SetIoSource(&table->store().live_io_stats());
+    evaluator.set_profile(profile.get());
+  }
+  Result<QueryResult> result = [&]() -> Result<QueryResult> {
+    if (profile == nullptr) return evaluator.Execute(ast, options);
+    QueryProfile::ScopedSpan exec = profile->Span("execute");
+    Result<QueryResult> run = evaluator.Execute(ast, options);
+    exec.End();
+    profile->Finish();
+    return run;
+  }();
   if (result.ok()) result->profile = std::move(profile);
   return result;
 }

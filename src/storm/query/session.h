@@ -1,6 +1,9 @@
 // Session: STORM's top-level user-facing API — a catalog of tables, data
 // import through the connector, query execution, and updates. This is what
 // the query interface of Figure 1 talks to.
+//
+// Per-call execution knobs (deadline, cancellation, parallelism, progress)
+// are consolidated in storm::ExecOptions (storm/query/exec_options.h).
 
 #ifndef STORM_QUERY_SESSION_H_
 #define STORM_QUERY_SESSION_H_
@@ -13,21 +16,11 @@
 #include "storm/connector/csv.h"
 #include "storm/connector/jsonl.h"
 #include "storm/query/evaluator.h"
+#include "storm/query/exec_options.h"
 #include "storm/query/parser.h"
 #include "storm/query/update_manager.h"
 
 namespace storm {
-
-/// Per-call execution controls (robustness layer).
-struct ExecOptions {
-  /// Hard wall-clock ceiling in ms (0 = none). Queries that hit it return
-  /// the best-so-far estimate with QueryResult::deadline_exceeded set. The
-  /// query's own DEADLINE clause can only tighten this.
-  double deadline_ms = 0.0;
-  /// Cooperative cancellation, polled between sample batches. Must outlive
-  /// the call. Optional.
-  const CancelToken* cancel = nullptr;
-};
 
 class Session {
  public:
@@ -54,20 +47,32 @@ class Session {
   Result<Table*> GetTable(const std::string& name);
   std::vector<std::string> TableNames() const;
 
-  /// Parses and runs a query in the STORM query language. The progress
-  /// callback runs once per sample batch and may cancel; `options` adds a
-  /// hard deadline and/or a cancellation token.
+  /// Parses and runs a query in the STORM query language. Every per-call
+  /// knob — deadline, cancellation, parallel workers, progress callback,
+  /// profiling — rides in `options`.
   Result<QueryResult> Execute(const std::string& query,
-                              const ProgressFn& progress = {},
                               const ExecOptions& options = {});
 
   /// Runs an already-parsed query.
   Result<QueryResult> ExecuteAst(const QueryAst& ast,
-                                 const ProgressFn& progress = {},
                                  const ExecOptions& options = {});
 
-  /// Runs an already-parsed query, recording into a caller-provided profile
-  /// (Execute uses this to include the parse span).
+  // --- Deprecated pre-ExecOptions overloads (one release of grace) ---
+
+  /// \deprecated Pass the progress callback via ExecOptions::WithProgress.
+  [[deprecated("pass the progress callback via ExecOptions::WithProgress")]]
+  Result<QueryResult> Execute(const std::string& query,
+                              const ProgressFn& progress,
+                              const ExecOptions& options = {});
+
+  /// \deprecated Pass the progress callback via ExecOptions::WithProgress.
+  [[deprecated("pass the progress callback via ExecOptions::WithProgress")]]
+  Result<QueryResult> ExecuteAst(const QueryAst& ast, const ProgressFn& progress,
+                                 const ExecOptions& options = {});
+
+  /// \deprecated Pass the progress callback via ExecOptions::WithProgress;
+  /// caller-provided profiles are now an internal detail of Execute.
+  [[deprecated("pass the progress callback via ExecOptions::WithProgress")]]
   Result<QueryResult> ExecuteAst(const QueryAst& ast, const ProgressFn& progress,
                                  std::shared_ptr<QueryProfile> profile,
                                  const ExecOptions& options = {});
@@ -92,6 +97,12 @@ class Session {
   QueryOptimizer* optimizer() { return &optimizer_; }
 
  private:
+  /// Shared execution path: holds the table's read latch for the duration of
+  /// the query so concurrent UpdateManager writers serialize against it.
+  Result<QueryResult> ExecuteAstInternal(const QueryAst& ast,
+                                         std::shared_ptr<QueryProfile> profile,
+                                         const ExecOptions& options);
+
   std::map<std::string, std::unique_ptr<Table>> tables_;
   std::map<std::string, std::unique_ptr<UpdateManager>> updaters_;
   /// Disks of crashed tables awaiting Recover().

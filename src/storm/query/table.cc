@@ -10,8 +10,14 @@
 #include "storm/util/stopwatch.h"
 #include "storm/wal/checkpoint.h"
 #include "storm/wal/superblock.h"
+#include "storm/wal/wal.h"
 
 namespace storm {
+
+// Out of line so the public header can forward-declare Wal.
+Table::Table(Table&&) noexcept = default;
+Table& Table::operator=(Table&&) noexcept = default;
+Table::~Table() = default;
 
 namespace {
 
@@ -86,8 +92,9 @@ Result<Table> Table::Create(std::string name, const std::vector<Value>& docs,
 }
 
 Result<std::unique_ptr<SpatialSampler<3>>> Table::NewSampler(
-    SamplerStrategy strategy, uint64_t seed) const {
-  Rng rng(seed ^ (0x9e3779b97f4a7c15ULL * ++sampler_seq_));
+    SamplerStrategy strategy, uint64_t seed, bool private_buffers) const {
+  uint64_t seq = sampler_seq_->fetch_add(1, std::memory_order_relaxed) + 1;
+  Rng rng(seed ^ (0x9e3779b97f4a7c15ULL * seq));
   switch (strategy) {
     case SamplerStrategy::kQueryFirst:
       return std::unique_ptr<SpatialSampler<3>>(
@@ -105,14 +112,17 @@ Result<std::unique_ptr<SpatialSampler<3>>> Table::NewSampler(
       }
       return ls_->NewSampler(rng);
     case SamplerStrategy::kRsTree:
-      return rs_->NewSampler(rng);
-    case SamplerStrategy::kDistributed:
+      return rs_->NewSampler(rng, /*shared_buffers=*/!private_buffers);
+    case SamplerStrategy::kDistributed: {
       if (cluster_ == nullptr) {
         return Status::FailedPrecondition(
             "table '" + name_ +
             "' is not sharded (set TableConfig::num_shards > 1)");
       }
-      return cluster_->NewSampler(rng);
+      DistributedSamplerOptions options;
+      options.private_buffers = private_buffers;
+      return cluster_->NewSampler(rng, options);
+    }
     case SamplerStrategy::kAuto:
       break;
   }
@@ -122,6 +132,9 @@ Result<std::unique_ptr<SpatialSampler<3>>> Table::NewSampler(
 
 Result<const std::vector<double>*> Table::NumericColumn(
     const std::string& field) const {
+  // Two concurrent readers may race to materialize the same field; the
+  // mutex makes the second one find the first one's column.
+  std::lock_guard<std::mutex> lock(*columns_mu_);
   auto it = columns_.find(field);
   if (it != columns_.end()) return const_cast<const std::vector<double>*>(it->second.get());
   auto column = std::make_unique<std::vector<double>>(
@@ -203,11 +216,15 @@ Result<RecordId> Table::ApplyInsert(const Value& doc, const Point3& p,
   if (ls_ != nullptr) ls_->Insert(p, id);
   if (cluster_ != nullptr) cluster_->Insert(p, id);
   // Extend materialized columns.
-  for (auto& [field, column] : columns_) {
-    column->resize(store_->next_id(), std::numeric_limits<double>::quiet_NaN());
-    const Value* v = doc.FindPath(field);
-    if (v != nullptr && v->is_number()) {
-      (*column)[id] = v->AsDouble();
+  {
+    std::lock_guard<std::mutex> lock(*columns_mu_);
+    for (auto& [field, column] : columns_) {
+      column->resize(store_->next_id(),
+                     std::numeric_limits<double>::quiet_NaN());
+      const Value* v = doc.FindPath(field);
+      if (v != nullptr && v->is_number()) {
+        (*column)[id] = v->AsDouble();
+      }
     }
   }
   return id;
@@ -218,6 +235,8 @@ Result<RecordId> Table::Insert(const Value& doc) {
   // so a logged record always applies cleanly at replay.
   std::string json;
   STORM_ASSIGN_OR_RETURN(Point3 p, ValidateInsert(doc, &json));
+  // Exclusive latch: no query may be sampling the indexes while they move.
+  std::unique_lock<std::shared_mutex> write(*latch_);
   if (wal_ != nullptr) {
     Result<Lsn> lsn = wal_->AppendInsert(store_->next_id(), json);
     if (!lsn.ok()) return lsn.status();
@@ -245,6 +264,9 @@ BatchInsertResult Table::InsertBatch(const std::vector<Value>& docs) {
   }
   // Durable: validate everything first, commit one WAL record with one
   // sync, then apply. Nothing is applied unless the whole batch is durable.
+  // One exclusive latch hold for the whole batch — group commit is an
+  // atomicity promise, so readers see none of it or all of it.
+  std::unique_lock<std::shared_mutex> write(*latch_);
   out.atomic = true;
   std::vector<Point3> points;
   std::vector<std::string> payloads;
@@ -290,6 +312,7 @@ BatchInsertResult Table::InsertBatch(const std::vector<Value>& docs) {
 }
 
 Status Table::Delete(RecordId id) {
+  std::unique_lock<std::shared_mutex> write(*latch_);
   auto it = entry_pos_.find(id);
   if (it == entry_pos_.end()) {
     return Status::NotFound("record " + std::to_string(id));
@@ -316,9 +339,12 @@ Status Table::Delete(RecordId id) {
   if (cluster_ != nullptr && !cluster_->Erase(p, id)) {
     return Status::Corruption("cluster lost record " + std::to_string(id));
   }
-  for (auto& [field, column] : columns_) {
-    if (id < column->size()) {
-      (*column)[id] = std::numeric_limits<double>::quiet_NaN();
+  {
+    std::lock_guard<std::mutex> lock(*columns_mu_);
+    for (auto& [field, column] : columns_) {
+      if (id < column->size()) {
+        (*column)[id] = std::numeric_limits<double>::quiet_NaN();
+      }
     }
   }
   return Status::OK();
@@ -330,6 +356,9 @@ Status Table::Checkpoint() {
                                       "' is not durable (set "
                                       "TableConfig::durable)");
   }
+  // Exclusive: the checkpoint must capture a quiescent store, and it swaps
+  // the WAL out from under any would-be writer.
+  std::unique_lock<std::shared_mutex> write(*latch_);
   STORM_FAILPOINT(kFailpointCheckpoint);
   // 1. Every record page becomes durable before the directory that names it.
   STORM_RETURN_NOT_OK(store_->pool()->Flush());

@@ -6,7 +6,10 @@
 #ifndef STORM_QUERY_TABLE_H_
 #define STORM_QUERY_TABLE_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -17,9 +20,12 @@
 #include "storm/sampling/ls_tree.h"
 #include "storm/sampling/rs_tree.h"
 #include "storm/storage/record_store.h"
-#include "storm/wal/wal.h"
 
 namespace storm {
+
+// Internal durability type (storm/wal/wal.h); deliberately not exposed
+// through this public header.
+class Wal;
 
 struct TableConfig {
   RsTreeOptions rs;
@@ -67,8 +73,10 @@ class Table {
                               const ImportOptions& import_options = {},
                               TableConfig config = {});
 
-  Table(Table&&) = default;
-  Table& operator=(Table&&) = default;
+  // Defined in table.cc, where Wal is complete.
+  Table(Table&&) noexcept;
+  Table& operator=(Table&&) noexcept;
+  ~Table();
 
   const std::string& name() const { return name_; }
   uint64_t size() const { return rs_->size(); }
@@ -88,8 +96,20 @@ class Table {
 
   /// Creates a sampler implementing the given strategy. kAuto is resolved
   /// by the QueryOptimizer, not here (passing it is an error).
-  Result<std::unique_ptr<SpatialSampler<3>>> NewSampler(SamplerStrategy strategy,
-                                                        uint64_t seed) const;
+  /// `private_buffers` gives RS-tree-backed samplers (including distributed
+  /// shard-locals) their own sample-buffer cache so parallel query workers
+  /// never contend on the shared buffer mutex; other strategies ignore it.
+  Result<std::unique_ptr<SpatialSampler<3>>> NewSampler(
+      SamplerStrategy strategy, uint64_t seed,
+      bool private_buffers = false) const;
+
+  /// Acquires the table read latch. Queries hold one of these for their
+  /// whole execution so UpdateManager writers (Insert/Delete/InsertBatch,
+  /// which take the latch exclusively inside) cannot mutate the indexes
+  /// mid-query; N readers coexist freely.
+  std::shared_lock<std::shared_mutex> ReadLock() const {
+    return std::shared_lock<std::shared_mutex>(*latch_);
+  }
 
   /// Lazily materialized numeric column, indexed by record id (NaN for
   /// missing/non-numeric/deleted). The pointer stays valid across updates.
@@ -167,9 +187,19 @@ class Table {
   std::unique_ptr<RsTree<3>> rs_;
   std::unique_ptr<LsTree<3>> ls_;
   std::unique_ptr<Cluster> cluster_;
+  // Reader-writer latch: queries take it shared (ReadLock), mutations take
+  // it exclusive. Behind unique_ptr so the Table stays movable.
+  std::unique_ptr<std::shared_mutex> latch_ =
+      std::make_unique<std::shared_mutex>();
+  // Guards columns_ against two concurrent readers materializing at once
+  // (reader vs writer exclusion already comes from latch_). Lock order:
+  // latch_ before columns_mu_.
+  mutable std::unique_ptr<std::mutex> columns_mu_ =
+      std::make_unique<std::mutex>();
   mutable std::unordered_map<std::string, std::unique_ptr<std::vector<double>>>
       columns_;
-  mutable uint64_t sampler_seq_ = 0;
+  mutable std::unique_ptr<std::atomic<uint64_t>> sampler_seq_ =
+      std::make_unique<std::atomic<uint64_t>>(0);
 };
 
 }  // namespace storm

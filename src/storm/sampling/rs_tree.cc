@@ -20,12 +20,12 @@ RsTree<D>::RsTree(std::vector<Entry> entries, RsTreeOptions options, uint64_t se
 template <int D>
 void RsTree<D>::PrefillRec(const Node* u) {
   Buffer& buf = buffers_[u];
-  FillBuffer(u, &buf);
+  FillBuffer(u, &buf, &rng_);
   for (const auto& c : u->children) PrefillRec(c.get());
 }
 
 template <int D>
-void RsTree<D>::FillBuffer(const Node* u, Buffer* buf) const {
+void RsTree<D>::FillBuffer(const Node* u, Buffer* buf, Rng* rng) const {
   buf->node_id = u->node_id;
   buf->version = u->version;
   buf->samples.clear();
@@ -33,7 +33,7 @@ void RsTree<D>::FillBuffer(const Node* u, Buffer* buf) const {
   size_t want = options_.EffectiveBufferSize();
   buf->samples.reserve(want);
   for (size_t i = 0; i < want; ++i) {
-    buf->samples.push_back(tree_.SampleSubtree(u, &rng_));
+    buf->samples.push_back(tree_.SampleSubtree(u, rng));
   }
 }
 
@@ -46,7 +46,22 @@ typename RsTree<D>::Entry RsTree<D>::DrawFromNode(const Node* u) const {
   Buffer& buf = buffers_[u];
   if (buf.node_id != u->node_id || buf.version != u->version ||
       buf.samples.empty()) {
-    FillBuffer(u, &buf);
+    FillBuffer(u, &buf, &rng_);
+  }
+  Entry e = buf.samples.back();
+  buf.samples.pop_back();
+  return e;
+}
+
+template <int D>
+typename RsTree<D>::Entry RsTree<D>::DrawFromNode(const Node* u,
+                                                  LocalBuffers* local,
+                                                  Rng* rng) const {
+  tree_.TouchNode(u);
+  Buffer& buf = local->buffers_[u];
+  if (buf.node_id != u->node_id || buf.version != u->version ||
+      buf.samples.empty()) {
+    FillBuffer(u, &buf, rng);
   }
   Entry e = buf.samples.back();
   buf.samples.pop_back();
@@ -106,11 +121,13 @@ class RsTreeSampler final : public SpatialSampler<D> {
   using Entry = typename RTree<D>::Entry;
   using Node = typename RTree<D>::Node;
 
-  RsTreeSampler(const RsTree<D>* index, Rng rng) : index_(index), rng_(rng) {}
+  RsTreeSampler(const RsTree<D>* index, Rng rng, bool shared_buffers)
+      : index_(index), rng_(rng), shared_buffers_(shared_buffers) {}
 
   Status Begin(const Rect<D>& query, SamplingMode mode) override {
     query_ = query;
     mode_ = mode;
+    local_ = typename RsTree<D>::LocalBuffers();
     slots_.clear();
     weights_ = WeightedSet();
     residual_.clear();
@@ -147,7 +164,8 @@ class RsTreeSampler final : public SpatialSampler<D> {
         continue;
       }
       const Node* u = slots_[slot].node;
-      Entry e = index_->DrawFromNode(u);
+      Entry e = shared_buffers_ ? index_->DrawFromNode(u)
+                                : index_->DrawFromNode(u, &local_, &rng_);
       if (slots_[slot].covered) {
         if (Accept(e)) {
           metrics_.draws->Increment();
@@ -238,6 +256,8 @@ class RsTreeSampler final : public SpatialSampler<D> {
 
   const RsTree<D>* index_;
   Rng rng_;
+  bool shared_buffers_ = true;
+  typename RsTree<D>::LocalBuffers local_;
   Rect<D> query_;
   SamplingMode mode_ = SamplingMode::kWithReplacement;
   WeightedSet weights_;
@@ -257,7 +277,13 @@ class RsTreeSampler final : public SpatialSampler<D> {
 
 template <int D>
 std::unique_ptr<SpatialSampler<D>> RsTree<D>::NewSampler(Rng rng) const {
-  return std::make_unique<RsTreeSampler<D>>(this, rng);
+  return NewSampler(rng, /*shared_buffers=*/true);
+}
+
+template <int D>
+std::unique_ptr<SpatialSampler<D>> RsTree<D>::NewSampler(
+    Rng rng, bool shared_buffers) const {
+  return std::make_unique<RsTreeSampler<D>>(this, rng, shared_buffers);
 }
 
 template class RsTree<2>;

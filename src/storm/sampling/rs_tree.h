@@ -65,8 +65,36 @@ class RsTree {
   const RTree<D>& tree() const { return tree_; }
 
   /// Creates a sampler over this index; the index must outlive it.
-  /// Supports both sampling modes.
+  /// Supports both sampling modes. Draws through the shared buffer map.
   std::unique_ptr<SpatialSampler<D>> NewSampler(Rng rng) const;
+
+  /// Like the above, but `shared_buffers = false` gives the sampler its own
+  /// private buffer cache, so its draw path never takes the shared buffer
+  /// mutex. Parallel query workers use this: N workers each refill their
+  /// own buffers instead of serializing on one lock.
+  std::unique_ptr<SpatialSampler<D>> NewSampler(Rng rng,
+                                                bool shared_buffers) const;
+
+ private:
+  struct Buffer {
+    uint64_t node_id = 0;  ///< guards against node address reuse
+    uint64_t version = 0;  ///< node version the samples were drawn at
+    std::vector<Entry> samples;
+  };
+
+ public:
+  /// A sampler-private buffer cache (same pop/refill discipline as the
+  /// shared map, but owned by exactly one sampler). Opaque to callers;
+  /// construct one and hand it to the lock-free DrawFromNode overload.
+  class LocalBuffers {
+   public:
+    LocalBuffers() = default;
+    size_t buffered_nodes() const { return buffers_.size(); }
+
+   private:
+    friend class RsTree<D>;
+    std::unordered_map<const Node*, Buffer> buffers_;
+  };
 
   /// Pops one uniform sample of P(u) from u's buffer, refilling (and
   /// revalidating) the buffer as needed. Exposed for the sampler and for
@@ -78,6 +106,12 @@ class RsTree {
   /// underlying R-tree has no BufferPool attached.
   Entry DrawFromNode(const Node* u) const;
 
+  /// Lock-free variant: pops from `local` (refilling with `rng`) instead of
+  /// the shared map. Callers own both, so concurrent draws never contend —
+  /// the tree itself is only read. Same uniformity guarantee: buffers are
+  /// filled by the same count-weighted descents, just cached per caller.
+  Entry DrawFromNode(const Node* u, LocalBuffers* local, Rng* rng) const;
+
   /// Number of buffered nodes (space accounting / tests).
   size_t buffered_nodes() const { return buffers_.size(); }
 
@@ -85,13 +119,7 @@ class RsTree {
   void ResetTouchCount() const { tree_.ResetTouchCount(); }
 
  private:
-  struct Buffer {
-    uint64_t node_id = 0;  ///< guards against node address reuse
-    uint64_t version = 0;  ///< node version the samples were drawn at
-    std::vector<Entry> samples;
-  };
-
-  void FillBuffer(const Node* u, Buffer* buf) const;
+  void FillBuffer(const Node* u, Buffer* buf, Rng* rng) const;
   void PrefillRec(const Node* u);
   void SweepDeadBuffers() const;
 

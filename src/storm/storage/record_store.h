@@ -102,7 +102,10 @@ class RecordStore {
   /// the state must already exist on this store's disk.
   Status RestoreState(State state);
 
-  const IoStats& io_stats() const { return disk_->stats(); }
+  IoStats io_stats() const { return disk_->stats(); }
+  /// The live atomic counters (what QueryProfile snapshots span deltas
+  /// from while other threads may be running).
+  const AtomicIoStats& live_io_stats() const { return disk_->live_stats(); }
   BufferPool* pool() { return pool_.get(); }
   BlockManager* disk() { return disk_.get(); }
   /// The disk, shareable with the WAL/checkpoint writers.

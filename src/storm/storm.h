@@ -15,9 +15,16 @@
 //   query/     — query language, optimizer, evaluator, session, updates
 //   cluster/   — sharded execution with a merging coordinator
 //   data/      — synthetic workload generators for the paper's data sets
+//
+// Engine internals — rtree/ node layouts and the wal/ durability machinery —
+// are implementation details and are no longer re-exported here; include
+// their headers directly if you are extending the engine itself. Most
+// applications only need storm/client.h.
 
 #ifndef STORM_STORM_H_
 #define STORM_STORM_H_
+
+#include "storm/client.h"
 
 #include "storm/analytics/kde.h"
 #include "storm/analytics/kmeans.h"
@@ -46,8 +53,8 @@
 #include "storm/io/buffer_pool.h"
 #include "storm/obs/metrics.h"
 #include "storm/obs/trace.h"
+#include "storm/query/exec_options.h"
 #include "storm/query/session.h"
-#include "storm/rtree/rtree.h"
 #include "storm/sampling/failover.h"
 #include "storm/sampling/ls_tree.h"
 #include "storm/sampling/query_first.h"
@@ -65,9 +72,6 @@
 #include "storm/util/time.h"
 #include "storm/util/weighted_set.h"
 #include "storm/viz/render.h"
-#include "storm/wal/checkpoint.h"
-#include "storm/wal/superblock.h"
-#include "storm/wal/wal.h"
 #include "storm/util/rng.h"
 #include "storm/util/stats.h"
 #include "storm/util/stopwatch.h"

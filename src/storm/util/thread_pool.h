@@ -1,0 +1,67 @@
+// ThreadPool: a fixed set of worker threads executing submitted tasks.
+//
+// The parallel sampling engine (query/evaluator), and anything else in
+// STORM that fans work out, shares one process-wide pool sized to the
+// hardware (ThreadPool::Shared()) — queries submit their per-worker
+// sampling loops as tasks, so concurrent queries get natural backpressure
+// instead of oversubscribing the machine. Dedicated pools can still be
+// constructed for tests.
+//
+// Tasks are plain std::function<void()>; Submit returns a future the
+// caller waits on. Cancellation is cooperative: pass a CancelToken (or an
+// atomic flag) into the task and have it poll. Tasks must not block on
+// other tasks of the same pool (classic pool deadlock) — blocking fan-out
+// from inside a task should spawn plain threads instead.
+
+#ifndef STORM_UTIL_THREAD_POOL_H_
+#define STORM_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace storm {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains: waits for every submitted task to finish, then joins.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; the future resolves when it has run. Exceptions
+  /// escaping the task are captured into the future.
+  std::future<void> Submit(std::function<void()> task);
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Tasks submitted but not yet finished (diagnostics; racy by nature).
+  size_t pending() const;
+
+  /// The process-wide pool, sized to the hardware. Never destroyed before
+  /// exit; safe for concurrent Submit from any thread.
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::vector<std::thread> threads_;
+  size_t in_flight_ = 0;  // dequeued, still running
+  bool shutdown_ = false;
+};
+
+}  // namespace storm
+
+#endif  // STORM_UTIL_THREAD_POOL_H_

@@ -679,10 +679,9 @@ std::vector<Value> MakeDocs(int n, uint64_t seed) {
 TEST_F(QueryChaosTest, DeadlineReturnsBestSoFarEstimate) {
   Session session;
   ASSERT_TRUE(session.CreateTable("t", MakeDocs(4000, 901)).ok());
-  ExecOptions options;
-  options.deadline_ms = 1e-6;  // expires during the first batch
   auto result =
-      session.Execute("SELECT AVG(v) FROM t SAMPLES 1000000", {}, options);
+      session.Execute("SELECT AVG(v) FROM t SAMPLES 1000000",
+                      ExecOptions().WithDeadlineMs(1e-6));  // expires in batch 1
   ASSERT_TRUE(result.ok()) << result.status();
   EXPECT_TRUE(result->deadline_exceeded);
   EXPECT_FALSE(result->cancelled);
@@ -712,10 +711,8 @@ TEST_F(QueryChaosTest, CancelTokenStopsTheQuery) {
   ASSERT_TRUE(session.CreateTable("t", MakeDocs(4000, 905)).ok());
   CancelToken token;
   token.Cancel();
-  ExecOptions options;
-  options.cancel = &token;
-  auto result =
-      session.Execute("SELECT AVG(v) FROM t SAMPLES 1000000", {}, options);
+  auto result = session.Execute("SELECT AVG(v) FROM t SAMPLES 1000000",
+                                ExecOptions().WithCancel(&token));
   ASSERT_TRUE(result.ok()) << result.status();
   EXPECT_TRUE(result->cancelled);
   EXPECT_FALSE(result->deadline_exceeded);

@@ -37,13 +37,13 @@ TEST(IntegrationTest, InteractiveExplorationStory) {
   auto q1 = session.Execute(
       "SELECT AVG(usage) FROM elec REGION(-74.02, 40.70, -73.93, 40.80) "
       "TIME('2014-01-05', '2014-03-05') USING RSTREE",
-      [&](const QueryProgress& p) {
+      ExecOptions().WithProgress([&](const QueryProgress& p) {
         if (p.samples >= 30 && p.ci.RelativeError() < 0.02) {
           cancelled_early = true;
           return false;  // user satisfied; moves on
         }
         return true;
-      });
+      }));
   ASSERT_TRUE(q1.ok()) << q1.status();
   EXPECT_TRUE(cancelled_early);
   EXPECT_TRUE(q1->cancelled);

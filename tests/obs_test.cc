@@ -138,7 +138,7 @@ TEST(MetricsRegistryTest, JsonExposition) {
 }
 
 TEST(QueryProfileTest, SpansNestAndStampIoDeltas) {
-  IoStats io;
+  AtomicIoStats io;
   QueryProfile profile;
   profile.SetIoSource(&io);
   {

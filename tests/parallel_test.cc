@@ -1,0 +1,369 @@
+// Parallel online-sampling engine and consolidated API (ExecOptions,
+// storm::Client). Labeled `parallel` so CI can run it standalone under
+// ThreadSanitizer (`ctest -L parallel`) with several STORM_PARALLEL_SEED
+// values.
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "storm/client.h"
+#include "storm/storm.h"
+#include "storm/util/thread_pool.h"
+
+namespace storm {
+namespace {
+
+uint64_t TestSeed() {
+  const char* env = std::getenv("STORM_PARALLEL_SEED");
+  if (env == nullptr) return 1234;
+  return std::strtoull(env, nullptr, 10);
+}
+
+/// Synthetic docs: uniform positions, v = i mod 10 (mean 4.5), k = i mod 8.
+std::vector<Value> MakeDocs(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Value> docs;
+  docs.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    Value doc = Value::MakeObject();
+    doc.Set("x", Value::Double(rng.UniformDouble(0, 100)));
+    doc.Set("y", Value::Double(rng.UniformDouble(0, 100)));
+    doc.Set("v", Value::Double(static_cast<double>(i % 10)));
+    doc.Set("k", Value::Double(static_cast<double>(i % 8)));
+    docs.push_back(doc);
+  }
+  return docs;
+}
+
+TEST(ThreadPoolTest, RunsSubmittedTasksOnWorkers) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::atomic<int> hits{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.Submit([&hits] { hits.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(hits.load(), 64);
+}
+
+TEST(ThreadPoolTest, SharedPoolIsAProcessSingleton) {
+  ThreadPool& a = ThreadPool::Shared();
+  ThreadPool& b = ThreadPool::Shared();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.num_threads(), 1);
+}
+
+TEST(ParallelExecTest, ParallelAggregateMatchesSequentialEstimate) {
+  Session session;
+  ASSERT_TRUE(session.CreateTable("t", MakeDocs(40'000, TestSeed())).ok());
+  const std::string q = "SELECT AVG(v) FROM t SAMPLES 30000 USING RSTREE";
+  auto seq = session.Execute(q);
+  ASSERT_TRUE(seq.ok()) << seq.status();
+  auto par = session.Execute(q, ExecOptions().WithParallelism(4));
+  ASSERT_TRUE(par.ok()) << par.status();
+  // Both are unbiased estimates of the same population mean (4.5).
+  EXPECT_NEAR(seq->ci.estimate, 4.5, 0.5);
+  EXPECT_NEAR(par->ci.estimate, 4.5, 0.5);
+  EXPECT_GT(par->samples, 0u);
+  EXPECT_GT(par->ci.half_width, 0.0);
+  // The merged CI is consistent: it covers the true mean (generously —
+  // a 95% interval fails 1-in-20 runs, so assert 4 half-widths).
+  EXPECT_LT(std::abs(par->ci.estimate - 4.5), 4.0 * par->ci.half_width + 0.05);
+}
+
+TEST(ParallelExecTest, ParallelGroupByCoversEveryGroup) {
+  Session session;
+  ASSERT_TRUE(session.CreateTable("t", MakeDocs(40'000, TestSeed() + 1)).ok());
+  auto result = session.Execute(
+      "SELECT AVG(v) FROM t GROUP BY k SAMPLES 16000 USING RSTREE",
+      ExecOptions().WithParallelism(4));
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->groups.size(), 8u);
+  for (const GroupRow& g : result->groups) {
+    // Group j holds v in {j, j+8} with v = i%10, k = i%8: the per-group
+    // means are distinct and well separated from the global mean for most
+    // groups; just check each group's estimate is in the value range and
+    // its sample count is non-trivial.
+    EXPECT_GE(g.ci.estimate, 0.0);
+    EXPECT_LE(g.ci.estimate, 9.0);
+    EXPECT_GT(g.samples, 100u);
+  }
+}
+
+TEST(ParallelExecTest, MergedWorkerSamplesAreUniformChiSquared) {
+  Session session;
+  ASSERT_TRUE(session.CreateTable("t", MakeDocs(40'000, TestSeed() + 2)).ok());
+  auto result = session.Execute(
+      "SELECT COUNT(*) FROM t GROUP BY k SAMPLES 16000 USING RSTREE",
+      ExecOptions().WithParallelism(4));
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->groups.size(), 8u);
+  // k = i mod 8 puts exactly 1/8 of the population in each group; the
+  // merged multi-worker with-replacement stream must hit the groups
+  // uniformly. Chi-squared with 7 dof: P(X > 29) < 1e-4.
+  uint64_t total = 0;
+  for (const GroupRow& g : result->groups) total += g.samples;
+  ASSERT_GT(total, 4000u);
+  double expected = static_cast<double>(total) / 8.0;
+  double chi2 = 0.0;
+  for (const GroupRow& g : result->groups) {
+    double d = static_cast<double>(g.samples) - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 29.0) << "merged sample stream is not uniform across "
+                           "equal-sized groups (chi2=" << chi2 << ")";
+}
+
+TEST(ParallelExecTest, ParallelismOneIsDeterministicForIdenticalTables) {
+  // parallelism = 1 runs the classic sequential loop; for two identical
+  // fresh tables the sampler seeds and hence the whole trajectory match.
+  auto run = [] {
+    Session session;
+    EXPECT_TRUE(session.CreateTable("t", MakeDocs(20'000, 77)).ok());
+    auto r = session.Execute(
+        "SELECT AVG(v) FROM t SAMPLES 2000 USING RSTREE",
+        ExecOptions().WithParallelism(1));
+    EXPECT_TRUE(r.ok()) << r.status();
+    return r.ok() ? std::make_pair(r->ci.estimate, r->samples)
+                  : std::make_pair(0.0, uint64_t{0});
+  };
+  auto a = run();
+  auto b = run();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+TEST(ParallelExecTest, ParallelQuantileMergesValueShards) {
+  Session session;
+  ASSERT_TRUE(session.CreateTable("t", MakeDocs(40'000, TestSeed() + 3)).ok());
+  auto result = session.Execute(
+      "SELECT MEDIAN(v) FROM t SAMPLES 12000 USING RSTREE",
+      ExecOptions().WithParallelism(4));
+  ASSERT_TRUE(result.ok()) << result.status();
+  // v is uniform over {0..9}: the median estimate lands mid-range.
+  EXPECT_GE(result->ci.estimate, 3.0);
+  EXPECT_LE(result->ci.estimate, 6.0);
+  EXPECT_GT(result->samples, 0u);
+}
+
+TEST(ParallelExecTest, ParallelHonorsDeadline) {
+  Session session;
+  ASSERT_TRUE(session.CreateTable("t", MakeDocs(30'000, TestSeed() + 4)).ok());
+  auto result = session.Execute(
+      "SELECT AVG(v) FROM t SAMPLES 1000000000 ERROR 0.00001% USING RSTREE",
+      ExecOptions().WithParallelism(4).WithDeadlineMs(15));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->deadline_exceeded);
+  EXPECT_GT(result->samples, 0u);
+  EXPECT_LT(result->elapsed_ms, 5000.0);  // generous for slow CI
+}
+
+TEST(ParallelExecTest, ParallelHonorsCancelToken) {
+  Session session;
+  ASSERT_TRUE(session.CreateTable("t", MakeDocs(30'000, TestSeed() + 5)).ok());
+  CancelToken token;
+  token.Cancel();
+  auto result = session.Execute(
+      "SELECT AVG(v) FROM t SAMPLES 1000000000 ERROR 0.00001% USING RSTREE",
+      ExecOptions().WithParallelism(4).WithCancel(&token));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->cancelled);
+}
+
+TEST(ParallelExecTest, ParallelProgressRunsOnCoordinatorAndCanCancel) {
+  Session session;
+  ASSERT_TRUE(session.CreateTable("t", MakeDocs(30'000, TestSeed() + 6)).ok());
+  std::thread::id coordinator = std::this_thread::get_id();
+  std::atomic<int> calls{0};
+  std::atomic<bool> wrong_thread{false};
+  auto result = session.Execute(
+      "SELECT AVG(v) FROM t SAMPLES 1000000000 ERROR 0.00001% USING RSTREE",
+      ExecOptions().WithParallelism(4).WithProgress(
+          [&](const QueryProgress&) {
+            if (std::this_thread::get_id() != coordinator) {
+              wrong_thread.store(true);
+            }
+            return calls.fetch_add(1) < 3;
+          }));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->cancelled);
+  EXPECT_FALSE(wrong_thread.load());
+  EXPECT_GE(calls.load(), 1);
+}
+
+TEST(ParallelExecTest, LsTreeFallsBackToSequentialLoop) {
+  // LS-tree sampling is without-replacement only; the parallel engine
+  // requires with-replacement streams, so USING LSTREE quietly runs the
+  // sequential loop even at parallelism > 1.
+  Session session;
+  ASSERT_TRUE(session.CreateTable("t", MakeDocs(20'000, TestSeed() + 7)).ok());
+  auto result = session.Execute(
+      "SELECT AVG(v) FROM t SAMPLES 3000 USING LSTREE",
+      ExecOptions().WithParallelism(4));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->strategy, "LSTREE");
+  EXPECT_NEAR(result->ci.estimate, 4.5, 0.6);
+}
+
+TEST(ParallelExecTest, ConcurrentExecutesDuringInsertStorm) {
+  // N query threads (each itself running parallel workers) race one
+  // writer hammering inserts: the table's reader-writer latch must keep
+  // every query on a consistent snapshot. Run under TSan via
+  // `ctest -L parallel`.
+  Session session;
+  ASSERT_TRUE(session.CreateTable("t", MakeDocs(20'000, TestSeed() + 8)).ok());
+  Result<UpdateManager*> updates = session.Updates("t");
+  ASSERT_TRUE(updates.ok());
+
+  std::atomic<bool> stop_writer{false};
+  std::atomic<int> failures{0};
+  std::thread writer([&] {
+    Rng rng(TestSeed() + 99);
+    int i = 0;
+    while (!stop_writer.load(std::memory_order_acquire)) {
+      Value doc = Value::MakeObject();
+      doc.Set("x", Value::Double(rng.UniformDouble(0, 100)));
+      doc.Set("y", Value::Double(rng.UniformDouble(0, 100)));
+      doc.Set("v", Value::Double(static_cast<double>(i % 10)));
+      doc.Set("k", Value::Double(static_cast<double>(i % 8)));
+      if (!(*updates)->Insert(doc).ok()) {
+        failures.fetch_add(1);
+        break;
+      }
+      ++i;
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&session, &failures, r] {
+      for (int i = 0; i < 4; ++i) {
+        auto result = session.Execute(
+            "SELECT AVG(v) FROM t SAMPLES 2000 USING RSTREE",
+            ExecOptions().WithParallelism(1 + r).WithProfile(false));
+        if (!result.ok() || result->samples == 0 ||
+            result->ci.estimate < 0.0 || result->ci.estimate > 9.0) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : readers) t.join();
+  stop_writer.store(true, std::memory_order_release);
+  writer.join();
+  EXPECT_EQ(failures.load(), 0);
+  // The writer made progress and queries still see a consistent table.
+  auto after = session.Execute("SELECT COUNT(*) FROM t USING QUERYFIRST");
+  ASSERT_TRUE(after.ok());
+  EXPECT_GE(after->ci.estimate, 20'000.0);
+}
+
+TEST(ExecOptionsTest, BuilderSettersChain) {
+  CancelToken token;
+  bool called = false;
+  ExecOptions options = ExecOptions()
+                            .WithParallelism(8)
+                            .WithDeadlineMs(250.0)
+                            .WithCancel(&token)
+                            .WithProfile(false)
+                            .WithProgress([&called](const QueryProgress&) {
+                              called = true;
+                              return true;
+                            });
+  EXPECT_EQ(options.parallelism, 8);
+  EXPECT_DOUBLE_EQ(options.deadline_ms, 250.0);
+  EXPECT_EQ(options.cancel, &token);
+  EXPECT_FALSE(options.profile);
+  ASSERT_TRUE(options.progress);
+  options.progress(QueryProgress{});
+  EXPECT_TRUE(called);
+}
+
+TEST(ExecOptionsTest, ProfileOffSkipsProfileCollection) {
+  Session session;
+  ASSERT_TRUE(session.CreateTable("t", MakeDocs(5'000, TestSeed() + 9)).ok());
+  auto with = session.Execute("SELECT AVG(v) FROM t SAMPLES 500");
+  ASSERT_TRUE(with.ok());
+  EXPECT_NE(with->profile, nullptr);
+  auto without = session.Execute("SELECT AVG(v) FROM t SAMPLES 500",
+                                 ExecOptions().WithProfile(false));
+  ASSERT_TRUE(without.ok());
+  EXPECT_EQ(without->profile, nullptr);
+}
+
+// The pre-ExecOptions overloads stay callable for one release.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(ExecOptionsTest, DeprecatedProgressOverloadsStillWork) {
+  Session session;
+  ASSERT_TRUE(session.CreateTable("t", MakeDocs(5'000, TestSeed() + 10)).ok());
+  int calls = 0;
+  auto result = session.Execute("SELECT AVG(v) FROM t SAMPLES 1000",
+                                [&calls](const QueryProgress&) {
+                                  ++calls;
+                                  return true;
+                                });
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(calls, 0);
+
+  auto ast = ParseQuery("SELECT AVG(v) FROM t SAMPLES 500");
+  ASSERT_TRUE(ast.ok());
+  auto via_ast = session.ExecuteAst(*ast, ProgressFn{});
+  ASSERT_TRUE(via_ast.ok()) << via_ast.status();
+  EXPECT_GT(via_ast->samples, 0u);
+}
+#pragma GCC diagnostic pop
+
+TEST(ClientFacadeTest, EndToEndThroughTheUmbrella) {
+  Client db;
+  ASSERT_TRUE(db.CreateTable("t", MakeDocs(10'000, TestSeed() + 11)).ok());
+  EXPECT_TRUE(db.HasTable("t"));
+  EXPECT_EQ(db.TableNames(), std::vector<std::string>{"t"});
+
+  auto result = db.Execute("SELECT AVG(v) FROM t SAMPLES 2000",
+                           ExecOptions().WithParallelism(2));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_NEAR(result->ci.estimate, 4.5, 1.0);
+
+  Value doc = Value::MakeObject();
+  doc.Set("x", Value::Double(1.0));
+  doc.Set("y", Value::Double(2.0));
+  doc.Set("v", Value::Double(3.0));
+  doc.Set("k", Value::Double(4.0));
+  Result<RecordId> id = db.Insert("t", doc);
+  ASSERT_TRUE(id.ok()) << id.status();
+  EXPECT_TRUE(db.Delete("t", *id).ok());
+
+  BatchInsertResult batch = db.InsertBatch("t", {doc, doc});
+  EXPECT_TRUE(batch.status.ok());
+  EXPECT_EQ(batch.ids.size(), 2u);
+  BatchInsertResult missing = db.InsertBatch("ghost", {doc});
+  EXPECT_TRUE(missing.status.IsNotFound());
+
+  // Durability controls surface the same preconditions as Session.
+  EXPECT_FALSE(db.SimulateCrash("t").ok());  // non-durable: nothing to crash
+  EXPECT_TRUE(db.session().HasTable("t"));  // escape hatch reaches the engine
+  EXPECT_TRUE(db.DropTable("t").ok());
+  EXPECT_FALSE(db.HasTable("t"));
+}
+
+TEST(ParallelExecTest, PerWorkerSampleCountersAreRegistered) {
+  Session session;
+  ASSERT_TRUE(session.CreateTable("t", MakeDocs(10'000, TestSeed() + 12)).ok());
+  auto result = session.Execute("SELECT AVG(v) FROM t SAMPLES 4000 USING RSTREE",
+                                ExecOptions().WithParallelism(2));
+  ASSERT_TRUE(result.ok()) << result.status();
+  std::string prom = MetricsRegistry::Default().ExposePrometheus();
+  EXPECT_NE(prom.find("storm_parallel_queries_total"), std::string::npos);
+  EXPECT_NE(prom.find("storm_parallel_worker_samples_total"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace storm

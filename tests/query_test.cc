@@ -398,12 +398,12 @@ TEST(SessionTest, ProgressCallbackSeesImprovingEstimates) {
   std::vector<double> widths;
   auto result = env.session().Execute(
       "SELECT AVG(usage) FROM elec SAMPLES 3000 USING RSTREE",
-      [&](const QueryProgress& p) {
+      ExecOptions().WithProgress([&](const QueryProgress& p) {
         if (p.samples >= 64 && std::isfinite(p.ci.half_width)) {
           widths.push_back(p.ci.half_width);
         }
         return true;
-      });
+      }));
   ASSERT_TRUE(result.ok());
   ASSERT_GT(widths.size(), 4u);
   EXPECT_LT(widths.back(), widths.front());
@@ -414,7 +414,7 @@ TEST(SessionTest, CancellationStopsQuery) {
   int calls = 0;
   auto result = env.session().Execute(
       "SELECT AVG(usage) FROM elec SAMPLES 100000 USING RSTREE",
-      [&](const QueryProgress&) { return ++calls < 3; });
+      ExecOptions().WithProgress([&](const QueryProgress&) { return ++calls < 3; }));
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result->cancelled);
   EXPECT_EQ(calls, 3);

@@ -1,0 +1,31 @@
+#!/usr/bin/env sh
+# Checks that the examples compile against only public STORM headers.
+#
+# Public surface = storm/client.h, storm/storm.h, and the per-layer headers
+# the umbrella re-exports. Engine internals — storm/wal/* and storm/rtree/*
+# node machinery — must not leak into example code: an example needing them
+# is a sign the facade is missing something.
+#
+# Usage: tools/check_example_includes.sh [examples_dir]
+# Exits non-zero listing every offending include.
+
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+examples_dir=${1:-"$repo_root/examples"}
+
+status=0
+for f in "$examples_dir"/*.cpp; do
+  [ -e "$f" ] || continue
+  bad=$(grep -nE '#include[[:space:]]*"storm/(wal|rtree)/' "$f" || true)
+  if [ -n "$bad" ]; then
+    echo "ERROR: $f includes internal headers:" >&2
+    echo "$bad" >&2
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "OK: examples include only public headers"
+fi
+exit $status

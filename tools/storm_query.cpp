@@ -116,15 +116,16 @@ int main(int argc, char** argv) {
   }
 
   uint64_t last = 0;
-  auto result = session.Execute(query, [&](const QueryProgress& p) {
-    if (!quiet && p.samples >= last + 1024) {
-      std::fprintf(stderr, "... k=%llu %s\n",
-                   static_cast<unsigned long long>(p.samples),
-                   p.ci.ToString().c_str());
-      last = p.samples;
-    }
-    return true;
-  });
+  auto result = session.Execute(
+      query, ExecOptions().WithProgress([&](const QueryProgress& p) {
+        if (!quiet && p.samples >= last + 1024) {
+          std::fprintf(stderr, "... k=%llu %s\n",
+                       static_cast<unsigned long long>(p.samples),
+                       p.ci.ToString().c_str());
+          last = p.samples;
+        }
+        return true;
+      }));
   if (!result.ok()) return Fail(result.status(), "query");
   PrintFinal(*result);
   if (profile && result->profile != nullptr) {
