@@ -1,0 +1,96 @@
+// Remote quickstart: the quickstart's online aggregate, but over the wire.
+// Starts a storm_server in-process on an ephemeral port, connects a
+// RemoteClient, and watches the streamed PROGRESS frames tighten the
+// confidence interval — the same anytime-result contract as the in-process
+// Client, now network-transparent.
+//
+//   cmake --build build && ./build/examples/quickstart_remote
+//
+// Against a real deployment, replace the embedded server with
+//   db.Connect("analytics-host", 4317);
+// (see docs/SERVER.md for the protocol and storm_server for the binary).
+
+#include <cstdio>
+
+#include "storm/client.h"
+#include "storm/data/osm_gen.h"
+#include "storm/server/remote_client.h"
+#include "storm/server/server.h"
+
+int main() {
+  using namespace storm;
+
+  // 1. A serving process: a Session with data, wrapped by StormServer.
+  //    (In production this is the storm_server binary on another host.)
+  OsmOptions gen_options;
+  gen_options.num_points = 100'000;
+  OsmLikeGenerator gen(gen_options);
+  std::vector<Value> docs;
+  for (const OsmPoint& p : gen.Generate()) {
+    docs.push_back(OsmLikeGenerator::ToDocument(p));
+  }
+  Session session;
+  Status st = session.CreateTable("osm", docs);
+  if (!st.ok()) {
+    std::fprintf(stderr, "create table: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  StormServer server(&session);  // port 0: ephemeral
+  st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "server: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("storm_server on 127.0.0.1:%d\n", server.port());
+
+  // 2. A client anywhere on the network. Connect() verifies liveness with a
+  //    PING round trip.
+  RemoteClient db;
+  st = db.Connect("127.0.0.1", server.port());
+  if (!st.ok()) {
+    std::fprintf(stderr, "connect: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // 3. The same online aggregate as the local quickstart. The progress
+  //    callback is now fed by streamed PROGRESS frames; the server throttles
+  //    them to the client-chosen cadence.
+  db.set_progress_interval_ms(10);
+  auto result = db.Execute(
+      "SELECT AVG(altitude) FROM osm REGION(-114, 35, -104, 45) "
+      "ERROR 0.5% CONFIDENCE 95%",
+      ExecOptions().WithProgress([](const QueryProgress& p) {
+        std::printf("  k=%6llu  t=%7.2fms  estimate=%s\n",
+                    static_cast<unsigned long long>(p.samples), p.elapsed_ms,
+                    p.ci.ToString().c_str());
+        return true;  // false would CANCEL and return the best-so-far result
+      }));
+  if (!result.ok()) {
+    std::fprintf(stderr, "query: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("final: %s after %llu samples (%s)\n",
+              result->ci.ToString().c_str(),
+              static_cast<unsigned long long>(result->samples),
+              result->strategy.c_str());
+
+  // 4. Updates travel the same connection; the next query sees them.
+  Value doc = *Value::Parse(
+      R"({"lon": -110.0, "lat": 40.0, "altitude": 3000.0, "timestamp": 0})");
+  auto inserted = db.Insert("osm", doc);
+  std::printf("insert: %s\n",
+              inserted.ok() ? "ok" : inserted.status().ToString().c_str());
+
+  // 5. The server's own view of the traffic it just served.
+  auto metrics = db.Metrics();
+  if (metrics.ok()) {
+    std::printf("server metrics contain storm_server_queries_total: %s\n",
+                metrics->find("storm_server_queries_total") != std::string::npos
+                    ? "yes"
+                    : "no");
+  }
+
+  db.Close();
+  server.Stop();
+  return 0;
+}

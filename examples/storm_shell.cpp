@@ -11,9 +11,14 @@
 //   storm> \tables
 //   storm> \quit
 //
+// Point the shell at a running storm_server instead of the in-process
+// session with `\connect host:port`; queries then stream over the wire
+// with the same progress rendering (`\disconnect` returns to local mode).
+//
 // Non-interactive use: pipe queries in, one per line.
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
@@ -136,8 +141,9 @@ int main() {
 
   std::string line;
   std::shared_ptr<QueryProfile> last_profile;
+  RemoteClient remote;
   while (true) {
-    std::printf("storm> ");
+    std::printf(remote.connected() ? "storm(remote)> " : "storm> ");
     std::fflush(stdout);
     if (!std::getline(std::cin, line)) break;
     if (line.empty()) continue;
@@ -163,15 +169,37 @@ int main() {
           "           GROUP BY field | GROUP BY CELL(nx, ny)\n"
           "           CONFIDENCE 95%% ERROR 2%% WITHIN 500 MS SAMPLES n\n"
           "           USING RSTREE|LSTREE|RANDOMPATH|QUERYFIRST|SAMPLEFIRST\n"
-          "  \\metrics  process-wide counters (Prometheus text format)\n"
+          "  \\connect host:port   run queries against a storm_server\n"
+          "  \\disconnect          return to the in-process session\n"
+          "  \\metrics  process-wide counters (Prometheus text format;\n"
+          "            the server's counters while connected)\n"
           "  \\profile  span/IO/convergence trace of the last query\n"
           "  \\checkpoint <table>  flush + truncate the WAL (durable tables)\n"
           "  \\crash <table>       simulate power loss (drops unsynced pages)\n"
           "  \\recover <table>     rebuild from checkpoint + WAL replay\n");
       continue;
     }
+    if (line.rfind("\\connect ", 0) == 0) {
+      std::string target = line.substr(9);
+      size_t colon = target.rfind(':');
+      if (colon == std::string::npos || colon + 1 >= target.size()) {
+        std::printf("  usage: \\connect host:port\n");
+        continue;
+      }
+      int port = std::atoi(target.c_str() + colon + 1);
+      Status st = remote.Connect(target.substr(0, colon), port);
+      std::printf("  %s\n", st.ok() ? "connected (queries now run remotely)"
+                                    : st.ToString().c_str());
+      continue;
+    }
+    if (line == "\\disconnect") {
+      remote.Close();
+      std::printf("  back to the in-process session\n");
+      continue;
+    }
     if (line.rfind("\\checkpoint ", 0) == 0) {
-      Status st = session.Checkpoint(line.substr(12));
+      Status st = remote.connected() ? remote.Checkpoint(line.substr(12))
+                                     : session.Checkpoint(line.substr(12));
       std::printf("  %s\n", st.ok() ? "checkpoint complete" : st.ToString().c_str());
       continue;
     }
@@ -187,7 +215,17 @@ int main() {
       continue;
     }
     if (line == "\\metrics") {
-      std::printf("%s", MetricsRegistry::Default().ExposePrometheus().c_str());
+      if (remote.connected()) {
+        auto text = remote.Metrics();
+        if (text.ok()) {
+          std::printf("%s", text->c_str());
+        } else {
+          std::printf("  error: %s\n", text.status().ToString().c_str());
+        }
+      } else {
+        std::printf("%s",
+                    MetricsRegistry::Default().ExposePrometheus().c_str());
+      }
       continue;
     }
     if (line == "\\profile") {
@@ -199,16 +237,17 @@ int main() {
       continue;
     }
     uint64_t last_reported = 0;
-    auto result = session.Execute(
-        line, ExecOptions().WithProgress([&](const QueryProgress& p) {
-          if (p.samples >= last_reported + 2048) {
-            std::printf("  ... k=%llu  %s\n",
-                        static_cast<unsigned long long>(p.samples),
-                        p.ci.ToString().c_str());
-            last_reported = p.samples;
-          }
-          return true;
-        }));
+    ExecOptions options = ExecOptions().WithProgress([&](const QueryProgress& p) {
+      if (p.samples >= last_reported + 2048) {
+        std::printf("  ... k=%llu  %s\n",
+                    static_cast<unsigned long long>(p.samples),
+                    p.ci.ToString().c_str());
+        last_reported = p.samples;
+      }
+      return true;
+    });
+    auto result = remote.connected() ? remote.Execute(line, options)
+                                     : session.Execute(line, options);
     if (!result.ok()) {
       std::printf("  error: %s\n", result.status().ToString().c_str());
       continue;

@@ -10,8 +10,11 @@
 //                       .WithDeadlineMs(250)
 //                       .WithProgress(render));
 //
-// The deprecated Session::Execute(query, progress, options) overloads
-// forward here and will be removed one release after 0.4 (docs/API.md).
+// The pre-0.4 positional-progress Session::Execute(query, progress,
+// options) overloads have been removed after their release of grace;
+// docs/API.md keeps the migration table. ExecOptions is also the shape the
+// serving layer speaks: RemoteClient forwards parallelism, deadline_ms,
+// cancel, and progress across the wire (server/remote_client.h).
 
 #ifndef STORM_QUERY_EXEC_OPTIONS_H_
 #define STORM_QUERY_EXEC_OPTIONS_H_

@@ -6,6 +6,11 @@
 namespace storm {
 
 Result<std::vector<Token>> TokenizeQuery(std::string_view query) {
+  if (query.size() > kMaxQueryBytes) {
+    return Status::InvalidArgument(
+        "query text exceeds " + std::to_string(kMaxQueryBytes) + " bytes (" +
+        std::to_string(query.size()) + ")");
+  }
   std::vector<Token> tokens;
   size_t pos = 0;
   auto fail = [&](const std::string& msg) {

@@ -37,7 +37,13 @@ struct Token {
   }
 };
 
-/// Tokenizes a query; fails on unterminated strings or stray characters.
+/// Hard ceiling on query text length. Query strings arrive off the wire
+/// from untrusted peers (server/protocol.h), so the lexer bounds its input
+/// instead of tokenizing arbitrarily large payloads.
+constexpr size_t kMaxQueryBytes = 1u << 20;
+
+/// Tokenizes a query; fails on oversized input, unterminated strings, or
+/// stray characters.
 Result<std::vector<Token>> TokenizeQuery(std::string_view query);
 
 }  // namespace storm

@@ -1,5 +1,7 @@
 #include "storm/query/parser.h"
 
+#include <cmath>
+
 #include "storm/connector/importer.h"
 #include "storm/query/lexer.h"
 
@@ -44,6 +46,21 @@ std::string_view QueryTaskToString(QueryTask t) {
 }
 
 namespace {
+
+// Converts an untrusted numeric literal to an integer in [min, max].
+// A static_cast from a double outside the target type's range is undefined
+// behaviour, and query text arrives off the wire (server/protocol.h), so
+// every integer clause parameter funnels through this range check first.
+Result<int64_t> CheckedInt(double v, int64_t min, int64_t max,
+                           const char* what) {
+  if (!std::isfinite(v) || v < static_cast<double>(min) ||
+      v > static_cast<double>(max)) {
+    return Status::InvalidArgument(std::string(what) + " must be in [" +
+                                   std::to_string(min) + ", " +
+                                   std::to_string(max) + "]");
+  }
+  return static_cast<int64_t>(v);
+}
 
 class Parser {
  public:
@@ -166,12 +183,13 @@ class Parser {
         STORM_ASSIGN_OR_RETURN(double w, ExpectNumber());
         STORM_RETURN_NOT_OK(ExpectToken(TokenType::kComma, "','"));
         STORM_ASSIGN_OR_RETURN(double h, ExpectNumber());
-        ast->kde_width = static_cast<int>(w);
-        ast->kde_height = static_cast<int>(h);
+        STORM_ASSIGN_OR_RETURN(int64_t wi,
+                               CheckedInt(w, 1, 8192, "KDE grid width"));
+        STORM_ASSIGN_OR_RETURN(int64_t hi,
+                               CheckedInt(h, 1, 8192, "KDE grid height"));
+        ast->kde_width = static_cast<int>(wi);
+        ast->kde_height = static_cast<int>(hi);
         STORM_RETURN_NOT_OK(ExpectToken(TokenType::kRParen, "')'"));
-        if (ast->kde_width < 1 || ast->kde_height < 1) {
-          return Fail("KDE grid must be positive");
-        }
       }
       return Status::OK();
     }
@@ -180,8 +198,9 @@ class Parser {
       ast->task = QueryTask::kTopTerms;
       STORM_RETURN_NOT_OK(ExpectToken(TokenType::kLParen, "'('"));
       STORM_ASSIGN_OR_RETURN(double m, ExpectNumber());
-      if (m < 1) return Fail("TOPTERMS count must be positive");
-      ast->top_m = static_cast<uint64_t>(m);
+      STORM_ASSIGN_OR_RETURN(int64_t mi,
+                             CheckedInt(m, 1, 1'000'000, "TOPTERMS count"));
+      ast->top_m = static_cast<uint64_t>(mi);
       if (Cur().Is(TokenType::kComma)) {
         Advance();
         STORM_ASSIGN_OR_RETURN(ast->text_field, ExpectIdentifier());
@@ -193,8 +212,9 @@ class Parser {
       ast->task = QueryTask::kCluster;
       STORM_RETURN_NOT_OK(ExpectToken(TokenType::kLParen, "'('"));
       STORM_ASSIGN_OR_RETURN(double k, ExpectNumber());
-      if (k < 1) return Fail("CLUSTER k must be positive");
-      ast->cluster_k = static_cast<int>(k);
+      STORM_ASSIGN_OR_RETURN(int64_t ki,
+                             CheckedInt(k, 1, 65'536, "CLUSTER k"));
+      ast->cluster_k = static_cast<int>(ki);
       return ExpectToken(TokenType::kRParen, "')'");
     }
     if (Cur().IsKeyword("TRAJECTORY")) {
@@ -204,7 +224,11 @@ class Parser {
       STORM_ASSIGN_OR_RETURN(ast->object_field, ExpectIdentifier());
       STORM_RETURN_NOT_OK(ExpectToken(TokenType::kComma, "','"));
       STORM_ASSIGN_OR_RETURN(double id, ExpectNumber());
-      ast->object_id = static_cast<int64_t>(id);
+      // ±2^53: every integer a double represents exactly.
+      STORM_ASSIGN_OR_RETURN(
+          ast->object_id,
+          CheckedInt(id, -(int64_t{1} << 53), int64_t{1} << 53,
+                     "TRAJECTORY object id"));
       return ExpectToken(TokenType::kRParen, "')'");
     }
     return Fail("expected an aggregate or analytical function");
@@ -262,11 +286,15 @@ class Parser {
           STORM_RETURN_NOT_OK(ExpectToken(TokenType::kComma, "','"));
           STORM_ASSIGN_OR_RETURN(double ny, ExpectNumber());
           STORM_RETURN_NOT_OK(ExpectToken(TokenType::kRParen, "')'"));
-          if (nx < 1 || ny < 1 || nx * ny > 1'000'000) {
+          STORM_ASSIGN_OR_RETURN(int64_t nxi,
+                                 CheckedInt(nx, 1, 1'000'000, "CELL grid x"));
+          STORM_ASSIGN_OR_RETURN(int64_t nyi,
+                                 CheckedInt(ny, 1, 1'000'000, "CELL grid y"));
+          if (nxi * nyi > 1'000'000) {
             return Fail("CELL grid must be positive and at most 1e6 cells");
           }
-          ast->cell_grid_x = static_cast<int>(nx);
-          ast->cell_grid_y = static_cast<int>(ny);
+          ast->cell_grid_x = static_cast<int>(nxi);
+          ast->cell_grid_y = static_cast<int>(nyi);
         } else {
           STORM_ASSIGN_OR_RETURN(ast->group_by, ExpectIdentifier());
         }
@@ -317,8 +345,10 @@ class Parser {
       } else if (Cur().IsKeyword("SAMPLES")) {
         Advance();
         STORM_ASSIGN_OR_RETURN(double v, ExpectNumber());
-        if (v < 1) return Fail("SAMPLES limit must be positive");
-        ast->sample_limit = static_cast<uint64_t>(v);
+        STORM_ASSIGN_OR_RETURN(
+            int64_t limit,
+            CheckedInt(v, 1, int64_t{1} << 53, "SAMPLES limit"));
+        ast->sample_limit = static_cast<uint64_t>(limit);
       } else if (Cur().IsKeyword("USING")) {
         Advance();
         if (Cur().IsKeyword("RSTREE")) {

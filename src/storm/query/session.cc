@@ -106,32 +106,6 @@ Result<QueryResult> Session::ExecuteAst(const QueryAst& ast,
   return ExecuteAstInternal(ast, std::move(profile), options);
 }
 
-Result<QueryResult> Session::Execute(const std::string& query,
-                                     const ProgressFn& progress,
-                                     const ExecOptions& options) {
-  ExecOptions merged = options;
-  merged.progress = progress;
-  return Execute(query, merged);
-}
-
-Result<QueryResult> Session::ExecuteAst(const QueryAst& ast,
-                                        const ProgressFn& progress,
-                                        const ExecOptions& options) {
-  ExecOptions merged = options;
-  merged.progress = progress;
-  return ExecuteAst(ast, merged);
-}
-
-Result<QueryResult> Session::ExecuteAst(const QueryAst& ast,
-                                        const ProgressFn& progress,
-                                        std::shared_ptr<QueryProfile> profile,
-                                        const ExecOptions& options) {
-  ExecOptions merged = options;
-  merged.progress = progress;
-  if (!merged.profile) profile = nullptr;
-  return ExecuteAstInternal(ast, std::move(profile), merged);
-}
-
 Result<QueryResult> Session::ExecuteAstInternal(
     const QueryAst& ast, std::shared_ptr<QueryProfile> profile,
     const ExecOptions& options) {

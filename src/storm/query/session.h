@@ -57,26 +57,6 @@ class Session {
   Result<QueryResult> ExecuteAst(const QueryAst& ast,
                                  const ExecOptions& options = {});
 
-  // --- Deprecated pre-ExecOptions overloads (one release of grace) ---
-
-  /// \deprecated Pass the progress callback via ExecOptions::WithProgress.
-  [[deprecated("pass the progress callback via ExecOptions::WithProgress")]]
-  Result<QueryResult> Execute(const std::string& query,
-                              const ProgressFn& progress,
-                              const ExecOptions& options = {});
-
-  /// \deprecated Pass the progress callback via ExecOptions::WithProgress.
-  [[deprecated("pass the progress callback via ExecOptions::WithProgress")]]
-  Result<QueryResult> ExecuteAst(const QueryAst& ast, const ProgressFn& progress,
-                                 const ExecOptions& options = {});
-
-  /// \deprecated Pass the progress callback via ExecOptions::WithProgress;
-  /// caller-provided profiles are now an internal detail of Execute.
-  [[deprecated("pass the progress callback via ExecOptions::WithProgress")]]
-  Result<QueryResult> ExecuteAst(const QueryAst& ast, const ProgressFn& progress,
-                                 std::shared_ptr<QueryProfile> profile,
-                                 const ExecOptions& options = {});
-
   /// Update entry point for a table.
   Result<UpdateManager*> Updates(const std::string& table);
 

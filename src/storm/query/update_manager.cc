@@ -39,7 +39,7 @@ const UpdateMetrics& Metrics() {
 Result<RecordId> UpdateManager::Insert(const Value& doc) {
   Result<RecordId> id = table_->Insert(doc);
   if (id.ok()) {
-    ++inserts_;
+    inserts_.fetch_add(1, std::memory_order_relaxed);
     Metrics().inserts->Increment();
   }
   return id;
@@ -50,7 +50,7 @@ BatchInsertResult UpdateManager::InsertBatch(const std::vector<Value>& docs) {
   auto start = std::chrono::steady_clock::now();
   m.pending_depth->Set(static_cast<double>(docs.size()));
   BatchInsertResult result = table_->InsertBatch(docs);
-  inserts_ += result.ids.size();
+  inserts_.fetch_add(result.ids.size(), std::memory_order_relaxed);
   m.inserts->Increment(result.ids.size());
   m.pending_depth->Set(0.0);
   m.batch_ms->Observe(std::chrono::duration<double, std::milli>(
@@ -62,7 +62,7 @@ BatchInsertResult UpdateManager::InsertBatch(const std::vector<Value>& docs) {
 Status UpdateManager::Delete(RecordId id) {
   Status st = table_->Delete(id);
   if (st.ok()) {
-    ++deletes_;
+    deletes_.fetch_add(1, std::memory_order_relaxed);
     Metrics().deletes->Increment();
   }
   return st;

@@ -9,6 +9,7 @@
 #ifndef STORM_QUERY_UPDATE_MANAGER_H_
 #define STORM_QUERY_UPDATE_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -39,13 +40,20 @@ class UpdateManager {
   /// Deletes a record everywhere.
   Status Delete(RecordId id);
 
-  uint64_t inserts_applied() const { return inserts_; }
-  uint64_t deletes_applied() const { return deletes_; }
+  uint64_t inserts_applied() const {
+    return inserts_.load(std::memory_order_relaxed);
+  }
+  uint64_t deletes_applied() const {
+    return deletes_.load(std::memory_order_relaxed);
+  }
 
  private:
   Table* table_;
-  uint64_t inserts_ = 0;
-  uint64_t deletes_ = 0;
+  // Mutations already serialize on the table's write latch; these counters
+  // are atomic so concurrent callers (e.g. several server connections
+  // inserting into one table) keep the bookkeeping exact.
+  std::atomic<uint64_t> inserts_{0};
+  std::atomic<uint64_t> deletes_{0};
 };
 
 }  // namespace storm

@@ -1,0 +1,42 @@
+#include "storm/server/admission.h"
+
+namespace storm {
+
+bool AdmissionController::TryAdmit() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (in_flight_ >= max_inflight_ + max_queued_) {
+    ++shed_;
+    return false;
+  }
+  ++in_flight_;
+  ++admitted_;
+  return true;
+}
+
+void AdmissionController::Release() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  --in_flight_;
+  ++released_;
+}
+
+int AdmissionController::in_flight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return in_flight_;
+}
+
+uint64_t AdmissionController::admitted_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return admitted_;
+}
+
+uint64_t AdmissionController::released_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return released_;
+}
+
+uint64_t AdmissionController::shed_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shed_;
+}
+
+}  // namespace storm

@@ -1,0 +1,59 @@
+// AdmissionController: bounds the queries a storm_server lets into the
+// engine at once.
+//
+// A query occupies one of `max_inflight` execution slots; when all slots
+// are busy it may wait in a bounded queue of `max_queued` tickets; beyond
+// that the server sheds the request with kUnavailable instead of letting
+// latency (and memory) grow without bound — load shedding at the door, the
+// standard serving-system discipline.
+//
+// Accounting is exact and checkable: every Admit() is eventually matched by
+// exactly one Release(), so at quiescence admitted_total == released_total
+// and in_flight() == 0. The soak harness asserts exactly that invariant
+// (no "shed-request accounting drift").
+
+#ifndef STORM_SERVER_ADMISSION_H_
+#define STORM_SERVER_ADMISSION_H_
+
+#include <cstdint>
+#include <mutex>
+
+namespace storm {
+
+class AdmissionController {
+ public:
+  AdmissionController(int max_inflight, int max_queued)
+      : max_inflight_(max_inflight < 1 ? 1 : max_inflight),
+        max_queued_(max_queued < 0 ? 0 : max_queued) {}
+
+  /// Tries to take a ticket. Returns true (caller MUST eventually call
+  /// Release()) or false (the request must be shed with kUnavailable).
+  bool TryAdmit();
+
+  /// Returns a ticket taken by TryAdmit.
+  void Release();
+
+  /// Tickets currently held (running + queued).
+  int in_flight() const;
+
+  int max_inflight() const { return max_inflight_; }
+  int max_queued() const { return max_queued_; }
+
+  /// Monotonic totals for drift checks and metrics.
+  uint64_t admitted_total() const;
+  uint64_t released_total() const;
+  uint64_t shed_total() const;
+
+ private:
+  const int max_inflight_;
+  const int max_queued_;
+  mutable std::mutex mutex_;
+  int in_flight_ = 0;
+  uint64_t admitted_ = 0;
+  uint64_t released_ = 0;
+  uint64_t shed_ = 0;
+};
+
+}  // namespace storm
+
+#endif  // STORM_SERVER_ADMISSION_H_

@@ -1,0 +1,393 @@
+#include "storm/server/protocol.h"
+
+#include "storm/util/crc32.h"
+#include "storm/wal/codec.h"
+
+namespace storm {
+
+namespace {
+
+// body = type + id + payload; the wire frame wraps it with a length prefix
+// and a trailing CRC over the body.
+constexpr size_t kBodyHeaderBytes = 1 + 8;   // type + request id
+constexpr size_t kMinBodyLen = kBodyHeaderBytes + 4;  // + crc
+
+void PutConfidence(ByteWriter* w, const ConfidenceInterval& ci) {
+  w->PutDouble(ci.estimate);
+  w->PutDouble(ci.half_width);
+  w->PutDouble(ci.confidence);
+  w->PutU64(ci.samples);
+  w->PutU8(ci.exact ? 1 : 0);
+}
+
+Result<ConfidenceInterval> GetConfidence(ByteReader* r) {
+  ConfidenceInterval ci;
+  STORM_ASSIGN_OR_RETURN(ci.estimate, r->GetDouble());
+  STORM_ASSIGN_OR_RETURN(ci.half_width, r->GetDouble());
+  STORM_ASSIGN_OR_RETURN(ci.confidence, r->GetDouble());
+  STORM_ASSIGN_OR_RETURN(ci.samples, r->GetU64());
+  STORM_ASSIGN_OR_RETURN(uint8_t exact, r->GetU8());
+  ci.exact = exact != 0;
+  return ci;
+}
+
+Result<StatusCode> CheckedStatusCode(uint8_t raw) {
+  if (raw > static_cast<uint8_t>(StatusCode::kUnknown)) {
+    return Status::Corruption("status code " + std::to_string(raw) +
+                              " out of range");
+  }
+  return static_cast<StatusCode>(raw);
+}
+
+}  // namespace
+
+bool IsKnownFrameType(uint8_t t) {
+  switch (static_cast<FrameType>(t)) {
+    case FrameType::kQuery:
+    case FrameType::kCancel:
+    case FrameType::kInsertBatch:
+    case FrameType::kCheckpoint:
+    case FrameType::kPing:
+    case FrameType::kMetrics:
+    case FrameType::kProgress:
+    case FrameType::kResult:
+    case FrameType::kError:
+    case FrameType::kInsertResult:
+    case FrameType::kOk:
+    case FrameType::kPong:
+    case FrameType::kMetricsText:
+      return true;
+  }
+  return false;
+}
+
+std::string EncodeFrame(FrameType type, uint64_t id, std::string_view payload) {
+  ByteWriter body;
+  body.PutU8(static_cast<uint8_t>(type));
+  body.PutU64(id);
+  body.PutRaw(payload.data(), payload.size());
+  uint32_t crc = Crc32(body.data().data(), body.size());
+  ByteWriter frame;
+  frame.PutU32(static_cast<uint32_t>(body.size() + 4));
+  frame.PutRaw(body.data().data(), body.size());
+  frame.PutU32(crc);
+  return frame.Take();
+}
+
+Result<size_t> TryDecodeFrame(std::string_view buf, Frame* out) {
+  if (buf.size() < 4) return size_t{0};
+  ByteReader len_reader(buf);
+  STORM_ASSIGN_OR_RETURN(uint32_t body_len, len_reader.GetU32());
+  if (body_len < kMinBodyLen) {
+    return Status::Corruption("frame body length " + std::to_string(body_len) +
+                              " below minimum");
+  }
+  if (body_len > kMaxFrameBytes) {
+    return Status::Corruption("frame body length " + std::to_string(body_len) +
+                              " exceeds limit " + std::to_string(kMaxFrameBytes));
+  }
+  if (buf.size() < 4 + static_cast<size_t>(body_len)) return size_t{0};
+  std::string_view body = buf.substr(4, body_len - 4);
+  ByteReader crc_reader(buf.substr(4 + body.size(), 4));
+  STORM_ASSIGN_OR_RETURN(uint32_t crc, crc_reader.GetU32());
+  if (Crc32(body.data(), body.size()) != crc) {
+    return Status::Corruption("frame CRC mismatch");
+  }
+  ByteReader reader(body);
+  STORM_ASSIGN_OR_RETURN(uint8_t raw_type, reader.GetU8());
+  if (!IsKnownFrameType(raw_type)) {
+    return Status::Corruption("unknown frame type " + std::to_string(raw_type));
+  }
+  out->type = static_cast<FrameType>(raw_type);
+  STORM_ASSIGN_OR_RETURN(out->id, reader.GetU64());
+  out->payload.assign(body.substr(kBodyHeaderBytes));
+  return 4 + static_cast<size_t>(body_len);
+}
+
+// --- QueryRequest ---
+
+std::string EncodeQueryRequest(const QueryRequest& req) {
+  ByteWriter w;
+  w.PutString(req.query);
+  w.PutU32(static_cast<uint32_t>(req.parallelism));
+  w.PutDouble(req.deadline_ms);
+  w.PutU32(req.progress_interval_ms);
+  return w.Take();
+}
+
+Result<QueryRequest> DecodeQueryRequest(std::string_view payload) {
+  ByteReader r(payload);
+  QueryRequest req;
+  STORM_ASSIGN_OR_RETURN(req.query, r.GetString());
+  STORM_ASSIGN_OR_RETURN(uint32_t parallelism, r.GetU32());
+  req.parallelism = static_cast<int32_t>(parallelism);
+  STORM_ASSIGN_OR_RETURN(req.deadline_ms, r.GetDouble());
+  STORM_ASSIGN_OR_RETURN(req.progress_interval_ms, r.GetU32());
+  return req;
+}
+
+// --- InsertBatchRequest ---
+
+std::string EncodeInsertBatchRequest(const InsertBatchRequest& req) {
+  ByteWriter w;
+  w.PutString(req.table);
+  w.PutU32(static_cast<uint32_t>(req.docs_json.size()));
+  for (const std::string& doc : req.docs_json) w.PutString(doc);
+  return w.Take();
+}
+
+Result<InsertBatchRequest> DecodeInsertBatchRequest(std::string_view payload) {
+  ByteReader r(payload);
+  InsertBatchRequest req;
+  STORM_ASSIGN_OR_RETURN(req.table, r.GetString());
+  STORM_ASSIGN_OR_RETURN(uint32_t count, r.GetU32());
+  // Each document costs at least its 4-byte length prefix; anything claiming
+  // more elements than the payload can hold is malformed, not a reason to
+  // allocate.
+  if (count > r.remaining() / 4 + 1) {
+    return Status::Corruption("insert batch count exceeds payload size");
+  }
+  req.docs_json.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    STORM_ASSIGN_OR_RETURN(std::string doc, r.GetString());
+    req.docs_json.push_back(std::move(doc));
+  }
+  return req;
+}
+
+// --- ProgressUpdate ---
+
+std::string EncodeProgressUpdate(const ProgressUpdate& p) {
+  ByteWriter w;
+  w.PutU64(p.samples);
+  w.PutDouble(p.elapsed_ms);
+  PutConfidence(&w, p.ci);
+  return w.Take();
+}
+
+Result<ProgressUpdate> DecodeProgressUpdate(std::string_view payload) {
+  ByteReader r(payload);
+  ProgressUpdate p;
+  STORM_ASSIGN_OR_RETURN(p.samples, r.GetU64());
+  STORM_ASSIGN_OR_RETURN(p.elapsed_ms, r.GetDouble());
+  STORM_ASSIGN_OR_RETURN(p.ci, GetConfidence(&r));
+  return p;
+}
+
+// --- WireError ---
+
+std::string EncodeWireError(const Status& status) {
+  ByteWriter w;
+  w.PutU8(static_cast<uint8_t>(status.code()));
+  w.PutString(status.message());
+  return w.Take();
+}
+
+Result<WireError> DecodeWireError(std::string_view payload) {
+  ByteReader r(payload);
+  STORM_ASSIGN_OR_RETURN(uint8_t raw, r.GetU8());
+  WireError err;
+  STORM_ASSIGN_OR_RETURN(err.code, CheckedStatusCode(raw));
+  STORM_ASSIGN_OR_RETURN(err.message, r.GetString());
+  if (err.code == StatusCode::kOk) {
+    return Status::Corruption("ERROR frame carrying an OK status");
+  }
+  return err;
+}
+
+// --- InsertBatchReply ---
+
+std::string EncodeInsertBatchReply(const BatchInsertResult& result) {
+  ByteWriter w;
+  w.PutU8(static_cast<uint8_t>(result.status.code()));
+  w.PutString(result.status.message());
+  w.PutU8(result.atomic ? 1 : 0);
+  w.PutU32(static_cast<uint32_t>(result.ids.size()));
+  for (RecordId id : result.ids) w.PutU64(id);
+  return w.Take();
+}
+
+Result<BatchInsertResult> DecodeInsertBatchReply(std::string_view payload) {
+  ByteReader r(payload);
+  BatchInsertResult result;
+  STORM_ASSIGN_OR_RETURN(uint8_t raw, r.GetU8());
+  STORM_ASSIGN_OR_RETURN(StatusCode code, CheckedStatusCode(raw));
+  STORM_ASSIGN_OR_RETURN(std::string message, r.GetString());
+  result.status = code == StatusCode::kOk ? Status::OK()
+                                          : Status(code, std::move(message));
+  STORM_ASSIGN_OR_RETURN(uint8_t atomic, r.GetU8());
+  result.atomic = atomic != 0;
+  STORM_ASSIGN_OR_RETURN(uint32_t count, r.GetU32());
+  if (count > r.remaining() / 8) {
+    return Status::Corruption("insert reply id count exceeds payload size");
+  }
+  result.ids.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    STORM_ASSIGN_OR_RETURN(RecordId id, r.GetU64());
+    result.ids.push_back(id);
+  }
+  return result;
+}
+
+// --- QueryResult ---
+
+std::string EncodeQueryResult(const QueryResult& res) {
+  ByteWriter w;
+  w.PutU8(static_cast<uint8_t>(res.task));
+  w.PutString(res.strategy);
+  w.PutU8(static_cast<uint8_t>(res.decision.strategy));
+  w.PutDouble(res.decision.estimated_cardinality);
+  w.PutDouble(res.decision.estimated_selectivity);
+  w.PutString(res.decision.reason);
+
+  PutConfidence(&w, res.ci);
+  w.PutDouble(res.ci_lower);
+  w.PutDouble(res.ci_upper);
+
+  w.PutU32(static_cast<uint32_t>(res.groups.size()));
+  for (const GroupRow& g : res.groups) {
+    w.PutU64(static_cast<uint64_t>(g.key));
+    PutConfidence(&w, g.ci);
+    PutConfidence(&w, g.group_size);
+    w.PutU64(g.samples);
+  }
+
+  w.PutU32(static_cast<uint32_t>(res.kde_width));
+  w.PutU32(static_cast<uint32_t>(res.kde_height));
+  w.PutDouble(res.kde_max_half_width);
+  w.PutU32(static_cast<uint32_t>(res.kde_map.size()));
+  for (double v : res.kde_map) w.PutDouble(v);
+
+  w.PutU32(static_cast<uint32_t>(res.terms.size()));
+  for (const TermEstimate& t : res.terms) {
+    w.PutString(t.term);
+    w.PutU64(t.count);
+    PutConfidence(&w, t.frequency);
+  }
+
+  w.PutU32(static_cast<uint32_t>(res.centers.size()));
+  for (const Point2& c : res.centers) {
+    w.PutDouble(c[0]);
+    w.PutDouble(c[1]);
+  }
+  w.PutDouble(res.inertia);
+
+  w.PutU32(static_cast<uint32_t>(res.trajectory.size()));
+  for (const TimedPoint& p : res.trajectory) {
+    w.PutDouble(p.t);
+    w.PutDouble(p.position[0]);
+    w.PutDouble(p.position[1]);
+  }
+
+  w.PutU64(res.samples);
+  w.PutDouble(res.elapsed_ms);
+  uint8_t flags = 0;
+  if (res.exhausted) flags |= 1u << 0;
+  if (res.cancelled) flags |= 1u << 1;
+  if (res.explain_only) flags |= 1u << 2;
+  if (res.deadline_exceeded) flags |= 1u << 3;
+  if (res.degraded) flags |= 1u << 4;
+  w.PutU8(flags);
+  w.PutDouble(res.coverage);
+  return w.Take();
+}
+
+Result<QueryResult> DecodeQueryResult(std::string_view payload) {
+  ByteReader r(payload);
+  QueryResult res;
+  STORM_ASSIGN_OR_RETURN(uint8_t task, r.GetU8());
+  if (task > static_cast<uint8_t>(QueryTask::kTrajectory)) {
+    return Status::Corruption("query task out of range");
+  }
+  res.task = static_cast<QueryTask>(task);
+  STORM_ASSIGN_OR_RETURN(res.strategy, r.GetString());
+  STORM_ASSIGN_OR_RETURN(uint8_t strategy, r.GetU8());
+  if (strategy > static_cast<uint8_t>(SamplerStrategy::kDistributed)) {
+    return Status::Corruption("sampler strategy out of range");
+  }
+  res.decision.strategy = static_cast<SamplerStrategy>(strategy);
+  STORM_ASSIGN_OR_RETURN(res.decision.estimated_cardinality, r.GetDouble());
+  STORM_ASSIGN_OR_RETURN(res.decision.estimated_selectivity, r.GetDouble());
+  STORM_ASSIGN_OR_RETURN(res.decision.reason, r.GetString());
+
+  STORM_ASSIGN_OR_RETURN(res.ci, GetConfidence(&r));
+  STORM_ASSIGN_OR_RETURN(res.ci_lower, r.GetDouble());
+  STORM_ASSIGN_OR_RETURN(res.ci_upper, r.GetDouble());
+
+  STORM_ASSIGN_OR_RETURN(uint32_t group_count, r.GetU32());
+  for (uint32_t i = 0; i < group_count; ++i) {
+    GroupRow g;
+    STORM_ASSIGN_OR_RETURN(uint64_t key, r.GetU64());
+    g.key = static_cast<int64_t>(key);
+    STORM_ASSIGN_OR_RETURN(g.ci, GetConfidence(&r));
+    STORM_ASSIGN_OR_RETURN(g.group_size, GetConfidence(&r));
+    STORM_ASSIGN_OR_RETURN(g.samples, r.GetU64());
+    res.groups.push_back(std::move(g));
+  }
+
+  STORM_ASSIGN_OR_RETURN(uint32_t kde_w, r.GetU32());
+  STORM_ASSIGN_OR_RETURN(uint32_t kde_h, r.GetU32());
+  res.kde_width = static_cast<int>(kde_w);
+  res.kde_height = static_cast<int>(kde_h);
+  STORM_ASSIGN_OR_RETURN(res.kde_max_half_width, r.GetDouble());
+  STORM_ASSIGN_OR_RETURN(uint32_t kde_cells, r.GetU32());
+  if (kde_cells > r.remaining() / 8) {
+    return Status::Corruption("kde cell count exceeds payload size");
+  }
+  res.kde_map.reserve(kde_cells);
+  for (uint32_t i = 0; i < kde_cells; ++i) {
+    STORM_ASSIGN_OR_RETURN(double v, r.GetDouble());
+    res.kde_map.push_back(v);
+  }
+
+  STORM_ASSIGN_OR_RETURN(uint32_t term_count, r.GetU32());
+  for (uint32_t i = 0; i < term_count; ++i) {
+    TermEstimate t;
+    STORM_ASSIGN_OR_RETURN(t.term, r.GetString());
+    STORM_ASSIGN_OR_RETURN(t.count, r.GetU64());
+    STORM_ASSIGN_OR_RETURN(t.frequency, GetConfidence(&r));
+    res.terms.push_back(std::move(t));
+  }
+
+  STORM_ASSIGN_OR_RETURN(uint32_t center_count, r.GetU32());
+  if (center_count > r.remaining() / 16) {
+    return Status::Corruption("center count exceeds payload size");
+  }
+  res.centers.reserve(center_count);
+  for (uint32_t i = 0; i < center_count; ++i) {
+    Point2 c;
+    STORM_ASSIGN_OR_RETURN(c[0], r.GetDouble());
+    STORM_ASSIGN_OR_RETURN(c[1], r.GetDouble());
+    res.centers.push_back(c);
+  }
+  STORM_ASSIGN_OR_RETURN(res.inertia, r.GetDouble());
+
+  STORM_ASSIGN_OR_RETURN(uint32_t fix_count, r.GetU32());
+  if (fix_count > r.remaining() / 24) {
+    return Status::Corruption("trajectory fix count exceeds payload size");
+  }
+  res.trajectory.reserve(fix_count);
+  for (uint32_t i = 0; i < fix_count; ++i) {
+    TimedPoint p;
+    STORM_ASSIGN_OR_RETURN(p.t, r.GetDouble());
+    STORM_ASSIGN_OR_RETURN(p.position[0], r.GetDouble());
+    STORM_ASSIGN_OR_RETURN(p.position[1], r.GetDouble());
+    res.trajectory.push_back(p);
+  }
+
+  STORM_ASSIGN_OR_RETURN(res.samples, r.GetU64());
+  STORM_ASSIGN_OR_RETURN(res.elapsed_ms, r.GetDouble());
+  STORM_ASSIGN_OR_RETURN(uint8_t flags, r.GetU8());
+  res.exhausted = (flags & (1u << 0)) != 0;
+  res.cancelled = (flags & (1u << 1)) != 0;
+  res.explain_only = (flags & (1u << 2)) != 0;
+  res.deadline_exceeded = (flags & (1u << 3)) != 0;
+  res.degraded = (flags & (1u << 4)) != 0;
+  STORM_ASSIGN_OR_RETURN(res.coverage, r.GetDouble());
+  if (r.remaining() != 0) {
+    return Status::Corruption("trailing bytes after query result");
+  }
+  return res;
+}
+
+}  // namespace storm

@@ -1,0 +1,144 @@
+// Wire protocol for the STORM serving layer: length-prefixed, CRC-framed
+// binary frames carrying query requests and streamed anytime results.
+//
+// Frame layout on the wire (little-endian, like the WAL codec):
+//
+//   [u32 body_len][u8 type][u64 request_id][payload ...][u32 crc32]
+//
+// `body_len` counts everything after itself (type + id + payload + crc).
+// `crc32` covers type + id + payload, so a truncated or bit-flipped frame
+// surfaces as Status::Corruption at the decoder, never as garbage data —
+// the same discipline the WAL applies to its records (wal/codec.h).
+//
+// Request frames (client → server): QUERY, CANCEL, INSERT_BATCH,
+// CHECKPOINT, PING, METRICS. Response frames (server → client): PROGRESS
+// (streamed at the client-chosen cadence while a query runs), RESULT,
+// ERROR, INSERT_RESULT, OK, PONG, METRICS_TEXT. Every response echoes the
+// request id it answers, so several queries can be in flight on one
+// connection.
+//
+// Payloads are encoded with the wal ByteWriter/ByteReader; every decoder is
+// bounds-checked and returns Status instead of crashing on malformed input
+// (the frame decoder is directly exposed to untrusted bytes).
+
+#ifndef STORM_SERVER_PROTOCOL_H_
+#define STORM_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storm/query/evaluator.h"
+#include "storm/util/result.h"
+
+namespace storm {
+
+/// Frame type tags. Requests are < 16, responses >= 16.
+enum class FrameType : uint8_t {
+  // Requests.
+  kQuery = 1,        ///< QueryRequest payload
+  kCancel = 2,       ///< empty payload; id names the query to cancel
+  kInsertBatch = 3,  ///< InsertBatchRequest payload
+  kCheckpoint = 4,   ///< table name payload
+  kPing = 5,         ///< opaque payload, echoed back in PONG
+  kMetrics = 6,      ///< empty payload; answered with METRICS_TEXT
+
+  // Responses.
+  kProgress = 16,     ///< ProgressUpdate payload (streamed, droppable)
+  kResult = 17,       ///< serialized QueryResult payload
+  kError = 18,        ///< WireError payload
+  kInsertResult = 19, ///< InsertBatchReply payload
+  kOk = 20,           ///< empty payload (CHECKPOINT ack)
+  kPong = 21,         ///< echoed PING payload
+  kMetricsText = 22,  ///< Prometheus exposition text
+};
+
+/// True when `t` (an untrusted byte) is a defined frame type.
+bool IsKnownFrameType(uint8_t t);
+
+/// One decoded frame.
+struct Frame {
+  FrameType type = FrameType::kPing;
+  uint64_t id = 0;       ///< request id (responses echo the request's)
+  std::string payload;
+};
+
+/// Hard ceiling on body_len; larger frames are rejected as corruption
+/// before any allocation happens (untrusted peers must not drive allocation
+/// size).
+constexpr uint32_t kMaxFrameBytes = 16u << 20;
+
+/// Encodes a complete wire frame.
+std::string EncodeFrame(FrameType type, uint64_t id, std::string_view payload);
+
+/// Attempts to decode one frame from the front of `buf`.
+/// Returns the number of bytes consumed (> 0, frame stored in `out`), or 0
+/// when `buf` holds only a frame prefix (read more bytes and retry), or an
+/// error Status for an oversized / unknown-type / CRC-mismatched frame —
+/// after which the connection is unrecoverable and must be dropped (the
+/// stream cannot be resynchronized).
+Result<size_t> TryDecodeFrame(std::string_view buf, Frame* out);
+
+// --- Request payloads ---
+
+/// QUERY payload: the query text plus the ExecOptions knobs that make sense
+/// across a wire, and the client-chosen PROGRESS cadence.
+struct QueryRequest {
+  std::string query;
+  int32_t parallelism = 1;
+  double deadline_ms = 0.0;
+  /// Minimum milliseconds between PROGRESS frames; 0 disables streaming
+  /// (the client gets only the final RESULT).
+  uint32_t progress_interval_ms = 0;
+};
+
+std::string EncodeQueryRequest(const QueryRequest& req);
+Result<QueryRequest> DecodeQueryRequest(std::string_view payload);
+
+/// INSERT_BATCH payload: target table plus documents as JSON strings (the
+/// record store's interchange format).
+struct InsertBatchRequest {
+  std::string table;
+  std::vector<std::string> docs_json;
+};
+
+std::string EncodeInsertBatchRequest(const InsertBatchRequest& req);
+Result<InsertBatchRequest> DecodeInsertBatchRequest(std::string_view payload);
+
+// --- Response payloads ---
+
+/// PROGRESS payload: the anytime estimate as of `samples` draws.
+struct ProgressUpdate {
+  uint64_t samples = 0;
+  double elapsed_ms = 0.0;
+  ConfidenceInterval ci;
+};
+
+std::string EncodeProgressUpdate(const ProgressUpdate& p);
+Result<ProgressUpdate> DecodeProgressUpdate(std::string_view payload);
+
+/// ERROR payload: a Status plus its code, round-tripped exactly.
+struct WireError {
+  StatusCode code = StatusCode::kUnknown;
+  std::string message;
+
+  Status ToStatus() const { return Status(code, message); }
+};
+
+std::string EncodeWireError(const Status& status);
+Result<WireError> DecodeWireError(std::string_view payload);
+
+/// INSERT_RESULT payload mirrors BatchInsertResult.
+std::string EncodeInsertBatchReply(const BatchInsertResult& r);
+Result<BatchInsertResult> DecodeInsertBatchReply(std::string_view payload);
+
+/// RESULT payload: the full QueryResult surface minus the profile (which
+/// stays server-side) — every task's fields round-trip, so RemoteClient
+/// results are drop-in replacements for in-process ones.
+std::string EncodeQueryResult(const QueryResult& r);
+Result<QueryResult> DecodeQueryResult(std::string_view payload);
+
+}  // namespace storm
+
+#endif  // STORM_SERVER_PROTOCOL_H_

@@ -1,0 +1,224 @@
+#include "storm/server/remote_client.h"
+
+#include <algorithm>
+#include <initializer_list>
+
+#include "storm/wal/codec.h"
+
+namespace storm {
+
+namespace {
+
+// Poll granularity while waiting for a response frame: short enough that
+// cancel tokens are honoured promptly, long enough not to spin.
+constexpr int kRecvTimeoutMs = 50;
+constexpr size_t kRecvChunk = 64 * 1024;
+
+}  // namespace
+
+Status RemoteClient::Connect(const std::string& host, int port) {
+  Close();
+  STORM_ASSIGN_OR_RETURN(UniqueFd fd, TcpConnect(host, port));
+  fd_ = std::move(fd);
+  read_buf_.clear();
+  Status live = Ping();
+  if (!live.ok()) {
+    Close();
+    return live;
+  }
+  return Status::OK();
+}
+
+void RemoteClient::Close() {
+  if (fd_.valid()) {
+    fd_.ShutdownBothEnds();
+    fd_.Reset();
+  }
+  read_buf_.clear();
+}
+
+Status RemoteClient::SendFrame(FrameType type, uint64_t id,
+                               std::string_view payload) {
+  if (!fd_.valid()) {
+    return Status::FailedPrecondition("RemoteClient is not connected");
+  }
+  std::string frame = EncodeFrame(type, id, payload);
+  Status st = SendAll(fd_.get(), frame.data(), frame.size());
+  if (!st.ok()) Close();
+  return st;
+}
+
+Result<Frame> RemoteClient::AwaitResponse(
+    uint64_t want_id, std::initializer_list<FrameType> finals,
+    const std::function<bool(const ProgressUpdate&)>& on_progress,
+    const CancelToken* cancel) {
+  if (!fd_.valid()) {
+    return Status::FailedPrecondition("RemoteClient is not connected");
+  }
+  bool cancel_sent = false;
+  char chunk[kRecvChunk];
+  while (true) {
+    // Drain every complete frame already buffered.
+    while (true) {
+      Frame frame;
+      Result<size_t> consumed = TryDecodeFrame(read_buf_, &frame);
+      if (!consumed.ok()) {
+        Close();
+        return consumed.status();
+      }
+      if (*consumed == 0) break;  // Partial frame: read more bytes.
+      read_buf_.erase(0, *consumed);
+      if (frame.id != want_id) {
+        Close();
+        return Status::Corruption(
+            "protocol error: response for unexpected request id " +
+            std::to_string(frame.id));
+      }
+      if (frame.type == FrameType::kProgress) {
+        STORM_ASSIGN_OR_RETURN(ProgressUpdate update,
+                               DecodeProgressUpdate(frame.payload));
+        if (on_progress && !on_progress(update) && !cancel_sent) {
+          STORM_RETURN_NOT_OK(SendFrame(FrameType::kCancel, want_id, {}));
+          cancel_sent = true;
+        }
+        continue;
+      }
+      if (frame.type == FrameType::kError ||
+          std::find(finals.begin(), finals.end(), frame.type) != finals.end()) {
+        return frame;
+      }
+      Close();
+      return Status::Corruption(
+          "protocol error: unexpected frame type " +
+          std::to_string(static_cast<int>(frame.type)));
+    }
+    if (cancel != nullptr && cancel->IsCancelled() && !cancel_sent) {
+      STORM_RETURN_NOT_OK(SendFrame(FrameType::kCancel, want_id, {}));
+      cancel_sent = true;
+    }
+    Result<size_t> got = RecvSome(fd_.get(), chunk, kRecvChunk, kRecvTimeoutMs);
+    if (!got.ok()) {
+      Close();
+      return got.status();
+    }
+    if (*got > 0) read_buf_.append(chunk, *got);
+  }
+}
+
+Result<QueryResult> RemoteClient::Execute(const std::string& query,
+                                          const ExecOptions& options) {
+  QueryRequest req;
+  req.query = query;
+  req.parallelism = options.parallelism;
+  req.deadline_ms = options.deadline_ms;
+  req.progress_interval_ms = options.progress ? progress_interval_ms_ : 0;
+
+  const uint64_t id = next_id_++;
+  STORM_RETURN_NOT_OK(SendFrame(FrameType::kQuery, id, EncodeQueryRequest(req)));
+
+  std::function<bool(const ProgressUpdate&)> on_progress;
+  if (options.progress) {
+    on_progress = [&options](const ProgressUpdate& u) {
+      QueryProgress p;
+      p.samples = u.samples;
+      p.elapsed_ms = u.elapsed_ms;
+      p.ci = u.ci;
+      return options.progress(p);
+    };
+  }
+
+  STORM_ASSIGN_OR_RETURN(
+      Frame frame,
+      AwaitResponse(id, {FrameType::kResult}, on_progress, options.cancel));
+  if (frame.type == FrameType::kError) {
+    STORM_ASSIGN_OR_RETURN(WireError err, DecodeWireError(frame.payload));
+    return err.ToStatus();
+  }
+  return DecodeQueryResult(frame.payload);
+}
+
+Result<RecordId> RemoteClient::Insert(const std::string& table,
+                                      const Value& doc) {
+  BatchInsertResult out = InsertBatch(table, {doc});
+  STORM_RETURN_NOT_OK(out.status);
+  if (out.ids.empty()) {
+    return Status::Unknown("server acknowledged insert without a record id");
+  }
+  return out.ids.front();
+}
+
+BatchInsertResult RemoteClient::InsertBatch(const std::string& table,
+                                            const std::vector<Value>& docs) {
+  BatchInsertResult out;
+  InsertBatchRequest req;
+  req.table = table;
+  req.docs_json.reserve(docs.size());
+  for (const Value& doc : docs) req.docs_json.push_back(doc.ToJson());
+
+  const uint64_t id = next_id_++;
+  Status sent =
+      SendFrame(FrameType::kInsertBatch, id, EncodeInsertBatchRequest(req));
+  if (!sent.ok()) {
+    out.status = sent;
+    return out;
+  }
+  Result<Frame> frame = AwaitResponse(id, {FrameType::kInsertResult});
+  if (!frame.ok()) {
+    out.status = frame.status();
+    return out;
+  }
+  if (frame->type == FrameType::kError) {
+    Result<WireError> err = DecodeWireError(frame->payload);
+    out.status = err.ok() ? err->ToStatus() : err.status();
+    return out;
+  }
+  Result<BatchInsertResult> reply = DecodeInsertBatchReply(frame->payload);
+  if (!reply.ok()) {
+    out.status = reply.status();
+    return out;
+  }
+  return *reply;
+}
+
+Status RemoteClient::Checkpoint(const std::string& table) {
+  ByteWriter payload;
+  payload.PutString(table);
+  const uint64_t id = next_id_++;
+  STORM_RETURN_NOT_OK(SendFrame(FrameType::kCheckpoint, id, payload.data()));
+  STORM_ASSIGN_OR_RETURN(Frame frame, AwaitResponse(id, {FrameType::kOk}));
+  if (frame.type == FrameType::kError) {
+    STORM_ASSIGN_OR_RETURN(WireError err, DecodeWireError(frame.payload));
+    return err.ToStatus();
+  }
+  return Status::OK();
+}
+
+Status RemoteClient::Ping() {
+  static constexpr std::string_view kEcho = "storm-ping";
+  const uint64_t id = next_id_++;
+  STORM_RETURN_NOT_OK(SendFrame(FrameType::kPing, id, kEcho));
+  STORM_ASSIGN_OR_RETURN(Frame frame, AwaitResponse(id, {FrameType::kPong}));
+  if (frame.type == FrameType::kError) {
+    STORM_ASSIGN_OR_RETURN(WireError err, DecodeWireError(frame.payload));
+    return err.ToStatus();
+  }
+  if (frame.payload != kEcho) {
+    Close();
+    return Status::Corruption("PONG payload does not echo the PING");
+  }
+  return Status::OK();
+}
+
+Result<std::string> RemoteClient::Metrics() {
+  const uint64_t id = next_id_++;
+  STORM_RETURN_NOT_OK(SendFrame(FrameType::kMetrics, id, {}));
+  STORM_ASSIGN_OR_RETURN(Frame frame,
+                         AwaitResponse(id, {FrameType::kMetricsText}));
+  if (frame.type == FrameType::kError) {
+    STORM_ASSIGN_OR_RETURN(WireError err, DecodeWireError(frame.payload));
+    return err.ToStatus();
+  }
+  return frame.payload;
+}
+
+}  // namespace storm

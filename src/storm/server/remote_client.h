@@ -1,0 +1,99 @@
+// RemoteClient: the storm::Client surface over a storm_server connection.
+//
+//   storm::RemoteClient db;
+//   storm::Status st = db.Connect("analytics-host", 4317);
+//   auto result = db.Execute("SELECT AVG(speed) FROM taxi ...",
+//                            storm::ExecOptions()
+//                                .WithDeadlineMs(250)
+//                                .WithProgress(render));
+//
+// Execute() streams: while the server samples, PROGRESS frames arrive at
+// the configured cadence and are delivered through ExecOptions::progress —
+// the same anytime-result contract as the in-process Client, so callers
+// (storm_shell, the examples) can target either interchangeably. Returning
+// false from the progress callback, or firing the cancel token, sends a
+// CANCEL frame; the server answers with the best-so-far RESULT flagged
+// cancelled. deadline_ms propagates to the server, which enforces it
+// engine-side.
+//
+// The client is synchronous and single-threaded: one request at a time per
+// RemoteClient. Open several RemoteClients for concurrent streams (they are
+// cheap: one socket each).
+
+#ifndef STORM_SERVER_REMOTE_CLIENT_H_
+#define STORM_SERVER_REMOTE_CLIENT_H_
+
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "storm/query/exec_options.h"
+#include "storm/query/table.h"
+#include "storm/server/protocol.h"
+#include "storm/server/socket_io.h"
+
+namespace storm {
+
+class RemoteClient {
+ public:
+  RemoteClient() = default;
+
+  RemoteClient(const RemoteClient&) = delete;
+  RemoteClient& operator=(const RemoteClient&) = delete;
+
+  /// Connects to a storm_server. Verifies liveness with a PING round trip.
+  Status Connect(const std::string& host, int port);
+
+  void Close();
+  bool connected() const { return fd_.valid(); }
+
+  /// Runs a query remotely, honouring every ExecOptions knob that crosses
+  /// the wire: deadline_ms, parallelism, cancel, and progress (driven by
+  /// the streamed PROGRESS frames). `profile` is server-side only and is
+  /// ignored.
+  Result<QueryResult> Execute(const std::string& query,
+                              const ExecOptions& options = {});
+
+  /// Minimum milliseconds between PROGRESS frames the server should stream
+  /// when a progress callback is set (default 20 ms). 0 disables streaming
+  /// even with a callback installed.
+  void set_progress_interval_ms(uint32_t ms) { progress_interval_ms_ = ms; }
+
+  // --- Updates ---
+
+  Result<RecordId> Insert(const std::string& table, const Value& doc);
+  BatchInsertResult InsertBatch(const std::string& table,
+                                const std::vector<Value>& docs);
+
+  // --- Durability / liveness / observability ---
+
+  Status Checkpoint(const std::string& table);
+  Status Ping();
+
+  /// The server's Prometheus metrics exposition (METRICS frame — same text
+  /// as the HTTP GET /metrics listener).
+  Result<std::string> Metrics();
+
+ private:
+  /// Reads frames until one with `want_id` and a type in `finals` arrives
+  /// (kError is always accepted as final). PROGRESS frames for `want_id`
+  /// are handed to `on_progress`; a false return — or `cancel` firing —
+  /// sends one CANCEL frame and keeps waiting for the final RESULT. Any
+  /// other frame is a protocol error that closes the connection.
+  Result<Frame> AwaitResponse(
+      uint64_t want_id, std::initializer_list<FrameType> finals,
+      const std::function<bool(const ProgressUpdate&)>& on_progress = nullptr,
+      const CancelToken* cancel = nullptr);
+
+  Status SendFrame(FrameType type, uint64_t id, std::string_view payload);
+
+  UniqueFd fd_;
+  std::string read_buf_;
+  uint64_t next_id_ = 1;
+  uint32_t progress_interval_ms_ = 20;
+};
+
+}  // namespace storm
+
+#endif  // STORM_SERVER_REMOTE_CLIENT_H_

@@ -1,0 +1,549 @@
+#include "storm/server/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "storm/obs/metrics.h"
+#include "storm/util/failpoint.h"
+#include "storm/util/logging.h"
+#include "storm/util/stopwatch.h"
+#include "storm/wal/codec.h"
+
+namespace storm {
+
+namespace {
+constexpr int kPollIntervalMs = 100;
+constexpr size_t kRecvChunkBytes = 64 * 1024;
+}  // namespace
+
+/// One running query's server-side state. The cancel token must stay alive
+/// until the query task finishes, hence the shared_ptr ownership from both
+/// the connection map and the task closure.
+struct StormServer::RunningQuery {
+  CancelToken cancel;
+};
+
+/// Per-connection server-side session: socket, reader/writer threads, the
+/// bounded write buffer, and the in-flight query map.
+struct StormServer::Connection {
+  UniqueFd fd;
+  std::thread reader;
+  std::thread writer;
+
+  std::mutex mutex;
+  std::condition_variable cv_queue;  ///< wakes the writer (frames / closing)
+  std::condition_variable cv_space;  ///< wakes stalled senders + teardown
+  std::deque<std::string> write_queue;
+  size_t queued_bytes = 0;
+  /// Set (under mutex) once the connection is being torn down; read
+  /// lock-free from progress callbacks.
+  std::atomic<bool> closing{false};
+  std::map<uint64_t, std::shared_ptr<RunningQuery>> queries;
+
+  /// Reader finished; the accept loop may join + reap this connection.
+  std::atomic<bool> reader_done{false};
+
+  /// Marks the connection closing and unblocks every thread parked on it.
+  /// Safe to call from any thread, repeatedly.
+  void BeginClose() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      closing.store(true, std::memory_order_release);
+    }
+    fd.ShutdownBothEnds();
+    cv_queue.notify_all();
+    cv_space.notify_all();
+  }
+};
+
+StormServer::StormServer(Session* session, ServerOptions options)
+    : session_(session),
+      options_(options),
+      admission_(options.query_threads, options.max_queued_queries) {}
+
+StormServer::~StormServer() { Stop(); }
+
+Status StormServer::Start() {
+  if (running_.load()) return Status::FailedPrecondition("server already running");
+  MetricsRegistry& reg = MetricsRegistry::Default();
+  connections_total_ = reg.GetCounter("storm_server_connections_total",
+                                      "Connections accepted");
+  connections_active_ = reg.GetGauge("storm_server_connections_active",
+                                     "Connections currently open");
+  queries_total_ =
+      reg.GetCounter("storm_server_queries_total", "Query frames admitted");
+  queries_inflight_ = reg.GetGauge("storm_server_queries_inflight",
+                                   "Queries running or queued");
+  shed_total_ = reg.GetCounter("storm_server_shed_total",
+                               "Queries shed by admission control");
+  bytes_streamed_ = reg.GetCounter("storm_server_bytes_streamed_total",
+                                   "Frame bytes written to clients");
+  progress_dropped_ =
+      reg.GetCounter("storm_server_progress_dropped_total",
+                     "PROGRESS frames dropped by write-buffer backpressure");
+
+  STORM_ASSIGN_OR_RETURN(listen_fd_, TcpListen(options_.port));
+  STORM_ASSIGN_OR_RETURN(port_, BoundPort(listen_fd_.get()));
+  if (options_.metrics_port >= 0) {
+    STORM_ASSIGN_OR_RETURN(metrics_fd_, TcpListen(options_.metrics_port));
+    STORM_ASSIGN_OR_RETURN(metrics_port_, BoundPort(metrics_fd_.get()));
+  }
+
+  stopping_.store(false);
+  query_pool_ = std::make_unique<ThreadPool>(
+      static_cast<size_t>(std::max(1, options_.query_threads)));
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  if (metrics_fd_.valid()) {
+    metrics_thread_ = std::thread([this] { MetricsLoop(); });
+  }
+  running_.store(true, std::memory_order_release);
+  STORM_LOG(Info) << "storm_server listening on port " << port_
+                  << (metrics_port_ >= 0
+                          ? " (metrics on " + std::to_string(metrics_port_) + ")"
+                          : "");
+  return Status::OK();
+}
+
+void StormServer::Stop() {
+  if (!running_.exchange(false)) return;
+  stopping_.store(true, std::memory_order_release);
+
+  // Unblock the accept/metrics threads and every connection thread.
+  listen_fd_.ShutdownBothEnds();
+  metrics_fd_.ShutdownBothEnds();
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    for (const auto& conn : conns_) conn->BeginClose();
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (metrics_thread_.joinable()) metrics_thread_.join();
+
+  // Readers observe the shutdown, cancel their queries, wait for the query
+  // tasks, join their writers, and finish; join them all.
+  ReapFinished(/*join_all=*/true);
+
+  // Drain the query pool (it should already be empty — every task was
+  // awaited by a connection teardown above).
+  query_pool_.reset();
+  listen_fd_.Reset();
+  metrics_fd_.Reset();
+  port_ = -1;
+  metrics_port_ = -1;
+}
+
+size_t StormServer::active_connections() const {
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  size_t alive = 0;
+  for (const auto& conn : conns_) {
+    if (!conn->reader_done.load(std::memory_order_acquire)) ++alive;
+  }
+  return alive;
+}
+
+void StormServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    ReapFinished(/*join_all=*/false);
+    Result<UniqueFd> accepted =
+        AcceptWithTimeout(listen_fd_.get(), kPollIntervalMs);
+    if (!accepted.ok()) continue;
+    if (!accepted->valid()) continue;
+    auto conn = std::make_shared<Connection>();
+    conn->fd = std::move(*accepted);
+    connections_total_->Increment();
+    connections_active_->Add(1);
+    {
+      std::lock_guard<std::mutex> lock(conns_mutex_);
+      conns_.push_back(conn);
+    }
+    conn->writer = std::thread([this, conn] { WriterLoop(conn); });
+    conn->reader = std::thread([this, conn] { ReaderLoop(conn); });
+  }
+}
+
+void StormServer::ReapFinished(bool join_all) {
+  std::vector<std::shared_ptr<Connection>> to_join;
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    auto it = conns_.begin();
+    while (it != conns_.end()) {
+      if (join_all || (*it)->reader_done.load(std::memory_order_acquire)) {
+        to_join.push_back(*it);
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const auto& conn : to_join) {
+    if (conn->reader.joinable()) conn->reader.join();
+    // The reader joins the writer on its way out, but if the reader thread
+    // never ran (early Stop), the writer may still need joining here.
+    if (conn->writer.joinable()) conn->writer.join();
+  }
+}
+
+void StormServer::ReaderLoop(std::shared_ptr<Connection> conn) {
+  std::string buf;
+  std::vector<char> chunk(kRecvChunkBytes);
+  while (!stopping_.load(std::memory_order_acquire) &&
+         !conn->closing.load(std::memory_order_acquire)) {
+    Result<size_t> got =
+        RecvSome(conn->fd.get(), chunk.data(), chunk.size(), kPollIntervalMs);
+    if (!got.ok()) break;  // peer closed or socket error
+    if (*got == 0) continue;
+    buf.append(chunk.data(), *got);
+    bool violated = false;
+    while (true) {
+      Frame frame;
+      Result<size_t> consumed = TryDecodeFrame(buf, &frame);
+      if (!consumed.ok()) {
+        // Corrupt stream: tell the client why (best effort), then drop —
+        // there is no way to resynchronize a byte stream after a bad frame.
+        Send(conn,
+             EncodeFrame(FrameType::kError, 0,
+                         EncodeWireError(consumed.status())),
+             /*droppable=*/false);
+        violated = true;
+        break;
+      }
+      if (*consumed == 0) break;
+      Frame owned = std::move(frame);
+      buf.erase(0, *consumed);
+      if (!HandleFrame(conn, std::move(owned))) {
+        violated = true;
+        break;
+      }
+    }
+    if (violated) break;
+  }
+  CloseConnection(conn);
+  connections_active_->Add(-1);
+  conn->reader_done.store(true, std::memory_order_release);
+}
+
+void StormServer::CloseConnection(const std::shared_ptr<Connection>& conn) {
+  // 1. Cancel every in-flight query on this connection.
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    for (auto& [id, running] : conn->queries) running->cancel.Cancel();
+  }
+  // 2. Wait for the query tasks to finish (cancellation is polled per
+  //    sample batch, so this is prompt; the wait also covers tasks still
+  //    queued in the pool).
+  {
+    std::unique_lock<std::mutex> lock(conn->mutex);
+    conn->cv_space.wait(lock, [&] { return conn->queries.empty(); });
+  }
+  // 3. Let the writer drain whatever is queued, then join it.
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    conn->closing.store(true, std::memory_order_release);
+  }
+  conn->cv_queue.notify_all();
+  conn->cv_space.notify_all();
+  if (conn->writer.joinable()) conn->writer.join();
+  conn->fd.ShutdownBothEnds();
+}
+
+void StormServer::WriterLoop(std::shared_ptr<Connection> conn) {
+  while (true) {
+    std::string frame;
+    {
+      std::unique_lock<std::mutex> lock(conn->mutex);
+      conn->cv_queue.wait(lock, [&] {
+        return !conn->write_queue.empty() ||
+               conn->closing.load(std::memory_order_acquire);
+      });
+      if (conn->write_queue.empty()) break;  // closing and drained
+      frame = std::move(conn->write_queue.front());
+      conn->write_queue.pop_front();
+      conn->queued_bytes -= frame.size();
+    }
+    conn->cv_space.notify_all();
+
+    // Slow-consumer injection: a latency-only failpoint (code kOk) stalls
+    // the writer, shrinking the effective drain rate.
+    (void)Failpoints::Default().Evaluate("server.conn.slow");
+    // Connection-drop injection: the stream dies mid-flight, exactly like a
+    // peer route loss.
+    if (!Failpoints::Default().Evaluate("server.conn.drop").ok()) {
+      conn->BeginClose();
+      break;
+    }
+    if (!SendAll(conn->fd.get(), frame.data(), frame.size()).ok()) {
+      conn->BeginClose();
+      break;
+    }
+    bytes_streamed_->Increment(frame.size());
+  }
+}
+
+bool StormServer::Send(const std::shared_ptr<Connection>& conn,
+                       std::string frame, bool droppable) {
+  std::unique_lock<std::mutex> lock(conn->mutex);
+  if (conn->closing.load(std::memory_order_acquire)) return false;
+  size_t queued_after = conn->queued_bytes + frame.size();
+  if (droppable && queued_after > options_.write_buffer_soft_limit) {
+    // Backpressure, stage 1: degrade the PROGRESS cadence. The client
+    // simply sees fewer updates; the eventual RESULT is never dropped.
+    progress_dropped_->Increment();
+    return true;
+  }
+  if (queued_after > options_.write_buffer_hard_limit) {
+    // Backpressure, stage 2: stall the producer briefly; a consumer that
+    // cannot drain within the stall budget is declared dead.
+    bool space = conn->cv_space.wait_for(
+        lock, std::chrono::milliseconds(options_.write_stall_timeout_ms),
+        [&] {
+          return conn->closing.load(std::memory_order_acquire) ||
+                 conn->queued_bytes + frame.size() <=
+                     options_.write_buffer_hard_limit;
+        });
+    if (!space || conn->closing.load(std::memory_order_acquire)) {
+      lock.unlock();
+      conn->BeginClose();
+      return false;
+    }
+  }
+  conn->write_queue.push_back(std::move(frame));
+  conn->queued_bytes += conn->write_queue.back().size();
+  lock.unlock();
+  conn->cv_queue.notify_one();
+  return true;
+}
+
+bool StormServer::HandleFrame(const std::shared_ptr<Connection>& conn,
+                              Frame frame) {
+  switch (frame.type) {
+    case FrameType::kPing:
+      Send(conn, EncodeFrame(FrameType::kPong, frame.id, frame.payload),
+           /*droppable=*/false);
+      return true;
+
+    case FrameType::kMetrics:
+      Send(conn,
+           EncodeFrame(FrameType::kMetricsText, frame.id,
+                       MetricsRegistry::Default().ExposePrometheus()),
+           /*droppable=*/false);
+      return true;
+
+    case FrameType::kCancel: {
+      std::lock_guard<std::mutex> lock(conn->mutex);
+      auto it = conn->queries.find(frame.id);
+      if (it != conn->queries.end()) it->second->cancel.Cancel();
+      return true;  // cancelling a finished query is a no-op, not an error
+    }
+
+    case FrameType::kQuery: {
+      Result<QueryRequest> req = DecodeQueryRequest(frame.payload);
+      if (!req.ok()) {
+        Send(conn,
+             EncodeFrame(FrameType::kError, frame.id,
+                         EncodeWireError(req.status())),
+             /*droppable=*/false);
+        return true;
+      }
+      bool duplicate_id = false;
+      {
+        // Send() takes conn->mutex itself, so the check and the error
+        // frame must not share the critical section.
+        std::lock_guard<std::mutex> lock(conn->mutex);
+        duplicate_id = conn->queries.contains(frame.id);
+      }
+      if (duplicate_id) {
+        Send(conn,
+             EncodeFrame(FrameType::kError, frame.id,
+                         EncodeWireError(Status::InvalidArgument(
+                             "request id already in flight"))),
+             /*droppable=*/false);
+        return true;
+      }
+      if (!admission_.TryAdmit()) {
+        shed_total_->Increment();
+        Send(conn,
+             EncodeFrame(FrameType::kError, frame.id,
+                         EncodeWireError(Status::Unavailable(
+                             "server overloaded: query shed by admission "
+                             "control, retry with backoff"))),
+             /*droppable=*/false);
+        return true;
+      }
+      auto running = std::make_shared<RunningQuery>();
+      {
+        std::lock_guard<std::mutex> lock(conn->mutex);
+        conn->queries[frame.id] = running;
+      }
+      queries_total_->Increment();
+      queries_inflight_->Add(1);
+      uint64_t id = frame.id;
+      QueryRequest request = std::move(*req);
+      (void)query_pool_->Submit(
+          [this, conn, id, request = std::move(request), running]() mutable {
+            RunQuery(conn, id, std::move(request), running);
+          });
+      return true;
+    }
+
+    case FrameType::kInsertBatch: {
+      Result<InsertBatchRequest> req = DecodeInsertBatchRequest(frame.payload);
+      BatchInsertResult result;
+      if (!req.ok()) {
+        result.status = req.status();
+      } else {
+        std::vector<Value> docs;
+        docs.reserve(req->docs_json.size());
+        Status parse_status;
+        for (const std::string& json : req->docs_json) {
+          Result<Value> doc = Value::Parse(json);
+          if (!doc.ok()) {
+            parse_status = Status::InvalidArgument("document " +
+                                                   std::to_string(docs.size()) +
+                                                   ": " +
+                                                   doc.status().message());
+            break;
+          }
+          docs.push_back(std::move(*doc));
+        }
+        if (!parse_status.ok()) {
+          result.status = parse_status;
+        } else {
+          Result<UpdateManager*> updates = session_->Updates(req->table);
+          if (!updates.ok()) {
+            result.status = updates.status();
+          } else {
+            result = (*updates)->InsertBatch(docs);
+          }
+        }
+      }
+      Send(conn,
+           EncodeFrame(FrameType::kInsertResult, frame.id,
+                       EncodeInsertBatchReply(result)),
+           /*droppable=*/false);
+      return true;
+    }
+
+    case FrameType::kCheckpoint: {
+      ByteReader reader(frame.payload);
+      Result<std::string> table = reader.GetString();
+      Status st = table.ok() ? session_->Checkpoint(*table) : table.status();
+      if (st.ok()) {
+        Send(conn, EncodeFrame(FrameType::kOk, frame.id, {}),
+             /*droppable=*/false);
+      } else {
+        Send(conn,
+             EncodeFrame(FrameType::kError, frame.id, EncodeWireError(st)),
+             /*droppable=*/false);
+      }
+      return true;
+    }
+
+    default:
+      // A client sending response-type frames is a protocol violation.
+      Send(conn,
+           EncodeFrame(FrameType::kError, frame.id,
+                       EncodeWireError(Status::InvalidArgument(
+                           "unexpected response-type frame from client"))),
+           /*droppable=*/false);
+      return false;
+  }
+}
+
+void StormServer::RunQuery(std::shared_ptr<Connection> conn, uint64_t id,
+                           QueryRequest req,
+                           std::shared_ptr<RunningQuery> running) {
+  if (conn->closing.load(std::memory_order_acquire)) {
+    FinishQuery(conn, id);
+    return;
+  }
+  ExecOptions options;
+  options.parallelism =
+      std::clamp<int32_t>(req.parallelism, 1, options_.max_parallelism);
+  options.deadline_ms = req.deadline_ms;
+  options.profile = false;
+  options.cancel = &running->cancel;
+  if (req.progress_interval_ms > 0) {
+    auto since_last = std::make_shared<Stopwatch>();
+    bool first = true;
+    options.progress = [this, conn, id, req, since_last,
+                        first](const QueryProgress& p) mutable {
+      if (stopping_.load(std::memory_order_acquire) ||
+          conn->closing.load(std::memory_order_acquire)) {
+        return false;
+      }
+      if (first || since_last->ElapsedMillis() >=
+                       static_cast<double>(req.progress_interval_ms)) {
+        first = false;
+        since_last->Restart();
+        ProgressUpdate update;
+        update.samples = p.samples;
+        update.elapsed_ms = p.elapsed_ms;
+        update.ci = p.ci;
+        Send(conn,
+             EncodeFrame(FrameType::kProgress, id,
+                         EncodeProgressUpdate(update)),
+             /*droppable=*/true);
+      }
+      return true;
+    };
+  }
+  Result<QueryResult> result = session_->Execute(req.query, options);
+  if (!result.ok()) {
+    Send(conn,
+         EncodeFrame(FrameType::kError, id, EncodeWireError(result.status())),
+         /*droppable=*/false);
+  } else {
+    Send(conn,
+         EncodeFrame(FrameType::kResult, id, EncodeQueryResult(*result)),
+         /*droppable=*/false);
+  }
+  FinishQuery(conn, id);
+}
+
+void StormServer::FinishQuery(const std::shared_ptr<Connection>& conn,
+                              uint64_t id) {
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    conn->queries.erase(id);
+  }
+  admission_.Release();
+  queries_inflight_->Add(-1);
+  conn->cv_space.notify_all();
+}
+
+void StormServer::MetricsLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    Result<UniqueFd> accepted =
+        AcceptWithTimeout(metrics_fd_.get(), kPollIntervalMs);
+    if (!accepted.ok() || !accepted->valid()) continue;
+    // One short-lived HTTP exchange per connection, served inline: metrics
+    // scrapes are rare and tiny compared to query traffic.
+    std::string request;
+    char buf[2048];
+    Stopwatch watch;
+    while (request.find("\r\n\r\n") == std::string::npos &&
+           request.size() < 8192 && watch.ElapsedMillis() < 2000.0) {
+      Result<size_t> got =
+          RecvSome(accepted->get(), buf, sizeof(buf), kPollIntervalMs);
+      if (!got.ok()) break;
+      request.append(buf, *got);
+    }
+    std::string body, status_line;
+    if (request.rfind("GET /metrics ", 0) == 0 ||
+        request.rfind("GET /metrics\r", 0) == 0) {
+      status_line = "HTTP/1.1 200 OK";
+      body = MetricsRegistry::Default().ExposePrometheus();
+    } else {
+      status_line = "HTTP/1.1 404 Not Found";
+      body = "only GET /metrics is served here\n";
+    }
+    std::string response = status_line +
+                           "\r\nContent-Type: text/plain; version=0.0.4"
+                           "\r\nContent-Length: " +
+                           std::to_string(body.size()) +
+                           "\r\nConnection: close\r\n\r\n" + body;
+    (void)SendAll(accepted->get(), response.data(), response.size());
+  }
+}
+
+}  // namespace storm

@@ -1,0 +1,170 @@
+// StormServer: the network serving layer. Accepts TCP connections speaking
+// the frame protocol (server/protocol.h) and streams anytime results.
+//
+// Threading model:
+//   - one accept thread (also reaps finished connections);
+//   - one reader + one writer thread per connection;
+//   - queries run on a server-owned ThreadPool whose size is the number of
+//     execution slots. It is deliberately NOT ThreadPool::Shared(): a query
+//     with ExecOptions parallelism > 1 fans its sampling workers out to the
+//     shared pool and blocks on their futures, and blocking on a pool from
+//     inside one of its own tasks is the classic pool deadlock
+//     (util/thread_pool.h).
+//
+// Admission control: AdmissionController bounds running + queued queries;
+// beyond the bound the server sheds with an ERROR(kUnavailable) frame
+// instead of queueing unboundedly.
+//
+// Backpressure: each connection owns a bounded write buffer. PROGRESS
+// frames are droppable — once the buffer passes its soft limit they are
+// skipped (the client sees a lower cadence, never a stale order). RESULT /
+// ERROR frames are not droppable: past the hard limit the sender stalls up
+// to write_stall_timeout_ms, then the connection is dropped as a dead
+// consumer.
+//
+// Failpoints: `server.conn.drop` (drop a connection mid-stream from the
+// writer) and `server.conn.slow` (inject per-frame write latency,
+// simulating a slow consumer). Metrics: storm_server_* families in the
+// default registry, scrapeable over plain HTTP (`GET /metrics`) when
+// ServerOptions::metrics_port is enabled.
+
+#ifndef STORM_SERVER_SERVER_H_
+#define STORM_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "storm/query/session.h"
+#include "storm/server/admission.h"
+#include "storm/server/protocol.h"
+#include "storm/server/socket_io.h"
+#include "storm/util/thread_pool.h"
+
+namespace storm {
+
+struct ServerOptions {
+  /// TCP port for the frame protocol; 0 picks an ephemeral port (read it
+  /// back with port()).
+  int port = 0;
+
+  /// Plain-HTTP `GET /metrics` listener (Prometheus exposition). -1
+  /// disables it; 0 picks an ephemeral port (read back with metrics_port()).
+  int metrics_port = -1;
+
+  /// Query execution slots (threads in the server's query pool).
+  int query_threads = 4;
+
+  /// Admission queue beyond the execution slots; requests past
+  /// query_threads + max_queued_queries are shed with kUnavailable.
+  int max_queued_queries = 16;
+
+  /// Clamp on client-requested ExecOptions parallelism.
+  int max_parallelism = 8;
+
+  /// Per-connection write buffer: above the soft limit PROGRESS frames are
+  /// dropped (cadence degrades); above the hard limit non-droppable senders
+  /// stall, and after write_stall_timeout_ms the connection is dropped.
+  size_t write_buffer_soft_limit = 256 * 1024;
+  size_t write_buffer_hard_limit = 4 * 1024 * 1024;
+  int write_stall_timeout_ms = 2000;
+};
+
+class StormServer {
+ public:
+  /// Serves queries against `session`, which must outlive the server. The
+  /// session may be shared with in-process callers (Session::Execute holds
+  /// the per-table read latch, so remote and local queries interleave
+  /// safely with updates).
+  explicit StormServer(Session* session, ServerOptions options = {});
+  ~StormServer();
+
+  StormServer(const StormServer&) = delete;
+  StormServer& operator=(const StormServer&) = delete;
+
+  /// Binds the listener(s) and starts the accept thread.
+  Status Start();
+
+  /// Stops accepting, cancels in-flight queries, drains the query pool, and
+  /// joins every thread. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound protocol port (after Start()).
+  int port() const { return port_; }
+  /// The bound metrics port (after Start(); -1 when disabled).
+  int metrics_port() const { return metrics_port_; }
+
+  /// Admission accounting, for drift checks in tests and the soak harness.
+  const AdmissionController& admission() const { return admission_; }
+
+  /// Connections currently alive (reader not yet finished).
+  size_t active_connections() const;
+
+ private:
+  struct Connection;
+  struct RunningQuery;
+
+  void AcceptLoop();
+  void MetricsLoop();
+  void ReaderLoop(std::shared_ptr<Connection> conn);
+  void WriterLoop(std::shared_ptr<Connection> conn);
+  /// Returns false on a protocol violation, after which the caller must
+  /// tear the connection down.
+  bool HandleFrame(const std::shared_ptr<Connection>& conn, Frame frame);
+  void RunQuery(std::shared_ptr<Connection> conn, uint64_t id,
+                QueryRequest req, std::shared_ptr<RunningQuery> running);
+  void FinishQuery(const std::shared_ptr<Connection>& conn, uint64_t id);
+
+  /// Enqueues an encoded frame on the connection's write buffer, applying
+  /// the backpressure policy. Returns false when the frame could not be
+  /// queued because the connection is (now) closed.
+  bool Send(const std::shared_ptr<Connection>& conn, std::string frame,
+            bool droppable);
+
+  /// Tears a connection down: cancels its queries, waits for them to
+  /// finish, lets the writer drain, and marks it reapable.
+  void CloseConnection(const std::shared_ptr<Connection>& conn);
+
+  /// Joins and removes connections whose threads have finished.
+  void ReapFinished(bool join_all);
+
+  Session* session_;
+  ServerOptions options_;
+  AdmissionController admission_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  int port_ = -1;
+  int metrics_port_ = -1;
+
+  UniqueFd listen_fd_;
+  UniqueFd metrics_fd_;
+  std::thread accept_thread_;
+  std::thread metrics_thread_;
+  std::unique_ptr<ThreadPool> query_pool_;
+
+  mutable std::mutex conns_mutex_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+
+  // Instruments resolved once at Start().
+  class Counter* connections_total_ = nullptr;
+  class Gauge* connections_active_ = nullptr;
+  class Counter* queries_total_ = nullptr;
+  class Gauge* queries_inflight_ = nullptr;
+  class Counter* shed_total_ = nullptr;
+  class Counter* bytes_streamed_ = nullptr;
+  class Counter* progress_dropped_ = nullptr;
+};
+
+}  // namespace storm
+
+#endif  // STORM_SERVER_SERVER_H_

@@ -1,0 +1,157 @@
+#include "storm/server/socket_io.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+namespace storm {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+// Streaming writes to a peer that disappeared raise SIGPIPE by default,
+// which would kill the server; we want the EPIPE errno instead. Installed
+// once, before the first socket is created.
+void IgnoreSigpipeOnce() {
+  static const bool done = [] {
+    std::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)done;
+}
+
+}  // namespace
+
+void UniqueFd::Reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+void UniqueFd::ShutdownBothEnds() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+Result<UniqueFd> TcpListen(int port, int backlog) {
+  IgnoreSigpipeOnce();
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Errno("socket");
+  int one = 1;
+  (void)::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Errno("bind to port " + std::to_string(port));
+  }
+  if (::listen(fd.get(), backlog) != 0) return Errno("listen");
+  return fd;
+}
+
+Result<int> BoundPort(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Errno("getsockname");
+  }
+  return static_cast<int>(ntohs(addr.sin_port));
+}
+
+Result<UniqueFd> AcceptWithTimeout(int listen_fd, int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = listen_fd;
+  pfd.events = POLLIN;
+  int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready < 0) {
+    if (errno == EINTR) return UniqueFd();
+    return Errno("poll");
+  }
+  if (ready == 0) return UniqueFd();  // timeout: caller re-checks stop flag
+  UniqueFd conn(::accept(listen_fd, nullptr, nullptr));
+  if (!conn.valid()) {
+    // The listener was closed under us (server shutdown) or the pending
+    // connection vanished; both read as "nothing accepted this round".
+    return UniqueFd();
+  }
+  int one = 1;
+  (void)::setsockopt(conn.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return conn;
+}
+
+Result<UniqueFd> TcpConnect(const std::string& host, int port) {
+  IgnoreSigpipeOnce();
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* list = nullptr;
+  int rc = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                         &list);
+  if (rc != 0) {
+    return Status::IOError("resolve " + host + ": " + gai_strerror(rc));
+  }
+  Status last = Status::IOError("no addresses for " + host);
+  for (addrinfo* ai = list; ai != nullptr; ai = ai->ai_next) {
+    UniqueFd fd(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!fd.valid()) {
+      last = Errno("socket");
+      continue;
+    }
+    if (::connect(fd.get(), ai->ai_addr, ai->ai_addrlen) != 0) {
+      last = Errno("connect to " + host + ":" + std::to_string(port));
+      continue;
+    }
+    int one = 1;
+    (void)::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    ::freeaddrinfo(list);
+    return fd;
+  }
+  ::freeaddrinfo(list);
+  return last;
+}
+
+Status SendAll(int fd, const char* data, size_t n) {
+  size_t sent = 0;
+  while (sent < n) {
+    ssize_t w = ::send(fd, data + sent, n - sent, 0);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+Result<size_t> RecvSome(int fd, char* buf, size_t n, int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready < 0) {
+    if (errno == EINTR) return size_t{0};
+    return Errno("poll");
+  }
+  if (ready == 0) return size_t{0};
+  ssize_t r = ::recv(fd, buf, n, 0);
+  if (r < 0) {
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+      return size_t{0};
+    }
+    return Errno("recv");
+  }
+  if (r == 0) return Status::Unavailable("peer closed the connection");
+  return static_cast<size_t>(r);
+}
+
+}  // namespace storm

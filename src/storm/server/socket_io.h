@@ -1,0 +1,71 @@
+// Thin POSIX TCP helpers shared by storm_server and RemoteClient: RAII fd
+// ownership, listen/connect setup, and full-buffer send/recv loops that map
+// errno to Status. No framing logic lives here — that is protocol.h.
+
+#ifndef STORM_SERVER_SOCKET_IO_H_
+#define STORM_SERVER_SOCKET_IO_H_
+
+#include <string>
+#include <utility>
+
+#include "storm/util/result.h"
+
+namespace storm {
+
+/// Owns one file descriptor; closes it on destruction.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { Reset(); }
+
+  UniqueFd(UniqueFd&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Closes the descriptor (if any) and optionally adopts a new one.
+  void Reset(int fd = -1);
+
+  /// shutdown(SHUT_RDWR): unblocks any thread sleeping in recv/send on this
+  /// socket without racing the close of the descriptor number itself.
+  void ShutdownBothEnds();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Opens a listening IPv4 socket on `port` (0 picks an ephemeral port) with
+/// SO_REUSEADDR. Returns the fd.
+Result<UniqueFd> TcpListen(int port, int backlog = 64);
+
+/// The port a bound socket actually listens on (resolves port 0).
+Result<int> BoundPort(int fd);
+
+/// Accepts one connection, waiting at most `timeout_ms`. Returns an invalid
+/// UniqueFd on timeout (not an error), so accept loops can poll a stop flag.
+Result<UniqueFd> AcceptWithTimeout(int listen_fd, int timeout_ms);
+
+/// Connects to host:port (numeric or resolvable host name).
+Result<UniqueFd> TcpConnect(const std::string& host, int port);
+
+/// Sends the whole buffer, looping over short writes.
+Status SendAll(int fd, const char* data, size_t n);
+
+/// Receives up to `n` bytes, waiting at most `timeout_ms` for the first
+/// byte. Returns 0 bytes on timeout, an empty-result kUnavailable status on
+/// orderly peer close, and kIOError on socket errors.
+Result<size_t> RecvSome(int fd, char* buf, size_t n, int timeout_ms);
+
+}  // namespace storm
+
+#endif  // STORM_SERVER_SOCKET_IO_H_

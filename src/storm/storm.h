@@ -14,6 +14,7 @@
 //   connector/ — schema discovery, CSV/JSONL, importer
 //   query/     — query language, optimizer, evaluator, session, updates
 //   cluster/   — sharded execution with a merging coordinator
+//   server/    — network serving layer: storm_server + RemoteClient
 //   data/      — synthetic workload generators for the paper's data sets
 //
 // Engine internals — rtree/ node layouts and the wal/ durability machinery —
@@ -56,6 +57,8 @@
 #include "storm/query/exec_options.h"
 #include "storm/query/session.h"
 #include "storm/sampling/failover.h"
+#include "storm/server/remote_client.h"
+#include "storm/server/server.h"
 #include "storm/sampling/ls_tree.h"
 #include "storm/sampling/query_first.h"
 #include "storm/sampling/random_path.h"

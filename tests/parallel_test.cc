@@ -298,28 +298,27 @@ TEST(ExecOptionsTest, ProfileOffSkipsProfileCollection) {
   EXPECT_EQ(without->profile, nullptr);
 }
 
-// The pre-ExecOptions overloads stay callable for one release.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(ExecOptionsTest, DeprecatedProgressOverloadsStillWork) {
+// The pre-ExecOptions positional overloads are gone; progress rides in
+// ExecOptions, for both the text and the pre-parsed entry points.
+TEST(ExecOptionsTest, ProgressViaExecOptionsOnBothEntryPoints) {
   Session session;
   ASSERT_TRUE(session.CreateTable("t", MakeDocs(5'000, TestSeed() + 10)).ok());
   int calls = 0;
   auto result = session.Execute("SELECT AVG(v) FROM t SAMPLES 1000",
-                                [&calls](const QueryProgress&) {
-                                  ++calls;
-                                  return true;
-                                });
+                                ExecOptions().WithProgress(
+                                    [&calls](const QueryProgress&) {
+                                      ++calls;
+                                      return true;
+                                    }));
   ASSERT_TRUE(result.ok()) << result.status();
   EXPECT_GT(calls, 0);
 
   auto ast = ParseQuery("SELECT AVG(v) FROM t SAMPLES 500");
   ASSERT_TRUE(ast.ok());
-  auto via_ast = session.ExecuteAst(*ast, ProgressFn{});
+  auto via_ast = session.ExecuteAst(*ast, ExecOptions().WithProgress(nullptr));
   ASSERT_TRUE(via_ast.ok()) << via_ast.status();
   EXPECT_GT(via_ast->samples, 0u);
 }
-#pragma GCC diagnostic pop
 
 TEST(ClientFacadeTest, EndToEndThroughTheUmbrella) {
   Client db;

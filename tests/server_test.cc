@@ -1,0 +1,689 @@
+// Serving layer: frame protocol round-trips, the streamed anytime-result
+// contract (PROGRESS cadence, CANCEL, deadlines), admission control,
+// slow-consumer backpressure, connection-drop failpoints, and seeded
+// garbage-input fuzzing over the lexer, parser, and frame decoder.
+// Labeled `server` so CI can run it standalone under ThreadSanitizer
+// (`ctest -L server`) with several STORM_FUZZ_SEED values.
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "storm/query/lexer.h"
+#include "storm/storm.h"
+
+namespace storm {
+namespace {
+
+uint64_t FuzzSeed() {
+  const char* env = std::getenv("STORM_FUZZ_SEED");
+  if (env == nullptr) return 1;
+  return std::strtoull(env, nullptr, 10);
+}
+
+/// Synthetic docs: uniform positions, v = i mod 10 (mean 4.5).
+std::vector<Value> MakeDocs(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Value> docs;
+  docs.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    Value doc = Value::MakeObject();
+    doc.Set("x", Value::Double(rng.UniformDouble(0, 100)));
+    doc.Set("y", Value::Double(rng.UniformDouble(0, 100)));
+    doc.Set("v", Value::Double(static_cast<double>(i % 10)));
+    docs.push_back(doc);
+  }
+  return docs;
+}
+
+/// A query that keeps sampling until cancelled or deadlined: the error
+/// target is unreachable and the cap is far past the anytime horizon.
+/// QUANTILE costs ~15 µs per drawn sample (AVG is ~1000x cheaper), so on
+/// a kLongDocs table the sampling loop runs for over a second — long
+/// enough that cancels, deadlines, and shutdowns land mid-stream. The
+/// quantile targets x, which is continuous: over the 10-point discrete v
+/// the median CI can collapse to zero width and stop the query early.
+constexpr char kLongQuery[] =
+    "SELECT QUANTILE(0.5, x) FROM t SAMPLES 500000000 ERROR 0.000001%";
+constexpr int kLongDocs = 100'000;
+
+/// Server + session + connected client, torn down in order.
+struct TestServer {
+  explicit TestServer(ServerOptions options = {}, int docs = 20'000) {
+    EXPECT_TRUE(session.CreateTable("t", MakeDocs(docs, FuzzSeed())).ok());
+    options.port = 0;
+    server = std::make_unique<StormServer>(&session, options);
+    Status st = server->Start();
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+  ~TestServer() { server->Stop(); }
+
+  int port() const { return server->port(); }
+
+  Session session;
+  std::unique_ptr<StormServer> server;
+};
+
+/// Raw frame-level client, for driving the protocol below RemoteClient:
+/// pipelined requests, duplicate ids, deliberately corrupt bytes.
+struct RawConn {
+  Status Connect(int port) {
+    auto fd = TcpConnect("127.0.0.1", port);
+    STORM_RETURN_NOT_OK(fd.status());
+    sock = std::move(*fd);
+    return Status::OK();
+  }
+  Status Send(FrameType type, uint64_t id, std::string_view payload) {
+    std::string frame = EncodeFrame(type, id, payload);
+    return SendAll(sock.get(), frame.data(), frame.size());
+  }
+  Status SendRaw(std::string_view bytes) {
+    return SendAll(sock.get(), bytes.data(), bytes.size());
+  }
+  /// Blocks until one frame arrives (10 s cap).
+  Result<Frame> ReadFrame() {
+    char chunk[4096];
+    for (int spins = 0; spins < 200; ++spins) {
+      Frame frame;
+      STORM_ASSIGN_OR_RETURN(size_t consumed, TryDecodeFrame(buf, &frame));
+      if (consumed > 0) {
+        buf.erase(0, consumed);
+        return frame;
+      }
+      STORM_ASSIGN_OR_RETURN(size_t got,
+                             RecvSome(sock.get(), chunk, sizeof(chunk), 50));
+      buf.append(chunk, got);
+    }
+    return Status::DeadlineExceeded("no frame within the test budget");
+  }
+
+  UniqueFd sock;
+  std::string buf;
+};
+
+// --- Protocol round trips -------------------------------------------------
+
+TEST(ProtocolTest, FrameRoundTripEveryType) {
+  for (FrameType type :
+       {FrameType::kQuery, FrameType::kCancel, FrameType::kInsertBatch,
+        FrameType::kCheckpoint, FrameType::kPing, FrameType::kMetrics,
+        FrameType::kProgress, FrameType::kResult, FrameType::kError,
+        FrameType::kInsertResult, FrameType::kOk, FrameType::kPong,
+        FrameType::kMetricsText}) {
+    std::string payload = "payload-" + std::to_string(static_cast<int>(type));
+    std::string wire = EncodeFrame(type, 42, payload);
+    Frame frame;
+    auto consumed = TryDecodeFrame(wire, &frame);
+    ASSERT_TRUE(consumed.ok()) << consumed.status();
+    EXPECT_EQ(*consumed, wire.size());
+    EXPECT_EQ(frame.type, type);
+    EXPECT_EQ(frame.id, 42u);
+    EXPECT_EQ(frame.payload, payload);
+  }
+}
+
+TEST(ProtocolTest, QueryRequestRoundTrip) {
+  QueryRequest req;
+  req.query = "SELECT AVG(v) FROM t SAMPLES 100";
+  req.parallelism = 4;
+  req.deadline_ms = 250.5;
+  req.progress_interval_ms = 20;
+  auto back = DecodeQueryRequest(EncodeQueryRequest(req));
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->query, req.query);
+  EXPECT_EQ(back->parallelism, 4);
+  EXPECT_DOUBLE_EQ(back->deadline_ms, 250.5);
+  EXPECT_EQ(back->progress_interval_ms, 20u);
+}
+
+TEST(ProtocolTest, WireErrorAndProgressRoundTrip) {
+  auto err = DecodeWireError(
+      EncodeWireError(Status::DeadlineExceeded("budget blown")));
+  ASSERT_TRUE(err.ok()) << err.status();
+  EXPECT_EQ(err->code, StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(err->ToStatus().message(), "budget blown");
+
+  ProgressUpdate p;
+  p.samples = 4096;
+  p.elapsed_ms = 12.25;
+  p.ci.estimate = 4.5;
+  p.ci.half_width = 0.125;
+  p.ci.confidence = 0.95;
+  p.ci.samples = 4096;
+  auto back = DecodeProgressUpdate(EncodeProgressUpdate(p));
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->samples, 4096u);
+  EXPECT_DOUBLE_EQ(back->ci.estimate, 4.5);
+  EXPECT_DOUBLE_EQ(back->ci.half_width, 0.125);
+}
+
+TEST(ProtocolTest, QueryResultRoundTripCarriesEveryTaskSurface) {
+  QueryResult r;
+  r.task = QueryTask::kAggregate;
+  r.strategy = "RSTREE";
+  r.decision.estimated_cardinality = 1000;
+  r.decision.estimated_selectivity = 0.25;
+  r.decision.reason = "selective box";
+  r.ci.estimate = 4.5;
+  r.ci.half_width = 0.01;
+  r.ci.confidence = 0.95;
+  r.ci.samples = 9000;
+  GroupRow g;
+  g.key = 7;
+  g.ci.estimate = 1.5;
+  g.group_size.estimate = 120;
+  g.samples = 64;
+  r.groups.push_back(g);
+  r.kde_map = {0.0, 0.5, 1.0, 0.25};
+  r.kde_width = 2;
+  r.kde_height = 2;
+  r.kde_max_half_width = 0.03;
+  TermEstimate term;
+  term.term = "storm";
+  term.frequency.estimate = 0.2;
+  r.terms.push_back(term);
+  r.samples = 9000;
+  r.elapsed_ms = 33.5;
+  r.exhausted = false;
+  r.cancelled = true;
+  r.deadline_exceeded = true;
+  r.degraded = true;
+  r.coverage = 0.75;
+
+  auto back = DecodeQueryResult(EncodeQueryResult(r));
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->task, QueryTask::kAggregate);
+  EXPECT_EQ(back->strategy, "RSTREE");
+  EXPECT_EQ(back->decision.reason, "selective box");
+  EXPECT_DOUBLE_EQ(back->ci.estimate, 4.5);
+  ASSERT_EQ(back->groups.size(), 1u);
+  EXPECT_EQ(back->groups[0].key, 7);
+  EXPECT_EQ(back->kde_map.size(), 4u);
+  ASSERT_EQ(back->terms.size(), 1u);
+  EXPECT_EQ(back->terms[0].term, "storm");
+  EXPECT_TRUE(back->cancelled);
+  EXPECT_TRUE(back->deadline_exceeded);
+  EXPECT_TRUE(back->degraded);
+  EXPECT_DOUBLE_EQ(back->coverage, 0.75);
+  EXPECT_EQ(back->profile, nullptr);  // profiles stay server-side
+}
+
+TEST(ProtocolTest, DecoderRejectsCorruptOversizedAndUnknownFrames) {
+  std::string wire = EncodeFrame(FrameType::kPing, 1, "hello");
+  Frame frame;
+
+  // Truncated: every proper prefix asks for more bytes, never errors.
+  for (size_t n = 0; n < wire.size(); ++n) {
+    auto consumed = TryDecodeFrame(std::string_view(wire).substr(0, n), &frame);
+    ASSERT_TRUE(consumed.ok()) << "prefix " << n << ": " << consumed.status();
+    EXPECT_EQ(*consumed, 0u) << "prefix " << n;
+  }
+
+  // A flipped payload bit fails the CRC.
+  std::string corrupt = wire;
+  corrupt[corrupt.size() - 6] ^= 0x40;
+  EXPECT_FALSE(TryDecodeFrame(corrupt, &frame).ok());
+
+  // An unknown type byte is rejected even with a valid length.
+  std::string unknown = wire;
+  unknown[4] = static_cast<char>(0xEE);
+  EXPECT_FALSE(TryDecodeFrame(unknown, &frame).ok());
+
+  // An oversized length prefix is rejected before any allocation.
+  std::string oversized(8, '\0');
+  uint32_t huge = kMaxFrameBytes + 1;
+  std::memcpy(oversized.data(), &huge, sizeof(huge));
+  EXPECT_FALSE(TryDecodeFrame(oversized, &frame).ok());
+}
+
+// --- The streamed anytime-result contract --------------------------------
+
+TEST(ServerTest, PingMetricsAndLiveness) {
+  TestServer ts;
+  RemoteClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", ts.port()).ok());
+  EXPECT_TRUE(client.Ping().ok());
+  auto metrics = client.Metrics();
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  EXPECT_NE(metrics->find("storm_server_connections_total"), std::string::npos);
+}
+
+TEST(ServerTest, ProgressStreamsAndCITightens) {
+  TestServer ts;
+  RemoteClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", ts.port()).ok());
+  client.set_progress_interval_ms(1);
+
+  std::vector<double> half_widths;
+  std::vector<uint64_t> sample_counts;
+  auto result = client.Execute(
+      "SELECT QUANTILE(0.5, x) FROM t SAMPLES 60000 ERROR 0.000001%",
+      ExecOptions().WithProgress([&](const QueryProgress& p) {
+        if (p.samples > 0) {
+          half_widths.push_back(p.ci.half_width);
+          sample_counts.push_back(p.samples);
+        }
+        return true;
+      }));
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_GE(half_widths.size(), 2u) << "expected a streamed PROGRESS cadence";
+  EXPECT_LT(half_widths.back(), half_widths.front())
+      << "the anytime CI must tighten as samples accumulate";
+  for (size_t i = 1; i < sample_counts.size(); ++i) {
+    EXPECT_GE(sample_counts[i], sample_counts[i - 1])
+        << "PROGRESS frames must arrive in sample order";
+  }
+  // The median of x ~ Uniform(0, 100) is near 50.
+  EXPECT_NEAR(result->ci.estimate, 50.0, 5.0);
+  EXPECT_GT(result->samples, 0u);
+}
+
+TEST(ServerTest, CancelFromProgressReturnsBestSoFar) {
+  TestServer ts(ServerOptions{}, kLongDocs);
+  RemoteClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", ts.port()).ok());
+  client.set_progress_interval_ms(1);
+
+  std::atomic<int> batches{0};
+  auto result = client.Execute(
+      kLongQuery, ExecOptions().WithProgress([&](const QueryProgress&) {
+        return ++batches < 3;  // cancel from inside the stream
+      }));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->cancelled);
+  EXPECT_LT(result->samples, 500'000'000u);
+  EXPECT_GT(result->samples, 0u) << "cancel must return the best-so-far state";
+}
+
+TEST(ServerTest, CancelTokenPropagatesOverTheWire) {
+  TestServer ts(ServerOptions{}, kLongDocs);
+  RemoteClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", ts.port()).ok());
+
+  CancelToken token;
+  std::thread firer([&token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    token.Cancel();
+  });
+  auto result = client.Execute(kLongQuery, ExecOptions().WithCancel(&token));
+  firer.join();
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->cancelled);
+}
+
+TEST(ServerTest, DeadlinePropagatesToTheEngine) {
+  TestServer ts(ServerOptions{}, kLongDocs);
+  RemoteClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", ts.port()).ok());
+
+  Stopwatch watch;
+  auto result = client.Execute(kLongQuery, ExecOptions().WithDeadlineMs(100));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->deadline_exceeded);
+  EXPECT_LT(watch.ElapsedMillis(), 5000.0)
+      << "a 100 ms deadline must not run anywhere near the sample cap";
+}
+
+TEST(ServerTest, MalformedQueryReturnsStatusAndConnectionSurvives) {
+  TestServer ts;
+  RemoteClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", ts.port()).ok());
+
+  auto bad = client.Execute("SELECT AVG( FROM t");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+
+  auto oversized = client.Execute("SELECT AVG(v) FROM t -- " +
+                                  std::string(kMaxQueryBytes, 'x'));
+  EXPECT_FALSE(oversized.ok());
+
+  // The connection is still healthy: errors are frames, not teardowns.
+  EXPECT_TRUE(client.Ping().ok());
+  auto good = client.Execute("SELECT AVG(v) FROM t SAMPLES 500");
+  EXPECT_TRUE(good.ok()) << good.status();
+}
+
+TEST(ServerTest, InsertBatchIsVisibleToSubsequentQueries) {
+  TestServer ts(ServerOptions{}, /*docs=*/2'000);
+  RemoteClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", ts.port()).ok());
+
+  auto before = client.Execute("SELECT COUNT(*) FROM t USING QUERYFIRST");
+  ASSERT_TRUE(before.ok()) << before.status();
+
+  std::vector<Value> docs = MakeDocs(500, FuzzSeed() + 1);
+  BatchInsertResult r = client.InsertBatch("t", docs);
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.ids.size(), 500u);
+  EXPECT_TRUE(r.atomic);
+
+  auto after = client.Execute("SELECT COUNT(*) FROM t USING QUERYFIRST");
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_NEAR(after->ci.estimate - before->ci.estimate, 500.0, 1.0);
+
+  // A malformed document rejects the batch with a Status, not a crash.
+  BatchInsertResult bad = client.InsertBatch("t", {Value::Double(3.0)});
+  EXPECT_FALSE(bad.status.ok());
+}
+
+// --- Admission control and backpressure ----------------------------------
+
+TEST(ServerTest, AdmissionShedsBeyondTheQueueWithUnavailable) {
+  ServerOptions options;
+  options.query_threads = 1;
+  options.max_queued_queries = 0;
+  TestServer ts(options, kLongDocs);
+
+  RawConn conn;
+  ASSERT_TRUE(conn.Connect(ts.port()).ok());
+
+  // Pipeline three queries at a server with one slot and no queue: the
+  // first occupies the slot, the rest must shed immediately.
+  QueryRequest req;
+  req.query = kLongQuery;
+  for (uint64_t id = 1; id <= 3; ++id) {
+    ASSERT_TRUE(conn.Send(FrameType::kQuery, id, EncodeQueryRequest(req)).ok());
+  }
+  int shed = 0;
+  for (int i = 0; i < 2; ++i) {
+    auto frame = conn.ReadFrame();
+    ASSERT_TRUE(frame.ok()) << frame.status();
+    ASSERT_EQ(frame->type, FrameType::kError);
+    auto err = DecodeWireError(frame->payload);
+    ASSERT_TRUE(err.ok());
+    EXPECT_EQ(err->code, StatusCode::kUnavailable);
+    ++shed;
+  }
+  EXPECT_EQ(shed, 2);
+  EXPECT_GE(ts.server->admission().shed_total(), 2u);
+
+  // Cancel the survivor and drain its RESULT.
+  ASSERT_TRUE(conn.Send(FrameType::kCancel, 1, {}).ok());
+  auto result = conn.ReadFrame();
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->type, FrameType::kResult);
+
+  // Exact accounting at quiescence: every admit was released, nothing leaks.
+  const AdmissionController& adm = ts.server->admission();
+  for (int spins = 0; spins < 100 && adm.in_flight() != 0; ++spins) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(adm.in_flight(), 0);
+  EXPECT_EQ(adm.admitted_total(), adm.released_total());
+}
+
+TEST(ServerTest, DuplicateRequestIdIsRejected) {
+  TestServer ts(ServerOptions{}, kLongDocs);
+  RawConn conn;
+  ASSERT_TRUE(conn.Connect(ts.port()).ok());
+
+  QueryRequest req;
+  req.query = kLongQuery;
+  ASSERT_TRUE(conn.Send(FrameType::kQuery, 9, EncodeQueryRequest(req)).ok());
+  ASSERT_TRUE(conn.Send(FrameType::kQuery, 9, EncodeQueryRequest(req)).ok());
+
+  auto frame = conn.ReadFrame();
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  ASSERT_EQ(frame->type, FrameType::kError);
+  auto err = DecodeWireError(frame->payload);
+  ASSERT_TRUE(err.ok());
+  EXPECT_EQ(err->code, StatusCode::kInvalidArgument);
+
+  ASSERT_TRUE(conn.Send(FrameType::kCancel, 9, {}).ok());
+  auto result = conn.ReadFrame();
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->type, FrameType::kResult);
+}
+
+TEST(ServerTest, SlowConsumerDegradesProgressCadenceNotResults) {
+  ServerOptions options;
+  options.write_buffer_soft_limit = 256;  // a frame or two
+  TestServer ts(options);
+
+  // Every write stalls 5 ms: the writer drains far slower than the sampler
+  // produces PROGRESS, so the soft limit must start dropping them.
+  FailpointConfig slow;
+  slow.probability = 1.0;
+  slow.code = StatusCode::kOk;
+  slow.latency_ms = 5.0;
+  ScopedFailpoint fp("server.conn.slow", slow);
+
+  MetricsRegistry& reg = MetricsRegistry::Default();
+  Counter* dropped = reg.GetCounter("storm_server_progress_dropped_total",
+                                    "PROGRESS frames dropped");
+  uint64_t dropped_before = dropped->Value();
+
+  RemoteClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", ts.port()).ok());
+  client.set_progress_interval_ms(1);
+  int updates = 0;
+  auto result = client.Execute(
+      "SELECT QUANTILE(0.5, x) FROM t SAMPLES 100000000 ERROR 0.000001%",
+      ExecOptions().WithProgress([&updates](const QueryProgress&) {
+        ++updates;
+        return true;
+      }));
+  // The RESULT frame is never dropped, whatever happened to PROGRESS.
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_NEAR(result->ci.estimate, 50.0, 5.0);
+  EXPECT_GT(dropped->Value(), dropped_before)
+      << "backpressure should have dropped at least one PROGRESS frame";
+}
+
+TEST(ServerTest, ConnectionDropFailpointCleansUpServerSide) {
+  TestServer ts(ServerOptions{}, kLongDocs);
+  RemoteClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", ts.port()).ok());
+
+  // Drop the connection at the 3rd written frame, mid-PROGRESS-stream.
+  FailpointConfig drop;
+  drop.every_nth = 3;
+  drop.code = StatusCode::kIOError;
+  drop.max_trips = 1;
+  ScopedFailpoint fp("server.conn.drop", drop);
+
+  client.set_progress_interval_ms(1);
+  auto result = client.Execute(
+      kLongQuery,
+      ExecOptions().WithProgress([](const QueryProgress&) { return true; }));
+  EXPECT_FALSE(result.ok()) << "the stream died mid-query";
+
+  // The server must reap the connection and settle its accounting: the
+  // in-flight query is cancelled, released, and nothing leaks.
+  const AdmissionController& adm = ts.server->admission();
+  for (int spins = 0; spins < 500; ++spins) {
+    if (adm.in_flight() == 0 && ts.server->active_connections() == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(adm.in_flight(), 0);
+  EXPECT_EQ(ts.server->active_connections(), 0u);
+  EXPECT_EQ(adm.admitted_total(), adm.released_total());
+}
+
+TEST(ServerTest, StopMidStreamDoesNotHang) {
+  auto ts = std::make_unique<TestServer>(ServerOptions{}, kLongDocs);
+  RemoteClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", ts->port()).ok());
+  client.set_progress_interval_ms(1);
+
+  std::thread query([&client] {
+    // Either an error (connection torn down) or a cancelled best-so-far
+    // result is acceptable; hanging is not (the test would time out).
+    (void)client.Execute(kLongQuery, ExecOptions().WithProgress(
+                                         [](const QueryProgress&) {
+                                           return true;
+                                         }));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  ts->server->Stop();
+  query.join();
+  EXPECT_EQ(ts->server->active_connections(), 0u);
+  const AdmissionController& adm = ts->server->admission();
+  EXPECT_EQ(adm.in_flight(), 0);
+  EXPECT_EQ(adm.admitted_total(), adm.released_total());
+}
+
+TEST(ServerTest, HttpMetricsEndpointServesPrometheusText) {
+  ServerOptions options;
+  options.metrics_port = 0;
+  TestServer ts(options);
+  ASSERT_GE(ts.server->metrics_port(), 0);
+
+  auto fetch = [&](const std::string& request) {
+    auto sock = TcpConnect("127.0.0.1", ts.server->metrics_port());
+    EXPECT_TRUE(sock.ok());
+    EXPECT_TRUE(SendAll(sock->get(), request.data(), request.size()).ok());
+    std::string response;
+    char buf[4096];
+    while (true) {
+      auto got = RecvSome(sock->get(), buf, sizeof(buf), 2000);
+      if (!got.ok() || *got == 0) break;
+      response.append(buf, *got);
+    }
+    return response;
+  };
+
+  std::string ok = fetch("GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(ok.find("200 OK"), std::string::npos);
+  EXPECT_NE(ok.find("storm_server_connections_total"), std::string::npos);
+
+  std::string missing = fetch("GET /else HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(missing.find("404"), std::string::npos);
+}
+
+// --- Untrusted-input hardening -------------------------------------------
+
+TEST(HardeningTest, ParserRejectsHugeNumericLiteralsWithoutUB) {
+  for (const char* query : {
+           "SELECT KDE(1e300, 5) FROM t",
+           "SELECT KDE(5, -1e300) FROM t",
+           "SELECT TOPTERMS(1e300) FROM t",
+           "SELECT TOPTERMS(0) FROM t",
+           "SELECT CLUSTER(1e300) FROM t",
+           "SELECT CLUSTER(-3) FROM t",
+           "SELECT TRAJECTORY(id, 1e300) FROM t",
+           "SELECT TRAJECTORY(id, -1e300) FROM t",
+           "SELECT AVG(v) FROM t SAMPLES 1e300",
+           "SELECT AVG(v) FROM t SAMPLES 0",
+           "SELECT AVG(v) FROM t GROUP BY CELL(1e300, 2)",
+           "SELECT AVG(v) FROM t GROUP BY CELL(2, 1e300)",
+       }) {
+    auto ast = ParseQuery(query);
+    EXPECT_FALSE(ast.ok()) << query;
+    EXPECT_EQ(ast.status().code(), StatusCode::kInvalidArgument) << query;
+  }
+}
+
+TEST(HardeningTest, LexerCapsQueryLength) {
+  std::string huge(kMaxQueryBytes + 1, 'a');
+  auto tokens = TokenizeQuery(huge);
+  EXPECT_FALSE(tokens.ok());
+  EXPECT_EQ(tokens.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HardeningTest, FuzzLexerAndParserNeverCrash) {
+  Rng rng(FuzzSeed());
+  const std::string alphabet =
+      "SELECT AVG(v) FROM t REGION(1,2,3,4) SAMPLES 100 ERROR 5% "
+      "'\\\"(),*%.eE+-0123456789\x01\xff\x80 \t\n";
+  for (int iter = 0; iter < 2'000; ++iter) {
+    std::string input;
+    const int len = static_cast<int>(rng.UniformInt(0, 160));
+    for (int i = 0; i < len; ++i) {
+      input.push_back(
+          alphabet[static_cast<size_t>(rng.UniformInt(
+              0, static_cast<int64_t>(alphabet.size()) - 1))]);
+    }
+    // Must return a Status (ok or error) — never crash, hang, or UB.
+    (void)ParseQuery(input);
+  }
+  // Mutations of a valid query: single-byte flips over every position.
+  const std::string valid =
+      "SELECT QUANTILE(0.9, v) FROM t REGION(-10, -10, 10, 10) "
+      "CONFIDENCE 95% SAMPLES 1000 USING RSTREE";
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string mutated = valid;
+    size_t pos = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(valid.size()) - 1));
+    mutated[pos] = static_cast<char>(rng.UniformInt(0, 255));
+    (void)ParseQuery(mutated);
+  }
+}
+
+TEST(HardeningTest, FuzzFrameDecoderNeverCrash) {
+  Rng rng(FuzzSeed() + 0xF2A);
+  Frame frame;
+  // Pure garbage.
+  for (int iter = 0; iter < 2'000; ++iter) {
+    std::string bytes;
+    const int len = static_cast<int>(rng.UniformInt(0, 64));
+    for (int i = 0; i < len; ++i) {
+      bytes.push_back(static_cast<char>(rng.UniformInt(0, 255)));
+    }
+    auto consumed = TryDecodeFrame(bytes, &frame);
+    if (consumed.ok()) {
+      EXPECT_LE(*consumed, bytes.size());
+    }
+  }
+  // Bit flips over valid frames: decode must yield a frame or a Status.
+  QueryRequest req;
+  req.query = "SELECT AVG(v) FROM t";
+  std::string valid = EncodeFrame(FrameType::kQuery, 77, EncodeQueryRequest(req));
+  for (int iter = 0; iter < 1'000; ++iter) {
+    std::string mutated = valid;
+    size_t pos = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(valid.size()) - 1));
+    mutated[pos] ^= static_cast<char>(1 << rng.UniformInt(0, 7));
+    auto consumed = TryDecodeFrame(mutated, &frame);
+    if (consumed.ok() && *consumed > 0) {
+      // Survived the CRC (flip in the length prefix can do that): the
+      // payload decoders must still bound-check everything.
+      (void)DecodeQueryRequest(frame.payload);
+    }
+  }
+  // Every payload decoder over garbage bytes.
+  for (int iter = 0; iter < 1'000; ++iter) {
+    std::string bytes;
+    const int len = static_cast<int>(rng.UniformInt(0, 96));
+    for (int i = 0; i < len; ++i) {
+      bytes.push_back(static_cast<char>(rng.UniformInt(0, 255)));
+    }
+    (void)DecodeQueryRequest(bytes);
+    (void)DecodeInsertBatchRequest(bytes);
+    (void)DecodeProgressUpdate(bytes);
+    (void)DecodeWireError(bytes);
+    (void)DecodeInsertBatchReply(bytes);
+    (void)DecodeQueryResult(bytes);
+  }
+}
+
+TEST(ServerTest, GarbageBytesOnTheWireGetErrorThenDisconnect) {
+  TestServer ts;
+  RawConn conn;
+  ASSERT_TRUE(conn.Connect(ts.port()).ok());
+
+  // A frame with a corrupted CRC: the server answers with ERROR (id 0,
+  // best effort) and drops the connection — the stream cannot be resynced.
+  std::string wire = EncodeFrame(FrameType::kPing, 5, "boom");
+  wire[wire.size() - 1] ^= 0x01;
+  ASSERT_TRUE(conn.SendRaw(wire).ok());
+
+  auto frame = conn.ReadFrame();
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  EXPECT_EQ(frame->type, FrameType::kError);
+  auto err = DecodeWireError(frame->payload);
+  ASSERT_TRUE(err.ok());
+  EXPECT_EQ(err->code, StatusCode::kCorruption);
+
+  // The server hangs up after the error frame.
+  auto next = conn.ReadFrame();
+  EXPECT_FALSE(next.ok());
+}
+
+}  // namespace
+}  // namespace storm

@@ -1,0 +1,132 @@
+// storm_server: the standalone STORM serving binary. Loads the synthetic
+// demo data sets (the same tables storm_shell serves locally), binds the
+// frame-protocol listener, and streams anytime results to RemoteClients
+// until SIGINT/SIGTERM.
+//
+//   ./build/tools/storm_server --port 4317 --metrics-port 9105
+//
+// Then from another terminal:
+//   ./build/examples/storm_shell
+//   storm> \connect 127.0.0.1:4317
+//
+// or scrape http://127.0.0.1:9105/metrics. docs/SERVER.md documents the
+// protocol, admission control, and backpressure semantics.
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "storm/storm.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop.store(true); }
+
+void LoadDemoTables(storm::Session* session) {
+  using namespace storm;
+  {
+    TweetOptions o;
+    o.num_tweets = 100'000;
+    TweetGenerator gen(o);
+    std::vector<Value> docs;
+    for (const Tweet& t : gen.Generate()) {
+      docs.push_back(TweetGenerator::ToDocument(t));
+    }
+    (void)session->CreateTable("tweets", docs);
+  }
+  {
+    WeatherOptions o;
+    o.num_stations = 400;
+    o.readings_per_station = 96;
+    WeatherGenerator gen(o);
+    auto stations = gen.GenerateStations();
+    std::vector<Value> docs;
+    for (const WeatherReading& r : gen.GenerateReadings(stations)) {
+      docs.push_back(WeatherGenerator::ToDocument(r));
+    }
+    (void)session->CreateTable("mesowest", docs);
+  }
+  {
+    OsmOptions o;
+    o.num_points = 200'000;
+    OsmLikeGenerator gen(o);
+    std::vector<Value> docs;
+    for (const OsmPoint& p : gen.Generate()) {
+      docs.push_back(OsmLikeGenerator::ToDocument(p));
+    }
+    (void)session->CreateTable("osm", docs);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace storm;
+
+  ServerOptions options;
+  options.port = 4317;
+  options.metrics_port = -1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      options.port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--metrics-port") == 0 && i + 1 < argc) {
+      options.metrics_port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--query-threads") == 0 && i + 1 < argc) {
+      options.query_threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--max-queued") == 0 && i + 1 < argc) {
+      options.max_queued_queries = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--port N] [--metrics-port N] "
+                   "[--query-threads N] [--max-queued N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("loading demo data sets...\n");
+  Session session;
+  LoadDemoTables(&session);
+  for (const std::string& name : session.TableNames()) {
+    auto table = session.GetTable(name);
+    if (table.ok()) {
+      std::printf("  %-10s %llu records\n", name.c_str(),
+                  static_cast<unsigned long long>((*table)->size()));
+    }
+  }
+
+  StormServer server(&session, options);
+  Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "start: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("serving on port %d", server.port());
+  if (server.metrics_port() >= 0) {
+    std::printf(", metrics on http://0.0.0.0:%d/metrics", server.metrics_port());
+  }
+  std::printf(" (SIGINT to stop)\n");
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  std::printf("shutting down...\n");
+  server.Stop();
+  const auto& adm = server.admission();
+  std::printf("served %llu queries (%llu shed); accounting drift: %s\n",
+              static_cast<unsigned long long>(adm.admitted_total()),
+              static_cast<unsigned long long>(adm.shed_total()),
+              adm.admitted_total() == adm.released_total() && adm.in_flight() == 0
+                  ? "none"
+                  : "DETECTED");
+  return 0;
+}

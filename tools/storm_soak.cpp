@@ -1,0 +1,210 @@
+// storm_soak: the server soak harness CI runs. Starts a StormServer on an
+// ephemeral port, then drives it with N concurrent RemoteClients sending
+// mixed traffic — streamed queries, mid-stream cancels, batch inserts,
+// pings, metrics scrapes — for STORM_SOAK_SECONDS (default 5). At the end
+// it checks a clean shutdown and exact admission accounting:
+//
+//   admitted_total == released_total  and  in_flight == 0
+//
+// i.e. no shed-request accounting drift. Any protocol error, unexpected
+// status, or drift makes the process exit nonzero, which fails the CI job.
+//
+//   STORM_SOAK_SECONDS=60 STORM_SOAK_CLIENTS=8 ./build/tools/storm_soak
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "storm/storm.h"
+
+namespace {
+
+using namespace storm;
+
+int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' ? std::atoi(v) : fallback;
+}
+
+struct WorkerStats {
+  uint64_t queries = 0;
+  uint64_t shed = 0;
+  uint64_t cancelled = 0;
+  uint64_t inserts = 0;
+  uint64_t errors = 0;
+  std::string first_error;
+};
+
+void Fail(WorkerStats* stats, const std::string& what) {
+  ++stats->errors;
+  if (stats->first_error.empty()) stats->first_error = what;
+}
+
+void ClientWorker(int port, int worker, std::atomic<bool>* stop,
+                  WorkerStats* stats) {
+  Rng rng(0x50AC + static_cast<uint64_t>(worker));
+  RemoteClient client;
+  Status st = client.Connect("127.0.0.1", port);
+  if (!st.ok()) {
+    Fail(stats, "connect: " + st.ToString());
+    return;
+  }
+  client.set_progress_interval_ms(5);
+
+  while (!stop->load(std::memory_order_acquire)) {
+    const int dice = static_cast<int>(rng.UniformInt(0, 9));
+    if (dice < 5) {
+      // Streamed query, run to completion.
+      auto result = client.Execute(
+          "SELECT AVG(v) FROM soak SAMPLES 20000",
+          ExecOptions().WithProgress([](const QueryProgress&) { return true; }));
+      if (result.ok()) {
+        ++stats->queries;
+      } else if (result.status().code() == StatusCode::kUnavailable) {
+        ++stats->shed;  // admission control at work, not an error
+      } else {
+        Fail(stats, "query: " + result.status().ToString());
+      }
+    } else if (dice < 7) {
+      // Query cancelled from inside the progress stream.
+      int batches = 0;
+      auto result = client.Execute(
+          "SELECT AVG(v) FROM soak SAMPLES 2000000",
+          ExecOptions().WithProgress(
+              [&batches](const QueryProgress&) { return ++batches < 2; }));
+      if (result.ok()) {
+        ++stats->cancelled;
+      } else if (result.status().code() == StatusCode::kUnavailable) {
+        ++stats->shed;
+      } else {
+        Fail(stats, "cancel: " + result.status().ToString());
+      }
+    } else if (dice < 9) {
+      // Batch insert; the table keeps growing while queries sample it.
+      std::vector<Value> docs;
+      for (int i = 0; i < 8; ++i) {
+        double x = rng.UniformDouble() * 10.0;
+        double y = rng.UniformDouble() * 10.0;
+        docs.push_back(*Value::Parse("{\"x\": " + std::to_string(x) +
+                                     ", \"y\": " + std::to_string(y) +
+                                     ", \"v\": " + std::to_string(x + y) +
+                                     ", \"t\": 0}"));
+      }
+      BatchInsertResult r = client.InsertBatch("soak", docs);
+      if (r.status.ok()) {
+        ++stats->inserts;
+      } else {
+        Fail(stats, "insert: " + r.status.ToString());
+      }
+    } else if (dice == 9) {
+      Status ping = client.Ping();
+      if (!ping.ok()) Fail(stats, "ping: " + ping.ToString());
+      auto metrics = client.Metrics();
+      if (!metrics.ok()) Fail(stats, "metrics: " + metrics.status().ToString());
+    }
+    if (stats->errors > 10) return;  // hopeless; stop burning time
+  }
+}
+
+}  // namespace
+
+int main() {
+  const int seconds = EnvInt("STORM_SOAK_SECONDS", 5);
+  const int num_clients = EnvInt("STORM_SOAK_CLIENTS", 8);
+
+  // Seed table: uniform points with a numeric attribute to aggregate.
+  Session session;
+  {
+    Rng rng(7);
+    std::vector<Value> docs;
+    for (int i = 0; i < 50'000; ++i) {
+      double x = rng.UniformDouble() * 10.0;
+      double y = rng.UniformDouble() * 10.0;
+      docs.push_back(*Value::Parse("{\"x\": " + std::to_string(x) +
+                                   ", \"y\": " + std::to_string(y) +
+                                   ", \"v\": " + std::to_string(x + y) +
+                                   ", \"t\": 0}"));
+    }
+    Status st = session.CreateTable("soak", docs);
+    if (!st.ok()) {
+      std::fprintf(stderr, "create table: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  ServerOptions options;
+  options.port = 0;
+  options.query_threads = 4;
+  options.max_queued_queries = 8;  // small queue: exercise load shedding
+  StormServer server(&session, options);
+  Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "start: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("soaking %d clients against port %d for %d s\n", num_clients,
+              server.port(), seconds);
+
+  std::atomic<bool> stop{false};
+  std::vector<WorkerStats> stats(static_cast<size_t>(num_clients));
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(num_clients));
+  for (int i = 0; i < num_clients; ++i) {
+    workers.emplace_back(ClientWorker, server.port(), i, &stop, &stats[i]);
+  }
+  std::this_thread::sleep_for(std::chrono::seconds(seconds));
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : workers) t.join();
+
+  server.Stop();
+
+  WorkerStats total;
+  for (const WorkerStats& s : stats) {
+    total.queries += s.queries;
+    total.shed += s.shed;
+    total.cancelled += s.cancelled;
+    total.inserts += s.inserts;
+    total.errors += s.errors;
+    if (total.first_error.empty()) total.first_error = s.first_error;
+  }
+  const AdmissionController& adm = server.admission();
+  std::printf(
+      "done: %llu queries, %llu cancelled, %llu shed, %llu insert batches, "
+      "%llu errors\n",
+      static_cast<unsigned long long>(total.queries),
+      static_cast<unsigned long long>(total.cancelled),
+      static_cast<unsigned long long>(total.shed),
+      static_cast<unsigned long long>(total.inserts),
+      static_cast<unsigned long long>(total.errors));
+  std::printf("admission: admitted=%llu released=%llu shed=%llu in_flight=%d\n",
+              static_cast<unsigned long long>(adm.admitted_total()),
+              static_cast<unsigned long long>(adm.released_total()),
+              static_cast<unsigned long long>(adm.shed_total()),
+              adm.in_flight());
+
+  int rc = 0;
+  if (total.errors > 0) {
+    std::fprintf(stderr, "FAIL: %llu worker errors (first: %s)\n",
+                 static_cast<unsigned long long>(total.errors),
+                 total.first_error.c_str());
+    rc = 1;
+  }
+  if (adm.admitted_total() != adm.released_total() || adm.in_flight() != 0) {
+    std::fprintf(stderr, "FAIL: admission accounting drift\n");
+    rc = 1;
+  }
+  if (server.active_connections() != 0) {
+    std::fprintf(stderr, "FAIL: connections leaked across Stop()\n");
+    rc = 1;
+  }
+  if (total.queries + total.cancelled == 0) {
+    std::fprintf(stderr, "FAIL: no queries completed\n");
+    rc = 1;
+  }
+  if (rc == 0) std::printf("PASS\n");
+  return rc;
+}
