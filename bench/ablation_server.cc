@@ -17,6 +17,7 @@
 // serving layer is < 15% on this workload.
 
 #include <atomic>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -30,6 +31,10 @@ struct ModeStats {
   uint64_t queries = 0;
   uint64_t progress_frames = 0;
   uint64_t errors = 0;
+  // Slowest remote query's joined client+server profile: printed when the
+  // run goes red so triage starts from a trace id, not a bare error count.
+  double slowest_ms = 0.0;
+  std::shared_ptr<const QueryProfile> slowest_profile;
 };
 
 void Run() {
@@ -120,6 +125,9 @@ void Run() {
         // already 20x denser.) Every frame costs the consumer a wakeup,
         // which is what a saturated 1-core host actually measures.
         rc.set_progress_interval_ms(50);
+        // Production posture: 1% of queries sampled into the TraceSinks.
+        // The <3% overhead acceptance bar for tracing is measured here.
+        rc.set_trace_sample_rate(0.01);
         for (int i = 0; i < per_client; ++i) {
           Stopwatch watch;
           auto result = rc.Execute(
@@ -133,6 +141,11 @@ void Run() {
           }
           s.total_ms += watch.ElapsedMillis();
           ++s.queries;
+          if (result->profile != nullptr &&
+              result->profile->total_ms() > s.slowest_ms) {
+            s.slowest_ms = result->profile->total_ms();
+            s.slowest_profile = result->profile;
+          }
         }
         rc.Close();
       });
@@ -153,13 +166,28 @@ void Run() {
     remote_total.queries += s.queries;
     remote_total.progress_frames += s.progress_frames;
     remote_total.errors += s.errors;
+    if (s.slowest_ms > remote_total.slowest_ms) {
+      remote_total.slowest_ms = s.slowest_ms;
+      remote_total.slowest_profile = s.slowest_profile;
+    }
   }
-  if (local_total.queries == 0 || remote_total.queries == 0) {
-    std::fprintf(stderr, "no queries completed (local errors=%llu, remote "
-                 "errors=%llu)\n",
+  if (local_total.queries == 0 || remote_total.queries == 0 ||
+      local_total.errors > 0 || remote_total.errors > 0) {
+    std::fprintf(stderr, "errors during run (local errors=%llu, remote "
+                 "errors=%llu, local queries=%llu, remote queries=%llu)\n",
                  static_cast<unsigned long long>(local_total.errors),
-                 static_cast<unsigned long long>(remote_total.errors));
-    return;
+                 static_cast<unsigned long long>(remote_total.errors),
+                 static_cast<unsigned long long>(local_total.queries),
+                 static_cast<unsigned long long>(remote_total.queries));
+    if (remote_total.slowest_profile != nullptr) {
+      std::fprintf(stderr,
+                   "slowest remote query: %.1f ms, trace %s; joined "
+                   "profile:\n%s",
+                   remote_total.slowest_ms,
+                   remote_total.slowest_profile->trace.trace_id_hex().c_str(),
+                   remote_total.slowest_profile->ToString().c_str());
+    }
+    if (local_total.queries == 0 || remote_total.queries == 0) return;
   }
 
   const double local_mean =

@@ -142,6 +142,11 @@ int main() {
   std::string line;
   std::shared_ptr<QueryProfile> last_profile;
   RemoteClient remote;
+  // STORM_TRACE_SAMPLE_RATE overrides the client's 1% trace-sampling
+  // default — lets scripted runs (CI diagnostics checks) sample at 100%.
+  if (const char* rate_env = std::getenv("STORM_TRACE_SAMPLE_RATE")) {
+    remote.set_trace_sample_rate(std::atof(rate_env));
+  }
   while (true) {
     std::printf(remote.connected() ? "storm(remote)> " : "storm> ");
     std::fflush(stdout);
@@ -225,6 +230,13 @@ int main() {
       } else {
         std::printf("%s",
                     MetricsRegistry::Default().ExposePrometheus().c_str());
+        // Derived latency quantiles (interpolated from histogram buckets) —
+        // the at-a-glance numbers the raw exposition buries in _bucket lines.
+        std::string quantiles =
+            MetricsRegistry::Default().HistogramQuantilesText();
+        if (!quantiles.empty()) {
+          std::printf("\nderived quantiles:\n%s", quantiles.c_str());
+        }
       }
       continue;
     }

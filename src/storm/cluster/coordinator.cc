@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "storm/obs/metrics.h"
+#include "storm/obs/trace_context.h"
 #include "storm/util/logging.h"
 
 namespace storm {
@@ -166,7 +167,11 @@ class DistributedSampler final : public SpatialSampler<3> {
     std::vector<Rng> jitter;
     jitter.reserve(n);
     for (size_t s = 0; s < n; ++s) jitter.push_back(retry_rng_.Fork(s + 1));
+    // Fan-out threads inherit the caller's trace identity so shard-level
+    // retries and evictions are attributable to the originating query.
+    const TraceContext fanout_trace = CurrentTraceContext();
     auto plan_one = [&](size_t s) {
+      ScopedTraceContext trace_scope(fanout_trace);
       PlanSlot& slot = plan[s];
       slot.count_status = RetryWithBackoff(
           options_.retry, &jitter[s],

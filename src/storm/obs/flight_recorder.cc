@@ -1,0 +1,234 @@
+#include "storm/obs/flight_recorder.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "storm/obs/trace_context.h"
+
+namespace storm {
+
+namespace {
+
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string_view FlightEventName(FlightEvent e) {
+  switch (e) {
+    case FlightEvent::kMark:
+      return "mark";
+    case FlightEvent::kQueryAdmit:
+      return "query_admit";
+    case FlightEvent::kQueryFinish:
+      return "query_finish";
+    case FlightEvent::kQueryShed:
+      return "query_shed";
+    case FlightEvent::kFrameRx:
+      return "frame_rx";
+    case FlightEvent::kFrameTx:
+      return "frame_tx";
+    case FlightEvent::kBackpressureDrop:
+      return "backpressure_drop";
+    case FlightEvent::kBackpressureStall:
+      return "backpressure_stall";
+    case FlightEvent::kConnOpen:
+      return "conn_open";
+    case FlightEvent::kConnClose:
+      return "conn_close";
+    case FlightEvent::kWalSync:
+      return "wal_sync";
+    case FlightEvent::kFailpointTrip:
+      return "failpoint_trip";
+    case FlightEvent::kCancel:
+      return "cancel";
+    case FlightEvent::kCheckpoint:
+      return "checkpoint";
+  }
+  return "unknown";
+}
+
+FlightRecorder& FlightRecorder::Default() {
+  // Leaked on purpose: recording threads may outlive static destruction.
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+FlightRecorder::FlightRecorder() : epoch_ns_(SteadyNowNs()) {}
+
+FlightRecorder::Ring* FlightRecorder::RingForThisThread() {
+  // One ring per (recorder, thread). The registry keeps a shared_ptr so a
+  // ring's events remain dumpable after its thread exits; the thread-local
+  // holds another so the pointer stays valid for the thread's lifetime.
+  thread_local std::shared_ptr<Ring> ring;
+  thread_local FlightRecorder* owner = nullptr;
+  if (owner != this) {
+    auto fresh = std::make_shared<Ring>();
+    std::lock_guard<std::mutex> lock(rings_mutex_);
+    fresh->thread_id = static_cast<uint32_t>(rings_.size());
+    rings_.push_back(fresh);
+    ring = std::move(fresh);
+    owner = this;
+  }
+  return ring.get();
+}
+
+void FlightRecorder::Record(FlightEvent type, uint64_t a, uint64_t b,
+                            std::string_view label) {
+  Ring* ring = RingForThisThread();
+  Slot& slot = ring->slots[ring->head];
+  ring->head = (ring->head + 1) % kRingEvents;
+
+  // Seqlock write: invalidate, fill, publish. Only this thread writes the
+  // slot, so plain relaxed stores suffice between the two seq updates.
+  slot.seq.store(0, std::memory_order_release);
+  slot.ts_us.store((SteadyNowNs() - epoch_ns_) / 1000,
+                   std::memory_order_relaxed);
+  slot.type.store(static_cast<uint16_t>(type), std::memory_order_relaxed);
+  slot.trace_lo.store(CurrentTraceContext().trace_id_lo,
+                      std::memory_order_relaxed);
+  slot.a.store(a, std::memory_order_relaxed);
+  slot.b.store(b, std::memory_order_relaxed);
+  const size_t n = std::min(label.size(), kLabelBytes - 1);
+  for (size_t i = 0; i < n; ++i) {
+    slot.label[i].store(label[i], std::memory_order_relaxed);
+  }
+  slot.label[n].store('\0', std::memory_order_relaxed);
+  const uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  slot.seq.store(seq, std::memory_order_release);
+}
+
+std::vector<FlightRecorder::Snapshot> FlightRecorder::Dump(
+    size_t max_events) const {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    std::lock_guard<std::mutex> lock(rings_mutex_);
+    rings = rings_;
+  }
+  std::vector<Snapshot> out;
+  for (const auto& ring : rings) {
+    for (const Slot& slot : ring->slots) {
+      // Seqlock read: copy, then confirm the slot was not rewritten
+      // underneath us. A mismatch means the writer lapped this slot;
+      // dropping it loses the *oldest* events, which is the right bias.
+      const uint64_t seq_before = slot.seq.load(std::memory_order_acquire);
+      if (seq_before == 0) continue;
+      Snapshot snap;
+      snap.seq = seq_before;
+      snap.ts_us = slot.ts_us.load(std::memory_order_relaxed);
+      snap.thread = ring->thread_id;
+      snap.type = static_cast<FlightEvent>(
+          slot.type.load(std::memory_order_relaxed));
+      snap.trace_lo = slot.trace_lo.load(std::memory_order_relaxed);
+      snap.a = slot.a.load(std::memory_order_relaxed);
+      snap.b = slot.b.load(std::memory_order_relaxed);
+      for (size_t i = 0; i < kLabelBytes; ++i) {
+        const char c = slot.label[i].load(std::memory_order_relaxed);
+        if (c == '\0') break;
+        snap.label += c;
+      }
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.seq.load(std::memory_order_relaxed) != seq_before) continue;
+      out.push_back(std::move(snap));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Snapshot& x, const Snapshot& y) { return x.seq < y.seq; });
+  if (max_events > 0 && out.size() > max_events) {
+    out.erase(out.begin(),
+              out.end() - static_cast<ptrdiff_t>(max_events));
+  }
+  return out;
+}
+
+std::string FlightRecorder::DumpText(size_t max_events) const {
+  std::vector<Snapshot> events = Dump(max_events);
+  std::string out = "flight recorder dump (" + std::to_string(events.size()) +
+                    " events)\n";
+  char line[192];
+  for (const Snapshot& e : events) {
+    std::snprintf(line, sizeof(line),
+                  "  #%llu %10.3fms t%02u %-18s a=%llu b=%llu",
+                  static_cast<unsigned long long>(e.seq), e.ts_us / 1000.0,
+                  e.thread, std::string(FlightEventName(e.type)).c_str(),
+                  static_cast<unsigned long long>(e.a),
+                  static_cast<unsigned long long>(e.b));
+    out += line;
+    if (e.trace_lo != 0) {
+      std::snprintf(line, sizeof(line), " trace=%016llx",
+                    static_cast<unsigned long long>(e.trace_lo));
+      out += line;
+    }
+    if (!e.label.empty()) {
+      out += " ";
+      out += e.label;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string FlightRecorder::DumpJson(size_t max_events) const {
+  std::vector<Snapshot> events = Dump(max_events);
+  std::string out = "[";
+  bool first = true;
+  char buf[192];
+  for (const Snapshot& e : events) {
+    if (!first) out += ",";
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"seq\":%llu,\"ts_us\":%llu,\"thread\":%u,\"event\":\"",
+                  static_cast<unsigned long long>(e.seq),
+                  static_cast<unsigned long long>(e.ts_us), e.thread);
+    out += buf;
+    out += FlightEventName(e.type);
+    std::snprintf(buf, sizeof(buf), "\",\"a\":%llu,\"b\":%llu",
+                  static_cast<unsigned long long>(e.a),
+                  static_cast<unsigned long long>(e.b));
+    out += buf;
+    if (e.trace_lo != 0) {
+      std::snprintf(buf, sizeof(buf), ",\"trace\":\"%016llx\"",
+                    static_cast<unsigned long long>(e.trace_lo));
+      out += buf;
+    }
+    if (!e.label.empty()) {
+      out += ",\"label\":\"";
+      AppendJsonEscaped(&out, e.label);
+      out += "\"";
+    }
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace storm

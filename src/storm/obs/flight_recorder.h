@@ -1,0 +1,135 @@
+// FlightRecorder: a lock-free, always-on ring of recent structured events —
+// the "what was this server doing right before it went sideways" record.
+//
+// Each thread that records owns a private fixed-size ring; recording is a
+// handful of relaxed atomic stores plus one global sequence fetch_add (the
+// global order), so the hot paths (frame rx/tx, query admit/finish, WAL
+// syncs, failpoint trips, backpressure transitions) pay nanoseconds and
+// never contend. Dump() snapshots every ring — including rings of threads
+// that have since exited — and merges the surviving events in global
+// sequence order. Slots being overwritten mid-snapshot are detected by a
+// seqlock-style recheck and skipped, so dumps are consistent without ever
+// stalling a writer.
+//
+// storm_server dumps the recorder on SIGTERM and on std::terminate, and
+// serves it live at GET /flightz; tests call DumpText() directly.
+
+#ifndef STORM_OBS_FLIGHT_RECORDER_H_
+#define STORM_OBS_FLIGHT_RECORDER_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace storm {
+
+/// Event vocabulary. Keep values stable: dumps print the numeric type when
+/// a name is missing.
+enum class FlightEvent : uint16_t {
+  kMark = 0,              ///< free-form marker (label carries the text)
+  kQueryAdmit = 1,        ///< a=request id; label=table/query prefix
+  kQueryFinish = 2,       ///< a=request id, b=elapsed us
+  kQueryShed = 3,         ///< a=request id (admission control rejection)
+  kFrameRx = 4,           ///< a=frame type, b=request id
+  kFrameTx = 5,           ///< a=frame type, b=payload bytes
+  kBackpressureDrop = 6,  ///< a=queued bytes (PROGRESS dropped, soft limit)
+  kBackpressureStall = 7, ///< a=queued bytes (sender stalled, hard limit)
+  kConnOpen = 8,
+  kConnClose = 9,
+  kWalSync = 10,          ///< a=records synced
+  kFailpointTrip = 11,    ///< label=site
+  kCancel = 12,           ///< a=request id
+  kCheckpoint = 13,       ///< label=table
+};
+
+std::string_view FlightEventName(FlightEvent e);
+
+class FlightRecorder {
+ public:
+  static constexpr size_t kRingEvents = 1024;  ///< per recording thread
+  static constexpr size_t kLabelBytes = 24;    ///< truncated, NUL-padded
+
+  /// One decoded event, as Dump() hands it out.
+  struct Snapshot {
+    uint64_t seq = 0;       ///< global order (1-based, monotonic)
+    uint64_t ts_us = 0;     ///< microseconds since recorder creation
+    uint32_t thread = 0;    ///< small per-ring id, stable for a thread's life
+    FlightEvent type = FlightEvent::kMark;
+    uint64_t trace_lo = 0;  ///< low half of the ambient trace id (0 = none)
+    uint64_t a = 0;
+    uint64_t b = 0;
+    std::string label;
+  };
+
+  /// The process-wide recorder every STORM component records into.
+  static FlightRecorder& Default();
+
+  FlightRecorder();
+
+  /// Records one event on the calling thread's ring. Tags it with the
+  /// ambient TraceContext automatically. `label` is truncated to
+  /// kLabelBytes-1; pass {} for none. Lock-free after the thread's first
+  /// call (which registers its ring under a mutex).
+  void Record(FlightEvent type, uint64_t a = 0, uint64_t b = 0,
+              std::string_view label = {});
+
+  /// All surviving events across every ring, ascending global seq. With
+  /// `max_events` > 0 only the most recent that many are returned.
+  std::vector<Snapshot> Dump(size_t max_events = 0) const;
+
+  /// Human-readable dump ("flight recorder dump (N events)" header + one
+  /// line per event, oldest first).
+  std::string DumpText(size_t max_events = 256) const;
+
+  /// JSON array-of-objects dump (the /flightz body).
+  std::string DumpJson(size_t max_events = 256) const;
+
+  /// Events recorded since construction (cheap; for tests and /statusz).
+  uint64_t recorded_total() const {
+    return next_seq_.load(std::memory_order_relaxed) - 1;
+  }
+
+ private:
+  /// A slot is written by exactly one thread and read by dumpers. The
+  /// writer invalidates (seq=0), writes the fields, then publishes seq with
+  /// release; a dumper reads seq (acquire), copies, and rereads seq to
+  /// discard torn copies. Every field is atomic so racing accesses are
+  /// well-defined under TSan.
+  struct Slot {
+    std::atomic<uint64_t> seq{0};
+    std::atomic<uint64_t> ts_us{0};
+    std::atomic<uint16_t> type{0};
+    std::atomic<uint64_t> trace_lo{0};
+    std::atomic<uint64_t> a{0};
+    std::atomic<uint64_t> b{0};
+    std::array<std::atomic<char>, kLabelBytes> label{};
+  };
+
+  struct Ring {
+    uint32_t thread_id = 0;
+    size_t head = 0;  ///< next slot to write; touched only by the owner
+    std::array<Slot, kRingEvents> slots;
+  };
+
+  Ring* RingForThisThread();
+
+  std::atomic<uint64_t> next_seq_{1};
+  mutable std::mutex rings_mutex_;
+  std::vector<std::shared_ptr<Ring>> rings_;  ///< outlive their threads
+  uint64_t epoch_ns_ = 0;                     ///< steady-clock origin
+};
+
+/// Convenience: record on the default recorder.
+inline void FlightRecord(FlightEvent type, uint64_t a = 0, uint64_t b = 0,
+                         std::string_view label = {}) {
+  FlightRecorder::Default().Record(type, a, b, label);
+}
+
+}  // namespace storm
+
+#endif  // STORM_OBS_FLIGHT_RECORDER_H_

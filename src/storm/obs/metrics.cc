@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <sstream>
 
 #include "storm/util/logging.h"
@@ -55,6 +56,45 @@ void EscapeJsonTo(std::string_view s, std::string* out) {
   }
 }
 
+// Label *values* need escaping per the Prometheus exposition format:
+// backslash, double-quote, and line-feed. Label names are identifiers and
+// pass through unchanged.
+void EscapeLabelValueTo(std::string_view v, std::string* out) {
+  for (char c : v) {
+    switch (c) {
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        *out += c;
+    }
+  }
+}
+
+// HELP text escaping: backslash and line-feed only (quotes are legal there).
+std::string EscapeHelp(const std::string& help) {
+  std::string out;
+  for (char c : help) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
 std::string SerializeLabels(const MetricLabels& labels) {
   if (labels.empty()) return "";
   std::string out = "{";
@@ -64,7 +104,7 @@ std::string SerializeLabels(const MetricLabels& labels) {
     first = false;
     out += k;
     out += "=\"";
-    out += v;
+    EscapeLabelValueTo(v, &out);
     out += "\"";
   }
   out += "}";
@@ -113,6 +153,32 @@ std::vector<uint64_t> Histogram::BucketCounts() const {
     out[i] = buckets_[i].load(std::memory_order_relaxed);
   }
   return out;
+}
+
+double Histogram::Quantile(double q) const {
+  const std::vector<uint64_t> buckets = BucketCounts();
+  uint64_t total = 0;
+  for (uint64_t c : buckets) total += c;
+  if (total == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double rank = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    const double prev = cumulative;
+    cumulative += static_cast<double>(buckets[i]);
+    if (cumulative < rank) continue;
+    if (i >= bounds_.size()) {
+      // +Inf bucket: the best claim we can make is "at least the largest
+      // finite bound" — clamp, like histogram_quantile() does.
+      return bounds_.empty() ? 0.0 : bounds_.back();
+    }
+    const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+    const double upper = bounds_[i];
+    const double in_bucket = static_cast<double>(buckets[i]);
+    if (in_bucket <= 0.0) return upper;
+    return lower + (upper - lower) * ((rank - prev) / in_bucket);
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
 }
 
 MetricsRegistry::Family* MetricsRegistry::FamilyFor(const std::string& name,
@@ -190,9 +256,10 @@ std::string MetricsRegistry::ExposePrometheus() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string out;
   for (const auto& [name, family] : families_) {
-    if (!family.help.empty()) {
-      out += "# HELP " + name + " " + family.help + "\n";
-    }
+    // Scrapers expect every family to carry HELP and TYPE; fall back to the
+    // metric name when no help string was registered.
+    out += "# HELP " + name + " " +
+           (family.help.empty() ? name : EscapeHelp(family.help)) + "\n";
     out += "# TYPE " + name + " ";
     out += KindName(static_cast<int>(family.kind));
     out += "\n";
@@ -262,6 +329,9 @@ std::string MetricsRegistry::ExposeJson() const {
           const Histogram& h = *inst.histogram;
           out += ",\"count\":" + std::to_string(h.count());
           out += ",\"sum\":" + FormatNumber(h.sum());
+          out += ",\"p50\":" + FormatNumber(h.Quantile(0.50));
+          out += ",\"p90\":" + FormatNumber(h.Quantile(0.90));
+          out += ",\"p99\":" + FormatNumber(h.Quantile(0.99));
           out += ",\"buckets\":[";
           std::vector<uint64_t> buckets = h.BucketCounts();
           for (size_t i = 0; i < buckets.size(); ++i) {
@@ -279,6 +349,27 @@ std::string MetricsRegistry::ExposeJson() const {
     }
   }
   out += "]}";
+  return out;
+}
+
+std::string MetricsRegistry::HistogramQuantilesText() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  char line[256];
+  for (const auto& [name, family] : families_) {
+    if (family.kind != Kind::kHistogram) continue;
+    for (const auto& [key, inst] : family.instruments) {
+      const Histogram& h = *inst.histogram;
+      const uint64_t n = h.count();
+      const double mean = n > 0 ? h.sum() / static_cast<double>(n) : 0.0;
+      std::snprintf(line, sizeof(line),
+                    "%s%s: n=%llu mean=%.3f p50=%.3f p90=%.3f p99=%.3f\n",
+                    name.c_str(), key.c_str(),
+                    static_cast<unsigned long long>(n), mean, h.Quantile(0.50),
+                    h.Quantile(0.90), h.Quantile(0.99));
+      out += line;
+    }
+  }
   return out;
 }
 

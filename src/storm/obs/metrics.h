@@ -69,6 +69,12 @@ class Histogram {
   /// entry being the +Inf bucket.
   std::vector<uint64_t> BucketCounts() const;
 
+  /// Estimated q-quantile (q in [0,1]) by linear interpolation inside the
+  /// bucket the quantile rank lands in — the same estimate Prometheus's
+  /// histogram_quantile() computes. Observations in the +Inf bucket clamp
+  /// to the largest finite bound. Returns 0 for an empty histogram.
+  double Quantile(double q) const;
+
  private:
   std::vector<double> bounds_;
   std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
@@ -99,7 +105,13 @@ class MetricsRegistry {
   std::string ExposePrometheus() const;
 
   /// JSON exposition: {"metrics": [{name, type, labels, ...}, ...]}.
+  /// Histograms include derived p50/p90/p99.
   std::string ExposeJson() const;
+
+  /// One line per registered histogram with count, mean, and interpolated
+  /// p50/p90/p99 — the human-readable latency summary the shell's \metrics
+  /// view appends. Empty string when no histograms are registered.
+  std::string HistogramQuantilesText() const;
 
   /// The process-wide registry used by all built-in instrumentation.
   static MetricsRegistry& Default();

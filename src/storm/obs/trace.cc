@@ -117,6 +117,38 @@ void QueryProfile::AddConvergencePoint(double elapsed_ms, uint64_t samples,
   }
 }
 
+void QueryProfile::AppendFinishedSpan(TraceSpan span) {
+  spans_.push_back(std::move(span));
+  start_io_.push_back(IoStats());
+  span_open_.push_back(false);
+}
+
+void QueryProfile::ReplaceSpans(std::vector<TraceSpan> spans) {
+  spans_ = std::move(spans);
+  start_io_.assign(spans_.size(), IoStats());
+  span_open_.assign(spans_.size(), false);
+  open_stack_.clear();
+}
+
+void QueryProfile::ReplaceConvergence(std::vector<ConvergencePoint> points) {
+  points_ = std::move(points);
+}
+
+void QueryProfile::MergeServerProfile(const QueryProfile& server) {
+  for (TraceSpan span : server.spans_) {
+    span.depth += 1;
+    if (span.site.empty()) span.site = "server";
+    AppendFinishedSpan(std::move(span));
+  }
+  if (!spans_.empty()) {
+    spans_[0].samples = std::max(spans_[0].samples, server.total_samples());
+  }
+  if (points_.empty()) points_ = server.points_;
+  if (sampler.empty()) sampler = server.sampler;
+  if (task.empty()) task = server.task;
+  if (table.empty()) table = server.table;
+}
+
 const TraceSpan* QueryProfile::Find(std::string_view name) const {
   for (const TraceSpan& s : spans_) {
     if (s.name == name) return &s;
@@ -133,7 +165,12 @@ std::string QueryProfile::ToJson() const {
   EscapeJsonTo(task, &out);
   out += "\",\"sampler\":\"";
   EscapeJsonTo(sampler, &out);
-  out += "\",\"total_ms\":" + Num(total_ms());
+  out += "\"";
+  if (trace.valid()) {
+    out += ",\"trace_id\":\"" + trace.trace_id_hex() + "\"";
+    out += ",\"span_id\":\"" + trace.span_id_hex() + "\"";
+  }
+  out += ",\"total_ms\":" + Num(total_ms());
   out += ",\"total_samples\":" + std::to_string(total_samples());
   out += ",\"spans\":[";
   for (size_t i = 0; i < spans_.size(); ++i) {
@@ -158,6 +195,11 @@ std::string QueryProfile::ToJson() const {
       EscapeJsonTo(s.note, &out);
       out += "\"";
     }
+    if (!s.site.empty()) {
+      out += ",\"site\":\"";
+      EscapeJsonTo(s.site, &out);
+      out += "\"";
+    }
     out += "}";
   }
   out += "],\"convergence\":[";
@@ -178,6 +220,10 @@ std::string QueryProfile::ToString() const {
   out += "query profile";
   if (!query.empty()) out += ": " + query;
   out += "\n";
+  if (trace.valid()) {
+    out += "  trace=" + trace.trace_id_hex() +
+           (trace.sampled ? " (sampled)\n" : "\n");
+  }
   std::snprintf(line, sizeof(line), "  table=%s task=%s sampler=%s\n",
                 table.empty() ? "?" : table.c_str(),
                 task.empty() ? "?" : task.c_str(),
@@ -189,6 +235,7 @@ std::string QueryProfile::ToString() const {
   for (const TraceSpan& s : spans_) {
     std::string name(static_cast<size_t>(s.depth) * 2, ' ');
     name += s.name;
+    if (!s.site.empty()) name += " @" + s.site;
     std::snprintf(line, sizeof(line),
                   "  %-28s %10.2f %10llu %9llu %9llu %9llu", name.c_str(),
                   s.wall_ms, static_cast<unsigned long long>(s.samples),

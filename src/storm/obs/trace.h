@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "storm/io/io_stats.h"
+#include "storm/obs/trace_context.h"
 #include "storm/util/stopwatch.h"
 
 namespace storm {
@@ -32,6 +33,7 @@ struct TraceSpan {
   uint64_t samples = 0;  ///< samples drawn during the span (0 if n/a)
   IoStats io;            ///< simulated-disk delta while the span was open
   std::string note;      ///< free-form detail (sampler choice, reason, ...)
+  std::string site;      ///< which process produced it ("" = local, "server")
 };
 
 /// One point of the estimate trajectory recorded by the sample loop.
@@ -102,6 +104,25 @@ class QueryProfile {
   const std::vector<TraceSpan>& spans() const { return spans_; }
   const std::vector<ConvergencePoint>& convergence() const { return points_; }
 
+  /// Appends one already-closed span at the end of the tree. Used by the
+  /// wire decoder and by MergeServerProfile; never reopens the span.
+  void AppendFinishedSpan(TraceSpan span);
+
+  /// Replaces the span tree wholesale with already-closed spans (the wire
+  /// decode path, where the decoded tree must round-trip byte-for-byte —
+  /// including the root the constructor would otherwise mint).
+  void ReplaceSpans(std::vector<TraceSpan> spans);
+
+  /// Replaces the convergence trajectory (wire decode path).
+  void ReplaceConvergence(std::vector<ConvergencePoint> points);
+
+  /// Grafts a remote profile under this one: the server's spans are
+  /// appended one level deeper, tagged site="server" (unless already
+  /// tagged), keeping their server-relative timestamps. The convergence
+  /// trajectory is adopted when this profile has none (the common
+  /// RemoteClient case — convergence happens server-side).
+  void MergeServerProfile(const QueryProfile& server);
+
   /// First span with this name, or nullptr.
   const TraceSpan* Find(std::string_view name) const;
 
@@ -124,6 +145,9 @@ class QueryProfile {
   std::string table;
   std::string task;
   std::string sampler;
+  /// Identity of the trace this profile belongs to (invalid when the query
+  /// ran untraced). Set by Session/RemoteClient, carried over the wire.
+  TraceContext trace;
 
   static constexpr size_t kMaxConvergencePoints = 512;
 

@@ -1,0 +1,74 @@
+#include "storm/obs/trace_context.h"
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "storm/util/rng.h"
+
+namespace storm {
+
+namespace {
+
+std::string Hex(uint64_t v, int digits) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%0*llx", digits,
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+// Per-thread id generator. Seeded from the monotonic clock mixed with the
+// thread identity so concurrent threads (and successive processes) mint
+// distinct ids; queries never consume from it, so seeded experiments stay
+// reproducible.
+Rng& IdRng() {
+  thread_local Rng* rng = [] {
+    uint64_t seed = static_cast<uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    seed ^= std::hash<std::thread::id>{}(std::this_thread::get_id());
+    uint64_t state = seed;
+    return new Rng(SplitMix64(state));
+  }();
+  return *rng;
+}
+
+thread_local TraceContext g_current;
+
+}  // namespace
+
+std::string TraceContext::trace_id_hex() const {
+  return Hex(trace_id_hi, 16) + Hex(trace_id_lo, 16);
+}
+
+std::string TraceContext::span_id_hex() const { return Hex(span_id, 16); }
+
+TraceContext TraceContext::Mint(bool sampled) {
+  Rng& rng = IdRng();
+  TraceContext ctx;
+  // An all-zero trace id means "absent"; re-draw the astronomically unlikely
+  // zero so valid() is trustworthy.
+  do {
+    ctx.trace_id_hi = rng.Next64();
+    ctx.trace_id_lo = rng.Next64();
+  } while (!ctx.valid());
+  ctx.span_id = rng.Next64();
+  ctx.sampled = sampled;
+  return ctx;
+}
+
+TraceContext TraceContext::Child() const {
+  TraceContext child = *this;
+  child.span_id = IdRng().Next64();
+  return child;
+}
+
+const TraceContext& CurrentTraceContext() { return g_current; }
+
+ScopedTraceContext::ScopedTraceContext(const TraceContext& ctx)
+    : previous_(g_current) {
+  g_current = ctx;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { g_current = previous_; }
+
+}  // namespace storm

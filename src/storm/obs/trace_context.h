@@ -1,0 +1,77 @@
+// TraceContext: the identity a query carries across threads and process
+// boundaries — a 128-bit trace id, a 64-bit span id, and a sampled flag.
+//
+// The client (storm::Client via Session, or RemoteClient over the wire)
+// mints a context when a query starts; every hop derives a child context
+// (same trace id, fresh span id) so a distributed profile can be stitched
+// back together by trace id. The sampled flag is the retention decision:
+// sampled traces are collected into the process TraceSink (/tracez, Chrome
+// trace export); unsampled ones still carry ids for log and flight-recorder
+// correlation but pay no profiling cost.
+//
+// A thread-local *ambient* context (CurrentTraceContext / ScopedTraceContext)
+// lets deep call sites — log lines, failpoint trips, flight-recorder events,
+// parallel sampling workers, cluster fan-out threads — tag themselves with
+// the trace id of the query they are serving without threading a parameter
+// through every signature.
+
+#ifndef STORM_OBS_TRACE_CONTEXT_H_
+#define STORM_OBS_TRACE_CONTEXT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace storm {
+
+struct TraceContext {
+  uint64_t trace_id_hi = 0;
+  uint64_t trace_id_lo = 0;
+  uint64_t span_id = 0;
+  bool sampled = false;
+
+  /// A context with an all-zero trace id is "no trace" (the wire encodes
+  /// absence this way, matching W3C trace-context semantics).
+  bool valid() const { return (trace_id_hi | trace_id_lo) != 0; }
+
+  /// 32 lowercase hex chars (the id the export formats and log lines use).
+  std::string trace_id_hex() const;
+  /// 16 lowercase hex chars.
+  std::string span_id_hex() const;
+
+  /// Mints a fresh context: random 128-bit trace id, random span id. The
+  /// generator is a thread-local PCG stream seeded once per thread from the
+  /// monotonic clock and the thread identity — ids are unique for
+  /// correlation purposes, not cryptographic.
+  static TraceContext Mint(bool sampled);
+
+  /// Same trace, fresh span id: what a server or worker adopts so its spans
+  /// are distinguishable from the caller's while sharing the trace id.
+  TraceContext Child() const;
+
+  bool operator==(const TraceContext& other) const {
+    return trace_id_hi == other.trace_id_hi &&
+           trace_id_lo == other.trace_id_lo && span_id == other.span_id &&
+           sampled == other.sampled;
+  }
+};
+
+/// The ambient context of the current thread (invalid when none installed).
+const TraceContext& CurrentTraceContext();
+
+/// Installs `ctx` as the current thread's ambient context for the scope,
+/// restoring the previous one on destruction. Cheap: two thread-local copies.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& ctx);
+  ~ScopedTraceContext();
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext previous_;
+};
+
+}  // namespace storm
+
+#endif  // STORM_OBS_TRACE_CONTEXT_H_

@@ -1,0 +1,138 @@
+#include "storm/obs/trace_export.h"
+
+#include <cstdio>
+
+namespace storm {
+
+namespace {
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+// One trace-event per span. `pid` separates processes in the viewer: the
+// local process is pid 1 and every distinct remote site gets its own pid,
+// so a joined profile renders as parallel client/server tracks.
+void AppendProfileEvents(const QueryProfile& profile, bool* first,
+                         std::string* out) {
+  const std::string trace_id =
+      profile.trace.valid() ? profile.trace.trace_id_hex() : std::string();
+  char buf[160];
+  for (const TraceSpan& span : profile.spans()) {
+    if (!*first) *out += ",";
+    *first = false;
+    *out += "{\"name\":\"";
+    AppendJsonEscaped(out, span.name);
+    const int pid = span.site.empty() ? 1 : 2;
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"ph\":\"X\",\"ts\":%.1f,\"dur\":%.1f,\"pid\":%d,"
+                  "\"tid\":%d,\"args\":{",
+                  span.start_ms * 1000.0, span.wall_ms * 1000.0, pid,
+                  span.depth);
+    *out += buf;
+    bool first_arg = true;
+    if (!trace_id.empty()) {
+      *out += "\"trace_id\":\"" + trace_id + "\"";
+      first_arg = false;
+    }
+    if (!span.site.empty()) {
+      if (!first_arg) *out += ",";
+      *out += "\"site\":\"";
+      AppendJsonEscaped(out, span.site);
+      *out += "\"";
+      first_arg = false;
+    }
+    if (span.samples != 0) {
+      if (!first_arg) *out += ",";
+      *out += "\"samples\":" + std::to_string(span.samples);
+      first_arg = false;
+    }
+    if (!span.note.empty()) {
+      if (!first_arg) *out += ",";
+      *out += "\"note\":\"";
+      AppendJsonEscaped(out, span.note);
+      *out += "\"";
+    }
+    *out += "}}";
+  }
+}
+
+}  // namespace
+
+TraceSink& TraceSink::Default() {
+  // Leaked on purpose: recording threads may outlive static destruction.
+  static TraceSink* sink = new TraceSink();
+  return *sink;
+}
+
+TraceSink::TraceSink(size_t capacity) : capacity_(capacity) {}
+
+void TraceSink::Record(const QueryProfile& profile) {
+  auto copy = std::make_shared<const QueryProfile>(profile);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++total_;
+  profiles_.push_back(std::move(copy));
+  while (profiles_.size() > capacity_) profiles_.pop_front();
+}
+
+std::vector<std::shared_ptr<const QueryProfile>> TraceSink::Recent() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {profiles_.begin(), profiles_.end()};
+}
+
+std::string TraceSink::ToJson() const {
+  std::vector<std::shared_ptr<const QueryProfile>> recent = Recent();
+  std::string out = "[";
+  for (size_t i = 0; i < recent.size(); ++i) {
+    if (i > 0) out += ",";
+    out += recent[i]->ToJson();
+  }
+  out += "]";
+  return out;
+}
+
+uint64_t TraceSink::recorded_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+std::string ChromeTraceJson(const QueryProfile& profile) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  AppendProfileEvents(profile, &first, &out);
+  out += "]}";
+  return out;
+}
+
+std::string ChromeTraceJson(
+    const std::vector<std::shared_ptr<const QueryProfile>>& profiles) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& profile : profiles) {
+    if (profile != nullptr) AppendProfileEvents(*profile, &first, &out);
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace storm

@@ -1,0 +1,60 @@
+// Trace retention and export.
+//
+// TraceSink keeps the last N *sampled* QueryProfiles in memory (the
+// /tracez endpoint and the shell's trace view read it). ChromeTraceJson
+// renders one or more profiles in the Chrome trace-event format
+// (chrome://tracing, Perfetto, or any OTLP-adjacent viewer): one complete
+// "X" event per span, pid split by site so a joined client+server profile
+// shows up as two process tracks sharing a trace id.
+
+#ifndef STORM_OBS_TRACE_EXPORT_H_
+#define STORM_OBS_TRACE_EXPORT_H_
+
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "storm/obs/trace.h"
+
+namespace storm {
+
+class TraceSink {
+ public:
+  /// The process-wide sink sampled traces land in.
+  static TraceSink& Default();
+
+  explicit TraceSink(size_t capacity = 64);
+
+  /// Retains a copy of the profile (oldest evicted past capacity).
+  void Record(const QueryProfile& profile);
+
+  /// Most-recent-last snapshot of retained profiles.
+  std::vector<std::shared_ptr<const QueryProfile>> Recent() const;
+
+  /// JSON array of retained profiles, oldest first (the /tracez body).
+  std::string ToJson() const;
+
+  /// Profiles recorded since construction (evictions included).
+  uint64_t recorded_total() const;
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  uint64_t total_ = 0;
+  std::deque<std::shared_ptr<const QueryProfile>> profiles_;
+};
+
+/// Chrome trace-event JSON for one profile.
+std::string ChromeTraceJson(const QueryProfile& profile);
+
+/// Chrome trace-event JSON for several profiles in one document.
+std::string ChromeTraceJson(
+    const std::vector<std::shared_ptr<const QueryProfile>>& profiles);
+
+}  // namespace storm
+
+#endif  // STORM_OBS_TRACE_EXPORT_H_

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "storm/obs/metrics.h"
+#include "storm/obs/trace_context.h"
 #include "storm/sampling/failover.h"
 #include "storm/util/thread_pool.h"
 
@@ -146,6 +147,9 @@ Result<ParallelOutcome<Est>> RunParallelEngine(
   ThreadPool& pool = ThreadPool::Shared();
   std::vector<std::future<void>> futures;
   futures.reserve(static_cast<size_t>(n));
+  // Pool workers inherit the coordinating thread's trace identity so their
+  // log lines and flight-recorder events join the query's trace.
+  const TraceContext trace = CurrentTraceContext();
   for (int w = 0; w < n; ++w) {
     Counter* worker_samples = reg.GetCounter(
         "storm_parallel_worker_samples_total",
@@ -155,7 +159,8 @@ Result<ParallelOutcome<Est>> RunParallelEngine(
     std::mutex* mu = mus[static_cast<size_t>(w)].get();
     auto* done_flag = &done[static_cast<size_t>(w)];
     futures.push_back(pool.Submit([&stop, &total_drawn, est, mu, done_flag,
-                                   worker_samples, cap] {
+                                   worker_samples, cap, trace] {
+      ScopedTraceContext trace_scope(trace);
       while (!stop.load(std::memory_order_acquire)) {
         if (cap != 0 &&
             total_drawn.load(std::memory_order_relaxed) >= cap) {

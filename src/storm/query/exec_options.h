@@ -22,6 +22,7 @@
 #include <functional>
 
 #include "storm/estimator/confidence.h"
+#include "storm/obs/trace_context.h"
 #include "storm/util/cancel.h"
 
 namespace storm {
@@ -68,6 +69,12 @@ struct ExecOptions {
   /// shave the bookkeeping on hot paths.
   bool profile = true;
 
+  /// Trace identity for this call. When invalid (the default) the session
+  /// mints a fresh unsampled context, so every query still has an id for
+  /// log/flight-recorder correlation. Callers propagating a distributed
+  /// trace (the server adopting a client's context) set it explicitly.
+  TraceContext trace;
+
   // Builder-style setters (each returns *this so calls chain).
   ExecOptions& WithParallelism(int workers) {
     parallelism = workers;
@@ -87,6 +94,10 @@ struct ExecOptions {
   }
   ExecOptions& WithProfile(bool enabled) {
     profile = enabled;
+    return *this;
+  }
+  ExecOptions& WithTrace(const TraceContext& ctx) {
+    trace = ctx;
     return *this;
   }
 };

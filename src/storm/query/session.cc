@@ -4,6 +4,8 @@
 #include <mutex>
 #include <shared_mutex>
 
+#include "storm/obs/trace_export.h"
+
 namespace storm {
 
 Status Session::CreateTable(const std::string& name,
@@ -109,6 +111,13 @@ Result<QueryResult> Session::ExecuteAst(const QueryAst& ast,
 Result<QueryResult> Session::ExecuteAstInternal(
     const QueryAst& ast, std::shared_ptr<QueryProfile> profile,
     const ExecOptions& options) {
+  // Every query runs under a trace identity: the caller's when provided
+  // (RemoteClient / the server propagating a wire context), otherwise a
+  // fresh unsampled one minted here — so log lines and flight-recorder
+  // events are correlatable even for untraced local queries.
+  const TraceContext trace =
+      options.trace.valid() ? options.trace : TraceContext::Mint(false);
+  ScopedTraceContext trace_scope(trace);
   STORM_ASSIGN_OR_RETURN(Table * table, GetTable(ast.table));
   // Hold the table's read latch for the whole evaluation: query threads
   // share it, UpdateManager writers take it exclusively, so a query never
@@ -116,6 +125,7 @@ Result<QueryResult> Session::ExecuteAstInternal(
   std::shared_lock<std::shared_mutex> read_latch = table->ReadLock();
   QueryEvaluator evaluator(table, optimizer_);
   if (profile != nullptr) {
+    profile->trace = trace;
     profile->table = table->name();
     // Spans opened from here on snapshot the table's simulated-disk counters.
     profile->SetIoSource(&table->store().live_io_stats());
@@ -129,7 +139,12 @@ Result<QueryResult> Session::ExecuteAstInternal(
     profile->Finish();
     return run;
   }();
-  if (result.ok()) result->profile = std::move(profile);
+  if (result.ok()) {
+    if (profile != nullptr && trace.sampled) {
+      TraceSink::Default().Record(*profile);
+    }
+    result->profile = std::move(profile);
+  }
   return result;
 }
 

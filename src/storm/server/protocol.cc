@@ -106,12 +106,31 @@ Result<size_t> TryDecodeFrame(std::string_view buf, Frame* out) {
 
 // --- QueryRequest ---
 
+namespace {
+
+// Trace-block flag bits (the optional byte after progress_interval_ms).
+constexpr uint8_t kFlagWantProfile = 1u << 0;
+constexpr uint8_t kFlagHasTrace = 1u << 1;
+constexpr uint8_t kFlagSampled = 1u << 2;
+
+}  // namespace
+
 std::string EncodeQueryRequest(const QueryRequest& req) {
   ByteWriter w;
   w.PutString(req.query);
   w.PutU32(static_cast<uint32_t>(req.parallelism));
   w.PutDouble(req.deadline_ms);
   w.PutU32(req.progress_interval_ms);
+  uint8_t flags = 0;
+  if (req.want_profile) flags |= kFlagWantProfile;
+  if (req.trace.valid()) flags |= kFlagHasTrace;
+  if (req.trace.sampled) flags |= kFlagSampled;
+  w.PutU8(flags);
+  if (req.trace.valid()) {
+    w.PutU64(req.trace.trace_id_hi);
+    w.PutU64(req.trace.trace_id_lo);
+    w.PutU64(req.trace.span_id);
+  }
   return w.Take();
 }
 
@@ -123,6 +142,20 @@ Result<QueryRequest> DecodeQueryRequest(std::string_view payload) {
   req.parallelism = static_cast<int32_t>(parallelism);
   STORM_ASSIGN_OR_RETURN(req.deadline_ms, r.GetDouble());
   STORM_ASSIGN_OR_RETURN(req.progress_interval_ms, r.GetU32());
+  // Optional trace block; a payload that ends here came from a pre-trace
+  // client and keeps the defaults (no trace, no profile).
+  if (r.remaining() == 0) return req;
+  STORM_ASSIGN_OR_RETURN(uint8_t flags, r.GetU8());
+  req.want_profile = (flags & kFlagWantProfile) != 0;
+  if ((flags & kFlagHasTrace) != 0) {
+    STORM_ASSIGN_OR_RETURN(req.trace.trace_id_hi, r.GetU64());
+    STORM_ASSIGN_OR_RETURN(req.trace.trace_id_lo, r.GetU64());
+    STORM_ASSIGN_OR_RETURN(req.trace.span_id, r.GetU64());
+    if (!req.trace.valid()) {
+      return Status::Corruption("trace block with all-zero trace id");
+    }
+    req.trace.sampled = (flags & kFlagSampled) != 0;
+  }
   return req;
 }
 
@@ -229,9 +262,117 @@ Result<BatchInsertResult> DecodeInsertBatchReply(std::string_view payload) {
   return result;
 }
 
+// --- QueryProfile ---
+
+std::string EncodeQueryProfile(const QueryProfile& p) {
+  ByteWriter w;
+  w.PutString(p.query);
+  w.PutString(p.table);
+  w.PutString(p.task);
+  w.PutString(p.sampler);
+  uint8_t trace_flags = 0;
+  if (p.trace.valid()) trace_flags |= kFlagHasTrace;
+  if (p.trace.sampled) trace_flags |= kFlagSampled;
+  w.PutU8(trace_flags);
+  if (p.trace.valid()) {
+    w.PutU64(p.trace.trace_id_hi);
+    w.PutU64(p.trace.trace_id_lo);
+    w.PutU64(p.trace.span_id);
+  }
+  w.PutU32(static_cast<uint32_t>(p.spans().size()));
+  for (const TraceSpan& s : p.spans()) {
+    w.PutString(s.name);
+    w.PutU32(static_cast<uint32_t>(s.depth));
+    w.PutDouble(s.start_ms);
+    w.PutDouble(s.wall_ms);
+    w.PutU64(s.samples);
+    w.PutU64(s.io.physical_reads);
+    w.PutU64(s.io.physical_writes);
+    w.PutU64(s.io.logical_reads);
+    w.PutU64(s.io.pool_hits);
+    w.PutU64(s.io.pool_misses);
+    w.PutU64(s.io.evictions);
+    w.PutString(s.note);
+    w.PutString(s.site);
+  }
+  w.PutU32(static_cast<uint32_t>(p.convergence().size()));
+  for (const ConvergencePoint& c : p.convergence()) {
+    w.PutDouble(c.ms);
+    w.PutU64(c.samples);
+    w.PutDouble(c.estimate);
+    w.PutDouble(c.half_width);
+    w.PutDouble(c.cardinality_estimate);
+  }
+  return w.Take();
+}
+
+Result<QueryProfile> DecodeQueryProfile(std::string_view payload) {
+  ByteReader r(payload);
+  QueryProfile p;
+  STORM_ASSIGN_OR_RETURN(p.query, r.GetString());
+  STORM_ASSIGN_OR_RETURN(p.table, r.GetString());
+  STORM_ASSIGN_OR_RETURN(p.task, r.GetString());
+  STORM_ASSIGN_OR_RETURN(p.sampler, r.GetString());
+  STORM_ASSIGN_OR_RETURN(uint8_t trace_flags, r.GetU8());
+  if ((trace_flags & kFlagHasTrace) != 0) {
+    STORM_ASSIGN_OR_RETURN(p.trace.trace_id_hi, r.GetU64());
+    STORM_ASSIGN_OR_RETURN(p.trace.trace_id_lo, r.GetU64());
+    STORM_ASSIGN_OR_RETURN(p.trace.span_id, r.GetU64());
+    p.trace.sampled = (trace_flags & kFlagSampled) != 0;
+  }
+  STORM_ASSIGN_OR_RETURN(uint32_t span_count, r.GetU32());
+  // Each span costs at least the fixed fields (~80 bytes); a count claiming
+  // more than the payload could hold is malformed, not a reason to allocate.
+  if (span_count > r.remaining() / 80 + 1) {
+    return Status::Corruption("profile span count exceeds payload size");
+  }
+  std::vector<TraceSpan> spans;
+  spans.reserve(span_count);
+  for (uint32_t i = 0; i < span_count; ++i) {
+    TraceSpan s;
+    STORM_ASSIGN_OR_RETURN(s.name, r.GetString());
+    STORM_ASSIGN_OR_RETURN(uint32_t depth, r.GetU32());
+    s.depth = static_cast<int>(depth);
+    STORM_ASSIGN_OR_RETURN(s.start_ms, r.GetDouble());
+    STORM_ASSIGN_OR_RETURN(s.wall_ms, r.GetDouble());
+    STORM_ASSIGN_OR_RETURN(s.samples, r.GetU64());
+    STORM_ASSIGN_OR_RETURN(s.io.physical_reads, r.GetU64());
+    STORM_ASSIGN_OR_RETURN(s.io.physical_writes, r.GetU64());
+    STORM_ASSIGN_OR_RETURN(s.io.logical_reads, r.GetU64());
+    STORM_ASSIGN_OR_RETURN(s.io.pool_hits, r.GetU64());
+    STORM_ASSIGN_OR_RETURN(s.io.pool_misses, r.GetU64());
+    STORM_ASSIGN_OR_RETURN(s.io.evictions, r.GetU64());
+    STORM_ASSIGN_OR_RETURN(s.note, r.GetString());
+    STORM_ASSIGN_OR_RETURN(s.site, r.GetString());
+    spans.push_back(std::move(s));
+  }
+  p.ReplaceSpans(std::move(spans));
+  STORM_ASSIGN_OR_RETURN(uint32_t point_count, r.GetU32());
+  if (point_count > r.remaining() / 40 + 1) {
+    return Status::Corruption("profile point count exceeds payload size");
+  }
+  std::vector<ConvergencePoint> points;
+  points.reserve(point_count);
+  for (uint32_t i = 0; i < point_count; ++i) {
+    ConvergencePoint c;
+    STORM_ASSIGN_OR_RETURN(c.ms, r.GetDouble());
+    STORM_ASSIGN_OR_RETURN(c.samples, r.GetU64());
+    STORM_ASSIGN_OR_RETURN(c.estimate, r.GetDouble());
+    STORM_ASSIGN_OR_RETURN(c.half_width, r.GetDouble());
+    STORM_ASSIGN_OR_RETURN(c.cardinality_estimate, r.GetDouble());
+    points.push_back(c);
+  }
+  p.ReplaceConvergence(std::move(points));
+  if (r.remaining() != 0) {
+    return Status::Corruption("trailing bytes after query profile");
+  }
+  return p;
+}
+
 // --- QueryResult ---
 
-std::string EncodeQueryResult(const QueryResult& res) {
+std::string EncodeQueryResult(const QueryResult& res,
+                              const QueryProfile* profile) {
   ByteWriter w;
   w.PutU8(static_cast<uint8_t>(res.task));
   w.PutString(res.strategy);
@@ -289,6 +430,12 @@ std::string EncodeQueryResult(const QueryResult& res) {
   if (res.degraded) flags |= 1u << 4;
   w.PutU8(flags);
   w.PutDouble(res.coverage);
+  // Optional trailing profile block: absent entirely (old wire shape) when
+  // the caller has no profile to send.
+  if (profile != nullptr) {
+    w.PutU8(1);
+    w.PutString(EncodeQueryProfile(*profile));
+  }
   return w.Take();
 }
 
@@ -384,6 +531,17 @@ Result<QueryResult> DecodeQueryResult(std::string_view payload) {
   res.deadline_exceeded = (flags & (1u << 3)) != 0;
   res.degraded = (flags & (1u << 4)) != 0;
   STORM_ASSIGN_OR_RETURN(res.coverage, r.GetDouble());
+  // Optional trailing profile block (servers that collected one and were
+  // asked to ship it). A payload ending here is the pre-profile shape.
+  if (r.remaining() != 0) {
+    STORM_ASSIGN_OR_RETURN(uint8_t has_profile, r.GetU8());
+    if (has_profile != 0) {
+      STORM_ASSIGN_OR_RETURN(std::string profile_bytes, r.GetString());
+      STORM_ASSIGN_OR_RETURN(QueryProfile profile,
+                             DecodeQueryProfile(profile_bytes));
+      res.profile = std::make_shared<QueryProfile>(std::move(profile));
+    }
+  }
   if (r.remaining() != 0) {
     return Status::Corruption("trailing bytes after query result");
   }

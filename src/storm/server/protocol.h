@@ -29,6 +29,7 @@
 #include <string_view>
 #include <vector>
 
+#include "storm/obs/trace.h"
 #include "storm/query/evaluator.h"
 #include "storm/util/result.h"
 
@@ -84,6 +85,11 @@ Result<size_t> TryDecodeFrame(std::string_view buf, Frame* out);
 
 /// QUERY payload: the query text plus the ExecOptions knobs that make sense
 /// across a wire, and the client-chosen PROGRESS cadence.
+///
+/// The trailing trace block (flags byte + trace/span ids) is optional on
+/// the wire: pre-trace peers simply omit it, and the decoder treats an
+/// exhausted payload as "no trace, no profile" — both directions stay
+/// compatible with older builds.
 struct QueryRequest {
   std::string query;
   int32_t parallelism = 1;
@@ -91,6 +97,11 @@ struct QueryRequest {
   /// Minimum milliseconds between PROGRESS frames; 0 disables streaming
   /// (the client gets only the final RESULT).
   uint32_t progress_interval_ms = 0;
+  /// Ask the server to serialize its QueryProfile into the RESULT frame so
+  /// the client can join it with its own client-side spans.
+  bool want_profile = false;
+  /// Client-minted trace identity; invalid (all-zero id) when untraced.
+  TraceContext trace;
 };
 
 std::string EncodeQueryRequest(const QueryRequest& req);
@@ -133,10 +144,22 @@ Result<WireError> DecodeWireError(std::string_view payload);
 std::string EncodeInsertBatchReply(const BatchInsertResult& r);
 Result<BatchInsertResult> DecodeInsertBatchReply(std::string_view payload);
 
-/// RESULT payload: the full QueryResult surface minus the profile (which
-/// stays server-side) — every task's fields round-trip, so RemoteClient
-/// results are drop-in replacements for in-process ones.
-std::string EncodeQueryResult(const QueryResult& r);
+/// Standalone QueryProfile codec: the whole span tree (names, depths,
+/// timings as raw double bits, IO deltas, notes, sites), the convergence
+/// trajectory, metadata, and the trace identity. Bit-exact: encoding a
+/// decoded profile reproduces the original bytes, which the round-trip
+/// test asserts byte-for-byte.
+std::string EncodeQueryProfile(const QueryProfile& p);
+Result<QueryProfile> DecodeQueryProfile(std::string_view payload);
+
+/// RESULT payload: the full QueryResult surface — every task's fields
+/// round-trip, so RemoteClient results are drop-in replacements for
+/// in-process ones. When `profile` is non-null its serialized span tree
+/// rides along as an optional trailing block (absent for older peers and
+/// for clients that didn't ask), and DecodeQueryResult rebuilds it into
+/// QueryResult::profile.
+std::string EncodeQueryResult(const QueryResult& r,
+                              const QueryProfile* profile = nullptr);
 Result<QueryResult> DecodeQueryResult(std::string_view payload);
 
 }  // namespace storm

@@ -1,8 +1,14 @@
 #include "storm/server/remote_client.h"
 
 #include <algorithm>
+#include <chrono>
 #include <initializer_list>
+#include <memory>
+#include <thread>
+#include <utility>
 
+#include "storm/obs/trace_export.h"
+#include "storm/util/rng.h"
 #include "storm/wal/codec.h"
 
 namespace storm {
@@ -13,6 +19,20 @@ namespace {
 // cancel tokens are honoured promptly, long enough not to spin.
 constexpr int kRecvTimeoutMs = 50;
 constexpr size_t kRecvChunk = 64 * 1024;
+
+// Bernoulli stream deciding which client-minted traces are sampled. Never
+// consumed by query execution, so seeded workloads stay reproducible.
+bool SampleTrace(double rate) {
+  if (rate <= 0.0) return false;
+  if (rate >= 1.0) return true;
+  thread_local Rng* rng = [] {
+    uint64_t seed = static_cast<uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    seed ^= std::hash<std::thread::id>{}(std::this_thread::get_id());
+    return new Rng(seed);
+  }();
+  return rng->Bernoulli(rate);
+}
 
 }  // namespace
 
@@ -107,14 +127,37 @@ Result<Frame> RemoteClient::AwaitResponse(
 
 Result<QueryResult> RemoteClient::Execute(const std::string& query,
                                           const ExecOptions& options) {
+  // One trace spans the whole RPC: the client mints it (or adopts the
+  // caller's), sends it in the request, and the server's spans come back
+  // tagged with the same trace id inside the wire profile.
+  const TraceContext trace = options.trace.valid()
+                                 ? options.trace
+                                 : TraceContext::Mint(
+                                       SampleTrace(trace_sample_rate_));
+  ScopedTraceContext trace_scope(trace);
+
   QueryRequest req;
   req.query = query;
   req.parallelism = options.parallelism;
   req.deadline_ms = options.deadline_ms;
   req.progress_interval_ms = options.progress ? progress_interval_ms_ : 0;
+  req.want_profile = options.profile;
+  req.trace = trace;
+
+  std::shared_ptr<QueryProfile> profile;
+  if (options.profile) {
+    profile = std::make_shared<QueryProfile>();
+    profile->query = query;
+    profile->trace = trace;
+  }
 
   const uint64_t id = next_id_++;
-  STORM_RETURN_NOT_OK(SendFrame(FrameType::kQuery, id, EncodeQueryRequest(req)));
+  {
+    QueryProfile::ScopedSpan send_span =
+        ProfileSpan(profile.get(), "rpc_send");
+    STORM_RETURN_NOT_OK(
+        SendFrame(FrameType::kQuery, id, EncodeQueryRequest(req)));
+  }
 
   std::function<bool(const ProgressUpdate&)> on_progress;
   if (options.progress) {
@@ -127,14 +170,28 @@ Result<QueryResult> RemoteClient::Execute(const std::string& query,
     };
   }
 
+  QueryProfile::ScopedSpan await_span =
+      ProfileSpan(profile.get(), "rpc_await");
   STORM_ASSIGN_OR_RETURN(
       Frame frame,
       AwaitResponse(id, {FrameType::kResult}, on_progress, options.cancel));
+  await_span.End();
   if (frame.type == FrameType::kError) {
     STORM_ASSIGN_OR_RETURN(WireError err, DecodeWireError(frame.payload));
     return err.ToStatus();
   }
-  return DecodeQueryResult(frame.payload);
+  STORM_ASSIGN_OR_RETURN(QueryResult result, DecodeQueryResult(frame.payload));
+  if (profile != nullptr) {
+    profile->Finish();
+    if (result.profile != nullptr) {
+      // Graft the server's span tree (site="server") under the client's,
+      // producing one joined profile for the whole distributed query.
+      profile->MergeServerProfile(*result.profile);
+    }
+    result.profile = profile;
+    if (trace.sampled) TraceSink::Default().Record(*profile);
+  }
+  return result;
 }
 
 Result<RecordId> RemoteClient::Insert(const std::string& table,

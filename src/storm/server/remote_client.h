@@ -49,9 +49,12 @@ class RemoteClient {
   bool connected() const { return fd_.valid(); }
 
   /// Runs a query remotely, honouring every ExecOptions knob that crosses
-  /// the wire: deadline_ms, parallelism, cancel, and progress (driven by
-  /// the streamed PROGRESS frames). `profile` is server-side only and is
-  /// ignored.
+  /// the wire: deadline_ms, parallelism, cancel, progress (driven by the
+  /// streamed PROGRESS frames), and profile. With `profile` set (the
+  /// default) the result carries a *joined* QueryProfile: the client's
+  /// send/await spans plus the server's span tree (site="server"), all
+  /// under one trace id. `options.trace` propagates an existing trace;
+  /// otherwise the client mints one, sampled at trace_sample_rate.
   Result<QueryResult> Execute(const std::string& query,
                               const ExecOptions& options = {});
 
@@ -59,6 +62,11 @@ class RemoteClient {
   /// when a progress callback is set (default 20 ms). 0 disables streaming
   /// even with a callback installed.
   void set_progress_interval_ms(uint32_t ms) { progress_interval_ms_ = ms; }
+
+  /// Fraction of minted traces marked sampled (retained in the client and
+  /// server TraceSinks). Default 1%; explicit `options.trace` contexts
+  /// bypass this.
+  void set_trace_sample_rate(double rate) { trace_sample_rate_ = rate; }
 
   // --- Updates ---
 
@@ -92,6 +100,7 @@ class RemoteClient {
   std::string read_buf_;
   uint64_t next_id_ = 1;
   uint32_t progress_interval_ms_ = 20;
+  double trace_sample_rate_ = 0.01;
 };
 
 }  // namespace storm

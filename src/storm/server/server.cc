@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
 #include <utility>
 
+#include "storm/obs/flight_recorder.h"
 #include "storm/obs/metrics.h"
+#include "storm/obs/trace_export.h"
 #include "storm/util/failpoint.h"
 #include "storm/util/logging.h"
+#include "storm/util/rng.h"
 #include "storm/util/stopwatch.h"
 #include "storm/wal/codec.h"
 
@@ -15,6 +19,46 @@ namespace storm {
 namespace {
 constexpr int kPollIntervalMs = 100;
 constexpr size_t kRecvChunkBytes = 64 * 1024;
+constexpr size_t kMaxSlowQueries = 32;
+
+void EscapeJsonTo(std::string_view s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+// Per-reader-thread Bernoulli stream deciding which clientless queries the
+// server self-samples. Never consumed by query execution, so seeded
+// workloads stay reproducible.
+bool SampleTrace(double rate) {
+  if (rate <= 0.0) return false;
+  if (rate >= 1.0) return true;
+  thread_local Rng* rng = [] {
+    uint64_t seed = static_cast<uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    seed ^= std::hash<std::thread::id>{}(std::this_thread::get_id());
+    return new Rng(seed);
+  }();
+  return rng->Bernoulli(rate);
+}
 }  // namespace
 
 /// One running query's server-side state. The cancel token must stay alive
@@ -22,6 +66,10 @@ constexpr size_t kRecvChunkBytes = 64 * 1024;
 /// the connection map and the task closure.
 struct StormServer::RunningQuery {
   CancelToken cancel;
+  TraceContext trace;      ///< adopted from the client or minted at admit
+  std::string query_text;  ///< for /statusz and the slow-query log
+  Stopwatch watch;         ///< running since admission
+  std::atomic<uint64_t> samples{0};  ///< latest progress snapshot
 };
 
 /// Per-connection server-side session: socket, reader/writer threads, the
@@ -91,6 +139,7 @@ Status StormServer::Start() {
   }
 
   stopping_.store(false);
+  uptime_.Restart();
   query_pool_ = std::make_unique<ThreadPool>(
       static_cast<size_t>(std::max(1, options_.query_threads)));
   accept_thread_ = std::thread([this] { AcceptLoop(); });
@@ -152,6 +201,7 @@ void StormServer::AcceptLoop() {
     conn->fd = std::move(*accepted);
     connections_total_->Increment();
     connections_active_->Add(1);
+    FlightRecord(FlightEvent::kConnOpen);
     {
       std::lock_guard<std::mutex> lock(conns_mutex_);
       conns_.push_back(conn);
@@ -210,6 +260,8 @@ void StormServer::ReaderLoop(std::shared_ptr<Connection> conn) {
       if (*consumed == 0) break;
       Frame owned = std::move(frame);
       buf.erase(0, *consumed);
+      FlightRecord(FlightEvent::kFrameRx, static_cast<uint64_t>(owned.type),
+                   owned.id);
       if (!HandleFrame(conn, std::move(owned))) {
         violated = true;
         break;
@@ -219,6 +271,7 @@ void StormServer::ReaderLoop(std::shared_ptr<Connection> conn) {
   }
   CloseConnection(conn);
   connections_active_->Add(-1);
+  FlightRecord(FlightEvent::kConnClose);
   conn->reader_done.store(true, std::memory_order_release);
 }
 
@@ -288,11 +341,13 @@ bool StormServer::Send(const std::shared_ptr<Connection>& conn,
     // Backpressure, stage 1: degrade the PROGRESS cadence. The client
     // simply sees fewer updates; the eventual RESULT is never dropped.
     progress_dropped_->Increment();
+    FlightRecord(FlightEvent::kBackpressureDrop, queued_after);
     return true;
   }
   if (queued_after > options_.write_buffer_hard_limit) {
     // Backpressure, stage 2: stall the producer briefly; a consumer that
     // cannot drain within the stall budget is declared dead.
+    FlightRecord(FlightEvent::kBackpressureStall, queued_after);
     bool space = conn->cv_space.wait_for(
         lock, std::chrono::milliseconds(options_.write_stall_timeout_ms),
         [&] {
@@ -306,10 +361,19 @@ bool StormServer::Send(const std::shared_ptr<Connection>& conn,
       return false;
     }
   }
+  const size_t frame_bytes = frame.size();
+  // Frame type lives right after the 4-byte length prefix.
+  const uint8_t frame_type =
+      frame.size() > 4 ? static_cast<uint8_t>(frame[4]) : 0;
   conn->write_queue.push_back(std::move(frame));
   conn->queued_bytes += conn->write_queue.back().size();
   lock.unlock();
   conn->cv_queue.notify_one();
+  // PROGRESS frames are too chatty for the flight recorder; record the
+  // frames that decide a query's fate.
+  if (!droppable) {
+    FlightRecord(FlightEvent::kFrameTx, frame_type, frame_bytes);
+  }
   return true;
 }
 
@@ -329,6 +393,7 @@ bool StormServer::HandleFrame(const std::shared_ptr<Connection>& conn,
       return true;
 
     case FrameType::kCancel: {
+      FlightRecord(FlightEvent::kCancel, frame.id);
       std::lock_guard<std::mutex> lock(conn->mutex);
       auto it = conn->queries.find(frame.id);
       if (it != conn->queries.end()) it->second->cancel.Cancel();
@@ -361,6 +426,7 @@ bool StormServer::HandleFrame(const std::shared_ptr<Connection>& conn,
       }
       if (!admission_.TryAdmit()) {
         shed_total_->Increment();
+        FlightRecord(FlightEvent::kQueryShed, frame.id);
         Send(conn,
              EncodeFrame(FrameType::kError, frame.id,
                          EncodeWireError(Status::Unavailable(
@@ -370,12 +436,27 @@ bool StormServer::HandleFrame(const std::shared_ptr<Connection>& conn,
         return true;
       }
       auto running = std::make_shared<RunningQuery>();
+      // Adopt the client's trace as a child span (same trace id, our own
+      // span id) or, for untraced clients, mint one — self-sampled at
+      // trace_sample_rate so a fleet with no tracing clients still
+      // populates /tracez.
+      running->trace =
+          req->trace.valid()
+              ? req->trace.Child()
+              : TraceContext::Mint(SampleTrace(options_.trace_sample_rate));
+      running->query_text = req->query;
       {
         std::lock_guard<std::mutex> lock(conn->mutex);
         conn->queries[frame.id] = running;
       }
       queries_total_->Increment();
       queries_inflight_->Add(1);
+      {
+        // Tag the admit event with the query's trace before the pool task
+        // installs the ambient context.
+        ScopedTraceContext trace_scope(running->trace);
+        FlightRecord(FlightEvent::kQueryAdmit, frame.id, 0, req->query);
+      }
       uint64_t id = frame.id;
       QueryRequest request = std::move(*req);
       (void)query_pool_->Submit(
@@ -456,17 +537,26 @@ void StormServer::RunQuery(std::shared_ptr<Connection> conn, uint64_t id,
     FinishQuery(conn, id);
     return;
   }
+  // The query's trace identity becomes this worker's ambient context:
+  // every log line, failpoint trip, and flight-recorder event below — and
+  // in the evaluator's sampling workers — carries its trace id.
+  const TraceContext trace = running->trace;
+  ScopedTraceContext trace_scope(trace);
   ExecOptions options;
   options.parallelism =
       std::clamp<int32_t>(req.parallelism, 1, options_.max_parallelism);
   options.deadline_ms = req.deadline_ms;
-  options.profile = false;
+  // Profiles cost span bookkeeping per batch; collect one only when the
+  // client asked for it or the trace is sampled (TraceSink retention).
+  options.profile = req.want_profile || trace.sampled;
+  options.trace = trace;
   options.cancel = &running->cancel;
   if (req.progress_interval_ms > 0) {
     auto since_last = std::make_shared<Stopwatch>();
     bool first = true;
-    options.progress = [this, conn, id, req, since_last,
-                        first](const QueryProgress& p) mutable {
+    options.progress = [this, conn, id, req, since_last, first,
+                        running](const QueryProgress& p) mutable {
+      running->samples.store(p.samples, std::memory_order_relaxed);
       if (stopping_.load(std::memory_order_acquire) ||
           conn->closing.load(std::memory_order_acquire)) {
         return false;
@@ -488,16 +578,63 @@ void StormServer::RunQuery(std::shared_ptr<Connection> conn, uint64_t id,
     };
   }
   Result<QueryResult> result = session_->Execute(req.query, options);
+  const double elapsed_ms = running->watch.ElapsedMillis();
   if (!result.ok()) {
     Send(conn,
          EncodeFrame(FrameType::kError, id, EncodeWireError(result.status())),
          /*droppable=*/false);
+    NoteSlowQuery(req, trace, elapsed_ms, nullptr);
   } else {
+    // Ship the server-side profile only to clients that asked; sampled
+    // traces were already retained in the TraceSink by the session.
+    const QueryProfile* wire_profile =
+        req.want_profile && result->profile != nullptr ? result->profile.get()
+                                                       : nullptr;
     Send(conn,
-         EncodeFrame(FrameType::kResult, id, EncodeQueryResult(*result)),
+         EncodeFrame(FrameType::kResult, id,
+                     EncodeQueryResult(*result, wire_profile)),
          /*droppable=*/false);
+    NoteSlowQuery(req, trace, elapsed_ms,
+                  result->profile != nullptr ? result->profile.get() : nullptr);
   }
+  FlightRecord(FlightEvent::kQueryFinish, id,
+               static_cast<uint64_t>(elapsed_ms * 1000.0));
   FinishQuery(conn, id);
+}
+
+void StormServer::NoteSlowQuery(const QueryRequest& req,
+                                const TraceContext& trace, double elapsed_ms,
+                                const QueryProfile* profile) {
+  if (options_.slow_query_threshold_ms <= 0.0 ||
+      elapsed_ms < options_.slow_query_threshold_ms) {
+    return;
+  }
+  SlowQuery slow;
+  slow.elapsed_ms = elapsed_ms;
+  slow.query = req.query;
+  slow.trace_id = trace.trace_id_hex();
+  if (profile != nullptr) {
+    // Top-3 widest spans (root excluded — it is the whole query).
+    std::vector<const TraceSpan*> spans;
+    for (size_t i = 1; i < profile->spans().size(); ++i) {
+      spans.push_back(&profile->spans()[i]);
+    }
+    std::sort(spans.begin(), spans.end(), [](const auto* x, const auto* y) {
+      return x->wall_ms > y->wall_ms;
+    });
+    char buf[96];
+    for (size_t i = 0; i < spans.size() && i < 3; ++i) {
+      std::snprintf(buf, sizeof(buf), "%s%s=%.1fms", i > 0 ? " " : "",
+                    spans[i]->name.c_str(), spans[i]->wall_ms);
+      slow.top_spans += buf;
+    }
+  }
+  STORM_LOG(Warn) << "slow query (" << elapsed_ms << " ms"
+                  << (slow.top_spans.empty() ? "" : "; " + slow.top_spans)
+                  << "): " << req.query;
+  std::lock_guard<std::mutex> lock(slow_mutex_);
+  slow_queries_.push_back(std::move(slow));
+  while (slow_queries_.size() > kMaxSlowQueries) slow_queries_.pop_front();
 }
 
 void StormServer::FinishQuery(const std::shared_ptr<Connection>& conn,
@@ -511,13 +648,120 @@ void StormServer::FinishQuery(const std::shared_ptr<Connection>& conn,
   conn->cv_space.notify_all();
 }
 
+std::string StormServer::HealthzJson() const {
+  std::string reasons;
+  auto add_reason = [&](const char* r) {
+    if (!reasons.empty()) reasons += ",";
+    reasons += "\"";
+    reasons += r;
+    reasons += "\"";
+  };
+  if (stopping_.load(std::memory_order_acquire)) add_reason("shutting_down");
+  const int capacity = options_.query_threads + options_.max_queued_queries;
+  if (admission_.in_flight() >= capacity) add_reason("admission_saturated");
+  std::string out = "{\"status\":\"";
+  out += reasons.empty() ? "ok" : "degraded";
+  out += "\",\"uptime_s\":";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", uptime_.ElapsedMillis() / 1000.0);
+  out += buf;
+  out += ",\"degraded_reasons\":[" + reasons + "]}";
+  return out;
+}
+
+std::string StormServer::StatuszJson() const {
+  char buf[160];
+  std::string out = "{\"build\":{\"compiler\":\"";
+#if defined(__VERSION__)
+  EscapeJsonTo(__VERSION__, &out);
+#else
+  out += "unknown";
+#endif
+  out += "\",\"built\":\"" __DATE__ " " __TIME__ "\"}";
+  std::snprintf(buf, sizeof(buf), ",\"uptime_s\":%.1f",
+                uptime_.ElapsedMillis() / 1000.0);
+  out += buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      ",\"admission\":{\"in_flight\":%d,\"admitted\":%llu,\"released\":%llu,"
+      "\"shed\":%llu,\"slots\":%d,\"queue\":%d}",
+      admission_.in_flight(),
+      static_cast<unsigned long long>(admission_.admitted_total()),
+      static_cast<unsigned long long>(admission_.released_total()),
+      static_cast<unsigned long long>(admission_.shed_total()),
+      options_.query_threads, options_.max_queued_queries);
+  out += buf;
+  std::snprintf(
+      buf, sizeof(buf), ",\"traces_recorded\":%llu,\"flight_events\":%llu",
+      static_cast<unsigned long long>(TraceSink::Default().recorded_total()),
+      static_cast<unsigned long long>(
+          FlightRecorder::Default().recorded_total()));
+  out += buf;
+
+  // Connections + active queries. Lock order: conns_mutex_ then each
+  // conn->mutex — the same order CloseConnection relies on.
+  out += ",\"connections\":[";
+  {
+    std::lock_guard<std::mutex> conns_lock(conns_mutex_);
+    bool first_conn = true;
+    for (const auto& conn : conns_) {
+      if (conn->reader_done.load(std::memory_order_acquire)) continue;
+      if (!first_conn) out += ",";
+      first_conn = false;
+      std::lock_guard<std::mutex> lock(conn->mutex);
+      std::snprintf(buf, sizeof(buf),
+                    "{\"queued_bytes\":%llu,\"active_queries\":[",
+                    static_cast<unsigned long long>(conn->queued_bytes));
+      out += buf;
+      bool first_query = true;
+      for (const auto& [id, running] : conn->queries) {
+        if (!first_query) out += ",";
+        first_query = false;
+        std::snprintf(buf, sizeof(buf),
+                      "{\"id\":%llu,\"trace_id\":\"%s\",\"elapsed_ms\":%.1f,"
+                      "\"samples\":%llu,\"query\":\"",
+                      static_cast<unsigned long long>(id),
+                      running->trace.trace_id_hex().c_str(),
+                      running->watch.ElapsedMillis(),
+                      static_cast<unsigned long long>(
+                          running->samples.load(std::memory_order_relaxed)));
+        out += buf;
+        EscapeJsonTo(running->query_text, &out);
+        out += "\"}";
+      }
+      out += "]}";
+    }
+  }
+  out += "]";
+
+  out += ",\"slow_queries\":[";
+  {
+    std::lock_guard<std::mutex> lock(slow_mutex_);
+    bool first = true;
+    for (const SlowQuery& s : slow_queries_) {
+      if (!first) out += ",";
+      first = false;
+      std::snprintf(buf, sizeof(buf),
+                    "{\"elapsed_ms\":%.1f,\"trace_id\":\"%s\",\"query\":\"",
+                    s.elapsed_ms, s.trace_id.c_str());
+      out += buf;
+      EscapeJsonTo(s.query, &out);
+      out += "\",\"top_spans\":\"";
+      EscapeJsonTo(s.top_spans, &out);
+      out += "\"}";
+    }
+  }
+  out += "]}";
+  return out;
+}
+
 void StormServer::MetricsLoop() {
   while (!stopping_.load(std::memory_order_acquire)) {
     Result<UniqueFd> accepted =
         AcceptWithTimeout(metrics_fd_.get(), kPollIntervalMs);
     if (!accepted.ok() || !accepted->valid()) continue;
-    // One short-lived HTTP exchange per connection, served inline: metrics
-    // scrapes are rare and tiny compared to query traffic.
+    // One short-lived HTTP exchange per connection, served inline:
+    // diagnostics scrapes are rare and tiny compared to query traffic.
     std::string request;
     char buf[2048];
     Stopwatch watch;
@@ -528,17 +772,31 @@ void StormServer::MetricsLoop() {
       if (!got.ok()) break;
       request.append(buf, *got);
     }
-    std::string body, status_line;
-    if (request.rfind("GET /metrics ", 0) == 0 ||
-        request.rfind("GET /metrics\r", 0) == 0) {
-      status_line = "HTTP/1.1 200 OK";
+    std::string path;
+    if (request.rfind("GET ", 0) == 0) {
+      const size_t end = request.find_first_of(" \r\n", 4);
+      if (end != std::string::npos) path = request.substr(4, end - 4);
+    }
+    std::string body, status_line, content_type = "application/json";
+    status_line = "HTTP/1.1 200 OK";
+    if (path == "/metrics") {
       body = MetricsRegistry::Default().ExposePrometheus();
+      content_type = "text/plain; version=0.0.4";
+    } else if (path == "/healthz") {
+      body = HealthzJson();
+    } else if (path == "/statusz") {
+      body = StatuszJson();
+    } else if (path == "/tracez") {
+      body = TraceSink::Default().ToJson();
+    } else if (path == "/flightz") {
+      body = FlightRecorder::Default().DumpJson();
     } else {
       status_line = "HTTP/1.1 404 Not Found";
-      body = "only GET /metrics is served here\n";
+      content_type = "text/plain";
+      body =
+          "serving: /metrics /healthz /statusz /tracez /flightz\n";
     }
-    std::string response = status_line +
-                           "\r\nContent-Type: text/plain; version=0.0.4"
+    std::string response = status_line + "\r\nContent-Type: " + content_type +
                            "\r\nContent-Length: " +
                            std::to_string(body.size()) +
                            "\r\nConnection: close\r\n\r\n" + body;

@@ -55,8 +55,9 @@ struct ServerOptions {
   /// back with port()).
   int port = 0;
 
-  /// Plain-HTTP `GET /metrics` listener (Prometheus exposition). -1
-  /// disables it; 0 picks an ephemeral port (read back with metrics_port()).
+  /// Plain-HTTP diagnostics listener (`GET /metrics`, `/healthz`,
+  /// `/statusz`, `/tracez`, `/flightz`). -1 disables it; 0 picks an
+  /// ephemeral port (read back with metrics_port()).
   int metrics_port = -1;
 
   /// Query execution slots (threads in the server's query pool).
@@ -75,6 +76,18 @@ struct ServerOptions {
   size_t write_buffer_soft_limit = 256 * 1024;
   size_t write_buffer_hard_limit = 4 * 1024 * 1024;
   int write_stall_timeout_ms = 2000;
+
+  /// Fraction of queries arriving *without* a client trace that the server
+  /// traces on its own (client-sampled traces are always honored). Sampled
+  /// queries collect a full QueryProfile into the TraceSink (/tracez);
+  /// unsampled ones still carry a trace id for log correlation but pay no
+  /// profiling cost.
+  double trace_sample_rate = 0.01;
+
+  /// Queries slower than this are logged (query text, trace id, top-3
+  /// widest spans) and retained for /statusz. 0 disables the slow-query
+  /// log.
+  double slow_query_threshold_ms = 1000.0;
 };
 
 class StormServer {
@@ -109,9 +122,25 @@ class StormServer {
   /// Connections currently alive (reader not yet finished).
   size_t active_connections() const;
 
+  /// The /healthz body: liveness plus degraded reasons (admission
+  /// saturation, shutdown in progress). Exposed for tests.
+  std::string HealthzJson() const;
+
+  /// The /statusz body: build info, uptime, admission and connection
+  /// state, active queries with trace ids, recent slow queries. Exposed
+  /// for tests.
+  std::string StatuszJson() const;
+
  private:
   struct Connection;
   struct RunningQuery;
+
+  struct SlowQuery {
+    double elapsed_ms = 0.0;
+    std::string query;
+    std::string trace_id;
+    std::string top_spans;  ///< "name=12.3ms name=4.5ms ..." (widest first)
+  };
 
   void AcceptLoop();
   void MetricsLoop();
@@ -123,6 +152,10 @@ class StormServer {
   void RunQuery(std::shared_ptr<Connection> conn, uint64_t id,
                 QueryRequest req, std::shared_ptr<RunningQuery> running);
   void FinishQuery(const std::shared_ptr<Connection>& conn, uint64_t id);
+
+  /// Records a finished-but-slow query in the log and the /statusz ring.
+  void NoteSlowQuery(const QueryRequest& req, const TraceContext& trace,
+                     double elapsed_ms, const QueryProfile* profile);
 
   /// Enqueues an encoded frame on the connection's write buffer, applying
   /// the backpressure policy. Returns false when the frame could not be
@@ -154,6 +187,11 @@ class StormServer {
 
   mutable std::mutex conns_mutex_;
   std::vector<std::shared_ptr<Connection>> conns_;
+
+  Stopwatch uptime_;  ///< restarted by Start()
+
+  mutable std::mutex slow_mutex_;
+  std::deque<SlowQuery> slow_queries_;  ///< newest last, bounded
 
   // Instruments resolved once at Start().
   class Counter* connections_total_ = nullptr;

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <thread>
 
+#include "storm/obs/flight_recorder.h"
 #include "storm/obs/metrics.h"
 
 namespace storm {
@@ -64,6 +65,7 @@ Status Failpoints::Evaluate(std::string_view site) {
     if (!trip) return Status::OK();
     ++s.trips;
     s.trip_metric->Increment();
+    FlightRecord(FlightEvent::kFailpointTrip, s.trips, 0, site);
     latency_ms = c.latency_ms;
     if (c.code != StatusCode::kOk) {
       std::string msg = c.message.empty()

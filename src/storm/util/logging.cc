@@ -7,6 +7,8 @@
 #include <ctime>
 #include <mutex>
 
+#include "storm/obs/trace_context.h"
+
 namespace storm {
 
 namespace {
@@ -82,6 +84,14 @@ void EmitLog(LogLevel level, const char* file, int line, const std::string& msg)
   formatted += ":";
   formatted += std::to_string(line);
   formatted += "] ";
+  // Tag lines emitted while serving a traced query so grep-by-trace-id
+  // pulls a query's full story out of a busy server log.
+  const TraceContext& trace = CurrentTraceContext();
+  if (trace.valid()) {
+    formatted += "{trace=";
+    formatted += trace.trace_id_hex();
+    formatted += "} ";
+  }
   formatted += msg;
   formatted += "\n";
   std::lock_guard<std::mutex> lock(SinkMutex());

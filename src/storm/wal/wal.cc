@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "storm/obs/flight_recorder.h"
 #include "storm/obs/metrics.h"
 #include "storm/util/crc32.h"
 #include "storm/util/failpoint.h"
@@ -98,6 +99,7 @@ Result<Lsn> Wal::AppendDelete(RecordId id) {
 Status Wal::Sync() {
   STORM_RETURN_NOT_OK(writer_.SyncAppended());
   SyncsCounter()->Increment();
+  FlightRecord(FlightEvent::kWalSync, appended_records_);
   return Status::OK();
 }
 

@@ -1,0 +1,128 @@
+// Chaos test for the crash-forensics path: a real storm_server process is
+// SIGTERMed mid-workload and must emit a flight-recorder dump — the last N
+// structured events from every thread, merged into one global order — on
+// its way down. This is the out-of-process complement to the in-process
+// FlightRecorder tests in obs_test.cc: it proves the dump survives the
+// actual signal → Stop() → DumpText() path of the serving binary.
+//
+// The server binary's path arrives via the STORM_SERVER_BIN compile
+// definition (tests/CMakeLists.txt points it at $<TARGET_FILE:storm_server>).
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "storm/storm.h"
+
+namespace storm {
+namespace {
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::string out;
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return out;
+  char buf[4096];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, got);
+  std::fclose(f);
+  return out;
+}
+
+// Polls `path` until a "serving on port N" line appears (the server is up)
+// or the budget runs out. Returns -1 on timeout.
+int AwaitServingPort(const std::string& path, int budget_ms) {
+  for (int waited = 0; waited < budget_ms; waited += 50) {
+    std::string out = ReadFileOrEmpty(path);
+    size_t pos = out.find("serving on port ");
+    if (pos != std::string::npos) {
+      return std::atoi(out.c_str() + pos + std::strlen("serving on port "));
+    }
+    usleep(50 * 1000);
+  }
+  return -1;
+}
+
+TEST(FlightDumpChaosTest, SigtermMidWorkloadDumpsFlightRecorder) {
+  // Pid-suffixed paths: a rerun must not pick up a previous run's output.
+  const std::string dir = ::testing::TempDir();
+  const std::string suffix = std::to_string(static_cast<long>(getpid()));
+  const std::string stdout_path = dir + "/storm_server_stdout." + suffix;
+  const std::string stderr_path = dir + "/storm_server_stderr." + suffix;
+  std::remove(stdout_path.c_str());
+  std::remove(stderr_path.c_str());
+
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0) << "fork failed";
+  if (pid == 0) {
+    // Child: stdout/stderr to files, then become the server. --tiny keeps
+    // data load fast; port 0 avoids clashes with parallel ctest jobs.
+    int out = open(stdout_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    int err = open(stderr_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (out < 0 || err < 0) _exit(41);
+    dup2(out, STDOUT_FILENO);
+    dup2(err, STDERR_FILENO);
+    execl(STORM_SERVER_BIN, STORM_SERVER_BIN, "--tiny", "--port", "0",
+          "--trace-sample-rate", "1.0", static_cast<char*>(nullptr));
+    _exit(42);  // exec failed
+  }
+
+  // Parent: wait for the server, drive a short workload so the recorder
+  // holds real traffic (conn_open, frame_rx, query_admit, query_finish).
+  const int port = AwaitServingPort(stdout_path, 30'000);
+  ASSERT_GT(port, 0) << "server did not come up; stderr:\n"
+                     << ReadFileOrEmpty(stderr_path);
+  {
+    RemoteClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", port).ok());
+    for (int i = 0; i < 5; ++i) {
+      auto result = client.Execute("SELECT AVG(altitude) FROM osm SAMPLES 2000");
+      EXPECT_TRUE(result.ok()) << result.status();
+    }
+  }
+
+  ASSERT_EQ(kill(pid, SIGTERM), 0);
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+
+  const std::string dump = ReadFileOrEmpty(stderr_path);
+  ASSERT_NE(dump.find("--- flight recorder"), std::string::npos) << dump;
+  ASSERT_NE(dump.find("--- end flight recorder"), std::string::npos);
+
+  // The dump holds the workload's events...
+  EXPECT_NE(dump.find("conn_open"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("query_admit"), std::string::npos);
+  EXPECT_NE(dump.find("query_finish"), std::string::npos);
+
+  // ...in strictly increasing global sequence order across all threads.
+  // Event lines render as "  #<seq>  <ts>ms t<thread> <event> ...".
+  std::vector<uint64_t> seqs;
+  size_t line_start = 0;
+  while (line_start < dump.size()) {
+    size_t line_end = dump.find('\n', line_start);
+    if (line_end == std::string::npos) line_end = dump.size();
+    size_t first = dump.find_first_not_of(' ', line_start);
+    if (first != std::string::npos && first < line_end && dump[first] == '#') {
+      seqs.push_back(std::strtoull(dump.c_str() + first + 1, nullptr, 10));
+    }
+    line_start = line_end + 1;
+  }
+  ASSERT_GE(seqs.size(), 10u) << dump;
+  for (size_t i = 1; i < seqs.size(); ++i) {
+    EXPECT_LT(seqs[i - 1], seqs[i]) << "dump out of global order at line " << i;
+  }
+}
+
+}  // namespace
+}  // namespace storm

@@ -1,15 +1,22 @@
 // Unit and integration tests for the observability layer: MetricsRegistry
-// instruments and exposition, QueryProfile span traces, and the wiring of
-// both through Session::Execute.
+// instruments and exposition (Prometheus escaping, derived quantiles),
+// QueryProfile span traces, trace-context propagation, the flight
+// recorder, Chrome-trace export, and the wiring of all of it through
+// Session::Execute.
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "storm/obs/flight_recorder.h"
 #include "storm/obs/metrics.h"
 #include "storm/obs/trace.h"
+#include "storm/obs/trace_context.h"
+#include "storm/obs/trace_export.h"
 #include "storm/query/session.h"
 #include "storm/util/logging.h"
 #include "storm/util/rng.h"
@@ -133,7 +140,8 @@ TEST(MetricsRegistryTest, JsonExposition) {
             "{\"name\":\"c\",\"type\":\"counter\",\"labels\":{\"k\":\"v\"},"
             "\"value\":1},"
             "{\"name\":\"hist\",\"type\":\"histogram\",\"labels\":{},"
-            "\"count\":1,\"sum\":0.5,\"buckets\":[[1,1],[\"+Inf\",0]]}"
+            "\"count\":1,\"sum\":0.5,\"p50\":0.5,\"p90\":0.9,\"p99\":0.99,"
+            "\"buckets\":[[1,1],[\"+Inf\",0]]}"
             "]}");
 }
 
@@ -269,6 +277,294 @@ TEST(ObsIntegrationTest, SessionExecuteBuildsProfile) {
             std::string::npos);
   EXPECT_NE(prom.find("storm_query_duration_ms_bucket"), std::string::npos);
   EXPECT_NE(prom.find("storm_bufferpool_hits_total"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, PrometheusLabelValuesAreEscaped) {
+  MetricsRegistry reg;
+  reg.GetCounter("esc_total", "h", {{"q", "say \"hi\"\\\npath"}})->Increment();
+  std::string out = reg.ExposePrometheus();
+  // backslash -> \\, quote -> \", newline -> \n, per the exposition format.
+  EXPECT_NE(out.find("esc_total{q=\"say \\\"hi\\\"\\\\\\npath\"} 1"),
+            std::string::npos)
+      << out;
+  // No raw newline may survive inside a label value (it would split the
+  // sample line and corrupt the whole scrape).
+  for (size_t pos = out.find('{'); pos != std::string::npos;
+       pos = out.find('{', pos + 1)) {
+    size_t close = out.find('}', pos);
+    ASSERT_NE(close, std::string::npos);
+    EXPECT_EQ(out.substr(pos, close - pos).find('\n'), std::string::npos);
+  }
+}
+
+TEST(MetricsRegistryTest, HelpAndTypeEmittedForEveryFamily) {
+  MetricsRegistry reg;
+  reg.GetCounter("no_help_total", "")->Increment();
+  reg.GetGauge("g", "multi\nline \\ help")->Set(1);
+  std::string out = reg.ExposePrometheus();
+  // Help falls back to the family name so every family carries HELP+TYPE.
+  EXPECT_NE(out.find("# HELP no_help_total no_help_total\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("# TYPE no_help_total counter\n"), std::string::npos);
+  // HELP text escapes backslash and newline.
+  EXPECT_NE(out.find("# HELP g multi\\nline \\\\ help\n"), std::string::npos);
+}
+
+TEST(HistogramTest, QuantilesInterpolateWithinBuckets) {
+  Histogram h({10.0, 100.0, 1000.0});
+  for (int i = 0; i < 90; ++i) h.Observe(5.0);    // bucket (0, 10]
+  for (int i = 0; i < 10; ++i) h.Observe(50.0);   // bucket (10, 100]
+  // p50 lands mid-way through the first bucket: rank 50 of 90 -> ~5.56.
+  EXPECT_NEAR(h.Quantile(0.50), 10.0 * 50.0 / 90.0, 1e-9);
+  // p99 lands in the second bucket: rank 99, 9 of 10 into it -> 91.
+  EXPECT_NEAR(h.Quantile(0.99), 10.0 + 90.0 * 9.0 / 10.0, 1e-9);
+  // Everything past the last finite bound clamps to it.
+  Histogram inf({1.0});
+  inf.Observe(5000.0);
+  EXPECT_DOUBLE_EQ(inf.Quantile(0.99), 1.0);
+  // Empty histogram: all quantiles are 0.
+  Histogram empty({1.0});
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.5), 0.0);
+}
+
+TEST(MetricsRegistryTest, HistogramQuantilesTextListsEveryHistogram) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("lat_ms", "", {1.0, 10.0});
+  for (int i = 0; i < 10; ++i) h->Observe(0.5);
+  reg.GetCounter("not_a_histogram", "")->Increment();
+  std::string text = reg.HistogramQuantilesText();
+  EXPECT_NE(text.find("lat_ms: n=10"), std::string::npos) << text;
+  EXPECT_NE(text.find("p50="), std::string::npos);
+  EXPECT_NE(text.find("p99="), std::string::npos);
+  EXPECT_EQ(text.find("not_a_histogram"), std::string::npos);
+}
+
+// --- Trace context --------------------------------------------------------
+
+TEST(TraceContextTest, MintChildAndScope) {
+  EXPECT_FALSE(TraceContext().valid());
+  EXPECT_FALSE(CurrentTraceContext().valid());
+
+  TraceContext minted = TraceContext::Mint(true);
+  EXPECT_TRUE(minted.valid());
+  EXPECT_TRUE(minted.sampled);
+  EXPECT_EQ(minted.trace_id_hex().size(), 32u);
+  EXPECT_EQ(minted.span_id_hex().size(), 16u);
+
+  TraceContext child = minted.Child();
+  EXPECT_EQ(child.trace_id_hi, minted.trace_id_hi);
+  EXPECT_EQ(child.trace_id_lo, minted.trace_id_lo);
+  EXPECT_NE(child.span_id, minted.span_id);
+  EXPECT_TRUE(child.sampled);
+
+  {
+    ScopedTraceContext scope(minted);
+    EXPECT_TRUE(CurrentTraceContext() == minted);
+    {
+      ScopedTraceContext inner(child);
+      EXPECT_TRUE(CurrentTraceContext() == child);
+    }
+    EXPECT_TRUE(CurrentTraceContext() == minted);
+  }
+  EXPECT_FALSE(CurrentTraceContext().valid());
+
+  // Distinct mints get distinct trace ids.
+  EXPECT_FALSE(TraceContext::Mint(false) == TraceContext::Mint(false));
+}
+
+TEST(TraceContextTest, AmbientContextIsPerThread) {
+  TraceContext mine = TraceContext::Mint(false);
+  ScopedTraceContext scope(mine);
+  bool other_thread_saw_invalid = false;
+  std::thread t([&] {
+    other_thread_saw_invalid = !CurrentTraceContext().valid();
+  });
+  t.join();
+  EXPECT_TRUE(other_thread_saw_invalid);
+  EXPECT_TRUE(CurrentTraceContext() == mine);
+}
+
+TEST(TraceContextTest, LogLinesCarryTheAmbientTraceId) {
+  std::string captured;
+  SetLogSink([&](LogLevel, std::string_view line) {
+    captured.assign(line);
+  });
+  TraceContext trace = TraceContext::Mint(false);
+  {
+    ScopedTraceContext scope(trace);
+    STORM_LOG(Warn) << "traced message";
+  }
+  std::string traced = captured;
+  STORM_LOG(Warn) << "untraced message";
+  std::string untraced = captured;
+  SetLogSink({});
+  EXPECT_NE(traced.find("{trace=" + trace.trace_id_hex() + "}"),
+            std::string::npos)
+      << traced;
+  EXPECT_EQ(untraced.find("{trace="), std::string::npos);
+}
+
+// --- Flight recorder ------------------------------------------------------
+
+TEST(FlightRecorderTest, EventsComeBackInGlobalOrder) {
+  FlightRecorder rec;
+  rec.Record(FlightEvent::kMark, 1);
+  rec.Record(FlightEvent::kMark, 2, 20, "second");
+  rec.Record(FlightEvent::kConnOpen, 3);
+  auto events = rec.Dump();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_LT(events[0].seq, events[1].seq);
+  EXPECT_LT(events[1].seq, events[2].seq);
+  EXPECT_EQ(events[0].a, 1u);
+  EXPECT_EQ(events[1].a, 2u);
+  EXPECT_EQ(events[1].b, 20u);
+  EXPECT_EQ(events[1].label, "second");
+  EXPECT_EQ(events[2].type, FlightEvent::kConnOpen);
+  EXPECT_EQ(rec.recorded_total(), 3u);
+}
+
+TEST(FlightRecorderTest, RingOverwritesOldestAndKeepsNewest) {
+  FlightRecorder rec;
+  constexpr uint64_t kTotal = 5000;  // well past one ring (1024 slots)
+  for (uint64_t i = 0; i < kTotal; ++i) {
+    rec.Record(FlightEvent::kMark, i);
+  }
+  auto events = rec.Dump();
+  ASSERT_FALSE(events.empty());
+  ASSERT_LE(events.size(), 1024u);
+  // The newest event is always retained; retained events are contiguous
+  // and ordered.
+  EXPECT_EQ(events.back().a, kTotal - 1);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].a, events[i - 1].a + 1);
+  }
+  // max_events trims from the old end.
+  auto last_ten = rec.Dump(10);
+  ASSERT_EQ(last_ten.size(), 10u);
+  EXPECT_EQ(last_ten.back().a, kTotal - 1);
+  EXPECT_EQ(last_ten.front().a, kTotal - 10);
+}
+
+TEST(FlightRecorderTest, ConcurrentRecordAndDumpIsSafeAndOrdered) {
+  FlightRecorder rec;
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 20'000;
+  std::atomic<bool> stop{false};
+  // A dump thread races the writers the whole time (the seqlock path).
+  std::thread dumper([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      auto events = rec.Dump();
+      for (size_t i = 1; i < events.size(); ++i) {
+        ASSERT_LT(events[i - 1].seq, events[i].seq);
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&rec, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        rec.Record(FlightEvent::kMark, static_cast<uint64_t>(t), i, "w");
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  dumper.join();
+  EXPECT_EQ(rec.recorded_total(), kThreads * kPerThread);
+  // Every thread's newest events survive in one merged, ordered dump.
+  auto events = rec.Dump();
+  std::set<uint64_t> threads_seen;
+  for (const auto& e : events) threads_seen.insert(e.a);
+  EXPECT_EQ(threads_seen.size(), static_cast<size_t>(kThreads));
+  std::string text = rec.DumpText(8);
+  EXPECT_NE(text.find("mark"), std::string::npos);
+  std::string json = rec.DumpJson(8);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+}
+
+// --- Trace export ---------------------------------------------------------
+
+TEST(TraceExportTest, ChromeTraceJsonTagsBothSites) {
+  QueryProfile client;
+  client.trace = TraceContext::Mint(true);
+  client.query = "SELECT AVG(v) FROM t";
+  { QueryProfile::ScopedSpan s = client.Span("rpc_await"); }
+  client.Finish();
+
+  QueryProfile server;
+  server.trace = client.trace.Child();
+  { QueryProfile::ScopedSpan s = server.Span("sample_loop"); }
+  server.Finish();
+  client.MergeServerProfile(server);
+
+  std::string json = ChromeTraceJson(client);
+  // Both processes' spans carry the same client-minted trace id.
+  const std::string id = client.trace.trace_id_hex();
+  size_t first = json.find(id);
+  ASSERT_NE(first, std::string::npos) << json;
+  EXPECT_NE(json.find(id, first + 1), std::string::npos)
+      << "trace id must appear on more than one span";
+  // Local spans render as pid 1, server spans as pid 2.
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"site\":\"server\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(TraceExportTest, TraceSinkKeepsMostRecentUpToCapacity) {
+  TraceSink sink(2);
+  for (int i = 0; i < 5; ++i) {
+    QueryProfile p;
+    p.query = "q" + std::to_string(i);
+    p.trace = TraceContext::Mint(true);
+    p.Finish();
+    sink.Record(p);
+  }
+  auto recent = sink.Recent();
+  ASSERT_EQ(recent.size(), 2u);
+  EXPECT_EQ(recent.front()->query, "q3");
+  EXPECT_EQ(recent.back()->query, "q4");
+  EXPECT_EQ(sink.recorded_total(), 5u);
+  std::string json = sink.ToJson();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("q4"), std::string::npos);
+  EXPECT_EQ(json.find("q1"), std::string::npos);
+}
+
+TEST(QueryProfileTest, MergeServerProfileGraftsSpansOneLevelDeeper) {
+  QueryProfile client;
+  { QueryProfile::ScopedSpan s = client.Span("rpc_await"); }
+  client.Finish();
+
+  QueryProfile server;
+  server.table = "t";
+  server.sampler = "RSTREE";
+  {
+    QueryProfile::ScopedSpan s = server.Span("sample_loop");
+    s.SetSamples(640);
+  }
+  server.AddConvergencePoint(1.0, 640, 4.5, 0.1, 100.0);
+  server.Finish();
+
+  client.MergeServerProfile(server);
+  const TraceSpan* remote_root = nullptr;
+  for (const TraceSpan& s : client.spans()) {
+    if (s.site == "server" && s.name == "query") remote_root = &s;
+  }
+  ASSERT_NE(remote_root, nullptr);
+  EXPECT_EQ(remote_root->depth, 1);  // server root sits under the client root
+  const TraceSpan* loop = client.Find("sample_loop");
+  ASSERT_NE(loop, nullptr);
+  EXPECT_EQ(loop->site, "server");
+  EXPECT_EQ(loop->depth, 2);
+  // Adopted metadata and samples propagate to the joined profile.
+  EXPECT_EQ(client.table, "t");
+  EXPECT_EQ(client.sampler, "RSTREE");
+  EXPECT_EQ(client.total_samples(), 640u);
+  ASSERT_EQ(client.convergence().size(), 1u);
+  // The joined rendering distinguishes sites.
+  EXPECT_NE(client.ToString().find("@server"), std::string::npos);
 }
 
 TEST(ObsIntegrationTest, ProfileJsonRoundsTripThroughExecute) {

@@ -14,8 +14,11 @@
 
 #include <gtest/gtest.h>
 
+#include "storm/obs/flight_recorder.h"
+#include "storm/obs/trace_export.h"
 #include "storm/query/lexer.h"
 #include "storm/storm.h"
+#include "storm/wal/codec.h"
 
 namespace storm {
 namespace {
@@ -554,6 +557,242 @@ TEST(ServerTest, HttpMetricsEndpointServesPrometheusText) {
 
   std::string missing = fetch("GET /else HTTP/1.1\r\nHost: x\r\n\r\n");
   EXPECT_NE(missing.find("404"), std::string::npos);
+}
+
+// --- Distributed tracing and the diagnostics plane -----------------------
+
+TEST(ProtocolTest, QueryRequestCarriesTraceAndStaysBackCompat) {
+  QueryRequest req;
+  req.query = "SELECT AVG(v) FROM t SAMPLES 100";
+  req.want_profile = true;
+  req.trace = TraceContext::Mint(true);
+  auto back = DecodeQueryRequest(EncodeQueryRequest(req));
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_TRUE(back->want_profile);
+  EXPECT_TRUE(back->trace == req.trace);
+  EXPECT_TRUE(back->trace.sampled);
+
+  // A pre-trace client's payload ends after progress_interval_ms; the
+  // decoder keeps defaults instead of failing.
+  ByteWriter legacy;
+  legacy.PutString("SELECT COUNT(*) FROM t");
+  legacy.PutU32(1);
+  legacy.PutDouble(0.0);
+  legacy.PutU32(0);
+  auto old = DecodeQueryRequest(legacy.data());
+  ASSERT_TRUE(old.ok()) << old.status();
+  EXPECT_FALSE(old->want_profile);
+  EXPECT_FALSE(old->trace.valid());
+}
+
+TEST(ProtocolTest, QueryProfileWireRoundTripIsByteExact) {
+  QueryProfile profile;
+  profile.query = "SELECT AVG(v) FROM t REGION(0, 0, 50, 50) SAMPLES 4096";
+  profile.table = "t";
+  profile.task = "aggregate";
+  profile.sampler = "RSTREE";
+  profile.trace = TraceContext::Mint(true);
+  AtomicIoStats io;
+  profile.SetIoSource(&io);
+  {
+    QueryProfile::ScopedSpan outer = profile.Span("execute");
+    io.logical_reads += 17;
+    io.pool_hits += 12;
+    io.pool_misses += 5;
+    {
+      QueryProfile::ScopedSpan loop = profile.Span("sample_loop");
+      loop.SetSamples(4096);
+      loop.SetNote("RS-tree accepted");
+    }
+  }
+  profile.AddConvergencePoint(0.5, 1024, 4.4, 0.3, 120.5);
+  profile.AddConvergencePoint(1.5, 4096, 4.5, 0.1, 118.25);
+  profile.Finish();
+
+  std::string wire = EncodeQueryProfile(profile);
+  auto decoded = DecodeQueryProfile(wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+
+  // The decoded profile re-encodes to the identical bytes: every span
+  // field (doubles included — the codec is bit-exact), every convergence
+  // point, the metadata, and the trace identity survive.
+  EXPECT_EQ(EncodeQueryProfile(*decoded), wire);
+  EXPECT_TRUE(decoded->trace == profile.trace);
+  ASSERT_EQ(decoded->spans().size(), profile.spans().size());
+  const TraceSpan* loop = decoded->Find("sample_loop");
+  ASSERT_NE(loop, nullptr);
+  EXPECT_EQ(loop->samples, 4096u);
+  EXPECT_EQ(loop->note, "RS-tree accepted");
+  EXPECT_EQ(decoded->Find("execute")->io.logical_reads, 17u);
+  ASSERT_EQ(decoded->convergence().size(), 2u);
+  EXPECT_DOUBLE_EQ(decoded->convergence()[1].cardinality_estimate, 118.25);
+
+  // Trailing garbage is rejected, not ignored.
+  EXPECT_FALSE(DecodeQueryProfile(wire + "x").ok());
+}
+
+TEST(ServerTest, JoinedProfileCarriesClientTraceAcrossTheWire) {
+  TestServer ts;
+  RemoteClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", ts.port()).ok());
+
+  // The client mints the trace; passing it via ExecOptions pins the id so
+  // the test can grep for it.
+  TraceContext minted = TraceContext::Mint(true);
+  auto result = client.Execute("SELECT AVG(v) FROM t SAMPLES 5000",
+                               ExecOptions().WithTrace(minted));
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_NE(result->profile, nullptr);
+  const QueryProfile& joined = *result->profile;
+
+  // One trace spans both processes.
+  EXPECT_EQ(joined.trace.trace_id_hex(), minted.trace_id_hex());
+  bool saw_client_span = false;
+  bool saw_server_span = false;
+  for (const TraceSpan& s : joined.spans()) {
+    if (s.site.empty()) saw_client_span = true;
+    if (s.site == "server") saw_server_span = true;
+  }
+  EXPECT_TRUE(saw_client_span);
+  EXPECT_TRUE(saw_server_span);
+  // The server's engine-side spans made the trip.
+  ASSERT_NE(joined.Find("sample_loop"), nullptr);
+  EXPECT_EQ(joined.Find("sample_loop")->site, "server");
+  ASSERT_NE(joined.Find("rpc_await"), nullptr);
+  EXPECT_GT(joined.total_samples(), 0u);
+
+  // The exported Chrome trace carries the client-minted id on spans from
+  // both processes (pid 1 = client, pid 2 = server).
+  std::string chrome = ChromeTraceJson(joined);
+  const std::string id = minted.trace_id_hex();
+  EXPECT_NE(chrome.find(id), std::string::npos);
+  size_t client_pid = chrome.find("\"pid\":1");
+  size_t server_pid = chrome.find("\"pid\":2");
+  EXPECT_NE(client_pid, std::string::npos);
+  EXPECT_NE(server_pid, std::string::npos);
+  // Each event object carrying a pid also carries the trace id in args.
+  for (size_t pos : {client_pid, server_pid}) {
+    size_t end = chrome.find('}', chrome.find("\"args\"", pos));
+    ASSERT_NE(end, std::string::npos);
+    EXPECT_NE(chrome.substr(pos, end - pos).find(id), std::string::npos);
+  }
+
+  // Sampled trace: the client-side sink retained the joined profile.
+  bool in_sink = false;
+  for (const auto& p : TraceSink::Default().Recent()) {
+    if (p->trace.trace_id_hex() == id) in_sink = true;
+  }
+  EXPECT_TRUE(in_sink);
+}
+
+TEST(ServerTest, UnsampledQueryStillJoinsProfilesWhenRequested) {
+  TestServer ts;
+  RemoteClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", ts.port()).ok());
+  client.set_trace_sample_rate(0.0);
+  auto result = client.Execute("SELECT AVG(v) FROM t SAMPLES 2000");
+  ASSERT_TRUE(result.ok()) << result.status();
+  // want_profile rides the explicit request path, independent of sampling.
+  ASSERT_NE(result->profile, nullptr);
+  EXPECT_TRUE(result->profile->trace.valid());
+  EXPECT_FALSE(result->profile->trace.sampled);
+  EXPECT_NE(result->profile->Find("sample_loop"), nullptr);
+}
+
+TEST(ServerTest, HealthzAndStatuszReflectServerState) {
+  ServerOptions options;
+  options.slow_query_threshold_ms = 0.0001;  // everything is "slow"
+  TestServer ts(options);
+  RemoteClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", ts.port()).ok());
+
+  std::string healthz = ts.server->HealthzJson();
+  EXPECT_NE(healthz.find("\"status\":\"ok\""), std::string::npos) << healthz;
+  EXPECT_NE(healthz.find("\"uptime_s\":"), std::string::npos);
+
+  TraceContext minted = TraceContext::Mint(true);
+  auto result = client.Execute("SELECT AVG(v) FROM t SAMPLES 5000",
+                               ExecOptions().WithTrace(minted));
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  std::string statusz = ts.server->StatuszJson();
+  EXPECT_NE(statusz.find("\"build\":"), std::string::npos) << statusz;
+  EXPECT_NE(statusz.find("\"admission\":"), std::string::npos);
+  EXPECT_NE(statusz.find("\"connections\":"), std::string::npos);
+  // The finished query crossed the (absurdly low) slow threshold, so the
+  // slow-query ring has it, trace id included.
+  EXPECT_NE(statusz.find("\"slow_queries\":"), std::string::npos);
+  EXPECT_NE(statusz.find(minted.trace_id_hex()), std::string::npos);
+}
+
+TEST(ServerTest, DiagnosticsEndpointsServeConcurrentlyUnderLoad) {
+  ServerOptions options;
+  options.metrics_port = 0;
+  options.trace_sample_rate = 1.0;  // every clientless query hits /tracez
+  auto ts = std::make_unique<TestServer>(options, kLongDocs);
+  ASSERT_GE(ts->server->metrics_port(), 0);
+  const int http_port = ts->server->metrics_port();
+
+  auto fetch = [http_port](const std::string& path) {
+    std::string response;
+    auto sock = TcpConnect("127.0.0.1", http_port);
+    if (!sock.ok()) return response;
+    std::string request = "GET " + path + " HTTP/1.1\r\nHost: x\r\n\r\n";
+    if (!SendAll(sock->get(), request.data(), request.size()).ok()) {
+      return response;
+    }
+    char buf[4096];
+    while (true) {
+      auto got = RecvSome(sock->get(), buf, sizeof(buf), 2000);
+      if (!got.ok() || *got == 0) break;
+      response.append(buf, *got);
+    }
+    return response;
+  };
+
+  // Query traffic streams while three scraper threads hammer every
+  // endpoint — the TSan target for the diagnostics plane.
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> load;
+  for (int c = 0; c < 2; ++c) {
+    load.emplace_back([&ts, &stop] {
+      RemoteClient client;
+      if (!client.Connect("127.0.0.1", ts->port()).ok()) return;
+      client.set_progress_interval_ms(1);
+      while (!stop.load(std::memory_order_acquire)) {
+        (void)client.Execute("SELECT AVG(v) FROM t SAMPLES 20000");
+      }
+    });
+  }
+  std::atomic<int> bad_responses{0};
+  std::vector<std::thread> scrapers;
+  for (int s = 0; s < 3; ++s) {
+    scrapers.emplace_back([&fetch, &bad_responses] {
+      const char* paths[] = {"/metrics", "/healthz", "/statusz", "/tracez",
+                             "/flightz"};
+      for (int round = 0; round < 8; ++round) {
+        for (const char* path : paths) {
+          std::string response = fetch(path);
+          if (response.find("200 OK") == std::string::npos) ++bad_responses;
+        }
+      }
+    });
+  }
+  for (auto& t : scrapers) t.join();
+  stop.store(true, std::memory_order_release);
+  for (auto& t : load) t.join();
+  EXPECT_EQ(bad_responses.load(), 0);
+
+  // Spot-check body shapes once the load is off.
+  EXPECT_NE(fetch("/metrics").find("# TYPE"), std::string::npos);
+  EXPECT_NE(fetch("/healthz").find("\"status\""), std::string::npos);
+  EXPECT_NE(fetch("/statusz").find("\"admission\""), std::string::npos);
+  std::string tracez = fetch("/tracez");
+  EXPECT_NE(tracez.find("\r\n\r\n["), std::string::npos) << tracez;
+  std::string flightz = fetch("/flightz");
+  EXPECT_NE(flightz.find("\r\n\r\n["), std::string::npos);
+  EXPECT_NE(flightz.find("query_admit"), std::string::npos);
+  ts->server->Stop();
 }
 
 // --- Untrusted-input hardening -------------------------------------------

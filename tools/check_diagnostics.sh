@@ -1,0 +1,135 @@
+#!/usr/bin/env bash
+# Diagnostics-plane smoke check, run by the CI `diagnostics` job.
+#
+# Starts a real storm_server (tiny data set, ephemeral ports, 100% trace
+# sampling), drives a short remote workload through storm_shell, then curls
+# every diagnostics endpoint:
+#
+#   /metrics  - Prometheus text: every line must parse (HELP/TYPE comments
+#               or name{labels} value samples), no raw newlines in labels
+#   /healthz  - JSON with "status"
+#   /statusz  - JSON with build/admission/connection state
+#   /tracez   - JSON array of recently sampled traces (non-empty at 100%
+#               sampling after the workload)
+#   /flightz  - JSON array of recent flight-recorder events
+#
+# Any non-200, malformed body, or a missing flight-recorder dump on SIGTERM
+# fails the script (and the CI job).
+#
+#   tools/check_diagnostics.sh [server_bin] [shell_bin]
+
+set -euo pipefail
+
+SERVER_BIN=${1:-./build/tools/storm_server}
+SHELL_BIN=${2:-./build/examples/storm_shell}
+
+workdir=$(mktemp -d)
+server_pid=""
+cleanup() {
+  if [[ -n "$server_pid" ]] && kill -0 "$server_pid" 2>/dev/null; then
+    kill "$server_pid" 2>/dev/null || true
+    wait "$server_pid" 2>/dev/null || true
+  fi
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  echo "--- server stdout ---" >&2
+  cat "$workdir/stdout" >&2 || true
+  echo "--- server stderr ---" >&2
+  cat "$workdir/stderr" >&2 || true
+  exit 1
+}
+
+"$SERVER_BIN" --tiny --port 0 --metrics-port 0 \
+  --trace-sample-rate 1.0 --slow-query-ms 0.001 \
+  >"$workdir/stdout" 2>"$workdir/stderr" &
+server_pid=$!
+
+for _ in $(seq 1 300); do
+  grep -q "serving on port" "$workdir/stdout" 2>/dev/null && break
+  kill -0 "$server_pid" 2>/dev/null || fail "server exited during startup"
+  sleep 0.1
+done
+grep -q "serving on port" "$workdir/stdout" || fail "server did not start in time"
+
+port=$(sed -n 's/.*serving on port \([0-9][0-9]*\).*/\1/p' "$workdir/stdout" | head -1)
+http_port=$(sed -n 's|.*http://0\.0\.0\.0:\([0-9][0-9]*\).*|\1|p' "$workdir/stdout" | head -1)
+[[ -n "$port" && -n "$http_port" ]] || fail "could not parse ports from server output"
+echo "server up: protocol port $port, diagnostics port $http_port"
+
+# Short remote workload: the diagnostics must describe real traffic. The
+# shell's client samples every trace (STORM_TRACE_SAMPLE_RATE=1) so /tracez
+# is guaranteed to hold entries afterwards.
+printf '\\connect 127.0.0.1:%s\nSELECT AVG(altitude) FROM osm SAMPLES 2000\nSELECT COUNT(*) FROM tweets SAMPLES 2000\nSELECT AVG(temperature) FROM mesowest SAMPLES 1000\n\\quit\n' "$port" \
+  | STORM_TRACE_SAMPLE_RATE=1 "$SHELL_BIN" >"$workdir/shell.out" 2>&1 \
+  || fail "remote workload failed: $(cat "$workdir/shell.out")"
+grep -q "samples" "$workdir/shell.out" || fail "workload produced no results"
+
+for endpoint in metrics healthz statusz tracez flightz; do
+  code=$(curl -fsS -o "$workdir/$endpoint.body" -w "%{http_code}" \
+    "http://127.0.0.1:$http_port/$endpoint") \
+    || fail "curl /$endpoint failed"
+  [[ "$code" == "200" ]] || fail "/$endpoint returned HTTP $code"
+  echo "GET /$endpoint -> 200 ($(wc -c < "$workdir/$endpoint.body") bytes)"
+done
+
+# /metrics: every line must be a comment or a well-formed sample.
+python3 - "$workdir/metrics.body" <<'EOF'
+import re, sys
+sample = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*'              # metric name
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\\n])*"'  # first label
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\\n])*")*\})?'  # more labels
+    r' (NaN|[-+]?(Inf|[0-9.eE+-]+))$')        # value
+comment = re.compile(r'^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .*$')
+bad = []
+body = open(sys.argv[1]).read()
+for n, line in enumerate(body.splitlines(), 1):
+    if not line:
+        continue
+    if line.startswith('#'):
+        if not comment.match(line):
+            bad.append((n, line))
+    elif not sample.match(line):
+        bad.append((n, line))
+if not body.strip():
+    sys.exit('metrics body is empty')
+if bad:
+    sys.exit('malformed Prometheus lines: %r' % bad[:5])
+print('metrics: %d lines parse clean' % len(body.splitlines()))
+EOF
+
+# JSON endpoints must parse; /tracez must hold sampled traces (100% rate),
+# /flightz must hold flight events from the workload.
+python3 - "$workdir" <<'EOF'
+import json, sys
+d = sys.argv[1]
+healthz = json.load(open(d + '/healthz.body'))
+assert healthz.get('status') in ('ok', 'degraded'), healthz
+statusz = json.load(open(d + '/statusz.body'))
+for key in ('build', 'uptime_s', 'admission', 'connections'):
+    assert key in statusz, 'statusz missing %r' % key
+assert statusz['admission']['admitted'] >= 3, statusz['admission']
+tracez = json.load(open(d + '/tracez.body'))
+assert isinstance(tracez, list) and tracez, 'tracez empty at 100% sampling'
+assert any(p.get('trace_id') for p in tracez), 'tracez entries lack trace ids'
+flightz = json.load(open(d + '/flightz.body'))
+assert isinstance(flightz, list) and flightz, 'flightz empty after workload'
+events = {e.get('event') for e in flightz}
+assert 'query_admit' in events, 'no query_admit in flight events: %r' % events
+print('healthz/statusz/tracez/flightz: JSON parses, contents sane')
+EOF
+
+# SIGTERM must produce the flight-recorder dump on the way down.
+kill -TERM "$server_pid"
+wait "$server_pid" || fail "server exited nonzero on SIGTERM"
+server_pid=""
+grep -q -- "--- flight recorder" "$workdir/stderr" \
+  || fail "no flight-recorder dump on SIGTERM"
+grep -q -- "--- end flight recorder" "$workdir/stderr" \
+  || fail "flight-recorder dump truncated"
+
+echo "PASS: diagnostics plane healthy"

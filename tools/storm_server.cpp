@@ -9,8 +9,14 @@
 //   ./build/examples/storm_shell
 //   storm> \connect 127.0.0.1:4317
 //
-// or scrape http://127.0.0.1:9105/metrics. docs/SERVER.md documents the
-// protocol, admission control, and backpressure semantics.
+// or scrape the diagnostics plane: http://127.0.0.1:9105/metrics,
+// /healthz, /statusz, /tracez, /flightz. docs/SERVER.md documents the
+// protocol, admission control, and backpressure semantics;
+// docs/OBSERVABILITY.md documents tracing and the flight recorder.
+//
+// On SIGINT/SIGTERM the server shuts down cleanly and dumps the flight
+// recorder (the last ~1k structured events across every thread, in global
+// order) to stderr — the crash-forensics path exercised by the chaos tests.
 
 #include <atomic>
 #include <chrono>
@@ -20,6 +26,7 @@
 #include <cstring>
 #include <thread>
 
+#include "storm/obs/flight_recorder.h"
 #include "storm/storm.h"
 
 namespace {
@@ -28,11 +35,11 @@ std::atomic<bool> g_stop{false};
 
 void HandleSignal(int) { g_stop.store(true); }
 
-void LoadDemoTables(storm::Session* session) {
+void LoadDemoTables(storm::Session* session, bool tiny) {
   using namespace storm;
   {
     TweetOptions o;
-    o.num_tweets = 100'000;
+    o.num_tweets = tiny ? 2'000 : 100'000;
     TweetGenerator gen(o);
     std::vector<Value> docs;
     for (const Tweet& t : gen.Generate()) {
@@ -42,8 +49,8 @@ void LoadDemoTables(storm::Session* session) {
   }
   {
     WeatherOptions o;
-    o.num_stations = 400;
-    o.readings_per_station = 96;
+    o.num_stations = tiny ? 40 : 400;
+    o.readings_per_station = tiny ? 24 : 96;
     WeatherGenerator gen(o);
     auto stations = gen.GenerateStations();
     std::vector<Value> docs;
@@ -54,7 +61,7 @@ void LoadDemoTables(storm::Session* session) {
   }
   {
     OsmOptions o;
-    o.num_points = 200'000;
+    o.num_points = tiny ? 5'000 : 200'000;
     OsmLikeGenerator gen(o);
     std::vector<Value> docs;
     for (const OsmPoint& p : gen.Generate()) {
@@ -72,6 +79,7 @@ int main(int argc, char** argv) {
   ServerOptions options;
   options.port = 4317;
   options.metrics_port = -1;
+  bool tiny = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
       options.port = std::atoi(argv[++i]);
@@ -81,18 +89,26 @@ int main(int argc, char** argv) {
       options.query_threads = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--max-queued") == 0 && i + 1 < argc) {
       options.max_queued_queries = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--trace-sample-rate") == 0 &&
+               i + 1 < argc) {
+      options.trace_sample_rate = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--slow-query-ms") == 0 && i + 1 < argc) {
+      options.slow_query_threshold_ms = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--tiny") == 0) {
+      tiny = true;  // small demo tables: fast startup for CI / smoke runs
     } else {
       std::fprintf(stderr,
                    "usage: %s [--port N] [--metrics-port N] "
-                   "[--query-threads N] [--max-queued N]\n",
+                   "[--query-threads N] [--max-queued N] "
+                   "[--trace-sample-rate F] [--slow-query-ms F] [--tiny]\n",
                    argv[0]);
       return 2;
     }
   }
 
-  std::printf("loading demo data sets...\n");
+  std::printf("loading demo data sets%s...\n", tiny ? " (tiny)" : "");
   Session session;
-  LoadDemoTables(&session);
+  LoadDemoTables(&session, tiny);
   for (const std::string& name : session.TableNames()) {
     auto table = session.GetTable(name);
     if (table.ok()) {
@@ -109,9 +125,13 @@ int main(int argc, char** argv) {
   }
   std::printf("serving on port %d", server.port());
   if (server.metrics_port() >= 0) {
-    std::printf(", metrics on http://0.0.0.0:%d/metrics", server.metrics_port());
+    std::printf(
+        ", diagnostics on http://0.0.0.0:%d"
+        "{/metrics,/healthz,/statusz,/tracez,/flightz}",
+        server.metrics_port());
   }
   std::printf(" (SIGINT to stop)\n");
+  std::fflush(stdout);
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
@@ -121,6 +141,13 @@ int main(int argc, char** argv) {
 
   std::printf("shutting down...\n");
   server.Stop();
+
+  // Crash/shutdown forensics: the most recent structured events from every
+  // thread, merged into one global order.
+  std::fprintf(stderr, "--- flight recorder (last events, oldest first) ---\n%s",
+               FlightRecorder::Default().DumpText().c_str());
+  std::fprintf(stderr, "--- end flight recorder ---\n");
+
   const auto& adm = server.admission();
   std::printf("served %llu queries (%llu shed); accounting drift: %s\n",
               static_cast<unsigned long long>(adm.admitted_total()),

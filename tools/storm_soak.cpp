@@ -10,11 +10,19 @@
 // status, or drift makes the process exit nonzero, which fails the CI job.
 //
 //   STORM_SOAK_SECONDS=60 STORM_SOAK_CLIENTS=8 ./build/tools/storm_soak
+//
+// STORM_FUZZ_SEED perturbs every worker's traffic mix (default 0x50AC), and
+// is echoed up front so a red run reproduces exactly. Each worker traces a
+// fraction of its queries; on failure the harness prints the slowest traced
+// query's id and its joined client+server profile, so the triage starts from
+// the trace rather than from a bare exit code.
 
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -30,6 +38,13 @@ int EnvInt(const char* name, int fallback) {
   return v != nullptr && *v != '\0' ? std::atoi(v) : fallback;
 }
 
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0'
+             ? std::strtoull(v, nullptr, 0)
+             : fallback;
+}
+
 struct WorkerStats {
   uint64_t queries = 0;
   uint64_t shed = 0;
@@ -37,6 +52,10 @@ struct WorkerStats {
   uint64_t inserts = 0;
   uint64_t errors = 0;
   std::string first_error;
+  // Slowest completed query's joined client+server profile, for the
+  // trace summary a failing run prints.
+  double slowest_ms = 0.0;
+  std::shared_ptr<const QueryProfile> slowest_profile;
 };
 
 void Fail(WorkerStats* stats, const std::string& what) {
@@ -44,9 +63,9 @@ void Fail(WorkerStats* stats, const std::string& what) {
   if (stats->first_error.empty()) stats->first_error = what;
 }
 
-void ClientWorker(int port, int worker, std::atomic<bool>* stop,
-                  WorkerStats* stats) {
-  Rng rng(0x50AC + static_cast<uint64_t>(worker));
+void ClientWorker(int port, int worker, uint64_t seed,
+                  std::atomic<bool>* stop, WorkerStats* stats) {
+  Rng rng(seed + static_cast<uint64_t>(worker));
   RemoteClient client;
   Status st = client.Connect("127.0.0.1", port);
   if (!st.ok()) {
@@ -54,6 +73,7 @@ void ClientWorker(int port, int worker, std::atomic<bool>* stop,
     return;
   }
   client.set_progress_interval_ms(5);
+  client.set_trace_sample_rate(0.05);
 
   while (!stop->load(std::memory_order_acquire)) {
     const int dice = static_cast<int>(rng.UniformInt(0, 9));
@@ -64,6 +84,11 @@ void ClientWorker(int port, int worker, std::atomic<bool>* stop,
           ExecOptions().WithProgress([](const QueryProgress&) { return true; }));
       if (result.ok()) {
         ++stats->queries;
+        if (result->profile != nullptr &&
+            result->profile->total_ms() > stats->slowest_ms) {
+          stats->slowest_ms = result->profile->total_ms();
+          stats->slowest_profile = result->profile;
+        }
       } else if (result.status().code() == StatusCode::kUnavailable) {
         ++stats->shed;  // admission control at work, not an error
       } else {
@@ -115,6 +140,7 @@ void ClientWorker(int port, int worker, std::atomic<bool>* stop,
 int main() {
   const int seconds = EnvInt("STORM_SOAK_SECONDS", 5);
   const int num_clients = EnvInt("STORM_SOAK_CLIENTS", 8);
+  const uint64_t fuzz_seed = EnvU64("STORM_FUZZ_SEED", 0x50AC);
 
   // Seed table: uniform points with a numeric attribute to aggregate.
   Session session;
@@ -146,15 +172,18 @@ int main() {
     std::fprintf(stderr, "start: %s\n", st.ToString().c_str());
     return 1;
   }
-  std::printf("soaking %d clients against port %d for %d s\n", num_clients,
-              server.port(), seconds);
+  std::printf(
+      "soaking %d clients against port %d for %d s (STORM_FUZZ_SEED=%llu)\n",
+      num_clients, server.port(), seconds,
+      static_cast<unsigned long long>(fuzz_seed));
 
   std::atomic<bool> stop{false};
   std::vector<WorkerStats> stats(static_cast<size_t>(num_clients));
   std::vector<std::thread> workers;
   workers.reserve(static_cast<size_t>(num_clients));
   for (int i = 0; i < num_clients; ++i) {
-    workers.emplace_back(ClientWorker, server.port(), i, &stop, &stats[i]);
+    workers.emplace_back(ClientWorker, server.port(), i, fuzz_seed, &stop,
+                         &stats[i]);
   }
   std::this_thread::sleep_for(std::chrono::seconds(seconds));
   stop.store(true, std::memory_order_release);
@@ -170,6 +199,10 @@ int main() {
     total.inserts += s.inserts;
     total.errors += s.errors;
     if (total.first_error.empty()) total.first_error = s.first_error;
+    if (s.slowest_ms > total.slowest_ms) {
+      total.slowest_ms = s.slowest_ms;
+      total.slowest_profile = s.slowest_profile;
+    }
   }
   const AdmissionController& adm = server.admission();
   std::printf(
@@ -204,6 +237,20 @@ int main() {
   if (total.queries + total.cancelled == 0) {
     std::fprintf(stderr, "FAIL: no queries completed\n");
     rc = 1;
+  }
+  if (rc != 0) {
+    // Start triage from the slowest traced query rather than a bare exit
+    // code: its id correlates with server logs and /tracez, and the joined
+    // profile shows where the time went on both sides of the wire.
+    std::fprintf(stderr, "rerun with STORM_FUZZ_SEED=%llu to reproduce\n",
+                 static_cast<unsigned long long>(fuzz_seed));
+    if (total.slowest_profile != nullptr) {
+      std::fprintf(stderr,
+                   "slowest query: %.1f ms, trace %s; joined profile:\n%s",
+                   total.slowest_ms,
+                   total.slowest_profile->trace.trace_id_hex().c_str(),
+                   total.slowest_profile->ToString().c_str());
+    }
   }
   if (rc == 0) std::printf("PASS\n");
   return rc;
