@@ -1,0 +1,292 @@
+// Ablation: networked fan-out on the Fig 3(a) workload.
+//
+// The same 200k-point OSM-like data set and mountain-west window as
+// fig3a_query_efficiency, queried three ways with identical ExecOptions:
+//
+//   in-process    — Client::Execute against one Session holding all N
+//                   points (no sockets, no fan-out);
+//   coordinator   — NetCoordinator over three real storm_server child
+//                   processes, each holding a disjoint third of the same
+//                   table (--shard-index k --num-shards 3 regenerates the
+//                   identical data set and keeps rows i where i%3==k), so
+//                   the stratified merge reconstructs the one-process
+//                   answer;
+//   +slow shard   — the same fleet with shard 2 started with
+//                   --failpoint server.conn.slow:latency_ms=K,code=ok,
+//                   delaying every frame its writer sends. Failpoint
+//                   registries are per-process, so a child process is the
+//                   only way to make exactly one shard of the fleet slow.
+//
+// Reported per mode: mean per-query latency, mean time to the first
+// (merged) PROGRESS frame, progress frames seen, and errors. The two
+// numbers that matter for the fleet-serving acceptance bar:
+//   - coordinator vs in-process mean latency = the cost of networked
+//     fan-out + stratified merge on this workload;
+//   - +slow-shard first-progress vs healthy first-progress = straggler
+//     tolerance. The merged anytime stream must keep the coordinator's
+//     cadence (survivor shards keep reporting), not degrade to the
+//     straggler's: first progress should stay within a few merge
+//     intervals even when one shard crawls.
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "storm/cluster/net_coordinator.h"
+
+namespace storm {
+namespace {
+
+struct ModeStats {
+  double total_ms = 0.0;
+  double first_progress_ms = 0.0;
+  uint64_t queries = 0;
+  uint64_t progress_frames = 0;
+  uint64_t errors = 0;
+};
+
+struct ChildShard {
+  pid_t pid = -1;
+  int port = -1;
+  std::string stdout_path;
+};
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::string out;
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return out;
+  char buf[4096];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, got);
+  std::fclose(f);
+  return out;
+}
+
+int AwaitServingPort(const std::string& path, int budget_ms) {
+  for (int waited = 0; waited < budget_ms; waited += 100) {
+    std::string out = ReadFileOrEmpty(path);
+    size_t pos = out.find("serving on port ");
+    if (pos != std::string::npos) {
+      return std::atoi(out.c_str() + pos + std::strlen("serving on port "));
+    }
+    usleep(100 * 1000);
+  }
+  return -1;
+}
+
+// fork/exec one full-size storm_server shard (the demo `osm` table at the
+// default 200k points IS the Fig 3(a) data set). The optional failpoint
+// spec arms a process-local fault in that shard only.
+ChildShard SpawnShard(int index, int num_shards, const char* failpoint) {
+  ChildShard shard;
+  shard.stdout_path = "/tmp/storm_bench_shard" + std::to_string(index) + "." +
+                      std::to_string(static_cast<long>(getpid()));
+  std::remove(shard.stdout_path.c_str());
+
+  shard.pid = fork();
+  if (shard.pid == 0) {
+    int out =
+        open(shard.stdout_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (out < 0) _exit(41);
+    dup2(out, STDOUT_FILENO);
+    dup2(out, STDERR_FILENO);
+    std::string idx = std::to_string(index);
+    std::string n = std::to_string(num_shards);
+    if (failpoint != nullptr) {
+      execl(STORM_SERVER_BIN, STORM_SERVER_BIN, "--port", "0", "--shard-index",
+            idx.c_str(), "--num-shards", n.c_str(), "--failpoint", failpoint,
+            static_cast<char*>(nullptr));
+    } else {
+      execl(STORM_SERVER_BIN, STORM_SERVER_BIN, "--port", "0", "--shard-index",
+            idx.c_str(), "--num-shards", n.c_str(),
+            static_cast<char*>(nullptr));
+    }
+    _exit(42);
+  }
+  return shard;
+}
+
+void ReapShard(ChildShard* shard) {
+  if (shard->pid <= 0) return;
+  kill(shard->pid, SIGTERM);
+  int status = 0;
+  waitpid(shard->pid, &status, 0);
+  shard->pid = -1;
+  std::remove(shard->stdout_path.c_str());
+}
+
+bool AwaitLiveShards(const NetCoordinator& c, int want, int budget_ms) {
+  for (int waited = 0; waited < budget_ms; waited += 50) {
+    if (c.live_shards() >= want) return true;
+    usleep(50 * 1000);
+  }
+  return false;
+}
+
+// Runs `queries` identical queries through `execute`, timing total latency
+// and time-to-first-progress per query.
+template <typename ExecuteFn>
+ModeStats RunMode(const ExecuteFn& execute, const std::string& query,
+                  int queries) {
+  ModeStats s;
+  (void)execute(query, ExecOptions());  // warm planner/sampler/connections
+  for (int i = 0; i < queries; ++i) {
+    Stopwatch watch;
+    double first_ms = -1.0;
+    ExecOptions options;
+    options.progress = [&](const QueryProgress&) {
+      if (first_ms < 0.0) first_ms = watch.ElapsedMillis();
+      ++s.progress_frames;
+      return true;
+    };
+    auto result = execute(query, options);
+    if (!result.ok()) {
+      ++s.errors;
+      continue;
+    }
+    s.total_ms += watch.ElapsedMillis();
+    if (first_ms >= 0.0) s.first_progress_ms += first_ms;
+    ++s.queries;
+  }
+  return s;
+}
+
+void PrintRow(const char* mode, const ModeStats& s) {
+  const double mean =
+      s.queries > 0 ? s.total_ms / static_cast<double>(s.queries) : 0.0;
+  const double first =
+      s.queries > 0 ? s.first_progress_ms / static_cast<double>(s.queries)
+                    : 0.0;
+  std::printf("%16s | %8llu %12.2f %14.2f %10llu %8llu\n", mode,
+              static_cast<unsigned long long>(s.queries), mean, first,
+              static_cast<unsigned long long>(s.progress_frames),
+              static_cast<unsigned long long>(s.errors));
+}
+
+void Run() {
+  using bench::EnvSize;
+  // N is pinned: the child shards regenerate storm_server's full-size demo
+  // `osm` table (200k points), which is the Fig 3(a) data set.
+  const uint64_t n = 200'000;
+  const int queries = static_cast<int>(EnvSize("STORM_BENCH_QUERIES", 5));
+  const uint64_t cap = EnvSize("STORM_BENCH_SAMPLES", 200'000);
+  const uint64_t slow_ms = EnvSize("STORM_BENCH_SLOW_MS", 25);
+
+  const std::string query =
+      "SELECT AVG(altitude) FROM osm REGION(-112, 28, -88, 46) SAMPLES " +
+      std::to_string(cap) + " ERROR 0.0001% USING RSTREE";
+
+  bench::PrintHeader(
+      "Ablation — networked coordinator: fan-out + straggler tolerance",
+      "N=" + std::to_string(n) + "  cap=" + std::to_string(cap) +
+          "  3 shards, " + std::to_string(queries) +
+          " queries/mode, slow shard +" + std::to_string(slow_ms) +
+          " ms/frame, Fig 3(a) window");
+
+  // --- In-process: one Session holding all N points. ---
+  OsmOptions options;
+  options.num_points = n;
+  OsmLikeGenerator gen(options);
+  std::vector<Value> docs;
+  for (const OsmPoint& p : gen.Generate()) {
+    docs.push_back(OsmLikeGenerator::ToDocument(p));
+  }
+  Client client;
+  Status st = client.CreateTable("osm", docs);
+  if (!st.ok()) {
+    std::fprintf(stderr, "create table: %s\n", st.ToString().c_str());
+    return;
+  }
+  ModeStats local = RunMode(
+      [&](const std::string& q, const ExecOptions& o) {
+        return client.Execute(q, o);
+      },
+      query, queries);
+
+  // --- Fleets: failpoints are armed at exec time, so the healthy pass and
+  // the slow-shard pass each get their own three-process fleet. Spawn all
+  // six children up front so their (identical, deterministic) demo loads
+  // overlap instead of serializing.
+  const std::string slow_spec = "server.conn.slow:latency_ms=" +
+                                std::to_string(slow_ms) + ",code=ok";
+  std::vector<ChildShard> healthy_fleet, slow_fleet;
+  for (int i = 0; i < 3; ++i) healthy_fleet.push_back(SpawnShard(i, 3, nullptr));
+  for (int i = 0; i < 3; ++i) {
+    slow_fleet.push_back(
+        SpawnShard(i, 3, i == 2 ? slow_spec.c_str() : nullptr));
+  }
+  auto reap_all = [&] {
+    for (ChildShard& s : healthy_fleet) ReapShard(&s);
+    for (ChildShard& s : slow_fleet) ReapShard(&s);
+  };
+  for (std::vector<ChildShard>* fleet : {&healthy_fleet, &slow_fleet}) {
+    for (ChildShard& s : *fleet) {
+      s.port = AwaitServingPort(s.stdout_path, 120'000);
+      if (s.port <= 0) {
+        std::fprintf(stderr, "shard did not come up: %s\n",
+                     ReadFileOrEmpty(s.stdout_path).c_str());
+        reap_all();
+        return;
+      }
+    }
+  }
+
+  auto run_fleet = [&](const std::vector<ChildShard>& fleet) {
+    std::vector<ShardEndpoint> endpoints;
+    for (const ChildShard& s : fleet) endpoints.push_back({"127.0.0.1", s.port});
+    NetCoordinator coordinator(endpoints, NetCoordinatorOptions{});
+    ModeStats s;
+    if (!coordinator.Start().ok() || !AwaitLiveShards(coordinator, 3, 10'000)) {
+      s.errors = static_cast<uint64_t>(queries);
+      coordinator.Stop();
+      return s;
+    }
+    s = RunMode(
+        [&](const std::string& q, const ExecOptions& o) {
+          return coordinator.Execute(q, o);
+        },
+        query, queries);
+    coordinator.Stop();
+    return s;
+  };
+  ModeStats fleet_ok = run_fleet(healthy_fleet);
+  ModeStats fleet_slow = run_fleet(slow_fleet);
+  reap_all();
+
+  std::printf("%16s | %8s %12s %14s %10s %8s\n", "mode", "queries", "mean ms",
+              "first prog ms", "progress", "errors");
+  PrintRow("in-process", local);
+  PrintRow("coordinator", fleet_ok);
+  PrintRow("+slow shard", fleet_slow);
+
+  if (local.queries > 0 && fleet_ok.queries > 0) {
+    const double local_mean = local.total_ms / static_cast<double>(local.queries);
+    const double fleet_mean =
+        fleet_ok.total_ms / static_cast<double>(fleet_ok.queries);
+    std::printf("\nnetworked fan-out overhead: %+.1f%% per query\n",
+                (fleet_mean - local_mean) / local_mean * 100.0);
+  }
+  if (fleet_ok.queries > 0 && fleet_slow.queries > 0) {
+    const double ok_first =
+        fleet_ok.first_progress_ms / static_cast<double>(fleet_ok.queries);
+    const double slow_first =
+        fleet_slow.first_progress_ms / static_cast<double>(fleet_slow.queries);
+    std::printf("straggler first-progress penalty: %.2f ms -> %.2f ms "
+                "(merged stream keeps the survivors' cadence)\n",
+                ok_first, slow_first);
+  }
+}
+
+}  // namespace
+}  // namespace storm
+
+int main() {
+  storm::Run();
+  return 0;
+}

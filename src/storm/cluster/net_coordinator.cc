@@ -1,0 +1,701 @@
+#include "storm/cluster/net_coordinator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "storm/obs/metrics.h"
+#include "storm/query/parser.h"
+#include "storm/util/logging.h"
+#include "storm/util/rng.h"
+#include "storm/util/stopwatch.h"
+
+namespace storm {
+
+namespace {
+
+/// Per-shard view the fan-out threads write and the coordinating thread
+/// merges. `q` is the shard's latest cardinality estimate (its stratum
+/// weight); 0 means not yet known.
+struct ShardSnap {
+  bool started = false;      ///< delivered at least one PROGRESS or RESULT
+  bool finished_ok = false;  ///< final RESULT decoded
+  bool failed = false;       ///< connect/RPC failure; partials are dropped
+  Status error;
+  uint64_t samples = 0;
+  ConfidenceInterval ci;
+  double q = 0.0;
+  bool q_exact = false;
+  QueryResult result;  ///< valid when finished_ok
+};
+
+struct MergedView {
+  int contributors = 0;  ///< snaps feeding the estimate
+  int lost = 0;          ///< failed snaps + shards dead at fan-out
+  ConfidenceInterval ci;
+  uint64_t samples = 0;
+  double q_total = 0.0;  ///< Σ q over contributors
+  bool q_all_exact = false;
+  double coverage = 1.0;
+  bool degraded = false;
+};
+
+/// Stratified merge over disjoint partitions. `use_final` merges the final
+/// RESULT fields of finished shards; otherwise the latest streamed
+/// snapshot of every live shard (failed shards contribute nothing — their
+/// unmerged partials must not bias the estimate). `dead_at_fanout` counts
+/// shards that never entered the fan-out (evicted beforehand).
+MergedView MergeSnaps(const std::vector<ShardSnap>& snaps,
+                      AggregateKind kind, int dead_at_fanout,
+                      bool use_final) {
+  MergedView m;
+  m.lost = dead_at_fanout;
+  m.degraded = dead_at_fanout > 0;
+
+  // Collect the contributing strata.
+  struct Stratum {
+    double est, hw, q;
+    uint64_t samples;
+    bool exact, q_known;
+    double confidence;
+  };
+  std::vector<Stratum> strata;
+  double q_known_sum = 0.0;
+  int q_known_count = 0;
+  double q_lost = 0.0;  ///< last-known weight of lost shards
+  // Shards evicted before fan-out have no snapshot and never reported a
+  // cardinality; they enter the coverage estimate at the imputed mean.
+  int lost_unknown = dead_at_fanout;
+  bool all_q_exact = true;
+  for (const ShardSnap& s : snaps) {
+    const bool contributing = use_final ? s.finished_ok
+                                        : (s.started && !s.failed);
+    if (s.q > 0.0) {
+      q_known_sum += s.q;
+      ++q_known_count;
+    }
+    if (!contributing) {
+      ++m.lost;
+      m.degraded = true;
+      if (s.q > 0.0) {
+        q_lost += s.q;
+      } else {
+        ++lost_unknown;
+      }
+      continue;
+    }
+    Stratum st;
+    if (use_final) {
+      st.est = s.result.ci.estimate;
+      st.hw = s.result.ci.half_width;
+      st.samples = s.result.samples;
+      st.exact = s.result.ci.exact;
+      st.confidence = s.result.ci.confidence;
+      if (s.result.degraded) m.degraded = true;
+    } else {
+      st.est = s.ci.estimate;
+      st.hw = s.ci.half_width;
+      st.samples = s.samples;
+      st.exact = s.ci.exact;
+      st.confidence = s.ci.confidence;
+    }
+    st.q = s.q;
+    st.q_known = s.q > 0.0;
+    if (!s.q_exact) all_q_exact = false;
+    strata.push_back(st);
+    ++m.contributors;
+  }
+  if (m.contributors == 0) return m;
+
+  // Weights: the shard's qualifying-record estimate q_i. Shards that have
+  // not reported q yet get the mean of the known ones; with no q known at
+  // all, samples drawn so far stand in (an early-stream approximation that
+  // self-corrects as soon as cardinalities arrive).
+  const double q_mean =
+      q_known_count > 0 ? q_known_sum / q_known_count : 0.0;
+  double weight_sum = 0.0;
+  std::vector<double> weights(strata.size());
+  for (size_t i = 0; i < strata.size(); ++i) {
+    double w = strata[i].q_known ? strata[i].q : q_mean;
+    if (w <= 0.0) w = static_cast<double>(strata[i].samples);
+    if (w <= 0.0) w = 1.0;
+    weights[i] = w;
+    weight_sum += w;
+    m.samples += strata[i].samples;
+    m.q_total += strata[i].q_known ? strata[i].q : q_mean;
+  }
+
+  m.ci.confidence = strata[0].confidence;
+  m.ci.samples = m.samples;
+  switch (kind) {
+    case AggregateKind::kAvg: {
+      // Stratified mean over disjoint partitions: Σ w_i·μ_i / W with
+      // variance Σ (w_i/W)²·hw_i² (same confidence z cancels, so half
+      // widths combine directly).
+      double est = 0.0, var = 0.0;
+      bool exact = true;
+      for (size_t i = 0; i < strata.size(); ++i) {
+        const double f = weights[i] / weight_sum;
+        est += f * strata[i].est;
+        var += f * f * strata[i].hw * strata[i].hw;
+        exact = exact && strata[i].exact;
+      }
+      m.ci.estimate = est;
+      m.ci.half_width = std::sqrt(var);
+      m.ci.exact = exact && m.lost == 0;
+      break;
+    }
+    case AggregateKind::kSum:
+    case AggregateKind::kCount: {
+      // Partition totals add; shard estimators are independent, so the
+      // half widths add in quadrature.
+      double est = 0.0, var = 0.0;
+      bool exact = true;
+      for (const Stratum& st : strata) {
+        est += st.est;
+        var += st.hw * st.hw;
+        exact = exact && st.exact;
+      }
+      m.ci.estimate = est;
+      m.ci.half_width = std::sqrt(var);
+      m.ci.exact = exact && m.lost == 0;
+      break;
+    }
+    case AggregateKind::kMin:
+    case AggregateKind::kMax: {
+      // Best-effort extremum of the shard extrema, like the single-node
+      // estimator (sample extrema are biased; no CI).
+      size_t pick = 0;
+      for (size_t i = 1; i < strata.size(); ++i) {
+        const bool better = kind == AggregateKind::kMin
+                                ? strata[i].est < strata[pick].est
+                                : strata[i].est > strata[pick].est;
+        if (better) pick = i;
+      }
+      m.ci.estimate = strata[pick].est;
+      m.ci.half_width = strata[pick].hw;
+      m.ci.exact = strata[pick].exact && m.lost == 0;
+      break;
+    }
+    default:
+      break;  // guarded out by Execute before fan-out
+  }
+  m.q_all_exact = all_q_exact && m.lost == 0;
+
+  // Coverage: reachable weight over total weight, with lost shards that
+  // never reported a cardinality imputed at the mean of the known ones
+  // (the in-process DistributedSampler scales unmeasured shards the same
+  // way). With no cardinality known anywhere, fall back to shard counts.
+  double lost_est = q_lost + lost_unknown * q_mean;
+  if (m.lost > 0) {
+    if (m.q_total + lost_est > 0.0) {
+      m.coverage = m.q_total / (m.q_total + lost_est);
+    } else {
+      m.coverage = static_cast<double>(m.contributors) /
+                   static_cast<double>(m.contributors + m.lost);
+    }
+  }
+  return m;
+}
+
+bool AggregateSupported(AggregateKind kind) {
+  switch (kind) {
+    case AggregateKind::kAvg:
+    case AggregateKind::kSum:
+    case AggregateKind::kCount:
+    case AggregateKind::kMin:
+    case AggregateKind::kMax:
+      return true;
+    default:
+      // VARIANCE/STDDEV need cross-shard moment pooling, not a weighted
+      // mean of per-shard intervals; refuse rather than answer wrong.
+      return false;
+  }
+}
+
+}  // namespace
+
+struct NetCoordinator::Shard {
+  ShardEndpoint endpoint;
+  size_t index = 0;
+  /// Guards the control client and the failure streak (heartbeat thread,
+  /// InsertBatch/Checkpoint callers). The alive flag is atomic so fan-out
+  /// snapshots never block on a probe in flight.
+  std::mutex mutex;
+  RemoteClient control;
+  int consecutive_failures = 0;
+  std::atomic<bool> alive{true};
+};
+
+NetCoordinator::NetCoordinator(std::vector<ShardEndpoint> shards,
+                               NetCoordinatorOptions options)
+    : options_(options) {
+  shards_.reserve(shards.size());
+  for (size_t i = 0; i < shards.size(); ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->endpoint = std::move(shards[i]);
+    shard->index = i;
+    shard->control.set_rpc_deadline_ms(options_.rpc_deadline_ms);
+    shard->control.set_max_reconnect_attempts(1);
+    shards_.push_back(std::move(shard));
+  }
+  MetricsRegistry& reg = MetricsRegistry::Default();
+  queries_total_ = reg.GetCounter("storm_coord_queries_total",
+                                  "Queries fanned out by the coordinator");
+  rpc_failures_total_ =
+      reg.GetCounter("storm_coord_shard_rpc_failures_total",
+                     "Transient shard RPC failures (incl. dial retries)");
+  evicted_total_ = reg.GetCounter(
+      "storm_coord_shard_evicted_total",
+      "Shards evicted after consecutive probe failures");
+  readmitted_total_ = reg.GetCounter(
+      "storm_coord_shard_readmitted_total",
+      "Evicted shards readmitted after a successful probe");
+  partials_dropped_total_ = reg.GetCounter(
+      "storm_coord_partials_dropped_total",
+      "Mid-stream shard failures whose partial estimates were discarded");
+}
+
+NetCoordinator::~NetCoordinator() { Stop(); }
+
+Status NetCoordinator::Start() {
+  if (shards_.empty()) {
+    return Status::InvalidArgument("coordinator needs at least one shard");
+  }
+  if (running_.exchange(true)) return Status::OK();
+  // One synchronous probe round so live_shards() is meaningful right away;
+  // unreachable shards start their failure streak (a down fleet is a
+  // degraded fleet, not a construction error).
+  for (auto& shard : shards_) ProbeShard(shard.get());
+  heartbeat_thread_ = std::thread([this] { HeartbeatLoop(); });
+  return Status::OK();
+}
+
+void NetCoordinator::Stop() {
+  if (!running_.exchange(false)) return;
+  {
+    std::lock_guard<std::mutex> lock(heartbeat_mutex_);
+  }
+  heartbeat_cv_.notify_all();
+  if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->control.Close();
+  }
+}
+
+int NetCoordinator::live_shards() const {
+  int live = 0;
+  for (const auto& shard : shards_) {
+    if (shard->alive.load(std::memory_order_acquire)) ++live;
+  }
+  return live;
+}
+
+bool NetCoordinator::shard_alive(size_t index) const {
+  return index < shards_.size() &&
+         shards_[index]->alive.load(std::memory_order_acquire);
+}
+
+void NetCoordinator::HeartbeatLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    for (auto& shard : shards_) {
+      if (!running_.load(std::memory_order_acquire)) return;
+      ProbeShard(shard.get());
+    }
+    std::unique_lock<std::mutex> lock(heartbeat_mutex_);
+    heartbeat_cv_.wait_for(
+        lock,
+        std::chrono::duration<double, std::milli>(
+            options_.heartbeat_interval_ms),
+        [this] { return !running_.load(std::memory_order_acquire); });
+  }
+}
+
+void NetCoordinator::ProbeShard(Shard* shard) {
+  bool ok;
+  {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    if (shard->control.connected()) {
+      ok = shard->control.Ping().ok();
+    } else {
+      ok = shard->control
+               .Connect(shard->endpoint.host, shard->endpoint.port)
+               .ok();
+    }
+  }
+  NoteProbe(shard, ok);
+}
+
+void NetCoordinator::NoteProbe(Shard* shard, bool ok) {
+  std::lock_guard<std::mutex> lock(shard->mutex);
+  if (ok) {
+    shard->consecutive_failures = 0;
+    if (!shard->alive.load(std::memory_order_acquire)) {
+      shard->alive.store(true, std::memory_order_release);
+      readmitted_total_->Increment();
+      STORM_LOG(Info) << "coordinator: shard " << shard->index << " ("
+                      << shard->endpoint.host << ":" << shard->endpoint.port
+                      << ") readmitted";
+    }
+    return;
+  }
+  ++shard->consecutive_failures;
+  if (shard->alive.load(std::memory_order_acquire) &&
+      shard->consecutive_failures >= options_.failure_threshold) {
+    shard->alive.store(false, std::memory_order_release);
+    evicted_total_->Increment();
+    STORM_LOG(Warn) << "coordinator: shard " << shard->index << " ("
+                    << shard->endpoint.host << ":" << shard->endpoint.port
+                    << ") evicted after " << shard->consecutive_failures
+                    << " consecutive failures";
+  }
+}
+
+Result<QueryResult> NetCoordinator::Execute(const std::string& query,
+                                            const ExecOptions& options) {
+  queries_total_->Increment();
+  STORM_ASSIGN_OR_RETURN(QueryAst ast, ParseQuery(query));
+
+  // Live snapshot for the fan-out; evicted shards are lost weight.
+  std::vector<size_t> targets;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i]->alive.load(std::memory_order_acquire)) targets.push_back(i);
+  }
+  const int dead_at_fanout = static_cast<int>(shards_.size() - targets.size());
+  if (targets.empty()) {
+    return Status::Unavailable("no live shard: all " +
+                               std::to_string(shards_.size()) +
+                               " shards evicted");
+  }
+
+  if (ast.explain) {
+    // Plan-only: no samples to merge — route to the first live shard.
+    Shard* shard = shards_[targets[0]].get();
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    return shard->control.Execute(query, options);
+  }
+  if (ast.task != QueryTask::kAggregate) {
+    return Status::NotSupported(
+        std::string("networked coordinator merges aggregate queries only; ") +
+        std::string(QueryTaskToString(ast.task)) + " is not yet distributed");
+  }
+  if (!ast.group_by.empty() || ast.GroupByCell()) {
+    return Status::NotSupported(
+        "networked coordinator does not merge GROUP BY yet");
+  }
+  if (!AggregateSupported(ast.aggregate)) {
+    return Status::NotSupported(
+        std::string(AggregateKindToString(ast.aggregate)) +
+        " is not mergeable across shards (needs moment pooling)");
+  }
+
+  Stopwatch watch;
+  const double shard_deadline =
+      options.deadline_ms > 0.0
+          ? std::max(1.0, options.deadline_ms * options_.shard_deadline_fraction)
+          : 0.0;
+
+  struct FanoutState {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::vector<ShardSnap> snaps;
+    int done = 0;
+  };
+  FanoutState state;
+  state.snaps.resize(targets.size());
+  std::vector<CancelToken> shard_cancels(targets.size());
+
+  std::vector<std::thread> threads;
+  threads.reserve(targets.size());
+  for (size_t t = 0; t < targets.size(); ++t) {
+    threads.emplace_back([&, t] {
+      Shard* shard = shards_[targets[t]].get();
+      // A fresh socket per (query, shard): sockets are cheap, and the
+      // control connection must stay free for heartbeats.
+      RemoteClient client;
+      client.set_rpc_deadline_ms(options_.rpc_deadline_ms);
+      client.set_max_reconnect_attempts(0);  // the dial policy owns retries
+      Rng rng(options_.seed ^
+              (0x9e3779b97f4a7c15ULL * (targets[t] + 1)));
+      RetryPolicy dial = options_.connect_retry;
+      if (shard_deadline > 0.0 &&
+          (dial.deadline_ms <= 0.0 || shard_deadline < dial.deadline_ms)) {
+        dial.deadline_ms = shard_deadline;  // dialing can't eat the budget
+      }
+      Status connected = RetryWithBackoff(
+          dial, &rng,
+          [&] {
+            return client.Connect(shard->endpoint.host, shard->endpoint.port);
+          },
+          rpc_failures_total_);
+      if (!connected.ok()) {
+        {
+          std::lock_guard<std::mutex> lock(state.mutex);
+          ShardSnap& snap = state.snaps[t];
+          snap.failed = true;
+          snap.error = connected;
+          ++state.done;
+        }
+        state.cv.notify_all();
+        NoteProbe(shard, false);
+        return;
+      }
+
+      ExecOptions shard_opts;
+      shard_opts.parallelism = options.parallelism;
+      shard_opts.deadline_ms = shard_deadline;
+      shard_opts.profile = false;
+      shard_opts.cancel = &shard_cancels[t];
+      shard_opts.trace = options.trace;
+      shard_opts.progress = [&state, t](const QueryProgress& p) {
+        {
+          std::lock_guard<std::mutex> lock(state.mutex);
+          ShardSnap& snap = state.snaps[t];
+          snap.started = true;
+          snap.samples = p.samples;
+          snap.ci = p.ci;
+          if (p.cardinality_estimate > 0.0) {
+            snap.q = p.cardinality_estimate;
+            snap.q_exact = p.cardinality_exact;
+          }
+        }
+        state.cv.notify_all();
+        return true;
+      };
+
+      Result<QueryResult> result = client.Execute(query, shard_opts);
+      bool transient_failure = false;
+      {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        ShardSnap& snap = state.snaps[t];
+        if (result.ok()) {
+          snap.started = true;
+          snap.finished_ok = true;
+          snap.result = std::move(*result);
+          snap.samples = snap.result.samples;
+          snap.ci = snap.result.ci;
+          if (snap.result.cardinality_estimate > 0.0) {
+            snap.q = snap.result.cardinality_estimate;
+            snap.q_exact = snap.result.cardinality_exact;
+          }
+        } else {
+          if (snap.started) partials_dropped_total_->Increment();
+          snap.failed = true;
+          snap.error = result.status();
+          transient_failure = IsTransient(result.status()) ||
+                              result.status().IsDeadlineExceeded();
+        }
+        ++state.done;
+      }
+      state.cv.notify_all();
+      if (result.ok()) {
+        NoteProbe(shard, true);
+      } else if (transient_failure) {
+        rpc_failures_total_->Increment();
+        NoteProbe(shard, false);
+      }
+    });
+  }
+
+  // Coordinating loop: wake on every shard event (or the merge cadence),
+  // re-merge the latest snapshots, stream to the caller, honour cancel and
+  // the query deadline. A failed shard's snapshot drops out of the merge
+  // entirely — its partials must not bias the survivors — and the weights
+  // renormalize implicitly because MergeSnaps sums only the contributors.
+  bool cancelled = false;
+  bool deadline_hit = false;
+  auto fire_cancels = [&] {
+    for (CancelToken& token : shard_cancels) token.Cancel();
+  };
+  while (true) {
+    std::vector<ShardSnap> snapshot;
+    {
+      std::unique_lock<std::mutex> lock(state.mutex);
+      if (state.done >= static_cast<int>(targets.size())) break;
+      state.cv.wait_for(lock, std::chrono::duration<double, std::milli>(
+                                  options_.merge_interval_ms));
+      snapshot = state.snaps;  // copy: merge + callback run unlocked
+    }
+    if (options.cancel != nullptr && options.cancel->IsCancelled() &&
+        !cancelled) {
+      cancelled = true;
+      fire_cancels();
+    }
+    if (!deadline_hit && options.deadline_ms > 0.0 &&
+        watch.ElapsedMillis() >= options.deadline_ms) {
+      deadline_hit = true;
+      fire_cancels();
+    }
+    if (options.progress) {
+      MergedView m =
+          MergeSnaps(snapshot, ast.aggregate, dead_at_fanout,
+                     /*use_final=*/false);
+      if (m.contributors > 0) {
+        QueryProgress p;
+        p.samples = m.samples;
+        p.elapsed_ms = watch.ElapsedMillis();
+        p.ci = m.ci;
+        p.cardinality_estimate = m.q_total;
+        p.cardinality_exact = m.q_all_exact;
+        if (!options.progress(p) && !cancelled) {
+          cancelled = true;
+          fire_cancels();
+        }
+      }
+    }
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // Final assembly from the shards' final RESULTs only (a shard that died
+  // mid-stream contributed nothing).
+  const std::vector<ShardSnap>& snaps = state.snaps;
+  int finished = 0;
+  bool any_started = false;
+  for (const ShardSnap& s : snaps) {
+    if (s.finished_ok) ++finished;
+    if (s.started) any_started = true;
+  }
+
+  if (finished == 0) {
+    if (!any_started) {
+      // Nothing ever arrived. Prefer a non-transient shard error (a bad
+      // query fails identically everywhere) over a generic unreachable.
+      for (const ShardSnap& s : snaps) {
+        if (s.failed && !IsTransient(s.error) &&
+            !s.error.IsDeadlineExceeded()) {
+          return s.error;
+        }
+      }
+      return Status::Unavailable(
+          "all " + std::to_string(targets.size()) +
+          " live shards failed before producing any estimate");
+    }
+    // Every shard died mid-stream. With no survivor to renormalize over,
+    // the anytime contract still owes the caller its best-so-far: the
+    // last-known partials, flagged unmistakably (degraded, coverage 0).
+    MergedView m = MergeSnaps(snaps, ast.aggregate, dead_at_fanout,
+                              /*use_final=*/false);
+    QueryResult out;
+    out.task = ast.task;
+    out.ci = m.ci;
+    out.samples = m.samples;
+    out.elapsed_ms = watch.ElapsedMillis();
+    out.degraded = true;
+    out.coverage = 0.0;
+    out.cancelled = cancelled;
+    out.deadline_exceeded = deadline_hit;
+    out.strategy = "net_coordinator(0/" + std::to_string(shards_.size()) +
+                   " shards; last-known partials)";
+    out.decision.strategy = SamplerStrategy::kDistributed;
+    out.decision.reason =
+        "all shards lost mid-query; result is the last streamed partial "
+        "merge and may be biased";
+    out.cardinality_estimate = m.q_total;
+    return out;
+  }
+
+  MergedView m =
+      MergeSnaps(snaps, ast.aggregate, dead_at_fanout, /*use_final=*/true);
+  QueryResult out;
+  out.task = ast.task;
+  out.ci = m.ci;
+  out.samples = m.samples;
+  out.elapsed_ms = watch.ElapsedMillis();
+  out.cancelled = cancelled;
+  bool all_exhausted = true;
+  bool any_shard_deadline = false;
+  for (const ShardSnap& s : snaps) {
+    if (s.finished_ok) {
+      all_exhausted = all_exhausted && s.result.exhausted;
+      any_shard_deadline = any_shard_deadline || s.result.deadline_exceeded;
+    } else {
+      all_exhausted = false;
+    }
+  }
+  out.exhausted = all_exhausted && m.lost == 0;
+  out.deadline_exceeded = deadline_hit || any_shard_deadline;
+  out.degraded = m.degraded;
+  out.coverage = m.coverage;
+  out.cardinality_estimate = m.q_total;
+  out.cardinality_exact = m.q_all_exact;
+  out.strategy = "net_coordinator(" + std::to_string(finished) + "/" +
+                 std::to_string(shards_.size()) + " shards)";
+  out.decision.strategy = SamplerStrategy::kDistributed;
+  out.decision.estimated_cardinality = m.q_total;
+  out.decision.reason =
+      m.lost == 0
+          ? "fan-out over " + std::to_string(finished) + " shards"
+          : "fan-out degraded: " + std::to_string(m.lost) + " of " +
+                std::to_string(shards_.size()) +
+                " shards lost; weights renormalized over survivors";
+  return out;
+}
+
+BatchInsertResult NetCoordinator::InsertBatch(const std::string& table,
+                                              const std::vector<Value>& docs) {
+  BatchInsertResult out;
+  const size_t n = shards_.size();
+  Status last = Status::Unavailable("no live shard");
+  for (size_t attempt = 0; attempt < n; ++attempt) {
+    const size_t index = next_insert_shard_.fetch_add(1) % n;
+    Shard* shard = shards_[index].get();
+    if (!shard->alive.load(std::memory_order_acquire)) continue;
+    BatchInsertResult result;
+    {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      if (!shard->control.connected()) {
+        Status dialed =
+            shard->control.Connect(shard->endpoint.host, shard->endpoint.port);
+        if (!dialed.ok()) {
+          last = dialed;
+          result.status = dialed;
+        }
+      }
+      if (result.status.ok()) {
+        result = shard->control.InsertBatch(table, docs);
+      }
+    }
+    if (result.status.ok() || !IsTransient(result.status)) {
+      // Non-transient failures (bad table, parse error) mean the shard is
+      // alive and answering; report them without touching its health.
+      return result;
+    }
+    last = result.status;
+    rpc_failures_total_->Increment();
+    NoteProbe(shard, false);
+  }
+  out.status = Status::Unavailable("no live shard accepted the batch: " +
+                                   last.message());
+  return out;
+}
+
+Status NetCoordinator::Checkpoint(const std::string& table) {
+  // A checkpoint that skips a shard is not durable; require the full fleet.
+  for (const auto& shard : shards_) {
+    if (!shard->alive.load(std::memory_order_acquire)) {
+      return Status::Unavailable("shard " + std::to_string(shard->index) +
+                                 " is down; checkpoint would be partial");
+    }
+  }
+  for (const auto& shard : shards_) {
+    Status st;
+    {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      if (!shard->control.connected()) {
+        st = shard->control.Connect(shard->endpoint.host,
+                                    shard->endpoint.port);
+      }
+      if (st.ok()) st = shard->control.Checkpoint(table);
+    }
+    if (!st.ok()) {
+      if (IsTransient(st)) NoteProbe(shard.get(), false);
+      return Status(st.code(), "shard " + std::to_string(shard->index) +
+                                   " checkpoint failed: " + st.message());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace storm

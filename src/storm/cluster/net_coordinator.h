@@ -1,0 +1,170 @@
+// NetCoordinator: the networked version of cluster/'s in-process
+// DistributedSampler. One coordinator process speaks the server/ frame
+// protocol to N remote storm_server shards holding disjoint partitions of
+// each table, fans a query out concurrently, and merges the shards'
+// streamed PROGRESS frames into a single correctly-weighted anytime
+// estimate:
+//
+//   shards (disjoint partitions, q_i qualifying records each)
+//     AVG:        est = Σ q_i·est_i / Σ q_i          (stratified mean)
+//                 hw  = sqrt(Σ (q_i/Σq)²·hw_i²)
+//     SUM/COUNT:  est = Σ est_i,  hw = sqrt(Σ hw_i²) (partitions add)
+//     MIN/MAX:    extremum of the shard extrema (best-effort, like the
+//                 single-node estimator)
+//
+// q_i rides the wire in every PROGRESS frame and the final RESULT (the
+// cardinality block, protocol.h), so weights track the shards' own sampler
+// estimates as they tighten.
+//
+// Robustness (PR-2's semantics ported onto real sockets):
+//   - per-shard connect/RPC retry with exponential backoff + jitter
+//     (util/retry.h policies);
+//   - per-shard deadlines carved from the query deadline, plus a
+//     client-side RPC ceiling so a silent-but-open shard can never hang
+//     the fan-out;
+//   - heartbeat (PING) health tracking with a consecutive-failure
+//     threshold; dead shards are evicted from fan-out, and the merged
+//     result is annotated degraded with coverage = reachable weight
+//     fraction (q_i renormalization over survivors);
+//   - automatic reconnect-and-readmit when an evicted shard answers
+//     heartbeats again;
+//   - mid-stream failure handling: a shard dying after contributing
+//     PROGRESS must not bias the merged estimator — its unmerged partials
+//     are dropped, weights renormalize over the survivors, and the merged
+//     stream keeps flowing. Only when *no* shard survives does the
+//     coordinator fall back to the last-known partials, flagged degraded
+//     with coverage 0 (the anytime best-so-far contract).
+//
+// NetCoordinator implements QueryBackend, so storm_coordinator serves it
+// through the regular StormServer: a coordinator is a drop-in RemoteClient
+// target, admission control and diagnostics included, and coordinators can
+// even front other coordinators (the merged result re-exports Σ q_i as its
+// own cardinality).
+
+#ifndef STORM_CLUSTER_NET_COORDINATOR_H_
+#define STORM_CLUSTER_NET_COORDINATOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "storm/server/backend.h"
+#include "storm/server/remote_client.h"
+#include "storm/util/retry.h"
+
+namespace storm {
+
+/// One remote storm_server shard.
+struct ShardEndpoint {
+  std::string host;
+  int port = 0;
+};
+
+struct NetCoordinatorOptions {
+  /// Heartbeat PING cadence per shard.
+  double heartbeat_interval_ms = 250.0;
+  /// Consecutive probe/RPC failures before a shard is evicted from
+  /// fan-out. A single successful probe readmits it.
+  int failure_threshold = 3;
+  /// Wall-clock ceiling on one heartbeat PING.
+  double heartbeat_timeout_ms = 1000.0;
+
+  /// Per-query, per-shard dial policy (attempts + backoff with jitter).
+  RetryPolicy connect_retry{
+      /*max_attempts=*/3, /*base_backoff_ms=*/20.0, /*multiplier=*/2.0,
+      /*max_backoff_ms=*/200.0, /*jitter=*/0.5, /*deadline_ms=*/0.0};
+
+  /// Fraction of the query deadline granted to each shard, leaving the
+  /// remainder for fan-out, final merge, and stragglers.
+  double shard_deadline_fraction = 0.85;
+
+  /// Client-side ceiling on any single shard RPC beyond the query's own
+  /// deadline (RemoteClient::set_rpc_deadline_ms): bounds how long a
+  /// silent-but-open shard can stall a query thread.
+  double rpc_deadline_ms = 10'000.0;
+
+  /// Cadence of merged PROGRESS snapshots delivered to the caller.
+  double merge_interval_ms = 20.0;
+
+  /// Seed for retry jitter (fault schedules stay reproducible).
+  uint64_t seed = 0x570CC;
+};
+
+class NetCoordinator : public QueryBackend {
+ public:
+  explicit NetCoordinator(std::vector<ShardEndpoint> shards,
+                          NetCoordinatorOptions options = {});
+  ~NetCoordinator() override;
+
+  NetCoordinator(const NetCoordinator&) = delete;
+  NetCoordinator& operator=(const NetCoordinator&) = delete;
+
+  /// Probes every shard once (marking unreachable ones toward eviction)
+  /// and starts the heartbeat thread. Always succeeds if the shard list is
+  /// non-empty — a fleet that is down at start is a degraded fleet, not a
+  /// construction error.
+  Status Start();
+
+  /// Stops the heartbeat and closes control connections. Idempotent.
+  void Stop();
+
+  /// Fans an aggregate query out to every live shard and streams merged
+  /// anytime progress through options.progress. Honours deadline_ms
+  /// (per-shard deadlines are carved from it), cancel, and trace.
+  /// Non-aggregate tasks and VARIANCE/STDDEV return kUnimplemented;
+  /// EXPLAIN routes to the first live shard. With no live shard at
+  /// fan-out: kUnavailable, promptly.
+  Result<QueryResult> Execute(const std::string& query,
+                              const ExecOptions& options) override;
+
+  /// Routes the batch to one live shard, round-robin — arrival-order
+  /// partitioning, the same rule storm_server --shard-index uses for
+  /// offline loads.
+  BatchInsertResult InsertBatch(const std::string& table,
+                                const std::vector<Value>& docs) override;
+
+  /// Checkpoints `table` on every shard; fails if any shard is dead or
+  /// refuses (a partial checkpoint is not durable).
+  Status Checkpoint(const std::string& table) override;
+
+  size_t shard_count() const { return shards_.size(); }
+  /// Shards currently admitted to fan-out.
+  int live_shards() const;
+  bool shard_alive(size_t index) const;
+
+ private:
+  struct Shard;
+
+  void HeartbeatLoop();
+  /// One PING round trip on the shard's control connection (dialing it if
+  /// needed), feeding the health tracker.
+  void ProbeShard(Shard* shard);
+  /// Health accounting: a failed probe/RPC counts toward eviction, a
+  /// successful one resets the streak and readmits an evicted shard.
+  void NoteProbe(Shard* shard, bool ok);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  NetCoordinatorOptions options_;
+
+  std::atomic<bool> running_{false};
+  std::thread heartbeat_thread_;
+  std::mutex heartbeat_mutex_;  // pairs with heartbeat_cv_ for prompt Stop()
+  std::condition_variable heartbeat_cv_;
+
+  std::atomic<uint64_t> next_insert_shard_{0};
+
+  // Instruments resolved once in the constructor.
+  class Counter* queries_total_ = nullptr;
+  class Counter* rpc_failures_total_ = nullptr;
+  class Counter* evicted_total_ = nullptr;
+  class Counter* readmitted_total_ = nullptr;
+  class Counter* partials_dropped_total_ = nullptr;
+};
+
+}  // namespace storm
+
+#endif  // STORM_CLUSTER_NET_COORDINATOR_H_

@@ -6,6 +6,17 @@
 
 #include "storm/obs/trace_context.h"
 
+// ThreadSanitizer does not model std::atomic_thread_fence (GCC even makes
+// it a hard error under -fsanitize=thread -Werror=tsan), so TSan builds
+// take a fence-free seqlock re-check below.
+#if defined(__SANITIZE_THREAD__)
+#define STORM_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define STORM_TSAN 1
+#endif
+#endif
+
 namespace storm {
 
 namespace {
@@ -156,8 +167,16 @@ std::vector<FlightRecorder::Snapshot> FlightRecorder::Dump(
         if (c == '\0') break;
         snap.label += c;
       }
+#if defined(STORM_TSAN)
+      // No fence under TSan: an acquire re-read of seq is the strongest
+      // available check. Every slot field is atomic, so the worst case is
+      // a torn *snapshot* (mixed old/new fields in one diagnostic event),
+      // never a data race.
+      if (slot.seq.load(std::memory_order_acquire) != seq_before) continue;
+#else
       std::atomic_thread_fence(std::memory_order_acquire);
       if (slot.seq.load(std::memory_order_relaxed) != seq_before) continue;
+#endif
       out.push_back(std::move(snap));
     }
   }

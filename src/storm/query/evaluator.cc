@@ -190,6 +190,7 @@ Result<ParallelOutcome<Est>> RunParallelEngine(
     ConfidenceInterval ci;
     uint64_t samples = 0;
     double cardinality = 0.0;
+    bool cardinality_exact = false;
     {
       // ci_of may read shard 0's sampler (cardinality), so the snapshot CI
       // is computed while shard 0 is locked.
@@ -201,7 +202,9 @@ Result<ParallelOutcome<Est>> RunParallelEngine(
       }
       ci = ci_of(merged);
       samples = samples_of(merged);
-      cardinality = out.samplers[0]->Cardinality().estimate;
+      CardinalityEstimate card = out.samplers[0]->Cardinality();
+      cardinality = card.estimate;
+      cardinality_exact = card.exact;
     }
     if (env.profile != nullptr) {
       env.profile->AddConvergencePoint(env.watch->ElapsedMillis(), samples,
@@ -213,6 +216,8 @@ Result<ParallelOutcome<Est>> RunParallelEngine(
       p.samples = samples;
       p.elapsed_ms = env.watch->ElapsedMillis();
       p.ci = ci;
+      p.cardinality_estimate = cardinality;
+      p.cardinality_exact = cardinality_exact;
       if (!(*env.progress)(p)) {
         result->cancelled = true;
         break;
@@ -299,6 +304,8 @@ void QueryEvaluator::AnnotateHealth(const SpatialSampler<3>& sampler,
   CardinalityEstimate c = sampler.Cardinality();
   result->degraded = c.degraded;
   result->coverage = c.coverage;
+  result->cardinality_estimate = c.estimate;
+  result->cardinality_exact = c.exact;
 }
 
 Result<QueryResult> QueryEvaluator::Execute(const QueryAst& ast,
@@ -455,6 +462,9 @@ Result<QueryResult> QueryEvaluator::RunAggregate(const QueryAst& ast,
       p.samples = agg.samples_drawn();
       p.elapsed_ms = agg.elapsed_millis();
       p.ci = ci;
+      CardinalityEstimate card = sampler->Cardinality();
+      p.cardinality_estimate = card.estimate;
+      p.cardinality_exact = card.exact;
       if (!progress(p)) {
         result.cancelled = true;
         break;
@@ -537,6 +547,9 @@ Result<QueryResult> QueryEvaluator::RunQuantile(const QueryAst& ast,
       p.samples = quantile.samples();
       p.elapsed_ms = quantile.elapsed_millis();
       p.ci = ci;
+      CardinalityEstimate card = sampler->Cardinality();
+      p.cardinality_estimate = card.estimate;
+      p.cardinality_exact = card.exact;
       if (!progress(p)) {
         result.cancelled = true;
         break;
@@ -672,6 +685,9 @@ Result<QueryResult> QueryEvaluator::RunGroupBy(const QueryAst& ast,
       p.samples = agg.total_samples();
       p.elapsed_ms = watch.ElapsedMillis();
       p.ci = worst;
+      CardinalityEstimate card = sampler->Cardinality();
+      p.cardinality_estimate = card.estimate;
+      p.cardinality_exact = card.exact;
       if (!progress(p)) {
         result.cancelled = true;
         break;
@@ -743,6 +759,9 @@ Result<QueryResult> QueryEvaluator::RunKde(const QueryAst& ast,
       p.samples = kde.samples();
       p.elapsed_ms = watch.ElapsedMillis();
       p.ci = quality;
+      CardinalityEstimate card = sampler->Cardinality();
+      p.cardinality_estimate = card.estimate;
+      p.cardinality_exact = card.exact;
       if (!progress(p)) {
         result.cancelled = true;
         break;
@@ -808,6 +827,9 @@ Result<QueryResult> QueryEvaluator::RunTopTerms(const QueryAst& ast,
       p.samples = freq.documents();
       p.elapsed_ms = watch.ElapsedMillis();
       p.ci = quality;
+      CardinalityEstimate card = sampler->Cardinality();
+      p.cardinality_estimate = card.estimate;
+      p.cardinality_exact = card.exact;
       if (!progress(p)) {
         result.cancelled = true;
         break;
@@ -858,6 +880,9 @@ Result<QueryResult> QueryEvaluator::RunCluster(const QueryAst& ast,
       p.samples = km.samples();
       p.elapsed_ms = watch.ElapsedMillis();
       p.ci = quality;
+      CardinalityEstimate card = sampler->Cardinality();
+      p.cardinality_estimate = card.estimate;
+      p.cardinality_exact = card.exact;
       if (!progress(p)) {
         result.cancelled = true;
         break;
@@ -916,6 +941,9 @@ Result<QueryResult> QueryEvaluator::RunTrajectory(const QueryAst& ast,
       p.samples = traj.samples_drawn();
       p.elapsed_ms = watch.ElapsedMillis();
       p.ci = quality;
+      CardinalityEstimate card = sampler->Cardinality();
+      p.cardinality_estimate = card.estimate;
+      p.cardinality_exact = card.exact;
       if (!progress(p)) {
         result.cancelled = true;
         break;

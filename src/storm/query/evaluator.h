@@ -79,6 +79,11 @@ struct QueryResult {
   /// only, covering an estimated `coverage` fraction of qualifying records.
   bool degraded = false;
   double coverage = 1.0;
+  /// Sampler's final estimate of q = |P ∩ Q| (qualifying records), and
+  /// whether it is exact. A networked coordinator weights disjoint shard
+  /// results by these when merging (cluster/net_coordinator.h).
+  double cardinality_estimate = 0.0;
+  bool cardinality_exact = false;
 
   /// Per-query trace (spans, IO deltas, convergence trajectory). Set by
   /// Session::Execute / ExecuteAst; null when the evaluator is used directly

@@ -35,6 +35,12 @@ struct QueryProgress {
   /// top-1 term frequency CI (TOPTERMS); center drift (CLUSTER);
   /// fixes collected (TRAJECTORY, as estimate).
   ConfidenceInterval ci;
+  /// Sampler's running estimate of q = |P ∩ Q|, the number of qualifying
+  /// records (0 until known). A networked coordinator uses it to weight
+  /// this stream against disjoint shard partitions.
+  double cardinality_estimate = 0.0;
+  /// True once cardinality_estimate is the exact count, not an estimate.
+  bool cardinality_exact = false;
 };
 
 /// Return false to cancel the running query.

@@ -1,0 +1,76 @@
+// QueryBackend: what StormServer serves. The server owns sockets, framing,
+// admission, backpressure, and tracing; the backend owns query execution
+// and updates. Two implementations exist:
+//
+//   - SessionBackend wraps an in-process Session — the classic single-node
+//     storm_server.
+//   - NetCoordinator (cluster/net_coordinator.h) fans queries out to remote
+//     shard servers and merges their anytime streams — storm_coordinator
+//     serves it through the very same StormServer, so a coordinator is a
+//     drop-in RemoteClient target with all the single-node serving
+//     machinery (admission control, slow-query log, diagnostics plane)
+//     intact.
+
+#ifndef STORM_SERVER_BACKEND_H_
+#define STORM_SERVER_BACKEND_H_
+
+#include <string>
+#include <vector>
+
+#include "storm/query/exec_options.h"
+#include "storm/query/session.h"
+
+namespace storm {
+
+class QueryBackend {
+ public:
+  virtual ~QueryBackend() = default;
+
+  /// Runs a query, honouring every ExecOptions knob the serving layer
+  /// forwards (parallelism, deadline_ms, cancel, progress, profile, trace).
+  virtual Result<QueryResult> Execute(const std::string& query,
+                                      const ExecOptions& options) = 0;
+
+  /// Inserts a parsed batch into `table`. Partial failures are reported
+  /// structurally via BatchInsertResult (never by throwing).
+  virtual BatchInsertResult InsertBatch(const std::string& table,
+                                        const std::vector<Value>& docs) = 0;
+
+  /// Durably checkpoints `table`.
+  virtual Status Checkpoint(const std::string& table) = 0;
+};
+
+/// The single-node backend: executes against a local Session.
+class SessionBackend : public QueryBackend {
+ public:
+  /// `session` must outlive the backend. It may be shared with in-process
+  /// callers (Session::Execute holds the per-table read latch).
+  explicit SessionBackend(Session* session) : session_(session) {}
+
+  Result<QueryResult> Execute(const std::string& query,
+                              const ExecOptions& options) override {
+    return session_->Execute(query, options);
+  }
+
+  BatchInsertResult InsertBatch(const std::string& table,
+                                const std::vector<Value>& docs) override {
+    BatchInsertResult out;
+    Result<UpdateManager*> updates = session_->Updates(table);
+    if (!updates.ok()) {
+      out.status = updates.status();
+      return out;
+    }
+    return (*updates)->InsertBatch(docs);
+  }
+
+  Status Checkpoint(const std::string& table) override {
+    return session_->Checkpoint(table);
+  }
+
+ private:
+  Session* session_;
+};
+
+}  // namespace storm
+
+#endif  // STORM_SERVER_BACKEND_H_

@@ -195,6 +195,9 @@ std::string EncodeProgressUpdate(const ProgressUpdate& p) {
   w.PutU64(p.samples);
   w.PutDouble(p.elapsed_ms);
   PutConfidence(&w, p.ci);
+  // Trailing cardinality block; older decoders stop before it.
+  w.PutDouble(p.cardinality_estimate);
+  w.PutU8(p.cardinality_exact ? 1 : 0);
   return w.Take();
 }
 
@@ -204,6 +207,15 @@ Result<ProgressUpdate> DecodeProgressUpdate(std::string_view payload) {
   STORM_ASSIGN_OR_RETURN(p.samples, r.GetU64());
   STORM_ASSIGN_OR_RETURN(p.elapsed_ms, r.GetDouble());
   STORM_ASSIGN_OR_RETURN(p.ci, GetConfidence(&r));
+  // Optional trailing cardinality block (absent on pre-coordinator peers).
+  if (r.remaining() != 0) {
+    STORM_ASSIGN_OR_RETURN(p.cardinality_estimate, r.GetDouble());
+    STORM_ASSIGN_OR_RETURN(uint8_t exact, r.GetU8());
+    p.cardinality_exact = exact != 0;
+    if (r.remaining() != 0) {
+      return Status::Corruption("trailing bytes after progress update");
+    }
+  }
   return p;
 }
 
@@ -430,12 +442,17 @@ std::string EncodeQueryResult(const QueryResult& res,
   if (res.degraded) flags |= 1u << 4;
   w.PutU8(flags);
   w.PutDouble(res.coverage);
-  // Optional trailing profile block: absent entirely (old wire shape) when
-  // the caller has no profile to send.
+  // Trailing extension blocks, each optional for older decoders. First the
+  // profile presence byte (+ serialized span tree when the caller has one
+  // to send), then the cardinality block the coordinator weights shard
+  // results by. The presence byte is now always written so the cardinality
+  // block has a fixed position; pre-profile decoders stop at `coverage`.
+  w.PutU8(profile != nullptr ? 1 : 0);
   if (profile != nullptr) {
-    w.PutU8(1);
     w.PutString(EncodeQueryProfile(*profile));
   }
+  w.PutDouble(res.cardinality_estimate);
+  w.PutU8(res.cardinality_exact ? 1 : 0);
   return w.Take();
 }
 
@@ -531,8 +548,8 @@ Result<QueryResult> DecodeQueryResult(std::string_view payload) {
   res.deadline_exceeded = (flags & (1u << 3)) != 0;
   res.degraded = (flags & (1u << 4)) != 0;
   STORM_ASSIGN_OR_RETURN(res.coverage, r.GetDouble());
-  // Optional trailing profile block (servers that collected one and were
-  // asked to ship it). A payload ending here is the pre-profile shape.
+  // Optional trailing blocks. A payload ending here is the pre-profile
+  // shape; one ending after the profile block is the pre-cardinality shape.
   if (r.remaining() != 0) {
     STORM_ASSIGN_OR_RETURN(uint8_t has_profile, r.GetU8());
     if (has_profile != 0) {
@@ -541,6 +558,11 @@ Result<QueryResult> DecodeQueryResult(std::string_view payload) {
                              DecodeQueryProfile(profile_bytes));
       res.profile = std::make_shared<QueryProfile>(std::move(profile));
     }
+  }
+  if (r.remaining() != 0) {
+    STORM_ASSIGN_OR_RETURN(res.cardinality_estimate, r.GetDouble());
+    STORM_ASSIGN_OR_RETURN(uint8_t card_exact, r.GetU8());
+    res.cardinality_exact = card_exact != 0;
   }
   if (r.remaining() != 0) {
     return Status::Corruption("trailing bytes after query result");

@@ -119,11 +119,16 @@ Result<InsertBatchRequest> DecodeInsertBatchRequest(std::string_view payload);
 
 // --- Response payloads ---
 
-/// PROGRESS payload: the anytime estimate as of `samples` draws.
+/// PROGRESS payload: the anytime estimate as of `samples` draws. The
+/// cardinality block is an optional trailing extension (absent on frames
+/// from older peers, decoded as 0/false): the shard's running estimate of
+/// q = |P ∩ Q|, which a coordinator uses to weight disjoint shard streams.
 struct ProgressUpdate {
   uint64_t samples = 0;
   double elapsed_ms = 0.0;
   ConfidenceInterval ci;
+  double cardinality_estimate = 0.0;
+  bool cardinality_exact = false;
 };
 
 std::string EncodeProgressUpdate(const ProgressUpdate& p);

@@ -7,8 +7,11 @@
 #include <thread>
 #include <utility>
 
+#include "storm/obs/metrics.h"
 #include "storm/obs/trace_export.h"
+#include "storm/util/retry.h"
 #include "storm/util/rng.h"
+#include "storm/util/stopwatch.h"
 #include "storm/wal/codec.h"
 
 namespace storm {
@@ -19,6 +22,9 @@ namespace {
 // cancel tokens are honoured promptly, long enough not to spin.
 constexpr int kRecvTimeoutMs = 50;
 constexpr size_t kRecvChunk = 64 * 1024;
+
+// PING payload the server must echo back in the PONG.
+constexpr std::string_view kPingEcho = "storm-ping";
 
 // Bernoulli stream deciding which client-minted traces are sampled. Never
 // consumed by query execution, so seeded workloads stay reproducible.
@@ -37,11 +43,17 @@ bool SampleTrace(double rate) {
 }  // namespace
 
 Status RemoteClient::Connect(const std::string& host, int port) {
+  host_ = host;
+  port_ = port;
+  return DialOnce();
+}
+
+Status RemoteClient::DialOnce() {
   Close();
-  STORM_ASSIGN_OR_RETURN(UniqueFd fd, TcpConnect(host, port));
+  STORM_ASSIGN_OR_RETURN(UniqueFd fd, TcpConnect(host_, port_));
   fd_ = std::move(fd);
   read_buf_.clear();
-  Status live = Ping();
+  Status live = DoPing(/*reconnecting=*/false);
   if (!live.ok()) {
     Close();
     return live;
@@ -68,15 +80,53 @@ Status RemoteClient::SendFrame(FrameType type, uint64_t id,
   return st;
 }
 
+Status RemoteClient::SendFrameReconnecting(FrameType type, uint64_t id,
+                                           std::string_view payload) {
+  // A closed socket with a remembered endpoint is a redial candidate, not a
+  // precondition failure: the previous request's failure already closed it.
+  Status st = fd_.valid()
+                  ? SendFrame(type, id, payload)
+                  : Status::Unavailable("RemoteClient is not connected");
+  if (st.ok() || host_.empty()) return st;
+  thread_local Rng* rng = [] {
+    uint64_t seed = static_cast<uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    seed ^= std::hash<std::thread::id>{}(std::this_thread::get_id());
+    return new Rng(seed);
+  }();
+  RetryPolicy backoff;
+  backoff.base_backoff_ms = 50.0;
+  backoff.max_backoff_ms = 1000.0;
+  for (int attempt = 1;
+       attempt <= max_reconnect_attempts_ && IsTransient(st); ++attempt) {
+    double sleep_ms = backoff.BackoffMs(attempt, rng);
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<int64_t>(sleep_ms * 1000.0)));
+    Status dialed = DialOnce();
+    if (!dialed.ok()) {
+      st = dialed;
+      continue;
+    }
+    MetricsRegistry::Default()
+        .GetCounter("storm_client_reconnects_total",
+                    "Successful transparent redials after a transient "
+                    "connect/send failure")
+        ->Increment();
+    st = SendFrame(type, id, payload);
+  }
+  return st;
+}
+
 Result<Frame> RemoteClient::AwaitResponse(
     uint64_t want_id, std::initializer_list<FrameType> finals,
     const std::function<bool(const ProgressUpdate&)>& on_progress,
-    const CancelToken* cancel) {
+    const CancelToken* cancel, double deadline_ms) {
   if (!fd_.valid()) {
     return Status::FailedPrecondition("RemoteClient is not connected");
   }
   bool cancel_sent = false;
   char chunk[kRecvChunk];
+  Stopwatch watch;
   while (true) {
     // Drain every complete frame already buffered.
     while (true) {
@@ -115,6 +165,15 @@ Result<Frame> RemoteClient::AwaitResponse(
     if (cancel != nullptr && cancel->IsCancelled() && !cancel_sent) {
       STORM_RETURN_NOT_OK(SendFrame(FrameType::kCancel, want_id, {}));
       cancel_sent = true;
+    }
+    // Hard client-side ceiling: a peer holding the socket open without
+    // answering must not hang the caller forever. The stream can no longer
+    // be trusted to be frame-aligned with our request ids, so close it (the
+    // next request redials transparently).
+    if (deadline_ms > 0.0 && watch.ElapsedMillis() >= deadline_ms) {
+      Close();
+      return Status::DeadlineExceeded("no response from server within " +
+                                      std::to_string(deadline_ms) + " ms");
     }
     Result<size_t> got = RecvSome(fd_.get(), chunk, kRecvChunk, kRecvTimeoutMs);
     if (!got.ok()) {
@@ -156,7 +215,7 @@ Result<QueryResult> RemoteClient::Execute(const std::string& query,
     QueryProfile::ScopedSpan send_span =
         ProfileSpan(profile.get(), "rpc_send");
     STORM_RETURN_NOT_OK(
-        SendFrame(FrameType::kQuery, id, EncodeQueryRequest(req)));
+        SendFrameReconnecting(FrameType::kQuery, id, EncodeQueryRequest(req)));
   }
 
   std::function<bool(const ProgressUpdate&)> on_progress;
@@ -166,15 +225,23 @@ Result<QueryResult> RemoteClient::Execute(const std::string& query,
       p.samples = u.samples;
       p.elapsed_ms = u.elapsed_ms;
       p.ci = u.ci;
+      p.cardinality_estimate = u.cardinality_estimate;
+      p.cardinality_exact = u.cardinality_exact;
       return options.progress(p);
     };
   }
 
+  // The server legitimately streams for the query's own deadline, so the
+  // client-side RPC ceiling sits on top of it.
+  const double await_deadline =
+      rpc_deadline_ms_ > 0.0
+          ? rpc_deadline_ms_ + std::max(0.0, options.deadline_ms)
+          : 0.0;
   QueryProfile::ScopedSpan await_span =
       ProfileSpan(profile.get(), "rpc_await");
   STORM_ASSIGN_OR_RETURN(
-      Frame frame,
-      AwaitResponse(id, {FrameType::kResult}, on_progress, options.cancel));
+      Frame frame, AwaitResponse(id, {FrameType::kResult}, on_progress,
+                                 options.cancel, await_deadline));
   await_span.End();
   if (frame.type == FrameType::kError) {
     STORM_ASSIGN_OR_RETURN(WireError err, DecodeWireError(frame.payload));
@@ -213,13 +280,14 @@ BatchInsertResult RemoteClient::InsertBatch(const std::string& table,
   for (const Value& doc : docs) req.docs_json.push_back(doc.ToJson());
 
   const uint64_t id = next_id_++;
-  Status sent =
-      SendFrame(FrameType::kInsertBatch, id, EncodeInsertBatchRequest(req));
+  Status sent = SendFrameReconnecting(FrameType::kInsertBatch, id,
+                                      EncodeInsertBatchRequest(req));
   if (!sent.ok()) {
     out.status = sent;
     return out;
   }
-  Result<Frame> frame = AwaitResponse(id, {FrameType::kInsertResult});
+  Result<Frame> frame = AwaitResponse(id, {FrameType::kInsertResult}, nullptr,
+                                      nullptr, rpc_deadline_ms_);
   if (!frame.ok()) {
     out.status = frame.status();
     return out;
@@ -241,8 +309,11 @@ Status RemoteClient::Checkpoint(const std::string& table) {
   ByteWriter payload;
   payload.PutString(table);
   const uint64_t id = next_id_++;
-  STORM_RETURN_NOT_OK(SendFrame(FrameType::kCheckpoint, id, payload.data()));
-  STORM_ASSIGN_OR_RETURN(Frame frame, AwaitResponse(id, {FrameType::kOk}));
+  STORM_RETURN_NOT_OK(
+      SendFrameReconnecting(FrameType::kCheckpoint, id, payload.data()));
+  STORM_ASSIGN_OR_RETURN(
+      Frame frame,
+      AwaitResponse(id, {FrameType::kOk}, nullptr, nullptr, rpc_deadline_ms_));
   if (frame.type == FrameType::kError) {
     STORM_ASSIGN_OR_RETURN(WireError err, DecodeWireError(frame.payload));
     return err.ToStatus();
@@ -250,16 +321,22 @@ Status RemoteClient::Checkpoint(const std::string& table) {
   return Status::OK();
 }
 
-Status RemoteClient::Ping() {
-  static constexpr std::string_view kEcho = "storm-ping";
+Status RemoteClient::Ping() { return DoPing(/*reconnecting=*/true); }
+
+Status RemoteClient::DoPing(bool reconnecting) {
   const uint64_t id = next_id_++;
-  STORM_RETURN_NOT_OK(SendFrame(FrameType::kPing, id, kEcho));
-  STORM_ASSIGN_OR_RETURN(Frame frame, AwaitResponse(id, {FrameType::kPong}));
+  STORM_RETURN_NOT_OK(reconnecting
+                          ? SendFrameReconnecting(FrameType::kPing, id,
+                                                  kPingEcho)
+                          : SendFrame(FrameType::kPing, id, kPingEcho));
+  STORM_ASSIGN_OR_RETURN(Frame frame,
+                         AwaitResponse(id, {FrameType::kPong}, nullptr,
+                                       nullptr, rpc_deadline_ms_));
   if (frame.type == FrameType::kError) {
     STORM_ASSIGN_OR_RETURN(WireError err, DecodeWireError(frame.payload));
     return err.ToStatus();
   }
-  if (frame.payload != kEcho) {
+  if (frame.payload != kPingEcho) {
     Close();
     return Status::Corruption("PONG payload does not echo the PING");
   }
@@ -268,9 +345,10 @@ Status RemoteClient::Ping() {
 
 Result<std::string> RemoteClient::Metrics() {
   const uint64_t id = next_id_++;
-  STORM_RETURN_NOT_OK(SendFrame(FrameType::kMetrics, id, {}));
+  STORM_RETURN_NOT_OK(SendFrameReconnecting(FrameType::kMetrics, id, {}));
   STORM_ASSIGN_OR_RETURN(Frame frame,
-                         AwaitResponse(id, {FrameType::kMetricsText}));
+                         AwaitResponse(id, {FrameType::kMetricsText}, nullptr,
+                                       nullptr, rpc_deadline_ms_));
   if (frame.type == FrameType::kError) {
     STORM_ASSIGN_OR_RETURN(WireError err, DecodeWireError(frame.payload));
     return err.ToStatus();

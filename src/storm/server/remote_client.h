@@ -19,6 +19,17 @@
 // The client is synchronous and single-threaded: one request at a time per
 // RemoteClient. Open several RemoteClients for concurrent streams (they are
 // cheap: one socket each).
+//
+// Robustness: when a request's connect/send path fails with a transient
+// error (kUnavailable / kIOError — typically a server restart), the client
+// transparently redials the remembered endpoint with exponential backoff
+// and retries the send, up to max_reconnect_attempts per request
+// (storm_client_reconnects_total counts successful redials). Failures
+// *after* the request was sent are not retried — the server may already be
+// executing it — they surface to the caller, and the next request redials.
+// set_rpc_deadline_ms bounds how long AwaitResponse waits for a silent but
+// open peer; past it the RPC fails with kDeadlineExceeded and the socket is
+// closed (the stream can no longer be trusted to be aligned).
 
 #ifndef STORM_SERVER_REMOTE_CLIENT_H_
 #define STORM_SERVER_REMOTE_CLIENT_H_
@@ -68,6 +79,21 @@ class RemoteClient {
   /// bypass this.
   void set_trace_sample_rate(double rate) { trace_sample_rate_ = rate; }
 
+  /// Redial attempts per request when the connect/send path fails
+  /// transiently (0 disables transparent reconnection). Backoff between
+  /// attempts is exponential with jitter (50 ms base, 1 s cap).
+  void set_max_reconnect_attempts(int attempts) {
+    max_reconnect_attempts_ = attempts < 0 ? 0 : attempts;
+  }
+
+  /// Hard wall-clock ceiling in ms on waiting for any single response
+  /// (0 = wait forever, the historical behaviour). A peer that accepts the
+  /// request but never answers — half-dead process, black-holed network —
+  /// fails the RPC with kDeadlineExceeded instead of hanging the caller.
+  /// Execute() extends this by the query's own deadline_ms, since the
+  /// server legitimately streams for that long.
+  void set_rpc_deadline_ms(double ms) { rpc_deadline_ms_ = ms < 0 ? 0 : ms; }
+
   // --- Updates ---
 
   Result<RecordId> Insert(const std::string& table, const Value& doc);
@@ -89,18 +115,36 @@ class RemoteClient {
   /// are handed to `on_progress`; a false return — or `cancel` firing —
   /// sends one CANCEL frame and keeps waiting for the final RESULT. Any
   /// other frame is a protocol error that closes the connection.
+  /// `deadline_ms` > 0 bounds the whole wait; exceeding it closes the
+  /// connection and fails with kDeadlineExceeded.
   Result<Frame> AwaitResponse(
       uint64_t want_id, std::initializer_list<FrameType> finals,
       const std::function<bool(const ProgressUpdate&)>& on_progress = nullptr,
-      const CancelToken* cancel = nullptr);
+      const CancelToken* cancel = nullptr, double deadline_ms = 0.0);
 
   Status SendFrame(FrameType type, uint64_t id, std::string_view payload);
+
+  /// SendFrame, redialing the remembered endpoint with backoff on
+  /// transient connect/send failures (up to max_reconnect_attempts_).
+  Status SendFrameReconnecting(FrameType type, uint64_t id,
+                               std::string_view payload);
+
+  /// One dial of the remembered endpoint + liveness PING (no retries).
+  Status DialOnce();
+
+  /// PING round trip; `reconnecting` selects the redialing send path (false
+  /// inside DialOnce, which must not recurse into redialing).
+  Status DoPing(bool reconnecting);
 
   UniqueFd fd_;
   std::string read_buf_;
   uint64_t next_id_ = 1;
   uint32_t progress_interval_ms_ = 20;
   double trace_sample_rate_ = 0.01;
+  int max_reconnect_attempts_ = 3;
+  double rpc_deadline_ms_ = 0.0;
+  std::string host_;  // remembered endpoint for transparent redial
+  int port_ = 0;
 };
 
 }  // namespace storm

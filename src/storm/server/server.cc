@@ -106,7 +106,13 @@ struct StormServer::Connection {
 };
 
 StormServer::StormServer(Session* session, ServerOptions options)
-    : session_(session),
+    : owned_backend_(std::make_unique<SessionBackend>(session)),
+      backend_(owned_backend_.get()),
+      options_(options),
+      admission_(options.query_threads, options.max_queued_queries) {}
+
+StormServer::StormServer(QueryBackend* backend, ServerOptions options)
+    : backend_(backend),
       options_(options),
       admission_(options.query_threads, options.max_queued_queries) {}
 
@@ -489,12 +495,7 @@ bool StormServer::HandleFrame(const std::shared_ptr<Connection>& conn,
         if (!parse_status.ok()) {
           result.status = parse_status;
         } else {
-          Result<UpdateManager*> updates = session_->Updates(req->table);
-          if (!updates.ok()) {
-            result.status = updates.status();
-          } else {
-            result = (*updates)->InsertBatch(docs);
-          }
+          result = backend_->InsertBatch(req->table, docs);
         }
       }
       Send(conn,
@@ -507,7 +508,7 @@ bool StormServer::HandleFrame(const std::shared_ptr<Connection>& conn,
     case FrameType::kCheckpoint: {
       ByteReader reader(frame.payload);
       Result<std::string> table = reader.GetString();
-      Status st = table.ok() ? session_->Checkpoint(*table) : table.status();
+      Status st = table.ok() ? backend_->Checkpoint(*table) : table.status();
       if (st.ok()) {
         Send(conn, EncodeFrame(FrameType::kOk, frame.id, {}),
              /*droppable=*/false);
@@ -533,8 +534,19 @@ bool StormServer::HandleFrame(const std::shared_ptr<Connection>& conn,
 void StormServer::RunQuery(std::shared_ptr<Connection> conn, uint64_t id,
                            QueryRequest req,
                            std::shared_ptr<RunningQuery> running) {
+  // However this task exits — result sent, early close, an exception out of
+  // the backend — the admission slot must be released and the query erased
+  // from conn->queries, or the slot leaks and CloseConnection (which waits
+  // for conn->queries to empty) hangs the reaper forever. The abrupt-
+  // disconnect soak scenario exercises exactly this path: the reader thread
+  // dies mid-query and teardown must still settle the accounting.
+  struct FinishGuard {
+    StormServer* server;
+    const std::shared_ptr<Connection>& conn;
+    uint64_t id;
+    ~FinishGuard() { server->FinishQuery(conn, id); }
+  } finish_guard{this, conn, id};
   if (conn->closing.load(std::memory_order_acquire)) {
-    FinishQuery(conn, id);
     return;
   }
   // The query's trace identity becomes this worker's ambient context:
@@ -569,6 +581,8 @@ void StormServer::RunQuery(std::shared_ptr<Connection> conn, uint64_t id,
         update.samples = p.samples;
         update.elapsed_ms = p.elapsed_ms;
         update.ci = p.ci;
+        update.cardinality_estimate = p.cardinality_estimate;
+        update.cardinality_exact = p.cardinality_exact;
         Send(conn,
              EncodeFrame(FrameType::kProgress, id,
                          EncodeProgressUpdate(update)),
@@ -577,7 +591,7 @@ void StormServer::RunQuery(std::shared_ptr<Connection> conn, uint64_t id,
       return true;
     };
   }
-  Result<QueryResult> result = session_->Execute(req.query, options);
+  Result<QueryResult> result = backend_->Execute(req.query, options);
   const double elapsed_ms = running->watch.ElapsedMillis();
   if (!result.ok()) {
     Send(conn,
@@ -599,7 +613,6 @@ void StormServer::RunQuery(std::shared_ptr<Connection> conn, uint64_t id,
   }
   FlightRecord(FlightEvent::kQueryFinish, id,
                static_cast<uint64_t>(elapsed_ms * 1000.0));
-  FinishQuery(conn, id);
 }
 
 void StormServer::NoteSlowQuery(const QueryRequest& req,

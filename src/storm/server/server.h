@@ -44,6 +44,7 @@
 
 #include "storm/query/session.h"
 #include "storm/server/admission.h"
+#include "storm/server/backend.h"
 #include "storm/server/protocol.h"
 #include "storm/server/socket_io.h"
 #include "storm/util/thread_pool.h"
@@ -97,6 +98,13 @@ class StormServer {
   /// the per-table read latch, so remote and local queries interleave
   /// safely with updates).
   explicit StormServer(Session* session, ServerOptions options = {});
+
+  /// Serves queries against an arbitrary backend (a NetCoordinator, a test
+  /// double), which must outlive the server. Everything socket-side —
+  /// framing, admission, backpressure, tracing — is identical to the
+  /// Session-backed form.
+  explicit StormServer(QueryBackend* backend, ServerOptions options = {});
+
   ~StormServer();
 
   StormServer(const StormServer&) = delete;
@@ -170,7 +178,10 @@ class StormServer {
   /// Joins and removes connections whose threads have finished.
   void ReapFinished(bool join_all);
 
-  Session* session_;
+  /// Set only by the Session ctor, which wraps the session in an owned
+  /// SessionBackend; backend_ is the single execution target either way.
+  std::unique_ptr<SessionBackend> owned_backend_;
+  QueryBackend* backend_;
   ServerOptions options_;
   AdmissionController admission_;
 

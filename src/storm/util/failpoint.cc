@@ -102,4 +102,84 @@ std::vector<std::string> Failpoints::ArmedSites() const {
   return names;
 }
 
+namespace {
+
+/// "io_error" / "io-error" / "io error" all name kIOError.
+Result<StatusCode> StatusCodeFromName(std::string name) {
+  for (char& c : name) {
+    if (c == '_' || c == '-') c = ' ';
+  }
+  for (int raw = 0; raw <= static_cast<int>(StatusCode::kUnknown); ++raw) {
+    const StatusCode code = static_cast<StatusCode>(raw);
+    if (name == StatusCodeToString(code)) return code;
+  }
+  return Status::InvalidArgument("unknown status code name '" + name + "'");
+}
+
+Result<double> ParseDoubleValue(const std::string& key,
+                                const std::string& value) {
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') {
+    return Status::InvalidArgument("failpoint key '" + key +
+                                   "': bad number '" + value + "'");
+  }
+  return parsed;
+}
+
+}  // namespace
+
+Result<std::pair<std::string, FailpointConfig>> ParseFailpointSpec(
+    std::string_view spec) {
+  const size_t colon = spec.find(':');
+  if (colon == std::string_view::npos || colon == 0) {
+    return Status::InvalidArgument(
+        "failpoint spec must be 'site:key=value,...', got '" +
+        std::string(spec) + "'");
+  }
+  std::string site(spec.substr(0, colon));
+  FailpointConfig config;
+  std::string_view rest = spec.substr(colon + 1);
+  while (!rest.empty()) {
+    const size_t comma = rest.find(',');
+    std::string_view pair = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    if (pair.empty()) continue;
+    const size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument("failpoint spec entry '" +
+                                     std::string(pair) + "' has no '='");
+    }
+    const std::string key(pair.substr(0, eq));
+    const std::string value(pair.substr(eq + 1));
+    if (key == "message") {
+      config.message = value;
+      continue;
+    }
+    if (key == "code") {
+      STORM_ASSIGN_OR_RETURN(config.code, StatusCodeFromName(value));
+      continue;
+    }
+    STORM_ASSIGN_OR_RETURN(const double number,
+                           ParseDoubleValue(key, value));
+    if (key == "probability") {
+      config.probability = number;
+    } else if (key == "every_nth") {
+      config.every_nth = static_cast<uint64_t>(number);
+    } else if (key == "after_n") {
+      config.after_n = static_cast<uint64_t>(number);
+    } else if (key == "max_trips") {
+      config.max_trips = static_cast<uint64_t>(number);
+    } else if (key == "latency_ms") {
+      config.latency_ms = number;
+    } else if (key == "seed") {
+      config.seed = static_cast<uint64_t>(number);
+    } else {
+      return Status::InvalidArgument("unknown failpoint key '" + key + "'");
+    }
+  }
+  return std::make_pair(std::move(site), config);
+}
+
 }  // namespace storm

@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "storm/util/result.h"
 #include "storm/util/rng.h"
 #include "storm/util/status.h"
 
@@ -116,6 +117,19 @@ class ScopedFailpoint {
  private:
   std::string site_;
 };
+
+/// Parses a command-line failpoint spec into (site, config):
+///
+///   "server.conn.slow:latency_ms=40,probability=0.5,seed=7"
+///   "server.conn.drop:every_nth=20"
+///
+/// Keys: probability, every_nth, after_n, max_trips, latency_ms, seed,
+/// code (a StatusCode name like "unavailable" or "io_error"), message.
+/// Lets a binary (storm_server --failpoint ...) arm process-local faults at
+/// startup — the only way to make exactly one shard of a real multi-process
+/// fleet slow or flaky, since failpoint registries are per-process.
+Result<std::pair<std::string, FailpointConfig>> ParseFailpointSpec(
+    std::string_view spec);
 
 /// Evaluates a failpoint site and propagates its error to the caller.
 #define STORM_FAILPOINT(site) \

@@ -1,0 +1,715 @@
+// Chaos suite for the networked coordinator: a NetCoordinator fanning
+// queries out over real TCP sockets to shards that die (kill -9
+// mid-stream), flap (evict → readmit), crawl (server.conn.slow
+// failpoints), or are simply all gone. The invariants under every
+// schedule:
+//
+//   - a best-so-far estimate (or a prompt, typed error) in every case —
+//     the coordinator never hangs past its deadline;
+//   - a shard dying mid-stream never biases the merged estimator: its
+//     partials are dropped and the weights renormalize over survivors
+//     (the chi-squared test pins the survivor estimates to their CIs);
+//   - admission slots on every in-process shard settle exactly
+//     (admitted == released, in_flight == 0) whatever the client did.
+//
+// Schedules are seeded via STORM_CHAOS_SEED (CI runs several seeds).
+// Child-process shards reuse the fork/exec pattern of flight_dump_test.cc;
+// STORM_SERVER_BIN arrives from tests/CMakeLists.txt.
+
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "storm/cluster/net_coordinator.h"
+#include "storm/server/protocol.h"
+#include "storm/server/server.h"
+#include "storm/storm.h"
+#include "storm/util/failpoint.h"
+#include "storm/util/stats.h"
+#include "storm/util/stopwatch.h"
+
+namespace storm {
+namespace {
+
+uint64_t ChaosSeed() {
+  const char* env = std::getenv("STORM_CHAOS_SEED");
+  if (env == nullptr || *env == '\0') return 1;
+  return std::strtoull(env, nullptr, 10);
+}
+
+// --- Wire back-compat for the cardinality block -------------------------
+
+TEST(CoordinatorWireTest, ProgressCardinalityRoundTrips) {
+  ProgressUpdate p;
+  p.samples = 4096;
+  p.elapsed_ms = 12.5;
+  p.ci.estimate = 3.25;
+  p.ci.half_width = 0.5;
+  p.ci.confidence = 0.95;
+  p.ci.samples = 4096;
+  p.cardinality_estimate = 8123.25;
+  p.cardinality_exact = true;
+
+  auto decoded = DecodeProgressUpdate(EncodeProgressUpdate(p));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_DOUBLE_EQ(decoded->cardinality_estimate, 8123.25);
+  EXPECT_TRUE(decoded->cardinality_exact);
+  EXPECT_EQ(decoded->samples, 4096u);
+}
+
+TEST(CoordinatorWireTest, ProgressWithoutCardinalityBlockStillDecodes) {
+  // A pre-cardinality peer's frame is the same payload minus the trailing
+  // 9-byte block (double + u8); the decoder must treat it as absent.
+  ProgressUpdate p;
+  p.samples = 7;
+  p.cardinality_estimate = 555.0;
+  std::string wire = EncodeProgressUpdate(p);
+  wire.resize(wire.size() - 9);
+
+  auto decoded = DecodeProgressUpdate(wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->samples, 7u);
+  EXPECT_DOUBLE_EQ(decoded->cardinality_estimate, 0.0);
+  EXPECT_FALSE(decoded->cardinality_exact);
+}
+
+TEST(CoordinatorWireTest, ResultCardinalityRoundTrips) {
+  QueryResult r;
+  r.task = QueryTask::kAggregate;
+  r.ci.estimate = 42.0;
+  r.ci.half_width = 1.5;
+  r.ci.confidence = 0.95;
+  r.samples = 1000;
+  r.degraded = true;
+  r.coverage = 0.5;
+  r.cardinality_estimate = 31337.0;
+  r.cardinality_exact = true;
+
+  auto decoded = DecodeQueryResult(EncodeQueryResult(r));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_DOUBLE_EQ(decoded->cardinality_estimate, 31337.0);
+  EXPECT_TRUE(decoded->cardinality_exact);
+  EXPECT_TRUE(decoded->degraded);
+  EXPECT_DOUBLE_EQ(decoded->coverage, 0.5);
+
+  // Older generations: strip the cardinality block (9 bytes), then also
+  // the profile marker (1 byte, the pre-cardinality tail). Both must
+  // decode with the missing fields at their defaults.
+  std::string wire = EncodeQueryResult(r);
+  wire.resize(wire.size() - 9);
+  auto no_card = DecodeQueryResult(wire);
+  ASSERT_TRUE(no_card.ok()) << no_card.status();
+  EXPECT_DOUBLE_EQ(no_card->cardinality_estimate, 0.0);
+  EXPECT_FALSE(no_card->cardinality_exact);
+
+  wire.resize(wire.size() - 1);
+  auto pre_profile = DecodeQueryResult(wire);
+  ASSERT_TRUE(pre_profile.ok()) << pre_profile.status();
+  EXPECT_DOUBLE_EQ(pre_profile->ci.estimate, 42.0);
+}
+
+// --- In-process fleets --------------------------------------------------
+
+std::vector<Value> MakeDocs(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Value> docs;
+  docs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Value doc = Value::MakeObject();
+    doc.Set("x", Value::Double(rng.UniformDouble(0, 100)));
+    doc.Set("y", Value::Double(rng.UniformDouble(0, 100)));
+    doc.Set("v", Value::Double(rng.UniformDouble(0, 100)));
+    doc.Set("t", Value::Double(0.0));
+    docs.push_back(doc);
+  }
+  return docs;
+}
+
+// Shard k of n holds records i with i % n == k — the same arrival-order
+// rule storm_server --shard-index uses, so in-process fleets and
+// child-process fleets partition identically.
+std::vector<Value> ShardSlice(const std::vector<Value>& docs, size_t k,
+                              size_t n) {
+  std::vector<Value> slice;
+  for (size_t i = k; i < docs.size(); i += n) slice.push_back(docs[i]);
+  return slice;
+}
+
+struct InProcShard {
+  std::unique_ptr<Session> session;
+  std::unique_ptr<StormServer> server;
+  int port = 0;
+};
+
+InProcShard StartShard(const std::vector<Value>& docs, size_t k, size_t n,
+                       int port = 0) {
+  InProcShard shard;
+  shard.session = std::make_unique<Session>();
+  EXPECT_TRUE(shard.session->CreateTable("t", ShardSlice(docs, k, n)).ok());
+  ServerOptions options;
+  options.port = port;
+  options.metrics_port = -1;
+  shard.server =
+      std::make_unique<StormServer>(shard.session.get(), options);
+  EXPECT_TRUE(shard.server->Start().ok());
+  shard.port = shard.server->port();
+  return shard;
+}
+
+// Admission slots must settle on every shard no matter how its clients
+// behaved; FinishQuery runs just after the final frame is queued, so give
+// the release a moment to land.
+void ExpectAdmissionSettled(const StormServer& server, const char* who) {
+  for (int i = 0; i < 100; ++i) {
+    const AdmissionController& adm = server.admission();
+    if (adm.admitted_total() == adm.released_total() &&
+        adm.in_flight() == 0) {
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  const AdmissionController& adm = server.admission();
+  ADD_FAILURE() << who << ": admission drift: admitted="
+                << adm.admitted_total()
+                << " released=" << adm.released_total()
+                << " in_flight=" << adm.in_flight();
+}
+
+bool AwaitLiveShards(const NetCoordinator& coordinator, int want,
+                     int budget_ms) {
+  for (int waited = 0; waited < budget_ms; waited += 20) {
+    if (coordinator.live_shards() == want) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return coordinator.live_shards() == want;
+}
+
+NetCoordinatorOptions FastOptions() {
+  NetCoordinatorOptions options;
+  options.heartbeat_interval_ms = 50.0;
+  options.failure_threshold = 2;
+  options.heartbeat_timeout_ms = 1000.0;
+  options.rpc_deadline_ms = 8000.0;
+  options.seed = ChaosSeed();
+  return options;
+}
+
+TEST(NetCoordinatorTest, HealthyFleetMergesExactly) {
+  auto docs = MakeDocs(12'000, ChaosSeed() * 7919 + 11);
+  double sum = 0.0;
+  for (const Value& d : docs) sum += d.Find("v")->AsDouble();
+  const double truth = sum / static_cast<double>(docs.size());
+
+  std::vector<InProcShard> shards;
+  std::vector<ShardEndpoint> endpoints;
+  for (size_t k = 0; k < 3; ++k) {
+    shards.push_back(StartShard(docs, k, 3));
+    endpoints.push_back({"127.0.0.1", shards[k].port});
+  }
+  NetCoordinator coordinator(endpoints, FastOptions());
+  ASSERT_TRUE(coordinator.Start().ok());
+  ASSERT_TRUE(AwaitLiveShards(coordinator, 3, 3000));
+
+  // COUNT(*): partitions add. The SAMPLES cap pushes the optimizer to the
+  // exhaustive without-replacement plan, so every shard's count is exact.
+  auto count =
+      coordinator.Execute("SELECT COUNT(*) FROM t SAMPLES 100000000", {});
+  ASSERT_TRUE(count.ok()) << count.status();
+  EXPECT_NEAR(count->ci.estimate, 12'000.0, 1e-6);
+  EXPECT_FALSE(count->degraded);
+  EXPECT_DOUBLE_EQ(count->coverage, 1.0);
+
+  // Full-table AVG: every shard exhausts exactly, weights are exact, so
+  // the stratified merge reproduces the global mean to float precision.
+  ExecOptions options;
+  options.progress = [](const QueryProgress&) { return true; };
+  auto avg =
+      coordinator.Execute("SELECT AVG(v) FROM t SAMPLES 100000000", options);
+  ASSERT_TRUE(avg.ok()) << avg.status();
+  EXPECT_NEAR(avg->ci.estimate, truth, 1e-6);
+  EXPECT_TRUE(avg->exhausted);
+  EXPECT_FALSE(avg->degraded);
+  EXPECT_NEAR(avg->cardinality_estimate, 12'000.0, 1e-6);
+  EXPECT_NE(avg->strategy.find("net_coordinator(3/3"), std::string::npos)
+      << avg->strategy;
+
+  coordinator.Stop();
+  for (size_t k = 0; k < shards.size(); ++k) {
+    ExpectAdmissionSettled(*shards[k].server, "healthy fleet shard");
+    shards[k].server->Stop();
+  }
+}
+
+TEST(NetCoordinatorTest, NonAggregateTasksAreRefused) {
+  auto docs = MakeDocs(500, 99);
+  auto shard = StartShard(docs, 0, 1);
+  NetCoordinator coordinator({{"127.0.0.1", shard.port}}, FastOptions());
+  ASSERT_TRUE(coordinator.Start().ok());
+
+  auto kde = coordinator.Execute("SELECT KDE(8, 8) FROM t", {});
+  ASSERT_FALSE(kde.ok());
+  EXPECT_EQ(kde.status().code(), StatusCode::kNotSupported);
+
+  coordinator.Stop();
+  shard.server->Stop();
+}
+
+TEST(NetCoordinatorTest, InsertBatchRoundRobinsAcrossShards) {
+  auto docs = MakeDocs(900, 17);
+  std::vector<InProcShard> shards;
+  std::vector<ShardEndpoint> endpoints;
+  for (size_t k = 0; k < 3; ++k) {
+    shards.push_back(StartShard(docs, k, 3));
+    endpoints.push_back({"127.0.0.1", shards[k].port});
+  }
+  NetCoordinator coordinator(endpoints, FastOptions());
+  ASSERT_TRUE(coordinator.Start().ok());
+  ASSERT_TRUE(AwaitLiveShards(coordinator, 3, 3000));
+
+  auto extra = MakeDocs(30, 23);
+  for (size_t i = 0; i < extra.size(); i += 10) {
+    std::vector<Value> batch(extra.begin() + i, extra.begin() + i + 10);
+    BatchInsertResult r = coordinator.InsertBatch("t", batch);
+    ASSERT_TRUE(r.status.ok()) << r.status;
+    EXPECT_EQ(r.ids.size(), 10u);
+  }
+
+  auto count =
+      coordinator.Execute("SELECT COUNT(*) FROM t SAMPLES 100000000", {});
+  ASSERT_TRUE(count.ok()) << count.status();
+  EXPECT_NEAR(count->ci.estimate, 930.0, 1e-6);
+
+  // Round-robin batches spread the growth across every shard.
+  for (size_t k = 0; k < 3; ++k) {
+    auto table = shards[k].session->GetTable("t");
+    ASSERT_TRUE(table.ok());
+    EXPECT_EQ((*table)->size(), 310u) << "shard " << k;
+  }
+
+  coordinator.Stop();
+  for (auto& s : shards) s.server->Stop();
+}
+
+TEST(NetCoordinatorTest, AllShardsDeadFailsFastNotForever) {
+  // Grab two ports that definitely have no listener behind them.
+  std::vector<ShardEndpoint> endpoints;
+  {
+    std::vector<InProcShard> doomed;
+    auto docs = MakeDocs(10, 5);
+    for (size_t k = 0; k < 2; ++k) {
+      doomed.push_back(StartShard(docs, k, 2));
+      endpoints.push_back({"127.0.0.1", doomed[k].port});
+    }
+    for (auto& s : doomed) s.server->Stop();
+  }
+
+  NetCoordinator coordinator(endpoints, FastOptions());
+  ASSERT_TRUE(coordinator.Start().ok());  // a down fleet degrades, not throws
+
+  Stopwatch watch;
+  auto result = coordinator.Execute("SELECT AVG(v) FROM t", {});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable)
+      << result.status();
+  EXPECT_LT(watch.ElapsedMillis(), 10'000.0) << "must fail promptly";
+  coordinator.Stop();
+}
+
+TEST(NetCoordinatorTest, DeadlineDuringFanOutReturnsPromptly) {
+  auto docs = MakeDocs(20'000, ChaosSeed() + 31);
+  std::vector<InProcShard> shards;
+  std::vector<ShardEndpoint> endpoints;
+  for (size_t k = 0; k < 3; ++k) {
+    shards.push_back(StartShard(docs, k, 3));
+    endpoints.push_back({"127.0.0.1", shards[k].port});
+  }
+  NetCoordinator coordinator(endpoints, FastOptions());
+  ASSERT_TRUE(coordinator.Start().ok());
+  ASSERT_TRUE(AwaitLiveShards(coordinator, 3, 3000));
+
+  // WITHIN asks every shard to sample for 30 s; the 400 ms query deadline
+  // must carve per-shard deadlines that cut them off long before that,
+  // and the merged result must carry the deadline flag.
+  Stopwatch watch;
+  ExecOptions options;
+  options.deadline_ms = 400.0;
+  options.progress = [](const QueryProgress&) { return true; };
+  auto result =
+      coordinator.Execute("SELECT AVG(v) FROM t WITHIN 30000 MS", options);
+  const double elapsed = watch.ElapsedMillis();
+  EXPECT_LT(elapsed, 6000.0) << "deadline must bound the fan-out";
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->deadline_exceeded);
+  EXPECT_FALSE(result->exhausted);
+  EXPECT_GT(result->samples, 0u);
+
+  coordinator.Stop();
+  for (auto& s : shards) s.server->Stop();
+}
+
+TEST(NetCoordinatorTest, FlappingShardEvictsAndReadmits) {
+  auto docs = MakeDocs(9'000, ChaosSeed() * 131 + 3);
+  std::vector<InProcShard> shards;
+  std::vector<ShardEndpoint> endpoints;
+  for (size_t k = 0; k < 3; ++k) {
+    shards.push_back(StartShard(docs, k, 3));
+    endpoints.push_back({"127.0.0.1", shards[k].port});
+  }
+  NetCoordinator coordinator(endpoints, FastOptions());
+  ASSERT_TRUE(coordinator.Start().ok());
+  ASSERT_TRUE(AwaitLiveShards(coordinator, 3, 3000));
+
+  for (int cycle = 0; cycle < 2; ++cycle) {
+    // Down: the shard misses heartbeats, gets evicted, queries degrade.
+    const int port = shards[1].port;
+    shards[1].server->Stop();
+    ASSERT_TRUE(AwaitLiveShards(coordinator, 2, 5000))
+        << "cycle " << cycle << ": eviction never happened";
+
+    auto degraded =
+        coordinator.Execute("SELECT COUNT(*) FROM t SAMPLES 100000000", {});
+    ASSERT_TRUE(degraded.ok()) << degraded.status();
+    EXPECT_TRUE(degraded->degraded);
+    EXPECT_NEAR(degraded->ci.estimate, 6'000.0, 1e-6);
+    EXPECT_GT(degraded->coverage, 0.4);
+    EXPECT_LT(degraded->coverage, 0.9);
+    EXPECT_NE(degraded->strategy.find("(2/3"), std::string::npos)
+        << degraded->strategy;
+
+    // Up again on the same port: heartbeats succeed, shard readmitted.
+    ServerOptions options;
+    options.port = port;
+    options.metrics_port = -1;
+    shards[1].server =
+        std::make_unique<StormServer>(shards[1].session.get(), options);
+    ASSERT_TRUE(shards[1].server->Start().ok());
+    ASSERT_TRUE(AwaitLiveShards(coordinator, 3, 5000))
+        << "cycle " << cycle << ": readmission never happened";
+
+    auto healthy =
+        coordinator.Execute("SELECT COUNT(*) FROM t SAMPLES 100000000", {});
+    ASSERT_TRUE(healthy.ok()) << healthy.status();
+    EXPECT_FALSE(healthy->degraded);
+    EXPECT_NEAR(healthy->ci.estimate, 9'000.0, 1e-6);
+  }
+
+  coordinator.Stop();
+  for (size_t k = 0; k < shards.size(); ++k) {
+    ExpectAdmissionSettled(*shards[k].server, "flapping fleet shard");
+    shards[k].server->Stop();
+  }
+}
+
+// Survivor estimates must stay unbiased and correctly sized after a shard
+// is lost: run many region queries against a 2/3 fleet, convert each
+// (estimate − truth) to a p-value through its own reported CI, and
+// chi-square the p-values against uniform. Systematic bias from the lost
+// shard (or mis-renormalized weights, or a wrong quadrature) shows up as
+// mass piling into the tail bins.
+TEST(NetCoordinatorTest, SurvivorEstimatesUnbiasedChiSquared) {
+  const uint64_t seed = ChaosSeed();
+  auto docs = MakeDocs(24'000, seed * 977 + 5);
+  std::vector<InProcShard> shards;
+  std::vector<ShardEndpoint> endpoints;
+  for (size_t k = 0; k < 3; ++k) {
+    shards.push_back(StartShard(docs, k, 3));
+    endpoints.push_back({"127.0.0.1", shards[k].port});
+  }
+  NetCoordinator coordinator(endpoints, FastOptions());
+  ASSERT_TRUE(coordinator.Start().ok());
+  ASSERT_TRUE(AwaitLiveShards(coordinator, 3, 3000));
+
+  // Lose shard 2 for good.
+  shards[2].server->Stop();
+  ASSERT_TRUE(AwaitLiveShards(coordinator, 2, 5000));
+
+  // The reachable population: shards 0 and 1 = records with i % 3 != 2.
+  Rng regions(seed * 31 + 7);
+  std::vector<uint64_t> bins(10, 0);
+  uint64_t draws = 0;
+  for (int round = 0; round < 60; ++round) {
+    const double x1 = regions.UniformDouble(0, 35);
+    const double y1 = regions.UniformDouble(0, 35);
+    const double x2 = x1 + regions.UniformDouble(45, 64);
+    const double y2 = y1 + regions.UniformDouble(45, 64);
+
+    double sum = 0.0;
+    uint64_t q = 0;
+    for (size_t i = 0; i < docs.size(); ++i) {
+      if (i % 3 == 2) continue;
+      const double x = docs[i].Find("x")->AsDouble();
+      const double y = docs[i].Find("y")->AsDouble();
+      if (x < x1 || x > x2 || y < y1 || y > y2) continue;
+      sum += docs[i].Find("v")->AsDouble();
+      ++q;
+    }
+    ASSERT_GT(q, 3000u) << "region too small for a CLT-regime check";
+    const double truth = sum / static_cast<double>(q);
+
+    char query[256];
+    std::snprintf(query, sizeof(query),
+                  "SELECT AVG(v) FROM t REGION(%.4f, %.4f, %.4f, %.4f) "
+                  "SAMPLES 1200",
+                  x1, y1, x2, y2);
+    auto result = coordinator.Execute(query, {});
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_TRUE(result->degraded);
+    ASSERT_FALSE(result->exhausted) << "estimate must still be stochastic";
+    ASSERT_GT(result->ci.half_width, 0.0);
+
+    const double z_conf =
+        NormalQuantile(0.5 + result->ci.confidence / 2.0);
+    const double z =
+        (result->ci.estimate - truth) / (result->ci.half_width / z_conf);
+    const double p = NormalCdf(z);
+    size_t bin = static_cast<size_t>(p * 10.0);
+    if (bin >= bins.size()) bin = bins.size() - 1;
+    ++bins[bin];
+    ++draws;
+  }
+
+  double stat = ChiSquareUniform(bins.data(), bins.size(), draws);
+  EXPECT_LT(stat, ChiSquareCritical(bins.size() - 1, 1e-4))
+      << "survivor estimates are biased or mis-sized (seed " << seed << ")";
+
+  coordinator.Stop();
+  shards[0].server->Stop();
+  shards[1].server->Stop();
+}
+
+// --- Child-process shards: kill -9 mid-stream ---------------------------
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::string out;
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return out;
+  char buf[4096];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, got);
+  std::fclose(f);
+  return out;
+}
+
+int AwaitServingPort(const std::string& path, int budget_ms) {
+  for (int waited = 0; waited < budget_ms; waited += 50) {
+    std::string out = ReadFileOrEmpty(path);
+    size_t pos = out.find("serving on port ");
+    if (pos != std::string::npos) {
+      return std::atoi(out.c_str() + pos + std::strlen("serving on port "));
+    }
+    usleep(50 * 1000);
+  }
+  return -1;
+}
+
+struct ChildShard {
+  pid_t pid = -1;
+  int port = -1;
+  std::string stdout_path;
+};
+
+// fork/exec one storm_server --tiny shard; extra_arg/extra_val optionally
+// arm a failpoint (the registries are per-process, so this is how exactly
+// one shard of the fleet gets slow).
+ChildShard SpawnShard(int index, int num_shards, const char* extra_arg,
+                      const char* extra_val) {
+  ChildShard shard;
+  const std::string dir = ::testing::TempDir();
+  shard.stdout_path = dir + "/nc_shard" + std::to_string(index) + "." +
+                      std::to_string(static_cast<long>(getpid()));
+  std::remove(shard.stdout_path.c_str());
+
+  shard.pid = fork();
+  if (shard.pid == 0) {
+    int out =
+        open(shard.stdout_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (out < 0) _exit(41);
+    dup2(out, STDOUT_FILENO);
+    dup2(out, STDERR_FILENO);
+    std::string idx = std::to_string(index);
+    std::string n = std::to_string(num_shards);
+    if (extra_arg != nullptr) {
+      execl(STORM_SERVER_BIN, STORM_SERVER_BIN, "--tiny", "--port", "0",
+            "--shard-index", idx.c_str(), "--num-shards", n.c_str(),
+            extra_arg, extra_val, static_cast<char*>(nullptr));
+    } else {
+      execl(STORM_SERVER_BIN, STORM_SERVER_BIN, "--tiny", "--port", "0",
+            "--shard-index", idx.c_str(), "--num-shards", n.c_str(),
+            static_cast<char*>(nullptr));
+    }
+    _exit(42);
+  }
+  if (shard.pid > 0) {
+    shard.port = AwaitServingPort(shard.stdout_path, 30'000);
+  }
+  return shard;
+}
+
+void ReapShard(ChildShard* shard, int sig) {
+  if (shard->pid <= 0) return;
+  kill(shard->pid, sig);
+  int status = 0;
+  waitpid(shard->pid, &status, 0);
+  shard->pid = -1;
+}
+
+TEST(NetCoordinatorChaosTest, KillNineMidStreamDropsShardKeepsStreaming) {
+  // Three real storm_server processes over disjoint thirds of the tiny
+  // demo tables. The victim's writer is slowed to 120 ms per frame so it
+  // is provably still mid-stream when SIGKILL lands.
+  std::vector<ChildShard> fleet;
+  fleet.push_back(SpawnShard(0, 3, nullptr, nullptr));
+  fleet.push_back(SpawnShard(1, 3, nullptr, nullptr));
+  fleet.push_back(SpawnShard(2, 3, "--failpoint",
+                             "server.conn.slow:latency_ms=120,code=ok"));
+  for (const ChildShard& s : fleet) {
+    ASSERT_GT(s.port, 0) << "shard did not come up: "
+                         << ReadFileOrEmpty(s.stdout_path);
+  }
+
+  std::vector<ShardEndpoint> endpoints;
+  for (const ChildShard& s : fleet) endpoints.push_back({"127.0.0.1", s.port});
+  NetCoordinator coordinator(endpoints, FastOptions());
+  ASSERT_TRUE(coordinator.Start().ok());
+  ASSERT_TRUE(AwaitLiveShards(coordinator, 3, 10'000));
+
+  // Ground truth over the survivors' partitions (shards 0 and 1): the
+  // generators are deterministic, so recompute it in-process.
+  double truth;
+  {
+    TweetOptions o;
+    o.num_tweets = 2'000;  // --tiny
+    TweetGenerator gen(o);
+    auto tweets = gen.Generate();
+    double sum = 0.0;
+    uint64_t q = 0;
+    for (size_t i = 0; i < tweets.size(); ++i) {
+      if (i % 3 == 2) continue;
+      sum += tweets[i].lat;
+      ++q;
+    }
+    truth = sum / static_cast<double>(q);
+  }
+
+  std::atomic<bool> killed{false};
+  ExecOptions options;
+  options.deadline_ms = 20'000.0;
+  options.progress = [&](const QueryProgress&) {
+    // First merged progress: the fan-out is live, the victim is still
+    // crawling through its frame queue. Kill it dead, no goodbye.
+    if (!killed.exchange(true)) ReapShard(&fleet[2], SIGKILL);
+    return true;
+  };
+  Stopwatch watch;
+  auto result = coordinator.Execute(
+      "SELECT AVG(lat) FROM tweets SAMPLES 100000000", options);
+  const double elapsed = watch.ElapsedMillis();
+
+  ASSERT_TRUE(killed.load()) << "query finished before any progress fired";
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_LT(elapsed, 30'000.0);
+  EXPECT_TRUE(result->degraded);
+  EXPECT_NE(result->strategy.find("(2/3"), std::string::npos)
+      << result->strategy;
+  EXPECT_GT(result->coverage, 0.4);
+  EXPECT_LT(result->coverage, 0.9);
+  // Survivors exhaust their partitions, so the merged estimate must equal
+  // the survivors' exact mean — any residue of the dead shard's partials
+  // (the bias the drop-and-renormalize rule exists to prevent) breaks it.
+  EXPECT_NEAR(result->ci.estimate, truth, 1e-6);
+
+  coordinator.Stop();
+  ReapShard(&fleet[0], SIGTERM);
+  ReapShard(&fleet[1], SIGTERM);
+}
+
+// --- RemoteClient transparent reconnect (satellite) ---------------------
+
+TEST(RemoteClientReconnectTest, ReconnectsAfterServerRestart) {
+  auto docs = MakeDocs(400, 3);
+  auto shard = StartShard(docs, 0, 1);
+  const int port = shard.port;
+
+  RemoteClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", port).ok());
+  ASSERT_TRUE(client.Ping().ok());
+
+  Counter* reconnects = MetricsRegistry::Default().GetCounter(
+      "storm_client_reconnects_total",
+      "Successful transparent RemoteClient reconnects");
+  const uint64_t before = reconnects->Value();
+
+  // Bounce the server; the client's socket is now a dead fd. The next
+  // requests must redial transparently rather than fail forever.
+  shard.server->Stop();
+  ServerOptions options;
+  options.port = port;
+  options.metrics_port = -1;
+  shard.server = std::make_unique<StormServer>(shard.session.get(), options);
+  ASSERT_TRUE(shard.server->Start().ok());
+
+  // The first request may burn on the stale fd's buffered send; by the
+  // second the dead socket is detected and redialed.
+  bool recovered = false;
+  for (int attempt = 0; attempt < 5 && !recovered; ++attempt) {
+    recovered = client.Ping().ok();
+  }
+  EXPECT_TRUE(recovered) << "client never reconnected";
+  EXPECT_GT(reconnects->Value(), before);
+
+  auto result = client.Execute("SELECT AVG(v) FROM t SAMPLES 200");
+  EXPECT_TRUE(result.ok()) << result.status();
+
+  shard.server->Stop();
+}
+
+// --- Failpoint spec parsing (the --failpoint startup flag) --------------
+
+TEST(FailpointSpecTest, ParsesFullSpec) {
+  auto parsed = ParseFailpointSpec(
+      "server.conn.drop:probability=0.25,after_n=3,max_trips=7,"
+      "latency_ms=12.5,seed=99,code=unavailable,message=chaos");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->first, "server.conn.drop");
+  EXPECT_DOUBLE_EQ(parsed->second.probability, 0.25);
+  EXPECT_EQ(parsed->second.after_n, 3u);
+  EXPECT_EQ(parsed->second.max_trips, 7u);
+  EXPECT_DOUBLE_EQ(parsed->second.latency_ms, 12.5);
+  EXPECT_EQ(parsed->second.seed, 99u);
+  EXPECT_EQ(parsed->second.code, StatusCode::kUnavailable);
+  EXPECT_EQ(parsed->second.message, "chaos");
+}
+
+TEST(FailpointSpecTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(ParseFailpointSpec("no-colon-here").ok());
+  EXPECT_FALSE(ParseFailpointSpec(":probability=1").ok());
+  EXPECT_FALSE(ParseFailpointSpec("site:probability").ok());
+  EXPECT_FALSE(ParseFailpointSpec("site:bogus_key=1").ok());
+  EXPECT_FALSE(ParseFailpointSpec("site:probability=nope").ok());
+  EXPECT_FALSE(ParseFailpointSpec("site:code=not_a_code").ok());
+}
+
+TEST(FailpointSpecTest, StatusCodeNamesAcceptSeparators) {
+  auto underscore = ParseFailpointSpec("s:code=io_error");
+  ASSERT_TRUE(underscore.ok()) << underscore.status();
+  EXPECT_EQ(underscore->second.code, StatusCode::kIOError);
+  auto dash = ParseFailpointSpec("s:code=deadline-exceeded");
+  ASSERT_TRUE(dash.ok()) << dash.status();
+  EXPECT_EQ(dash->second.code, StatusCode::kDeadlineExceeded);
+}
+
+}  // namespace
+}  // namespace storm

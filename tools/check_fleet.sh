@@ -1,0 +1,157 @@
+#!/usr/bin/env bash
+# Fleet-serving smoke check, run by the CI `fleet` job.
+#
+# Brings up a real 3-shard fleet — three storm_server processes over
+# disjoint thirds of the tiny demo tables, fronted by storm_coordinator
+# serving the same frame protocol — and drives it through the full
+# degradation cycle with storm_query as the client:
+#
+#   1. healthy:   COUNT(*) over all shards is exact (3/3, no degraded tag);
+#   2. kill -9:   one shard (chosen by STORM_CHAOS_SEED) dies mid-fleet;
+#                 after eviction the same query still answers, annotated
+#                 degraded with its surviving-weight coverage and a 2/3
+#                 strategy tag;
+#   3. recovery:  the shard restarts on the same port, the heartbeat
+#                 readmits it, and the query is exact 3/3 again;
+#   4. shutdown:  SIGTERM must produce the flight-recorder dump and settled
+#                 admission accounting ("drift: none") on the way down.
+#
+# Any wrong estimate, missing degradation tag, failed readmission, or
+# accounting drift fails the script (and the CI job).
+#
+#   tools/check_fleet.sh [server_bin] [coordinator_bin] [query_bin]
+
+set -euo pipefail
+
+SERVER_BIN=${1:-./build/tools/storm_server}
+COORD_BIN=${2:-./build/tools/storm_coordinator}
+QUERY_BIN=${3:-./build/tools/storm_query}
+SEED=${STORM_CHAOS_SEED:-1}
+
+workdir=$(mktemp -d)
+pids=()
+cleanup() {
+  for pid in "${pids[@]}"; do
+    if kill -0 "$pid" 2>/dev/null; then
+      kill "$pid" 2>/dev/null || true
+      wait "$pid" 2>/dev/null || true
+    fi
+  done
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  for f in "$workdir"/*.out; do
+    echo "--- $f ---" >&2
+    cat "$f" >&2 || true
+  done
+  exit 1
+}
+
+await_port() { # logfile budget_tenths -> prints port
+  local log=$1 budget=${2:-300} i port
+  for ((i = 0; i < budget; i++)); do
+    port=$(sed -n 's/.*serving on port \([0-9][0-9]*\).*/\1/p' "$log" 2>/dev/null | head -1)
+    [[ -n "$port" ]] && { echo "$port"; return 0; }
+    sleep 0.1
+  done
+  return 1
+}
+
+start_shard() { # index port(0=ephemeral) -> pid via $shard_pid
+  local index=$1 port=$2
+  "$SERVER_BIN" --tiny --port "$port" --shard-index "$index" --num-shards 3 \
+    >"$workdir/shard$index.out" 2>&1 &
+  shard_pid=$!
+  disown "$shard_pid"  # keep bash's job-control "Killed" noise out of the log
+  await_port "$workdir/shard$index.out" >/dev/null || return 1
+}
+
+# --- 1. The fleet: three shards + the coordinator. ---
+shard_ports=()
+shard_pids=()
+for i in 0 1 2; do
+  start_shard "$i" 0 || fail "shard $i did not start"
+  shard_ports+=("$(await_port "$workdir/shard$i.out")")
+  shard_pids+=("$shard_pid")
+  pids+=("$shard_pid")
+done
+echo "shards up on ports ${shard_ports[*]}"
+
+"$COORD_BIN" --port 0 --seed "$SEED" \
+  --heartbeat-ms 100 --failure-threshold 2 \
+  --shard "127.0.0.1:${shard_ports[0]}" \
+  --shard "127.0.0.1:${shard_ports[1]}" \
+  --shard "127.0.0.1:${shard_ports[2]}" \
+  >"$workdir/coord.out" 2>"$workdir/coord.err" &
+coord_pid=$!
+pids+=("$coord_pid")
+coord_port=$(await_port "$workdir/coord.out") || fail "coordinator did not start"
+grep -q "coordinating 3 shards" "$workdir/coord.out" \
+  || fail "coordinator did not report its fleet"
+echo "coordinator up on port $coord_port (seed $SEED)"
+
+# The exhaustive plan: SAMPLES far above the table size flips the optimizer
+# to query-first without replacement, so COUNT(*) over live shards is exact.
+QUERY="SELECT COUNT(*) FROM osm SAMPLES 100000000"
+
+run_query() { # outfile
+  "$QUERY_BIN" --connect "127.0.0.1:$coord_port" "$QUERY" >"$1" 2>&1
+}
+
+# Healthy fleet: the tiny demo osm table is 5000 rows, split 3 ways.
+run_query "$workdir/q1.out" || fail "healthy query failed"
+grep -q "5000" "$workdir/q1.out" || fail "healthy COUNT is not exact 5000"
+grep -q "(3/3" "$workdir/q1.out" || fail "healthy query not tagged 3/3"
+grep -q "degraded" "$workdir/q1.out" && fail "healthy query tagged degraded"
+echo "healthy: COUNT exact 5000, 3/3"
+
+# --- 2. kill -9 one shard, seed-chosen; no goodbye, no FIN handshake. ---
+victim=$((SEED % 3))
+victim_port=${shard_ports[$victim]}
+kill -9 "${shard_pids[$victim]}"
+wait "${shard_pids[$victim]}" 2>/dev/null || true
+echo "killed shard $victim (port $victim_port)"
+
+# Eviction needs failure_threshold=2 consecutive misses at 100 ms cadence;
+# poll by querying until the coordinator reports a degraded 2/3 answer.
+degraded=0
+for _ in $(seq 1 100); do
+  run_query "$workdir/q2.out" || true
+  if grep -q "(2/3" "$workdir/q2.out" && grep -q "degraded" "$workdir/q2.out"; then
+    degraded=1
+    break
+  fi
+  sleep 0.1
+done
+[[ "$degraded" == 1 ]] || fail "no degraded 2/3 answer after shard kill"
+grep -q "5000" "$workdir/q2.out" && fail "degraded COUNT still claims 5000"
+echo "degraded: $(grep -o '\[degraded[^]]*\]' "$workdir/q2.out" | head -1)"
+
+# --- 3. restart the victim on the same port; heartbeat readmits it. ---
+start_shard "$victim" "$victim_port" || fail "shard $victim did not restart"
+pids+=("$shard_pid")
+recovered=0
+for _ in $(seq 1 100); do
+  run_query "$workdir/q3.out" || true
+  if grep -q "(3/3" "$workdir/q3.out" && grep -q "5000" "$workdir/q3.out"; then
+    recovered=1
+    break
+  fi
+  sleep 0.1
+done
+[[ "$recovered" == 1 ]] || fail "fleet did not recover to exact 3/3"
+grep -q "degraded" "$workdir/q3.out" && fail "recovered query still degraded"
+echo "recovered: COUNT exact 5000, 3/3"
+
+# --- 4. clean shutdown: flight recorder + settled admission accounting. ---
+kill -TERM "$coord_pid"
+wait "$coord_pid" || fail "coordinator exited nonzero on SIGTERM"
+grep -q -- "--- flight recorder" "$workdir/coord.err" \
+  || fail "no flight-recorder dump on SIGTERM"
+grep -q "accounting drift: none" "$workdir/coord.out" \
+  || fail "admission accounting drifted"
+
+echo "PASS: fleet survives kill -9, degrades honestly, readmits, settles"

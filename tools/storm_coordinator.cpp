@@ -1,0 +1,150 @@
+// storm_coordinator: the fleet-facing STORM serving binary. Connects to N
+// storm_server shards holding disjoint partitions, and serves the same
+// frame protocol itself — a RemoteClient cannot tell a coordinator from a
+// single server. Queries fan out to every live shard and the shards'
+// anytime PROGRESS streams merge into one correctly-weighted estimate;
+// dead/slow/flapping shards are evicted, the result is annotated degraded
+// with its surviving-weight coverage, and shards that recover are
+// readmitted automatically (docs/SERVER.md, "Fleet serving").
+//
+//   ./build/tools/storm_server --port 4401 --shard-index 0 --num-shards 3 &
+//   ./build/tools/storm_server --port 4402 --shard-index 1 --num-shards 3 &
+//   ./build/tools/storm_server --port 4403 --shard-index 2 --num-shards 3 &
+//   ./build/tools/storm_coordinator --port 4317 --shard 127.0.0.1:4401
+//       --shard 127.0.0.1:4402 --shard 127.0.0.1:4403
+//
+// Then point any client at 4317:
+//   ./build/tools/storm_query --connect 127.0.0.1:4317
+//       "SELECT AVG(retweets) FROM tweets CONFIDENCE 0.95"
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "storm/cluster/net_coordinator.h"
+#include "storm/obs/flight_recorder.h"
+#include "storm/server/server.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop.store(true); }
+
+bool ParseEndpoint(const char* arg, storm::ShardEndpoint* out) {
+  const char* colon = std::strrchr(arg, ':');
+  if (colon == nullptr || colon == arg) return false;
+  out->host.assign(arg, colon - arg);
+  out->port = std::atoi(colon + 1);
+  return out->port > 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace storm;
+
+  ServerOptions server_options;
+  server_options.port = 4317;
+  server_options.metrics_port = -1;
+  NetCoordinatorOptions coord_options;
+  std::vector<ShardEndpoint> shards;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      server_options.port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--metrics-port") == 0 && i + 1 < argc) {
+      server_options.metrics_port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--query-threads") == 0 && i + 1 < argc) {
+      server_options.query_threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--max-queued") == 0 && i + 1 < argc) {
+      server_options.max_queued_queries = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--shard") == 0 && i + 1 < argc) {
+      ShardEndpoint ep;
+      if (!ParseEndpoint(argv[++i], &ep)) {
+        std::fprintf(stderr, "--shard wants host:port, got '%s'\n", argv[i]);
+        return 2;
+      }
+      shards.push_back(std::move(ep));
+    } else if (std::strcmp(argv[i], "--heartbeat-ms") == 0 && i + 1 < argc) {
+      coord_options.heartbeat_interval_ms = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--failure-threshold") == 0 &&
+               i + 1 < argc) {
+      coord_options.failure_threshold = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--rpc-deadline-ms") == 0 &&
+               i + 1 < argc) {
+      coord_options.rpc_deadline_ms = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      coord_options.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s --shard host:port [--shard host:port ...] "
+                   "[--port N] [--metrics-port N] [--query-threads N] "
+                   "[--max-queued N] [--heartbeat-ms F] "
+                   "[--failure-threshold N] [--rpc-deadline-ms F] "
+                   "[--seed N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (shards.empty()) {
+    std::fprintf(stderr, "need at least one --shard host:port\n");
+    return 2;
+  }
+
+  NetCoordinator coordinator(shards, coord_options);
+  Status st = coordinator.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "coordinator start: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("coordinating %zu shards (%d live at start)\n",
+              coordinator.shard_count(), coordinator.live_shards());
+
+  StormServer server(&coordinator, server_options);
+  st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "start: %s\n", st.ToString().c_str());
+    coordinator.Stop();
+    return 1;
+  }
+  std::printf("serving on port %d", server.port());
+  if (server.metrics_port() >= 0) {
+    std::printf(
+        ", diagnostics on http://0.0.0.0:%d"
+        "{/metrics,/healthz,/statusz,/tracez,/flightz}",
+        server.metrics_port());
+  }
+  std::printf(" (SIGINT to stop)\n");
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  std::printf("shutting down...\n");
+  server.Stop();
+  coordinator.Stop();
+
+  std::fprintf(stderr,
+               "--- flight recorder (last events, oldest first) ---\n%s",
+               FlightRecorder::Default().DumpText().c_str());
+  std::fprintf(stderr, "--- end flight recorder ---\n");
+
+  const auto& adm = server.admission();
+  std::printf("served %llu queries (%llu shed); accounting drift: %s\n",
+              static_cast<unsigned long long>(adm.admitted_total()),
+              static_cast<unsigned long long>(adm.shed_total()),
+              adm.admitted_total() == adm.released_total() &&
+                      adm.in_flight() == 0
+                  ? "none"
+                  : "DETECTED");
+  return 0;
+}

@@ -5,16 +5,24 @@
 //   storm_query data.csv "SELECT AVG(temp_c) FROM data REGION(-115,37,-105,43) ERROR 2%"
 //   storm_query tweets.jsonl "SELECT TOPTERMS(10, text) FROM data" --quiet
 //
-// The table is always registered as "data". Exit code 0 on success, 1 on
-// any error. `--quiet` suppresses the progress stream; `--explain` prints
-// the plan instead of running (equivalent to an EXPLAIN prefix);
-// `--profile` dumps the query's span/IO/convergence trace as JSON to
-// stdout after the answer.
+// With `--connect host:port` instead of a file, the query runs against a
+// remote storm_server (or storm_coordinator fronting a whole fleet — the
+// wire protocol is identical), streaming the server's PROGRESS frames as
+// the live estimate:
+//
+//   storm_query --connect 127.0.0.1:4317 "SELECT AVG(retweets) FROM tweets"
+//
+// The table is always registered as "data" in file mode. Exit code 0 on
+// success, 1 on any error. `--quiet` suppresses the progress stream;
+// `--explain` prints the plan instead of running (equivalent to an EXPLAIN
+// prefix); `--profile` dumps the query's span/IO/convergence trace as JSON
+// to stdout after the answer.
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 
+#include "storm/server/remote_client.h"
 #include "storm/storm.h"
 
 namespace {
@@ -74,6 +82,43 @@ void PrintFinal(const QueryResult& result) {
                static_cast<unsigned long long>(result.samples),
                result.elapsed_ms, result.strategy.c_str(),
                result.exhausted ? ", exact" : "");
+  if (result.degraded) {
+    std::fprintf(stderr, "[degraded: ~%.0f%% of the data reachable (%s)]\n",
+                 result.coverage * 100.0, result.decision.reason.c_str());
+  }
+}
+
+int RunRemote(const char* endpoint, const std::string& query, bool quiet,
+              bool profile) {
+  const char* colon = std::strrchr(endpoint, ':');
+  if (colon == nullptr || colon == endpoint) {
+    std::fprintf(stderr, "--connect wants host:port, got '%s'\n", endpoint);
+    return 1;
+  }
+  RemoteClient client;
+  Status st = client.Connect(std::string(endpoint, colon - endpoint),
+                             std::atoi(colon + 1));
+  if (!st.ok()) return Fail(st, endpoint);
+
+  uint64_t last = 0;
+  ExecOptions options;
+  options.profile = profile;
+  options.progress = [&](const QueryProgress& p) {
+    if (!quiet && p.samples >= last + 1024) {
+      std::fprintf(stderr, "... k=%llu %s\n",
+                   static_cast<unsigned long long>(p.samples),
+                   p.ci.ToString().c_str());
+      last = p.samples;
+    }
+    return true;
+  };
+  auto result = client.Execute(query, options);
+  if (!result.ok()) return Fail(result.status(), "query");
+  PrintFinal(*result);
+  if (profile && result->profile != nullptr) {
+    std::printf("%s\n", result->profile->ToJson().c_str());
+  }
+  return 0;
 }
 
 }  // namespace
@@ -83,14 +128,21 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: storm_query <file.csv|.tsv|.jsonl> \"QUERY\" "
                  "[--quiet] [--explain] [--profile]\n"
+                 "       storm_query --connect host:port \"QUERY\" "
+                 "[--quiet] [--explain] [--profile]\n"
                  "The table name in the query is always 'data'.\n");
     return 1;
   }
-  std::string path = argv[1];
-  std::string query = argv[2];
+  bool remote = std::strcmp(argv[1], "--connect") == 0;
+  if (remote && argc < 4) {
+    std::fprintf(stderr, "usage: storm_query --connect host:port \"QUERY\"\n");
+    return 1;
+  }
+  std::string path = argv[remote ? 2 : 1];
+  std::string query = argv[remote ? 3 : 2];
   bool quiet = false;
   bool profile = false;
-  for (int i = 3; i < argc; ++i) {
+  for (int i = remote ? 4 : 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quiet") == 0) {
       quiet = true;
     } else if (std::strcmp(argv[i], "--explain") == 0) {
@@ -102,6 +154,7 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  if (remote) return RunRemote(path.c_str(), query, quiet, profile);
 
   Session session;
   Stopwatch load_watch;

@@ -28,6 +28,7 @@
 
 #include "storm/obs/flight_recorder.h"
 #include "storm/storm.h"
+#include "storm/util/failpoint.h"
 
 namespace {
 
@@ -35,8 +36,24 @@ std::atomic<bool> g_stop{false};
 
 void HandleSignal(int) { g_stop.store(true); }
 
-void LoadDemoTables(storm::Session* session, bool tiny) {
+// Arrival-order partitioning: shard k of n keeps records i where
+// i % n == k. Every shard runs the same deterministic generators, so a
+// fleet of `storm_server --num-shards 3 --shard-index k` processes holds
+// exactly one disjoint partition of each demo table — the layout
+// NetCoordinator's stratified merge assumes, and the same rule its
+// round-robin InsertBatch produces online.
+void LoadDemoTables(storm::Session* session, bool tiny, int shard_index,
+                    int num_shards) {
   using namespace storm;
+  auto keep = [&](std::vector<Value> docs) {
+    if (num_shards <= 1) return docs;
+    std::vector<Value> mine;
+    for (size_t i = shard_index; i < docs.size();
+         i += static_cast<size_t>(num_shards)) {
+      mine.push_back(std::move(docs[i]));
+    }
+    return mine;
+  };
   {
     TweetOptions o;
     o.num_tweets = tiny ? 2'000 : 100'000;
@@ -45,7 +62,7 @@ void LoadDemoTables(storm::Session* session, bool tiny) {
     for (const Tweet& t : gen.Generate()) {
       docs.push_back(TweetGenerator::ToDocument(t));
     }
-    (void)session->CreateTable("tweets", docs);
+    (void)session->CreateTable("tweets", keep(std::move(docs)));
   }
   {
     WeatherOptions o;
@@ -57,7 +74,7 @@ void LoadDemoTables(storm::Session* session, bool tiny) {
     for (const WeatherReading& r : gen.GenerateReadings(stations)) {
       docs.push_back(WeatherGenerator::ToDocument(r));
     }
-    (void)session->CreateTable("mesowest", docs);
+    (void)session->CreateTable("mesowest", keep(std::move(docs)));
   }
   {
     OsmOptions o;
@@ -67,7 +84,7 @@ void LoadDemoTables(storm::Session* session, bool tiny) {
     for (const OsmPoint& p : gen.Generate()) {
       docs.push_back(OsmLikeGenerator::ToDocument(p));
     }
-    (void)session->CreateTable("osm", docs);
+    (void)session->CreateTable("osm", keep(std::move(docs)));
   }
 }
 
@@ -80,6 +97,8 @@ int main(int argc, char** argv) {
   options.port = 4317;
   options.metrics_port = -1;
   bool tiny = false;
+  int shard_index = 0;
+  int num_shards = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
       options.port = std::atoi(argv[++i]);
@@ -94,21 +113,48 @@ int main(int argc, char** argv) {
       options.trace_sample_rate = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--slow-query-ms") == 0 && i + 1 < argc) {
       options.slow_query_threshold_ms = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--shard-index") == 0 && i + 1 < argc) {
+      shard_index = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--num-shards") == 0 && i + 1 < argc) {
+      num_shards = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--failpoint") == 0 && i + 1 < argc) {
+      // Arms a process-local fault at startup (failpoint registries are
+      // per-process, so this is how exactly one shard of a fleet gets
+      // slow or flaky): --failpoint server.conn.slow:latency_ms=40
+      auto parsed = ParseFailpointSpec(argv[++i]);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "--failpoint: %s\n",
+                     parsed.status().ToString().c_str());
+        return 2;
+      }
+      Failpoints::Default().Configure(parsed->first, parsed->second);
+      std::printf("armed failpoint %s\n", parsed->first.c_str());
     } else if (std::strcmp(argv[i], "--tiny") == 0) {
       tiny = true;  // small demo tables: fast startup for CI / smoke runs
     } else {
       std::fprintf(stderr,
                    "usage: %s [--port N] [--metrics-port N] "
                    "[--query-threads N] [--max-queued N] "
-                   "[--trace-sample-rate F] [--slow-query-ms F] [--tiny]\n",
+                   "[--trace-sample-rate F] [--slow-query-ms F] "
+                   "[--shard-index K --num-shards N] "
+                   "[--failpoint site:key=value,...] [--tiny]\n",
                    argv[0]);
       return 2;
     }
   }
+  if (num_shards < 1 || shard_index < 0 || shard_index >= num_shards) {
+    std::fprintf(stderr, "need 0 <= --shard-index < --num-shards\n");
+    return 2;
+  }
 
-  std::printf("loading demo data sets%s...\n", tiny ? " (tiny)" : "");
+  if (num_shards > 1) {
+    std::printf("loading demo data sets%s (shard %d of %d)...\n",
+                tiny ? " (tiny)" : "", shard_index, num_shards);
+  } else {
+    std::printf("loading demo data sets%s...\n", tiny ? " (tiny)" : "");
+  }
   Session session;
-  LoadDemoTables(&session, tiny);
+  LoadDemoTables(&session, tiny, shard_index, num_shards);
   for (const std::string& name : session.TableNames()) {
     auto table = session.GetTable(name);
     if (table.ok()) {

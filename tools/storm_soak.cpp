@@ -1,8 +1,9 @@
 // storm_soak: the server soak harness CI runs. Starts a StormServer on an
 // ephemeral port, then drives it with N concurrent RemoteClients sending
-// mixed traffic — streamed queries, mid-stream cancels, batch inserts,
-// pings, metrics scrapes — for STORM_SOAK_SECONDS (default 5). At the end
-// it checks a clean shutdown and exact admission accounting:
+// mixed traffic — streamed queries, mid-stream cancels, abrupt socket
+// drops mid-QUERY (no CANCEL, no await: the rudest client possible), batch
+// inserts, pings, metrics scrapes — for STORM_SOAK_SECONDS (default 5). At
+// the end it checks a clean shutdown and exact admission accounting:
 //
 //   admitted_total == released_total  and  in_flight == 0
 //
@@ -27,6 +28,8 @@
 #include <thread>
 #include <vector>
 
+#include "storm/server/protocol.h"
+#include "storm/server/socket_io.h"
 #include "storm/storm.h"
 
 namespace {
@@ -49,6 +52,7 @@ struct WorkerStats {
   uint64_t queries = 0;
   uint64_t shed = 0;
   uint64_t cancelled = 0;
+  uint64_t abandoned = 0;
   uint64_t inserts = 0;
   uint64_t errors = 0;
   std::string first_error;
@@ -61,6 +65,36 @@ struct WorkerStats {
 void Fail(WorkerStats* stats, const std::string& what) {
   ++stats->errors;
   if (stats->first_error.empty()) stats->first_error = what;
+}
+
+// The rudest client possible: dial, send one long QUERY frame, read a few
+// bytes of the PROGRESS stream, then close the socket. No CANCEL, no
+// await, no goodbye. The server must notice the dead peer mid-stream,
+// cancel the query, and release its admission slot — the settled-accounting
+// check at shutdown (admitted == released, in_flight == 0) catches any
+// slot this path leaks.
+void AbandonMidQuery(int port, WorkerStats* stats) {
+  auto fd = TcpConnect("127.0.0.1", port);
+  if (!fd.ok()) {
+    Fail(stats, "abandon connect: " + fd.status().ToString());
+    return;
+  }
+  QueryRequest req;
+  req.query = "SELECT AVG(v) FROM soak SAMPLES 2000000";
+  req.progress_interval_ms = 1;
+  std::string frame = EncodeFrame(FrameType::kQuery, /*id=*/1,
+                                  EncodeQueryRequest(req));
+  Status st = SendAll(fd->get(), frame.data(), frame.size());
+  if (!st.ok()) {
+    Fail(stats, "abandon send: " + st.ToString());
+    return;
+  }
+  // Wait for the first streamed bytes so the query is provably running
+  // (admitted, sampling) before the socket vanishes under it.
+  char buf[64];
+  (void)RecvSome(fd->get(), buf, sizeof(buf), /*timeout_ms=*/2000);
+  ++stats->abandoned;
+  // fd closes here — an abrupt RST/EOF from the server's point of view.
 }
 
 void ClientWorker(int port, int worker, uint64_t seed,
@@ -76,7 +110,7 @@ void ClientWorker(int port, int worker, uint64_t seed,
   client.set_trace_sample_rate(0.05);
 
   while (!stop->load(std::memory_order_acquire)) {
-    const int dice = static_cast<int>(rng.UniformInt(0, 9));
+    const int dice = static_cast<int>(rng.UniformInt(0, 10));
     if (dice < 5) {
       // Streamed query, run to completion.
       auto result = client.Execute(
@@ -130,6 +164,9 @@ void ClientWorker(int port, int worker, uint64_t seed,
       if (!ping.ok()) Fail(stats, "ping: " + ping.ToString());
       auto metrics = client.Metrics();
       if (!metrics.ok()) Fail(stats, "metrics: " + metrics.status().ToString());
+    } else {
+      // Separate throwaway connection: the worker's own client stays sane.
+      AbandonMidQuery(port, stats);
     }
     if (stats->errors > 10) return;  // hopeless; stop burning time
   }
@@ -196,6 +233,7 @@ int main() {
     total.queries += s.queries;
     total.shed += s.shed;
     total.cancelled += s.cancelled;
+    total.abandoned += s.abandoned;
     total.inserts += s.inserts;
     total.errors += s.errors;
     if (total.first_error.empty()) total.first_error = s.first_error;
@@ -206,10 +244,11 @@ int main() {
   }
   const AdmissionController& adm = server.admission();
   std::printf(
-      "done: %llu queries, %llu cancelled, %llu shed, %llu insert batches, "
-      "%llu errors\n",
+      "done: %llu queries, %llu cancelled, %llu abandoned mid-stream, "
+      "%llu shed, %llu insert batches, %llu errors\n",
       static_cast<unsigned long long>(total.queries),
       static_cast<unsigned long long>(total.cancelled),
+      static_cast<unsigned long long>(total.abandoned),
       static_cast<unsigned long long>(total.shed),
       static_cast<unsigned long long>(total.inserts),
       static_cast<unsigned long long>(total.errors));
