@@ -41,14 +41,27 @@ struct MergedView {
   bool degraded = false;
 };
 
-/// Stratified merge over disjoint partitions. `use_final` merges the final
-/// RESULT fields of finished shards; otherwise the latest streamed
-/// snapshot of every live shard (failed shards contribute nothing — their
-/// unmerged partials must not bias the estimate). `dead_at_fanout` counts
+/// What a snapshot must be to contribute to the merge.
+enum class MergeMode {
+  /// Streaming: the latest PROGRESS of every live shard. Failed shards
+  /// contribute nothing — their unmerged partials must not bias the
+  /// estimate while survivors remain.
+  kStreamed,
+  /// Final assembly: the final RESULT fields of shards that finished.
+  kFinal,
+  /// Every shard is gone: the last streamed snapshot of every shard that
+  /// ever reported, failed or not. This is the anytime best-so-far
+  /// fallback — with no survivor left to renormalize over, the last-known
+  /// partials are the answer (flagged degraded, coverage 0 by the caller).
+  kLastKnown,
+};
+
+/// Stratified merge over disjoint partitions. `dead_at_fanout` counts
 /// shards that never entered the fan-out (evicted beforehand).
 MergedView MergeSnaps(const std::vector<ShardSnap>& snaps,
                       AggregateKind kind, int dead_at_fanout,
-                      bool use_final) {
+                      MergeMode mode) {
+  const bool use_final = mode == MergeMode::kFinal;
   MergedView m;
   m.lost = dead_at_fanout;
   m.degraded = dead_at_fanout > 0;
@@ -69,8 +82,18 @@ MergedView MergeSnaps(const std::vector<ShardSnap>& snaps,
   int lost_unknown = dead_at_fanout;
   bool all_q_exact = true;
   for (const ShardSnap& s : snaps) {
-    const bool contributing = use_final ? s.finished_ok
-                                        : (s.started && !s.failed);
+    bool contributing;
+    switch (mode) {
+      case MergeMode::kFinal:
+        contributing = s.finished_ok;
+        break;
+      case MergeMode::kStreamed:
+        contributing = s.started && !s.failed;
+        break;
+      case MergeMode::kLastKnown:
+        contributing = s.started;
+        break;
+    }
     if (s.q > 0.0) {
       q_known_sum += s.q;
       ++q_known_count;
@@ -317,6 +340,13 @@ void NetCoordinator::ProbeShard(Shard* shard) {
   bool ok;
   {
     std::lock_guard<std::mutex> lock(shard->mutex);
+    // A probe is a liveness question, not work: cap it at the heartbeat
+    // timeout, not the much larger RPC deadline — a silent-but-open shard
+    // must not stall the heartbeat round (and everything queued on this
+    // mutex) for rpc_deadline_ms per probe.
+    if (options_.heartbeat_timeout_ms > 0.0) {
+      shard->control.set_rpc_deadline_ms(options_.heartbeat_timeout_ms);
+    }
     if (shard->control.connected()) {
       ok = shard->control.Ping().ok();
     } else {
@@ -324,6 +354,7 @@ void NetCoordinator::ProbeShard(Shard* shard) {
                .Connect(shard->endpoint.host, shard->endpoint.port)
                .ok();
     }
+    shard->control.set_rpc_deadline_ms(options_.rpc_deadline_ms);
   }
   NoteProbe(shard, ok);
 }
@@ -371,10 +402,24 @@ Result<QueryResult> NetCoordinator::Execute(const std::string& query,
   }
 
   if (ast.explain) {
-    // Plan-only: no samples to merge — route to the first live shard.
-    Shard* shard = shards_[targets[0]].get();
-    std::lock_guard<std::mutex> lock(shard->mutex);
-    return shard->control.Execute(query, options);
+    // Plan-only: no samples to merge — route to the first reachable live
+    // shard on a dedicated socket, like the fan-out does. Holding
+    // shard->mutex across a whole RPC would block heartbeats and
+    // InsertBatch/Checkpoint on that shard for up to rpc_deadline_ms.
+    Status last = Status::Unavailable("no live shard answered EXPLAIN");
+    for (size_t index : targets) {
+      Shard* shard = shards_[index].get();
+      RemoteClient client;
+      client.set_rpc_deadline_ms(options_.rpc_deadline_ms);
+      client.set_max_reconnect_attempts(0);
+      Status st = client.Connect(shard->endpoint.host, shard->endpoint.port);
+      if (!st.ok()) {
+        last = st;
+        continue;
+      }
+      return client.Execute(query, options);
+    }
+    return last;
   }
   if (ast.task != QueryTask::kAggregate) {
     return Status::NotSupported(
@@ -390,6 +435,15 @@ Result<QueryResult> NetCoordinator::Execute(const std::string& query,
         std::string(AggregateKindToString(ast.aggregate)) +
         " is not mergeable across shards (needs moment pooling)");
   }
+
+  // Retry-jitter seeding: per-shard AND per-query. A seed derived from the
+  // shard index alone is identical on every query, so concurrent queries
+  // would back off in lockstep and re-dial a recovering shard at the same
+  // instants — exactly the thundering herd jitter exists to spread.
+  const uint64_t jitter_nonce =
+      options_.deterministic_retry_jitter
+          ? 0
+          : query_nonce_.fetch_add(1, std::memory_order_relaxed) + 1;
 
   Stopwatch watch;
   const double shard_deadline =
@@ -418,7 +472,8 @@ Result<QueryResult> NetCoordinator::Execute(const std::string& query,
       client.set_rpc_deadline_ms(options_.rpc_deadline_ms);
       client.set_max_reconnect_attempts(0);  // the dial policy owns retries
       Rng rng(options_.seed ^
-              (0x9e3779b97f4a7c15ULL * (targets[t] + 1)));
+              (0x9e3779b97f4a7c15ULL * (targets[t] + 1)) ^
+              (0xda942042e4dd58b5ULL * jitter_nonce));
       RetryPolicy dial = options_.connect_retry;
       if (shard_deadline > 0.0 &&
           (dial.deadline_ms <= 0.0 || shard_deadline < dial.deadline_ms)) {
@@ -529,9 +584,8 @@ Result<QueryResult> NetCoordinator::Execute(const std::string& query,
       fire_cancels();
     }
     if (options.progress) {
-      MergedView m =
-          MergeSnaps(snapshot, ast.aggregate, dead_at_fanout,
-                     /*use_final=*/false);
+      MergedView m = MergeSnaps(snapshot, ast.aggregate, dead_at_fanout,
+                                MergeMode::kStreamed);
       if (m.contributors > 0) {
         QueryProgress p;
         p.samples = m.samples;
@@ -574,9 +628,11 @@ Result<QueryResult> NetCoordinator::Execute(const std::string& query,
     }
     // Every shard died mid-stream. With no survivor to renormalize over,
     // the anytime contract still owes the caller its best-so-far: the
-    // last-known partials, flagged unmistakably (degraded, coverage 0).
+    // last-known partials of every shard that ever streamed (kLastKnown —
+    // the streamed mode would exclude the failed snaps and merge nothing),
+    // flagged unmistakably (degraded, coverage 0).
     MergedView m = MergeSnaps(snaps, ast.aggregate, dead_at_fanout,
-                              /*use_final=*/false);
+                              MergeMode::kLastKnown);
     QueryResult out;
     out.task = ast.task;
     out.ci = m.ci;
@@ -597,7 +653,7 @@ Result<QueryResult> NetCoordinator::Execute(const std::string& query,
   }
 
   MergedView m =
-      MergeSnaps(snaps, ast.aggregate, dead_at_fanout, /*use_final=*/true);
+      MergeSnaps(snaps, ast.aggregate, dead_at_fanout, MergeMode::kFinal);
   QueryResult out;
   out.task = ast.task;
   out.ci = m.ci;

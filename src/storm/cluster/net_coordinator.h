@@ -90,8 +90,13 @@ struct NetCoordinatorOptions {
   /// Cadence of merged PROGRESS snapshots delivered to the caller.
   double merge_interval_ms = 20.0;
 
-  /// Seed for retry jitter (fault schedules stay reproducible).
+  /// Seed for retry jitter. By default a per-query nonce is mixed in so
+  /// concurrent queries de-correlate their backoff; set
+  /// deterministic_retry_jitter to derive jitter from the seed and shard
+  /// index alone (exactly reproducible fault schedules, at the cost of
+  /// lockstep retries across queries).
   uint64_t seed = 0x570CC;
+  bool deterministic_retry_jitter = false;
 };
 
 class NetCoordinator : public QueryBackend {
@@ -156,6 +161,9 @@ class NetCoordinator : public QueryBackend {
   std::condition_variable heartbeat_cv_;
 
   std::atomic<uint64_t> next_insert_shard_{0};
+  /// Per-query nonce mixed into retry-jitter seeds (see
+  /// NetCoordinatorOptions::deterministic_retry_jitter).
+  std::atomic<uint64_t> query_nonce_{0};
 
   // Instruments resolved once in the constructor.
   class Counter* queries_total_ = nullptr;

@@ -112,6 +112,7 @@ namespace {
 constexpr uint8_t kFlagWantProfile = 1u << 0;
 constexpr uint8_t kFlagHasTrace = 1u << 1;
 constexpr uint8_t kFlagSampled = 1u << 2;
+constexpr uint8_t kFlagWantCardinality = 1u << 3;
 
 }  // namespace
 
@@ -125,6 +126,7 @@ std::string EncodeQueryRequest(const QueryRequest& req) {
   if (req.want_profile) flags |= kFlagWantProfile;
   if (req.trace.valid()) flags |= kFlagHasTrace;
   if (req.trace.sampled) flags |= kFlagSampled;
+  if (req.want_cardinality) flags |= kFlagWantCardinality;
   w.PutU8(flags);
   if (req.trace.valid()) {
     w.PutU64(req.trace.trace_id_hi);
@@ -147,6 +149,7 @@ Result<QueryRequest> DecodeQueryRequest(std::string_view payload) {
   if (r.remaining() == 0) return req;
   STORM_ASSIGN_OR_RETURN(uint8_t flags, r.GetU8());
   req.want_profile = (flags & kFlagWantProfile) != 0;
+  req.want_cardinality = (flags & kFlagWantCardinality) != 0;
   if ((flags & kFlagHasTrace) != 0) {
     STORM_ASSIGN_OR_RETURN(req.trace.trace_id_hi, r.GetU64());
     STORM_ASSIGN_OR_RETURN(req.trace.trace_id_lo, r.GetU64());
@@ -384,7 +387,8 @@ Result<QueryProfile> DecodeQueryProfile(std::string_view payload) {
 // --- QueryResult ---
 
 std::string EncodeQueryResult(const QueryResult& res,
-                              const QueryProfile* profile) {
+                              const QueryProfile* profile,
+                              bool include_cardinality) {
   ByteWriter w;
   w.PutU8(static_cast<uint8_t>(res.task));
   w.PutString(res.strategy);
@@ -442,17 +446,24 @@ std::string EncodeQueryResult(const QueryResult& res,
   if (res.degraded) flags |= 1u << 4;
   w.PutU8(flags);
   w.PutDouble(res.coverage);
-  // Trailing extension blocks, each optional for older decoders. First the
-  // profile presence byte (+ serialized span tree when the caller has one
-  // to send), then the cardinality block the coordinator weights shard
-  // results by. The presence byte is now always written so the cardinality
-  // block has a fixed position; pre-profile decoders stop at `coverage`.
-  w.PutU8(profile != nullptr ? 1 : 0);
-  if (profile != nullptr) {
+  // Trailing extension blocks. Old decoders accept exactly two shapes —
+  // ending at `coverage`, or a profile presence byte (+ span tree) and
+  // nothing after — and reject anything else as corruption. So the
+  // cardinality block is strictly opt-in: only peers that advertised
+  // QueryRequest::want_cardinality get it (the presence byte is then
+  // always written so the block has a fixed position); everyone else gets
+  // the old bytes unchanged.
+  if (include_cardinality) {
+    w.PutU8(profile != nullptr ? 1 : 0);
+    if (profile != nullptr) {
+      w.PutString(EncodeQueryProfile(*profile));
+    }
+    w.PutDouble(res.cardinality_estimate);
+    w.PutU8(res.cardinality_exact ? 1 : 0);
+  } else if (profile != nullptr) {
+    w.PutU8(1);
     w.PutString(EncodeQueryProfile(*profile));
   }
-  w.PutDouble(res.cardinality_estimate);
-  w.PutU8(res.cardinality_exact ? 1 : 0);
   return w.Take();
 }
 

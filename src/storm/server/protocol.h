@@ -100,6 +100,12 @@ struct QueryRequest {
   /// Ask the server to serialize its QueryProfile into the RESULT frame so
   /// the client can join it with its own client-side spans.
   bool want_profile = false;
+  /// Capability bit: the client's DecodeQueryResult understands the
+  /// trailing cardinality block. Servers must keep the pre-cardinality
+  /// RESULT shape for requests without it — old decoders reject any bytes
+  /// after the optional profile block as corruption, so the extension is
+  /// opt-in per request, never unconditional.
+  bool want_cardinality = false;
   /// Client-minted trace identity; invalid (all-zero id) when untraced.
   TraceContext trace;
 };
@@ -162,9 +168,14 @@ Result<QueryProfile> DecodeQueryProfile(std::string_view payload);
 /// in-process ones. When `profile` is non-null its serialized span tree
 /// rides along as an optional trailing block (absent for older peers and
 /// for clients that didn't ask), and DecodeQueryResult rebuilds it into
-/// QueryResult::profile.
+/// QueryResult::profile. `include_cardinality` appends the cardinality
+/// block the coordinator weights shard results by; set it only when the
+/// request carried QueryRequest::want_cardinality — old decoders treat
+/// bytes after the profile block as corruption, so the block must never be
+/// sent to a peer that didn't advertise it.
 std::string EncodeQueryResult(const QueryResult& r,
-                              const QueryProfile* profile = nullptr);
+                              const QueryProfile* profile = nullptr,
+                              bool include_cardinality = false);
 Result<QueryResult> DecodeQueryResult(std::string_view payload);
 
 }  // namespace storm

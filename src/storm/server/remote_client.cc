@@ -201,6 +201,9 @@ Result<QueryResult> RemoteClient::Execute(const std::string& query,
   req.deadline_ms = options.deadline_ms;
   req.progress_interval_ms = options.progress ? progress_interval_ms_ : 0;
   req.want_profile = options.profile;
+  // This client's decoder understands the trailing cardinality block;
+  // advertise it so servers may append it (they must not otherwise).
+  req.want_cardinality = true;
   req.trace = trace;
 
   std::shared_ptr<QueryProfile> profile;

@@ -606,7 +606,8 @@ void StormServer::RunQuery(std::shared_ptr<Connection> conn, uint64_t id,
                                                        : nullptr;
     Send(conn,
          EncodeFrame(FrameType::kResult, id,
-                     EncodeQueryResult(*result, wire_profile)),
+                     EncodeQueryResult(*result, wire_profile,
+                                       req.want_cardinality)),
          /*droppable=*/false);
     NoteSlowQuery(req, trace, elapsed_ms,
                   result->profile != nullptr ? result->profile.get() : nullptr);

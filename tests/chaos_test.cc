@@ -617,14 +617,17 @@ TEST_F(ClusterChaosTest, AllShardsDeadFailsUnavailable) {
 TEST_F(ClusterChaosTest, RetriesRecoverFromTransientShardFaults) {
   auto data = MakeData(1000, 839);
   Cluster cluster(data, 4, Partitioning::kHash, {}, 841);
-  // Every second plan-round Count fails once; one retry always recovers, so
-  // the query plans against the full cluster with no degradation.
+  // The first three plan-round Counts to land fail (the fan-out is
+  // concurrent, so *which* shards absorb the trips is scheduling-dependent
+  // — in the worst case one shard eats all three). Retries must always
+  // recover, so the query plans against the full cluster with no
+  // degradation.
   FailpointConfig flaky;
-  flaky.every_nth = 2;
+  flaky.max_trips = 3;
   flaky.code = StatusCode::kUnavailable;
   ScopedFailpoint fp(std::string(kFailpointShardCount), flaky);
   DistributedSamplerOptions options;
-  options.retry = FastRetry(3);
+  options.retry = FastRetry(4);  // 1 first try + up to 3 absorbed trips
   auto sampler = cluster.NewSampler(Rng(843), options);
   ASSERT_TRUE(
       sampler->Begin(Rect3::Everything(), SamplingMode::kWithReplacement).ok());
@@ -632,7 +635,8 @@ TEST_F(ClusterChaosTest, RetriesRecoverFromTransientShardFaults) {
   EXPECT_FALSE(c.degraded);
   EXPECT_DOUBLE_EQ(c.coverage, 1.0);
   EXPECT_EQ(c.lower, data.size());
-  // Deterministic schedule: shards 1..3 each tripped once and retried once.
+  // Schedule-independent accounting: every trip costs exactly one retry,
+  // so hits = 4 successful counts + 3 tripped ones whatever the order.
   EXPECT_EQ(Failpoints::Default().trips(std::string(kFailpointShardCount)), 3u);
   EXPECT_EQ(Failpoints::Default().hits(std::string(kFailpointShardCount)), 7u);
 }

@@ -98,7 +98,8 @@ TEST(CoordinatorWireTest, ResultCardinalityRoundTrips) {
   r.cardinality_estimate = 31337.0;
   r.cardinality_exact = true;
 
-  auto decoded = DecodeQueryResult(EncodeQueryResult(r));
+  auto decoded = DecodeQueryResult(
+      EncodeQueryResult(r, nullptr, /*include_cardinality=*/true));
   ASSERT_TRUE(decoded.ok()) << decoded.status();
   EXPECT_DOUBLE_EQ(decoded->cardinality_estimate, 31337.0);
   EXPECT_TRUE(decoded->cardinality_exact);
@@ -108,7 +109,7 @@ TEST(CoordinatorWireTest, ResultCardinalityRoundTrips) {
   // Older generations: strip the cardinality block (9 bytes), then also
   // the profile marker (1 byte, the pre-cardinality tail). Both must
   // decode with the missing fields at their defaults.
-  std::string wire = EncodeQueryResult(r);
+  std::string wire = EncodeQueryResult(r, nullptr, /*include_cardinality=*/true);
   wire.resize(wire.size() - 9);
   auto no_card = DecodeQueryResult(wire);
   ASSERT_TRUE(no_card.ok()) << no_card.status();
@@ -119,6 +120,50 @@ TEST(CoordinatorWireTest, ResultCardinalityRoundTrips) {
   auto pre_profile = DecodeQueryResult(wire);
   ASSERT_TRUE(pre_profile.ok()) << pre_profile.status();
   EXPECT_DOUBLE_EQ(pre_profile->ci.estimate, 42.0);
+}
+
+TEST(CoordinatorWireTest, ResultKeepsOldShapeUnlessClientOptedIn) {
+  // Old decoders reject any bytes after the optional profile block, so the
+  // cardinality block must be strictly opt-in: without it, the encoding is
+  // byte-identical to the pre-cardinality release (ends at `coverage` when
+  // there is no profile), which old decoders' strict trailing-bytes check
+  // accepts.
+  QueryResult r;
+  r.task = QueryTask::kAggregate;
+  r.ci.estimate = 42.0;
+  r.coverage = 0.5;
+  r.cardinality_estimate = 31337.0;
+
+  std::string old_shape = EncodeQueryResult(r);
+  std::string opted_in =
+      EncodeQueryResult(r, nullptr, /*include_cardinality=*/true);
+  // Opt-in appends exactly the presence byte + double + u8.
+  ASSERT_EQ(opted_in.size(), old_shape.size() + 10);
+  EXPECT_EQ(opted_in.compare(0, old_shape.size(), old_shape), 0);
+
+  // Both decode; only the opted-in shape carries the cardinality.
+  auto old_decoded = DecodeQueryResult(old_shape);
+  ASSERT_TRUE(old_decoded.ok()) << old_decoded.status();
+  EXPECT_DOUBLE_EQ(old_decoded->cardinality_estimate, 0.0);
+  auto new_decoded = DecodeQueryResult(opted_in);
+  ASSERT_TRUE(new_decoded.ok()) << new_decoded.status();
+  EXPECT_DOUBLE_EQ(new_decoded->cardinality_estimate, 31337.0);
+}
+
+TEST(CoordinatorWireTest, WantCardinalityFlagRoundTripsAndDefaultsOff) {
+  QueryRequest req;
+  req.query = "SELECT AVG(v) FROM t";
+  req.want_cardinality = true;
+  auto back = DecodeQueryRequest(EncodeQueryRequest(req));
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_TRUE(back->want_cardinality);
+
+  // A request from an old client (no capability bit) decodes with the
+  // capability off, so the server keeps the old RESULT shape for it.
+  req.want_cardinality = false;
+  auto old_client = DecodeQueryRequest(EncodeQueryRequest(req));
+  ASSERT_TRUE(old_client.ok()) << old_client.status();
+  EXPECT_FALSE(old_client->want_cardinality);
 }
 
 // --- In-process fleets --------------------------------------------------
@@ -634,6 +679,62 @@ TEST(NetCoordinatorChaosTest, KillNineMidStreamDropsShardKeepsStreaming) {
   coordinator.Stop();
   ReapShard(&fleet[0], SIGTERM);
   ReapShard(&fleet[1], SIGTERM);
+}
+
+TEST(NetCoordinatorChaosTest, AllShardsDeadMidStreamReturnsLastKnownPartials) {
+  // Every shard dies after contributing PROGRESS. With no survivor to
+  // renormalize over, the anytime contract owes the caller the last
+  // streamed partial merge — flagged degraded with coverage 0 — not a
+  // default-constructed zero estimate. Both writers are slowed so they are
+  // provably mid-stream when SIGKILL lands.
+  std::vector<ChildShard> fleet;
+  fleet.push_back(SpawnShard(0, 2, "--failpoint",
+                             "server.conn.slow:latency_ms=200,code=ok"));
+  fleet.push_back(SpawnShard(1, 2, "--failpoint",
+                             "server.conn.slow:latency_ms=200,code=ok"));
+  for (const ChildShard& s : fleet) {
+    ASSERT_GT(s.port, 0) << "shard did not come up: "
+                         << ReadFileOrEmpty(s.stdout_path);
+  }
+
+  std::vector<ShardEndpoint> endpoints;
+  for (const ChildShard& s : fleet) endpoints.push_back({"127.0.0.1", s.port});
+  NetCoordinator coordinator(endpoints, FastOptions());
+  ASSERT_TRUE(coordinator.Start().ok());
+  ASSERT_TRUE(AwaitLiveShards(coordinator, 2, 10'000));
+
+  std::atomic<bool> killed{false};
+  uint64_t samples_at_kill = 0;
+  ExecOptions options;
+  options.deadline_ms = 20'000.0;
+  options.progress = [&](const QueryProgress& p) {
+    // First merged progress with real samples: partials exist, and every
+    // shard's final RESULT is still >= one slowed frame away. Kill the
+    // whole fleet.
+    if (p.samples > 0 && !killed.exchange(true)) {
+      samples_at_kill = p.samples;
+      ReapShard(&fleet[0], SIGKILL);
+      ReapShard(&fleet[1], SIGKILL);
+    }
+    return true;
+  };
+  Stopwatch watch;
+  auto result = coordinator.Execute(
+      "SELECT AVG(lat) FROM tweets SAMPLES 100000000", options);
+  const double elapsed = watch.ElapsedMillis();
+
+  ASSERT_TRUE(killed.load()) << "query finished before any progress fired";
+  EXPECT_GT(samples_at_kill, 0u);
+  EXPECT_LT(elapsed, 30'000.0) << "all-dead fallback must not hang";
+  ASSERT_TRUE(result.ok()) << result.status();
+  // The best-so-far contract: the streamed partials survive into the
+  // result instead of a default-constructed MergedView.
+  EXPECT_GT(result->samples, 0u);
+  EXPECT_TRUE(std::isfinite(result->ci.estimate));
+  EXPECT_TRUE(result->degraded);
+  EXPECT_DOUBLE_EQ(result->coverage, 0.0);
+  EXPECT_NE(result->strategy.find("last-known partials"), std::string::npos)
+      << result->strategy;
 }
 
 // --- RemoteClient transparent reconnect (satellite) ---------------------
