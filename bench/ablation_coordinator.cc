@@ -17,6 +17,12 @@
 //                   registries are per-process, so a child process is the
 //                   only way to make exactly one shard of the fleet slow.
 //
+// A fourth scenario exercises replica groups: a 2-partition x 2-replica
+// fleet whose serving replica is SIGKILLed mid-stream, reporting the time
+// from the kill until the merged CI recovers its pre-kill tightness
+// (time-to-recovered-CI), the final coverage (1.0 = the failover kept the
+// answer exact), and the estimate's delta vs the in-process answer.
+//
 // Reported per mode: mean per-query latency, mean time to the first
 // (merged) PROGRESS frame, progress frames seen, and errors. The two
 // numbers that matter for the fleet-serving acceptance bar:
@@ -82,10 +88,14 @@ int AwaitServingPort(const std::string& path, int budget_ms) {
 
 // fork/exec one full-size storm_server shard (the demo `osm` table at the
 // default 200k points IS the Fig 3(a) data set). The optional failpoint
-// spec arms a process-local fault in that shard only.
-ChildShard SpawnShard(int index, int num_shards, const char* failpoint) {
+// spec arms a process-local fault in that shard only. `tag` names the
+// stdout capture; replica fleets must pass distinct tags, since two
+// replicas share a shard index.
+ChildShard SpawnShard(int index, int num_shards, const char* failpoint,
+                      const char* tag = nullptr) {
   ChildShard shard;
-  shard.stdout_path = "/tmp/storm_bench_shard" + std::to_string(index) + "." +
+  const std::string name = tag != nullptr ? tag : std::to_string(index);
+  shard.stdout_path = "/tmp/storm_bench_shard" + name + "." +
                       std::to_string(static_cast<long>(getpid()));
   std::remove(shard.stdout_path.c_str());
 
@@ -112,9 +122,9 @@ ChildShard SpawnShard(int index, int num_shards, const char* failpoint) {
   return shard;
 }
 
-void ReapShard(ChildShard* shard) {
+void ReapShard(ChildShard* shard, int sig = SIGTERM) {
   if (shard->pid <= 0) return;
-  kill(shard->pid, SIGTERM);
+  kill(shard->pid, sig);
   int status = 0;
   waitpid(shard->pid, &status, 0);
   shard->pid = -1;
@@ -259,6 +269,77 @@ void Run() {
   ModeStats fleet_slow = run_fleet(slow_fleet);
   reap_all();
 
+  // --- Failover: replica groups turn a mid-stream SIGKILL into a blip. ---
+  // 2 partitions x 2 replicas; the serving replica of partition 0 (slot 0,
+  // pinned by deterministic_retry_jitter) is slowed so it is provably
+  // mid-stream, then SIGKILLed at the first merged progress. The
+  // coordinator drops its partials and re-issues the partition's stream
+  // on the sibling. Reported: time from the kill until the merged CI is
+  // back to at least the tightness it had when the kill landed
+  // (time-to-recovered-CI), final coverage, and the estimate's delta vs
+  // the in-process answer.
+  std::vector<ChildShard> replica_fleet;
+  replica_fleet.push_back(SpawnShard(0, 2, slow_spec.c_str(), "f0a"));
+  replica_fleet.push_back(SpawnShard(0, 2, nullptr, "f0b"));
+  replica_fleet.push_back(SpawnShard(1, 2, nullptr, "f1a"));
+  replica_fleet.push_back(SpawnShard(1, 2, nullptr, "f1b"));
+  bool replica_up = true;
+  for (ChildShard& s : replica_fleet) {
+    s.port = AwaitServingPort(s.stdout_path, 120'000);
+    if (s.port <= 0) {
+      std::fprintf(stderr, "replica shard did not come up: %s\n",
+                   ReadFileOrEmpty(s.stdout_path).c_str());
+      replica_up = false;
+    }
+  }
+
+  double truth = 0.0;
+  {
+    auto truth_result = client.Execute(query, ExecOptions());
+    if (truth_result.ok()) truth = truth_result->ci.estimate;
+  }
+
+  double kill_ms = -1.0, recovered_ms = -1.0, total_ms = 0.0;
+  double coverage = 0.0, estimate = 0.0;
+  bool failover_ok = false;
+  std::string strategy;
+  if (replica_up) {
+    std::vector<ShardEndpoint> endpoints;
+    for (const ChildShard& s : replica_fleet) {
+      endpoints.push_back({"127.0.0.1", s.port});
+    }
+    NetCoordinatorOptions replica_options;
+    replica_options.replicas = 2;
+    replica_options.deterministic_retry_jitter = true;
+    NetCoordinator coordinator(endpoints, replica_options);
+    if (coordinator.Start().ok() && AwaitLiveShards(coordinator, 4, 20'000)) {
+      Stopwatch watch;
+      double kill_hw = 0.0;
+      ExecOptions options;
+      options.progress = [&](const QueryProgress& p) {
+        if (p.samples == 0) return true;
+        if (kill_ms < 0.0) {
+          kill_ms = watch.ElapsedMillis();
+          kill_hw = p.ci.half_width;
+          kill(replica_fleet[0].pid, SIGKILL);
+        } else if (recovered_ms < 0.0 && p.ci.half_width <= kill_hw) {
+          recovered_ms = watch.ElapsedMillis();
+        }
+        return true;
+      };
+      auto result = coordinator.Execute(query, options);
+      total_ms = watch.ElapsedMillis();
+      if (result.ok()) {
+        failover_ok = !result->degraded;
+        coverage = result->coverage;
+        estimate = result->ci.estimate;
+        strategy = result->strategy;
+      }
+    }
+    coordinator.Stop();
+  }
+  for (ChildShard& s : replica_fleet) ReapShard(&s, SIGKILL);
+
   std::printf("%16s | %8s %12s %14s %10s %8s\n", "mode", "queries", "mean ms",
               "first prog ms", "progress", "errors");
   PrintRow("in-process", local);
@@ -280,6 +361,23 @@ void Run() {
     std::printf("straggler first-progress penalty: %.2f ms -> %.2f ms "
                 "(merged stream keeps the survivors' cadence)\n",
                 ok_first, slow_first);
+  }
+  if (kill_ms >= 0.0) {
+    // recovered_ms can stay unset when the stream tightens past the
+    // kill-time CI only at the final RESULT; the query's total time then
+    // bounds the recovery.
+    const double recovery =
+        (recovered_ms >= 0.0 ? recovered_ms : total_ms) - kill_ms;
+    std::printf(
+        "failover (2x2 replicas, serving replica SIGKILLed at %.2f ms):\n"
+        "  time-to-recovered-CI: %.2f ms   coverage: %.2f%s\n"
+        "  estimate delta vs in-process: %+.4g  [%s]\n",
+        kill_ms, recovery, coverage,
+        failover_ok ? " (exact, not degraded)" : " (DEGRADED)",
+        estimate - truth, strategy.c_str());
+  } else if (replica_up) {
+    std::printf("failover scenario: query finished before any progress "
+                "frame; no kill injected\n");
   }
 }
 

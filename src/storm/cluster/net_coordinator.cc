@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <deque>
 #include <limits>
+#include <tuple>
 
 #include "storm/obs/metrics.h"
 #include "storm/query/parser.h"
@@ -239,21 +241,44 @@ bool AggregateSupported(AggregateKind kind) {
 
 }  // namespace
 
+/// One batch a down replica missed, waiting to be replayed on
+/// readmission. Bounded per replica by replay_limit_records.
+struct ReplayBatch {
+  std::string table;
+  std::vector<Value> docs;
+};
+
 struct NetCoordinator::Shard {
   ShardEndpoint endpoint;
   size_t index = 0;
-  /// Guards the control client and the failure streak (heartbeat thread,
-  /// InsertBatch/Checkpoint callers). The alive flag is atomic so fan-out
-  /// snapshots never block on a probe in flight.
+  /// Guards the control client, the failure streak, and the replay queue
+  /// (heartbeat thread, InsertBatch/Checkpoint callers). The alive/stale/
+  /// freshness flags are atomic so fan-out replica selection never blocks
+  /// on a probe in flight.
   std::mutex mutex;
   RemoteClient control;
   int consecutive_failures = 0;
   std::atomic<bool> alive{true};
+  /// Replay overflow or divergence: permanently routed around (queries
+  /// and inserts) until a checkpoint rebuild replaces the replica.
+  std::atomic<bool> stale{false};
+  /// Freshness from the PONG applied-record block. Unknown (false) for
+  /// pre-freshness servers — deprioritized in replica selection, never
+  /// evicted for it.
+  std::atomic<bool> freshness_known{false};
+  std::atomic<uint64_t> applied_records{0};
+  /// Records queued in `replay` (mirrored atomically so candidate
+  /// ordering reads it without the mutex).
+  std::atomic<size_t> replay_pending{0};
+  std::deque<ReplayBatch> replay;  // guarded by mutex
+  size_t replay_records = 0;       // guarded by mutex; mirrors the deque
 };
 
 NetCoordinator::NetCoordinator(std::vector<ShardEndpoint> shards,
                                NetCoordinatorOptions options)
-    : options_(options) {
+    : options_(options),
+      replicas_(options.replicas < 1 ? 1
+                                     : static_cast<size_t>(options.replicas)) {
   shards_.reserve(shards.size());
   for (size_t i = 0; i < shards.size(); ++i) {
     auto shard = std::make_unique<Shard>();
@@ -278,6 +303,18 @@ NetCoordinator::NetCoordinator(std::vector<ShardEndpoint> shards,
   partials_dropped_total_ = reg.GetCounter(
       "storm_coord_partials_dropped_total",
       "Mid-stream shard failures whose partial estimates were discarded");
+  failovers_total_ = reg.GetCounter(
+      "storm_coord_failovers_total",
+      "Partition streams re-issued on a sibling replica after a failure");
+  replay_enqueued_total_ = reg.GetCounter(
+      "storm_coord_replay_enqueued_records_total",
+      "Records queued for replay to replicas that missed inserts");
+  replay_applied_total_ = reg.GetCounter(
+      "storm_coord_replay_applied_records_total",
+      "Queued records replayed to readmitted replicas");
+  replica_stale_total_ = reg.GetCounter(
+      "storm_coord_replica_stale_total",
+      "Replicas marked permanently stale (replay overflow or divergence)");
 }
 
 NetCoordinator::~NetCoordinator() { Stop(); }
@@ -285,6 +322,12 @@ NetCoordinator::~NetCoordinator() { Stop(); }
 Status NetCoordinator::Start() {
   if (shards_.empty()) {
     return Status::InvalidArgument("coordinator needs at least one shard");
+  }
+  if (shards_.size() % replicas_ != 0) {
+    return Status::InvalidArgument(
+        "shard count (" + std::to_string(shards_.size()) +
+        ") is not a multiple of --replicas (" + std::to_string(replicas_) +
+        "); the shard list is read as consecutive replica groups");
   }
   if (running_.exchange(true)) return Status::OK();
   // One synchronous probe round so live_shards() is meaningful right away;
@@ -321,6 +364,85 @@ bool NetCoordinator::shard_alive(size_t index) const {
          shards_[index]->alive.load(std::memory_order_acquire);
 }
 
+bool NetCoordinator::shard_stale(size_t index) const {
+  return index < shards_.size() &&
+         shards_[index]->stale.load(std::memory_order_acquire);
+}
+
+uint64_t NetCoordinator::shard_applied_records(size_t index) const {
+  if (index >= shards_.size()) return 0;
+  return shards_[index]->applied_records.load(std::memory_order_acquire);
+}
+
+bool NetCoordinator::shard_freshness_known(size_t index) const {
+  return index < shards_.size() &&
+         shards_[index]->freshness_known.load(std::memory_order_acquire);
+}
+
+size_t NetCoordinator::shard_replay_pending(size_t index) const {
+  if (index >= shards_.size()) return 0;
+  return shards_[index]->replay_pending.load(std::memory_order_acquire);
+}
+
+int NetCoordinator::live_partitions() const {
+  int live = 0;
+  for (size_t p = 0; p < partition_count(); ++p) {
+    for (size_t k = 0; k < replicas_; ++k) {
+      const Shard& s = *shards_[p * replicas_ + k];
+      if (s.alive.load(std::memory_order_acquire) &&
+          !s.stale.load(std::memory_order_acquire)) {
+        ++live;
+        break;
+      }
+    }
+  }
+  return live;
+}
+
+uint64_t NetCoordinator::AppliedRecords() {
+  uint64_t total = 0;
+  for (size_t p = 0; p < partition_count(); ++p) {
+    uint64_t best = 0;
+    for (size_t k = 0; k < replicas_; ++k) {
+      const Shard& s = *shards_[p * replicas_ + k];
+      if (s.freshness_known.load(std::memory_order_acquire)) {
+        best = std::max(best,
+                        s.applied_records.load(std::memory_order_acquire));
+      }
+    }
+    total += best;
+  }
+  return total;
+}
+
+std::vector<size_t> NetCoordinator::PartitionCandidates(
+    size_t partition, uint64_t rotation) const {
+  std::vector<size_t> out;
+  out.reserve(replicas_);
+  for (size_t k = 0; k < replicas_; ++k) {
+    const size_t index = partition * replicas_ + (k + rotation) % replicas_;
+    const Shard& s = *shards_[index];
+    if (s.alive.load(std::memory_order_acquire) &&
+        !s.stale.load(std::memory_order_acquire)) {
+      out.push_back(index);
+    }
+  }
+  // Preference: caught-up before replay-pending, freshness-known before
+  // unknown (a pre-freshness server is deprioritized, not evicted), then
+  // the highest applied count. stable_sort keeps the rotation order for
+  // ties so repeated queries spread across equally-fresh replicas.
+  auto rank = [this](size_t i) {
+    const Shard& s = *shards_[i];
+    return std::tuple<int, int, uint64_t>(
+        s.replay_pending.load(std::memory_order_acquire) > 0 ? 1 : 0,
+        s.freshness_known.load(std::memory_order_acquire) ? 0 : 1,
+        ~s.applied_records.load(std::memory_order_acquire));
+  };
+  std::stable_sort(out.begin(), out.end(),
+                   [&](size_t a, size_t b) { return rank(a) < rank(b); });
+  return out;
+}
+
 void NetCoordinator::HeartbeatLoop() {
   while (running_.load(std::memory_order_acquire)) {
     for (auto& shard : shards_) {
@@ -338,6 +460,7 @@ void NetCoordinator::HeartbeatLoop() {
 
 void NetCoordinator::ProbeShard(Shard* shard) {
   bool ok;
+  PongFreshness fresh;
   {
     std::lock_guard<std::mutex> lock(shard->mutex);
     // A probe is a liveness question, not work: cap it at the heartbeat
@@ -347,16 +470,122 @@ void NetCoordinator::ProbeShard(Shard* shard) {
     if (options_.heartbeat_timeout_ms > 0.0) {
       shard->control.set_rpc_deadline_ms(options_.heartbeat_timeout_ms);
     }
-    if (shard->control.connected()) {
-      ok = shard->control.Ping().ok();
-    } else {
-      ok = shard->control
-               .Connect(shard->endpoint.host, shard->endpoint.port)
-               .ok();
+    ok = shard->control.connected() ||
+         shard->control.Connect(shard->endpoint.host, shard->endpoint.port)
+             .ok();
+    if (ok) {
+      // The freshness-carrying PING doubles as the liveness probe.
+      Result<PongFreshness> pong = shard->control.PingFresh();
+      ok = pong.ok();
+      if (ok) fresh = *pong;
     }
     shard->control.set_rpc_deadline_ms(options_.rpc_deadline_ms);
   }
   NoteProbe(shard, ok);
+  if (ok) {
+    if (fresh.known) {
+      shard->applied_records.store(fresh.applied_records,
+                                   std::memory_order_release);
+      shard->freshness_known.store(true, std::memory_order_release);
+    }
+    // A readmitted (or merely flaky) replica with queued batches catches
+    // up here, on the heartbeat thread — never on a query path.
+    if (shard->alive.load(std::memory_order_acquire) &&
+        shard->replay_pending.load(std::memory_order_acquire) > 0) {
+      DrainReplay(shard);
+    }
+  }
+}
+
+void NetCoordinator::EnqueueReplay(Shard* shard, const std::string& table,
+                                   const std::vector<Value>& docs) {
+  bool overflow = false;
+  {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    if (shard->stale.load(std::memory_order_acquire)) return;
+    if (shard->replay_records + docs.size() >
+        options_.replay_limit_records) {
+      overflow = true;
+    } else {
+      shard->replay.push_back(ReplayBatch{table, docs});
+      shard->replay_records += docs.size();
+      shard->replay_pending.store(shard->replay_records,
+                                  std::memory_order_release);
+    }
+  }
+  if (overflow) {
+    MarkStale(shard, "replay queue overflow (limit " +
+                         std::to_string(options_.replay_limit_records) +
+                         " records)");
+  } else {
+    replay_enqueued_total_->Increment(docs.size());
+  }
+}
+
+void NetCoordinator::DrainReplay(Shard* shard) {
+  while (running_.load(std::memory_order_acquire) &&
+         shard->alive.load(std::memory_order_acquire)) {
+    ReplayBatch batch;
+    {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      if (shard->replay.empty()) return;
+      batch = std::move(shard->replay.front());
+      shard->replay.pop_front();
+    }
+    BatchInsertResult result;
+    {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      if (!shard->control.connected()) {
+        result.status =
+            shard->control.Connect(shard->endpoint.host, shard->endpoint.port);
+      }
+      if (result.status.ok()) {
+        result = shard->control.InsertBatch(batch.table, batch.docs);
+      }
+    }
+    if (result.status.ok()) {
+      const size_t applied = batch.docs.size();
+      {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        shard->replay_records -= std::min(shard->replay_records, applied);
+        shard->replay_pending.store(shard->replay_records,
+                                    std::memory_order_release);
+      }
+      replay_applied_total_->Increment(applied);
+      continue;
+    }
+    if (IsTransient(result.status) ||
+        result.status.IsDeadlineExceeded()) {
+      // Requeue at the front (order preserved) and retry on the next
+      // heartbeat; the failure also feeds the health tracker.
+      {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        shard->replay.push_front(std::move(batch));
+      }
+      rpc_failures_total_->Increment();
+      NoteProbe(shard, false);
+      return;
+    }
+    // Non-transient refusal of data its siblings hold: the replica
+    // diverged and can no longer answer for this partition.
+    MarkStale(shard, "replay refused: " + result.status.ToString());
+    return;
+  }
+}
+
+void NetCoordinator::MarkStale(Shard* shard, const std::string& why) {
+  {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    if (shard->stale.exchange(true, std::memory_order_acq_rel)) return;
+    shard->replay.clear();
+    shard->replay_records = 0;
+    shard->replay_pending.store(0, std::memory_order_release);
+  }
+  replica_stale_total_->Increment();
+  STORM_LOG(Warn) << "coordinator: replica " << shard->index << " ("
+                  << shard->endpoint.host << ":" << shard->endpoint.port
+                  << ") marked permanently stale — " << why
+                  << "; routed around until checkpoint rebuild";
 }
 
 void NetCoordinator::NoteProbe(Shard* shard, bool ok) {
@@ -389,26 +618,38 @@ Result<QueryResult> NetCoordinator::Execute(const std::string& query,
   queries_total_->Increment();
   STORM_ASSIGN_OR_RETURN(QueryAst ast, ParseQuery(query));
 
-  // Live snapshot for the fan-out; evicted shards are lost weight.
-  std::vector<size_t> targets;
-  for (size_t i = 0; i < shards_.size(); ++i) {
-    if (shards_[i]->alive.load(std::memory_order_acquire)) targets.push_back(i);
+  // Live snapshot for the fan-out: one stream per partition, served by one
+  // live, fresh replica (PartitionCandidates preference order). A partition
+  // with no live, non-stale replica at all is lost weight.
+  std::vector<size_t> targets;  // partition indices
+  for (size_t p = 0; p < partition_count(); ++p) {
+    if (!PartitionCandidates(p, 0).empty()) targets.push_back(p);
   }
-  const int dead_at_fanout = static_cast<int>(shards_.size() - targets.size());
+  const int dead_at_fanout =
+      static_cast<int>(partition_count() - targets.size());
   if (targets.empty()) {
-    return Status::Unavailable("no live shard: all " +
-                               std::to_string(shards_.size()) +
-                               " shards evicted");
+    if (replicas_ == 1) {
+      return Status::Unavailable("no live shard: all " +
+                                 std::to_string(shards_.size()) +
+                                 " shards evicted");
+    }
+    return Status::Unavailable(
+        "no live partition: all " + std::to_string(partition_count()) +
+        " partitions are dead or stale");
   }
 
   if (ast.explain) {
-    // Plan-only: no samples to merge — route to the first reachable live
-    // shard on a dedicated socket, like the fan-out does. Holding
+    // Plan-only: no samples to merge — route to the first reachable live,
+    // non-stale shard on a dedicated socket, like the fan-out does. Holding
     // shard->mutex across a whole RPC would block heartbeats and
     // InsertBatch/Checkpoint on that shard for up to rpc_deadline_ms.
     Status last = Status::Unavailable("no live shard answered EXPLAIN");
-    for (size_t index : targets) {
-      Shard* shard = shards_[index].get();
+    for (const auto& shard_ptr : shards_) {
+      Shard* shard = shard_ptr.get();
+      if (!shard->alive.load(std::memory_order_acquire) ||
+          shard->stale.load(std::memory_order_acquire)) {
+        continue;
+      }
       RemoteClient client;
       client.set_rpc_deadline_ms(options_.rpc_deadline_ms);
       client.set_max_reconnect_attempts(0);
@@ -465,92 +706,144 @@ Result<QueryResult> NetCoordinator::Execute(const std::string& query,
   threads.reserve(targets.size());
   for (size_t t = 0; t < targets.size(); ++t) {
     threads.emplace_back([&, t] {
-      Shard* shard = shards_[targets[t]].get();
-      // A fresh socket per (query, shard): sockets are cheap, and the
-      // control connection must stay free for heartbeats.
-      RemoteClient client;
-      client.set_rpc_deadline_ms(options_.rpc_deadline_ms);
-      client.set_max_reconnect_attempts(0);  // the dial policy owns retries
-      Rng rng(options_.seed ^
-              (0x9e3779b97f4a7c15ULL * (targets[t] + 1)) ^
-              (0xda942042e4dd58b5ULL * jitter_nonce));
-      RetryPolicy dial = options_.connect_retry;
-      if (shard_deadline > 0.0 &&
-          (dial.deadline_ms <= 0.0 || shard_deadline < dial.deadline_ms)) {
-        dial.deadline_ms = shard_deadline;  // dialing can't eat the budget
-      }
-      Status connected = RetryWithBackoff(
-          dial, &rng,
-          [&] {
-            return client.Connect(shard->endpoint.host, shard->endpoint.port);
-          },
-          rpc_failures_total_);
-      if (!connected.ok()) {
-        {
-          std::lock_guard<std::mutex> lock(state.mutex);
-          ShardSnap& snap = state.snaps[t];
-          snap.failed = true;
-          snap.error = connected;
-          ++state.done;
-        }
-        state.cv.notify_all();
-        NoteProbe(shard, false);
-        return;
-      }
-
-      ExecOptions shard_opts;
-      shard_opts.parallelism = options.parallelism;
-      shard_opts.deadline_ms = shard_deadline;
-      shard_opts.profile = false;
-      shard_opts.cancel = &shard_cancels[t];
-      shard_opts.trace = options.trace;
-      shard_opts.progress = [&state, t](const QueryProgress& p) {
-        {
-          std::lock_guard<std::mutex> lock(state.mutex);
-          ShardSnap& snap = state.snaps[t];
-          snap.started = true;
-          snap.samples = p.samples;
-          snap.ci = p.ci;
-          if (p.cardinality_estimate > 0.0) {
-            snap.q = p.cardinality_estimate;
-            snap.q_exact = p.cardinality_exact;
+      const size_t partition = targets[t];
+      // Replica rotation: deterministic schedules always start at slot 0;
+      // otherwise the per-query nonce spreads load across siblings.
+      const uint64_t rotation =
+          options_.deterministic_retry_jitter ? 0 : jitter_nonce;
+      std::vector<size_t> tried;
+      Status last_error = Status::Unavailable(
+          "no live replica in partition " + std::to_string(partition));
+      bool finished = false;
+      while (!finished) {
+        // Next untried candidate, in preference order — recomputed each
+        // pass, since a sibling may have died or been readmitted while the
+        // previous attempt streamed.
+        size_t index = shards_.size();
+        for (size_t cand : PartitionCandidates(partition, rotation)) {
+          if (std::find(tried.begin(), tried.end(), cand) == tried.end()) {
+            index = cand;
+            break;
           }
         }
-        state.cv.notify_all();
-        return true;
-      };
+        if (index == shards_.size()) break;  // candidates exhausted
+        if (!tried.empty()) failovers_total_->Increment();
+        tried.push_back(index);
+        Shard* shard = shards_[index].get();
 
-      Result<QueryResult> result = client.Execute(query, shard_opts);
-      bool transient_failure = false;
+        // A fresh socket per (query, replica): sockets are cheap, and the
+        // control connection must stay free for heartbeats.
+        RemoteClient client;
+        client.set_rpc_deadline_ms(options_.rpc_deadline_ms);
+        client.set_max_reconnect_attempts(0);  // the dial policy owns retries
+        Rng rng(options_.seed ^ (0x9e3779b97f4a7c15ULL * (index + 1)) ^
+                (0xda942042e4dd58b5ULL * jitter_nonce));
+        RetryPolicy dial = options_.connect_retry;
+        if (shard_deadline > 0.0 &&
+            (dial.deadline_ms <= 0.0 || shard_deadline < dial.deadline_ms)) {
+          dial.deadline_ms = shard_deadline;  // dialing can't eat the budget
+        }
+        Status connected = RetryWithBackoff(
+            dial, &rng,
+            [&] {
+              return client.Connect(shard->endpoint.host,
+                                    shard->endpoint.port);
+            },
+            rpc_failures_total_);
+        if (!connected.ok()) {
+          last_error = connected;
+          NoteProbe(shard, false);
+          if (shard_cancels[t].IsCancelled()) break;
+          continue;  // fail over to the next sibling
+        }
+
+        ExecOptions shard_opts;
+        shard_opts.parallelism = options.parallelism;
+        shard_opts.deadline_ms = shard_deadline;
+        shard_opts.profile = false;
+        shard_opts.cancel = &shard_cancels[t];
+        shard_opts.trace = options.trace;
+        shard_opts.progress = [&state, t](const QueryProgress& p) {
+          {
+            std::lock_guard<std::mutex> lock(state.mutex);
+            ShardSnap& snap = state.snaps[t];
+            snap.started = true;
+            snap.samples = p.samples;
+            snap.ci = p.ci;
+            if (p.cardinality_estimate > 0.0) {
+              snap.q = p.cardinality_estimate;
+              snap.q_exact = p.cardinality_exact;
+            }
+          }
+          state.cv.notify_all();
+          return true;
+        };
+
+        Result<QueryResult> result = client.Execute(query, shard_opts);
+        if (result.ok()) {
+          {
+            std::lock_guard<std::mutex> lock(state.mutex);
+            ShardSnap& snap = state.snaps[t];
+            snap.started = true;
+            snap.finished_ok = true;
+            snap.result = std::move(*result);
+            snap.samples = snap.result.samples;
+            snap.ci = snap.result.ci;
+            if (snap.result.cardinality_estimate > 0.0) {
+              snap.q = snap.result.cardinality_estimate;
+              snap.q_exact = snap.result.cardinality_exact;
+            }
+          }
+          NoteProbe(shard, true);
+          finished = true;
+          break;
+        }
+        last_error = result.status();
+        const bool transient =
+            IsTransient(last_error) || last_error.IsDeadlineExceeded();
+        bool has_next = false;
+        if (transient) {
+          for (size_t cand : PartitionCandidates(partition, rotation)) {
+            if (std::find(tried.begin(), tried.end(), cand) == tried.end()) {
+              has_next = true;
+              break;
+            }
+          }
+        }
+        {
+          std::lock_guard<std::mutex> lock(state.mutex);
+          ShardSnap& snap = state.snaps[t];
+          if (snap.started) {
+            partials_dropped_total_->Increment();
+            if (has_next) {
+              // The dead replica's unmerged partials must not bias the
+              // estimate — discard them before re-issuing on a sibling.
+              // The cardinality weight survives: replicas hold identical
+              // data, so q keeps the merged coverage honest meanwhile.
+              // With no sibling left the partials stay: they are the
+              // anytime best-so-far should every partition end up lost
+              // (the kLastKnown fallback).
+              snap.started = false;
+              snap.samples = 0;
+              snap.ci = ConfidenceInterval{};
+            }
+          }
+        }
+        if (!transient) break;  // a bad query fails identically everywhere
+        rpc_failures_total_->Increment();
+        NoteProbe(shard, false);
+        if (!has_next || shard_cancels[t].IsCancelled()) break;
+      }
       {
         std::lock_guard<std::mutex> lock(state.mutex);
-        ShardSnap& snap = state.snaps[t];
-        if (result.ok()) {
-          snap.started = true;
-          snap.finished_ok = true;
-          snap.result = std::move(*result);
-          snap.samples = snap.result.samples;
-          snap.ci = snap.result.ci;
-          if (snap.result.cardinality_estimate > 0.0) {
-            snap.q = snap.result.cardinality_estimate;
-            snap.q_exact = snap.result.cardinality_exact;
-          }
-        } else {
-          if (snap.started) partials_dropped_total_->Increment();
+        if (!finished) {
+          ShardSnap& snap = state.snaps[t];
           snap.failed = true;
-          snap.error = result.status();
-          transient_failure = IsTransient(result.status()) ||
-                              result.status().IsDeadlineExceeded();
+          snap.error = last_error;
         }
         ++state.done;
       }
       state.cv.notify_all();
-      if (result.ok()) {
-        NoteProbe(shard, true);
-      } else if (transient_failure) {
-        rpc_failures_total_->Increment();
-        NoteProbe(shard, false);
-      }
     });
   }
 
@@ -602,9 +895,15 @@ Result<QueryResult> NetCoordinator::Execute(const std::string& query,
   }
   for (std::thread& thread : threads) thread.join();
 
-  // Final assembly from the shards' final RESULTs only (a shard that died
-  // mid-stream contributed nothing).
+  // Final assembly from the partitions' final RESULTs only (a partition
+  // whose every tried replica died mid-stream contributed nothing).
   const std::vector<ShardSnap>& snaps = state.snaps;
+  const std::string topology =
+      replicas_ == 1
+          ? std::to_string(shards_.size()) + " shards"
+          : std::to_string(partition_count()) + " partitions x" +
+                std::to_string(replicas_) + " replicas";
+  const char* stratum_noun = replicas_ == 1 ? " shards" : " partitions";
   int finished = 0;
   bool any_started = false;
   for (const ShardSnap& s : snaps) {
@@ -623,8 +922,8 @@ Result<QueryResult> NetCoordinator::Execute(const std::string& query,
         }
       }
       return Status::Unavailable(
-          "all " + std::to_string(targets.size()) +
-          " live shards failed before producing any estimate");
+          "all " + std::to_string(targets.size()) + " live" + stratum_noun +
+          " failed before producing any estimate");
     }
     // Every shard died mid-stream. With no survivor to renormalize over,
     // the anytime contract still owes the caller its best-so-far: the
@@ -642,8 +941,8 @@ Result<QueryResult> NetCoordinator::Execute(const std::string& query,
     out.coverage = 0.0;
     out.cancelled = cancelled;
     out.deadline_exceeded = deadline_hit;
-    out.strategy = "net_coordinator(0/" + std::to_string(shards_.size()) +
-                   " shards; last-known partials)";
+    out.strategy =
+        "net_coordinator(0/" + topology + "; last-known partials)";
     out.decision.strategy = SamplerStrategy::kDistributed;
     out.decision.reason =
         "all shards lost mid-query; result is the last streamed partial "
@@ -676,51 +975,106 @@ Result<QueryResult> NetCoordinator::Execute(const std::string& query,
   out.coverage = m.coverage;
   out.cardinality_estimate = m.q_total;
   out.cardinality_exact = m.q_all_exact;
-  out.strategy = "net_coordinator(" + std::to_string(finished) + "/" +
-                 std::to_string(shards_.size()) + " shards)";
+  out.strategy =
+      "net_coordinator(" + std::to_string(finished) + "/" + topology + ")";
   out.decision.strategy = SamplerStrategy::kDistributed;
   out.decision.estimated_cardinality = m.q_total;
   out.decision.reason =
       m.lost == 0
-          ? "fan-out over " + std::to_string(finished) + " shards"
+          ? "fan-out over " + std::to_string(finished) + stratum_noun
           : "fan-out degraded: " + std::to_string(m.lost) + " of " +
-                std::to_string(shards_.size()) +
-                " shards lost; weights renormalized over survivors";
+                std::to_string(partition_count()) + stratum_noun +
+                " lost; weights renormalized over survivors";
   return out;
 }
 
 BatchInsertResult NetCoordinator::InsertBatch(const std::string& table,
                                               const std::vector<Value>& docs) {
   BatchInsertResult out;
-  const size_t n = shards_.size();
+  const size_t partitions = partition_count();
   Status last = Status::Unavailable("no live shard");
-  for (size_t attempt = 0; attempt < n; ++attempt) {
-    const size_t index = next_insert_shard_.fetch_add(1) % n;
-    Shard* shard = shards_[index].get();
-    if (!shard->alive.load(std::memory_order_acquire)) continue;
-    BatchInsertResult result;
-    {
-      std::lock_guard<std::mutex> lock(shard->mutex);
-      if (!shard->control.connected()) {
-        Status dialed =
-            shard->control.Connect(shard->endpoint.host, shard->endpoint.port);
-        if (!dialed.ok()) {
-          last = dialed;
-          result.status = dialed;
+  for (size_t attempt = 0; attempt < partitions; ++attempt) {
+    const size_t partition = next_insert_shard_.fetch_add(1) % partitions;
+    // The batch is *placed* on a partition only if at least one replica
+    // applies it; otherwise the round-robin moves on — nothing may be
+    // queued for replay to a partition that never durably took the batch.
+    bool any_routable = false;
+    for (size_t k = 0; k < replicas_; ++k) {
+      const Shard& s = *shards_[partition * replicas_ + k];
+      if (s.alive.load(std::memory_order_acquire) &&
+          !s.stale.load(std::memory_order_acquire)) {
+        any_routable = true;
+        break;
+      }
+    }
+    if (!any_routable) continue;
+
+    BatchInsertResult first_ok;
+    bool any_ok = false;
+    Status non_transient;
+    bool has_non_transient = false;
+    std::vector<Shard*> pend_replay;  // down or transiently failed siblings
+    std::vector<Shard*> diverged;     // refused what a sibling applied
+    for (size_t k = 0; k < replicas_; ++k) {
+      Shard* shard = shards_[partition * replicas_ + k].get();
+      if (shard->stale.load(std::memory_order_acquire)) continue;
+      if (!shard->alive.load(std::memory_order_acquire)) {
+        pend_replay.push_back(shard);
+        continue;
+      }
+      BatchInsertResult result;
+      {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        if (!shard->control.connected()) {
+          result.status = shard->control.Connect(shard->endpoint.host,
+                                                 shard->endpoint.port);
+        }
+        if (result.status.ok()) {
+          result = shard->control.InsertBatch(table, docs);
         }
       }
       if (result.status.ok()) {
-        result = shard->control.InsertBatch(table, docs);
+        if (!any_ok) {
+          any_ok = true;
+          first_ok = std::move(result);
+        }
+        continue;
+      }
+      if (IsTransient(result.status) ||
+          result.status.IsDeadlineExceeded()) {
+        last = result.status;
+        rpc_failures_total_->Increment();
+        NoteProbe(shard, false);
+        pend_replay.push_back(shard);
+      } else {
+        // The shard is alive and answering but refused the batch (bad
+        // table, parse error, ...).
+        non_transient = result.status;
+        has_non_transient = true;
+        diverged.push_back(shard);
       }
     }
-    if (result.status.ok() || !IsTransient(result.status)) {
-      // Non-transient failures (bad table, parse error) mean the shard is
-      // alive and answering; report them without touching its health.
-      return result;
+    if (any_ok) {
+      // Committed: siblings that missed it catch up via replay; a sibling
+      // that *refused* what another replica applied has diverged and can
+      // no longer answer for this partition.
+      for (Shard* shard : pend_replay) EnqueueReplay(shard, table, docs);
+      for (Shard* shard : diverged) {
+        MarkStale(shard, "refused a batch a sibling replica applied: " +
+                             non_transient.ToString());
+      }
+      return first_ok;
     }
-    last = result.status;
-    rpc_failures_total_->Increment();
-    NoteProbe(shard, false);
+    if (has_non_transient) {
+      // Every replica refused identically (or was down): the request
+      // itself is bad. Report it; nothing was placed or queued.
+      BatchInsertResult refused;
+      refused.status = non_transient;
+      return refused;
+    }
+    // All replicas transiently failed or were down — try the next
+    // partition (the discarded pend_replay list must not be enqueued:
+    // the batch was never placed here).
   }
   out.status = Status::Unavailable("no live shard accepted the batch: " +
                                    last.message());
@@ -729,7 +1083,15 @@ BatchInsertResult NetCoordinator::InsertBatch(const std::string& table,
 
 Status NetCoordinator::Checkpoint(const std::string& table) {
   // A checkpoint that skips a shard is not durable; require the full fleet.
+  // Stale outranks down: a dead shard may come back and catch up, a stale
+  // one is permanently behind until rebuilt.
   for (const auto& shard : shards_) {
+    if (shard->stale.load(std::memory_order_acquire)) {
+      return Status::Unavailable(
+          "shard " + std::to_string(shard->index) +
+          " is stale (missed inserts past the replay limit); its checkpoint "
+          "would be incomplete — rebuild the replica first");
+    }
     if (!shard->alive.load(std::memory_order_acquire)) {
       return Status::Unavailable("shard " + std::to_string(shard->index) +
                                  " is down; checkpoint would be partial");

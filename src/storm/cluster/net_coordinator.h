@@ -16,6 +16,22 @@
 // cardinality block, protocol.h), so weights track the shards' own sampler
 // estimates as they tighten.
 //
+// Replica groups: with NetCoordinatorOptions::replicas = R > 1 the shard
+// list is read as consecutive groups of R — shards [p·R, (p+1)·R) are
+// replicas of partition p, each holding the *same* data (identical demo
+// loads, identical fanned-out inserts). Queries pick one live, fresh
+// replica per partition; InsertBatch fans every batch to all replicas of
+// the owning partition (round-robin over partitions). On mid-stream
+// replica death the partition's stream fails over to a live sibling —
+// its unmerged partials are discarded and the query re-issues, so the
+// merged estimate keeps coverage = 1.0 whenever any replica of every
+// partition survives. Only a fully dead partition falls back to the
+// drop-and-renormalize degradation below. Replica freshness rides the
+// PONG heartbeat (applied-record block, protocol.h); a replica that
+// missed inserts while down is caught up from a bounded per-replica
+// replay queue drained on readmission — overflow marks it permanently
+// stale and it is routed around until a checkpoint rebuild.
+//
 // Robustness (PR-2's semantics ported onto real sockets):
 //   - per-shard connect/RPC retry with exponential backoff + jitter
 //     (util/retry.h policies);
@@ -97,6 +113,16 @@ struct NetCoordinatorOptions {
   /// lockstep retries across queries).
   uint64_t seed = 0x570CC;
   bool deterministic_retry_jitter = false;
+
+  /// Replicas per partition: the shard list is consecutive groups of R
+  /// (shards [p·R, (p+1)·R) replicate partition p). Start() requires the
+  /// shard count to be a multiple of R. 1 = the classic disjoint fleet.
+  int replicas = 1;
+
+  /// Bound on records queued for replay per down replica. A replica whose
+  /// queue would overflow is marked permanently stale and routed around —
+  /// unbounded catch-up buffers are how coordinators run out of memory.
+  size_t replay_limit_records = 100'000;
 };
 
 class NetCoordinator : public QueryBackend {
@@ -117,43 +143,83 @@ class NetCoordinator : public QueryBackend {
   /// Stops the heartbeat and closes control connections. Idempotent.
   void Stop();
 
-  /// Fans an aggregate query out to every live shard and streams merged
-  /// anytime progress through options.progress. Honours deadline_ms
-  /// (per-shard deadlines are carved from it), cancel, and trace.
-  /// Non-aggregate tasks and VARIANCE/STDDEV return kUnimplemented;
+  /// Fans an aggregate query out to one live, fresh replica of every
+  /// partition and streams merged anytime progress through
+  /// options.progress. Honours deadline_ms (per-shard deadlines are
+  /// carved from it), cancel, and trace. A replica dying mid-stream fails
+  /// over to a live sibling (partials discarded, stream re-issued), so
+  /// coverage stays 1.0 while every partition keeps a survivor.
+  /// Non-aggregate tasks and VARIANCE/STDDEV return kNotSupported;
   /// EXPLAIN routes to the first live shard. With no live shard at
   /// fan-out: kUnavailable, promptly.
   Result<QueryResult> Execute(const std::string& query,
                               const ExecOptions& options) override;
 
-  /// Routes the batch to one live shard, round-robin — arrival-order
+  /// Routes the batch to one partition, round-robin (arrival-order
   /// partitioning, the same rule storm_server --shard-index uses for
-  /// offline loads.
+  /// offline loads) and fans it to every replica of that partition. The
+  /// batch is placed once at least one replica applied it; replicas that
+  /// were down or failed transiently get it queued for replay.
   BatchInsertResult InsertBatch(const std::string& table,
                                 const std::vector<Value>& docs) override;
 
-  /// Checkpoints `table` on every shard; fails if any shard is dead or
-  /// refuses (a partial checkpoint is not durable).
+  /// Checkpoints `table` on every shard; fails if any shard is dead,
+  /// stale, or refuses (a partial checkpoint is not durable).
   Status Checkpoint(const std::string& table) override;
 
+  /// Sum over partitions of the freshest replica's applied-record count —
+  /// the fleet-level freshness a coordinator fronting this one sees.
+  uint64_t AppliedRecords() override;
+
   size_t shard_count() const { return shards_.size(); }
+  /// Replicas per partition (normalized to >= 1).
+  size_t replicas() const { return replicas_; }
+  size_t partition_count() const { return shards_.size() / replicas_; }
   /// Shards currently admitted to fan-out.
   int live_shards() const;
+  /// Partitions with at least one live, non-stale replica.
+  int live_partitions() const;
   bool shard_alive(size_t index) const;
+  /// True once a replica's replay queue overflowed: it is permanently
+  /// routed around (queries and inserts) until a checkpoint rebuild.
+  bool shard_stale(size_t index) const;
+  /// Latest heartbeat-reported applied-record count (0 until known).
+  uint64_t shard_applied_records(size_t index) const;
+  bool shard_freshness_known(size_t index) const;
+  /// Records queued for replay to a down/transiently-failing replica.
+  size_t shard_replay_pending(size_t index) const;
 
  private:
   struct Shard;
 
   void HeartbeatLoop();
   /// One PING round trip on the shard's control connection (dialing it if
-  /// needed), feeding the health tracker.
+  /// needed), feeding the health tracker, recording the PONG freshness
+  /// block, and draining the replay queue of a readmitted replica.
   void ProbeShard(Shard* shard);
   /// Health accounting: a failed probe/RPC counts toward eviction, a
   /// successful one resets the streak and readmits an evicted shard.
   void NoteProbe(Shard* shard, bool ok);
 
+  /// The partition's live, non-stale replicas, preferred order first:
+  /// caught-up before replay-pending, freshness-known before unknown
+  /// (deprioritized, not evicted), higher applied count first; ties
+  /// rotate by `rotation` so repeated queries spread load.
+  std::vector<size_t> PartitionCandidates(size_t partition,
+                                          uint64_t rotation) const;
+  /// Queues `docs` for replay to a replica that missed them; overflow
+  /// marks the replica permanently stale (MarkStale).
+  void EnqueueReplay(Shard* shard, const std::string& table,
+                     const std::vector<Value>& docs);
+  /// Sends the queued replay batches to a readmitted replica, in order.
+  /// Transient failures requeue and retry on the next heartbeat;
+  /// non-transient failures mean the replica diverged — MarkStale.
+  void DrainReplay(Shard* shard);
+  void MarkStale(Shard* shard, const std::string& why);
+
   std::vector<std::unique_ptr<Shard>> shards_;
   NetCoordinatorOptions options_;
+  size_t replicas_ = 1;
 
   std::atomic<bool> running_{false};
   std::thread heartbeat_thread_;
@@ -171,6 +237,10 @@ class NetCoordinator : public QueryBackend {
   class Counter* evicted_total_ = nullptr;
   class Counter* readmitted_total_ = nullptr;
   class Counter* partials_dropped_total_ = nullptr;
+  class Counter* failovers_total_ = nullptr;
+  class Counter* replay_enqueued_total_ = nullptr;
+  class Counter* replay_applied_total_ = nullptr;
+  class Counter* replica_stale_total_ = nullptr;
 };
 
 }  // namespace storm

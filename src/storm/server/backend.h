@@ -38,6 +38,14 @@ class QueryBackend {
 
   /// Durably checkpoints `table`.
   virtual Status Checkpoint(const std::string& table) = 0;
+
+  /// Total records this backend has applied (table loads + online
+  /// inserts): the freshness figure the PONG heartbeat extension
+  /// advertises, which a replica-group coordinator compares across
+  /// siblings to route queries to caught-up replicas. 0 is a legitimate
+  /// value (an empty backend) — "unknown" only arises at the wire level
+  /// from pre-freshness peers.
+  virtual uint64_t AppliedRecords() { return 0; }
 };
 
 /// The single-node backend: executes against a local Session.
@@ -65,6 +73,15 @@ class SessionBackend : public QueryBackend {
 
   Status Checkpoint(const std::string& table) override {
     return session_->Checkpoint(table);
+  }
+
+  uint64_t AppliedRecords() override {
+    uint64_t total = 0;
+    for (const std::string& name : session_->TableNames()) {
+      Result<Table*> table = session_->GetTable(name);
+      if (table.ok()) total += (*table)->size();
+    }
+    return total;
   }
 
  private:

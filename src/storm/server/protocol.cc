@@ -222,6 +222,60 @@ Result<ProgressUpdate> DecodeProgressUpdate(std::string_view payload) {
   return p;
 }
 
+// --- PING/PONG freshness extension ---
+
+std::string EncodePingPayload(std::string_view echo, bool want_freshness) {
+  std::string out(echo);
+  if (want_freshness) out.push_back(static_cast<char>(kPingWantFreshness));
+  return out;
+}
+
+bool DecodePingPayload(std::string_view payload, std::string_view* echo) {
+  if (!payload.empty() &&
+      static_cast<uint8_t>(payload.back()) == kPingWantFreshness) {
+    *echo = payload.substr(0, payload.size() - 1);
+    return true;
+  }
+  *echo = payload;
+  return false;
+}
+
+std::string EncodePongPayload(std::string_view echo,
+                              const PongFreshness* fresh) {
+  std::string out(echo);
+  if (fresh != nullptr && fresh->known) {
+    ByteWriter w;
+    w.PutU8(kPongFreshnessTag);
+    w.PutU64(fresh->applied_records);
+    w.PutU64(fresh->applied_lsn);
+    out += w.Take();
+  }
+  return out;
+}
+
+Result<PongFreshness> DecodePongPayload(std::string_view payload,
+                                        std::string_view sent,
+                                        std::string_view echo) {
+  PongFreshness fresh;
+  // Verbatim echo of what we sent (capability byte included): an old
+  // server. A bare echo: a stripping server with nothing to report.
+  if (payload == sent || payload == echo) return fresh;
+  if (payload.size() < echo.size() ||
+      payload.substr(0, echo.size()) != echo) {
+    return Status::Corruption("PONG payload does not echo the PING");
+  }
+  ByteReader r(payload.substr(echo.size()));
+  STORM_ASSIGN_OR_RETURN(uint8_t tag, r.GetU8());
+  if (tag != kPongFreshnessTag) {
+    return Status::Corruption("PONG trailing bytes are not a freshness block");
+  }
+  fresh.known = true;
+  STORM_ASSIGN_OR_RETURN(fresh.applied_records, r.GetU64());
+  STORM_ASSIGN_OR_RETURN(fresh.applied_lsn, r.GetU64());
+  // Bytes past the block belong to future extensions; ignore them.
+  return fresh;
+}
+
 // --- WireError ---
 
 std::string EncodeWireError(const Status& status) {

@@ -140,6 +140,62 @@ struct ProgressUpdate {
 std::string EncodeProgressUpdate(const ProgressUpdate& p);
 Result<ProgressUpdate> DecodeProgressUpdate(std::string_view payload);
 
+// --- PING/PONG freshness extension ---
+//
+// A PING is an opaque payload the server echoes back in the PONG. The
+// replica-group coordinator additionally needs to know how *fresh* each
+// replica is (how many records it has applied), so the echo grew an
+// opt-in extension that stays byte-compatible in both directions:
+//
+//   - a client that understands freshness appends the capability byte
+//     0x01 to its PING payload. An old server echoes the whole payload
+//     verbatim (capability byte included) — the client recognises its own
+//     bytes and records "freshness unknown". A new server strips the
+//     capability byte and answers echo + 0x02 + freshness block;
+//   - a client that never appends 0x01 (an old client) always gets its
+//     payload echoed verbatim, from old and new servers alike, so its
+//     strict equality check keeps passing.
+
+/// Trailing PING byte advertising "my PONG decoder understands the
+/// freshness block".
+constexpr uint8_t kPingWantFreshness = 0x01;
+/// Tag byte opening the freshness block in a PONG payload.
+constexpr uint8_t kPongFreshnessTag = 0x02;
+
+/// The freshness block a PONG may carry: how many records the serving
+/// backend has applied (table loads + online inserts) and its applied
+/// LSN (0 when the backend tracks no WAL position). `known` is false when
+/// the peer echoed plainly — a pre-freshness server.
+struct PongFreshness {
+  bool known = false;
+  uint64_t applied_records = 0;
+  uint64_t applied_lsn = 0;
+};
+
+/// PING payload: the echo bytes, plus the capability byte when this
+/// client's PONG decoder understands the freshness block.
+std::string EncodePingPayload(std::string_view echo, bool want_freshness);
+
+/// Server side: strips the trailing capability byte. Returns true when
+/// the client advertised freshness; `*echo` is what the PONG must echo.
+bool DecodePingPayload(std::string_view payload, std::string_view* echo);
+
+/// PONG payload: the echo, plus the freshness block when `fresh` is
+/// non-null and known (servers must only append it for clients that
+/// advertised kPingWantFreshness — old clients equality-check the echo).
+std::string EncodePongPayload(std::string_view echo,
+                              const PongFreshness* fresh);
+
+/// Client side. `sent` is the exact PING payload this client sent and
+/// `echo` the bytes before its capability byte. Accepts a verbatim echo of
+/// `sent` (old server → freshness unknown), a plain `echo` (stripping
+/// server without a freshness source), or echo + tagged freshness block;
+/// bytes after the block are ignored for forward compatibility. Anything
+/// else is Corruption.
+Result<PongFreshness> DecodePongPayload(std::string_view payload,
+                                        std::string_view sent,
+                                        std::string_view echo);
+
 /// ERROR payload: a Status plus its code, round-tripped exactly.
 struct WireError {
   StatusCode code = StatusCode::kUnknown;

@@ -88,18 +88,18 @@ Status RemoteClient::SendFrameReconnecting(FrameType type, uint64_t id,
                   ? SendFrame(type, id, payload)
                   : Status::Unavailable("RemoteClient is not connected");
   if (st.ok() || host_.empty()) return st;
-  thread_local Rng* rng = [] {
+  thread_local Rng* clock_rng = [] {
     uint64_t seed = static_cast<uint64_t>(
         std::chrono::steady_clock::now().time_since_epoch().count());
     seed ^= std::hash<std::thread::id>{}(std::this_thread::get_id());
     return new Rng(seed);
   }();
-  RetryPolicy backoff;
-  backoff.base_backoff_ms = 50.0;
-  backoff.max_backoff_ms = 1000.0;
+  // Deterministic jitter (set_reconnect_jitter_seed) makes the attempt
+  // spacing exactly reproducible for seeded chaos schedules.
+  Rng* rng = reconnect_rng_ != nullptr ? reconnect_rng_.get() : clock_rng;
   for (int attempt = 1;
        attempt <= max_reconnect_attempts_ && IsTransient(st); ++attempt) {
-    double sleep_ms = backoff.BackoffMs(attempt, rng);
+    double sleep_ms = reconnect_backoff_.BackoffMs(attempt, rng);
     std::this_thread::sleep_for(
         std::chrono::microseconds(static_cast<int64_t>(sleep_ms * 1000.0)));
     Status dialed = DialOnce();
@@ -326,12 +326,21 @@ Status RemoteClient::Checkpoint(const std::string& table) {
 
 Status RemoteClient::Ping() { return DoPing(/*reconnecting=*/true); }
 
-Status RemoteClient::DoPing(bool reconnecting) {
+Result<PongFreshness> RemoteClient::PingFresh() {
+  PongFreshness fresh;
+  STORM_RETURN_NOT_OK(DoPing(/*reconnecting=*/true, &fresh));
+  return fresh;
+}
+
+Status RemoteClient::DoPing(bool reconnecting, PongFreshness* fresh) {
   const uint64_t id = next_id_++;
+  // Advertise the freshness capability: new servers append the
+  // applied-record block, old servers echo the payload verbatim — either
+  // way the PONG decodes (protocol.h, PING/PONG freshness extension).
+  const std::string sent = EncodePingPayload(kPingEcho, /*want_freshness=*/true);
   STORM_RETURN_NOT_OK(reconnecting
-                          ? SendFrameReconnecting(FrameType::kPing, id,
-                                                  kPingEcho)
-                          : SendFrame(FrameType::kPing, id, kPingEcho));
+                          ? SendFrameReconnecting(FrameType::kPing, id, sent)
+                          : SendFrame(FrameType::kPing, id, sent));
   STORM_ASSIGN_OR_RETURN(Frame frame,
                          AwaitResponse(id, {FrameType::kPong}, nullptr,
                                        nullptr, rpc_deadline_ms_));
@@ -339,10 +348,13 @@ Status RemoteClient::DoPing(bool reconnecting) {
     STORM_ASSIGN_OR_RETURN(WireError err, DecodeWireError(frame.payload));
     return err.ToStatus();
   }
-  if (frame.payload != kPingEcho) {
+  Result<PongFreshness> decoded =
+      DecodePongPayload(frame.payload, sent, kPingEcho);
+  if (!decoded.ok()) {
     Close();
-    return Status::Corruption("PONG payload does not echo the PING");
+    return decoded.status();
   }
+  if (fresh != nullptr) *fresh = *decoded;
   return Status::OK();
 }
 

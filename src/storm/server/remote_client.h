@@ -36,6 +36,7 @@
 
 #include <functional>
 #include <initializer_list>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,8 @@
 #include "storm/query/table.h"
 #include "storm/server/protocol.h"
 #include "storm/server/socket_io.h"
+#include "storm/util/retry.h"
+#include "storm/util/rng.h"
 
 namespace storm {
 
@@ -86,6 +89,22 @@ class RemoteClient {
     max_reconnect_attempts_ = attempts < 0 ? 0 : attempts;
   }
 
+  /// Overrides the capped exponential backoff between transparent
+  /// reconnect attempts (base/multiplier/cap/jitter; the attempt count
+  /// still comes from set_max_reconnect_attempts). Back-to-back redials
+  /// from a fleet of clients turn a briefly-down server into a connect
+  /// storm — the jittered spacing is what spreads the herd.
+  void set_reconnect_backoff(const RetryPolicy& policy) {
+    reconnect_backoff_ = policy;
+  }
+
+  /// Seeds the reconnect-backoff jitter deterministically, giving chaos
+  /// schedules an exactly reproducible attempt spacing. Without it the
+  /// jitter draws from a clock-seeded per-thread stream.
+  void set_reconnect_jitter_seed(uint64_t seed) {
+    reconnect_rng_ = std::make_unique<Rng>(seed);
+  }
+
   /// Hard wall-clock ceiling in ms on waiting for any single response
   /// (0 = wait forever, the historical behaviour). A peer that accepts the
   /// request but never answers — half-dead process, black-holed network —
@@ -104,6 +123,12 @@ class RemoteClient {
 
   Status Checkpoint(const std::string& table);
   Status Ping();
+
+  /// PING round trip that also reports the server's applied-record
+  /// freshness (the PONG extension, protocol.h). Pre-freshness servers
+  /// echo plainly and decode as known=false — the caller deprioritizes,
+  /// never evicts, such a replica.
+  Result<PongFreshness> PingFresh();
 
   /// The server's Prometheus metrics exposition (METRICS frame — same text
   /// as the HTTP GET /metrics listener).
@@ -133,8 +158,9 @@ class RemoteClient {
   Status DialOnce();
 
   /// PING round trip; `reconnecting` selects the redialing send path (false
-  /// inside DialOnce, which must not recurse into redialing).
-  Status DoPing(bool reconnecting);
+  /// inside DialOnce, which must not recurse into redialing). When `fresh`
+  /// is non-null the decoded PONG freshness block lands there.
+  Status DoPing(bool reconnecting, PongFreshness* fresh = nullptr);
 
   UniqueFd fd_;
   std::string read_buf_;
@@ -142,6 +168,12 @@ class RemoteClient {
   uint32_t progress_interval_ms_ = 20;
   double trace_sample_rate_ = 0.01;
   int max_reconnect_attempts_ = 3;
+  /// Spacing between reconnect attempts: 50 ms base doubling to a 1 s cap,
+  /// jittered (RetryPolicy defaults for multiplier/jitter).
+  RetryPolicy reconnect_backoff_{/*max_attempts=*/0, /*base_backoff_ms=*/50.0,
+                                 /*multiplier=*/2.0, /*max_backoff_ms=*/1000.0,
+                                 /*jitter=*/0.5, /*deadline_ms=*/0.0};
+  std::unique_ptr<Rng> reconnect_rng_;  ///< deterministic jitter when set
   double rpc_deadline_ms_ = 0.0;
   std::string host_;  // remembered endpoint for transparent redial
   int port_ = 0;

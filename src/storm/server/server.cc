@@ -84,6 +84,11 @@ struct StormServer::Connection {
   std::condition_variable cv_space;  ///< wakes stalled senders + teardown
   std::deque<std::string> write_queue;
   size_t queued_bytes = 0;
+  /// Bytes of the frame the writer popped but has not finished sending
+  /// (guarded by mutex). Drain() needs "flushed" = empty queue AND no
+  /// frame mid-write — admission slots release when the final frame is
+  /// queued, not when it reaches the wire.
+  size_t writing_bytes = 0;
   /// Set (under mutex) once the connection is being torn down; read
   /// lock-free from progress callbacks.
   std::atomic<bool> closing{false};
@@ -145,6 +150,7 @@ Status StormServer::Start() {
   }
 
   stopping_.store(false);
+  draining_.store(false);
   uptime_.Restart();
   query_pool_ = std::make_unique<ThreadPool>(
       static_cast<size_t>(std::max(1, options_.query_threads)));
@@ -187,6 +193,38 @@ void StormServer::Stop() {
   metrics_port_ = -1;
 }
 
+void StormServer::Drain(double timeout_ms) {
+  if (!running_.load(std::memory_order_acquire)) return;
+  if (draining_.exchange(true)) return;
+  // Close the listener so no new connection lands; the accept loop sees
+  // draining_ and idles instead of spinning on the dead fd. Existing
+  // connections keep their reader/writer threads — in-flight queries
+  // stream to completion.
+  listen_fd_.ShutdownBothEnds();
+  STORM_LOG(Info) << "storm_server draining: waiting up to " << timeout_ms
+                  << " ms for " << admission_.in_flight()
+                  << " in-flight queries";
+  // "Drained" means the slot count AND the wire agree: admission releases
+  // when a query's final frame is QUEUED, so a slow consumer can still
+  // have that frame (and a backlog of progress frames) in flight after
+  // in_flight() hits zero. Stopping then would cut the stream mid-result.
+  auto streams_flushed = [this] {
+    std::lock_guard<std::mutex> conns_lock(conns_mutex_);
+    for (const auto& conn : conns_) {
+      std::lock_guard<std::mutex> lock(conn->mutex);
+      if (conn->closing.load(std::memory_order_acquire)) continue;
+      if (!conn->write_queue.empty() || conn->writing_bytes > 0) return false;
+    }
+    return true;
+  };
+  Stopwatch watch;
+  while ((admission_.in_flight() > 0 || !streams_flushed()) &&
+         (timeout_ms <= 0.0 || watch.ElapsedMillis() < timeout_ms)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  Stop();
+}
+
 size_t StormServer::active_connections() const {
   std::lock_guard<std::mutex> lock(conns_mutex_);
   size_t alive = 0;
@@ -199,6 +237,11 @@ size_t StormServer::active_connections() const {
 void StormServer::AcceptLoop() {
   while (!stopping_.load(std::memory_order_acquire)) {
     ReapFinished(/*join_all=*/false);
+    if (draining_.load(std::memory_order_acquire)) {
+      // Drain() shut the listener down; idle instead of spinning on it.
+      std::this_thread::sleep_for(std::chrono::milliseconds(kPollIntervalMs));
+      continue;
+    }
     Result<UniqueFd> accepted =
         AcceptWithTimeout(listen_fd_.get(), kPollIntervalMs);
     if (!accepted.ok()) continue;
@@ -318,6 +361,7 @@ void StormServer::WriterLoop(std::shared_ptr<Connection> conn) {
       frame = std::move(conn->write_queue.front());
       conn->write_queue.pop_front();
       conn->queued_bytes -= frame.size();
+      conn->writing_bytes = frame.size();
     }
     conn->cv_space.notify_all();
 
@@ -326,11 +370,14 @@ void StormServer::WriterLoop(std::shared_ptr<Connection> conn) {
     (void)Failpoints::Default().Evaluate("server.conn.slow");
     // Connection-drop injection: the stream dies mid-flight, exactly like a
     // peer route loss.
-    if (!Failpoints::Default().Evaluate("server.conn.drop").ok()) {
-      conn->BeginClose();
-      break;
+    bool sent = Failpoints::Default().Evaluate("server.conn.drop").ok() &&
+                SendAll(conn->fd.get(), frame.data(), frame.size()).ok();
+    {
+      std::lock_guard<std::mutex> lock(conn->mutex);
+      conn->writing_bytes = 0;
     }
-    if (!SendAll(conn->fd.get(), frame.data(), frame.size()).ok()) {
+    conn->cv_space.notify_all();
+    if (!sent) {
       conn->BeginClose();
       break;
     }
@@ -386,10 +433,26 @@ bool StormServer::Send(const std::shared_ptr<Connection>& conn,
 bool StormServer::HandleFrame(const std::shared_ptr<Connection>& conn,
                               Frame frame) {
   switch (frame.type) {
-    case FrameType::kPing:
-      Send(conn, EncodeFrame(FrameType::kPong, frame.id, frame.payload),
-           /*droppable=*/false);
+    case FrameType::kPing: {
+      std::string_view echo;
+      const bool want_freshness = DecodePingPayload(frame.payload, &echo);
+      if (want_freshness && options_.answer_ping_freshness) {
+        PongFreshness fresh;
+        fresh.known = true;
+        fresh.applied_records = backend_->AppliedRecords();
+        Send(conn,
+             EncodeFrame(FrameType::kPong, frame.id,
+                         EncodePongPayload(echo, &fresh)),
+             /*droppable=*/false);
+      } else {
+        // Pre-freshness client (or emulated pre-freshness server): the
+        // payload is echoed verbatim, capability byte and all — old
+        // clients equality-check the echo.
+        Send(conn, EncodeFrame(FrameType::kPong, frame.id, frame.payload),
+             /*droppable=*/false);
+      }
       return true;
+    }
 
     case FrameType::kMetrics:
       Send(conn,
@@ -427,6 +490,16 @@ bool StormServer::HandleFrame(const std::shared_ptr<Connection>& conn,
              EncodeFrame(FrameType::kError, frame.id,
                          EncodeWireError(Status::InvalidArgument(
                              "request id already in flight"))),
+             /*droppable=*/false);
+        return true;
+      }
+      if (draining_.load(std::memory_order_acquire)) {
+        shed_total_->Increment();
+        FlightRecord(FlightEvent::kQueryShed, frame.id);
+        Send(conn,
+             EncodeFrame(FrameType::kError, frame.id,
+                         EncodeWireError(Status::Unavailable(
+                             "server draining: not accepting new queries"))),
              /*droppable=*/false);
         return true;
       }
@@ -670,7 +743,11 @@ std::string StormServer::HealthzJson() const {
     reasons += r;
     reasons += "\"";
   };
-  if (stopping_.load(std::memory_order_acquire)) add_reason("shutting_down");
+  if (stopping_.load(std::memory_order_acquire)) {
+    add_reason("shutting_down");
+  } else if (draining_.load(std::memory_order_acquire)) {
+    add_reason("draining");
+  }
   const int capacity = options_.query_threads + options_.max_queued_queries;
   if (admission_.in_flight() >= capacity) add_reason("admission_saturated");
   std::string out = "{\"status\":\"";

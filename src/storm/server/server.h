@@ -89,6 +89,13 @@ struct ServerOptions {
   /// widest spans) and retained for /statusz. 0 disables the slow-query
   /// log.
   double slow_query_threshold_ms = 1000.0;
+
+  /// Answer PINGs that advertise the freshness capability with the
+  /// applied-record block (protocol.h). Disable to emulate a
+  /// pre-freshness server: the PING payload is echoed verbatim and
+  /// coordinators treat this replica as freshness-unknown (deprioritized,
+  /// never evicted for it) — the mixed-version tests pin that behaviour.
+  bool answer_ping_freshness = true;
 };
 
 class StormServer {
@@ -116,6 +123,16 @@ class StormServer {
   /// Stops accepting, cancels in-flight queries, drains the query pool, and
   /// joins every thread. Idempotent.
   void Stop();
+
+  /// Graceful shutdown: stops accepting connections, sheds newly arriving
+  /// queries with kUnavailable, lets in-flight queries finish for up to
+  /// `timeout_ms`, then Stop()s. A replica being replaced completes the
+  /// streams it could have completed instead of cutting them (SIGTERM →
+  /// Drain is the storm_server/storm_coordinator --drain-timeout-ms path).
+  void Drain(double timeout_ms);
+
+  /// True between Drain() starting and Stop() completing.
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
 
   bool running() const { return running_.load(std::memory_order_acquire); }
 
@@ -187,6 +204,7 @@ class StormServer {
 
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
   int port_ = -1;
   int metrics_port_ = -1;
 

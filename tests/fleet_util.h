@@ -1,0 +1,226 @@
+// Shared fleet fixtures for the serving/coordinator test suites: in-process
+// shards (Session + StormServer bound to port 0), child-process storm_server
+// shards (fork/exec, SIGKILL-able mid-stream), and the polling helpers that
+// wait for ports, liveness, and admission settlement. One copy here instead
+// of one per test file — net_coordinator_test.cc, replica_test.cc, and
+// flight_dump_test.cc all build their fleets from these.
+//
+// Everything binds port 0 and discovers the real port afterwards (from
+// StormServer::port() in-process, from the child's "serving on port N"
+// stdout line out-of-process), so parallel ctest jobs never collide.
+//
+// Child-process spawning needs the storm_server binary path; pass the
+// STORM_SERVER_BIN compile definition (tests/CMakeLists.txt points it at
+// $<TARGET_FILE:storm_server>) as `server_bin`.
+
+#ifndef STORM_TESTS_FLEET_UTIL_H_
+#define STORM_TESTS_FLEET_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "storm/cluster/net_coordinator.h"
+#include "storm/server/server.h"
+#include "storm/storm.h"
+
+namespace storm {
+namespace fleet_test {
+
+/// Chaos schedules are seeded via STORM_CHAOS_SEED (CI runs several).
+inline uint64_t ChaosSeed() {
+  const char* env = std::getenv("STORM_CHAOS_SEED");
+  if (env == nullptr || *env == '\0') return 1;
+  return std::strtoull(env, nullptr, 10);
+}
+
+/// Synthetic docs: x/y/v uniform in [0, 100), t = 0.
+inline std::vector<Value> MakeDocs(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Value> docs;
+  docs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Value doc = Value::MakeObject();
+    doc.Set("x", Value::Double(rng.UniformDouble(0, 100)));
+    doc.Set("y", Value::Double(rng.UniformDouble(0, 100)));
+    doc.Set("v", Value::Double(rng.UniformDouble(0, 100)));
+    doc.Set("t", Value::Double(0.0));
+    docs.push_back(doc);
+  }
+  return docs;
+}
+
+/// Shard k of n holds records i with i % n == k — the same arrival-order
+/// rule storm_server --shard-index uses, so in-process fleets and
+/// child-process fleets partition identically. Replica groups reuse the
+/// same (k, n) slice for every replica of partition k.
+inline std::vector<Value> ShardSlice(const std::vector<Value>& docs, size_t k,
+                                     size_t n) {
+  std::vector<Value> slice;
+  for (size_t i = k; i < docs.size(); i += n) slice.push_back(docs[i]);
+  return slice;
+}
+
+struct InProcShard {
+  std::unique_ptr<Session> session;
+  std::unique_ptr<StormServer> server;
+  int port = 0;
+};
+
+/// One in-process shard of an n-way fleet, serving slice k of `docs` as
+/// table "t" on an ephemeral port. `base` customizes everything but the
+/// port (e.g. answer_ping_freshness=false to emulate an old server).
+inline InProcShard StartShard(const std::vector<Value>& docs, size_t k,
+                              size_t n, int port = 0,
+                              ServerOptions base = {}) {
+  InProcShard shard;
+  shard.session = std::make_unique<Session>();
+  EXPECT_TRUE(shard.session->CreateTable("t", ShardSlice(docs, k, n)).ok());
+  ServerOptions options = base;
+  options.port = port;
+  options.metrics_port = -1;
+  shard.server = std::make_unique<StormServer>(shard.session.get(), options);
+  EXPECT_TRUE(shard.server->Start().ok());
+  shard.port = shard.server->port();
+  return shard;
+}
+
+/// Admission slots must settle on every shard no matter how its clients
+/// behaved; FinishQuery runs just after the final frame is queued, so give
+/// the release a moment to land.
+inline void ExpectAdmissionSettled(const StormServer& server,
+                                   const char* who) {
+  for (int i = 0; i < 100; ++i) {
+    const AdmissionController& adm = server.admission();
+    if (adm.admitted_total() == adm.released_total() &&
+        adm.in_flight() == 0) {
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  const AdmissionController& adm = server.admission();
+  ADD_FAILURE() << who << ": admission drift: admitted="
+                << adm.admitted_total()
+                << " released=" << adm.released_total()
+                << " in_flight=" << adm.in_flight();
+}
+
+inline bool AwaitLiveShards(const NetCoordinator& coordinator, int want,
+                            int budget_ms) {
+  for (int waited = 0; waited < budget_ms; waited += 20) {
+    if (coordinator.live_shards() == want) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return coordinator.live_shards() == want;
+}
+
+/// Tight heartbeats and a low eviction threshold: fleet state transitions
+/// land within a test-sized budget. Seeded from STORM_CHAOS_SEED.
+inline NetCoordinatorOptions FastOptions() {
+  NetCoordinatorOptions options;
+  options.heartbeat_interval_ms = 50.0;
+  options.failure_threshold = 2;
+  options.heartbeat_timeout_ms = 1000.0;
+  options.rpc_deadline_ms = 8000.0;
+  options.seed = ChaosSeed();
+  return options;
+}
+
+inline std::string ReadFileOrEmpty(const std::string& path) {
+  std::string out;
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return out;
+  char buf[4096];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, got);
+  std::fclose(f);
+  return out;
+}
+
+/// Polls `path` until a "serving on port N" line appears (the server is up)
+/// or the budget runs out. Returns -1 on timeout.
+inline int AwaitServingPort(const std::string& path, int budget_ms) {
+  for (int waited = 0; waited < budget_ms; waited += 50) {
+    std::string out = ReadFileOrEmpty(path);
+    size_t pos = out.find("serving on port ");
+    if (pos != std::string::npos) {
+      return std::atoi(out.c_str() + pos + std::strlen("serving on port "));
+    }
+    usleep(50 * 1000);
+  }
+  return -1;
+}
+
+struct ChildShard {
+  pid_t pid = -1;
+  int port = -1;
+  std::string stdout_path;
+};
+
+/// fork/exec one storm_server --tiny shard; extra_arg/extra_val optionally
+/// arm a failpoint (the registries are per-process, so this is how exactly
+/// one shard of the fleet gets slow). `tag` names the stdout capture file;
+/// replica fleets must pass distinct tags, since two replicas share an
+/// index.
+inline ChildShard SpawnShard(const char* server_bin, int index,
+                             int num_shards,
+                             const char* extra_arg = nullptr,
+                             const char* extra_val = nullptr,
+                             const char* tag = nullptr) {
+  ChildShard shard;
+  const std::string dir = ::testing::TempDir();
+  const std::string name = tag != nullptr ? tag : std::to_string(index);
+  shard.stdout_path = dir + "/fleet_shard_" + name + "." +
+                      std::to_string(static_cast<long>(getpid()));
+  std::remove(shard.stdout_path.c_str());
+
+  shard.pid = fork();
+  if (shard.pid == 0) {
+    int out =
+        open(shard.stdout_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (out < 0) _exit(41);
+    dup2(out, STDOUT_FILENO);
+    dup2(out, STDERR_FILENO);
+    std::string idx = std::to_string(index);
+    std::string n = std::to_string(num_shards);
+    if (extra_arg != nullptr) {
+      execl(server_bin, server_bin, "--tiny", "--port", "0", "--shard-index",
+            idx.c_str(), "--num-shards", n.c_str(), extra_arg, extra_val,
+            static_cast<char*>(nullptr));
+    } else {
+      execl(server_bin, server_bin, "--tiny", "--port", "0", "--shard-index",
+            idx.c_str(), "--num-shards", n.c_str(),
+            static_cast<char*>(nullptr));
+    }
+    _exit(42);
+  }
+  if (shard.pid > 0) {
+    shard.port = AwaitServingPort(shard.stdout_path, 30'000);
+  }
+  return shard;
+}
+
+inline void ReapShard(ChildShard* shard, int sig) {
+  if (shard->pid <= 0) return;
+  kill(shard->pid, sig);
+  int status = 0;
+  waitpid(shard->pid, &status, 0);
+  shard->pid = -1;
+}
+
+}  // namespace fleet_test
+}  // namespace storm
+
+#endif  // STORM_TESTS_FLEET_UTIL_H_

@@ -5,9 +5,14 @@
 // FlightRecorder tests in obs_test.cc: it proves the dump survives the
 // actual signal → Stop() → DumpText() path of the serving binary.
 //
+// Also the graceful-drain path: SIGTERM with a query in flight must let
+// the stream finish (up to --drain-timeout-ms) before the process exits —
+// and the flight dump must still fire on the way down.
+//
 // The server binary's path arrives via the STORM_SERVER_BIN compile
 // definition (tests/CMakeLists.txt points it at $<TARGET_FILE:storm_server>).
 
+#include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -22,35 +27,14 @@
 
 #include <gtest/gtest.h>
 
+#include "fleet_util.h"
 #include "storm/storm.h"
 
 namespace storm {
 namespace {
 
-std::string ReadFileOrEmpty(const std::string& path) {
-  std::string out;
-  FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return out;
-  char buf[4096];
-  size_t got;
-  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, got);
-  std::fclose(f);
-  return out;
-}
-
-// Polls `path` until a "serving on port N" line appears (the server is up)
-// or the budget runs out. Returns -1 on timeout.
-int AwaitServingPort(const std::string& path, int budget_ms) {
-  for (int waited = 0; waited < budget_ms; waited += 50) {
-    std::string out = ReadFileOrEmpty(path);
-    size_t pos = out.find("serving on port ");
-    if (pos != std::string::npos) {
-      return std::atoi(out.c_str() + pos + std::strlen("serving on port "));
-    }
-    usleep(50 * 1000);
-  }
-  return -1;
-}
+using fleet_test::AwaitServingPort;
+using fleet_test::ReadFileOrEmpty;
 
 TEST(FlightDumpChaosTest, SigtermMidWorkloadDumpsFlightRecorder) {
   // Pid-suffixed paths: a rerun must not pick up a previous run's output.
@@ -122,6 +106,54 @@ TEST(FlightDumpChaosTest, SigtermMidWorkloadDumpsFlightRecorder) {
   for (size_t i = 1; i < seqs.size(); ++i) {
     EXPECT_LT(seqs[i - 1], seqs[i]) << "dump out of global order at line " << i;
   }
+}
+
+TEST(DrainChaosTest, SigtermLetsInFlightQueryFinishThenExits) {
+  // SIGTERM must drain, not axe: the listener closes and new queries are
+  // shed, but a stream already in flight keeps flowing until its final
+  // RESULT (up to --drain-timeout-ms). The server's writer is slowed to
+  // 100 ms per frame so the query is provably mid-stream when the signal
+  // lands.
+  fleet_test::ChildShard shard = fleet_test::SpawnShard(
+      STORM_SERVER_BIN, 0, 1, "--failpoint",
+      "server.conn.slow:latency_ms=100,code=ok", "drain");
+  ASSERT_GT(shard.port, 0) << "server did not come up: "
+                           << ReadFileOrEmpty(shard.stdout_path);
+
+  RemoteClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", shard.port).ok());
+
+  std::atomic<bool> signalled{false};
+  ExecOptions options;
+  options.deadline_ms = 20'000.0;
+  options.progress = [&](const QueryProgress&) {
+    // First streamed frame: the query is mid-flight. SIGTERM the server.
+    if (!signalled.exchange(true)) kill(shard.pid, SIGTERM);
+    return true;
+  };
+  auto result =
+      client.Execute("SELECT AVG(lat) FROM tweets SAMPLES 100000000", options);
+  ASSERT_TRUE(signalled.load()) << "query finished before any progress fired";
+  // The drain window let the stream complete normally.
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->cancelled);
+  EXPECT_GT(result->samples, 0u);
+
+  // The process exits 0 once the drain empties, and both the drain notice
+  // and the flight-recorder dump made it out.
+  int status = 0;
+  ASSERT_EQ(waitpid(shard.pid, &status, 0), shard.pid);
+  shard.pid = -1;
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  const std::string out = ReadFileOrEmpty(shard.stdout_path);
+  EXPECT_NE(out.find("draining"), std::string::npos) << out;
+  EXPECT_NE(out.find("--- flight recorder"), std::string::npos);
+  EXPECT_NE(out.find("accounting drift: none"), std::string::npos) << out;
+
+  // The listener went down with the signal: no new connections.
+  RemoteClient late;
+  EXPECT_FALSE(late.Connect("127.0.0.1", shard.port).ok());
 }
 
 }  // namespace

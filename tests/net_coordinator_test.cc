@@ -13,26 +13,21 @@
 //     (admitted == released, in_flight == 0) whatever the client did.
 //
 // Schedules are seeded via STORM_CHAOS_SEED (CI runs several seeds).
-// Child-process shards reuse the fork/exec pattern of flight_dump_test.cc;
-// STORM_SERVER_BIN arrives from tests/CMakeLists.txt.
+// Fleet fixtures (in-process and child-process shards) live in
+// tests/fleet_util.h; STORM_SERVER_BIN arrives from tests/CMakeLists.txt.
 
 #include <cmath>
 #include <csignal>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
-#include <fcntl.h>
-#include <sys/types.h>
-#include <sys/wait.h>
-#include <unistd.h>
-
 #include <gtest/gtest.h>
 
+#include "fleet_util.h"
 #include "storm/cluster/net_coordinator.h"
 #include "storm/server/protocol.h"
 #include "storm/server/server.h"
@@ -44,11 +39,7 @@
 namespace storm {
 namespace {
 
-uint64_t ChaosSeed() {
-  const char* env = std::getenv("STORM_CHAOS_SEED");
-  if (env == nullptr || *env == '\0') return 1;
-  return std::strtoull(env, nullptr, 10);
-}
+using namespace fleet_test;
 
 // --- Wire back-compat for the cardinality block -------------------------
 
@@ -166,91 +157,105 @@ TEST(CoordinatorWireTest, WantCardinalityFlagRoundTripsAndDefaultsOff) {
   EXPECT_FALSE(old_client->want_cardinality);
 }
 
-// --- In-process fleets --------------------------------------------------
+// --- Mixed-version PING/PONG: the freshness block ------------------------
+//
+// The replica-freshness extension piggybacks on PONG (protocol.h): a new
+// client appends a capability byte to PING, a new server answers with the
+// echo + a tagged applied-records block. Every pairing of old/new client
+// and server must keep working byte-for-byte.
 
-std::vector<Value> MakeDocs(size_t n, uint64_t seed) {
-  Rng rng(seed);
-  std::vector<Value> docs;
-  docs.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    Value doc = Value::MakeObject();
-    doc.Set("x", Value::Double(rng.UniformDouble(0, 100)));
-    doc.Set("y", Value::Double(rng.UniformDouble(0, 100)));
-    doc.Set("v", Value::Double(rng.UniformDouble(0, 100)));
-    doc.Set("t", Value::Double(0.0));
-    docs.push_back(doc);
-  }
-  return docs;
+TEST(PongWireTest, OldClientPingIsByteIdenticalToPlainEcho) {
+  // A client that does not want freshness must emit exactly the historical
+  // payload — old servers echo verbatim and old clients check strict
+  // equality, so any extra byte would break them.
+  EXPECT_EQ(EncodePingPayload("storm-ping", /*want_freshness=*/false),
+            "storm-ping");
 }
 
-// Shard k of n holds records i with i % n == k — the same arrival-order
-// rule storm_server --shard-index uses, so in-process fleets and
-// child-process fleets partition identically.
-std::vector<Value> ShardSlice(const std::vector<Value>& docs, size_t k,
-                              size_t n) {
-  std::vector<Value> slice;
-  for (size_t i = k; i < docs.size(); i += n) slice.push_back(docs[i]);
-  return slice;
+TEST(PongWireTest, OldServerVerbatimEchoDecodesAsFreshnessUnknown) {
+  // Old server: echoes the capability byte back untouched. The new decoder
+  // must recognize its own sent bytes and report freshness-unknown, not an
+  // error — the replica is deprioritized, never evicted, for being old.
+  const std::string sent = EncodePingPayload("storm-ping", true);
+  ASSERT_EQ(sent.size(), std::strlen("storm-ping") + 1);
+  auto fresh = DecodePongPayload(sent, sent, "storm-ping");
+  ASSERT_TRUE(fresh.ok()) << fresh.status();
+  EXPECT_FALSE(fresh->known);
 }
 
-struct InProcShard {
-  std::unique_ptr<Session> session;
-  std::unique_ptr<StormServer> server;
-  int port = 0;
-};
-
-InProcShard StartShard(const std::vector<Value>& docs, size_t k, size_t n,
-                       int port = 0) {
-  InProcShard shard;
-  shard.session = std::make_unique<Session>();
-  EXPECT_TRUE(shard.session->CreateTable("t", ShardSlice(docs, k, n)).ok());
-  ServerOptions options;
-  options.port = port;
-  options.metrics_port = -1;
-  shard.server =
-      std::make_unique<StormServer>(shard.session.get(), options);
-  EXPECT_TRUE(shard.server->Start().ok());
-  shard.port = shard.server->port();
-  return shard;
+TEST(PongWireTest, FreshnessBlockRoundTrips) {
+  PongFreshness fresh;
+  fresh.known = true;
+  fresh.applied_records = 123'456;
+  fresh.applied_lsn = 789;
+  const std::string sent = EncodePingPayload("storm-ping", true);
+  const std::string payload = EncodePongPayload("storm-ping", &fresh);
+  auto decoded = DecodePongPayload(payload, sent, "storm-ping");
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(decoded->known);
+  EXPECT_EQ(decoded->applied_records, 123'456u);
+  EXPECT_EQ(decoded->applied_lsn, 789u);
 }
 
-// Admission slots must settle on every shard no matter how its clients
-// behaved; FinishQuery runs just after the final frame is queued, so give
-// the release a moment to land.
-void ExpectAdmissionSettled(const StormServer& server, const char* who) {
-  for (int i = 0; i < 100; ++i) {
-    const AdmissionController& adm = server.admission();
-    if (adm.admitted_total() == adm.released_total() &&
-        adm.in_flight() == 0) {
-      return;
-    }
-    std::this_thread::sleep_for(std::chrono::milliseconds(10));
-  }
-  const AdmissionController& adm = server.admission();
-  ADD_FAILURE() << who << ": admission drift: admitted="
-                << adm.admitted_total()
-                << " released=" << adm.released_total()
-                << " in_flight=" << adm.in_flight();
+TEST(PongWireTest, BytesPastTheFreshnessBlockAreIgnored) {
+  // Forward compatibility: a future server may append further blocks after
+  // the freshness one; today's decoder must take what it understands.
+  PongFreshness fresh;
+  fresh.known = true;
+  fresh.applied_records = 7;
+  const std::string sent = EncodePingPayload("storm-ping", true);
+  std::string payload = EncodePongPayload("storm-ping", &fresh);
+  payload += "\x7f""future-extension-bytes";
+  auto decoded = DecodePongPayload(payload, sent, "storm-ping");
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(decoded->known);
+  EXPECT_EQ(decoded->applied_records, 7u);
 }
 
-bool AwaitLiveShards(const NetCoordinator& coordinator, int want,
-                     int budget_ms) {
-  for (int waited = 0; waited < budget_ms; waited += 20) {
-    if (coordinator.live_shards() == want) return true;
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
-  }
-  return coordinator.live_shards() == want;
+TEST(PongWireTest, CorruptTrailerIsRejected) {
+  // A trailer that matches neither the verbatim echo nor a freshness block
+  // is a protocol error, not silently-unknown freshness.
+  const std::string sent = EncodePingPayload("storm-ping", true);
+  auto bad = DecodePongPayload(std::string("storm-ping") + "\x07junk", sent,
+                               "storm-ping");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kCorruption);
+
+  // A mangled echo prefix is rejected outright.
+  auto wrong = DecodePongPayload("not-the-echo", sent, "storm-ping");
+  EXPECT_FALSE(wrong.ok());
 }
 
-NetCoordinatorOptions FastOptions() {
-  NetCoordinatorOptions options;
-  options.heartbeat_interval_ms = 50.0;
-  options.failure_threshold = 2;
-  options.heartbeat_timeout_ms = 1000.0;
-  options.rpc_deadline_ms = 8000.0;
-  options.seed = ChaosSeed();
-  return options;
+TEST(PongWireTest, EndToEndAgainstLiveAndLegacyServers) {
+  auto docs = MakeDocs(250, 11);
+  // A current server answers with its applied-record count...
+  auto fresh_shard = StartShard(docs, 0, 1);
+  RemoteClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", fresh_shard.port).ok());
+  auto fresh = client.PingFresh();
+  ASSERT_TRUE(fresh.ok()) << fresh.status();
+  EXPECT_TRUE(fresh->known);
+  EXPECT_EQ(fresh->applied_records, 250u);
+  client.Close();
+  fresh_shard.server->Stop();
+
+  // ...while a pre-freshness server (answer_ping_freshness=false emulates
+  // one, echoing PING verbatim) decodes as freshness-unknown — and plain
+  // Ping() keeps its strict-echo contract against both.
+  ServerOptions legacy;
+  legacy.answer_ping_freshness = false;
+  auto old_shard = StartShard(docs, 0, 1, 0, legacy);
+  RemoteClient old_client;
+  ASSERT_TRUE(old_client.Connect("127.0.0.1", old_shard.port).ok());
+  EXPECT_TRUE(old_client.Ping().ok());
+  auto unknown = old_client.PingFresh();
+  ASSERT_TRUE(unknown.ok()) << unknown.status();
+  EXPECT_FALSE(unknown->known);
+  old_client.Close();
+  old_shard.server->Stop();
 }
+
+// --- In-process fleets (fixtures: tests/fleet_util.h) -------------------
 
 TEST(NetCoordinatorTest, HealthyFleetMergesExactly) {
   auto docs = MakeDocs(12'000, ChaosSeed() * 7919 + 11);
@@ -537,88 +542,14 @@ TEST(NetCoordinatorTest, SurvivorEstimatesUnbiasedChiSquared) {
 
 // --- Child-process shards: kill -9 mid-stream ---------------------------
 
-std::string ReadFileOrEmpty(const std::string& path) {
-  std::string out;
-  FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return out;
-  char buf[4096];
-  size_t got;
-  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, got);
-  std::fclose(f);
-  return out;
-}
-
-int AwaitServingPort(const std::string& path, int budget_ms) {
-  for (int waited = 0; waited < budget_ms; waited += 50) {
-    std::string out = ReadFileOrEmpty(path);
-    size_t pos = out.find("serving on port ");
-    if (pos != std::string::npos) {
-      return std::atoi(out.c_str() + pos + std::strlen("serving on port "));
-    }
-    usleep(50 * 1000);
-  }
-  return -1;
-}
-
-struct ChildShard {
-  pid_t pid = -1;
-  int port = -1;
-  std::string stdout_path;
-};
-
-// fork/exec one storm_server --tiny shard; extra_arg/extra_val optionally
-// arm a failpoint (the registries are per-process, so this is how exactly
-// one shard of the fleet gets slow).
-ChildShard SpawnShard(int index, int num_shards, const char* extra_arg,
-                      const char* extra_val) {
-  ChildShard shard;
-  const std::string dir = ::testing::TempDir();
-  shard.stdout_path = dir + "/nc_shard" + std::to_string(index) + "." +
-                      std::to_string(static_cast<long>(getpid()));
-  std::remove(shard.stdout_path.c_str());
-
-  shard.pid = fork();
-  if (shard.pid == 0) {
-    int out =
-        open(shard.stdout_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-    if (out < 0) _exit(41);
-    dup2(out, STDOUT_FILENO);
-    dup2(out, STDERR_FILENO);
-    std::string idx = std::to_string(index);
-    std::string n = std::to_string(num_shards);
-    if (extra_arg != nullptr) {
-      execl(STORM_SERVER_BIN, STORM_SERVER_BIN, "--tiny", "--port", "0",
-            "--shard-index", idx.c_str(), "--num-shards", n.c_str(),
-            extra_arg, extra_val, static_cast<char*>(nullptr));
-    } else {
-      execl(STORM_SERVER_BIN, STORM_SERVER_BIN, "--tiny", "--port", "0",
-            "--shard-index", idx.c_str(), "--num-shards", n.c_str(),
-            static_cast<char*>(nullptr));
-    }
-    _exit(42);
-  }
-  if (shard.pid > 0) {
-    shard.port = AwaitServingPort(shard.stdout_path, 30'000);
-  }
-  return shard;
-}
-
-void ReapShard(ChildShard* shard, int sig) {
-  if (shard->pid <= 0) return;
-  kill(shard->pid, sig);
-  int status = 0;
-  waitpid(shard->pid, &status, 0);
-  shard->pid = -1;
-}
-
 TEST(NetCoordinatorChaosTest, KillNineMidStreamDropsShardKeepsStreaming) {
   // Three real storm_server processes over disjoint thirds of the tiny
   // demo tables. The victim's writer is slowed to 120 ms per frame so it
   // is provably still mid-stream when SIGKILL lands.
   std::vector<ChildShard> fleet;
-  fleet.push_back(SpawnShard(0, 3, nullptr, nullptr));
-  fleet.push_back(SpawnShard(1, 3, nullptr, nullptr));
-  fleet.push_back(SpawnShard(2, 3, "--failpoint",
+  fleet.push_back(SpawnShard(STORM_SERVER_BIN, 0, 3));
+  fleet.push_back(SpawnShard(STORM_SERVER_BIN, 1, 3));
+  fleet.push_back(SpawnShard(STORM_SERVER_BIN, 2, 3, "--failpoint",
                              "server.conn.slow:latency_ms=120,code=ok"));
   for (const ChildShard& s : fleet) {
     ASSERT_GT(s.port, 0) << "shard did not come up: "
@@ -688,9 +619,9 @@ TEST(NetCoordinatorChaosTest, AllShardsDeadMidStreamReturnsLastKnownPartials) {
   // default-constructed zero estimate. Both writers are slowed so they are
   // provably mid-stream when SIGKILL lands.
   std::vector<ChildShard> fleet;
-  fleet.push_back(SpawnShard(0, 2, "--failpoint",
+  fleet.push_back(SpawnShard(STORM_SERVER_BIN, 0, 2, "--failpoint",
                              "server.conn.slow:latency_ms=200,code=ok"));
-  fleet.push_back(SpawnShard(1, 2, "--failpoint",
+  fleet.push_back(SpawnShard(STORM_SERVER_BIN, 1, 2, "--failpoint",
                              "server.conn.slow:latency_ms=200,code=ok"));
   for (const ChildShard& s : fleet) {
     ASSERT_GT(s.port, 0) << "shard did not come up: "
@@ -775,6 +706,54 @@ TEST(RemoteClientReconnectTest, ReconnectsAfterServerRestart) {
   EXPECT_TRUE(result.ok()) << result.status();
 
   shard.server->Stop();
+}
+
+TEST(RemoteClientReconnectTest, BackoffSpacingIsSeededAndCapped) {
+  // Redial attempts must be spaced by the capped exponential backoff, and
+  // with a jitter seed the schedule must be exactly reproducible — chaos
+  // runs depend on it. Bring a server up, connect, kill it, and time the
+  // failing redial sequence against the schedule the seeded Rng predicts.
+  auto docs = MakeDocs(50, 13);
+  auto shard = StartShard(docs, 0, 1);
+
+  RemoteClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", shard.port).ok());
+  RetryPolicy policy{/*max_attempts=*/0, /*base_backoff_ms=*/40.0,
+                     /*multiplier=*/3.0, /*max_backoff_ms=*/120.0,
+                     /*jitter=*/0.5, /*deadline_ms=*/0.0};
+  client.set_reconnect_backoff(policy);
+  client.set_reconnect_jitter_seed(1234);
+  client.set_max_reconnect_attempts(3);
+
+  // The exact sleep schedule the client must follow: one BackoffMs draw
+  // per attempt from the same seeded stream (40 → 120 → 120-capped bases,
+  // each jittered into [b/2, b]).
+  Rng expect_rng(1234);
+  double expected_total = 0.0;
+  for (int attempt = 1; attempt <= 3; ++attempt) {
+    const double b = policy.BackoffMs(attempt, &expect_rng);
+    EXPECT_GE(b, attempt == 1 ? 20.0 : 60.0);
+    EXPECT_LE(b, attempt == 1 ? 40.0 : 120.0);
+    expected_total += b;
+  }
+
+  shard.server->Stop();  // every redial now gets connection-refused
+  // The first failure after a server death can surface on the response
+  // read (the doomed send lands in the TCP buffer), which closes the
+  // socket without redialing. The NEXT request starts from a dead socket
+  // and runs the full redial schedule; re-seeding pins it to draws 1..3
+  // whether or not the throwaway ping touched the Rng.
+  EXPECT_FALSE(client.Ping().ok());
+  client.set_reconnect_jitter_seed(1234);
+  Stopwatch watch;
+  Status st = client.Ping();
+  const double elapsed = watch.ElapsedMillis();
+  EXPECT_FALSE(st.ok());
+  // sleep_for guarantees at least the requested time; refused dials on
+  // loopback add little. Anything far past the schedule means the client
+  // ignored the policy (or slept the uncapped exponential).
+  EXPECT_GE(elapsed, expected_total * 0.95) << "backoff schedule not honored";
+  EXPECT_LT(elapsed, expected_total + 2000.0) << "backoff way past schedule";
 }
 
 // --- Failpoint spec parsing (the --failpoint startup flag) --------------

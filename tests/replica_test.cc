@@ -1,0 +1,410 @@
+// Chaos suite for replica groups: a NetCoordinator running partitions of R
+// replicas must keep answers EXACT through any single-replica death — the
+// partition's stream fails over to a live sibling mid-query (coverage stays
+// 1.0), inserts fan to every replica, and a replica that missed inserts is
+// caught up from the bounded replay queue on readmission. Degradation is
+// reserved for a fully dead partition; a replica whose replay queue
+// overflowed is permanently routed around, never silently served stale.
+//
+// Mid-stream kills use child-process shards + SIGKILL (an in-process
+// Stop() sends a polite cancelled-but-OK RESULT, which would count as
+// finished); fixtures live in tests/fleet_util.h. Schedules are seeded via
+// STORM_CHAOS_SEED; deterministic_retry_jitter pins replica selection to
+// slot 0 so the chaos schedule knows which replica serves.
+
+#include <atomic>
+#include <cmath>
+#include <csignal>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fleet_util.h"
+#include "storm/cluster/net_coordinator.h"
+#include "storm/server/server.h"
+#include "storm/storm.h"
+#include "storm/util/stopwatch.h"
+
+namespace storm {
+namespace {
+
+using namespace fleet_test;
+
+NetCoordinatorOptions ReplicaOptions(int replicas) {
+  NetCoordinatorOptions options = FastOptions();
+  options.replicas = replicas;
+  // Pin replica selection (slot 0 of every partition) and retry jitter:
+  // the kill schedules below must know which replica is serving.
+  options.deterministic_retry_jitter = true;
+  return options;
+}
+
+bool AwaitReplayDrained(const NetCoordinator& coordinator, size_t index,
+                        int budget_ms) {
+  for (int waited = 0; waited < budget_ms; waited += 20) {
+    if (coordinator.shard_replay_pending(index) == 0) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return coordinator.shard_replay_pending(index) == 0;
+}
+
+TEST(ReplicaGroupTest, StartRejectsShardCountNotMultipleOfReplicas) {
+  NetCoordinatorOptions options = ReplicaOptions(2);
+  NetCoordinator coordinator(
+      {{"127.0.0.1", 1}, {"127.0.0.1", 2}, {"127.0.0.1", 3}}, options);
+  Status st = coordinator.Start();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ReplicaGroupTest, InsertsFanToAllReplicasAndQueriesStayExact) {
+  // 2 partitions x 2 replicas, in-process. Replicas of a partition serve
+  // the same slice; inserts must land on BOTH replicas of the owning
+  // partition, and a COUNT stays exact through any single replica death.
+  auto docs = MakeDocs(4'000, ChaosSeed() * 53 + 1);
+  std::vector<InProcShard> fleet;
+  std::vector<ShardEndpoint> endpoints;
+  for (size_t p = 0; p < 2; ++p) {
+    for (size_t r = 0; r < 2; ++r) {
+      fleet.push_back(StartShard(docs, p, 2));
+      endpoints.push_back({"127.0.0.1", fleet.back().port});
+    }
+  }
+  NetCoordinator coordinator(endpoints, ReplicaOptions(2));
+  ASSERT_TRUE(coordinator.Start().ok());
+  ASSERT_TRUE(AwaitLiveShards(coordinator, 4, 3000));
+  EXPECT_EQ(coordinator.partition_count(), 2u);
+  EXPECT_EQ(coordinator.live_partitions(), 2);
+
+  auto extra = MakeDocs(40, 77);
+  for (size_t i = 0; i < extra.size(); i += 10) {
+    std::vector<Value> batch(extra.begin() + i, extra.begin() + i + 10);
+    BatchInsertResult r = coordinator.InsertBatch("t", batch);
+    ASSERT_TRUE(r.status.ok()) << r.status;
+  }
+
+  // Every replica of a partition holds the identical record count: the
+  // original slice plus every batch routed to its partition.
+  for (size_t p = 0; p < 2; ++p) {
+    auto a = fleet[p * 2].session->GetTable("t");
+    auto b = fleet[p * 2 + 1].session->GetTable("t");
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ((*a)->size(), (*b)->size()) << "partition " << p;
+    EXPECT_EQ((*a)->size(), 2'000u + 20u) << "partition " << p;
+  }
+
+  // COUNT over the fleet counts each partition once, not per-replica.
+  auto count =
+      coordinator.Execute("SELECT COUNT(*) FROM t SAMPLES 100000000", {});
+  ASSERT_TRUE(count.ok()) << count.status();
+  EXPECT_NEAR(count->ci.estimate, 4'040.0, 1e-6);
+  EXPECT_FALSE(count->degraded);
+  EXPECT_NE(count->strategy.find("(2/2 partitions x2 replicas)"),
+            std::string::npos)
+      << count->strategy;
+
+  // Kill one replica of partition 0 outright: the sibling answers, the
+  // result stays exact and non-degraded.
+  fleet[0].server->Stop();
+  ASSERT_TRUE(AwaitLiveShards(coordinator, 3, 5000));
+  EXPECT_EQ(coordinator.live_partitions(), 2);
+  auto after = coordinator.Execute(
+      "SELECT COUNT(*) FROM t SAMPLES 100000000", {});
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_NEAR(after->ci.estimate, 4'040.0, 1e-6);
+  EXPECT_FALSE(after->degraded);
+  EXPECT_DOUBLE_EQ(after->coverage, 1.0);
+
+  coordinator.Stop();
+  for (size_t i = 1; i < fleet.size(); ++i) fleet[i].server->Stop();
+}
+
+TEST(ReplicaChaosTest, MidStreamReplicaDeathFailsOverWithCoverageOne) {
+  // 2 partitions x 2 replicas as real processes. The serving replica of
+  // partition 0 (slot 0 — deterministic_retry_jitter pins selection) is
+  // slowed to 120 ms per frame, then SIGKILLed at the first merged
+  // progress. The coordinator must discard its partials, re-issue the
+  // stream on the sibling, and return an EXACT, non-degraded answer.
+  std::vector<ChildShard> fleet;
+  fleet.push_back(SpawnShard(STORM_SERVER_BIN, 0, 2, "--failpoint",
+                             "server.conn.slow:latency_ms=120,code=ok",
+                             "p0a"));
+  fleet.push_back(SpawnShard(STORM_SERVER_BIN, 0, 2, nullptr, nullptr, "p0b"));
+  fleet.push_back(SpawnShard(STORM_SERVER_BIN, 1, 2, nullptr, nullptr, "p1a"));
+  fleet.push_back(SpawnShard(STORM_SERVER_BIN, 1, 2, nullptr, nullptr, "p1b"));
+  for (const ChildShard& s : fleet) {
+    ASSERT_GT(s.port, 0) << "shard did not come up: "
+                         << ReadFileOrEmpty(s.stdout_path);
+  }
+
+  std::vector<ShardEndpoint> endpoints;
+  for (const ChildShard& s : fleet) endpoints.push_back({"127.0.0.1", s.port});
+  NetCoordinator coordinator(endpoints, ReplicaOptions(2));
+  ASSERT_TRUE(coordinator.Start().ok());
+  ASSERT_TRUE(AwaitLiveShards(coordinator, 4, 10'000));
+
+  // Ground truth over the WHOLE table: the tiny demo generators are
+  // deterministic, so recompute in-process. Failover means the merged
+  // answer must match exactly — not renormalize around a lost partition.
+  double truth;
+  {
+    TweetOptions o;
+    o.num_tweets = 2'000;  // --tiny
+    TweetGenerator gen(o);
+    auto tweets = gen.Generate();
+    double sum = 0.0;
+    for (const Tweet& t : tweets) sum += t.lat;
+    truth = sum / static_cast<double>(tweets.size());
+  }
+
+  std::atomic<bool> killed{false};
+  ExecOptions options;
+  options.deadline_ms = 30'000.0;
+  options.progress = [&](const QueryProgress& p) {
+    // First merged progress with samples: partition 0's slow replica is
+    // provably mid-stream. Kill it dead, no goodbye.
+    if (p.samples > 0 && !killed.exchange(true)) {
+      ReapShard(&fleet[0], SIGKILL);
+    }
+    return true;
+  };
+  Stopwatch watch;
+  auto result = coordinator.Execute(
+      "SELECT AVG(lat) FROM tweets SAMPLES 100000000", options);
+  const double elapsed = watch.ElapsedMillis();
+
+  ASSERT_TRUE(killed.load()) << "query finished before any progress fired";
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_LT(elapsed, 40'000.0);
+  // The failover contract: exact coverage, no degradation, and the merged
+  // estimate equals the full-table truth (both partitions exhausted).
+  EXPECT_FALSE(result->degraded) << result->decision.reason;
+  EXPECT_DOUBLE_EQ(result->coverage, 1.0);
+  EXPECT_NEAR(result->ci.estimate, truth, 1e-6);
+  EXPECT_NE(result->strategy.find("(2/2 partitions x2 replicas)"),
+            std::string::npos)
+      << result->strategy;
+
+  coordinator.Stop();
+  ReapShard(&fleet[1], SIGTERM);
+  ReapShard(&fleet[2], SIGTERM);
+  ReapShard(&fleet[3], SIGTERM);
+}
+
+TEST(ReplicaChaosTest, WholePartitionDeadDegradesCoverageByItsWeight) {
+  // Both replicas of partition 0 SIGKILLed mid-stream: no sibling to fail
+  // over to, so the coordinator falls back to drop-and-renormalize — the
+  // answer is the surviving partition's, flagged degraded with coverage
+  // ~0.5 (equal-size partitions).
+  std::vector<ChildShard> fleet;
+  fleet.push_back(SpawnShard(STORM_SERVER_BIN, 0, 2, "--failpoint",
+                             "server.conn.slow:latency_ms=120,code=ok",
+                             "q0a"));
+  fleet.push_back(SpawnShard(STORM_SERVER_BIN, 0, 2, "--failpoint",
+                             "server.conn.slow:latency_ms=120,code=ok",
+                             "q0b"));
+  fleet.push_back(SpawnShard(STORM_SERVER_BIN, 1, 2, nullptr, nullptr, "q1a"));
+  fleet.push_back(SpawnShard(STORM_SERVER_BIN, 1, 2, nullptr, nullptr, "q1b"));
+  for (const ChildShard& s : fleet) {
+    ASSERT_GT(s.port, 0) << "shard did not come up: "
+                         << ReadFileOrEmpty(s.stdout_path);
+  }
+
+  std::vector<ShardEndpoint> endpoints;
+  for (const ChildShard& s : fleet) endpoints.push_back({"127.0.0.1", s.port});
+  NetCoordinator coordinator(endpoints, ReplicaOptions(2));
+  ASSERT_TRUE(coordinator.Start().ok());
+  ASSERT_TRUE(AwaitLiveShards(coordinator, 4, 10'000));
+
+  std::atomic<bool> killed{false};
+  ExecOptions options;
+  options.deadline_ms = 30'000.0;
+  options.progress = [&](const QueryProgress& p) {
+    if (p.samples > 0 && !killed.exchange(true)) {
+      ReapShard(&fleet[0], SIGKILL);
+      ReapShard(&fleet[1], SIGKILL);
+    }
+    return true;
+  };
+  auto result = coordinator.Execute(
+      "SELECT AVG(lat) FROM tweets SAMPLES 100000000", options);
+
+  ASSERT_TRUE(killed.load()) << "query finished before any progress fired";
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->degraded);
+  EXPECT_GT(result->coverage, 0.3);
+  EXPECT_LT(result->coverage, 0.7);
+  EXPECT_NE(result->strategy.find("(1/2 partitions x2 replicas)"),
+            std::string::npos)
+      << result->strategy;
+
+  coordinator.Stop();
+  ReapShard(&fleet[2], SIGTERM);
+  ReapShard(&fleet[3], SIGTERM);
+}
+
+TEST(ReplicaChaosTest, FlappingReplicaReplaysMissedInsertsToConvergence) {
+  // One partition, two in-process replicas. Replica B goes down, an insert
+  // storm lands (fanned to A, queued for B), B comes back on the same
+  // port — the heartbeat must readmit it and drain the replay queue until
+  // both replicas hold identical record counts.
+  auto docs = MakeDocs(1'000, ChaosSeed() * 97 + 3);
+  InProcShard a = StartShard(docs, 0, 1);
+  InProcShard b = StartShard(docs, 0, 1);
+  const int b_port = b.port;
+
+  NetCoordinator coordinator(
+      {{"127.0.0.1", a.port}, {"127.0.0.1", b_port}}, ReplicaOptions(2));
+  ASSERT_TRUE(coordinator.Start().ok());
+  ASSERT_TRUE(AwaitLiveShards(coordinator, 2, 3000));
+
+  b.server->Stop();
+  ASSERT_TRUE(AwaitLiveShards(coordinator, 1, 5000)) << "eviction missed";
+
+  // Insert storm while B is down: every batch lands on A and is queued
+  // for B's replay (index 1 = slot 1 of partition 0).
+  auto extra = MakeDocs(300, 23);
+  for (size_t i = 0; i < extra.size(); i += 25) {
+    std::vector<Value> batch(extra.begin() + i, extra.begin() + i + 25);
+    BatchInsertResult r = coordinator.InsertBatch("t", batch);
+    ASSERT_TRUE(r.status.ok()) << r.status;
+  }
+  EXPECT_EQ(coordinator.shard_replay_pending(1), 300u);
+  {
+    auto table = a.session->GetTable("t");
+    ASSERT_TRUE(table.ok());
+    EXPECT_EQ((*table)->size(), 1'300u);
+  }
+
+  // B returns on the same port; readmission drains the queue in order.
+  ServerOptions options;
+  options.port = b_port;
+  options.metrics_port = -1;
+  b.server = std::make_unique<StormServer>(b.session.get(), options);
+  ASSERT_TRUE(b.server->Start().ok());
+  ASSERT_TRUE(AwaitLiveShards(coordinator, 2, 5000)) << "readmission missed";
+  ASSERT_TRUE(AwaitReplayDrained(coordinator, 1, 5000))
+      << "replay never drained; pending="
+      << coordinator.shard_replay_pending(1);
+
+  // Convergence: equal per-replica record counts, and the fleet COUNT
+  // reflects every insert exactly once.
+  auto ta = a.session->GetTable("t");
+  auto tb = b.session->GetTable("t");
+  ASSERT_TRUE(ta.ok() && tb.ok());
+  EXPECT_EQ((*ta)->size(), 1'300u);
+  EXPECT_EQ((*tb)->size(), 1'300u);
+  EXPECT_FALSE(coordinator.shard_stale(1));
+
+  auto count =
+      coordinator.Execute("SELECT COUNT(*) FROM t SAMPLES 100000000", {});
+  ASSERT_TRUE(count.ok()) << count.status();
+  EXPECT_NEAR(count->ci.estimate, 1'300.0, 1e-6);
+  EXPECT_FALSE(count->degraded);
+
+  coordinator.Stop();
+  ExpectAdmissionSettled(*a.server, "replay fleet replica A");
+  ExpectAdmissionSettled(*b.server, "replay fleet replica B");
+  a.server->Stop();
+  b.server->Stop();
+}
+
+TEST(ReplicaGroupTest, ReplayOverflowMarksReplicaStaleAndRoutesAround) {
+  // A replay queue past replay_limit_records must mark the replica
+  // permanently stale — bounded memory beats unbounded catch-up — and the
+  // fleet keeps serving exact answers from the sibling.
+  auto docs = MakeDocs(500, 41);
+  InProcShard a = StartShard(docs, 0, 1);
+  InProcShard b = StartShard(docs, 0, 1);
+
+  NetCoordinatorOptions options = ReplicaOptions(2);
+  options.replay_limit_records = 50;  // tiny: the storm overflows it
+  NetCoordinator coordinator(
+      {{"127.0.0.1", a.port}, {"127.0.0.1", b.port}}, options);
+  ASSERT_TRUE(coordinator.Start().ok());
+  ASSERT_TRUE(AwaitLiveShards(coordinator, 2, 3000));
+
+  b.server->Stop();
+  ASSERT_TRUE(AwaitLiveShards(coordinator, 1, 5000));
+
+  auto extra = MakeDocs(120, 59);
+  for (size_t i = 0; i < extra.size(); i += 20) {
+    std::vector<Value> batch(extra.begin() + i, extra.begin() + i + 20);
+    BatchInsertResult r = coordinator.InsertBatch("t", batch);
+    ASSERT_TRUE(r.status.ok()) << r.status;
+  }
+
+  // 40 records queued, then the third batch would cross 50: overflow.
+  EXPECT_TRUE(coordinator.shard_stale(1));
+  EXPECT_EQ(coordinator.shard_replay_pending(1), 0u) << "queue not cleared";
+  EXPECT_EQ(coordinator.live_partitions(), 1);
+
+  // The stale replica is routed around even after its process returns:
+  // queries keep full coverage via the sibling, and a checkpoint refuses
+  // (the stale replica's snapshot would be incomplete).
+  auto count =
+      coordinator.Execute("SELECT COUNT(*) FROM t SAMPLES 100000000", {});
+  ASSERT_TRUE(count.ok()) << count.status();
+  EXPECT_NEAR(count->ci.estimate, 620.0, 1e-6);
+  EXPECT_FALSE(count->degraded);
+  EXPECT_DOUBLE_EQ(count->coverage, 1.0);
+
+  Status ckpt = coordinator.Checkpoint("t");
+  ASSERT_FALSE(ckpt.ok());
+  EXPECT_EQ(ckpt.code(), StatusCode::kUnavailable);
+  EXPECT_NE(ckpt.message().find("stale"), std::string::npos) << ckpt;
+
+  coordinator.Stop();
+  a.server->Stop();
+}
+
+TEST(ReplicaGroupTest, FreshnessUnknownReplicaIsDeprioritizedNotEvicted) {
+  // Replica A emulates a pre-freshness server (PING echoed verbatim): the
+  // coordinator must prefer the freshness-reporting sibling B for queries,
+  // but still keep A admitted — and still serve from A when B dies.
+  auto docs = MakeDocs(800, 67);
+  ServerOptions legacy;
+  legacy.answer_ping_freshness = false;
+  InProcShard a = StartShard(docs, 0, 1, 0, legacy);
+  InProcShard b = StartShard(docs, 0, 1);
+
+  NetCoordinator coordinator(
+      {{"127.0.0.1", a.port}, {"127.0.0.1", b.port}}, ReplicaOptions(2));
+  ASSERT_TRUE(coordinator.Start().ok());
+  ASSERT_TRUE(AwaitLiveShards(coordinator, 2, 3000));
+  // Both live; only B's freshness is known.
+  EXPECT_FALSE(coordinator.shard_freshness_known(0));
+  ASSERT_TRUE(coordinator.shard_freshness_known(1));
+  EXPECT_EQ(coordinator.shard_applied_records(1), 800u);
+
+  // Process-global metrics can't tell replicas apart, but per-server
+  // admission counters can: the query must land on B, not A.
+  auto result =
+      coordinator.Execute("SELECT AVG(v) FROM t SAMPLES 100000000", {});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->degraded);
+  EXPECT_EQ(b.server->admission().admitted_total(), 1u)
+      << "fresh replica must be preferred";
+  EXPECT_EQ(a.server->admission().admitted_total(), 0u)
+      << "freshness-unknown replica must be deprioritized";
+
+  // Deprioritized, NOT evicted: when B dies, A serves — exact, coverage 1.
+  b.server->Stop();
+  ASSERT_TRUE(AwaitLiveShards(coordinator, 1, 5000));
+  auto fallback =
+      coordinator.Execute("SELECT AVG(v) FROM t SAMPLES 100000000", {});
+  ASSERT_TRUE(fallback.ok()) << fallback.status();
+  EXPECT_FALSE(fallback->degraded);
+  EXPECT_DOUBLE_EQ(fallback->coverage, 1.0);
+  EXPECT_GE(a.server->admission().admitted_total(), 1u);
+
+  coordinator.Stop();
+  a.server->Stop();
+}
+
+}  // namespace
+}  // namespace storm

@@ -16,8 +16,24 @@
 #   4. shutdown:  SIGTERM must produce the flight-recorder dump and settled
 #                 admission accounting ("drift: none") on the way down.
 #
-# Any wrong estimate, missing degradation tag, failed readmission, or
-# accounting drift fails the script (and the CI job).
+# A second fleet then checks replica groups — 2 partitions x 2 replicas
+# behind `storm_coordinator --replicas 2`:
+#
+#   5. healthy:   COUNT(*) is exact with a (2/2 partitions x2 replicas) tag;
+#   6. kill -9:   one replica (seed-chosen) dies; the very next query must
+#                 STILL be exact and non-degraded — the partition fails
+#                 over to the surviving sibling, coverage stays 1.0;
+#   7. replay:    storm_query --insert-osm streams inserts through the
+#                 coordinator while the replica is down (the survivor
+#                 applies them, the dead replica's share is queued), the
+#                 replica restarts on the same port, and the per-replica
+#                 direct COUNTs must converge — the replay queue caught
+#                 the restarted replica up;
+#   8. drain:     SIGTERM drains the replica coordinator: "draining" notice,
+#                 flight-recorder dump, settled admission accounting.
+#
+# Any wrong estimate, missing degradation tag, failed readmission, lost
+# insert, or accounting drift fails the script (and the CI job).
 #
 #   tools/check_fleet.sh [server_bin] [coordinator_bin] [query_bin]
 
@@ -154,4 +170,121 @@ grep -q -- "--- flight recorder" "$workdir/coord.err" \
 grep -q "accounting drift: none" "$workdir/coord.out" \
   || fail "admission accounting drifted"
 
-echo "PASS: fleet survives kill -9, degrades honestly, readmits, settles"
+echo "phase 1-4 PASS: fleet survives kill -9, degrades honestly, readmits, settles"
+
+# --- 5. replica groups: 2 partitions x 2 replicas stay EXACT through death.
+# Replicas of a partition are identical processes (same --shard-index, same
+# deterministic demo data); the shard list is consecutive replica groups.
+start_replica() { # name index port(0=ephemeral) -> pid via $shard_pid
+  local name=$1 index=$2 port=$3
+  "$SERVER_BIN" --tiny --port "$port" --shard-index "$index" --num-shards 2 \
+    >"$workdir/replica_$name.out" 2>&1 &
+  shard_pid=$!
+  disown "$shard_pid"
+  await_port "$workdir/replica_$name.out" >/dev/null || return 1
+}
+
+rep_names=(p0a p0b p1a p1b)
+rep_idx=(0 0 1 1)
+rep_ports=()
+rep_pids=()
+for i in 0 1 2 3; do
+  start_replica "${rep_names[$i]}" "${rep_idx[$i]}" 0 \
+    || fail "replica ${rep_names[$i]} did not start"
+  rep_ports+=("$(await_port "$workdir/replica_${rep_names[$i]}.out")")
+  rep_pids+=("$shard_pid")
+  pids+=("$shard_pid")
+done
+echo "replica fleet up on ports ${rep_ports[*]}"
+
+"$COORD_BIN" --port 0 --seed "$SEED" --replicas 2 \
+  --heartbeat-ms 100 --failure-threshold 2 \
+  --shard "127.0.0.1:${rep_ports[0]}" \
+  --shard "127.0.0.1:${rep_ports[1]}" \
+  --shard "127.0.0.1:${rep_ports[2]}" \
+  --shard "127.0.0.1:${rep_ports[3]}" \
+  >"$workdir/rcoord.out" 2>"$workdir/rcoord.err" &
+rcoord_pid=$!
+pids+=("$rcoord_pid")
+rcoord_port=$(await_port "$workdir/rcoord.out") \
+  || fail "replica coordinator did not start"
+grep -q "2 partitions x 2 replicas" "$workdir/rcoord.out" \
+  || fail "coordinator did not report its replica topology"
+echo "replica coordinator up on port $rcoord_port"
+
+run_rquery() { # outfile
+  "$QUERY_BIN" --connect "127.0.0.1:$rcoord_port" "$QUERY" >"$1" 2>&1
+}
+
+run_rquery "$workdir/rq1.out" || fail "healthy replica query failed"
+grep -q "5000" "$workdir/rq1.out" || fail "replica COUNT is not exact 5000"
+grep -q "(2/2 partitions x2 replicas)" "$workdir/rq1.out" \
+  || fail "replica query not tagged 2/2 partitions"
+grep -q "degraded" "$workdir/rq1.out" && fail "healthy replica query degraded"
+echo "replica healthy: COUNT exact 5000, 2/2 partitions"
+
+# --- 6. kill -9 one replica of partition 0; the VERY NEXT query must still
+# be exact — whether the coordinator has evicted it yet or not, the
+# partition fails over to the surviving sibling. No degraded tag allowed.
+rvictim=$((SEED % 2))
+kill -9 "${rep_pids[$rvictim]}"
+wait "${rep_pids[$rvictim]}" 2>/dev/null || true
+echo "killed replica ${rep_names[$rvictim]} (port ${rep_ports[$rvictim]})"
+
+run_rquery "$workdir/rq2.out" || fail "query during replica death failed"
+grep -q "5000" "$workdir/rq2.out" \
+  || fail "failover lost exactness (COUNT != 5000)"
+grep -q "(2/2 partitions x2 replicas)" "$workdir/rq2.out" \
+  || fail "failover query not tagged 2/2 partitions"
+grep -q "degraded" "$workdir/rq2.out" \
+  && fail "replica death degraded the answer (coverage must stay 1.0)"
+echo "failover: replica down, COUNT still exact 5000, coverage 1.0"
+
+# --- 7. insert-replay catch-up: stream inserts through the coordinator
+# while the replica is down, restart it, and require the two partition-0
+# replicas' direct COUNTs to converge (the replay queue drained into it).
+"$QUERY_BIN" --connect "127.0.0.1:$rcoord_port" --insert-osm 600 --quiet \
+  >"$workdir/rins.out" 2>&1 || fail "insert through coordinator failed"
+grep -q "inserted 600 records" "$workdir/rins.out" \
+  || fail "insert run did not confirm 600 records"
+
+run_rquery "$workdir/rq3.out" || fail "post-insert query failed"
+grep -q "5600" "$workdir/rq3.out" \
+  || fail "post-insert COUNT is not exact 5600"
+grep -q "degraded" "$workdir/rq3.out" && fail "post-insert query degraded"
+echo "inserts: COUNT exact 5600 with one replica down"
+
+start_replica "${rep_names[$rvictim]}" "${rep_idx[$rvictim]}" \
+  "${rep_ports[$rvictim]}" || fail "replica did not restart"
+pids+=("$shard_pid")
+
+count_at() { # port -> prints the final COUNT estimate
+  "$QUERY_BIN" --connect "127.0.0.1:$1" "$QUERY" 2>/dev/null \
+    | head -1 | awk '{print $1}'
+}
+converged=0
+for _ in $(seq 1 150); do
+  a=$(count_at "${rep_ports[0]}" || true)
+  b=$(count_at "${rep_ports[1]}" || true)
+  if [[ -n "$a" && "$a" == "$b" && "$a" -gt 2500 ]]; then
+    converged=1
+    break
+  fi
+  sleep 0.1
+done
+[[ "$converged" == 1 ]] \
+  || fail "replay did not converge (partition-0 replicas: ${a:-?} vs ${b:-?})"
+echo "replay: restarted replica caught up ($a == $b records)"
+
+# --- 8. drain the replica coordinator: notice, flight dump, settled books.
+kill -TERM "$rcoord_pid"
+wait "$rcoord_pid" || fail "replica coordinator exited nonzero on SIGTERM"
+grep -q "draining" "$workdir/rcoord.out" \
+  || fail "no draining notice on SIGTERM"
+grep -q -- "--- flight recorder" "$workdir/rcoord.err" \
+  || fail "no flight-recorder dump from replica coordinator"
+grep -q "accounting drift: none" "$workdir/rcoord.out" \
+  || fail "replica coordinator admission accounting drifted"
+
+echo "PASS: fleet survives kill -9 twice over — plain shards degrade" \
+     "honestly and readmit; replica groups stay exact and replay catch-up"

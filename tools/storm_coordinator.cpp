@@ -16,6 +16,16 @@
 // Then point any client at 4317:
 //   ./build/tools/storm_query --connect 127.0.0.1:4317
 //       "SELECT AVG(retweets) FROM tweets CONFIDENCE 0.95"
+//
+// With --replicas R the shard list is read as consecutive groups of R
+// identical servers (same --shard-index/--num-shards flags, different
+// ports): inserts fan to every replica of the owning partition, queries
+// pick one live fresh replica per partition and fail over mid-stream if it
+// dies — exact answers survive any single-replica death (docs/SERVER.md,
+// "Replica groups").
+//
+// SIGINT stops immediately; SIGTERM drains — in-flight merged queries get
+// up to --drain-timeout-ms to finish streaming before the hard stop.
 
 #include <atomic>
 #include <chrono>
@@ -33,9 +43,9 @@
 
 namespace {
 
-std::atomic<bool> g_stop{false};
+std::atomic<int> g_signal{0};
 
-void HandleSignal(int) { g_stop.store(true); }
+void HandleSignal(int sig) { g_signal.store(sig); }
 
 bool ParseEndpoint(const char* arg, storm::ShardEndpoint* out) {
   const char* colon = std::strrchr(arg, ':');
@@ -55,6 +65,7 @@ int main(int argc, char** argv) {
   server_options.metrics_port = -1;
   NetCoordinatorOptions coord_options;
   std::vector<ShardEndpoint> shards;
+  double drain_timeout_ms = 5000.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
       server_options.port = std::atoi(argv[++i]);
@@ -81,13 +92,22 @@ int main(int argc, char** argv) {
       coord_options.rpc_deadline_ms = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       coord_options.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--replicas") == 0 && i + 1 < argc) {
+      coord_options.replicas = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--replay-limit") == 0 && i + 1 < argc) {
+      coord_options.replay_limit_records =
+          static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--drain-timeout-ms") == 0 &&
+               i + 1 < argc) {
+      drain_timeout_ms = std::atof(argv[++i]);
     } else {
       std::fprintf(stderr,
                    "usage: %s --shard host:port [--shard host:port ...] "
                    "[--port N] [--metrics-port N] [--query-threads N] "
                    "[--max-queued N] [--heartbeat-ms F] "
                    "[--failure-threshold N] [--rpc-deadline-ms F] "
-                   "[--seed N]\n",
+                   "[--seed N] [--replicas R] [--replay-limit N] "
+                   "[--drain-timeout-ms F]\n",
                    argv[0]);
       return 2;
     }
@@ -103,8 +123,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "coordinator start: %s\n", st.ToString().c_str());
     return 1;
   }
-  std::printf("coordinating %zu shards (%d live at start)\n",
-              coordinator.shard_count(), coordinator.live_shards());
+  if (coordinator.replicas() > 1) {
+    std::printf(
+        "coordinating %zu shards as %zu partitions x %zu replicas "
+        "(%d live at start)\n",
+        coordinator.shard_count(), coordinator.partition_count(),
+        coordinator.replicas(), coordinator.live_shards());
+  } else {
+    std::printf("coordinating %zu shards (%d live at start)\n",
+                coordinator.shard_count(), coordinator.live_shards());
+  }
 
   StormServer server(&coordinator, server_options);
   st = server.Start();
@@ -120,17 +148,23 @@ int main(int argc, char** argv) {
         "{/metrics,/healthz,/statusz,/tracez,/flightz}",
         server.metrics_port());
   }
-  std::printf(" (SIGINT to stop)\n");
+  std::printf(" (SIGINT to stop, SIGTERM to drain)\n");
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
-  while (!g_stop.load()) {
+  while (g_signal.load() == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
 
-  std::printf("shutting down...\n");
-  server.Stop();
+  if (g_signal.load() == SIGTERM) {
+    std::printf("draining (up to %.0f ms)...\n", drain_timeout_ms);
+    std::fflush(stdout);
+    server.Drain(drain_timeout_ms);
+  } else {
+    std::printf("shutting down...\n");
+    server.Stop();
+  }
   coordinator.Stop();
 
   std::fprintf(stderr,

@@ -12,15 +12,26 @@
 //
 //   storm_query --connect 127.0.0.1:4317 "SELECT AVG(retweets) FROM tweets"
 //
+// In remote mode, `--insert-osm N` replaces the query: it streams N
+// deterministic OSM-like records (a non-default seed, so they are distinct
+// from any server's demo load) into the remote `osm` table via chunked
+// INSERT_BATCH frames — the write-path driver the fleet chaos scripts use
+// to exercise coordinator insert fan-out and replica replay:
+//
+//   storm_query --connect 127.0.0.1:4317 --insert-osm 600
+//
 // The table is always registered as "data" in file mode. Exit code 0 on
 // success, 1 on any error. `--quiet` suppresses the progress stream;
 // `--explain` prints the plan instead of running (equivalent to an EXPLAIN
 // prefix); `--profile` dumps the query's span/IO/convergence trace as JSON
 // to stdout after the answer.
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "storm/server/remote_client.h"
 #include "storm/storm.h"
@@ -88,17 +99,55 @@ void PrintFinal(const QueryResult& result) {
   }
 }
 
-int RunRemote(const char* endpoint, const std::string& query, bool quiet,
-              bool profile) {
+int ConnectTo(const char* endpoint, RemoteClient* client) {
   const char* colon = std::strrchr(endpoint, ':');
   if (colon == nullptr || colon == endpoint) {
     std::fprintf(stderr, "--connect wants host:port, got '%s'\n", endpoint);
     return 1;
   }
-  RemoteClient client;
-  Status st = client.Connect(std::string(endpoint, colon - endpoint),
-                             std::atoi(colon + 1));
+  Status st = client->Connect(std::string(endpoint, colon - endpoint),
+                              std::atoi(colon + 1));
   if (!st.ok()) return Fail(st, endpoint);
+  return 0;
+}
+
+int RunRemoteInsert(const char* endpoint, uint64_t count, bool quiet) {
+  RemoteClient client;
+  if (int rc = ConnectTo(endpoint, &client); rc != 0) return rc;
+
+  OsmOptions gen_options;
+  gen_options.num_points = count;
+  gen_options.seed = 7777;  // distinct stream from the demo load's default
+  OsmLikeGenerator gen(gen_options);
+  std::vector<Value> docs;
+  for (const OsmPoint& p : gen.Generate()) {
+    docs.push_back(OsmLikeGenerator::ToDocument(p));
+  }
+
+  const size_t kChunk = 200;
+  uint64_t inserted = 0;
+  for (size_t off = 0; off < docs.size(); off += kChunk) {
+    std::vector<Value> chunk(
+        docs.begin() + off,
+        docs.begin() + std::min(off + kChunk, docs.size()));
+    BatchInsertResult result = client.InsertBatch("osm", chunk);
+    if (!result.status.ok()) return Fail(result.status, "insert");
+    inserted += chunk.size();
+    if (!quiet) {
+      std::fprintf(stderr, "... inserted %llu/%llu\n",
+                   static_cast<unsigned long long>(inserted),
+                   static_cast<unsigned long long>(count));
+    }
+  }
+  std::printf("inserted %llu records into osm\n",
+              static_cast<unsigned long long>(inserted));
+  return 0;
+}
+
+int RunRemote(const char* endpoint, const std::string& query, bool quiet,
+              bool profile) {
+  RemoteClient client;
+  if (int rc = ConnectTo(endpoint, &client); rc != 0) return rc;
 
   uint64_t last = 0;
   ExecOptions options;
@@ -130,6 +179,8 @@ int main(int argc, char** argv) {
                  "[--quiet] [--explain] [--profile]\n"
                  "       storm_query --connect host:port \"QUERY\" "
                  "[--quiet] [--explain] [--profile]\n"
+                 "       storm_query --connect host:port --insert-osm N "
+                 "[--quiet]\n"
                  "The table name in the query is always 'data'.\n");
     return 1;
   }
@@ -142,6 +193,17 @@ int main(int argc, char** argv) {
   std::string query = argv[remote ? 3 : 2];
   bool quiet = false;
   bool profile = false;
+  if (remote && query == "--insert-osm") {
+    if (argc < 5) {
+      std::fprintf(stderr, "--insert-osm wants a record count\n");
+      return 1;
+    }
+    const uint64_t count = std::strtoull(argv[4], nullptr, 10);
+    for (int i = 5; i < argc; ++i) {
+      quiet = quiet || std::strcmp(argv[i], "--quiet") == 0;
+    }
+    return RunRemoteInsert(path.c_str(), count, quiet);
+  }
   for (int i = remote ? 4 : 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quiet") == 0) {
       quiet = true;

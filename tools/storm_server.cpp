@@ -14,9 +14,17 @@
 // protocol, admission control, and backpressure semantics;
 // docs/OBSERVABILITY.md documents tracing and the flight recorder.
 //
-// On SIGINT/SIGTERM the server shuts down cleanly and dumps the flight
-// recorder (the last ~1k structured events across every thread, in global
-// order) to stderr — the crash-forensics path exercised by the chaos tests.
+// SIGINT stops immediately; SIGTERM drains gracefully — the listener
+// closes, new queries are shed, and in-flight streams get up to
+// --drain-timeout-ms to finish before the hard stop. Either way the server
+// dumps the flight recorder (the last ~1k structured events across every
+// thread, in global order) to stderr — the crash-forensics path exercised
+// by the chaos tests.
+//
+// Replicas are just identical processes: the same --shard-index/--num-shards
+// pair loads the same deterministic demo partition, so a NetCoordinator
+// replica group is N servers started with identical flags on different
+// ports.
 
 #include <atomic>
 #include <chrono>
@@ -32,9 +40,9 @@
 
 namespace {
 
-std::atomic<bool> g_stop{false};
+std::atomic<int> g_signal{0};
 
-void HandleSignal(int) { g_stop.store(true); }
+void HandleSignal(int sig) { g_signal.store(sig); }
 
 // Arrival-order partitioning: shard k of n keeps records i where
 // i % n == k. Every shard runs the same deterministic generators, so a
@@ -99,6 +107,7 @@ int main(int argc, char** argv) {
   bool tiny = false;
   int shard_index = 0;
   int num_shards = 1;
+  double drain_timeout_ms = 5000.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
       options.port = std::atoi(argv[++i]);
@@ -117,6 +126,9 @@ int main(int argc, char** argv) {
       shard_index = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--num-shards") == 0 && i + 1 < argc) {
       num_shards = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--drain-timeout-ms") == 0 &&
+               i + 1 < argc) {
+      drain_timeout_ms = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--failpoint") == 0 && i + 1 < argc) {
       // Arms a process-local fault at startup (failpoint registries are
       // per-process, so this is how exactly one shard of a fleet gets
@@ -137,6 +149,7 @@ int main(int argc, char** argv) {
                    "[--query-threads N] [--max-queued N] "
                    "[--trace-sample-rate F] [--slow-query-ms F] "
                    "[--shard-index K --num-shards N] "
+                   "[--drain-timeout-ms F] "
                    "[--failpoint site:key=value,...] [--tiny]\n",
                    argv[0]);
       return 2;
@@ -176,17 +189,25 @@ int main(int argc, char** argv) {
         "{/metrics,/healthz,/statusz,/tracez,/flightz}",
         server.metrics_port());
   }
-  std::printf(" (SIGINT to stop)\n");
+  std::printf(" (SIGINT to stop, SIGTERM to drain)\n");
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
-  while (!g_stop.load()) {
+  while (g_signal.load() == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
 
-  std::printf("shutting down...\n");
-  server.Stop();
+  if (g_signal.load() == SIGTERM) {
+    // Graceful drain: stop accepting, shed new queries, and give in-flight
+    // streams up to the timeout to deliver their final RESULT.
+    std::printf("draining (up to %.0f ms)...\n", drain_timeout_ms);
+    std::fflush(stdout);
+    server.Drain(drain_timeout_ms);
+  } else {
+    std::printf("shutting down...\n");
+    server.Stop();
+  }
 
   // Crash/shutdown forensics: the most recent structured events from every
   // thread, merged into one global order.
