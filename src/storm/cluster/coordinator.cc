@@ -226,7 +226,24 @@ class DistributedSampler final : public SpatialSampler<3> {
     return Status::OK();
   }
 
-  std::optional<Entry> Next() override {
+  std::optional<Entry> Next() override { return DrawOne(); }
+
+  uint64_t NextBatch(std::span<Entry> out) override {
+    uint64_t n = 0;
+    for (Entry& slot : out) {
+      std::optional<Entry> e = DrawOne();
+      if (!e.has_value()) break;
+      slot = *e;
+      ++n;
+    }
+    return n;
+  }
+
+ private:
+  // Shared draw path behind Next()/NextBatch(); non-virtual so the batched
+  // feed pays one dispatch per batch. Each draw still re-reads the weight
+  // vector, so mid-batch evictions and exhaustions renormalize immediately.
+  std::optional<Entry> DrawOne() {
     if (!began_) return std::nullopt;
     // Retry over shards: a shard whose without-replacement stream exhausts
     // has its weight dropped. In without-replacement mode the weight is the
@@ -267,6 +284,7 @@ class DistributedSampler final : public SpatialSampler<3> {
     }
   }
 
+ public:
   CardinalityEstimate Cardinality() const override {
     CardinalityEstimate c;
     if (began_) {

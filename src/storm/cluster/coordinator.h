@@ -24,6 +24,7 @@
 
 #include "storm/cluster/shard.h"
 #include "storm/geo/hilbert.h"
+#include "storm/sampling/options.h"
 #include "storm/util/retry.h"
 
 namespace storm {
@@ -37,17 +38,10 @@ enum class Partitioning {
   kHilbertRange,
 };
 
-/// Fault-handling knobs for the coordinator's merged sampler.
-struct DistributedSamplerOptions {
-  /// Applied to every shard call (plan-round counts and per-draw probes).
-  /// deadline_ms acts as the per-shard deadline: a shard that cannot answer
-  /// within it — dead, or slowed past the deadline — is treated as failed.
-  RetryPolicy retry;
-  /// Give each shard-local RS-tree sampler a private sample-buffer cache
-  /// (see RsTree::NewSampler); set by parallel query workers so their
-  /// merged streams never contend on the shards' shared buffer mutexes.
-  bool private_buffers = false;
-};
+/// The coordinator's fault-handling knobs (retry/deadline per shard call,
+/// private shard-local sample buffers) now live in the consolidated
+/// SamplingOptions; this alias keeps one release of source compatibility.
+using DistributedSamplerOptions = SamplingOptions;
 
 class Cluster {
  public:

@@ -1,5 +1,6 @@
 #include "storm/estimator/aggregate.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace storm {
@@ -71,25 +72,38 @@ void OnlineAggregator<D>::Merge(const OnlineAggregator& other) {
 template <int D>
 uint64_t OnlineAggregator<D>::Step(uint64_t batch) {
   if (!began_ || exhausted_) return 0;
+  // Batched feed: one virtual dispatch per chunk instead of per sample.
+  constexpr uint64_t kChunk = 256;
+  Entry buf[kChunk];
   uint64_t drawn = 0;
-  for (uint64_t i = 0; i < batch; ++i) {
-    std::optional<Entry> e = sampler_->Next();
-    if (!e.has_value()) {
+  while (drawn < batch) {
+    uint64_t ask = std::min(batch - drawn, kChunk);
+    uint64_t got =
+        sampler_->NextBatch(std::span<Entry>(buf, static_cast<size_t>(ask)));
+    if (got == 0) {
       exhausted_ = sampler_->IsExhausted();
       break;
     }
-    double x = 1.0;
-    if (kind_ != AggregateKind::kCount) {
-      x = attr_(*e);
-      if (std::isnan(x)) {
-        // SQL semantics: records with a NULL/missing attribute are not part
-        // of the aggregated population. The draw still counts as work.
-        ++drawn;
-        continue;
+    for (uint64_t i = 0; i < got; ++i) {
+      double x = 1.0;
+      if (kind_ != AggregateKind::kCount) {
+        x = attr_(buf[i]);
+        if (std::isnan(x)) {
+          // SQL semantics: records with a NULL/missing attribute are not
+          // part of the aggregated population. The draw still counts as
+          // work.
+          continue;
+        }
       }
+      stat_.Push(x);
     }
-    stat_.Push(x);
-    ++drawn;
+    drawn += got;
+    if (got < ask) {
+      // Short batch: the stream stalled or exhausted mid-chunk; settle it
+      // on the next call rather than spinning here.
+      exhausted_ = sampler_->IsExhausted();
+      break;
+    }
   }
   return drawn;
 }

@@ -1,5 +1,6 @@
 #include "storm/estimator/group_by.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace storm {
@@ -56,17 +57,28 @@ void GroupByAggregator<D>::Merge(const GroupByAggregator& other) {
 template <int D>
 uint64_t GroupByAggregator<D>::Step(uint64_t batch) {
   if (!began_ || exhausted_) return 0;
+  // Batched feed: one virtual dispatch per chunk instead of per sample.
+  constexpr uint64_t kChunk = 256;
+  Entry buf[kChunk];
   uint64_t drawn = 0;
-  for (uint64_t i = 0; i < batch; ++i) {
-    std::optional<Entry> e = sampler_->Next();
-    if (!e.has_value()) {
+  while (drawn < batch) {
+    uint64_t ask = std::min(batch - drawn, kChunk);
+    uint64_t got =
+        sampler_->NextBatch(std::span<Entry>(buf, static_cast<size_t>(ask)));
+    if (got == 0) {
       exhausted_ = sampler_->IsExhausted();
       break;
     }
-    double x = kind_ == AggregateKind::kCount ? 1.0 : attr_(*e);
-    groups_[key_(*e)].Push(x);
-    ++total_samples_;
-    ++drawn;
+    for (uint64_t i = 0; i < got; ++i) {
+      double x = kind_ == AggregateKind::kCount ? 1.0 : attr_(buf[i]);
+      groups_[key_(buf[i])].Push(x);
+      ++total_samples_;
+    }
+    drawn += got;
+    if (got < ask) {
+      exhausted_ = sampler_->IsExhausted();
+      break;
+    }
   }
   return drawn;
 }

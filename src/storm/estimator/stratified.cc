@@ -1,0 +1,282 @@
+#include "storm/estimator/stratified.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace storm {
+
+namespace {
+constexpr uint64_t kChunk = 256;  // stack buffer for batched draws
+}  // namespace
+
+template <int D>
+StratifiedAggregator<D>::StratifiedAggregator(StratifiedSampler<D>* sampler,
+                                              AttributeFn<D> attr,
+                                              AggregateKind kind,
+                                              double confidence, int worker,
+                                              int num_workers)
+    : sampler_(sampler),
+      attr_(std::move(attr)),
+      kind_(kind),
+      confidence_(confidence),
+      worker_(worker),
+      num_workers_(num_workers < 1 ? 1 : num_workers) {}
+
+template <int D>
+Status StratifiedAggregator<D>::Begin(const Rect<D>& query) {
+  mode_ = SamplingMode::kWithoutReplacement;
+  Status st = sampler_->Begin(query, mode_);
+  if (st.IsNotSupported()) {
+    mode_ = SamplingMode::kWithReplacement;
+    st = sampler_->Begin(query, mode_);
+  }
+  STORM_RETURN_NOT_OK(st);
+  stats_.assign(sampler_->Strata(), RunningStat());
+  exhausted_ = stats_.empty();
+  began_ = true;
+  watch_.Restart();
+  return Status::OK();
+}
+
+template <int D>
+Status StratifiedAggregator<D>::Begin(const Rect<D>& query, SamplingMode mode) {
+  mode_ = mode;
+  STORM_RETURN_NOT_OK(sampler_->Begin(query, mode_));
+  stats_.assign(sampler_->Strata(), RunningStat());
+  exhausted_ = stats_.empty();
+  began_ = true;
+  watch_.Restart();
+  return Status::OK();
+}
+
+template <int D>
+uint64_t StratifiedAggregator<D>::samples_drawn() const {
+  uint64_t n = 0;
+  for (const RunningStat& s : stats_) n += s.count();
+  return n;
+}
+
+template <int D>
+void StratifiedAggregator<D>::Merge(const StratifiedAggregator& other) {
+  for (size_t h = 0; h < stats_.size() && h < other.stats_.size(); ++h) {
+    stats_[h].Merge(other.stats_[h]);
+  }
+  exhausted_ = exhausted_ && other.exhausted_;
+}
+
+// Splits `batch` over the live owned strata: every stratum gets the
+// exploration floor first (variance estimates must not starve — a stratum
+// Neyman currently considers quiet may just be under-observed), then the
+// remainder goes ∝ N_h·σ̂_h. Strata without a variance estimate yet borrow
+// the pooled within-stratum σ̂; if nothing has one, allocation falls back
+// to ∝ N_h (proportional allocation). Fully deterministic: leftovers from
+// integer rounding go to the lowest-indexed live strata.
+template <int D>
+void StratifiedAggregator<D>::AllocateBudget(uint64_t batch,
+                                             std::vector<uint64_t>* quota) const {
+  const size_t H = stats_.size();
+  quota->assign(H, 0);
+  std::vector<size_t> live;
+  for (size_t h = 0; h < H; ++h) {
+    if (!Owned(h)) continue;
+    if (sampler_->StratumPopulation(h) == 0) continue;
+    if (sampler_->StratumExhausted(h)) continue;
+    live.push_back(h);
+  }
+  if (live.empty() || batch == 0) return;
+
+  uint64_t floor = sampler_->options().exploration_floor;
+  if (floor * live.size() > batch) {
+    floor = batch / live.size();  // may be 0: tiny batches skip the floor
+  }
+  uint64_t spent = 0;
+  for (size_t h : live) {
+    (*quota)[h] = floor;
+    spent += floor;
+  }
+  uint64_t remaining = batch - spent;
+  if (remaining == 0) {
+    // Tiny batch: round-robin one draw each until the batch is gone.
+    if (floor == 0) {
+      for (size_t i = 0; i < live.size() && i < batch; ++i) {
+        (*quota)[live[i]] = 1;
+      }
+    }
+    return;
+  }
+
+  // Pooled within-stratum σ̂ for strata that cannot estimate their own yet.
+  double pooled_num = 0.0, pooled_den = 0.0;
+  for (size_t h : live) {
+    if (stats_[h].count() >= 2) {
+      double dof = static_cast<double>(stats_[h].count() - 1);
+      pooled_num += dof * stats_[h].variance();
+      pooled_den += dof;
+    }
+  }
+  const double pooled = pooled_den > 0.0 ? std::sqrt(pooled_num / pooled_den)
+                                         : 0.0;
+  std::vector<double> weight(live.size(), 0.0);
+  double total_weight = 0.0;
+  for (size_t i = 0; i < live.size(); ++i) {
+    size_t h = live[i];
+    double sigma = stats_[h].count() >= 2 ? stats_[h].stddev() : pooled;
+    weight[i] = static_cast<double>(sampler_->StratumPopulation(h)) * sigma;
+    total_weight += weight[i];
+  }
+  if (total_weight <= 0.0) {
+    // No variance signal anywhere yet: proportional allocation.
+    for (size_t i = 0; i < live.size(); ++i) {
+      weight[i] = static_cast<double>(sampler_->StratumPopulation(live[i]));
+      total_weight += weight[i];
+    }
+  }
+  if (total_weight <= 0.0) return;
+
+  uint64_t given = 0;
+  for (size_t i = 0; i < live.size(); ++i) {
+    uint64_t n = static_cast<uint64_t>(static_cast<double>(remaining) *
+                                       weight[i] / total_weight);
+    (*quota)[live[i]] += n;
+    given += n;
+  }
+  // Rounding leftover to the lowest-indexed live strata, one each.
+  for (size_t i = 0; given < remaining; i = (i + 1) % live.size()) {
+    ++(*quota)[live[i]];
+    ++given;
+  }
+}
+
+template <int D>
+uint64_t StratifiedAggregator<D>::Step(uint64_t batch) {
+  if (!began_ || exhausted_) return 0;
+  std::vector<uint64_t> quota;
+  AllocateBudget(batch, &quota);
+  Entry buf[kChunk];
+  uint64_t drawn = 0;
+  for (size_t h = 0; h < quota.size(); ++h) {
+    uint64_t want = quota[h];
+    while (want > 0) {
+      uint64_t ask = std::min<uint64_t>(want, kChunk);
+      uint64_t got = sampler_->NextBatchFrom(
+          h, std::span<Entry>(buf, static_cast<size_t>(ask)));
+      for (uint64_t i = 0; i < got; ++i) {
+        double x = 1.0;
+        if (kind_ != AggregateKind::kCount) {
+          x = attr_(buf[i]);
+          // SQL semantics: NULL/missing attributes leave the aggregated
+          // population; the draw still counts as work.
+          if (std::isnan(x)) continue;
+        }
+        stats_[h].Push(x);
+      }
+      drawn += got;
+      if (got < ask) break;  // stratum exhausted or stalled
+      want -= ask;
+    }
+  }
+  if (mode_ == SamplingMode::kWithoutReplacement || drawn == 0) {
+    bool all_done = true;
+    for (size_t h = 0; h < stats_.size(); ++h) {
+      if (Owned(h) && sampler_->StratumPopulation(h) > 0 &&
+          !sampler_->StratumExhausted(h)) {
+        all_done = false;
+        break;
+      }
+    }
+    exhausted_ = all_done;
+  }
+  return drawn;
+}
+
+template <int D>
+ConfidenceInterval StratifiedAggregator<D>::RunUntil(const StoppingRule& rule,
+                                                     uint64_t batch) {
+  while (true) {
+    uint64_t drawn = Step(batch);
+    ConfidenceInterval ci = Current();
+    if (rule.ShouldStop(ci, watch_.ElapsedMillis())) return ci;
+    if (drawn == 0) return ci;
+  }
+}
+
+template <int D>
+ConfidenceInterval StratifiedAggregator<D>::Current() const {
+  ConfidenceInterval ci;
+  ci.confidence = confidence_;
+  ci.samples = samples_drawn();
+  if (!began_) return ci;
+
+  uint64_t total = 0;
+  for (size_t h = 0; h < stats_.size(); ++h) {
+    total += sampler_->StratumPopulation(h);
+  }
+
+  if (kind_ == AggregateKind::kCount) {
+    // Stratum populations are exact, so COUNT is exact immediately.
+    ci.estimate = static_cast<double>(total);
+    ci.half_width = 0.0;
+    ci.exact = true;
+    return ci;
+  }
+  if (total == 0) {
+    ci.exact = true;
+    return ci;  // empty query box
+  }
+
+  const bool wor = mode_ == SamplingMode::kWithoutReplacement;
+  const double z = ZCritical(confidence_);
+  double est_covered = 0.0;   // Σ over covered strata of (weight · x̄_h)
+  double covered_pop = 0.0;   // Σ over covered strata of N_h
+  double var = 0.0;           // variance of the stratified estimator
+  bool all_covered = true;    // every non-empty stratum has ≥1 sample
+  bool var_known = true;      // every non-empty stratum has ≥2 samples
+  for (size_t h = 0; h < stats_.size(); ++h) {
+    const double N_h = static_cast<double>(sampler_->StratumPopulation(h));
+    if (N_h <= 0.0) continue;
+    const uint64_t n_h = stats_[h].count();
+    if (n_h == 0) {
+      all_covered = false;
+      continue;
+    }
+    covered_pop += N_h;
+    const double scale =
+        kind_ == AggregateKind::kAvg ? N_h / static_cast<double>(total) : N_h;
+    est_covered += scale * stats_[h].mean();
+    if (n_h >= 2) {
+      double fpc = 1.0;
+      if (wor && N_h > 1.0) {
+        fpc = std::max(0.0, 1.0 - static_cast<double>(n_h) / N_h);
+      }
+      var += scale * scale * stats_[h].variance() /
+             static_cast<double>(n_h) * fpc;
+    } else if (N_h > 1.0) {
+      var_known = false;  // contributes variance we cannot bound yet
+    }
+  }
+
+  if (covered_pop <= 0.0) {
+    ci.half_width = std::numeric_limits<double>::infinity();
+    return ci;
+  }
+  // Renormalize over the covered strata until every stratum is observed —
+  // unbiased only under homogeneity, hence the infinite half-width below.
+  const double coverage = covered_pop / static_cast<double>(total);
+  ci.estimate = est_covered / coverage;
+  if (!all_covered || !var_known) {
+    ci.half_width = std::numeric_limits<double>::infinity();
+  } else {
+    ci.half_width = z * std::sqrt(var);
+  }
+  if (exhausted_ && wor && num_workers_ <= 1) {
+    ci.exact = true;
+    ci.half_width = 0.0;
+  }
+  return ci;
+}
+
+template class StratifiedAggregator<2>;
+template class StratifiedAggregator<3>;
+
+}  // namespace storm

@@ -1,0 +1,103 @@
+// StratifiedAggregator: per-stratum online estimation with Neyman
+// allocation over a StratifiedSampler (the estimator half of the stratified
+// engine; see src/storm/sampling/stratified.h for the partition half).
+//
+// Each stratum h keeps its own RunningStat. Every Step(batch) round splits
+// the batch across the live strata: an exploration floor per stratum first
+// (so variance estimates never starve), then the remainder by Neyman
+// allocation n_h ∝ N_h·σ̂_h — the allocation that minimizes the variance of
+// the stratified estimator for a fixed total budget. Strata the data makes
+// quiet (small σ̂_h) get few samples; volatile ones get many.
+//
+// The combined estimates use exact stratum weights W_h = N_h / N (stratum
+// populations are exact at Begin):
+//
+//   AVG:  x̂ = Σ W_h·x̄_h         Var = Σ W_h²·s²_h/n_h·fpc_h
+//   SUM:  x̂ = Σ N_h·x̄_h         Var = Σ N_h²·s²_h/n_h·fpc_h
+//   COUNT: exact (Σ N_h), zero-width interval immediately.
+//
+// fpc_h = (1 - n_h/N_h) in without-replacement mode. Until every non-empty
+// stratum has at least one sample the half-width is infinite (the missing
+// strata could hold anything); the estimate meanwhile renormalizes over the
+// covered strata.
+//
+// Parallel workers own disjoint strata (h % num_workers == worker) of
+// their own sampler instance — the partition is RNG-free, so stratum
+// indices align across workers — and Merge() folds the per-stratum
+// moments, after which Current() sees every stratum covered.
+
+#ifndef STORM_ESTIMATOR_STRATIFIED_H_
+#define STORM_ESTIMATOR_STRATIFIED_H_
+
+#include <vector>
+
+#include "storm/estimator/aggregate.h"
+#include "storm/sampling/stratified.h"
+
+namespace storm {
+
+template <int D>
+class StratifiedAggregator {
+ public:
+  using Entry = typename RTree<D>::Entry;
+
+  /// `sampler` must outlive the aggregator. `attr` may be empty for kCount.
+  /// Supported kinds: kAvg, kSum, kCount (the optimizer gates the rest to
+  /// the uniform path). `worker`/`num_workers` select the strata this
+  /// instance owns: h with h % num_workers == worker.
+  StratifiedAggregator(StratifiedSampler<D>* sampler, AttributeFn<D> attr,
+                       AggregateKind kind, double confidence = 0.95,
+                       int worker = 0, int num_workers = 1);
+
+  /// Prefers without-replacement (per-stratum exhaustion gives exact
+  /// answers), falls back to with-replacement if unsupported.
+  Status Begin(const Rect<D>& query);
+  /// Exact mode, no fallback (the parallel engine forces with-replacement).
+  Status Begin(const Rect<D>& query, SamplingMode mode);
+
+  /// Draws up to `batch` samples, split across owned strata by the
+  /// exploration floor + Neyman allocation. Returns the number drawn.
+  uint64_t Step(uint64_t batch = 64);
+
+  /// Runs Step() until the stopping rule fires or the stream is exhausted.
+  ConfidenceInterval RunUntil(const StoppingRule& rule, uint64_t batch = 64);
+
+  /// The current combined stratified estimate.
+  ConfidenceInterval Current() const;
+
+  /// Folds another worker's per-stratum moments into this one. Both sides
+  /// must estimate the same query over samplers with identical partitions.
+  void Merge(const StratifiedAggregator& other);
+
+  bool Exhausted() const { return exhausted_; }
+  uint64_t samples_drawn() const;
+  double elapsed_millis() const { return watch_.ElapsedMillis(); }
+  size_t strata() const { return stats_.size(); }
+  const RunningStat& stratum_stat(size_t h) const { return stats_[h]; }
+
+ private:
+  bool Owned(size_t h) const {
+    return num_workers_ <= 1 ||
+           static_cast<int>(h % static_cast<size_t>(num_workers_)) == worker_;
+  }
+  void AllocateBudget(uint64_t batch, std::vector<uint64_t>* quota) const;
+
+  StratifiedSampler<D>* sampler_;
+  AttributeFn<D> attr_;
+  AggregateKind kind_;
+  double confidence_;
+  int worker_;
+  int num_workers_;
+  SamplingMode mode_ = SamplingMode::kWithoutReplacement;
+  std::vector<RunningStat> stats_;  // one per stratum (owned or not)
+  Stopwatch watch_;
+  bool began_ = false;
+  bool exhausted_ = false;
+};
+
+extern template class StratifiedAggregator<2>;
+extern template class StratifiedAggregator<3>;
+
+}  // namespace storm
+
+#endif  // STORM_ESTIMATOR_STRATIFIED_H_

@@ -41,6 +41,10 @@ enum class SamplerStrategy {
   /// Merged sampling over the table's shards; only valid for tables built
   /// with TableConfig::num_shards > 1.
   kDistributed,
+  /// Stratified sampling over the RS-tree's canonical node set with Neyman
+  /// budget allocation (USING STRATIFIED); aggregate AVG/SUM/COUNT only —
+  /// other tasks fall back to the uniform facade stream.
+  kStratified,
 };
 
 std::string_view SamplerStrategyToString(SamplerStrategy s);

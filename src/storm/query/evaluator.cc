@@ -6,22 +6,30 @@
 #include <mutex>
 #include <thread>
 
+#include "storm/estimator/stratified.h"
 #include "storm/obs/metrics.h"
 #include "storm/obs/trace_context.h"
 #include "storm/sampling/failover.h"
+#include "storm/sampling/stratified.h"
 #include "storm/util/thread_pool.h"
 
 namespace storm {
 
 namespace {
-constexpr uint64_t kBatch = 64;
-/// Per-lock sampling quantum of a parallel worker: long enough to amortize
-/// the worker-shard mutex, short enough that the coordinator's merge never
-/// waits noticeably.
-constexpr uint64_t kParallelBatch = 256;
 /// Backstop for queries with no stopping clause on a sampler that cannot
 /// exhaust (with-replacement modes): bounded, documented, generous.
 constexpr uint64_t kDefaultSampleCap = 100'000;
+
+/// True when the query can run on the stratified estimator: a plain
+/// AVG/SUM/COUNT aggregate with no GROUP BY. Other tasks still accept a
+/// USING STRATIFIED hint, but draw from the sampler's uniform facade.
+bool StratifiableAggregate(const QueryAst& ast) {
+  return ast.task == QueryTask::kAggregate && ast.group_by.empty() &&
+         !ast.GroupByCell() &&
+         (ast.aggregate == AggregateKind::kAvg ||
+          ast.aggregate == AggregateKind::kSum ||
+          ast.aggregate == AggregateKind::kCount);
+}
 }  // namespace
 
 Result<std::unique_ptr<SpatialSampler<3>>> QueryEvaluator::MakeSampler(
@@ -32,6 +40,20 @@ Result<std::unique_ptr<SpatialSampler<3>>> QueryEvaluator::MakeSampler(
       optimizer_.Choose(*table_, ast.QueryBox(), ast.sample_limit);
   if (strategy == SamplerStrategy::kAuto) {
     strategy = result->decision.strategy;
+    // Upgrade an auto-chosen plan to stratified execution when the aggregate
+    // can use it and the canonical set has fan-out worth exploiting (or the
+    // caller asked for it via SamplingOptions::prefer_stratified).
+    // auto_stratify=false (set by the server for pre-stratified clients)
+    // suppresses the heuristic upgrade; an explicit preference still wins.
+    if (StratifiableAggregate(ast) &&
+        (sampling_.auto_stratify || sampling_.prefer_stratified) &&
+        optimizer_.ShouldStratify(*table_, result->decision,
+                                  sampling_.prefer_stratified)) {
+      strategy = SamplerStrategy::kStratified;
+      result->decision.strategy = strategy;
+      result->decision.reason +=
+          "; stratified over the canonical set (Neyman allocation)";
+    }
   } else {
     result->decision.strategy = strategy;
     result->decision.reason = "USING hint";
@@ -46,15 +68,15 @@ Result<std::unique_ptr<SpatialSampler<3>>> QueryEvaluator::MakeSampler(
   if (strategy == SamplerStrategy::kSampleFirst &&
       ast.method == SamplerStrategy::kAuto) {
     STORM_ASSIGN_OR_RETURN(std::unique_ptr<SpatialSampler<3>> primary,
-                           table_->NewSampler(strategy, seed));
+                           table_->NewSampler(strategy, seed, sampling_));
     STORM_ASSIGN_OR_RETURN(std::unique_ptr<SpatialSampler<3>> fallback,
                            table_->NewSampler(SamplerStrategy::kRsTree,
-                                              seed + 1));
+                                              seed + 1, sampling_));
     return std::unique_ptr<SpatialSampler<3>>(
         std::make_unique<FailoverSampler<3>>(std::move(primary),
                                              std::move(fallback)));
   }
-  return table_->NewSampler(strategy, seed);
+  return table_->NewSampler(strategy, seed, sampling_);
 }
 
 namespace {
@@ -105,11 +127,16 @@ struct ParallelEnv {
   double deadline_ms = 0.0;  ///< effective (ExecOptions ∧ DEADLINE clause)
   const Stopwatch* watch = nullptr;
   const ProgressFn* progress = nullptr;
+  /// Per-lock sampling quantum of a worker: long enough to amortize the
+  /// worker-shard mutex, short enough that the coordinator's merge never
+  /// waits noticeably. Derived from SamplingOptions::batch_size.
+  uint64_t batch = 256;
 };
 
 /// Est must provide Begin(box, mode), Step(n) -> drawn, Merge(other), and a
 /// copy constructor. make_sampler(w) builds worker w's sampler;
-/// make_est(sampler) its shard; ci_of(merged) / samples_of(merged) read the
+/// make_est(sampler, w) its shard (w lets stratum-partitioned estimators
+/// claim disjoint strata); ci_of(merged) / samples_of(merged) read the
 /// task's CI and sample count (ci_of runs under shard 0's lock because it
 /// may consult shard 0's sampler for cardinality).
 template <typename Est, typename MakeSamplerFn, typename MakeEstFn,
@@ -124,7 +151,7 @@ Result<ParallelOutcome<Est>> RunParallelEngine(
   for (int w = 0; w < n; ++w) {
     STORM_ASSIGN_OR_RETURN(std::unique_ptr<SpatialSampler<3>> sampler,
                            make_sampler(w));
-    std::unique_ptr<Est> est = make_est(sampler.get());
+    std::unique_ptr<Est> est = make_est(sampler.get(), w);
     Status st = est->Begin(box, SamplingMode::kWithReplacement);
     if (st.IsNotSupported()) return out;  // sequential fallback
     STORM_RETURN_NOT_OK(st);
@@ -143,6 +170,7 @@ Result<ParallelOutcome<Est>> RunParallelEngine(
   std::vector<std::atomic<bool>> done(static_cast<size_t>(n));
   for (auto& d : done) d.store(false, std::memory_order_relaxed);
   const uint64_t cap = env.rule.max_samples;  // 0 = uncapped
+  const uint64_t quantum = env.batch > 0 ? env.batch : 256;
 
   ThreadPool& pool = ThreadPool::Shared();
   std::vector<std::future<void>> futures;
@@ -159,18 +187,30 @@ Result<ParallelOutcome<Est>> RunParallelEngine(
     std::mutex* mu = mus[static_cast<size_t>(w)].get();
     auto* done_flag = &done[static_cast<size_t>(w)];
     futures.push_back(pool.Submit([&stop, &total_drawn, est, mu, done_flag,
-                                   worker_samples, cap, trace] {
+                                   worker_samples, cap, quantum, trace] {
       ScopedTraceContext trace_scope(trace);
-      while (!stop.load(std::memory_order_acquire)) {
-        if (cap != 0 &&
-            total_drawn.load(std::memory_order_relaxed) >= cap) {
-          break;
+      // Every worker contributes at least one batch before honoring the
+      // stop flag or the sample cap: on a loaded (or single-core) host one
+      // worker can reach the cap before the others are even scheduled, and
+      // a stratum-partitioned estimator whose worker never stepped would
+      // leave its strata uncovered (infinite half-width) after the merge.
+      // The overshoot is bounded by one quantum per worker — the same
+      // anytime slack the sequential loop's trailing batch has.
+      bool first = true;
+      while (true) {
+        if (!first) {
+          if (stop.load(std::memory_order_acquire)) break;
+          if (cap != 0 &&
+              total_drawn.load(std::memory_order_relaxed) >= cap) {
+            break;
+          }
         }
         uint64_t drawn;
         {
           std::lock_guard<std::mutex> lock(*mu);
-          drawn = est->Step(kParallelBatch);
+          drawn = est->Step(quantum);
         }
+        first = false;
         if (drawn == 0) break;  // exhausted, or the sampler gave up
         worker_samples->Increment(drawn);
         total_drawn.fetch_add(drawn, std::memory_order_relaxed);
@@ -266,10 +306,14 @@ QueryEvaluator::WorkerSamplerFactory(const QueryAst& ast,
   }
   uint64_t seed = table_->rs_tree().size() * 0x9e37 + 17;
   const Table* table = table_;
-  return [table, strategy, seed](int w) {
+  // Workers keep the caller's sampling knobs (so every worker's
+  // StratifiedSampler derives the identical strata partition) but always
+  // take private RS-tree buffers — buffers are not thread-safe to share.
+  SamplingOptions opts = sampling_;
+  opts.private_buffers = true;
+  return [table, strategy, seed, opts](int w) {
     return table->NewSampler(
-        strategy, seed + 0x51ab1ULL * static_cast<uint64_t>(w + 1),
-        /*private_buffers=*/true);
+        strategy, seed + 0x51ab1ULL * static_cast<uint64_t>(w + 1), opts);
   };
 }
 
@@ -314,6 +358,8 @@ Result<QueryResult> QueryEvaluator::Execute(const QueryAst& ast,
   const ProgressFn& progress = options.progress;
   cancel_ = options.cancel;
   parallelism_ = std::max(1, options.parallelism);
+  sampling_ = options.sampling;
+  batch_ = std::max<uint64_t>(1, sampling_.batch_size);
   // The tighter of the caller's deadline and the query's own DEADLINE
   // clause wins.
   effective_deadline_ms_ = options.deadline_ms;
@@ -333,6 +379,14 @@ Result<QueryResult> QueryEvaluator::Execute(const QueryAst& ast,
     if (ast.method != SamplerStrategy::kAuto) {
       result.decision.strategy = ast.method;
       result.decision.reason = "USING hint";
+    } else if (StratifiableAggregate(ast) &&
+               (sampling_.auto_stratify || sampling_.prefer_stratified) &&
+               optimizer_.ShouldStratify(*table_, result.decision,
+                                         sampling_.prefer_stratified)) {
+      // Mirror MakeSampler's upgrade so EXPLAIN reports the real plan.
+      result.decision.strategy = SamplerStrategy::kStratified;
+      result.decision.reason +=
+          "; stratified over the canonical set (Neyman allocation)";
     }
     result.strategy = SamplerStrategyToString(result.decision.strategy);
     return result;
@@ -415,24 +469,20 @@ Result<QueryResult> QueryEvaluator::RunAggregate(const QueryAst& ast,
     };
   }
   StoppingRule rule = RuleFor(ast);
+  // The stratified estimator applies when the plan resolved to the
+  // stratified sampler AND the aggregate is one it can combine across
+  // strata; a STRATIFIED hint on other kinds draws the uniform facade.
+  const bool stratified =
+      result.decision.strategy == SamplerStrategy::kStratified &&
+      StratifiableAggregate(ast);
   if (parallelism_ > 1) {
     prepare.End();
     ParallelEnv env{parallelism_,  rule,          profile_, cancel_,
                     effective_deadline_ms_, &query_watch_, &progress};
+    env.batch = batch_ * 4;
     QueryProfile::ScopedSpan loop = ProfileSpan(profile_, "sample_loop");
-    STORM_ASSIGN_OR_RETURN(
-        auto run,
-        RunParallelEngine<OnlineAggregator<3>>(
-            ast.QueryBox(), env, WorkerSamplerFactory(ast, result.decision),
-            [&](SpatialSampler<3>* s) {
-              return std::make_unique<OnlineAggregator<3>>(
-                  s, attr, ast.aggregate, ast.confidence);
-            },
-            [](const OnlineAggregator<3>& e) { return e.Current(); },
-            [](const OnlineAggregator<3>& e) { return e.samples_drawn(); },
-            &result));
-    if (run.ran) {
-      OnlineAggregator<3>& merged = *run.shards[0];
+    auto finish_parallel = [&](auto& run) {
+      auto& merged = *run.shards[0];
       loop.SetSamples(merged.samples_drawn());
       loop.End();
       AnnotateHealth(*run.samplers[0], &result);
@@ -440,46 +490,99 @@ Result<QueryResult> QueryEvaluator::RunAggregate(const QueryAst& ast,
       result.samples = merged.samples_drawn();
       result.elapsed_ms = query_watch_.ElapsedMillis();
       result.exhausted = merged.Exhausted();
-      return result;
+    };
+    if (stratified) {
+      STORM_ASSIGN_OR_RETURN(
+          auto run,
+          RunParallelEngine<StratifiedAggregator<3>>(
+              ast.QueryBox(), env, WorkerSamplerFactory(ast, result.decision),
+              [&](SpatialSampler<3>* s, int w) {
+                // Table::NewSampler returns the concrete type for
+                // kStratified (never failover-wrapped) so the downcast is
+                // safe. Worker w owns strata h with h % workers == w; the
+                // partition is identical across workers because stratum
+                // derivation is RNG-free.
+                return std::make_unique<StratifiedAggregator<3>>(
+                    static_cast<StratifiedSampler<3>*>(s), attr,
+                    ast.aggregate, ast.confidence, w, parallelism_);
+              },
+              [](const StratifiedAggregator<3>& e) { return e.Current(); },
+              [](const StratifiedAggregator<3>& e) {
+                return e.samples_drawn();
+              },
+              &result));
+      if (run.ran) {
+        finish_parallel(run);
+        return result;
+      }
+    } else {
+      STORM_ASSIGN_OR_RETURN(
+          auto run,
+          RunParallelEngine<OnlineAggregator<3>>(
+              ast.QueryBox(), env, WorkerSamplerFactory(ast, result.decision),
+              [&](SpatialSampler<3>* s, int) {
+                return std::make_unique<OnlineAggregator<3>>(
+                    s, attr, ast.aggregate, ast.confidence);
+              },
+              [](const OnlineAggregator<3>& e) { return e.Current(); },
+              [](const OnlineAggregator<3>& e) { return e.samples_drawn(); },
+              &result));
+      if (run.ran) {
+        finish_parallel(run);
+        return result;
+      }
     }
     // Sampler without with-replacement support: sequential loop below.
   }
+  // One pump loop serves both estimator types (identical interfaces).
+  auto pump_and_finish = [&](auto& agg) -> Status {
+    STORM_RETURN_NOT_OK(agg.Begin(ast.QueryBox()));
+    prepare.End();
+    QueryProfile::ScopedSpan loop = ProfileSpan(profile_, "sample_loop");
+    while (true) {
+      uint64_t drawn = agg.Step(batch_);
+      ConfidenceInterval ci = agg.Current();
+      if (profile_ != nullptr) {
+        profile_->AddConvergencePoint(agg.elapsed_millis(),
+                                      agg.samples_drawn(), ci.estimate,
+                                      ci.half_width,
+                                      sampler->Cardinality().estimate);
+      }
+      if (progress) {
+        QueryProgress p;
+        p.samples = agg.samples_drawn();
+        p.elapsed_ms = agg.elapsed_millis();
+        p.ci = ci;
+        CardinalityEstimate card = sampler->Cardinality();
+        p.cardinality_estimate = card.estimate;
+        p.cardinality_exact = card.exact;
+        if (!progress(p)) {
+          result.cancelled = true;
+          break;
+        }
+      }
+      if (Interrupted(&result)) break;
+      if (rule.ShouldStop(ci, agg.elapsed_millis()) || drawn == 0) break;
+    }
+    loop.SetSamples(agg.samples_drawn());
+    loop.End();
+    AnnotateHealth(*sampler, &result);
+    result.ci = agg.Current();
+    result.samples = agg.samples_drawn();
+    result.elapsed_ms = agg.elapsed_millis();
+    result.exhausted = agg.Exhausted();
+    return Status::OK();
+  };
+  if (stratified) {
+    StratifiedAggregator<3> agg(
+        static_cast<StratifiedSampler<3>*>(sampler.get()), attr,
+        ast.aggregate, ast.confidence);
+    STORM_RETURN_NOT_OK(pump_and_finish(agg));
+    return result;
+  }
   OnlineAggregator<3> agg(sampler.get(), std::move(attr), ast.aggregate,
                           ast.confidence);
-  STORM_RETURN_NOT_OK(agg.Begin(ast.QueryBox()));
-  prepare.End();
-  QueryProfile::ScopedSpan loop = ProfileSpan(profile_, "sample_loop");
-  while (true) {
-    uint64_t drawn = agg.Step(kBatch);
-    ConfidenceInterval ci = agg.Current();
-    if (profile_ != nullptr) {
-      profile_->AddConvergencePoint(agg.elapsed_millis(), agg.samples_drawn(),
-                                    ci.estimate, ci.half_width,
-                                    sampler->Cardinality().estimate);
-    }
-    if (progress) {
-      QueryProgress p;
-      p.samples = agg.samples_drawn();
-      p.elapsed_ms = agg.elapsed_millis();
-      p.ci = ci;
-      CardinalityEstimate card = sampler->Cardinality();
-      p.cardinality_estimate = card.estimate;
-      p.cardinality_exact = card.exact;
-      if (!progress(p)) {
-        result.cancelled = true;
-        break;
-      }
-    }
-    if (Interrupted(&result)) break;
-    if (rule.ShouldStop(ci, agg.elapsed_millis()) || drawn == 0) break;
-  }
-  loop.SetSamples(agg.samples_drawn());
-  loop.End();
-  AnnotateHealth(*sampler, &result);
-  result.ci = agg.Current();
-  result.samples = agg.samples_drawn();
-  result.elapsed_ms = agg.elapsed_millis();
-  result.exhausted = agg.Exhausted();
+  STORM_RETURN_NOT_OK(pump_and_finish(agg));
   return result;
 }
 
@@ -502,12 +605,13 @@ Result<QueryResult> QueryEvaluator::RunQuantile(const QueryAst& ast,
     prepare.End();
     ParallelEnv env{parallelism_,  rule,          profile_, cancel_,
                     effective_deadline_ms_, &query_watch_, &progress};
+    env.batch = batch_ * 4;
     QueryProfile::ScopedSpan loop = ProfileSpan(profile_, "sample_loop");
     STORM_ASSIGN_OR_RETURN(
         auto run,
         RunParallelEngine<OnlineQuantile<3>>(
             ast.QueryBox(), env, WorkerSamplerFactory(ast, result.decision),
-            [&](SpatialSampler<3>* s) {
+            [&](SpatialSampler<3>* s, int) {
               return std::make_unique<OnlineQuantile<3>>(
                   s, attr, ast.quantile_phi, ast.confidence);
             },
@@ -534,7 +638,7 @@ Result<QueryResult> QueryEvaluator::RunQuantile(const QueryAst& ast,
   prepare.End();
   QueryProfile::ScopedSpan loop = ProfileSpan(profile_, "sample_loop");
   while (true) {
-    uint64_t drawn = quantile.Step(kBatch);
+    uint64_t drawn = quantile.Step(batch_);
     ConfidenceInterval ci = quantile.Current();
     if (profile_ != nullptr) {
       profile_->AddConvergencePoint(quantile.elapsed_millis(),
@@ -638,12 +742,13 @@ Result<QueryResult> QueryEvaluator::RunGroupBy(const QueryAst& ast,
     prepare.End();
     ParallelEnv env{parallelism_,  rule,          profile_, cancel_,
                     effective_deadline_ms_, &query_watch_, &progress};
+    env.batch = batch_ * 4;
     QueryProfile::ScopedSpan loop = ProfileSpan(profile_, "sample_loop");
     STORM_ASSIGN_OR_RETURN(
         auto run,
         RunParallelEngine<GroupByAggregator<3>>(
             ast.QueryBox(), env, WorkerSamplerFactory(ast, result.decision),
-            [&](SpatialSampler<3>* s) {
+            [&](SpatialSampler<3>* s, int) {
               return std::make_unique<GroupByAggregator<3>>(
                   s, key_fn, attr, ast.aggregate, ast.confidence);
             },
@@ -673,7 +778,7 @@ Result<QueryResult> QueryEvaluator::RunGroupBy(const QueryAst& ast,
   Stopwatch watch;
   QueryProfile::ScopedSpan loop = ProfileSpan(profile_, "sample_loop");
   while (true) {
-    uint64_t drawn = agg.Step(kBatch);
+    uint64_t drawn = agg.Step(batch_);
     ConfidenceInterval worst = worst_group_ci(agg);
     if (profile_ != nullptr) {
       profile_->AddConvergencePoint(watch.ElapsedMillis(), agg.total_samples(),
@@ -735,7 +840,7 @@ Result<QueryResult> QueryEvaluator::RunKde(const QueryAst& ast,
   Stopwatch watch;
   QueryProfile::ScopedSpan loop = ProfileSpan(profile_, "sample_loop");
   while (true) {
-    uint64_t drawn = kde.Step(kBatch);
+    uint64_t drawn = kde.Step(batch_);
     ConfidenceInterval quality;
     quality.samples = kde.samples();
     quality.confidence = ast.confidence;
@@ -811,7 +916,7 @@ Result<QueryResult> QueryEvaluator::RunTopTerms(const QueryAst& ast,
   Stopwatch watch;
   QueryProfile::ScopedSpan loop = ProfileSpan(profile_, "sample_loop");
   while (true) {
-    uint64_t drawn = freq.Step(kBatch);
+    uint64_t drawn = freq.Step(batch_);
     ConfidenceInterval quality;
     quality.samples = freq.documents();
     std::vector<TermEstimate> top = freq.TopTerms(1);
@@ -925,7 +1030,7 @@ Result<QueryResult> QueryEvaluator::RunTrajectory(const QueryAst& ast,
   Stopwatch watch;
   QueryProfile::ScopedSpan loop = ProfileSpan(profile_, "sample_loop");
   while (true) {
-    uint64_t added = traj.Step(kBatch);
+    uint64_t added = traj.Step(batch_);
     ConfidenceInterval quality;
     quality.samples = traj.samples_drawn();
     quality.estimate = static_cast<double>(traj.Current().size());

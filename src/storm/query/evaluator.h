@@ -149,6 +149,8 @@ class QueryEvaluator {
   double effective_deadline_ms_ = 0.0; // min(ExecOptions, query DEADLINE)
   const CancelToken* cancel_ = nullptr;
   int parallelism_ = 1;                // from ExecOptions, clamped to >= 1
+  SamplingOptions sampling_;           // from ExecOptions, per Execute
+  uint64_t batch_ = 64;                // sampling_.batch_size, clamped >= 1
   Stopwatch query_watch_;              // restarted at each Execute
 };
 

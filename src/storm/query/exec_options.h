@@ -23,6 +23,7 @@
 
 #include "storm/estimator/confidence.h"
 #include "storm/obs/trace_context.h"
+#include "storm/sampling/options.h"
 #include "storm/util/cancel.h"
 
 namespace storm {
@@ -81,6 +82,11 @@ struct ExecOptions {
   /// trace (the server adopting a client's context) set it explicitly.
   TraceContext trace;
 
+  /// Per-query sampling knobs (batch size, stratification, cluster retry),
+  /// threaded evaluator → Table::NewSampler → every sampler strategy. See
+  /// storm/sampling/options.h.
+  SamplingOptions sampling;
+
   // Builder-style setters (each returns *this so calls chain).
   ExecOptions& WithParallelism(int workers) {
     parallelism = workers;
@@ -104,6 +110,10 @@ struct ExecOptions {
   }
   ExecOptions& WithTrace(const TraceContext& ctx) {
     trace = ctx;
+    return *this;
+  }
+  ExecOptions& WithSampling(const SamplingOptions& opts) {
+    sampling = opts;
     return *this;
   }
 };

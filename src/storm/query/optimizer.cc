@@ -42,6 +42,19 @@ double QueryOptimizer::EstimateCardinality(const Table& table,
   return frac * static_cast<double>(n);
 }
 
+bool QueryOptimizer::ShouldStratify(const Table& table,
+                                    const OptimizerDecision& decision,
+                                    bool prefer) const {
+  const auto* root = table.rs_tree().tree().root();
+  if (root == nullptr || root->is_leaf) return false;  // nothing to split
+  if (prefer) return true;
+  if (decision.strategy != SamplerStrategy::kRsTree) return false;
+  if (decision.estimated_cardinality < model_.stratified_min_cardinality) {
+    return false;
+  }
+  return root->children.size() >= model_.stratified_min_fanout;
+}
+
 OptimizerDecision QueryOptimizer::Choose(const Table& table, const Rect3& query,
                                          uint64_t expected_k) const {
   OptimizerDecision d;

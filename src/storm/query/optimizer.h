@@ -46,6 +46,13 @@ struct OptimizerCostModel {
   /// Expected sample budget when the query does not say (k is unknown by
   /// definition; this is only a planning prior).
   uint64_t default_expected_k = 1024;
+  /// Stratified execution needs enough qualifying records to fill several
+  /// strata; below this q̂ the partition overhead cannot pay off.
+  double stratified_min_cardinality = 4096.0;
+  /// Stratified execution needs canonical-set fan-out: the RS-tree root
+  /// must have at least this many children, or there is nothing to
+  /// partition the query across.
+  size_t stratified_min_fanout = 4;
 };
 
 class QueryOptimizer {
@@ -61,6 +68,15 @@ class QueryOptimizer {
   /// Cheap cardinality estimate (never touches more than the LS top level
   /// or the R-tree root region).
   double EstimateCardinality(const Table& table, const Rect3& query) const;
+
+  /// Whether an RS-tree decision should be upgraded to stratified
+  /// execution: enough estimated cardinality and root fan-out for the
+  /// canonical-set partition to pay off. `prefer` (the SamplingOptions /
+  /// wire flag) waives the thresholds — eligibility then only requires a
+  /// non-trivial tree. The caller has already checked the task/aggregate
+  /// is stratifiable (AVG/SUM/COUNT over a single-node table).
+  bool ShouldStratify(const Table& table, const OptimizerDecision& decision,
+                      bool prefer = false) const;
 
   const OptimizerCostModel& model() const { return model_; }
 

@@ -23,6 +23,8 @@ std::string_view SamplerStrategyToString(SamplerStrategy s) {
       return "RSTREE";
     case SamplerStrategy::kDistributed:
       return "DISTRIBUTED";
+    case SamplerStrategy::kStratified:
+      return "STRATIFIED";
   }
   return "?";
 }
@@ -364,6 +366,8 @@ class Parser {
           ast->method = SamplerStrategy::kSampleFirst;
         } else if (Cur().IsKeyword("DISTRIBUTED")) {
           ast->method = SamplerStrategy::kDistributed;
+        } else if (Cur().IsKeyword("STRATIFIED")) {
+          ast->method = SamplerStrategy::kStratified;
         } else if (Cur().IsKeyword("AUTO")) {
           ast->method = SamplerStrategy::kAuto;
         } else {

@@ -6,6 +6,7 @@
 #include "storm/sampling/query_first.h"
 #include "storm/sampling/random_path.h"
 #include "storm/sampling/sample_first.h"
+#include "storm/sampling/stratified.h"
 #include "storm/util/failpoint.h"
 #include "storm/util/stopwatch.h"
 #include "storm/wal/checkpoint.h"
@@ -92,7 +93,8 @@ Result<Table> Table::Create(std::string name, const std::vector<Value>& docs,
 }
 
 Result<std::unique_ptr<SpatialSampler<3>>> Table::NewSampler(
-    SamplerStrategy strategy, uint64_t seed, bool private_buffers) const {
+    SamplerStrategy strategy, uint64_t seed,
+    const SamplingOptions& options) const {
   uint64_t seq = sampler_seq_->fetch_add(1, std::memory_order_relaxed) + 1;
   Rng rng(seed ^ (0x9e3779b97f4a7c15ULL * seq));
   switch (strategy) {
@@ -112,15 +114,20 @@ Result<std::unique_ptr<SpatialSampler<3>>> Table::NewSampler(
       }
       return ls_->NewSampler(rng);
     case SamplerStrategy::kRsTree:
-      return rs_->NewSampler(rng, /*shared_buffers=*/!private_buffers);
+      return rs_->NewSampler(rng,
+                             /*shared_buffers=*/!options.private_buffers);
+    case SamplerStrategy::kStratified:
+      // The evaluator downcasts this to StratifiedSampler<3> for the
+      // stratum-addressed estimator feed; keep it the concrete type (never
+      // failover-wrapped).
+      return std::unique_ptr<SpatialSampler<3>>(
+          std::make_unique<StratifiedSampler<3>>(rs_.get(), options, rng));
     case SamplerStrategy::kDistributed: {
       if (cluster_ == nullptr) {
         return Status::FailedPrecondition(
             "table '" + name_ +
             "' is not sharded (set TableConfig::num_shards > 1)");
       }
-      DistributedSamplerOptions options;
-      options.private_buffers = private_buffers;
       return cluster_->NewSampler(rng, options);
     }
     case SamplerStrategy::kAuto:

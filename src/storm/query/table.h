@@ -94,14 +94,22 @@ class Table {
   /// The base Hilbert R-tree (shared by RandomPath/QueryFirst samplers).
   const RTree<3>& base_tree() const { return rs_->tree(); }
 
-  /// Creates a sampler implementing the given strategy. kAuto is resolved
-  /// by the QueryOptimizer, not here (passing it is an error).
-  /// `private_buffers` gives RS-tree-backed samplers (including distributed
-  /// shard-locals) their own sample-buffer cache so parallel query workers
-  /// never contend on the shared buffer mutex; other strategies ignore it.
+  /// Creates a sampler implementing the given strategy, configured by
+  /// `options` (strategies ignore the knobs that do not apply — see
+  /// storm/sampling/options.h). kAuto is resolved by the QueryOptimizer,
+  /// not here (passing it is an error). kStratified returns a
+  /// StratifiedSampler<3> over the RS-tree.
   Result<std::unique_ptr<SpatialSampler<3>>> NewSampler(
       SamplerStrategy strategy, uint64_t seed,
-      bool private_buffers = false) const;
+      const SamplingOptions& options = {}) const;
+
+  /// Pre-0.9 convenience overload: `private_buffers` is the only knob.
+  /// Kept for one release; new callers pass SamplingOptions.
+  Result<std::unique_ptr<SpatialSampler<3>>> NewSampler(
+      SamplerStrategy strategy, uint64_t seed, bool private_buffers) const {
+    return NewSampler(strategy, seed,
+                      SamplingOptions().WithPrivateBuffers(private_buffers));
+  }
 
   /// Acquires the table read latch. Queries hold one of these for their
   /// whole execution so UpdateManager writers (Insert/Delete/InsertBatch,

@@ -49,25 +49,31 @@ class FailoverSampler : public SpatialSampler<D> {
     if (!using_fallback_) {
       std::optional<Entry> e = primary_->Next();
       if (e.has_value()) return e;
-      if (primary_->IsExhausted()) return std::nullopt;
-      // Primary stalled without exhausting: switch. Registry lookup is fine
-      // here — a stream switches at most once per query.
-      Status st = fallback_->Begin(query_, mode_);
-      if (!st.ok()) return std::nullopt;
-      using_fallback_ = true;
-      switched_ = true;
-      MetricsRegistry::Default()
-          .GetCounter("storm_failover_switches_total",
-                      "Mid-query sampler strategy switches (primary stalled)",
-                      {{"from", std::string(primary_->name())},
-                       {"to", std::string(fallback_->name())}})
-          ->Increment();
+      if (primary_->IsExhausted() || !SwitchToFallback()) return std::nullopt;
     }
     return fallback_->Next();
   }
 
+  uint64_t NextBatch(std::span<Entry> out) override {
+    if (!using_fallback_) {
+      uint64_t n = primary_->NextBatch(out);
+      if (n > 0) return n;
+      if (primary_->IsExhausted() || !SwitchToFallback()) return 0;
+    }
+    return fallback_->NextBatch(out);
+  }
+
   CardinalityEstimate Cardinality() const override {
     return using_fallback_ ? fallback_->Cardinality() : primary_->Cardinality();
+  }
+
+  size_t Strata() const override {
+    return using_fallback_ ? fallback_->Strata() : primary_->Strata();
+  }
+
+  CardinalityEstimate Cardinality(size_t stratum) const override {
+    return using_fallback_ ? fallback_->Cardinality(stratum)
+                           : primary_->Cardinality(stratum);
   }
 
   bool IsExhausted() const override {
@@ -82,6 +88,22 @@ class FailoverSampler : public SpatialSampler<D> {
   bool switched() const { return switched_; }
 
  private:
+  // Primary stalled without exhausting: switch permanently. Registry lookup
+  // is fine here — a stream switches at most once per query.
+  bool SwitchToFallback() {
+    Status st = fallback_->Begin(query_, mode_);
+    if (!st.ok()) return false;
+    using_fallback_ = true;
+    switched_ = true;
+    MetricsRegistry::Default()
+        .GetCounter("storm_failover_switches_total",
+                    "Mid-query sampler strategy switches (primary stalled)",
+                    {{"from", std::string(primary_->name())},
+                     {"to", std::string(fallback_->name())}})
+        ->Increment();
+    return true;
+  }
+
   std::unique_ptr<SpatialSampler<D>> primary_;
   std::unique_ptr<SpatialSampler<D>> fallback_;
   Rect<D> query_;

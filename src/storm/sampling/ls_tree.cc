@@ -164,11 +164,13 @@ class LsTreeSampler final : public SpatialSampler<D> {
       c.estimate = static_cast<double>(c.lower);
       return c;
     }
-    // Scale the level-i match count by the inverse sampling rate.
+    // Scale the level-i match count by the inverse sampling rate. The
+    // scaled estimate can undershoot the records already reported on a
+    // lucky stream; Clamp restores lower <= estimate <= upper.
     double rate = std::pow(level_ratio_, level_);
     c.estimate = static_cast<double>(level_matches_) / rate;
     c.upper = index_->size();
-    return c;
+    return c.Clamp();
   }
 
   bool IsExhausted() const override {

@@ -1,0 +1,109 @@
+// SamplingOptions: every per-query sampling knob in one struct.
+//
+// Earlier releases scattered these over DistributedSamplerOptions (cluster
+// retry/deadline and buffer privacy), evaluator-internal batch constants,
+// and per-sampler constructor parameters. They are now consolidated here and
+// threaded ExecOptions → evaluator → Table::NewSampler → samplers, so the
+// single-node and cluster paths read one source of truth:
+//
+//   session.Execute("SELECT AVG(speed) FROM taxi ...",
+//                   ExecOptions().WithSampling(SamplingOptions()
+//                                                  .WithBatchSize(128)
+//                                                  .WithMaxStrata(32)
+//                                                  .WithPreferStratified(true)));
+//
+// The builder-style With* setters match the ExecOptions idiom.
+
+#ifndef STORM_SAMPLING_OPTIONS_H_
+#define STORM_SAMPLING_OPTIONS_H_
+
+#include <cstdint>
+
+#include "storm/util/retry.h"
+
+namespace storm {
+
+/// Per-query sampling configuration, shared by every sampler strategy.
+/// Strategies ignore the knobs that do not apply to them.
+struct SamplingOptions {
+  /// Samples requested per NextBatch() round in the evaluator's pump loop.
+  /// Larger batches amortize dispatch and buffer refills; smaller batches
+  /// tighten progress/cancellation latency.
+  uint64_t batch_size = 64;
+
+  /// Stratified engine: upper bound on the number of strata the canonical
+  /// node set is partitioned into.
+  int max_strata = 16;
+
+  /// Stratified engine: strata smaller than this population are merged into
+  /// a neighbour (tiny strata waste budget on per-stratum variance
+  /// estimation).
+  uint64_t min_stratum_population = 256;
+
+  /// Stratified engine: minimum samples allocated to every live stratum per
+  /// round before Neyman allocation distributes the rest — keeps variance
+  /// estimates alive in strata the allocator currently considers quiet.
+  uint64_t exploration_floor = 8;
+
+  /// Ask the optimizer to prefer stratified execution whenever the query is
+  /// eligible (aggregate AVG/SUM/COUNT over an RS-tree), skipping its
+  /// cardinality/fan-out thresholds. Also what RemoteClient forwards as the
+  /// wire request flag.
+  bool prefer_stratified = false;
+
+  /// Let the optimizer upgrade eligible AUTO aggregates to stratified
+  /// execution on its own (cardinality/fan-out heuristics). The server turns
+  /// this off for requests whose client did not send the stratified wire
+  /// flag: pre-stratified clients cannot decode the STRATIFIED strategy tag,
+  /// so they must never be handed one uninvited.
+  bool auto_stratify = true;
+
+  /// Give RS-tree-backed samplers (including distributed shard-locals and
+  /// stratified sub-samplers) a private sample-buffer cache so parallel
+  /// query workers never contend on the shared buffer mutex.
+  bool private_buffers = false;
+
+  /// Cluster paths: applied to every shard call (plan-round counts and
+  /// per-draw probes). retry.deadline_ms acts as the per-shard deadline — a
+  /// shard that cannot answer within it is treated as failed. Single-node
+  /// samplers ignore it.
+  RetryPolicy retry;
+
+  // Builder-style setters (each returns *this so calls chain).
+  SamplingOptions& WithBatchSize(uint64_t n) {
+    batch_size = n;
+    return *this;
+  }
+  SamplingOptions& WithMaxStrata(int n) {
+    max_strata = n;
+    return *this;
+  }
+  SamplingOptions& WithMinStratumPopulation(uint64_t n) {
+    min_stratum_population = n;
+    return *this;
+  }
+  SamplingOptions& WithExplorationFloor(uint64_t n) {
+    exploration_floor = n;
+    return *this;
+  }
+  SamplingOptions& WithPreferStratified(bool enabled) {
+    prefer_stratified = enabled;
+    return *this;
+  }
+  SamplingOptions& WithAutoStratify(bool enabled) {
+    auto_stratify = enabled;
+    return *this;
+  }
+  SamplingOptions& WithPrivateBuffers(bool enabled) {
+    private_buffers = enabled;
+    return *this;
+  }
+  SamplingOptions& WithRetry(const RetryPolicy& policy) {
+    retry = policy;
+    return *this;
+  }
+};
+
+}  // namespace storm
+
+#endif  // STORM_SAMPLING_OPTIONS_H_

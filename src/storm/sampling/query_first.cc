@@ -1,5 +1,7 @@
 #include "storm/sampling/query_first.h"
 
+#include <algorithm>
+
 namespace storm {
 
 template <int D>
@@ -28,6 +30,27 @@ std::optional<typename QueryFirstSampler<D>::Entry> QueryFirstSampler<D>::Next()
   if (cursor_ >= matches_.size()) return std::nullopt;
   metrics_.draws->Increment();
   return matches_[cursor_++];
+}
+
+template <int D>
+uint64_t QueryFirstSampler<D>::NextBatch(std::span<Entry> out) {
+  if (!began_ || matches_.empty() || out.empty()) return 0;
+  if (mode_ == SamplingMode::kWithReplacement) {
+    for (Entry& slot : out) {
+      slot = matches_[static_cast<size_t>(rng_.Uniform(matches_.size()))];
+    }
+    metrics_.draws->Increment(out.size());
+    return out.size();
+  }
+  // Without replacement the shuffled prefix is already a uniform sample:
+  // copy the next run in one go.
+  if (cursor_ >= matches_.size()) return 0;
+  size_t n = std::min(out.size(), matches_.size() - cursor_);
+  std::copy_n(matches_.begin() + static_cast<ptrdiff_t>(cursor_), n,
+              out.begin());
+  cursor_ += n;
+  metrics_.draws->Increment(n);
+  return n;
 }
 
 template <int D>

@@ -27,6 +27,7 @@ class QueryFirstSampler : public SpatialSampler<D> {
   Status Begin(const Rect<D>& query,
                SamplingMode mode = SamplingMode::kWithReplacement) override;
   std::optional<Entry> Next() override;
+  uint64_t NextBatch(std::span<Entry> out) override;
   CardinalityEstimate Cardinality() const override;
   bool IsExhausted() const override;
   std::string_view name() const override { return "QueryFirst"; }

@@ -121,8 +121,12 @@ class RsTreeSampler final : public SpatialSampler<D> {
   using Entry = typename RTree<D>::Entry;
   using Node = typename RTree<D>::Node;
 
-  RsTreeSampler(const RsTree<D>* index, Rng rng, bool shared_buffers)
-      : index_(index), rng_(rng), shared_buffers_(shared_buffers) {}
+  RsTreeSampler(const RsTree<D>* index, Rng rng, bool shared_buffers,
+                std::vector<const Node*> roots = {})
+      : index_(index),
+        rng_(rng),
+        shared_buffers_(shared_buffers),
+        roots_(std::move(roots)) {}
 
   Status Begin(const Rect<D>& query, SamplingMode mode) override {
     query_ = query;
@@ -133,19 +137,45 @@ class RsTreeSampler final : public SpatialSampler<D> {
     residual_.clear();
     reported_.clear();
     covered_count_ = 0;
+    partial_weight_ = 0;
     partial_count_ = 0;
+    upper_bound_ = 0;
     began_ = true;
     metrics_ = GetSamplerCounters(this->name());
     metrics_.begins->Increment();
     residual_slot_ = weights_.Add(0.0);
-    const Node* root = index_->tree().root();
-    if (root != nullptr && query.Intersects(root->mbr)) {
-      AddNode(root);
+    if (roots_.empty()) {
+      const Node* root = index_->tree().root();
+      if (root != nullptr && query.Intersects(root->mbr)) {
+        AddNode(root);
+      }
+    } else {
+      // Restricted sampler: the frontier starts at the given disjoint
+      // subtree roots, so draws are uniform over their union ∩ Q.
+      for (const Node* u : roots_) {
+        if (u != nullptr && query.Intersects(u->mbr)) AddNode(u);
+      }
     }
     return Status::OK();
   }
 
-  std::optional<Entry> Next() override {
+  std::optional<Entry> Next() override { return DrawOne(); }
+
+  uint64_t NextBatch(std::span<Entry> out) override {
+    uint64_t n = 0;
+    for (Entry& slot : out) {
+      std::optional<Entry> e = DrawOne();
+      if (!e.has_value()) break;
+      slot = *e;
+      ++n;
+    }
+    return n;
+  }
+
+ private:
+  // Shared draw path behind Next()/NextBatch(); non-virtual so the batched
+  // loop pays one dispatch per batch, not per sample.
+  std::optional<Entry> DrawOne() {
     if (!began_) return std::nullopt;
     while (true) {
       if (weights_.total() <= 0.0) return std::nullopt;  // frontier empty
@@ -183,6 +213,7 @@ class RsTreeSampler final : public SpatialSampler<D> {
     }
   }
 
+ public:
   CardinalityEstimate Cardinality() const override {
     CardinalityEstimate c;
     if (!began_) return c;
@@ -257,6 +288,7 @@ class RsTreeSampler final : public SpatialSampler<D> {
   const RsTree<D>* index_;
   Rng rng_;
   bool shared_buffers_ = true;
+  std::vector<const Node*> roots_;  // empty → whole tree
   typename RsTree<D>::LocalBuffers local_;
   Rect<D> query_;
   SamplingMode mode_ = SamplingMode::kWithReplacement;
@@ -284,6 +316,13 @@ template <int D>
 std::unique_ptr<SpatialSampler<D>> RsTree<D>::NewSampler(
     Rng rng, bool shared_buffers) const {
   return std::make_unique<RsTreeSampler<D>>(this, rng, shared_buffers);
+}
+
+template <int D>
+std::unique_ptr<SpatialSampler<D>> RsTree<D>::NewSampler(
+    Rng rng, bool shared_buffers, std::vector<const Node*> roots) const {
+  return std::make_unique<RsTreeSampler<D>>(this, rng, shared_buffers,
+                                            std::move(roots));
 }
 
 template class RsTree<2>;

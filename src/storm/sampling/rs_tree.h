@@ -75,6 +75,14 @@ class RsTree {
   std::unique_ptr<SpatialSampler<D>> NewSampler(Rng rng,
                                                 bool shared_buffers) const;
 
+  /// Restricted sampler: uniform over P(roots) ∩ Q instead of the whole
+  /// tree — Begin seeds the frontier from `roots` (disjoint subtree roots,
+  /// e.g. one stratum of the canonical node set) rather than the tree root.
+  /// The stratified engine builds one of these per stratum.
+  std::unique_ptr<SpatialSampler<D>> NewSampler(
+      Rng rng, bool shared_buffers,
+      std::vector<const Node*> roots) const;
+
  private:
   struct Buffer {
     uint64_t node_id = 0;  ///< guards against node address reuse

@@ -61,7 +61,9 @@ CardinalityEstimate SampleFirstSampler<D>::Cardinality() const {
     c.estimate = static_cast<double>(data_->size()) * static_cast<double>(hits_) /
                  static_cast<double>(attempts_);
   }
-  return c;
+  // Attempts can exceed N in with-replacement probing, which can push the
+  // ratio estimate below the hard lower bound; keep the invariant.
+  return c.Clamp();
 }
 
 template <int D>

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string_view>
 
 #include "storm/geo/rect.h"
@@ -47,6 +48,19 @@ struct CardinalityEstimate {
   /// Estimated fraction of qualifying records still reachable, q_alive / q.
   /// 1.0 for healthy single-node samplers.
   double coverage = 1.0;
+
+  /// Restores the invariant lower <= estimate <= upper (samplers call this
+  /// before returning; tests assert it). An estimate of 0 with a positive
+  /// lower bound means the sampler never filled it in — snap to the bounds.
+  CardinalityEstimate& Clamp() {
+    if (estimate < static_cast<double>(lower)) {
+      estimate = static_cast<double>(lower);
+    }
+    if (estimate > static_cast<double>(upper)) {
+      estimate = static_cast<double>(upper);
+    }
+    return *this;
+  }
 };
 
 /// Abstract spatial online sampler (Definition 1).
@@ -66,10 +80,45 @@ class SpatialSampler {
                        SamplingMode mode = SamplingMode::kWithReplacement) = 0;
 
   /// Draws the next online sample.
+  ///
+  /// Kept for one release as the single-draw convenience path; hot loops
+  /// (the evaluator, the estimator feeds) call NextBatch instead, which
+  /// costs one virtual dispatch per batch rather than per sample. See
+  /// docs/API.md §Batch-first sampling for the migration note.
   virtual std::optional<Entry> Next() = 0;
+
+  /// Draws up to out.size() samples into `out`; returns the number written.
+  /// A short return means the stream stalled or exhausted (check
+  /// IsExhausted) — callers may keep re-invoking until 0.
+  ///
+  /// The default implementation loops Next(); RS-tree, QueryFirst, the
+  /// distributed merger, and the stratified engine override it with a
+  /// native batched draw.
+  virtual uint64_t NextBatch(std::span<Entry> out) {
+    uint64_t n = 0;
+    for (Entry& slot : out) {
+      std::optional<Entry> e = Next();
+      if (!e.has_value()) break;
+      slot = *e;
+      ++n;
+    }
+    return n;
+  }
 
   /// Current knowledge of q = |P ∩ Q|.
   virtual CardinalityEstimate Cardinality() const = 0;
+
+  /// Number of disjoint strata this sampler partitions P ∩ Q into. Uniform
+  /// samplers are a single stratum; the stratified engine reports its
+  /// canonical-set partition.
+  virtual size_t Strata() const { return 1; }
+
+  /// Per-stratum cardinality (stratum < Strata()). Single-stratum samplers
+  /// report the whole-query estimate.
+  virtual CardinalityEstimate Cardinality(size_t stratum) const {
+    (void)stratum;
+    return Cardinality();
+  }
 
   /// True when every qualifying record has been returned (only possible in
   /// without-replacement mode, or when q == 0).

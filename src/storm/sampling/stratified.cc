@@ -1,0 +1,266 @@
+#include "storm/sampling/stratified.h"
+
+#include <algorithm>
+
+namespace storm {
+
+template <int D>
+StratifiedSampler<D>::StratifiedSampler(const RsTree<D>* index,
+                                        SamplingOptions options, Rng rng)
+    : index_(index), options_(options), rng_(rng) {}
+
+// Exact canonical node set of Q: maximal fully-contained subtrees plus the
+// boundary leaves, in DFS order (= Hilbert order under bulk load).
+template <int D>
+void StratifiedSampler<D>::CollectCanonical(const Node* u,
+                                            std::vector<CanonNode>* out) const {
+  if (!query_.Intersects(u->mbr)) return;
+  if (query_.Contains(u->mbr)) {
+    out->push_back(CanonNode{u, /*contained=*/true, 0});
+    return;
+  }
+  if (u->is_leaf) {
+    out->push_back(CanonNode{u, /*contained=*/false, 0});
+    return;
+  }
+  for (const auto& c : u->children) CollectCanonical(c.get(), out);
+}
+
+template <int D>
+Status StratifiedSampler<D>::Begin(const Rect<D>& query, SamplingMode mode) {
+  query_ = query;
+  mode_ = mode;
+  strata_.clear();
+  weight_scratch_.clear();
+  total_ = 0;
+  began_ = true;
+  metrics_ = GetSamplerCounters(this->name());
+  metrics_.begins->Increment();
+
+  std::vector<CanonNode> canon;
+  const Node* root = index_->tree().root();
+  if (root != nullptr) CollectCanonical(root, &canon);
+
+  // Refine: split the largest splittable (internal) canonical node into its
+  // intersecting children, in place, until there is enough granularity to
+  // pack max_strata balanced strata. In-place replacement preserves DFS
+  // order; the `>` comparison breaks count ties toward the lowest index, so
+  // the partition is deterministic.
+  const size_t max_strata =
+      options_.max_strata > 0 ? static_cast<size_t>(options_.max_strata) : 1;
+  const size_t want_nodes = max_strata * 2;
+  while (canon.size() < want_nodes) {
+    size_t best = canon.size();
+    uint64_t best_count = 0;
+    for (size_t i = 0; i < canon.size(); ++i) {
+      if (!canon[i].node->is_leaf && canon[i].node->count > best_count) {
+        best = i;
+        best_count = canon[i].node->count;
+      }
+    }
+    if (best == canon.size()) break;  // only leaves left
+    const Node* parent = canon[best].node;
+    const bool parent_contained = canon[best].contained;
+    std::vector<CanonNode> kids;
+    for (const auto& c : parent->children) {
+      if (!query_.Intersects(c->mbr)) continue;
+      kids.push_back(CanonNode{
+          c.get(), parent_contained || query_.Contains(c->mbr), 0});
+    }
+    canon.erase(canon.begin() + static_cast<ptrdiff_t>(best));
+    canon.insert(canon.begin() + static_cast<ptrdiff_t>(best),
+                 kids.begin(), kids.end());
+    if (kids.empty() && canon.empty()) break;
+  }
+
+  // Exact populations; zero-population nodes contribute nothing.
+  std::vector<CanonNode> populated;
+  populated.reserve(canon.size());
+  for (CanonNode& cn : canon) {
+    if (cn.contained) {
+      cn.population = cn.node->count;
+    } else {
+      uint64_t hits = 0;
+      for (const Entry& e : cn.node->entries) {
+        if (query_.Contains(e.point)) ++hits;
+      }
+      cn.population = hits;
+    }
+    if (cn.population > 0) {
+      total_ += cn.population;
+      populated.push_back(cn);
+    }
+  }
+
+  if (populated.empty()) return Status::OK();  // q == 0: exhausted stream
+
+  // Greedy pack consecutive canonical nodes (Hilbert-adjacent, so each
+  // stratum is spatially coherent) into at most max_strata strata of
+  // roughly target population each; undersized tail merges backwards.
+  const size_t limit = std::max<size_t>(1, max_strata);
+  const uint64_t target =
+      std::max(options_.min_stratum_population,
+               (total_ + static_cast<uint64_t>(limit) - 1) /
+                   static_cast<uint64_t>(limit));
+  Stratum cur;
+  for (size_t i = 0; i < populated.size(); ++i) {
+    cur.roots.push_back(populated[i].node);
+    cur.population += populated[i].population;
+    const bool last = (i + 1 == populated.size());
+    if (!last && cur.population >= target && strata_.size() + 1 < limit) {
+      strata_.push_back(std::move(cur));
+      cur = Stratum();
+    }
+  }
+  if (!cur.roots.empty()) strata_.push_back(std::move(cur));
+  if (strata_.size() > 1 &&
+      strata_.back().population < options_.min_stratum_population) {
+    Stratum tail = std::move(strata_.back());
+    strata_.pop_back();
+    Stratum& prev = strata_.back();
+    prev.roots.insert(prev.roots.end(), tail.roots.begin(), tail.roots.end());
+    prev.population += tail.population;
+  }
+
+  // One restricted RS-tree sampler per stratum, deterministically forked.
+  // Sub-samplers always use local draw buffers: the shared node buffers are
+  // mutable index state, so reusing them would make the per-stratum streams
+  // depend on what earlier queries happened to leave behind — breaking the
+  // same-seed-same-stream guarantee the stratified engine advertises.
+  for (size_t h = 0; h < strata_.size(); ++h) {
+    strata_[h].sub = index_->NewSampler(
+        rng_.Fork(h + 1), /*shared_buffers=*/false, strata_[h].roots);
+    STORM_RETURN_NOT_OK(strata_[h].sub->Begin(query, mode));
+  }
+  weight_scratch_.assign(strata_.size(), 0.0);
+  return Status::OK();
+}
+
+// Facade draw: stratum ∝ remaining population, then a within-stratum
+// uniform draw — overall exactly uniform on P ∩ Q, so the stratified
+// sampler can stand in anywhere a plain sampler is expected.
+template <int D>
+std::optional<typename StratifiedSampler<D>::Entry>
+StratifiedSampler<D>::DrawOne() {
+  if (!began_ || strata_.empty()) return std::nullopt;
+  while (true) {
+    double sum = 0.0;
+    for (size_t h = 0; h < strata_.size(); ++h) {
+      const Stratum& s = strata_[h];
+      double w = 0.0;
+      if (!s.dead) {
+        w = (mode_ == SamplingMode::kWithoutReplacement)
+                ? static_cast<double>(
+                      s.population - std::min(s.population, s.drawn))
+                : static_cast<double>(s.population);
+      }
+      weight_scratch_[h] = w;
+      sum += w;
+    }
+    if (sum <= 0.0) return std::nullopt;
+    size_t h = rng_.Discrete(weight_scratch_);
+    std::optional<Entry> e = strata_[h].sub->Next();
+    if (e.has_value()) {
+      ++strata_[h].drawn;
+      metrics_.draws->Increment();
+      return e;
+    }
+    if (strata_[h].sub->IsExhausted()) {
+      strata_[h].dead = true;
+      continue;
+    }
+    return std::nullopt;  // sub-sampler failure
+  }
+}
+
+template <int D>
+std::optional<typename StratifiedSampler<D>::Entry>
+StratifiedSampler<D>::Next() {
+  return DrawOne();
+}
+
+template <int D>
+uint64_t StratifiedSampler<D>::NextBatch(std::span<Entry> out) {
+  uint64_t n = 0;
+  for (Entry& slot : out) {
+    std::optional<Entry> e = DrawOne();
+    if (!e.has_value()) break;
+    slot = *e;
+    ++n;
+  }
+  return n;
+}
+
+template <int D>
+uint64_t StratifiedSampler<D>::NextBatchFrom(size_t stratum,
+                                             std::span<Entry> out) {
+  if (!began_ || stratum >= strata_.size()) return 0;
+  Stratum& s = strata_[stratum];
+  if (s.dead) return 0;
+  uint64_t n = s.sub->NextBatch(out);
+  s.drawn += n;
+  if (n < out.size() && s.sub->IsExhausted()) s.dead = true;
+  if (n > 0) metrics_.draws->Increment(n);
+  return n;
+}
+
+template <int D>
+CardinalityEstimate StratifiedSampler<D>::Cardinality() const {
+  CardinalityEstimate c;
+  if (began_) {
+    c.lower = c.upper = total_;
+    c.estimate = static_cast<double>(total_);
+    c.exact = true;  // canonical-set populations are exact at Begin
+  }
+  return c;
+}
+
+template <int D>
+CardinalityEstimate StratifiedSampler<D>::Cardinality(size_t stratum) const {
+  CardinalityEstimate c;
+  if (began_ && stratum < strata_.size()) {
+    c.lower = c.upper = strata_[stratum].population;
+    c.estimate = static_cast<double>(strata_[stratum].population);
+    c.exact = true;
+  }
+  return c;
+}
+
+template <int D>
+size_t StratifiedSampler<D>::Strata() const {
+  return strata_.size();
+}
+
+template <int D>
+uint64_t StratifiedSampler<D>::StratumPopulation(size_t stratum) const {
+  return stratum < strata_.size() ? strata_[stratum].population : 0;
+}
+
+template <int D>
+const std::vector<const typename RTree<D>::Node*>&
+StratifiedSampler<D>::StratumRoots(size_t stratum) const {
+  return strata_[stratum].roots;
+}
+
+template <int D>
+bool StratifiedSampler<D>::StratumExhausted(size_t stratum) const {
+  if (stratum >= strata_.size()) return true;
+  const Stratum& s = strata_[stratum];
+  return s.dead || s.sub->IsExhausted();
+}
+
+template <int D>
+bool StratifiedSampler<D>::IsExhausted() const {
+  if (!began_) return false;
+  if (strata_.empty()) return true;  // q == 0
+  if (mode_ == SamplingMode::kWithReplacement) return false;
+  for (const Stratum& s : strata_) {
+    if (!s.dead && !s.sub->IsExhausted()) return false;
+  }
+  return true;
+}
+
+template class StratifiedSampler<2>;
+template class StratifiedSampler<3>;
+
+}  // namespace storm

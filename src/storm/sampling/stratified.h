@@ -1,0 +1,109 @@
+// StratifiedSampler: index-assisted stratified sampling over the RS-tree
+// (the stratified engine of "Index-Assisted Stratified Sampling for Online
+// Aggregation", PAPERS.md).
+//
+// At Begin the query's canonical R-tree node set is computed exactly —
+// maximal fully-contained subtrees plus boundary leaves — then refined
+// (large subtrees split into children for packing granularity) and greedily
+// packed, in DFS order, into at most SamplingOptions::max_strata strata of
+// roughly equal population. Because the tree is Hilbert bulk-loaded, DFS
+// order is Hilbert order, so consecutive canonical nodes are spatially
+// adjacent and each stratum is a spatially coherent region: on spatially
+// correlated attributes the within-stratum variance is far below the
+// population variance, which is exactly what Neyman allocation exploits.
+//
+// Each stratum h owns a restricted RS-tree sampler seeded from its subtree
+// roots, so within-stratum draws are uniform over P(stratum) ∩ Q. Stratum
+// populations N_h are exact (contained subtree counts plus scanned boundary
+// leaves), so COUNT is exact at Begin and the stratified estimator gets
+// exact weights W_h = N_h / N.
+//
+// The class is also a plain SpatialSampler: Next()/NextBatch() draw the
+// stratum ∝ its (remaining) population first, so the facade stream is
+// uniform over P ∩ Q and any unsuspecting estimator can consume it. The
+// stratified estimator instead addresses strata directly via NextBatchFrom.
+
+#ifndef STORM_SAMPLING_STRATIFIED_H_
+#define STORM_SAMPLING_STRATIFIED_H_
+
+#include <memory>
+#include <vector>
+
+#include "storm/obs/metrics.h"
+#include "storm/sampling/options.h"
+#include "storm/sampling/rs_tree.h"
+#include "storm/sampling/sampler.h"
+#include "storm/util/rng.h"
+
+namespace storm {
+
+template <int D>
+class StratifiedSampler final : public SpatialSampler<D> {
+ public:
+  using Entry = typename RTree<D>::Entry;
+  using Node = typename RTree<D>::Node;
+
+  /// The index must outlive the sampler.
+  StratifiedSampler(const RsTree<D>* index, SamplingOptions options, Rng rng);
+
+  Status Begin(const Rect<D>& query,
+               SamplingMode mode = SamplingMode::kWithReplacement) override;
+  std::optional<Entry> Next() override;
+  uint64_t NextBatch(std::span<Entry> out) override;
+  CardinalityEstimate Cardinality() const override;
+  CardinalityEstimate Cardinality(size_t stratum) const override;
+  size_t Strata() const override;
+  bool IsExhausted() const override;
+  std::string_view name() const override { return "Stratified-RS"; }
+
+  // --- Stratum-addressed surface (the stratified estimator's feed) ---
+
+  /// Draws up to out.size() within-stratum uniform samples from stratum h.
+  uint64_t NextBatchFrom(size_t stratum, std::span<Entry> out);
+
+  /// Exact N_h = |P(stratum) ∩ Q|.
+  uint64_t StratumPopulation(size_t stratum) const;
+
+  /// The canonical-set subtree roots packed into stratum h (tests).
+  const std::vector<const Node*>& StratumRoots(size_t stratum) const;
+
+  /// True when stratum h's without-replacement stream ran out.
+  bool StratumExhausted(size_t stratum) const;
+
+  const SamplingOptions& options() const { return options_; }
+
+ private:
+  struct CanonNode {
+    const Node* node = nullptr;
+    bool contained = false;  // mbr fully inside Q (else boundary leaf)
+    uint64_t population = 0;
+  };
+  struct Stratum {
+    std::vector<const Node*> roots;
+    uint64_t population = 0;
+    uint64_t drawn = 0;
+    bool dead = false;  // exhausted (without replacement) or failed
+    std::unique_ptr<SpatialSampler<D>> sub;
+  };
+
+  void CollectCanonical(const Node* u, std::vector<CanonNode>* out) const;
+  std::optional<Entry> DrawOne();
+
+  const RsTree<D>* index_;
+  SamplingOptions options_;
+  Rng rng_;
+  Rect<D> query_;
+  SamplingMode mode_ = SamplingMode::kWithReplacement;
+  std::vector<Stratum> strata_;
+  std::vector<double> weight_scratch_;  // facade stratum-selection weights
+  uint64_t total_ = 0;
+  bool began_ = false;
+  SamplerCounters metrics_;
+};
+
+extern template class StratifiedSampler<2>;
+extern template class StratifiedSampler<3>;
+
+}  // namespace storm
+
+#endif  // STORM_SAMPLING_STRATIFIED_H_

@@ -113,6 +113,7 @@ constexpr uint8_t kFlagWantProfile = 1u << 0;
 constexpr uint8_t kFlagHasTrace = 1u << 1;
 constexpr uint8_t kFlagSampled = 1u << 2;
 constexpr uint8_t kFlagWantCardinality = 1u << 3;
+constexpr uint8_t kFlagWantStratified = 1u << 4;
 
 }  // namespace
 
@@ -127,6 +128,7 @@ std::string EncodeQueryRequest(const QueryRequest& req) {
   if (req.trace.valid()) flags |= kFlagHasTrace;
   if (req.trace.sampled) flags |= kFlagSampled;
   if (req.want_cardinality) flags |= kFlagWantCardinality;
+  if (req.want_stratified) flags |= kFlagWantStratified;
   w.PutU8(flags);
   if (req.trace.valid()) {
     w.PutU64(req.trace.trace_id_hi);
@@ -150,6 +152,9 @@ Result<QueryRequest> DecodeQueryRequest(std::string_view payload) {
   STORM_ASSIGN_OR_RETURN(uint8_t flags, r.GetU8());
   req.want_profile = (flags & kFlagWantProfile) != 0;
   req.want_cardinality = (flags & kFlagWantCardinality) != 0;
+  // Old decoders mask only the bits they know, so this flag is ignored by
+  // pre-stratified servers — exactly the intended degradation.
+  req.want_stratified = (flags & kFlagWantStratified) != 0;
   if ((flags & kFlagHasTrace) != 0) {
     STORM_ASSIGN_OR_RETURN(req.trace.trace_id_hi, r.GetU64());
     STORM_ASSIGN_OR_RETURN(req.trace.trace_id_lo, r.GetU64());
@@ -531,7 +536,9 @@ Result<QueryResult> DecodeQueryResult(std::string_view payload) {
   res.task = static_cast<QueryTask>(task);
   STORM_ASSIGN_OR_RETURN(res.strategy, r.GetString());
   STORM_ASSIGN_OR_RETURN(uint8_t strategy, r.GetU8());
-  if (strategy > static_cast<uint8_t>(SamplerStrategy::kDistributed)) {
+  // kStratified is the newest tag; servers only send it to clients that set
+  // the stratified request flag, so older decoders never see it.
+  if (strategy > static_cast<uint8_t>(SamplerStrategy::kStratified)) {
     return Status::Corruption("sampler strategy out of range");
   }
   res.decision.strategy = static_cast<SamplerStrategy>(strategy);

@@ -106,6 +106,11 @@ struct QueryRequest {
   /// after the optional profile block as corruption, so the extension is
   /// opt-in per request, never unconditional.
   bool want_cardinality = false;
+  /// Ask the server to prefer stratified execution for eligible aggregates
+  /// (SamplingOptions::prefer_stratified on the server's evaluator). Pure
+  /// request-side hint: the RESULT shape is unchanged, and old servers
+  /// ignore the flag bit — the query still answers, uniformly sampled.
+  bool want_stratified = false;
   /// Client-minted trace identity; invalid (all-zero id) when untraced.
   TraceContext trace;
 };

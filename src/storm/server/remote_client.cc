@@ -204,6 +204,9 @@ Result<QueryResult> RemoteClient::Execute(const std::string& query,
   // This client's decoder understands the trailing cardinality block;
   // advertise it so servers may append it (they must not otherwise).
   req.want_cardinality = true;
+  // Hint, not capability: an old server ignores the bit and answers with
+  // uniform sampling — same RESULT shape either way.
+  req.want_stratified = options.sampling.prefer_stratified;
   req.trace = trace;
 
   std::shared_ptr<QueryProfile> profile;

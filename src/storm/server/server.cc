@@ -631,6 +631,11 @@ void StormServer::RunQuery(std::shared_ptr<Connection> conn, uint64_t id,
   options.parallelism =
       std::clamp<int32_t>(req.parallelism, 1, options_.max_parallelism);
   options.deadline_ms = req.deadline_ms;
+  options.sampling.prefer_stratified = req.want_stratified;
+  // Clients that predate the stratified flag cannot decode the STRATIFIED
+  // strategy tag in QueryResult, so the optimizer's automatic upgrade is
+  // opt-in over the wire: only clients that sent the flag may receive it.
+  options.sampling.auto_stratify = req.want_stratified;
   // Profiles cost span bookkeeping per batch; collect one only when the
   // client asked for it or the trace is sampled (TraceSink retention).
   options.profile = req.want_profile || trace.sampled;

@@ -235,10 +235,20 @@ TEST_P(SamplerStrategyTest, CardinalityConvergesToTruth) {
                           ? SamplingMode::kWithoutReplacement
                           : SamplingMode::kWithReplacement;
   ASSERT_TRUE(sampler->Begin(kWideQuery, mode).ok());
+  // The estimate invariant holds before the first draw too.
+  CardinalityEstimate at_begin = sampler->Cardinality();
+  EXPECT_GE(at_begin.estimate, static_cast<double>(at_begin.lower));
+  EXPECT_LE(at_begin.estimate, static_cast<double>(at_begin.upper));
   for (int i = 0; i < 3000; ++i) {
     if (!sampler->Next().has_value()) break;
   }
   CardinalityEstimate c = sampler->Cardinality();
+  // Invariant for every strategy at every stage: the point estimate is
+  // populated and never escapes the hard bounds (samplers Clamp() before
+  // returning).
+  EXPECT_GT(c.estimate, 0.0) << StrategyName(GetParam());
+  EXPECT_GE(c.estimate, static_cast<double>(c.lower)) << StrategyName(GetParam());
+  EXPECT_LE(c.estimate, static_cast<double>(c.upper)) << StrategyName(GetParam());
   if (c.exact) {
     EXPECT_EQ(c.lower, truth);
     EXPECT_EQ(c.upper, truth);

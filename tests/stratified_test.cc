@@ -1,0 +1,456 @@
+// Stratified online-sampling engine (index-assisted stratification over the
+// RS-tree canonical set + Neyman-allocated per-stratum estimation). Labeled
+// `stratified` so CI can run it standalone (`ctest -L stratified`) under
+// several STORM_PARALLEL_SEED values; it also runs as part of the default
+// suite.
+//
+// Covered here: the partition (disjoint strata covering P ∩ Q exactly, exact
+// populations), within-stratum uniformity (chi-square per stratum), the
+// variance win over uniform sampling on spatially skewed data (the engine's
+// reason to exist), seed determinism, worker-disjoint parallel merges, the
+// STRATIFIED query hint + optimizer upgrade, and the wire-flag plumbing.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "storm/estimator/aggregate.h"
+#include "storm/estimator/stratified.h"
+#include "storm/query/parser.h"
+#include "storm/sampling/stratified.h"
+#include "storm/server/protocol.h"
+#include "storm/storm.h"
+#include "storm/util/stats.h"
+
+namespace storm {
+namespace {
+
+using Entry = RTree<2>::Entry;
+using Node = RTree<2>::Node;
+
+uint64_t TestSeed() {
+  const char* env = std::getenv("STORM_PARALLEL_SEED");
+  if (env == nullptr) return 1234;
+  return std::strtoull(env, nullptr, 10);
+}
+
+// Spatially skewed fixture: the attribute's mean AND variance depend on
+// where the point lives. The left half is quiet (values near 10), the right
+// half is loud (values near 1000 with large spread). Uniform sampling sees
+// a bimodal population with huge variance; spatially coherent strata see
+// two quiet sub-populations — exactly the gap Neyman allocation exploits.
+struct SkewedData {
+  std::vector<Entry> entries;
+  std::vector<double> values;  // indexed by record id
+  double true_mean = 0.0;
+};
+
+SkewedData MakeSkewed(int n, uint64_t seed) {
+  Rng rng(seed);
+  SkewedData d;
+  d.entries.reserve(n);
+  d.values.reserve(n);
+  double sum = 0.0;
+  for (RecordId i = 0; i < static_cast<RecordId>(n); ++i) {
+    double x = rng.UniformDouble(0, 100);
+    double y = rng.UniformDouble(0, 100);
+    double v = x < 50 ? rng.Normal(10, 1) : rng.Normal(1000, 100);
+    d.entries.push_back({Point2(x, y), i});
+    d.values.push_back(v);
+    sum += v;
+  }
+  d.true_mean = sum / n;
+  return d;
+}
+
+std::vector<RecordId> InQuery(const std::vector<Entry>& data, const Rect2& q) {
+  std::vector<RecordId> ids;
+  for (const Entry& e : data) {
+    if (q.Contains(e.point)) ids.push_back(e.id);
+  }
+  return ids;
+}
+
+// Collects the qualifying record ids under a stratum's canonical roots.
+void CollectUnder(const Node* u, const Rect2& q, std::vector<RecordId>* out) {
+  if (u->is_leaf) {
+    for (const Entry& e : u->entries) {
+      if (q.Contains(e.point)) out->push_back(e.id);
+    }
+    return;
+  }
+  for (const auto& c : u->children) {
+    if (q.Intersects(c->mbr)) CollectUnder(c.get(), q, out);
+  }
+}
+
+const Rect2 kWholeQuery(Point2(-1, -1), Point2(101, 101));
+const Rect2 kPartialQuery(Point2(20, 15), Point2(85, 90));
+
+class StratifiedSamplerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_ = MakeSkewed(20'000, TestSeed());
+    RsTreeOptions options;
+    options.rtree.max_entries = 32;
+    rs_ = std::make_unique<RsTree<2>>(data_.entries, options, TestSeed() + 1);
+  }
+
+  SkewedData data_;
+  std::unique_ptr<RsTree<2>> rs_;
+};
+
+TEST_F(StratifiedSamplerTest, StrataAreDisjointCoverTheQueryWithExactCounts) {
+  StratifiedSampler<2> s(rs_.get(), SamplingOptions(), Rng(TestSeed() + 2));
+  ASSERT_TRUE(s.Begin(kPartialQuery, SamplingMode::kWithReplacement).ok());
+  std::vector<RecordId> truth = InQuery(data_.entries, kPartialQuery);
+  ASSERT_GT(s.Strata(), 1u);
+  ASSERT_LE(s.Strata(), SamplingOptions().max_strata);
+
+  std::unordered_set<RecordId> seen;
+  uint64_t population_sum = 0;
+  for (size_t h = 0; h < s.Strata(); ++h) {
+    std::vector<RecordId> members;
+    for (const Node* root : s.StratumRoots(h)) {
+      CollectUnder(root, kPartialQuery, &members);
+    }
+    EXPECT_EQ(members.size(), s.StratumPopulation(h)) << "stratum " << h;
+    population_sum += s.StratumPopulation(h);
+    for (RecordId id : members) {
+      EXPECT_TRUE(seen.insert(id).second) << "record " << id << " in 2 strata";
+    }
+    CardinalityEstimate per = s.Cardinality(h);
+    EXPECT_TRUE(per.exact);
+    EXPECT_EQ(per.lower, s.StratumPopulation(h));
+  }
+  EXPECT_EQ(population_sum, truth.size());
+  EXPECT_EQ(seen.size(), truth.size());
+  CardinalityEstimate total = s.Cardinality();
+  EXPECT_TRUE(total.exact);
+  EXPECT_EQ(total.lower, truth.size());
+  EXPECT_GE(total.estimate, static_cast<double>(total.lower));
+  EXPECT_LE(total.estimate, static_cast<double>(total.upper));
+}
+
+TEST_F(StratifiedSamplerTest, FacadeWithoutReplacementDrainsExactly) {
+  StratifiedSampler<2> s(rs_.get(), SamplingOptions(), Rng(TestSeed() + 3));
+  ASSERT_TRUE(s.Begin(kPartialQuery, SamplingMode::kWithoutReplacement).ok());
+  std::unordered_set<RecordId> seen;
+  Entry buf[128];
+  while (true) {
+    uint64_t n = s.NextBatch(std::span<Entry>(buf, 128));
+    if (n == 0) break;
+    for (uint64_t i = 0; i < n; ++i) {
+      EXPECT_TRUE(seen.insert(buf[i].id).second) << "duplicate " << buf[i].id;
+    }
+  }
+  EXPECT_TRUE(s.IsExhausted());
+  std::vector<RecordId> truth = InQuery(data_.entries, kPartialQuery);
+  EXPECT_EQ(seen.size(), truth.size());
+  EXPECT_EQ(seen, std::unordered_set<RecordId>(truth.begin(), truth.end()));
+}
+
+TEST_F(StratifiedSamplerTest, WithinStratumDrawsAreUniformChiSquared) {
+  StratifiedSampler<2> s(rs_.get(), SamplingOptions(), Rng(TestSeed() + 4));
+  ASSERT_TRUE(s.Begin(kPartialQuery, SamplingMode::kWithReplacement).ok());
+  // Test the largest stratum: enough members for a well-powered test.
+  size_t pick = 0;
+  for (size_t h = 0; h < s.Strata(); ++h) {
+    if (s.StratumPopulation(h) > s.StratumPopulation(pick)) pick = h;
+  }
+  std::vector<RecordId> members;
+  for (const Node* root : s.StratumRoots(pick)) {
+    CollectUnder(root, kPartialQuery, &members);
+  }
+  ASSERT_GE(members.size(), 64u);
+  std::unordered_map<RecordId, size_t> index;
+  for (size_t i = 0; i < members.size(); ++i) index[members[i]] = i;
+
+  std::vector<uint64_t> counts(members.size(), 0);
+  uint64_t draws = 0;
+  const uint64_t target = 30 * members.size();
+  Entry buf[256];
+  while (draws < target) {
+    uint64_t n = s.NextBatchFrom(
+        pick, std::span<Entry>(buf, std::min<uint64_t>(256, target - draws)));
+    ASSERT_GT(n, 0u);
+    for (uint64_t i = 0; i < n; ++i) {
+      auto it = index.find(buf[i].id);
+      ASSERT_NE(it, index.end()) << "draw escaped its stratum";
+      ++counts[it->second];
+    }
+    draws += n;
+  }
+  double stat = ChiSquareUniform(counts.data(), counts.size(), draws);
+  EXPECT_LT(stat, ChiSquareCritical(counts.size() - 1, 1e-4));
+}
+
+TEST_F(StratifiedSamplerTest, SameSeedSameStream) {
+  auto run = [this] {
+    StratifiedSampler<2> s(rs_.get(), SamplingOptions(), Rng(TestSeed() + 5));
+    EXPECT_TRUE(s.Begin(kPartialQuery, SamplingMode::kWithReplacement).ok());
+    std::vector<RecordId> ids;
+    Entry buf[64];
+    for (int round = 0; round < 10; ++round) {
+      uint64_t n = s.NextBatch(std::span<Entry>(buf, 64));
+      for (uint64_t i = 0; i < n; ++i) ids.push_back(buf[i].id);
+    }
+    return ids;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// ---------------------------------------------------------------------------
+// Stratified estimator
+// ---------------------------------------------------------------------------
+
+TEST_F(StratifiedSamplerTest, CountIsExactImmediately) {
+  StratifiedSampler<2> s(rs_.get(), SamplingOptions(), Rng(TestSeed() + 6));
+  StratifiedAggregator<2> agg(&s, AttributeFn<2>(), AggregateKind::kCount);
+  ASSERT_TRUE(agg.Begin(kPartialQuery).ok());
+  ConfidenceInterval ci = agg.Current();
+  EXPECT_TRUE(ci.exact);
+  EXPECT_EQ(ci.half_width, 0.0);
+  EXPECT_EQ(ci.estimate,
+            static_cast<double>(InQuery(data_.entries, kPartialQuery).size()));
+}
+
+TEST_F(StratifiedSamplerTest, StratifiedCiBeatsUniformOnSkewedData) {
+  const std::vector<double>* column = &data_.values;
+  AttributeFn<2> attr = [column](const Entry& e) {
+    return e.id < column->size() ? (*column)[e.id]
+                                 : std::numeric_limits<double>::quiet_NaN();
+  };
+  const uint64_t kBudget = 4096;
+
+  StratifiedSampler<2> ss(rs_.get(), SamplingOptions(), Rng(TestSeed() + 7));
+  StratifiedAggregator<2> strat(&ss, attr, AggregateKind::kAvg);
+  ASSERT_TRUE(strat.Begin(kWholeQuery, SamplingMode::kWithReplacement).ok());
+  while (strat.samples_drawn() < kBudget) {
+    ASSERT_GT(strat.Step(512), 0u);
+  }
+
+  auto us = rs_->NewSampler(Rng(TestSeed() + 8), /*shared_buffers=*/false);
+  OnlineAggregator<2> uniform(us.get(), attr, AggregateKind::kAvg);
+  ASSERT_TRUE(
+      uniform.Begin(kWholeQuery, SamplingMode::kWithReplacement).ok());
+  while (uniform.samples_drawn() < kBudget) {
+    ASSERT_GT(uniform.Step(512), 0u);
+  }
+
+  ConfidenceInterval sci = strat.Current();
+  ConfidenceInterval uci = uniform.Current();
+  ASSERT_TRUE(std::isfinite(sci.half_width));
+  ASSERT_TRUE(std::isfinite(uci.half_width));
+  // Both unbiased...
+  EXPECT_NEAR(sci.estimate, data_.true_mean, 40.0);
+  EXPECT_NEAR(uci.estimate, data_.true_mean, 40.0);
+  // ...but the stratified interval must be decisively tighter at the same
+  // budget (acceptance: <= 0.7x; the spatial split typically gives far
+  // more).
+  EXPECT_LE(sci.half_width, 0.7 * uci.half_width)
+      << "stratified hw " << sci.half_width << " vs uniform " << uci.half_width;
+}
+
+TEST_F(StratifiedSamplerTest, EstimatorIsSeedDeterministic) {
+  const std::vector<double>* column = &data_.values;
+  AttributeFn<2> attr = [column](const Entry& e) {
+    return e.id < column->size() ? (*column)[e.id]
+                                 : std::numeric_limits<double>::quiet_NaN();
+  };
+  auto run = [&] {
+    StratifiedSampler<2> s(rs_.get(), SamplingOptions(), Rng(TestSeed() + 9));
+    StratifiedAggregator<2> agg(&s, attr, AggregateKind::kAvg);
+    EXPECT_TRUE(agg.Begin(kPartialQuery).ok());
+    for (int i = 0; i < 8; ++i) agg.Step(256);
+    return agg.Current();
+  };
+  ConfidenceInterval a = run();
+  ConfidenceInterval b = run();
+  EXPECT_EQ(a.estimate, b.estimate);
+  EXPECT_EQ(a.half_width, b.half_width);
+  EXPECT_EQ(a.samples, b.samples);
+}
+
+TEST_F(StratifiedSamplerTest, WorkersOwnDisjointStrataAndMergeToFullCoverage) {
+  const std::vector<double>* column = &data_.values;
+  AttributeFn<2> attr = [column](const Entry& e) {
+    return e.id < column->size() ? (*column)[e.id]
+                                 : std::numeric_limits<double>::quiet_NaN();
+  };
+  // Two workers, each with its own sampler instance (the partition is
+  // RNG-free, so stratum indices align) and disjoint strata.
+  StratifiedSampler<2> s0(rs_.get(), SamplingOptions(), Rng(TestSeed() + 10));
+  StratifiedSampler<2> s1(rs_.get(), SamplingOptions(), Rng(TestSeed() + 11));
+  StratifiedAggregator<2> w0(&s0, attr, AggregateKind::kAvg, 0.95, 0, 2);
+  StratifiedAggregator<2> w1(&s1, attr, AggregateKind::kAvg, 0.95, 1, 2);
+  ASSERT_TRUE(w0.Begin(kWholeQuery, SamplingMode::kWithReplacement).ok());
+  ASSERT_TRUE(w1.Begin(kWholeQuery, SamplingMode::kWithReplacement).ok());
+  ASSERT_EQ(s0.Strata(), s1.Strata());
+  for (int i = 0; i < 6; ++i) {
+    w0.Step(512);
+    w1.Step(512);
+  }
+  // Each worker alone has uncovered strata -> infinite half-width.
+  if (s0.Strata() > 1) {
+    EXPECT_TRUE(std::isinf(w0.Current().half_width));
+    EXPECT_TRUE(std::isinf(w1.Current().half_width));
+  }
+  // Per-stratum sample counts must not overlap across workers.
+  for (size_t h = 0; h < s0.Strata(); ++h) {
+    EXPECT_TRUE(w0.stratum_stat(h).count() == 0 ||
+                w1.stratum_stat(h).count() == 0)
+        << "stratum " << h << " sampled by both workers";
+  }
+  w0.Merge(w1);
+  ConfidenceInterval merged = w0.Current();
+  ASSERT_TRUE(std::isfinite(merged.half_width));
+  EXPECT_NEAR(merged.estimate, data_.true_mean, 60.0);
+  EXPECT_EQ(merged.samples, w0.samples_drawn());
+}
+
+// ---------------------------------------------------------------------------
+// Query language, optimizer, and wire plumbing
+// ---------------------------------------------------------------------------
+
+TEST(StratifiedQueryTest, ParserAcceptsStratifiedHint) {
+  auto ast = ParseQuery("SELECT AVG(v) FROM t USING STRATIFIED");
+  ASSERT_TRUE(ast.ok()) << ast.status();
+  EXPECT_EQ(ast->method, SamplerStrategy::kStratified);
+  EXPECT_EQ(SamplerStrategyToString(SamplerStrategy::kStratified),
+            std::string("STRATIFIED"));
+}
+
+std::vector<Value> MakeDocs(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Value> docs;
+  docs.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    Value doc = Value::MakeObject();
+    double x = rng.UniformDouble(0, 100);
+    doc.Set("x", Value::Double(x));
+    doc.Set("y", Value::Double(rng.UniformDouble(0, 100)));
+    doc.Set("v", Value::Double(x < 50 ? rng.Normal(10, 1)
+                                      : rng.Normal(1000, 100)));
+    docs.push_back(doc);
+  }
+  return docs;
+}
+
+TEST(StratifiedQueryTest, ExplainUpgradesEligibleAggregates) {
+  Session session;
+  ASSERT_TRUE(session.CreateTable("t", MakeDocs(20'000, TestSeed())).ok());
+  // prefer_stratified waives the cost-model thresholds, so the upgrade is
+  // deterministic regardless of the selectivity estimate.
+  auto explain = session.Execute(
+      "EXPLAIN SELECT AVG(v) FROM t",
+      ExecOptions().WithSampling(SamplingOptions().WithPreferStratified(true)));
+  ASSERT_TRUE(explain.ok()) << explain.status();
+  EXPECT_TRUE(explain->explain_only);
+  EXPECT_EQ(explain->strategy, "STRATIFIED");
+  // Quantiles cannot use the stratified estimator; no upgrade.
+  auto quantile = session.Execute(
+      "EXPLAIN SELECT QUANTILE(0.5, v) FROM t",
+      ExecOptions().WithSampling(SamplingOptions().WithPreferStratified(true)));
+  ASSERT_TRUE(quantile.ok()) << quantile.status();
+  EXPECT_NE(quantile->strategy, "STRATIFIED");
+}
+
+TEST(StratifiedQueryTest, StratifiedQueryAnswersCorrectly) {
+  Session session;
+  ASSERT_TRUE(session.CreateTable("t", MakeDocs(20'000, TestSeed() + 1)).ok());
+  auto result = session.Execute(
+      "SELECT AVG(v) FROM t SAMPLES 4000 USING STRATIFIED");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->strategy, "STRATIFIED");
+  EXPECT_GT(result->samples, 0u);
+  // True mean is ~505 (half the mass at 10, half at 1000).
+  EXPECT_LT(std::abs(result->ci.estimate - 505.0),
+            4.0 * result->ci.half_width + 10.0);
+  // Exact-count side effect of the canonical partition.
+  EXPECT_TRUE(result->cardinality_exact);
+}
+
+TEST(StratifiedQueryTest, SequentialStratifiedRunIsDeterministic) {
+  // Determinism holds for a fixed, freshly built table: Table mixes a
+  // per-table sampler sequence into each sampler's seed (repeat Executes on
+  // one table are differently seeded by design), so compare two identically
+  // built sessions rather than two runs on one session.
+  const std::string q = "SELECT AVG(v) FROM t SAMPLES 2000 USING STRATIFIED";
+  auto run_fresh = [&]() {
+    Session session;
+    EXPECT_TRUE(session.CreateTable("t", MakeDocs(20'000, TestSeed() + 2)).ok());
+    return session.Execute(q);
+  };
+  auto a = run_fresh();
+  auto b = run_fresh();
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->ci.estimate, b->ci.estimate);
+  EXPECT_EQ(a->ci.half_width, b->ci.half_width);
+  EXPECT_EQ(a->samples, b->samples);
+}
+
+TEST(StratifiedQueryTest, ParallelStratifiedMatchesTruth) {
+  Session session;
+  ASSERT_TRUE(session.CreateTable("t", MakeDocs(20'000, TestSeed() + 3)).ok());
+  auto result = session.Execute(
+      "SELECT AVG(v) FROM t SAMPLES 8000 USING STRATIFIED",
+      ExecOptions().WithParallelism(4));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->strategy, "STRATIFIED");
+  EXPECT_GT(result->samples, 0u);
+  ASSERT_TRUE(std::isfinite(result->ci.half_width));
+  EXPECT_LT(std::abs(result->ci.estimate - 505.0),
+            4.0 * result->ci.half_width + 10.0);
+}
+
+TEST(StratifiedWireTest, WantStratifiedFlagRoundTripsAndStaysCompatible) {
+  QueryRequest req;
+  req.query = "SELECT AVG(v) FROM t";
+  req.want_stratified = true;
+  auto decoded = DecodeQueryRequest(EncodeQueryRequest(req));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(decoded->want_stratified);
+  EXPECT_EQ(decoded->query, req.query);
+
+  // A pre-stratified client's request (flag absent) decodes to false.
+  QueryRequest old;
+  old.query = req.query;
+  auto old_decoded = DecodeQueryRequest(EncodeQueryRequest(old));
+  ASSERT_TRUE(old_decoded.ok());
+  EXPECT_FALSE(old_decoded->want_stratified);
+
+  // An even older payload with no flags byte at all still decodes.
+  std::string truncated = EncodeQueryRequest(old);
+  // query string + parallelism(u32) + deadline(double) + interval(u32):
+  // everything after is the optional trace block; chop it.
+  auto chopped = DecodeQueryRequest(
+      std::string_view(truncated).substr(0, truncated.size() - 1));
+  ASSERT_TRUE(chopped.ok());
+  EXPECT_FALSE(chopped->want_stratified);
+}
+
+TEST(StratifiedWireTest, StratifiedStrategyTagRoundTripsInResults) {
+  QueryResult res;
+  res.task = QueryTask::kAggregate;
+  res.strategy = "STRATIFIED";
+  res.decision.strategy = SamplerStrategy::kStratified;
+  res.decision.reason = "stratified over the canonical set";
+  res.ci = {500.0, 3.0, 0.95, 4096};
+  auto decoded = DecodeQueryResult(EncodeQueryResult(res));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->decision.strategy, SamplerStrategy::kStratified);
+  EXPECT_EQ(decoded->strategy, "STRATIFIED");
+}
+
+}  // namespace
+}  // namespace storm
