@@ -15,8 +15,21 @@
 // writer thread, and admission accounting. Reported: mean per-query
 // latency per mode and the relative overhead; the acceptance bar for the
 // serving layer is < 15% on this workload.
+//
+// A second scenario models interactive map exploration on the same table:
+// N clients alternate a shared overview viewport with random half-size
+// pans inside it, first with the sample-reservoir cache off, then with a
+// private cache on. Reported: aggregate samples/sec and the p99
+// time-to-first-CI per phase, gated by a PASS/FAIL line (acceptance:
+// cache on reaches >= 2x samples/sec and a better p99) so CI can grep it.
+//
+// STORM_BENCH_SCENARIO selects what runs: "serving", "overlap", or "all"
+// (the default). The cache CI job runs the overlap scenario alone under
+// ThreadSanitizer.
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -37,28 +50,8 @@ struct ModeStats {
   std::shared_ptr<const QueryProfile> slowest_profile;
 };
 
-void Run() {
-  using bench::EnvSize;
-  const uint64_t n = EnvSize("STORM_BENCH_N", 200'000);
-  const int clients = static_cast<int>(EnvSize("STORM_BENCH_CLIENTS", 8));
-  const int per_client = static_cast<int>(EnvSize("STORM_BENCH_QUERIES", 5));
-  const uint64_t cap = EnvSize("STORM_BENCH_SAMPLES", 200'000);
-
-  OsmOptions options;
-  options.num_points = n;
-  OsmLikeGenerator gen(options);
-  std::vector<Value> docs;
-  for (const OsmPoint& p : gen.Generate()) {
-    docs.push_back(OsmLikeGenerator::ToDocument(p));
-  }
-
-  Client client;
-  Status st = client.CreateTable("osm", docs);
-  if (!st.ok()) {
-    std::fprintf(stderr, "create table: %s\n", st.ToString().c_str());
-    return;
-  }
-
+void RunServingScenario(Client& client, uint64_t n, int clients,
+                        int per_client, uint64_t cap) {
   const std::string query =
       "SELECT AVG(altitude) FROM osm REGION(-112, 28, -88, 46) SAMPLES " +
       std::to_string(cap) + " ERROR 0.0001% USING RSTREE";
@@ -103,7 +96,7 @@ void Run() {
   server_options.port = 0;
   server_options.query_threads = clients;
   StormServer server(&client.session(), server_options);
-  st = server.Start();
+  Status st = server.Start();
   if (!st.ok()) {
     std::fprintf(stderr, "server start: %s\n", st.ToString().c_str());
     return;
@@ -209,6 +202,207 @@ void Run() {
               static_cast<unsigned long long>(remote_total.errors));
   std::printf("\nserving-layer overhead: %+.1f%% per query (target < 15%%)\n",
               overhead);
+}
+
+// --- Overlapping-pan scenario: the shared sample-reservoir cache. ---
+
+struct PanPhase {
+  uint64_t samples = 0;
+  uint64_t cached = 0;
+  uint64_t queries = 0;
+  uint64_t errors = 0;
+  double wall_ms = 0.0;
+  std::vector<double> first_ci_ms;
+};
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = p * static_cast<double>(values.size() - 1);
+  return values[static_cast<size_t>(rank + 0.5)];
+}
+
+// One phase of the map-exploration workload: every client alternates the
+// shared overview viewport (each 6th query — the "zoom out" that
+// replenishes the reservoir) with random half-size pans inside it. With
+// cache == nullptr the phase runs with caching disabled; otherwise every
+// query publishes into and probes the given private cache.
+void RunOverlapPhase(Client& client, SampleReservoirCache* cache, int clients,
+                     int per_client, uint64_t overview_cap, uint64_t pan_cap,
+                     PanPhase* out) {
+  SamplingOptions sampling;
+  if (cache != nullptr) {
+    sampling.WithCache(cache);
+  } else {
+    sampling.WithSampleCache(false);
+  }
+  std::vector<PanPhase> per(static_cast<size_t>(clients));
+  Stopwatch wall;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      PanPhase& s = per[static_cast<size_t>(c)];
+      Rng rng(0x9a70 + static_cast<uint64_t>(c));
+      char buf[256];
+      for (int i = 0; i < per_client; ++i) {
+        const bool overview = i % 6 == 0;
+        if (overview) {
+          std::snprintf(buf, sizeof(buf),
+                        "SELECT AVG(altitude) FROM osm "
+                        "REGION(-112, 28, -88, 46) SAMPLES %llu USING RSTREE",
+                        static_cast<unsigned long long>(overview_cap));
+        } else {
+          const double x0 = rng.UniformDouble(-112.0, -100.0);
+          const double y0 = rng.UniformDouble(28.0, 37.0);
+          std::snprintf(buf, sizeof(buf),
+                        "SELECT AVG(altitude) FROM osm "
+                        "REGION(%.3f, %.3f, %.3f, %.3f) SAMPLES %llu "
+                        "USING RSTREE",
+                        x0, y0, x0 + 12.0, y0 + 9.0,
+                        static_cast<unsigned long long>(pan_cap));
+        }
+        Stopwatch watch;
+        bool got_first = false;
+        auto result = client.Execute(
+            buf, ExecOptions()
+                     .WithSampling(sampling)
+                     .WithProfile(false)
+                     .WithProgress([&](const QueryProgress& p) {
+                       // Time-to-first-CI is tracked for the pans only:
+                       // that is the latency an interactive user feels,
+                       // and the overview's live draw cost is identical
+                       // in both phases.
+                       if (!overview && !got_first && p.samples > 0 &&
+                           std::isfinite(p.ci.half_width)) {
+                         got_first = true;
+                         s.first_ci_ms.push_back(watch.ElapsedMillis());
+                       }
+                       return true;
+                     }));
+        if (!result.ok()) {
+          ++s.errors;
+          continue;
+        }
+        s.samples += result->samples;
+        s.cached += result->cache_samples;
+        ++s.queries;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  out->wall_ms = wall.ElapsedMillis();
+  for (PanPhase& s : per) {
+    out->samples += s.samples;
+    out->cached += s.cached;
+    out->queries += s.queries;
+    out->errors += s.errors;
+    out->first_ci_ms.insert(out->first_ci_ms.end(), s.first_ci_ms.begin(),
+                            s.first_ci_ms.end());
+  }
+}
+
+void RunOverlapScenario(Client& client, int clients) {
+  using bench::EnvSize;
+  const int per_client = static_cast<int>(EnvSize("STORM_BENCH_PANS", 18));
+  const uint64_t overview_cap =
+      EnvSize("STORM_BENCH_OVERVIEW_SAMPLES", 60'000);
+  const uint64_t pan_cap = EnvSize("STORM_BENCH_PAN_SAMPLES", 15'000);
+
+  bench::PrintHeader(
+      "Ablation — shared sample-reservoir cache: overlapping map pans",
+      std::to_string(clients) + " clients x " + std::to_string(per_client) +
+          " viewports over the Fig 3(a) window; overview cap=" +
+          std::to_string(overview_cap) + ", pan cap=" +
+          std::to_string(pan_cap) + "; cache off, then on");
+
+  // Warm the planner, sampler, and column caches once.
+  (void)client.Execute(
+      "SELECT AVG(altitude) FROM osm REGION(-112, 28, -88, 46) "
+      "SAMPLES 10000 USING RSTREE");
+
+  PanPhase off, on;
+  RunOverlapPhase(client, nullptr, clients, per_client, overview_cap, pan_cap,
+                  &off);
+  SampleReservoirCache cache;
+  RunOverlapPhase(client, &cache, clients, per_client, overview_cap, pan_cap,
+                  &on);
+
+  if (off.queries == 0 || on.queries == 0 || off.errors > 0 ||
+      on.errors > 0) {
+    std::fprintf(stderr,
+                 "errors during overlap run (off errors=%llu queries=%llu, "
+                 "on errors=%llu queries=%llu)\n",
+                 static_cast<unsigned long long>(off.errors),
+                 static_cast<unsigned long long>(off.queries),
+                 static_cast<unsigned long long>(on.errors),
+                 static_cast<unsigned long long>(on.queries));
+    if (off.queries == 0 || on.queries == 0) return;
+  }
+
+  const double off_sps =
+      static_cast<double>(off.samples) / (off.wall_ms / 1000.0);
+  const double on_sps = static_cast<double>(on.samples) / (on.wall_ms / 1000.0);
+  const double off_p99 = Percentile(off.first_ci_ms, 0.99);
+  const double on_p99 = Percentile(on.first_ci_ms, 0.99);
+
+  std::printf("%10s | %8s %12s %14s %18s %8s\n", "cache", "queries", "samples",
+              "samples/sec", "p99 pan 1st-CI ms", "errors");
+  std::printf("%10s | %8llu %12llu %14.0f %18.2f %8llu\n", "off",
+              static_cast<unsigned long long>(off.queries),
+              static_cast<unsigned long long>(off.samples), off_sps, off_p99,
+              static_cast<unsigned long long>(off.errors));
+  std::printf("%10s | %8llu %12llu %14.0f %18.2f %8llu\n", "on",
+              static_cast<unsigned long long>(on.queries),
+              static_cast<unsigned long long>(on.samples), on_sps, on_p99,
+              static_cast<unsigned long long>(on.errors));
+  std::printf("\ncache counters: served=%llu hits=%llu misses=%llu "
+              "published=%llu evictions=%llu reservoirs=%llu bytes=%llu\n",
+              static_cast<unsigned long long>(on.cached),
+              static_cast<unsigned long long>(cache.hits()),
+              static_cast<unsigned long long>(cache.misses()),
+              static_cast<unsigned long long>(cache.published()),
+              static_cast<unsigned long long>(cache.evictions()),
+              static_cast<unsigned long long>(cache.reservoirs()),
+              static_cast<unsigned long long>(cache.bytes()));
+
+  const double speedup = off_sps > 0.0 ? on_sps / off_sps : 0.0;
+  const bool pass = speedup >= 2.0 && on_p99 < off_p99;
+  std::printf("\n%s: cache on reaches %.1fx aggregate samples/sec and p99 "
+              "time-to-first-CI %.2f ms -> %.2f ms (acceptance: >= 2.0x "
+              "and improved p99)\n",
+              pass ? "PASS" : "FAIL", speedup, off_p99, on_p99);
+}
+
+void Run() {
+  using bench::EnvSize;
+  const uint64_t n = EnvSize("STORM_BENCH_N", 200'000);
+  const int clients = static_cast<int>(EnvSize("STORM_BENCH_CLIENTS", 8));
+  const int per_client = static_cast<int>(EnvSize("STORM_BENCH_QUERIES", 5));
+  const uint64_t cap = EnvSize("STORM_BENCH_SAMPLES", 200'000);
+  const char* scenario_env = std::getenv("STORM_BENCH_SCENARIO");
+  const std::string scenario = scenario_env != nullptr ? scenario_env : "all";
+
+  OsmOptions options;
+  options.num_points = n;
+  OsmLikeGenerator gen(options);
+  std::vector<Value> docs;
+  for (const OsmPoint& p : gen.Generate()) {
+    docs.push_back(OsmLikeGenerator::ToDocument(p));
+  }
+
+  Client client;
+  Status st = client.CreateTable("osm", docs);
+  if (!st.ok()) {
+    std::fprintf(stderr, "create table: %s\n", st.ToString().c_str());
+    return;
+  }
+
+  if (scenario == "all" || scenario == "serving") {
+    RunServingScenario(client, n, clients, per_client, cap);
+  }
+  if (scenario == "all" || scenario == "overlap") {
+    RunOverlapScenario(client, clients);
+  }
 }
 
 }  // namespace

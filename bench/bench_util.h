@@ -10,8 +10,10 @@
 #ifndef STORM_BENCH_BENCH_UTIL_H_
 #define STORM_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <span>
 #include <string>
 
 #include "storm/storm.h"
@@ -42,8 +44,13 @@ double TimeKSamples(SpatialSampler<D>& sampler, const Rect<D>& q, uint64_t k,
   Stopwatch watch;
   Status st = sampler.Begin(q, mode);
   if (!st.ok()) return -1.0;
-  for (uint64_t i = 0; i < k; ++i) {
-    if (!sampler.Next().has_value()) return -1.0;
+  typename SpatialSampler<D>::Entry buf[256];
+  for (uint64_t drawn = 0; drawn < k;) {
+    const uint64_t want = std::min<uint64_t>(k - drawn, 256);
+    const uint64_t got = sampler.NextBatch(
+        std::span<typename SpatialSampler<D>::Entry>(buf, want));
+    if (got == 0) return -1.0;
+    drawn += got;
   }
   return watch.ElapsedMillis();
 }

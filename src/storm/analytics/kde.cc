@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
 namespace storm {
 
@@ -98,16 +99,20 @@ void OnlineKde<D>::Accumulate(const Point<D>& p) {
 template <int D>
 uint64_t OnlineKde<D>::Step(uint64_t batch) {
   if (!began_ || exhausted_) return 0;
+  constexpr uint64_t kChunk = 256;
+  Entry buf[kChunk];
   uint64_t drawn = 0;
-  for (uint64_t i = 0; i < batch; ++i) {
-    std::optional<Entry> e = sampler_->Next();
-    if (!e.has_value()) {
+  while (drawn < batch) {
+    uint64_t ask = std::min(kChunk, batch - drawn);
+    size_t got = sampler_->NextBatch(
+        std::span<Entry>(buf, static_cast<size_t>(ask)));
+    if (got == 0) {
       exhausted_ = sampler_->IsExhausted();
       break;
     }
-    Accumulate(e->point);
-    ++n_;
-    ++drawn;
+    for (size_t i = 0; i < got; ++i) Accumulate(buf[i].point);
+    n_ += got;
+    drawn += got;
   }
   return drawn;
 }

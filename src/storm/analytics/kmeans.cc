@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <span>
 
 namespace storm {
 
@@ -121,15 +122,21 @@ Status OnlineKMeans<D>::Begin(const Rect<D>& query) {
 template <int D>
 uint64_t OnlineKMeans<D>::Step(uint64_t batch) {
   if (!began_ || exhausted_) return 0;
+  constexpr uint64_t kChunk = 256;
+  Entry buf[kChunk];
   uint64_t drawn = 0;
-  for (uint64_t i = 0; i < batch; ++i) {
-    std::optional<Entry> e = sampler_->Next();
-    if (!e.has_value()) {
+  while (drawn < batch) {
+    uint64_t ask = std::min(kChunk, batch - drawn);
+    size_t got = sampler_->NextBatch(
+        std::span<Entry>(buf, static_cast<size_t>(ask)));
+    if (got == 0) {
       exhausted_ = sampler_->IsExhausted();
       break;
     }
-    points_.push_back(Point2(e->point[0], e->point[1]));
-    ++drawn;
+    for (size_t i = 0; i < got; ++i) {
+      points_.push_back(Point2(buf[i].point[0], buf[i].point[1]));
+    }
+    drawn += got;
   }
   if (drawn > 0 && points_.size() >= static_cast<size_t>(options_.k)) {
     std::vector<Point2> prev = result_.centers;

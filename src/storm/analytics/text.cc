@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cmath>
+#include <span>
 #include <unordered_set>
 
 #include "storm/util/stats.h"
@@ -120,15 +121,21 @@ Status OnlineTermFrequency<D>::Begin(const Rect<D>& query) {
 template <int D>
 uint64_t OnlineTermFrequency<D>::Step(uint64_t batch) {
   if (!began_ || exhausted_) return 0;
+  constexpr uint64_t kChunk = 256;
+  Entry buf[kChunk];
   uint64_t drawn = 0;
-  for (uint64_t i = 0; i < batch; ++i) {
-    std::optional<Entry> e = sampler_->Next();
-    if (!e.has_value()) {
+  while (drawn < batch) {
+    uint64_t ask = std::min(kChunk, batch - drawn);
+    size_t got = sampler_->NextBatch(
+        std::span<Entry>(buf, static_cast<size_t>(ask)));
+    if (got == 0) {
       exhausted_ = sampler_->IsExhausted();
       break;
     }
-    counter_.AddDocument(Tokenize(text_of_(e->id)));
-    ++drawn;
+    for (size_t i = 0; i < got; ++i) {
+      counter_.AddDocument(Tokenize(text_of_(buf[i].id)));
+    }
+    drawn += got;
   }
   return drawn;
 }

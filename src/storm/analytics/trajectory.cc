@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
 namespace storm {
 
@@ -85,17 +86,26 @@ Status OnlineTrajectory<D>::Begin(const Rect<D>& query) {
 template <int D>
 uint64_t OnlineTrajectory<D>::Step(uint64_t batch) {
   if (!began_ || exhausted_) return 0;
+  constexpr uint64_t kChunk = 256;
+  Entry buf[kChunk];
   uint64_t added = 0;
-  for (uint64_t i = 0; i < batch; ++i) {
-    std::optional<Entry> e = sampler_->Next();
-    if (!e.has_value()) {
+  uint64_t drawn = 0;
+  while (drawn < batch) {
+    uint64_t ask = std::min(kChunk, batch - drawn);
+    size_t got = sampler_->NextBatch(
+        std::span<Entry>(buf, static_cast<size_t>(ask)));
+    if (got == 0) {
       exhausted_ = sampler_->IsExhausted();
       break;
     }
-    ++drawn_;
-    if (filter_ && !filter_(*e)) continue;
-    builder_.Add(e->point[2], Point2(e->point[0], e->point[1]));
-    ++added;
+    drawn += got;
+    drawn_ += got;
+    for (size_t i = 0; i < got; ++i) {
+      const Entry& e = buf[i];
+      if (filter_ && !filter_(e)) continue;
+      builder_.Add(e.point[2], Point2(e.point[0], e.point[1]));
+      ++added;
+    }
   }
   return added;
 }

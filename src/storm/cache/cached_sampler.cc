@@ -1,0 +1,119 @@
+#include "storm/cache/cached_sampler.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace storm {
+
+CachedSampler::CachedSampler(std::unique_ptr<SpatialSampler<3>> inner,
+                             SampleReservoirCache* cache, std::string table,
+                             uint64_t epoch, Rng rng, bool steer_bounded)
+    : inner_(std::move(inner)),
+      cache_(cache),
+      table_(std::move(table)),
+      epoch_(epoch),
+      rng_(rng),
+      steer_bounded_(steer_bounded) {}
+
+CachedSampler::~CachedSampler() { PublishBack(); }
+
+Status CachedSampler::Begin(const Rect3& query, SamplingMode mode) {
+  PublishBack();  // a reused sampler publishes the previous query first
+  began_ = false;
+  hit_ = false;
+  pending_probe_ = false;
+  cached_.clear();
+  cursor_ = 0;
+  cached_served_ = 0;
+  total_served_ = 0;
+  publish_.clear();
+  if (mode == SamplingMode::kWithoutReplacement && steer_bounded_ &&
+      cache_ != nullptr && cache_->HasCovering(table_, epoch_, query) &&
+      inner_->Begin(query, SamplingMode::kWithReplacement).ok()) {
+    // Bounded query, covering reservoir cached, and the wrapped sampler
+    // accepts with-replacement (LS-tree, for one, does not): steer the
+    // estimator into its with-replacement fallback, the mode the reservoir
+    // can serve. The trial Begin above is discarded — the estimator
+    // re-Begins on fallback. The probe itself stays lazy — eviction between
+    // here and the first batch just means an ordinary live run.
+    return Status::NotSupported(
+        "covering sample reservoir cached; re-Begin with replacement");
+  }
+  STORM_RETURN_NOT_OK(inner_->Begin(query, mode));
+  query_ = query;
+  began_ = true;
+  bypass_ = cache_ == nullptr;
+  serve_ = !bypass_ && mode == SamplingMode::kWithReplacement;
+  if (!bypass_) {
+    pending_probe_ = serve_;
+    publish_cap_ = cache_->options().max_reservoir_samples;
+    publish_.reserve(
+        static_cast<size_t>(std::min<uint64_t>(publish_cap_, 4096)));
+  }
+  return Status::OK();
+}
+
+void CachedSampler::ProbeIfPending() {
+  if (!pending_probe_) return;
+  pending_probe_ = false;
+  SampleReservoirCache::ProbeResult probe =
+      cache_->ProbeCovering(table_, epoch_, query_, rng_);
+  hit_ = probe.hit;
+  cached_ = std::move(probe.samples);
+  cursor_ = 0;
+}
+
+void CachedSampler::Record(std::span<const Entry> served) {
+  if (bypass_) return;
+  uint64_t room = publish_cap_ > publish_.size()
+                      ? publish_cap_ - publish_.size()
+                      : 0;
+  uint64_t take = std::min<uint64_t>(room, served.size());
+  publish_.insert(publish_.end(), served.begin(),
+                  served.begin() + static_cast<ptrdiff_t>(take));
+}
+
+uint64_t CachedSampler::NextBatch(std::span<Entry> out) {
+  if (bypass_) return inner_->NextBatch(out);
+  uint64_t n = 0;
+  if (serve_) {
+    ProbeIfPending();
+    while (cursor_ < cached_.size() && n < out.size()) {
+      out[n++] = cached_[cursor_++];
+    }
+    cached_served_ += n;
+  }
+  if (n < out.size()) {
+    n += inner_->NextBatch(out.subspan(n));
+  }
+  total_served_ += n;
+  Record(out.first(n));
+  return n;
+}
+
+std::optional<CachedSampler::Entry> CachedSampler::Next() {
+  Entry e;
+  return NextBatch(std::span<Entry>(&e, 1)) == 1 ? std::optional<Entry>(e)
+                                                 : std::nullopt;
+}
+
+bool CachedSampler::IsExhausted() const {
+  if (!serve_) return inner_->IsExhausted();
+  return cursor_ >= cached_.size() && inner_->IsExhausted();
+}
+
+void CachedSampler::PublishBack() {
+  if (bypass_ || !began_ || publish_.empty()) return;
+  began_ = false;
+  // A degraded stream is uniform only over the live partition; caching it
+  // would quietly serve a partial population to healthy queries.
+  CardinalityEstimate card = inner_->Cardinality();
+  if (card.degraded || card.coverage < 1.0) {
+    publish_.clear();
+    return;
+  }
+  cache_->Publish(table_, epoch_, query_, std::move(publish_));
+  publish_.clear();
+}
+
+}  // namespace storm

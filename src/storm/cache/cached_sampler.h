@@ -1,0 +1,118 @@
+// CachedSampler: the cache-drain stage of the evaluator's hot loop.
+//
+// Wraps any with-replacement SpatialSampler<3>: the first batch probes the
+// SampleReservoirCache for a reservoir covering the query box and serves the
+// drained entries before delegating to the wrapped sampler for live top-up
+// draws. Every sample it hands out — cached or live — is recorded (up to the
+// cache's per-reservoir cap) and published back under the query's own region
+// when the sampler is destroyed or re-Begun, so even deadline-cut and
+// cancelled queries seed the cache ("sufficiently progressed" publication).
+//
+// Without-replacement queries never SERVE from the cache — cached entries
+// are prior draws and cannot join a distinct-records stream whose
+// exhaustion must mean "every covered record reported". They still RECORD
+// and publish: a without-replacement prefix is a uniform distinct sample,
+// each entry marginally Uniform(P ∩ region), so a later with-replacement
+// consumer that drains it serve-once gets unbiased estimates (its iid CI is
+// merely conservative — distinct draws have less variance than iid ones).
+// Begin's status (including kNotSupported, which estimators use to fall
+// back from WOR to WR) passes through unchanged.
+//
+// Steering: almost every strategy supports without-replacement, and every
+// estimator tries it first — so by itself the bypass rule would leave the
+// cache cold. When the evaluator marks the query *bounded* (an explicit
+// SAMPLES / ERROR / WITHIN / DEADLINE stopping rule, i.e. the caller asked
+// for an estimate, not an exact scan), Begin(kWithoutReplacement) answers
+// kNotSupported exactly when a covering reservoir is cached, steering the
+// estimator into its with-replacement fallback where the reservoir can
+// serve. Unbounded queries — whose without-replacement exhaustion IS the
+// exact answer — are never steered.
+
+#ifndef STORM_CACHE_CACHED_SAMPLER_H_
+#define STORM_CACHE_CACHED_SAMPLER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storm/cache/sample_cache.h"
+#include "storm/sampling/sampler.h"
+
+namespace storm {
+
+class CachedSampler : public SpatialSampler<3> {
+ public:
+  using Entry = RTree<3>::Entry;
+
+  /// `cache` must outlive the sampler; `epoch` is the owning table's epoch
+  /// at query start (queries hold the table read latch, so it cannot move
+  /// mid-query). `rng` drives probe thinning and shuffle only — the wrapped
+  /// sampler keeps its own stream. `steer_bounded` marks the query as
+  /// bounded (explicit stopping rule): Begin(kWithoutReplacement) then
+  /// answers kNotSupported when a covering reservoir is cached, so the
+  /// estimator falls back to the with-replacement mode the cache can serve.
+  CachedSampler(std::unique_ptr<SpatialSampler<3>> inner,
+                SampleReservoirCache* cache, std::string table, uint64_t epoch,
+                Rng rng, bool steer_bounded = false);
+  ~CachedSampler() override;
+
+  Status Begin(const Rect3& query,
+               SamplingMode mode = SamplingMode::kWithReplacement) override;
+  std::optional<Entry> Next() override;
+  uint64_t NextBatch(std::span<Entry> out) override;
+
+  CardinalityEstimate Cardinality() const override {
+    return inner_->Cardinality();
+  }
+  size_t Strata() const override { return inner_->Strata(); }
+  CardinalityEstimate Cardinality(size_t stratum) const override {
+    return inner_->Cardinality(stratum);
+  }
+  bool IsExhausted() const override;
+  std::string_view name() const override { return inner_->name(); }
+
+  /// True once the first batch found a covering reservoir.
+  bool cache_hit() const { return hit_; }
+  /// Samples served from the cache this query (EXPLAIN hit fraction).
+  uint64_t cached_served() const { return cached_served_; }
+  /// All samples served this query (cached + live).
+  uint64_t total_served() const { return total_served_; }
+
+ private:
+  /// The probe is lazy — run on the first NextBatch, not Begin — so a
+  /// wrapper that is constructed but never pumped (the parallel engine's
+  /// sequential-fallback sampler) neither drains reservoirs nor skews the
+  /// hit/miss metrics.
+  void ProbeIfPending();
+  /// Appends served samples to the publish buffer up to the cache's
+  /// per-reservoir cap.
+  void Record(std::span<const Entry> served);
+  /// Publishes the buffered stream under (table, epoch, query box), unless
+  /// the query bypassed the cache, served a degraded/partial-coverage
+  /// population, or served too few samples to be worth caching.
+  void PublishBack();
+
+  std::unique_ptr<SpatialSampler<3>> inner_;
+  SampleReservoirCache* cache_;
+  std::string table_;
+  uint64_t epoch_;
+  Rng rng_;
+
+  Rect3 query_;
+  bool steer_bounded_ = false;
+  bool began_ = false;
+  bool bypass_ = true;  ///< no cache at all: pure delegation
+  bool serve_ = false;  ///< with-replacement mode: cached entries may serve
+  bool pending_probe_ = false;
+  bool hit_ = false;
+  std::vector<Entry> cached_;
+  size_t cursor_ = 0;
+  uint64_t cached_served_ = 0;
+  uint64_t total_served_ = 0;
+  std::vector<Entry> publish_;
+  uint64_t publish_cap_ = 0;
+};
+
+}  // namespace storm
+
+#endif  // STORM_CACHE_CACHED_SAMPLER_H_

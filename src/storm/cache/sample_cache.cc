@@ -1,0 +1,217 @@
+#include "storm/cache/sample_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "storm/obs/metrics.h"
+
+namespace storm {
+
+namespace {
+
+Counter* HitsCounter() {
+  static Counter* c = MetricsRegistry::Default().GetCounter(
+      "storm_sample_cache_hits_total",
+      "Queries served (partially) from a cached sample reservoir");
+  return c;
+}
+
+Counter* MissesCounter() {
+  static Counter* c = MetricsRegistry::Default().GetCounter(
+      "storm_sample_cache_misses_total",
+      "Cache probes that found no fresh covering reservoir");
+  return c;
+}
+
+Counter* EvictionsCounter() {
+  static Counter* c = MetricsRegistry::Default().GetCounter(
+      "storm_sample_cache_evictions_total",
+      "Reservoirs evicted (LRU pressure, staleness, or replacement)");
+  return c;
+}
+
+Counter* PublishedCounter() {
+  static Counter* c = MetricsRegistry::Default().GetCounter(
+      "storm_sample_cache_published_total",
+      "Reservoirs published by completed or progressed queries");
+  return c;
+}
+
+Counter* ServedSamplesCounter() {
+  static Counter* c = MetricsRegistry::Default().GetCounter(
+      "storm_sample_cache_served_samples_total",
+      "Individual samples handed to queries from cached reservoirs");
+  return c;
+}
+
+}  // namespace
+
+SampleReservoirCache::SampleReservoirCache(SampleCacheOptions options)
+    : options_(options),
+      bytes_gauge_(MetricsRegistry::Default().GetGauge(
+          "storm_sample_cache_bytes",
+          "Bytes of cached samples held by the default reservoir cache")) {}
+
+SampleReservoirCache& SampleReservoirCache::Default() {
+  static SampleReservoirCache* cache = new SampleReservoirCache();
+  return *cache;
+}
+
+void SampleReservoirCache::Configure(const SampleCacheOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_ = options;
+  EvictToBoundLocked();
+  UpdateBytesGaugeLocked();
+}
+
+SampleCacheOptions SampleReservoirCache::options() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return options_;
+}
+
+size_t SampleReservoirCache::ReservoirBytes(const Reservoir& r) {
+  // Entries dominate; the fixed overhead keeps empty-ish reservoirs from
+  // looking free to the byte accountant.
+  return r.samples.size() * sizeof(Entry) + r.table.size() + 128;
+}
+
+SampleReservoirCache::ProbeResult SampleReservoirCache::ProbeCovering(
+    const std::string& table, uint64_t epoch, const Rect3& range, Rng& rng) {
+  ProbeResult out;
+  std::lock_guard<std::mutex> lock(mu_);
+  PurgeStaleLocked(table, epoch);
+  // One covering reservoir only (see header): pick the candidate with the
+  // most entries inside `range` — candidates are few and bounded by
+  // max_reservoir_samples, so the exact count is affordable.
+  auto best = lru_.end();
+  size_t best_qualifying = 0;
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    if (it->table != table || it->epoch != epoch) continue;
+    if (!it->region.Contains(range)) continue;
+    size_t qualifying = 0;
+    for (const Entry& e : it->samples) {
+      if (range.Contains(e.point)) ++qualifying;
+    }
+    if (qualifying > best_qualifying) {
+      best_qualifying = qualifying;
+      best = it;
+    }
+  }
+  if (best == lru_.end() || best_qualifying == 0) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    MissesCounter()->Increment();
+    return out;
+  }
+  out.hit = true;
+  out.reservoir_region = best->region;
+  out.reservoir_samples = best->samples.size();
+  out.samples.reserve(best_qualifying);
+  const double keep = options_.keep_probability;
+  for (const Entry& e : best->samples) {
+    if (!range.Contains(e.point)) continue;
+    if (keep < 1.0 && !rng.Bernoulli(keep)) continue;
+    out.samples.push_back(e);
+  }
+  rng.Shuffle(out.samples);
+  // LRU touch.
+  lru_.splice(lru_.begin(), lru_, best);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  HitsCounter()->Increment();
+  ServedSamplesCounter()->Increment(out.samples.size());
+  return out;
+}
+
+bool SampleReservoirCache::HasCovering(const std::string& table,
+                                       uint64_t epoch,
+                                       const Rect3& range) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Reservoir& r : lru_) {
+    if (r.table == table && r.epoch == epoch && !r.samples.empty() &&
+        r.region.Contains(range)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void SampleReservoirCache::Publish(const std::string& table, uint64_t epoch,
+                                   const Rect3& region,
+                                   std::vector<Entry> samples) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (samples.size() < options_.min_publish_samples) return;
+  if (samples.size() > options_.max_reservoir_samples) {
+    samples.resize(options_.max_reservoir_samples);
+  }
+  PurgeStaleLocked(table, epoch);
+  // Same-key reservoir: replace only when the new sample set is larger.
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    if (it->table != table || it->epoch != epoch || !(it->region == region)) {
+      continue;
+    }
+    if (it->samples.size() >= samples.size()) {
+      lru_.splice(lru_.begin(), lru_, it);
+      return;
+    }
+    bytes_.fetch_sub(it->bytes, std::memory_order_relaxed);
+    lru_.erase(it);
+    break;
+  }
+  Reservoir r;
+  r.table = table;
+  r.epoch = epoch;
+  r.region = region;
+  r.samples = std::move(samples);
+  r.bytes = ReservoirBytes(r);
+  if (r.bytes > options_.max_bytes) return;  // would evict the whole cache
+  bytes_.fetch_add(r.bytes, std::memory_order_relaxed);
+  lru_.push_front(std::move(r));
+  published_.fetch_add(1, std::memory_order_relaxed);
+  PublishedCounter()->Increment();
+  EvictToBoundLocked();
+  UpdateBytesGaugeLocked();
+}
+
+void SampleReservoirCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  bytes_.store(0, std::memory_order_relaxed);
+  UpdateBytesGaugeLocked();
+}
+
+size_t SampleReservoirCache::reservoirs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+void SampleReservoirCache::EvictToBoundLocked() {
+  while (bytes_.load(std::memory_order_relaxed) > options_.max_bytes &&
+         !lru_.empty()) {
+    bytes_.fetch_sub(lru_.back().bytes, std::memory_order_relaxed);
+    lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    EvictionsCounter()->Increment();
+  }
+}
+
+void SampleReservoirCache::PurgeStaleLocked(const std::string& table,
+                                            uint64_t epoch) {
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->table == table && it->epoch != epoch) {
+      bytes_.fetch_sub(it->bytes, std::memory_order_relaxed);
+      it = lru_.erase(it);
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      EvictionsCounter()->Increment();
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SampleReservoirCache::UpdateBytesGaugeLocked() {
+  // Only the process-wide instance owns the gauge semantics; per-test
+  // instances still update it, which is harmless (last writer wins and
+  // tests do not read the registry gauge).
+  bytes_gauge_->Set(static_cast<double>(bytes_.load(std::memory_order_relaxed)));
+}
+
+}  // namespace storm

@@ -1,0 +1,169 @@
+// SampleReservoirCache: process-wide cross-query sample sharing for
+// interactive map exploration (docs/CACHING.md).
+//
+// STORM's motivating workload is panning/zooming viewports: thousands of
+// concurrent queries with heavily overlapping spatial ranges, each drawing
+// uniform samples from scratch. Following STULL's observation that online
+// samples can be shared across overlapping viewport queries without losing
+// uniformity, every with-replacement query publishes (a bounded prefix of)
+// its drawn samples into a reservoir tagged with the query's region and the
+// table's mutation epoch. A later query whose range is *covered* by a
+// cached reservoir drains the qualifying entries first — rejecting points
+// outside its own box restores uniformity over the smaller range — and only
+// tops up live through the regular sampler path.
+//
+// Statistical contract (why cache-served streams stay iid uniform):
+//  - A reservoir holds K iid Uniform(P ∩ region) draws. The subset inside a
+//    covered range Q is, conditionally on its size, iid Uniform(P ∩ Q) —
+//    spatial rejection is exactly the Bernoulli subsampling that restores
+//    uniformity.
+//  - A query drains each reservoir entry at most once (a without-replacement
+//    pass over the qualifying subset of an iid sequence is itself iid);
+//    re-serving entries within one query would be bootstrap resampling and
+//    is never done.
+//  - A probe uses exactly ONE covering reservoir. Reservoirs republish each
+//    other's samples, so combining two could serve the same physical draw
+//    twice within a query through different keys.
+//  - Publishing to an (table, epoch, region) key replaces the existing
+//    reservoir only when the new sample set is larger — merging would have
+//    the same cascade-duplication problem.
+//
+// Invalidation is epoch-based and lazy: Table::epoch() values are unique
+// across every table instance in the process, and every insert/delete moves
+// the table to a fresh epoch, so stale reservoirs can never match a probe
+// (correctness over reuse). Probes and publishes purge older-epoch
+// reservoirs of the same table as they scan.
+
+#ifndef STORM_CACHE_SAMPLE_CACHE_H_
+#define STORM_CACHE_SAMPLE_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "storm/geo/rect.h"
+#include "storm/rtree/rtree.h"
+#include "storm/util/rng.h"
+
+namespace storm {
+
+class Gauge;
+
+/// Knobs for one SampleReservoirCache instance. Configure() on the
+/// process-wide Default() instance applies server-level settings.
+struct SampleCacheOptions {
+  /// Total bound on cached sample bytes; least-recently-used reservoirs are
+  /// evicted when a publish would exceed it.
+  size_t max_bytes = 64ull << 20;
+  /// Per-reservoir cap on published samples (a query that drew more
+  /// publishes only its first max_reservoir_samples draws — a prefix of an
+  /// iid stream is iid).
+  uint64_t max_reservoir_samples = 65536;
+  /// Queries that served fewer samples than this do not publish: tiny
+  /// reservoirs evict useful ones without ever satisfying a probe.
+  uint64_t min_publish_samples = 512;
+  /// Extra Bernoulli thinning applied to qualifying entries on probe
+  /// (1.0 = keep every qualifying entry). Lower values trade hit depth for
+  /// serving the same reservoir to more concurrent queries with less
+  /// cross-query correlation.
+  double keep_probability = 1.0;
+};
+
+/// Thread-safe bounded cache of sample reservoirs, keyed by
+/// (table, epoch, region). See file comment for the statistical contract.
+class SampleReservoirCache {
+ public:
+  using Entry = RTree<3>::Entry;
+
+  explicit SampleReservoirCache(SampleCacheOptions options = {});
+
+  /// The process-wide instance every evaluator uses unless a test injects
+  /// its own through SamplingOptions::cache.
+  static SampleReservoirCache& Default();
+
+  /// Replaces the option set (server startup). Evicts down to the new byte
+  /// bound immediately.
+  void Configure(const SampleCacheOptions& options);
+  SampleCacheOptions options() const;
+
+  /// What ProbeCovering hands back: the qualifying entries of the chosen
+  /// reservoir, spatially rejected to `range`, Bernoulli-thinned, and
+  /// shuffled with the caller's RNG.
+  struct ProbeResult {
+    bool hit = false;
+    std::vector<Entry> samples;
+    Rect3 reservoir_region;
+    uint64_t reservoir_samples = 0;
+  };
+
+  /// Finds the fresh reservoir covering `range` with the most qualifying
+  /// entries and drains a thinned copy. Also purges reservoirs of `table`
+  /// older than `epoch` while scanning (lazy invalidation).
+  ProbeResult ProbeCovering(const std::string& table, uint64_t epoch,
+                            const Rect3& range, Rng& rng);
+
+  /// True when a fresh covering reservoir exists (EXPLAIN's cache
+  /// eligibility report). Does not count as a hit or miss.
+  bool HasCovering(const std::string& table, uint64_t epoch,
+                   const Rect3& range) const;
+
+  /// Publishes a query's served samples under (table, epoch, region).
+  /// Truncates to max_reservoir_samples; drops publishes smaller than
+  /// min_publish_samples; replaces an existing same-key reservoir only when
+  /// the new one is larger.
+  void Publish(const std::string& table, uint64_t epoch, const Rect3& region,
+               std::vector<Entry> samples);
+
+  /// Drops every reservoir (tests; table drop paths).
+  void Clear();
+
+  size_t bytes() const { return bytes_.load(std::memory_order_relaxed); }
+  size_t reservoirs() const;
+
+  // Instance-local stat counters (the storm_sample_cache_* registry metrics
+  // aggregate across instances; tests read these).
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  uint64_t published() const {
+    return published_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Reservoir {
+    std::string table;
+    uint64_t epoch = 0;
+    Rect3 region;
+    std::vector<Entry> samples;
+    size_t bytes = 0;
+  };
+
+  static size_t ReservoirBytes(const Reservoir& r);
+
+  // All three require mu_ held.
+  void EvictToBoundLocked();
+  void PurgeStaleLocked(const std::string& table, uint64_t epoch);
+  void UpdateBytesGaugeLocked();
+
+  mutable std::mutex mu_;
+  SampleCacheOptions options_;
+  /// LRU order: front = most recently used. Reservoir counts are small
+  /// (bounded by max_bytes / min_publish_samples), so probes scan linearly.
+  std::list<Reservoir> lru_;
+  std::atomic<size_t> bytes_{0};
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> published_{0};
+  Gauge* bytes_gauge_ = nullptr;
+};
+
+}  // namespace storm
+
+#endif  // STORM_CACHE_SAMPLE_CACHE_H_

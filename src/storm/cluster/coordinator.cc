@@ -267,8 +267,10 @@ class DistributedSampler final : public SpatialSampler<3> {
         MarkEvicted(s);
         continue;
       }
-      std::optional<Entry> e = locals_[s]->Next();
-      if (e.has_value()) {
+      // One-slot batch: shard weights renormalize after every draw, so the
+      // pick-then-draw loop is inherently single-entry.
+      Entry e;
+      if (locals_[s]->NextBatch(std::span<Entry>(&e, 1)) == 1) {
         if (mode_ == SamplingMode::kWithoutReplacement) {
           ++drawn_[s];
           weights_[s] = std::max(0.0, weights_[s] - 1.0);

@@ -763,6 +763,12 @@ Result<QueryResult> NetCoordinator::Execute(const std::string& query,
         shard_opts.profile = false;
         shard_opts.cancel = &shard_cancels[t];
         shard_opts.trace = options.trace;
+        // Sample draws never cross the coordinator wire (PROGRESS/RESULT
+        // carry estimates), so reservoir caching happens in each shard's
+        // process cache; forward only the on/off knob — NOT the whole
+        // sampling struct, whose stratify knobs the shard must derive from
+        // its own client capabilities.
+        shard_opts.sampling.sample_cache = options.sampling.sample_cache;
         shard_opts.progress = [&state, t](const QueryProgress& p) {
           {
             std::lock_guard<std::mutex> lock(state.mutex);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
 namespace storm {
 
@@ -55,18 +56,24 @@ void OnlineQuantile<D>::Merge(const OnlineQuantile& other) {
 template <int D>
 uint64_t OnlineQuantile<D>::Step(uint64_t batch) {
   if (!began_ || exhausted_) return 0;
+  constexpr uint64_t kChunk = 256;
+  Entry buf[kChunk];
   uint64_t drawn = 0;
-  for (uint64_t i = 0; i < batch; ++i) {
-    std::optional<Entry> e = sampler_->Next();
-    if (!e.has_value()) {
+  while (drawn < batch) {
+    uint64_t ask = std::min(kChunk, batch - drawn);
+    size_t got = sampler_->NextBatch(
+        std::span<Entry>(buf, static_cast<size_t>(ask)));
+    if (got == 0) {
       exhausted_ = sampler_->IsExhausted();
       break;
     }
-    double x = attr_(*e);
-    ++drawn;
-    if (std::isnan(x)) continue;
-    values_.push_back(x);
-    sorted_ = false;
+    for (size_t i = 0; i < got; ++i) {
+      double x = attr_(buf[i]);
+      if (std::isnan(x)) continue;
+      values_.push_back(x);
+      sorted_ = false;
+    }
+    drawn += got;
   }
   return drawn;
 }

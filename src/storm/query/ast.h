@@ -114,6 +114,10 @@ struct QueryAst {
 
   SamplerStrategy method = SamplerStrategy::kAuto;
 
+  /// USING NOCACHE hint: never serve this query from (or publish it to) the
+  /// shared sample-reservoir cache (docs/CACHING.md).
+  bool no_cache = false;
+
   /// EXPLAIN prefix: plan only (optimizer decision + selectivity estimate),
   /// draw no samples.
   bool explain = false;

@@ -6,6 +6,8 @@
 #include <mutex>
 #include <thread>
 
+#include "storm/cache/cached_sampler.h"
+#include "storm/cache/sample_cache.h"
 #include "storm/estimator/stratified.h"
 #include "storm/obs/metrics.h"
 #include "storm/obs/trace_context.h"
@@ -29,6 +31,20 @@ bool StratifiableAggregate(const QueryAst& ast) {
          (ast.aggregate == AggregateKind::kAvg ||
           ast.aggregate == AggregateKind::kSum ||
           ast.aggregate == AggregateKind::kCount);
+}
+
+/// Resolves the effective reservoir cache for a query, or null when caching
+/// is off (knob or USING NOCACHE) or the plan cannot use it. Stratified
+/// plans are ineligible: the evaluator downcasts their sampler to the
+/// concrete StratifiedSampler<3>, so a decorator cannot sit in between (and
+/// stratum-addressed draws are not a uniform stream to cache anyway).
+SampleReservoirCache* CacheFor(const SamplingOptions& sampling,
+                               const QueryAst& ast,
+                               SamplerStrategy strategy) {
+  if (!sampling.sample_cache || ast.no_cache) return nullptr;
+  if (strategy == SamplerStrategy::kStratified) return nullptr;
+  return sampling.cache != nullptr ? sampling.cache
+                                   : &SampleReservoirCache::Default();
 }
 }  // namespace
 
@@ -62,6 +78,7 @@ Result<std::unique_ptr<SpatialSampler<3>>> QueryEvaluator::MakeSampler(
   if (profile_ != nullptr) profile_->sampler = result->strategy;
   span.SetNote(result->strategy + ": " + result->decision.reason);
   uint64_t seed = table_->rs_tree().size() * 0x9e37 + 17;
+  std::unique_ptr<SpatialSampler<3>> sampler;
   // SampleFirst can stall on mis-estimated selective queries (it gives up
   // after its attempt budget); arm a mid-query switch to the RS-tree so the
   // online stream keeps flowing (§3.3 "switch strategy mid-query").
@@ -72,11 +89,33 @@ Result<std::unique_ptr<SpatialSampler<3>>> QueryEvaluator::MakeSampler(
     STORM_ASSIGN_OR_RETURN(std::unique_ptr<SpatialSampler<3>> fallback,
                            table_->NewSampler(SamplerStrategy::kRsTree,
                                               seed + 1, sampling_));
-    return std::unique_ptr<SpatialSampler<3>>(
-        std::make_unique<FailoverSampler<3>>(std::move(primary),
-                                             std::move(fallback)));
+    sampler = std::make_unique<FailoverSampler<3>>(std::move(primary),
+                                                   std::move(fallback));
+  } else {
+    STORM_ASSIGN_OR_RETURN(sampler,
+                           table_->NewSampler(strategy, seed, sampling_));
   }
-  return table_->NewSampler(strategy, seed, sampling_);
+  last_cache_ = nullptr;
+  if (SampleReservoirCache* cache = CacheFor(sampling_, ast, strategy)) {
+    // The cache-drain stage: serve covering cached reservoirs before live
+    // draws, publish the served stream back on destruction. The wrapper's
+    // RNG (probe thinning + shuffle) derives from the same per-table seed
+    // as the sampler, keeping cache-enabled runs seed-deterministic.
+    // Bounded queries (explicit stopping rule — the caller asked for an
+    // estimate, not an exact scan) may be steered from without-replacement
+    // into the with-replacement mode the cache serves; unbounded queries
+    // keep their exact-at-exhaustion semantics untouched.
+    bool bounded = ast.sample_limit > 0 || ast.target_relative_error > 0 ||
+                   ast.target_half_width > 0 || ast.time_budget_ms > 0 ||
+                   ast.deadline_ms > 0;
+    auto wrapped = std::make_unique<CachedSampler>(
+        std::move(sampler), cache, table_->name(), table_->epoch(),
+        Rng(seed ^ 0xCAC4E5EEDULL), bounded);
+    last_cache_ = wrapped.get();
+    result->cache_eligible = true;
+    sampler = std::move(wrapped);
+  }
+  return sampler;
 }
 
 namespace {
@@ -344,12 +383,15 @@ bool QueryEvaluator::Interrupted(QueryResult* result) const {
 }
 
 void QueryEvaluator::AnnotateHealth(const SpatialSampler<3>& sampler,
-                                    QueryResult* result) {
+                                    QueryResult* result) const {
   CardinalityEstimate c = sampler.Cardinality();
   result->degraded = c.degraded;
   result->coverage = c.coverage;
   result->cardinality_estimate = c.estimate;
   result->cardinality_exact = c.exact;
+  if (last_cache_ != nullptr) {
+    result->cache_samples = last_cache_->cached_served();
+  }
 }
 
 Result<QueryResult> QueryEvaluator::Execute(const QueryAst& ast,
@@ -389,6 +431,20 @@ Result<QueryResult> QueryEvaluator::Execute(const QueryAst& ast,
           "; stratified over the canonical set (Neyman allocation)";
     }
     result.strategy = SamplerStrategyToString(result.decision.strategy);
+    // Cache eligibility travels inside the decision reason (already a wire
+    // string), so remote EXPLAINs see it without a protocol change.
+    if (!sampling_.sample_cache || ast.no_cache) {
+      result.decision.reason += "; sample cache: off";
+    } else if (SampleReservoirCache* cache =
+                   CacheFor(sampling_, ast, result.decision.strategy)) {
+      result.cache_eligible = true;
+      result.decision.reason +=
+          cache->HasCovering(table_->name(), table_->epoch(), ast.QueryBox())
+              ? "; sample cache: eligible, covering reservoir cached"
+              : "; sample cache: eligible, no covering reservoir";
+    } else {
+      result.decision.reason += "; sample cache: ineligible (stratified plan)";
+    }
     return result;
   }
   Result<QueryResult> result = Status::InvalidArgument("unknown query task");
@@ -486,6 +542,9 @@ Result<QueryResult> QueryEvaluator::RunAggregate(const QueryAst& ast,
       loop.SetSamples(merged.samples_drawn());
       loop.End();
       AnnotateHealth(*run.samplers[0], &result);
+      // Worker samplers draw unwrapped: a cache shared across workers could
+      // hand the same reservoir entry to several streams, breaking iid.
+      result.cache_eligible = false;
       result.ci = merged.Current();
       result.samples = merged.samples_drawn();
       result.elapsed_ms = query_watch_.ElapsedMillis();
@@ -623,6 +682,7 @@ Result<QueryResult> QueryEvaluator::RunQuantile(const QueryAst& ast,
       loop.SetSamples(merged.samples());
       loop.End();
       AnnotateHealth(*run.samplers[0], &result);
+      result.cache_eligible = false;  // parallel workers draw unwrapped
       result.ci = merged.Current();
       result.ci_lower = merged.ci_lower();
       result.ci_upper = merged.ci_upper();
@@ -760,6 +820,7 @@ Result<QueryResult> QueryEvaluator::RunGroupBy(const QueryAst& ast,
       loop.SetSamples(merged.total_samples());
       loop.End();
       AnnotateHealth(*run.samplers[0], &result);
+      result.cache_eligible = false;  // parallel workers draw unwrapped
       for (const auto& g : merged.Current()) {
         // The NaN-key group holds records lacking the group attribute.
         if (g.key == std::numeric_limits<int64_t>::min()) continue;

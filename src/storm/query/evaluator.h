@@ -28,6 +28,8 @@
 
 namespace storm {
 
+class CachedSampler;
+
 /// One per-group output row.
 struct GroupRow {
   int64_t key = 0;
@@ -85,6 +87,14 @@ struct QueryResult {
   double cardinality_estimate = 0.0;
   bool cardinality_exact = false;
 
+  /// Shared sample-reservoir cache (docs/CACHING.md): whether this plan was
+  /// allowed to draw from it, and how many of the served samples actually
+  /// came from a cached reservoir (hit fraction = cache_samples / samples).
+  /// Local-only annotations — remote observability goes through the
+  /// storm_sample_cache_* metrics.
+  bool cache_eligible = false;
+  uint64_t cache_samples = 0;
+
   /// Per-query trace (spans, IO deltas, convergence trajectory). Set by
   /// Session::Execute / ExecuteAst; null when the evaluator is used directly
   /// without a profile.
@@ -139,9 +149,10 @@ class QueryEvaluator {
   /// stop now, with the corresponding result flag set.
   bool Interrupted(QueryResult* result) const;
 
-  /// Copies degraded-mode annotations from the sampler into the result.
-  static void AnnotateHealth(const SpatialSampler<3>& sampler,
-                             QueryResult* result);
+  /// Copies degraded-mode annotations from the sampler into the result,
+  /// plus sample-cache hit stats when MakeSampler armed the cache stage.
+  void AnnotateHealth(const SpatialSampler<3>& sampler,
+                      QueryResult* result) const;
 
   const Table* table_;
   QueryOptimizer optimizer_;
@@ -152,6 +163,10 @@ class QueryEvaluator {
   SamplingOptions sampling_;           // from ExecOptions, per Execute
   uint64_t batch_ = 64;                // sampling_.batch_size, clamped >= 1
   Stopwatch query_watch_;              // restarted at each Execute
+  /// The cache-drain wrapper MakeSampler installed for the current query
+  /// (owned by the returned sampler; null when the plan was ineligible).
+  /// Read by AnnotateHealth for the result's hit-fraction annotation.
+  mutable CachedSampler* last_cache_ = nullptr;
 };
 
 }  // namespace storm

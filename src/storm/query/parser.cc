@@ -370,10 +370,18 @@ class Parser {
           ast->method = SamplerStrategy::kStratified;
         } else if (Cur().IsKeyword("AUTO")) {
           ast->method = SamplerStrategy::kAuto;
+        } else if (Cur().IsKeyword("NOCACHE")) {
+          // USING NOCACHE opts this query out of the shared sample-reservoir
+          // cache; it may stand alone or follow a strategy keyword.
+          ast->no_cache = true;
         } else {
           return Fail("unknown method in USING clause");
         }
         Advance();
+        if (!ast->no_cache && Cur().IsKeyword("NOCACHE")) {
+          ast->no_cache = true;
+          Advance();
+        }
       } else {
         return Status::OK();
       }

@@ -15,6 +15,11 @@
 
 namespace storm {
 
+uint64_t NextTableEpoch() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
 // Out of line so the public header can forward-declare Wal.
 Table::Table(Table&&) noexcept = default;
 Table& Table::operator=(Table&&) noexcept = default;
@@ -234,6 +239,9 @@ Result<RecordId> Table::ApplyInsert(const Value& doc, const Point3& p,
       }
     }
   }
+  // Fresh epoch per applied mutation: cached sample reservoirs tagged with
+  // the previous epoch stop matching immediately (correctness over reuse).
+  epoch_->store(NextTableEpoch(), std::memory_order_release);
   return id;
 }
 
@@ -354,6 +362,7 @@ Status Table::Delete(RecordId id) {
       }
     }
   }
+  epoch_->store(NextTableEpoch(), std::memory_order_release);
   return Status::OK();
 }
 

@@ -27,6 +27,13 @@ namespace storm {
 // through this public header.
 class Wal;
 
+/// Returns a process-unique table epoch value (monotone counter). Every
+/// Table instance starts at a fresh epoch and moves to another on each
+/// mutation, so a sample reservoir tagged with an epoch can never alias a
+/// different table state — not even a dropped-and-recreated table of the
+/// same name (see storm/cache/sample_cache.h).
+uint64_t NextTableEpoch();
+
 struct TableConfig {
   RsTreeOptions rs;
   LsTreeOptions ls;
@@ -93,6 +100,13 @@ class Table {
   Cluster* mutable_cluster() { return cluster_.get(); }
   /// The base Hilbert R-tree (shared by RandomPath/QueryFirst samplers).
   const RTree<3>& base_tree() const { return rs_->tree(); }
+
+  /// Mutation epoch tagging cached sample reservoirs (process-unique; see
+  /// NextTableEpoch). Insert/Delete/InsertBatch move the table to a fresh
+  /// epoch, instantly invalidating every reservoir published against the
+  /// old one. Queries read it once at plan time — they hold ReadLock() for
+  /// their whole execution, so it cannot move under them.
+  uint64_t epoch() const { return epoch_->load(std::memory_order_acquire); }
 
   /// Creates a sampler implementing the given strategy, configured by
   /// `options` (strategies ignore the knobs that do not apply — see
@@ -208,6 +222,9 @@ class Table {
       columns_;
   mutable std::unique_ptr<std::atomic<uint64_t>> sampler_seq_ =
       std::make_unique<std::atomic<uint64_t>>(0);
+  // Behind unique_ptr for movability, like latch_ and sampler_seq_.
+  std::unique_ptr<std::atomic<uint64_t>> epoch_ =
+      std::make_unique<std::atomic<uint64_t>>(NextTableEpoch());
 };
 
 }  // namespace storm

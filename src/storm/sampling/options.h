@@ -23,6 +23,8 @@
 
 namespace storm {
 
+class SampleReservoirCache;
+
 /// Per-query sampling configuration, shared by every sampler strategy.
 /// Strategies ignore the knobs that do not apply to them.
 struct SamplingOptions {
@@ -63,6 +65,17 @@ struct SamplingOptions {
   /// query workers never contend on the shared buffer mutex.
   bool private_buffers = false;
 
+  /// Let eligible with-replacement queries drain the shared sample-reservoir
+  /// cache before drawing live, and publish their draws back (opt-out knob;
+  /// USING NOCACHE opts out per query). See docs/CACHING.md. Also what
+  /// RemoteClient forwards (inverted) as the no-cache wire request flag.
+  bool sample_cache = true;
+
+  /// Cache instance override, local-only (never wire-carried): tests inject
+  /// an isolated SampleReservoirCache here; null means the process-wide
+  /// SampleReservoirCache::Default().
+  SampleReservoirCache* cache = nullptr;
+
   /// Cluster paths: applied to every shard call (plan-round counts and
   /// per-draw probes). retry.deadline_ms acts as the per-shard deadline — a
   /// shard that cannot answer within it is treated as failed. Single-node
@@ -96,6 +109,14 @@ struct SamplingOptions {
   }
   SamplingOptions& WithPrivateBuffers(bool enabled) {
     private_buffers = enabled;
+    return *this;
+  }
+  SamplingOptions& WithSampleCache(bool enabled) {
+    sample_cache = enabled;
+    return *this;
+  }
+  SamplingOptions& WithCache(SampleReservoirCache* c) {
+    cache = c;
     return *this;
   }
   SamplingOptions& WithRetry(const RetryPolicy& policy) {

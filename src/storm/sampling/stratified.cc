@@ -159,8 +159,10 @@ StratifiedSampler<D>::DrawOne() {
     }
     if (sum <= 0.0) return std::nullopt;
     size_t h = rng_.Discrete(weight_scratch_);
-    std::optional<Entry> e = strata_[h].sub->Next();
-    if (e.has_value()) {
+    // One-slot batch: a stratum's weight changes after every draw, so the
+    // pick-then-draw loop is inherently single-entry.
+    Entry e;
+    if (strata_[h].sub->NextBatch(std::span<Entry>(&e, 1)) == 1) {
       ++strata_[h].drawn;
       metrics_.draws->Increment();
       return e;

@@ -114,6 +114,7 @@ constexpr uint8_t kFlagHasTrace = 1u << 1;
 constexpr uint8_t kFlagSampled = 1u << 2;
 constexpr uint8_t kFlagWantCardinality = 1u << 3;
 constexpr uint8_t kFlagWantStratified = 1u << 4;
+constexpr uint8_t kFlagNoCache = 1u << 5;
 
 }  // namespace
 
@@ -129,6 +130,7 @@ std::string EncodeQueryRequest(const QueryRequest& req) {
   if (req.trace.sampled) flags |= kFlagSampled;
   if (req.want_cardinality) flags |= kFlagWantCardinality;
   if (req.want_stratified) flags |= kFlagWantStratified;
+  if (req.no_cache) flags |= kFlagNoCache;
   w.PutU8(flags);
   if (req.trace.valid()) {
     w.PutU64(req.trace.trace_id_hi);
@@ -155,6 +157,8 @@ Result<QueryRequest> DecodeQueryRequest(std::string_view payload) {
   // Old decoders mask only the bits they know, so this flag is ignored by
   // pre-stratified servers — exactly the intended degradation.
   req.want_stratified = (flags & kFlagWantStratified) != 0;
+  // Also a pure hint bit: pre-cache servers ignore it and keep caching.
+  req.no_cache = (flags & kFlagNoCache) != 0;
   if ((flags & kFlagHasTrace) != 0) {
     STORM_ASSIGN_OR_RETURN(req.trace.trace_id_hi, r.GetU64());
     STORM_ASSIGN_OR_RETURN(req.trace.trace_id_lo, r.GetU64());

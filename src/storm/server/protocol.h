@@ -111,6 +111,11 @@ struct QueryRequest {
   /// request-side hint: the RESULT shape is unchanged, and old servers
   /// ignore the flag bit — the query still answers, uniformly sampled.
   bool want_stratified = false;
+  /// Ask the server NOT to serve this query from (or publish it to) its
+  /// shared sample-reservoir cache (SamplingOptions::sample_cache = false on
+  /// the server's evaluator). Pure request-side hint like want_stratified:
+  /// old servers ignore the flag bit and simply keep caching.
+  bool no_cache = false;
   /// Client-minted trace identity; invalid (all-zero id) when untraced.
   TraceContext trace;
 };

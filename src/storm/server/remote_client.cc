@@ -207,6 +207,10 @@ Result<QueryResult> RemoteClient::Execute(const std::string& query,
   // Hint, not capability: an old server ignores the bit and answers with
   // uniform sampling — same RESULT shape either way.
   req.want_stratified = options.sampling.prefer_stratified;
+  // Hint again: the server's reservoir cache is on unless the caller turned
+  // the knob off. Samples never cross the wire, so the flag is the whole
+  // client side of the cache story.
+  req.no_cache = !options.sampling.sample_cache;
   req.trace = trace;
 
   std::shared_ptr<QueryProfile> profile;

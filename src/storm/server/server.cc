@@ -5,6 +5,7 @@
 #include <thread>
 #include <utility>
 
+#include "storm/cache/sample_cache.h"
 #include "storm/obs/flight_recorder.h"
 #include "storm/obs/metrics.h"
 #include "storm/obs/trace_export.h"
@@ -141,6 +142,12 @@ Status StormServer::Start() {
   progress_dropped_ =
       reg.GetCounter("storm_server_progress_dropped_total",
                      "PROGRESS frames dropped by write-buffer backpressure");
+
+  if (options_.sample_cache && options_.sample_cache_bytes > 0) {
+    SampleCacheOptions cache_options;
+    cache_options.max_bytes = options_.sample_cache_bytes;
+    SampleReservoirCache::Default().Configure(cache_options);
+  }
 
   STORM_ASSIGN_OR_RETURN(listen_fd_, TcpListen(options_.port));
   STORM_ASSIGN_OR_RETURN(port_, BoundPort(listen_fd_.get()));
@@ -636,6 +643,9 @@ void StormServer::RunQuery(std::shared_ptr<Connection> conn, uint64_t id,
   // strategy tag in QueryResult, so the optimizer's automatic upgrade is
   // opt-in over the wire: only clients that sent the flag may receive it.
   options.sampling.auto_stratify = req.want_stratified;
+  // Per-server reservoir cache, shared across every connection; a client's
+  // no-cache hint (or a server-wide off switch) opts this query out.
+  options.sampling.sample_cache = options_.sample_cache && !req.no_cache;
   // Profiles cost span bookkeeping per batch; collect one only when the
   // client asked for it or the trace is sampled (TraceSink retention).
   options.profile = req.want_profile || trace.sampled;

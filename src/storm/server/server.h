@@ -96,6 +96,16 @@ struct ServerOptions {
   /// coordinators treat this replica as freshness-unknown (deprioritized,
   /// never evicted for it) — the mixed-version tests pin that behaviour.
   bool answer_ping_freshness = true;
+
+  /// Shared sample-reservoir cache (docs/CACHING.md): queries from every
+  /// connection drain and feed the process-wide cache. false turns it off
+  /// server-wide (individual clients opt out per query via the no-cache
+  /// wire flag or USING NOCACHE).
+  bool sample_cache = true;
+
+  /// Byte bound applied to the process-wide cache at Start(). 0 keeps the
+  /// cache's current configuration untouched.
+  size_t sample_cache_bytes = 0;
 };
 
 class StormServer {

@@ -31,6 +31,7 @@
 #include "storm/analytics/kmeans.h"
 #include "storm/analytics/text.h"
 #include "storm/analytics/trajectory.h"
+#include "storm/cache/sample_cache.h"
 #include "storm/cluster/coordinator.h"
 #include "storm/cluster/shard.h"
 #include "storm/connector/csv.h"

@@ -1,0 +1,431 @@
+// Shared sample-reservoir cache (cross-query sample sharing,
+// docs/CACHING.md). Labeled `cache` so CI can run it standalone
+// (`ctest -L cache`) under ThreadSanitizer with several
+// STORM_PARALLEL_SEED values; it also runs as part of the default suite.
+//
+// Covered here: publish/probe round trips with spatial rejection, the
+// statistical contract (cache-served + subsampled streams stay uniform —
+// chi-square against fresh draws' distribution), epoch invalidation on
+// insert/delete with post-mutation answers staying exact, LRU eviction
+// under the byte bound, seed determinism with the cache enabled, the
+// USING NOCACHE hint + ExecOptions knob + EXPLAIN report, and the
+// no-cache wire flag.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "storm/cache/cached_sampler.h"
+#include "storm/server/protocol.h"
+#include "storm/storm.h"
+#include "storm/util/stats.h"
+
+namespace storm {
+namespace {
+
+using Entry = RTree<3>::Entry;
+
+uint64_t TestSeed() {
+  const char* env = std::getenv("STORM_PARALLEL_SEED");
+  if (env == nullptr) return 1234;
+  return std::strtoull(env, nullptr, 10);
+}
+
+/// A 3-d query box bounded in x/y, unbounded in time — the shape every
+/// REGION(...) query produces.
+Rect3 Box(double x1, double y1, double x2, double y2) {
+  Rect3 everything = Rect3::Everything();
+  Point3 lo = everything.lo(), hi = everything.hi();
+  lo[0] = x1;
+  lo[1] = y1;
+  hi[0] = x2;
+  hi[1] = y2;
+  return Rect3(lo, hi);
+}
+
+/// `n` iid uniform draws over box [x1,x2] x [y1,y2] (t = 0), ids dense.
+std::vector<Entry> UniformDraws(int n, double x1, double y1, double x2,
+                                double y2, Rng* rng) {
+  std::vector<Entry> entries;
+  entries.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    entries.push_back({Point3(rng->UniformDouble(x1, x2),
+                              rng->UniformDouble(y1, y2), 0.0),
+                       static_cast<RecordId>(i)});
+  }
+  return entries;
+}
+
+std::vector<Value> MakeDocs(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Value> docs;
+  docs.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Value doc = Value::MakeObject();
+    doc.Set("x", Value::Double(rng.UniformDouble(0, 100)));
+    doc.Set("y", Value::Double(rng.UniformDouble(0, 100)));
+    doc.Set("v", Value::Double(static_cast<double>(i % 10)));
+    docs.push_back(doc);
+  }
+  return docs;
+}
+
+// ---------------------------------------------------------------------------
+// Unit: the reservoir store itself.
+
+TEST(SampleCacheTest, PublishThenProbeServesOnlyQualifyingEntries) {
+  SampleReservoirCache cache;
+  Rng rng(TestSeed());
+  cache.Publish("t", /*epoch=*/7, Box(0, 0, 100, 100),
+                UniformDraws(8000, 0, 0, 100, 100, &rng));
+  EXPECT_EQ(cache.reservoirs(), 1u);
+
+  // A covered sub-range hits; every served entry lies inside it.
+  Rect3 q = Box(30, 30, 70, 70);
+  auto probe = cache.ProbeCovering("t", 7, q, rng);
+  ASSERT_TRUE(probe.hit);
+  EXPECT_GT(probe.samples.size(), 0u);
+  for (const Entry& e : probe.samples) {
+    EXPECT_TRUE(q.Contains(e.point));
+  }
+  // Roughly the area fraction of the draws qualify (0.16 of 8000).
+  EXPECT_GT(probe.samples.size(), 800u);
+  EXPECT_LT(probe.samples.size(), 2000u);
+  EXPECT_EQ(cache.hits(), 1u);
+
+  // A range poking outside every reservoir misses.
+  auto miss = cache.ProbeCovering("t", 7, Box(90, 90, 110, 110), rng);
+  EXPECT_FALSE(miss.hit);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  // Same region, different table: miss.
+  auto other = cache.ProbeCovering("u", 7, q, rng);
+  EXPECT_FALSE(other.hit);
+}
+
+TEST(SampleCacheTest, SmallPublishesAreSuppressed) {
+  SampleReservoirCache cache;  // default min_publish_samples = 512
+  Rng rng(TestSeed());
+  cache.Publish("t", 1, Box(0, 0, 100, 100),
+                UniformDraws(100, 0, 0, 100, 100, &rng));
+  EXPECT_EQ(cache.reservoirs(), 0u);
+  EXPECT_EQ(cache.published(), 0u);
+}
+
+TEST(SampleCacheTest, SameKeyRepublishKeepsTheLargerReservoir) {
+  SampleReservoirCache cache;
+  Rng rng(TestSeed());
+  Rect3 region = Box(0, 0, 100, 100);
+  cache.Publish("t", 1, region, UniformDraws(4000, 0, 0, 100, 100, &rng));
+  // A smaller same-key publish is dropped...
+  cache.Publish("t", 1, region, UniformDraws(1000, 0, 0, 100, 100, &rng));
+  EXPECT_EQ(cache.reservoirs(), 1u);
+  auto probe = cache.ProbeCovering("t", 1, region, rng);
+  ASSERT_TRUE(probe.hit);
+  EXPECT_EQ(probe.reservoir_samples, 4000u);
+  // ...a larger one replaces.
+  cache.Publish("t", 1, region, UniformDraws(6000, 0, 0, 100, 100, &rng));
+  EXPECT_EQ(cache.reservoirs(), 1u);
+  auto bigger = cache.ProbeCovering("t", 1, region, rng);
+  ASSERT_TRUE(bigger.hit);
+  EXPECT_EQ(bigger.reservoir_samples, 6000u);
+}
+
+TEST(SampleCacheTest, EpochBumpInvalidatesAndPurgesStaleReservoirs) {
+  SampleReservoirCache cache;
+  Rng rng(TestSeed());
+  cache.Publish("t", 3, Box(0, 0, 100, 100),
+                UniformDraws(4000, 0, 0, 100, 100, &rng));
+  EXPECT_EQ(cache.reservoirs(), 1u);
+  EXPECT_TRUE(cache.HasCovering("t", 3, Box(20, 20, 60, 60)));
+
+  // The table moved to epoch 4 (an insert): the old reservoir can never
+  // match again and the probe purges it on sight.
+  EXPECT_FALSE(cache.HasCovering("t", 4, Box(20, 20, 60, 60)));
+  auto probe = cache.ProbeCovering("t", 4, Box(20, 20, 60, 60), rng);
+  EXPECT_FALSE(probe.hit);
+  EXPECT_EQ(cache.reservoirs(), 0u);
+  EXPECT_GE(cache.evictions(), 1u);
+}
+
+TEST(SampleCacheTest, EvictsLeastRecentlyUsedUnderByteBound) {
+  SampleCacheOptions options;
+  // Room for ~3 reservoirs of 2000 entries (32 B each) + overhead.
+  options.max_bytes = 200 * 1024;
+  options.min_publish_samples = 512;
+  SampleReservoirCache cache(options);
+  Rng rng(TestSeed());
+  // Distinct keys: disjoint regions on one table, same epoch.
+  for (int i = 0; i < 6; ++i) {
+    double x0 = 100.0 * i;
+    cache.Publish("t", 1, Box(x0, 0, x0 + 100, 100),
+                  UniformDraws(2000, x0, 0, x0 + 100, 100, &rng));
+  }
+  EXPECT_LE(cache.bytes(), options.max_bytes);
+  EXPECT_GE(cache.evictions(), 1u);
+  EXPECT_LT(cache.reservoirs(), 6u);
+  // The oldest (least recently used) region is gone, the newest survives.
+  EXPECT_FALSE(cache.HasCovering("t", 1, Box(10, 10, 20, 20)));
+  EXPECT_TRUE(cache.HasCovering("t", 1, Box(510, 10, 520, 20)));
+}
+
+// The statistical contract: entries drained from a covering reservoir and
+// rejected to a smaller range are uniform over that range. Chi-square over
+// a 4x4 grid of equal-area cells.
+TEST(SampleCacheTest, ProbedSubrangeStreamIsUniformChiSquared) {
+  SampleReservoirCache cache;
+  Rng rng(TestSeed());
+  cache.Publish("t", 1, Box(0, 0, 100, 100),
+                UniformDraws(60000, 0, 0, 100, 100, &rng));
+  Rect3 q = Box(30, 30, 70, 70);
+  auto probe = cache.ProbeCovering("t", 1, q, rng);
+  ASSERT_TRUE(probe.hit);
+  ASSERT_GT(probe.samples.size(), 4000u);
+
+  constexpr size_t kGrid = 4;
+  uint64_t counts[kGrid * kGrid] = {};
+  for (const Entry& e : probe.samples) {
+    auto cx = std::min(kGrid - 1, static_cast<size_t>((e.point[0] - 30.0) /
+                                                      (40.0 / kGrid)));
+    auto cy = std::min(kGrid - 1, static_cast<size_t>((e.point[1] - 30.0) /
+                                                      (40.0 / kGrid)));
+    ++counts[cy * kGrid + cx];
+  }
+  double stat = ChiSquareUniform(counts, kGrid * kGrid, probe.samples.size());
+  EXPECT_LT(stat, ChiSquareCritical(kGrid * kGrid - 1, 1e-4));
+}
+
+// ---------------------------------------------------------------------------
+// CachedSampler over a real table: drain-then-top-up, and the combined
+// (cached + live) stream stays uniform.
+
+TEST(CachedSamplerTest, DrainsCoveringReservoirThenTopsUpLiveAndStaysUniform) {
+  Session session;
+  ASSERT_TRUE(session.CreateTable("t", MakeDocs(20'000, TestSeed())).ok());
+  Table* table = *session.GetTable("t");
+  SampleReservoirCache cache;
+
+  // Overview pass: a with-replacement query over the full extent publishes
+  // its stream on destruction.
+  {
+    auto inner = table->NewSampler(SamplerStrategy::kRsTree, TestSeed());
+    ASSERT_TRUE(inner.ok());
+    CachedSampler overview(std::move(*inner), &cache, "t", table->epoch(),
+                           Rng(TestSeed() + 1));
+    ASSERT_TRUE(
+        overview.Begin(Box(0, 0, 100, 100), SamplingMode::kWithReplacement)
+            .ok());
+    Entry buf[512];
+    uint64_t drawn = 0;
+    while (drawn < 12'000) {
+      uint64_t got = overview.NextBatch(std::span<Entry>(buf, 512));
+      ASSERT_GT(got, 0u);
+      drawn += got;
+    }
+    EXPECT_FALSE(overview.cache_hit());  // nothing was cached yet
+  }
+  EXPECT_EQ(cache.reservoirs(), 1u);
+
+  // Pan pass: a covered sub-viewport drains the reservoir first, then tops
+  // up through the live sampler. Every sample is in range either way.
+  Rect3 pan = Box(25, 25, 75, 75);
+  auto inner = table->NewSampler(SamplerStrategy::kRsTree, TestSeed() + 2);
+  ASSERT_TRUE(inner.ok());
+  CachedSampler sampler(std::move(*inner), &cache, "t", table->epoch(),
+                        Rng(TestSeed() + 3));
+  ASSERT_TRUE(sampler.Begin(pan, SamplingMode::kWithReplacement).ok());
+
+  constexpr size_t kGrid = 4;
+  uint64_t counts[kGrid * kGrid] = {};
+  Entry buf[512];
+  uint64_t drawn = 0;
+  while (drawn < 8'000) {
+    uint64_t got = sampler.NextBatch(std::span<Entry>(buf, 512));
+    ASSERT_GT(got, 0u);
+    for (uint64_t i = 0; i < got; ++i) {
+      ASSERT_TRUE(pan.Contains(buf[i].point));
+      auto cx = std::min(kGrid - 1, static_cast<size_t>(
+                                        (buf[i].point[0] - 25.0) /
+                                        (50.0 / kGrid)));
+      auto cy = std::min(kGrid - 1, static_cast<size_t>(
+                                        (buf[i].point[1] - 25.0) /
+                                        (50.0 / kGrid)));
+      ++counts[cy * kGrid + cx];
+    }
+    drawn += got;
+  }
+  EXPECT_TRUE(sampler.cache_hit());
+  EXPECT_GT(sampler.cached_served(), 0u);
+  EXPECT_GT(sampler.total_served(), sampler.cached_served());
+  EXPECT_EQ(cache.hits(), 1u);
+
+  // The combined cached + live stream is uniform over the pan viewport.
+  // (The table's points are uniform over [0,100]^2, so P ∩ pan is uniform
+  // over the pan box up to sampling noise in the fixture itself; an
+  // equal-area chi-square at alpha = 1e-4 absorbs that.)
+  double stat = ChiSquareUniform(counts, kGrid * kGrid, drawn);
+  EXPECT_LT(stat, ChiSquareCritical(kGrid * kGrid - 1, 1e-4));
+}
+
+// ---------------------------------------------------------------------------
+// Query-level behaviour through Session::Execute.
+
+TEST(CacheQueryTest, SecondBoundedQueryServesFromCache) {
+  Session session;
+  ASSERT_TRUE(session.CreateTable("t", MakeDocs(20'000, TestSeed())).ok());
+  SampleReservoirCache cache;
+  ExecOptions options =
+      ExecOptions().WithSampling(SamplingOptions().WithCache(&cache));
+  const std::string q =
+      "SELECT AVG(v) FROM t REGION(0, 0, 100, 100) SAMPLES 5000 USING RSTREE";
+
+  auto first = session.Execute(q, options);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_TRUE(first->cache_eligible);
+  EXPECT_EQ(first->cache_samples, 0u);  // cold cache
+  EXPECT_EQ(cache.reservoirs(), 1u);    // ...but the query published
+
+  auto second = session.Execute(q, options);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_TRUE(second->cache_eligible);
+  EXPECT_GT(second->cache_samples, 0u);
+  EXPECT_LE(second->cache_samples, second->samples);
+  // Both are valid estimates of the same mean (v is i%10, mean 4.5).
+  EXPECT_NEAR(second->ci.estimate, 4.5, 4.0 * second->ci.half_width + 0.05);
+}
+
+TEST(CacheQueryTest, InsertAndDeleteInvalidateAndAnswersStayExact) {
+  Session session;
+  ASSERT_TRUE(session.CreateTable("t", MakeDocs(5'000, TestSeed())).ok());
+  SampleReservoirCache cache;
+  ExecOptions options =
+      ExecOptions().WithSampling(SamplingOptions().WithCache(&cache));
+  const std::string bounded =
+      "SELECT AVG(v) FROM t REGION(0, 0, 100, 100) SAMPLES 2000 USING RSTREE";
+
+  ASSERT_TRUE(session.Execute(bounded, options).ok());
+  auto warm = session.Execute(bounded, options);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_GT(warm->cache_samples, 0u);  // the cache is live
+
+  // An insert moves the table to a fresh epoch: the next query must not see
+  // any pre-insert reservoir (correctness over reuse).
+  UpdateManager* updates = *session.Updates("t");
+  BatchInsertResult inserted = updates->InsertBatch(MakeDocs(100, 999));
+  ASSERT_TRUE(inserted.status.ok());
+  auto after_insert = session.Execute(bounded, options);
+  ASSERT_TRUE(after_insert.ok());
+  EXPECT_EQ(after_insert->cache_samples, 0u);
+
+  // Unbounded COUNT runs without-replacement to exhaustion: exact, and it
+  // sees every inserted record.
+  auto count = session.Execute("SELECT COUNT(*) FROM t USING QUERYFIRST");
+  ASSERT_TRUE(count.ok()) << count.status();
+  EXPECT_DOUBLE_EQ(count->ci.estimate, 5100.0);
+
+  // A delete bumps the epoch again and the exact answer tracks it.
+  ASSERT_TRUE(updates->Delete(inserted.ids.front()).ok());
+  auto after_delete = session.Execute(bounded, options);
+  ASSERT_TRUE(after_delete.ok());
+  EXPECT_EQ(after_delete->cache_samples, 0u);
+  auto recount = session.Execute("SELECT COUNT(*) FROM t USING QUERYFIRST");
+  ASSERT_TRUE(recount.ok());
+  EXPECT_DOUBLE_EQ(recount->ci.estimate, 5099.0);
+}
+
+TEST(CacheQueryTest, SeedDeterminismHoldsWithCacheEnabled) {
+  const std::string overview =
+      "SELECT AVG(v) FROM t REGION(0, 0, 100, 100) SAMPLES 5000 USING RSTREE";
+  const std::string pan =
+      "SELECT AVG(v) FROM t REGION(25, 25, 75, 75) SAMPLES 3000 USING RSTREE";
+  auto run = [&](double* first, double* second, uint64_t* cached) {
+    Session session;
+    ASSERT_TRUE(session.CreateTable("t", MakeDocs(20'000, TestSeed())).ok());
+    SampleReservoirCache cache;
+    ExecOptions options =
+        ExecOptions().WithSampling(SamplingOptions().WithCache(&cache));
+    auto a = session.Execute(overview, options);
+    ASSERT_TRUE(a.ok()) << a.status();
+    auto b = session.Execute(pan, options);
+    ASSERT_TRUE(b.ok()) << b.status();
+    *first = a->ci.estimate;
+    *second = b->ci.estimate;
+    *cached = b->cache_samples;
+  };
+  double first1 = 0, second1 = 0, first2 = 0, second2 = 0;
+  uint64_t cached1 = 0, cached2 = 0;
+  run(&first1, &second1, &cached1);
+  run(&first2, &second2, &cached2);
+  EXPECT_DOUBLE_EQ(first1, first2);
+  EXPECT_DOUBLE_EQ(second1, second2);
+  EXPECT_EQ(cached1, cached2);
+  EXPECT_GT(cached1, 0u);  // the pan actually served from the cache
+}
+
+TEST(CacheQueryTest, NoCacheHintAndKnobDisableEligibility) {
+  Session session;
+  ASSERT_TRUE(session.CreateTable("t", MakeDocs(5'000, TestSeed())).ok());
+  SampleReservoirCache cache;
+
+  // USING NOCACHE (with or without an explicit method).
+  auto hint = session.Execute(
+      "SELECT AVG(v) FROM t SAMPLES 1000 USING RSTREE NOCACHE",
+      ExecOptions().WithSampling(SamplingOptions().WithCache(&cache)));
+  ASSERT_TRUE(hint.ok()) << hint.status();
+  EXPECT_FALSE(hint->cache_eligible);
+  auto bare = session.Execute(
+      "SELECT AVG(v) FROM t SAMPLES 1000 USING NOCACHE",
+      ExecOptions().WithSampling(SamplingOptions().WithCache(&cache)));
+  ASSERT_TRUE(bare.ok()) << bare.status();
+  EXPECT_FALSE(bare->cache_eligible);
+
+  // The ExecOptions opt-out knob.
+  auto knob = session.Execute(
+      "SELECT AVG(v) FROM t SAMPLES 1000 USING RSTREE",
+      ExecOptions().WithSampling(
+          SamplingOptions().WithCache(&cache).WithSampleCache(false)));
+  ASSERT_TRUE(knob.ok()) << knob.status();
+  EXPECT_FALSE(knob->cache_eligible);
+  EXPECT_EQ(cache.reservoirs(), 0u);  // nothing ever published
+
+  // EXPLAIN reports cache eligibility.
+  auto explain = session.Execute(
+      "EXPLAIN SELECT AVG(v) FROM t SAMPLES 1000 USING RSTREE",
+      ExecOptions().WithSampling(SamplingOptions().WithCache(&cache)));
+  ASSERT_TRUE(explain.ok()) << explain.status();
+  EXPECT_TRUE(explain->explain_only);
+  EXPECT_NE(explain->decision.reason.find("sample cache"), std::string::npos);
+  auto explain_off = session.Execute(
+      "EXPLAIN SELECT AVG(v) FROM t SAMPLES 1000 USING RSTREE NOCACHE",
+      ExecOptions().WithSampling(SamplingOptions().WithCache(&cache)));
+  ASSERT_TRUE(explain_off.ok());
+  EXPECT_NE(explain_off->decision.reason.find("sample cache: off"),
+            std::string::npos);
+}
+
+TEST(CacheWireTest, NoCacheFlagRoundTripsAndStaysCompatible) {
+  QueryRequest req;
+  req.query = "SELECT AVG(v) FROM t";
+  req.no_cache = true;
+  auto decoded = DecodeQueryRequest(EncodeQueryRequest(req));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(decoded->no_cache);
+  EXPECT_EQ(decoded->query, req.query);
+
+  // A pre-cache client's request (flag absent) decodes to false — the
+  // server keeps caching, which is the compatible default.
+  QueryRequest old;
+  old.query = req.query;
+  auto old_decoded = DecodeQueryRequest(EncodeQueryRequest(old));
+  ASSERT_TRUE(old_decoded.ok());
+  EXPECT_FALSE(old_decoded->no_cache);
+}
+
+}  // namespace
+}  // namespace storm

@@ -141,6 +141,12 @@ int main(int argc, char** argv) {
       }
       Failpoints::Default().Configure(parsed->first, parsed->second);
       std::printf("armed failpoint %s\n", parsed->first.c_str());
+    } else if (std::strcmp(argv[i], "--no-sample-cache") == 0) {
+      options.sample_cache = false;
+    } else if (std::strcmp(argv[i], "--sample-cache-bytes") == 0 &&
+               i + 1 < argc) {
+      options.sample_cache_bytes =
+          static_cast<size_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--tiny") == 0) {
       tiny = true;  // small demo tables: fast startup for CI / smoke runs
     } else {
@@ -150,6 +156,7 @@ int main(int argc, char** argv) {
                    "[--trace-sample-rate F] [--slow-query-ms F] "
                    "[--shard-index K --num-shards N] "
                    "[--drain-timeout-ms F] "
+                   "[--no-sample-cache] [--sample-cache-bytes N] "
                    "[--failpoint site:key=value,...] [--tiny]\n",
                    argv[0]);
       return 2;

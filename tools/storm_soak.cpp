@@ -12,6 +12,12 @@
 //
 //   STORM_SOAK_SECONDS=60 STORM_SOAK_CLIENTS=8 ./build/tools/storm_soak
 //
+// --overlap (or STORM_SOAK_OVERLAP=1) switches the streamed-query arm to
+// panning viewports that share a hot region, so every client's queries
+// overlap and the shared sample-reservoir cache (docs/CACHING.md) is
+// constantly probed, published to, and invalidated by the insert arm —
+// the cache's concurrency soak. The cache counters print at the end.
+//
 // STORM_FUZZ_SEED perturbs every worker's traffic mix (default 0x50AC), and
 // is echoed up front so a red run reproduces exactly. Each worker traces a
 // fraction of its queries; on failure the harness prints the slowest traced
@@ -22,6 +28,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -97,7 +104,28 @@ void AbandonMidQuery(int port, WorkerStats* stats) {
   // fd closes here — an abrupt RST/EOF from the server's point of view.
 }
 
-void ClientWorker(int port, int worker, uint64_t seed,
+// --overlap traffic: panning 2.5x2.5 viewports whose origins walk a grid
+// inside the shared hot region [2,8]^2, plus an occasional full hot-region
+// overview. Every box lies inside the previous overview's box, so the
+// sample-reservoir cache (docs/CACHING.md) sees constant cross-client
+// overlap while the insert arm keeps bumping the table epoch under it —
+// the publish/probe/invalidate races this soak exists to shake out.
+std::string OverlapQuery(Rng* rng) {
+  if (rng->UniformInt(0, 8) == 0) {
+    return "SELECT AVG(v) FROM soak REGION(2, 2, 8, 8) SAMPLES 40000 "
+           "USING RSTREE";
+  }
+  double ox = 2.0 + 0.5 * static_cast<double>(rng->UniformInt(0, 7));
+  double oy = 2.0 + 0.5 * static_cast<double>(rng->UniformInt(0, 7));
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "SELECT AVG(v) FROM soak REGION(%.1f, %.1f, %.1f, %.1f) "
+                "SAMPLES 20000 USING RSTREE",
+                ox, oy, ox + 2.5, oy + 2.5);
+  return buf;
+}
+
+void ClientWorker(int port, int worker, uint64_t seed, bool overlap,
                   std::atomic<bool>* stop, WorkerStats* stats) {
   Rng rng(seed + static_cast<uint64_t>(worker));
   RemoteClient client;
@@ -114,7 +142,7 @@ void ClientWorker(int port, int worker, uint64_t seed,
     if (dice < 5) {
       // Streamed query, run to completion.
       auto result = client.Execute(
-          "SELECT AVG(v) FROM soak SAMPLES 20000",
+          overlap ? OverlapQuery(&rng) : "SELECT AVG(v) FROM soak SAMPLES 20000",
           ExecOptions().WithProgress([](const QueryProgress&) { return true; }));
       if (result.ok()) {
         ++stats->queries;
@@ -174,10 +202,19 @@ void ClientWorker(int port, int worker, uint64_t seed,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const int seconds = EnvInt("STORM_SOAK_SECONDS", 5);
   const int num_clients = EnvInt("STORM_SOAK_CLIENTS", 8);
   const uint64_t fuzz_seed = EnvU64("STORM_FUZZ_SEED", 0x50AC);
+  bool overlap = EnvInt("STORM_SOAK_OVERLAP", 0) != 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--overlap") == 0) {
+      overlap = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--overlap]\n", argv[0]);
+      return 2;
+    }
+  }
 
   // Seed table: uniform points with a numeric attribute to aggregate.
   Session session;
@@ -210,8 +247,9 @@ int main() {
     return 1;
   }
   std::printf(
-      "soaking %d clients against port %d for %d s (STORM_FUZZ_SEED=%llu)\n",
+      "soaking %d clients against port %d for %d s%s (STORM_FUZZ_SEED=%llu)\n",
       num_clients, server.port(), seconds,
+      overlap ? " [overlap: shared hot region]" : "",
       static_cast<unsigned long long>(fuzz_seed));
 
   std::atomic<bool> stop{false};
@@ -219,8 +257,8 @@ int main() {
   std::vector<std::thread> workers;
   workers.reserve(static_cast<size_t>(num_clients));
   for (int i = 0; i < num_clients; ++i) {
-    workers.emplace_back(ClientWorker, server.port(), i, fuzz_seed, &stop,
-                         &stats[i]);
+    workers.emplace_back(ClientWorker, server.port(), i, fuzz_seed, overlap,
+                         &stop, &stats[i]);
   }
   std::this_thread::sleep_for(std::chrono::seconds(seconds));
   stop.store(true, std::memory_order_release);
@@ -257,6 +295,15 @@ int main() {
               static_cast<unsigned long long>(adm.released_total()),
               static_cast<unsigned long long>(adm.shed_total()),
               adm.in_flight());
+  const SampleReservoirCache& cache = SampleReservoirCache::Default();
+  std::printf(
+      "sample cache: hits=%llu misses=%llu published=%llu evictions=%llu "
+      "reservoirs=%zu bytes=%zu\n",
+      static_cast<unsigned long long>(cache.hits()),
+      static_cast<unsigned long long>(cache.misses()),
+      static_cast<unsigned long long>(cache.published()),
+      static_cast<unsigned long long>(cache.evictions()),
+      cache.reservoirs(), cache.bytes());
 
   int rc = 0;
   if (total.errors > 0) {
